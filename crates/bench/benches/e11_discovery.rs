@@ -1,0 +1,112 @@
+//! Experiment E11 — IRR discovery (Figure 1 step 5): the cost of a user's
+//! IoTA discovering registries and fetching nearby policies as they walk
+//! the building, across network loss rates and advertisement counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tippers_iota::{Iota, SensitivityProfile};
+use tippers_irr::{DiscoveryBus, NetworkConfig};
+use tippers_ontology::Ontology;
+use tippers_policy::{catalog, PolicyCodec, PolicyId, Timestamp, UserGroup, UserId};
+use tippers_spatial::fixtures::dbh;
+
+fn build_bus(ads_per_floor: usize, loss: f64) -> (DiscoveryBus, tippers_spatial::fixtures::Dbh) {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let codec = PolicyCodec::new(&ontology, &building.model);
+    let mut bus = DiscoveryBus::new(NetworkConfig {
+        loss_probability: loss,
+        seed: 3,
+        ..NetworkConfig::default()
+    });
+    let irr = bus.add_registry("DBH IRR", building.building);
+    let now = Timestamp::at(0, 7, 0);
+    for (i, &floor) in building.floors.iter().enumerate() {
+        for j in 0..ads_per_floor {
+            let mut policy = catalog::policy2_emergency_location(
+                PolicyId((i * ads_per_floor + j) as u64),
+                building.building,
+                &ontology,
+            );
+            policy.space = floor;
+            policy.name = format!("floor-{i}-practice-{j}");
+            let doc = codec.to_document(&policy);
+            bus.registry_mut(irr)
+                .unwrap()
+                .publish(doc, floor, now, 86_400)
+                .unwrap();
+        }
+    }
+    (bus, building)
+}
+
+fn bench_walk(criterion: &mut Criterion) {
+    let ontology = Ontology::standard();
+    let mut group = criterion.benchmark_group("e11_discovery");
+    group.sample_size(10);
+    for &(ads, loss) in &[(5usize, 0.0f64), (5, 0.3), (20, 0.0), (20, 0.3)] {
+        let (bus, building) = build_bus(ads, loss);
+        let label = format!("ads{}_loss{}", ads * 6, (loss * 100.0) as u32);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&label),
+            &bus,
+            |b, bus| {
+                let iota = Iota::new(
+                    UserId(1),
+                    UserGroup::GradStudent,
+                    SensitivityProfile::fundamentalist(&ontology),
+                );
+                // A walk visiting one office per floor.
+                let stops: Vec<_> = building
+                    .floors
+                    .iter()
+                    .map(|&f| {
+                        building
+                            .offices
+                            .iter()
+                            .copied()
+                            .find(|&o| building.model.floor_of(o) == Some(f))
+                            .expect("every floor has offices")
+                    })
+                    .collect();
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for &stop in &stops {
+                        total += iota
+                            .poll(bus, &building.model, stop, Timestamp::at(0, 9, 0))
+                            .len();
+                    }
+                    std::hint::black_box(total)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Review pipeline throughput: relevance-scoring a batch of fetched
+/// advertisements (the phone-side cost per discovery round).
+fn bench_review(criterion: &mut Criterion) {
+    let ontology = Ontology::standard();
+    let (bus, building) = build_bus(20, 0.0);
+    let iota_probe = Iota::new(
+        UserId(1),
+        UserGroup::GradStudent,
+        SensitivityProfile::fundamentalist(&ontology),
+    );
+    let ads = iota_probe.poll(&bus, &building.model, building.offices[0], Timestamp::at(0, 9, 0));
+    let mut group = criterion.benchmark_group("e11_review");
+    group.bench_function(format!("review_{}_ads", ads.len()), |b| {
+        b.iter(|| {
+            let mut iota = Iota::new(
+                UserId(1),
+                UserGroup::GradStudent,
+                SensitivityProfile::fundamentalist(&ontology),
+            );
+            std::hint::black_box(iota.review(&ads, &ontology, Timestamp::at(0, 9, 0)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk, bench_review);
+criterion_main!(benches);

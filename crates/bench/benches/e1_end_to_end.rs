@@ -1,0 +1,109 @@
+//! Experiment E1 — Figure 1's ten-step interaction, timed end to end:
+//! policy definition → capture/storage → publication → discovery →
+//! notification → configuration → enforced request.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tippers::{Tippers, TippersConfig};
+use tippers_iota::{Iota, SensitivityProfile};
+use tippers_irr::{DiscoveryBus, NetworkConfig};
+use tippers_ontology::Ontology;
+use tippers_policy::{catalog, BuildingPolicy, PolicyId, Timestamp, UserGroup};
+use tippers_sensors::{
+    BuildingSimulator, DeploymentConfig, Population, SimulatorConfig,
+};
+use tippers_services::{register_service, Concierge};
+
+fn small_sim(ontology: &Ontology) -> BuildingSimulator {
+    BuildingSimulator::new(
+        SimulatorConfig {
+            seed: 1,
+            population: Population::small(),
+            tick_secs: 900,
+            deployment: DeploymentConfig {
+                cameras: 4,
+                wifi_aps: 12,
+                beacons: 12,
+                power_meters: 8,
+                motion_everywhere: false,
+                hvac_per_floor: true,
+                badge_readers: false,
+            },
+            identify_probability: 0.2,
+        },
+        ontology,
+    )
+}
+
+fn bench_walkthrough(criterion: &mut Criterion) {
+    let ontology = Ontology::standard();
+    let mut group = criterion.benchmark_group("e1_end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("figure1_walkthrough", |b| {
+        b.iter(|| {
+            let mut sim = small_sim(&ontology);
+            let building = sim.dbh().clone();
+            let mut bms = Tippers::new(
+                ontology.clone(),
+                building.model.clone(),
+                TippersConfig::default(),
+            );
+            bms.register_occupants(sim.occupants());
+            bms.add_policy(
+                catalog::policy2_emergency_location(PolicyId(0), building.building, &ontology)
+                    .with_setting(BuildingPolicy::location_setting()),
+            );
+            register_service(&mut bms, &Concierge::new());
+            sim.set_clock(Timestamp::at(0, 9, 0));
+            let trace = sim.run_until(Timestamp::at(0, 10, 0));
+            bms.ingest(&trace.observations);
+            let mut bus = DiscoveryBus::new(NetworkConfig::default());
+            let irr = bus.add_registry("IRR", building.building);
+            bms.publish_policies(&mut bus, irr, Timestamp::at(0, 9, 0))
+                .unwrap();
+            let mary = sim.occupants()[0].user;
+            let mut iota = Iota::new(
+                mary,
+                UserGroup::Staff,
+                SensitivityProfile::fundamentalist(&ontology),
+            );
+            let now = Timestamp::at(0, 10, 0);
+            let ads = iota.poll(&bus, &building.model, building.offices[0], now);
+            iota.review(&ads, &ontology, now);
+            iota.configure(&mut bms).unwrap();
+            let c = ontology.concepts();
+            std::hint::black_box(bms.locate(
+                catalog::services::concierge(),
+                c.navigation,
+                mary,
+                now,
+            ))
+        })
+    });
+
+    // Steady-state ingest throughput (steps 2-3 alone).
+    group.bench_function("ingest_one_hour", |b| {
+        let mut sim = small_sim(&ontology);
+        sim.set_clock(Timestamp::at(0, 9, 0));
+        let trace = sim.run_until(Timestamp::at(0, 10, 0));
+        let building = sim.dbh().clone();
+        b.iter(|| {
+            let mut bms = Tippers::new(
+                ontology.clone(),
+                building.model.clone(),
+                TippersConfig::default(),
+            );
+            bms.register_occupants(sim.occupants());
+            bms.add_policy(catalog::policy2_emergency_location(
+                PolicyId(0),
+                building.building,
+                &ontology,
+            ));
+            std::hint::black_box(bms.ingest(&trace.observations))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_walkthrough);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Experiment E2 — the policy language itself (Figures 2–4): parse,
+//! serialize, validate, and codec round-trip throughput.
+//!
+//! The IoTA parses policy documents on a phone while walking through a
+//! building, so parse latency bounds how fresh its picture can be.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tippers_ontology::Ontology;
+use tippers_policy::{
+    catalog, figures, validate_document, PolicyCodec, PolicyDocument, PolicyId,
+    ServicePolicyDocument, SettingsDocument,
+};
+use tippers_spatial::fixtures::dbh;
+
+fn bench_figures(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("e2_figures");
+    group.bench_function("parse_fig2", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                serde_json::from_str::<PolicyDocument>(figures::FIG2_JSON).unwrap(),
+            )
+        })
+    });
+    group.bench_function("parse_fig3", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                serde_json::from_str::<ServicePolicyDocument>(figures::FIG3_JSON).unwrap(),
+            )
+        })
+    });
+    group.bench_function("parse_fig4", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                serde_json::from_str::<SettingsDocument>(figures::FIG4_JSON).unwrap(),
+            )
+        })
+    });
+    let doc = figures::fig2_document();
+    group.bench_function("serialize_fig2", |b| {
+        b.iter(|| std::hint::black_box(serde_json::to_string(&doc).unwrap()))
+    });
+    group.bench_function("validate_fig2", |b| {
+        b.iter(|| std::hint::black_box(validate_document(&doc)))
+    });
+    group.finish();
+}
+
+fn bench_codec(criterion: &mut Criterion) {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let codec = PolicyCodec::new(&ontology, &building.model);
+    let policy = catalog::policy2_emergency_location(PolicyId(2), building.building, &ontology);
+    let doc = codec.to_document(&policy);
+    let mut group = criterion.benchmark_group("e2_codec");
+    group.bench_function("export_policy2", |b| {
+        b.iter(|| std::hint::black_box(codec.to_document(&policy)))
+    });
+    group.bench_function("import_policy2", |b| {
+        b.iter(|| std::hint::black_box(codec.from_document(&doc, 1).unwrap()))
+    });
+    group.bench_function("import_paper_fig2", |b| {
+        let fig2 = figures::fig2_document();
+        b.iter(|| std::hint::black_box(codec.from_document(&fig2, 1).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Experiment E7 — conflict detection at scale (§III.B's "detected …
+//! with the help of a policy reasoner", design decision D2).
+//!
+//! Sweeps n policies × m preferences and compares the pairwise reasoner
+//! against the category-indexed one. Expected shape: naive is Θ(n·m);
+//! indexed touches only preferences' candidate sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tippers_bench::{gen_policies, gen_preferences, service_pool};
+use tippers_ontology::Ontology;
+use tippers_policy::conflict::{detect_conflicts_naive, ConflictIndex};
+use tippers_policy::ResolutionStrategy;
+use tippers_spatial::fixtures::dbh;
+
+fn bench_conflicts(criterion: &mut Criterion) {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let services = service_pool(5);
+    let mut group = criterion.benchmark_group("e7_conflicts");
+    group.sample_size(10);
+
+    for &n in &[30usize, 100, 300, 1000] {
+        let policies = gen_policies(n, &ontology, &building, &services, 3);
+        let prefs = gen_preferences(n, 1, &ontology, &building, &services, 3);
+
+        // Naive is quadratic; skip the largest size to keep runs bounded.
+        if n <= 300 {
+            group.bench_with_input(
+                BenchmarkId::new("naive", n),
+                &(policies.clone(), prefs.clone()),
+                |b, (policies, prefs)| {
+                    b.iter(|| {
+                        std::hint::black_box(detect_conflicts_naive(
+                            policies,
+                            prefs,
+                            &ontology,
+                            &building.model,
+                            ResolutionStrategy::PolicyPrevails,
+                        ))
+                    })
+                },
+            );
+        }
+
+        // Indexed: one-off build amortized over many preference changes;
+        // measure detection with a prebuilt index.
+        let index = ConflictIndex::build(&policies, &ontology);
+        group.bench_with_input(
+            BenchmarkId::new("indexed", n),
+            &(policies, prefs),
+            |b, (policies, prefs)| {
+                b.iter(|| {
+                    std::hint::black_box(index.detect(
+                        policies,
+                        prefs,
+                        &ontology,
+                        &building.model,
+                        ResolutionStrategy::PolicyPrevails,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Incremental check: the cost of validating ONE newly submitted
+/// preference against the whole policy corpus — the interactive path
+/// (step 8 of Figure 1).
+fn bench_single_submission(criterion: &mut Criterion) {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let services = service_pool(5);
+    let mut group = criterion.benchmark_group("e7_single_submission");
+    for &n in &[100usize, 1000, 5000] {
+        let policies = gen_policies(n, &ontology, &building, &services, 5);
+        // Worst-case single submission: an unconditional location deny,
+        // which reaches every WiFi/beacon/camera/location policy.
+        let one_pref = vec![tippers_policy::catalog::preference2_no_location(
+            tippers_policy::PreferenceId(0),
+            tippers_policy::UserId(0),
+            &ontology,
+        )];
+        let index = ConflictIndex::build(&policies, &ontology);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(policies, one_pref),
+            |b, (policies, one_pref)| {
+                b.iter(|| {
+                    std::hint::black_box(index.detect(
+                        policies,
+                        one_pref,
+                        &ontology,
+                        &building.model,
+                        ResolutionStrategy::PolicyPrevails,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_conflicts, bench_single_submission);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Experiment E8 — §V.C's scalability claim: "With large number of users,
+//! services, policies, and preferences the cost of enforcement can be
+//! large enough to be prohibitive … we are working on techniques for
+//! optimizing enforcement".
+//!
+//! Sweeps (users × policies × preferences-per-user) and measures
+//! per-request decision latency for the naive (linear-scan) and indexed
+//! enforcers. The expected shape: naive grows linearly with the corpus;
+//! indexed stays near-flat — the crossover justifying the paper's
+//! optimization work.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tippers::{Enforcer, IndexedEnforcer, NaiveEnforcer};
+use tippers_bench::{gen_flow, gen_policies, gen_preferences, service_pool, Lcg};
+use tippers_ontology::Ontology;
+use tippers_policy::ResolutionStrategy;
+use tippers_spatial::fixtures::dbh;
+
+fn bench_enforcement(criterion: &mut Criterion) {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut group = criterion.benchmark_group("e8_enforcement");
+    group.sample_size(10);
+
+    // (users, services, policies, prefs-per-user)
+    let scales = [
+        (10usize, 2usize, 20usize, 2usize),
+        (100, 5, 100, 5),
+        (1000, 10, 500, 5),
+        (5000, 20, 2000, 10),
+    ];
+    for &(users, n_services, n_policies, per_user) in &scales {
+        let services = service_pool(n_services);
+        let policies = gen_policies(n_policies, &ontology, &building, &services, 1);
+        let prefs = gen_preferences(users, per_user, &ontology, &building, &services, 1);
+        let label = format!("u{users}_s{n_services}_p{n_policies}_pp{per_user}");
+
+        // Pre-generate a pool of flows so the RNG is out of the hot path.
+        let mut lcg = Lcg(0xF10);
+        let flows: Vec<tippers::RequestFlow> = (0..256)
+            .map(|_| gen_flow(&ontology, &building, &services, users, &mut lcg))
+            .collect();
+
+        let naive = NaiveEnforcer::new(
+            policies.clone(),
+            prefs.clone(),
+            ResolutionStrategy::PolicyPrevails,
+        );
+        group.bench_with_input(BenchmarkId::new("naive", &label), &flows, |b, flows| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let flow = &flows[i % flows.len()];
+                i += 1;
+                std::hint::black_box(naive.decide(flow, &ontology, &building.model))
+            })
+        });
+
+        let indexed = IndexedEnforcer::new(
+            policies.clone(),
+            prefs.clone(),
+            ResolutionStrategy::PolicyPrevails,
+            &ontology,
+        );
+        group.bench_with_input(BenchmarkId::new("indexed", &label), &flows, |b, flows| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let flow = &flows[i % flows.len()];
+                i += 1;
+                std::hint::black_box(indexed.decide(flow, &ontology, &building.model))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Index build cost: what the optimization pays up front.
+fn bench_index_build(criterion: &mut Criterion) {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let services = service_pool(10);
+    let mut group = criterion.benchmark_group("e8_index_build");
+    group.sample_size(10);
+    for &n in &[100usize, 1000, 5000] {
+        let policies = gen_policies(n, &ontology, &building, &services, 2);
+        let prefs = gen_preferences(n, 2, &ontology, &building, &services, 2);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(policies, prefs),
+            |b, (policies, prefs)| {
+                b.iter(|| {
+                    std::hint::black_box(IndexedEnforcer::new(
+                        policies.clone(),
+                        prefs.clone(),
+                        ResolutionStrategy::PolicyPrevails,
+                        &ontology,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enforcement, bench_index_build);
+criterion_main!(benches);

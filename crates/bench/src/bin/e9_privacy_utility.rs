@@ -1,0 +1,246 @@
+//! Experiment E9 — the privacy/utility trade-off of granularity
+//! enforcement (§II.A threats × §V.C enforcement *hows*).
+//!
+//! A 5-day simulated trace. Occupants' location sharing is set to one of
+//! Figure 4's options (fine / coarse / none); an adversary then consumes
+//! the *released* data — everything the enforcement engine lets a location
+//! consumer see — and runs the §II.A inference attack on it. Reported per
+//! setting:
+//!
+//! * attack surface — room/floor location accuracy, role-classification
+//!   accuracy, identity links recovered from released data;
+//! * service utility — Concierge direction success rate and
+//!   correct-destination rate.
+//!
+//! ```bash
+//! cargo run --release -p tippers-bench --bin e9_privacy_utility
+//! ```
+
+use std::collections::HashMap;
+
+use tippers::{DataRequest, ReleasedValue, SubjectSelector, Tippers, TippersConfig};
+use tippers_ontology::Ontology;
+use tippers_policy::{catalog, PolicyId, PreferenceId, Timestamp};
+use tippers_sensors::attack::{Attacker, WifiLogRow};
+use tippers_sensors::{
+    BuildingSimulator, DeploymentConfig, DeviceId, MacAddress, Population, SimulatorConfig,
+};
+use tippers_services::{register_service, Concierge};
+use tippers_spatial::{Granularity, RoomUse, SpaceId};
+
+#[derive(Debug, Clone, Copy)]
+enum Setting {
+    Fine,
+    Coarse,
+    None,
+}
+
+struct Row {
+    setting: &'static str,
+    loc_room: f64,
+    loc_floor: f64,
+    role: f64,
+    id_links: usize,
+    dir_success: f64,
+    dest_correct: f64,
+}
+
+fn run(name: &'static str, setting: Setting) -> Row {
+    let ontology = Ontology::standard();
+    let mut sim = BuildingSimulator::new(
+        SimulatorConfig {
+            seed: 31,
+            population: Population {
+                staff: 10,
+                faculty: 10,
+                grads: 15,
+                undergrads: 15,
+                visitors: 0,
+            },
+            tick_secs: 900,
+            deployment: DeploymentConfig {
+                cameras: 0,
+                wifi_aps: 240,
+                beacons: 0,
+                power_meters: 0,
+                motion_everywhere: false,
+                hvac_per_floor: false,
+                badge_readers: false,
+            },
+            identify_probability: 0.0,
+        },
+        &ontology,
+    );
+    let building = sim.dbh().clone();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    bms.register_occupants(sim.occupants());
+    register_service(&mut bms, &Concierge::new());
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+
+    let occupants = sim.occupants().to_vec();
+    for o in &occupants {
+        match setting {
+            Setting::Fine => {}
+            Setting::Coarse => {
+                bms.submit_preference(
+                    catalog::preference_coarse_location(
+                        PreferenceId(0),
+                        o.user,
+                        Granularity::Floor,
+                        &ontology,
+                    ),
+                    Timestamp::at(0, 0, 0),
+                );
+            }
+            Setting::None => {
+                bms.submit_preference(
+                    catalog::preference2_no_location(PreferenceId(0), o.user, &ontology),
+                    Timestamp::at(0, 0, 0),
+                );
+            }
+        }
+    }
+    bms.sync_capture_settings(&mut sim);
+
+    let trace = sim.run_days(5);
+    bms.ingest(&trace.observations);
+
+    // --- the adversary's view: everything a location consumer is given --
+    // Rebuild a pseudo WiFi log from *released* records: each released
+    // space acts as its own "AP", so the standard attacker runs unchanged
+    // on exactly the data that crossed the enforcement boundary.
+    let c = ontology.concepts().clone();
+    let mut released_log: Vec<WifiLogRow> = Vec::new();
+    let mut pseudo_aps: HashMap<DeviceId, SpaceId> = HashMap::new();
+    for o in &occupants {
+        let request = DataRequest {
+            service: catalog::services::concierge(),
+            purpose: c.navigation,
+            data: c.location_room,
+            subjects: SubjectSelector::One(o.user),
+            from: Timestamp::at(0, 0, 0),
+            to: Timestamp::at(5, 0, 0),
+            requester_space: None,
+        };
+        let response = bms.handle_request(&request, Timestamp::at(5, 0, 0));
+        for result in response.results {
+            for record in result.records {
+                if let ReleasedValue::Location(loc) = record.value {
+                    if let Some(space) = loc.space {
+                        let ap = DeviceId(space.index() as u32);
+                        pseudo_aps.insert(ap, space);
+                        released_log.push(WifiLogRow {
+                            time: record.time,
+                            mac: o.mac,
+                            ap,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    let model = building.model.clone();
+    let attacker = Attacker::new(released_log, pseudo_aps, &model);
+    let mac_of: HashMap<_, MacAddress> = occupants.iter().map(|o| (o.user, o.mac)).collect();
+
+    let mut room_hits = 0usize;
+    let mut floor_hits = 0usize;
+    let mut samples = 0usize;
+    for g in trace.ground_truth.iter().step_by(53) {
+        samples += 1;
+        if let Some(guess) = attacker.locate(mac_of[&g.user], g.time, 1800) {
+            if guess == g.space {
+                room_hits += 1;
+            }
+            let guess_floor = model.floor_of(guess).or(Some(guess)).filter(|&s| {
+                matches!(model.space(s).kind(), tippers_spatial::SpaceKind::Floor)
+            });
+            if guess_floor.is_some() && guess_floor == model.floor_of(g.space) {
+                floor_hits += 1;
+            }
+        }
+    }
+    let mut role_hits = 0usize;
+    let mut role_total = 0usize;
+    for o in &occupants {
+        if let Some(guess) = attacker.infer_role(o.mac) {
+            role_total += 1;
+            if guess.group == o.group {
+                role_hits += 1;
+            }
+        }
+    }
+    let id_links = attacker.link_identities(sim.teaching_schedule(), 2).len();
+
+    // --- utility: Concierge directions ----------------------------------
+    let concierge = Concierge::new();
+    let noon = Timestamp::at(4, 12, 0);
+    let mut served = 0usize;
+    let mut asked = 0usize;
+    let mut dest_correct = 0usize;
+    for o in &occupants {
+        let Some(truth) = sim.position_of(o.user, noon) else {
+            continue;
+        };
+        asked += 1;
+        if let Ok(d) = concierge.nearest(&mut bms, o.user, RoomUse::Kitchen, noon) {
+            served += 1;
+            if let Some((ideal, _)) = building.model.nearest(truth, &building.kitchens) {
+                if d.destination == ideal {
+                    dest_correct += 1;
+                }
+            }
+        }
+    }
+
+    Row {
+        setting: name,
+        loc_room: room_hits as f64 / samples.max(1) as f64,
+        loc_floor: floor_hits as f64 / samples.max(1) as f64,
+        role: role_hits as f64 / role_total.max(1) as f64,
+        id_links,
+        dir_success: served as f64 / asked.max(1) as f64,
+        dest_correct: dest_correct as f64 / served.max(1) as f64,
+    }
+}
+
+fn main() {
+    println!("E9 — privacy/utility trade-off of Figure 4's location settings");
+    println!("(5 simulated days, 50 occupants; the attacker sees only RELEASED data)\n");
+    println!(
+        "{:<10} {:>10} {:>11} {:>9} {:>9} {:>12} {:>13}",
+        "setting", "loc(room)", "loc(floor)", "role", "id-links", "dir-success", "dest-correct"
+    );
+    for (name, setting) in [
+        ("fine", Setting::Fine),
+        ("coarse", Setting::Coarse),
+        ("none", Setting::None),
+    ] {
+        let r = run(name, setting);
+        println!(
+            "{:<10} {:>9.1}% {:>10.1}% {:>8.1}% {:>9} {:>11.1}% {:>12.1}%",
+            r.setting,
+            r.loc_room * 100.0,
+            r.loc_floor * 100.0,
+            r.role * 100.0,
+            r.id_links,
+            r.dir_success * 100.0,
+            r.dest_correct * 100.0
+        );
+    }
+    println!("\nExpected shape: room-level attack accuracy collapses fine -> coarse");
+    println!("-> none, and identity linkage dies at coarse (no classroom-level");
+    println!("evidence); role inference partially SURVIVES coarse granularity");
+    println!("(presence schedules leak through floor-level data) — the paper's");
+    println!("point that granularity choices must consider inference (SIV.B.2).");
+    println!("The Concierge keeps serving coarse users with mostly-correct");
+    println!("destinations and cannot serve opted-out users at all.");
+}

@@ -1,0 +1,250 @@
+//! Shared workload generation for the benchmark harness.
+//!
+//! Every experiment in EXPERIMENTS.md draws its policies, preferences and
+//! flows from here, so benchmark and table binaries agree on workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tippers_ontology::{ConceptId, Ontology};
+use tippers_policy::{
+    ActionSet, BuildingPolicy, Condition, DataAction, Effect, Modality, PolicyId, PreferenceId,
+    PreferenceScope, ServiceId, TimeWindow, Timestamp, UserGroup, UserId, UserPreference,
+};
+use tippers_spatial::fixtures::Dbh;
+use tippers_spatial::{Granularity, SpaceId};
+
+/// A deterministic 64-bit LCG — cheap, seedable, and independent of the
+/// `rand` version, so workloads are stable across toolchains.
+#[derive(Debug, Clone)]
+pub struct Lcg(pub u64);
+
+impl Lcg {
+    /// Next raw value.
+    #[allow(clippy::should_implement_trait)] // not an iterator: never ends
+    pub fn next(&mut self) -> usize {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) as usize
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        self.next() % n.max(1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next() % 1_000_000) as f64 / 1_000_000.0
+    }
+}
+
+/// The data categories building policies realistically govern.
+pub fn policy_categories(ontology: &Ontology) -> Vec<ConceptId> {
+    let c = ontology.concepts();
+    vec![
+        c.wifi_association,
+        c.bluetooth_sighting,
+        c.occupancy,
+        c.image,
+        c.power_consumption,
+        c.ambient_temperature,
+        c.person_identity,
+        c.location_room,
+        c.meeting_details,
+        c.event_details,
+    ]
+}
+
+/// The purposes building policies realistically declare.
+pub fn policy_purposes(ontology: &Ontology) -> Vec<ConceptId> {
+    let c = ontology.concepts();
+    vec![
+        c.emergency_response,
+        c.surveillance,
+        c.access_control,
+        c.comfort,
+        c.energy_management,
+        c.logging,
+        c.navigation,
+        c.scheduling,
+        c.delivery,
+        c.analytics,
+    ]
+}
+
+/// Service ids used by generated workloads.
+pub fn service_pool(n: usize) -> Vec<ServiceId> {
+    (0..n).map(|i| ServiceId::new(format!("svc-{i}"))).collect()
+}
+
+/// Generates `n` building policies over a DBH model: ~10% required, ~60%
+/// opt-out, ~30% opt-in; spaces drawn from the whole hierarchy; a third
+/// carry time conditions; service policies reference the pool.
+pub fn gen_policies(
+    n: usize,
+    ontology: &Ontology,
+    dbh: &Dbh,
+    services: &[ServiceId],
+    seed: u64,
+) -> Vec<BuildingPolicy> {
+    let categories = policy_categories(ontology);
+    let purposes = policy_purposes(ontology);
+    let spaces: Vec<SpaceId> = std::iter::once(dbh.building)
+        .chain(dbh.floors.iter().copied())
+        .chain(dbh.offices.iter().copied())
+        .chain(dbh.meeting_rooms.iter().copied())
+        .collect();
+    let mut lcg = Lcg(seed);
+    (0..n)
+        .map(|i| {
+            let mut p = BuildingPolicy::new(
+                PolicyId(i as u64),
+                format!("generated-policy-{i}"),
+                spaces[lcg.below(spaces.len())],
+                categories[lcg.below(categories.len())],
+                purposes[lcg.below(purposes.len())],
+            );
+            p.modality = match lcg.below(10) {
+                0 => Modality::Required,
+                1..=6 => Modality::OptOut,
+                _ => Modality::OptIn,
+            };
+            p.actions = if lcg.below(2) == 0 {
+                ActionSet::ALL
+            } else {
+                ActionSet::of(&[DataAction::Collect, DataAction::Store, DataAction::Share])
+            };
+            if lcg.below(3) == 0 {
+                p.condition = Condition::during(if lcg.below(2) == 0 {
+                    TimeWindow::business_hours()
+                } else {
+                    TimeWindow::after_hours()
+                });
+            }
+            if !services.is_empty() && lcg.below(3) == 0 {
+                p.service = Some(services[lcg.below(services.len())].clone());
+            }
+            p
+        })
+        .collect()
+}
+
+/// Generates `per_user` preferences for each of `users` users, mirroring
+/// the paper's examples: blanket denials, per-service grants, granularity
+/// caps and time-conditioned rules.
+pub fn gen_preferences(
+    users: usize,
+    per_user: usize,
+    ontology: &Ontology,
+    dbh: &Dbh,
+    services: &[ServiceId],
+    seed: u64,
+) -> Vec<UserPreference> {
+    let categories = policy_categories(ontology);
+    let c = ontology.concepts();
+    let mut lcg = Lcg(seed ^ 0x5EED);
+    let mut out = Vec::with_capacity(users * per_user);
+    let mut id = 0u64;
+    for u in 0..users {
+        for _ in 0..per_user {
+            let effect = match lcg.below(10) {
+                0..=3 => Effect::Deny,
+                4..=5 => Effect::Degrade(Granularity::ALL[1 + lcg.below(4)]),
+                6 => Effect::Noise { sigma: 5.0 },
+                _ => Effect::Allow,
+            };
+            let scope = PreferenceScope {
+                data: if lcg.below(5) == 0 {
+                    None
+                } else if lcg.below(3) == 0 {
+                    Some(c.location)
+                } else {
+                    Some(categories[lcg.below(categories.len())])
+                },
+                purpose: None,
+                service: if !services.is_empty() && lcg.below(3) == 0 {
+                    Some(services[lcg.below(services.len())].clone())
+                } else {
+                    None
+                },
+                space: if lcg.below(2) == 0 {
+                    Some(dbh.offices[lcg.below(dbh.offices.len())])
+                } else {
+                    None
+                },
+                condition: if lcg.below(4) == 0 {
+                    Condition::during(TimeWindow::after_hours())
+                } else {
+                    Condition::always()
+                },
+            };
+            out.push(
+                UserPreference::new(PreferenceId(id), UserId(u as u64), scope, effect)
+                    .with_priority(lcg.below(3) as u8),
+            );
+            id += 1;
+        }
+    }
+    out
+}
+
+/// A random share-stage flow for enforcement benchmarks.
+pub fn gen_flow(
+    ontology: &Ontology,
+    dbh: &Dbh,
+    services: &[ServiceId],
+    users: usize,
+    lcg: &mut Lcg,
+) -> tippers::RequestFlow {
+    let categories = policy_categories(ontology);
+    let purposes = policy_purposes(ontology);
+    tippers::RequestFlow {
+        subject: UserId(lcg.below(users) as u64),
+        subject_group: UserGroup::ALL[lcg.below(5)],
+        data: categories[lcg.below(categories.len())],
+        purpose: purposes[lcg.below(purposes.len())],
+        service: if services.is_empty() {
+            None
+        } else {
+            Some(services[lcg.below(services.len())].clone())
+        },
+        action: DataAction::Share,
+        time: Timestamp::at(lcg.below(7) as i64, lcg.below(24) as u32, 0),
+        subject_space: Some(dbh.offices[lcg.below(dbh.offices.len())]),
+        requester_space: None,
+        room_occupied: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_spatial::fixtures::dbh;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let services = service_pool(5);
+        let a = gen_policies(50, &ont, &d, &services, 9);
+        let b = gen_policies(50, &ont, &d, &services, 9);
+        assert_eq!(a, b);
+        let pa = gen_preferences(10, 3, &ont, &d, &services, 9);
+        let pb = gen_preferences(10, 3, &ont, &d, &services, 9);
+        assert_eq!(pa, pb);
+        assert_eq!(pa.len(), 30);
+    }
+
+    #[test]
+    fn policy_mix_contains_all_modalities() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let services = service_pool(5);
+        let policies = gen_policies(200, &ont, &d, &services, 4);
+        let required = policies.iter().filter(|p| p.is_required()).count();
+        assert!(required > 5 && required < 60, "required share: {required}/200");
+    }
+}

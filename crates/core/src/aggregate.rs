@@ -1,0 +1,155 @@
+//! Privacy-preserving aggregate queries.
+//!
+//! §IV.B.2: users care "about the granularity of data collection (whether
+//! or not it is aggregated or anonymized)". Aggregates are how analytics
+//! services (space utilization, §IV.B's purpose taxonomy) should consume
+//! occupancy data: never per-person rows, only cohort counts.
+//!
+//! Two protections compose here:
+//!
+//! * **k-anonymity** — a bucket is released only if at least `k` distinct
+//!   subjects contribute to it; smaller cohorts are suppressed.
+//! * **preference exclusion** — subjects whose preferences deny the
+//!   aggregate's flow are removed *before* counting, so an opt-out user is
+//!   invisible even to cohort statistics.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+use tippers_ontology::ConceptId;
+use tippers_policy::{ServiceId, Timestamp, UserId};
+use tippers_spatial::SpaceId;
+
+/// An aggregate occupancy query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateRequest {
+    /// The requesting service.
+    pub service: ServiceId,
+    /// Declared purpose (matched against policies like any flow).
+    pub purpose: ConceptId,
+    /// The space subtree to aggregate over.
+    pub space: SpaceId,
+    /// Start of the range (inclusive).
+    pub from: Timestamp,
+    /// End of the range (exclusive).
+    pub to: Timestamp,
+    /// Bucket width, seconds.
+    pub bucket_secs: i64,
+}
+
+/// One released time bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggregateBucket {
+    /// Bucket start time.
+    pub start: Timestamp,
+    /// Distinct subjects observed in the space during the bucket, or
+    /// `None` if the cohort was smaller than `k` (suppressed).
+    pub count: Option<u32>,
+}
+
+/// The response to an [`AggregateRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateResponse {
+    /// Buckets in time order.
+    pub buckets: Vec<AggregateBucket>,
+    /// How many subjects were excluded because their preferences deny the
+    /// flow (reported so analysts know the count floor, not who).
+    pub excluded_subjects: u32,
+    /// The k-anonymity threshold applied.
+    pub k: u32,
+}
+
+impl AggregateResponse {
+    /// Number of suppressed buckets.
+    pub fn suppressed(&self) -> usize {
+        self.buckets.iter().filter(|b| b.count.is_none()).count()
+    }
+}
+
+/// Computes distinct-subject counts per bucket from (time, subject) pairs,
+/// applying the k threshold. `contributors` must already be
+/// preference-filtered by the caller.
+pub(crate) fn bucketize(
+    contributions: &[(Timestamp, UserId)],
+    from: Timestamp,
+    to: Timestamp,
+    bucket_secs: i64,
+    k: u32,
+) -> Vec<AggregateBucket> {
+    assert!(bucket_secs > 0, "bucket width must be positive");
+    let span = (to - from).max(0);
+    let n_buckets = (span + bucket_secs - 1) / bucket_secs;
+    let mut sets: Vec<HashSet<UserId>> = vec![HashSet::new(); n_buckets as usize];
+    for &(t, user) in contributions {
+        if t < from || t >= to {
+            continue;
+        }
+        let idx = ((t - from) / bucket_secs) as usize;
+        sets[idx].insert(user);
+    }
+    sets.into_iter()
+        .enumerate()
+        .map(|(i, set)| AggregateBucket {
+            start: Timestamp(from.seconds() + i as i64 * bucket_secs),
+            count: if set.len() as u32 >= k {
+                Some(set.len() as u32)
+            } else {
+                None
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(min: i64) -> Timestamp {
+        Timestamp(min * 60)
+    }
+
+    #[test]
+    fn buckets_count_distinct_subjects() {
+        let contributions = vec![
+            (t(1), UserId(1)),
+            (t(2), UserId(1)), // same user, same bucket: counted once
+            (t(3), UserId(2)),
+            (t(11), UserId(3)),
+        ];
+        let buckets = bucketize(&contributions, t(0), t(20), 600, 1);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].count, Some(2));
+        assert_eq!(buckets[1].count, Some(1));
+    }
+
+    #[test]
+    fn k_threshold_suppresses_small_cohorts() {
+        let contributions = vec![
+            (t(1), UserId(1)),
+            (t(2), UserId(2)),
+            (t(11), UserId(3)),
+        ];
+        let buckets = bucketize(&contributions, t(0), t(20), 600, 2);
+        assert_eq!(buckets[0].count, Some(2));
+        assert_eq!(buckets[1].count, None, "singleton cohort suppressed");
+    }
+
+    #[test]
+    fn out_of_range_contributions_ignored() {
+        let contributions = vec![(t(-5), UserId(1)), (t(25), UserId(2))];
+        let buckets = bucketize(&contributions, t(0), t(20), 600, 1);
+        assert!(buckets.iter().all(|b| b.count.is_none()));
+    }
+
+    #[test]
+    fn empty_range_yields_no_buckets() {
+        let buckets = bucketize(&[], t(10), t(10), 600, 1);
+        assert!(buckets.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_width_panics() {
+        let _ = bucketize(&[], t(0), t(10), 0, 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! Decision audit log and user notifications.
+//!
+//! Every enforcement decision is recorded; IoTAs pull per-user
+//! notifications from here (conflict notices, mandatory overrides), which
+//! also serve as the labeled data the IoTA's preference learner consumes
+//! (§V.B: "the assistant requires labeled data over a period of time").
+
+use serde::{Deserialize, Serialize};
+use tippers_ontology::ConceptId;
+use tippers_policy::{Effect, ServiceId, Timestamp, UserId};
+
+use crate::enforce::{DecisionBasis, EnforcementDecision};
+
+/// One audited enforcement decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditEntry {
+    /// When the decision was made.
+    pub time: Timestamp,
+    /// The data subject.
+    pub subject: UserId,
+    /// The requesting service, if any.
+    pub service: Option<ServiceId>,
+    /// Data category of the flow.
+    pub data: ConceptId,
+    /// Purpose of the flow.
+    pub purpose: ConceptId,
+    /// Resulting effect.
+    pub effect: Effect,
+    /// Why.
+    pub basis: DecisionBasis,
+}
+
+/// A message for one user's IoTA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserNotification {
+    /// The addressee.
+    pub user: UserId,
+    /// When it was generated.
+    pub time: Timestamp,
+    /// The message.
+    pub text: String,
+}
+
+/// The audit log.
+///
+/// # Examples
+///
+/// ```
+/// use tippers::AuditLog;
+/// use tippers_policy::{Timestamp, UserId};
+///
+/// let mut log = AuditLog::new();
+/// log.notify(UserId(1), Timestamp::at(0, 9, 0), "hello".to_owned());
+/// let mine = log.take_notifications(UserId(1));
+/// assert_eq!(mine.len(), 1);
+/// assert_eq!(log.pending_notifications(), 0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+    notifications: Vec<UserNotification>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> AuditLog {
+        AuditLog::default()
+    }
+
+    /// Records a decision; emits an override notification when a mandatory
+    /// policy trumped the subject's preference.
+    pub fn record(
+        &mut self,
+        time: Timestamp,
+        subject: UserId,
+        service: Option<ServiceId>,
+        data: ConceptId,
+        purpose: ConceptId,
+        decision: &EnforcementDecision,
+    ) {
+        if let Some(pref) = decision.overridden_preference {
+            self.notify(
+                subject,
+                time,
+                format!(
+                    "A mandatory building policy overrode your preference {pref} for this request."
+                ),
+            );
+        }
+        self.entries.push(AuditEntry {
+            time,
+            subject,
+            service,
+            data,
+            purpose,
+            effect: decision.effect,
+            basis: decision.basis.clone(),
+        });
+    }
+
+    /// Queues a notification.
+    pub fn notify(&mut self, user: UserId, time: Timestamp, text: String) {
+        self.notifications.push(UserNotification { user, time, text });
+    }
+
+    /// All entries, oldest first.
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// Entries about one subject.
+    pub fn entries_for(&self, user: UserId) -> Vec<&AuditEntry> {
+        self.entries.iter().filter(|e| e.subject == user).collect()
+    }
+
+    /// Drains the pending notifications for one user (the IoTA poll).
+    pub fn take_notifications(&mut self, user: UserId) -> Vec<UserNotification> {
+        let (mine, rest): (Vec<_>, Vec<_>) = self
+            .notifications
+            .drain(..)
+            .partition(|n| n.user == user);
+        self.notifications = rest;
+        mine
+    }
+
+    /// Number of pending notifications (all users).
+    pub fn pending_notifications(&self) -> usize {
+        self.notifications.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_ontology::Ontology;
+    use tippers_policy::PreferenceId;
+
+    #[test]
+    fn record_and_filter() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let mut log = AuditLog::new();
+        let d = EnforcementDecision {
+            effect: Effect::Deny,
+            basis: DecisionBasis::NoAuthorizingPolicy,
+            overridden_preference: None,
+        };
+        log.record(Timestamp::at(0, 9, 0), UserId(1), None, c.location, c.marketing, &d);
+        log.record(Timestamp::at(0, 9, 1), UserId(2), None, c.location, c.marketing, &d);
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.entries_for(UserId(1)).len(), 1);
+    }
+
+    #[test]
+    fn override_generates_notification() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let mut log = AuditLog::new();
+        let d = EnforcementDecision {
+            effect: Effect::Allow,
+            basis: DecisionBasis::MandatoryPolicy(tippers_policy::PolicyId(2)),
+            overridden_preference: Some(PreferenceId(2)),
+        };
+        log.record(
+            Timestamp::at(0, 9, 0),
+            UserId(1),
+            None,
+            c.location,
+            c.emergency_response,
+            &d,
+        );
+        let notes = log.take_notifications(UserId(1));
+        assert_eq!(notes.len(), 1);
+        assert!(notes[0].text.contains("overrode"));
+        // Drained.
+        assert!(log.take_notifications(UserId(1)).is_empty());
+    }
+
+    #[test]
+    fn take_notifications_is_per_user() {
+        let mut log = AuditLog::new();
+        log.notify(UserId(1), Timestamp::at(0, 0, 0), "a".into());
+        log.notify(UserId(2), Timestamp::at(0, 0, 0), "b".into());
+        assert_eq!(log.pending_notifications(), 2);
+        let mine = log.take_notifications(UserId(1));
+        assert_eq!(mine.len(), 1);
+        assert_eq!(log.pending_notifications(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! TIPPERS — the privacy-aware building management system.
+//!
+//! The third component of the paper's framework: the BMS that "captures raw
+//! data from the different sensors in the building, processes higher-level
+//! semantic information from such data, and empowers development of
+//! different building services … \[and] is also capable of capturing and
+//! enforcing privacy preferences expressed by the building's inhabitants"
+//! (§II.B).
+//!
+//! The crate mirrors Figure 1's boxes:
+//!
+//! * [`PolicyManager`] — the building admin's policies (step 1), published
+//!   through IRRs (step 4).
+//! * [`SensorManager`] — live occupancy state, HVAC actuation (Policy 1),
+//!   capture-time suppression pushed to devices.
+//! * [`Store`] — the observation DB (step 3), with retention enforcement.
+//! * [`PreferenceManager`] — user preferences received from IoTAs (step 8).
+//! * Request Manager — [`Tippers::handle_request`] (steps 9–10), deciding
+//!   each flow through an [`Enforcer`].
+//! * [`AuditLog`] — decisions and user notifications.
+//!
+//! The enforcement engine comes in two interchangeable implementations
+//! ([`NaiveEnforcer`] and [`IndexedEnforcer`]) to quantify §V.C's claim
+//! that naive enforcement is prohibitively expensive at scale.
+//!
+//! # Examples
+//!
+//! ```
+//! use tippers::{Tippers, TippersConfig};
+//! use tippers_ontology::Ontology;
+//! use tippers_policy::{catalog, PolicyId, Timestamp};
+//! use tippers_spatial::fixtures::dbh;
+//!
+//! let ontology = Ontology::standard();
+//! let building = dbh();
+//! let mut bms = Tippers::new(ontology, building.model.clone(), TippersConfig::default());
+//! let policy = catalog::policy2_emergency_location(
+//!     PolicyId(0),
+//!     building.building,
+//!     bms.ontology(),
+//! );
+//! let id = bms.add_policy(policy);
+//! assert!(bms.policy(id).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aggregate;
+mod audit;
+mod enforce;
+mod policy_manager;
+mod preference_manager;
+mod request;
+mod sensor_manager;
+mod store;
+mod tippers;
+
+pub use aggregate::{AggregateBucket, AggregateRequest, AggregateResponse};
+pub use audit::{AuditEntry, AuditLog, UserNotification};
+pub use enforce::{
+    policy_applies, DecisionBasis, Enforcer, EnforcementDecision, IndexedEnforcer, NaiveEnforcer,
+    RequestFlow,
+};
+pub use policy_manager::PolicyManager;
+pub use preference_manager::{PreferenceManager, SettingsError};
+pub use request::{
+    DataRequest, DataResponse, ReleasedRecord, ReleasedValue, SubjectResult, SubjectSelector,
+};
+pub use sensor_manager::{HvacCommand, SensorManager};
+pub use store::{Store, StoredRow};
+pub use tippers::{EnforcerKind, Tippers, TippersConfig};

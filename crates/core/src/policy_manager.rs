@@ -1,0 +1,129 @@
+//! The Building Policy Manager (Figure 1): the admin's entry point for
+//! defining policies (step 1) and publishing them through IRRs (step 4).
+
+use tippers_irr::{AdvertisementId, DiscoveryBus, RegistryError, RegistryId};
+use tippers_ontology::Ontology;
+use tippers_policy::{BuildingPolicy, PolicyCodec, PolicyId, Timestamp};
+use tippers_spatial::SpatialModel;
+
+/// Stores and publishes building policies.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyManager {
+    policies: Vec<BuildingPolicy>,
+    next_id: u64,
+}
+
+impl PolicyManager {
+    /// An empty manager.
+    pub fn new() -> PolicyManager {
+        PolicyManager::default()
+    }
+
+    /// Adds a policy, assigning it a fresh id (any id on the input is
+    /// replaced). Returns the assigned id.
+    pub fn add(&mut self, mut policy: BuildingPolicy) -> PolicyId {
+        let id = PolicyId(self.next_id);
+        self.next_id += 1;
+        policy.id = id;
+        self.policies.push(policy);
+        id
+    }
+
+    /// Removes a policy. Returns whether it existed.
+    pub fn remove(&mut self, id: PolicyId) -> bool {
+        let before = self.policies.len();
+        self.policies.retain(|p| p.id != id);
+        self.policies.len() != before
+    }
+
+    /// Looks a policy up.
+    pub fn get(&self, id: PolicyId) -> Option<&BuildingPolicy> {
+        self.policies.iter().find(|p| p.id == id)
+    }
+
+    /// All policies.
+    pub fn all(&self) -> &[BuildingPolicy] {
+        &self.policies
+    }
+
+    /// Number of policies.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// True if no policies are defined.
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Publishes every policy to a registry as wire-format documents
+    /// (step 4 of Figure 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`RegistryError`]; policies published before
+    /// the failure remain advertised.
+    pub fn publish_all(
+        &self,
+        ontology: &Ontology,
+        model: &SpatialModel,
+        bus: &mut DiscoveryBus,
+        registry: RegistryId,
+        now: Timestamp,
+        ttl_secs: i64,
+    ) -> Result<Vec<AdvertisementId>, RegistryError> {
+        let codec = PolicyCodec::new(ontology, model);
+        let mut out = Vec::with_capacity(self.policies.len());
+        for policy in &self.policies {
+            let doc = codec.to_document(policy);
+            let space = policy.space;
+            let reg = bus
+                .registry_mut(registry)
+                .ok_or(RegistryError::NotAdvertisable {
+                    issues: format!("registry {registry} does not exist"),
+                })?;
+            out.push(reg.publish(doc, space, now, ttl_secs)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_irr::NetworkConfig;
+    use tippers_policy::catalog;
+    use tippers_spatial::fixtures::dbh;
+
+    #[test]
+    fn ids_are_assigned_sequentially() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let mut pm = PolicyManager::new();
+        let a = pm.add(catalog::policy1_thermostat(PolicyId(99), d.building, &ont));
+        let b = pm.add(catalog::policy2_emergency_location(PolicyId(99), d.building, &ont));
+        assert_eq!(a, PolicyId(0));
+        assert_eq!(b, PolicyId(1));
+        assert_eq!(pm.len(), 2);
+        assert!(pm.get(a).is_some());
+        assert!(pm.remove(a));
+        assert!(!pm.remove(a));
+        assert_eq!(pm.len(), 1);
+    }
+
+    #[test]
+    fn publish_all_advertises_every_policy() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let mut pm = PolicyManager::new();
+        pm.add(catalog::policy1_thermostat(PolicyId(0), d.building, &ont));
+        pm.add(catalog::policy2_emergency_location(PolicyId(0), d.building, &ont));
+        let mut bus = DiscoveryBus::new(NetworkConfig::default());
+        let irr = bus.add_registry("DBH IRR", d.building);
+        let ads = pm
+            .publish_all(&ont, &d.model, &mut bus, irr, Timestamp::at(0, 8, 0), 86_400)
+            .unwrap();
+        assert_eq!(ads.len(), 2);
+        assert_eq!(bus.registry(irr).unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Service-facing data requests and privacy-transformed responses
+//! (Figure 1, steps 9–10).
+
+use serde::{Deserialize, Serialize};
+use tippers_ontology::ConceptId;
+use tippers_policy::{Effect, ServiceId, Timestamp, UserId};
+use tippers_spatial::{GranularLocation, SpaceId};
+
+use crate::enforce::EnforcementDecision;
+
+/// Which subjects a request is about.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SubjectSelector {
+    /// One named user ("Mary's location", step 9).
+    One(UserId),
+    /// Everyone currently associated with a space subtree.
+    InSpace(SpaceId),
+    /// Every known subject.
+    All,
+}
+
+/// A service's data request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataRequest {
+    /// The requesting service.
+    pub service: ServiceId,
+    /// Declared purpose — matched against policy purposes.
+    pub purpose: ConceptId,
+    /// Data category requested.
+    pub data: ConceptId,
+    /// Whose data.
+    pub subjects: SubjectSelector,
+    /// Half-open time range of interest.
+    pub from: Timestamp,
+    /// End of the range (exclusive).
+    pub to: Timestamp,
+    /// Where the requester (or its user) currently is, if relevant
+    /// (Policy 4's proximity gate).
+    pub requester_space: Option<SpaceId>,
+}
+
+/// A value released to a service, already privacy-transformed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ReleasedValue {
+    /// A (possibly degraded) location.
+    Location(GranularLocation),
+    /// A boolean fact (occupancy, motion).
+    Flag(bool),
+    /// A numeric reading (possibly noised).
+    Scalar(f64),
+    /// An identity.
+    Identity(UserId),
+    /// An opaque count (camera occupant counts).
+    Count(u32),
+}
+
+/// One released record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReleasedRecord {
+    /// Observation time.
+    pub time: Timestamp,
+    /// The transformed value.
+    pub value: ReleasedValue,
+}
+
+/// Outcome for one subject within a request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubjectResult {
+    /// The subject.
+    pub user: UserId,
+    /// The enforcement decision applied.
+    pub decision: EnforcementDecision,
+    /// Released records (empty when denied).
+    pub records: Vec<ReleasedRecord>,
+}
+
+impl SubjectResult {
+    /// True if any data was released.
+    pub fn released(&self) -> bool {
+        !self.records.is_empty()
+    }
+}
+
+/// The full response to a [`DataRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DataResponse {
+    /// Per-subject outcomes.
+    pub results: Vec<SubjectResult>,
+}
+
+impl DataResponse {
+    /// Subjects whose data was (at least partially) released.
+    pub fn released_subjects(&self) -> Vec<UserId> {
+        self.results
+            .iter()
+            .filter(|r| r.released())
+            .map(|r| r.user)
+            .collect()
+    }
+
+    /// Subjects denied outright.
+    pub fn denied_subjects(&self) -> Vec<UserId> {
+        self.results
+            .iter()
+            .filter(|r| r.decision.effect == Effect::Deny)
+            .map(|r| r.user)
+            .collect()
+    }
+}

@@ -1,0 +1,330 @@
+//! The BMS's observation store (the `DB` box of Figure 1, step 3).
+//!
+//! Rows are tagged at ingest with the data category, the authorizing
+//! policy, and an expiry derived from that policy's retention element —
+//! retention enforcement is then a sweep ([`Store::gc`]) that provably
+//! never keeps expired rows (property-tested).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use tippers_ontology::{ConceptId, Ontology};
+use tippers_policy::{PolicyId, Timestamp, UserId};
+use tippers_sensors::Observation;
+
+/// One stored observation row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredRow {
+    /// The observation as captured.
+    pub observation: Observation,
+    /// Data category of the payload.
+    pub category: ConceptId,
+    /// The policy that authorized storing it.
+    pub policy: PolicyId,
+    /// When it was stored.
+    pub stored_at: Timestamp,
+    /// When it must be deleted (`None` = no retention limit).
+    pub expires_at: Option<Timestamp>,
+}
+
+/// In-memory time-series store with subject and category indexes.
+///
+/// # Examples
+///
+/// ```
+/// use tippers::Store;
+///
+/// let store = Store::new();
+/// assert!(store.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Store {
+    rows: Vec<StoredRow>,
+    by_subject: HashMap<UserId, Vec<usize>>,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Store {
+        Store::default()
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no live rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a row.
+    pub fn insert(
+        &mut self,
+        observation: Observation,
+        category: ConceptId,
+        policy: PolicyId,
+        stored_at: Timestamp,
+        retention_secs: Option<i64>,
+    ) {
+        let idx = self.rows.len();
+        if let Some(user) = observation.subject {
+            self.by_subject.entry(user).or_default().push(idx);
+        }
+        self.rows.push(StoredRow {
+            observation,
+            category,
+            policy,
+            stored_at,
+            expires_at: retention_secs.map(|secs| Timestamp(stored_at.seconds() + secs)),
+        });
+    }
+
+    /// Rows about one subject, in a category (subsumption-aware), within
+    /// `[from, to)`.
+    pub fn query_subject(
+        &self,
+        ontology: &Ontology,
+        subject: UserId,
+        category: ConceptId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<&StoredRow> {
+        let Some(indexes) = self.by_subject.get(&subject) else {
+            return Vec::new();
+        };
+        indexes
+            .iter()
+            .map(|&i| &self.rows[i])
+            .filter(|r| r.observation.timestamp >= from && r.observation.timestamp < to)
+            .filter(|r| ontology.data.is_a(r.category, category))
+            .collect()
+    }
+
+    /// All rows in a category (subsumption-aware) within `[from, to)` —
+    /// used for aggregate queries with no single subject.
+    pub fn query_category(
+        &self,
+        ontology: &Ontology,
+        category: ConceptId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Vec<&StoredRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.observation.timestamp >= from && r.observation.timestamp < to)
+            .filter(|r| ontology.data.is_a(r.category, category))
+            .collect()
+    }
+
+    /// The most recent row about a subject in a category at or before `at`.
+    pub fn latest_for(
+        &self,
+        ontology: &Ontology,
+        subject: UserId,
+        category: ConceptId,
+        at: Timestamp,
+    ) -> Option<&StoredRow> {
+        self.by_subject
+            .get(&subject)?
+            .iter()
+            .map(|&i| &self.rows[i])
+            .filter(|r| r.observation.timestamp <= at)
+            .filter(|r| ontology.data.is_a(r.category, category))
+            .max_by_key(|r| r.observation.timestamp)
+    }
+
+    /// Deletes every row whose expiry has passed. Returns how many were
+    /// deleted. Rebuilds indexes; O(n).
+    pub fn gc(&mut self, now: Timestamp) -> usize {
+        let before = self.rows.len();
+        self.rows
+            .retain(|r| r.expires_at.map(|e| e > now).unwrap_or(true));
+        let removed = before - self.rows.len();
+        if removed > 0 {
+            self.by_subject.clear();
+            for (i, r) in self.rows.iter().enumerate() {
+                if let Some(user) = r.observation.subject {
+                    self.by_subject.entry(user).or_default().push(i);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Deletes every row about `subject` in `category` (subsumption-aware)
+    /// — retroactive enforcement when a user opts out. Returns the count.
+    pub fn purge_subject(
+        &mut self,
+        ontology: &Ontology,
+        subject: UserId,
+        category: ConceptId,
+    ) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| {
+            !(r.observation.subject == Some(subject) && ontology.data.is_a(r.category, category))
+        });
+        let removed = before - self.rows.len();
+        if removed > 0 {
+            self.by_subject.clear();
+            for (i, r) in self.rows.iter().enumerate() {
+                if let Some(user) = r.observation.subject {
+                    self.by_subject.entry(user).or_default().push(i);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Iterates all rows (diagnostics, experiments).
+    pub fn iter(&self) -> impl Iterator<Item = &StoredRow> {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_sensors::{DeviceId, MacAddress, ObservationPayload};
+    use tippers_spatial::{SpaceKind, SpatialModel};
+
+    fn obs(ont: &Ontology, user: u64, t: Timestamp) -> (Observation, ConceptId) {
+        let mut m = SpatialModel::new("c");
+        let b = m.add_space("B", SpaceKind::Building, m.root());
+        let payload = ObservationPayload::WifiAssociation {
+            mac: MacAddress::for_user(user),
+            ap: DeviceId(0),
+        };
+        let category = payload.category(ont);
+        (
+            Observation {
+                device: DeviceId(0),
+                timestamp: t,
+                space: b,
+                payload,
+                subject: Some(UserId(user)),
+            },
+            category,
+        )
+    }
+
+    #[test]
+    fn insert_and_query_by_subject() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let mut store = Store::new();
+        let (o1, cat) = obs(&ont, 1, Timestamp::at(0, 9, 0));
+        let (o2, _) = obs(&ont, 2, Timestamp::at(0, 9, 5));
+        store.insert(o1, cat, PolicyId(1), Timestamp::at(0, 9, 0), None);
+        store.insert(o2, cat, PolicyId(1), Timestamp::at(0, 9, 5), None);
+        assert_eq!(store.len(), 2);
+        let rows = store.query_subject(
+            &ont,
+            UserId(1),
+            c.wifi_association,
+            Timestamp::at(0, 0, 0),
+            Timestamp::at(1, 0, 0),
+        );
+        assert_eq!(rows.len(), 1);
+        // Subsumption: querying the parent category finds the row too.
+        let rows = store.query_subject(
+            &ont,
+            UserId(1),
+            ont.data.id("data/network").unwrap(),
+            Timestamp::at(0, 0, 0),
+            Timestamp::at(1, 0, 0),
+        );
+        assert_eq!(rows.len(), 1);
+        // But a sibling category does not.
+        let rows = store.query_subject(
+            &ont,
+            UserId(1),
+            c.location,
+            Timestamp::at(0, 0, 0),
+            Timestamp::at(1, 0, 0),
+        );
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn time_range_is_half_open() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let mut store = Store::new();
+        let t = Timestamp::at(0, 9, 0);
+        let (o, cat) = obs(&ont, 1, t);
+        store.insert(o, cat, PolicyId(1), t, None);
+        assert_eq!(
+            store
+                .query_subject(&ont, UserId(1), c.wifi_association, t, t)
+                .len(),
+            0
+        );
+        assert_eq!(
+            store
+                .query_subject(&ont, UserId(1), c.wifi_association, t, t + 1)
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn gc_removes_exactly_expired_rows() {
+        let ont = Ontology::standard();
+        let mut store = Store::new();
+        let t0 = Timestamp::at(0, 9, 0);
+        let (o1, cat) = obs(&ont, 1, t0);
+        let (o2, _) = obs(&ont, 2, t0);
+        store.insert(o1, cat, PolicyId(1), t0, Some(600));
+        store.insert(o2, cat, PolicyId(1), t0, None);
+        assert_eq!(store.gc(t0 + 599), 0);
+        assert_eq!(store.gc(t0 + 601), 1);
+        assert_eq!(store.len(), 1);
+        // Index stays consistent after compaction.
+        let c = ont.concepts();
+        assert_eq!(
+            store
+                .query_subject(&ont, UserId(2), c.wifi_association, t0, t0 + 1)
+                .len(),
+            1
+        );
+        assert!(store
+            .query_subject(&ont, UserId(1), c.wifi_association, t0, t0 + 1)
+            .is_empty());
+    }
+
+    #[test]
+    fn latest_for_finds_most_recent() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let mut store = Store::new();
+        for min in [0, 10, 20] {
+            let t = Timestamp::at(0, 9, min);
+            let (o, cat) = obs(&ont, 1, t);
+            store.insert(o, cat, PolicyId(1), t, None);
+        }
+        let latest = store
+            .latest_for(&ont, UserId(1), c.wifi_association, Timestamp::at(0, 9, 15))
+            .unwrap();
+        assert_eq!(latest.observation.timestamp, Timestamp::at(0, 9, 10));
+        assert!(store
+            .latest_for(&ont, UserId(1), c.wifi_association, Timestamp::at(0, 8, 0))
+            .is_none());
+    }
+
+    #[test]
+    fn purge_subject_is_category_scoped() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let mut store = Store::new();
+        let t = Timestamp::at(0, 9, 0);
+        let (o, cat) = obs(&ont, 1, t);
+        store.insert(o, cat, PolicyId(1), t, None);
+        // Purging an unrelated category removes nothing.
+        assert_eq!(store.purge_subject(&ont, UserId(1), c.location), 0);
+        // Purging the parent category removes the row.
+        assert_eq!(store.purge_subject(&ont, UserId(1), ont.data.id("data/network").unwrap()), 1);
+        assert!(store.is_empty());
+    }
+}

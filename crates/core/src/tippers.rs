@@ -1,0 +1,760 @@
+//! The TIPPERS facade: the privacy-aware building management system of
+//! Figure 1, wiring together the policy, preference and sensor managers,
+//! the store, the enforcement engine and the audit log.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tippers_irr::{DiscoveryBus, RegistryError, RegistryId};
+use tippers_ontology::{ConceptId, Ontology};
+use tippers_policy::{
+    conflict, BuildingPolicy, Conflict, DataAction, Effect, PolicyId, PreferenceId,
+    ResolutionStrategy, Timestamp, UserGroup, UserId, UserPreference,
+};
+use tippers_sensors::{BuildingSimulator, MacAddress, Observation, ObservationPayload, Occupant};
+use tippers_spatial::{GranularLocation, Granularity, SpaceId, SpatialModel};
+
+use crate::aggregate::{bucketize, AggregateRequest, AggregateResponse};
+use crate::audit::{AuditLog, UserNotification};
+use crate::enforce::{
+    Enforcer, EnforcementDecision, IndexedEnforcer, NaiveEnforcer, RequestFlow,
+};
+use crate::preference_manager::{PreferenceManager, SettingsError};
+use crate::policy_manager::PolicyManager;
+use crate::request::{
+    DataRequest, DataResponse, ReleasedRecord, ReleasedValue, SubjectResult, SubjectSelector,
+};
+use crate::sensor_manager::{HvacCommand, SensorManager};
+use crate::store::Store;
+
+/// Which enforcement engine to run (design decision D1; experiment E8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnforcerKind {
+    /// Linear scan (the baseline).
+    Naive,
+    /// Category-indexed (the optimized path).
+    #[default]
+    Indexed,
+}
+
+/// BMS configuration.
+#[derive(Debug, Clone)]
+pub struct TippersConfig {
+    /// Conflict-resolution strategy (default: mandatory policies prevail).
+    pub strategy: ResolutionStrategy,
+    /// Enforcement engine.
+    pub enforcer: EnforcerKind,
+    /// TTL for published advertisements, seconds.
+    pub advertisement_ttl_secs: i64,
+    /// Seed for noise injection.
+    pub noise_seed: u64,
+    /// k-anonymity threshold for aggregate queries (buckets with fewer
+    /// distinct contributors are suppressed).
+    pub k_anonymity: u32,
+}
+
+impl Default for TippersConfig {
+    fn default() -> Self {
+        TippersConfig {
+            strategy: ResolutionStrategy::PolicyPrevails,
+            enforcer: EnforcerKind::Indexed,
+            advertisement_ttl_secs: 86_400,
+            noise_seed: 0x71_bb,
+            k_anonymity: 5,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EnforcerImpl {
+    Naive(NaiveEnforcer),
+    Indexed(IndexedEnforcer),
+}
+
+impl EnforcerImpl {
+    fn decide(
+        &self,
+        flow: &RequestFlow,
+        ontology: &Ontology,
+        model: &SpatialModel,
+    ) -> EnforcementDecision {
+        match self {
+            EnforcerImpl::Naive(e) => e.decide(flow, ontology, model),
+            EnforcerImpl::Indexed(e) => e.decide(flow, ontology, model),
+        }
+    }
+}
+
+/// The privacy-aware building management system.
+#[derive(Debug)]
+pub struct Tippers {
+    ontology: Ontology,
+    model: SpatialModel,
+    config: TippersConfig,
+    policies: PolicyManager,
+    preferences: PreferenceManager,
+    sensors: SensorManager,
+    store: Store,
+    audit: AuditLog,
+    groups: HashMap<UserId, UserGroup>,
+    macs: HashMap<UserId, MacAddress>,
+    enforcer: Option<EnforcerImpl>,
+    noise_rng: StdRng,
+}
+
+impl Tippers {
+    /// Creates a BMS over a spatial model.
+    pub fn new(ontology: Ontology, model: SpatialModel, config: TippersConfig) -> Tippers {
+        Tippers {
+            noise_rng: StdRng::seed_from_u64(config.noise_seed),
+            ontology,
+            model,
+            config,
+            policies: PolicyManager::new(),
+            preferences: PreferenceManager::new(),
+            sensors: SensorManager::new(),
+            store: Store::new(),
+            audit: AuditLog::new(),
+            groups: HashMap::new(),
+            macs: HashMap::new(),
+            enforcer: None,
+        }
+    }
+
+    /// The vocabulary in use.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The spatial model in use.
+    pub fn model(&self) -> &SpatialModel {
+        &self.model
+    }
+
+    /// The observation store (read-only).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The audit log (read-only).
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Registers occupants (the building's user directory: group
+    /// membership and device MACs).
+    pub fn register_occupants(&mut self, occupants: &[Occupant]) {
+        for o in occupants {
+            self.groups.insert(o.user, o.group);
+            self.macs.insert(o.user, o.mac);
+        }
+    }
+
+    /// The group a user belongs to (visitors if unregistered).
+    pub fn group_of(&self, user: UserId) -> UserGroup {
+        self.groups.get(&user).copied().unwrap_or(UserGroup::Visitor)
+    }
+
+    // ---- policy administration (step 1) ------------------------------------
+
+    /// Adds a building policy; returns its assigned id.
+    pub fn add_policy(&mut self, policy: BuildingPolicy) -> PolicyId {
+        self.enforcer = None;
+        self.policies.add(policy)
+    }
+
+    /// Removes a policy.
+    pub fn remove_policy(&mut self, id: PolicyId) -> bool {
+        self.enforcer = None;
+        self.policies.remove(id)
+    }
+
+    /// All policies.
+    pub fn policies(&self) -> &[BuildingPolicy] {
+        self.policies.all()
+    }
+
+    /// Looks up one policy.
+    pub fn policy(&self, id: PolicyId) -> Option<&BuildingPolicy> {
+        self.policies.get(id)
+    }
+
+    /// Publishes all policies to a registry (step 4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates registry validation failures.
+    pub fn publish_policies(
+        &self,
+        bus: &mut DiscoveryBus,
+        registry: RegistryId,
+        now: Timestamp,
+    ) -> Result<usize, RegistryError> {
+        self.policies
+            .publish_all(
+                &self.ontology,
+                &self.model,
+                bus,
+                registry,
+                now,
+                self.config.advertisement_ttl_secs,
+            )
+            .map(|ads| ads.len())
+    }
+
+    // ---- preference intake (step 8) -----------------------------------------
+
+    /// Stores a preference submitted by a user's IoTA; detects conflicts
+    /// with mandatory policies and queues the notification (§III.B).
+    pub fn submit_preference(&mut self, pref: UserPreference, now: Timestamp) -> PreferenceId {
+        let user = pref.user;
+        let id = self.preferences.add(pref);
+        self.enforcer = None;
+        let stored = self
+            .preferences
+            .all()
+            .iter()
+            .find(|p| p.id == id)
+            .expect("just added")
+            .clone();
+        for policy in self.policies.all() {
+            if let Some(conflict) = conflict::classify(
+                policy,
+                &stored,
+                &self.ontology,
+                &self.model,
+                self.config.strategy,
+            ) {
+                self.audit.notify(user, now, conflict.notice.clone());
+            }
+        }
+        id
+    }
+
+    /// Applies an IoTA setting choice against a policy's advertised
+    /// settings (Figure 4 → step 8).
+    ///
+    /// # Errors
+    ///
+    /// [`SettingsError`] when the policy, setting, or option is unknown.
+    pub fn apply_setting_choice(
+        &mut self,
+        user: UserId,
+        policy: PolicyId,
+        setting_key: &str,
+        option_index: usize,
+    ) -> Result<PreferenceId, SettingsError> {
+        let policy = self
+            .policies
+            .get(policy)
+            .ok_or_else(|| SettingsError::UnknownSetting {
+                key: format!("{policy}"),
+            })?
+            .clone();
+        self.enforcer = None;
+        let (id, _) =
+            self.preferences
+                .apply_setting_choice(user, &policy, setting_key, option_index)?;
+        Ok(id)
+    }
+
+    /// All stored preferences.
+    pub fn preferences(&self) -> &[UserPreference] {
+        self.preferences.all()
+    }
+
+    /// Retroactive enforcement: deletes already-stored rows that a newly
+    /// submitted *unconditional* deny preference covers, unless a mandatory
+    /// policy pins them (Policy 2's log survives even a full opt-out).
+    ///
+    /// Returns the number of rows deleted. This is the strongest of the
+    /// paper's *when* options — enforcement applied to storage after the
+    /// fact, not just to future capture and sharing.
+    pub fn apply_retroactively(&mut self, pref_id: PreferenceId) -> usize {
+        let Some(pref) = self
+            .preferences
+            .all()
+            .iter()
+            .find(|p| p.id == pref_id)
+            .cloned()
+        else {
+            return 0;
+        };
+        if pref.effect != Effect::Deny || !pref.scope.condition.is_always() {
+            return 0;
+        }
+        let Some(category) = pref.scope.data else {
+            return 0;
+        };
+        // Categories pinned by a mandatory policy stay (resolution:
+        // PolicyPrevails); under other strategies the preference wins.
+        if self.config.strategy == ResolutionStrategy::PolicyPrevails {
+            let pinned = self.policies.all().iter().any(|p| {
+                p.is_required()
+                    && conflict::data_overlaps(p.data, category, &self.ontology)
+                    && p.subjects.may_match_user(pref.user)
+            });
+            if pinned {
+                return 0;
+            }
+        }
+        // Purge the category itself and everything it can be inferred
+        // from is NOT purged (raw data may serve other flows); exactly the
+        // rows whose own category falls under the preference go.
+        self.store.purge_subject(&self.ontology, pref.user, category)
+    }
+
+    /// Every (policy, preference) conflict in the current state.
+    pub fn detect_conflicts(&self) -> Vec<Conflict> {
+        let index = conflict::ConflictIndex::build(self.policies.all(), &self.ontology);
+        index.detect(
+            self.policies.all(),
+            self.preferences.all(),
+            &self.ontology,
+            &self.model,
+            self.config.strategy,
+        )
+    }
+
+    /// Pending notifications for a user's IoTA (drained on read).
+    pub fn take_notifications(&mut self, user: UserId) -> Vec<UserNotification> {
+        self.audit.take_notifications(user)
+    }
+
+    // ---- ingest (steps 2–3) --------------------------------------------------
+
+    /// Ingests captured observations, applying storage-time enforcement:
+    /// a row is stored only when some building policy authorizes storing
+    /// its category for its subject *and* the subject's preferences do not
+    /// deny that policy's flow; retention comes from the authorizing
+    /// policy (shortest wins among authorizers).
+    ///
+    /// Returns `(stored, dropped)` counts.
+    pub fn ingest(&mut self, observations: &[Observation]) -> (usize, usize) {
+        self.ensure_enforcer();
+        let mut stored = 0usize;
+        let mut dropped = 0usize;
+        for obs in observations {
+            self.sensors.observe(obs);
+            let category = obs.payload.category(&self.ontology);
+            match self.storage_grant(obs, category) {
+                Some(retention) => {
+                    self.store.insert(
+                        obs.clone(),
+                        category,
+                        retention.0,
+                        obs.timestamp,
+                        retention.1,
+                    );
+                    stored += 1;
+                }
+                None => dropped += 1,
+            }
+        }
+        (stored, dropped)
+    }
+
+    /// Finds the authorizing policy for storing one observation. Returns
+    /// the policy id and its retention (seconds), or `None` to drop.
+    fn storage_grant(
+        &mut self,
+        obs: &Observation,
+        category: ConceptId,
+    ) -> Option<(PolicyId, Option<i64>)> {
+        let mut grant: Option<(PolicyId, Option<i64>)> = None;
+        let candidates: Vec<BuildingPolicy> = self
+            .policies
+            .all()
+            .iter()
+            .filter(|p| p.actions.contains(DataAction::Store))
+            .cloned()
+            .collect();
+        for policy in candidates {
+            let applies_space = self.model.contains(policy.space, obs.space);
+            if !applies_space {
+                continue;
+            }
+            // Storage authorization is subsumption-directional: the
+            // observation's category must fall under the policy's declared
+            // collection category (see `policy_applies`).
+            if !self.ontology.data.is_a(category, policy.data) {
+                continue;
+            }
+            let authorized = match obs.subject {
+                None => {
+                    // Subjectless environmental data: the policy's own
+                    // condition must hold, nothing else.
+                    let ctx = tippers_policy::ConditionContext {
+                        model: &self.model,
+                        time: obs.timestamp,
+                        subject_space: Some(obs.space),
+                        requester_space: None,
+                        room_occupied: self.sensors.room_occupied(obs.space, obs.timestamp),
+                    };
+                    policy.condition.is_satisfied(&ctx)
+                }
+                Some(user) => {
+                    let flow = RequestFlow {
+                        subject: user,
+                        subject_group: self.group_of(user),
+                        data: category,
+                        purpose: policy.purpose,
+                        service: policy.service.clone(),
+                        action: DataAction::Store,
+                        time: obs.timestamp,
+                        subject_space: Some(obs.space),
+                        requester_space: None,
+                        room_occupied: self.sensors.room_occupied(obs.space, obs.timestamp),
+                    };
+                    let decision = self
+                        .enforcer
+                        .as_ref()
+                        .expect("ensured")
+                        .decide(&flow, &self.ontology, &self.model);
+                    decision.permits()
+                }
+            };
+            if authorized {
+                let retention = policy.retention.map(|r| r.as_seconds());
+                grant = Some(match grant {
+                    None => (policy.id, retention),
+                    Some((prev_id, prev_ret)) => {
+                        // Shortest retention among authorizers wins.
+                        match (prev_ret, retention) {
+                            (None, Some(r)) => (policy.id, Some(r)),
+                            (Some(a), Some(b)) if b < a => (policy.id, Some(b)),
+                            _ => (prev_id, prev_ret),
+                        }
+                    }
+                });
+            }
+        }
+        grant
+    }
+
+    /// Ingests directly from a simulator trace and synchronizes
+    /// capture-time suppression afterwards.
+    pub fn ingest_from(&mut self, sim: &mut BuildingSimulator, observations: &[Observation]) -> (usize, usize) {
+        let counts = self.ingest(observations);
+        self.sync_capture_settings(sim);
+        counts
+    }
+
+    /// Pushes capture-time suppression (unconditional location denials) to
+    /// the simulator's network devices.
+    pub fn sync_capture_settings(&mut self, sim: &mut BuildingSimulator) {
+        let suppressed =
+            SensorManager::capture_suppression(&self.ontology, self.preferences.all(), &self.macs);
+        SensorManager::sync_suppression(&self.ontology, &suppressed, sim);
+    }
+
+    /// Policy 1's actuation loop output.
+    pub fn thermostat_commands(&self, floors: &[SpaceId], now: Timestamp) -> Vec<HvacCommand> {
+        self.sensors.thermostat_commands(&self.model, floors, now)
+    }
+
+    /// The live occupancy belief for a room (from motion/camera signals;
+    /// `None` when unknown or stale).
+    pub fn room_occupied(&self, space: SpaceId, now: Timestamp) -> Option<bool> {
+        self.sensors.room_occupied(space, now)
+    }
+
+    /// Runs retention garbage collection. Returns rows deleted.
+    pub fn gc(&mut self, now: Timestamp) -> usize {
+        self.store.gc(now)
+    }
+
+    // ---- service requests (steps 9–10) ---------------------------------------
+
+    /// Handles a service's data request, enforcing per-subject decisions.
+    pub fn handle_request(&mut self, request: &DataRequest, now: Timestamp) -> DataResponse {
+        self.ensure_enforcer();
+        let subjects: Vec<UserId> = match &request.subjects {
+            SubjectSelector::One(u) => vec![*u],
+            SubjectSelector::All => {
+                let mut v: Vec<UserId> = self.groups.keys().copied().collect();
+                v.sort();
+                v
+            }
+            SubjectSelector::InSpace(space) => {
+                let mut v: Vec<UserId> = self
+                    .groups
+                    .keys()
+                    .copied()
+                    .filter(|&u| {
+                        self.current_space_of(u, now)
+                            .map(|s| self.model.contains(*space, s))
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                v.sort();
+                v
+            }
+        };
+
+        let mut results = Vec::with_capacity(subjects.len());
+        for user in subjects {
+            let flow = RequestFlow {
+                subject: user,
+                subject_group: self.group_of(user),
+                data: request.data,
+                purpose: request.purpose,
+                service: Some(request.service.clone()),
+                action: DataAction::Share,
+                time: now,
+                subject_space: self.current_space_of(user, now),
+                requester_space: request.requester_space,
+                room_occupied: None,
+            };
+            let decision = self
+                .enforcer
+                .as_ref()
+                .expect("ensured")
+                .decide(&flow, &self.ontology, &self.model);
+            self.audit.record(
+                now,
+                user,
+                Some(request.service.clone()),
+                request.data,
+                request.purpose,
+                &decision,
+            );
+            let records = if decision.permits() {
+                self.release_rows(user, request, &decision)
+            } else {
+                Vec::new()
+            };
+            results.push(SubjectResult {
+                user,
+                decision,
+                records,
+            });
+        }
+        DataResponse { results }
+    }
+
+    /// Privacy-preserving aggregate occupancy query (§IV.B.2's
+    /// "aggregated or anonymized" disclosure level): distinct-subject
+    /// counts per time bucket over a space subtree, with per-subject
+    /// preference exclusion and k-anonymity suppression.
+    pub fn handle_aggregate(
+        &mut self,
+        request: &AggregateRequest,
+        now: Timestamp,
+    ) -> AggregateResponse {
+        self.ensure_enforcer();
+        let c = self.ontology.concepts().clone();
+        // Contributions: any subject-bearing row captured inside the space.
+        let rows: Vec<(Timestamp, UserId, SpaceId)> = self
+            .store
+            .query_category(&self.ontology, c.data, request.from, request.to)
+            .into_iter()
+            .filter(|r| self.model.contains(request.space, r.observation.space))
+            .filter_map(|r| {
+                r.observation
+                    .subject
+                    .map(|u| (r.observation.timestamp, u, r.observation.space))
+            })
+            .collect();
+        // Preference filter: a subject whose preferences deny occupancy
+        // flowing to this service/purpose is excluded entirely.
+        let mut subjects: Vec<UserId> = rows.iter().map(|&(_, u, _)| u).collect();
+        subjects.sort();
+        subjects.dedup();
+        let mut excluded = std::collections::HashSet::new();
+        for &user in &subjects {
+            let flow = RequestFlow {
+                subject: user,
+                subject_group: self.group_of(user),
+                data: c.occupancy,
+                purpose: request.purpose,
+                service: Some(request.service.clone()),
+                action: DataAction::Share,
+                time: now,
+                subject_space: Some(request.space),
+                requester_space: None,
+                room_occupied: None,
+            };
+            let decision = self
+                .enforcer
+                .as_ref()
+                .expect("ensured")
+                .decide(&flow, &self.ontology, &self.model);
+            self.audit.record(
+                now,
+                user,
+                Some(request.service.clone()),
+                c.occupancy,
+                request.purpose,
+                &decision,
+            );
+            if !decision.permits() {
+                excluded.insert(user);
+            }
+        }
+        let contributions: Vec<(Timestamp, UserId)> = rows
+            .into_iter()
+            .filter(|(_, u, _)| !excluded.contains(u))
+            .map(|(t, u, _)| (t, u))
+            .collect();
+        AggregateResponse {
+            buckets: bucketize(
+                &contributions,
+                request.from,
+                request.to,
+                request.bucket_secs,
+                self.config.k_anonymity,
+            ),
+            excluded_subjects: excluded.len() as u32,
+            k: self.config.k_anonymity,
+        }
+    }
+
+    /// Convenience: one user's (possibly degraded) current location for a
+    /// service (Figure 1's step 9: "a service requests TIPPERS about
+    /// Mary's location").
+    pub fn locate(
+        &mut self,
+        request_service: tippers_policy::ServiceId,
+        purpose: ConceptId,
+        user: UserId,
+        now: Timestamp,
+    ) -> Option<GranularLocation> {
+        let c = self.ontology.concepts().clone();
+        let request = DataRequest {
+            service: request_service,
+            purpose,
+            data: c.location_room,
+            subjects: SubjectSelector::One(user),
+            from: Timestamp(now.seconds() - 3600),
+            to: Timestamp(now.seconds() + 1),
+            requester_space: None,
+        };
+        let response = self.handle_request(&request, now);
+        let result = response.results.into_iter().next()?;
+        result.records.into_iter().rev().find_map(|r| match r.value {
+            ReleasedValue::Location(l) => Some(l),
+            _ => None,
+        })
+    }
+
+    /// The BMS's belief about a user's current space (latest network row).
+    fn current_space_of(&self, user: UserId, now: Timestamp) -> Option<SpaceId> {
+        let c = self.ontology.concepts();
+        let row = self
+            .store
+            .latest_for(&self.ontology, user, c.data, now)?;
+        if now - row.observation.timestamp > 3600 {
+            return None;
+        }
+        Some(row.observation.space)
+    }
+
+    fn release_rows(
+        &mut self,
+        user: UserId,
+        request: &DataRequest,
+        decision: &EnforcementDecision,
+    ) -> Vec<ReleasedRecord> {
+        let location_categories = {
+            let c = self.ontology.concepts();
+            [c.wifi_association, c.bluetooth_sighting, c.location]
+        };
+        // Location requests are answered from network observations, which
+        // is what the store actually holds (the paper's Figure 2: the MAC
+        // log *is* the location record).
+        let is_location_request = {
+            let c = self.ontology.concepts();
+            self.ontology.data.is_a(request.data, c.location)
+                || self.ontology.data.compatible(request.data, c.location)
+        };
+        let rows: Vec<crate::store::StoredRow> = if is_location_request {
+            let mut rows = Vec::new();
+            for cat in location_categories {
+                rows.extend(
+                    self.store
+                        .query_subject(&self.ontology, user, cat, request.from, request.to)
+                        .into_iter()
+                        .cloned(),
+                );
+            }
+            rows.sort_by_key(|r| r.observation.timestamp);
+            rows
+        } else {
+            self.store
+                .query_subject(&self.ontology, user, request.data, request.from, request.to)
+                .into_iter()
+                .cloned()
+                .collect()
+        };
+
+        let granularity = match decision.effect {
+            Effect::Degrade(g) => g,
+            _ => Granularity::Exact,
+        };
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let value = match &row.observation.payload {
+                ObservationPayload::WifiAssociation { .. }
+                | ObservationPayload::BeaconSighting { .. } => {
+                    // Network rows reveal the capturing device's space —
+                    // room granularity at best.
+                    let g = granularity.coarsest(Granularity::Room);
+                    ReleasedValue::Location(GranularLocation::degrade(
+                        &self.model,
+                        row.observation.space,
+                        None,
+                        g,
+                    ))
+                }
+                ObservationPayload::Motion { detected } => ReleasedValue::Flag(*detected),
+                ObservationPayload::PowerReading { watts } => {
+                    let noised = match decision.effect {
+                        Effect::Noise { sigma } => watts + self.gaussian() * sigma,
+                        _ => *watts,
+                    };
+                    ReleasedValue::Scalar(noised)
+                }
+                ObservationPayload::Temperature { celsius } => ReleasedValue::Scalar(*celsius),
+                ObservationPayload::CameraFrame { occupant_count, .. } => {
+                    ReleasedValue::Count(*occupant_count)
+                }
+                ObservationPayload::BadgeSwipe { user, .. } => ReleasedValue::Identity(*user),
+                // Future payload kinds are withheld until a release mapping
+                // exists for them (privacy-conservative default).
+                _ => continue,
+            };
+            out.push(ReleasedRecord {
+                time: row.observation.timestamp,
+                value,
+            });
+        }
+        out
+    }
+
+    /// Approximate standard normal via the central limit theorem.
+    fn gaussian(&mut self) -> f64 {
+        let sum: f64 = (0..12).map(|_| self.noise_rng.gen::<f64>()).sum();
+        sum - 6.0
+    }
+
+    fn ensure_enforcer(&mut self) {
+        if self.enforcer.is_some() {
+            return;
+        }
+        let policies = self.policies.all().to_vec();
+        let prefs = self.preferences.all().to_vec();
+        self.enforcer = Some(match self.config.enforcer {
+            EnforcerKind::Naive => {
+                EnforcerImpl::Naive(NaiveEnforcer::new(policies, prefs, self.config.strategy))
+            }
+            EnforcerKind::Indexed => EnforcerImpl::Indexed(IndexedEnforcer::new(
+                policies,
+                prefs,
+                self.config.strategy,
+                &self.ontology,
+            )),
+        });
+    }
+}

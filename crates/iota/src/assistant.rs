@@ -1,0 +1,379 @@
+//! The IoT Assistant itself: discovery, selective notification, and
+//! automatic settings configuration (Figure 1, steps 5–8).
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+use tippers::{SettingsError, Tippers};
+use tippers_irr::{AdvertisementId, DiscoveryBus, RegistryId, ResourceAdvertisement};
+use tippers_ontology::Ontology;
+use tippers_policy::{
+    diff_documents, BuildingPolicy, Effect, PolicyDocument, PreferenceId, Timestamp, UserGroup,
+    UserId,
+};
+use tippers_spatial::{Granularity, SpaceId, SpatialModel};
+
+use crate::relevance::{score_resource, RelevanceScore, SensitivityProfile};
+use crate::throttle::NotificationThrottle;
+
+/// IoTA behaviour parameters.
+#[derive(Debug, Clone)]
+pub struct IotaConfig {
+    /// Minimum relevance score to notify about (step 6's selectivity).
+    pub relevance_threshold: f64,
+    /// Fetch retries on simulated message loss.
+    pub fetch_retries: usize,
+    /// Sensitivity above which the assistant denies a practice outright.
+    pub deny_threshold: f64,
+    /// Sensitivity above which it degrades instead of allowing.
+    pub degrade_threshold: f64,
+    /// Fatigue throttle applied to notifications (§V.B).
+    pub throttle: NotificationThrottle,
+}
+
+impl Default for IotaConfig {
+    fn default() -> Self {
+        IotaConfig {
+            relevance_threshold: 0.35,
+            fetch_retries: 3,
+            deny_threshold: 0.75,
+            degrade_threshold: 0.4,
+            throttle: NotificationThrottle::default_hourly(),
+        }
+    }
+}
+
+/// A notification shown to the user (step 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IotaNotification {
+    /// When it fired.
+    pub time: Timestamp,
+    /// Short title (the resource name).
+    pub title: String,
+    /// Why the user should care.
+    pub body: String,
+    /// Relevance score that triggered it.
+    pub score: f64,
+}
+
+/// A user's IoT Assistant.
+#[derive(Debug)]
+pub struct Iota {
+    /// The user it assists.
+    pub user: UserId,
+    /// The user's group.
+    pub group: UserGroup,
+    profile: SensitivityProfile,
+    config: IotaConfig,
+    throttle: NotificationThrottle,
+    seen: HashSet<(RegistryId, AdvertisementId, u32)>,
+    last_docs: HashMap<(RegistryId, AdvertisementId), PolicyDocument>,
+    notification_log: Vec<IotaNotification>,
+    suppressed_relevant: usize,
+}
+
+impl Iota {
+    /// Creates an assistant with the default configuration.
+    pub fn new(user: UserId, group: UserGroup, profile: SensitivityProfile) -> Iota {
+        Iota::with_config(user, group, profile, IotaConfig::default())
+    }
+
+    /// Creates an assistant with a custom configuration.
+    pub fn with_config(
+        user: UserId,
+        group: UserGroup,
+        profile: SensitivityProfile,
+        config: IotaConfig,
+    ) -> Iota {
+        let throttle = config.throttle.clone();
+        Iota {
+            user,
+            group,
+            profile,
+            config,
+            throttle,
+            seen: HashSet::new(),
+            last_docs: HashMap::new(),
+            notification_log: Vec::new(),
+            suppressed_relevant: 0,
+        }
+    }
+
+    /// The user's sensitivity profile.
+    pub fn profile(&self) -> &SensitivityProfile {
+        &self.profile
+    }
+
+    /// Updates the profile (e.g. after learning).
+    pub fn set_profile(&mut self, profile: SensitivityProfile) {
+        self.profile = profile;
+    }
+
+    /// All notifications shown so far.
+    pub fn notifications(&self) -> &[IotaNotification] {
+        &self.notification_log
+    }
+
+    /// Relevant notifications suppressed by the fatigue throttle (E10's
+    /// burden-vs-coverage trade-off).
+    pub fn suppressed_relevant(&self) -> usize {
+        self.suppressed_relevant
+    }
+
+    /// Step 5: discover registries near `space` and fetch fresh
+    /// advertisements, retrying lost fetches.
+    pub fn poll(
+        &self,
+        bus: &DiscoveryBus,
+        model: &SpatialModel,
+        space: SpaceId,
+        now: Timestamp,
+    ) -> Vec<(RegistryId, ResourceAdvertisement)> {
+        let (registries, _) = bus.discover(model, space);
+        let mut out = Vec::new();
+        for registry in registries {
+            for attempt in 0..=self.config.fetch_retries {
+                match bus.fetch_near(registry, model, space, now) {
+                    Ok((ads, _latency)) => {
+                        out.extend(ads.into_iter().map(|a| (registry, a)));
+                        break;
+                    }
+                    Err(_) if attempt < self.config.fetch_retries => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+        out
+    }
+
+    /// Step 6: review fetched advertisements, notifying about unseen,
+    /// relevant ones, under the fatigue throttle.
+    ///
+    /// Republished advertisements (version bumps) are semantically diffed
+    /// against the last version this assistant saw; *expanding* changes —
+    /// new practices, new purposes, longer retention, hardened modality —
+    /// always notify, regardless of the relevance threshold.
+    pub fn review(
+        &mut self,
+        ads: &[(RegistryId, ResourceAdvertisement)],
+        ontology: &Ontology,
+        now: Timestamp,
+    ) -> Vec<IotaNotification> {
+        let mut fired = Vec::new();
+        for (registry, ad) in ads {
+            let key = (*registry, ad.id, ad.version);
+            if self.seen.contains(&key) {
+                continue;
+            }
+            self.seen.insert(key);
+            let doc_key = (*registry, ad.id);
+            let changes = self
+                .last_docs
+                .get(&doc_key)
+                .map(|prev| diff_documents(prev, &ad.document))
+                .unwrap_or_default();
+            self.last_docs.insert(doc_key, ad.document.clone());
+            let has_expansion = changes.iter().any(|c| c.is_expansion());
+            let change_summary = if changes.is_empty() {
+                String::new()
+            } else {
+                let listed: Vec<String> = changes.iter().map(|c| c.to_string()).collect();
+                format!(" Changed since you last saw it: {}.", listed.join("; "))
+            };
+            for resource in &ad.document.resources {
+                let score = score_resource(resource, &self.profile, ontology);
+                if score.score < self.config.relevance_threshold && !has_expansion {
+                    continue;
+                }
+                if !self.throttle.allow(now) {
+                    self.suppressed_relevant += 1;
+                    continue;
+                }
+                let notification = IotaNotification {
+                    time: now,
+                    title: resource.info.name.clone(),
+                    body: format!("{}{}", describe(resource, &score, ontology), change_summary),
+                    score: score.score,
+                };
+                self.notification_log.push(notification.clone());
+                fired.push(notification);
+            }
+        }
+        fired
+    }
+
+    /// The effect this user would want for a policy's data practice,
+    /// derived from their sensitivity to what it collects *and implies*.
+    pub fn desired_effect(&self, policy: &BuildingPolicy, ontology: &Ontology) -> Effect {
+        let mut s = self.profile.sensitivity(ontology, policy.data);
+        for inf in ontology.inference().closure(&[policy.data]) {
+            s = s.max(self.profile.sensitivity(ontology, inf.concept) * inf.confidence);
+        }
+        if s >= self.config.deny_threshold {
+            Effect::Deny
+        } else if s >= self.config.degrade_threshold {
+            Effect::Degrade(Granularity::Floor)
+        } else {
+            Effect::Allow
+        }
+    }
+
+    /// Steps 7–8: configure every configurable policy in the BMS on the
+    /// user's behalf — pick the advertised setting option closest to the
+    /// desired effect and submit the choice.
+    ///
+    /// Returns the preference ids created.
+    pub fn configure(&mut self, bms: &mut Tippers) -> Result<Vec<PreferenceId>, SettingsError> {
+        let ontology = bms.ontology().clone();
+        let plans: Vec<(tippers_policy::PolicyId, String, usize)> = bms
+            .policies()
+            .iter()
+            .filter(|p| !p.settings.is_empty())
+            .map(|policy| {
+                let desired = self.desired_effect(policy, &ontology);
+                let setting = &policy.settings[0];
+                let option_index = setting
+                    .options
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, o)| {
+                        (o.effect.strictness() as i32 - desired.strictness() as i32).abs()
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(setting.default_option);
+                (policy.id, setting.key.clone(), option_index)
+            })
+            .collect();
+        let mut created = Vec::new();
+        for (policy, key, option) in plans {
+            created.push(bms.apply_setting_choice(self.user, policy, &key, option)?);
+        }
+        Ok(created)
+    }
+}
+
+fn describe(
+    resource: &tippers_policy::ResourceBlock,
+    score: &RelevanceScore,
+    ontology: &Ontology,
+) -> String {
+    let driver = score
+        .driving_category
+        .map(|c| ontology.data.concept(c).label().to_lowercase())
+        .unwrap_or_else(|| "your data".to_owned());
+    let retention = resource
+        .retention
+        .map(|r| format!(" Data is retained for {}.", r.duration))
+        .unwrap_or_default();
+    if score.via_inference {
+        format!(
+            "This resource collects data from which your {driver} can be inferred.{retention}"
+        )
+    } else {
+        format!("This resource collects your {driver}.{retention}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers::{TippersConfig};
+    use tippers_irr::NetworkConfig;
+    use tippers_policy::{catalog, PolicyId};
+    use tippers_spatial::fixtures::dbh;
+
+    fn setup() -> (Ontology, tippers_spatial::fixtures::Dbh, DiscoveryBus, RegistryId, Tippers) {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let mut bms = Tippers::new(ont.clone(), d.model.clone(), TippersConfig::default());
+        bms.add_policy(
+            catalog::policy2_emergency_location(PolicyId(0), d.building, &ont)
+                .with_setting(BuildingPolicy::location_setting()),
+        );
+        let mut bus = DiscoveryBus::new(NetworkConfig::default());
+        let irr = bus.add_registry("DBH IRR", d.building);
+        bms.publish_policies(&mut bus, irr, Timestamp::at(0, 8, 0)).unwrap();
+        (ont, d, bus, irr, bms)
+    }
+
+    #[test]
+    fn poll_review_notifies_sensitive_users() {
+        let (ont, d, bus, _irr, _bms) = setup();
+        let mut iota = Iota::new(
+            UserId(1),
+            UserGroup::GradStudent,
+            SensitivityProfile::fundamentalist(&ont),
+        );
+        let ads = iota.poll(&bus, &d.model, d.offices[0], Timestamp::at(0, 9, 0));
+        assert_eq!(ads.len(), 1);
+        let fired = iota.review(&ads, &ont, Timestamp::at(0, 9, 0));
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].body.contains("inferred") || fired[0].body.contains("collects"));
+        // Re-reviewing the same version stays quiet.
+        let again = iota.review(&ads, &ont, Timestamp::at(0, 9, 5));
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn unconcerned_users_hear_nothing() {
+        let (ont, d, bus, _irr, _bms) = setup();
+        let mut iota = Iota::new(
+            UserId(2),
+            UserGroup::Undergrad,
+            SensitivityProfile::unconcerned(&ont),
+        );
+        let ads = iota.poll(&bus, &d.model, d.offices[0], Timestamp::at(0, 9, 0));
+        let fired = iota.review(&ads, &ont, Timestamp::at(0, 9, 0));
+        assert!(fired.is_empty());
+    }
+
+    #[test]
+    fn configure_submits_strict_choice_for_fundamentalist() {
+        let (ont, _d, _bus, _irr, mut bms) = setup();
+        let mut iota = Iota::new(
+            UserId(1),
+            UserGroup::GradStudent,
+            SensitivityProfile::fundamentalist(&ont),
+        );
+        let created = iota.configure(&mut bms).unwrap();
+        assert_eq!(created.len(), 1);
+        let prefs = bms.preferences();
+        assert_eq!(prefs.len(), 1);
+        assert_eq!(prefs[0].effect, Effect::Deny);
+        // The deny of a mandatory policy produced a conflict notification
+        // the next sync will surface.
+        let conflicts = bms.detect_conflicts();
+        assert_eq!(conflicts.len(), 1);
+    }
+
+    #[test]
+    fn configure_leaves_relaxed_users_permissive() {
+        let (ont, _d, _bus, _irr, mut bms) = setup();
+        let mut iota = Iota::new(
+            UserId(2),
+            UserGroup::Undergrad,
+            SensitivityProfile::unconcerned(&ont),
+        );
+        iota.configure(&mut bms).unwrap();
+        assert_eq!(bms.preferences()[0].effect, Effect::Allow);
+        assert!(bms.detect_conflicts().is_empty());
+    }
+
+    #[test]
+    fn desired_effect_tracks_sensitivity() {
+        let (ont, d, _bus, _irr, _bms) = setup();
+        let policy = catalog::policy2_emergency_location(PolicyId(0), d.building, &ont);
+        let strict = Iota::new(
+            UserId(1),
+            UserGroup::Faculty,
+            SensitivityProfile::fundamentalist(&ont),
+        );
+        let relaxed = Iota::new(
+            UserId(2),
+            UserGroup::Faculty,
+            SensitivityProfile::unconcerned(&ont),
+        );
+        assert_eq!(strict.desired_effect(&policy, &ont), Effect::Deny);
+        assert_eq!(relaxed.desired_effect(&policy, &ont), Effect::Allow);
+    }
+}

@@ -1,0 +1,211 @@
+//! From learned permission profiles to live sensitivity profiles.
+//!
+//! §V.B closes a loop the other modules leave open: the assistant asks the
+//! user a handful of permission questions, assigns them to a learned
+//! profile (Liu et al.), *predicts* the rest, and then needs those
+//! predictions in the form the notification/configuration pipeline
+//! understands — a [`SensitivityProfile`]. This module defines the
+//! standard question grid and the conversion.
+
+use tippers_ontology::{ConceptId, Ontology};
+
+use crate::profiles::{PermissionMatrix, PrivacyProfiles};
+use crate::relevance::SensitivityProfile;
+
+/// The standard question grid: one dimension per (data category, purpose
+/// family) pair the IoTA asks about.
+#[derive(Debug, Clone)]
+pub struct QuestionGrid {
+    dims: Vec<(ConceptId, ConceptId)>,
+}
+
+impl QuestionGrid {
+    /// The standard grid: {location, occupancy, imagery, energy, identity}
+    /// × {safety/security, building services, analytics/marketing}.
+    pub fn standard(ontology: &Ontology) -> QuestionGrid {
+        let c = ontology.concepts();
+        let data = [
+            c.location,
+            c.occupancy,
+            c.image,
+            c.power_consumption,
+            c.person_identity,
+        ];
+        let purposes = [c.emergency_response, c.providing_service, c.analytics];
+        let dims = data
+            .iter()
+            .flat_map(|&d| purposes.iter().map(move |&p| (d, p)))
+            .collect();
+        QuestionGrid { dims }
+    }
+
+    /// Number of questions.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// True if the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// The (data, purpose) pair behind dimension `dim`.
+    pub fn dimension(&self, dim: usize) -> (ConceptId, ConceptId) {
+        self.dims[dim]
+    }
+
+    /// An all-unknown answer sheet for this grid.
+    pub fn blank(&self) -> PermissionMatrix {
+        PermissionMatrix::unknown(self.dims.len())
+    }
+
+    /// Phrases one question for the user.
+    pub fn question_text(&self, dim: usize, ontology: &Ontology) -> String {
+        let (d, p) = self.dims[dim];
+        format!(
+            "May the building use your {} for {}?",
+            ontology.data.concept(d).label().to_lowercase(),
+            ontology.purposes.concept(p).label().to_lowercase()
+        )
+    }
+
+    /// Converts a (possibly predicted) answer sheet into a sensitivity
+    /// profile: a data category's sensitivity is the fraction of its
+    /// purposes the user denies, so an all-deny row maps to 1.0 and an
+    /// all-allow row to 0.0. Unknown answers count half.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix dimensions don't match the grid.
+    pub fn to_sensitivity(&self, answers: &PermissionMatrix, ontology: &Ontology) -> SensitivityProfile {
+        assert_eq!(answers.dims(), self.dims.len(), "answer sheet shape mismatch");
+        let _ = ontology;
+        let mut profile = SensitivityProfile::new();
+        let mut categories: Vec<ConceptId> = self.dims.iter().map(|&(d, _)| d).collect();
+        categories.sort();
+        categories.dedup();
+        for category in categories {
+            let mut score = 0.0;
+            let mut n = 0.0;
+            for (i, &(d, _)) in self.dims.iter().enumerate() {
+                if d != category {
+                    continue;
+                }
+                n += 1.0;
+                score += match answers.get(i) {
+                    -1 => 1.0,
+                    0 => 0.5,
+                    _ => 0.0,
+                };
+            }
+            if n > 0.0 {
+                profile.set(category, score / n);
+            }
+        }
+        profile
+    }
+}
+
+/// The full §V.B loop: a few answered questions + learned profiles →
+/// completed answers → a sensitivity profile ready for
+/// [`Iota::set_profile`](crate::Iota::set_profile).
+pub fn infer_sensitivity(
+    grid: &QuestionGrid,
+    partial_answers: &PermissionMatrix,
+    learned: &PrivacyProfiles,
+    ontology: &Ontology,
+) -> SensitivityProfile {
+    let completed = learned.complete(partial_answers);
+    grid.to_sensitivity(&completed, ontology)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_and_text() {
+        let ont = Ontology::standard();
+        let grid = QuestionGrid::standard(&ont);
+        assert_eq!(grid.len(), 15);
+        assert!(!grid.is_empty());
+        let q = grid.question_text(0, &ont);
+        assert!(q.starts_with("May the building use your "));
+        assert!(q.contains("location"));
+    }
+
+    #[test]
+    fn all_deny_maps_to_full_sensitivity() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let grid = QuestionGrid::standard(&ont);
+        let mut answers = grid.blank();
+        for d in 0..grid.len() {
+            answers.set(d, -1);
+        }
+        let profile = grid.to_sensitivity(&answers, &ont);
+        assert!((profile.sensitivity(&ont, c.location) - 1.0).abs() < 1e-9);
+        assert!((profile.sensitivity(&ont, c.image) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_allow_maps_to_zero() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let grid = QuestionGrid::standard(&ont);
+        let mut answers = grid.blank();
+        for d in 0..grid.len() {
+            answers.set(d, 1);
+        }
+        let profile = grid.to_sensitivity(&answers, &ont);
+        assert_eq!(profile.sensitivity(&ont, c.location), 0.0);
+    }
+
+    #[test]
+    fn mixed_answers_average() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let grid = QuestionGrid::standard(&ont);
+        let mut answers = grid.blank();
+        // Deny location for exactly one of its three purposes; allow the
+        // other two.
+        let loc_dims: Vec<usize> = (0..grid.len())
+            .filter(|&i| grid.dimension(i).0 == c.location)
+            .collect();
+        answers.set(loc_dims[0], -1);
+        answers.set(loc_dims[1], 1);
+        answers.set(loc_dims[2], 1);
+        let profile = grid.to_sensitivity(&answers, &ont);
+        assert!((profile.sensitivity(&ont, c.location) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learned_profiles_complete_sparse_answers() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let grid = QuestionGrid::standard(&ont);
+        // Train on two archetypes: deniers and allowers.
+        let mut users = Vec::new();
+        for i in 0..30 {
+            let mut m = grid.blank();
+            let v = if i % 2 == 0 { -1 } else { 1 };
+            for d in 0..grid.len() {
+                if (i + d) % 3 != 0 {
+                    m.set(d, v);
+                }
+            }
+            users.push(m);
+        }
+        let learned = crate::profiles::PrivacyProfiles::learn(&users, 2, 20, 3);
+        // A new privacy-sensitive user answers just two questions (deny).
+        let mut sparse = grid.blank();
+        sparse.set(0, -1);
+        sparse.set(5, -1);
+        let profile = infer_sensitivity(&grid, &sparse, &learned, &ont);
+        assert!(
+            profile.sensitivity(&ont, c.image) > 0.7,
+            "the denier profile should generalize to unasked categories: {}",
+            profile.sensitivity(&ont, c.image)
+        );
+    }
+}

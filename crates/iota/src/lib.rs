@@ -1,0 +1,46 @@
+//! IoT Assistants (IoTAs).
+//!
+//! The framework's second component: personal agents that "selectively
+//! notify users about the policies advertised by IRRs and configure any
+//! available privacy settings" (§I). This crate provides:
+//!
+//! * [`Iota`] — discovery ([`Iota::poll`], step 5), relevance-ranked
+//!   notification ([`Iota::review`], step 6) and automatic settings
+//!   configuration ([`Iota::configure`], steps 7–8).
+//! * [`SensitivityProfile`] and [`score_resource`] — per-user relevance
+//!   scoring that looks through the *inference closure* of advertised
+//!   practices, not just what they literally collect.
+//! * [`NotificationThrottle`] — fatigue control (§V.B).
+//! * [`PrivacyProfiles`] — the Liu et al. profile learner the paper cites
+//!   for preference prediction (§V.B), over ternary permission matrices.
+//!
+//! # Examples
+//!
+//! ```
+//! use tippers_iota::{Iota, SensitivityProfile};
+//! use tippers_ontology::Ontology;
+//! use tippers_policy::{UserGroup, UserId};
+//!
+//! let ontology = Ontology::standard();
+//! let iota = Iota::new(
+//!     UserId(1),
+//!     UserGroup::GradStudent,
+//!     SensitivityProfile::fundamentalist(&ontology),
+//! );
+//! assert!(iota.notifications().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assistant;
+mod learning_bridge;
+mod profiles;
+mod relevance;
+mod throttle;
+
+pub use assistant::{Iota, IotaConfig, IotaNotification};
+pub use learning_bridge::{infer_sensitivity, QuestionGrid};
+pub use profiles::{prediction_accuracy, PermissionMatrix, PrivacyProfiles};
+pub use relevance::{purpose_factor, score_resource, RelevanceScore, SensitivityProfile};
+pub use throttle::NotificationThrottle;

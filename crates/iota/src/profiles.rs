@@ -1,0 +1,342 @@
+//! Privacy-profile learning — the Liu et al. (SOUPS '16) mechanism the
+//! paper says IoTAs should adopt (§V.B): cluster users' permission
+//! decisions into a small number of profiles, assign each user to the
+//! nearest profile, and predict their unstated preferences from it.
+//!
+//! Users are represented as permission matrices over (data category ×
+//! purpose) dimensions with ternary entries: deny (−1), unknown (0),
+//! allow (+1). Unknown entries don't contribute to distance and are what
+//! prediction fills in.
+
+use serde::{Deserialize, Serialize};
+
+/// One user's (partial) permission decisions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PermissionMatrix {
+    values: Vec<i8>,
+}
+
+impl PermissionMatrix {
+    /// An all-unknown matrix over `dims` dimensions.
+    pub fn unknown(dims: usize) -> PermissionMatrix {
+        PermissionMatrix {
+            values: vec![0; dims],
+        }
+    }
+
+    /// Builds from raw values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is outside `{-1, 0, 1}`.
+    pub fn from_values(values: Vec<i8>) -> PermissionMatrix {
+        assert!(
+            values.iter().all(|v| (-1..=1).contains(v)),
+            "entries must be -1, 0 or 1"
+        );
+        PermissionMatrix { values }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The entry at `dim`.
+    pub fn get(&self, dim: usize) -> i8 {
+        self.values[dim]
+    }
+
+    /// Sets the entry at `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values or dimensions.
+    pub fn set(&mut self, dim: usize, value: i8) {
+        assert!((-1..=1).contains(&value), "entries must be -1, 0 or 1");
+        self.values[dim] = value;
+    }
+
+    /// Number of known (non-zero) entries.
+    pub fn known(&self) -> usize {
+        self.values.iter().filter(|&&v| v != 0).count()
+    }
+
+    /// Distance to a centroid: mean squared difference over this matrix's
+    /// *known* entries (unknowns cost nothing).
+    fn distance(&self, centroid: &[f64]) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (i, &v) in self.values.iter().enumerate() {
+            if v != 0 {
+                let d = v as f64 - centroid[i];
+                sum += d * d;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            f64::INFINITY
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+/// Learned privacy profiles (cluster centroids).
+///
+/// # Examples
+///
+/// ```
+/// use tippers_iota::{PermissionMatrix, PrivacyProfiles};
+///
+/// let users = vec![
+///     PermissionMatrix::from_values(vec![1, 1, 1]),
+///     PermissionMatrix::from_values(vec![-1, -1, -1]),
+/// ];
+/// let profiles = PrivacyProfiles::learn(&users, 2, 10, 0);
+/// // A mostly-deny user is completed from the denier profile.
+/// let partial = PermissionMatrix::from_values(vec![-1, 0, 0]);
+/// let full = profiles.complete(&partial);
+/// assert_eq!(full.get(1), -1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyProfiles {
+    centroids: Vec<Vec<f64>>,
+    dims: usize,
+}
+
+impl PrivacyProfiles {
+    /// K-means over permission matrices. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `users` is empty, `k` is zero, or dimensions disagree.
+    pub fn learn(users: &[PermissionMatrix], k: usize, iterations: usize, seed: u64) -> Self {
+        assert!(!users.is_empty(), "need at least one user");
+        assert!(k > 0, "need at least one profile");
+        let dims = users[0].dims();
+        assert!(
+            users.iter().all(|u| u.dims() == dims),
+            "all users must share dimensions"
+        );
+        // Deterministic farthest-point seeding: start from a seed-chosen
+        // user, then repeatedly pick the user farthest from its nearest
+        // existing centroid.
+        let as_centroid =
+            |u: &PermissionMatrix| (0..dims).map(|d| u.get(d) as f64).collect::<Vec<f64>>();
+        let mut centroids: Vec<Vec<f64>> =
+            vec![as_centroid(&users[(seed as usize) % users.len()])];
+        while centroids.len() < k {
+            let farthest = users
+                .iter()
+                .max_by(|a, b| {
+                    let da = centroids
+                        .iter()
+                        .map(|c| a.distance(c))
+                        .fold(f64::INFINITY, f64::min);
+                    let db = centroids
+                        .iter()
+                        .map(|c| b.distance(c))
+                        .fold(f64::INFINITY, f64::min);
+                    // All-unknown users have infinite distance everywhere;
+                    // rank them last so they never seed a centroid.
+                    let norm = |d: f64| if d.is_finite() { d } else { -1.0 };
+                    norm(da).partial_cmp(&norm(db)).expect("not NaN")
+                })
+                .expect("users is non-empty");
+            centroids.push(as_centroid(farthest));
+        }
+
+        for _ in 0..iterations {
+            // Assign.
+            let assignment: Vec<usize> = users
+                .iter()
+                .map(|u| {
+                    centroids
+                        .iter()
+                        .enumerate()
+                        .min_by(|(_, a), (_, b)| {
+                            u.distance(a)
+                                .partial_cmp(&u.distance(b))
+                                .expect("distances are not NaN")
+                        })
+                        .map(|(i, _)| i)
+                        .expect("k > 0")
+                })
+                .collect();
+            // Update: mean of known entries per dimension.
+            let mut next = vec![vec![0.0f64; dims]; k];
+            let mut counts = vec![vec![0usize; dims]; k];
+            for (u, &c) in users.iter().zip(&assignment) {
+                for d in 0..dims {
+                    let v = u.get(d);
+                    if v != 0 {
+                        next[c][d] += v as f64;
+                        counts[c][d] += 1;
+                    }
+                }
+            }
+            for c in 0..k {
+                for d in 0..dims {
+                    if counts[c][d] > 0 {
+                        next[c][d] /= counts[c][d] as f64;
+                    } else {
+                        next[c][d] = centroids[c][d];
+                    }
+                }
+            }
+            if next == centroids {
+                break;
+            }
+            centroids = next;
+        }
+        PrivacyProfiles { centroids, dims }
+    }
+
+    /// Number of profiles.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The nearest profile for a user.
+    pub fn assign(&self, user: &PermissionMatrix) -> usize {
+        self.centroids
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                user.distance(a)
+                    .partial_cmp(&user.distance(b))
+                    .expect("distances are not NaN")
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Predicted decision for `dim` under `profile`: +1 allow, −1 deny,
+    /// 0 when the profile has no signal.
+    pub fn predict(&self, profile: usize, dim: usize) -> i8 {
+        let v = self.centroids[profile][dim];
+        if v > 0.2 {
+            1
+        } else if v < -0.2 {
+            -1
+        } else {
+            0
+        }
+    }
+
+    /// Predicts a user's full matrix: their known answers stay, unknowns
+    /// are filled from their assigned profile.
+    pub fn complete(&self, user: &PermissionMatrix) -> PermissionMatrix {
+        let p = self.assign(user);
+        let values = (0..self.dims)
+            .map(|d| {
+                let v = user.get(d);
+                if v != 0 {
+                    v
+                } else {
+                    self.predict(p, d)
+                }
+            })
+            .collect();
+        PermissionMatrix::from_values(values)
+    }
+}
+
+/// Fraction of `truth`'s known entries that `predicted` matches — the E10
+/// accuracy metric.
+pub fn prediction_accuracy(predicted: &PermissionMatrix, truth: &PermissionMatrix) -> f64 {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for d in 0..truth.dims() {
+        if truth.get(d) != 0 {
+            total += 1;
+            if predicted.get(d) == truth.get(d) {
+                hits += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two obvious archetypes: all-allow and all-deny, with partial views.
+    fn synthetic_users() -> Vec<PermissionMatrix> {
+        let mut users = Vec::new();
+        for i in 0..20 {
+            let mut m = PermissionMatrix::unknown(8);
+            let allow = i % 2 == 0;
+            // Each user reveals 5 of 8 answers.
+            for d in 0..5 {
+                let dim = (i + d) % 8;
+                m.set(dim, if allow { 1 } else { -1 });
+            }
+            users.push(m);
+        }
+        users
+    }
+
+    #[test]
+    fn learns_two_archetypes() {
+        let users = synthetic_users();
+        let profiles = PrivacyProfiles::learn(&users, 2, 20, 1);
+        // Completion should recover the hidden full matrix.
+        for (i, u) in users.iter().enumerate() {
+            let completed = profiles.complete(u);
+            let expected = if i % 2 == 0 { 1 } else { -1 };
+            let full = PermissionMatrix::from_values(vec![expected; 8]);
+            let acc = prediction_accuracy(&completed, &full);
+            assert!(acc > 0.9, "user {i} accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn assignment_groups_like_users() {
+        let users = synthetic_users();
+        let profiles = PrivacyProfiles::learn(&users, 2, 20, 3);
+        let a0 = profiles.assign(&users[0]);
+        let a2 = profiles.assign(&users[2]);
+        let a1 = profiles.assign(&users[1]);
+        assert_eq!(a0, a2);
+        assert_ne!(a0, a1);
+    }
+
+    #[test]
+    fn unknowns_do_not_affect_distance() {
+        let users = synthetic_users();
+        let profiles = PrivacyProfiles::learn(&users, 2, 20, 1);
+        let empty = PermissionMatrix::unknown(8);
+        // All-unknown user: assignment is arbitrary but must not panic,
+        // and prediction returns profile values.
+        let p = profiles.assign(&empty);
+        assert!(p < 2);
+        let completed = profiles.complete(&empty);
+        assert_eq!(completed.dims(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "entries must be")]
+    fn invalid_entries_panic() {
+        let _ = PermissionMatrix::from_values(vec![2]);
+    }
+
+    #[test]
+    fn accuracy_metric() {
+        let truth = PermissionMatrix::from_values(vec![1, -1, 0, 1]);
+        let pred = PermissionMatrix::from_values(vec![1, 1, 1, 1]);
+        let acc = prediction_accuracy(&pred, &truth);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

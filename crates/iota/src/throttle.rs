@@ -1,0 +1,108 @@
+//! Notification fatigue control.
+//!
+//! §V.B: "the challenges include when and how to notify a user and how to
+//! obtain user feedback without inducing user fatigue". The throttle caps
+//! notifications per sliding window; the assistant additionally suppresses
+//! repeats through its seen-set.
+
+use serde::{Deserialize, Serialize};
+use tippers_policy::Timestamp;
+
+/// A sliding-window notification rate limiter.
+///
+/// # Examples
+///
+/// ```
+/// use tippers_iota::NotificationThrottle;
+/// use tippers_policy::Timestamp;
+///
+/// let mut throttle = NotificationThrottle::new(1, 600);
+/// assert!(throttle.allow(Timestamp::at(0, 9, 0)));
+/// assert!(!throttle.allow(Timestamp::at(0, 9, 5)));
+/// assert!(throttle.allow(Timestamp::at(0, 9, 15)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NotificationThrottle {
+    /// Maximum notifications per window.
+    max_per_window: usize,
+    /// Window length, seconds.
+    window_secs: i64,
+    history: Vec<Timestamp>,
+}
+
+impl NotificationThrottle {
+    /// At most `max_per_window` notifications every `window_secs` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_secs` is not positive.
+    pub fn new(max_per_window: usize, window_secs: i64) -> NotificationThrottle {
+        assert!(window_secs > 0, "window must be positive");
+        NotificationThrottle {
+            max_per_window,
+            window_secs,
+            history: Vec::new(),
+        }
+    }
+
+    /// A reasonable default: three notifications per hour.
+    pub fn default_hourly() -> NotificationThrottle {
+        NotificationThrottle::new(3, 3600)
+    }
+
+    /// True if a notification may fire now; if so, it is recorded.
+    pub fn allow(&mut self, now: Timestamp) -> bool {
+        self.history
+            .retain(|&t| now - t < self.window_secs && t <= now);
+        if self.history.len() < self.max_per_window {
+            self.history.push(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Notifications fired in the current window.
+    pub fn in_window(&self, now: Timestamp) -> usize {
+        self.history
+            .iter()
+            .filter(|&&t| now - t < self.window_secs && t <= now)
+            .count()
+    }
+}
+
+impl Default for NotificationThrottle {
+    fn default() -> Self {
+        NotificationThrottle::default_hourly()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_within_window() {
+        let mut t = NotificationThrottle::new(2, 600);
+        let t0 = Timestamp::at(0, 9, 0);
+        assert!(t.allow(t0));
+        assert!(t.allow(t0 + 10));
+        assert!(!t.allow(t0 + 20));
+        assert_eq!(t.in_window(t0 + 20), 2);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut t = NotificationThrottle::new(1, 600);
+        let t0 = Timestamp::at(0, 9, 0);
+        assert!(t.allow(t0));
+        assert!(!t.allow(t0 + 599));
+        assert!(t.allow(t0 + 601));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = NotificationThrottle::new(1, 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the IoT Assistant.
+
+use proptest::prelude::*;
+use tippers_iota::{
+    prediction_accuracy, NotificationThrottle, PermissionMatrix, PrivacyProfiles,
+    SensitivityProfile,
+};
+use tippers_ontology::Ontology;
+use tippers_policy::Timestamp;
+
+proptest! {
+    /// The throttle never admits more than its cap inside any window, for
+    /// arbitrary (sorted) request times.
+    #[test]
+    fn throttle_cap_holds(
+        cap in 1usize..6,
+        window in 60i64..7200,
+        mut times in proptest::collection::vec(0i64..100_000, 1..80),
+    ) {
+        times.sort_unstable();
+        let mut throttle = NotificationThrottle::new(cap, window);
+        let mut admitted: Vec<i64> = Vec::new();
+        for &t in &times {
+            if throttle.allow(Timestamp(t)) {
+                admitted.push(t);
+            }
+        }
+        // Check the cap over every admitted point's trailing window.
+        for &t in &admitted {
+            let in_window = admitted
+                .iter()
+                .filter(|&&u| u <= t && t - u < window)
+                .count();
+            prop_assert!(in_window <= cap, "window ending at {t} holds {in_window} > {cap}");
+        }
+    }
+
+    /// Completion never alters a user's known answers and always yields a
+    /// full-dimension matrix.
+    #[test]
+    fn completion_preserves_known(
+        k in 1usize..4,
+        dims in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut users = Vec::new();
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for _ in 0..20 {
+            let mut m = PermissionMatrix::unknown(dims);
+            for d in 0..dims {
+                match next() % 3 {
+                    0 => m.set(d, 1),
+                    1 => m.set(d, -1),
+                    _ => {}
+                }
+            }
+            users.push(m);
+        }
+        let profiles = PrivacyProfiles::learn(&users, k, 10, seed);
+        for u in &users {
+            let completed = profiles.complete(u);
+            prop_assert_eq!(completed.dims(), dims);
+            for d in 0..dims {
+                if u.get(d) != 0 {
+                    prop_assert_eq!(completed.get(d), u.get(d));
+                }
+            }
+        }
+    }
+
+    /// Accuracy is a proper fraction and equals 1 against itself.
+    #[test]
+    fn accuracy_bounds(values in proptest::collection::vec(-1i8..=1, 1..24)) {
+        let m = PermissionMatrix::from_values(values);
+        let acc_self = prediction_accuracy(&m, &m);
+        if m.known() > 0 {
+            prop_assert!((acc_self - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(acc_self, 0.0);
+        }
+        let blank = PermissionMatrix::unknown(m.dims());
+        let acc_blank = prediction_accuracy(&blank, &m);
+        prop_assert!((0.0..=1.0).contains(&acc_blank));
+    }
+
+    /// Sensitivity lookups are monotone under ancestor weights: raising a
+    /// parent's weight never lowers a child's effective sensitivity.
+    #[test]
+    fn sensitivity_monotone(w1 in 0.0f64..1.0, w2 in 0.0f64..1.0) {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let mut low = SensitivityProfile::new();
+        low.set(c.location, w1.min(w2));
+        let mut high = SensitivityProfile::new();
+        high.set(c.location, w1.max(w2));
+        prop_assert!(
+            high.sensitivity(&ont, c.location_fine) + 1e-12
+                >= low.sensitivity(&ont, c.location_fine)
+        );
+        // Child weight and parent weight combine by max.
+        let mut combined = SensitivityProfile::new();
+        combined.set(c.location, w1);
+        combined.set(c.location_fine, w2);
+        prop_assert!(
+            (combined.sensitivity(&ont, c.location_fine) - w1.max(w2)).abs() < 1e-9
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! IoT Resource Registries (IRRs).
+//!
+//! The framework's first component: registries "broadcast data collection
+//! policies and sharing practices of the IoT technologies with which users
+//! interact" (§I). This crate provides:
+//!
+//! * [`Registry`] — stores [`ResourceAdvertisement`]s (validated policy
+//!   documents scoped to spaces, with TTL freshness and versioning) and
+//!   answers vicinity queries ("resources close to her location", Figure 1
+//!   step 5).
+//! * [`DiscoveryBus`] — a simulated broadcast network hosting registries,
+//!   with configurable latency and loss (experiment E11 sweeps these).
+//! * [`MudProfile`] — MUD-style automatic registration (§V.B): deployed
+//!   sensors generate their own advertisements from manufacturer usage
+//!   descriptions.
+//!
+//! # Examples
+//!
+//! ```
+//! use tippers_irr::{DiscoveryBus, NetworkConfig};
+//! use tippers_policy::{figures, Timestamp};
+//! use tippers_spatial::fixtures::dbh;
+//!
+//! let building = dbh();
+//! let mut bus = DiscoveryBus::new(NetworkConfig::default());
+//! let irr = bus.add_registry("DBH IRR", building.building);
+//! bus.registry_mut(irr).unwrap().publish(
+//!     figures::fig2_document(),
+//!     building.building,
+//!     Timestamp::at(0, 8, 0),
+//!     86_400,
+//! )?;
+//! let (found, _latency) = bus.discover(&building.model, building.offices[0]);
+//! assert_eq!(found, vec![irr]);
+//! # Ok::<(), tippers_irr::RegistryError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mud;
+mod net;
+mod registry;
+
+pub use mud::{advertise_device, MudProfile};
+pub use net::{DiscoveryBus, NetError, NetStats, NetworkConfig};
+pub use registry::{
+    AdvertisementId, Registry, RegistryError, RegistryId, ResourceAdvertisement,
+};

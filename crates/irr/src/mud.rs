@@ -1,0 +1,203 @@
+//! MUD-style automatic registration.
+//!
+//! §V.B: "we envision that the setup of IRRs can be automated (e.g. by
+//! leveraging Manufacturer Usage Descriptions)". A [`MudProfile`] is the
+//! manufacturer's machine-readable statement of what a device class
+//! collects and why; [`advertise_device`] instantiates it for a concrete
+//! deployed sensor, producing a ready-to-publish [`PolicyDocument`].
+
+use serde::{Deserialize, Serialize};
+use tippers_ontology::{ConceptId, Ontology};
+use tippers_policy::document::{
+    ContextBlock, InfoBlock, LocationBlock, ObservationBlock, PolicyDocument, PurposeSection,
+    ResourceBlock, RetentionBlock, SensorBlock, SpatialRef,
+};
+use tippers_policy::IsoDuration;
+use tippers_sensors::SensorDevice;
+use tippers_spatial::SpatialModel;
+
+/// A manufacturer usage description for a sensor class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MudProfile {
+    /// Manufacturer name.
+    pub manufacturer: String,
+    /// The sensor class the profile describes.
+    pub sensor_class: ConceptId,
+    /// Data category the device emits.
+    pub emits: ConceptId,
+    /// Default purpose of collection.
+    pub purpose_key: String,
+    /// Purpose description shown to users.
+    pub purpose_description: String,
+    /// Manufacturer-recommended retention.
+    pub retention: Option<IsoDuration>,
+}
+
+impl MudProfile {
+    /// Standard profiles for the built-in sensor classes.
+    pub fn standard_profiles(ontology: &Ontology) -> Vec<MudProfile> {
+        let c = ontology.concepts();
+        let mk = |class, emits, purpose_key: &str, desc: &str, ret: Option<&str>| MudProfile {
+            manufacturer: "Acme Sensing".to_owned(),
+            sensor_class: class,
+            emits,
+            purpose_key: purpose_key.to_owned(),
+            purpose_description: desc.to_owned(),
+            retention: ret.map(|r| r.parse().expect("valid duration")),
+        };
+        vec![
+            mk(
+                c.wifi_ap,
+                c.wifi_association,
+                "logging",
+                "Association events are logged for connectivity and security",
+                Some("P6M"),
+            ),
+            mk(
+                c.ble_beacon,
+                c.bluetooth_sighting,
+                "providing_service",
+                "Beacon sightings power location-based services",
+                Some("P30D"),
+            ),
+            mk(
+                c.camera,
+                c.image,
+                "surveillance",
+                "Footage is recorded for building security",
+                Some("P90D"),
+            ),
+            mk(
+                c.power_meter,
+                c.power_consumption,
+                "energy",
+                "Outlet-level consumption is metered for energy management",
+                Some("P1Y"),
+            ),
+            mk(
+                c.motion_sensor,
+                c.occupancy,
+                "comfort",
+                "Occupancy drives HVAC and lighting automation",
+                Some("P7D"),
+            ),
+            mk(
+                c.temperature_sensor,
+                c.ambient_temperature,
+                "comfort",
+                "Ambient temperature drives HVAC automation",
+                Some("P7D"),
+            ),
+            mk(
+                c.badge_reader,
+                c.person_identity,
+                "access-control",
+                "Credential verifications are recorded for access control",
+                Some("P90D"),
+            ),
+        ]
+    }
+
+    /// The profile matching a device's class, if any.
+    pub fn for_device<'a>(profiles: &'a [MudProfile], device: &SensorDevice) -> Option<&'a MudProfile> {
+        profiles.iter().find(|p| p.sensor_class == device.class)
+    }
+}
+
+/// Instantiates a MUD profile for one deployed device, producing the
+/// advertisement document an IRR can publish without any manual authoring.
+pub fn advertise_device(
+    profile: &MudProfile,
+    device: &SensorDevice,
+    ontology: &Ontology,
+    model: &SpatialModel,
+) -> PolicyDocument {
+    let space = model.space(device.space);
+    let sensor_label = ontology.sensors.concept(device.class).label().to_owned();
+    let data_concept = ontology.data.concept(profile.emits);
+    PolicyDocument {
+        resources: vec![ResourceBlock {
+            info: InfoBlock {
+                name: format!("{} at {}", sensor_label, space.name()),
+                description: Some(format!(
+                    "{} (auto-registered from {} MUD profile)",
+                    profile.purpose_description, profile.manufacturer
+                )),
+            },
+            context: Some(ContextBlock {
+                location: Some(LocationBlock {
+                    spatial: Some(SpatialRef {
+                        name: space.name().to_owned(),
+                        kind: Some(space.kind().to_string()),
+                    }),
+                    location_owner: None,
+                }),
+            }),
+            sensor: Some(SensorBlock {
+                kind: sensor_label,
+                description: Some(format!("subsystem: {}", device.subsystem)),
+            }),
+            purpose: PurposeSection::single(
+                profile.purpose_key.clone(),
+                profile.purpose_description.clone(),
+            ),
+            observations: vec![ObservationBlock {
+                name: data_concept.label().to_owned(),
+                description: None,
+                category: Some(data_concept.key().to_owned()),
+                granularity: None,
+            }],
+            retention: profile.retention.map(|duration| RetentionBlock { duration }),
+            settings: Vec::new(),
+            modality: None,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_policy::is_advertisable;
+    use tippers_sensors::{deploy, DeploymentConfig};
+    use tippers_spatial::fixtures::dbh;
+
+    #[test]
+    fn every_deployed_device_gets_an_advertisable_document() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let registry = deploy(&d, &ont, &DeploymentConfig::default());
+        let profiles = MudProfile::standard_profiles(&ont);
+        let mut covered = 0;
+        for device in registry.iter() {
+            if let Some(profile) = MudProfile::for_device(&profiles, device) {
+                let doc = advertise_device(profile, device, &ont, &d.model);
+                assert!(is_advertisable(&doc), "device {} produced invalid doc", device.id);
+                covered += 1;
+            }
+        }
+        // Everything except the HVAC actuators has a profile.
+        assert!(covered >= registry.len() - 6);
+    }
+
+    #[test]
+    fn advertisement_names_the_space() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let registry = deploy(&d, &ont, &DeploymentConfig::default());
+        let profiles = MudProfile::standard_profiles(&ont);
+        let device = registry.iter().next().unwrap();
+        let profile = MudProfile::for_device(&profiles, device).unwrap();
+        let doc = advertise_device(profile, device, &ont, &d.model);
+        let spatial = doc.resources[0]
+            .context
+            .as_ref()
+            .unwrap()
+            .location
+            .as_ref()
+            .unwrap()
+            .spatial
+            .as_ref()
+            .unwrap();
+        assert_eq!(spatial.name, d.model.space(device.space).name());
+    }
+}

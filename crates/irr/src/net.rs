@@ -1,0 +1,279 @@
+//! A simulated discovery network.
+//!
+//! The paper leaves the IRR transport unspecified ("one or more IoT
+//! Resource Registries"); what matters for the framework is the discovery
+//! *semantics* — vicinity-scoped advertisement with realistic latency and
+//! loss. [`DiscoveryBus`] hosts registries in-process and models both, so
+//! experiment E11 can sweep beacon period and loss rate.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tippers_policy::Timestamp;
+use tippers_spatial::{SpaceId, SpatialModel};
+
+use crate::registry::{Registry, RegistryId, ResourceAdvertisement};
+
+/// Network behaviour parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// Mean one-way latency, milliseconds.
+    pub latency_ms_mean: f64,
+    /// Probability any single message is lost.
+    pub loss_probability: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            latency_ms_mean: 20.0,
+            loss_probability: 0.0,
+            seed: 7,
+        }
+    }
+}
+
+/// A discovery-network failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The message was lost in transit.
+    Lost,
+    /// The addressed registry does not exist.
+    UnknownRegistry(RegistryId),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Lost => f.write_str("message lost"),
+            NetError::UnknownRegistry(id) => write!(f, "unknown registry {id}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Cumulative traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NetStats {
+    /// Messages attempted.
+    pub messages: u64,
+    /// Messages lost.
+    pub lost: u64,
+    /// Sum of simulated latency over delivered messages, milliseconds.
+    pub total_latency_ms: f64,
+}
+
+impl NetStats {
+    /// Mean latency over delivered messages.
+    pub fn mean_latency_ms(&self) -> f64 {
+        let delivered = self.messages - self.lost;
+        if delivered == 0 {
+            0.0
+        } else {
+            self.total_latency_ms / delivered as f64
+        }
+    }
+}
+
+/// The in-process discovery network hosting all registries.
+#[derive(Debug)]
+pub struct DiscoveryBus {
+    config: NetworkConfig,
+    registries: Vec<Registry>,
+    rng: Mutex<StdRng>,
+    stats: Mutex<NetStats>,
+}
+
+impl DiscoveryBus {
+    /// Creates a bus.
+    pub fn new(config: NetworkConfig) -> DiscoveryBus {
+        DiscoveryBus {
+            rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+            config,
+            registries: Vec::new(),
+            stats: Mutex::new(NetStats::default()),
+        }
+    }
+
+    /// Hosts a new registry covering `coverage`, returning its id.
+    pub fn add_registry(&mut self, name: impl Into<String>, coverage: SpaceId) -> RegistryId {
+        let id = RegistryId(self.registries.len() as u32);
+        self.registries.push(Registry::new(id, name, coverage));
+        id
+    }
+
+    /// Direct (non-lossy) access for the publishing BMS, which reaches its
+    /// registries over wired infrastructure.
+    pub fn registry_mut(&mut self, id: RegistryId) -> Option<&mut Registry> {
+        self.registries.get_mut(id.0 as usize)
+    }
+
+    /// Read access to a registry.
+    pub fn registry(&self, id: RegistryId) -> Option<&Registry> {
+        self.registries.get(id.0 as usize)
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> NetStats {
+        *self.stats.lock()
+    }
+
+    /// Simulates one message: returns its latency, or loss.
+    fn transmit(&self) -> Result<f64, NetError> {
+        let mut rng = self.rng.lock();
+        let mut stats = self.stats.lock();
+        stats.messages += 1;
+        if rng.gen::<f64>() < self.config.loss_probability {
+            stats.lost += 1;
+            return Err(NetError::Lost);
+        }
+        // Exponentially distributed latency around the mean.
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        let latency = -self.config.latency_ms_mean * u.ln();
+        stats.total_latency_ms += latency;
+        Ok(latency)
+    }
+
+    /// Discovery (step 5 of Figure 1): which registries cover the space the
+    /// client is standing in? Each responding registry costs one simulated
+    /// broadcast round trip; lost responses hide that registry this round.
+    pub fn discover(
+        &self,
+        model: &SpatialModel,
+        vicinity: SpaceId,
+    ) -> (Vec<RegistryId>, f64) {
+        let mut found = Vec::new();
+        let mut latency = 0.0f64;
+        for r in &self.registries {
+            if r.covers(model, vicinity) {
+                match self.transmit() {
+                    Ok(l) => {
+                        latency = latency.max(l);
+                        found.push(r.id());
+                    }
+                    Err(NetError::Lost) => {}
+                    Err(_) => {}
+                }
+            }
+        }
+        (found, latency)
+    }
+
+    /// Fetches the advertisements near `vicinity` from one registry,
+    /// paying (and reporting) simulated latency.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Lost`] models a dropped response; callers retry on their
+    /// own schedule. [`NetError::UnknownRegistry`] is a client bug.
+    pub fn fetch_near(
+        &self,
+        registry: RegistryId,
+        model: &SpatialModel,
+        vicinity: SpaceId,
+        now: Timestamp,
+    ) -> Result<(Vec<ResourceAdvertisement>, f64), NetError> {
+        let r = self
+            .registry(registry)
+            .ok_or(NetError::UnknownRegistry(registry))?;
+        let request = self.transmit()?;
+        let response = self.transmit()?;
+        let ads = r
+            .advertisements_near(model, vicinity, now)
+            .into_iter()
+            .cloned()
+            .collect();
+        Ok((ads, request + response))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_policy::figures;
+    use tippers_spatial::fixtures::dbh;
+
+    fn bus_with_ad(loss: f64) -> (DiscoveryBus, tippers_spatial::fixtures::Dbh) {
+        let d = dbh();
+        let mut bus = DiscoveryBus::new(NetworkConfig {
+            loss_probability: loss,
+            ..NetworkConfig::default()
+        });
+        let irr = bus.add_registry("DBH IRR", d.building);
+        bus.registry_mut(irr)
+            .unwrap()
+            .publish(
+                figures::fig2_document(),
+                d.building,
+                Timestamp::at(0, 8, 0),
+                86_400,
+            )
+            .unwrap();
+        (bus, d)
+    }
+
+    #[test]
+    fn lossless_discovery_finds_registry() {
+        let (bus, d) = bus_with_ad(0.0);
+        let (found, latency) = bus.discover(&d.model, d.offices[0]);
+        assert_eq!(found.len(), 1);
+        assert!(latency >= 0.0);
+        let (ads, _) = bus
+            .fetch_near(found[0], &d.model, d.offices[0], Timestamp::at(0, 9, 0))
+            .unwrap();
+        assert_eq!(ads.len(), 1);
+    }
+
+    #[test]
+    fn discovery_outside_coverage_finds_nothing() {
+        let (bus, d) = bus_with_ad(0.0);
+        // The campus root is not inside the building's coverage subtree.
+        let (found, _) = bus.discover(&d.model, d.model.root());
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn total_loss_hides_everything() {
+        let (bus, d) = bus_with_ad(1.0);
+        let (found, _) = bus.discover(&d.model, d.offices[0]);
+        assert!(found.is_empty());
+        assert!(bus.stats().lost > 0);
+    }
+
+    #[test]
+    fn partial_loss_eventually_succeeds() {
+        let (bus, d) = bus_with_ad(0.5);
+        let mut successes = 0;
+        for _ in 0..50 {
+            if let Ok((ads, _)) = bus.fetch_near(
+                RegistryId(0),
+                &d.model,
+                d.offices[0],
+                Timestamp::at(0, 9, 0),
+            ) {
+                assert_eq!(ads.len(), 1);
+                successes += 1;
+            }
+        }
+        assert!(successes > 5, "some fetches should survive 50% loss");
+        let stats = bus.stats();
+        assert!(stats.lost > 0);
+        assert!(stats.mean_latency_ms() > 0.0);
+    }
+
+    #[test]
+    fn unknown_registry_is_a_client_bug() {
+        let (bus, d) = bus_with_ad(0.0);
+        assert_eq!(
+            bus.fetch_near(RegistryId(9), &d.model, d.offices[0], Timestamp::at(0, 9, 0))
+                .unwrap_err(),
+            NetError::UnknownRegistry(RegistryId(9))
+        );
+    }
+}

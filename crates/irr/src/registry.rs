@@ -1,0 +1,328 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tippers_policy::{is_advertisable, PolicyDocument, Timestamp};
+use tippers_spatial::{SpaceId, SpatialModel};
+
+/// Identifier of an advertisement within one registry.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct AdvertisementId(pub u64);
+
+impl fmt::Display for AdvertisementId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ad#{}", self.0)
+    }
+}
+
+/// Identifier of a registry on the discovery network.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct RegistryId(pub u32);
+
+impl fmt::Display for RegistryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "irr#{}", self.0)
+    }
+}
+
+/// Errors produced by registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RegistryError {
+    /// The document failed validation and cannot be advertised.
+    NotAdvertisable {
+        /// Human-readable issue summary.
+        issues: String,
+    },
+    /// No advertisement with that id.
+    UnknownAdvertisement(AdvertisementId),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::NotAdvertisable { issues } => {
+                write!(f, "document is not advertisable: {issues}")
+            }
+            RegistryError::UnknownAdvertisement(id) => {
+                write!(f, "unknown advertisement {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A published data-practice advertisement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceAdvertisement {
+    /// Advertisement id (unique within its registry).
+    pub id: AdvertisementId,
+    /// The machine-readable policy being advertised.
+    pub document: PolicyDocument,
+    /// The space the advertised practice pertains to.
+    pub space: SpaceId,
+    /// Publication time.
+    pub published_at: Timestamp,
+    /// Freshness horizon, seconds; stale advertisements are not served.
+    pub ttl_secs: i64,
+    /// Monotonic version, bumped on republish.
+    pub version: u32,
+}
+
+impl ResourceAdvertisement {
+    /// True if the advertisement is still fresh at `now`.
+    pub fn is_fresh(&self, now: Timestamp) -> bool {
+        now - self.published_at <= self.ttl_secs
+    }
+}
+
+/// An IoT Resource Registry: it "broadcast\[s] data collection policies and
+/// sharing practices of the IoT technologies with which users interact"
+/// (§I). One registry covers a space subtree (typically a building).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Registry {
+    id: RegistryId,
+    name: String,
+    coverage: SpaceId,
+    ads: Vec<ResourceAdvertisement>,
+    next_ad: u64,
+}
+
+impl Registry {
+    /// Creates a registry covering `coverage` (and its whole subtree).
+    pub fn new(id: RegistryId, name: impl Into<String>, coverage: SpaceId) -> Registry {
+        Registry {
+            id,
+            name: name.into(),
+            coverage,
+            ads: Vec::new(),
+            next_ad: 0,
+        }
+    }
+
+    /// Registry id.
+    pub fn id(&self) -> RegistryId {
+        self.id
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The subtree this registry covers.
+    pub fn coverage(&self) -> SpaceId {
+        self.coverage
+    }
+
+    /// Number of live advertisements.
+    pub fn len(&self) -> usize {
+        self.ads.len()
+    }
+
+    /// True if nothing is advertised.
+    pub fn is_empty(&self) -> bool {
+        self.ads.is_empty()
+    }
+
+    /// Publishes a document about `space`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegistryError::NotAdvertisable`] if the document fails
+    /// validation — registries refuse documents IoTAs could not interpret.
+    pub fn publish(
+        &mut self,
+        document: PolicyDocument,
+        space: SpaceId,
+        now: Timestamp,
+        ttl_secs: i64,
+    ) -> Result<AdvertisementId, RegistryError> {
+        if !is_advertisable(&document) {
+            let issues = tippers_policy::validate_document(&document)
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(RegistryError::NotAdvertisable { issues });
+        }
+        let id = AdvertisementId(self.next_ad);
+        self.next_ad += 1;
+        self.ads.push(ResourceAdvertisement {
+            id,
+            document,
+            space,
+            published_at: now,
+            ttl_secs,
+            version: 1,
+        });
+        Ok(id)
+    }
+
+    /// Replaces an advertisement's document, bumping its version and
+    /// refreshing its publication time.
+    pub fn republish(
+        &mut self,
+        id: AdvertisementId,
+        document: PolicyDocument,
+        now: Timestamp,
+    ) -> Result<u32, RegistryError> {
+        if !is_advertisable(&document) {
+            return Err(RegistryError::NotAdvertisable {
+                issues: "validation failed".to_owned(),
+            });
+        }
+        let ad = self
+            .ads
+            .iter_mut()
+            .find(|a| a.id == id)
+            .ok_or(RegistryError::UnknownAdvertisement(id))?;
+        ad.document = document;
+        ad.published_at = now;
+        ad.version += 1;
+        Ok(ad.version)
+    }
+
+    /// Withdraws an advertisement.
+    pub fn withdraw(&mut self, id: AdvertisementId) -> Result<(), RegistryError> {
+        let before = self.ads.len();
+        self.ads.retain(|a| a.id != id);
+        if self.ads.len() == before {
+            Err(RegistryError::UnknownAdvertisement(id))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// All fresh advertisements.
+    pub fn advertisements(&self, now: Timestamp) -> Vec<&ResourceAdvertisement> {
+        self.ads.iter().filter(|a| a.is_fresh(now)).collect()
+    }
+
+    /// Fresh advertisements relevant to a user standing in `vicinity`:
+    /// those whose subject space contains the user, is contained by the
+    /// user's current space, or shares a floor with it — the paper's
+    /// "resources close to her location" (step 5 of Figure 1).
+    pub fn advertisements_near(
+        &self,
+        model: &SpatialModel,
+        vicinity: SpaceId,
+        now: Timestamp,
+    ) -> Vec<&ResourceAdvertisement> {
+        self.ads
+            .iter()
+            .filter(|a| a.is_fresh(now))
+            .filter(|a| {
+                model.overlap(a.space, vicinity)
+                    || (model.floor_of(a.space).is_some()
+                        && model.floor_of(a.space) == model.floor_of(vicinity))
+            })
+            .collect()
+    }
+
+    /// True if this registry is responsible for a space.
+    pub fn covers(&self, model: &SpatialModel, space: SpaceId) -> bool {
+        model.contains(self.coverage, space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_policy::figures;
+    use tippers_spatial::fixtures::dbh;
+
+    #[test]
+    fn publish_and_query_near() {
+        let d = dbh();
+        let mut reg = Registry::new(RegistryId(0), "DBH IRR", d.building);
+        let now = Timestamp::at(0, 9, 0);
+        let ad = reg
+            .publish(figures::fig2_document(), d.building, now, 3600)
+            .unwrap();
+        // A user in any office sees the building-wide advertisement.
+        let near = reg.advertisements_near(&d.model, d.offices[0], now);
+        assert_eq!(near.len(), 1);
+        assert_eq!(near[0].id, ad);
+    }
+
+    #[test]
+    fn floor_scoped_ads_do_not_leak_across_floors() {
+        let d = dbh();
+        let mut reg = Registry::new(RegistryId(0), "DBH IRR", d.building);
+        let now = Timestamp::at(0, 9, 0);
+        reg.publish(figures::fig2_document(), d.floors[2], now, 3600)
+            .unwrap();
+        let floor2_office = d
+            .offices
+            .iter()
+            .find(|&&o| d.model.floor_of(o) == Some(d.floors[2]))
+            .copied()
+            .unwrap();
+        let floor0_office = d
+            .offices
+            .iter()
+            .find(|&&o| d.model.floor_of(o) == Some(d.floors[0]))
+            .copied()
+            .unwrap();
+        assert_eq!(reg.advertisements_near(&d.model, floor2_office, now).len(), 1);
+        assert_eq!(reg.advertisements_near(&d.model, floor0_office, now).len(), 0);
+    }
+
+    #[test]
+    fn invalid_documents_are_refused() {
+        let d = dbh();
+        let mut reg = Registry::new(RegistryId(0), "DBH IRR", d.building);
+        let err = reg
+            .publish(PolicyDocument::default(), d.building, Timestamp::at(0, 0, 0), 60)
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::NotAdvertisable { .. }));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn stale_ads_are_hidden() {
+        let d = dbh();
+        let mut reg = Registry::new(RegistryId(0), "DBH IRR", d.building);
+        let t0 = Timestamp::at(0, 9, 0);
+        reg.publish(figures::fig2_document(), d.building, t0, 600)
+            .unwrap();
+        assert_eq!(reg.advertisements(t0 + 599).len(), 1);
+        assert_eq!(reg.advertisements(t0 + 601).len(), 0);
+    }
+
+    #[test]
+    fn republish_bumps_version_and_freshness() {
+        let d = dbh();
+        let mut reg = Registry::new(RegistryId(0), "DBH IRR", d.building);
+        let t0 = Timestamp::at(0, 9, 0);
+        let ad = reg
+            .publish(figures::fig2_document(), d.building, t0, 600)
+            .unwrap();
+        let v = reg
+            .republish(ad, figures::fig2_document(), t0 + 1200)
+            .unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(reg.advertisements(t0 + 1500).len(), 1);
+    }
+
+    #[test]
+    fn withdraw_removes() {
+        let d = dbh();
+        let mut reg = Registry::new(RegistryId(0), "DBH IRR", d.building);
+        let t0 = Timestamp::at(0, 9, 0);
+        let ad = reg
+            .publish(figures::fig2_document(), d.building, t0, 600)
+            .unwrap();
+        reg.withdraw(ad).unwrap();
+        assert!(reg.is_empty());
+        assert_eq!(
+            reg.withdraw(ad),
+            Err(RegistryError::UnknownAdvertisement(ad))
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for registries and the discovery network.
+
+use proptest::prelude::*;
+use tippers_irr::{DiscoveryBus, NetworkConfig, Registry, RegistryId};
+use tippers_policy::{figures, PolicyDocument, Timestamp};
+use tippers_spatial::fixtures::dbh;
+
+fn doc() -> PolicyDocument {
+    figures::fig2_document()
+}
+
+proptest! {
+    /// Freshness is exact: an advertisement is served iff `now` is within
+    /// its TTL of publication.
+    #[test]
+    fn freshness_is_exact(ttl in 1i64..100_000, probe in 0i64..200_000) {
+        let building = dbh();
+        let mut registry = Registry::new(RegistryId(0), "irr", building.building);
+        let t0 = Timestamp::at(0, 0, 0);
+        registry.publish(doc(), building.building, t0, ttl).unwrap();
+        let now = Timestamp(probe);
+        let served = registry.advertisements(now).len();
+        prop_assert_eq!(served == 1, probe <= ttl, "ttl={} probe={}", ttl, probe);
+    }
+
+    /// Vicinity results are always a subset of all fresh advertisements,
+    /// and a building-wide advertisement is visible from every space in
+    /// the building.
+    #[test]
+    fn vicinity_subset(space_idx in 0usize..200) {
+        let building = dbh();
+        let mut registry = Registry::new(RegistryId(0), "irr", building.building);
+        let t0 = Timestamp::at(0, 0, 0);
+        registry.publish(doc(), building.building, t0, 3600).unwrap();
+        registry.publish(doc(), building.floors[2], t0, 3600).unwrap();
+        let spaces: Vec<_> = building.model.iter().map(|s| s.id()).collect();
+        let probe = spaces[space_idx % spaces.len()];
+        let near = registry.advertisements_near(&building.model, probe, t0);
+        let all = registry.advertisements(t0);
+        prop_assert!(near.len() <= all.len());
+        if building.model.contains(building.building, probe) {
+            prop_assert!(
+                near.iter().any(|a| a.space == building.building),
+                "building-wide ad invisible from {}", probe
+            );
+        }
+    }
+
+    /// Network loss never corrupts: every successful fetch returns the
+    /// complete advertisement set, regardless of loss probability.
+    #[test]
+    fn loss_is_fail_stop(loss in 0.0f64..1.0, attempts in 1usize..40) {
+        let building = dbh();
+        let mut bus = DiscoveryBus::new(NetworkConfig {
+            loss_probability: loss,
+            seed: 42,
+            ..NetworkConfig::default()
+        });
+        let irr = bus.add_registry("irr", building.building);
+        bus.registry_mut(irr)
+            .unwrap()
+            .publish(doc(), building.building, Timestamp::at(0, 0, 0), 86_400)
+            .unwrap();
+        for _ in 0..attempts {
+            if let Ok((ads, latency)) = bus.fetch_near(
+                irr,
+                &building.model,
+                building.offices[0],
+                Timestamp::at(0, 1, 0),
+            ) {
+                prop_assert_eq!(ads.len(), 1);
+                prop_assert!(latency >= 0.0);
+            }
+        }
+        let stats = bus.stats();
+        prop_assert!(stats.lost <= stats.messages);
+    }
+
+    /// Withdraw + republish version discipline: versions grow
+    /// monotonically and withdrawn ads never come back.
+    #[test]
+    fn version_monotonic(republshes in 1usize..8) {
+        let building = dbh();
+        let mut registry = Registry::new(RegistryId(0), "irr", building.building);
+        let t0 = Timestamp::at(0, 0, 0);
+        let id = registry.publish(doc(), building.building, t0, 3600).unwrap();
+        let mut last = 1u32;
+        for i in 0..republshes {
+            let v = registry
+                .republish(id, doc(), t0 + (i as i64 + 1) * 60)
+                .unwrap();
+            prop_assert!(v > last);
+            last = v;
+        }
+        registry.withdraw(id).unwrap();
+        prop_assert!(registry.advertisements(t0 + 60).is_empty());
+        prop_assert!(registry.republish(id, doc(), t0).is_err());
+    }
+}

@@ -1,0 +1,235 @@
+use serde::{Deserialize, Serialize};
+
+use crate::taxonomy::{ConceptId, Taxonomy};
+
+/// A forward-chaining rule: if all `premises` (data categories) are
+/// available, then `conclusion` becomes inferable with `confidence`.
+///
+/// Rules encode the paper's §II.A threat chain, e.g. *WiFi association logs*
+/// ⇒ *real-time location*; *real-time location over time* ⇒ *working
+/// pattern* ⇒ *occupant role* ⇒ (with public schedules) *identity*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceRule {
+    /// Human-readable rule name.
+    pub name: String,
+    /// Data categories that must all be available.
+    pub premises: Vec<ConceptId>,
+    /// The category that becomes inferable.
+    pub conclusion: ConceptId,
+    /// Confidence multiplier in `(0, 1]`.
+    pub confidence: f64,
+}
+
+impl InferenceRule {
+    /// Creates a rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `confidence` is not in `(0, 1]` or `premises` is empty.
+    pub fn new(
+        name: impl Into<String>,
+        premises: Vec<ConceptId>,
+        conclusion: ConceptId,
+        confidence: f64,
+    ) -> Self {
+        assert!(
+            confidence > 0.0 && confidence <= 1.0,
+            "confidence must be in (0, 1]"
+        );
+        assert!(!premises.is_empty(), "rules need at least one premise");
+        InferenceRule {
+            name: name.into(),
+            premises,
+            conclusion,
+            confidence,
+        }
+    }
+}
+
+/// A derived fact: `concept` is inferable with `confidence` through `via`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Inference {
+    /// The inferable data category.
+    pub concept: ConceptId,
+    /// Best confidence over all derivations (product along a chain).
+    pub confidence: f64,
+    /// Names of rules on the best derivation chain, in firing order.
+    pub via: Vec<String>,
+}
+
+/// Forward-chaining engine over a data-category taxonomy.
+///
+/// A premise is satisfied by any available concept that `is_a` the premise
+/// (subsumption-aware matching), so a rule over `data/location` fires when
+/// `data/location/room-level` is available.
+#[derive(Debug, Clone)]
+pub struct InferenceEngine<'a> {
+    taxonomy: &'a Taxonomy,
+    rules: &'a [InferenceRule],
+}
+
+impl<'a> InferenceEngine<'a> {
+    /// Creates an engine over a taxonomy and rule base.
+    pub fn new(taxonomy: &'a Taxonomy, rules: &'a [InferenceRule]) -> Self {
+        InferenceEngine { taxonomy, rules }
+    }
+
+    /// The rules this engine chains over.
+    pub fn rules(&self) -> &[InferenceRule] {
+        self.rules
+    }
+
+    /// Computes everything inferable from the given collected categories.
+    ///
+    /// Returns only *derived* facts (not the inputs), each with the highest
+    /// confidence over all derivation chains. Runs to fixpoint, so chained
+    /// rules (location ⇒ pattern ⇒ role) all fire.
+    pub fn closure(&self, collected: &[ConceptId]) -> Vec<Inference> {
+        // confidence per concept: inputs start at 1.0.
+        let mut conf: Vec<f64> = vec![0.0; self.taxonomy.len()];
+        let mut via: Vec<Vec<String>> = vec![Vec::new(); self.taxonomy.len()];
+        for &c in collected {
+            conf[c.index()] = 1.0;
+        }
+        loop {
+            let mut changed = false;
+            for rule in self.rules {
+                // A premise is satisfied by any held concept subsumed by it.
+                let mut rule_conf = rule.confidence;
+                let mut chain: Vec<String> = Vec::new();
+                let mut ok = true;
+                for &prem in &rule.premises {
+                    let best = (0..self.taxonomy.len())
+                        .filter(|&i| conf[i] > 0.0)
+                        .filter(|&i| self.taxonomy.is_a(ConceptId(i as u32), prem))
+                        .map(|i| (conf[i], i))
+                        .max_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+                    match best {
+                        Some((c, i)) => {
+                            rule_conf *= c;
+                            for v in &via[i] {
+                                if !chain.contains(v) {
+                                    chain.push(v.clone());
+                                }
+                            }
+                        }
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let idx = rule.conclusion.index();
+                if rule_conf > conf[idx] + 1e-12 {
+                    conf[idx] = rule_conf;
+                    chain.push(rule.name.clone());
+                    via[idx] = chain;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let inputs: Vec<usize> = collected.iter().map(|c| c.index()).collect();
+        (0..self.taxonomy.len())
+            .filter(|i| conf[*i] > 0.0 && !inputs.contains(i))
+            .map(|i| Inference {
+                concept: ConceptId(i as u32),
+                confidence: conf[i],
+                via: via[i].clone(),
+            })
+            .collect()
+    }
+
+    /// True if `target` (or any sub-concept of it) is inferable from
+    /// `collected`.
+    pub fn can_infer(&self, collected: &[ConceptId], target: ConceptId) -> bool {
+        self.closure(collected)
+            .iter()
+            .any(|i| self.taxonomy.is_a(i.concept, target))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Taxonomy, Vec<InferenceRule>, ConceptId, ConceptId, ConceptId, ConceptId) {
+        let mut t = Taxonomy::new();
+        let data = t.add_root("data", "Data");
+        let wifi = t.add("wifi", "WiFi logs", data);
+        let loc = t.add("loc", "Location", data);
+        let fine = t.add("loc/fine", "Fine location", loc);
+        let role = t.add("role", "Role", data);
+        let rules = vec![
+            InferenceRule::new("wifi->fine-loc", vec![wifi], fine, 0.9),
+            InferenceRule::new("loc->role", vec![loc], role, 0.8),
+        ];
+        (t, rules, wifi, loc, fine, role)
+    }
+
+    #[test]
+    fn closure_chains_rules() {
+        let (t, rules, wifi, _loc, fine, role) = setup();
+        let eng = InferenceEngine::new(&t, &rules);
+        let out = eng.closure(&[wifi]);
+        let get = |c: ConceptId| out.iter().find(|i| i.concept == c).cloned();
+        let fine_inf = get(fine).expect("fine location inferable");
+        assert!((fine_inf.confidence - 0.9).abs() < 1e-9);
+        // role fires from fine (is_a loc) with 0.9 * 0.8.
+        let role_inf = get(role).expect("role inferable");
+        assert!((role_inf.confidence - 0.72).abs() < 1e-9);
+        assert_eq!(role_inf.via, vec!["wifi->fine-loc", "loc->role"]);
+    }
+
+    #[test]
+    fn subsumption_satisfies_premise() {
+        let (t, rules, _wifi, _loc, fine, role) = setup();
+        let eng = InferenceEngine::new(&t, &rules);
+        // Holding fine location directly triggers the `loc` premise.
+        let out = eng.closure(&[fine]);
+        assert!(out.iter().any(|i| i.concept == role));
+    }
+
+    #[test]
+    fn nothing_inferable_from_unrelated_data() {
+        let (mut t, rules, _, _, _, _) = setup();
+        let temp = t.add("temp", "Temperature", t.id("data").unwrap());
+        let eng = InferenceEngine::new(&t, &rules);
+        assert!(eng.closure(&[temp]).is_empty());
+    }
+
+    #[test]
+    fn can_infer_respects_subsumption_of_target() {
+        let (t, rules, wifi, loc, _, _) = setup();
+        let eng = InferenceEngine::new(&t, &rules);
+        // fine location is inferable, and fine is_a loc, so loc is inferable.
+        assert!(eng.can_infer(&[wifi], loc));
+    }
+
+    #[test]
+    fn multi_premise_rules_need_all() {
+        let (mut t, _, wifi, _loc, _fine, role) = setup();
+        let sched = t.add("sched", "Public schedule", t.id("data").unwrap());
+        let ident = t.add("identity", "Identity", t.id("data").unwrap());
+        let rules = vec![
+            InferenceRule::new("wifi->role", vec![wifi], role, 0.8),
+            InferenceRule::new("role+sched->identity", vec![role, sched], ident, 0.9),
+        ];
+        let eng = InferenceEngine::new(&t, &rules);
+        assert!(!eng.can_infer(&[wifi], ident));
+        assert!(eng.can_infer(&[wifi, sched], ident));
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn zero_confidence_rejected() {
+        let mut t = Taxonomy::new();
+        let a = t.add_root("a", "A");
+        let _ = InferenceRule::new("bad", vec![a], a, 0.0);
+    }
+}

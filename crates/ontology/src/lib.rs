@@ -1,0 +1,45 @@
+//! Lightweight concept taxonomies and inference reasoning.
+//!
+//! The paper types sensors and subsystems "using the haystack ontology and
+//! Semantic Sensor Network ontology" (§IV.A.3), is "working on a taxonomy to
+//! model purpose" (§IV.B.3), and wants policies to state not just the data
+//! *collected* but the data that can be *inferred* from it (§IV.B.2).
+//!
+//! Rather than a full OWL stack, this crate provides what those uses
+//! actually require:
+//!
+//! * [`Taxonomy`] — a multi-parent concept DAG with subsumption
+//!   ([`Taxonomy::is_a`]), ancestor/descendant queries, and stable string
+//!   keys for serialization.
+//! * [`Ontology`] — the three standard taxonomies used throughout the
+//!   framework (sensor classes, data categories, purposes) plus a rule base.
+//! * [`InferenceEngine`] — forward-chaining closure over
+//!   [`InferenceRule`]s: given the data categories a building collects,
+//!   which higher-level facts become inferable, and with what confidence
+//!   (the paper's WiFi-log → occupancy → working-pattern example).
+//!
+//! # Examples
+//!
+//! ```
+//! use tippers_ontology::Ontology;
+//!
+//! let ont = Ontology::standard();
+//! let wifi = ont.data.id("data/network/wifi-association").unwrap();
+//! let loc = ont.data.id("data/location").unwrap();
+//! // WiFi association events are a kind of network metadata, not location...
+//! assert!(!ont.data.is_a(wifi, loc));
+//! // ...but location is inferable from them.
+//! let inferred = ont.inference().closure(&[wifi]);
+//! assert!(inferred.iter().any(|i| ont.data.is_a(i.concept, loc)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod inference;
+mod standard;
+mod taxonomy;
+
+pub use inference::{Inference, InferenceEngine, InferenceRule};
+pub use standard::{Ontology, StandardConcepts};
+pub use taxonomy::{Concept, ConceptId, Taxonomy, TaxonomyError};

@@ -1,0 +1,445 @@
+use serde::{Deserialize, Serialize};
+
+use crate::inference::{InferenceEngine, InferenceRule};
+use crate::taxonomy::{ConceptId, Taxonomy};
+
+/// Frequently used concept ids of the [`Ontology::standard`] vocabulary,
+/// resolved once so call sites don't repeat string lookups.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct StandardConcepts {
+    // --- sensor classes ---
+    /// Root of the sensor taxonomy.
+    pub sensor: ConceptId,
+    /// WiFi access point.
+    pub wifi_ap: ConceptId,
+    /// Bluetooth Low Energy beacon.
+    pub ble_beacon: ConceptId,
+    /// Surveillance camera.
+    pub camera: ConceptId,
+    /// Power outlet meter.
+    pub power_meter: ConceptId,
+    /// Temperature sensor.
+    pub temperature_sensor: ConceptId,
+    /// Motion / presence sensor.
+    pub motion_sensor: ConceptId,
+    /// Badge (ID card) reader.
+    pub badge_reader: ConceptId,
+    /// Fingerprint reader.
+    pub fingerprint_reader: ConceptId,
+    /// HVAC actuator (thermostat/fan).
+    pub hvac: ConceptId,
+
+    // --- data categories ---
+    /// Root of the data taxonomy.
+    pub data: ConceptId,
+    /// WiFi association events (MAC, AP, timestamp) — Figure 2's observation.
+    pub wifi_association: ConceptId,
+    /// BLE beacon sightings.
+    pub bluetooth_sighting: ConceptId,
+    /// Any location data.
+    pub location: ConceptId,
+    /// Fine-grained (in-room point) location.
+    pub location_fine: ConceptId,
+    /// Room-level location.
+    pub location_room: ConceptId,
+    /// Coarse (floor/building) location.
+    pub location_coarse: ConceptId,
+    /// Room-occupancy status (Preference 1 suppresses this after-hours).
+    pub occupancy: ConceptId,
+    /// Camera imagery.
+    pub image: ConceptId,
+    /// Power consumption readings.
+    pub power_consumption: ConceptId,
+    /// Ambient temperature readings.
+    pub ambient_temperature: ConceptId,
+    /// Device MAC addresses.
+    pub device_mac: ConceptId,
+    /// Personal identity.
+    pub person_identity: ConceptId,
+    /// Daily working pattern.
+    pub working_pattern: ConceptId,
+    /// Occupant role (staff / grad / undergrad).
+    pub occupant_role: ConceptId,
+    /// Social ties (with whom time is spent).
+    pub social_ties: ConceptId,
+    /// Health status.
+    pub health: ConceptId,
+    /// Public schedules (background knowledge in the §II.A attack).
+    pub public_schedule: ConceptId,
+    /// Event details (Policy 4 gates these by proximity).
+    pub event_details: ConceptId,
+    /// Meeting details and participants (Preference 4).
+    pub meeting_details: ConceptId,
+
+    // --- purposes ---
+    /// Root of the purpose taxonomy.
+    pub purpose: ConceptId,
+    /// Emergency response (Policy 2's purpose).
+    pub emergency_response: ConceptId,
+    /// Security surveillance.
+    pub surveillance: ConceptId,
+    /// Access control (Policy 3).
+    pub access_control: ConceptId,
+    /// Sharing with law enforcement (§IV.B.3).
+    pub law_enforcement: ConceptId,
+    /// HVAC / comfort automation (Policy 1).
+    pub comfort: ConceptId,
+    /// Energy management.
+    pub energy_management: ConceptId,
+    /// Connectivity logging (the WiFi log's "straightforward" purpose).
+    pub logging: ConceptId,
+    /// Providing a building service (Figure 3's `providing_service`).
+    pub providing_service: ConceptId,
+    /// Indoor navigation / directions (Concierge).
+    pub navigation: ConceptId,
+    /// Meeting scheduling (Smart Meeting).
+    pub scheduling: ConceptId,
+    /// Third-party delivery.
+    pub delivery: ConceptId,
+    /// Event coordination (Policy 4).
+    pub event_coordination: ConceptId,
+    /// Space-utilization analytics.
+    pub analytics: ConceptId,
+    /// Marketing / third-party monetization.
+    pub marketing: ConceptId,
+}
+
+/// The standard vocabulary: sensor, data, and purpose taxonomies plus the
+/// inference rule base that encodes the paper's §II.A threat chain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ontology {
+    /// Sensor classes (SSN/Haystack-flavoured).
+    pub sensors: Taxonomy,
+    /// Data categories (collected and inferable).
+    pub data: Taxonomy,
+    /// Purpose taxonomy (§IV.B.3).
+    pub purposes: Taxonomy,
+    rules: Vec<InferenceRule>,
+    concepts: StandardConcepts,
+    /// Memoized single-source inference closures (hot path of policy
+    /// matching); rebuilt lazily after deserialization or rule changes.
+    #[serde(skip)]
+    closure_cache: std::sync::OnceLock<Vec<Vec<crate::inference::Inference>>>,
+}
+
+impl Ontology {
+    /// Builds the standard vocabulary.
+    pub fn standard() -> Self {
+        let mut sensors = Taxonomy::new();
+        let sensor = sensors.add_root("sensor", "Sensor");
+        let net = sensors.add("sensor/network", "Network equipment", sensor);
+        let wifi_ap = sensors.add("sensor/network/wifi-ap", "WiFi access point", net);
+        let ble_beacon = sensors.add("sensor/network/ble-beacon", "Bluetooth beacon", net);
+        let av = sensors.add("sensor/av", "Audio/visual", sensor);
+        let camera = sensors.add("sensor/av/camera", "Surveillance camera", av);
+        let energy = sensors.add("sensor/energy", "Energy", sensor);
+        let power_meter = sensors.add("sensor/energy/power-meter", "Power outlet meter", energy);
+        let env = sensors.add("sensor/environment", "Environmental", sensor);
+        let temperature_sensor =
+            sensors.add("sensor/environment/temperature", "Temperature sensor", env);
+        let presence = sensors.add("sensor/presence", "Presence", sensor);
+        let motion_sensor = sensors.add("sensor/presence/motion", "Motion sensor", presence);
+        let badge_reader = sensors.add("sensor/presence/badge-reader", "Badge reader", presence);
+        let fingerprint_reader = sensors.add(
+            "sensor/presence/fingerprint-reader",
+            "Fingerprint reader",
+            presence,
+        );
+        let actuator = sensors.add("sensor/actuator", "Actuator", sensor);
+        let hvac = sensors.add("sensor/actuator/hvac", "HVAC unit", actuator);
+
+        let mut data = Taxonomy::new();
+        let d = data.add_root("data", "Data");
+        let network = data.add("data/network", "Network metadata", d);
+        let wifi_association =
+            data.add("data/network/wifi-association", "WiFi association events", network);
+        let bluetooth_sighting =
+            data.add("data/network/bluetooth-sighting", "Bluetooth sightings", network);
+        let location = data.add("data/location", "Location", d);
+        let location_fine = data.add("data/location/fine", "Fine-grained location", location);
+        let location_room = data.add("data/location/room-level", "Room-level location", location);
+        let location_coarse = data.add("data/location/coarse", "Coarse location", location);
+        let presence_d = data.add("data/presence", "Presence", d);
+        let occupancy = data.add("data/presence/occupancy", "Room occupancy", presence_d);
+        let media = data.add("data/media", "Media", d);
+        let image = data.add("data/media/image", "Camera imagery", media);
+        let energy_d = data.add("data/energy", "Energy", d);
+        let power_consumption =
+            data.add("data/energy/power-consumption", "Power consumption", energy_d);
+        let env_d = data.add("data/environment", "Environment", d);
+        let ambient_temperature =
+            data.add("data/environment/temperature", "Ambient temperature", env_d);
+        let identity = data.add("data/identity", "Identity", d);
+        let device_mac = data.add("data/identity/device-mac", "Device MAC address", identity);
+        let person_identity = data.add("data/identity/person", "Personal identity", identity);
+        let behavior = data.add("data/behavior", "Behaviour", d);
+        let working_pattern =
+            data.add("data/behavior/working-pattern", "Working pattern", behavior);
+        let occupant_role = data.add("data/behavior/role", "Occupant role", behavior);
+        let social_ties = data.add("data/behavior/social", "Social ties", behavior);
+        let health = data.add("data/health", "Health status", d);
+        let public_schedule = data.add("data/schedule", "Public schedule", d);
+        let event_details = data.add("data/event", "Event details", d);
+        let meeting_details = data.add("data/meeting", "Meeting details", d);
+
+        let mut purposes = Taxonomy::new();
+        let purpose = purposes.add_root("purpose", "Purpose");
+        let safety = purposes.add("purpose/safety", "Safety", purpose);
+        let emergency_response =
+            purposes.add("purpose/safety/emergency-response", "Emergency response", safety);
+        let security = purposes.add("purpose/security", "Security", purpose);
+        let surveillance = purposes.add("purpose/security/surveillance", "Surveillance", security);
+        let access_control =
+            purposes.add("purpose/security/access-control", "Access control", security);
+        let law_enforcement = purposes.add(
+            "purpose/security/law-enforcement",
+            "Law-enforcement sharing",
+            security,
+        );
+        let operations = purposes.add("purpose/operations", "Building operations", purpose);
+        let comfort = purposes.add("purpose/operations/comfort", "Comfort / HVAC", operations);
+        let energy_management =
+            purposes.add("purpose/operations/energy", "Energy management", operations);
+        let logging = purposes.add("purpose/operations/logging", "Connectivity logging", operations);
+        let services = purposes.add("purpose/services", "Building services", purpose);
+        let providing_service =
+            purposes.add("purpose/services/providing-service", "Providing a service", services);
+        let navigation =
+            purposes.add("purpose/services/navigation", "Navigation / directions", providing_service);
+        let scheduling =
+            purposes.add("purpose/services/scheduling", "Meeting scheduling", providing_service);
+        let delivery =
+            purposes.add("purpose/services/delivery", "Delivery", providing_service);
+        let event_coordination =
+            purposes.add("purpose/services/events", "Event coordination", providing_service);
+        let analytics = purposes.add("purpose/analytics", "Analytics", purpose);
+        let marketing = purposes.add("purpose/marketing", "Marketing", purpose);
+
+        let rules = vec![
+            // §II.A: "Using background knowledge (e.g., the location of the
+            // AP) it is possible to infer the real-time location of a user."
+            InferenceRule::new("ap-location", vec![wifi_association], location_room, 0.90),
+            InferenceRule::new("beacon-location", vec![bluetooth_sighting], location_room, 0.95),
+            InferenceRule::new("mac-from-wifi", vec![wifi_association], device_mac, 1.0),
+            InferenceRule::new("camera-occupancy", vec![image], occupancy, 0.95),
+            InferenceRule::new("camera-identity", vec![image], person_identity, 0.70),
+            InferenceRule::new("location-occupancy", vec![location], occupancy, 0.90),
+            // §III.B: occupancy over time reveals "the occupant's working pattern".
+            InferenceRule::new("occupancy-pattern", vec![occupancy], working_pattern, 0.80),
+            // §II.A: "simple heuristics (non-faculty staff arrive at 7am…)"
+            InferenceRule::new("pattern-role", vec![working_pattern], occupant_role, 0.70),
+            // §II.A: "integrating this with publicly available information…
+            // it would be possible to identify individuals."
+            InferenceRule::new(
+                "role+schedule-identity",
+                vec![occupant_role, public_schedule],
+                person_identity,
+                0.85,
+            ),
+            // Refs [1], [2]: electrical events reveal presence and activities.
+            InferenceRule::new("power-occupancy", vec![power_consumption], occupancy, 0.75),
+            InferenceRule::new(
+                "colocation-social",
+                vec![location, person_identity],
+                social_ties,
+                0.65,
+            ),
+        ];
+
+        let concepts = StandardConcepts {
+            sensor,
+            wifi_ap,
+            ble_beacon,
+            camera,
+            power_meter,
+            temperature_sensor,
+            motion_sensor,
+            badge_reader,
+            fingerprint_reader,
+            hvac,
+            data: d,
+            wifi_association,
+            bluetooth_sighting,
+            location,
+            location_fine,
+            location_room,
+            location_coarse,
+            occupancy,
+            image,
+            power_consumption,
+            ambient_temperature,
+            device_mac,
+            person_identity,
+            working_pattern,
+            occupant_role,
+            social_ties,
+            health,
+            public_schedule,
+            event_details,
+            meeting_details,
+            purpose,
+            emergency_response,
+            surveillance,
+            access_control,
+            law_enforcement,
+            comfort,
+            energy_management,
+            logging,
+            providing_service,
+            navigation,
+            scheduling,
+            delivery,
+            event_coordination,
+            analytics,
+            marketing,
+        };
+
+        Ontology {
+            sensors,
+            data,
+            purposes,
+            rules,
+            concepts,
+            closure_cache: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Resolved ids of the standard concepts.
+    pub fn concepts(&self) -> &StandardConcepts {
+        &self.concepts
+    }
+
+    /// The inference rule base.
+    pub fn rules(&self) -> &[InferenceRule] {
+        &self.rules
+    }
+
+    /// Adds a custom inference rule (building-specific background knowledge).
+    pub fn add_rule(&mut self, rule: InferenceRule) {
+        self.rules.push(rule);
+        self.closure_cache = std::sync::OnceLock::new();
+    }
+
+    /// An inference engine over the data taxonomy and rule base.
+    pub fn inference(&self) -> InferenceEngine<'_> {
+        InferenceEngine::new(&self.data, &self.rules)
+    }
+
+    fn closures(&self) -> &Vec<Vec<crate::inference::Inference>> {
+        self.closure_cache.get_or_init(|| {
+            let engine = self.inference();
+            (0..self.data.len())
+                .map(|i| engine.closure(&[crate::ConceptId(i as u32)]))
+                .collect()
+        })
+    }
+
+    /// Everything inferable from a single collected category (memoized).
+    pub fn inferable_from(&self, source: crate::ConceptId) -> &[crate::inference::Inference] {
+        &self.closures()[source.index()]
+    }
+
+    /// True if `target` (or a sub-concept) is inferable from `source`
+    /// alone — the memoized fast path of policy/preference matching.
+    pub fn can_infer_from(&self, source: crate::ConceptId, target: crate::ConceptId) -> bool {
+        self.inferable_from(source)
+            .iter()
+            .any(|i| self.data.is_a(i.concept, target))
+    }
+}
+
+impl Default for Ontology {
+    fn default() -> Self {
+        Ontology::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_vocabulary_is_consistent() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        assert!(ont.data.is_a(c.wifi_association, c.data));
+        assert!(ont.data.is_a(c.location_fine, c.location));
+        assert!(ont.purposes.is_a(c.emergency_response, c.purpose));
+        assert!(ont.sensors.is_a(c.camera, c.sensor));
+        // navigation is a kind of providing a service.
+        assert!(ont.purposes.is_a(c.navigation, c.providing_service));
+    }
+
+    #[test]
+    fn wifi_logs_leak_identity_with_schedules() {
+        // The full §II.A chain: wifi → location → occupancy → pattern →
+        // role, + public schedule → identity.
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let eng = ont.inference();
+        assert!(eng.can_infer(&[c.wifi_association, c.public_schedule], c.person_identity));
+        // Without schedules, identity is not inferable from wifi alone.
+        assert!(!eng.can_infer(&[c.wifi_association], c.person_identity));
+    }
+
+    #[test]
+    fn power_metering_reveals_occupancy() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        assert!(ont.inference().can_infer(&[c.power_consumption], c.occupancy));
+    }
+
+    #[test]
+    fn camera_reveals_identity_directly() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        assert!(ont.inference().can_infer(&[c.image], c.person_identity));
+    }
+
+    #[test]
+    fn temperature_reveals_nothing_personal() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let eng = ont.inference();
+        assert!(!eng.can_infer(&[c.ambient_temperature], c.occupancy));
+        assert!(!eng.can_infer(&[c.ambient_temperature], c.person_identity));
+    }
+
+    #[test]
+    fn confidence_decays_along_chain() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let out = ont.inference().closure(&[c.wifi_association]);
+        let conf = |id| {
+            out.iter()
+                .find(|i| i.concept == id)
+                .map(|i| i.confidence)
+                .unwrap_or(0.0)
+        };
+        assert!(conf(c.location_room) > conf(c.occupancy));
+        assert!(conf(c.occupancy) > conf(c.working_pattern));
+        assert!(conf(c.working_pattern) > conf(c.occupant_role));
+    }
+
+    #[test]
+    fn custom_rules_extend_the_base() {
+        let mut ont = Ontology::standard();
+        let c = ont.concepts().clone();
+        ont.add_rule(InferenceRule::new(
+            "occupancy-health",
+            vec![c.occupancy],
+            c.health,
+            0.3,
+        ));
+        assert!(ont.inference().can_infer(&[c.wifi_association], c.health));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ont = Ontology::standard();
+        let json = serde_json::to_string(&ont.data).unwrap();
+        let back: Taxonomy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), ont.data.len());
+    }
+}

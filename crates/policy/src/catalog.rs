@@ -1,0 +1,359 @@
+//! The paper's worked examples, pre-built: Policies 1–4 (§III.A) and
+//! Preferences 1–4 (§III.B).
+//!
+//! Tests, examples and benchmarks all construct these through this module
+//! so the whole repository agrees on their semantics.
+
+use tippers_ontology::Ontology;
+use tippers_spatial::{Granularity, SpaceId};
+
+use crate::condition::Condition;
+use crate::ids::{PolicyId, PreferenceId, UserId};
+use crate::policy::{ActionSet, BuildingPolicy, DataAction, Modality};
+use crate::preference::{Effect, PreferenceScope, UserPreference};
+use crate::time::TimeWindow;
+
+/// Well-known service ids used by the paper's examples.
+pub mod services {
+    use crate::ids::ServiceId;
+
+    /// The Smart Concierge service ("helps users locate rooms, inhabitants
+    /// and events").
+    pub fn concierge() -> ServiceId {
+        ServiceId::new("Concierge")
+    }
+
+    /// The Smart Meeting service ("can help organize meetings more
+    /// efficiently").
+    pub fn smart_meeting() -> ServiceId {
+        ServiceId::new("SmartMeeting")
+    }
+
+    /// The third-party food-delivery service ("automatically locate and
+    /// deliver food to building inhabitants during lunch time").
+    pub fn food_delivery() -> ServiceId {
+        ServiceId::new("FoodDelivery")
+    }
+
+    /// Emergency-response service backing Policy 2.
+    pub fn emergency() -> ServiceId {
+        ServiceId::new("EmergencyResponse")
+    }
+}
+
+/// Policy 1: "A facility manager sets the thermostat temperature of
+/// occupied rooms to 70 °F to match the average comfort level of users."
+///
+/// Normalized as: collect occupancy (via motion sensors) and actuate HVAC,
+/// for the comfort purpose, in `building`, only when rooms are occupied.
+pub fn policy1_thermostat(id: PolicyId, building: SpaceId, ontology: &Ontology) -> BuildingPolicy {
+    let c = ontology.concepts();
+    BuildingPolicy::new(id, "Thermostat automation", building, c.occupancy, c.comfort)
+        .with_description(
+            "Motion sensors detect occupied rooms; the HVAC system holds them at 70F",
+        )
+        .with_sensor_class(c.motion_sensor)
+        .with_actions(ActionSet::of(&[
+            DataAction::Collect,
+            DataAction::Store,
+            DataAction::Actuate,
+        ]))
+        .with_condition(Condition::always().with_occupied())
+        .with_retention("P7D".parse().expect("valid duration"))
+        .with_modality(Modality::OptOut)
+}
+
+/// Policy 2: "The building management system stores your location to locate
+/// you in case of emergency situations." (Figure 2's machine-readable form.)
+pub fn policy2_emergency_location(
+    id: PolicyId,
+    building: SpaceId,
+    ontology: &Ontology,
+) -> BuildingPolicy {
+    let c = ontology.concepts();
+    BuildingPolicy::new(
+        id,
+        "Location tracking in DBH",
+        building,
+        c.wifi_association,
+        c.emergency_response,
+    )
+    .with_description(
+        "If your device is connected to a WiFi Access Point in DBH, its MAC address is stored",
+    )
+    .with_sensor_class(c.wifi_ap)
+    .with_actions(ActionSet::of(&[
+        DataAction::Collect,
+        DataAction::Store,
+        DataAction::Infer,
+        DataAction::Share,
+    ]))
+    .with_retention("P6M".parse().expect("valid duration"))
+    .with_modality(Modality::Required)
+}
+
+/// Policy 3: "A building administrator defines that either an ID card or
+/// fingerprint verification is needed to access meeting rooms."
+///
+/// `scope` is the space the policy is attached to (typically the building);
+/// the condition restricts it to the listed meeting rooms.
+pub fn policy3_meeting_room_access(
+    id: PolicyId,
+    scope: SpaceId,
+    meeting_rooms: Vec<SpaceId>,
+    ontology: &Ontology,
+) -> BuildingPolicy {
+    let c = ontology.concepts();
+    assert!(!meeting_rooms.is_empty(), "at least one meeting room");
+    BuildingPolicy::new(
+        id,
+        "Meeting room access control",
+        scope,
+        c.person_identity,
+        c.access_control,
+    )
+    .with_description("ID card or fingerprint verification is required to enter meeting rooms")
+    .with_sensor_class(c.badge_reader)
+    .with_actions(ActionSet::of(&[DataAction::Collect, DataAction::Store]))
+    .with_condition(Condition::always().with_spaces(meeting_rooms))
+    .with_retention("P90D".parse().expect("valid duration"))
+    .with_modality(Modality::Required)
+}
+
+/// Policy 4: "An event coordinator requires that details regarding an event
+/// are disclosed to registered participants only when they are nearby."
+pub fn policy4_event_proximity(
+    id: PolicyId,
+    event_spaces: Vec<SpaceId>,
+    ontology: &Ontology,
+) -> BuildingPolicy {
+    let c = ontology.concepts();
+    let space = event_spaces.first().copied().expect("at least one space");
+    BuildingPolicy::new(
+        id,
+        "Proximity-gated event disclosure",
+        space,
+        c.event_details,
+        c.event_coordination,
+    )
+    .with_description("Event details are shared only with registered participants nearby")
+    .with_actions(ActionSet::of(&[DataAction::Share]))
+    .with_condition(
+        Condition::always()
+            .with_spaces(event_spaces)
+            .with_requester_nearby(),
+    )
+    .with_modality(Modality::OptIn)
+    .with_service(services::concierge())
+}
+
+/// Preference 1: "Do not share the occupancy status of my office in
+/// after-hours."
+pub fn preference1_afterhours_occupancy(
+    id: PreferenceId,
+    user: UserId,
+    office: SpaceId,
+    ontology: &Ontology,
+) -> UserPreference {
+    let c = ontology.concepts();
+    UserPreference::new(
+        id,
+        user,
+        PreferenceScope {
+            data: Some(c.occupancy),
+            space: Some(office),
+            condition: Condition::during(TimeWindow::after_hours()),
+            ..Default::default()
+        },
+        Effect::Deny,
+    )
+    .with_note("Do not share the occupancy status of my office in after-hours")
+}
+
+/// Preference 2: "Do not share my location with anyone."
+pub fn preference2_no_location(
+    id: PreferenceId,
+    user: UserId,
+    ontology: &Ontology,
+) -> UserPreference {
+    let c = ontology.concepts();
+    UserPreference::new(
+        id,
+        user,
+        PreferenceScope {
+            data: Some(c.location),
+            ..Default::default()
+        },
+        Effect::Deny,
+    )
+    .with_note("Do not share my location with anyone")
+}
+
+/// Preference 3: "Allow Concierge access to my fine grained location for
+/// directions."
+///
+/// Carries a higher priority than the blanket preferences so it acts as a
+/// per-service exception (the paper's mobile-app-permission analogy).
+pub fn preference3_concierge_location(
+    id: PreferenceId,
+    user: UserId,
+    ontology: &Ontology,
+) -> UserPreference {
+    let c = ontology.concepts();
+    UserPreference::new(
+        id,
+        user,
+        PreferenceScope {
+            data: Some(c.location),
+            purpose: Some(c.navigation),
+            service: Some(services::concierge()),
+            ..Default::default()
+        },
+        Effect::Allow,
+    )
+    .with_priority(10)
+    .with_note("Allow Concierge access to my fine grained location for directions")
+}
+
+/// Preference 4: "Allow Smart Meeting access to the details of the meeting
+/// and its participants."
+pub fn preference4_smart_meeting(
+    id: PreferenceId,
+    user: UserId,
+    ontology: &Ontology,
+) -> UserPreference {
+    let c = ontology.concepts();
+    UserPreference::new(
+        id,
+        user,
+        PreferenceScope {
+            data: Some(c.meeting_details),
+            purpose: Some(c.scheduling),
+            service: Some(services::smart_meeting()),
+            ..Default::default()
+        },
+        Effect::Allow,
+    )
+    .with_priority(10)
+    .with_note("Allow Smart Meeting access to the details of the meeting and its participants")
+}
+
+/// A coarse-location variant of Preference 2 used in granularity
+/// experiments: share location, but never finer than `granularity`.
+pub fn preference_coarse_location(
+    id: PreferenceId,
+    user: UserId,
+    granularity: Granularity,
+    ontology: &Ontology,
+) -> UserPreference {
+    let c = ontology.concepts();
+    UserPreference::new(
+        id,
+        user,
+        PreferenceScope {
+            data: Some(c.location),
+            ..Default::default()
+        },
+        Effect::Degrade(granularity),
+    )
+    .with_note("Share my location only at coarse granularity")
+}
+
+/// Convenience handle naming each catalog entry, for parameterized tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatalogEntry {
+    /// Policy 1 (thermostat).
+    Policy1,
+    /// Policy 2 (emergency location).
+    Policy2,
+    /// Policy 3 (meeting-room access).
+    Policy3,
+    /// Policy 4 (event proximity).
+    Policy4,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::ConditionContext;
+    use crate::preference::FlowRef;
+    use crate::time::Timestamp;
+    use tippers_spatial::fixtures::dbh;
+
+    #[test]
+    fn all_examples_construct() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let p1 = policy1_thermostat(PolicyId(1), d.building, &ont);
+        let p2 = policy2_emergency_location(PolicyId(2), d.building, &ont);
+        let p3 = policy3_meeting_room_access(PolicyId(3), d.building, d.meeting_rooms.clone(), &ont);
+        let p4 = policy4_event_proximity(PolicyId(4), vec![d.lobby], &ont);
+        assert!(!p1.is_required());
+        assert!(p2.is_required());
+        assert!(p3.is_required());
+        assert!(p4.condition.requester_nearby);
+        assert_eq!(p4.service, Some(services::concierge()));
+    }
+
+    #[test]
+    fn preference1_only_bites_after_hours() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let c = ont.concepts();
+        let office = d.offices[0];
+        let pref = preference1_afterhours_occupancy(PreferenceId(1), UserId(1), office, &ont);
+        let flow = FlowRef {
+            data: c.occupancy,
+            purpose: c.comfort,
+            service: None,
+            space: Some(office),
+        };
+        let noon = ConditionContext::at(&d.model, Timestamp::at(0, 12, 0));
+        let night = ConditionContext::at(&d.model, Timestamp::at(0, 22, 0));
+        assert!(!pref.scope.covers(&flow, &ont, &noon));
+        assert!(pref.scope.covers(&flow, &ont, &night));
+        // Someone else's office is out of scope.
+        let other = FlowRef {
+            space: Some(d.offices[1]),
+            ..flow
+        };
+        assert!(other.space.is_some());
+        assert!(!pref.scope.covers(&other, &ont, &night));
+    }
+
+    #[test]
+    fn preference3_overrides_preference2_for_concierge() {
+        use crate::preference::resolve_preferences;
+        let ont = Ontology::standard();
+        let d = dbh();
+        let c = ont.concepts();
+        let user = UserId(1);
+        let prefs = vec![
+            preference2_no_location(PreferenceId(2), user, &ont),
+            preference3_concierge_location(PreferenceId(3), user, &ont),
+        ];
+        let ctx = ConditionContext::at(&d.model, Timestamp::at(0, 12, 0));
+        let concierge = services::concierge();
+        let via_concierge = FlowRef {
+            data: c.location_fine,
+            purpose: c.navigation,
+            service: Some(&concierge),
+            space: None,
+        };
+        assert_eq!(
+            resolve_preferences(&prefs, user, &via_concierge, &ont, &d.model, &ctx),
+            Some(Effect::Allow)
+        );
+        // Any other consumer still sees the blanket deny.
+        let delivery = services::food_delivery();
+        let via_other = FlowRef {
+            service: Some(&delivery),
+            purpose: c.delivery,
+            ..via_concierge
+        };
+        assert_eq!(
+            resolve_preferences(&prefs, user, &via_other, &ont, &d.model, &ctx),
+            Some(Effect::Deny)
+        );
+    }
+}

@@ -1,0 +1,504 @@
+//! Conversion between normalized [`BuildingPolicy`] values and the wire
+//! [`PolicyDocument`] format of Figures 2–4.
+//!
+//! The wire format is what IRRs broadcast and IoTAs parse; the normalized
+//! form is what the BMS reasons over and enforces. The paper's figures do
+//! not carry machine-readable category keys, so importing them relies on a
+//! small resolution table (sensor type → data category) plus label matching
+//! for purposes; documents exported by this codec carry explicit `category`
+//! keys and import losslessly.
+
+use std::collections::HashMap;
+
+use tippers_ontology::{ConceptId, Ontology, Taxonomy};
+use tippers_spatial::{Granularity, SpaceId, SpatialModel};
+
+use crate::document::{
+    ContextBlock, HumanDescription, InfoBlock, LocationBlock, ObservationBlock, OwnerBlock,
+    PolicyDocument, PurposeSection, ResourceBlock, RetentionBlock, SensorBlock, SettingBlock,
+    SettingOptionBlock, SpatialRef,
+};
+use crate::error::PolicyError;
+use crate::ids::{PolicyId, ServiceId};
+use crate::policy::{BuildingPolicy, Modality, PolicySetting, SettingOption};
+use crate::preference::Effect;
+
+/// Converts policies to and from the wire format.
+#[derive(Debug)]
+pub struct PolicyCodec<'a> {
+    ontology: &'a Ontology,
+    model: &'a SpatialModel,
+    space_aliases: HashMap<String, String>,
+    owner_name: String,
+    owner_url: String,
+}
+
+impl<'a> PolicyCodec<'a> {
+    /// Creates a codec with the default DBH aliases and UCI ownership info.
+    pub fn new(ontology: &'a Ontology, model: &'a SpatialModel) -> Self {
+        let mut space_aliases = HashMap::new();
+        space_aliases.insert("Donald Bren Hall".to_owned(), "DBH".to_owned());
+        PolicyCodec {
+            ontology,
+            model,
+            space_aliases,
+            owner_name: "UCI".to_owned(),
+            owner_url: "https://uci.edu".to_owned(),
+        }
+    }
+
+    /// Registers an alias so documents naming `alias` resolve to the model
+    /// space named `canonical`.
+    pub fn add_space_alias(&mut self, alias: impl Into<String>, canonical: impl Into<String>) {
+        self.space_aliases.insert(alias.into(), canonical.into());
+    }
+
+    /// Sets the `location_owner` fields used when exporting.
+    pub fn set_owner(&mut self, name: impl Into<String>, url: impl Into<String>) {
+        self.owner_name = name.into();
+        self.owner_url = url.into();
+    }
+
+    // ---- export ------------------------------------------------------------
+
+    /// Exports one normalized policy as a single-resource document.
+    ///
+    /// Subject scope and condition clauses have no counterpart in the
+    /// paper's wire shapes and are not exported; the receiving BMS applies
+    /// them server-side.
+    pub fn to_document(&self, policy: &BuildingPolicy) -> PolicyDocument {
+        PolicyDocument {
+            resources: vec![self.to_resource(policy)],
+        }
+    }
+
+    /// Exports several policies as one document.
+    pub fn to_document_many(&self, policies: &[BuildingPolicy]) -> PolicyDocument {
+        PolicyDocument {
+            resources: policies.iter().map(|p| self.to_resource(p)).collect(),
+        }
+    }
+
+    fn to_resource(&self, policy: &BuildingPolicy) -> ResourceBlock {
+        let space = self.model.space(policy.space);
+        let purpose_label = self
+            .ontology
+            .purposes
+            .concept(policy.purpose)
+            .label()
+            .to_lowercase();
+        let mut purpose = PurposeSection::single(
+            purpose_label,
+            if policy.description.is_empty() {
+                policy.name.clone()
+            } else {
+                policy.description.clone()
+            },
+        );
+        purpose.service_id = policy.service.as_ref().map(|s| s.as_str().to_owned());
+
+        let data_concept = self.ontology.data.concept(policy.data);
+        let observations = vec![ObservationBlock {
+            name: data_concept.label().to_owned(),
+            description: Some(policy.description.clone()).filter(|d| !d.is_empty()),
+            category: Some(data_concept.key().to_owned()),
+            granularity: None,
+        }];
+
+        ResourceBlock {
+            info: InfoBlock {
+                name: policy.name.clone(),
+                description: Some(policy.description.clone()).filter(|d| !d.is_empty()),
+            },
+            context: Some(ContextBlock {
+                location: Some(LocationBlock {
+                    spatial: Some(SpatialRef {
+                        name: space.name().to_owned(),
+                        kind: Some(space.kind().to_string()),
+                    }),
+                    location_owner: Some(OwnerBlock {
+                        name: self.owner_name.clone(),
+                        human_description: Some(HumanDescription {
+                            more_info: Some(self.owner_url.clone()),
+                        }),
+                    }),
+                }),
+            }),
+            sensor: policy.sensor_class.map(|sc| SensorBlock {
+                kind: self.ontology.sensors.concept(sc).label().to_owned(),
+                description: None,
+            }),
+            purpose,
+            observations,
+            retention: policy.retention.map(|duration| RetentionBlock { duration }),
+            settings: policy.settings.iter().map(setting_to_block).collect(),
+            modality: Some(
+                match policy.modality {
+                    Modality::Required => "required",
+                    Modality::OptOut => "opt-out",
+                    Modality::OptIn => "opt-in",
+                }
+                .to_owned(),
+            ),
+        }
+    }
+
+    // ---- import ------------------------------------------------------------
+
+    /// Imports every resource of a document as a normalized policy,
+    /// assigning ids starting at `first_id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first resolution failure ([`PolicyError::UnknownSpace`],
+    /// [`PolicyError::UnknownConcept`], …).
+    #[allow(clippy::wrong_self_convention)] // codec pair: to_document / from_document
+    pub fn from_document(
+        &self,
+        doc: &PolicyDocument,
+        first_id: u64,
+    ) -> Result<Vec<BuildingPolicy>, PolicyError> {
+        doc.resources
+            .iter()
+            .enumerate()
+            .map(|(i, r)| self.from_resource(r, PolicyId(first_id + i as u64)))
+            .collect()
+    }
+
+    #[allow(clippy::wrong_self_convention)] // codec pair: to_resource / from_resource
+    fn from_resource(
+        &self,
+        resource: &ResourceBlock,
+        id: PolicyId,
+    ) -> Result<BuildingPolicy, PolicyError> {
+        if resource.info.name.is_empty() {
+            return Err(PolicyError::MissingField("info.name"));
+        }
+        let space = self.resolve_space(resource)?;
+        let data = self.resolve_data(resource)?;
+        let (purpose, service) = self.resolve_purpose(resource)?;
+        let modality = match resource.modality.as_deref() {
+            None => default_modality(self.ontology, purpose),
+            Some("required") => Modality::Required,
+            Some("opt-out") => Modality::OptOut,
+            Some("opt-in") => Modality::OptIn,
+            Some(other) => return Err(PolicyError::InvalidModality(other.to_owned())),
+        };
+        let mut policy = BuildingPolicy::new(id, resource.info.name.clone(), space, data, purpose)
+            .with_modality(modality);
+        if let Some(d) = resource
+            .info
+            .description
+            .clone()
+            .or_else(|| resource.observations.first().and_then(|o| o.description.clone()))
+        {
+            policy = policy.with_description(d);
+        }
+        if let Some(sensor) = &resource.sensor {
+            if let Some(sc) = resolve_by_label(&self.ontology.sensors, &sensor.kind) {
+                policy = policy.with_sensor_class(sc);
+            }
+        }
+        if let Some(r) = resource.retention {
+            policy = policy.with_retention(r.duration);
+        }
+        for block in &resource.settings {
+            policy = policy.with_setting(setting_from_block(block));
+        }
+        if let Some(svc) = service {
+            policy = policy.with_service(svc);
+        }
+        Ok(policy)
+    }
+
+    fn resolve_space(&self, resource: &ResourceBlock) -> Result<SpaceId, PolicyError> {
+        let name = resource
+            .context
+            .as_ref()
+            .and_then(|c| c.location.as_ref())
+            .and_then(|l| l.spatial.as_ref())
+            .map(|s| s.name.as_str())
+            .ok_or(PolicyError::MissingField("context.location.spatial.name"))?;
+        let canonical = self
+            .space_aliases
+            .get(name)
+            .map(String::as_str)
+            .unwrap_or(name);
+        self.model
+            .by_name(canonical)
+            .ok_or_else(|| PolicyError::UnknownSpace(name.to_owned()))
+    }
+
+    fn resolve_data(&self, resource: &ResourceBlock) -> Result<ConceptId, PolicyError> {
+        // Prefer the machine-readable extension.
+        for obs in &resource.observations {
+            if let Some(key) = &obs.category {
+                return self
+                    .ontology
+                    .data
+                    .id(key)
+                    .ok_or_else(|| PolicyError::UnknownConcept(key.clone()));
+            }
+        }
+        // Fall back to the sensor type / observation name heuristics the
+        // paper's figures require.
+        if let Some(sensor) = &resource.sensor {
+            if let Some(c) = data_from_sensor_kind(self.ontology, &sensor.kind) {
+                return Ok(c);
+            }
+        }
+        for obs in &resource.observations {
+            if let Some(c) = data_from_observation_name(self.ontology, &obs.name) {
+                return Ok(c);
+            }
+        }
+        Err(PolicyError::MissingField("observations[].category"))
+    }
+
+    fn resolve_purpose(
+        &self,
+        resource: &ResourceBlock,
+    ) -> Result<(ConceptId, Option<ServiceId>), PolicyError> {
+        let service = resource
+            .purpose
+            .service_id
+            .as_ref()
+            .map(|s| ServiceId::new(s.clone()));
+        let key = resource
+            .purpose
+            .purposes
+            .keys()
+            .next()
+            .ok_or(PolicyError::MissingField("purpose"))?;
+        let concept = resolve_concept(&self.ontology.purposes, key)
+            .ok_or_else(|| PolicyError::UnknownConcept(key.clone()))?;
+        Ok((concept, service))
+    }
+}
+
+/// Required by default only for safety/security purposes; everything else
+/// is opt-out, matching §III.A's "in most cases" hedge.
+fn default_modality(ontology: &Ontology, purpose: ConceptId) -> Modality {
+    let c = ontology.concepts();
+    let p = &ontology.purposes;
+    if p.is_a(purpose, c.emergency_response)
+        || p.is_a(
+            purpose,
+            p.id("purpose/security").expect("standard vocabulary"),
+        )
+    {
+        Modality::Required
+    } else {
+        Modality::OptOut
+    }
+}
+
+/// Resolves a free-form purpose/sensor key: exact taxonomy key, then the
+/// last key segment (`providing_service` → `providing-service`), then a
+/// case-insensitive label match (`emergency response`).
+fn resolve_concept(taxonomy: &Taxonomy, key: &str) -> Option<ConceptId> {
+    if let Some(id) = taxonomy.id(key) {
+        return Some(id);
+    }
+    let normalized = key.to_lowercase().replace(['_', ' '], "-");
+    for concept in taxonomy.iter() {
+        let last = concept.key().rsplit('/').next().unwrap_or_default();
+        if last == normalized {
+            return Some(concept.id());
+        }
+        if concept.label().to_lowercase() == key.to_lowercase() {
+            return Some(concept.id());
+        }
+    }
+    None
+}
+
+fn resolve_by_label(taxonomy: &Taxonomy, label: &str) -> Option<ConceptId> {
+    let lower = label.to_lowercase();
+    taxonomy
+        .iter()
+        .find(|c| c.label().to_lowercase() == lower)
+        .map(|c| c.id())
+}
+
+fn data_from_sensor_kind(ontology: &Ontology, kind: &str) -> Option<ConceptId> {
+    let c = ontology.concepts();
+    let k = kind.to_lowercase();
+    if k.contains("wifi") {
+        Some(c.wifi_association)
+    } else if k.contains("bluetooth") || k.contains("beacon") {
+        Some(c.bluetooth_sighting)
+    } else if k.contains("camera") {
+        Some(c.image)
+    } else if k.contains("power") {
+        Some(c.power_consumption)
+    } else if k.contains("temperature") {
+        Some(c.ambient_temperature)
+    } else if k.contains("motion") {
+        Some(c.occupancy)
+    } else {
+        None
+    }
+}
+
+fn data_from_observation_name(ontology: &Ontology, name: &str) -> Option<ConceptId> {
+    let c = ontology.concepts();
+    let n = name.to_lowercase();
+    if n.contains("wifi") || n.contains("mac address") {
+        Some(c.wifi_association)
+    } else if n.contains("bluetooth") || n.contains("beacon") {
+        Some(c.bluetooth_sighting)
+    } else if n.contains("location") {
+        Some(c.location_room)
+    } else if n.contains("occupancy") {
+        Some(c.occupancy)
+    } else {
+        None
+    }
+}
+
+fn setting_to_block(setting: &PolicySetting) -> SettingBlock {
+    SettingBlock {
+        select: setting
+            .options
+            .iter()
+            .map(|o| SettingOptionBlock {
+                description: o.description.clone(),
+                on: o.on.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Recovers enforcement effects from Figure 4-style option text: opt-out
+/// URLs (or "no …" descriptions) deny, "coarse" degrades to floor level,
+/// everything else allows.
+pub fn setting_from_block(block: &SettingBlock) -> PolicySetting {
+    let options: Vec<SettingOption> = block
+        .select
+        .iter()
+        .map(|o| {
+            let d = o.description.to_lowercase();
+            let effect = if o.on.contains("opt-out") || d.starts_with("no ") {
+                Effect::Deny
+            } else if d.contains("coarse") {
+                Effect::Degrade(Granularity::Floor)
+            } else {
+                Effect::Allow
+            };
+            SettingOption {
+                description: o.description.clone(),
+                on: o.on.clone(),
+                effect,
+            }
+        })
+        .collect();
+    PolicySetting {
+        key: "location-sensing".to_owned(),
+        default_option: 0,
+        options,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use tippers_spatial::fixtures::dbh;
+
+    #[test]
+    fn figure_2_imports_as_policy_2() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let codec = PolicyCodec::new(&ont, &d.model);
+        let policies = codec.from_document(&figures::fig2_document(), 1).unwrap();
+        assert_eq!(policies.len(), 1);
+        let p = &policies[0];
+        let c = ont.concepts();
+        assert_eq!(p.name, "Location tracking in DBH");
+        assert_eq!(p.space, d.building);
+        assert_eq!(p.data, c.wifi_association);
+        assert_eq!(p.purpose, c.emergency_response);
+        assert_eq!(p.retention.unwrap().months, 6);
+        // Emergency purpose defaults to Required — the Policy 2 vs
+        // Preference 2 conflict depends on this.
+        assert_eq!(p.modality, Modality::Required);
+        assert_eq!(p.sensor_class, Some(c.wifi_ap));
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let codec = PolicyCodec::new(&ont, &d.model);
+        let c = ont.concepts();
+        let original = BuildingPolicy::new(
+            PolicyId(7),
+            "Occupancy sensing",
+            d.floors[2],
+            c.occupancy,
+            c.comfort,
+        )
+        .with_description("Motion sensors detect room occupancy")
+        .with_retention("P30D".parse().unwrap())
+        .with_sensor_class(c.motion_sensor)
+        .with_setting(BuildingPolicy::location_setting())
+        .with_modality(Modality::OptOut);
+
+        let doc = codec.to_document(&original);
+        let back = codec.from_document(&doc, 7).unwrap();
+        let p = &back[0];
+        assert_eq!(p.name, original.name);
+        assert_eq!(p.space, original.space);
+        assert_eq!(p.data, original.data);
+        assert_eq!(p.purpose, original.purpose);
+        assert_eq!(p.retention, original.retention);
+        assert_eq!(p.modality, original.modality);
+        assert_eq!(p.sensor_class, original.sensor_class);
+        assert_eq!(p.settings.len(), 1);
+        assert_eq!(p.settings[0].options[2].effect, Effect::Deny);
+    }
+
+    #[test]
+    fn unknown_space_is_reported() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let codec = PolicyCodec::new(&ont, &d.model);
+        let mut doc = figures::fig2_document();
+        doc.resources[0]
+            .context
+            .as_mut()
+            .unwrap()
+            .location
+            .as_mut()
+            .unwrap()
+            .spatial
+            .as_mut()
+            .unwrap()
+            .name = "Elsewhere Hall".to_owned();
+        let err = codec.from_document(&doc, 1).unwrap_err();
+        assert_eq!(err, PolicyError::UnknownSpace("Elsewhere Hall".into()));
+    }
+
+    #[test]
+    fn figure_4_settings_recover_effects() {
+        let doc = figures::fig4_document();
+        let setting = setting_from_block(&doc.settings[0]);
+        assert_eq!(setting.options[0].effect, Effect::Allow);
+        assert_eq!(setting.options[1].effect, Effect::Degrade(Granularity::Floor));
+        assert_eq!(setting.options[2].effect, Effect::Deny);
+    }
+
+    #[test]
+    fn invalid_modality_rejected() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let codec = PolicyCodec::new(&ont, &d.model);
+        let mut doc = figures::fig2_document();
+        doc.resources[0].modality = Some("sometimes".to_owned());
+        assert_eq!(
+            codec.from_document(&doc, 1).unwrap_err(),
+            PolicyError::InvalidModality("sometimes".into())
+        );
+    }
+}

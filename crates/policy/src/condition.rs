@@ -1,0 +1,286 @@
+use serde::{Deserialize, Serialize};
+use tippers_spatial::{SpaceId, SpatialModel};
+
+use crate::time::{TimeWindow, Timestamp};
+
+/// Context a [`Condition`] is evaluated against.
+///
+/// Unknown fields (`None`) are treated *privacy-conservatively*: a condition
+/// that restricts on an unknown fact is considered satisfied, so restrictive
+/// preferences still apply and permissive exceptions do not silently widen.
+#[derive(Debug, Clone, Copy)]
+pub struct ConditionContext<'a> {
+    /// The building's spatial model.
+    pub model: &'a SpatialModel,
+    /// Evaluation time.
+    pub time: Timestamp,
+    /// Where the data subject currently is, if known.
+    pub subject_space: Option<SpaceId>,
+    /// Where the requesting party currently is, if known.
+    pub requester_space: Option<SpaceId>,
+    /// Whether the room in question is occupied, if known.
+    pub room_occupied: Option<bool>,
+}
+
+impl<'a> ConditionContext<'a> {
+    /// A context with only model and time — everything else unknown.
+    pub fn at(model: &'a SpatialModel, time: Timestamp) -> Self {
+        ConditionContext {
+            model,
+            time,
+            subject_space: None,
+            requester_space: None,
+            room_occupied: None,
+        }
+    }
+}
+
+/// A guard on when a policy or preference applies.
+///
+/// All present clauses must hold (conjunction). The paper's examples map as:
+///
+/// * Preference 1's "in after-hours" → [`Condition::time`].
+/// * Policy 1's "of occupied rooms" → [`Condition::requires_occupied`].
+/// * Policy 4's "only when they are nearby" → [`Condition::requester_nearby`].
+///
+/// # Examples
+///
+/// ```
+/// use tippers_policy::{Condition, ConditionContext, TimeWindow, Timestamp};
+/// use tippers_spatial::SpatialModel;
+///
+/// let model = SpatialModel::new("campus");
+/// let condition = Condition::during(TimeWindow::business_hours());
+/// let nine_am = ConditionContext::at(&model, Timestamp::at(0, 9, 0));
+/// let midnight = ConditionContext::at(&model, Timestamp::at(0, 0, 0));
+/// assert!(condition.is_satisfied(&nine_am));
+/// assert!(!condition.is_satisfied(&midnight));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Condition {
+    /// Recurring time window in which the rule is active.
+    pub time: Option<TimeWindow>,
+    /// Any-of space restriction: the subject must be inside one of these
+    /// subtrees. Empty = anywhere.
+    pub spaces: Vec<SpaceId>,
+    /// The requester must be in (or adjacent to) one of `spaces` — Policy
+    /// 4's proximity gate. Meaningless when `spaces` is empty.
+    pub requester_nearby: bool,
+    /// The room must be occupied (Policy 1's trigger).
+    pub requires_occupied: bool,
+}
+
+impl Condition {
+    /// The always-true condition.
+    pub fn always() -> Condition {
+        Condition::default()
+    }
+
+    /// Condition restricted to a time window.
+    pub fn during(window: TimeWindow) -> Condition {
+        Condition {
+            time: Some(window),
+            ..Condition::default()
+        }
+    }
+
+    /// Restricts to a time window (builder-style).
+    pub fn with_time(mut self, window: TimeWindow) -> Condition {
+        self.time = Some(window);
+        self
+    }
+
+    /// Restricts to a set of spaces (builder-style).
+    pub fn with_spaces(mut self, spaces: Vec<SpaceId>) -> Condition {
+        self.spaces = spaces;
+        self
+    }
+
+    /// Requires the requester to be near the condition's spaces.
+    pub fn with_requester_nearby(mut self) -> Condition {
+        self.requester_nearby = true;
+        self
+    }
+
+    /// Requires the room to be occupied.
+    pub fn with_occupied(mut self) -> Condition {
+        self.requires_occupied = true;
+        self
+    }
+
+    /// True if the condition has no clauses.
+    pub fn is_always(&self) -> bool {
+        self == &Condition::default()
+    }
+
+    /// Evaluates the condition.
+    ///
+    /// Unknown context facts satisfy their clause (see
+    /// [`ConditionContext`]), with one exception: `requester_nearby` with an
+    /// unknown requester location fails, because proximity is an *enabling*
+    /// clause (Policy 4 discloses only to provably nearby requesters).
+    pub fn is_satisfied(&self, ctx: &ConditionContext<'_>) -> bool {
+        if let Some(w) = &self.time {
+            if !w.contains(ctx.time) {
+                return false;
+            }
+        }
+        if !self.spaces.is_empty() {
+            if let Some(s) = ctx.subject_space {
+                if !self.spaces.iter().any(|&sp| ctx.model.contains(sp, s)) {
+                    return false;
+                }
+            }
+        }
+        if self.requester_nearby && !self.spaces.is_empty() {
+            match ctx.requester_space {
+                None => return false,
+                Some(r) => {
+                    let near = self.spaces.iter().any(|&sp| {
+                        ctx.model.contains(sp, r)
+                            || ctx.model.neighboring(sp, r)
+                            || ctx
+                                .model
+                                .neighbors(r)
+                                .iter()
+                                .any(|&n| ctx.model.contains(sp, n))
+                    });
+                    if !near {
+                        return false;
+                    }
+                }
+            }
+        }
+        if self.requires_occupied {
+            if let Some(false) = ctx.room_occupied {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Conservative satisfiability overlap: false only if the two
+    /// conditions provably never hold together (disjoint time windows or
+    /// provably disjoint space sets).
+    pub fn may_overlap(&self, other: &Condition, model: &SpatialModel) -> bool {
+        if let (Some(a), Some(b)) = (&self.time, &other.time) {
+            if !a.overlaps(b) {
+                return false;
+            }
+        }
+        if !self.spaces.is_empty() && !other.spaces.is_empty() {
+            let any = self
+                .spaces
+                .iter()
+                .any(|&a| other.spaces.iter().any(|&b| model.overlap(a, b)));
+            if !any {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeOfDay;
+    use tippers_spatial::{RoomUse, SpaceKind};
+
+    fn model() -> (SpatialModel, SpaceId, SpaceId, SpaceId) {
+        let mut m = SpatialModel::new("c");
+        let b = m.add_space("B", SpaceKind::Building, m.root());
+        let f = m.add_space("B-1", SpaceKind::Floor, b);
+        let r1 = m.add_space("B-101", SpaceKind::room(RoomUse::Office), f);
+        let r2 = m.add_space("B-102", SpaceKind::room(RoomUse::MeetingRoom), f);
+        m.add_adjacency(r1, r2);
+        (m, b, r1, r2)
+    }
+
+    #[test]
+    fn always_is_satisfied() {
+        let (m, _, _, _) = model();
+        let ctx = ConditionContext::at(&m, Timestamp::at(0, 12, 0));
+        assert!(Condition::always().is_satisfied(&ctx));
+        assert!(Condition::always().is_always());
+    }
+
+    #[test]
+    fn time_clause() {
+        let (m, _, _, _) = model();
+        let c = Condition::during(TimeWindow::after_hours());
+        let day = ConditionContext::at(&m, Timestamp::at(0, 12, 0));
+        let night = ConditionContext::at(&m, Timestamp::at(0, 23, 0));
+        assert!(!c.is_satisfied(&day));
+        assert!(c.is_satisfied(&night));
+    }
+
+    #[test]
+    fn space_clause_with_known_subject() {
+        let (m, b, r1, r2) = model();
+        let c = Condition::always().with_spaces(vec![r1]);
+        let mut ctx = ConditionContext::at(&m, Timestamp::at(0, 12, 0));
+        ctx.subject_space = Some(r1);
+        assert!(c.is_satisfied(&ctx));
+        ctx.subject_space = Some(r2);
+        assert!(!c.is_satisfied(&ctx));
+        // Unknown subject space: clause passes (conservative).
+        ctx.subject_space = None;
+        assert!(c.is_satisfied(&ctx));
+        // Subtree containment counts.
+        let c2 = Condition::always().with_spaces(vec![b]);
+        ctx.subject_space = Some(r2);
+        assert!(c2.is_satisfied(&ctx));
+    }
+
+    #[test]
+    fn requester_nearby_needs_proof() {
+        let (m, _, r1, r2) = model();
+        let c = Condition::always()
+            .with_spaces(vec![r1])
+            .with_requester_nearby();
+        let mut ctx = ConditionContext::at(&m, Timestamp::at(0, 12, 0));
+        // Unknown requester location: proximity cannot be proven → fail.
+        assert!(!c.is_satisfied(&ctx));
+        ctx.requester_space = Some(r1);
+        assert!(c.is_satisfied(&ctx));
+        // Adjacent room counts as nearby.
+        ctx.requester_space = Some(r2);
+        assert!(c.is_satisfied(&ctx));
+    }
+
+    #[test]
+    fn occupancy_clause() {
+        let (m, _, _, _) = model();
+        let c = Condition::always().with_occupied();
+        let mut ctx = ConditionContext::at(&m, Timestamp::at(0, 12, 0));
+        assert!(c.is_satisfied(&ctx)); // unknown → pass
+        ctx.room_occupied = Some(true);
+        assert!(c.is_satisfied(&ctx));
+        ctx.room_occupied = Some(false);
+        assert!(!c.is_satisfied(&ctx));
+    }
+
+    #[test]
+    fn overlap_detects_disjoint_times() {
+        let (m, _, _, _) = model();
+        let business = Condition::during(TimeWindow::business_hours());
+        let night = Condition::during(TimeWindow {
+            start: TimeOfDay::new(19, 0),
+            end: TimeOfDay::new(23, 0),
+            days: Default::default(),
+        });
+        assert!(!business.may_overlap(&night, &m));
+        assert!(business.may_overlap(&Condition::always(), &m));
+    }
+
+    #[test]
+    fn overlap_detects_disjoint_spaces() {
+        let (m, _, r1, r2) = model();
+        let a = Condition::always().with_spaces(vec![r1]);
+        let b = Condition::always().with_spaces(vec![r2]);
+        assert!(!a.may_overlap(&b, &m));
+        let parent = Condition::always().with_spaces(vec![m.root()]);
+        assert!(a.may_overlap(&parent, &m));
+    }
+}

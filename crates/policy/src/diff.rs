@@ -1,0 +1,319 @@
+//! Semantic diffing of policy documents.
+//!
+//! Buildings republish policies (registries bump the advertisement
+//! version); an IoTA should tell its user *what changed* — "retention
+//! extended from P6M to P1Y" is actionable, "policy updated" is noise
+//! (§V.B's notification-relevance problem applied to updates).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::document::{PolicyDocument, ResourceBlock};
+use crate::duration::IsoDuration;
+
+/// One semantic change between two versions of a policy document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum PolicyChange {
+    /// A resource appeared.
+    ResourceAdded {
+        /// Its name.
+        name: String,
+    },
+    /// A resource disappeared.
+    ResourceRemoved {
+        /// Its name.
+        name: String,
+    },
+    /// Retention changed (`None` = kept indefinitely).
+    RetentionChanged {
+        /// The resource.
+        resource: String,
+        /// Previous duration.
+        old: Option<IsoDuration>,
+        /// New duration.
+        new: Option<IsoDuration>,
+    },
+    /// A purpose was added to a resource.
+    PurposeAdded {
+        /// The resource.
+        resource: String,
+        /// The new purpose key.
+        purpose: String,
+    },
+    /// A purpose was dropped from a resource.
+    PurposeRemoved {
+        /// The resource.
+        resource: String,
+        /// The removed purpose key.
+        purpose: String,
+    },
+    /// A new observation (collected data item) was declared.
+    ObservationAdded {
+        /// The resource.
+        resource: String,
+        /// The observation name.
+        observation: String,
+    },
+    /// An observation was withdrawn.
+    ObservationRemoved {
+        /// The resource.
+        resource: String,
+        /// The observation name.
+        observation: String,
+    },
+    /// The available settings changed (options added/removed/reworded).
+    SettingsChanged {
+        /// The resource.
+        resource: String,
+    },
+    /// The modality extension changed (e.g. opt-out became required).
+    ModalityChanged {
+        /// The resource.
+        resource: String,
+        /// Previous modality string.
+        old: Option<String>,
+        /// New modality string.
+        new: Option<String>,
+    },
+}
+
+impl PolicyChange {
+    /// True for changes that widen data collection or weaken user control —
+    /// the ones an IoTA should always surface.
+    pub fn is_expansion(&self) -> bool {
+        match self {
+            PolicyChange::ResourceAdded { .. }
+            | PolicyChange::PurposeAdded { .. }
+            | PolicyChange::ObservationAdded { .. } => true,
+            PolicyChange::RetentionChanged { old, new, .. } => match (old, new) {
+                (_, None) => true, // became indefinite
+                (None, Some(_)) => false,
+                (Some(o), Some(n)) => n.as_seconds() > o.as_seconds(),
+            },
+            PolicyChange::ModalityChanged { new, .. } => new.as_deref() == Some("required"),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for PolicyChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyChange::ResourceAdded { name } => {
+                write!(f, "new data practice `{name}`")
+            }
+            PolicyChange::ResourceRemoved { name } => {
+                write!(f, "data practice `{name}` withdrawn")
+            }
+            PolicyChange::RetentionChanged { resource, old, new } => {
+                let show = |d: &Option<IsoDuration>| {
+                    d.map(|d| d.to_string()).unwrap_or_else(|| "indefinite".into())
+                };
+                write!(
+                    f,
+                    "`{resource}`: retention changed from {} to {}",
+                    show(old),
+                    show(new)
+                )
+            }
+            PolicyChange::PurposeAdded { resource, purpose } => {
+                write!(f, "`{resource}`: data is now also used for `{purpose}`")
+            }
+            PolicyChange::PurposeRemoved { resource, purpose } => {
+                write!(f, "`{resource}`: no longer used for `{purpose}`")
+            }
+            PolicyChange::ObservationAdded {
+                resource,
+                observation,
+            } => write!(f, "`{resource}`: now also collects `{observation}`"),
+            PolicyChange::ObservationRemoved {
+                resource,
+                observation,
+            } => write!(f, "`{resource}`: stopped collecting `{observation}`"),
+            PolicyChange::SettingsChanged { resource } => {
+                write!(f, "`{resource}`: available privacy settings changed")
+            }
+            PolicyChange::ModalityChanged { resource, old, new } => write!(
+                f,
+                "`{resource}`: modality changed from {} to {}",
+                old.as_deref().unwrap_or("unspecified"),
+                new.as_deref().unwrap_or("unspecified")
+            ),
+        }
+    }
+}
+
+/// Computes the semantic changes from `old` to `new`, matching resources by
+/// name.
+pub fn diff_documents(old: &PolicyDocument, new: &PolicyDocument) -> Vec<PolicyChange> {
+    let mut changes = Vec::new();
+    let old_names: BTreeSet<&str> = old.resources.iter().map(|r| r.info.name.as_str()).collect();
+    let new_names: BTreeSet<&str> = new.resources.iter().map(|r| r.info.name.as_str()).collect();
+
+    for &name in new_names.difference(&old_names) {
+        changes.push(PolicyChange::ResourceAdded { name: name.into() });
+    }
+    for &name in old_names.difference(&new_names) {
+        changes.push(PolicyChange::ResourceRemoved { name: name.into() });
+    }
+    for &name in old_names.intersection(&new_names) {
+        let a = old.resources.iter().find(|r| r.info.name == name).expect("present");
+        let b = new.resources.iter().find(|r| r.info.name == name).expect("present");
+        changes.extend(diff_resource(a, b));
+    }
+    changes
+}
+
+fn diff_resource(old: &ResourceBlock, new: &ResourceBlock) -> Vec<PolicyChange> {
+    let mut changes = Vec::new();
+    let resource = new.info.name.clone();
+
+    let old_ret = old.retention.map(|r| r.duration);
+    let new_ret = new.retention.map(|r| r.duration);
+    if old_ret != new_ret {
+        changes.push(PolicyChange::RetentionChanged {
+            resource: resource.clone(),
+            old: old_ret,
+            new: new_ret,
+        });
+    }
+
+    let old_purposes: BTreeSet<&String> = old.purpose.purposes.keys().collect();
+    let new_purposes: BTreeSet<&String> = new.purpose.purposes.keys().collect();
+    for &p in new_purposes.difference(&old_purposes) {
+        changes.push(PolicyChange::PurposeAdded {
+            resource: resource.clone(),
+            purpose: p.clone(),
+        });
+    }
+    for &p in old_purposes.difference(&new_purposes) {
+        changes.push(PolicyChange::PurposeRemoved {
+            resource: resource.clone(),
+            purpose: p.clone(),
+        });
+    }
+
+    let old_obs: BTreeSet<&String> = old.observations.iter().map(|o| &o.name).collect();
+    let new_obs: BTreeSet<&String> = new.observations.iter().map(|o| &o.name).collect();
+    for &o in new_obs.difference(&old_obs) {
+        changes.push(PolicyChange::ObservationAdded {
+            resource: resource.clone(),
+            observation: o.clone(),
+        });
+    }
+    for &o in old_obs.difference(&new_obs) {
+        changes.push(PolicyChange::ObservationRemoved {
+            resource: resource.clone(),
+            observation: o.clone(),
+        });
+    }
+
+    if old.settings != new.settings {
+        changes.push(PolicyChange::SettingsChanged {
+            resource: resource.clone(),
+        });
+    }
+    if old.modality != new.modality {
+        changes.push(PolicyChange::ModalityChanged {
+            resource,
+            old: old.modality.clone(),
+            new: new.modality.clone(),
+        });
+    }
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{ObservationBlock, RetentionBlock};
+    use crate::figures;
+
+    #[test]
+    fn identical_documents_have_no_changes() {
+        let doc = figures::fig2_document();
+        assert!(diff_documents(&doc, &doc).is_empty());
+    }
+
+    #[test]
+    fn retention_extension_is_an_expansion() {
+        let old = figures::fig2_document();
+        let mut new = old.clone();
+        new.resources[0].retention = Some(RetentionBlock {
+            duration: "P1Y".parse().unwrap(),
+        });
+        let changes = diff_documents(&old, &new);
+        assert_eq!(changes.len(), 1);
+        assert!(changes[0].is_expansion());
+        let text = changes[0].to_string();
+        assert!(text.contains("P6M") && text.contains("P1Y"), "{text}");
+    }
+
+    #[test]
+    fn retention_shortening_is_not_an_expansion() {
+        let old = figures::fig2_document();
+        let mut new = old.clone();
+        new.resources[0].retention = Some(RetentionBlock {
+            duration: "P1M".parse().unwrap(),
+        });
+        let changes = diff_documents(&old, &new);
+        assert!(!changes[0].is_expansion());
+    }
+
+    #[test]
+    fn dropping_retention_entirely_is_an_expansion() {
+        let old = figures::fig2_document();
+        let mut new = old.clone();
+        new.resources[0].retention = None;
+        let changes = diff_documents(&old, &new);
+        assert!(changes[0].is_expansion());
+        assert!(changes[0].to_string().contains("indefinite"));
+    }
+
+    #[test]
+    fn new_purpose_and_observation_are_expansions() {
+        let old = figures::fig2_document();
+        let mut new = old.clone();
+        new.resources[0].purpose.purposes.insert(
+            "marketing".to_owned(),
+            crate::document::PurposeBlock {
+                description: Some("ads".into()),
+            },
+        );
+        new.resources[0].observations.push(ObservationBlock {
+            name: "bluetooth sightings".into(),
+            ..Default::default()
+        });
+        let changes = diff_documents(&old, &new);
+        assert_eq!(changes.len(), 2);
+        assert!(changes.iter().all(|c| c.is_expansion()));
+    }
+
+    #[test]
+    fn added_and_removed_resources() {
+        let old = figures::fig2_document();
+        let mut new = PolicyDocument::default();
+        new.resources.push(old.resources[0].clone());
+        new.resources[0].info.name = "Something else".into();
+        let changes = diff_documents(&old, &new);
+        assert!(changes.contains(&PolicyChange::ResourceAdded {
+            name: "Something else".into()
+        }));
+        assert!(changes.contains(&PolicyChange::ResourceRemoved {
+            name: "Location tracking in DBH".into()
+        }));
+    }
+
+    #[test]
+    fn modality_hardening_is_an_expansion() {
+        let old = figures::fig2_document();
+        let mut new = old.clone();
+        new.resources[0].modality = Some("required".into());
+        let changes = diff_documents(&old, &new);
+        assert_eq!(changes.len(), 1);
+        assert!(changes[0].is_expansion());
+    }
+}

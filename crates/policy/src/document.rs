@@ -1,0 +1,282 @@
+//! The wire format of the policy language — the JSON shapes of the paper's
+//! Figures 2, 3 and 4.
+//!
+//! These types round-trip the paper's listings byte-for-byte at the JSON
+//! value level (see [`crate::figures`]). Fields the paper leaves implicit
+//! (machine-readable category/effect keys) are optional extensions that
+//! serialize only when present, so documents produced by this crate remain
+//! readable by a parser expecting exactly the paper's shapes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::duration::IsoDuration;
+
+/// A full policy document: `{"resources": [...]}` (Figure 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PolicyDocument {
+    /// The resources whose data practices are being disclosed.
+    pub resources: Vec<ResourceBlock>,
+}
+
+/// One advertised resource and its data practices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ResourceBlock {
+    /// General information (`info.name`).
+    pub info: InfoBlock,
+    /// Deployment context: where, who owns it, which sensors.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub context: Option<ContextBlock>,
+    /// Sensor description. The paper's Figure 2 renders this alongside the
+    /// context block.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sensor: Option<SensorBlock>,
+    /// Purposes of collection, keyed by purpose name
+    /// (`"emergency response"` in Figure 2).
+    #[serde(default, skip_serializing_if = "PurposeSection::is_empty")]
+    pub purpose: PurposeSection,
+    /// What is observed/recorded about users.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub observations: Vec<ObservationBlock>,
+    /// Retention of the recorded data.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub retention: Option<RetentionBlock>,
+    /// Available privacy settings (Figure 4's shape, inlined).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub settings: Vec<SettingBlock>,
+    /// Whether users can override the policy (extension; one of
+    /// `"required"`, `"opt-out"`, `"opt-in"`). The paper's figures omit
+    /// this, so it is optional and absent by default.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub modality: Option<String>,
+}
+
+/// `{"name": ...}` with an optional description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct InfoBlock {
+    /// Resource name ("Location tracking in DBH").
+    pub name: String,
+    /// Longer description.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+}
+
+/// Deployment context (`context` in Figure 2): points users to "general
+/// information (e.g., who is responsible for data collection in a building,
+/// where are sensors located…)" (§IV.B.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ContextBlock {
+    /// Where the resource operates and who owns that location.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub location: Option<LocationBlock>,
+}
+
+/// `context.location` of Figure 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct LocationBlock {
+    /// Spatial reference (`{"name": "Donald Bren Hall", "type": "Building"}`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub spatial: Option<SpatialRef>,
+    /// The owner of the location.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub location_owner: Option<OwnerBlock>,
+}
+
+/// A named space plus its kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SpatialRef {
+    /// Space name, resolvable against the spatial model.
+    pub name: String,
+    /// Space kind as free text ("Building").
+    #[serde(rename = "type", default, skip_serializing_if = "Option::is_none")]
+    pub kind: Option<String>,
+}
+
+/// `location_owner` of Figure 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct OwnerBlock {
+    /// Owner name ("UCI").
+    pub name: String,
+    /// Pointer to more information.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub human_description: Option<HumanDescription>,
+}
+
+/// Free-text pointers for humans.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct HumanDescription {
+    /// URL with more information.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub more_info: Option<String>,
+}
+
+/// The sensor block of Figure 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SensorBlock {
+    /// Sensor type as free text ("WiFi Access Point").
+    #[serde(rename = "type")]
+    pub kind: String,
+    /// Deployment description.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+}
+
+/// The purpose section: a map from purpose name to details, with an
+/// optional sibling `service_id` (Figure 3 nests `"service_id":
+/// "Concierge"` next to the purposes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PurposeSection {
+    /// Purpose entries keyed by name.
+    #[serde(flatten)]
+    pub purposes: BTreeMap<String, PurposeBlock>,
+    /// The service the purposes belong to.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub service_id: Option<String>,
+}
+
+impl PurposeSection {
+    /// True if no purposes and no service id are present.
+    pub fn is_empty(&self) -> bool {
+        self.purposes.is_empty() && self.service_id.is_none()
+    }
+
+    /// A section with a single named purpose.
+    pub fn single(name: impl Into<String>, description: impl Into<String>) -> PurposeSection {
+        let mut purposes = BTreeMap::new();
+        purposes.insert(
+            name.into(),
+            PurposeBlock {
+                description: Some(description.into()),
+            },
+        );
+        PurposeSection {
+            purposes,
+            service_id: None,
+        }
+    }
+}
+
+/// Details of one purpose.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PurposeBlock {
+    /// Human-readable description.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+}
+
+/// One observation: what the resource records about users (§IV.A.5), with
+/// the data-collection description §IV.B.2 asks for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ObservationBlock {
+    /// Observation name ("MAC address of the device").
+    pub name: String,
+    /// What exactly is recorded and when.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+    /// Machine-readable data-category key (extension; e.g.
+    /// `"data/network/wifi-association"`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub category: Option<String>,
+    /// Granularity of collection (extension; §IV.B.2 says granularity
+    /// "directly impact\[s] the capability of inference").
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub granularity: Option<String>,
+}
+
+/// `{"duration": "P6M"}`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetentionBlock {
+    /// How long observations are kept.
+    pub duration: IsoDuration,
+}
+
+/// One settings group of Figure 4: a `select` among mutually exclusive
+/// options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SettingBlock {
+    /// The selectable options.
+    pub select: Vec<SettingOptionBlock>,
+}
+
+/// One option of a [`SettingBlock`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SettingOptionBlock {
+    /// Option description ("fine grained location sensing").
+    pub description: String,
+    /// Activation URL — selecting the option means calling it.
+    pub on: String,
+}
+
+/// A service policy document — Figure 3's shape: observations consumed by
+/// the service plus the purpose section carrying `service_id`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ServicePolicyDocument {
+    /// Observations the service consumes.
+    pub observations: Vec<ObservationBlock>,
+    /// Why, and for which service.
+    pub purpose: PurposeSection,
+}
+
+/// A standalone settings document — Figure 4's shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SettingsDocument {
+    /// The settings groups.
+    pub settings: Vec<SettingBlock>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sections_are_omitted() {
+        let doc = PolicyDocument {
+            resources: vec![ResourceBlock {
+                info: InfoBlock {
+                    name: "x".into(),
+                    description: None,
+                },
+                ..Default::default()
+            }],
+        };
+        let json = serde_json::to_string(&doc).unwrap();
+        assert!(!json.contains("retention"));
+        assert!(!json.contains("settings"));
+        assert!(!json.contains("purpose"));
+        let back: PolicyDocument = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn purpose_section_flattens_names() {
+        let mut section = PurposeSection::single("emergency response", "stored continuously");
+        section.service_id = Some("Concierge".into());
+        let json = serde_json::to_value(&section).unwrap();
+        assert!(json.get("emergency response").is_some());
+        assert_eq!(json["service_id"], "Concierge");
+        let back: PurposeSection = serde_json::from_value(json).unwrap();
+        assert_eq!(back, section);
+    }
+
+    #[test]
+    fn observation_extensions_are_optional() {
+        let json = r#"{"name": "MAC address of the device"}"#;
+        let obs: ObservationBlock = serde_json::from_str(json).unwrap();
+        assert_eq!(obs.category, None);
+        let with_cat = ObservationBlock {
+            name: "x".into(),
+            category: Some("data/network/wifi-association".into()),
+            ..Default::default()
+        };
+        let text = serde_json::to_string(&with_cat).unwrap();
+        assert!(text.contains("category"));
+    }
+
+    #[test]
+    fn retention_parses_iso_duration() {
+        let r: RetentionBlock = serde_json::from_str(r#"{"duration": "P6M"}"#).unwrap();
+        assert_eq!(r.duration.months, 6);
+        assert!(serde_json::from_str::<RetentionBlock>(r#"{"duration": "6 months"}"#).is_err());
+    }
+}

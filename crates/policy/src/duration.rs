@@ -1,0 +1,296 @@
+//! ISO-8601 durations, as used by the paper's retention element
+//! (`"retention": { "duration": "P6M" }` in Figure 2).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{de, Deserialize, Deserializer, Serialize, Serializer};
+
+/// An ISO-8601 duration (`PnYnMnDTnHnMnS`).
+///
+/// Components are kept separately so the textual form round-trips;
+/// [`IsoDuration::as_seconds`] converts using the usual civil approximations
+/// (1 year = 365 days, 1 month = 30 days), which is how retention windows
+/// are enforced.
+///
+/// # Examples
+///
+/// ```
+/// use tippers_policy::IsoDuration;
+/// let six_months: IsoDuration = "P6M".parse()?;
+/// assert_eq!(six_months.as_seconds(), 6 * 30 * 86_400);
+/// assert_eq!(six_months.to_string(), "P6M");
+/// # Ok::<(), tippers_policy::ParseDurationError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct IsoDuration {
+    /// Years.
+    pub years: u32,
+    /// Months.
+    pub months: u32,
+    /// Days.
+    pub days: u32,
+    /// Hours.
+    pub hours: u32,
+    /// Minutes.
+    pub minutes: u32,
+    /// Seconds.
+    pub seconds: u32,
+}
+
+impl IsoDuration {
+    /// A zero-length duration (`PT0S`).
+    pub const ZERO: IsoDuration = IsoDuration {
+        years: 0,
+        months: 0,
+        days: 0,
+        hours: 0,
+        minutes: 0,
+        seconds: 0,
+    };
+
+    /// Duration of `n` days.
+    pub fn days(n: u32) -> IsoDuration {
+        IsoDuration {
+            days: n,
+            ..IsoDuration::ZERO
+        }
+    }
+
+    /// Duration of `n` months.
+    pub fn months(n: u32) -> IsoDuration {
+        IsoDuration {
+            months: n,
+            ..IsoDuration::ZERO
+        }
+    }
+
+    /// Duration of `n` hours.
+    pub fn hours(n: u32) -> IsoDuration {
+        IsoDuration {
+            hours: n,
+            ..IsoDuration::ZERO
+        }
+    }
+
+    /// Total length in seconds (1 year = 365 days, 1 month = 30 days).
+    pub fn as_seconds(&self) -> i64 {
+        let days = self.years as i64 * 365 + self.months as i64 * 30 + self.days as i64;
+        days * 86_400 + self.hours as i64 * 3600 + self.minutes as i64 * 60 + self.seconds as i64
+    }
+
+    /// True if the duration is zero.
+    pub fn is_zero(&self) -> bool {
+        self.as_seconds() == 0
+    }
+}
+
+/// Error returned when parsing an ISO-8601 duration fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDurationError {
+    input: String,
+    reason: &'static str,
+}
+
+impl fmt::Display for ParseDurationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid ISO-8601 duration `{}`: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for ParseDurationError {}
+
+impl FromStr for IsoDuration {
+    type Err = ParseDurationError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason: &'static str| ParseDurationError {
+            input: s.to_owned(),
+            reason,
+        };
+        let rest = s.strip_prefix('P').ok_or_else(|| err("must start with `P`"))?;
+        if rest.is_empty() {
+            return Err(err("empty duration"));
+        }
+        let (date_part, time_part) = match rest.split_once('T') {
+            Some((d, t)) => {
+                if t.is_empty() {
+                    return Err(err("`T` with no time components"));
+                }
+                (d, Some(t))
+            }
+            None => (rest, None),
+        };
+
+        let mut out = IsoDuration::ZERO;
+        let mut any = false;
+
+        type Designators<'a> = &'a [(char, fn(&mut IsoDuration, u32))];
+        let mut parse_fields = |part: &str,
+                                designators: Designators<'_>|
+         -> Result<(), ParseDurationError> {
+            let mut num = String::new();
+            let mut next_allowed = 0usize;
+            for ch in part.chars() {
+                if ch.is_ascii_digit() {
+                    num.push(ch);
+                    continue;
+                }
+                let pos = designators[next_allowed..]
+                    .iter()
+                    .position(|(d, _)| *d == ch)
+                    .map(|p| p + next_allowed)
+                    .ok_or_else(|| err("unexpected or out-of-order designator"))?;
+                if num.is_empty() {
+                    return Err(err("designator without a number"));
+                }
+                let value: u32 = num.parse().map_err(|_| err("component overflows u32"))?;
+                designators[pos].1(&mut out, value);
+                any = true;
+                num.clear();
+                next_allowed = pos + 1;
+            }
+            if !num.is_empty() {
+                return Err(err("trailing digits without a designator"));
+            }
+            Ok(())
+        };
+
+        parse_fields(
+            date_part,
+            &[
+                ('Y', |d, v| d.years = v),
+                ('M', |d, v| d.months = v),
+                ('W', |d, v| d.days = d.days.saturating_add(v.saturating_mul(7))),
+                ('D', |d, v| d.days = d.days.saturating_add(v)),
+            ],
+        )?;
+        if let Some(t) = time_part {
+            parse_fields(
+                t,
+                &[
+                    ('H', |d, v| d.hours = v),
+                    ('M', |d, v| d.minutes = v),
+                    ('S', |d, v| d.seconds = v),
+                ],
+            )?;
+        }
+        if !any {
+            return Err(err("no components"));
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Display for IsoDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("PT0S");
+        }
+        f.write_str("P")?;
+        if self.years > 0 {
+            write!(f, "{}Y", self.years)?;
+        }
+        if self.months > 0 {
+            write!(f, "{}M", self.months)?;
+        }
+        if self.days > 0 {
+            write!(f, "{}D", self.days)?;
+        }
+        if self.hours > 0 || self.minutes > 0 || self.seconds > 0 {
+            f.write_str("T")?;
+            if self.hours > 0 {
+                write!(f, "{}H", self.hours)?;
+            }
+            if self.minutes > 0 {
+                write!(f, "{}M", self.minutes)?;
+            }
+            if self.seconds > 0 {
+                write!(f, "{}S", self.seconds)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for IsoDuration {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.collect_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for IsoDuration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure_2_retention() {
+        let d: IsoDuration = "P6M".parse().unwrap();
+        assert_eq!(d.months, 6);
+        assert_eq!(d.as_seconds(), 6 * 30 * 86_400);
+    }
+
+    #[test]
+    fn parses_full_form() {
+        let d: IsoDuration = "P1Y2M3DT4H5M6S".parse().unwrap();
+        assert_eq!((d.years, d.months, d.days), (1, 2, 3));
+        assert_eq!((d.hours, d.minutes, d.seconds), (4, 5, 6));
+    }
+
+    #[test]
+    fn parses_weeks_as_days() {
+        let d: IsoDuration = "P2W".parse().unwrap();
+        assert_eq!(d.days, 14);
+    }
+
+    #[test]
+    fn time_only_needs_t() {
+        let d: IsoDuration = "PT30M".parse().unwrap();
+        assert_eq!(d.minutes, 30);
+        // M before T means months:
+        let d2: IsoDuration = "P30M".parse().unwrap();
+        assert_eq!(d2.months, 30);
+        assert_eq!(d2.minutes, 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "6M", "P", "PT", "PX", "P6", "P6M3Y", "P-6M", "P6.5M"] {
+            assert!(bad.parse::<IsoDuration>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["P6M", "P1Y", "P3DT12H", "PT45S", "P1Y2M3DT4H5M6S", "PT0S"] {
+            let d: IsoDuration = s.parse().unwrap();
+            let back: IsoDuration = d.to_string().parse().unwrap();
+            assert_eq!(d, back, "{s}");
+        }
+        assert_eq!("P6M".parse::<IsoDuration>().unwrap().to_string(), "P6M");
+    }
+
+    #[test]
+    fn serde_uses_iso_text() {
+        let d: IsoDuration = "P6M".parse().unwrap();
+        let json = serde_json::to_string(&d).unwrap();
+        assert_eq!(json, "\"P6M\"");
+        let back: IsoDuration = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        assert!(serde_json::from_str::<IsoDuration>("\"junk\"").is_err());
+    }
+
+    #[test]
+    fn ordering_by_seconds() {
+        let short: IsoDuration = "P1D".parse().unwrap();
+        let long: IsoDuration = "P1M".parse().unwrap();
+        assert!(short.as_seconds() < long.as_seconds());
+    }
+}

@@ -1,0 +1,38 @@
+use std::fmt;
+
+/// Errors produced by policy parsing, resolution and validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PolicyError {
+    /// A space name in a document could not be resolved against the
+    /// spatial model.
+    UnknownSpace(String),
+    /// A concept key/label could not be resolved against the ontology.
+    UnknownConcept(String),
+    /// A required document field is missing or empty.
+    MissingField(&'static str),
+    /// A modality string is not one of `required`/`opt-out`/`opt-in`.
+    InvalidModality(String),
+    /// JSON (de)serialization failed.
+    Json(String),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::UnknownSpace(s) => write!(f, "unknown space `{s}`"),
+            PolicyError::UnknownConcept(s) => write!(f, "unknown concept `{s}`"),
+            PolicyError::MissingField(s) => write!(f, "missing field `{s}`"),
+            PolicyError::InvalidModality(s) => write!(f, "invalid modality `{s}`"),
+            PolicyError::Json(s) => write!(f, "json error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+impl From<serde_json::Error> for PolicyError {
+    fn from(e: serde_json::Error) -> Self {
+        PolicyError::Json(e.to_string())
+    }
+}

@@ -1,0 +1,100 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a building occupant / framework user.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct UserId(pub u64);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user#{}", self.0)
+    }
+}
+
+/// Identifier of a building policy.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct PolicyId(pub u64);
+
+impl fmt::Display for PolicyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy#{}", self.0)
+    }
+}
+
+/// Identifier of a user preference.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct PreferenceId(pub u64);
+
+impl fmt::Display for PreferenceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pref#{}", self.0)
+    }
+}
+
+/// Identifier of a building service (e.g. `"Concierge"` in Figure 3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ServiceId(String);
+
+impl ServiceId {
+    /// Creates a service id.
+    pub fn new(id: impl Into<String>) -> ServiceId {
+        ServiceId(id.into())
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ServiceId {
+    fn from(s: &str) -> Self {
+        ServiceId(s.to_owned())
+    }
+}
+
+impl From<String> for ServiceId {
+    fn from(s: String) -> Self {
+        ServiceId(s)
+    }
+}
+
+impl AsRef<str> for ServiceId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_id_conversions() {
+        let a = ServiceId::new("Concierge");
+        let b: ServiceId = "Concierge".into();
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "Concierge");
+        assert_eq!(a.to_string(), "Concierge");
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(UserId(3).to_string(), "user#3");
+        assert_eq!(PolicyId(4).to_string(), "policy#4");
+        assert_eq!(PreferenceId(5).to_string(), "pref#5");
+    }
+}

@@ -1,0 +1,76 @@
+//! The machine-readable privacy policy and preference language for smart
+//! buildings — the paper's central artifact (§IV).
+//!
+//! Two representations coexist:
+//!
+//! * The **wire format** ([`PolicyDocument`] and friends) — the JSON shapes
+//!   of the paper's Figures 2–4, which IRRs broadcast and IoTAs parse.
+//!   [`figures`] embeds the paper's exact listings; [`validate`] checks
+//!   documents before they are advertised.
+//! * The **normalized form** ([`BuildingPolicy`], [`UserPreference`]) —
+//!   what the BMS indexes, reasons over ([`conflict`]) and enforces.
+//!   [`PolicyCodec`] converts between the two.
+//!
+//! Supporting vocabulary: [`Condition`]s (time windows, space scopes,
+//! occupancy and proximity clauses), [`Effect`]s (allow / deny / degrade /
+//! noise — the paper's enforcement *hows*), subjects ([`UserGroup`],
+//! [`SubjectScope`]), [`IsoDuration`] retention periods, and the paper's
+//! eight worked examples in [`catalog`].
+//!
+//! # Examples
+//!
+//! The Policy 2 vs Preference 2 conflict from §III.B:
+//!
+//! ```
+//! use tippers_policy::{catalog, conflict, PolicyId, PreferenceId, UserId};
+//! use tippers_ontology::Ontology;
+//! use tippers_spatial::fixtures::dbh;
+//!
+//! let ontology = Ontology::standard();
+//! let building = dbh();
+//! let policy = catalog::policy2_emergency_location(PolicyId(2), building.building, &ontology);
+//! let pref = catalog::preference2_no_location(PreferenceId(2), UserId(1), &ontology);
+//! let conflicts = conflict::detect_conflicts_naive(
+//!     &[policy],
+//!     &[pref],
+//!     &ontology,
+//!     &building.model,
+//!     conflict::ResolutionStrategy::PolicyPrevails,
+//! );
+//! assert_eq!(conflicts.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+mod codec;
+pub mod diff;
+mod condition;
+pub mod conflict;
+pub mod document;
+mod duration;
+mod error;
+pub mod figures;
+mod ids;
+mod policy;
+mod preference;
+mod subject;
+pub mod time;
+pub mod validate;
+
+pub use codec::{setting_from_block, PolicyCodec};
+pub use diff::{diff_documents, PolicyChange};
+pub use condition::{Condition, ConditionContext};
+pub use conflict::{Conflict, ConflictIndex, ConflictKind, ResolutionStrategy};
+pub use document::{PolicyDocument, ResourceBlock, ServicePolicyDocument, SettingsDocument};
+pub use duration::{IsoDuration, ParseDurationError};
+pub use error::PolicyError;
+pub use ids::{PolicyId, PreferenceId, ServiceId, UserId};
+pub use policy::{ActionSet, BuildingPolicy, DataAction, Modality, PolicySetting, SettingOption};
+pub use preference::{
+    effective_effect, resolve_preferences, Effect, FlowRef, PreferenceScope, UserPreference,
+};
+pub use subject::{SubjectScope, UserGroup};
+pub use time::{TimeOfDay, TimeWindow, Timestamp, Weekday, WeekdaySet};
+pub use validate::{is_advertisable, validate_document, Severity, ValidationIssue};

@@ -1,0 +1,367 @@
+use serde::{Deserialize, Serialize};
+use tippers_ontology::ConceptId;
+use tippers_spatial::SpaceId;
+
+use crate::condition::Condition;
+use crate::duration::IsoDuration;
+use crate::ids::{PolicyId, ServiceId};
+use crate::preference::Effect;
+use crate::subject::SubjectScope;
+
+/// Lifecycle stages a policy's actions apply to — the paper's *when* of
+/// enforcement: "during capture, storage, processing, or sharing" (§V.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataAction {
+    /// Capturing data from sensors.
+    Collect,
+    /// Persisting captured data.
+    Store,
+    /// Deriving higher-level information.
+    Infer,
+    /// Sharing data with services or third parties.
+    Share,
+    /// Driving actuators from the data (Policy 1's HVAC control).
+    Actuate,
+}
+
+impl DataAction {
+    /// All actions.
+    pub const ALL: [DataAction; 5] = [
+        DataAction::Collect,
+        DataAction::Store,
+        DataAction::Infer,
+        DataAction::Share,
+        DataAction::Actuate,
+    ];
+
+    fn bit(self) -> u8 {
+        match self {
+            DataAction::Collect => 1,
+            DataAction::Store => 2,
+            DataAction::Infer => 4,
+            DataAction::Share => 8,
+            DataAction::Actuate => 16,
+        }
+    }
+}
+
+/// A set of [`DataAction`]s, stored as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ActionSet(u8);
+
+impl ActionSet {
+    /// The empty set.
+    pub const EMPTY: ActionSet = ActionSet(0);
+    /// Collect + Store.
+    pub const COLLECT_STORE: ActionSet = ActionSet(1 | 2);
+    /// Every action.
+    pub const ALL: ActionSet = ActionSet(31);
+
+    /// Builds a set from a list of actions.
+    pub fn of(actions: &[DataAction]) -> ActionSet {
+        ActionSet(actions.iter().fold(0, |m, a| m | a.bit()))
+    }
+
+    /// True if the set contains `action`.
+    pub fn contains(self, action: DataAction) -> bool {
+        self.0 & action.bit() != 0
+    }
+
+    /// Union of two sets.
+    pub fn union(self, other: ActionSet) -> ActionSet {
+        ActionSet(self.0 | other.0)
+    }
+
+    /// True if the sets share an action.
+    pub fn intersects(self, other: ActionSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// True if no action is present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for ActionSet {
+    fn default() -> Self {
+        ActionSet::COLLECT_STORE
+    }
+}
+
+impl FromIterator<DataAction> for ActionSet {
+    fn from_iter<I: IntoIterator<Item = DataAction>>(iter: I) -> Self {
+        ActionSet(iter.into_iter().fold(0, |m, a| m | a.bit()))
+    }
+}
+
+/// Whether occupants can override a policy.
+///
+/// §III.A: building policies "(in most cases) have to be met completely by
+/// the other actors", but services are opt-in; the conflict example
+/// (Policy 2 vs Preference 2) arises exactly when a mandatory policy meets
+/// a deny preference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Modality {
+    /// Cannot be overridden by user preferences (emergency/security).
+    Required,
+    /// Active by default; users may opt out or degrade.
+    #[default]
+    OptOut,
+    /// Inactive until a user opts in (typical for services).
+    OptIn,
+}
+
+/// A privacy setting a policy exposes to occupants — the normalized form of
+/// Figure 4's `select` options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicySetting {
+    /// Stable key, e.g. `"location-sensing"`.
+    pub key: String,
+    /// The options a user may choose from, most permissive first.
+    pub options: Vec<SettingOption>,
+    /// Index into `options` applied when a user has chosen nothing.
+    pub default_option: usize,
+}
+
+impl PolicySetting {
+    /// The option a given choice index maps to, clamped to a valid index.
+    pub fn option(&self, choice: Option<usize>) -> &SettingOption {
+        let idx = choice.unwrap_or(self.default_option);
+        &self.options[idx.min(self.options.len().saturating_sub(1))]
+    }
+}
+
+/// One selectable option of a [`PolicySetting`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SettingOption {
+    /// Human-readable description ("fine grained location sensing").
+    pub description: String,
+    /// Opaque activation token, the `on` URL in Figure 4.
+    pub on: String,
+    /// The enforcement effect choosing this option produces.
+    pub effect: Effect,
+}
+
+/// A building policy in normalized form: "requirements for data collection
+/// and management set by the temporary or permanent owner" (§III.A).
+///
+/// The wire form (the JSON of Figures 2–4) is [`crate::PolicyDocument`];
+/// [`crate::PolicyCodec`] converts between the two.
+///
+/// # Examples
+///
+/// ```
+/// use tippers_policy::{BuildingPolicy, Modality, PolicyId};
+/// use tippers_ontology::Ontology;
+/// use tippers_spatial::SpatialModel;
+///
+/// let ontology = Ontology::standard();
+/// let c = ontology.concepts();
+/// let model = SpatialModel::new("campus");
+/// let policy = BuildingPolicy::new(
+///     PolicyId(1),
+///     "Camera surveillance",
+///     model.root(),
+///     c.image,
+///     c.surveillance,
+/// )
+/// .with_retention("P90D".parse()?)
+/// .with_modality(Modality::Required);
+/// assert!(policy.is_required());
+/// # Ok::<(), tippers_policy::ParseDurationError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuildingPolicy {
+    /// Unique id.
+    pub id: PolicyId,
+    /// Short name ("Location tracking in DBH").
+    pub name: String,
+    /// Human-readable description for IoTA summaries.
+    pub description: String,
+    /// Space subtree the policy covers.
+    pub space: SpaceId,
+    /// Whose data it covers.
+    pub subjects: SubjectScope,
+    /// Sensor class involved, if tied to specific sensors.
+    pub sensor_class: Option<ConceptId>,
+    /// Data category collected/managed.
+    pub data: ConceptId,
+    /// Purpose of the collection.
+    pub purpose: ConceptId,
+    /// Lifecycle stages covered.
+    pub actions: ActionSet,
+    /// When the policy applies.
+    pub condition: Condition,
+    /// How long data is retained (`None` = indefinitely).
+    pub retention: Option<IsoDuration>,
+    /// Whether users can override it.
+    pub modality: Modality,
+    /// Privacy settings offered to occupants.
+    pub settings: Vec<PolicySetting>,
+    /// The service this policy belongs to, for service policies (Figure 3).
+    pub service: Option<ServiceId>,
+}
+
+impl BuildingPolicy {
+    /// Creates a policy with the mandatory fields; everything else defaults
+    /// (everyone, collect+store, always, opt-out, no retention limit).
+    pub fn new(
+        id: PolicyId,
+        name: impl Into<String>,
+        space: SpaceId,
+        data: ConceptId,
+        purpose: ConceptId,
+    ) -> Self {
+        BuildingPolicy {
+            id,
+            name: name.into(),
+            description: String::new(),
+            space,
+            subjects: SubjectScope::Everyone,
+            sensor_class: None,
+            data,
+            purpose,
+            actions: ActionSet::default(),
+            condition: Condition::always(),
+            retention: None,
+            modality: Modality::default(),
+            settings: Vec::new(),
+            service: None,
+        }
+    }
+
+    /// Sets the description (builder-style).
+    pub fn with_description(mut self, d: impl Into<String>) -> Self {
+        self.description = d.into();
+        self
+    }
+
+    /// Sets the subject scope (builder-style).
+    pub fn with_subjects(mut self, s: SubjectScope) -> Self {
+        self.subjects = s;
+        self
+    }
+
+    /// Sets the sensor class (builder-style).
+    pub fn with_sensor_class(mut self, c: ConceptId) -> Self {
+        self.sensor_class = Some(c);
+        self
+    }
+
+    /// Sets the action set (builder-style).
+    pub fn with_actions(mut self, a: ActionSet) -> Self {
+        self.actions = a;
+        self
+    }
+
+    /// Sets the condition (builder-style).
+    pub fn with_condition(mut self, c: Condition) -> Self {
+        self.condition = c;
+        self
+    }
+
+    /// Sets the retention duration (builder-style).
+    pub fn with_retention(mut self, d: IsoDuration) -> Self {
+        self.retention = Some(d);
+        self
+    }
+
+    /// Sets the modality (builder-style).
+    pub fn with_modality(mut self, m: Modality) -> Self {
+        self.modality = m;
+        self
+    }
+
+    /// Adds a privacy setting (builder-style).
+    pub fn with_setting(mut self, s: PolicySetting) -> Self {
+        self.settings.push(s);
+        self
+    }
+
+    /// Marks this as a service policy (builder-style).
+    pub fn with_service(mut self, s: ServiceId) -> Self {
+        self.service = Some(s);
+        self
+    }
+
+    /// True if occupants cannot override this policy.
+    pub fn is_required(&self) -> bool {
+        self.modality == Modality::Required
+    }
+
+    /// The standard three-way location setting of Figure 4
+    /// (fine / coarse / none).
+    pub fn location_setting() -> PolicySetting {
+        PolicySetting {
+            key: "location-sensing".to_owned(),
+            options: vec![
+                SettingOption {
+                    description: "fine grained location sensing".to_owned(),
+                    on: "https://bms.local/settings?wifi=opt-in&granularity=fine".to_owned(),
+                    effect: Effect::Allow,
+                },
+                SettingOption {
+                    description: "coarse grained location sensing".to_owned(),
+                    on: "https://bms.local/settings?wifi=opt-in&granularity=coarse".to_owned(),
+                    effect: Effect::Degrade(tippers_spatial::Granularity::Floor),
+                },
+                SettingOption {
+                    description: "No location sensing".to_owned(),
+                    on: "https://bms.local/settings?wifi=opt-out".to_owned(),
+                    effect: Effect::Deny,
+                },
+            ],
+            default_option: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_ontology::Ontology;
+    use tippers_spatial::{Granularity, SpatialModel};
+
+    #[test]
+    fn action_set_ops() {
+        let a = ActionSet::of(&[DataAction::Collect, DataAction::Share]);
+        assert!(a.contains(DataAction::Collect));
+        assert!(!a.contains(DataAction::Store));
+        assert!(a.intersects(ActionSet::COLLECT_STORE));
+        assert!(!ActionSet::EMPTY.intersects(a));
+        assert!(ActionSet::EMPTY.is_empty());
+        let b: ActionSet = DataAction::ALL.into_iter().collect();
+        assert_eq!(b, ActionSet::ALL);
+        assert_eq!(a.union(b), ActionSet::ALL);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let m = SpatialModel::new("c");
+        let p = BuildingPolicy::new(PolicyId(1), "test", m.root(), c.wifi_association, c.logging)
+            .with_description("d")
+            .with_modality(Modality::Required)
+            .with_retention("P6M".parse().unwrap())
+            .with_actions(ActionSet::ALL)
+            .with_setting(BuildingPolicy::location_setting());
+        assert!(p.is_required());
+        assert_eq!(p.retention.unwrap().months, 6);
+        assert_eq!(p.settings.len(), 1);
+    }
+
+    #[test]
+    fn location_setting_matches_figure_4_shape() {
+        let s = BuildingPolicy::location_setting();
+        assert_eq!(s.options.len(), 3);
+        assert_eq!(s.options[0].effect, Effect::Allow);
+        assert_eq!(s.options[1].effect, Effect::Degrade(Granularity::Floor));
+        assert_eq!(s.options[2].effect, Effect::Deny);
+        // Default is the most permissive (opt-out world).
+        assert_eq!(s.option(None).effect, Effect::Allow);
+        // Out-of-range choices clamp instead of panicking.
+        assert_eq!(s.option(Some(99)).effect, Effect::Deny);
+    }
+}

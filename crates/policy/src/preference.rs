@@ -1,0 +1,309 @@
+use serde::{Deserialize, Serialize};
+use tippers_ontology::{ConceptId, Ontology};
+use tippers_spatial::{Granularity, SpaceId, SpatialModel};
+
+use crate::condition::{Condition, ConditionContext};
+use crate::ids::{PreferenceId, ServiceId, UserId};
+
+/// What a user wants done with matching data flows.
+///
+/// Mirrors the paper's enforcement *hows*: "accept/deny data access or add
+/// noise" (§V.C) plus granularity reduction (Figure 4's fine/coarse/none
+/// choices).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Effect {
+    /// Permit the flow unchanged.
+    Allow,
+    /// Refuse the flow.
+    Deny,
+    /// Permit location data only at (or coarser than) this granularity.
+    Degrade(Granularity),
+    /// Permit numeric data with zero-mean Gaussian noise of this standard
+    /// deviation added.
+    Noise {
+        /// Noise standard deviation, in the data's natural unit.
+        sigma: f64,
+    },
+}
+
+impl Effect {
+    /// Strictness rank for resolution: higher = more privacy-protective.
+    ///
+    /// `Deny` > `Degrade(coarser)` > `Degrade(finer)` > `Noise` > `Allow`.
+    pub fn strictness(&self) -> u8 {
+        match self {
+            Effect::Allow => 0,
+            Effect::Noise { .. } => 1,
+            Effect::Degrade(g) => 2 + (*g as u8),
+            Effect::Deny => 10,
+        }
+    }
+
+    /// The stricter of two effects.
+    pub fn stricter(self, other: Effect) -> Effect {
+        if self.strictness() >= other.strictness() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True if the effect blocks the flow entirely.
+    pub fn is_deny(&self) -> bool {
+        matches!(self, Effect::Deny)
+    }
+}
+
+/// What a [`UserPreference`] applies to. `None` fields mean *any*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PreferenceScope {
+    /// Data category (matches any request category subsumed by it).
+    pub data: Option<ConceptId>,
+    /// Purpose (matches any request purpose subsumed by it).
+    pub purpose: Option<ConceptId>,
+    /// A specific service (Preference 3/4 are per-service permissions).
+    pub service: Option<ServiceId>,
+    /// A space subtree the subject must be in.
+    pub space: Option<SpaceId>,
+    /// Additional condition (time window etc.).
+    pub condition: Condition,
+}
+
+/// A single flow this scope is tested against.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowRef<'a> {
+    /// Data category of the flow.
+    pub data: ConceptId,
+    /// Purpose of the flow.
+    pub purpose: ConceptId,
+    /// Requesting/consuming service, if any.
+    pub service: Option<&'a ServiceId>,
+    /// Where the subject is (or where the data was captured), if known.
+    pub space: Option<SpaceId>,
+}
+
+impl PreferenceScope {
+    /// True if the scope covers the flow under the given context.
+    ///
+    /// Category/purpose matching is subsumption-aware: a scope over
+    /// `data/location` covers a flow of `data/location/fine`. Space matching
+    /// with an *unknown* flow space is conservative (the scope applies), so
+    /// restrictive preferences are not bypassed by dropping location info.
+    pub fn covers(
+        &self,
+        flow: &FlowRef<'_>,
+        ontology: &Ontology,
+        ctx: &ConditionContext<'_>,
+    ) -> bool {
+        if let Some(d) = self.data {
+            if !ontology.data.is_a(flow.data, d) {
+                return false;
+            }
+        }
+        if let Some(p) = self.purpose {
+            if !ontology.purposes.is_a(flow.purpose, p) {
+                return false;
+            }
+        }
+        if let Some(svc) = &self.service {
+            match flow.service {
+                Some(s) if s == svc => {}
+                _ => return false,
+            }
+        }
+        if let Some(space) = self.space {
+            if let Some(fs) = flow.space {
+                if !ctx.model.contains(space, fs) {
+                    return false;
+                }
+            }
+        }
+        self.condition.is_satisfied(ctx)
+    }
+}
+
+/// A user preference: "a representation of the user's expectation of how
+/// data pertaining to her should be managed by the pervasive space"
+/// (§III.B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserPreference {
+    /// Unique id.
+    pub id: PreferenceId,
+    /// The user whose data this governs.
+    pub user: UserId,
+    /// What flows the preference covers.
+    pub scope: PreferenceScope,
+    /// What to do with covered flows.
+    pub effect: Effect,
+    /// Tie-breaker among one user's own preferences: higher wins; on equal
+    /// priority the stricter effect wins.
+    pub priority: u8,
+    /// Free-text note shown in IoTA summaries.
+    pub note: String,
+}
+
+impl UserPreference {
+    /// Creates a preference with default (lowest) priority.
+    pub fn new(id: PreferenceId, user: UserId, scope: PreferenceScope, effect: Effect) -> Self {
+        UserPreference {
+            id,
+            user,
+            scope,
+            effect,
+            priority: 0,
+            note: String::new(),
+        }
+    }
+
+    /// Sets the priority (builder-style).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the note (builder-style).
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = note.into();
+        self
+    }
+}
+
+/// Picks the effective effect among a user's matching preferences:
+/// highest priority wins; ties resolve to the strictest effect; no matching
+/// preference yields `None` (caller applies the policy default).
+pub fn effective_effect(matching: &[&UserPreference]) -> Option<Effect> {
+    let top = matching.iter().map(|p| p.priority).max()?;
+    matching
+        .iter()
+        .filter(|p| p.priority == top)
+        .map(|p| p.effect)
+        .reduce(Effect::stricter)
+}
+
+/// Convenience: evaluates all of `prefs` against one flow and resolves.
+pub fn resolve_preferences(
+    prefs: &[UserPreference],
+    user: UserId,
+    flow: &FlowRef<'_>,
+    ontology: &Ontology,
+    model: &SpatialModel,
+    ctx: &ConditionContext<'_>,
+) -> Option<Effect> {
+    let _ = model;
+    let matching: Vec<&UserPreference> = prefs
+        .iter()
+        .filter(|p| p.user == user)
+        .filter(|p| p.scope.covers(flow, ontology, ctx))
+        .collect();
+    effective_effect(&matching)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Timestamp;
+
+    fn env() -> (Ontology, SpatialModel) {
+        (Ontology::standard(), SpatialModel::new("c"))
+    }
+
+    #[test]
+    fn strictness_ordering() {
+        assert!(Effect::Deny.strictness() > Effect::Degrade(Granularity::Campus).strictness());
+        assert!(
+            Effect::Degrade(Granularity::Building).strictness()
+                > Effect::Degrade(Granularity::Room).strictness()
+        );
+        assert!(Effect::Noise { sigma: 1.0 }.strictness() > Effect::Allow.strictness());
+        assert_eq!(Effect::Allow.stricter(Effect::Deny), Effect::Deny);
+    }
+
+    #[test]
+    fn scope_subsumption_matching() {
+        let (ont, model) = env();
+        let c = ont.concepts();
+        let scope = PreferenceScope {
+            data: Some(c.location),
+            ..Default::default()
+        };
+        let ctx = ConditionContext::at(&model, Timestamp::at(0, 12, 0));
+        let fine_flow = FlowRef {
+            data: c.location_fine,
+            purpose: c.navigation,
+            service: None,
+            space: None,
+        };
+        assert!(scope.covers(&fine_flow, &ont, &ctx));
+        let temp_flow = FlowRef {
+            data: c.ambient_temperature,
+            ..fine_flow
+        };
+        assert!(!scope.covers(&temp_flow, &ont, &ctx));
+    }
+
+    #[test]
+    fn service_scope_requires_exact_service() {
+        let (ont, model) = env();
+        let c = ont.concepts();
+        let concierge = ServiceId::new("Concierge");
+        let scope = PreferenceScope {
+            service: Some(concierge.clone()),
+            ..Default::default()
+        };
+        let ctx = ConditionContext::at(&model, Timestamp::at(0, 12, 0));
+        let mut flow = FlowRef {
+            data: c.location_fine,
+            purpose: c.navigation,
+            service: Some(&concierge),
+            space: None,
+        };
+        assert!(scope.covers(&flow, &ont, &ctx));
+        flow.service = None;
+        assert!(!scope.covers(&flow, &ont, &ctx));
+        let other = ServiceId::new("Other");
+        flow.service = Some(&other);
+        assert!(!scope.covers(&flow, &ont, &ctx));
+    }
+
+    #[test]
+    fn priority_then_strictness() {
+        let (ont, _) = env();
+        let c = ont.concepts();
+        let scope = PreferenceScope {
+            data: Some(c.location),
+            ..Default::default()
+        };
+        let deny = UserPreference::new(PreferenceId(1), UserId(1), scope.clone(), Effect::Deny);
+        let allow = UserPreference::new(PreferenceId(2), UserId(1), scope.clone(), Effect::Allow)
+            .with_priority(5);
+        // Higher-priority Allow beats lower-priority Deny.
+        assert_eq!(effective_effect(&[&deny, &allow]), Some(Effect::Allow));
+        // Same priority: strictest wins.
+        let allow0 = UserPreference::new(PreferenceId(3), UserId(1), scope, Effect::Allow);
+        assert_eq!(effective_effect(&[&deny, &allow0]), Some(Effect::Deny));
+        assert_eq!(effective_effect(&[]), None);
+    }
+
+    #[test]
+    fn resolve_filters_by_user() {
+        let (ont, model) = env();
+        let c = ont.concepts();
+        let scope = PreferenceScope {
+            data: Some(c.location),
+            ..Default::default()
+        };
+        let other_users =
+            vec![UserPreference::new(PreferenceId(1), UserId(9), scope, Effect::Deny)];
+        let ctx = ConditionContext::at(&model, Timestamp::at(0, 12, 0));
+        let flow = FlowRef {
+            data: c.location_fine,
+            purpose: c.navigation,
+            service: None,
+            space: None,
+        };
+        assert_eq!(
+            resolve_preferences(&other_users, UserId(1), &flow, &ont, &model, &ctx),
+            None
+        );
+    }
+}

@@ -1,0 +1,135 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::UserId;
+
+/// Occupant groups, the paper's user-profile groups ("students, faculty,
+/// staff etc.") that "share common properties (e.g., access permissions)"
+/// (§IV.A.2). Groups also drive the simulator's mobility schedules and the
+/// §II.A role-inference heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UserGroup {
+    /// Faculty members.
+    Faculty,
+    /// Non-faculty staff ("arrive at 7 am and leave before 5 pm").
+    Staff,
+    /// Graduate students ("generally leave the building late").
+    GradStudent,
+    /// Undergraduates ("spend most of the time in classrooms").
+    Undergrad,
+    /// Visitors with no standing affiliation.
+    Visitor,
+}
+
+impl UserGroup {
+    /// All groups.
+    pub const ALL: [UserGroup; 5] = [
+        UserGroup::Faculty,
+        UserGroup::Staff,
+        UserGroup::GradStudent,
+        UserGroup::Undergrad,
+        UserGroup::Visitor,
+    ];
+}
+
+impl fmt::Display for UserGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UserGroup::Faculty => "faculty",
+            UserGroup::Staff => "staff",
+            UserGroup::GradStudent => "grad student",
+            UserGroup::Undergrad => "undergrad",
+            UserGroup::Visitor => "visitor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whose data a building policy applies to.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SubjectScope {
+    /// Every occupant.
+    #[default]
+    Everyone,
+    /// Only members of the listed groups.
+    Groups(Vec<UserGroup>),
+    /// Only the listed users.
+    Users(Vec<UserId>),
+}
+
+impl SubjectScope {
+    /// True if a user with the given group falls in scope.
+    pub fn matches(&self, user: UserId, group: UserGroup) -> bool {
+        match self {
+            SubjectScope::Everyone => true,
+            SubjectScope::Groups(gs) => gs.contains(&group),
+            SubjectScope::Users(us) => us.contains(&user),
+        }
+    }
+
+    /// Conservative overlap: could any user fall in both scopes?
+    pub fn may_overlap(&self, other: &SubjectScope) -> bool {
+        match (self, other) {
+            (SubjectScope::Everyone, _) | (_, SubjectScope::Everyone) => true,
+            (SubjectScope::Groups(a), SubjectScope::Groups(b)) => {
+                a.iter().any(|g| b.contains(g))
+            }
+            (SubjectScope::Users(a), SubjectScope::Users(b)) => {
+                a.iter().any(|u| b.contains(u))
+            }
+            // Group scope vs user scope: users' groups are unknown here, so
+            // assume overlap (privacy-conservative).
+            (SubjectScope::Groups(_), SubjectScope::Users(_))
+            | (SubjectScope::Users(_), SubjectScope::Groups(_)) => true,
+        }
+    }
+
+    /// True if a specific user could fall in scope, without knowing their
+    /// group.
+    pub fn may_match_user(&self, user: UserId) -> bool {
+        match self {
+            SubjectScope::Everyone | SubjectScope::Groups(_) => true,
+            SubjectScope::Users(us) => us.contains(&user),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everyone_matches_all() {
+        assert!(SubjectScope::Everyone.matches(UserId(1), UserGroup::Visitor));
+    }
+
+    #[test]
+    fn group_scope() {
+        let s = SubjectScope::Groups(vec![UserGroup::Faculty, UserGroup::Staff]);
+        assert!(s.matches(UserId(1), UserGroup::Staff));
+        assert!(!s.matches(UserId(1), UserGroup::Undergrad));
+    }
+
+    #[test]
+    fn user_scope() {
+        let s = SubjectScope::Users(vec![UserId(1), UserId(2)]);
+        assert!(s.matches(UserId(2), UserGroup::Faculty));
+        assert!(!s.matches(UserId(3), UserGroup::Faculty));
+        assert!(s.may_match_user(UserId(1)));
+        assert!(!s.may_match_user(UserId(9)));
+    }
+
+    #[test]
+    fn overlap_rules() {
+        let everyone = SubjectScope::Everyone;
+        let faculty = SubjectScope::Groups(vec![UserGroup::Faculty]);
+        let staff = SubjectScope::Groups(vec![UserGroup::Staff]);
+        let u1 = SubjectScope::Users(vec![UserId(1)]);
+        let u2 = SubjectScope::Users(vec![UserId(2)]);
+        assert!(everyone.may_overlap(&faculty));
+        assert!(!faculty.may_overlap(&staff));
+        assert!(faculty.may_overlap(&u1)); // conservative
+        assert!(!u1.may_overlap(&u2));
+    }
+}

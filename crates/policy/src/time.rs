@@ -1,0 +1,449 @@
+//! Simulation time: timestamps, time-of-day, weekday sets and windows.
+//!
+//! The framework runs against a simulated building, so time is a simple
+//! seconds-since-epoch counter with calendar helpers. Day 0 is a Monday.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in a day.
+pub const SECONDS_PER_DAY: i64 = 86_400;
+
+/// A point in simulated time (seconds since the simulation epoch).
+///
+/// Day 0 of the simulation is a Monday; [`Timestamp::weekday`] and
+/// [`Timestamp::time_of_day`] derive calendar facts from that convention.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// The simulation epoch (midnight, Monday, day 0).
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Builds a timestamp from day number and wall-clock time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tippers_policy::time::Timestamp;
+    /// let t = Timestamp::at(1, 9, 30); // Tuesday 09:30
+    /// assert_eq!(t.day(), 1);
+    /// assert_eq!(t.time_of_day().hour(), 9);
+    /// ```
+    pub fn at(day: i64, hour: u32, minute: u32) -> Timestamp {
+        Timestamp(day * SECONDS_PER_DAY + (hour as i64) * 3600 + (minute as i64) * 60)
+    }
+
+    /// Seconds since the epoch.
+    pub fn seconds(self) -> i64 {
+        self.0
+    }
+
+    /// Day number since the epoch (day 0 is a Monday).
+    pub fn day(self) -> i64 {
+        self.0.div_euclid(SECONDS_PER_DAY)
+    }
+
+    /// Weekday of this timestamp.
+    pub fn weekday(self) -> Weekday {
+        Weekday::ALL[(self.day().rem_euclid(7)) as usize]
+    }
+
+    /// Wall-clock time of day.
+    pub fn time_of_day(self) -> TimeOfDay {
+        TimeOfDay((self.0.rem_euclid(SECONDS_PER_DAY)) as u32)
+    }
+
+    /// True if the weekday is Saturday or Sunday.
+    pub fn is_weekend(self) -> bool {
+        matches!(self.weekday(), Weekday::Sat | Weekday::Sun)
+    }
+}
+
+impl Add<i64> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, seconds: i64) -> Timestamp {
+        Timestamp(self.0 + seconds)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = i64;
+    fn sub(self, other: Timestamp) -> i64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{} {} {}", self.day(), self.weekday(), self.time_of_day())
+    }
+}
+
+/// Wall-clock time of day in seconds since midnight.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TimeOfDay(pub u32);
+
+impl TimeOfDay {
+    /// Midnight.
+    pub const MIDNIGHT: TimeOfDay = TimeOfDay(0);
+
+    /// Builds a time of day.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour > 23` or `minute > 59`.
+    pub fn new(hour: u32, minute: u32) -> TimeOfDay {
+        assert!(hour < 24, "hour out of range");
+        assert!(minute < 60, "minute out of range");
+        TimeOfDay(hour * 3600 + minute * 60)
+    }
+
+    /// Hour component (0–23).
+    pub fn hour(self) -> u32 {
+        self.0 / 3600
+    }
+
+    /// Minute component (0–59).
+    pub fn minute(self) -> u32 {
+        (self.0 % 3600) / 60
+    }
+}
+
+impl fmt::Display for TimeOfDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02}:{:02}", self.hour(), self.minute())
+    }
+}
+
+/// Day of the week. The simulation epoch (day 0) is a Monday.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Weekday {
+    /// Monday.
+    Mon,
+    /// Tuesday.
+    Tue,
+    /// Wednesday.
+    Wed,
+    /// Thursday.
+    Thu,
+    /// Friday.
+    Fri,
+    /// Saturday.
+    Sat,
+    /// Sunday.
+    Sun,
+}
+
+impl Weekday {
+    /// All weekdays, Monday first.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Mon,
+        Weekday::Tue,
+        Weekday::Wed,
+        Weekday::Thu,
+        Weekday::Fri,
+        Weekday::Sat,
+        Weekday::Sun,
+    ];
+
+    /// Index in [`Weekday::ALL`].
+    pub fn index(self) -> usize {
+        Weekday::ALL.iter().position(|&w| w == self).expect("member")
+    }
+}
+
+impl fmt::Display for Weekday {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Weekday::Mon => "Mon",
+            Weekday::Tue => "Tue",
+            Weekday::Wed => "Wed",
+            Weekday::Thu => "Thu",
+            Weekday::Fri => "Fri",
+            Weekday::Sat => "Sat",
+            Weekday::Sun => "Sun",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A set of weekdays, stored as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WeekdaySet(u8);
+
+impl WeekdaySet {
+    /// Every day of the week.
+    pub const ALL: WeekdaySet = WeekdaySet(0b0111_1111);
+    /// Monday through Friday.
+    pub const WEEKDAYS: WeekdaySet = WeekdaySet(0b0001_1111);
+    /// Saturday and Sunday.
+    pub const WEEKEND: WeekdaySet = WeekdaySet(0b0110_0000);
+    /// No days.
+    pub const EMPTY: WeekdaySet = WeekdaySet(0);
+
+    /// Builds a set from a list of days.
+    pub fn of(days: &[Weekday]) -> WeekdaySet {
+        let mut mask = 0u8;
+        for d in days {
+            mask |= 1 << d.index();
+        }
+        WeekdaySet(mask)
+    }
+
+    /// True if the set contains `day`.
+    pub fn contains(self, day: Weekday) -> bool {
+        self.0 & (1 << day.index()) != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: WeekdaySet) -> WeekdaySet {
+        WeekdaySet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: WeekdaySet) -> WeekdaySet {
+        WeekdaySet(self.0 & other.0)
+    }
+
+    /// True if the intersection is non-empty.
+    pub fn intersects(self, other: WeekdaySet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// True if no day is in the set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for WeekdaySet {
+    fn default() -> Self {
+        WeekdaySet::ALL
+    }
+}
+
+/// A recurring daily time window on a set of weekdays.
+///
+/// Windows may wrap past midnight (`start > end`), which is how
+/// "after-hours" is expressed (Preference 1: "Do not share the occupancy
+/// status of my office in after-hours").
+///
+/// # Examples
+///
+/// ```
+/// use tippers_policy::{TimeWindow, Timestamp};
+/// let after_hours = TimeWindow::after_hours();
+/// assert!(after_hours.contains(Timestamp::at(0, 23, 0)));
+/// assert!(after_hours.contains(Timestamp::at(1, 3, 0))); // wraps midnight
+/// assert!(!after_hours.contains(Timestamp::at(1, 12, 0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Window start (inclusive).
+    pub start: TimeOfDay,
+    /// Window end (exclusive). If `end <= start`, the window wraps midnight.
+    pub end: TimeOfDay,
+    /// Days on which the window recurs (matched against the day the
+    /// timestamp falls on).
+    pub days: WeekdaySet,
+}
+
+impl TimeWindow {
+    /// A window covering all of every day.
+    pub fn always() -> TimeWindow {
+        TimeWindow {
+            start: TimeOfDay::MIDNIGHT,
+            end: TimeOfDay::MIDNIGHT,
+            days: WeekdaySet::ALL,
+        }
+    }
+
+    /// Daily window between two wall-clock times (wraps if `start >= end`).
+    pub fn daily(start: TimeOfDay, end: TimeOfDay) -> TimeWindow {
+        TimeWindow {
+            start,
+            end,
+            days: WeekdaySet::ALL,
+        }
+    }
+
+    /// Business hours: 08:00–18:00 Monday–Friday.
+    pub fn business_hours() -> TimeWindow {
+        TimeWindow {
+            start: TimeOfDay::new(8, 0),
+            end: TimeOfDay::new(18, 0),
+            days: WeekdaySet::WEEKDAYS,
+        }
+    }
+
+    /// After-hours: 18:00–08:00 every day, plus all of the weekend is
+    /// covered by the wrap-around window falling on those days too.
+    pub fn after_hours() -> TimeWindow {
+        TimeWindow {
+            start: TimeOfDay::new(18, 0),
+            end: TimeOfDay::new(8, 0),
+            days: WeekdaySet::ALL,
+        }
+    }
+
+    /// True if the timestamp falls inside the window.
+    ///
+    /// A window with `start == end` covers the whole day. A wrapping window
+    /// covers `[start, midnight)` and `[midnight, end)`.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        if !self.days.contains(t.weekday()) {
+            return false;
+        }
+        let tod = t.time_of_day();
+        if self.start == self.end {
+            true
+        } else if self.start < self.end {
+            self.start <= tod && tod < self.end
+        } else {
+            tod >= self.start || tod < self.end
+        }
+    }
+
+    /// Conservative overlap test: true unless the windows provably never
+    /// share an instant (disjoint day sets or disjoint daily intervals).
+    pub fn overlaps(&self, other: &TimeWindow) -> bool {
+        // Wrapping windows bleed into the next day, so only require either
+        // day set to intersect the other's.
+        if !self.days.intersects(other.days) && !self.wraps() && !other.wraps() {
+            return false;
+        }
+        self.daily_intervals()
+            .iter()
+            .any(|a| other.daily_intervals().iter().any(|b| a.0 < b.1 && b.0 < a.1))
+    }
+
+    fn wraps(&self) -> bool {
+        self.end <= self.start && (self.start != self.end)
+    }
+
+    /// The window as up to two non-wrapping `[start, end)` second intervals
+    /// within a day.
+    fn daily_intervals(&self) -> Vec<(u32, u32)> {
+        const DAY: u32 = SECONDS_PER_DAY as u32;
+        if self.start == self.end {
+            vec![(0, DAY)]
+        } else if self.start < self.end {
+            vec![(self.start.0, self.end.0)]
+        } else {
+            vec![(self.start.0, DAY), (0, self.end.0)]
+        }
+    }
+}
+
+impl Default for TimeWindow {
+    fn default() -> Self {
+        TimeWindow::always()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_monday_midnight() {
+        assert_eq!(Timestamp::EPOCH.weekday(), Weekday::Mon);
+        assert_eq!(Timestamp::EPOCH.time_of_day(), TimeOfDay::MIDNIGHT);
+    }
+
+    #[test]
+    fn calendar_math() {
+        let t = Timestamp::at(8, 14, 45); // day 8 = second Tuesday
+        assert_eq!(t.weekday(), Weekday::Tue);
+        assert_eq!(t.time_of_day().hour(), 14);
+        assert_eq!(t.time_of_day().minute(), 45);
+        assert!(Timestamp::at(5, 12, 0).is_weekend()); // Saturday
+        assert!(!Timestamp::at(4, 12, 0).is_weekend()); // Friday
+    }
+
+    #[test]
+    fn negative_timestamps_still_work() {
+        let t = Timestamp(-1);
+        assert_eq!(t.day(), -1);
+        assert_eq!(t.time_of_day().0, (SECONDS_PER_DAY - 1) as u32);
+        assert_eq!(t.weekday(), Weekday::Sun);
+    }
+
+    #[test]
+    fn weekday_sets() {
+        assert!(WeekdaySet::WEEKDAYS.contains(Weekday::Fri));
+        assert!(!WeekdaySet::WEEKDAYS.contains(Weekday::Sat));
+        assert!(WeekdaySet::WEEKDAYS.union(WeekdaySet::WEEKEND) == WeekdaySet::ALL);
+        assert!(!WeekdaySet::WEEKDAYS.intersects(WeekdaySet::WEEKEND));
+        assert!(WeekdaySet::of(&[Weekday::Sat]).intersects(WeekdaySet::WEEKEND));
+    }
+
+    #[test]
+    fn business_hours_window() {
+        let w = TimeWindow::business_hours();
+        assert!(w.contains(Timestamp::at(0, 9, 0)));
+        assert!(!w.contains(Timestamp::at(0, 7, 59)));
+        assert!(!w.contains(Timestamp::at(0, 18, 0))); // end exclusive
+        assert!(!w.contains(Timestamp::at(5, 9, 0))); // Saturday
+    }
+
+    #[test]
+    fn after_hours_wraps_midnight() {
+        let w = TimeWindow::after_hours();
+        assert!(w.contains(Timestamp::at(0, 23, 0)));
+        assert!(w.contains(Timestamp::at(1, 3, 0)));
+        assert!(w.contains(Timestamp::at(1, 7, 59)));
+        assert!(!w.contains(Timestamp::at(1, 8, 0)));
+        assert!(!w.contains(Timestamp::at(1, 12, 0)));
+    }
+
+    #[test]
+    fn full_day_window_contains_everything() {
+        let w = TimeWindow::always();
+        for h in 0..24 {
+            assert!(w.contains(Timestamp::at(3, h, 30)));
+        }
+    }
+
+    #[test]
+    fn window_overlap() {
+        let business = TimeWindow::business_hours();
+        let after = TimeWindow::after_hours();
+        let lunch = TimeWindow::daily(TimeOfDay::new(12, 0), TimeOfDay::new(13, 0));
+        assert!(business.overlaps(&lunch));
+        assert!(!business.overlaps(&after));
+        assert!(after.overlaps(&TimeWindow::always()));
+        // Same hours but disjoint days.
+        let sat_only = TimeWindow {
+            days: WeekdaySet::of(&[Weekday::Sat]),
+            ..business
+        };
+        let sun_only = TimeWindow {
+            days: WeekdaySet::of(&[Weekday::Sun]),
+            ..business
+        };
+        assert!(!sat_only.overlaps(&sun_only));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_for_samples() {
+        let windows = [
+            TimeWindow::always(),
+            TimeWindow::business_hours(),
+            TimeWindow::after_hours(),
+            TimeWindow::daily(TimeOfDay::new(6, 0), TimeOfDay::new(7, 0)),
+        ];
+        for a in &windows {
+            for b in &windows {
+                assert_eq!(a.overlaps(b), b.overlaps(a));
+            }
+        }
+    }
+}

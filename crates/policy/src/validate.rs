@@ -1,0 +1,235 @@
+//! Structural validation of wire-format policy documents.
+//!
+//! IRRs should refuse to advertise documents that IoTAs cannot make sense
+//! of; this module reports what is wrong and where.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::document::PolicyDocument;
+
+/// Severity of a [`ValidationIssue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Advisory; the document is usable.
+    Warning,
+    /// The document (or one resource) cannot be interpreted.
+    Error,
+}
+
+/// One problem found in a document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ValidationIssue {
+    /// How bad it is.
+    pub severity: Severity,
+    /// JSON-pointer-ish location, e.g. `/resources/0/info/name`.
+    pub path: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(f, "{sev} at {}: {}", self.path, self.message)
+    }
+}
+
+/// Validates a policy document, returning all issues found (empty = clean).
+pub fn validate_document(doc: &PolicyDocument) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    let mut push = |severity, path: String, message: &str| {
+        issues.push(ValidationIssue {
+            severity,
+            path,
+            message: message.to_owned(),
+        })
+    };
+
+    if doc.resources.is_empty() {
+        push(
+            Severity::Error,
+            "/resources".into(),
+            "document advertises no resources",
+        );
+    }
+    for (i, r) in doc.resources.iter().enumerate() {
+        let base = format!("/resources/{i}");
+        if r.info.name.trim().is_empty() {
+            push(Severity::Error, format!("{base}/info/name"), "empty resource name");
+        }
+        if r.purpose.is_empty() {
+            push(
+                Severity::Error,
+                format!("{base}/purpose"),
+                "no purpose declared; users cannot assess the practice",
+            );
+        }
+        if r.observations.is_empty() {
+            push(
+                Severity::Warning,
+                format!("{base}/observations"),
+                "no observations listed; nothing is disclosed about collected data",
+            );
+        }
+        for (j, obs) in r.observations.iter().enumerate() {
+            if obs.name.trim().is_empty() {
+                push(
+                    Severity::Error,
+                    format!("{base}/observations/{j}/name"),
+                    "empty observation name",
+                );
+            }
+        }
+        if r.retention.is_none() {
+            push(
+                Severity::Warning,
+                format!("{base}/retention"),
+                "no retention period; data is kept indefinitely",
+            );
+        } else if let Some(ret) = r.retention {
+            if ret.duration.is_zero() {
+                push(
+                    Severity::Warning,
+                    format!("{base}/retention/duration"),
+                    "zero retention period",
+                );
+            }
+        }
+        if r.context
+            .as_ref()
+            .and_then(|c| c.location.as_ref())
+            .and_then(|l| l.spatial.as_ref())
+            .is_none()
+        {
+            push(
+                Severity::Warning,
+                format!("{base}/context/location/spatial"),
+                "no spatial context; users cannot tell where the practice applies",
+            );
+        }
+        for (j, s) in r.settings.iter().enumerate() {
+            if s.select.is_empty() {
+                push(
+                    Severity::Error,
+                    format!("{base}/settings/{j}/select"),
+                    "setting with no options",
+                );
+            }
+            let mut seen = std::collections::HashSet::new();
+            for (k, o) in s.select.iter().enumerate() {
+                if o.on.trim().is_empty() {
+                    push(
+                        Severity::Error,
+                        format!("{base}/settings/{j}/select/{k}/on"),
+                        "option without an activation URL",
+                    );
+                }
+                if !seen.insert(o.description.as_str()) {
+                    push(
+                        Severity::Warning,
+                        format!("{base}/settings/{j}/select/{k}/description"),
+                        "duplicate option description",
+                    );
+                }
+            }
+        }
+    }
+    issues
+}
+
+/// True if the document has no [`Severity::Error`]-level issues.
+pub fn is_advertisable(doc: &PolicyDocument) -> bool {
+    validate_document(doc)
+        .iter()
+        .all(|i| i.severity < Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::*;
+    use crate::figures;
+
+    #[test]
+    fn figure_2_is_clean_enough_to_advertise() {
+        let doc = figures::fig2_document();
+        assert!(is_advertisable(&doc));
+        // It has no settings, which is fine; no error-level issues.
+        let errors: Vec<_> = validate_document(&doc)
+            .into_iter()
+            .filter(|i| i.severity == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn empty_document_is_an_error() {
+        let doc = PolicyDocument::default();
+        let issues = validate_document(&doc);
+        assert!(issues.iter().any(|i| i.severity == Severity::Error));
+        assert!(!is_advertisable(&doc));
+    }
+
+    #[test]
+    fn missing_purpose_is_an_error() {
+        let doc = PolicyDocument {
+            resources: vec![ResourceBlock {
+                info: InfoBlock {
+                    name: "x".into(),
+                    description: None,
+                },
+                ..Default::default()
+            }],
+        };
+        let issues = validate_document(&doc);
+        assert!(issues
+            .iter()
+            .any(|i| i.path.ends_with("/purpose") && i.severity == Severity::Error));
+    }
+
+    #[test]
+    fn missing_retention_is_a_warning() {
+        let mut doc = figures::fig2_document();
+        doc.resources[0].retention = None;
+        assert!(is_advertisable(&doc));
+        assert!(validate_document(&doc)
+            .iter()
+            .any(|i| i.path.ends_with("/retention") && i.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn broken_settings_are_errors() {
+        let mut doc = figures::fig2_document();
+        doc.resources[0].settings.push(SettingBlock { select: vec![] });
+        assert!(!is_advertisable(&doc));
+    }
+
+    #[test]
+    fn duplicate_option_descriptions_warn() {
+        let mut doc = figures::fig2_document();
+        let opt = SettingOptionBlock {
+            description: "same".into(),
+            on: "https://x".into(),
+        };
+        doc.resources[0].settings.push(SettingBlock {
+            select: vec![opt.clone(), opt],
+        });
+        let issues = validate_document(&doc);
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("duplicate") && i.severity == Severity::Warning));
+        assert!(is_advertisable(&doc));
+    }
+
+    #[test]
+    fn issues_display_nicely() {
+        let doc = PolicyDocument::default();
+        let text = validate_document(&doc)[0].to_string();
+        assert!(text.contains("error at /resources"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property: arbitrary normalized policies survive the wire-format round
+//! trip (export → JSON → parse → import) with all wire-representable
+//! fields intact.
+
+use proptest::prelude::*;
+use tippers_ontology::{ConceptId, Ontology};
+use tippers_policy::{
+    BuildingPolicy, Modality, PolicyCodec, PolicyDocument, PolicyId,
+};
+use tippers_spatial::fixtures::dbh;
+
+fn wire_representable_data(ont: &Ontology) -> Vec<ConceptId> {
+    // Leaf-ish categories with unambiguous labels (the codec writes the
+    // category key explicitly, so anything resolvable works).
+    let c = ont.concepts();
+    vec![
+        c.wifi_association,
+        c.bluetooth_sighting,
+        c.occupancy,
+        c.image,
+        c.power_consumption,
+        c.ambient_temperature,
+        c.person_identity,
+        c.location_room,
+        c.event_details,
+        c.meeting_details,
+    ]
+}
+
+fn purposes(ont: &Ontology) -> Vec<ConceptId> {
+    let c = ont.concepts();
+    vec![
+        c.emergency_response,
+        c.surveillance,
+        c.access_control,
+        c.comfort,
+        c.energy_management,
+        c.logging,
+        c.navigation,
+        c.scheduling,
+        c.delivery,
+        c.analytics,
+        c.marketing,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn export_json_import_fixpoint(
+        data_idx in 0usize..10,
+        purpose_idx in 0usize..11,
+        space_sel in 0usize..100,
+        modality_idx in 0usize..3,
+        retention_months in proptest::option::of(1u32..24),
+        with_setting in any::<bool>(),
+        with_service in any::<bool>(),
+        name in "[A-Za-z][A-Za-z0-9 ]{0,30}",
+    ) {
+        let ont = Ontology::standard();
+        let building = dbh();
+        let datas = wire_representable_data(&ont);
+        let purp = purposes(&ont);
+        let spaces: Vec<_> = std::iter::once(building.building)
+            .chain(building.floors.iter().copied())
+            .chain(building.offices.iter().copied())
+            .collect();
+        let mut policy = BuildingPolicy::new(
+            PolicyId(1),
+            name.trim().to_owned() + "x", // never empty
+            spaces[space_sel % spaces.len()],
+            datas[data_idx],
+            purp[purpose_idx],
+        );
+        policy.modality = [Modality::Required, Modality::OptOut, Modality::OptIn][modality_idx];
+        if let Some(m) = retention_months {
+            policy = policy.with_retention(
+                format!("P{m}M").parse().expect("valid duration"),
+            );
+        }
+        if with_setting {
+            policy = policy.with_setting(BuildingPolicy::location_setting());
+        }
+        if with_service {
+            policy = policy.with_service(tippers_policy::catalog::services::concierge());
+        }
+
+        let codec = PolicyCodec::new(&ont, &building.model);
+        let doc = codec.to_document(&policy);
+        // Through actual JSON text, as an IRR/IoTA would see it.
+        let text = serde_json::to_string(&doc).expect("serializable");
+        let parsed: PolicyDocument = serde_json::from_str(&text).expect("parseable");
+        prop_assert_eq!(&parsed, &doc, "JSON round trip must be exact");
+
+        let imported = codec.from_document(&parsed, 1).expect("importable");
+        prop_assert_eq!(imported.len(), 1);
+        let back = &imported[0];
+        prop_assert_eq!(&back.name, &policy.name);
+        prop_assert_eq!(back.space, policy.space);
+        prop_assert_eq!(back.data, policy.data);
+        prop_assert_eq!(back.purpose, policy.purpose);
+        prop_assert_eq!(back.modality, policy.modality);
+        prop_assert_eq!(back.retention, policy.retention);
+        prop_assert_eq!(&back.service, &policy.service);
+        prop_assert_eq!(back.settings.len(), policy.settings.len());
+        for (a, b) in back.settings.iter().zip(&policy.settings) {
+            for (oa, ob) in a.options.iter().zip(&b.options) {
+                prop_assert_eq!(&oa.description, &ob.description);
+                prop_assert_eq!(oa.effect, ob.effect);
+            }
+        }
+        // Every exported document is advertisable as-is.
+        prop_assert!(tippers_policy::is_advertisable(&doc));
+    }
+}

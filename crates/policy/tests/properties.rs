@@ -1,0 +1,219 @@
+//! Property-based tests for the policy language.
+
+use proptest::prelude::*;
+use tippers_ontology::{ConceptId, Ontology};
+use tippers_policy::{
+    conflict, Condition, Effect, IsoDuration, PolicyId, PreferenceId, PreferenceScope,
+    BuildingPolicy, Modality, ResolutionStrategy, TimeOfDay, TimeWindow, Timestamp, UserId,
+    UserPreference, WeekdaySet,
+};
+use tippers_spatial::{Granularity, SpatialModel, SpaceKind};
+
+fn arb_duration() -> impl Strategy<Value = IsoDuration> {
+    (0u32..5, 0u32..24, 0u32..60, 0u32..48, 0u32..120, 0u32..120).prop_map(
+        |(y, m, d, h, min, s)| IsoDuration {
+            years: y,
+            months: m,
+            days: d,
+            hours: h,
+            minutes: min,
+            seconds: s,
+        },
+    )
+}
+
+fn arb_window() -> impl Strategy<Value = TimeWindow> {
+    (0u32..24, 0u32..60, 0u32..24, 0u32..60, 1u8..128).prop_map(|(h1, m1, h2, m2, days)| {
+        TimeWindow {
+            start: TimeOfDay::new(h1, m1),
+            end: TimeOfDay::new(h2, m2),
+            days: WeekdaySet::of(
+                &tippers_policy::Weekday::ALL
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| days & (1 << i) != 0)
+                    .map(|(_, d)| *d)
+                    .collect::<Vec<_>>(),
+            ),
+        }
+    })
+}
+
+fn arb_effect() -> impl Strategy<Value = Effect> {
+    prop_oneof![
+        Just(Effect::Allow),
+        Just(Effect::Deny),
+        (0usize..6).prop_map(|g| Effect::Degrade(Granularity::ALL[g])),
+        (0.1f64..10.0).prop_map(|sigma| Effect::Noise { sigma }),
+    ]
+}
+
+/// Environment shared by the conflict-equivalence property.
+fn env() -> (Ontology, SpatialModel, Vec<tippers_spatial::SpaceId>) {
+    let ont = Ontology::standard();
+    let mut m = SpatialModel::new("campus");
+    let b = m.add_space("B", SpaceKind::Building, m.root());
+    let mut spaces = vec![m.root(), b];
+    for f in 0..3 {
+        let floor = m.add_space(format!("B-{f}"), SpaceKind::Floor, b);
+        spaces.push(floor);
+        for r in 0..3 {
+            spaces.push(m.add_space(
+                format!("B-{f}{r:02}"),
+                SpaceKind::room(tippers_spatial::RoomUse::Office),
+                floor,
+            ));
+        }
+    }
+    (ont, m, spaces)
+}
+
+/// Data-taxonomy concepts used to generate random policies/preferences.
+fn data_concepts(ont: &Ontology) -> Vec<ConceptId> {
+    ont.data.iter().map(|c| c.id()).collect()
+}
+
+fn purpose_concepts(ont: &Ontology) -> Vec<ConceptId> {
+    ont.purposes.iter().map(|c| c.id()).collect()
+}
+
+proptest! {
+    /// ISO durations survive a display → parse round trip.
+    #[test]
+    fn duration_round_trip(d in arb_duration()) {
+        let text = d.to_string();
+        let back: IsoDuration = text.parse().unwrap();
+        // Display normalizes zero components away but must preserve length.
+        prop_assert_eq!(back.as_seconds(), d.as_seconds());
+        // A second round trip is a fixpoint.
+        prop_assert_eq!(back.to_string(), text);
+    }
+
+    /// `contains` is consistent with `overlaps`: if two windows both
+    /// contain some instant, they must report overlap.
+    #[test]
+    fn window_contains_implies_overlap(a in arb_window(), b in arb_window(), day in 0i64..7, h in 0u32..24, m in 0u32..60) {
+        let t = Timestamp::at(day, h, m);
+        if a.contains(t) && b.contains(t) {
+            prop_assert!(a.overlaps(&b), "windows {a:?} and {b:?} both contain {t} but report no overlap");
+        }
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    /// Effect strictness is a total preorder compatible with `stricter`.
+    #[test]
+    fn effect_stricter_lattice(a in arb_effect(), b in arb_effect(), c in arb_effect()) {
+        let ab = a.stricter(b);
+        prop_assert!(ab.strictness() >= a.strictness());
+        prop_assert!(ab.strictness() >= b.strictness());
+        // Associativity of strictness level (the chosen representative may
+        // differ among equal-strictness effects).
+        prop_assert_eq!(
+            a.stricter(b).stricter(c).strictness(),
+            a.stricter(b.stricter(c)).strictness()
+        );
+    }
+
+    /// The indexed conflict detector finds exactly the same conflicts as
+    /// the naive pairwise scan (design decision D2).
+    #[test]
+    fn conflict_index_equals_naive(
+        seed in any::<u64>(),
+        n_policies in 1usize..20,
+        n_prefs in 1usize..20,
+    ) {
+        let (ont, model, spaces) = env();
+        let datas = data_concepts(&ont);
+        let purposes = purpose_concepts(&ont);
+        let mut rng_state = seed;
+        let mut next = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng_state >> 33) as usize
+        };
+        let policies: Vec<BuildingPolicy> = (0..n_policies)
+            .map(|i| {
+                let mut p = BuildingPolicy::new(
+                    PolicyId(i as u64),
+                    format!("p{i}"),
+                    spaces[next() % spaces.len()],
+                    datas[next() % datas.len()],
+                    purposes[next() % purposes.len()],
+                );
+                p.modality = match next() % 3 {
+                    0 => Modality::Required,
+                    1 => Modality::OptOut,
+                    _ => Modality::OptIn,
+                };
+                if next() % 2 == 0 {
+                    p.condition = Condition::during(if next() % 2 == 0 {
+                        TimeWindow::business_hours()
+                    } else {
+                        TimeWindow::after_hours()
+                    });
+                }
+                p
+            })
+            .collect();
+        let prefs: Vec<UserPreference> = (0..n_prefs)
+            .map(|i| {
+                let effect = match next() % 4 {
+                    0 => Effect::Allow,
+                    1 => Effect::Deny,
+                    2 => Effect::Degrade(Granularity::ALL[next() % 6]),
+                    _ => Effect::Noise { sigma: 1.0 },
+                };
+                let scope = PreferenceScope {
+                    data: if next() % 4 == 0 { None } else { Some(datas[next() % datas.len()]) },
+                    purpose: if next() % 3 == 0 { Some(purposes[next() % purposes.len()]) } else { None },
+                    space: if next() % 2 == 0 { Some(spaces[next() % spaces.len()]) } else { None },
+                    ..Default::default()
+                };
+                UserPreference::new(PreferenceId(i as u64), UserId((next() % 5) as u64), scope, effect)
+            })
+            .collect();
+
+        for strategy in [
+            ResolutionStrategy::PolicyPrevails,
+            ResolutionStrategy::PreferencePrevails,
+            ResolutionStrategy::Strictest,
+        ] {
+            let mut naive =
+                conflict::detect_conflicts_naive(&policies, &prefs, &ont, &model, strategy);
+            naive.sort_by_key(|c| (c.policy, c.preference));
+            let index = conflict::ConflictIndex::build(&policies, &ont);
+            let fast = index.detect(&policies, &prefs, &ont, &model, strategy);
+            prop_assert_eq!(&naive, &fast, "strategy {:?}", strategy);
+        }
+    }
+
+    /// Conflicts only ever involve required policies and non-allow
+    /// preferences.
+    #[test]
+    fn conflicts_require_mandatory_policy(seed in any::<u64>()) {
+        let (ont, model, spaces) = env();
+        let datas = data_concepts(&ont);
+        let c = ont.concepts();
+        let policy = BuildingPolicy::new(
+            PolicyId(1),
+            "p",
+            spaces[(seed as usize) % spaces.len()],
+            datas[(seed as usize >> 4) % datas.len()],
+            c.logging,
+        )
+        .with_modality(if seed % 2 == 0 { Modality::OptOut } else { Modality::OptIn });
+        let pref = UserPreference::new(
+            PreferenceId(1),
+            UserId(1),
+            PreferenceScope::default(),
+            Effect::Deny,
+        );
+        let found = conflict::detect_conflicts_naive(
+            &[policy],
+            &[pref],
+            &ont,
+            &model,
+            ResolutionStrategy::PolicyPrevails,
+        );
+        prop_assert!(found.is_empty());
+    }
+}

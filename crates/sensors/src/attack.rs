@@ -1,0 +1,438 @@
+//! The §II.A inference attack, made executable.
+//!
+//! "When a user connects to a WiFi AP in DBH, this event is logged …
+//! Using background knowledge (e.g., the location of the AP) it is possible
+//! to infer the real-time location of a user. Also, using simple heuristics
+//! … it is possible to infer whether a given user is a member of the staff
+//! or a student. Furthermore, by integrating this with publicly available
+//! information (e.g., schedules of professors …), it would be possible to
+//! identify individuals."
+//!
+//! [`Attacker`] consumes exactly what a WiFi log contains — (timestamp,
+//! client MAC, AP id) — plus the public AP locations and teaching schedule,
+//! and attempts all three inferences. Experiment E9 scores it against
+//! ground truth under different enforcement settings.
+
+use std::collections::HashMap;
+
+use tippers_policy::{Timestamp, UserGroup, UserId, Weekday};
+use tippers_spatial::{SpaceId, SpatialModel};
+
+use crate::device::{DeviceId, MacAddress};
+use crate::events::{Observation, ObservationPayload};
+use crate::mobility::TeachingSlot;
+
+/// One WiFi log row — all the attacker gets per event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WifiLogRow {
+    /// Event time.
+    pub time: Timestamp,
+    /// Client MAC.
+    pub mac: MacAddress,
+    /// Access point.
+    pub ap: DeviceId,
+}
+
+/// Extracts the WiFi log from a stream of observations (what an attacker
+/// with BMS log access would hold).
+pub fn wifi_log(observations: &[Observation]) -> Vec<WifiLogRow> {
+    observations
+        .iter()
+        .filter_map(|o| match o.payload {
+            ObservationPayload::WifiAssociation { mac, ap } => Some(WifiLogRow {
+                time: o.timestamp,
+                mac,
+                ap,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The attacker: WiFi log + background knowledge.
+#[derive(Debug)]
+pub struct Attacker<'a> {
+    log: Vec<WifiLogRow>,
+    /// Background knowledge: where each AP is installed.
+    ap_locations: HashMap<DeviceId, SpaceId>,
+    model: &'a SpatialModel,
+    by_mac: HashMap<MacAddress, Vec<usize>>,
+}
+
+/// The attacker's guess of an occupant's role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoleGuess {
+    /// The MAC being classified.
+    pub mac: MacAddress,
+    /// The guessed group.
+    pub group: UserGroup,
+}
+
+impl<'a> Attacker<'a> {
+    /// Builds an attacker from a log and AP location knowledge.
+    pub fn new(
+        log: Vec<WifiLogRow>,
+        ap_locations: HashMap<DeviceId, SpaceId>,
+        model: &'a SpatialModel,
+    ) -> Self {
+        let mut by_mac: HashMap<MacAddress, Vec<usize>> = HashMap::new();
+        for (i, row) in log.iter().enumerate() {
+            by_mac.entry(row.mac).or_default().push(i);
+        }
+        Attacker {
+            log,
+            ap_locations,
+            model,
+            by_mac,
+        }
+    }
+
+    /// All MACs seen in the log.
+    pub fn macs(&self) -> Vec<MacAddress> {
+        let mut v: Vec<MacAddress> = self.by_mac.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Real-time location inference: the space of the AP the MAC most
+    /// recently associated with, if that was within `staleness` seconds.
+    pub fn locate(&self, mac: MacAddress, at: Timestamp, staleness: i64) -> Option<SpaceId> {
+        let rows = self.by_mac.get(&mac)?;
+        let row = rows
+            .iter()
+            .map(|&i| &self.log[i])
+            .filter(|r| r.time <= at && at - r.time <= staleness)
+            .max_by_key(|r| r.time)?;
+        self.ap_locations.get(&row.ap).copied()
+    }
+
+    /// The §II.A role heuristics, verbatim:
+    ///
+    /// * first seen before 8:00 **and** gone before 17:30 → staff;
+    /// * majority of weekday time on classroom APs → undergrad;
+    /// * median departure at or after 19:00 → grad student;
+    /// * otherwise → faculty.
+    pub fn infer_role(&self, mac: MacAddress) -> Option<RoleGuess> {
+        let rows = self.by_mac.get(&mac)?;
+        let mut per_day: HashMap<i64, (Timestamp, Timestamp)> = HashMap::new();
+        let mut classroom_hits = 0usize;
+        let mut total_hits = 0usize;
+        for &i in rows {
+            let r = &self.log[i];
+            if r.time.is_weekend() {
+                continue;
+            }
+            let e = per_day.entry(r.time.day()).or_insert((r.time, r.time));
+            e.0 = e.0.min(r.time);
+            e.1 = e.1.max(r.time);
+            total_hits += 1;
+            if let Some(&space) = self.ap_locations.get(&r.ap) {
+                if matches!(
+                    self.model.space(space).kind(),
+                    tippers_spatial::SpaceKind::Room(tippers_spatial::RoomUse::Classroom)
+                ) {
+                    classroom_hits += 1;
+                }
+            }
+        }
+        if per_day.is_empty() {
+            return None;
+        }
+        let mut firsts: Vec<u32> = per_day.values().map(|(f, _)| f.time_of_day().0).collect();
+        let mut lasts: Vec<u32> = per_day.values().map(|(_, l)| l.time_of_day().0).collect();
+        firsts.sort_unstable();
+        lasts.sort_unstable();
+        let median_first = firsts[firsts.len() / 2];
+        let median_last = lasts[lasts.len() / 2];
+        let eight = 8 * 3600;
+        let five_thirty = 17 * 3600 + 1800;
+        let seven_pm = 19 * 3600;
+        let group = if total_hits > 0 && classroom_hits * 2 > total_hits {
+            UserGroup::Undergrad
+        } else if median_first < eight && median_last < five_thirty {
+            UserGroup::Staff
+        } else if median_last >= seven_pm {
+            UserGroup::GradStudent
+        } else {
+            UserGroup::Faculty
+        };
+        Some(RoleGuess { mac, group })
+    }
+
+    /// Identity linkage with public schedules: a MAC repeatedly present on
+    /// a classroom's AP during a scheduled class is matched to the
+    /// scheduled teacher. Returns `mac → teacher` for matches supported by
+    /// at least `min_evidence` distinct class meetings.
+    pub fn link_identities(
+        &self,
+        schedule: &[TeachingSlot],
+        min_evidence: usize,
+    ) -> HashMap<MacAddress, UserId> {
+        // (classroom, weekday, hour-bucket) -> teacher
+        let mut slot_index: HashMap<(SpaceId, Weekday, u32), UserId> = HashMap::new();
+        for s in schedule {
+            slot_index.insert((s.classroom, s.weekday, s.start_hour), s.teacher);
+            slot_index.insert((s.classroom, s.weekday, s.start_hour + 1), s.teacher);
+        }
+        // mac -> teacher -> distinct meeting days with presence
+        type Evidence = HashMap<MacAddress, HashMap<UserId, std::collections::HashSet<i64>>>;
+        let mut evidence: Evidence = HashMap::new();
+        for row in &self.log {
+            let Some(&space) = self.ap_locations.get(&row.ap) else {
+                continue;
+            };
+            let key = (space, row.time.weekday(), row.time.time_of_day().hour());
+            if let Some(&teacher) = slot_index.get(&key) {
+                evidence
+                    .entry(row.mac)
+                    .or_default()
+                    .entry(teacher)
+                    .or_default()
+                    .insert(row.time.day());
+            }
+        }
+        let mut out = HashMap::new();
+        for (mac, teachers) in evidence {
+            if let Some((teacher, days)) = teachers.into_iter().max_by_key(|(_, d)| d.len()) {
+                if days.len() >= min_evidence {
+                    out.insert(mac, teacher);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Scores of the three inferences against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AttackScore {
+    /// Fraction of sampled (user, time) points located to the correct room.
+    pub location_room_accuracy: f64,
+    /// Fraction located to the correct floor.
+    pub location_floor_accuracy: f64,
+    /// Fraction of MACs whose role was guessed correctly.
+    pub role_accuracy: f64,
+    /// Fraction of *linked* MACs attributed to the right person (precision).
+    pub identity_precision: f64,
+    /// Fraction of teaching faculty whose MAC was linked at all (recall).
+    pub identity_recall: f64,
+}
+
+/// Runs all three inferences and scores them against ground truth.
+///
+/// `truth` maps each MAC to its user's (group, presence samples).
+pub fn score_attack(
+    attacker: &Attacker<'_>,
+    truth_groups: &HashMap<MacAddress, UserGroup>,
+    truth_positions: &[(MacAddress, Timestamp, SpaceId)],
+    schedule: &[TeachingSlot],
+    truth_identity: &HashMap<MacAddress, UserId>,
+    model: &SpatialModel,
+) -> AttackScore {
+    let mut score = AttackScore::default();
+
+    // Location.
+    let mut room_hits = 0usize;
+    let mut floor_hits = 0usize;
+    let mut samples = 0usize;
+    for &(mac, t, actual) in truth_positions {
+        samples += 1;
+        if let Some(guess) = attacker.locate(mac, t, 1800) {
+            if guess == actual {
+                room_hits += 1;
+            }
+            if model.floor_of(guess).is_some() && model.floor_of(guess) == model.floor_of(actual) {
+                floor_hits += 1;
+            }
+        }
+    }
+    if samples > 0 {
+        score.location_room_accuracy = room_hits as f64 / samples as f64;
+        score.location_floor_accuracy = floor_hits as f64 / samples as f64;
+    }
+
+    // Role.
+    let mut role_hits = 0usize;
+    let mut role_total = 0usize;
+    for (&mac, &group) in truth_groups {
+        if let Some(guess) = attacker.infer_role(mac) {
+            role_total += 1;
+            if guess.group == group {
+                role_hits += 1;
+            }
+        }
+    }
+    if role_total > 0 {
+        score.role_accuracy = role_hits as f64 / role_total as f64;
+    }
+
+    // Identity.
+    let links = attacker.link_identities(schedule, 2);
+    let mut correct = 0usize;
+    for (mac, user) in &links {
+        if truth_identity.get(mac) == Some(user) {
+            correct += 1;
+        }
+    }
+    if !links.is_empty() {
+        score.identity_precision = correct as f64 / links.len() as f64;
+    }
+    let teachers: std::collections::HashSet<UserId> =
+        schedule.iter().map(|s| s.teacher).collect();
+    if !teachers.is_empty() {
+        let linked_teachers: std::collections::HashSet<UserId> =
+            links.values().copied().collect();
+        score.identity_recall =
+            teachers.intersection(&linked_teachers).count() as f64 / teachers.len() as f64;
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{BuildingSimulator, Population, SimulatorConfig};
+    use crate::deploy::DeploymentConfig;
+    use tippers_ontology::Ontology;
+
+    fn run_sim(days: i64) -> (BuildingSimulator, crate::simulator::SimulationTrace) {
+        let ont = Ontology::standard();
+        let config = SimulatorConfig {
+            seed: 99,
+            population: Population {
+                staff: 8,
+                faculty: 8,
+                grads: 12,
+                undergrads: 12,
+                visitors: 0,
+            },
+            tick_secs: 900,
+            deployment: DeploymentConfig {
+                cameras: 4,
+                wifi_aps: 240, // dense coverage: one AP per room-ish
+                beacons: 20,
+                power_meters: 10,
+                motion_everywhere: false,
+                hvac_per_floor: false,
+                badge_readers: false,
+            },
+            identify_probability: 0.0,
+        };
+        let mut sim = BuildingSimulator::new(config, &ont);
+        let trace = sim.run_days(days);
+        (sim, trace)
+    }
+
+    #[allow(clippy::type_complexity)] // test helper bundling four lookups
+    fn attacker_inputs(
+        sim: &BuildingSimulator,
+        trace: &crate::simulator::SimulationTrace,
+    ) -> (
+        Vec<WifiLogRow>,
+        HashMap<DeviceId, SpaceId>,
+        HashMap<MacAddress, UserGroup>,
+        HashMap<MacAddress, UserId>,
+    ) {
+        let log = wifi_log(&trace.observations);
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let ap_locations: HashMap<DeviceId, SpaceId> = sim
+            .devices()
+            .of_class(c.wifi_ap)
+            .into_iter()
+            .map(|id| (id, sim.devices().get(id).unwrap().space))
+            .collect();
+        let groups = sim
+            .occupants()
+            .iter()
+            .map(|o| (o.mac, o.group))
+            .collect();
+        let identities = sim
+            .occupants()
+            .iter()
+            .map(|o| (o.mac, o.user))
+            .collect();
+        (log, ap_locations, groups, identities)
+    }
+
+    #[test]
+    fn location_inference_beats_chance() {
+        let (mut sim, trace) = run_sim(2);
+        let (log, aps, _, _) = attacker_inputs(&sim, &trace);
+        let model = sim.dbh().model.clone();
+        let attacker = Attacker::new(log, aps, &model);
+        let mac_of: HashMap<UserId, MacAddress> =
+            sim.occupants().iter().map(|o| (o.user, o.mac)).collect();
+        let mut positions = Vec::new();
+        for g in trace.ground_truth.iter().step_by(37) {
+            positions.push((mac_of[&g.user], g.time, g.space));
+        }
+        let mut floor_hits = 0;
+        let n = positions.len();
+        for &(mac, t, actual) in &positions {
+            if let Some(guess) = attacker.locate(mac, t, 1800) {
+                if model.floor_of(guess) == model.floor_of(actual) {
+                    floor_hits += 1;
+                }
+            }
+        }
+        assert!(n > 20);
+        assert!(
+            floor_hits as f64 / n as f64 > 0.6,
+            "floor accuracy {} too low",
+            floor_hits as f64 / n as f64
+        );
+        let _ = sim.position_of(UserId(0), Timestamp::at(0, 12, 0));
+    }
+
+    #[test]
+    fn role_heuristics_recover_majority_of_groups() {
+        let (sim, trace) = run_sim(5);
+        let (log, aps, groups, _) = attacker_inputs(&sim, &trace);
+        let model = &sim.dbh().model;
+        let attacker = Attacker::new(log, aps, model);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (&mac, &group) in &groups {
+            if let Some(guess) = attacker.infer_role(mac) {
+                total += 1;
+                if guess.group == group {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(total >= 30, "most occupants should be classified, got {total}");
+        let acc = hits as f64 / total as f64;
+        assert!(acc > 0.5, "role accuracy {acc} should beat the 0.25 chance level");
+    }
+
+    #[test]
+    fn identity_linkage_finds_teachers() {
+        let (sim, trace) = run_sim(7);
+        let (log, aps, _, identities) = attacker_inputs(&sim, &trace);
+        let model = &sim.dbh().model;
+        let attacker = Attacker::new(log, aps, model);
+        let links = attacker.link_identities(sim.teaching_schedule(), 2);
+        assert!(!links.is_empty(), "a week of logs should link someone");
+        let correct = links
+            .iter()
+            .filter(|(mac, user)| identities.get(*mac) == Some(*user))
+            .count();
+        assert!(
+            correct as f64 / links.len() as f64 > 0.5,
+            "linkage precision {}/{} too low",
+            correct,
+            links.len()
+        );
+    }
+
+    #[test]
+    fn empty_log_yields_nothing() {
+        let model = SpatialModel::new("c");
+        let attacker = Attacker::new(Vec::new(), HashMap::new(), &model);
+        assert!(attacker.macs().is_empty());
+        assert_eq!(attacker.locate(MacAddress::for_user(1), Timestamp::at(0, 12, 0), 600), None);
+        assert_eq!(attacker.infer_role(MacAddress::for_user(1)), None);
+        assert!(attacker.link_identities(&[], 1).is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! Sensor deployment matching the paper's Donald Bren Hall description:
+//! "more than 40 surveillance cameras covering all the corridors and doors,
+//! 60 WiFi Access Points, 200 Bluetooth beacons, and 100 Power outlet
+//! meters" (§II), plus the motion/temperature sensors Policy 1 requires and
+//! the badge readers Policy 3 requires.
+
+use tippers_ontology::Ontology;
+use tippers_spatial::fixtures::Dbh;
+use tippers_spatial::SpaceKind;
+
+use crate::device::DeviceRegistry;
+
+/// How many devices of each kind to deploy.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Surveillance cameras (corridors + lobby). DBH has ~40.
+    pub cameras: usize,
+    /// WiFi access points. DBH has ~60.
+    pub wifi_aps: usize,
+    /// Bluetooth beacons. DBH has ~200.
+    pub beacons: usize,
+    /// Power outlet meters (offices). DBH has ~100.
+    pub power_meters: usize,
+    /// Deploy a motion sensor in every room (Policy 1).
+    pub motion_everywhere: bool,
+    /// Deploy one temperature sensor and HVAC unit per floor.
+    pub hvac_per_floor: bool,
+    /// Deploy a badge reader on every meeting room (Policy 3).
+    pub badge_readers: bool,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            cameras: 40,
+            wifi_aps: 60,
+            beacons: 200,
+            power_meters: 100,
+            motion_everywhere: true,
+            hvac_per_floor: true,
+            badge_readers: true,
+        }
+    }
+}
+
+/// Deploys sensors over a DBH model, round-robin across suitable spaces.
+///
+/// * Cameras go to corridors and the lobby (never restrooms or offices).
+/// * WiFi APs cover corridors first, then large rooms.
+/// * Beacons go to every kind of room.
+/// * Power meters go to offices.
+pub fn deploy(dbh: &Dbh, ontology: &Ontology, config: &DeploymentConfig) -> DeviceRegistry {
+    let c = ontology.concepts();
+    let mut reg = DeviceRegistry::new();
+
+    let camera_spots: Vec<_> = dbh
+        .corridors
+        .iter()
+        .copied()
+        .chain(std::iter::once(dbh.lobby))
+        .collect();
+    for i in 0..config.cameras {
+        reg.add(c.camera, camera_spots[i % camera_spots.len()], "camera");
+    }
+
+    let ap_spots: Vec<_> = dbh
+        .corridors
+        .iter()
+        .chain(dbh.classrooms.iter())
+        .chain(dbh.labs.iter())
+        .chain(dbh.offices.iter())
+        .copied()
+        .collect();
+    for i in 0..config.wifi_aps {
+        reg.add(c.wifi_ap, ap_spots[i % ap_spots.len()], "wifi");
+    }
+
+    let beacon_spots: Vec<_> = dbh
+        .model
+        .iter()
+        .filter(|s| matches!(s.kind(), SpaceKind::Room(_) | SpaceKind::Corridor))
+        .map(|s| s.id())
+        .collect();
+    for i in 0..config.beacons {
+        reg.add(c.ble_beacon, beacon_spots[i % beacon_spots.len()], "beacon");
+    }
+
+    for i in 0..config.power_meters {
+        reg.add(c.power_meter, dbh.offices[i % dbh.offices.len()], "power");
+    }
+
+    if config.motion_everywhere {
+        for s in dbh.model.iter() {
+            if matches!(s.kind(), SpaceKind::Room(_)) {
+                reg.add(c.motion_sensor, s.id(), "motion");
+            }
+        }
+    }
+
+    if config.hvac_per_floor {
+        for &floor in &dbh.floors {
+            reg.add(c.temperature_sensor, floor, "hvac");
+            reg.add(c.hvac, floor, "hvac");
+        }
+    }
+
+    if config.badge_readers {
+        for &room in &dbh.meeting_rooms {
+            reg.add(c.badge_reader, room, "access");
+        }
+    }
+
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_spatial::fixtures::dbh;
+
+    #[test]
+    fn default_deployment_matches_paper_counts() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let reg = deploy(&d, &ont, &DeploymentConfig::default());
+        let c = ont.concepts();
+        assert_eq!(reg.of_class(c.camera).len(), 40);
+        assert_eq!(reg.of_class(c.wifi_ap).len(), 60);
+        assert_eq!(reg.of_class(c.ble_beacon).len(), 200);
+        assert_eq!(reg.of_class(c.power_meter).len(), 100);
+        assert_eq!(reg.of_class(c.badge_reader).len(), d.meeting_rooms.len());
+        assert_eq!(reg.of_class(c.temperature_sensor).len(), 6);
+    }
+
+    #[test]
+    fn cameras_avoid_private_rooms() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let reg = deploy(&d, &ont, &DeploymentConfig::default());
+        let c = ont.concepts();
+        for id in reg.of_class(c.camera) {
+            let device = reg.get(id).unwrap();
+            let kind = d.model.space(device.space).kind();
+            assert!(
+                !kind.is_private(),
+                "camera deployed in private space {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_down_deployment() {
+        let ont = Ontology::standard();
+        let d = dbh();
+        let cfg = DeploymentConfig {
+            cameras: 2,
+            wifi_aps: 6,
+            beacons: 10,
+            power_meters: 5,
+            motion_everywhere: false,
+            hvac_per_floor: false,
+            badge_readers: false,
+        };
+        let reg = deploy(&d, &ont, &cfg);
+        assert_eq!(reg.len(), 2 + 6 + 10 + 5);
+    }
+}

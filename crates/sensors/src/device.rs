@@ -1,0 +1,270 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use tippers_ontology::ConceptId;
+use tippers_spatial::SpaceId;
+
+/// Identifier of a deployed sensor device.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "device#{}", self.0)
+    }
+}
+
+/// A 48-bit MAC address.
+///
+/// The paper's Figure 2 discloses that "If your device is connected to a
+/// WiFi Access Point in DBH, its MAC address is stored" — MACs are the
+/// linking key of the §II.A inference attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MacAddress(pub [u8; 6]);
+
+impl MacAddress {
+    /// Deterministic per-user MAC for simulations.
+    pub fn for_user(user: u64) -> MacAddress {
+        let b = user.to_be_bytes();
+        MacAddress([0x02, 0x1b, b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl fmt::Display for MacAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// A value a sensor setting parameter can take.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SettingValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Integer parameter (e.g. sampling period in seconds).
+    Int(i64),
+    /// Free-text parameter.
+    Text(String),
+}
+
+/// The settings of a sensor: "a set of valid parameters associated with the
+/// sensor which determines its behavior" (§IV.A.4).
+///
+/// Well-known keys are exposed as typed accessors; unknown keys are kept
+/// verbatim so subsystem-specific parameters survive round trips.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SensorSettings {
+    params: HashMap<String, SettingValue>,
+    /// MACs the device must not report — capture-time enforcement of
+    /// opted-out users (the *where = device* option of §V.C).
+    pub suppressed_macs: Vec<MacAddress>,
+}
+
+impl SensorSettings {
+    /// Settings with a sampling period.
+    pub fn with_period(seconds: i64) -> SensorSettings {
+        let mut s = SensorSettings::default();
+        s.set("sample_period_secs", SettingValue::Int(seconds));
+        s
+    }
+
+    /// Sets a parameter.
+    pub fn set(&mut self, key: impl Into<String>, value: SettingValue) {
+        self.params.insert(key.into(), value);
+    }
+
+    /// Reads a parameter.
+    pub fn get(&self, key: &str) -> Option<&SettingValue> {
+        self.params.get(key)
+    }
+
+    /// Sampling period in seconds (default 300).
+    pub fn sample_period_secs(&self) -> i64 {
+        match self.params.get("sample_period_secs") {
+            Some(SettingValue::Int(v)) if *v > 0 => *v,
+            _ => 300,
+        }
+    }
+
+    /// Whether the device is enabled (default true).
+    pub fn enabled(&self) -> bool {
+        !matches!(self.params.get("enabled"), Some(SettingValue::Bool(false)))
+    }
+
+    /// Enables or disables the device.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.set("enabled", SettingValue::Bool(enabled));
+    }
+
+    /// True if observations about this MAC must be suppressed at capture.
+    pub fn suppresses(&self, mac: MacAddress) -> bool {
+        self.suppressed_macs.contains(&mac)
+    }
+}
+
+/// A deployed sensor: class (ontology concept), location, and settings.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SensorDevice {
+    /// Unique device id.
+    pub id: DeviceId,
+    /// Sensor class in the sensor taxonomy (e.g. `sensor/network/wifi-ap`).
+    pub class: ConceptId,
+    /// Where it is installed.
+    pub space: SpaceId,
+    /// Current settings.
+    pub settings: SensorSettings,
+    /// Subsystem the device belongs to ("camera subsystem", §IV.A.3).
+    pub subsystem: String,
+}
+
+impl SensorDevice {
+    /// Creates a device with default settings.
+    pub fn new(id: DeviceId, class: ConceptId, space: SpaceId, subsystem: &str) -> Self {
+        SensorDevice {
+            id,
+            class,
+            space,
+            settings: SensorSettings::default(),
+            subsystem: subsystem.to_owned(),
+        }
+    }
+}
+
+/// A registry of deployed devices with by-space and by-subsystem lookups.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DeviceRegistry {
+    devices: Vec<SensorDevice>,
+}
+
+impl DeviceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        DeviceRegistry::default()
+    }
+
+    /// Adds a device, assigning the next id.
+    pub fn add(&mut self, class: ConceptId, space: SpaceId, subsystem: &str) -> DeviceId {
+        let id = DeviceId(self.devices.len() as u32);
+        self.devices.push(SensorDevice::new(id, class, space, subsystem));
+        id
+    }
+
+    /// All devices.
+    pub fn iter(&self) -> impl Iterator<Item = &SensorDevice> {
+        self.devices.iter()
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True if no devices are registered.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Looks a device up.
+    pub fn get(&self, id: DeviceId) -> Option<&SensorDevice> {
+        self.devices.get(id.0 as usize)
+    }
+
+    /// Mutable access (settings actuation).
+    pub fn get_mut(&mut self, id: DeviceId) -> Option<&mut SensorDevice> {
+        self.devices.get_mut(id.0 as usize)
+    }
+
+    /// Devices of a given class.
+    pub fn of_class(&self, class: ConceptId) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .filter(|d| d.class == class)
+            .map(|d| d.id)
+            .collect()
+    }
+
+    /// Devices in a given subsystem.
+    pub fn in_subsystem(&self, subsystem: &str) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .filter(|d| d.subsystem == subsystem)
+            .map(|d| d.id)
+            .collect()
+    }
+
+    /// Devices installed in (a descendant of) `space`.
+    pub fn in_space(
+        &self,
+        model: &tippers_spatial::SpatialModel,
+        space: SpaceId,
+    ) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .filter(|d| model.contains(space, d.space))
+            .map(|d| d.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_ontology::Ontology;
+    use tippers_spatial::SpatialModel;
+
+    #[test]
+    fn mac_formatting_and_determinism() {
+        let a = MacAddress::for_user(1);
+        let b = MacAddress::for_user(1);
+        assert_eq!(a, b);
+        assert_ne!(a, MacAddress::for_user(2));
+        assert_eq!(a.to_string().len(), 17);
+    }
+
+    #[test]
+    fn settings_defaults_and_overrides() {
+        let mut s = SensorSettings::default();
+        assert!(s.enabled());
+        assert_eq!(s.sample_period_secs(), 300);
+        s.set_enabled(false);
+        s.set("sample_period_secs", SettingValue::Int(60));
+        assert!(!s.enabled());
+        assert_eq!(s.sample_period_secs(), 60);
+        // Invalid period falls back to the default.
+        s.set("sample_period_secs", SettingValue::Int(-5));
+        assert_eq!(s.sample_period_secs(), 300);
+    }
+
+    #[test]
+    fn suppression_list() {
+        let mut s = SensorSettings::default();
+        let mac = MacAddress::for_user(7);
+        assert!(!s.suppresses(mac));
+        s.suppressed_macs.push(mac);
+        assert!(s.suppresses(mac));
+    }
+
+    #[test]
+    fn registry_lookups() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let m = SpatialModel::new("c");
+        let mut reg = DeviceRegistry::new();
+        let ap = reg.add(c.wifi_ap, m.root(), "wifi");
+        let cam = reg.add(c.camera, m.root(), "camera");
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.of_class(c.wifi_ap), vec![ap]);
+        assert_eq!(reg.in_subsystem("camera"), vec![cam]);
+        assert_eq!(reg.in_space(&m, m.root()).len(), 2);
+        assert!(reg.get(ap).is_some());
+        assert!(reg.get(DeviceId(99)).is_none());
+    }
+}

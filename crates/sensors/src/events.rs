@@ -1,0 +1,120 @@
+use serde::{Deserialize, Serialize};
+use tippers_ontology::{Ontology, ConceptId};
+use tippers_policy::{Timestamp, UserId};
+use tippers_spatial::SpaceId;
+
+use crate::device::{DeviceId, MacAddress};
+
+/// What a sensor observed — the payload of an [`Observation`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ObservationPayload {
+    /// A device associated with a WiFi access point (Figure 2's
+    /// observation: MAC of device and AP, plus timestamp).
+    WifiAssociation {
+        /// The client device's MAC.
+        mac: MacAddress,
+        /// The access point.
+        ap: DeviceId,
+    },
+    /// A phone's Bluetooth saw a beacon (Figure 3's second observation).
+    BeaconSighting {
+        /// The sighted phone's MAC.
+        mac: MacAddress,
+        /// The beacon.
+        beacon: DeviceId,
+    },
+    /// A camera frame summary.
+    CameraFrame {
+        /// How many people are visible.
+        occupant_count: u32,
+        /// Occupants the analytics pipeline identified.
+        identified: Vec<UserId>,
+    },
+    /// A power-outlet meter reading.
+    PowerReading {
+        /// Instantaneous draw in watts.
+        watts: f64,
+    },
+    /// An ambient temperature reading.
+    Temperature {
+        /// Degrees Celsius.
+        celsius: f64,
+    },
+    /// A motion sensor trigger.
+    Motion {
+        /// Whether motion was detected this sample.
+        detected: bool,
+    },
+    /// A badge or fingerprint verification (Policy 3).
+    BadgeSwipe {
+        /// The verified user.
+        user: UserId,
+        /// Whether access was granted.
+        granted: bool,
+    },
+}
+
+impl ObservationPayload {
+    /// The data category this payload falls under in the standard ontology.
+    pub fn category(&self, ontology: &Ontology) -> ConceptId {
+        let c = ontology.concepts();
+        match self {
+            ObservationPayload::WifiAssociation { .. } => c.wifi_association,
+            ObservationPayload::BeaconSighting { .. } => c.bluetooth_sighting,
+            ObservationPayload::CameraFrame { .. } => c.image,
+            ObservationPayload::PowerReading { .. } => c.power_consumption,
+            ObservationPayload::Temperature { .. } => c.ambient_temperature,
+            ObservationPayload::Motion { .. } => c.occupancy,
+            ObservationPayload::BadgeSwipe { .. } => c.person_identity,
+        }
+    }
+
+    /// The MAC this payload is about, if any — capture-time suppression
+    /// keys off this.
+    pub fn mac(&self) -> Option<MacAddress> {
+        match self {
+            ObservationPayload::WifiAssociation { mac, .. }
+            | ObservationPayload::BeaconSighting { mac, .. } => Some(*mac),
+            _ => None,
+        }
+    }
+}
+
+/// One timestamped, located sensor observation (§IV.A.5: "Each observation
+/// has a timestamp and a location").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// The producing device.
+    pub device: DeviceId,
+    /// When it was captured.
+    pub timestamp: Timestamp,
+    /// Where the producing device is installed.
+    pub space: SpaceId,
+    /// What was observed.
+    pub payload: ObservationPayload,
+    /// The occupant the observation is about, when the simulator knows
+    /// (ground truth for experiments; a real BMS would resolve MAC → user
+    /// through registration data).
+    pub subject: Option<UserId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match_standard_ontology() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let mac = MacAddress::for_user(1);
+        let wifi = ObservationPayload::WifiAssociation { mac, ap: DeviceId(0) };
+        assert_eq!(wifi.category(&ont), c.wifi_association);
+        assert_eq!(wifi.mac(), Some(mac));
+        let temp = ObservationPayload::Temperature { celsius: 21.0 };
+        assert_eq!(temp.category(&ont), c.ambient_temperature);
+        assert_eq!(temp.mac(), None);
+        let badge = ObservationPayload::BadgeSwipe { user: UserId(1), granted: true };
+        assert_eq!(badge.category(&ont), c.person_identity);
+    }
+}

@@ -1,0 +1,308 @@
+//! Role-driven occupant mobility — the schedules behind the paper's §II.A
+//! heuristics: "non-faculty staff arrive at 7 am and leave before 5 pm,
+//! graduate students generally leave the building late, and undergrads
+//! spend most of the time in classrooms".
+
+use rand::Rng;
+use tippers_policy::{Timestamp, UserGroup, Weekday};
+use tippers_spatial::fixtures::Dbh;
+use tippers_spatial::SpaceId;
+
+use crate::occupant::{DayPlan, Occupant, Segment};
+
+/// A recurring teaching assignment, used both by the mobility model and as
+/// the attacker's "publicly available information (e.g., schedules of
+/// professors and the courses they teach)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeachingSlot {
+    /// The teaching faculty member (by occupant index).
+    pub teacher: tippers_policy::UserId,
+    /// The classroom.
+    pub classroom: SpaceId,
+    /// Day of week the class meets.
+    pub weekday: Weekday,
+    /// Start hour (classes run two hours).
+    pub start_hour: u32,
+}
+
+/// Samples an approximately normal value via the central limit theorem
+/// (sum of uniforms), adequate for schedule jitter.
+pub(crate) fn approx_normal<R: Rng>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    let sum: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+    mean + (sum - 6.0) * std
+}
+
+fn ts(day: i64, hour_frac: f64) -> Timestamp {
+    let clamped = hour_frac.clamp(0.0, 23.95);
+    Timestamp(day * 86_400 + (clamped * 3600.0) as i64)
+}
+
+/// Generates one occupant's plan for `day`.
+///
+/// Weekends are mostly absent (grad students show up with ~35 %
+/// probability, everyone else ~5 %). Weekday shapes per group:
+///
+/// * **Staff** — arrive ≈ 7:00, office with a kitchen lunch, leave ≈ 16:45.
+/// * **Faculty** — arrive ≈ 9:00, office, teaching slots in classrooms,
+///   leave ≈ 18:00.
+/// * **Grad students** — arrive ≈ 10:30, lab/office alternation, leave
+///   late (≈ 21:00).
+/// * **Undergrads** — arrive ≈ 9–14, chain of classroom blocks with a
+///   kitchen break, leave after class.
+/// * **Visitors** — a 1–3 h stay around the lobby and a meeting room.
+pub fn day_plan<R: Rng>(
+    rng: &mut R,
+    occupant: &Occupant,
+    dbh: &Dbh,
+    day: i64,
+    teaching: &[TeachingSlot],
+) -> DayPlan {
+    let weekday = Timestamp(day * 86_400).weekday();
+    let weekend = matches!(weekday, Weekday::Sat | Weekday::Sun);
+    let attendance: f64 = match (weekend, occupant.group) {
+        (true, UserGroup::GradStudent) => 0.35,
+        (true, _) => 0.05,
+        (false, UserGroup::Visitor) => 0.30,
+        (false, _) => 0.92,
+    };
+    if rng.gen::<f64>() > attendance {
+        return DayPlan::absent();
+    }
+
+    let office = occupant.office.unwrap_or(dbh.lobby);
+    let kitchen = dbh.kitchens[office.index() % dbh.kitchens.len().max(1)];
+    let lab = dbh.labs[occupant.user.0 as usize % dbh.labs.len().max(1)];
+
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut push = |space: SpaceId, start: f64, end: f64| {
+        if end > start {
+            segments.push(Segment {
+                space,
+                start: ts(day, start),
+                end: ts(day, end),
+            });
+        }
+    };
+
+    match occupant.group {
+        UserGroup::Staff => {
+            let arrive = approx_normal(rng, 7.0, 0.4).max(5.5);
+            let lunch = approx_normal(rng, 12.0, 0.25);
+            let leave = approx_normal(rng, 16.75, 0.4).min(17.4).max(lunch + 1.0);
+            push(office, arrive, lunch);
+            push(kitchen, lunch, lunch + 0.6);
+            push(office, lunch + 0.6, leave);
+        }
+        UserGroup::Faculty => {
+            let arrive = approx_normal(rng, 9.0, 0.8).max(6.5);
+            let leave = approx_normal(rng, 18.0, 1.0).max(arrive + 3.0);
+            // Teaching slots for this faculty member today, sorted.
+            let mut slots: Vec<&TeachingSlot> = teaching
+                .iter()
+                .filter(|s| s.teacher == occupant.user && s.weekday == weekday)
+                .collect();
+            slots.sort_by_key(|s| s.start_hour);
+            let mut cursor = arrive;
+            for slot in slots {
+                let class_start = slot.start_hour as f64;
+                let class_end = class_start + 2.0;
+                if class_start > cursor {
+                    push(office, cursor, class_start);
+                }
+                push(slot.classroom, class_start.max(cursor), class_end);
+                cursor = class_end.max(cursor);
+            }
+            push(office, cursor, leave);
+        }
+        UserGroup::GradStudent => {
+            let arrive = approx_normal(rng, 10.5, 1.2).max(7.0);
+            let leave = approx_normal(rng, 21.0, 1.3).max(arrive + 4.0);
+            // Alternate lab and office in ~2.5 h blocks with a lunch break.
+            let mut cursor = arrive;
+            let mut in_lab = rng.gen::<bool>();
+            let mut had_lunch = false;
+            while cursor < leave {
+                if !had_lunch && cursor >= 12.0 {
+                    push(kitchen, cursor, cursor + 0.5);
+                    cursor += 0.5;
+                    had_lunch = true;
+                    continue;
+                }
+                let block = (approx_normal(rng, 2.5, 0.6)).clamp(1.0, 4.0);
+                let end = (cursor + block).min(leave);
+                push(if in_lab { lab } else { office }, cursor, end);
+                in_lab = !in_lab;
+                cursor = end;
+            }
+        }
+        UserGroup::Undergrad => {
+            let arrive = approx_normal(rng, 10.0, 1.8).clamp(8.0, 14.0);
+            let classes = 1 + (rng.gen::<f64>() * 3.0) as usize;
+            let mut cursor = arrive;
+            for i in 0..classes {
+                let room = dbh.classrooms
+                    [(occupant.user.0 as usize + i * 7) % dbh.classrooms.len().max(1)];
+                let end = cursor + 1.5;
+                push(room, cursor, end);
+                cursor = end;
+                if i + 1 < classes {
+                    // Short corridor/kitchen break between classes.
+                    let break_space = if rng.gen::<f64>() < 0.4 { kitchen } else { dbh.lobby };
+                    push(break_space, cursor, cursor + 0.25);
+                    cursor += 0.25;
+                }
+            }
+        }
+        UserGroup::Visitor => {
+            let arrive = approx_normal(rng, 11.0, 2.0).clamp(8.0, 16.0);
+            let meeting = dbh.meeting_rooms
+                [occupant.user.0 as usize % dbh.meeting_rooms.len().max(1)];
+            push(dbh.lobby, arrive, arrive + 0.25);
+            push(meeting, arrive + 0.25, arrive + 1.0 + rng.gen::<f64>() * 2.0);
+        }
+    }
+
+    DayPlan::from_segments(segments)
+}
+
+/// Assigns each faculty occupant up to two weekly teaching slots in
+/// distinct classrooms, producing the building's "public schedule".
+pub fn assign_teaching<R: Rng>(rng: &mut R, occupants: &[Occupant], dbh: &Dbh) -> Vec<TeachingSlot> {
+    let days = [Weekday::Mon, Weekday::Tue, Weekday::Wed, Weekday::Thu, Weekday::Fri];
+    let mut slots = Vec::new();
+    for o in occupants.iter().filter(|o| o.group == UserGroup::Faculty) {
+        let n = 1 + (rng.gen::<f64>() * 2.0) as usize;
+        for i in 0..n {
+            slots.push(TeachingSlot {
+                teacher: o.user,
+                classroom: dbh.classrooms
+                    [(o.user.0 as usize * 3 + i) % dbh.classrooms.len().max(1)],
+                weekday: days[(o.user.0 as usize + i * 2) % days.len()],
+                start_hour: 10 + 2 * ((o.user.0 as usize + i) % 3) as u32, // 10, 12, 14
+            });
+        }
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tippers_policy::UserId;
+    use tippers_spatial::fixtures::dbh;
+
+    fn sample_plans(group: UserGroup, n: usize) -> Vec<DayPlan> {
+        let d = dbh();
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n)
+            .map(|i| {
+                let mut o = Occupant::new(UserId(i as u64), format!("o{i}"), group);
+                o.office = Some(d.offices[i % d.offices.len()]);
+                day_plan(&mut rng, &o, &d, 1, &[]) // Tuesday
+            })
+            .collect()
+    }
+
+    fn mean_hour(ts: &[Timestamp]) -> f64 {
+        ts.iter()
+            .map(|t| t.time_of_day().0 as f64 / 3600.0)
+            .sum::<f64>()
+            / ts.len() as f64
+    }
+
+    #[test]
+    fn staff_arrive_early_and_leave_before_five() {
+        let plans = sample_plans(UserGroup::Staff, 100);
+        let arrivals: Vec<_> = plans.iter().filter_map(|p| p.arrival()).collect();
+        let departures: Vec<_> = plans.iter().filter_map(|p| p.departure()).collect();
+        assert!(!arrivals.is_empty());
+        let a = mean_hour(&arrivals);
+        assert!((6.0..8.0).contains(&a), "staff mean arrival {a}");
+        assert!(departures
+            .iter()
+            .all(|d| d.time_of_day().hour() < 18), "staff leave before 5pm-ish");
+    }
+
+    #[test]
+    fn grads_leave_late() {
+        let plans = sample_plans(UserGroup::GradStudent, 100);
+        let departures: Vec<_> = plans.iter().filter_map(|p| p.departure()).collect();
+        let d = mean_hour(&departures);
+        assert!(d > 19.0, "grad mean departure {d}");
+    }
+
+    #[test]
+    fn undergrads_sit_in_classrooms() {
+        let d = dbh();
+        let plans = sample_plans(UserGroup::Undergrad, 100);
+        let mut classroom = 0i64;
+        let mut total = 0i64;
+        for p in &plans {
+            for s in p.segments() {
+                total += s.end - s.start;
+                if d.classrooms.contains(&s.space) {
+                    classroom += s.end - s.start;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            classroom as f64 / total as f64 > 0.5,
+            "undergrads should spend most time in classrooms"
+        );
+    }
+
+    #[test]
+    fn weekends_are_sparse() {
+        let d = dbh();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut present = 0;
+        for i in 0..200 {
+            let mut o = Occupant::new(UserId(i), format!("o{i}"), UserGroup::Staff);
+            o.office = Some(d.offices[i as usize % d.offices.len()]);
+            if day_plan(&mut rng, &o, &d, 5, &[]).arrival().is_some() {
+                present += 1;
+            }
+        }
+        assert!(present < 30, "only a few staff on Saturday, got {present}");
+    }
+
+    #[test]
+    fn faculty_honor_teaching_slots() {
+        let d = dbh();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut o = Occupant::new(UserId(0), "prof", UserGroup::Faculty);
+        o.office = Some(d.offices[0]);
+        let slot = TeachingSlot {
+            teacher: o.user,
+            classroom: d.classrooms[0],
+            weekday: Weekday::Tue,
+            start_hour: 12,
+        };
+        // Sample until present (attendance is stochastic).
+        for _ in 0..20 {
+            let plan = day_plan(&mut rng, &o, &d, 1, &[slot]);
+            if plan.arrival().is_some() {
+                let during_class = plan.position_at(Timestamp::at(1, 13, 0));
+                assert_eq!(during_class, Some(d.classrooms[0]));
+                return;
+            }
+        }
+        panic!("faculty member never showed up in 20 sampled days");
+    }
+
+    #[test]
+    fn teaching_assignment_covers_all_faculty() {
+        let dbh = dbh();
+        let mut rng = StdRng::seed_from_u64(11);
+        let occupants: Vec<Occupant> = (0..10)
+            .map(|i| Occupant::new(UserId(i), format!("f{i}"), UserGroup::Faculty))
+            .collect();
+        let slots = assign_teaching(&mut rng, &occupants, &dbh);
+        for o in &occupants {
+            assert!(slots.iter().any(|s| s.teacher == o.user));
+        }
+    }
+}

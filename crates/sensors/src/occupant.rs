@@ -1,0 +1,172 @@
+use serde::{Deserialize, Serialize};
+use tippers_policy::{Timestamp, UserGroup, UserId};
+use tippers_spatial::SpaceId;
+
+use crate::device::MacAddress;
+
+/// A building inhabitant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Occupant {
+    /// The occupant's user id (shared with the policy layer).
+    pub user: UserId,
+    /// Display name.
+    pub name: String,
+    /// Group, which drives the mobility schedule and the §II.A role
+    /// heuristics.
+    pub group: UserGroup,
+    /// Assigned office, if any.
+    pub office: Option<SpaceId>,
+    /// The MAC of the phone they carry.
+    pub mac: MacAddress,
+    /// Whether they run an IoT Assistant (enables beacon sightings and
+    /// preference synchronization).
+    pub has_iota: bool,
+}
+
+impl Occupant {
+    /// Creates an occupant with a deterministic MAC.
+    pub fn new(user: UserId, name: impl Into<String>, group: UserGroup) -> Occupant {
+        Occupant {
+            user,
+            name: name.into(),
+            group,
+            office: None,
+            mac: MacAddress::for_user(user.0),
+            has_iota: true,
+        }
+    }
+}
+
+/// One stay in one space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// The occupied space.
+    pub space: SpaceId,
+    /// Stay start (inclusive).
+    pub start: Timestamp,
+    /// Stay end (exclusive).
+    pub end: Timestamp,
+}
+
+/// An occupant's plan for one day: ordered, non-overlapping segments.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DayPlan {
+    segments: Vec<Segment>,
+}
+
+impl DayPlan {
+    /// An absent day.
+    pub fn absent() -> DayPlan {
+        DayPlan::default()
+    }
+
+    /// Builds a plan from segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if segments overlap or are out of order (simulator bug).
+    pub fn from_segments(segments: Vec<Segment>) -> DayPlan {
+        for w in segments.windows(2) {
+            assert!(
+                w[0].end <= w[1].start,
+                "day plan segments must be ordered and disjoint"
+            );
+        }
+        DayPlan { segments }
+    }
+
+    /// The segments of the plan.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Where the occupant is at `t`, or `None` if outside the building.
+    pub fn position_at(&self, t: Timestamp) -> Option<SpaceId> {
+        self.segments
+            .iter()
+            .find(|s| s.start <= t && t < s.end)
+            .map(|s| s.space)
+    }
+
+    /// First arrival of the day, if present at all.
+    pub fn arrival(&self) -> Option<Timestamp> {
+        self.segments.first().map(|s| s.start)
+    }
+
+    /// Final departure of the day.
+    pub fn departure(&self) -> Option<Timestamp> {
+        self.segments.last().map(|s| s.end)
+    }
+
+    /// Total time in the building, seconds.
+    pub fn dwell_seconds(&self) -> i64 {
+        self.segments.iter().map(|s| s.end - s.start).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_spatial::{RoomUse, SpaceKind, SpatialModel};
+
+    fn two_rooms() -> (SpaceId, SpaceId) {
+        let mut m = SpatialModel::new("c");
+        let a = m.add_space("a", SpaceKind::room(RoomUse::Office), m.root());
+        let b = m.add_space("b", SpaceKind::room(RoomUse::Lab), m.root());
+        (a, b)
+    }
+
+    #[test]
+    fn position_lookup() {
+        let (a, b) = two_rooms();
+        let s1 = Segment {
+            space: a,
+            start: Timestamp::at(0, 9, 0),
+            end: Timestamp::at(0, 12, 0),
+        };
+        let s2 = Segment {
+            space: b,
+            start: Timestamp::at(0, 12, 0),
+            end: Timestamp::at(0, 17, 0),
+        };
+        let plan = DayPlan::from_segments(vec![s1, s2]);
+        assert_eq!(plan.position_at(Timestamp::at(0, 10, 0)), Some(a));
+        assert_eq!(plan.position_at(Timestamp::at(0, 12, 0)), Some(b));
+        assert_eq!(plan.position_at(Timestamp::at(0, 20, 0)), None);
+        assert_eq!(plan.arrival(), Some(s1.start));
+        assert_eq!(plan.departure(), Some(s2.end));
+        assert_eq!(plan.dwell_seconds(), 8 * 3600);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered and disjoint")]
+    fn overlapping_segments_panic() {
+        let (a, b) = two_rooms();
+        let s1 = Segment {
+            space: a,
+            start: Timestamp::at(0, 9, 0),
+            end: Timestamp::at(0, 12, 0),
+        };
+        let s2 = Segment {
+            space: b,
+            start: Timestamp::at(0, 11, 0),
+            end: Timestamp::at(0, 13, 0),
+        };
+        let _ = DayPlan::from_segments(vec![s1, s2]);
+    }
+
+    #[test]
+    fn absent_day() {
+        let plan = DayPlan::absent();
+        assert_eq!(plan.position_at(Timestamp::at(0, 12, 0)), None);
+        assert_eq!(plan.dwell_seconds(), 0);
+    }
+
+    #[test]
+    fn occupant_defaults() {
+        let o = Occupant::new(UserId(4), "Mary", UserGroup::GradStudent);
+        assert_eq!(o.mac, MacAddress::for_user(4));
+        assert!(o.has_iota);
+        assert_eq!(o.office, None);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the building simulator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tippers_ontology::Ontology;
+use tippers_policy::{Timestamp, UserGroup, UserId};
+use tippers_sensors::mobility::day_plan;
+use tippers_sensors::{
+    BuildingSimulator, DeploymentConfig, Occupant, Population, SimulatorConfig,
+};
+use tippers_spatial::fixtures::dbh;
+
+fn tiny_config(seed: u64, tick: i64) -> SimulatorConfig {
+    SimulatorConfig {
+        seed,
+        population: Population {
+            staff: 3,
+            faculty: 3,
+            grads: 4,
+            undergrads: 4,
+            visitors: 1,
+        },
+        tick_secs: tick,
+        deployment: DeploymentConfig {
+            cameras: 3,
+            wifi_aps: 8,
+            beacons: 10,
+            power_meters: 6,
+            motion_everywhere: false,
+            hvac_per_floor: true,
+            badge_readers: true,
+        },
+        identify_probability: 0.4,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Day plans are always well formed: ordered, disjoint segments inside
+    /// one day, for every group, day and seed.
+    #[test]
+    fn day_plans_are_well_formed(seed in any::<u64>(), day in 0i64..14, group in 0usize..5) {
+        let building = dbh();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut occupant = Occupant::new(UserId(7), "p", UserGroup::ALL[group]);
+        occupant.office = Some(building.offices[(seed as usize) % building.offices.len()]);
+        let plan = day_plan(&mut rng, &occupant, &building, day, &[]);
+        let day_start = Timestamp(day * 86_400);
+        let day_end = Timestamp((day + 1) * 86_400);
+        for w in plan.segments().windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+        for s in plan.segments() {
+            prop_assert!(s.start < s.end);
+            prop_assert!(s.start >= day_start && s.end <= day_end,
+                "segment {:?} escapes day {day}", s);
+        }
+    }
+
+    /// The simulator is a pure function of its config: identical seeds
+    /// yield identical traces; different seeds (almost surely) differ.
+    #[test]
+    fn traces_deterministic_in_seed(seed in any::<u64>()) {
+        let ont = Ontology::standard();
+        let mut a = BuildingSimulator::new(tiny_config(seed, 1200), &ont);
+        let mut b = BuildingSimulator::new(tiny_config(seed, 1200), &ont);
+        a.set_clock(Timestamp::at(0, 9, 0));
+        b.set_clock(Timestamp::at(0, 9, 0));
+        let ta = a.run_until(Timestamp::at(0, 12, 0));
+        let tb = b.run_until(Timestamp::at(0, 12, 0));
+        prop_assert_eq!(ta.observations, tb.observations);
+    }
+
+    /// Ground truth and observations agree on timestamps: every
+    /// observation's time lies on the tick grid, and every subject-bearing
+    /// observation's subject was present at that tick.
+    #[test]
+    fn observations_consistent_with_ground_truth(seed in any::<u64>()) {
+        let ont = Ontology::standard();
+        let tick = 1800;
+        let mut sim = BuildingSimulator::new(tiny_config(seed, tick), &ont);
+        sim.set_clock(Timestamp::at(0, 9, 0));
+        let trace = sim.run_until(Timestamp::at(0, 13, 0));
+        for obs in &trace.observations {
+            prop_assert_eq!((obs.timestamp.seconds() - Timestamp::at(0, 9, 0).seconds()) % tick, 0);
+            if let Some(user) = obs.subject {
+                if obs.payload.mac().is_some() {
+                    // Network observations require actual presence.
+                    prop_assert!(
+                        trace.ground_truth.iter().any(|g| g.user == user && g.time == obs.timestamp),
+                        "observation about absent occupant {user}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Capture suppression is airtight: whatever subset of MACs is
+    /// suppressed, none appears in any emitted payload.
+    #[test]
+    fn suppression_is_airtight(seed in any::<u64>(), mask in any::<u16>()) {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let mut sim = BuildingSimulator::new(tiny_config(seed, 1800), &ont);
+        let suppressed: Vec<_> = sim
+            .occupants()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << (i % 16)) != 0)
+            .map(|(_, o)| o.mac)
+            .collect();
+        let targets: Vec<_> = sim
+            .devices()
+            .of_class(c.wifi_ap)
+            .into_iter()
+            .chain(sim.devices().of_class(c.ble_beacon))
+            .collect();
+        for id in targets {
+            sim.devices_mut().get_mut(id).unwrap().settings.suppressed_macs =
+                suppressed.clone();
+        }
+        sim.set_clock(Timestamp::at(0, 9, 0));
+        let trace = sim.run_until(Timestamp::at(0, 12, 0));
+        for obs in &trace.observations {
+            if let Some(mac) = obs.payload.mac() {
+                prop_assert!(!suppressed.contains(&mac), "suppressed MAC {mac} leaked");
+            }
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The Smart Concierge: "helps users locate rooms, inhabitants and events
+//! in the building" and gives directions ("nearest coffee machine").
+
+use std::fmt;
+
+use tippers::Tippers;
+use tippers_policy::{catalog, BuildingPolicy, PolicyId, ServiceId, Timestamp};
+use tippers_spatial::{Granularity, Path, RoomUse, SpaceId};
+
+use crate::BuildingService;
+
+/// Directions returned to the user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Directions {
+    /// Where the concierge believes the user started (possibly degraded).
+    pub origin: SpaceId,
+    /// The destination.
+    pub destination: SpaceId,
+    /// The route.
+    pub path: Path,
+    /// Granularity of the location the directions were computed from —
+    /// coarser locations yield vaguer (longer) routes, the utility cost of
+    /// privacy measured in E9.
+    pub location_granularity: Granularity,
+}
+
+/// Why the concierge could not help.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConciergeError {
+    /// The user's location is not available to this service (denied or
+    /// suppressed).
+    LocationUnavailable,
+    /// No candidate destination exists.
+    NoCandidate,
+    /// No walkable route exists.
+    NoRoute,
+}
+
+impl fmt::Display for ConciergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConciergeError::LocationUnavailable => {
+                f.write_str("user location unavailable to the Concierge")
+            }
+            ConciergeError::NoCandidate => f.write_str("no candidate destination"),
+            ConciergeError::NoRoute => f.write_str("no walkable route"),
+        }
+    }
+}
+
+impl std::error::Error for ConciergeError {}
+
+/// The Smart Concierge service.
+#[derive(Debug, Default)]
+pub struct Concierge;
+
+impl Concierge {
+    /// Creates the service.
+    pub fn new() -> Concierge {
+        Concierge
+    }
+
+    /// Resolves the user's current space as permitted by enforcement —
+    /// exact room when allowed, a floor/building representative when
+    /// degraded, never anything when denied.
+    fn permitted_origin(
+        &self,
+        bms: &mut Tippers,
+        user: tippers_policy::UserId,
+        now: Timestamp,
+    ) -> Result<(SpaceId, Granularity), ConciergeError> {
+        let purpose = bms.ontology().concepts().navigation;
+        let location = bms
+            .locate(self.id(), purpose, user, now)
+            .ok_or(ConciergeError::LocationUnavailable)?;
+        match location.space {
+            Some(space) => Ok((space, location.granularity)),
+            None => Err(ConciergeError::LocationUnavailable),
+        }
+    }
+
+    /// Directions from the user's current (permitted) location to the
+    /// nearest room of the given use — "nearest coffee machine" is
+    /// `RoomUse::Kitchen`.
+    pub fn nearest(
+        &self,
+        bms: &mut Tippers,
+        user: tippers_policy::UserId,
+        target: RoomUse,
+        now: Timestamp,
+    ) -> Result<Directions, ConciergeError> {
+        let (origin_space, granularity) = self.permitted_origin(bms, user, now)?;
+        // A degraded location names a floor or building; route from a
+        // concrete representative inside it (its first corridor/leaf).
+        let origin = representative(bms, origin_space);
+        let candidates = bms.model().rooms_with_use(target);
+        if candidates.is_empty() {
+            return Err(ConciergeError::NoCandidate);
+        }
+        let (destination, path) = bms
+            .model()
+            .nearest(origin, &candidates)
+            .ok_or(ConciergeError::NoRoute)?;
+        Ok(Directions {
+            origin,
+            destination,
+            path,
+            location_granularity: granularity,
+        })
+    }
+
+    /// Directions to a specific space.
+    pub fn directions_to(
+        &self,
+        bms: &mut Tippers,
+        user: tippers_policy::UserId,
+        destination: SpaceId,
+        now: Timestamp,
+    ) -> Result<Directions, ConciergeError> {
+        let (origin_space, granularity) = self.permitted_origin(bms, user, now)?;
+        let origin = representative(bms, origin_space);
+        let path = bms
+            .model()
+            .path(origin, destination)
+            .map_err(|_| ConciergeError::NoRoute)?;
+        Ok(Directions {
+            origin,
+            destination,
+            path,
+            location_granularity: granularity,
+        })
+    }
+}
+
+/// A walkable representative of a possibly non-leaf space: the space
+/// itself if it has no children, else its first corridor, else its first
+/// leaf.
+fn representative(bms: &Tippers, space: SpaceId) -> SpaceId {
+    let model = bms.model();
+    if model.space(space).children().is_empty() {
+        return space;
+    }
+    model
+        .descendants(space)
+        .into_iter()
+        .find(|&s| matches!(model.space(s).kind(), tippers_spatial::SpaceKind::Corridor))
+        .or_else(|| model.leaves(space).first().copied())
+        .unwrap_or(space)
+}
+
+impl BuildingService for Concierge {
+    fn id(&self) -> ServiceId {
+        catalog::services::concierge()
+    }
+
+    /// The Concierge's Figure 3 disclosure: location data, used to give
+    /// directions, opt-out with the Figure 4 fine/coarse/none setting.
+    fn policies(&self, bms: &Tippers) -> Vec<BuildingPolicy> {
+        let c = bms.ontology().concepts();
+        let building = bms.model().root();
+        vec![BuildingPolicy::new(
+            PolicyId(0),
+            "Concierge location use",
+            building,
+            c.location_room,
+            c.navigation,
+        )
+        .with_description(
+            "Your location data is used to give you directions around the building",
+        )
+        .with_actions(tippers_policy::ActionSet::ALL)
+        .with_service(self.id())
+        .with_setting(BuildingPolicy::location_setting())]
+    }
+}

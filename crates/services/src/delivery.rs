@@ -1,0 +1,85 @@
+//! The third-party food-delivery service: "a food delivery company can
+//! automatically locate and deliver food to building inhabitants during
+//! lunch time" (§III.B).
+//!
+//! Being third-party and commercial, its location use is **opt-in**: with
+//! no explicit grant, the BMS denies every lookup.
+
+use tippers::Tippers;
+use tippers_policy::{catalog, BuildingPolicy, Modality, PolicyId, ServiceId, Timestamp, UserId};
+use tippers_spatial::GranularLocation;
+
+use crate::BuildingService;
+
+/// The outcome of a delivery attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeliveryOutcome {
+    /// Food is on its way to the located space.
+    Dispatched {
+        /// Where the courier is headed (as precise as enforcement allows).
+        location: GranularLocation,
+    },
+    /// The subscriber's location was withheld; delivery falls back to the
+    /// lobby pickup point.
+    LobbyPickup,
+    /// Outside the lunch window — the service does not even ask.
+    NotLunchTime,
+}
+
+/// The delivery service.
+#[derive(Debug, Default)]
+pub struct FoodDelivery;
+
+impl FoodDelivery {
+    /// Creates the service.
+    pub fn new() -> FoodDelivery {
+        FoodDelivery
+    }
+
+    /// True during the lunch window (11:30–13:30).
+    pub fn is_lunch_time(now: Timestamp) -> bool {
+        let tod = now.time_of_day();
+        let mins = tod.hour() * 60 + tod.minute();
+        (11 * 60 + 30..=13 * 60 + 30).contains(&mins)
+    }
+
+    /// Attempts a lunch delivery to a subscriber.
+    pub fn deliver_lunch(
+        &self,
+        bms: &mut Tippers,
+        subscriber: UserId,
+        now: Timestamp,
+    ) -> DeliveryOutcome {
+        if !Self::is_lunch_time(now) {
+            return DeliveryOutcome::NotLunchTime;
+        }
+        let purpose = bms.ontology().concepts().delivery;
+        match bms.locate(self.id(), purpose, subscriber, now) {
+            Some(location) if !location.is_suppressed() => {
+                DeliveryOutcome::Dispatched { location }
+            }
+            _ => DeliveryOutcome::LobbyPickup,
+        }
+    }
+}
+
+impl BuildingService for FoodDelivery {
+    fn id(&self) -> ServiceId {
+        catalog::services::food_delivery()
+    }
+
+    fn policies(&self, bms: &Tippers) -> Vec<BuildingPolicy> {
+        let c = bms.ontology().concepts();
+        vec![BuildingPolicy::new(
+            PolicyId(0),
+            "Food delivery location use",
+            bms.model().root(),
+            c.location_room,
+            c.delivery,
+        )
+        .with_description("Subscribers are located during lunch time to deliver food")
+        .with_actions(tippers_policy::ActionSet::ALL)
+        .with_modality(Modality::OptIn)
+        .with_service(self.id())]
+    }
+}

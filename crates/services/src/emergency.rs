@@ -1,0 +1,100 @@
+//! The emergency-response service behind Policy 2: "The building
+//! management system stores your location to locate you in case of
+//! emergency situations."
+//!
+//! Its requests carry the `emergency-response` purpose, which Policy 2
+//! declares as **required** — they succeed even for users who opted out of
+//! location sharing (the Policy 2 vs Preference 2 conflict, resolved in
+//! the building's favour and notified to the user).
+
+use tippers::{DataRequest, ReleasedValue, SubjectSelector, Tippers};
+use tippers_policy::{catalog, BuildingPolicy, ServiceId, Timestamp, UserId};
+use tippers_spatial::{GranularLocation, SpaceId};
+
+use crate::BuildingService;
+
+/// One located occupant during an emergency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmergencyRoster {
+    /// Everyone the BMS could locate, with their last known location.
+    pub located: Vec<(UserId, GranularLocation)>,
+    /// Registered occupants with no recent location record.
+    pub unaccounted: Vec<UserId>,
+}
+
+/// The emergency-response service.
+#[derive(Debug, Default)]
+pub struct EmergencyResponse;
+
+impl EmergencyResponse {
+    /// Creates the service.
+    pub fn new() -> EmergencyResponse {
+        EmergencyResponse
+    }
+
+    /// Musters everyone in (a subtree of) the building: who is where?
+    ///
+    /// Looks back one hour, which is what the stored WiFi log supports.
+    pub fn muster(
+        &self,
+        bms: &mut Tippers,
+        area: Option<SpaceId>,
+        now: Timestamp,
+    ) -> EmergencyRoster {
+        let c = bms.ontology().concepts().clone();
+        let request = DataRequest {
+            service: self.id(),
+            purpose: c.emergency_response,
+            data: c.location_room,
+            subjects: match area {
+                Some(space) => SubjectSelector::InSpace(space),
+                None => SubjectSelector::All,
+            },
+            from: Timestamp(now.seconds() - 3600),
+            to: Timestamp(now.seconds() + 1),
+            requester_space: None,
+        };
+        let response = bms.handle_request(&request, now);
+        let mut located = Vec::new();
+        let mut unaccounted = Vec::new();
+        for result in response.results {
+            let last_location = result.records.iter().rev().find_map(|r| match &r.value {
+                ReleasedValue::Location(l) if !l.is_suppressed() => Some(*l),
+                _ => None,
+            });
+            match last_location {
+                Some(l) => located.push((result.user, l)),
+                None => unaccounted.push(result.user),
+            }
+        }
+        EmergencyRoster {
+            located,
+            unaccounted,
+        }
+    }
+}
+
+impl BuildingService for EmergencyResponse {
+    fn id(&self) -> ServiceId {
+        catalog::services::emergency()
+    }
+
+    /// Policy 2 itself (Figure 2's machine-readable form).
+    fn policies(&self, bms: &Tippers) -> Vec<BuildingPolicy> {
+        let building = bms
+            .model()
+            .spaces_of_kind(tippers_spatial::SpaceKind::Building)
+            .first()
+            .copied()
+            .unwrap_or_else(|| bms.model().root());
+        vec![
+            // The id is a placeholder; the BMS assigns real ids on add.
+            catalog::policy2_emergency_location(
+                tippers_policy::PolicyId(0),
+                building,
+                bms.ontology(),
+            )
+            .with_setting(BuildingPolicy::location_setting()),
+        ]
+    }
+}

@@ -1,0 +1,49 @@
+//! Building services on top of TIPPERS (§III.B).
+//!
+//! "Smart buildings such as DBH also provide services, built on top of the
+//! collected sensor data, to the inhabitants": the paper names the **Smart
+//! Concierge** ("helps users locate rooms, inhabitants and events") and
+//! **Smart Meeting** ("can help organize meetings more efficiently"), plus
+//! a third-party **food delivery** company that locates subscribers at
+//! lunch time. An **emergency response** service backs Policy 2.
+//!
+//! Every service consumes data exclusively through
+//! [`tippers::Tippers::handle_request`] / [`tippers::Tippers::locate`],
+//! so user preferences and
+//! building policies bind it exactly as the paper prescribes (steps 9–10
+//! of Figure 1). Each service also declares its own
+//! [`BuildingPolicy`] so the BMS can
+//! advertise its practices (Figure 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod concierge;
+mod delivery;
+mod emergency;
+mod meeting;
+
+pub use concierge::{Concierge, ConciergeError, Directions};
+pub use delivery::{DeliveryOutcome, FoodDelivery};
+pub use emergency::{EmergencyResponse, EmergencyRoster};
+pub use meeting::{MeetingProposal, SchedulingError, SmartMeeting};
+
+use tippers::Tippers;
+use tippers_policy::{BuildingPolicy, ServiceId};
+
+/// Common surface of every building service.
+pub trait BuildingService {
+    /// The service's id (matched against policy `service_id`s).
+    fn id(&self) -> ServiceId;
+
+    /// The policies the service asks the building to adopt and advertise
+    /// on its behalf (its Figure 3 disclosure, in normalized form).
+    fn policies(&self, bms: &Tippers) -> Vec<BuildingPolicy>;
+}
+
+/// Registers a service's policies with the BMS.
+pub fn register_service(bms: &mut Tippers, service: &dyn BuildingService) {
+    for policy in service.policies(bms) {
+        bms.add_policy(policy);
+    }
+}

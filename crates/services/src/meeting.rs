@@ -1,0 +1,150 @@
+//! The Smart Meeting service: "can help organize meetings more
+//! efficiently" (§III.B); Preference 4 grants it "access to the details of
+//! the meeting and its participants".
+
+use std::fmt;
+
+use tippers::{DataRequest, SubjectSelector, Tippers};
+use tippers_policy::{catalog, BuildingPolicy, Modality, PolicyId, ServiceId, Timestamp, UserId};
+use tippers_spatial::SpaceId;
+
+use crate::BuildingService;
+
+/// A proposed meeting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeetingProposal {
+    /// The chosen room.
+    pub room: SpaceId,
+    /// Proposed start time.
+    pub start: Timestamp,
+    /// Participants whose presence could be confirmed.
+    pub confirmed: Vec<UserId>,
+    /// Participants whose data was withheld — they must be invited
+    /// manually (privacy cost, not failure).
+    pub unconfirmed: Vec<UserId>,
+}
+
+/// Why scheduling failed outright.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedulingError {
+    /// No meeting room is known to the building.
+    NoRooms,
+    /// Every participant's data was withheld.
+    NoParticipantsVisible,
+}
+
+impl fmt::Display for SchedulingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulingError::NoRooms => f.write_str("no meeting rooms available"),
+            SchedulingError::NoParticipantsVisible => {
+                f.write_str("no participant shared the data needed for scheduling")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedulingError {}
+
+/// The Smart Meeting service.
+#[derive(Debug, Default)]
+pub struct SmartMeeting {
+    /// Candidate meeting rooms (usually the building's meeting rooms).
+    pub rooms: Vec<SpaceId>,
+}
+
+impl SmartMeeting {
+    /// Creates the service over a set of candidate rooms.
+    pub fn new(rooms: Vec<SpaceId>) -> SmartMeeting {
+        SmartMeeting { rooms }
+    }
+
+    /// Proposes a room and start time: confirms which participants are in
+    /// the building (through an enforced location request), then picks the
+    /// meeting room with no recent occupancy signal.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedulingError::NoRooms`] or, when every participant withheld
+    /// their data, [`SchedulingError::NoParticipantsVisible`].
+    pub fn schedule(
+        &self,
+        bms: &mut Tippers,
+        participants: &[UserId],
+        now: Timestamp,
+    ) -> Result<MeetingProposal, SchedulingError> {
+        if self.rooms.is_empty() {
+            return Err(SchedulingError::NoRooms);
+        }
+        let c = bms.ontology().concepts().clone();
+        let mut confirmed = Vec::new();
+        let mut unconfirmed = Vec::new();
+        for &user in participants {
+            // Meeting details + participant presence flow under the
+            // scheduling purpose; enforcement decides per participant.
+            let request = DataRequest {
+                service: self.id(),
+                purpose: c.scheduling,
+                data: c.meeting_details,
+                subjects: SubjectSelector::One(user),
+                from: Timestamp(now.seconds() - 3600),
+                to: Timestamp(now.seconds() + 1),
+                requester_space: None,
+            };
+            let response = bms.handle_request(&request, now);
+            let permitted = response
+                .results
+                .first()
+                .map(|r| r.decision.permits())
+                .unwrap_or(false);
+            if permitted {
+                confirmed.push(user);
+            } else {
+                unconfirmed.push(user);
+            }
+        }
+        if confirmed.is_empty() {
+            return Err(SchedulingError::NoParticipantsVisible);
+        }
+        // Prefer a room with no live occupancy signal; fall back to the
+        // first candidate.
+        let room = self
+            .rooms
+            .iter()
+            .copied()
+            .find(|&room| bms.room_occupied(room, now) != Some(true))
+            .unwrap_or(self.rooms[0]);
+        Ok(MeetingProposal {
+            room,
+            start: Timestamp(now.seconds() + 1800),
+            confirmed,
+            unconfirmed,
+        })
+    }
+}
+
+impl BuildingService for SmartMeeting {
+    fn id(&self) -> ServiceId {
+        catalog::services::smart_meeting()
+    }
+
+    /// Smart Meeting's disclosure: meeting details and participants, for
+    /// scheduling, **opt-in** (Preference 4 is the grant).
+    fn policies(&self, bms: &Tippers) -> Vec<BuildingPolicy> {
+        let c = bms.ontology().concepts();
+        vec![BuildingPolicy::new(
+            PolicyId(0),
+            "Smart Meeting scheduling data",
+            bms.model().root(),
+            c.meeting_details,
+            c.scheduling,
+        )
+        .with_description(
+            "Meeting details and participant presence are used to organize meetings",
+        )
+        .with_actions(tippers_policy::ActionSet::ALL)
+        .with_modality(Modality::OptIn)
+        .with_service(self.id())]
+    }
+}

@@ -1,0 +1,227 @@
+//! Service-level integration tests: each paper service running against a
+//! populated BMS with real simulator data.
+
+use tippers::{Tippers, TippersConfig};
+use tippers_ontology::Ontology;
+use tippers_policy::{catalog, Effect, PreferenceId, PolicyId, Timestamp, UserId};
+use tippers_sensors::{
+    BuildingSimulator, DeploymentConfig, Population, SimulatorConfig,
+};
+use tippers_services::{
+    register_service, BuildingService, Concierge, ConciergeError, DeliveryOutcome,
+    EmergencyResponse, FoodDelivery, SmartMeeting,
+};
+use tippers_spatial::{Granularity, RoomUse};
+
+/// A BMS fed with a morning of simulated data, all services registered.
+fn populated_bms() -> (Tippers, BuildingSimulator, Vec<UserId>) {
+    let ontology = Ontology::standard();
+    let config = SimulatorConfig {
+        seed: 5,
+        population: Population {
+            staff: 6,
+            faculty: 6,
+            grads: 8,
+            undergrads: 8,
+            visitors: 2,
+        },
+        tick_secs: 600,
+        deployment: DeploymentConfig {
+            cameras: 6,
+            wifi_aps: 240,
+            beacons: 40,
+            power_meters: 20,
+            motion_everywhere: true,
+            hvac_per_floor: true,
+            badge_readers: true,
+        },
+        identify_probability: 0.3,
+    };
+    let mut sim = BuildingSimulator::new(config, &ontology);
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        sim.dbh().model.clone(),
+        TippersConfig::default(),
+    );
+    bms.register_occupants(sim.occupants());
+
+    // Building policies 1–4 plus every service's own policies.
+    let dbh = sim.dbh().clone();
+    bms.add_policy(catalog::policy1_thermostat(PolicyId(0), dbh.building, bms.ontology()));
+    bms.add_policy(catalog::policy3_meeting_room_access(
+        PolicyId(0),
+        dbh.building,
+        dbh.meeting_rooms.clone(),
+        bms.ontology(),
+    ));
+    register_service(&mut bms, &EmergencyResponse::new()); // carries Policy 2
+    register_service(&mut bms, &Concierge::new());
+    register_service(&mut bms, &SmartMeeting::new(dbh.meeting_rooms.clone()));
+    register_service(&mut bms, &FoodDelivery::new());
+
+    sim.set_clock(Timestamp::at(0, 8, 0));
+    let trace = sim.run_until(Timestamp::at(0, 12, 0));
+    let (stored, _) = bms.ingest(&trace.observations);
+    assert!(stored > 0, "the BMS should store authorized observations");
+    let users = sim.occupants().iter().map(|o| o.user).collect();
+    (bms, sim, users)
+}
+
+/// A user present at noon (staff are reliably in by then).
+fn present_user(bms: &mut Tippers, sim: &mut BuildingSimulator, users: &[UserId]) -> UserId {
+    let now = Timestamp::at(0, 11, 55);
+    users
+        .iter()
+        .copied()
+        .find(|&u| sim.position_of(u, now).is_some() && {
+            let c = bms.ontology().concepts().navigation;
+            bms.locate(catalog::services::concierge(), c, u, now).is_some()
+        })
+        .expect("someone is in the building at noon")
+}
+
+#[test]
+fn concierge_gives_directions_to_nearest_kitchen() {
+    let (mut bms, mut sim, users) = populated_bms();
+    let user = present_user(&mut bms, &mut sim, &users);
+    let concierge = Concierge::new();
+    let directions = concierge
+        .nearest(&mut bms, user, RoomUse::Kitchen, Timestamp::at(0, 11, 55))
+        .expect("directions");
+    assert!(matches!(
+        bms.model().space(directions.destination).kind(),
+        tippers_spatial::SpaceKind::Room(RoomUse::Kitchen)
+    ));
+    assert!(directions.path.hops() >= 1);
+}
+
+#[test]
+fn concierge_respects_opt_out() {
+    let (mut bms, _sim, users) = populated_bms();
+    let user = users[0];
+    let now = Timestamp::at(0, 11, 55);
+    bms.submit_preference(
+        catalog::preference2_no_location(PreferenceId(0), user, &bms.ontology().clone()),
+        now,
+    );
+    let concierge = Concierge::new();
+    let err = concierge
+        .nearest(&mut bms, user, RoomUse::Kitchen, now)
+        .unwrap_err();
+    assert_eq!(err, ConciergeError::LocationUnavailable);
+}
+
+#[test]
+fn concierge_coarse_location_still_works() {
+    let (mut bms, mut sim, users) = populated_bms();
+    let user = present_user(&mut bms, &mut sim, &users);
+    let now = Timestamp::at(0, 11, 55);
+    bms.submit_preference(
+        catalog::preference_coarse_location(
+            PreferenceId(0),
+            user,
+            Granularity::Floor,
+            &bms.ontology().clone(),
+        ),
+        now,
+    );
+    let concierge = Concierge::new();
+    let directions = concierge
+        .nearest(&mut bms, user, RoomUse::Kitchen, now)
+        .expect("coarse directions still possible");
+    assert_eq!(directions.location_granularity, Granularity::Floor);
+}
+
+#[test]
+fn emergency_muster_overrides_opt_outs() {
+    let (mut bms, mut sim, users) = populated_bms();
+    let user = present_user(&mut bms, &mut sim, &users);
+    let now = Timestamp::at(0, 11, 55);
+    // Even a full location opt-out cannot hide from the emergency muster
+    // (Policy 2 is mandatory) — and the user is notified of the override.
+    bms.submit_preference(
+        catalog::preference2_no_location(PreferenceId(0), user, &bms.ontology().clone()),
+        now,
+    );
+    let emergency = EmergencyResponse::new();
+    let roster = emergency.muster(&mut bms, None, now);
+    assert!(
+        roster.located.iter().any(|(u, _)| *u == user),
+        "mandatory policy must locate the opted-out user"
+    );
+    let notes = bms.take_notifications(user);
+    assert!(!notes.is_empty(), "user must be told about the override");
+}
+
+#[test]
+fn food_delivery_requires_opt_in() {
+    let (mut bms, mut sim, users) = populated_bms();
+    let user = present_user(&mut bms, &mut sim, &users);
+    let lunch = Timestamp::at(0, 12, 0);
+    let delivery = FoodDelivery::new();
+    // Without a grant: lobby pickup.
+    assert_eq!(
+        delivery.deliver_lunch(&mut bms, user, lunch),
+        DeliveryOutcome::LobbyPickup
+    );
+    // Grant the third party access.
+    let ont = bms.ontology().clone();
+    let c = ont.concepts();
+    let grant = tippers_policy::UserPreference::new(
+        PreferenceId(0),
+        user,
+        tippers_policy::PreferenceScope {
+            data: Some(c.location),
+            service: Some(catalog::services::food_delivery()),
+            ..Default::default()
+        },
+        Effect::Allow,
+    )
+    .with_priority(10);
+    bms.submit_preference(grant, lunch);
+    match delivery.deliver_lunch(&mut bms, user, lunch) {
+        DeliveryOutcome::Dispatched { location } => {
+            assert!(location.space.is_some());
+        }
+        other => panic!("expected dispatch after opt-in, got {other:?}"),
+    }
+    // Outside lunch hours the service does not ask at all.
+    assert_eq!(
+        delivery.deliver_lunch(&mut bms, user, Timestamp::at(0, 16, 0)),
+        DeliveryOutcome::NotLunchTime
+    );
+}
+
+#[test]
+fn smart_meeting_needs_preference4() {
+    let (mut bms, mut sim, users) = populated_bms();
+    let a = present_user(&mut bms, &mut sim, &users);
+    let b = users.iter().copied().find(|&u| u != a).unwrap();
+    let now = Timestamp::at(0, 11, 0);
+    let dbh = sim.dbh().clone();
+    let meeting = SmartMeeting::new(dbh.meeting_rooms.clone());
+    // Opt-in service with no grants: nobody is visible.
+    let err = meeting.schedule(&mut bms, &[a, b], now).unwrap_err();
+    assert_eq!(err, tippers_services::SchedulingError::NoParticipantsVisible);
+    // Participant `a` grants Preference 4.
+    let ont = bms.ontology().clone();
+    bms.submit_preference(
+        catalog::preference4_smart_meeting(PreferenceId(0), a, &ont),
+        now,
+    );
+    let proposal = meeting.schedule(&mut bms, &[a, b], now).expect("scheduled");
+    assert_eq!(proposal.confirmed, vec![a]);
+    assert_eq!(proposal.unconfirmed, vec![b]);
+    assert!(dbh.meeting_rooms.contains(&proposal.room));
+}
+
+#[test]
+fn service_ids_match_catalog() {
+    assert_eq!(Concierge::new().id(), catalog::services::concierge());
+    assert_eq!(
+        SmartMeeting::new(vec![]).id(),
+        catalog::services::smart_meeting()
+    );
+    assert_eq!(FoodDelivery::new().id(), catalog::services::food_delivery());
+    assert_eq!(EmergencyResponse::new().id(), catalog::services::emergency());
+}

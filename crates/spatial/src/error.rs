@@ -1,0 +1,48 @@
+use std::fmt;
+
+use crate::model::SpaceId;
+use crate::zone::ZoneId;
+
+/// Errors produced by spatial-model operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpatialError {
+    /// A referenced space does not exist in the model.
+    UnknownSpace(SpaceId),
+    /// A referenced zone does not exist in the model.
+    UnknownZone(ZoneId),
+    /// An operation would create a containment cycle.
+    ContainmentCycle {
+        /// The space that would become its own ancestor.
+        space: SpaceId,
+    },
+    /// No path exists between two spaces in the adjacency graph.
+    NoPath {
+        /// Path origin.
+        from: SpaceId,
+        /// Path destination.
+        to: SpaceId,
+    },
+    /// A space name is duplicated within the model.
+    DuplicateName(String),
+}
+
+impl fmt::Display for SpatialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpatialError::UnknownSpace(id) => write!(f, "unknown space {id}"),
+            SpatialError::UnknownZone(id) => write!(f, "unknown zone {id}"),
+            SpatialError::ContainmentCycle { space } => {
+                write!(f, "containment cycle involving space {space}")
+            }
+            SpatialError::NoPath { from, to } => {
+                write!(f, "no path from space {from} to space {to}")
+            }
+            SpatialError::DuplicateName(name) => {
+                write!(f, "duplicate space name `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpatialError {}

@@ -1,0 +1,229 @@
+//! Ready-made spatial models, including a Donald Bren Hall-like building.
+//!
+//! The paper's testbed is Donald Bren Hall (DBH) at UC Irvine: a six-story
+//! building with corridors, offices, classrooms, meeting rooms and labs.
+//! [`dbh`] builds a deterministic, parameterizable model of that shape so
+//! that tests, examples and benchmarks all speak about the same spaces.
+
+use crate::model::{RoomUse, SpaceId, SpaceKind, SpatialModel};
+use crate::point::Point;
+
+/// Layout parameters for [`dbh_with`].
+#[derive(Debug, Clone)]
+pub struct DbhConfig {
+    /// Number of floors (DBH has 6).
+    pub floors: u32,
+    /// Offices per floor.
+    pub offices_per_floor: u32,
+    /// Classrooms per floor (the paper puts undergrads in classrooms).
+    pub classrooms_per_floor: u32,
+    /// Meeting rooms per floor (Policy 3 gates access to these).
+    pub meeting_rooms_per_floor: u32,
+    /// Labs per floor.
+    pub labs_per_floor: u32,
+}
+
+impl Default for DbhConfig {
+    fn default() -> Self {
+        DbhConfig {
+            floors: 6,
+            offices_per_floor: 20,
+            classrooms_per_floor: 3,
+            meeting_rooms_per_floor: 2,
+            labs_per_floor: 3,
+        }
+    }
+}
+
+/// Handle to the spaces of a generated DBH model.
+#[derive(Debug, Clone)]
+pub struct Dbh {
+    /// The model itself.
+    pub model: SpatialModel,
+    /// The building space.
+    pub building: SpaceId,
+    /// Floor spaces, ground floor first.
+    pub floors: Vec<SpaceId>,
+    /// Corridor of each floor.
+    pub corridors: Vec<SpaceId>,
+    /// All offices.
+    pub offices: Vec<SpaceId>,
+    /// All classrooms.
+    pub classrooms: Vec<SpaceId>,
+    /// All meeting rooms.
+    pub meeting_rooms: Vec<SpaceId>,
+    /// All labs.
+    pub labs: Vec<SpaceId>,
+    /// All kitchens (one per floor).
+    pub kitchens: Vec<SpaceId>,
+    /// The ground-floor lobby.
+    pub lobby: SpaceId,
+}
+
+impl Dbh {
+    /// Every room on a given floor (offices, classrooms, meeting rooms,
+    /// labs, kitchen), excluding the corridor.
+    pub fn rooms_on_floor(&self, floor: SpaceId) -> Vec<SpaceId> {
+        self.model
+            .descendants(floor)
+            .into_iter()
+            .filter(|&s| matches!(self.model.space(s).kind(), SpaceKind::Room(_)))
+            .collect()
+    }
+}
+
+/// Builds the default six-floor DBH-like model.
+///
+/// # Examples
+///
+/// ```
+/// let dbh = tippers_spatial::fixtures::dbh();
+/// assert_eq!(dbh.floors.len(), 6);
+/// assert_eq!(dbh.offices.len(), 6 * 20);
+/// ```
+pub fn dbh() -> Dbh {
+    dbh_with(&DbhConfig::default())
+}
+
+/// Builds a DBH-like model with custom dimensions.
+///
+/// Every floor gets a corridor connecting all of its rooms; floors are
+/// connected through a stairwell chain; the ground floor additionally has a
+/// lobby adjacent to its corridor.
+pub fn dbh_with(config: &DbhConfig) -> Dbh {
+    let mut model = SpatialModel::new("uci");
+    let building = model.add_space("DBH", SpaceKind::Building, model.root());
+
+    let mut floors = Vec::new();
+    let mut corridors = Vec::new();
+    let mut offices = Vec::new();
+    let mut classrooms = Vec::new();
+    let mut meeting_rooms = Vec::new();
+    let mut labs = Vec::new();
+    let mut kitchens = Vec::new();
+
+    for fl in 0..config.floors {
+        let floor = model.add_space(format!("DBH-{}", fl + 1), SpaceKind::Floor, building);
+        let corridor =
+            model.add_space(format!("DBH-{}-corridor", fl + 1), SpaceKind::Corridor, floor);
+        model.set_centroid(corridor, Point::new(0.0, 0.0, fl as i32));
+        floors.push(floor);
+        corridors.push(corridor);
+
+        let mut room_counter = 0u32;
+        let mut add_rooms = |model: &mut SpatialModel,
+                             count: u32,
+                             use_: RoomUse,
+                             out: &mut Vec<SpaceId>| {
+            for _ in 0..count {
+                room_counter += 1;
+                let name = format!("DBH-{}{:03}", fl + 1, room_counter);
+                let room = model.add_space(name, SpaceKind::room(use_), floor);
+                model.set_centroid(
+                    room,
+                    Point::new(room_counter as f64 * 5.0, 4.0, fl as i32),
+                );
+                model.add_adjacency(corridor, room);
+                out.push(room);
+            }
+        };
+
+        add_rooms(&mut model, config.offices_per_floor, RoomUse::Office, &mut offices);
+        add_rooms(
+            &mut model,
+            config.classrooms_per_floor,
+            RoomUse::Classroom,
+            &mut classrooms,
+        );
+        add_rooms(
+            &mut model,
+            config.meeting_rooms_per_floor,
+            RoomUse::MeetingRoom,
+            &mut meeting_rooms,
+        );
+        add_rooms(&mut model, config.labs_per_floor, RoomUse::Lab, &mut labs);
+        add_rooms(&mut model, 1, RoomUse::Kitchen, &mut kitchens);
+    }
+
+    // Stairwell chain between consecutive floors (corridor to corridor).
+    for w in corridors.windows(2) {
+        model.add_adjacency(w[0], w[1]);
+    }
+
+    let lobby = model.add_space("DBH-lobby", SpaceKind::room(RoomUse::Lobby), floors[0]);
+    model.set_centroid(lobby, Point::new(-10.0, 0.0, 0));
+    model.add_adjacency(lobby, corridors[0]);
+
+    Dbh {
+        model,
+        building,
+        floors,
+        corridors,
+        offices,
+        classrooms,
+        meeting_rooms,
+        labs,
+        kitchens,
+        lobby,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_dbh_matches_paper_shape() {
+        let dbh = dbh();
+        assert_eq!(dbh.floors.len(), 6);
+        assert_eq!(dbh.offices.len(), 120);
+        assert_eq!(dbh.meeting_rooms.len(), 12);
+        assert_eq!(dbh.model.building_of(dbh.lobby), Some(dbh.building));
+    }
+
+    #[test]
+    fn every_room_is_reachable_from_lobby() {
+        let dbh = dbh();
+        for &office in &dbh.offices {
+            let path = dbh.model.path(dbh.lobby, office).expect("reachable");
+            assert!(path.hops() >= 2);
+        }
+    }
+
+    #[test]
+    fn custom_config_scales() {
+        let cfg = DbhConfig {
+            floors: 2,
+            offices_per_floor: 5,
+            classrooms_per_floor: 1,
+            meeting_rooms_per_floor: 1,
+            labs_per_floor: 0,
+        };
+        let dbh = dbh_with(&cfg);
+        assert_eq!(dbh.offices.len(), 10);
+        assert_eq!(dbh.labs.len(), 0);
+        assert_eq!(dbh.kitchens.len(), 2);
+    }
+
+    #[test]
+    fn rooms_on_floor_excludes_corridor() {
+        let dbh = dbh();
+        let rooms = dbh.rooms_on_floor(dbh.floors[1]);
+        assert!(rooms
+            .iter()
+            .all(|&r| matches!(dbh.model.space(r).kind(), SpaceKind::Room(_))));
+        // 20 offices + 3 classrooms + 2 meeting + 3 labs + 1 kitchen
+        assert_eq!(rooms.len(), 29);
+    }
+
+    #[test]
+    fn cross_floor_paths_use_stairwell() {
+        let dbh = dbh();
+        let p = dbh
+            .model
+            .path(dbh.offices[0], *dbh.offices.last().unwrap())
+            .unwrap();
+        // office -> corridor(1) -> ... -> corridor(6) -> office
+        assert_eq!(p.hops(), 7);
+    }
+}

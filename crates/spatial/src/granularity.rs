@@ -1,0 +1,266 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::{SpaceId, SpaceKind, SpatialModel};
+use crate::point::Point;
+
+/// Location granularity lattice used for privacy-preserving degradation.
+///
+/// Figure 4 of the paper offers users "fine grained location sensing",
+/// "coarse grained location sensing", or "no location sensing"; the
+/// enforcement discussion (§V.C) lists granularity reduction as one of the
+/// *how*s of enforcement. This enum is a total order from most precise to
+/// fully suppressed:
+///
+/// `Exact < Room < Floor < Building < Campus < Suppressed`
+///
+/// Degrading a location to a granularity keeps the coarsest identifier at or
+/// above that level, so an attacker holding the degraded value learns no
+/// more than the lattice level permits.
+///
+/// # Examples
+///
+/// ```
+/// use tippers_spatial::Granularity;
+/// // A floor-level cap satisfies a room-level requirement's complement:
+/// assert!(Granularity::Floor.respects(Granularity::Room));
+/// // The join of two users' caps is the coarser one.
+/// assert_eq!(
+///     Granularity::Room.coarsest(Granularity::Building),
+///     Granularity::Building
+/// );
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum Granularity {
+    /// Exact coordinates within a room ("fine grained").
+    Exact,
+    /// Room-level location.
+    Room,
+    /// Floor-level location ("coarse grained").
+    Floor,
+    /// Building-level location.
+    Building,
+    /// Campus-level location.
+    Campus,
+    /// No location at all ("no location sensing" / opt-out).
+    Suppressed,
+}
+
+impl Granularity {
+    /// All granularities, finest first.
+    pub const ALL: [Granularity; 6] = [
+        Granularity::Exact,
+        Granularity::Room,
+        Granularity::Floor,
+        Granularity::Building,
+        Granularity::Campus,
+        Granularity::Suppressed,
+    ];
+
+    /// The coarser (more private) of two granularities — the lattice join.
+    pub fn coarsest(self, other: Granularity) -> Granularity {
+        self.max(other)
+    }
+
+    /// The finer (more permissive) of two granularities — the lattice meet.
+    pub fn finest(self, other: Granularity) -> Granularity {
+        self.min(other)
+    }
+
+    /// True if this granularity reveals no more than `bound` —
+    /// i.e. it is at least as coarse.
+    pub fn respects(self, bound: Granularity) -> bool {
+        self >= bound
+    }
+
+    /// One step coarser, saturating at [`Granularity::Suppressed`].
+    pub fn coarsen(self) -> Granularity {
+        match self {
+            Granularity::Exact => Granularity::Room,
+            Granularity::Room => Granularity::Floor,
+            Granularity::Floor => Granularity::Building,
+            Granularity::Building => Granularity::Campus,
+            Granularity::Campus | Granularity::Suppressed => Granularity::Suppressed,
+        }
+    }
+}
+
+impl fmt::Display for Granularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Granularity::Exact => "exact",
+            Granularity::Room => "room",
+            Granularity::Floor => "floor",
+            Granularity::Building => "building",
+            Granularity::Campus => "campus",
+            Granularity::Suppressed => "suppressed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A location that has been degraded to a specific granularity.
+///
+/// Produced by [`GranularLocation::degrade`]; the enforcement engine returns
+/// these instead of raw sensor locations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GranularLocation {
+    /// Granularity this value was degraded to.
+    pub granularity: Granularity,
+    /// The coarsest space consistent with the granularity, or `None` when
+    /// suppressed.
+    pub space: Option<SpaceId>,
+    /// Exact coordinates; present only at [`Granularity::Exact`].
+    pub point: Option<Point>,
+}
+
+impl GranularLocation {
+    /// A fully suppressed location.
+    pub fn suppressed() -> Self {
+        GranularLocation {
+            granularity: Granularity::Suppressed,
+            space: None,
+            point: None,
+        }
+    }
+
+    /// Degrades a raw location (`space` + optional `point`) to `granularity`
+    /// using the containment hierarchy in `model`.
+    ///
+    /// If the model has no ancestor at the requested level (e.g. asking for
+    /// the floor of an outdoor space), the next coarser available level is
+    /// used, so the result never reveals *more* than requested.
+    pub fn degrade(
+        model: &SpatialModel,
+        space: SpaceId,
+        point: Option<Point>,
+        granularity: Granularity,
+    ) -> GranularLocation {
+        match granularity {
+            Granularity::Exact => GranularLocation {
+                granularity,
+                space: Some(space),
+                point,
+            },
+            Granularity::Room => GranularLocation {
+                granularity,
+                space: Some(space),
+                point: None,
+            },
+            Granularity::Floor => match model.floor_of(space) {
+                Some(f) => GranularLocation {
+                    granularity,
+                    space: Some(f),
+                    point: None,
+                },
+                None => Self::degrade(model, space, point, Granularity::Building),
+            },
+            Granularity::Building => match model.building_of(space) {
+                Some(b) => GranularLocation {
+                    granularity,
+                    space: Some(b),
+                    point: None,
+                },
+                None => Self::degrade(model, space, point, Granularity::Campus),
+            },
+            Granularity::Campus => GranularLocation {
+                granularity,
+                space: model
+                    .ancestor_of_kind(space, SpaceKind::Campus)
+                    .or(Some(model.root())),
+                point: None,
+            },
+            Granularity::Suppressed => Self::suppressed(),
+        }
+    }
+
+    /// True if this location reveals nothing.
+    pub fn is_suppressed(&self) -> bool {
+        self.granularity == Granularity::Suppressed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RoomUse;
+
+    fn model() -> (SpatialModel, SpaceId, SpaceId, SpaceId) {
+        let mut m = SpatialModel::new("campus");
+        let b = m.add_space("B", SpaceKind::Building, m.root());
+        let f = m.add_space("B-2", SpaceKind::Floor, b);
+        let r = m.add_space("B-201", SpaceKind::room(RoomUse::Office), f);
+        (m, b, f, r)
+    }
+
+    #[test]
+    fn order_is_fine_to_coarse() {
+        assert!(Granularity::Exact < Granularity::Room);
+        assert!(Granularity::Room < Granularity::Floor);
+        assert!(Granularity::Campus < Granularity::Suppressed);
+    }
+
+    #[test]
+    fn join_and_meet() {
+        assert_eq!(
+            Granularity::Room.coarsest(Granularity::Building),
+            Granularity::Building
+        );
+        assert_eq!(
+            Granularity::Room.finest(Granularity::Building),
+            Granularity::Room
+        );
+    }
+
+    #[test]
+    fn respects_is_at_least_as_coarse() {
+        assert!(Granularity::Floor.respects(Granularity::Room));
+        assert!(Granularity::Floor.respects(Granularity::Floor));
+        assert!(!Granularity::Room.respects(Granularity::Floor));
+    }
+
+    #[test]
+    fn coarsen_saturates() {
+        let mut g = Granularity::Exact;
+        for _ in 0..10 {
+            g = g.coarsen();
+        }
+        assert_eq!(g, Granularity::Suppressed);
+    }
+
+    #[test]
+    fn degrade_walks_hierarchy() {
+        let (m, b, f, r) = model();
+        let p = Point::new(1.0, 2.0, 2);
+        let exact = GranularLocation::degrade(&m, r, Some(p), Granularity::Exact);
+        assert_eq!(exact.space, Some(r));
+        assert_eq!(exact.point, Some(p));
+
+        let room = GranularLocation::degrade(&m, r, Some(p), Granularity::Room);
+        assert_eq!(room.space, Some(r));
+        assert_eq!(room.point, None);
+
+        let floor = GranularLocation::degrade(&m, r, Some(p), Granularity::Floor);
+        assert_eq!(floor.space, Some(f));
+
+        let building = GranularLocation::degrade(&m, r, Some(p), Granularity::Building);
+        assert_eq!(building.space, Some(b));
+
+        let supp = GranularLocation::degrade(&m, r, Some(p), Granularity::Suppressed);
+        assert!(supp.is_suppressed());
+    }
+
+    #[test]
+    fn degrade_missing_level_falls_coarser() {
+        let mut m = SpatialModel::new("campus");
+        // Outdoor space directly under campus: no floor, no building.
+        let yard = m.add_space("yard", SpaceKind::Outdoor, m.root());
+        let loc = GranularLocation::degrade(&m, yard, None, Granularity::Floor);
+        // Falls through Building to Campus.
+        assert_eq!(loc.space, Some(m.root()));
+        assert_eq!(loc.granularity, Granularity::Campus);
+    }
+}

@@ -1,0 +1,51 @@
+//! Hierarchical spatial model for smart buildings.
+//!
+//! The paper's policy language needs a *spatial model* that "includes
+//! information about infrastructure, such as buildings, floors, rooms,
+//! corridors, and is inherently hierarchical", and that "supports operators
+//! such as contained, neighboring, and overlap" (§IV.A.1).
+//!
+//! This crate provides:
+//!
+//! * [`SpatialModel`] — an arena of named [`Space`]s forming a containment
+//!   tree with an adjacency (door/portal) graph on top.
+//! * The three operators from the paper: [`SpatialModel::contains`],
+//!   [`SpatialModel::neighboring`], and [`SpatialModel::overlap`] (the latter
+//!   via [`Zone`]s, ad-hoc groupings of spaces that may cross the hierarchy).
+//! * [`Granularity`] — the location-granularity lattice
+//!   (`Point < Room < Floor < Building < Campus < Suppressed`) used by the
+//!   enforcement engine to degrade location answers instead of denying them.
+//! * Shortest-path queries over the adjacency graph ([`SpatialModel::path`]),
+//!   which the Smart Concierge service uses for directions.
+//!
+//! # Examples
+//!
+//! ```
+//! use tippers_spatial::{SpatialModel, SpaceKind, RoomUse};
+//!
+//! let mut model = SpatialModel::new("uci");
+//! let dbh = model.add_space("DBH", SpaceKind::Building, model.root());
+//! let f1 = model.add_space("DBH-1", SpaceKind::Floor, dbh);
+//! let r1100 = model.add_space("DBH-1100", SpaceKind::room(RoomUse::Office), f1);
+//! assert!(model.contains(dbh, r1100));
+//! assert_eq!(model.floor_of(r1100), Some(f1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod granularity;
+mod model;
+mod path;
+mod point;
+mod zone;
+
+pub mod fixtures;
+
+pub use error::SpatialError;
+pub use granularity::{GranularLocation, Granularity};
+pub use model::{RoomUse, Space, SpaceId, SpaceKind, SpatialModel};
+pub use path::{Path, PathStep};
+pub use point::Point;
+pub use zone::{Zone, ZoneId};

@@ -1,0 +1,632 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SpatialError;
+use crate::point::Point;
+use crate::zone::{Zone, ZoneId};
+
+/// Identifier of a [`Space`] inside one [`SpatialModel`].
+///
+/// Ids are dense indices into the model's arena; they are stable for the
+/// lifetime of the model (spaces are never removed) and are meaningless
+/// across models.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct SpaceId(pub(crate) u32);
+
+impl SpaceId {
+    /// Index of this space in the owning model's arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SpaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "space#{}", self.0)
+    }
+}
+
+/// What a room is used for. Affects default privacy sensitivity and which
+/// sensors the simulator deploys there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RoomUse {
+    /// Single- or shared-occupancy office.
+    Office,
+    /// Lecture or seminar room.
+    Classroom,
+    /// Bookable meeting room (Policy 3 in the paper gates access to these).
+    MeetingRoom,
+    /// Research lab.
+    Lab,
+    /// Kitchen or break room.
+    Kitchen,
+    /// Building lobby / entrance hall.
+    Lobby,
+    /// Restroom — cameras are never deployed here.
+    Restroom,
+    /// Server or utility room.
+    Utility,
+}
+
+/// The kind of a space in the containment hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SpaceKind {
+    /// Root-level campus containing buildings.
+    Campus,
+    /// A building.
+    Building,
+    /// One storey of a building.
+    Floor,
+    /// A wing or section of a floor.
+    Wing,
+    /// A corridor connecting rooms.
+    Corridor,
+    /// A room with a specific use.
+    Room(RoomUse),
+    /// Outdoor area (courtyard, parking).
+    Outdoor,
+}
+
+impl SpaceKind {
+    /// Convenience constructor for [`SpaceKind::Room`].
+    pub fn room(use_: RoomUse) -> Self {
+        SpaceKind::Room(use_)
+    }
+
+    /// True for kinds that normally hold people doing private work.
+    pub fn is_private(self) -> bool {
+        matches!(
+            self,
+            SpaceKind::Room(RoomUse::Office) | SpaceKind::Room(RoomUse::Restroom)
+        )
+    }
+}
+
+impl fmt::Display for SpaceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpaceKind::Campus => "campus",
+            SpaceKind::Building => "building",
+            SpaceKind::Floor => "floor",
+            SpaceKind::Wing => "wing",
+            SpaceKind::Corridor => "corridor",
+            SpaceKind::Room(RoomUse::Office) => "office",
+            SpaceKind::Room(RoomUse::Classroom) => "classroom",
+            SpaceKind::Room(RoomUse::MeetingRoom) => "meeting room",
+            SpaceKind::Room(RoomUse::Lab) => "lab",
+            SpaceKind::Room(RoomUse::Kitchen) => "kitchen",
+            SpaceKind::Room(RoomUse::Lobby) => "lobby",
+            SpaceKind::Room(RoomUse::Restroom) => "restroom",
+            SpaceKind::Room(RoomUse::Utility) => "utility room",
+            SpaceKind::Outdoor => "outdoor area",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A node in the spatial hierarchy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Space {
+    id: SpaceId,
+    name: String,
+    kind: SpaceKind,
+    parent: Option<SpaceId>,
+    children: Vec<SpaceId>,
+    /// Centroid of the space, if known.
+    centroid: Option<Point>,
+    depth: u32,
+}
+
+impl Space {
+    /// The space's id.
+    pub fn id(&self) -> SpaceId {
+        self.id
+    }
+
+    /// Human-readable, model-unique name (e.g. `"DBH-2011"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The space's kind.
+    pub fn kind(&self) -> SpaceKind {
+        self.kind
+    }
+
+    /// Parent in the containment tree; `None` only for the root.
+    pub fn parent(&self) -> Option<SpaceId> {
+        self.parent
+    }
+
+    /// Direct children in the containment tree.
+    pub fn children(&self) -> &[SpaceId] {
+        &self.children
+    }
+
+    /// Centroid coordinates, if set via [`SpatialModel::set_centroid`].
+    pub fn centroid(&self) -> Option<Point> {
+        self.centroid
+    }
+
+    /// Depth in the tree (root is 0).
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+}
+
+/// The spatial model: a containment tree of [`Space`]s plus an adjacency
+/// graph and optional cross-cutting [`Zone`]s.
+///
+/// The model supports the three operators named in the paper:
+/// [`contains`](Self::contains), [`neighboring`](Self::neighboring), and
+/// [`overlap`](Self::overlap).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpatialModel {
+    spaces: Vec<Space>,
+    adjacency: Vec<Vec<SpaceId>>,
+    by_name: HashMap<String, SpaceId>,
+    zones: Vec<Zone>,
+}
+
+impl SpatialModel {
+    /// Creates a model whose root is a campus with the given name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let model = tippers_spatial::SpatialModel::new("uci");
+    /// assert_eq!(model.space(model.root()).name(), "uci");
+    /// ```
+    pub fn new(campus_name: impl Into<String>) -> Self {
+        let name = campus_name.into();
+        let root = Space {
+            id: SpaceId(0),
+            name: name.clone(),
+            kind: SpaceKind::Campus,
+            parent: None,
+            children: Vec::new(),
+            centroid: None,
+            depth: 0,
+        };
+        let mut by_name = HashMap::new();
+        by_name.insert(name, SpaceId(0));
+        SpatialModel {
+            spaces: vec![root],
+            adjacency: vec![Vec::new()],
+            by_name,
+            zones: Vec::new(),
+        }
+    }
+
+    /// The root (campus) space.
+    pub fn root(&self) -> SpaceId {
+        SpaceId(0)
+    }
+
+    /// Number of spaces in the model.
+    pub fn len(&self) -> usize {
+        self.spaces.len()
+    }
+
+    /// True if the model has only the root space.
+    pub fn is_empty(&self) -> bool {
+        self.spaces.len() <= 1
+    }
+
+    /// Adds a space under `parent` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a valid id of this model or `name` is
+    /// already used. Use [`try_add_space`](Self::try_add_space) for a
+    /// fallible variant.
+    pub fn add_space(
+        &mut self,
+        name: impl Into<String>,
+        kind: SpaceKind,
+        parent: SpaceId,
+    ) -> SpaceId {
+        self.try_add_space(name, kind, parent)
+            .expect("invalid parent or duplicate name")
+    }
+
+    /// Adds a space under `parent` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpatialError::UnknownSpace`] if `parent` is invalid and
+    /// [`SpatialError::DuplicateName`] if `name` is already in use.
+    pub fn try_add_space(
+        &mut self,
+        name: impl Into<String>,
+        kind: SpaceKind,
+        parent: SpaceId,
+    ) -> Result<SpaceId, SpatialError> {
+        let name = name.into();
+        if parent.index() >= self.spaces.len() {
+            return Err(SpatialError::UnknownSpace(parent));
+        }
+        if self.by_name.contains_key(&name) {
+            return Err(SpatialError::DuplicateName(name));
+        }
+        let id = SpaceId(self.spaces.len() as u32);
+        let depth = self.spaces[parent.index()].depth + 1;
+        self.spaces.push(Space {
+            id,
+            name: name.clone(),
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+            centroid: None,
+            depth,
+        });
+        self.adjacency.push(Vec::new());
+        self.spaces[parent.index()].children.push(id);
+        self.by_name.insert(name, id);
+        Ok(id)
+    }
+
+    /// Returns the space with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this model.
+    pub fn space(&self, id: SpaceId) -> &Space {
+        &self.spaces[id.index()]
+    }
+
+    /// Returns the space with the given id, if valid.
+    pub fn get(&self, id: SpaceId) -> Option<&Space> {
+        self.spaces.get(id.index())
+    }
+
+    /// Looks a space up by its unique name.
+    pub fn by_name(&self, name: &str) -> Option<SpaceId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over all spaces in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Space> {
+        self.spaces.iter()
+    }
+
+    /// Sets the centroid coordinates of a space.
+    pub fn set_centroid(&mut self, id: SpaceId, point: Point) {
+        self.spaces[id.index()].centroid = Some(point);
+    }
+
+    /// Declares two spaces adjacent (connected by a door, portal, stairs…).
+    ///
+    /// Adjacency is symmetric and idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is invalid.
+    pub fn add_adjacency(&mut self, a: SpaceId, b: SpaceId) {
+        assert!(a.index() < self.spaces.len(), "invalid space {a}");
+        assert!(b.index() < self.spaces.len(), "invalid space {b}");
+        if a == b {
+            return;
+        }
+        if !self.adjacency[a.index()].contains(&b) {
+            self.adjacency[a.index()].push(b);
+        }
+        if !self.adjacency[b.index()].contains(&a) {
+            self.adjacency[b.index()].push(a);
+        }
+    }
+
+    /// Spaces directly adjacent to `id`.
+    pub fn neighbors(&self, id: SpaceId) -> &[SpaceId] {
+        &self.adjacency[id.index()]
+    }
+
+    // ---- the paper's three operators -------------------------------------
+
+    /// The `contained` operator: true if `outer` is `inner` or one of its
+    /// ancestors in the containment tree.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use tippers_spatial::{SpatialModel, SpaceKind};
+    /// let mut m = SpatialModel::new("campus");
+    /// let b = m.add_space("B", SpaceKind::Building, m.root());
+    /// let f = m.add_space("B-1", SpaceKind::Floor, b);
+    /// assert!(m.contains(b, f));
+    /// assert!(!m.contains(f, b));
+    /// ```
+    pub fn contains(&self, outer: SpaceId, inner: SpaceId) -> bool {
+        let mut cursor = Some(inner);
+        while let Some(id) = cursor {
+            if id == outer {
+                return true;
+            }
+            cursor = self.spaces[id.index()].parent;
+        }
+        false
+    }
+
+    /// The `neighboring` operator: true if the spaces share an adjacency
+    /// edge (a door, portal, or stairway).
+    pub fn neighboring(&self, a: SpaceId, b: SpaceId) -> bool {
+        self.adjacency[a.index()].contains(&b)
+    }
+
+    /// The `overlap` operator: true if the leaf descendants of the two
+    /// spaces (or zones expanded to spaces) intersect.
+    ///
+    /// Containment implies overlap; disjoint subtrees overlap only through
+    /// zones that span both.
+    pub fn overlap(&self, a: SpaceId, b: SpaceId) -> bool {
+        self.contains(a, b) || self.contains(b, a)
+    }
+
+    // ---- hierarchy helpers -------------------------------------------------
+
+    /// Ancestors of `id` from its parent up to the root (inclusive).
+    pub fn ancestors(&self, id: SpaceId) -> Vec<SpaceId> {
+        let mut out = Vec::new();
+        let mut cursor = self.spaces[id.index()].parent;
+        while let Some(p) = cursor {
+            out.push(p);
+            cursor = self.spaces[p.index()].parent;
+        }
+        out
+    }
+
+    /// The nearest ancestor (or self) of the given kind.
+    pub fn ancestor_of_kind(&self, id: SpaceId, kind: SpaceKind) -> Option<SpaceId> {
+        let mut cursor = Some(id);
+        while let Some(c) = cursor {
+            if self.spaces[c.index()].kind == kind {
+                return Some(c);
+            }
+            cursor = self.spaces[c.index()].parent;
+        }
+        None
+    }
+
+    /// The floor containing `id`, if any.
+    pub fn floor_of(&self, id: SpaceId) -> Option<SpaceId> {
+        self.ancestor_of_kind(id, SpaceKind::Floor)
+    }
+
+    /// The building containing `id`, if any.
+    pub fn building_of(&self, id: SpaceId) -> Option<SpaceId> {
+        self.ancestor_of_kind(id, SpaceKind::Building)
+    }
+
+    /// All descendants of `root` (excluding `root` itself), preorder.
+    pub fn descendants(&self, root: SpaceId) -> Vec<SpaceId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<SpaceId> = self.spaces[root.index()].children.clone();
+        while let Some(id) = stack.pop() {
+            out.push(id);
+            stack.extend_from_slice(&self.spaces[id.index()].children);
+        }
+        out
+    }
+
+    /// All leaf spaces (no children) under `root`, including `root` if it is
+    /// itself a leaf.
+    pub fn leaves(&self, root: SpaceId) -> Vec<SpaceId> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let children = &self.spaces[id.index()].children;
+            if children.is_empty() {
+                out.push(id);
+            } else {
+                stack.extend_from_slice(children);
+            }
+        }
+        out
+    }
+
+    /// Lowest common ancestor of two spaces. Always exists because the tree
+    /// is rooted.
+    pub fn lowest_common_ancestor(&self, a: SpaceId, b: SpaceId) -> SpaceId {
+        let (mut a, mut b) = (a, b);
+        while self.spaces[a.index()].depth > self.spaces[b.index()].depth {
+            a = self.spaces[a.index()].parent.expect("non-root has parent");
+        }
+        while self.spaces[b.index()].depth > self.spaces[a.index()].depth {
+            b = self.spaces[b.index()].parent.expect("non-root has parent");
+        }
+        while a != b {
+            a = self.spaces[a.index()].parent.expect("non-root has parent");
+            b = self.spaces[b.index()].parent.expect("non-root has parent");
+        }
+        a
+    }
+
+    /// All spaces of a given kind.
+    pub fn spaces_of_kind(&self, kind: SpaceKind) -> Vec<SpaceId> {
+        self.spaces
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// All rooms with the given use.
+    pub fn rooms_with_use(&self, use_: RoomUse) -> Vec<SpaceId> {
+        self.spaces_of_kind(SpaceKind::Room(use_))
+    }
+
+    // ---- zones -------------------------------------------------------------
+
+    /// Defines a zone (ad-hoc grouping of spaces, possibly crossing the
+    /// hierarchy) and returns its id.
+    pub fn add_zone(&mut self, name: impl Into<String>, members: Vec<SpaceId>) -> ZoneId {
+        let id = ZoneId(self.zones.len() as u32);
+        self.zones.push(Zone::new(id, name.into(), members));
+        id
+    }
+
+    /// Returns a zone by id.
+    pub fn zone(&self, id: ZoneId) -> Option<&Zone> {
+        self.zones.get(id.0 as usize)
+    }
+
+    /// All zones.
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// True if the leaf sets of two zones intersect — the `overlap` operator
+    /// applied to zones.
+    pub fn zones_overlap(&self, a: ZoneId, b: ZoneId) -> bool {
+        let (Some(za), Some(zb)) = (self.zone(a), self.zone(b)) else {
+            return false;
+        };
+        let leaves_a: std::collections::HashSet<SpaceId> = za
+            .members()
+            .iter()
+            .flat_map(|&m| self.leaves(m))
+            .collect();
+        zb.members()
+            .iter()
+            .flat_map(|&m| self.leaves(m))
+            .any(|l| leaves_a.contains(&l))
+    }
+
+    /// True if `space` falls inside zone `z` (is contained in one of the
+    /// zone's member subtrees).
+    pub fn zone_covers(&self, z: ZoneId, space: SpaceId) -> bool {
+        self.zone(z)
+            .map(|z| z.members().iter().any(|&m| self.contains(m, space)))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (SpatialModel, SpaceId, SpaceId, SpaceId, SpaceId) {
+        let mut m = SpatialModel::new("campus");
+        let b = m.add_space("B", SpaceKind::Building, m.root());
+        let f1 = m.add_space("B-1", SpaceKind::Floor, b);
+        let r1 = m.add_space("B-101", SpaceKind::room(RoomUse::Office), f1);
+        let r2 = m.add_space("B-102", SpaceKind::room(RoomUse::MeetingRoom), f1);
+        (m, b, f1, r1, r2)
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_transitive() {
+        let (m, b, f1, r1, _) = small();
+        assert!(m.contains(r1, r1));
+        assert!(m.contains(f1, r1));
+        assert!(m.contains(b, r1));
+        assert!(m.contains(m.root(), r1));
+        assert!(!m.contains(r1, b));
+    }
+
+    #[test]
+    fn neighboring_is_symmetric() {
+        let (mut m, _, _, r1, r2) = small();
+        assert!(!m.neighboring(r1, r2));
+        m.add_adjacency(r1, r2);
+        assert!(m.neighboring(r1, r2));
+        assert!(m.neighboring(r2, r1));
+        // idempotent
+        m.add_adjacency(r2, r1);
+        assert_eq!(m.neighbors(r1).len(), 1);
+    }
+
+    #[test]
+    fn self_adjacency_is_ignored() {
+        let (mut m, _, _, r1, _) = small();
+        m.add_adjacency(r1, r1);
+        assert!(m.neighbors(r1).is_empty());
+    }
+
+    #[test]
+    fn overlap_follows_containment() {
+        let (m, b, f1, r1, r2) = small();
+        assert!(m.overlap(b, r1));
+        assert!(m.overlap(r1, b));
+        assert!(m.overlap(f1, r2));
+        assert!(!m.overlap(r1, r2));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let (mut m, b, _, _, _) = small();
+        let err = m.try_add_space("B-101", SpaceKind::Corridor, b).unwrap_err();
+        assert_eq!(err, SpatialError::DuplicateName("B-101".into()));
+    }
+
+    #[test]
+    fn unknown_parent_is_rejected() {
+        let mut m = SpatialModel::new("c");
+        let err = m
+            .try_add_space("x", SpaceKind::Building, SpaceId(99))
+            .unwrap_err();
+        assert_eq!(err, SpatialError::UnknownSpace(SpaceId(99)));
+    }
+
+    #[test]
+    fn ancestors_and_kind_lookup() {
+        let (m, b, f1, r1, _) = small();
+        assert_eq!(m.ancestors(r1), vec![f1, b, m.root()]);
+        assert_eq!(m.floor_of(r1), Some(f1));
+        assert_eq!(m.building_of(r1), Some(b));
+        assert_eq!(m.building_of(m.root()), None);
+    }
+
+    #[test]
+    fn lca_of_siblings_is_parent() {
+        let (m, b, f1, r1, r2) = small();
+        assert_eq!(m.lowest_common_ancestor(r1, r2), f1);
+        assert_eq!(m.lowest_common_ancestor(r1, b), b);
+        assert_eq!(m.lowest_common_ancestor(r1, r1), r1);
+    }
+
+    #[test]
+    fn descendants_and_leaves() {
+        let (m, b, _, r1, r2) = small();
+        let desc = m.descendants(b);
+        assert_eq!(desc.len(), 3); // floor + 2 rooms
+        let mut leaves = m.leaves(b);
+        leaves.sort();
+        assert_eq!(leaves, vec![r1, r2]);
+    }
+
+    #[test]
+    fn zones_cover_and_overlap() {
+        let (mut m, _, f1, r1, r2) = small();
+        let za = m.add_zone("odd-rooms", vec![r1]);
+        let zb = m.add_zone("floor1", vec![f1]);
+        let zc = m.add_zone("even-rooms", vec![r2]);
+        assert!(m.zone_covers(zb, r1));
+        assert!(m.zone_covers(za, r1));
+        assert!(!m.zone_covers(za, r2));
+        assert!(m.zones_overlap(za, zb));
+        assert!(!m.zones_overlap(za, zc));
+    }
+
+    #[test]
+    fn name_lookup_round_trips() {
+        let (m, b, _, _, _) = small();
+        assert_eq!(m.by_name("B"), Some(b));
+        assert_eq!(m.by_name("nope"), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let (m, _, _, r1, _) = small();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: SpatialModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), m.len());
+        assert_eq!(back.space(r1).name(), m.space(r1).name());
+    }
+}

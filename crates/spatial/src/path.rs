@@ -1,0 +1,183 @@
+use std::collections::{HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SpatialError;
+use crate::model::{SpaceId, SpatialModel};
+
+/// One hop of a [`Path`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// Space entered at this step.
+    pub space: SpaceId,
+}
+
+/// A walkable route between two spaces, produced by [`SpatialModel::path`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    steps: Vec<PathStep>,
+}
+
+impl Path {
+    /// Spaces traversed, origin first, destination last.
+    pub fn steps(&self) -> &[PathStep] {
+        &self.steps
+    }
+
+    /// Number of hops (edges) in the path.
+    pub fn hops(&self) -> usize {
+        self.steps.len().saturating_sub(1)
+    }
+
+    /// The destination space.
+    pub fn destination(&self) -> SpaceId {
+        self.steps.last().expect("paths are non-empty").space
+    }
+
+    /// Renders the route as `A -> B -> C` using space names.
+    pub fn describe(&self, model: &SpatialModel) -> String {
+        self.steps
+            .iter()
+            .map(|s| model.space(s.space).name().to_owned())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+impl SpatialModel {
+    /// Shortest path between two spaces over the adjacency graph (BFS; all
+    /// edges cost 1).
+    ///
+    /// Used by the Smart Concierge service to give directions
+    /// (Preference 3: "Allow Concierge access to my fine grained location
+    /// for directions").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpatialError::NoPath`] if the spaces are not connected, and
+    /// [`SpatialError::UnknownSpace`] for invalid ids.
+    pub fn path(&self, from: SpaceId, to: SpaceId) -> Result<Path, SpatialError> {
+        if self.get(from).is_none() {
+            return Err(SpatialError::UnknownSpace(from));
+        }
+        if self.get(to).is_none() {
+            return Err(SpatialError::UnknownSpace(to));
+        }
+        if from == to {
+            return Ok(Path {
+                steps: vec![PathStep { space: from }],
+            });
+        }
+        let mut prev: HashMap<SpaceId, SpaceId> = HashMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        prev.insert(from, from);
+        while let Some(cur) = queue.pop_front() {
+            for &next in self.neighbors(cur) {
+                if prev.contains_key(&next) {
+                    continue;
+                }
+                prev.insert(next, cur);
+                if next == to {
+                    let mut steps = vec![PathStep { space: to }];
+                    let mut cursor = to;
+                    while cursor != from {
+                        cursor = prev[&cursor];
+                        steps.push(PathStep { space: cursor });
+                    }
+                    steps.reverse();
+                    return Ok(Path { steps });
+                }
+                queue.push_back(next);
+            }
+        }
+        Err(SpatialError::NoPath { from, to })
+    }
+
+    /// The nearest space (by hop count) among `candidates`, starting from
+    /// `from`. Returns the space and the path to it, or `None` if no
+    /// candidate is reachable.
+    pub fn nearest(
+        &self,
+        from: SpaceId,
+        candidates: &[SpaceId],
+    ) -> Option<(SpaceId, Path)> {
+        candidates
+            .iter()
+            .filter_map(|&c| self.path(from, c).ok().map(|p| (c, p)))
+            .min_by_key(|(_, p)| p.hops())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{RoomUse, SpaceKind};
+
+    fn corridor_model() -> (SpatialModel, Vec<SpaceId>, SpaceId) {
+        let mut m = SpatialModel::new("c");
+        let b = m.add_space("B", SpaceKind::Building, m.root());
+        let f = m.add_space("B-1", SpaceKind::Floor, b);
+        let hall = m.add_space("hall", SpaceKind::Corridor, f);
+        let rooms: Vec<SpaceId> = (0..4)
+            .map(|i| {
+                let r = m.add_space(
+                    format!("B-10{i}"),
+                    SpaceKind::room(RoomUse::Office),
+                    f,
+                );
+                m.add_adjacency(hall, r);
+                r
+            })
+            .collect();
+        (m, rooms, hall)
+    }
+
+    #[test]
+    fn path_to_self_is_trivial() {
+        let (m, rooms, _) = corridor_model();
+        let p = m.path(rooms[0], rooms[0]).unwrap();
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.destination(), rooms[0]);
+    }
+
+    #[test]
+    fn path_through_corridor() {
+        let (m, rooms, hall) = corridor_model();
+        let p = m.path(rooms[0], rooms[3]).unwrap();
+        assert_eq!(p.hops(), 2);
+        assert_eq!(p.steps()[1].space, hall);
+    }
+
+    #[test]
+    fn unreachable_space_is_no_path() {
+        let (mut m, rooms, _) = corridor_model();
+        let island = m.add_space("island", SpaceKind::room(RoomUse::Lab), m.root());
+        let err = m.path(rooms[0], island).unwrap_err();
+        assert_eq!(
+            err,
+            SpatialError::NoPath {
+                from: rooms[0],
+                to: island
+            }
+        );
+    }
+
+    #[test]
+    fn nearest_picks_min_hops() {
+        let (mut m, rooms, hall) = corridor_model();
+        // rooms[1] adjacent to rooms[0] directly: 1 hop vs 2 via hall.
+        m.add_adjacency(rooms[0], rooms[1]);
+        let (best, p) = m.nearest(rooms[0], &[rooms[1], rooms[3]]).unwrap();
+        assert_eq!(best, rooms[1]);
+        assert_eq!(p.hops(), 1);
+        let _ = hall;
+    }
+
+    #[test]
+    fn describe_uses_names() {
+        let (m, rooms, _) = corridor_model();
+        let p = m.path(rooms[0], rooms[1]).unwrap();
+        assert_eq!(p.describe(&m), "B-100 -> hall -> B-101");
+    }
+}

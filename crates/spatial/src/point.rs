@@ -1,0 +1,56 @@
+use serde::{Deserialize, Serialize};
+
+/// A point in building-local coordinates, in metres.
+///
+/// `z` is a floor index rather than a physical height; two points on the same
+/// floor share a `z`. Points are only meaningful relative to the
+/// [`SpatialModel`](crate::SpatialModel) they were produced for.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Point {
+    /// East-west offset, metres.
+    pub x: f64,
+    /// North-south offset, metres.
+    pub y: f64,
+    /// Floor index (0 = ground floor).
+    pub z: i32,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)` on floor `z`.
+    pub fn new(x: f64, y: f64, z: i32) -> Self {
+        Point { x, y, z }
+    }
+
+    /// Euclidean distance in the floor plane, ignoring floor index.
+    ///
+    /// Cross-floor distance is dominated by stairs/elevators, which are
+    /// modelled as adjacency edges, so planar distance is the useful metric.
+    pub fn planar_distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// True if both points lie on the same floor.
+    pub fn same_floor(&self, other: &Point) -> bool {
+        self.z == other.z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planar_distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0, 1);
+        let b = Point::new(3.0, 4.0, 2);
+        assert!((a.planar_distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_floor_compares_z() {
+        assert!(Point::new(0.0, 0.0, 2).same_floor(&Point::new(9.0, 9.0, 2)));
+        assert!(!Point::new(0.0, 0.0, 2).same_floor(&Point::new(0.0, 0.0, 3)));
+    }
+}

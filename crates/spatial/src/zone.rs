@@ -1,0 +1,49 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::SpaceId;
+
+/// Identifier of a [`Zone`] inside one [`SpatialModel`](crate::SpatialModel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ZoneId(pub(crate) u32);
+
+impl fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zone#{}", self.0)
+    }
+}
+
+/// An ad-hoc grouping of spaces that may cross the containment hierarchy.
+///
+/// Zones realize the paper's `overlap` operator for regions that are not
+/// subtrees — e.g. "all spaces covered by WiFi AP 7" or "the event area for
+/// Friday's reception" (Policy 4 discloses event details only to nearby
+/// registered participants; *nearby* is a zone).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Zone {
+    id: ZoneId,
+    name: String,
+    members: Vec<SpaceId>,
+}
+
+impl Zone {
+    pub(crate) fn new(id: ZoneId, name: String, members: Vec<SpaceId>) -> Self {
+        Zone { id, name, members }
+    }
+
+    /// The zone's id.
+    pub fn id(&self) -> ZoneId {
+        self.id
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Member spaces (each member's whole subtree belongs to the zone).
+    pub fn members(&self) -> &[SpaceId] {
+        &self.members
+    }
+}

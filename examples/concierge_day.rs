@@ -1,0 +1,141 @@
+//! A day with the building services: the Smart Concierge, Smart Meeting
+//! and the third-party food-delivery company serve occupants with
+//! different privacy preferences (§III.B's motivating workloads).
+//!
+//! ```bash
+//! cargo run --example concierge_day
+//! ```
+
+use privacy_aware_buildings::prelude::*;
+use tippers_policy::{PreferenceId, UserPreference, PreferenceScope};
+
+fn main() {
+    let ontology = Ontology::standard();
+    let mut sim = BuildingSimulator::new(
+        SimulatorConfig {
+            seed: 2024,
+            population: Population {
+                staff: 8,
+                faculty: 8,
+                grads: 12,
+                undergrads: 10,
+                visitors: 2,
+            },
+            ..SimulatorConfig::default()
+        },
+        &ontology,
+    );
+    let building = sim.dbh().clone();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    bms.register_occupants(sim.occupants());
+
+    // Building policies + all four services.
+    bms.add_policy(catalog::policy1_thermostat(PolicyId(0), building.building, &ontology));
+    register_service(&mut bms, &EmergencyResponse::new());
+    register_service(&mut bms, &Concierge::new());
+    register_service(&mut bms, &SmartMeeting::new(building.meeting_rooms.clone()));
+    register_service(&mut bms, &FoodDelivery::new());
+
+    // Three occupants, three privacy stances.
+    let users: Vec<UserId> = sim.occupants().iter().map(|o| o.user).collect();
+    let (open_olivia, private_pete, pragmatic_pam) = (users[0], users[1], users[2]);
+    let c = ontology.concepts().clone();
+    let t0 = Timestamp::at(0, 9, 0);
+
+    // Pete opts out of location entirely but grants the Concierge
+    // (Preferences 2 + 3).
+    bms.submit_preference(
+        catalog::preference2_no_location(PreferenceId(0), private_pete, &ontology),
+        t0,
+    );
+    bms.submit_preference(
+        catalog::preference3_concierge_location(PreferenceId(0), private_pete, &ontology),
+        t0,
+    );
+    // Pam shares location at floor granularity only.
+    bms.submit_preference(
+        catalog::preference_coarse_location(
+            PreferenceId(0),
+            pragmatic_pam,
+            Granularity::Floor,
+            &ontology,
+        ),
+        t0,
+    );
+    // Olivia opts in to lunch delivery.
+    bms.submit_preference(
+        UserPreference::new(
+            PreferenceId(0),
+            open_olivia,
+            PreferenceScope {
+                data: Some(c.location),
+                service: Some(catalog::services::food_delivery()),
+                ..Default::default()
+            },
+            Effect::Allow,
+        )
+        .with_priority(10),
+        t0,
+    );
+
+    // Run the morning and ingest.
+    sim.set_clock(Timestamp::at(0, 8, 0));
+    let trace = sim.run_until(Timestamp::at(0, 12, 0));
+    let (stored, dropped) = bms.ingest(&trace.observations);
+    println!("morning ingest: {stored} stored / {dropped} dropped");
+
+    let noon = Timestamp::at(0, 12, 0);
+    let concierge = Concierge::new();
+    for (name, user) in [
+        ("Olivia (open)", open_olivia),
+        ("Pete (private)", private_pete),
+        ("Pam (coarse)", pragmatic_pam),
+    ] {
+        match concierge.nearest(&mut bms, user, RoomUse::Kitchen, noon) {
+            Ok(d) => println!(
+                "{name}: directions at {} granularity, {} hops",
+                d.location_granularity,
+                d.path.hops()
+            ),
+            Err(e) => println!("{name}: concierge refused — {e}"),
+        }
+    }
+
+    // Lunch delivery.
+    let delivery = FoodDelivery::new();
+    for (name, user) in [("Olivia", open_olivia), ("Pete", private_pete)] {
+        println!(
+            "{name}'s lunch: {:?}",
+            delivery.deliver_lunch(&mut bms, user, noon)
+        );
+    }
+
+    // Meeting scheduling: Olivia grants Preference 4, Pete does not.
+    bms.submit_preference(
+        catalog::preference4_smart_meeting(PreferenceId(0), open_olivia, &ontology),
+        noon,
+    );
+    let meeting = SmartMeeting::new(building.meeting_rooms.clone());
+    match meeting.schedule(&mut bms, &[open_olivia, private_pete], noon) {
+        Ok(p) => println!(
+            "meeting in {} at {}: confirmed {:?}, unconfirmed {:?}",
+            building.model.space(p.room).name(),
+            p.start,
+            p.confirmed,
+            p.unconfirmed
+        ),
+        Err(e) => println!("meeting failed: {e}"),
+    }
+
+    // Policy 1's HVAC loop.
+    let active = bms
+        .thermostat_commands(&building.floors, noon)
+        .into_iter()
+        .filter(|cmd| cmd.active)
+        .count();
+    println!("HVAC active on {active} of {} floors", building.floors.len());
+}

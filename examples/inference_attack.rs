@@ -1,0 +1,134 @@
+//! The §II.A inference attack, end to end: an attacker holding the WiFi
+//! log infers occupant locations, roles, and (with public schedules)
+//! identities — and privacy enforcement degrades each inference.
+//!
+//! ```bash
+//! cargo run --release --example inference_attack
+//! ```
+
+use std::collections::HashMap;
+
+use privacy_aware_buildings::prelude::*;
+use tippers_policy::PreferenceId;
+use tippers_sensors::attack::{wifi_log, Attacker};
+use tippers_sensors::{DeploymentConfig, MacAddress};
+
+fn run(scenario: &str, opt_out_fraction: f64) {
+    let ontology = Ontology::standard();
+    let mut sim = BuildingSimulator::new(
+        SimulatorConfig {
+            seed: 7,
+            population: Population {
+                staff: 10,
+                faculty: 10,
+                grads: 15,
+                undergrads: 15,
+                visitors: 0,
+            },
+            tick_secs: 900,
+            deployment: DeploymentConfig {
+                cameras: 0,
+                wifi_aps: 240,
+                beacons: 0,
+                power_meters: 0,
+                motion_everywhere: false,
+                hvac_per_floor: false,
+                badge_readers: false,
+            },
+            identify_probability: 0.0,
+        },
+        &ontology,
+    );
+    let building = sim.dbh().clone();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    bms.register_occupants(sim.occupants());
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+
+    // A fraction of occupants opt out of location capture; their MACs are
+    // suppressed at the devices themselves.
+    let occupants: Vec<_> = sim.occupants().to_vec();
+    let n_opt_out = (occupants.len() as f64 * opt_out_fraction) as usize;
+    for o in occupants.iter().take(n_opt_out) {
+        bms.submit_preference(
+            catalog::preference2_no_location(PreferenceId(0), o.user, &ontology),
+            Timestamp::at(0, 0, 0),
+        );
+    }
+    bms.sync_capture_settings(&mut sim);
+
+    // One simulated work week.
+    let trace = sim.run_days(5);
+
+    // The attacker gets exactly the WiFi log plus public knowledge.
+    let log = wifi_log(&trace.observations);
+    let c = ontology.concepts();
+    let ap_locations: HashMap<_, _> = sim
+        .devices()
+        .of_class(c.wifi_ap)
+        .into_iter()
+        .map(|id| (id, sim.devices().get(id).unwrap().space))
+        .collect();
+    let model = building.model.clone();
+    let attacker = Attacker::new(log, ap_locations, &model);
+
+    // Score the three inferences against ground truth.
+    let mac_of: HashMap<UserId, MacAddress> =
+        occupants.iter().map(|o| (o.user, o.mac)).collect();
+    let mut room_hits = 0usize;
+    let mut samples = 0usize;
+    for g in trace.ground_truth.iter().step_by(41) {
+        samples += 1;
+        if attacker.locate(mac_of[&g.user], g.time, 1800) == Some(g.space) {
+            room_hits += 1;
+        }
+    }
+    let mut role_hits = 0usize;
+    let mut role_total = 0usize;
+    for o in &occupants {
+        if let Some(guess) = attacker.infer_role(o.mac) {
+            role_total += 1;
+            if guess.group == o.group {
+                role_hits += 1;
+            }
+        }
+    }
+    let links = attacker.link_identities(sim.teaching_schedule(), 2);
+    let correct_links = links
+        .iter()
+        .filter(|(mac, user)| occupants.iter().any(|o| o.mac == **mac && o.user == **user))
+        .count();
+
+    println!("=== {scenario} (opt-out: {:.0}%) ===", opt_out_fraction * 100.0);
+    println!(
+        "  location: {:.1}% of samples located to the exact room",
+        100.0 * room_hits as f64 / samples.max(1) as f64
+    );
+    println!(
+        "  role:     {}/{} occupants classified, {:.1}% correctly",
+        role_total,
+        occupants.len(),
+        100.0 * role_hits as f64 / role_total.max(1) as f64
+    );
+    println!(
+        "  identity: {} MAC(s) linked to names, {} correctly",
+        links.len(),
+        correct_links
+    );
+}
+
+fn main() {
+    println!("Reproducing the paper's §II.A threat analysis:\n");
+    run("no protection", 0.0);
+    run("half the building opts out", 0.5);
+    run("everyone opts out", 1.0);
+    println!("\nCapture-time suppression removes opted-out occupants from the");
+    println!("log entirely, collapsing all three inferences for them.");
+}

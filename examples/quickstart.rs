@@ -1,0 +1,104 @@
+//! Quickstart: the full Figure 1 interaction in ~100 lines.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use privacy_aware_buildings::prelude::*;
+use tippers_policy::BuildingPolicy;
+
+fn main() {
+    let ontology = Ontology::standard();
+
+    // A simulated Donald Bren Hall with a small population.
+    let mut sim = BuildingSimulator::new(
+        SimulatorConfig {
+            population: Population::small(),
+            ..SimulatorConfig::default()
+        },
+        &ontology,
+    );
+    let building = sim.dbh().clone();
+
+    // (1) The admin defines policies in TIPPERS.
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    bms.register_occupants(sim.occupants());
+    bms.add_policy(catalog::policy1_thermostat(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+    bms.add_policy(
+        catalog::policy2_emergency_location(PolicyId(0), building.building, &ontology)
+            .with_setting(BuildingPolicy::location_setting()),
+    );
+    register_service(&mut bms, &Concierge::new());
+    println!("(1) admin defined {} policies", bms.policies().len());
+
+    // (2)–(3) Sensors capture data; TIPPERS stores what is authorized.
+    sim.set_clock(Timestamp::at(0, 8, 0));
+    let trace = sim.run_until(Timestamp::at(0, 11, 0));
+    let (stored, dropped) = bms.ingest(&trace.observations);
+    println!("(2-3) ingested a morning: stored {stored} rows, dropped {dropped}");
+
+    // (4) Policies are published through an IoT Resource Registry.
+    let mut bus = DiscoveryBus::new(NetworkConfig::default());
+    let irr = bus.add_registry("DBH IRR", building.building);
+    let published = bms
+        .publish_policies(&mut bus, irr, Timestamp::at(0, 8, 0))
+        .expect("publish");
+    println!("(4) published {published} machine-readable policies to the IRR");
+
+    // Mary, a privacy-conscious grad student, walks in with her IoTA.
+    let mary = sim
+        .occupants()
+        .iter()
+        .find(|o| o.group == UserGroup::GradStudent)
+        .map(|o| o.user)
+        .expect("a grad student");
+    let mut iota = Iota::new(
+        mary,
+        UserGroup::GradStudent,
+        SensitivityProfile::fundamentalist(&ontology),
+    );
+
+    // (5) Her IoTA discovers nearby registries and fetches policies.
+    let now = Timestamp::at(0, 11, 0);
+    let ads = iota.poll(&bus, &building.model, building.offices[0], now);
+    println!("(5) IoTA discovered {} advertisement(s)", ads.len());
+
+    // (6)–(7) It notifies her about the practices she cares about.
+    for note in iota.review(&ads, &ontology, now) {
+        println!("(6) notification: {} — {}", note.title, note.body);
+    }
+
+    // (8) It configures her privacy settings with TIPPERS.
+    let created = iota.configure(&mut bms).expect("settings apply");
+    println!("(8) IoTA configured {} setting(s) on Mary's behalf", created.len());
+
+    // (9)–(10) A service asks for Mary's location; enforcement answers.
+    let concierge = Concierge::new();
+    match concierge.nearest(&mut bms, mary, RoomUse::Kitchen, now) {
+        Ok(d) => println!(
+            "(9-10) concierge: {}",
+            d.path.describe(&building.model)
+        ),
+        Err(e) => println!("(9-10) concierge refused: {e}"),
+    }
+
+    // The mandatory emergency policy still works, and Mary is notified.
+    let emergency = EmergencyResponse::new();
+    let roster = emergency.muster(&mut bms, None, now);
+    println!(
+        "      emergency muster located {} occupant(s), {} unaccounted",
+        roster.located.len(),
+        roster.unaccounted.len()
+    );
+    for note in bms.take_notifications(mary) {
+        println!("      IoTA inbox: {}", note.text);
+    }
+}

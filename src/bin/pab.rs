@@ -1,0 +1,309 @@
+//! `pab` — the privacy-aware-buildings command line.
+//!
+//! ```bash
+//! pab simulate  [--days N] [--seed S] [--population N]   # run the building
+//! pab attack    [--days N] [--opt-out F]                 # §II.A inference attack
+//! pab conflicts                                          # paper examples through the reasoner
+//! pab figures                                            # print the paper's JSON listings
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use privacy_aware_buildings::prelude::*;
+use tippers_policy::{figures, PolicyId, PreferenceId, Timestamp};
+use tippers_sensors::attack::{wifi_log, Attacker};
+use tippers_sensors::{DeploymentConfig, MacAddress, ObservationPayload};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let command = match it.next() {
+        Some(c) => c.as_str(),
+        None => {
+            eprintln!("usage: pab <simulate|attack|conflicts|figures> [options]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let flags = parse_flags(&args[1..]);
+    match command {
+        "simulate" => simulate(&flags),
+        "attack" => attack(&flags),
+        "conflicts" => conflicts(),
+        "figures" => print_figures(),
+        other => {
+            eprintln!("unknown command `{other}`");
+            eprintln!("usage: pab <simulate|attack|conflicts|figures> [options]");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, f64> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i + 1 < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if let Ok(value) = args[i + 1].parse::<f64>() {
+                flags.insert(name.to_owned(), value);
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    flags
+}
+
+fn flag(flags: &HashMap<String, f64>, name: &str, default: f64) -> f64 {
+    flags.get(name).copied().unwrap_or(default)
+}
+
+fn build_sim(flags: &HashMap<String, f64>, ontology: &Ontology) -> BuildingSimulator {
+    let total = flag(flags, "population", 100.0) as usize;
+    BuildingSimulator::new(
+        SimulatorConfig {
+            seed: flag(flags, "seed", 7.0) as u64,
+            population: Population {
+                staff: total / 8,
+                faculty: total / 6,
+                grads: total / 2,
+                undergrads: total / 5,
+                visitors: total / 20,
+            },
+            tick_secs: flag(flags, "tick", 900.0) as i64,
+            deployment: DeploymentConfig::default(),
+            identify_probability: 0.3,
+        },
+        ontology,
+    )
+}
+
+fn simulate(flags: &HashMap<String, f64>) {
+    let ontology = Ontology::standard();
+    let mut sim = build_sim(flags, &ontology);
+    let building = sim.dbh().clone();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    bms.register_occupants(sim.occupants());
+    bms.add_policy(catalog::policy1_thermostat(PolicyId(0), building.building, &ontology));
+    bms.add_policy(catalog::policy2_emergency_location(PolicyId(0), building.building, &ontology));
+    bms.add_policy(catalog::policy3_meeting_room_access(
+        PolicyId(0),
+        building.building,
+        building.meeting_rooms.clone(),
+        &ontology,
+    ));
+    register_service(&mut bms, &Concierge::new());
+
+    let days = flag(flags, "days", 1.0) as i64;
+    println!(
+        "simulating {} occupant(s) in DBH for {days} day(s), tick {}s...",
+        sim.occupants().len(),
+        flag(flags, "tick", 900.0) as i64
+    );
+    // Run to the last day's noon, snapshot the HVAC loop, then finish the
+    // day — Policy 1's control state is meaningful only on live data.
+    let last_noon = Timestamp::at(days - 1, 12, 0);
+    let mut trace = sim.run_until(last_noon);
+    let (stored_a, dropped_a) = bms.ingest(&trace.observations);
+    let hvac_active = bms
+        .thermostat_commands(&building.floors, last_noon)
+        .iter()
+        .filter(|c| c.active)
+        .count();
+    let rest = sim.run_until(Timestamp(days * 86_400));
+    let (stored_b, dropped_b) = bms.ingest(&rest.observations);
+    trace.extend(rest);
+    let (stored, dropped) = (stored_a + stored_b, dropped_a + dropped_b);
+    let mut by_kind: HashMap<&'static str, usize> = HashMap::new();
+    for o in &trace.observations {
+        let kind = match o.payload {
+            ObservationPayload::WifiAssociation { .. } => "wifi",
+            ObservationPayload::BeaconSighting { .. } => "beacon",
+            ObservationPayload::CameraFrame { .. } => "camera",
+            ObservationPayload::PowerReading { .. } => "power",
+            ObservationPayload::Temperature { .. } => "temperature",
+            ObservationPayload::Motion { .. } => "motion",
+            ObservationPayload::BadgeSwipe { .. } => "badge",
+            _ => "other",
+        };
+        *by_kind.entry(kind).or_default() += 1;
+    }
+    println!("observations: {} total", trace.observations.len());
+    let mut kinds: Vec<_> = by_kind.into_iter().collect();
+    kinds.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    for (kind, n) in kinds {
+        println!("  {kind:<12} {n}");
+    }
+    println!("ingest: {stored} stored / {dropped} dropped (unauthorized practices)");
+    println!("ground-truth presence samples: {}", trace.ground_truth.len());
+    println!(
+        "HVAC active on {hvac_active}/{} floors at the last noon",
+        building.floors.len()
+    );
+}
+
+fn attack(flags: &HashMap<String, f64>) {
+    let ontology = Ontology::standard();
+    let mut sim = build_sim(flags, &ontology);
+    let building = sim.dbh().clone();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    bms.register_occupants(sim.occupants());
+    bms.add_policy(catalog::policy2_emergency_location(PolicyId(0), building.building, &ontology));
+
+    let opt_out = flag(flags, "opt-out", 0.0).clamp(0.0, 1.0);
+    let occupants = sim.occupants().to_vec();
+    let n_opt_out = (occupants.len() as f64 * opt_out) as usize;
+    for o in occupants.iter().take(n_opt_out) {
+        bms.submit_preference(
+            catalog::preference2_no_location(PreferenceId(0), o.user, &ontology),
+            Timestamp::at(0, 0, 0),
+        );
+    }
+    bms.sync_capture_settings(&mut sim);
+
+    let days = flag(flags, "days", 5.0) as i64;
+    println!(
+        "attacking {} day(s) of WiFi logs, {:.0}% of {} occupants opted out...",
+        days,
+        opt_out * 100.0,
+        occupants.len()
+    );
+    let trace = sim.run_days(days);
+    let log = wifi_log(&trace.observations);
+    println!("log rows: {}", log.len());
+    let c = ontology.concepts();
+    let ap_locations: HashMap<_, _> = sim
+        .devices()
+        .of_class(c.wifi_ap)
+        .into_iter()
+        .map(|id| (id, sim.devices().get(id).unwrap().space))
+        .collect();
+    let attacker = Attacker::new(log, ap_locations, &building.model);
+    let mac_of: HashMap<UserId, MacAddress> =
+        occupants.iter().map(|o| (o.user, o.mac)).collect();
+
+    let mut floor_hits = 0usize;
+    let mut samples = 0usize;
+    for g in trace.ground_truth.iter().step_by(37) {
+        samples += 1;
+        if let Some(guess) = attacker.locate(mac_of[&g.user], g.time, 1800) {
+            if building.model.floor_of(guess) == building.model.floor_of(g.space) {
+                floor_hits += 1;
+            }
+        }
+    }
+    let mut role_hits = 0usize;
+    let mut role_total = 0usize;
+    for o in &occupants {
+        if let Some(guess) = attacker.infer_role(o.mac) {
+            role_total += 1;
+            if guess.group == o.group {
+                role_hits += 1;
+            }
+        }
+    }
+    let links = attacker.link_identities(sim.teaching_schedule(), 2);
+    let correct = links
+        .iter()
+        .filter(|(mac, user)| occupants.iter().any(|o| o.mac == **mac && o.user == **user))
+        .count();
+    println!(
+        "location: {:.1}% of samples located to the correct floor",
+        100.0 * floor_hits as f64 / samples.max(1) as f64
+    );
+    println!(
+        "role:     {role_total} occupants classified, {:.1}% correct",
+        100.0 * role_hits as f64 / role_total.max(1) as f64
+    );
+    println!("identity: {} linked, {correct} correct", links.len());
+}
+
+fn conflicts() {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    bms.add_policy(catalog::policy1_thermostat(PolicyId(0), building.building, &ontology));
+    bms.add_policy(catalog::policy2_emergency_location(PolicyId(0), building.building, &ontology));
+    bms.add_policy(catalog::policy3_meeting_room_access(
+        PolicyId(0),
+        building.building,
+        building.meeting_rooms.clone(),
+        &ontology,
+    ));
+    bms.add_policy(catalog::policy4_event_proximity(PolicyId(0), vec![building.lobby], &ontology));
+    let mary = UserId(1);
+    for pref in [
+        catalog::preference1_afterhours_occupancy(PreferenceId(0), mary, building.offices[0], &ontology),
+        catalog::preference2_no_location(PreferenceId(0), mary, &ontology),
+        catalog::preference3_concierge_location(PreferenceId(0), mary, &ontology),
+        catalog::preference4_smart_meeting(PreferenceId(0), mary, &ontology),
+    ] {
+        bms.submit_preference(pref, Timestamp::at(0, 9, 0));
+    }
+    let found = bms.detect_conflicts();
+    println!(
+        "{} policies x {} preferences -> {} conflict(s)",
+        bms.policies().len(),
+        bms.preferences().len(),
+        found.len()
+    );
+    for c in &found {
+        println!("  {} vs {} ({:?})", c.policy, c.preference, c.kind);
+        println!("    {}", c.notice);
+    }
+}
+
+fn print_figures() {
+    println!("--- Figure 2: building policy ---");
+    println!("{}", figures::FIG2_JSON.trim());
+    println!("\n--- Figure 3: service policy ---");
+    println!("{}", figures::FIG3_JSON.trim());
+    println!("\n--- Figure 4: privacy settings ---");
+    println!("{}", figures::FIG4_JSON.trim());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_known_flags() {
+        let flags = parse_flags(&args(&["--days", "3", "--opt-out", "0.5"]));
+        assert_eq!(flag(&flags, "days", 1.0), 3.0);
+        assert!((flag(&flags, "opt-out", 0.0) - 0.5).abs() < 1e-9);
+        assert_eq!(flag(&flags, "missing", 7.0), 7.0);
+    }
+
+    #[test]
+    fn ignores_malformed_input() {
+        // Non-numeric values and stray words are skipped, not fatal.
+        let flags = parse_flags(&args(&["--days", "soon", "verbose", "--seed", "9"]));
+        assert_eq!(flag(&flags, "days", 1.0), 1.0);
+        assert_eq!(flag(&flags, "seed", 0.0), 9.0);
+    }
+
+    #[test]
+    fn empty_args_yield_defaults() {
+        let flags = parse_flags(&[]);
+        assert!(flags.is_empty());
+        assert_eq!(flag(&flags, "population", 100.0), 100.0);
+    }
+}

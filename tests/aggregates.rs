@@ -1,0 +1,179 @@
+//! Aggregate-query enforcement: k-anonymity suppression and per-subject
+//! preference exclusion (§IV.B.2's "aggregated or anonymized" level).
+
+use privacy_aware_buildings::prelude::*;
+use tippers::{AggregateRequest, Tippers as Bms};
+use tippers_policy::{
+    ActionSet, BuildingPolicy, PolicyId, PreferenceId, PreferenceScope, Timestamp, UserPreference,
+};
+use tippers_sensors::{DeviceId, MacAddress, Observation, ObservationPayload};
+
+/// A BMS with `n` users producing one WiFi row each in the same office,
+/// every 10 minutes for an hour.
+fn bms_with_cohort(n: u64) -> (Bms, tippers_spatial::fixtures::Dbh) {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut bms = Bms::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    let c = ontology.concepts().clone();
+    bms.add_policy(
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Network logging",
+            building.building,
+            c.wifi_association,
+            c.logging,
+        )
+        .with_actions(ActionSet::ALL),
+    );
+    bms.add_policy(
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Space utilization analytics",
+            building.building,
+            c.occupancy,
+            c.analytics,
+        )
+        .with_actions(ActionSet::ALL),
+    );
+    let mut observations = Vec::new();
+    for minute in (0..60).step_by(10) {
+        for user in 0..n {
+            observations.push(Observation {
+                device: DeviceId(0),
+                timestamp: Timestamp::at(0, 9, minute),
+                space: building.offices[0],
+                payload: ObservationPayload::WifiAssociation {
+                    mac: MacAddress::for_user(user),
+                    ap: DeviceId(0),
+                },
+                subject: Some(UserId(user)),
+            });
+        }
+    }
+    let (stored, _) = bms.ingest(&observations);
+    assert_eq!(stored as u64, 6 * n);
+    (bms, building)
+}
+
+fn analytics_request(bms: &Bms, building: &tippers_spatial::fixtures::Dbh) -> AggregateRequest {
+    let c = bms.ontology().concepts();
+    AggregateRequest {
+        service: ServiceId::new("SpaceAnalytics"),
+        purpose: c.analytics,
+        space: building.building,
+        from: Timestamp::at(0, 9, 0),
+        to: Timestamp::at(0, 10, 0),
+        bucket_secs: 1200,
+    }
+}
+
+#[test]
+fn large_cohorts_are_released() {
+    let (mut bms, building) = bms_with_cohort(8);
+    let response = bms.handle_aggregate(&analytics_request(&bms, &building), Timestamp::at(0, 10, 0));
+    assert_eq!(response.k, 5);
+    assert_eq!(response.buckets.len(), 3);
+    for b in &response.buckets {
+        assert_eq!(b.count, Some(8));
+    }
+    assert_eq!(response.excluded_subjects, 0);
+    assert_eq!(response.suppressed(), 0);
+}
+
+#[test]
+fn small_cohorts_are_suppressed() {
+    let (mut bms, building) = bms_with_cohort(3); // below k = 5
+    let response = bms.handle_aggregate(&analytics_request(&bms, &building), Timestamp::at(0, 10, 0));
+    assert_eq!(response.suppressed(), 3);
+    assert!(response.buckets.iter().all(|b| b.count.is_none()));
+}
+
+#[test]
+fn opted_out_subjects_vanish_from_aggregates() {
+    let (mut bms, building) = bms_with_cohort(7);
+    let ont = bms.ontology().clone();
+    let c = ont.concepts();
+    // Three users deny occupancy analytics.
+    for user in 0..3 {
+        bms.submit_preference(
+            UserPreference::new(
+                PreferenceId(0),
+                UserId(user),
+                PreferenceScope {
+                    data: Some(c.occupancy),
+                    ..Default::default()
+                },
+                Effect::Deny,
+            ),
+            Timestamp::at(0, 8, 0),
+        );
+    }
+    let response = bms.handle_aggregate(&analytics_request(&bms, &building), Timestamp::at(0, 10, 0));
+    assert_eq!(response.excluded_subjects, 3);
+    // 7 - 3 = 4 contributors, below k=5: everything suppressed.
+    assert!(response.buckets.iter().all(|b| b.count.is_none()));
+    // With k=3 the remaining cohort is releasable — and the counts must
+    // show only the 4 consenting users.
+    let relaxed = TippersConfig {
+        k_anonymity: 3,
+        ..TippersConfig::default()
+    };
+    let (mut bms2, building2) = bms_with_cohort(7);
+    let mut bms2 = {
+        // rebuild with relaxed config
+        let ontology = Ontology::standard();
+        let mut fresh = Bms::new(ontology, building2.model.clone(), relaxed);
+        for p in bms2.policies() {
+            fresh.add_policy(p.clone());
+        }
+        // Re-ingest by replaying the same observations through a new sim.
+        let _ = &mut bms2;
+        fresh
+    };
+    let mut observations = Vec::new();
+    for minute in (0..60).step_by(10) {
+        for user in 0..7 {
+            observations.push(Observation {
+                device: DeviceId(0),
+                timestamp: Timestamp::at(0, 9, minute),
+                space: building2.offices[0],
+                payload: ObservationPayload::WifiAssociation {
+                    mac: MacAddress::for_user(user),
+                    ap: DeviceId(0),
+                },
+                subject: Some(UserId(user)),
+            });
+        }
+    }
+    bms2.ingest(&observations);
+    for user in 0..3 {
+        bms2.submit_preference(
+            UserPreference::new(
+                PreferenceId(0),
+                UserId(user),
+                PreferenceScope {
+                    data: Some(c.occupancy),
+                    ..Default::default()
+                },
+                Effect::Deny,
+            ),
+            Timestamp::at(0, 8, 0),
+        );
+    }
+    let response = bms2.handle_aggregate(&analytics_request(&bms2, &building2), Timestamp::at(0, 10, 0));
+    for b in &response.buckets {
+        assert_eq!(b.count, Some(4), "only consenting subjects are counted");
+    }
+}
+
+#[test]
+fn aggregate_decisions_are_audited() {
+    let (mut bms, building) = bms_with_cohort(6);
+    bms.handle_aggregate(&analytics_request(&bms, &building), Timestamp::at(0, 10, 0));
+    // One audit entry per distinct subject.
+    assert_eq!(bms.audit().entries().len(), 6);
+}

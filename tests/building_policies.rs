@@ -1,0 +1,208 @@
+//! Experiment E5: each of the paper's §III.A building policies expressed,
+//! actuated, and enforced end-to-end.
+
+use privacy_aware_buildings::prelude::*;
+use tippers_policy::{PolicyId, Timestamp};
+use tippers_sensors::{DeploymentConfig, ObservationPayload};
+
+fn sim_config() -> SimulatorConfig {
+    SimulatorConfig {
+        seed: 11,
+        population: Population {
+            staff: 6,
+            faculty: 6,
+            grads: 8,
+            undergrads: 8,
+            visitors: 3,
+        },
+        tick_secs: 600,
+        deployment: DeploymentConfig {
+            cameras: 6,
+            wifi_aps: 60,
+            beacons: 30,
+            power_meters: 20,
+            motion_everywhere: true,
+            hvac_per_floor: true,
+            badge_readers: true,
+        },
+        identify_probability: 0.3,
+    }
+}
+
+/// Policy 1: occupied rooms are held at 70 °F — the control loop activates
+/// HVAC exactly on floors with occupancy signals.
+#[test]
+fn policy1_thermostat_actuation() {
+    let ontology = Ontology::standard();
+    let mut sim = BuildingSimulator::new(sim_config(), &ontology);
+    let building = sim.dbh().clone();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    bms.register_occupants(sim.occupants());
+    bms.add_policy(catalog::policy1_thermostat(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+
+    // Overnight: nobody in, no active HVAC.
+    sim.set_clock(Timestamp::at(0, 3, 0));
+    let night = sim.run_until(Timestamp::at(0, 4, 0));
+    bms.ingest(&night.observations);
+    let cmds = bms.thermostat_commands(&building.floors, Timestamp::at(0, 4, 0));
+    assert!(cmds.iter().all(|c| !c.active), "no HVAC at night");
+
+    // Midday: people are in; some floor must be heated to exactly 70F.
+    sim.set_clock(Timestamp::at(0, 10, 0));
+    let day = sim.run_until(Timestamp::at(0, 12, 0));
+    bms.ingest(&day.observations);
+    let cmds = bms.thermostat_commands(&building.floors, Timestamp::at(0, 12, 0));
+    assert!(cmds.iter().any(|c| c.active), "occupied floors get HVAC");
+    assert!(cmds.iter().all(|c| (c.target_fahrenheit - 70.0).abs() < 1e-9));
+}
+
+/// Policy 2: WiFi association logs are stored with a six-month retention.
+#[test]
+fn policy2_stores_wifi_with_retention() {
+    let ontology = Ontology::standard();
+    let mut sim = BuildingSimulator::new(sim_config(), &ontology);
+    let building = sim.dbh().clone();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    bms.register_occupants(sim.occupants());
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+    sim.set_clock(Timestamp::at(0, 9, 0));
+    let trace = sim.run_until(Timestamp::at(0, 11, 0));
+    let (stored, _) = bms.ingest(&trace.observations);
+    assert!(stored > 0);
+    // Every stored row is a network observation with a P6M expiry.
+    let six_months = 6 * 30 * 86_400;
+    for row in bms.store().iter() {
+        assert!(matches!(
+            row.observation.payload,
+            ObservationPayload::WifiAssociation { .. } | ObservationPayload::BeaconSighting { .. }
+        ));
+        let expires = row.expires_at.expect("P6M retention set");
+        assert_eq!(expires.seconds() - row.stored_at.seconds(), six_months);
+    }
+    // GC before expiry keeps everything; after expiry removes everything.
+    let total = bms.store().len();
+    assert_eq!(bms.gc(Timestamp(six_months / 2)), 0);
+    assert_eq!(bms.gc(Timestamp(six_months + 86_400 * 2)), total);
+}
+
+/// Policy 3: meeting-room access events (badge verifications) are only
+/// stored when the access-control policy exists.
+#[test]
+fn policy3_authorizes_badge_storage() {
+    let ontology = Ontology::standard();
+    let mut sim = BuildingSimulator::new(sim_config(), &ontology);
+    let building = sim.dbh().clone();
+
+    let run = |with_policy: bool| {
+        let mut bms = Tippers::new(
+            ontology.clone(),
+            building.model.clone(),
+            TippersConfig::default(),
+        );
+        let mut sim = BuildingSimulator::new(sim_config(), &ontology);
+        bms.register_occupants(sim.occupants());
+        if with_policy {
+            bms.add_policy(catalog::policy3_meeting_room_access(
+                PolicyId(0),
+                building.building,
+                building.meeting_rooms.clone(),
+                &ontology,
+            ));
+        }
+        sim.set_clock(Timestamp::at(0, 8, 0));
+        let trace = sim.run_until(Timestamp::at(0, 18, 0));
+        bms.ingest(&trace.observations);
+        bms.store()
+            .iter()
+            .filter(|r| matches!(r.observation.payload, ObservationPayload::BadgeSwipe { .. }))
+            .count()
+    };
+    let _ = &mut sim;
+    assert!(run(true) > 0, "badge swipes stored under Policy 3");
+    assert_eq!(run(false), 0, "no policy, no storage (default deny)");
+}
+
+/// Policy 4: event details flow only to nearby requesters.
+#[test]
+fn policy4_proximity_gated_disclosure() {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    let c = ontology.concepts().clone();
+    bms.add_policy(catalog::policy4_event_proximity(
+        PolicyId(0),
+        vec![building.lobby],
+        &ontology,
+    ));
+    // A registered participant opted in to event details.
+    let participant = UserId(7);
+    bms.submit_preference(
+        tippers_policy::UserPreference::new(
+            PreferenceId(0),
+            participant,
+            tippers_policy::PreferenceScope {
+                data: Some(c.event_details),
+                ..Default::default()
+            },
+            Effect::Allow,
+        ),
+        Timestamp::at(0, 9, 0),
+    );
+    let request = |requester_space| tippers::DataRequest {
+        service: catalog::services::concierge(),
+        purpose: c.event_coordination,
+        data: c.event_details,
+        subjects: tippers::SubjectSelector::One(participant),
+        from: Timestamp::at(0, 0, 0),
+        to: Timestamp::at(0, 23, 0),
+        requester_space: Some(requester_space),
+    };
+    // Nearby (in the lobby): permitted.
+    let near = bms.handle_request(&request(building.lobby), Timestamp::at(0, 12, 0));
+    assert!(near.results[0].decision.permits());
+    // Far away (an upper-floor office): denied — no authorizing policy
+    // applies because the proximity condition fails.
+    let far_office = *building.offices.last().unwrap();
+    let far = bms.handle_request(&request(far_office), Timestamp::at(0, 12, 0));
+    assert!(!far.results[0].decision.permits());
+}
+
+/// The Figure 2 document itself can be imported and used as Policy 2.
+#[test]
+fn figure2_document_round_trips_into_enforcement() {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let codec = tippers_policy::PolicyCodec::new(&ontology, &building.model);
+    let imported = codec
+        .from_document(&tippers_policy::figures::fig2_document(), 0)
+        .expect("figure 2 imports");
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    let id = bms.add_policy(imported.into_iter().next().unwrap());
+    let policy = bms.policy(id).unwrap();
+    assert!(policy.is_required());
+    assert_eq!(policy.retention.unwrap().months, 6);
+}

@@ -1,0 +1,154 @@
+//! Failure-injection tests: lossy discovery, stale advertisements,
+//! malformed documents, and clock skew between IoTA and BMS.
+
+use privacy_aware_buildings::prelude::*;
+use tippers_irr::{NetworkConfig, RegistryError};
+use tippers_policy::{figures, BuildingPolicy, PolicyDocument, PolicyId, Timestamp};
+
+fn bms_and_bus(
+    loss: f64,
+) -> (
+    Tippers,
+    DiscoveryBus,
+    tippers_irr::RegistryId,
+    tippers_spatial::fixtures::Dbh,
+) {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    bms.add_policy(
+        catalog::policy2_emergency_location(PolicyId(0), building.building, &ontology)
+            .with_setting(BuildingPolicy::location_setting()),
+    );
+    let mut bus = DiscoveryBus::new(NetworkConfig {
+        loss_probability: loss,
+        ..NetworkConfig::default()
+    });
+    let irr = bus.add_registry("DBH IRR", building.building);
+    bms.publish_policies(&mut bus, irr, Timestamp::at(0, 8, 0))
+        .expect("wired publish path is lossless");
+    (bms, bus, irr, building)
+}
+
+/// Under 60% message loss, the IoTA's retries still recover the policies.
+#[test]
+fn iota_retries_through_lossy_network() {
+    let (_bms, bus, _irr, building) = bms_and_bus(0.6);
+    let ontology = Ontology::standard();
+    let iota = Iota::new(
+        UserId(1),
+        UserGroup::Faculty,
+        SensitivityProfile::fundamentalist(&ontology),
+    );
+    // Poll repeatedly, as a phone would; some poll must succeed.
+    let mut got = 0;
+    for _ in 0..30 {
+        got += iota
+            .poll(&bus, &building.model, building.offices[0], Timestamp::at(0, 9, 0))
+            .len();
+    }
+    assert!(got > 0, "retries should recover policies under 60% loss");
+    assert!(bus.stats().lost > 0, "loss actually happened");
+}
+
+/// Advertisements expire: a registry never serves stale policies, and a
+/// republish refreshes them.
+#[test]
+fn stale_advertisements_disappear_until_republished() {
+    let (_bms, mut bus, irr, building) = bms_and_bus(0.0);
+    let late = Timestamp::at(2, 9, 0); // past the 86 400 s TTL
+    let (ads, _) = bus
+        .fetch_near(irr, &building.model, building.offices[0], late)
+        .unwrap();
+    assert!(ads.is_empty(), "stale ads must not be served");
+    // Republish (e.g. the BMS's daily refresh) restores them.
+    let registry = bus.registry_mut(irr).unwrap();
+    let existing: Vec<_> = registry.advertisements(Timestamp::at(0, 9, 0))
+        .iter()
+        .map(|a| a.id)
+        .collect();
+    for id in existing {
+        registry
+            .republish(id, figures::fig2_document(), late)
+            .unwrap();
+    }
+    let (ads, _) = bus
+        .fetch_near(irr, &building.model, building.offices[0], late + 60)
+        .unwrap();
+    assert_eq!(ads.len(), 1);
+    assert_eq!(ads[0].version, 2);
+}
+
+/// Malformed / empty documents are rejected at the registry boundary, and
+/// syntactically broken JSON is rejected by the parser.
+#[test]
+fn malformed_documents_are_rejected() {
+    let (_bms, mut bus, irr, building) = bms_and_bus(0.0);
+    let registry = bus.registry_mut(irr).unwrap();
+    let err = registry
+        .publish(
+            PolicyDocument::default(),
+            building.building,
+            Timestamp::at(0, 9, 0),
+            3600,
+        )
+        .unwrap_err();
+    assert!(matches!(err, RegistryError::NotAdvertisable { .. }));
+
+    // Broken JSON never becomes a document at all.
+    let broken = r#"{"resources": [{"info": {"name": }]}"#;
+    assert!(serde_json::from_str::<PolicyDocument>(broken).is_err());
+    // A document with the wrong shape (retention as a number) also fails.
+    let wrong = r#"{"resources": [{"info": {"name": "x"}, "retention": {"duration": 6}}]}"#;
+    assert!(serde_json::from_str::<PolicyDocument>(wrong).is_err());
+}
+
+/// Clock skew: an IoTA whose clock runs ahead of the building still works —
+/// freshness is evaluated against the timestamp the client supplies, so a
+/// skewed client sees ads as stale/fresh consistently with *its* clock,
+/// and enforcement uses the BMS clock only.
+#[test]
+fn clock_skew_between_iota_and_bms() {
+    let (mut bms, bus, irr, building) = bms_and_bus(0.0);
+    let skewed_now = Timestamp::at(0, 9, 0) + 7200; // IoTA 2h ahead
+    let (ads, _) = bus
+        .fetch_near(irr, &building.model, building.offices[0], skewed_now)
+        .unwrap();
+    assert_eq!(ads.len(), 1, "2h skew is inside the 24h TTL");
+    // The skewed IoTA configures settings; enforcement at the BMS's own
+    // clock honors them regardless of the skew.
+    let ontology = Ontology::standard();
+    let mut iota = Iota::new(
+        UserId(1),
+        UserGroup::Staff,
+        SensitivityProfile::fundamentalist(&ontology),
+    );
+    iota.configure(&mut bms).unwrap();
+    let c = ontology.concepts();
+    assert!(bms
+        .locate(
+            catalog::services::concierge(),
+            c.navigation,
+            UserId(1),
+            Timestamp::at(0, 9, 30),
+        )
+        .is_none());
+}
+
+/// An extreme: a registry hosting a different building's policies is not
+/// discovered by users elsewhere on campus.
+#[test]
+fn discovery_is_scoped_to_coverage() {
+    let (_bms, mut bus, _irr, building) = bms_and_bus(0.0);
+    // A second building with its own registry.
+    let mut model = building.model.clone();
+    let other = model.add_space("ICS", tippers_spatial::SpaceKind::Building, model.root());
+    let other_irr = bus.add_registry("ICS IRR", other);
+    let (found, _) = bus.discover(&model, building.offices[0]);
+    assert!(found.contains(&tippers_irr::RegistryId(0)));
+    assert!(!found.contains(&other_irr), "wrong building's IRR not found");
+}

@@ -1,0 +1,109 @@
+//! The complete §V.B learning loop: permission questions → profile
+//! learning → sensitivity inference → automatic configuration →
+//! enforcement. Two users with opposite answers end up with opposite
+//! effective privacy, from just two answered questions each.
+
+use privacy_aware_buildings::prelude::*;
+use tippers_iota::{infer_sensitivity, PermissionMatrix, PrivacyProfiles, QuestionGrid};
+use tippers_policy::{BuildingPolicy, PolicyId, Timestamp};
+
+#[test]
+fn two_answers_configure_a_whole_building() {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let grid = QuestionGrid::standard(&ontology);
+
+    // Historical training data: a population split between deniers and
+    // allowers, each user having answered ~60% of the grid.
+    let mut training = Vec::new();
+    for i in 0..60 {
+        let mut m = grid.blank();
+        let v = if i % 2 == 0 { -1 } else { 1 };
+        for d in 0..grid.len() {
+            if (i + d) % 5 != 0 {
+                m.set(d, v);
+            }
+        }
+        training.push(m);
+    }
+    let learned = PrivacyProfiles::learn(&training, 2, 25, 11);
+
+    // The building: Policy 2 with the Figure 4 setting attached.
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    bms.add_policy(
+        catalog::policy2_emergency_location(PolicyId(0), building.building, &ontology)
+            .with_setting(BuildingPolicy::location_setting()),
+    );
+    bms.add_policy(
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Concierge location",
+            building.building,
+            ontology.concepts().location_room,
+            ontology.concepts().navigation,
+        )
+        .with_actions(tippers_policy::ActionSet::ALL)
+        .with_service(catalog::services::concierge())
+        .with_setting(BuildingPolicy::location_setting()),
+    );
+
+    // Two new users each answer exactly two questions.
+    let mut private_answers = grid.blank();
+    private_answers.set(0, -1);
+    private_answers.set(7, -1);
+    let mut open_answers = grid.blank();
+    open_answers.set(0, 1);
+    open_answers.set(7, 1);
+
+    let private_profile = infer_sensitivity(&grid, &private_answers, &learned, &ontology);
+    let open_profile = infer_sensitivity(&grid, &open_answers, &learned, &ontology);
+
+    let mut private_iota = Iota::new(UserId(1), UserGroup::GradStudent, private_profile);
+    let mut open_iota = Iota::new(UserId(2), UserGroup::GradStudent, open_profile);
+    private_iota.configure(&mut bms).expect("configure");
+    open_iota.configure(&mut bms).expect("configure");
+
+    // The learned-then-inferred profiles produce opposite effective
+    // choices for the same advertised settings.
+    let private_prefs: Vec<Effect> = bms
+        .preferences()
+        .iter()
+        .filter(|p| p.user == UserId(1))
+        .map(|p| p.effect)
+        .collect();
+    let open_prefs: Vec<Effect> = bms
+        .preferences()
+        .iter()
+        .filter(|p| p.user == UserId(2))
+        .map(|p| p.effect)
+        .collect();
+    assert!(
+        private_prefs.iter().all(|e| e.is_deny()),
+        "denier archetype should opt out everywhere: {private_prefs:?}"
+    );
+    assert!(
+        open_prefs.iter().all(|e| *e == Effect::Allow),
+        "allower archetype should stay permissive: {open_prefs:?}"
+    );
+
+    // And enforcement follows: without any stored data, probe decisions.
+    let c = ontology.concepts();
+    let request = |user| tippers::DataRequest {
+        service: catalog::services::concierge(),
+        purpose: c.navigation,
+        data: c.location_room,
+        subjects: tippers::SubjectSelector::One(user),
+        from: Timestamp::at(0, 0, 0),
+        to: Timestamp::at(1, 0, 0),
+        requester_space: None,
+    };
+    let now = Timestamp::at(0, 12, 0);
+    let denied = bms.handle_request(&request(UserId(1)), now);
+    assert!(!denied.results[0].decision.permits());
+    let allowed = bms.handle_request(&request(UserId(2)), now);
+    assert!(allowed.results[0].decision.permits());
+}

@@ -1,0 +1,91 @@
+//! Policy updates over time: a building quietly expands a data practice;
+//! the IoTA diffs the republished advertisement and alerts the user even
+//! though the practice alone would not clear their relevance threshold.
+
+use privacy_aware_buildings::prelude::*;
+use tippers_iota::IotaConfig;
+use tippers_irr::NetworkConfig;
+use tippers_policy::{diff_documents, document::RetentionBlock, figures, PolicyChange, Timestamp};
+
+#[test]
+fn retention_extension_alerts_even_unconcerned_users() {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut bus = DiscoveryBus::new(NetworkConfig::default());
+    let irr = bus.add_registry("DBH IRR", building.building);
+    let t0 = Timestamp::at(0, 8, 0);
+    let ad = bus
+        .registry_mut(irr)
+        .unwrap()
+        .publish(figures::fig2_document(), building.building, t0, 86_400)
+        .unwrap();
+
+    // An unconcerned user whose threshold filters everything out.
+    let mut iota = Iota::with_config(
+        UserId(1),
+        UserGroup::Undergrad,
+        SensitivityProfile::unconcerned(&ontology),
+        IotaConfig::default(),
+    );
+    let ads = iota.poll(&bus, &building.model, building.offices[0], t0);
+    assert!(iota.review(&ads, &ontology, t0).is_empty(), "baseline: silent");
+
+    // The building extends retention from P6M to P2Y and republishes.
+    let mut updated = figures::fig2_document();
+    updated.resources[0].retention = Some(RetentionBlock {
+        duration: "P2Y".parse().unwrap(),
+    });
+    bus.registry_mut(irr)
+        .unwrap()
+        .republish(ad, updated, t0 + 3600)
+        .unwrap();
+
+    let ads = iota.poll(&bus, &building.model, building.offices[0], t0 + 3700);
+    let fired = iota.review(&ads, &ontology, t0 + 3700);
+    assert_eq!(fired.len(), 1, "the expansion bypasses the relevance filter");
+    assert!(fired[0].body.contains("retention changed from P6M to P2Y"),
+        "{}", fired[0].body);
+
+    // Republishing the same content again stays silent (version bump, no
+    // semantic change, no expansion).
+    bus.registry_mut(irr)
+        .unwrap()
+        .republish(
+            ad,
+            {
+                let mut doc = figures::fig2_document();
+                doc.resources[0].retention = Some(RetentionBlock {
+                    duration: "P2Y".parse().unwrap(),
+                });
+                doc
+            },
+            t0 + 7200,
+        )
+        .unwrap();
+    let ads = iota.poll(&bus, &building.model, building.offices[0], t0 + 7300);
+    assert!(iota.review(&ads, &ontology, t0 + 7300).is_empty());
+}
+
+#[test]
+fn shrinking_changes_do_not_force_notifications() {
+    let old = figures::fig2_document();
+    let mut new = old.clone();
+    // Shorter retention + dropped observation: both contractions.
+    new.resources[0].retention = Some(RetentionBlock {
+        duration: "P7D".parse().unwrap(),
+    });
+    new.resources[0].observations.clear();
+    let changes = diff_documents(&old, &new);
+    assert_eq!(changes.len(), 2);
+    assert!(changes.iter().all(|c| !c.is_expansion()));
+    // They still render readably for users who *are* subscribed.
+    for c in &changes {
+        assert!(!c.to_string().is_empty());
+    }
+    assert!(matches!(
+        changes
+            .iter()
+            .find(|c| matches!(c, PolicyChange::ObservationRemoved { .. })),
+        Some(_)
+    ));
+}

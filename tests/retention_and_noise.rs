@@ -1,0 +1,227 @@
+//! Retention GC, retroactive purges, and noise injection — the remaining
+//! §V.C enforcement *whens* and *hows*.
+
+use privacy_aware_buildings::prelude::*;
+use tippers::{DataRequest, ReleasedValue, SubjectSelector};
+use tippers_policy::{
+    ActionSet, BuildingPolicy, PolicyId, PreferenceId, PreferenceScope, Timestamp,
+    UserPreference,
+};
+use tippers_sensors::{DeviceId, MacAddress, Observation, ObservationPayload};
+
+fn bms_with_power_data() -> (Tippers, UserId, tippers_spatial::fixtures::Dbh) {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    let c = ontology.concepts().clone();
+    let user = UserId(1);
+    bms.add_policy(
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Energy metering",
+            building.building,
+            c.power_consumption,
+            c.energy_management,
+        )
+        .with_actions(ActionSet::ALL)
+        .with_retention("P30D".parse().unwrap()),
+    );
+    bms.add_policy(
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Network logging",
+            building.building,
+            c.wifi_association,
+            c.logging,
+        )
+        .with_actions(ActionSet::ALL),
+    );
+    let mut observations = Vec::new();
+    for hour in 9..17 {
+        observations.push(Observation {
+            device: DeviceId(0),
+            timestamp: Timestamp::at(0, hour, 0),
+            space: building.offices[0],
+            payload: ObservationPayload::PowerReading { watts: 100.0 },
+            subject: Some(user),
+        });
+        observations.push(Observation {
+            device: DeviceId(1),
+            timestamp: Timestamp::at(0, hour, 0),
+            space: building.offices[0],
+            payload: ObservationPayload::WifiAssociation {
+                mac: MacAddress::for_user(1),
+                ap: DeviceId(1),
+            },
+            subject: Some(user),
+        });
+    }
+    let (stored, _) = bms.ingest(&observations);
+    assert_eq!(stored, 16);
+    (bms, user, building)
+}
+
+#[test]
+fn noise_effect_perturbs_scalars_only() {
+    let (mut bms, user, _building) = bms_with_power_data();
+    let ont = bms.ontology().clone();
+    let c = ont.concepts();
+    bms.submit_preference(
+        UserPreference::new(
+            PreferenceId(0),
+            user,
+            PreferenceScope {
+                data: Some(c.power_consumption),
+                ..Default::default()
+            },
+            Effect::Noise { sigma: 10.0 },
+        ),
+        Timestamp::at(0, 8, 0),
+    );
+    let request = DataRequest {
+        service: ServiceId::new("analytics"),
+        purpose: c.energy_management,
+        data: c.power_consumption,
+        subjects: SubjectSelector::One(user),
+        from: Timestamp::at(0, 0, 0),
+        to: Timestamp::at(1, 0, 0),
+        requester_space: None,
+    };
+    let response = bms.handle_request(&request, Timestamp::at(0, 18, 0));
+    let result = &response.results[0];
+    assert!(result.decision.permits());
+    assert_eq!(result.records.len(), 8);
+    let values: Vec<f64> = result
+        .records
+        .iter()
+        .map(|r| match r.value {
+            ReleasedValue::Scalar(v) => v,
+            ref other => panic!("expected scalar, got {other:?}"),
+        })
+        .collect();
+    // All true readings are 100.0; noised releases must differ and vary.
+    assert!(values.iter().any(|v| (v - 100.0).abs() > 0.5));
+    let distinct = values
+        .iter()
+        .map(|v| (v * 1000.0) as i64)
+        .collect::<std::collections::HashSet<_>>();
+    assert!(distinct.len() > 1, "noise must vary across records");
+    // Noise is bounded-ish: CLT gaussian with sigma 10 stays within ±60.
+    assert!(values.iter().all(|v| (v - 100.0).abs() < 60.0));
+}
+
+#[test]
+fn retroactive_purge_deletes_covered_rows() {
+    let (mut bms, user, _building) = bms_with_power_data();
+    let ont = bms.ontology().clone();
+    let c = ont.concepts();
+    assert_eq!(bms.store().len(), 16);
+    let pref = bms.submit_preference(
+        UserPreference::new(
+            PreferenceId(0),
+            user,
+            PreferenceScope {
+                data: Some(c.power_consumption),
+                ..Default::default()
+            },
+            Effect::Deny,
+        ),
+        Timestamp::at(0, 18, 0),
+    );
+    let purged = bms.apply_retroactively(pref);
+    assert_eq!(purged, 8, "all power rows go; wifi rows stay");
+    assert_eq!(bms.store().len(), 8);
+}
+
+#[test]
+fn retroactive_purge_respects_mandatory_policies() {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    // Policy 2 (required) governs wifi data.
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+    let user = UserId(1);
+    let obs = Observation {
+        device: DeviceId(0),
+        timestamp: Timestamp::at(0, 9, 0),
+        space: building.offices[0],
+        payload: ObservationPayload::WifiAssociation {
+            mac: MacAddress::for_user(1),
+            ap: DeviceId(0),
+        },
+        subject: Some(user),
+    };
+    bms.ingest(&[obs]);
+    assert_eq!(bms.store().len(), 1);
+    let ont = bms.ontology().clone();
+    let pref = bms.submit_preference(
+        catalog::preference2_no_location(PreferenceId(0), user, &ont),
+        Timestamp::at(0, 10, 0),
+    );
+    // The mandatory policy pins the log; nothing is purged.
+    assert_eq!(bms.apply_retroactively(pref), 0);
+    assert_eq!(bms.store().len(), 1);
+}
+
+#[test]
+fn conditional_and_allow_preferences_never_purge() {
+    let (mut bms, user, _building) = bms_with_power_data();
+    let ont = bms.ontology().clone();
+    let c = ont.concepts();
+    // Conditional deny: not retroactively applicable.
+    let conditional = bms.submit_preference(
+        UserPreference::new(
+            PreferenceId(0),
+            user,
+            PreferenceScope {
+                data: Some(c.power_consumption),
+                condition: tippers_policy::Condition::during(
+                    tippers_policy::TimeWindow::after_hours(),
+                ),
+                ..Default::default()
+            },
+            Effect::Deny,
+        ),
+        Timestamp::at(0, 18, 0),
+    );
+    assert_eq!(bms.apply_retroactively(conditional), 0);
+    // Allow: nothing to purge.
+    let allow = bms.submit_preference(
+        UserPreference::new(
+            PreferenceId(0),
+            user,
+            PreferenceScope {
+                data: Some(c.power_consumption),
+                ..Default::default()
+            },
+            Effect::Allow,
+        ),
+        Timestamp::at(0, 18, 0),
+    );
+    assert_eq!(bms.apply_retroactively(allow), 0);
+    assert_eq!(bms.store().len(), 16);
+}
+
+#[test]
+fn different_retentions_expire_independently() {
+    let (mut bms, _user, _building) = bms_with_power_data();
+    // Power rows carry P30D; wifi rows carry none.
+    let thirty_days = 30 * 86_400;
+    assert_eq!(bms.gc(Timestamp(thirty_days - 1)), 0);
+    assert_eq!(bms.gc(Timestamp(thirty_days + 86_400)), 8);
+    assert_eq!(bms.store().len(), 8);
+    // The remaining (unlimited-retention) rows survive arbitrarily long.
+    assert_eq!(bms.gc(Timestamp(thirty_days * 100)), 0);
+}

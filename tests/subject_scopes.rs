@@ -1,0 +1,134 @@
+//! Group- and user-scoped policies (§IV.A.2: profiles "can be based on
+//! groups (students, faculty, staff etc.) and share common properties
+//! (e.g., access permissions)").
+
+use privacy_aware_buildings::prelude::*;
+use tippers::{DataRequest, SubjectSelector};
+use tippers_policy::{
+    ActionSet, BuildingPolicy, PolicyId, SubjectScope, Timestamp,
+};
+use tippers_sensors::{DeviceId, MacAddress, Observation, Occupant, ObservationPayload};
+
+/// A BMS with one occupant per group and a WiFi row for each.
+fn bms_with_groups() -> (Tippers, tippers_spatial::fixtures::Dbh) {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    let occupants: Vec<Occupant> = UserGroup::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &g)| Occupant::new(UserId(i as u64), format!("{g}"), g))
+        .collect();
+    bms.register_occupants(&occupants);
+    let c = ontology.concepts().clone();
+    // Attendance monitoring: location sharing for analytics, but ONLY for
+    // undergrads (a classic group-scoped building policy).
+    bms.add_policy(
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Undergrad attendance analytics",
+            building.building,
+            c.wifi_association,
+            c.analytics,
+        )
+        .with_actions(ActionSet::ALL)
+        .with_subjects(SubjectScope::Groups(vec![UserGroup::Undergrad])),
+    );
+    let observations: Vec<Observation> = (0..5)
+        .map(|i| Observation {
+            device: DeviceId(0),
+            timestamp: Timestamp::at(0, 10, 0),
+            space: building.classrooms[0],
+            payload: ObservationPayload::WifiAssociation {
+                mac: MacAddress::for_user(i),
+                ap: DeviceId(0),
+            },
+            subject: Some(UserId(i)),
+        })
+        .collect();
+    bms.ingest(&observations);
+    (bms, building)
+}
+
+#[test]
+fn group_scoped_storage() {
+    let (bms, _) = bms_with_groups();
+    // Only the undergrad's row was authorized for storage.
+    assert_eq!(bms.store().len(), 1);
+    let stored_subject = bms.store().iter().next().unwrap().observation.subject;
+    let undergrad = UserGroup::ALL
+        .iter()
+        .position(|&g| g == UserGroup::Undergrad)
+        .unwrap() as u64;
+    assert_eq!(stored_subject, Some(UserId(undergrad)));
+}
+
+#[test]
+fn group_scoped_sharing() {
+    let (mut bms, _) = bms_with_groups();
+    let c = bms.ontology().concepts().clone();
+    let request = DataRequest {
+        service: ServiceId::new("Registrar"),
+        purpose: c.analytics,
+        data: c.location_room,
+        subjects: SubjectSelector::All,
+        from: Timestamp::at(0, 0, 0),
+        to: Timestamp::at(1, 0, 0),
+        requester_space: None,
+    };
+    let response = bms.handle_request(&request, Timestamp::at(0, 11, 0));
+    for result in &response.results {
+        let group = bms.group_of(result.user);
+        if group == UserGroup::Undergrad {
+            assert!(result.decision.permits(), "undergrads are in scope");
+        } else {
+            assert!(
+                !result.decision.permits(),
+                "{group}: out-of-scope groups must be denied"
+            );
+        }
+    }
+}
+
+#[test]
+fn user_scoped_policy() {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    let c = ontology.concepts().clone();
+    let vip = UserId(42);
+    bms.add_policy(
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Executive location service",
+            building.building,
+            c.location_room,
+            c.navigation,
+        )
+        .with_actions(ActionSet::ALL)
+        .with_subjects(SubjectScope::Users(vec![vip])),
+    );
+    let now = Timestamp::at(0, 12, 0);
+    // Not even stored data is needed to see the decision difference.
+    let request = |user| DataRequest {
+        service: ServiceId::new("ExecApp"),
+        purpose: c.navigation,
+        data: c.location_room,
+        subjects: SubjectSelector::One(user),
+        from: Timestamp::at(0, 0, 0),
+        to: Timestamp::at(1, 0, 0),
+        requester_space: None,
+    };
+    let vip_response = bms.handle_request(&request(vip), now);
+    assert!(vip_response.results[0].decision.permits());
+    let other_response = bms.handle_request(&request(UserId(7)), now);
+    assert!(!other_response.results[0].decision.permits());
+}

@@ -1,0 +1,260 @@
+//! Experiment E6: each of the paper's §III.B user preferences expressed
+//! and enforced against live requests.
+
+use privacy_aware_buildings::prelude::*;
+use tippers::{DataRequest, SubjectSelector};
+use tippers_policy::{ActionSet, BuildingPolicy, PolicyId, PreferenceId, Timestamp};
+use tippers_sensors::{DeviceId, MacAddress, Observation, ObservationPayload};
+
+/// A BMS whose store holds hand-crafted observations about two users, with
+/// a full complement of policies so preferences (not missing
+/// authorizations) decide outcomes.
+fn bms_with_data() -> (Tippers, UserId, UserId, tippers_spatial::fixtures::Dbh) {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    let alice = UserId(1);
+    let bob = UserId(2);
+    let c = ontology.concepts().clone();
+
+    // Policies: emergency location (required), an occupancy policy for the
+    // comfort loop, and opt-out service policies for Concierge / Smart
+    // Meeting sharing.
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+    bms.add_policy(
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Occupancy sensing",
+            building.building,
+            c.occupancy,
+            c.comfort,
+        )
+        .with_actions(ActionSet::ALL),
+    );
+    bms.add_policy(
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Concierge location",
+            building.building,
+            c.location_room,
+            c.navigation,
+        )
+        .with_actions(ActionSet::ALL)
+        .with_service(catalog::services::concierge()),
+    );
+    bms.add_policy(
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Meeting data",
+            building.building,
+            c.meeting_details,
+            c.scheduling,
+        )
+        .with_actions(ActionSet::ALL)
+        .with_modality(tippers_policy::Modality::OptIn)
+        .with_service(catalog::services::smart_meeting()),
+    );
+
+    // Observations: WiFi (location) rows for both users during the day and
+    // after hours; motion (occupancy) rows in Alice's office.
+    let office = building.offices[0];
+    let mut observations = Vec::new();
+    for (user, mac_seed) in [(alice, 1u64), (bob, 2u64)] {
+        for hour in [10, 14, 22] {
+            observations.push(Observation {
+                device: DeviceId(0),
+                timestamp: Timestamp::at(0, hour, 0),
+                space: office,
+                payload: ObservationPayload::WifiAssociation {
+                    mac: MacAddress::for_user(mac_seed),
+                    ap: DeviceId(0),
+                },
+                subject: Some(user),
+            });
+        }
+    }
+    for hour in [10, 22] {
+        observations.push(Observation {
+            device: DeviceId(1),
+            timestamp: Timestamp::at(0, hour, 0),
+            space: office,
+            payload: ObservationPayload::Motion { detected: true },
+            subject: Some(alice),
+        });
+    }
+    let (stored, _) = bms.ingest(&observations);
+    assert!(stored >= 8, "seed data stored, got {stored}");
+    (bms, alice, bob, building)
+}
+
+fn occupancy_request(bms: &Tippers, user: UserId) -> DataRequest {
+    let c = bms.ontology().concepts();
+    DataRequest {
+        service: catalog::services::concierge(),
+        purpose: c.comfort,
+        data: c.occupancy,
+        subjects: SubjectSelector::One(user),
+        from: Timestamp::at(0, 0, 0),
+        to: Timestamp::at(1, 0, 0),
+        requester_space: None,
+    }
+}
+
+/// Preference 1: "Do not share the occupancy status of my office in
+/// after-hours" — daytime requests succeed, after-hours requests fail.
+#[test]
+fn preference1_after_hours_occupancy() {
+    let (mut bms, alice, _bob, building) = bms_with_data();
+    let ont = bms.ontology().clone();
+    bms.submit_preference(
+        catalog::preference1_afterhours_occupancy(
+            PreferenceId(0),
+            alice,
+            building.offices[0],
+            &ont,
+        ),
+        Timestamp::at(0, 9, 0),
+    );
+    let noon = bms.handle_request(&occupancy_request(&bms, alice), Timestamp::at(0, 12, 0));
+    assert!(noon.results[0].decision.permits(), "daytime sharing allowed");
+    let night = bms.handle_request(&occupancy_request(&bms, alice), Timestamp::at(0, 22, 0));
+    assert!(
+        !night.results[0].decision.permits(),
+        "after-hours sharing denied"
+    );
+}
+
+/// Preference 2: "Do not share my location with anyone" — all services are
+/// refused; only the mandatory emergency purpose still works.
+#[test]
+fn preference2_blanket_location_optout() {
+    let (mut bms, alice, bob, _building) = bms_with_data();
+    let ont = bms.ontology().clone();
+    let c = ont.concepts();
+    bms.submit_preference(
+        catalog::preference2_no_location(PreferenceId(0), alice, &ont),
+        Timestamp::at(0, 9, 0),
+    );
+    let now = Timestamp::at(0, 14, 30);
+    // Alice: denied for the Concierge.
+    assert!(bms
+        .locate(catalog::services::concierge(), c.navigation, alice, now)
+        .is_none());
+    // Bob (no preference): allowed by the opt-out default.
+    assert!(bms
+        .locate(catalog::services::concierge(), c.navigation, bob, now)
+        .is_some());
+    // Alice is still locatable for emergencies (Policy 2 is mandatory).
+    assert!(bms
+        .locate(catalog::services::emergency(), c.emergency_response, alice, now)
+        .is_some());
+}
+
+/// Preference 3: the Concierge exception over a blanket opt-out.
+#[test]
+fn preference3_concierge_exception() {
+    let (mut bms, alice, _bob, _building) = bms_with_data();
+    let ont = bms.ontology().clone();
+    let c = ont.concepts();
+    bms.submit_preference(
+        catalog::preference2_no_location(PreferenceId(0), alice, &ont),
+        Timestamp::at(0, 9, 0),
+    );
+    bms.submit_preference(
+        catalog::preference3_concierge_location(PreferenceId(0), alice, &ont),
+        Timestamp::at(0, 9, 0),
+    );
+    let now = Timestamp::at(0, 14, 30);
+    // The Concierge gets her location for navigation...
+    assert!(bms
+        .locate(catalog::services::concierge(), c.navigation, alice, now)
+        .is_some());
+    // ...but the food-delivery third party does not.
+    assert!(bms
+        .locate(catalog::services::food_delivery(), c.delivery, alice, now)
+        .is_none());
+}
+
+/// Preference 4: the Smart Meeting grant flips its opt-in policy.
+#[test]
+fn preference4_smart_meeting_grant() {
+    let (mut bms, alice, _bob, _building) = bms_with_data();
+    let ont = bms.ontology().clone();
+    let c = ont.concepts();
+    let meeting_request = DataRequest {
+        service: catalog::services::smart_meeting(),
+        purpose: c.scheduling,
+        data: c.meeting_details,
+        subjects: SubjectSelector::One(alice),
+        from: Timestamp::at(0, 0, 0),
+        to: Timestamp::at(1, 0, 0),
+        requester_space: None,
+    };
+    let now = Timestamp::at(0, 14, 0);
+    // Opt-in policy, no grant: denied by default.
+    let before = bms.handle_request(&meeting_request, now);
+    assert!(!before.results[0].decision.permits());
+    // After Preference 4: allowed.
+    bms.submit_preference(
+        catalog::preference4_smart_meeting(PreferenceId(0), alice, &ont),
+        now,
+    );
+    let after = bms.handle_request(&meeting_request, now);
+    assert!(after.results[0].decision.permits());
+}
+
+/// Degrade preferences produce degraded (never finer) locations.
+#[test]
+fn degrade_preference_coarsens_releases() {
+    let (mut bms, alice, _bob, building) = bms_with_data();
+    let ont = bms.ontology().clone();
+    let c = ont.concepts();
+    bms.submit_preference(
+        catalog::preference_coarse_location(
+            PreferenceId(0),
+            alice,
+            Granularity::Floor,
+            &ont,
+        ),
+        Timestamp::at(0, 9, 0),
+    );
+    let loc = bms
+        .locate(
+            catalog::services::concierge(),
+            c.navigation,
+            alice,
+            Timestamp::at(0, 14, 30),
+        )
+        .expect("degraded location still flows");
+    assert_eq!(loc.granularity, Granularity::Floor);
+    let space = loc.space.expect("floor-level space");
+    assert_eq!(
+        building.model.space(space).kind(),
+        tippers_spatial::SpaceKind::Floor
+    );
+}
+
+/// Conflict notification: submitting Preference 2 against mandatory
+/// Policy 2 informs the user immediately (§III.B).
+#[test]
+fn conflicting_preference_notifies_on_submission() {
+    let (mut bms, alice, _bob, _building) = bms_with_data();
+    let ont = bms.ontology().clone();
+    bms.submit_preference(
+        catalog::preference2_no_location(PreferenceId(0), alice, &ont),
+        Timestamp::at(0, 9, 0),
+    );
+    let notes = bms.take_notifications(alice);
+    assert_eq!(notes.len(), 1);
+    assert!(notes[0].text.contains("mandatory"));
+    // And the conflict is visible to the reasoner.
+    assert_eq!(bms.detect_conflicts().len(), 1);
+}
