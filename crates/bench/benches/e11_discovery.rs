@@ -46,39 +46,35 @@ fn bench_walk(criterion: &mut Criterion) {
     for &(ads, loss) in &[(5usize, 0.0f64), (5, 0.3), (20, 0.0), (20, 0.3)] {
         let (bus, building) = build_bus(ads, loss);
         let label = format!("ads{}_loss{}", ads * 6, (loss * 100.0) as u32);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(&label),
-            &bus,
-            |b, bus| {
-                let iota = Iota::new(
-                    UserId(1),
-                    UserGroup::GradStudent,
-                    SensitivityProfile::fundamentalist(&ontology),
-                );
-                // A walk visiting one office per floor.
-                let stops: Vec<_> = building
-                    .floors
-                    .iter()
-                    .map(|&f| {
-                        building
-                            .offices
-                            .iter()
-                            .copied()
-                            .find(|&o| building.model.floor_of(o) == Some(f))
-                            .expect("every floor has offices")
-                    })
-                    .collect();
-                b.iter(|| {
-                    let mut total = 0usize;
-                    for &stop in &stops {
-                        total += iota
-                            .poll(bus, &building.model, stop, Timestamp::at(0, 9, 0))
-                            .len();
-                    }
-                    std::hint::black_box(total)
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &bus, |b, bus| {
+            let mut iota = Iota::new(
+                UserId(1),
+                UserGroup::GradStudent,
+                SensitivityProfile::fundamentalist(&ontology),
+            );
+            // A walk visiting one office per floor.
+            let stops: Vec<_> = building
+                .floors
+                .iter()
+                .map(|&f| {
+                    building
+                        .offices
+                        .iter()
+                        .copied()
+                        .find(|&o| building.model.floor_of(o) == Some(f))
+                        .expect("every floor has offices")
                 })
-            },
-        );
+                .collect();
+            b.iter(|| {
+                let mut total = 0usize;
+                for &stop in &stops {
+                    total += iota
+                        .poll(bus, &building.model, stop, Timestamp::at(0, 9, 0))
+                        .len();
+                }
+                std::hint::black_box(total)
+            })
+        });
     }
     group.finish();
 }
@@ -88,12 +84,17 @@ fn bench_walk(criterion: &mut Criterion) {
 fn bench_review(criterion: &mut Criterion) {
     let ontology = Ontology::standard();
     let (bus, building) = build_bus(20, 0.0);
-    let iota_probe = Iota::new(
+    let mut iota_probe = Iota::new(
         UserId(1),
         UserGroup::GradStudent,
         SensitivityProfile::fundamentalist(&ontology),
     );
-    let ads = iota_probe.poll(&bus, &building.model, building.offices[0], Timestamp::at(0, 9, 0));
+    let ads = iota_probe.poll(
+        &bus,
+        &building.model,
+        building.offices[0],
+        Timestamp::at(0, 9, 0),
+    );
     let mut group = criterion.benchmark_group("e11_review");
     group.bench_function(format!("review_{}_ads", ads.len()), |b| {
         b.iter(|| {

@@ -1,0 +1,158 @@
+//! Experiment E12 — the resilience subsystem's hot-path overhead.
+//!
+//! The fail-closed enforcement path, the health monitor, and the fault
+//! plane all sit on the per-request hot path. This bench quantifies their
+//! cost: `decide_baseline` replays E8's indexed-enforcer loop (the
+//! reference number), and the `handle_request_*` series runs the same
+//! decisions through the full BMS with a disarmed plan, and with a plan
+//! armed at an off-path point. The disarmed full-path number must track
+//! the pre-resilience baseline within noise (<5% on the decision loop);
+//! arming points that never fire on the request path must not change it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tippers::{
+    DataRequest, Enforcer, FaultPlan, FaultPoint, IndexedEnforcer, SubjectSelector, Tippers,
+    TippersConfig,
+};
+use tippers_bench::{gen_flow, gen_policies, gen_preferences, service_pool, Lcg};
+use tippers_ontology::Ontology;
+use tippers_policy::{ResolutionStrategy, Timestamp, UserGroup, UserId};
+use tippers_sensors::Occupant;
+use tippers_spatial::fixtures::dbh;
+
+const USERS: usize = 1000;
+const SERVICES: usize = 10;
+const POLICIES: usize = 500;
+const PREFS_PER_USER: usize = 5;
+
+fn bench_request_path(criterion: &mut Criterion) {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let services = service_pool(SERVICES);
+    let policies = gen_policies(POLICIES, &ontology, &building, &services, 1);
+    let prefs = gen_preferences(USERS, PREFS_PER_USER, &ontology, &building, &services, 1);
+    let mut lcg = Lcg(0xF12);
+    let flows: Vec<tippers::RequestFlow> = (0..256)
+        .map(|_| gen_flow(&ontology, &building, &services, USERS, &mut lcg))
+        .collect();
+
+    let mut group = criterion.benchmark_group("e12_resilience");
+    group.sample_size(10);
+
+    // Reference: E8's indexed decision loop, no BMS around it.
+    let indexed = IndexedEnforcer::new(
+        policies.clone(),
+        prefs.clone(),
+        ResolutionStrategy::PolicyPrevails,
+        &ontology,
+    );
+    group.bench_with_input(
+        BenchmarkId::new("decide_baseline", "u1000_p500"),
+        &flows,
+        |b, flows| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let flow = &flows[i % flows.len()];
+                i += 1;
+                std::hint::black_box(indexed.decide(flow, &ontology, &building.model))
+            })
+        },
+    );
+
+    // The same decisions through the full fail-closed request path.
+    let build_bms = |plan: FaultPlan| -> Tippers {
+        let mut bms = Tippers::new(
+            ontology.clone(),
+            building.model.clone(),
+            TippersConfig {
+                fault_plan: plan,
+                ..TippersConfig::default()
+            },
+        );
+        let occupants: Vec<Occupant> = (0..USERS as u64)
+            .map(|u| Occupant::new(UserId(u), format!("user-{u}"), UserGroup::GradStudent))
+            .collect();
+        bms.register_occupants(&occupants);
+        for p in &policies {
+            bms.add_policy(p.clone());
+        }
+        for p in &prefs {
+            bms.submit_preference(p.clone(), Timestamp::at(0, 7, 0));
+        }
+        bms
+    };
+    let requests: Vec<DataRequest> = flows
+        .iter()
+        .map(|f| DataRequest {
+            service: f.service.clone().unwrap_or_else(|| services[0].clone()),
+            purpose: f.purpose,
+            data: f.data,
+            subjects: SubjectSelector::One(f.subject),
+            from: Timestamp::at(0, 8, 0),
+            to: Timestamp::at(0, 12, 0),
+            requester_space: f.requester_space,
+        })
+        .collect();
+
+    for (label, plan) in [
+        ("handle_request_disarmed", FaultPlan::disarmed()),
+        (
+            // Armed at a point the request path never consults: the plan is
+            // non-empty, but the hot path must not slow down.
+            "handle_request_armed_offpath",
+            FaultPlan::seeded(42).with_fault(FaultPoint::PolicyPublish, 1.0),
+        ),
+    ] {
+        let mut bms = build_bms(plan);
+        let now = Timestamp::at(0, 12, 0);
+        group.bench_with_input(
+            BenchmarkId::new(label, "u1000_p500"),
+            &requests,
+            |b, reqs| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let req = &reqs[i % reqs.len()];
+                    i += 1;
+                    std::hint::black_box(bms.handle_request(req, now))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The resilience primitives themselves (per-call costs, all virtual).
+fn bench_primitives(criterion: &mut Criterion) {
+    use tippers_resilience::{BackoffSchedule, BreakerConfig, CircuitBreaker};
+    let mut group = criterion.benchmark_group("e12_primitives");
+    group.sample_size(10);
+
+    let schedule = BackoffSchedule::default();
+    group.bench_function("backoff_delay", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            k = (k + 1) % 16;
+            std::hint::black_box(schedule.delay_ms(k))
+        })
+    });
+
+    group.bench_function("breaker_admit_closed", |b| {
+        let mut breaker = CircuitBreaker::new(BreakerConfig::default());
+        let mut now = 0i64;
+        b.iter(|| {
+            now += 1;
+            let ok = breaker.admit(now);
+            breaker.record_success();
+            std::hint::black_box(ok)
+        })
+    });
+
+    let disarmed = FaultPlan::disarmed();
+    group.bench_function("fault_plan_disarmed_consult", |b| {
+        b.iter(|| std::hint::black_box(disarmed.should_fail(FaultPoint::StoreWrite)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_request_path, bench_primitives);
+criterion_main!(benches);

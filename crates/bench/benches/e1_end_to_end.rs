@@ -8,9 +8,7 @@ use tippers_iota::{Iota, SensitivityProfile};
 use tippers_irr::{DiscoveryBus, NetworkConfig};
 use tippers_ontology::Ontology;
 use tippers_policy::{catalog, BuildingPolicy, PolicyId, Timestamp, UserGroup};
-use tippers_sensors::{
-    BuildingSimulator, DeploymentConfig, Population, SimulatorConfig,
-};
+use tippers_sensors::{BuildingSimulator, DeploymentConfig, Population, SimulatorConfig};
 use tippers_services::{register_service, Concierge};
 
 fn small_sim(ontology: &Ontology) -> BuildingSimulator {

@@ -30,7 +30,7 @@ const NOISE: f64 = 0.08;
 /// Three hidden archetypes over (data × purpose) permission dimensions.
 fn archetype(which: usize, dim: usize) -> i8 {
     match which {
-        0 => 1,                                  // unconcerned: allow all
+        0 => 1, // unconcerned: allow all
         1 => {
             if dim.is_multiple_of(3) {
                 -1 // pragmatist: denies identity-ish dims
@@ -38,7 +38,7 @@ fn archetype(which: usize, dim: usize) -> i8 {
                 1
             }
         }
-        _ => -1,                                 // fundamentalist: deny all
+        _ => -1, // fundamentalist: deny all
     }
 }
 
@@ -143,11 +143,8 @@ fn part_b() {
     let mut sensitive: Vec<String> = Vec::new();
     let mut total_ads = 0usize;
     for i in 0..40 {
-        let mut policy = catalog::policy2_emergency_location(
-            PolicyId(i as u64),
-            building.building,
-            &ontology,
-        );
+        let mut policy =
+            catalog::policy2_emergency_location(PolicyId(i as u64), building.building, &ontology);
         policy.data = practice_data[i % practice_data.len()];
         policy.purpose = practice_purposes[(i / practice_data.len()) % practice_purposes.len()];
         policy.name = format!("practice-{i}");

@@ -160,9 +160,10 @@ fn run(name: &'static str, setting: Setting) -> Row {
             if guess == g.space {
                 room_hits += 1;
             }
-            let guess_floor = model.floor_of(guess).or(Some(guess)).filter(|&s| {
-                matches!(model.space(s).kind(), tippers_spatial::SpaceKind::Floor)
-            });
+            let guess_floor = model
+                .floor_of(guess)
+                .or(Some(guess))
+                .filter(|&s| matches!(model.space(s).kind(), tippers_spatial::SpaceKind::Floor));
             if guess_floor.is_some() && guess_floor == model.floor_of(g.space) {
                 floor_hits += 1;
             }

@@ -245,6 +245,9 @@ mod tests {
         let services = service_pool(5);
         let policies = gen_policies(200, &ont, &d, &services, 4);
         let required = policies.iter().filter(|p| p.is_required()).count();
-        assert!(required > 5 && required < 60, "required share: {required}/200");
+        assert!(
+            required > 5 && required < 60,
+            "required share: {required}/200"
+        );
     }
 }

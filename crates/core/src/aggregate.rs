@@ -57,6 +57,9 @@ pub struct AggregateResponse {
     pub excluded_subjects: u32,
     /// The k-anonymity threshold applied.
     pub k: u32,
+    /// True when the BMS answered in degraded mode (enforcement engine
+    /// unavailable; every subject was excluded fail-closed).
+    pub degraded: bool,
 }
 
 impl AggregateResponse {
@@ -124,11 +127,7 @@ mod tests {
 
     #[test]
     fn k_threshold_suppresses_small_cohorts() {
-        let contributions = vec![
-            (t(1), UserId(1)),
-            (t(2), UserId(2)),
-            (t(11), UserId(3)),
-        ];
+        let contributions = vec![(t(1), UserId(1)), (t(2), UserId(2)), (t(11), UserId(3))];
         let buckets = bucketize(&contributions, t(0), t(20), 600, 2);
         assert_eq!(buckets[0].count, Some(2));
         assert_eq!(buckets[1].count, None, "singleton cohort suppressed");

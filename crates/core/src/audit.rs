@@ -55,7 +55,7 @@ pub struct UserNotification {
 /// assert_eq!(mine.len(), 1);
 /// assert_eq!(log.pending_notifications(), 0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct AuditLog {
     entries: Vec<AuditEntry>,
     notifications: Vec<UserNotification>,
@@ -100,7 +100,8 @@ impl AuditLog {
 
     /// Queues a notification.
     pub fn notify(&mut self, user: UserId, time: Timestamp, text: String) {
-        self.notifications.push(UserNotification { user, time, text });
+        self.notifications
+            .push(UserNotification { user, time, text });
     }
 
     /// All entries, oldest first.
@@ -115,10 +116,8 @@ impl AuditLog {
 
     /// Drains the pending notifications for one user (the IoTA poll).
     pub fn take_notifications(&mut self, user: UserId) -> Vec<UserNotification> {
-        let (mine, rest): (Vec<_>, Vec<_>) = self
-            .notifications
-            .drain(..)
-            .partition(|n| n.user == user);
+        let (mine, rest): (Vec<_>, Vec<_>) =
+            self.notifications.drain(..).partition(|n| n.user == user);
         self.notifications = rest;
         mine
     }
@@ -145,8 +144,22 @@ mod tests {
             basis: DecisionBasis::NoAuthorizingPolicy,
             overridden_preference: None,
         };
-        log.record(Timestamp::at(0, 9, 0), UserId(1), None, c.location, c.marketing, &d);
-        log.record(Timestamp::at(0, 9, 1), UserId(2), None, c.location, c.marketing, &d);
+        log.record(
+            Timestamp::at(0, 9, 0),
+            UserId(1),
+            None,
+            c.location,
+            c.marketing,
+            &d,
+        );
+        log.record(
+            Timestamp::at(0, 9, 1),
+            UserId(2),
+            None,
+            c.location,
+            c.marketing,
+            &d,
+        );
         assert_eq!(log.entries().len(), 2);
         assert_eq!(log.entries_for(UserId(1)).len(), 1);
     }

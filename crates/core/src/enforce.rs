@@ -19,9 +19,9 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 use tippers_ontology::{ConceptId, Ontology};
 use tippers_policy::{
-    conflict::data_overlaps, BuildingPolicy, ConditionContext, DataAction, Effect,
-    FlowRef, Modality, PolicyId, PreferenceId, ResolutionStrategy, ServiceId, Timestamp,
-    UserGroup, UserId, UserPreference,
+    conflict::data_overlaps, BuildingPolicy, ConditionContext, DataAction, Effect, FlowRef,
+    Modality, PolicyId, PreferenceId, ResolutionStrategy, ServiceId, Timestamp, UserGroup, UserId,
+    UserPreference,
 };
 use tippers_spatial::{SpaceId, SpatialModel};
 
@@ -61,6 +61,11 @@ pub enum DecisionBasis {
     PolicyDefault(PolicyId),
     /// No building policy authorizes this practice at all — default deny.
     NoAuthorizingPolicy,
+    /// The BMS could not evaluate the flow (e.g. the enforcement engine
+    /// failed to build) and fell back to denying. Enforcement fails
+    /// *closed*: an internal error never releases data, and the audit trail
+    /// says so explicitly rather than masquerading as a policy decision.
+    InternalError,
 }
 
 /// The outcome of deciding one flow.
@@ -79,6 +84,16 @@ impl EnforcementDecision {
     /// True if the flow may proceed in some form.
     pub fn permits(&self) -> bool {
         !self.effect.is_deny()
+    }
+
+    /// The fail-closed decision: deny, on the basis of an internal error.
+    /// Used whenever the BMS cannot evaluate a flow.
+    pub fn fail_closed() -> EnforcementDecision {
+        EnforcementDecision {
+            effect: Effect::Deny,
+            basis: DecisionBasis::InternalError,
+            overridden_preference: None,
+        }
     }
 }
 
@@ -445,7 +460,7 @@ impl RequestFlow {
 mod tests {
     use super::*;
     use tippers_policy::catalog;
-    use tippers_policy::{PreferenceScope, PreferenceId};
+    use tippers_policy::{PreferenceId, PreferenceScope};
     use tippers_spatial::fixtures::dbh;
 
     struct Env {
@@ -534,8 +549,7 @@ mod tests {
             .with_actions(tippers_policy::ActionSet::ALL)
             .with_service(catalog::services::concierge()),
         );
-        let enforcer =
-            NaiveEnforcer::new(policies, vec![pref], ResolutionStrategy::PolicyPrevails);
+        let enforcer = NaiveEnforcer::new(policies, vec![pref], ResolutionStrategy::PolicyPrevails);
         let flow = RequestFlow::share(
             UserId(1),
             UserGroup::GradStudent,
@@ -668,15 +682,17 @@ mod tests {
             &env.ontology,
         );
         let mut policies = paper_policies(&env);
-        policies.push(BuildingPolicy::new(
-            PolicyId(5),
-            "location service",
-            env.dbh.building,
-            c.location_fine,
-            c.navigation,
-        ).with_actions(tippers_policy::ActionSet::ALL));
-        let enforcer =
-            NaiveEnforcer::new(policies, vec![pref], ResolutionStrategy::PolicyPrevails);
+        policies.push(
+            BuildingPolicy::new(
+                PolicyId(5),
+                "location service",
+                env.dbh.building,
+                c.location_fine,
+                c.navigation,
+            )
+            .with_actions(tippers_policy::ActionSet::ALL),
+        );
+        let enforcer = NaiveEnforcer::new(policies, vec![pref], ResolutionStrategy::PolicyPrevails);
         let flow = RequestFlow::share(
             UserId(1),
             UserGroup::Faculty,
@@ -718,7 +734,12 @@ mod tests {
             ResolutionStrategy::PolicyPrevails,
             &env.ontology,
         );
-        let datas = [c.location_fine, c.occupancy, c.wifi_association, c.event_details];
+        let datas = [
+            c.location_fine,
+            c.occupancy,
+            c.wifi_association,
+            c.event_details,
+        ];
         let purposes = [c.emergency_response, c.navigation, c.comfort, c.marketing];
         for &data in &datas {
             for &purpose in &purposes {

@@ -53,13 +53,14 @@ mod policy_manager;
 mod preference_manager;
 mod request;
 mod sensor_manager;
+mod snapshot;
 mod store;
 mod tippers;
 
 pub use aggregate::{AggregateBucket, AggregateRequest, AggregateResponse};
 pub use audit::{AuditEntry, AuditLog, UserNotification};
 pub use enforce::{
-    policy_applies, DecisionBasis, Enforcer, EnforcementDecision, IndexedEnforcer, NaiveEnforcer,
+    policy_applies, DecisionBasis, EnforcementDecision, Enforcer, IndexedEnforcer, NaiveEnforcer,
     RequestFlow,
 };
 pub use policy_manager::PolicyManager;
@@ -68,5 +69,10 @@ pub use request::{
     DataRequest, DataResponse, ReleasedRecord, ReleasedValue, SubjectResult, SubjectSelector,
 };
 pub use sensor_manager::{HvacCommand, SensorManager};
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use store::{Store, StoredRow};
 pub use tippers::{EnforcerKind, Tippers, TippersConfig};
+
+// Resilience vocabulary used in this crate's public API (health reporting,
+// fault-plan configuration), re-exported for downstream convenience.
+pub use tippers_resilience::{FaultPlan, FaultPoint, HealthStatus};

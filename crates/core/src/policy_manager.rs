@@ -101,7 +101,11 @@ mod tests {
         let d = dbh();
         let mut pm = PolicyManager::new();
         let a = pm.add(catalog::policy1_thermostat(PolicyId(99), d.building, &ont));
-        let b = pm.add(catalog::policy2_emergency_location(PolicyId(99), d.building, &ont));
+        let b = pm.add(catalog::policy2_emergency_location(
+            PolicyId(99),
+            d.building,
+            &ont,
+        ));
         assert_eq!(a, PolicyId(0));
         assert_eq!(b, PolicyId(1));
         assert_eq!(pm.len(), 2);
@@ -117,11 +121,22 @@ mod tests {
         let d = dbh();
         let mut pm = PolicyManager::new();
         pm.add(catalog::policy1_thermostat(PolicyId(0), d.building, &ont));
-        pm.add(catalog::policy2_emergency_location(PolicyId(0), d.building, &ont));
+        pm.add(catalog::policy2_emergency_location(
+            PolicyId(0),
+            d.building,
+            &ont,
+        ));
         let mut bus = DiscoveryBus::new(NetworkConfig::default());
         let irr = bus.add_registry("DBH IRR", d.building);
         let ads = pm
-            .publish_all(&ont, &d.model, &mut bus, irr, Timestamp::at(0, 8, 0), 86_400)
+            .publish_all(
+                &ont,
+                &d.model,
+                &mut bus,
+                irr,
+                Timestamp::at(0, 8, 0),
+                86_400,
+            )
             .unwrap();
         assert_eq!(ads.len(), 2);
         assert_eq!(bus.registry(irr).unwrap().len(), 2);

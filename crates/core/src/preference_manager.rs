@@ -87,6 +87,30 @@ impl PreferenceManager {
         self.preferences.is_empty()
     }
 
+    /// The manager's durable state: the preferences and the id allocator's
+    /// next value (for [`crate::Snapshot`]).
+    pub fn snapshot_parts(&self) -> (Vec<UserPreference>, u64) {
+        (self.preferences.clone(), self.next_id)
+    }
+
+    /// Rebuilds a manager from snapshotted parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any preference id is at or above `next_id` — such a state
+    /// would reissue ids already referenced elsewhere. Callers recovering
+    /// untrusted snapshots validate first (see `Tippers::from_snapshot`).
+    pub fn from_parts(preferences: Vec<UserPreference>, next_id: u64) -> PreferenceManager {
+        assert!(
+            preferences.iter().all(|p| p.id.0 < next_id),
+            "preference id allocator must be ahead of every stored id"
+        );
+        PreferenceManager {
+            preferences,
+            next_id,
+        }
+    }
+
     /// Converts an IoTA setting choice (Figure 4: pick an option of a
     /// policy's setting) into a stored preference scoped to that policy's
     /// data, purpose and service.
@@ -112,14 +136,13 @@ impl PreferenceManager {
             .ok_or_else(|| SettingsError::UnknownSetting {
                 key: setting_key.to_owned(),
             })?;
-        let option =
-            setting
-                .options
-                .get(option_index)
-                .ok_or(SettingsError::InvalidOption {
-                    index: option_index,
-                    available: setting.options.len(),
-                })?;
+        let option = setting
+            .options
+            .get(option_index)
+            .ok_or(SettingsError::InvalidOption {
+                index: option_index,
+                available: setting.options.len(),
+            })?;
         let marker = setting_marker(policy, setting_key);
         self.preferences
             .retain(|p| !(p.user == user && p.note == marker));

@@ -87,6 +87,11 @@ impl SubjectResult {
 pub struct DataResponse {
     /// Per-subject outcomes.
     pub results: Vec<SubjectResult>,
+    /// True when the BMS answered in degraded mode (its enforcement engine
+    /// was unavailable and every decision failed closed). Services should
+    /// treat denials in a degraded response as "cannot decide", not "policy
+    /// says no".
+    pub degraded: bool,
 }
 
 impl DataResponse {

@@ -37,7 +37,7 @@ pub struct StoredRow {
 /// let store = Store::new();
 /// assert!(store.is_empty());
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Store {
     rows: Vec<StoredRow>,
     by_subject: HashMap<UserId, Vec<usize>>,
@@ -324,7 +324,10 @@ mod tests {
         // Purging an unrelated category removes nothing.
         assert_eq!(store.purge_subject(&ont, UserId(1), c.location), 0);
         // Purging the parent category removes the row.
-        assert_eq!(store.purge_subject(&ont, UserId(1), ont.data.id("data/network").unwrap()), 1);
+        assert_eq!(
+            store.purge_subject(&ont, UserId(1), ont.data.id("data/network").unwrap()),
+            1
+        );
         assert!(store.is_empty());
     }
 }

@@ -12,16 +12,15 @@ use tippers_policy::{
     conflict, BuildingPolicy, Conflict, DataAction, Effect, PolicyId, PreferenceId,
     ResolutionStrategy, Timestamp, UserGroup, UserId, UserPreference,
 };
+use tippers_resilience::{FaultPlan, FaultPoint, HealthMonitor, HealthStatus, RetryPolicy};
 use tippers_sensors::{BuildingSimulator, MacAddress, Observation, ObservationPayload, Occupant};
 use tippers_spatial::{GranularLocation, Granularity, SpaceId, SpatialModel};
 
 use crate::aggregate::{bucketize, AggregateRequest, AggregateResponse};
 use crate::audit::{AuditLog, UserNotification};
-use crate::enforce::{
-    Enforcer, EnforcementDecision, IndexedEnforcer, NaiveEnforcer, RequestFlow,
-};
-use crate::preference_manager::{PreferenceManager, SettingsError};
+use crate::enforce::{EnforcementDecision, Enforcer, IndexedEnforcer, NaiveEnforcer, RequestFlow};
 use crate::policy_manager::PolicyManager;
+use crate::preference_manager::{PreferenceManager, SettingsError};
 use crate::request::{
     DataRequest, DataResponse, ReleasedRecord, ReleasedValue, SubjectResult, SubjectSelector,
 };
@@ -52,6 +51,13 @@ pub struct TippersConfig {
     /// k-anonymity threshold for aggregate queries (buckets with fewer
     /// distinct contributors are suppressed).
     pub k_anonymity: u32,
+    /// Fault-injection plan the BMS consults at its internal fault points
+    /// ([`FaultPoint::StoreWrite`], [`FaultPoint::PolicyPublish`],
+    /// [`FaultPoint::EnforcerBuild`]). Disarmed by default; clones share
+    /// state with the plan handed in.
+    pub fault_plan: FaultPlan,
+    /// Retry policy for publishing policies to a registry.
+    pub publish_retry: RetryPolicy,
 }
 
 impl Default for TippersConfig {
@@ -62,6 +68,8 @@ impl Default for TippersConfig {
             advertisement_ttl_secs: 86_400,
             noise_seed: 0x71_bb,
             k_anonymity: 5,
+            fault_plan: FaultPlan::disarmed(),
+            publish_retry: RetryPolicy::default(),
         }
     }
 }
@@ -101,6 +109,8 @@ pub struct Tippers {
     macs: HashMap<UserId, MacAddress>,
     enforcer: Option<EnforcerImpl>,
     noise_rng: StdRng,
+    health: HealthMonitor,
+    store_write_failures: u64,
 }
 
 impl Tippers {
@@ -119,7 +129,31 @@ impl Tippers {
             groups: HashMap::new(),
             macs: HashMap::new(),
             enforcer: None,
+            health: HealthMonitor::new(),
+            store_write_failures: 0,
         }
+    }
+
+    /// The BMS's health: [`HealthStatus::Degraded`] while an internal
+    /// failure (e.g. an enforcement-engine rebuild failure) forces it to
+    /// fail closed.
+    pub fn health(&self) -> HealthStatus {
+        self.health.status()
+    }
+
+    /// Why the BMS is degraded, if it is.
+    pub fn health_reason(&self) -> Option<&str> {
+        self.health.reason()
+    }
+
+    /// Lifetime count of healthy → degraded transitions.
+    pub fn degraded_events(&self) -> u64 {
+        self.health.degraded_events()
+    }
+
+    /// Observations lost to injected store-write failures.
+    pub fn store_write_failures(&self) -> u64 {
+        self.store_write_failures
     }
 
     /// The vocabulary in use.
@@ -153,7 +187,10 @@ impl Tippers {
 
     /// The group a user belongs to (visitors if unregistered).
     pub fn group_of(&self, user: UserId) -> UserGroup {
-        self.groups.get(&user).copied().unwrap_or(UserGroup::Visitor)
+        self.groups
+            .get(&user)
+            .copied()
+            .unwrap_or(UserGroup::Visitor)
     }
 
     // ---- policy administration (step 1) ------------------------------------
@@ -180,27 +217,46 @@ impl Tippers {
         self.policies.get(id)
     }
 
-    /// Publishes all policies to a registry (step 4).
+    /// Publishes all policies to a registry (step 4), retrying transient
+    /// registry failures under [`TippersConfig::publish_retry`]'s bounded
+    /// backoff/deadline budget. Each attempt is all-or-nothing: an injected
+    /// [`FaultPoint::PolicyPublish`] failure fires before anything reaches
+    /// the registry, so retries never publish duplicates.
     ///
     /// # Errors
     ///
-    /// Propagates registry validation failures.
+    /// Registry validation failures are permanent and propagate without
+    /// retry; [`RegistryError::Unreachable`] surfaces once the retry budget
+    /// is spent.
     pub fn publish_policies(
         &self,
         bus: &mut DiscoveryBus,
         registry: RegistryId,
         now: Timestamp,
     ) -> Result<usize, RegistryError> {
-        self.policies
-            .publish_all(
-                &self.ontology,
-                &self.model,
-                bus,
-                registry,
-                now,
-                self.config.advertisement_ttl_secs,
-            )
-            .map(|ads| ads.len())
+        self.config
+            .publish_retry
+            .run(|_attempt| {
+                if self
+                    .config
+                    .fault_plan
+                    .should_fail(FaultPoint::PolicyPublish)
+                {
+                    return Err(RegistryError::Unreachable(registry));
+                }
+                self.policies
+                    .publish_all(
+                        &self.ontology,
+                        &self.model,
+                        bus,
+                        registry,
+                        now,
+                        self.config.advertisement_ttl_secs,
+                    )
+                    .map(|ads| ads.len())
+            })
+            .map(|(n, _report)| n)
+            .map_err(|e| e.into_inner())
     }
 
     // ---- preference intake (step 8) -----------------------------------------
@@ -209,15 +265,10 @@ impl Tippers {
     /// with mandatory policies and queues the notification (§III.B).
     pub fn submit_preference(&mut self, pref: UserPreference, now: Timestamp) -> PreferenceId {
         let user = pref.user;
+        let mut stored = pref.clone();
         let id = self.preferences.add(pref);
+        stored.id = id;
         self.enforcer = None;
-        let stored = self
-            .preferences
-            .all()
-            .iter()
-            .find(|p| p.id == id)
-            .expect("just added")
-            .clone();
         for policy in self.policies.all() {
             if let Some(conflict) = conflict::classify(
                 policy,
@@ -302,7 +353,8 @@ impl Tippers {
         // Purge the category itself and everything it can be inferred
         // from is NOT purged (raw data may serve other flows); exactly the
         // rows whose own category falls under the preference go.
-        self.store.purge_subject(&self.ontology, pref.user, category)
+        self.store
+            .purge_subject(&self.ontology, pref.user, category)
     }
 
     /// Every (policy, preference) conflict in the current state.
@@ -340,14 +392,22 @@ impl Tippers {
             let category = obs.payload.category(&self.ontology);
             match self.storage_grant(obs, category) {
                 Some(retention) => {
-                    self.store.insert(
-                        obs.clone(),
-                        category,
-                        retention.0,
-                        obs.timestamp,
-                        retention.1,
-                    );
-                    stored += 1;
+                    // An injected store-write failure loses the row; it is
+                    // counted (never silently swallowed) so experiments can
+                    // attribute downstream misses to storage loss.
+                    if self.config.fault_plan.should_fail(FaultPoint::StoreWrite) {
+                        self.store_write_failures += 1;
+                        dropped += 1;
+                    } else {
+                        self.store.insert(
+                            obs.clone(),
+                            category,
+                            retention.0,
+                            obs.timestamp,
+                            retention.1,
+                        );
+                        stored += 1;
+                    }
                 }
                 None => dropped += 1,
             }
@@ -407,11 +467,12 @@ impl Tippers {
                         requester_space: None,
                         room_occupied: self.sensors.room_occupied(obs.space, obs.timestamp),
                     };
-                    let decision = self
-                        .enforcer
-                        .as_ref()
-                        .expect("ensured")
-                        .decide(&flow, &self.ontology, &self.model);
+                    // Fail closed: with no enforcement engine the row is
+                    // dropped rather than stored unvetted.
+                    let decision = match self.enforcer.as_ref() {
+                        Some(e) => e.decide(&flow, &self.ontology, &self.model),
+                        None => EnforcementDecision::fail_closed(),
+                    };
                     decision.permits()
                 }
             };
@@ -435,7 +496,11 @@ impl Tippers {
 
     /// Ingests directly from a simulator trace and synchronizes
     /// capture-time suppression afterwards.
-    pub fn ingest_from(&mut self, sim: &mut BuildingSimulator, observations: &[Observation]) -> (usize, usize) {
+    pub fn ingest_from(
+        &mut self,
+        sim: &mut BuildingSimulator,
+        observations: &[Observation],
+    ) -> (usize, usize) {
         let counts = self.ingest(observations);
         self.sync_capture_settings(sim);
         counts
@@ -463,6 +528,57 @@ impl Tippers {
     /// Runs retention garbage collection. Returns rows deleted.
     pub fn gc(&mut self, now: Timestamp) -> usize {
         self.store.gc(now)
+    }
+
+    // ---- snapshot & recovery -------------------------------------------------
+
+    /// Captures the BMS's durable state (store, preferences, audit log) for
+    /// crash recovery. Policies, ontology, and spatial model are
+    /// administrative configuration the operator re-applies on startup and
+    /// are not included.
+    pub fn snapshot(&self) -> crate::Snapshot {
+        let (preferences, next_preference_id) = self.preferences.snapshot_parts();
+        crate::Snapshot {
+            version: crate::SNAPSHOT_VERSION,
+            store: self.store.clone(),
+            preferences,
+            next_preference_id,
+            audit: self.audit.clone(),
+        }
+    }
+
+    /// Rebuilds a BMS from a snapshot taken by [`Tippers::snapshot`]. The
+    /// caller supplies the administrative configuration (ontology, model,
+    /// config) and re-adds policies afterwards, mirroring a real restart.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SnapshotError::UnsupportedVersion`] for a foreign format,
+    /// [`crate::SnapshotError::Inconsistent`] if the snapshot's id
+    /// allocator trails its own preferences.
+    pub fn from_snapshot(
+        ontology: Ontology,
+        model: SpatialModel,
+        config: TippersConfig,
+        snapshot: crate::Snapshot,
+    ) -> Result<Tippers, crate::SnapshotError> {
+        snapshot.check_version()?;
+        if let Some(bad) = snapshot
+            .preferences
+            .iter()
+            .find(|p| p.id.0 >= snapshot.next_preference_id)
+        {
+            return Err(crate::SnapshotError::Inconsistent(format!(
+                "preference {} is at or above the id allocator ({})",
+                bad.id, snapshot.next_preference_id
+            )));
+        }
+        let mut bms = Tippers::new(ontology, model, config);
+        bms.store = snapshot.store;
+        bms.preferences =
+            PreferenceManager::from_parts(snapshot.preferences, snapshot.next_preference_id);
+        bms.audit = snapshot.audit;
+        Ok(bms)
     }
 
     // ---- service requests (steps 9–10) ---------------------------------------
@@ -507,11 +623,12 @@ impl Tippers {
                 requester_space: request.requester_space,
                 room_occupied: None,
             };
-            let decision = self
-                .enforcer
-                .as_ref()
-                .expect("ensured")
-                .decide(&flow, &self.ontology, &self.model);
+            // Fail closed: if the engine could not be built, every subject
+            // is denied with an explicit InternalError audit record.
+            let decision = match self.enforcer.as_ref() {
+                Some(e) => e.decide(&flow, &self.ontology, &self.model),
+                None => EnforcementDecision::fail_closed(),
+            };
             self.audit.record(
                 now,
                 user,
@@ -531,7 +648,10 @@ impl Tippers {
                 records,
             });
         }
-        DataResponse { results }
+        DataResponse {
+            results,
+            degraded: self.health.is_degraded(),
+        }
     }
 
     /// Privacy-preserving aggregate occupancy query (§IV.B.2's
@@ -576,11 +696,12 @@ impl Tippers {
                 requester_space: None,
                 room_occupied: None,
             };
-            let decision = self
-                .enforcer
-                .as_ref()
-                .expect("ensured")
-                .decide(&flow, &self.ontology, &self.model);
+            // Fail closed: without an engine every subject is excluded
+            // from the aggregate, audited as InternalError.
+            let decision = match self.enforcer.as_ref() {
+                Some(e) => e.decide(&flow, &self.ontology, &self.model),
+                None => EnforcementDecision::fail_closed(),
+            };
             self.audit.record(
                 now,
                 user,
@@ -608,6 +729,7 @@ impl Tippers {
             ),
             excluded_subjects: excluded.len() as u32,
             k: self.config.k_anonymity,
+            degraded: self.health.is_degraded(),
         }
     }
 
@@ -633,18 +755,20 @@ impl Tippers {
         };
         let response = self.handle_request(&request, now);
         let result = response.results.into_iter().next()?;
-        result.records.into_iter().rev().find_map(|r| match r.value {
-            ReleasedValue::Location(l) => Some(l),
-            _ => None,
-        })
+        result
+            .records
+            .into_iter()
+            .rev()
+            .find_map(|r| match r.value {
+                ReleasedValue::Location(l) => Some(l),
+                _ => None,
+            })
     }
 
     /// The BMS's belief about a user's current space (latest network row).
     fn current_space_of(&self, user: UserId, now: Timestamp) -> Option<SpaceId> {
         let c = self.ontology.concepts();
-        let row = self
-            .store
-            .latest_for(&self.ontology, user, c.data, now)?;
+        let row = self.store.latest_for(&self.ontology, user, c.data, now)?;
         if now - row.observation.timestamp > 3600 {
             return None;
         }
@@ -739,8 +863,21 @@ impl Tippers {
         sum - 6.0
     }
 
+    /// (Re)builds the enforcement engine if needed. An injected
+    /// [`FaultPoint::EnforcerBuild`] failure leaves the engine absent and
+    /// marks the BMS degraded — subsequent decisions fail closed until a
+    /// rebuild succeeds.
     fn ensure_enforcer(&mut self) {
         if self.enforcer.is_some() {
+            return;
+        }
+        if self
+            .config
+            .fault_plan
+            .should_fail(FaultPoint::EnforcerBuild)
+        {
+            self.health
+                .mark_degraded("enforcement engine rebuild failed; failing closed");
             return;
         }
         let policies = self.policies.all().to_vec();
@@ -756,5 +893,6 @@ impl Tippers {
                 &self.ontology,
             )),
         });
+        self.health.mark_recovered();
     }
 }

@@ -61,8 +61,7 @@ fn gen_policies(
                 datas[lcg.next() % datas.len()],
                 purposes[lcg.next() % purposes.len()],
             );
-            p.modality = [Modality::Required, Modality::OptOut, Modality::OptIn]
-                [lcg.next() % 3];
+            p.modality = [Modality::Required, Modality::OptOut, Modality::OptIn][lcg.next() % 3];
             p.actions = match lcg.next() % 3 {
                 0 => tippers_policy::ActionSet::ALL,
                 1 => tippers_policy::ActionSet::COLLECT_STORE,

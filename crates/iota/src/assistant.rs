@@ -5,11 +5,14 @@ use std::collections::{HashMap, HashSet};
 
 use serde::{Deserialize, Serialize};
 use tippers::{SettingsError, Tippers};
-use tippers_irr::{AdvertisementId, DiscoveryBus, RegistryId, ResourceAdvertisement};
+use tippers_irr::{AdvertisementId, DiscoveryBus, NetError, RegistryId, ResourceAdvertisement};
 use tippers_ontology::Ontology;
 use tippers_policy::{
     diff_documents, BuildingPolicy, Effect, PolicyDocument, PreferenceId, Timestamp, UserGroup,
     UserId,
+};
+use tippers_resilience::{
+    BackoffSchedule, BreakerConfig, CircuitBreaker, FaultPoint, RetryPolicy, Transient,
 };
 use tippers_spatial::{Granularity, SpaceId, SpatialModel};
 
@@ -21,8 +24,18 @@ use crate::throttle::NotificationThrottle;
 pub struct IotaConfig {
     /// Minimum relevance score to notify about (step 6's selectivity).
     pub relevance_threshold: f64,
-    /// Fetch retries on simulated message loss.
+    /// Fetch retries on simulated message loss (attempts = retries + 1).
     pub fetch_retries: usize,
+    /// Backoff between fetch retries (delays are charged against
+    /// `fetch_deadline_ms`, never slept).
+    pub fetch_backoff: BackoffSchedule,
+    /// Virtual-time budget for one registry's fetch retries, milliseconds.
+    pub fetch_deadline_ms: u64,
+    /// Per-registry circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// How stale a cached advertisement set may be and still serve as a
+    /// fallback when a registry is unreachable or circuit-broken, seconds.
+    pub cache_staleness_secs: i64,
     /// Sensitivity above which the assistant denies a practice outright.
     pub deny_threshold: f64,
     /// Sensitivity above which it degrades instead of allowing.
@@ -36,9 +49,46 @@ impl Default for IotaConfig {
         IotaConfig {
             relevance_threshold: 0.35,
             fetch_retries: 3,
+            fetch_backoff: BackoffSchedule::default(),
+            fetch_deadline_ms: 30_000,
+            breaker: BreakerConfig::default(),
+            cache_staleness_secs: 1_800,
             deny_threshold: 0.75,
             degrade_threshold: 0.4,
             throttle: NotificationThrottle::default_hourly(),
+        }
+    }
+}
+
+/// Counters describing how discovery has gone so far (resilience
+/// observability for tests and experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PollStats {
+    /// Individual fetch attempts made (including retries).
+    pub fetch_attempts: u64,
+    /// Registries whose fetch ultimately failed this lifetime.
+    pub fetch_failures: u64,
+    /// Fetches skipped because the registry's circuit was open.
+    pub breaker_rejections: u64,
+    /// Rounds served from the stale-bounded advertisement cache.
+    pub cache_fallbacks: u64,
+    /// Fetched documents dropped because they failed to decode.
+    pub decode_failures: u64,
+}
+
+/// A fetch attempt's failure: either the network lost it or the payload
+/// would not decode. Both are worth retrying; a refetch redraws the bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchError {
+    Net(NetError),
+    Decode,
+}
+
+impl Transient for FetchError {
+    fn is_transient(&self) -> bool {
+        match self {
+            FetchError::Net(e) => e.is_transient(),
+            FetchError::Decode => true,
         }
     }
 }
@@ -70,6 +120,9 @@ pub struct Iota {
     last_docs: HashMap<(RegistryId, AdvertisementId), PolicyDocument>,
     notification_log: Vec<IotaNotification>,
     suppressed_relevant: usize,
+    breakers: HashMap<RegistryId, CircuitBreaker>,
+    ad_cache: HashMap<RegistryId, (Timestamp, Vec<ResourceAdvertisement>)>,
+    poll_stats: PollStats,
 }
 
 impl Iota {
@@ -96,6 +149,9 @@ impl Iota {
             last_docs: HashMap::new(),
             notification_log: Vec::new(),
             suppressed_relevant: 0,
+            breakers: HashMap::new(),
+            ad_cache: HashMap::new(),
+            poll_stats: PollStats::default(),
         }
     }
 
@@ -120,30 +176,114 @@ impl Iota {
         self.suppressed_relevant
     }
 
+    /// Resilience counters accumulated across polls.
+    pub fn poll_stats(&self) -> PollStats {
+        self.poll_stats
+    }
+
+    /// The breaker state for one registry, if it has ever been fetched.
+    pub fn breaker_state(&self, registry: RegistryId) -> Option<tippers_resilience::BreakerState> {
+        self.breakers.get(&registry).map(|b| b.state())
+    }
+
     /// Step 5: discover registries near `space` and fetch fresh
-    /// advertisements, retrying lost fetches.
+    /// advertisements.
+    ///
+    /// Each registry's fetch runs under a bounded retry policy (capped
+    /// backoff, virtual-time deadline — see [`IotaConfig::fetch_deadline_ms`])
+    /// behind a per-registry circuit breaker. When a registry is
+    /// circuit-broken or its retries exhaust, the assistant falls back to
+    /// its last-known advertisements, bounded by
+    /// [`IotaConfig::cache_staleness_secs`] — stale knowledge beats none,
+    /// but not indefinitely.
     pub fn poll(
-        &self,
+        &mut self,
         bus: &DiscoveryBus,
         model: &SpatialModel,
         space: SpaceId,
         now: Timestamp,
     ) -> Vec<(RegistryId, ResourceAdvertisement)> {
         let (registries, _) = bus.discover(model, space);
+        let retry = RetryPolicy {
+            max_attempts: self.config.fetch_retries as u32 + 1,
+            deadline_ms: self.config.fetch_deadline_ms,
+            backoff: self.config.fetch_backoff,
+        };
         let mut out = Vec::new();
         for registry in registries {
-            for attempt in 0..=self.config.fetch_retries {
-                match bus.fetch_near(registry, model, space, now) {
-                    Ok((ads, _latency)) => {
-                        out.extend(ads.into_iter().map(|a| (registry, a)));
-                        break;
-                    }
-                    Err(_) if attempt < self.config.fetch_retries => continue,
-                    Err(_) => break,
+            let breaker = self
+                .breakers
+                .entry(registry)
+                .or_insert_with(|| CircuitBreaker::new(self.config.breaker));
+            if !breaker.admit(now.0) {
+                self.poll_stats.breaker_rejections += 1;
+                Self::serve_cached(
+                    &self.ad_cache,
+                    &mut self.poll_stats,
+                    registry,
+                    now,
+                    self.config.cache_staleness_secs,
+                    &mut out,
+                );
+                continue;
+            }
+            let attempts = &mut self.poll_stats.fetch_attempts;
+            let decode_failures = &mut self.poll_stats.decode_failures;
+            let fetched = retry.run(|_| {
+                *attempts += 1;
+                let (ads, _latency) = bus
+                    .fetch_near(registry, model, space, now)
+                    .map_err(FetchError::Net)?;
+                if bus.fault_plan().should_fail(FaultPoint::PolicyDecode) {
+                    *decode_failures += 1;
+                    return Err(FetchError::Decode);
+                }
+                Ok(ads)
+            });
+            let breaker = self.breakers.get_mut(&registry).expect("inserted above");
+            match fetched {
+                Ok((ads, _report)) => {
+                    breaker.record_success();
+                    self.ad_cache.insert(registry, (now, ads.clone()));
+                    out.extend(ads.into_iter().map(|a| (registry, a)));
+                }
+                Err(_) => {
+                    breaker.record_failure(now.0);
+                    self.poll_stats.fetch_failures += 1;
+                    Self::serve_cached(
+                        &self.ad_cache,
+                        &mut self.poll_stats,
+                        registry,
+                        now,
+                        self.config.cache_staleness_secs,
+                        &mut out,
+                    );
                 }
             }
         }
         out
+    }
+
+    /// Serves a registry's cached advertisements if they are within the
+    /// staleness bound, discarding advertisements no longer fresh at `now`.
+    fn serve_cached(
+        cache: &HashMap<RegistryId, (Timestamp, Vec<ResourceAdvertisement>)>,
+        stats: &mut PollStats,
+        registry: RegistryId,
+        now: Timestamp,
+        staleness_secs: i64,
+        out: &mut Vec<(RegistryId, ResourceAdvertisement)>,
+    ) {
+        if let Some((cached_at, ads)) = cache.get(&registry) {
+            if now - *cached_at <= staleness_secs {
+                stats.cache_fallbacks += 1;
+                out.extend(
+                    ads.iter()
+                        .filter(|a| a.is_fresh(now))
+                        .map(|a| (registry, a.clone())),
+                );
+            }
+        }
     }
 
     /// Step 6: review fetched advertisements, notifying about unseen,
@@ -266,9 +406,7 @@ fn describe(
         .map(|r| format!(" Data is retained for {}.", r.duration))
         .unwrap_or_default();
     if score.via_inference {
-        format!(
-            "This resource collects data from which your {driver} can be inferred.{retention}"
-        )
+        format!("This resource collects data from which your {driver} can be inferred.{retention}")
     } else {
         format!("This resource collects your {driver}.{retention}")
     }
@@ -277,12 +415,18 @@ fn describe(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tippers::{TippersConfig};
+    use tippers::TippersConfig;
     use tippers_irr::NetworkConfig;
     use tippers_policy::{catalog, PolicyId};
     use tippers_spatial::fixtures::dbh;
 
-    fn setup() -> (Ontology, tippers_spatial::fixtures::Dbh, DiscoveryBus, RegistryId, Tippers) {
+    fn setup() -> (
+        Ontology,
+        tippers_spatial::fixtures::Dbh,
+        DiscoveryBus,
+        RegistryId,
+        Tippers,
+    ) {
         let ont = Ontology::standard();
         let d = dbh();
         let mut bms = Tippers::new(ont.clone(), d.model.clone(), TippersConfig::default());
@@ -292,7 +436,8 @@ mod tests {
         );
         let mut bus = DiscoveryBus::new(NetworkConfig::default());
         let irr = bus.add_registry("DBH IRR", d.building);
-        bms.publish_policies(&mut bus, irr, Timestamp::at(0, 8, 0)).unwrap();
+        bms.publish_policies(&mut bus, irr, Timestamp::at(0, 8, 0))
+            .unwrap();
         (ont, d, bus, irr, bms)
     }
 
@@ -357,6 +502,109 @@ mod tests {
         iota.configure(&mut bms).unwrap();
         assert_eq!(bms.preferences()[0].effect, Effect::Allow);
         assert!(bms.detect_conflicts().is_empty());
+    }
+
+    #[test]
+    fn poll_survives_transient_loss_via_retry() {
+        let (ont, d, mut bus, _irr, _bms) = setup();
+        // One guaranteed drop, then the budget is spent: the retry layer
+        // absorbs it within a single poll.
+        let plan = tippers_resilience::FaultPlan::seeded(5);
+        plan.arm_limited(FaultPoint::RegistryFetch, 1.0, 1);
+        bus.set_fault_plan(plan);
+        let mut iota = Iota::new(
+            UserId(1),
+            UserGroup::GradStudent,
+            SensitivityProfile::fundamentalist(&ont),
+        );
+        let ads = iota.poll(&bus, &d.model, d.offices[0], Timestamp::at(0, 9, 0));
+        assert_eq!(ads.len(), 1);
+        let stats = iota.poll_stats();
+        assert!(stats.fetch_attempts >= 2, "at least one retry happened");
+        assert_eq!(stats.fetch_failures, 0);
+    }
+
+    #[test]
+    fn breaker_opens_and_cache_serves_with_staleness_bound() {
+        let (ont, d, mut bus, irr, _bms) = setup();
+        let mut iota = Iota::with_config(
+            UserId(1),
+            UserGroup::GradStudent,
+            SensitivityProfile::fundamentalist(&ont),
+            IotaConfig {
+                fetch_retries: 1,
+                cache_staleness_secs: 3_600,
+                ..IotaConfig::default()
+            },
+        );
+        // A healthy poll primes the advertisement cache.
+        let t0 = Timestamp::at(0, 9, 0);
+        assert_eq!(iota.poll(&bus, &d.model, d.offices[0], t0).len(), 1);
+
+        // The registry goes dark (fetches fail; discovery still answers).
+        let plan = tippers_resilience::FaultPlan::seeded(5);
+        plan.arm(FaultPoint::RegistryFetch, 1.0);
+        bus.set_fault_plan(plan);
+
+        // Three failed polls trip the default breaker; each is served from
+        // cache meanwhile.
+        for i in 1..=3 {
+            let ads = iota.poll(&bus, &d.model, d.offices[0], t0 + i * 60);
+            assert_eq!(ads.len(), 1, "cache fallback keeps serving");
+        }
+        assert_eq!(
+            iota.breaker_state(irr),
+            Some(tippers_resilience::BreakerState::Open)
+        );
+        let before = iota.poll_stats();
+        assert_eq!(before.fetch_failures, 3);
+        assert!(before.cache_fallbacks >= 3);
+
+        // While open (within cooldown) no fetch is attempted at all.
+        let ads = iota.poll(&bus, &d.model, d.offices[0], t0 + 4 * 60);
+        assert_eq!(ads.len(), 1, "still served from cache");
+        let after = iota.poll_stats();
+        assert_eq!(after.fetch_attempts, before.fetch_attempts);
+        assert_eq!(after.breaker_rejections, before.breaker_rejections + 1);
+
+        // Past the staleness bound the cache refuses to answer: stale
+        // knowledge is bounded, not eternal.
+        let ads = iota.poll(&bus, &d.model, d.offices[0], t0 + 7_200);
+        assert!(ads.is_empty(), "stale cache must not serve");
+    }
+
+    #[test]
+    fn breaker_probe_recovers_after_registry_heals() {
+        let (ont, d, mut bus, irr, _bms) = setup();
+        let mut iota = Iota::with_config(
+            UserId(1),
+            UserGroup::GradStudent,
+            SensitivityProfile::fundamentalist(&ont),
+            IotaConfig {
+                fetch_retries: 0,
+                ..IotaConfig::default()
+            },
+        );
+        let t0 = Timestamp::at(0, 9, 0);
+        let plan = tippers_resilience::FaultPlan::seeded(5);
+        plan.arm(FaultPoint::RegistryFetch, 1.0);
+        bus.set_fault_plan(plan.clone());
+        for i in 0..3 {
+            iota.poll(&bus, &d.model, d.offices[0], t0 + i * 60);
+        }
+        assert_eq!(
+            iota.breaker_state(irr),
+            Some(tippers_resilience::BreakerState::Open)
+        );
+        // Registry heals; after the cooldown a half-open probe succeeds and
+        // the circuit closes again.
+        plan.disarm(FaultPoint::RegistryFetch);
+        let recovered = iota.poll(&bus, &d.model, d.offices[0], t0 + 600);
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(
+            iota.breaker_state(irr),
+            Some(tippers_resilience::BreakerState::Closed)
+        );
     }
 
     #[test]

@@ -77,8 +77,16 @@ impl QuestionGrid {
     /// # Panics
     ///
     /// Panics if the matrix dimensions don't match the grid.
-    pub fn to_sensitivity(&self, answers: &PermissionMatrix, ontology: &Ontology) -> SensitivityProfile {
-        assert_eq!(answers.dims(), self.dims.len(), "answer sheet shape mismatch");
+    pub fn to_sensitivity(
+        &self,
+        answers: &PermissionMatrix,
+        ontology: &Ontology,
+    ) -> SensitivityProfile {
+        assert_eq!(
+            answers.dims(),
+            self.dims.len(),
+            "answer sheet shape mismatch"
+        );
         let _ = ontology;
         let mut profile = SensitivityProfile::new();
         let mut categories: Vec<ConceptId> = self.dims.iter().map(|&(d, _)| d).collect();

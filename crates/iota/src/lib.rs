@@ -39,7 +39,7 @@ mod profiles;
 mod relevance;
 mod throttle;
 
-pub use assistant::{Iota, IotaConfig, IotaNotification};
+pub use assistant::{Iota, IotaConfig, IotaNotification, PollStats};
 pub use learning_bridge::{infer_sensitivity, QuestionGrid};
 pub use profiles::{prediction_accuracy, PermissionMatrix, PrivacyProfiles};
 pub use relevance::{purpose_factor, score_resource, RelevanceScore, SensitivityProfile};

@@ -124,8 +124,7 @@ impl PrivacyProfiles {
         // existing centroid.
         let as_centroid =
             |u: &PermissionMatrix| (0..dims).map(|d| u.get(d) as f64).collect::<Vec<f64>>();
-        let mut centroids: Vec<Vec<f64>> =
-            vec![as_centroid(&users[(seed as usize) % users.len()])];
+        let mut centroids: Vec<Vec<f64>> = vec![as_centroid(&users[(seed as usize) % users.len()])];
         while centroids.len() < k {
             let farthest = users
                 .iter()

@@ -132,9 +132,7 @@ pub fn score_resource(
         .keys()
         .next()
         .and_then(|k| resolve_purpose(ontology, k));
-    let pf = purpose
-        .map(|p| purpose_factor(ontology, p))
-        .unwrap_or(0.6);
+    let pf = purpose.map(|p| purpose_factor(ontology, p)).unwrap_or(0.6);
 
     for obs in &resource.observations {
         let Some(cat) = obs.category.as_ref().and_then(|k| ontology.data.id(k)) else {

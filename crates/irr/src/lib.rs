@@ -44,6 +44,4 @@ mod registry;
 
 pub use mud::{advertise_device, MudProfile};
 pub use net::{DiscoveryBus, NetError, NetStats, NetworkConfig};
-pub use registry::{
-    AdvertisementId, Registry, RegistryError, RegistryId, ResourceAdvertisement,
-};
+pub use registry::{AdvertisementId, Registry, RegistryError, RegistryId, ResourceAdvertisement};

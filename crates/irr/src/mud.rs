@@ -99,7 +99,10 @@ impl MudProfile {
     }
 
     /// The profile matching a device's class, if any.
-    pub fn for_device<'a>(profiles: &'a [MudProfile], device: &SensorDevice) -> Option<&'a MudProfile> {
+    pub fn for_device<'a>(
+        profiles: &'a [MudProfile],
+        device: &SensorDevice,
+    ) -> Option<&'a MudProfile> {
         profiles.iter().find(|p| p.sensor_class == device.class)
     }
 }
@@ -147,7 +150,9 @@ pub fn advertise_device(
                 category: Some(data_concept.key().to_owned()),
                 granularity: None,
             }],
-            retention: profile.retention.map(|duration| RetentionBlock { duration }),
+            retention: profile
+                .retention
+                .map(|duration| RetentionBlock { duration }),
             settings: Vec::new(),
             modality: None,
         }],
@@ -171,7 +176,11 @@ mod tests {
         for device in registry.iter() {
             if let Some(profile) = MudProfile::for_device(&profiles, device) {
                 let doc = advertise_device(profile, device, &ont, &d.model);
-                assert!(is_advertisable(&doc), "device {} produced invalid doc", device.id);
+                assert!(
+                    is_advertisable(&doc),
+                    "device {} produced invalid doc",
+                    device.id
+                );
                 covered += 1;
             }
         }

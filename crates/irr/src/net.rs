@@ -12,6 +12,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tippers_policy::Timestamp;
+use tippers_resilience::{FaultPlan, FaultPoint, Transient};
 use tippers_spatial::{SpaceId, SpatialModel};
 
 use crate::registry::{Registry, RegistryId, ResourceAdvertisement};
@@ -22,6 +23,12 @@ pub struct NetworkConfig {
     /// Mean one-way latency, milliseconds.
     pub latency_ms_mean: f64,
     /// Probability any single message is lost.
+    ///
+    /// Deprecated in favour of arming [`FaultPoint::RegistryDiscover`] /
+    /// [`FaultPoint::RegistryFetch`] on the bus's [`FaultPlan`], which
+    /// injects per-point, budgeted, separately-seeded loss. Retained so
+    /// existing configurations keep working; the two compose (a message
+    /// survives only if neither mechanism drops it).
     pub loss_probability: f64,
     /// RNG seed for reproducibility.
     pub seed: u64,
@@ -58,6 +65,24 @@ impl fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+impl NetError {
+    /// True if retrying could plausibly succeed (lost messages can be
+    /// resent; addressing a registry that does not exist cannot be fixed by
+    /// retrying).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            NetError::Lost => true,
+            NetError::UnknownRegistry(_) => false,
+        }
+    }
+}
+
+impl Transient for NetError {
+    fn is_transient(&self) -> bool {
+        NetError::is_transient(self)
+    }
+}
+
 /// Cumulative traffic statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct NetStats {
@@ -88,17 +113,38 @@ pub struct DiscoveryBus {
     registries: Vec<Registry>,
     rng: Mutex<StdRng>,
     stats: Mutex<NetStats>,
+    fault_plan: FaultPlan,
 }
 
 impl DiscoveryBus {
-    /// Creates a bus.
+    /// Creates a bus with a disarmed fault plan.
     pub fn new(config: NetworkConfig) -> DiscoveryBus {
         DiscoveryBus {
             rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
             config,
             registries: Vec::new(),
             stats: Mutex::new(NetStats::default()),
+            fault_plan: FaultPlan::disarmed(),
         }
+    }
+
+    /// Creates a bus consulting `plan` at its network fault points
+    /// ([`FaultPoint::RegistryDiscover`], [`FaultPoint::RegistryFetch`],
+    /// [`FaultPoint::ClockSkew`]).
+    pub fn with_fault_plan(config: NetworkConfig, plan: FaultPlan) -> DiscoveryBus {
+        let mut bus = DiscoveryBus::new(config);
+        bus.fault_plan = plan;
+        bus
+    }
+
+    /// Replaces the bus's fault plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// The fault plan this bus consults (clones share state with it).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
     }
 
     /// Hosts a new registry covering `coverage`, returning its id.
@@ -124,11 +170,17 @@ impl DiscoveryBus {
         *self.stats.lock()
     }
 
-    /// Simulates one message: returns its latency, or loss.
-    fn transmit(&self) -> Result<f64, NetError> {
+    /// Simulates one message: returns its latency, or loss. A message
+    /// survives only if neither the legacy `loss_probability` nor the
+    /// fault plan's rule at `point` drops it.
+    fn transmit(&self, point: FaultPoint) -> Result<f64, NetError> {
         let mut rng = self.rng.lock();
         let mut stats = self.stats.lock();
         stats.messages += 1;
+        if self.fault_plan.should_fail(point) {
+            stats.lost += 1;
+            return Err(NetError::Lost);
+        }
         if rng.gen::<f64>() < self.config.loss_probability {
             stats.lost += 1;
             return Err(NetError::Lost);
@@ -143,16 +195,12 @@ impl DiscoveryBus {
     /// Discovery (step 5 of Figure 1): which registries cover the space the
     /// client is standing in? Each responding registry costs one simulated
     /// broadcast round trip; lost responses hide that registry this round.
-    pub fn discover(
-        &self,
-        model: &SpatialModel,
-        vicinity: SpaceId,
-    ) -> (Vec<RegistryId>, f64) {
+    pub fn discover(&self, model: &SpatialModel, vicinity: SpaceId) -> (Vec<RegistryId>, f64) {
         let mut found = Vec::new();
         let mut latency = 0.0f64;
         for r in &self.registries {
             if r.covers(model, vicinity) {
-                match self.transmit() {
+                match self.transmit(FaultPoint::RegistryDiscover) {
                     Ok(l) => {
                         latency = latency.max(l);
                         found.push(r.id());
@@ -182,10 +230,17 @@ impl DiscoveryBus {
         let r = self
             .registry(registry)
             .ok_or(NetError::UnknownRegistry(registry))?;
-        let request = self.transmit()?;
-        let response = self.transmit()?;
+        let request = self.transmit(FaultPoint::RegistryFetch)?;
+        let response = self.transmit(FaultPoint::RegistryFetch)?;
+        // An armed clock-skew rule shifts the freshness clock the registry
+        // answers with, modelling a drifted registry host.
+        let effective_now = if self.fault_plan.should_fail(FaultPoint::ClockSkew) {
+            now + self.fault_plan.param(FaultPoint::ClockSkew)
+        } else {
+            now
+        };
         let ads = r
-            .advertisements_near(model, vicinity, now)
+            .advertisements_near(model, vicinity, effective_now)
             .into_iter()
             .cloned()
             .collect();
@@ -268,11 +323,75 @@ mod tests {
     }
 
     #[test]
+    fn armed_fetch_fault_drops_fetches_only() {
+        let (mut bus, d) = bus_with_ad(0.0);
+        let plan = FaultPlan::seeded(11).with_fault(FaultPoint::RegistryFetch, 1.0);
+        bus.set_fault_plan(plan.clone());
+        // Discovery uses a different point, so it still works.
+        let (found, _) = bus.discover(&d.model, d.offices[0]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(
+            bus.fetch_near(found[0], &d.model, d.offices[0], Timestamp::at(0, 9, 0))
+                .unwrap_err(),
+            NetError::Lost
+        );
+        assert_eq!(plan.injected(FaultPoint::RegistryFetch), 1);
+        assert_eq!(plan.injected(FaultPoint::RegistryDiscover), 0);
+        assert!(bus.stats().lost > 0, "injected drops count as network loss");
+    }
+
+    #[test]
+    fn fault_budget_allows_later_fetches() {
+        let (mut bus, d) = bus_with_ad(0.0);
+        let plan = FaultPlan::seeded(11);
+        plan.arm_limited(FaultPoint::RegistryFetch, 1.0, 1);
+        bus.set_fault_plan(plan);
+        let now = Timestamp::at(0, 9, 0);
+        assert!(bus
+            .fetch_near(RegistryId(0), &d.model, d.offices[0], now)
+            .is_err());
+        // Budget of one consumed: the next fetch goes through.
+        let (ads, _) = bus
+            .fetch_near(RegistryId(0), &d.model, d.offices[0], now)
+            .unwrap();
+        assert_eq!(ads.len(), 1);
+    }
+
+    #[test]
+    fn clock_skew_fault_ages_out_fresh_ads() {
+        let (mut bus, d) = bus_with_ad(0.0);
+        let plan = FaultPlan::seeded(0);
+        // Registry clock runs two days fast: everything looks stale.
+        plan.arm_with_param(FaultPoint::ClockSkew, 1.0, 2 * 86_400);
+        bus.set_fault_plan(plan);
+        let (ads, _) = bus
+            .fetch_near(
+                RegistryId(0),
+                &d.model,
+                d.offices[0],
+                Timestamp::at(0, 9, 0),
+            )
+            .unwrap();
+        assert!(ads.is_empty(), "skewed clock hides fresh advertisements");
+    }
+
+    #[test]
+    fn net_error_transience() {
+        assert!(NetError::Lost.is_transient());
+        assert!(!NetError::UnknownRegistry(RegistryId(3)).is_transient());
+    }
+
+    #[test]
     fn unknown_registry_is_a_client_bug() {
         let (bus, d) = bus_with_ad(0.0);
         assert_eq!(
-            bus.fetch_near(RegistryId(9), &d.model, d.offices[0], Timestamp::at(0, 9, 0))
-                .unwrap_err(),
+            bus.fetch_near(
+                RegistryId(9),
+                &d.model,
+                d.offices[0],
+                Timestamp::at(0, 9, 0)
+            )
+            .unwrap_err(),
             NetError::UnknownRegistry(RegistryId(9))
         );
     }

@@ -5,9 +5,7 @@ use tippers_policy::{is_advertisable, PolicyDocument, Timestamp};
 use tippers_spatial::{SpaceId, SpatialModel};
 
 /// Identifier of an advertisement within one registry.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct AdvertisementId(pub u64);
 
 impl fmt::Display for AdvertisementId {
@@ -17,9 +15,7 @@ impl fmt::Display for AdvertisementId {
 }
 
 /// Identifier of a registry on the discovery network.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RegistryId(pub u32);
 
 impl fmt::Display for RegistryId {
@@ -39,6 +35,9 @@ pub enum RegistryError {
     },
     /// No advertisement with that id.
     UnknownAdvertisement(AdvertisementId),
+    /// The registry could not be reached (a transient infrastructure
+    /// failure; retrying may succeed).
+    Unreachable(RegistryId),
 }
 
 impl fmt::Display for RegistryError {
@@ -50,11 +49,29 @@ impl fmt::Display for RegistryError {
             RegistryError::UnknownAdvertisement(id) => {
                 write!(f, "unknown advertisement {id}")
             }
+            RegistryError::Unreachable(id) => {
+                write!(f, "registry {id} unreachable")
+            }
         }
     }
 }
 
 impl std::error::Error for RegistryError {}
+
+impl RegistryError {
+    /// True if retrying could plausibly succeed. Only
+    /// [`RegistryError::Unreachable`] is transient: validation failures and
+    /// bad advertisement ids will not fix themselves on retry.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, RegistryError::Unreachable(_))
+    }
+}
+
+impl tippers_resilience::Transient for RegistryError {
+    fn is_transient(&self) -> bool {
+        RegistryError::is_transient(self)
+    }
+}
 
 /// A published data-practice advertisement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -269,8 +286,14 @@ mod tests {
             .find(|&&o| d.model.floor_of(o) == Some(d.floors[0]))
             .copied()
             .unwrap();
-        assert_eq!(reg.advertisements_near(&d.model, floor2_office, now).len(), 1);
-        assert_eq!(reg.advertisements_near(&d.model, floor0_office, now).len(), 0);
+        assert_eq!(
+            reg.advertisements_near(&d.model, floor2_office, now).len(),
+            1
+        );
+        assert_eq!(
+            reg.advertisements_near(&d.model, floor0_office, now).len(),
+            0
+        );
     }
 
     #[test]
@@ -278,7 +301,12 @@ mod tests {
         let d = dbh();
         let mut reg = Registry::new(RegistryId(0), "DBH IRR", d.building);
         let err = reg
-            .publish(PolicyDocument::default(), d.building, Timestamp::at(0, 0, 0), 60)
+            .publish(
+                PolicyDocument::default(),
+                d.building,
+                Timestamp::at(0, 0, 0),
+                60,
+            )
             .unwrap_err();
         assert!(matches!(err, RegistryError::NotAdvertisable { .. }));
         assert!(reg.is_empty());

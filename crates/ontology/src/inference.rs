@@ -158,7 +158,14 @@ impl<'a> InferenceEngine<'a> {
 mod tests {
     use super::*;
 
-    fn setup() -> (Taxonomy, Vec<InferenceRule>, ConceptId, ConceptId, ConceptId, ConceptId) {
+    fn setup() -> (
+        Taxonomy,
+        Vec<InferenceRule>,
+        ConceptId,
+        ConceptId,
+        ConceptId,
+        ConceptId,
+    ) {
         let mut t = Taxonomy::new();
         let data = t.add_root("data", "Data");
         let wifi = t.add("wifi", "WiFi logs", data);

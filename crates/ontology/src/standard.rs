@@ -152,10 +152,16 @@ impl Ontology {
         let mut data = Taxonomy::new();
         let d = data.add_root("data", "Data");
         let network = data.add("data/network", "Network metadata", d);
-        let wifi_association =
-            data.add("data/network/wifi-association", "WiFi association events", network);
-        let bluetooth_sighting =
-            data.add("data/network/bluetooth-sighting", "Bluetooth sightings", network);
+        let wifi_association = data.add(
+            "data/network/wifi-association",
+            "WiFi association events",
+            network,
+        );
+        let bluetooth_sighting = data.add(
+            "data/network/bluetooth-sighting",
+            "Bluetooth sightings",
+            network,
+        );
         let location = data.add("data/location", "Location", d);
         let location_fine = data.add("data/location/fine", "Fine-grained location", location);
         let location_room = data.add("data/location/room-level", "Room-level location", location);
@@ -165,8 +171,11 @@ impl Ontology {
         let media = data.add("data/media", "Media", d);
         let image = data.add("data/media/image", "Camera imagery", media);
         let energy_d = data.add("data/energy", "Energy", d);
-        let power_consumption =
-            data.add("data/energy/power-consumption", "Power consumption", energy_d);
+        let power_consumption = data.add(
+            "data/energy/power-consumption",
+            "Power consumption",
+            energy_d,
+        );
         let env_d = data.add("data/environment", "Environment", d);
         let ambient_temperature =
             data.add("data/environment/temperature", "Ambient temperature", env_d);
@@ -186,12 +195,18 @@ impl Ontology {
         let mut purposes = Taxonomy::new();
         let purpose = purposes.add_root("purpose", "Purpose");
         let safety = purposes.add("purpose/safety", "Safety", purpose);
-        let emergency_response =
-            purposes.add("purpose/safety/emergency-response", "Emergency response", safety);
+        let emergency_response = purposes.add(
+            "purpose/safety/emergency-response",
+            "Emergency response",
+            safety,
+        );
         let security = purposes.add("purpose/security", "Security", purpose);
         let surveillance = purposes.add("purpose/security/surveillance", "Surveillance", security);
-        let access_control =
-            purposes.add("purpose/security/access-control", "Access control", security);
+        let access_control = purposes.add(
+            "purpose/security/access-control",
+            "Access control",
+            security,
+        );
         let law_enforcement = purposes.add(
             "purpose/security/law-enforcement",
             "Law-enforcement sharing",
@@ -201,18 +216,33 @@ impl Ontology {
         let comfort = purposes.add("purpose/operations/comfort", "Comfort / HVAC", operations);
         let energy_management =
             purposes.add("purpose/operations/energy", "Energy management", operations);
-        let logging = purposes.add("purpose/operations/logging", "Connectivity logging", operations);
+        let logging = purposes.add(
+            "purpose/operations/logging",
+            "Connectivity logging",
+            operations,
+        );
         let services = purposes.add("purpose/services", "Building services", purpose);
-        let providing_service =
-            purposes.add("purpose/services/providing-service", "Providing a service", services);
-        let navigation =
-            purposes.add("purpose/services/navigation", "Navigation / directions", providing_service);
-        let scheduling =
-            purposes.add("purpose/services/scheduling", "Meeting scheduling", providing_service);
-        let delivery =
-            purposes.add("purpose/services/delivery", "Delivery", providing_service);
-        let event_coordination =
-            purposes.add("purpose/services/events", "Event coordination", providing_service);
+        let providing_service = purposes.add(
+            "purpose/services/providing-service",
+            "Providing a service",
+            services,
+        );
+        let navigation = purposes.add(
+            "purpose/services/navigation",
+            "Navigation / directions",
+            providing_service,
+        );
+        let scheduling = purposes.add(
+            "purpose/services/scheduling",
+            "Meeting scheduling",
+            providing_service,
+        );
+        let delivery = purposes.add("purpose/services/delivery", "Delivery", providing_service);
+        let event_coordination = purposes.add(
+            "purpose/services/events",
+            "Event coordination",
+            providing_service,
+        );
         let analytics = purposes.add("purpose/analytics", "Analytics", purpose);
         let marketing = purposes.add("purpose/marketing", "Marketing", purpose);
 
@@ -220,7 +250,12 @@ impl Ontology {
             // §II.A: "Using background knowledge (e.g., the location of the
             // AP) it is possible to infer the real-time location of a user."
             InferenceRule::new("ap-location", vec![wifi_association], location_room, 0.90),
-            InferenceRule::new("beacon-location", vec![bluetooth_sighting], location_room, 0.95),
+            InferenceRule::new(
+                "beacon-location",
+                vec![bluetooth_sighting],
+                location_room,
+                0.95,
+            ),
             InferenceRule::new("mac-from-wifi", vec![wifi_association], device_mac, 1.0),
             InferenceRule::new("camera-occupancy", vec![image], occupancy, 0.95),
             InferenceRule::new("camera-identity", vec![image], person_identity, 0.70),
@@ -387,7 +422,9 @@ mod tests {
     fn power_metering_reveals_occupancy() {
         let ont = Ontology::standard();
         let c = ont.concepts();
-        assert!(ont.inference().can_infer(&[c.power_consumption], c.occupancy));
+        assert!(ont
+            .inference()
+            .can_infer(&[c.power_consumption], c.occupancy));
     }
 
     #[test]

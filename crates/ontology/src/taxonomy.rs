@@ -7,9 +7,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Ids are dense indices, stable for the taxonomy's lifetime, and
 /// meaningless across taxonomies.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ConceptId(pub(crate) u32);
 
 impl ConceptId {

@@ -7,25 +7,23 @@ use tippers_ontology::{ConceptId, InferenceEngine, InferenceRule, Ontology, Taxo
 /// the already-added concepts.
 fn arb_taxonomy(max: usize) -> impl Strategy<Value = Taxonomy> {
     (2usize..=max).prop_flat_map(|n| {
-        proptest::collection::vec((any::<u64>(), any::<bool>()), n - 1).prop_map(
-            move |choices| {
-                let mut t = Taxonomy::new();
-                let mut ids = vec![t.add_root("c0", "C0")];
-                for (i, (seed, two_parents)) in choices.iter().enumerate() {
-                    let p1 = ids[(*seed as usize) % ids.len()];
-                    let mut parents = vec![p1];
-                    if *two_parents && ids.len() > 1 {
-                        let p2 = ids[((*seed >> 17) as usize) % ids.len()];
-                        if p2 != p1 {
-                            parents.push(p2);
-                        }
+        proptest::collection::vec((any::<u64>(), any::<bool>()), n - 1).prop_map(move |choices| {
+            let mut t = Taxonomy::new();
+            let mut ids = vec![t.add_root("c0", "C0")];
+            for (i, (seed, two_parents)) in choices.iter().enumerate() {
+                let p1 = ids[(*seed as usize) % ids.len()];
+                let mut parents = vec![p1];
+                if *two_parents && ids.len() > 1 {
+                    let p2 = ids[((*seed >> 17) as usize) % ids.len()];
+                    if p2 != p1 {
+                        parents.push(p2);
                     }
-                    let key = format!("c{}", i + 1);
-                    ids.push(t.try_add(&key, &key, &parents).expect("valid parents"));
                 }
-                t
-            },
-        )
+                let key = format!("c{}", i + 1);
+                ids.push(t.try_add(&key, &key, &parents).expect("valid parents"));
+            }
+            t
+        })
     })
 }
 

@@ -48,19 +48,23 @@ pub mod services {
 /// for the comfort purpose, in `building`, only when rooms are occupied.
 pub fn policy1_thermostat(id: PolicyId, building: SpaceId, ontology: &Ontology) -> BuildingPolicy {
     let c = ontology.concepts();
-    BuildingPolicy::new(id, "Thermostat automation", building, c.occupancy, c.comfort)
-        .with_description(
-            "Motion sensors detect occupied rooms; the HVAC system holds them at 70F",
-        )
-        .with_sensor_class(c.motion_sensor)
-        .with_actions(ActionSet::of(&[
-            DataAction::Collect,
-            DataAction::Store,
-            DataAction::Actuate,
-        ]))
-        .with_condition(Condition::always().with_occupied())
-        .with_retention("P7D".parse().expect("valid duration"))
-        .with_modality(Modality::OptOut)
+    BuildingPolicy::new(
+        id,
+        "Thermostat automation",
+        building,
+        c.occupancy,
+        c.comfort,
+    )
+    .with_description("Motion sensors detect occupied rooms; the HVAC system holds them at 70F")
+    .with_sensor_class(c.motion_sensor)
+    .with_actions(ActionSet::of(&[
+        DataAction::Collect,
+        DataAction::Store,
+        DataAction::Actuate,
+    ]))
+    .with_condition(Condition::always().with_occupied())
+    .with_retention("P7D".parse().expect("valid duration"))
+    .with_modality(Modality::OptOut)
 }
 
 /// Policy 2: "The building management system stores your location to locate
@@ -286,7 +290,8 @@ mod tests {
         let d = dbh();
         let p1 = policy1_thermostat(PolicyId(1), d.building, &ont);
         let p2 = policy2_emergency_location(PolicyId(2), d.building, &ont);
-        let p3 = policy3_meeting_room_access(PolicyId(3), d.building, d.meeting_rooms.clone(), &ont);
+        let p3 =
+            policy3_meeting_room_access(PolicyId(3), d.building, d.meeting_rooms.clone(), &ont);
         let p4 = policy4_event_proximity(PolicyId(4), vec![d.lobby], &ont);
         assert!(!p1.is_required());
         assert!(p2.is_required());

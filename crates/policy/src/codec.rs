@@ -186,12 +186,12 @@ impl<'a> PolicyCodec<'a> {
         };
         let mut policy = BuildingPolicy::new(id, resource.info.name.clone(), space, data, purpose)
             .with_modality(modality);
-        if let Some(d) = resource
-            .info
-            .description
-            .clone()
-            .or_else(|| resource.observations.first().and_then(|o| o.description.clone()))
-        {
+        if let Some(d) = resource.info.description.clone().or_else(|| {
+            resource
+                .observations
+                .first()
+                .and_then(|o| o.description.clone())
+        }) {
             policy = policy.with_description(d);
         }
         if let Some(sensor) = &resource.sensor {
@@ -485,7 +485,10 @@ mod tests {
         let doc = figures::fig4_document();
         let setting = setting_from_block(&doc.settings[0]);
         assert_eq!(setting.options[0].effect, Effect::Allow);
-        assert_eq!(setting.options[1].effect, Effect::Degrade(Granularity::Floor));
+        assert_eq!(
+            setting.options[1].effect,
+            Effect::Degrade(Granularity::Floor)
+        );
         assert_eq!(setting.options[2].effect, Effect::Deny);
     }
 

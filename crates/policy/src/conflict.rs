@@ -113,9 +113,7 @@ pub fn scopes_overlap(
             return false;
         }
     }
-    policy
-        .condition
-        .may_overlap(&pref.scope.condition, model)
+    policy.condition.may_overlap(&pref.scope.condition, model)
 }
 
 /// Classifies a single (policy, preference) pair, resolving per `strategy`.
@@ -423,14 +421,8 @@ mod tests {
         let c = ont.concepts();
         let policies = vec![
             policy2(&ont, &model),
-            BuildingPolicy::new(
-                PolicyId(3),
-                "camera",
-                model.root(),
-                c.image,
-                c.surveillance,
-            )
-            .with_modality(Modality::Required),
+            BuildingPolicy::new(PolicyId(3), "camera", model.root(), c.image, c.surveillance)
+                .with_modality(Modality::Required),
         ];
         let prefs = vec![
             preference2(&ont),

@@ -110,7 +110,8 @@ impl fmt::Display for PolicyChange {
             }
             PolicyChange::RetentionChanged { resource, old, new } => {
                 let show = |d: &Option<IsoDuration>| {
-                    d.map(|d| d.to_string()).unwrap_or_else(|| "indefinite".into())
+                    d.map(|d| d.to_string())
+                        .unwrap_or_else(|| "indefinite".into())
                 };
                 write!(
                     f,
@@ -160,8 +161,16 @@ pub fn diff_documents(old: &PolicyDocument, new: &PolicyDocument) -> Vec<PolicyC
         changes.push(PolicyChange::ResourceRemoved { name: name.into() });
     }
     for &name in old_names.intersection(&new_names) {
-        let a = old.resources.iter().find(|r| r.info.name == name).expect("present");
-        let b = new.resources.iter().find(|r| r.info.name == name).expect("present");
+        let a = old
+            .resources
+            .iter()
+            .find(|r| r.info.name == name)
+            .expect("present");
+        let b = new
+            .resources
+            .iter()
+            .find(|r| r.info.name == name)
+            .expect("present");
         changes.extend(diff_resource(a, b));
     }
     changes

@@ -4,7 +4,7 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{de, Deserialize, Deserializer, Serialize, Serializer};
+use serde::{de, Deserialize, Serialize};
 
 /// An ISO-8601 duration (`PnYnMnDTnHnMnS`).
 ///
@@ -94,7 +94,11 @@ pub struct ParseDurationError {
 
 impl fmt::Display for ParseDurationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid ISO-8601 duration `{}`: {}", self.input, self.reason)
+        write!(
+            f,
+            "invalid ISO-8601 duration `{}`: {}",
+            self.input, self.reason
+        )
     }
 }
 
@@ -108,7 +112,9 @@ impl FromStr for IsoDuration {
             input: s.to_owned(),
             reason,
         };
-        let rest = s.strip_prefix('P').ok_or_else(|| err("must start with `P`"))?;
+        let rest = s
+            .strip_prefix('P')
+            .ok_or_else(|| err("must start with `P`"))?;
         if rest.is_empty() {
             return Err(err("empty duration"));
         }
@@ -126,42 +132,43 @@ impl FromStr for IsoDuration {
         let mut any = false;
 
         type Designators<'a> = &'a [(char, fn(&mut IsoDuration, u32))];
-        let mut parse_fields = |part: &str,
-                                designators: Designators<'_>|
-         -> Result<(), ParseDurationError> {
-            let mut num = String::new();
-            let mut next_allowed = 0usize;
-            for ch in part.chars() {
-                if ch.is_ascii_digit() {
-                    num.push(ch);
-                    continue;
+        let mut parse_fields =
+            |part: &str, designators: Designators<'_>| -> Result<(), ParseDurationError> {
+                let mut num = String::new();
+                let mut next_allowed = 0usize;
+                for ch in part.chars() {
+                    if ch.is_ascii_digit() {
+                        num.push(ch);
+                        continue;
+                    }
+                    let pos = designators[next_allowed..]
+                        .iter()
+                        .position(|(d, _)| *d == ch)
+                        .map(|p| p + next_allowed)
+                        .ok_or_else(|| err("unexpected or out-of-order designator"))?;
+                    if num.is_empty() {
+                        return Err(err("designator without a number"));
+                    }
+                    let value: u32 = num.parse().map_err(|_| err("component overflows u32"))?;
+                    designators[pos].1(&mut out, value);
+                    any = true;
+                    num.clear();
+                    next_allowed = pos + 1;
                 }
-                let pos = designators[next_allowed..]
-                    .iter()
-                    .position(|(d, _)| *d == ch)
-                    .map(|p| p + next_allowed)
-                    .ok_or_else(|| err("unexpected or out-of-order designator"))?;
-                if num.is_empty() {
-                    return Err(err("designator without a number"));
+                if !num.is_empty() {
+                    return Err(err("trailing digits without a designator"));
                 }
-                let value: u32 = num.parse().map_err(|_| err("component overflows u32"))?;
-                designators[pos].1(&mut out, value);
-                any = true;
-                num.clear();
-                next_allowed = pos + 1;
-            }
-            if !num.is_empty() {
-                return Err(err("trailing digits without a designator"));
-            }
-            Ok(())
-        };
+                Ok(())
+            };
 
         parse_fields(
             date_part,
             &[
                 ('Y', |d, v| d.years = v),
                 ('M', |d, v| d.months = v),
-                ('W', |d, v| d.days = d.days.saturating_add(v.saturating_mul(7))),
+                ('W', |d, v| {
+                    d.days = d.days.saturating_add(v.saturating_mul(7))
+                }),
                 ('D', |d, v| d.days = d.days.saturating_add(v)),
             ],
         )?;
@@ -214,14 +221,14 @@ impl fmt::Display for IsoDuration {
 }
 
 impl Serialize for IsoDuration {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.collect_str(self)
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::String(self.to_string())
     }
 }
 
-impl<'de> Deserialize<'de> for IsoDuration {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
+impl Deserialize for IsoDuration {
+    fn deserialize_value(v: serde::Value) -> Result<Self, de::Error> {
+        let s = String::deserialize_value(v)?;
         s.parse().map_err(de::Error::custom)
     }
 }

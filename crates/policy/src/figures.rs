@@ -114,7 +114,10 @@ mod tests {
         assert_eq!(r.info.name, "Location tracking in DBH");
         let loc = r.context.as_ref().unwrap().location.as_ref().unwrap();
         assert_eq!(loc.spatial.as_ref().unwrap().name, "Donald Bren Hall");
-        assert_eq!(loc.spatial.as_ref().unwrap().kind.as_deref(), Some("Building"));
+        assert_eq!(
+            loc.spatial.as_ref().unwrap().kind.as_deref(),
+            Some("Building")
+        );
         assert_eq!(loc.location_owner.as_ref().unwrap().name, "UCI");
         assert_eq!(r.sensor.as_ref().unwrap().kind, "WiFi Access Point");
         assert!(r.purpose.purposes.contains_key("emergency response"));

@@ -3,9 +3,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a building occupant / framework user.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct UserId(pub u64);
 
 impl fmt::Display for UserId {
@@ -15,9 +13,7 @@ impl fmt::Display for UserId {
 }
 
 /// Identifier of a building policy.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PolicyId(pub u64);
 
 impl fmt::Display for PolicyId {
@@ -27,9 +23,7 @@ impl fmt::Display for PolicyId {
 }
 
 /// Identifier of a user preference.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PreferenceId(pub u64);
 
 impl fmt::Display for PreferenceId {

@@ -45,9 +45,9 @@
 
 pub mod catalog;
 mod codec;
-pub mod diff;
 mod condition;
 pub mod conflict;
+pub mod diff;
 pub mod document;
 mod duration;
 mod error;
@@ -60,9 +60,9 @@ pub mod time;
 pub mod validate;
 
 pub use codec::{setting_from_block, PolicyCodec};
-pub use diff::{diff_documents, PolicyChange};
 pub use condition::{Condition, ConditionContext};
 pub use conflict::{Conflict, ConflictIndex, ConflictKind, ResolutionStrategy};
+pub use diff::{diff_documents, PolicyChange};
 pub use document::{PolicyDocument, ResourceBlock, ServicePolicyDocument, SettingsDocument};
 pub use duration::{IsoDuration, ParseDurationError};
 pub use error::PolicyError;

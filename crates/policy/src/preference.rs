@@ -292,8 +292,12 @@ mod tests {
             data: Some(c.location),
             ..Default::default()
         };
-        let other_users =
-            vec![UserPreference::new(PreferenceId(1), UserId(9), scope, Effect::Deny)];
+        let other_users = vec![UserPreference::new(
+            PreferenceId(1),
+            UserId(9),
+            scope,
+            Effect::Deny,
+        )];
         let ctx = ConditionContext::at(&model, Timestamp::at(0, 12, 0));
         let flow = FlowRef {
             data: c.location_fine,

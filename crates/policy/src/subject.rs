@@ -72,12 +72,8 @@ impl SubjectScope {
     pub fn may_overlap(&self, other: &SubjectScope) -> bool {
         match (self, other) {
             (SubjectScope::Everyone, _) | (_, SubjectScope::Everyone) => true,
-            (SubjectScope::Groups(a), SubjectScope::Groups(b)) => {
-                a.iter().any(|g| b.contains(g))
-            }
-            (SubjectScope::Users(a), SubjectScope::Users(b)) => {
-                a.iter().any(|u| b.contains(u))
-            }
+            (SubjectScope::Groups(a), SubjectScope::Groups(b)) => a.iter().any(|g| b.contains(g)),
+            (SubjectScope::Users(a), SubjectScope::Users(b)) => a.iter().any(|u| b.contains(u)),
             // Group scope vs user scope: users' groups are unknown here, so
             // assume overlap (privacy-conservative).
             (SubjectScope::Groups(_), SubjectScope::Users(_))

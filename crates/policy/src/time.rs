@@ -80,7 +80,13 @@ impl Sub<Timestamp> for Timestamp {
 
 impl fmt::Display for Timestamp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "d{} {} {}", self.day(), self.weekday(), self.time_of_day())
+        write!(
+            f,
+            "d{} {} {}",
+            self.day(),
+            self.weekday(),
+            self.time_of_day()
+        )
     }
 }
 
@@ -155,7 +161,10 @@ impl Weekday {
 
     /// Index in [`Weekday::ALL`].
     pub fn index(self) -> usize {
-        Weekday::ALL.iter().position(|&w| w == self).expect("member")
+        Weekday::ALL
+            .iter()
+            .position(|&w| w == self)
+            .expect("member")
     }
 }
 
@@ -319,9 +328,12 @@ impl TimeWindow {
         if !self.days.intersects(other.days) && !self.wraps() && !other.wraps() {
             return false;
         }
-        self.daily_intervals()
-            .iter()
-            .any(|a| other.daily_intervals().iter().any(|b| a.0 < b.1 && b.0 < a.1))
+        self.daily_intervals().iter().any(|a| {
+            other
+                .daily_intervals()
+                .iter()
+                .any(|b| a.0 < b.1 && b.0 < a.1)
+        })
     }
 
     fn wraps(&self) -> bool {

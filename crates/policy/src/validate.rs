@@ -60,7 +60,11 @@ pub fn validate_document(doc: &PolicyDocument) -> Vec<ValidationIssue> {
     for (i, r) in doc.resources.iter().enumerate() {
         let base = format!("/resources/{i}");
         if r.info.name.trim().is_empty() {
-            push(Severity::Error, format!("{base}/info/name"), "empty resource name");
+            push(
+                Severity::Error,
+                format!("{base}/info/name"),
+                "empty resource name",
+            );
         }
         if r.purpose.is_empty() {
             push(
@@ -205,7 +209,9 @@ mod tests {
     #[test]
     fn broken_settings_are_errors() {
         let mut doc = figures::fig2_document();
-        doc.resources[0].settings.push(SettingBlock { select: vec![] });
+        doc.resources[0]
+            .settings
+            .push(SettingBlock { select: vec![] });
         assert!(!is_advertisable(&doc));
     }
 

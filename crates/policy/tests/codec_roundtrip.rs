@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use tippers_ontology::{ConceptId, Ontology};
-use tippers_policy::{
-    BuildingPolicy, Modality, PolicyCodec, PolicyDocument, PolicyId,
-};
+use tippers_policy::{BuildingPolicy, Modality, PolicyCodec, PolicyDocument, PolicyId};
 use tippers_spatial::fixtures::dbh;
 
 fn wire_representable_data(ont: &Ontology) -> Vec<ConceptId> {

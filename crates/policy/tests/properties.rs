@@ -3,11 +3,11 @@
 use proptest::prelude::*;
 use tippers_ontology::{ConceptId, Ontology};
 use tippers_policy::{
-    conflict, Condition, Effect, IsoDuration, PolicyId, PreferenceId, PreferenceScope,
-    BuildingPolicy, Modality, ResolutionStrategy, TimeOfDay, TimeWindow, Timestamp, UserId,
-    UserPreference, WeekdaySet,
+    conflict, BuildingPolicy, Condition, Effect, IsoDuration, Modality, PolicyId, PreferenceId,
+    PreferenceScope, ResolutionStrategy, TimeOfDay, TimeWindow, Timestamp, UserId, UserPreference,
+    WeekdaySet,
 };
-use tippers_spatial::{Granularity, SpatialModel, SpaceKind};
+use tippers_spatial::{Granularity, SpaceKind, SpatialModel};
 
 fn arb_duration() -> impl Strategy<Value = IsoDuration> {
     (0u32..5, 0u32..24, 0u32..60, 0u32..48, 0u32..120, 0u32..120).prop_map(
@@ -200,7 +200,7 @@ proptest! {
             datas[(seed as usize >> 4) % datas.len()],
             c.logging,
         )
-        .with_modality(if seed % 2 == 0 { Modality::OptOut } else { Modality::OptIn });
+        .with_modality(if seed.is_multiple_of(2) { Modality::OptOut } else { Modality::OptIn });
         let pref = UserPreference::new(
             PreferenceId(1),
             UserId(1),

@@ -1,0 +1,225 @@
+//! A per-dependency circuit breaker over logical (simulated) time.
+//!
+//! States follow the classic closed → open → half-open cycle. The breaker
+//! never skips half-open: once open, exactly one probe is admitted after the
+//! cooldown, and only that probe's success closes the circuit again.
+
+use std::fmt;
+
+/// Circuit-breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// Logical seconds the breaker stays open before admitting a probe.
+    pub cooldown_secs: i64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_secs: 300,
+        }
+    }
+}
+
+/// Where the breaker is in its cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; failures are being counted.
+    Closed,
+    /// Traffic is refused until the cooldown elapses.
+    Open,
+    /// One probe is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        })
+    }
+}
+
+/// A circuit breaker driven by explicit logical timestamps (seconds).
+///
+/// The caller asks [`CircuitBreaker::admit`] before each operation and
+/// reports the outcome with [`CircuitBreaker::record_success`] /
+/// [`CircuitBreaker::record_failure`]. No wall-clock time is consulted —
+/// `now_secs` is whatever clock the simulation runs on.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: i64,
+    trips: u64,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given config.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+            trips: 0,
+        }
+    }
+
+    /// The current state. Note the open → half-open transition happens in
+    /// [`CircuitBreaker::admit`], so this reports the state as of the last
+    /// admission decision.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// How many times the breaker has tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Asks whether an operation may proceed at logical time `now_secs`.
+    ///
+    /// In `Open` state, the first call at or after `opened_at +
+    /// cooldown_secs` transitions to `HalfOpen` and admits a single probe;
+    /// further calls are refused until that probe's outcome is recorded.
+    pub fn admit(&mut self, now_secs: i64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => false,
+            BreakerState::Open => {
+                if now_secs - self.opened_at >= self.config.cooldown_secs {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports a successful operation. Closes the circuit only from
+    /// `HalfOpen`; in `Closed` it resets the failure streak.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+        }
+    }
+
+    /// Reports a failed operation at logical time `now_secs`. A half-open
+    /// probe failure reopens immediately; in `Closed`, reaching the failure
+    /// threshold trips the breaker open.
+    pub fn record_failure(&mut self, now_secs: i64) {
+        self.consecutive_failures += 1;
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.opened_at = now_secs;
+                self.trips += 1;
+            }
+            BreakerState::Closed => {
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = now_secs;
+                    self.trips += 1;
+                }
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 3,
+            cooldown_secs: 60,
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_failures() {
+        let mut b = breaker();
+        for _ in 0..2 {
+            assert!(b.admit(0));
+            b.record_failure(0);
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(0));
+        b.record_failure(0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit(30), "open breaker refuses before cooldown");
+    }
+
+    #[test]
+    fn half_open_admits_single_probe() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.admit(0);
+            b.record_failure(0);
+        }
+        assert!(b.admit(60), "cooldown elapsed → probe admitted");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.admit(60), "only one probe at a time");
+        assert!(!b.admit(1_000), "still only one probe");
+    }
+
+    #[test]
+    fn probe_success_closes() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.admit(0);
+            b.record_failure(0);
+        }
+        assert!(b.admit(60));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(61));
+    }
+
+    #[test]
+    fn probe_failure_reopens() {
+        let mut b = breaker();
+        for _ in 0..3 {
+            b.admit(0);
+            b.record_failure(0);
+        }
+        assert!(b.admit(60));
+        b.record_failure(60);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.admit(100), "cooldown restarts from the probe failure");
+        assert!(b.admit(120));
+        assert_eq!(b.trips(), 2);
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let mut b = breaker();
+        b.admit(0);
+        b.record_failure(0);
+        b.admit(0);
+        b.record_failure(0);
+        b.record_success();
+        b.admit(0);
+        b.record_failure(0);
+        b.admit(0);
+        b.record_failure(0);
+        assert_eq!(b.state(), BreakerState::Closed, "streak was reset");
+    }
+}

@@ -1,0 +1,282 @@
+//! The deterministic fault plane.
+//!
+//! A [`FaultPlan`] is a shared, seeded source of injected failures. Code
+//! under test consults it at named [`FaultPoint`]s; the plan decides —
+//! reproducibly, from its seed — whether that operation fails this time.
+//! A disarmed plan (the default) never injects anything and costs one
+//! branch per consultation.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A named place in the system where failures can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultPoint {
+    /// A registry's response to a discovery broadcast.
+    RegistryDiscover,
+    /// An advertisement fetch from a registry.
+    RegistryFetch,
+    /// The BMS publishing a policy advertisement.
+    PolicyPublish,
+    /// A write to the observation store.
+    StoreWrite,
+    /// Decoding a fetched policy document.
+    PolicyDecode,
+    /// Clock skew applied to freshness checks (uses the rule's parameter
+    /// as a shift in seconds).
+    ClockSkew,
+    /// Rebuilding the enforcement engine.
+    EnforcerBuild,
+}
+
+impl FaultPoint {
+    /// Every defined injection point.
+    pub const ALL: [FaultPoint; 7] = [
+        FaultPoint::RegistryDiscover,
+        FaultPoint::RegistryFetch,
+        FaultPoint::PolicyPublish,
+        FaultPoint::StoreWrite,
+        FaultPoint::PolicyDecode,
+        FaultPoint::ClockSkew,
+        FaultPoint::EnforcerBuild,
+    ];
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultPoint::RegistryDiscover => "registry-discover",
+            FaultPoint::RegistryFetch => "registry-fetch",
+            FaultPoint::PolicyPublish => "policy-publish",
+            FaultPoint::StoreWrite => "store-write",
+            FaultPoint::PolicyDecode => "policy-decode",
+            FaultPoint::ClockSkew => "clock-skew",
+            FaultPoint::EnforcerBuild => "enforcer-build",
+        };
+        f.write_str(name)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Rule {
+    probability: f64,
+    /// Remaining injections before the rule disarms itself (`None` =
+    /// unlimited).
+    remaining: Option<u32>,
+    /// Point-specific magnitude (e.g. clock-skew seconds).
+    param: i64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    rng: Mutex<Option<StdRng>>,
+    rules: Mutex<HashMap<FaultPoint, Rule>>,
+    injected: Mutex<HashMap<FaultPoint, u64>>,
+}
+
+/// A shared, seeded fault-injection plan.
+///
+/// Cloning is cheap and *shares* state: arm a point on one handle and every
+/// component holding a clone sees it. [`FaultPlan::default`] is disarmed.
+///
+/// # Examples
+///
+/// ```
+/// use tippers_resilience::{FaultPlan, FaultPoint};
+///
+/// let plan = FaultPlan::seeded(42).with_fault(FaultPoint::RegistryFetch, 1.0);
+/// assert!(plan.should_fail(FaultPoint::RegistryFetch));
+/// assert!(!plan.should_fail(FaultPoint::StoreWrite));
+/// assert_eq!(plan.injected(FaultPoint::RegistryFetch), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    inner: Arc<Inner>,
+}
+
+impl FaultPlan {
+    /// A disarmed plan (never injects).
+    pub fn disarmed() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan whose injection decisions derive from `seed`.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        let plan = FaultPlan::default();
+        *plan.inner.rng.lock() = Some(StdRng::seed_from_u64(seed));
+        plan
+    }
+
+    /// Arms `point` to fail with `probability` (builder form).
+    #[must_use]
+    pub fn with_fault(self, point: FaultPoint, probability: f64) -> FaultPlan {
+        self.arm(point, probability);
+        self
+    }
+
+    /// Arms `point` to fail with `probability`.
+    pub fn arm(&self, point: FaultPoint, probability: f64) {
+        self.arm_rule(point, probability, None, 0);
+    }
+
+    /// Arms `point` for at most `budget` injections, then self-disarms.
+    pub fn arm_limited(&self, point: FaultPoint, probability: f64, budget: u32) {
+        self.arm_rule(point, probability, Some(budget), 0);
+    }
+
+    /// Arms `point` with a point-specific magnitude (e.g. skew seconds for
+    /// [`FaultPoint::ClockSkew`]).
+    pub fn arm_with_param(&self, point: FaultPoint, probability: f64, param: i64) {
+        self.arm_rule(point, probability, None, param);
+    }
+
+    fn arm_rule(&self, point: FaultPoint, probability: f64, remaining: Option<u32>, param: i64) {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "fault probability must be in [0, 1]"
+        );
+        self.inner.rules.lock().insert(
+            point,
+            Rule {
+                probability,
+                remaining,
+                param,
+            },
+        );
+    }
+
+    /// Disarms `point`.
+    pub fn disarm(&self, point: FaultPoint) {
+        self.inner.rules.lock().remove(&point);
+    }
+
+    /// True if a rule is armed at `point`.
+    pub fn is_armed(&self, point: FaultPoint) -> bool {
+        self.inner.rules.lock().contains_key(&point)
+    }
+
+    /// True if no point is armed (the hot-path fast check).
+    pub fn is_disarmed(&self) -> bool {
+        self.inner.rules.lock().is_empty()
+    }
+
+    /// Consults the plan at `point`: should this operation fail now?
+    ///
+    /// Deterministic given the seed and the consultation sequence.
+    /// Disarmed points (and disarmed plans) always return `false`.
+    pub fn should_fail(&self, point: FaultPoint) -> bool {
+        let mut rules = self.inner.rules.lock();
+        let Some(rule) = rules.get_mut(&point) else {
+            return false;
+        };
+        if rule.remaining == Some(0) {
+            return false;
+        }
+        let hit = if rule.probability >= 1.0 {
+            true
+        } else if rule.probability <= 0.0 {
+            false
+        } else {
+            let mut rng = self.inner.rng.lock();
+            let rng = rng.get_or_insert_with(|| StdRng::seed_from_u64(0));
+            rng.gen::<f64>() < rule.probability
+        };
+        if hit {
+            if let Some(n) = &mut rule.remaining {
+                *n -= 1;
+            }
+            *self.inner.injected.lock().entry(point).or_default() += 1;
+        }
+        hit
+    }
+
+    /// The armed parameter at `point` (0 when unarmed or unset).
+    pub fn param(&self, point: FaultPoint) -> i64 {
+        self.inner
+            .rules
+            .lock()
+            .get(&point)
+            .map(|r| r.param)
+            .unwrap_or(0)
+    }
+
+    /// How many failures have been injected at `point`.
+    pub fn injected(&self, point: FaultPoint) -> u64 {
+        self.inner.injected.lock().get(&point).copied().unwrap_or(0)
+    }
+
+    /// Total injections across all points.
+    pub fn total_injected(&self) -> u64 {
+        self.inner.injected.lock().values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_plan_never_fires() {
+        let plan = FaultPlan::disarmed();
+        for point in FaultPoint::ALL {
+            for _ in 0..100 {
+                assert!(!plan.should_fail(point));
+            }
+        }
+        assert_eq!(plan.total_injected(), 0);
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let run = |seed: u64| -> Vec<bool> {
+            let plan = FaultPlan::seeded(seed).with_fault(FaultPoint::RegistryFetch, 0.5);
+            (0..64)
+                .map(|_| plan.should_fail(FaultPoint::RegistryFetch))
+                .collect()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let plan = FaultPlan::seeded(1);
+        let handle = plan.clone();
+        plan.arm(FaultPoint::StoreWrite, 1.0);
+        assert!(handle.should_fail(FaultPoint::StoreWrite));
+        assert_eq!(plan.injected(FaultPoint::StoreWrite), 1);
+    }
+
+    #[test]
+    fn budget_exhausts() {
+        let plan = FaultPlan::seeded(3);
+        plan.arm_limited(FaultPoint::PolicyPublish, 1.0, 2);
+        assert!(plan.should_fail(FaultPoint::PolicyPublish));
+        assert!(plan.should_fail(FaultPoint::PolicyPublish));
+        assert!(!plan.should_fail(FaultPoint::PolicyPublish));
+        assert_eq!(plan.injected(FaultPoint::PolicyPublish), 2);
+    }
+
+    #[test]
+    fn params_are_retrievable() {
+        let plan = FaultPlan::seeded(0);
+        plan.arm_with_param(FaultPoint::ClockSkew, 1.0, -7200);
+        assert_eq!(plan.param(FaultPoint::ClockSkew), -7200);
+        assert_eq!(plan.param(FaultPoint::StoreWrite), 0);
+    }
+
+    #[test]
+    fn disarm_stops_injection() {
+        let plan = FaultPlan::seeded(0).with_fault(FaultPoint::RegistryFetch, 1.0);
+        assert!(plan.should_fail(FaultPoint::RegistryFetch));
+        plan.disarm(FaultPoint::RegistryFetch);
+        assert!(!plan.should_fail(FaultPoint::RegistryFetch));
+        assert!(plan.is_disarmed());
+    }
+}

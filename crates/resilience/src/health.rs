@@ -1,0 +1,116 @@
+//! Degraded-mode health tracking.
+//!
+//! When an internal failure forces the BMS to fail closed (deny because it
+//! *cannot* decide, not because policy says no), the [`HealthMonitor`]
+//! records why, so operators and tests can distinguish "denied by policy"
+//! from "denied because the enforcement engine is broken".
+
+use std::fmt;
+
+/// Coarse component health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthStatus {
+    /// Operating normally.
+    Healthy,
+    /// An internal failure occurred; the component is failing closed.
+    Degraded,
+}
+
+impl fmt::Display for HealthStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HealthStatus::Healthy => "healthy",
+            HealthStatus::Degraded => "degraded",
+        })
+    }
+}
+
+/// Tracks a component's health and the reason it last degraded.
+#[derive(Debug, Clone, Default)]
+pub struct HealthMonitor {
+    reason: Option<String>,
+    degraded_events: u64,
+}
+
+impl HealthMonitor {
+    /// A healthy monitor.
+    pub fn new() -> HealthMonitor {
+        HealthMonitor::default()
+    }
+
+    /// Current status.
+    pub fn status(&self) -> HealthStatus {
+        if self.reason.is_some() {
+            HealthStatus::Degraded
+        } else {
+            HealthStatus::Healthy
+        }
+    }
+
+    /// True while degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.reason.is_some()
+    }
+
+    /// Why the component is degraded, if it is.
+    pub fn reason(&self) -> Option<&str> {
+        self.reason.as_deref()
+    }
+
+    /// Lifetime count of healthy → degraded transitions.
+    pub fn degraded_events(&self) -> u64 {
+        self.degraded_events
+    }
+
+    /// Marks the component degraded. Counts a new event only on the
+    /// healthy → degraded edge; a repeated mark just updates the reason.
+    pub fn mark_degraded(&mut self, reason: impl Into<String>) {
+        if self.reason.is_none() {
+            self.degraded_events += 1;
+        }
+        self.reason = Some(reason.into());
+    }
+
+    /// Marks the component healthy again.
+    pub fn mark_recovered(&mut self) {
+        self.reason = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_healthy() {
+        let m = HealthMonitor::new();
+        assert_eq!(m.status(), HealthStatus::Healthy);
+        assert!(!m.is_degraded());
+        assert_eq!(m.reason(), None);
+        assert_eq!(m.degraded_events(), 0);
+    }
+
+    #[test]
+    fn degrade_and_recover() {
+        let mut m = HealthMonitor::new();
+        m.mark_degraded("enforcer rebuild failed");
+        assert_eq!(m.status(), HealthStatus::Degraded);
+        assert_eq!(m.reason(), Some("enforcer rebuild failed"));
+        assert_eq!(m.degraded_events(), 1);
+        m.mark_recovered();
+        assert_eq!(m.status(), HealthStatus::Healthy);
+        assert_eq!(m.degraded_events(), 1, "recovery does not count an event");
+    }
+
+    #[test]
+    fn repeated_marks_count_one_event() {
+        let mut m = HealthMonitor::new();
+        m.mark_degraded("first");
+        m.mark_degraded("second");
+        assert_eq!(m.degraded_events(), 1);
+        assert_eq!(m.reason(), Some("second"));
+        m.mark_recovered();
+        m.mark_degraded("third");
+        assert_eq!(m.degraded_events(), 2);
+    }
+}

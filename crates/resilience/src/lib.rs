@@ -1,0 +1,32 @@
+//! Resilience primitives for the TIPPERS simulation: a deterministic fault
+//! plane, retry with capped backoff under a deadline budget, per-registry
+//! circuit breakers, and a health monitor for fail-closed reporting.
+//!
+//! The paper's architecture (Figure 1) spans three loosely-coupled parties —
+//! registries, assistants, and the BMS — connected by an unreliable
+//! discovery network. This crate provides the machinery to *test* that
+//! coupling honestly:
+//!
+//! * [`FaultPlan`] — named injection points ([`FaultPoint`]) armed with
+//!   seeded probabilities, so any failure scenario replays bit-for-bit from
+//!   its seed.
+//! * [`RetryPolicy`] / [`BackoffSchedule`] — bounded retry with
+//!   deterministic jitter and a *virtual-time* deadline budget (the
+//!   simulation never sleeps).
+//! * [`CircuitBreaker`] — closed → open → half-open per-registry admission,
+//!   so a dead registry stops eating the retry budget.
+//! * [`HealthMonitor`] — degraded-mode tracking that the BMS surfaces when
+//!   enforcement fails closed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod breaker;
+mod fault;
+mod health;
+mod retry;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use fault::{FaultPlan, FaultPoint};
+pub use health::{HealthMonitor, HealthStatus};
+pub use retry::{BackoffSchedule, RetryError, RetryPolicy, RetryReport, Transient};

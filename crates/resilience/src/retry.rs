@@ -1,0 +1,300 @@
+//! Retry with capped exponential backoff and a virtual-time deadline.
+//!
+//! The simulation never sleeps: backoff delays are *charged against a
+//! virtual deadline budget* instead of being slept. That keeps every retry
+//! loop bounded and deterministic while still modelling the real trade-off
+//! (more retries cost wall-clock time the caller may not have).
+
+use std::fmt;
+
+/// Classifies errors into transient (retry may help) and permanent.
+pub trait Transient {
+    /// True if retrying the failed operation could plausibly succeed.
+    fn is_transient(&self) -> bool;
+}
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// The delay sequence is monotone non-decreasing, capped at
+/// [`BackoffSchedule::cap_ms`], and fully determined by the schedule's
+/// fields (same schedule → same delays, always).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffSchedule {
+    /// First delay, milliseconds.
+    pub base_ms: u64,
+    /// Multiplier between attempts (clamped to ≥ 1).
+    pub factor: u32,
+    /// Upper bound on any single delay, milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for BackoffSchedule {
+    fn default() -> Self {
+        BackoffSchedule {
+            base_ms: 50,
+            factor: 2,
+            cap_ms: 5_000,
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl BackoffSchedule {
+    /// The delay before retry number `attempt` (0-based), milliseconds.
+    ///
+    /// Computed as the running maximum of jittered exponential delays, then
+    /// capped — which makes the sequence monotone non-decreasing by
+    /// construction.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let factor = u64::from(self.factor.max(1));
+        let base = self.base_ms.max(1);
+        let mut running_max = 0u64;
+        let mut raw = base;
+        for k in 0..=attempt {
+            let jitter = splitmix(self.jitter_seed.wrapping_add(u64::from(k))) % base;
+            running_max = running_max.max(raw.saturating_add(jitter));
+            raw = raw.saturating_mul(factor).min(self.cap_ms.max(1));
+        }
+        running_max.min(self.cap_ms.max(1))
+    }
+}
+
+/// Why a retried operation ultimately failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryError<E> {
+    /// The error was permanent; retrying would not help.
+    Permanent(E),
+    /// All attempts failed with transient errors.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last transient error.
+        last: E,
+    },
+    /// The next backoff delay would have blown the deadline budget.
+    DeadlineExceeded {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// Virtual time charged so far, milliseconds.
+        elapsed_ms: u64,
+        /// The last transient error.
+        last: E,
+    },
+}
+
+impl<E> RetryError<E> {
+    /// The underlying error, whichever way the retry ended.
+    pub fn into_inner(self) -> E {
+        match self {
+            RetryError::Permanent(e)
+            | RetryError::Exhausted { last: e, .. }
+            | RetryError::DeadlineExceeded { last: e, .. } => e,
+        }
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for RetryError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetryError::Permanent(e) => write!(f, "permanent failure: {e}"),
+            RetryError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+            RetryError::DeadlineExceeded {
+                attempts,
+                elapsed_ms,
+                last,
+            } => write!(
+                f,
+                "deadline exceeded after {attempts} attempts ({elapsed_ms} ms): {last}"
+            ),
+        }
+    }
+}
+
+impl<E: fmt::Display + fmt::Debug> std::error::Error for RetryError<E> {}
+
+/// What a successful retried operation cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryReport {
+    /// Attempts made (≥ 1).
+    pub attempts: u32,
+    /// Virtual backoff time charged, milliseconds.
+    pub elapsed_ms: u64,
+}
+
+/// Bounded retry: at most `max_attempts` tries, charging backoff delays
+/// against a virtual `deadline_ms` budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts (clamped to ≥ 1).
+    pub max_attempts: u32,
+    /// Virtual-time budget for backoff delays, milliseconds.
+    pub deadline_ms: u64,
+    /// The backoff schedule between attempts.
+    pub backoff: BackoffSchedule,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            deadline_ms: 30_000,
+            backoff: BackoffSchedule::default(),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Runs `op` until it succeeds, fails permanently, exhausts attempts,
+    /// or would exceed the deadline budget. `op` receives the 0-based
+    /// attempt number.
+    ///
+    /// # Errors
+    ///
+    /// [`RetryError`] describing how the retry ended.
+    pub fn run<T, E: Transient>(
+        &self,
+        mut op: impl FnMut(u32) -> Result<T, E>,
+    ) -> Result<(T, RetryReport), RetryError<E>> {
+        let max_attempts = self.max_attempts.max(1);
+        let mut elapsed_ms = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            match op(attempt) {
+                Ok(value) => {
+                    return Ok((
+                        value,
+                        RetryReport {
+                            attempts: attempt + 1,
+                            elapsed_ms,
+                        },
+                    ));
+                }
+                Err(e) if !e.is_transient() => return Err(RetryError::Permanent(e)),
+                Err(e) => {
+                    if attempt + 1 >= max_attempts {
+                        return Err(RetryError::Exhausted {
+                            attempts: attempt + 1,
+                            last: e,
+                        });
+                    }
+                    let delay = self.backoff.delay_ms(attempt);
+                    if elapsed_ms.saturating_add(delay) > self.deadline_ms {
+                        return Err(RetryError::DeadlineExceeded {
+                            attempts: attempt + 1,
+                            elapsed_ms,
+                            last: e,
+                        });
+                    }
+                    elapsed_ms += delay;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Flaky(bool);
+
+    impl Transient for Flaky {
+        fn is_transient(&self) -> bool {
+            self.0
+        }
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let policy = RetryPolicy::default();
+        let (value, report) = policy
+            .run(|attempt| {
+                if attempt < 3 {
+                    Err(Flaky(true))
+                } else {
+                    Ok(attempt)
+                }
+            })
+            .unwrap();
+        assert_eq!(value, 3);
+        assert_eq!(report.attempts, 4);
+        assert!(report.elapsed_ms > 0);
+    }
+
+    #[test]
+    fn permanent_errors_do_not_retry() {
+        let policy = RetryPolicy::default();
+        let mut calls = 0;
+        let result: Result<((), _), _> = policy.run(|_| {
+            calls += 1;
+            Err(Flaky(false))
+        });
+        assert!(matches!(result, Err(RetryError::Permanent(_))));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn attempts_are_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let result: Result<((), _), _> = policy.run(|_| {
+            calls += 1;
+            Err(Flaky(true))
+        });
+        assert!(matches!(
+            result,
+            Err(RetryError::Exhausted { attempts: 3, .. })
+        ));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn deadline_budget_is_respected() {
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            deadline_ms: 120,
+            backoff: BackoffSchedule {
+                base_ms: 50,
+                factor: 2,
+                cap_ms: 1_000,
+                jitter_seed: 9,
+            },
+        };
+        let result: Result<((), _), _> = policy.run(|_| Err(Flaky(true)));
+        match result {
+            Err(RetryError::DeadlineExceeded {
+                attempts,
+                elapsed_ms,
+                ..
+            }) => {
+                assert!(attempts < 100, "deadline should cut retries short");
+                assert!(elapsed_ms <= 120);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic() {
+        let schedule = BackoffSchedule::default();
+        let a: Vec<u64> = (0..10).map(|k| schedule.delay_ms(k)).collect();
+        let b: Vec<u64> = (0..10).map(|k| schedule.delay_ms(k)).collect();
+        assert_eq!(a, b);
+    }
+}

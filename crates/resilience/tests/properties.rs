@@ -1,0 +1,127 @@
+//! Property-based tests for the resilience primitives.
+
+use proptest::prelude::*;
+use tippers_resilience::{
+    BackoffSchedule, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy,
+};
+
+proptest! {
+    /// Backoff delays are monotone non-decreasing, capped, and
+    /// seed-deterministic.
+    #[test]
+    fn backoff_is_monotone_capped_and_deterministic(
+        base_ms in 1u64..1_000,
+        factor in 1u32..5,
+        cap_ms in 1u64..60_000,
+        jitter_seed in any::<u64>(),
+    ) {
+        let schedule = BackoffSchedule { base_ms, factor, cap_ms, jitter_seed };
+        let delays: Vec<u64> = (0..16).map(|k| schedule.delay_ms(k)).collect();
+        for pair in delays.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "delays must never shrink: {delays:?}");
+        }
+        for &d in &delays {
+            prop_assert!(d <= cap_ms.max(1), "delay {d} above cap {cap_ms}");
+        }
+        // Same schedule, same sequence — byte-for-byte.
+        let replay: Vec<u64> = (0..16).map(|k| schedule.delay_ms(k)).collect();
+        prop_assert_eq!(&delays, &replay);
+        let same_fields = BackoffSchedule { base_ms, factor, cap_ms, jitter_seed };
+        prop_assert_eq!(delays, (0..16).map(|k| same_fields.delay_ms(k)).collect::<Vec<_>>());
+    }
+
+    /// A retry loop's total virtual-time charge never exceeds the deadline,
+    /// and its attempt count never exceeds `max_attempts`, for any failure
+    /// pattern.
+    #[test]
+    fn retry_respects_deadline_and_attempt_budget(
+        max_attempts in 1u32..12,
+        deadline_ms in 0u64..20_000,
+        failures in proptest::collection::vec(any::<bool>(), 0..12),
+    ) {
+        #[derive(Debug)]
+        struct Flaky;
+        impl tippers_resilience::Transient for Flaky {
+            fn is_transient(&self) -> bool { true }
+        }
+        let policy = RetryPolicy { max_attempts, deadline_ms, ..RetryPolicy::default() };
+        let mut calls = 0u32;
+        let result = policy.run(|attempt| {
+            calls += 1;
+            if failures.get(attempt as usize).copied().unwrap_or(false) {
+                Err(Flaky)
+            } else {
+                Ok(attempt)
+            }
+        });
+        prop_assert!(calls <= max_attempts);
+        if let Ok((_, report)) = result {
+            prop_assert!(report.elapsed_ms <= deadline_ms);
+            prop_assert!(report.attempts <= max_attempts);
+        }
+    }
+
+    /// The breaker never closes without passing through half-open: for any
+    /// event sequence, a Closed state directly after an Open one is
+    /// impossible.
+    #[test]
+    fn breaker_never_skips_half_open(
+        failure_threshold in 1u32..5,
+        cooldown_secs in 1i64..1_000,
+        events in proptest::collection::vec((any::<bool>(), 0i64..100), 1..60),
+    ) {
+        let mut breaker = CircuitBreaker::new(BreakerConfig { failure_threshold, cooldown_secs });
+        let mut now = 0i64;
+        let mut states = vec![breaker.state()];
+        for (ok, dt) in events {
+            now += dt;
+            if breaker.admit(now) {
+                // Sample between admission and outcome: this is where the
+                // half-open probe state must be visible.
+                states.push(breaker.state());
+                if ok {
+                    breaker.record_success();
+                } else {
+                    breaker.record_failure(now);
+                }
+            }
+            states.push(breaker.state());
+        }
+        for pair in states.windows(2) {
+            prop_assert!(
+                !(pair[0] == BreakerState::Open && pair[1] == BreakerState::Closed),
+                "breaker closed straight from open: {states:?}"
+            );
+        }
+    }
+
+    /// While open, the breaker admits nothing until the cooldown elapses;
+    /// the first admission after it is the half-open probe, and a second
+    /// probe is never admitted concurrently.
+    #[test]
+    fn open_breaker_admits_exactly_one_probe_after_cooldown(
+        failure_threshold in 1u32..4,
+        cooldown_secs in 2i64..500,
+        probe_delay in 0i64..1_000,
+    ) {
+        let mut breaker = CircuitBreaker::new(BreakerConfig { failure_threshold, cooldown_secs });
+        for _ in 0..failure_threshold {
+            prop_assert!(breaker.admit(0));
+            breaker.record_failure(0);
+        }
+        prop_assert_eq!(breaker.state(), BreakerState::Open);
+        let at = probe_delay;
+        let admitted = breaker.admit(at);
+        prop_assert_eq!(admitted, at >= cooldown_secs, "admission iff cooldown elapsed");
+        if admitted {
+            prop_assert_eq!(breaker.state(), BreakerState::HalfOpen);
+            // No second concurrent probe, no matter how late.
+            prop_assert!(!breaker.admit(at + 10_000));
+            // The probe's outcome decides: success closes, failure reopens.
+            breaker.record_success();
+            prop_assert_eq!(breaker.state(), BreakerState::Closed);
+        } else {
+            prop_assert_eq!(breaker.state(), BreakerState::Open);
+        }
+    }
+}

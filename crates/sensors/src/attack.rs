@@ -277,11 +277,9 @@ pub fn score_attack(
     if !links.is_empty() {
         score.identity_precision = correct as f64 / links.len() as f64;
     }
-    let teachers: std::collections::HashSet<UserId> =
-        schedule.iter().map(|s| s.teacher).collect();
+    let teachers: std::collections::HashSet<UserId> = schedule.iter().map(|s| s.teacher).collect();
     if !teachers.is_empty() {
-        let linked_teachers: std::collections::HashSet<UserId> =
-            links.values().copied().collect();
+        let linked_teachers: std::collections::HashSet<UserId> = links.values().copied().collect();
         score.identity_recall =
             teachers.intersection(&linked_teachers).count() as f64 / teachers.len() as f64;
     }
@@ -291,8 +289,8 @@ pub fn score_attack(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::simulator::{BuildingSimulator, Population, SimulatorConfig};
     use crate::deploy::DeploymentConfig;
+    use crate::simulator::{BuildingSimulator, Population, SimulatorConfig};
     use tippers_ontology::Ontology;
 
     fn run_sim(days: i64) -> (BuildingSimulator, crate::simulator::SimulationTrace) {
@@ -342,16 +340,8 @@ mod tests {
             .into_iter()
             .map(|id| (id, sim.devices().get(id).unwrap().space))
             .collect();
-        let groups = sim
-            .occupants()
-            .iter()
-            .map(|o| (o.mac, o.group))
-            .collect();
-        let identities = sim
-            .occupants()
-            .iter()
-            .map(|o| (o.mac, o.user))
-            .collect();
+        let groups = sim.occupants().iter().map(|o| (o.mac, o.group)).collect();
+        let identities = sim.occupants().iter().map(|o| (o.mac, o.user)).collect();
         (log, ap_locations, groups, identities)
     }
 
@@ -401,9 +391,15 @@ mod tests {
                 }
             }
         }
-        assert!(total >= 30, "most occupants should be classified, got {total}");
+        assert!(
+            total >= 30,
+            "most occupants should be classified, got {total}"
+        );
         let acc = hits as f64 / total as f64;
-        assert!(acc > 0.5, "role accuracy {acc} should beat the 0.25 chance level");
+        assert!(
+            acc > 0.5,
+            "role accuracy {acc} should beat the 0.25 chance level"
+        );
     }
 
     #[test]
@@ -431,7 +427,10 @@ mod tests {
         let model = SpatialModel::new("c");
         let attacker = Attacker::new(Vec::new(), HashMap::new(), &model);
         assert!(attacker.macs().is_empty());
-        assert_eq!(attacker.locate(MacAddress::for_user(1), Timestamp::at(0, 12, 0), 600), None);
+        assert_eq!(
+            attacker.locate(MacAddress::for_user(1), Timestamp::at(0, 12, 0), 600),
+            None
+        );
         assert_eq!(attacker.infer_role(MacAddress::for_user(1)), None);
         assert!(attacker.link_identities(&[], 1).is_empty());
     }

@@ -6,9 +6,7 @@ use tippers_ontology::ConceptId;
 use tippers_spatial::SpaceId;
 
 /// Identifier of a deployed sensor device.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DeviceId(pub u32);
 
 impl fmt::Display for DeviceId {
@@ -153,7 +151,8 @@ impl DeviceRegistry {
     /// Adds a device, assigning the next id.
     pub fn add(&mut self, class: ConceptId, space: SpaceId, subsystem: &str) -> DeviceId {
         let id = DeviceId(self.devices.len() as u32);
-        self.devices.push(SensorDevice::new(id, class, space, subsystem));
+        self.devices
+            .push(SensorDevice::new(id, class, space, subsystem));
         id
     }
 
@@ -201,11 +200,7 @@ impl DeviceRegistry {
     }
 
     /// Devices installed in (a descendant of) `space`.
-    pub fn in_space(
-        &self,
-        model: &tippers_spatial::SpatialModel,
-        space: SpaceId,
-    ) -> Vec<DeviceId> {
+    pub fn in_space(&self, model: &tippers_spatial::SpatialModel, space: SpaceId) -> Vec<DeviceId> {
         self.devices
             .iter()
             .filter(|d| model.contains(space, d.space))

@@ -1,5 +1,5 @@
 use serde::{Deserialize, Serialize};
-use tippers_ontology::{Ontology, ConceptId};
+use tippers_ontology::{ConceptId, Ontology};
 use tippers_policy::{Timestamp, UserId};
 use tippers_spatial::SpaceId;
 
@@ -108,13 +108,19 @@ mod tests {
         let ont = Ontology::standard();
         let c = ont.concepts();
         let mac = MacAddress::for_user(1);
-        let wifi = ObservationPayload::WifiAssociation { mac, ap: DeviceId(0) };
+        let wifi = ObservationPayload::WifiAssociation {
+            mac,
+            ap: DeviceId(0),
+        };
         assert_eq!(wifi.category(&ont), c.wifi_association);
         assert_eq!(wifi.mac(), Some(mac));
         let temp = ObservationPayload::Temperature { celsius: 21.0 };
         assert_eq!(temp.category(&ont), c.ambient_temperature);
         assert_eq!(temp.mac(), None);
-        let badge = ObservationPayload::BadgeSwipe { user: UserId(1), granted: true };
+        let badge = ObservationPayload::BadgeSwipe {
+            user: UserId(1),
+            granted: true,
+        };
         assert_eq!(badge.category(&ont), c.person_identity);
     }
 }

@@ -147,7 +147,11 @@ pub fn day_plan<R: Rng>(
                 cursor = end;
                 if i + 1 < classes {
                     // Short corridor/kitchen break between classes.
-                    let break_space = if rng.gen::<f64>() < 0.4 { kitchen } else { dbh.lobby };
+                    let break_space = if rng.gen::<f64>() < 0.4 {
+                        kitchen
+                    } else {
+                        dbh.lobby
+                    };
                     push(break_space, cursor, cursor + 0.25);
                     cursor += 0.25;
                 }
@@ -155,10 +159,14 @@ pub fn day_plan<R: Rng>(
         }
         UserGroup::Visitor => {
             let arrive = approx_normal(rng, 11.0, 2.0).clamp(8.0, 16.0);
-            let meeting = dbh.meeting_rooms
-                [occupant.user.0 as usize % dbh.meeting_rooms.len().max(1)];
+            let meeting =
+                dbh.meeting_rooms[occupant.user.0 as usize % dbh.meeting_rooms.len().max(1)];
             push(dbh.lobby, arrive, arrive + 0.25);
-            push(meeting, arrive + 0.25, arrive + 1.0 + rng.gen::<f64>() * 2.0);
+            push(
+                meeting,
+                arrive + 0.25,
+                arrive + 1.0 + rng.gen::<f64>() * 2.0,
+            );
         }
     }
 
@@ -167,8 +175,18 @@ pub fn day_plan<R: Rng>(
 
 /// Assigns each faculty occupant up to two weekly teaching slots in
 /// distinct classrooms, producing the building's "public schedule".
-pub fn assign_teaching<R: Rng>(rng: &mut R, occupants: &[Occupant], dbh: &Dbh) -> Vec<TeachingSlot> {
-    let days = [Weekday::Mon, Weekday::Tue, Weekday::Wed, Weekday::Thu, Weekday::Fri];
+pub fn assign_teaching<R: Rng>(
+    rng: &mut R,
+    occupants: &[Occupant],
+    dbh: &Dbh,
+) -> Vec<TeachingSlot> {
+    let days = [
+        Weekday::Mon,
+        Weekday::Tue,
+        Weekday::Wed,
+        Weekday::Thu,
+        Weekday::Fri,
+    ];
     let mut slots = Vec::new();
     for o in occupants.iter().filter(|o| o.group == UserGroup::Faculty) {
         let n = 1 + (rng.gen::<f64>() * 2.0) as usize;
@@ -220,9 +238,10 @@ mod tests {
         assert!(!arrivals.is_empty());
         let a = mean_hour(&arrivals);
         assert!((6.0..8.0).contains(&a), "staff mean arrival {a}");
-        assert!(departures
-            .iter()
-            .all(|d| d.time_of_day().hour() < 18), "staff leave before 5pm-ish");
+        assert!(
+            departures.iter().all(|d| d.time_of_day().hour() < 18),
+            "staff leave before 5pm-ish"
+        );
     }
 
     #[test]

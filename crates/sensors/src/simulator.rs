@@ -162,10 +162,26 @@ impl BuildingSimulator {
             }
         };
         spawn(UserGroup::Staff, config.population.staff, &mut occupants);
-        spawn(UserGroup::Faculty, config.population.faculty, &mut occupants);
-        spawn(UserGroup::GradStudent, config.population.grads, &mut occupants);
-        spawn(UserGroup::Undergrad, config.population.undergrads, &mut occupants);
-        spawn(UserGroup::Visitor, config.population.visitors, &mut occupants);
+        spawn(
+            UserGroup::Faculty,
+            config.population.faculty,
+            &mut occupants,
+        );
+        spawn(
+            UserGroup::GradStudent,
+            config.population.grads,
+            &mut occupants,
+        );
+        spawn(
+            UserGroup::Undergrad,
+            config.population.undergrads,
+            &mut occupants,
+        );
+        spawn(
+            UserGroup::Visitor,
+            config.population.visitors,
+            &mut occupants,
+        );
 
         // Offices for staff, faculty and grads, round-robin (shared offices
         // once the building fills up).
@@ -559,7 +575,10 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked > 10, "expected some wifi observations, got {checked}");
+        assert!(
+            checked > 10,
+            "expected some wifi observations, got {checked}"
+        );
     }
 
     #[test]
@@ -664,9 +683,10 @@ mod tests {
         let mut empty = Vec::new();
         for obs in &trace.observations {
             if let ObservationPayload::PowerReading { watts } = obs.payload {
-                let any_here = trace.ground_truth.iter().any(|g| {
-                    g.time == obs.timestamp && g.space == obs.space
-                });
+                let any_here = trace
+                    .ground_truth
+                    .iter()
+                    .any(|g| g.time == obs.timestamp && g.space == obs.space);
                 if any_here {
                     occupied.push(watts);
                 } else {

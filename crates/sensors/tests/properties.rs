@@ -6,9 +6,7 @@ use rand::SeedableRng;
 use tippers_ontology::Ontology;
 use tippers_policy::{Timestamp, UserGroup, UserId};
 use tippers_sensors::mobility::day_plan;
-use tippers_sensors::{
-    BuildingSimulator, DeploymentConfig, Occupant, Population, SimulatorConfig,
-};
+use tippers_sensors::{BuildingSimulator, DeploymentConfig, Occupant, Population, SimulatorConfig};
 use tippers_spatial::fixtures::dbh;
 
 fn tiny_config(seed: u64, tick: i64) -> SimulatorConfig {

@@ -166,9 +166,7 @@ impl BuildingService for Concierge {
             c.location_room,
             c.navigation,
         )
-        .with_description(
-            "Your location data is used to give you directions around the building",
-        )
+        .with_description("Your location data is used to give you directions around the building")
         .with_actions(tippers_policy::ActionSet::ALL)
         .with_service(self.id())
         .with_setting(BuildingPolicy::location_setting())]

@@ -55,9 +55,7 @@ impl FoodDelivery {
         }
         let purpose = bms.ontology().concepts().delivery;
         match bms.locate(self.id(), purpose, subscriber, now) {
-            Some(location) if !location.is_suppressed() => {
-                DeliveryOutcome::Dispatched { location }
-            }
+            Some(location) if !location.is_suppressed() => DeliveryOutcome::Dispatched { location },
             _ => DeliveryOutcome::LobbyPickup,
         }
     }

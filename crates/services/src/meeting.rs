@@ -140,9 +140,7 @@ impl BuildingService for SmartMeeting {
             c.meeting_details,
             c.scheduling,
         )
-        .with_description(
-            "Meeting details and participant presence are used to organize meetings",
-        )
+        .with_description("Meeting details and participant presence are used to organize meetings")
         .with_actions(tippers_policy::ActionSet::ALL)
         .with_modality(Modality::OptIn)
         .with_service(self.id())]

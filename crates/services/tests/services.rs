@@ -3,10 +3,8 @@
 
 use tippers::{Tippers, TippersConfig};
 use tippers_ontology::Ontology;
-use tippers_policy::{catalog, Effect, PreferenceId, PolicyId, Timestamp, UserId};
-use tippers_sensors::{
-    BuildingSimulator, DeploymentConfig, Population, SimulatorConfig,
-};
+use tippers_policy::{catalog, Effect, PolicyId, PreferenceId, Timestamp, UserId};
+use tippers_sensors::{BuildingSimulator, DeploymentConfig, Population, SimulatorConfig};
 use tippers_services::{
     register_service, BuildingService, Concierge, ConciergeError, DeliveryOutcome,
     EmergencyResponse, FoodDelivery, SmartMeeting,
@@ -47,7 +45,11 @@ fn populated_bms() -> (Tippers, BuildingSimulator, Vec<UserId>) {
 
     // Building policies 1–4 plus every service's own policies.
     let dbh = sim.dbh().clone();
-    bms.add_policy(catalog::policy1_thermostat(PolicyId(0), dbh.building, bms.ontology()));
+    bms.add_policy(catalog::policy1_thermostat(
+        PolicyId(0),
+        dbh.building,
+        bms.ontology(),
+    ));
     bms.add_policy(catalog::policy3_meeting_room_access(
         PolicyId(0),
         dbh.building,
@@ -73,9 +75,12 @@ fn present_user(bms: &mut Tippers, sim: &mut BuildingSimulator, users: &[UserId]
     users
         .iter()
         .copied()
-        .find(|&u| sim.position_of(u, now).is_some() && {
-            let c = bms.ontology().concepts().navigation;
-            bms.locate(catalog::services::concierge(), c, u, now).is_some()
+        .find(|&u| {
+            sim.position_of(u, now).is_some() && {
+                let c = bms.ontology().concepts().navigation;
+                bms.locate(catalog::services::concierge(), c, u, now)
+                    .is_some()
+            }
         })
         .expect("someone is in the building at noon")
 }
@@ -202,7 +207,10 @@ fn smart_meeting_needs_preference4() {
     let meeting = SmartMeeting::new(dbh.meeting_rooms.clone());
     // Opt-in service with no grants: nobody is visible.
     let err = meeting.schedule(&mut bms, &[a, b], now).unwrap_err();
-    assert_eq!(err, tippers_services::SchedulingError::NoParticipantsVisible);
+    assert_eq!(
+        err,
+        tippers_services::SchedulingError::NoParticipantsVisible
+    );
     // Participant `a` grants Preference 4.
     let ont = bms.ontology().clone();
     bms.submit_preference(
@@ -223,5 +231,8 @@ fn service_ids_match_catalog() {
         catalog::services::smart_meeting()
     );
     assert_eq!(FoodDelivery::new().id(), catalog::services::food_delivery());
-    assert_eq!(EmergencyResponse::new().id(), catalog::services::emergency());
+    assert_eq!(
+        EmergencyResponse::new().id(),
+        catalog::services::emergency()
+    );
 }

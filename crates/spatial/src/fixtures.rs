@@ -104,31 +104,34 @@ pub fn dbh_with(config: &DbhConfig) -> Dbh {
 
     for fl in 0..config.floors {
         let floor = model.add_space(format!("DBH-{}", fl + 1), SpaceKind::Floor, building);
-        let corridor =
-            model.add_space(format!("DBH-{}-corridor", fl + 1), SpaceKind::Corridor, floor);
+        let corridor = model.add_space(
+            format!("DBH-{}-corridor", fl + 1),
+            SpaceKind::Corridor,
+            floor,
+        );
         model.set_centroid(corridor, Point::new(0.0, 0.0, fl as i32));
         floors.push(floor);
         corridors.push(corridor);
 
         let mut room_counter = 0u32;
-        let mut add_rooms = |model: &mut SpatialModel,
-                             count: u32,
-                             use_: RoomUse,
-                             out: &mut Vec<SpaceId>| {
-            for _ in 0..count {
-                room_counter += 1;
-                let name = format!("DBH-{}{:03}", fl + 1, room_counter);
-                let room = model.add_space(name, SpaceKind::room(use_), floor);
-                model.set_centroid(
-                    room,
-                    Point::new(room_counter as f64 * 5.0, 4.0, fl as i32),
-                );
-                model.add_adjacency(corridor, room);
-                out.push(room);
-            }
-        };
+        let mut add_rooms =
+            |model: &mut SpatialModel, count: u32, use_: RoomUse, out: &mut Vec<SpaceId>| {
+                for _ in 0..count {
+                    room_counter += 1;
+                    let name = format!("DBH-{}{:03}", fl + 1, room_counter);
+                    let room = model.add_space(name, SpaceKind::room(use_), floor);
+                    model.set_centroid(room, Point::new(room_counter as f64 * 5.0, 4.0, fl as i32));
+                    model.add_adjacency(corridor, room);
+                    out.push(room);
+                }
+            };
 
-        add_rooms(&mut model, config.offices_per_floor, RoomUse::Office, &mut offices);
+        add_rooms(
+            &mut model,
+            config.offices_per_floor,
+            RoomUse::Office,
+            &mut offices,
+        );
         add_rooms(
             &mut model,
             config.classrooms_per_floor,

@@ -31,9 +31,7 @@ use crate::point::Point;
 ///     Granularity::Building
 /// );
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Granularity {
     /// Exact coordinates within a room ("fine grained").
     Exact,

@@ -12,9 +12,7 @@ use crate::zone::{Zone, ZoneId};
 /// Ids are dense indices into the model's arena; they are stable for the
 /// lifetime of the model (spaces are never removed) and are meaningless
 /// across models.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SpaceId(pub(crate) u32);
 
 impl SpaceId {
@@ -487,11 +485,8 @@ impl SpatialModel {
         let (Some(za), Some(zb)) = (self.zone(a), self.zone(b)) else {
             return false;
         };
-        let leaves_a: std::collections::HashSet<SpaceId> = za
-            .members()
-            .iter()
-            .flat_map(|&m| self.leaves(m))
-            .collect();
+        let leaves_a: std::collections::HashSet<SpaceId> =
+            za.members().iter().flat_map(|&m| self.leaves(m)).collect();
         zb.members()
             .iter()
             .flat_map(|&m| self.leaves(m))
@@ -561,7 +556,9 @@ mod tests {
     #[test]
     fn duplicate_names_are_rejected() {
         let (mut m, b, _, _, _) = small();
-        let err = m.try_add_space("B-101", SpaceKind::Corridor, b).unwrap_err();
+        let err = m
+            .try_add_space("B-101", SpaceKind::Corridor, b)
+            .unwrap_err();
         assert_eq!(err, SpatialError::DuplicateName("B-101".into()));
     }
 

@@ -97,11 +97,7 @@ impl SpatialModel {
     /// The nearest space (by hop count) among `candidates`, starting from
     /// `from`. Returns the space and the path to it, or `None` if no
     /// candidate is reachable.
-    pub fn nearest(
-        &self,
-        from: SpaceId,
-        candidates: &[SpaceId],
-    ) -> Option<(SpaceId, Path)> {
+    pub fn nearest(&self, from: SpaceId, candidates: &[SpaceId]) -> Option<(SpaceId, Path)> {
         candidates
             .iter()
             .filter_map(|&c| self.path(from, c).ok().map(|p| (c, p)))
@@ -121,11 +117,7 @@ mod tests {
         let hall = m.add_space("hall", SpaceKind::Corridor, f);
         let rooms: Vec<SpaceId> = (0..4)
             .map(|i| {
-                let r = m.add_space(
-                    format!("B-10{i}"),
-                    SpaceKind::room(RoomUse::Office),
-                    f,
-                );
+                let r = m.add_space(format!("B-10{i}"), SpaceKind::room(RoomUse::Office), f);
                 m.add_adjacency(hall, r);
                 r
             })

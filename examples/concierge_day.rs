@@ -7,7 +7,7 @@
 //! ```
 
 use privacy_aware_buildings::prelude::*;
-use tippers_policy::{PreferenceId, UserPreference, PreferenceScope};
+use tippers_policy::{PreferenceId, PreferenceScope, UserPreference};
 
 fn main() {
     let ontology = Ontology::standard();
@@ -34,7 +34,11 @@ fn main() {
     bms.register_occupants(sim.occupants());
 
     // Building policies + all four services.
-    bms.add_policy(catalog::policy1_thermostat(PolicyId(0), building.building, &ontology));
+    bms.add_policy(catalog::policy1_thermostat(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
     register_service(&mut bms, &EmergencyResponse::new());
     register_service(&mut bms, &Concierge::new());
     register_service(&mut bms, &SmartMeeting::new(building.meeting_rooms.clone()));
@@ -137,5 +141,8 @@ fn main() {
         .into_iter()
         .filter(|cmd| cmd.active)
         .count();
-    println!("HVAC active on {active} of {} floors", building.floors.len());
+    println!(
+        "HVAC active on {active} of {} floors",
+        building.floors.len()
+    );
 }

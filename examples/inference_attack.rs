@@ -80,8 +80,7 @@ fn run(scenario: &str, opt_out_fraction: f64) {
     let attacker = Attacker::new(log, ap_locations, &model);
 
     // Score the three inferences against ground truth.
-    let mac_of: HashMap<UserId, MacAddress> =
-        occupants.iter().map(|o| (o.user, o.mac)).collect();
+    let mac_of: HashMap<UserId, MacAddress> = occupants.iter().map(|o| (o.user, o.mac)).collect();
     let mut room_hits = 0usize;
     let mut samples = 0usize;
     for g in trace.ground_truth.iter().step_by(41) {
@@ -106,7 +105,10 @@ fn run(scenario: &str, opt_out_fraction: f64) {
         .filter(|(mac, user)| occupants.iter().any(|o| o.mac == **mac && o.user == **user))
         .count();
 
-    println!("=== {scenario} (opt-out: {:.0}%) ===", opt_out_fraction * 100.0);
+    println!(
+        "=== {scenario} (opt-out: {:.0}%) ===",
+        opt_out_fraction * 100.0
+    );
     println!(
         "  location: {:.1}% of samples located to the exact room",
         100.0 * room_hits as f64 / samples.max(1) as f64

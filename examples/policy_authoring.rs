@@ -34,7 +34,10 @@ fn main() {
     // 2. Export it to the wire format and validate before advertising.
     let codec = PolicyCodec::new(&ontology, &building.model);
     let document = codec.to_document(&policy);
-    println!("wire form:\n{}\n", serde_json::to_string_pretty(&document).expect("serializable"));
+    println!(
+        "wire form:\n{}\n",
+        serde_json::to_string_pretty(&document).expect("serializable")
+    );
     let issues = validate_document(&document);
     if issues.is_empty() {
         println!("validator: clean");
@@ -73,12 +76,20 @@ fn main() {
             auto += 1;
         }
     }
-    println!("auto-registered {auto} of {} deployed devices via MUD profiles", devices.len());
+    println!(
+        "auto-registered {auto} of {} deployed devices via MUD profiles",
+        devices.len()
+    );
 
     // 5. What a user standing in an office would now discover.
     let (found, _) = bus.discover(&building.model, building.offices[0]);
     let (ads, _) = bus
-        .fetch_near(found[0], &building.model, building.offices[0], Timestamp::at(0, 9, 0))
+        .fetch_near(
+            found[0],
+            &building.model,
+            building.offices[0],
+            Timestamp::at(0, 9, 0),
+        )
         .expect("lossless fetch");
     println!(
         "an IoTA in {} sees {} advertisement(s) relevant to its vicinity",

@@ -78,15 +78,15 @@ fn main() {
 
     // (8) It configures her privacy settings with TIPPERS.
     let created = iota.configure(&mut bms).expect("settings apply");
-    println!("(8) IoTA configured {} setting(s) on Mary's behalf", created.len());
+    println!(
+        "(8) IoTA configured {} setting(s) on Mary's behalf",
+        created.len()
+    );
 
     // (9)–(10) A service asks for Mary's location; enforcement answers.
     let concierge = Concierge::new();
     match concierge.nearest(&mut bms, mary, RoomUse::Kitchen, now) {
-        Ok(d) => println!(
-            "(9-10) concierge: {}",
-            d.path.describe(&building.model)
-        ),
+        Ok(d) => println!("(9-10) concierge: {}", d.path.describe(&building.model)),
         Err(e) => println!("(9-10) concierge refused: {e}"),
     }
 

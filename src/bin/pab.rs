@@ -90,8 +90,16 @@ fn simulate(flags: &HashMap<String, f64>) {
         TippersConfig::default(),
     );
     bms.register_occupants(sim.occupants());
-    bms.add_policy(catalog::policy1_thermostat(PolicyId(0), building.building, &ontology));
-    bms.add_policy(catalog::policy2_emergency_location(PolicyId(0), building.building, &ontology));
+    bms.add_policy(catalog::policy1_thermostat(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
     bms.add_policy(catalog::policy3_meeting_room_access(
         PolicyId(0),
         building.building,
@@ -141,7 +149,10 @@ fn simulate(flags: &HashMap<String, f64>) {
         println!("  {kind:<12} {n}");
     }
     println!("ingest: {stored} stored / {dropped} dropped (unauthorized practices)");
-    println!("ground-truth presence samples: {}", trace.ground_truth.len());
+    println!(
+        "ground-truth presence samples: {}",
+        trace.ground_truth.len()
+    );
     println!(
         "HVAC active on {hvac_active}/{} floors at the last noon",
         building.floors.len()
@@ -158,7 +169,11 @@ fn attack(flags: &HashMap<String, f64>) {
         TippersConfig::default(),
     );
     bms.register_occupants(sim.occupants());
-    bms.add_policy(catalog::policy2_emergency_location(PolicyId(0), building.building, &ontology));
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
 
     let opt_out = flag(flags, "opt-out", 0.0).clamp(0.0, 1.0);
     let occupants = sim.occupants().to_vec();
@@ -189,8 +204,7 @@ fn attack(flags: &HashMap<String, f64>) {
         .map(|id| (id, sim.devices().get(id).unwrap().space))
         .collect();
     let attacker = Attacker::new(log, ap_locations, &building.model);
-    let mac_of: HashMap<UserId, MacAddress> =
-        occupants.iter().map(|o| (o.user, o.mac)).collect();
+    let mac_of: HashMap<UserId, MacAddress> = occupants.iter().map(|o| (o.user, o.mac)).collect();
 
     let mut floor_hits = 0usize;
     let mut samples = 0usize;
@@ -236,18 +250,35 @@ fn conflicts() {
         building.model.clone(),
         TippersConfig::default(),
     );
-    bms.add_policy(catalog::policy1_thermostat(PolicyId(0), building.building, &ontology));
-    bms.add_policy(catalog::policy2_emergency_location(PolicyId(0), building.building, &ontology));
+    bms.add_policy(catalog::policy1_thermostat(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
     bms.add_policy(catalog::policy3_meeting_room_access(
         PolicyId(0),
         building.building,
         building.meeting_rooms.clone(),
         &ontology,
     ));
-    bms.add_policy(catalog::policy4_event_proximity(PolicyId(0), vec![building.lobby], &ontology));
+    bms.add_policy(catalog::policy4_event_proximity(
+        PolicyId(0),
+        vec![building.lobby],
+        &ontology,
+    ));
     let mary = UserId(1);
     for pref in [
-        catalog::preference1_afterhours_occupancy(PreferenceId(0), mary, building.offices[0], &ontology),
+        catalog::preference1_afterhours_occupancy(
+            PreferenceId(0),
+            mary,
+            building.offices[0],
+            &ontology,
+        ),
         catalog::preference2_no_location(PreferenceId(0), mary, &ontology),
         catalog::preference3_concierge_location(PreferenceId(0), mary, &ontology),
         catalog::preference4_smart_meeting(PreferenceId(0), mary, &ontology),

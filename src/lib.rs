@@ -60,9 +60,7 @@ pub use tippers_spatial as spatial;
 
 /// The most commonly used items, for a one-line import.
 pub mod prelude {
-    pub use tippers::{
-        DataRequest, EnforcerKind, SubjectSelector, Tippers, TippersConfig,
-    };
+    pub use tippers::{DataRequest, EnforcerKind, SubjectSelector, Tippers, TippersConfig};
     pub use tippers_iota::{Iota, SensitivityProfile};
     pub use tippers_irr::{DiscoveryBus, NetworkConfig};
     pub use tippers_ontology::Ontology;
@@ -72,8 +70,7 @@ pub mod prelude {
     };
     pub use tippers_sensors::{BuildingSimulator, Population, SimulatorConfig};
     pub use tippers_services::{
-        register_service, BuildingService, Concierge, EmergencyResponse, FoodDelivery,
-        SmartMeeting,
+        register_service, BuildingService, Concierge, EmergencyResponse, FoodDelivery, SmartMeeting,
     };
     pub use tippers_spatial::fixtures::dbh;
     pub use tippers_spatial::{Granularity, RoomUse, SpatialModel};

@@ -74,7 +74,8 @@ fn analytics_request(bms: &Bms, building: &tippers_spatial::fixtures::Dbh) -> Ag
 #[test]
 fn large_cohorts_are_released() {
     let (mut bms, building) = bms_with_cohort(8);
-    let response = bms.handle_aggregate(&analytics_request(&bms, &building), Timestamp::at(0, 10, 0));
+    let response =
+        bms.handle_aggregate(&analytics_request(&bms, &building), Timestamp::at(0, 10, 0));
     assert_eq!(response.k, 5);
     assert_eq!(response.buckets.len(), 3);
     for b in &response.buckets {
@@ -87,7 +88,8 @@ fn large_cohorts_are_released() {
 #[test]
 fn small_cohorts_are_suppressed() {
     let (mut bms, building) = bms_with_cohort(3); // below k = 5
-    let response = bms.handle_aggregate(&analytics_request(&bms, &building), Timestamp::at(0, 10, 0));
+    let response =
+        bms.handle_aggregate(&analytics_request(&bms, &building), Timestamp::at(0, 10, 0));
     assert_eq!(response.suppressed(), 3);
     assert!(response.buckets.iter().all(|b| b.count.is_none()));
 }
@@ -112,7 +114,8 @@ fn opted_out_subjects_vanish_from_aggregates() {
             Timestamp::at(0, 8, 0),
         );
     }
-    let response = bms.handle_aggregate(&analytics_request(&bms, &building), Timestamp::at(0, 10, 0));
+    let response =
+        bms.handle_aggregate(&analytics_request(&bms, &building), Timestamp::at(0, 10, 0));
     assert_eq!(response.excluded_subjects, 3);
     // 7 - 3 = 4 contributors, below k=5: everything suppressed.
     assert!(response.buckets.iter().all(|b| b.count.is_none()));
@@ -164,7 +167,10 @@ fn opted_out_subjects_vanish_from_aggregates() {
             Timestamp::at(0, 8, 0),
         );
     }
-    let response = bms2.handle_aggregate(&analytics_request(&bms2, &building2), Timestamp::at(0, 10, 0));
+    let response = bms2.handle_aggregate(
+        &analytics_request(&bms2, &building2),
+        Timestamp::at(0, 10, 0),
+    );
     for b in &response.buckets {
         assert_eq!(b.count, Some(4), "only consenting subjects are counted");
     }

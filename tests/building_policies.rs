@@ -61,7 +61,9 @@ fn policy1_thermostat_actuation() {
     bms.ingest(&day.observations);
     let cmds = bms.thermostat_commands(&building.floors, Timestamp::at(0, 12, 0));
     assert!(cmds.iter().any(|c| c.active), "occupied floors get HVAC");
-    assert!(cmds.iter().all(|c| (c.target_fahrenheit - 70.0).abs() < 1e-9));
+    assert!(cmds
+        .iter()
+        .all(|c| (c.target_fahrenheit - 70.0).abs() < 1e-9));
 }
 
 /// Policy 2: WiFi association logs are stored with a six-month retention.

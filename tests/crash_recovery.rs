@@ -1,0 +1,169 @@
+//! Kill-and-restore: a BMS is snapshotted, destroyed, and rebuilt from the
+//! serialized snapshot. Stored observations, submitted preferences, and the
+//! audit trail all survive; enforcement decisions after recovery are
+//! identical to before the crash.
+
+use privacy_aware_buildings::prelude::*;
+use tippers::{Snapshot, SnapshotError};
+use tippers_policy::{ActionSet, BuildingPolicy, DataAction, PreferenceScope, UserPreference};
+
+fn occupancy_analytics_policy(
+    building: tippers_spatial::SpaceId,
+    ontology: &Ontology,
+) -> BuildingPolicy {
+    let c = ontology.concepts();
+    BuildingPolicy::new(
+        PolicyId(0),
+        "Occupancy analytics",
+        building,
+        c.occupancy,
+        c.analytics,
+    )
+    .with_actions(ActionSet::of(&[DataAction::Share]))
+}
+
+fn deny_occupancy(user: UserId, ontology: &Ontology) -> UserPreference {
+    let c = ontology.concepts();
+    UserPreference::new(
+        PreferenceId(0),
+        user,
+        PreferenceScope {
+            data: Some(c.occupancy),
+            ..Default::default()
+        },
+        Effect::Deny,
+    )
+}
+
+#[test]
+fn preferences_and_store_survive_a_crash() {
+    let ontology = Ontology::standard();
+    let c = ontology.concepts().clone();
+    let mut sim = BuildingSimulator::new(
+        SimulatorConfig {
+            seed: 11,
+            population: Population {
+                staff: 2,
+                faculty: 2,
+                grads: 2,
+                undergrads: 2,
+                visitors: 0,
+            },
+            tick_secs: 600,
+            ..SimulatorConfig::default()
+        },
+        &ontology,
+    );
+    let building = sim.dbh().clone();
+    let occupants = sim.occupants().to_vec();
+    let opted_out = occupants[0].user;
+    let other = occupants[1].user;
+
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    bms.register_occupants(&occupants);
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+    bms.add_policy(occupancy_analytics_policy(building.building, &ontology));
+    bms.submit_preference(deny_occupancy(opted_out, &ontology), Timestamp::at(0, 7, 0));
+    sim.set_clock(Timestamp::at(0, 8, 0));
+    let trace = sim.run_until(Timestamp::at(0, 10, 0));
+    let (stored, _) = bms.ingest(&trace.observations);
+    assert!(stored > 0);
+
+    let request_for = |user: UserId| DataRequest {
+        service: catalog::services::smart_meeting(),
+        purpose: c.analytics,
+        data: c.occupancy,
+        subjects: SubjectSelector::One(user),
+        from: Timestamp::at(0, 8, 0),
+        to: Timestamp::at(0, 10, 0),
+        requester_space: None,
+    };
+    let now = Timestamp::at(0, 10, 30);
+    let before_denied = bms.handle_request(&request_for(opted_out), now);
+    let before_allowed = bms.handle_request(&request_for(other), now);
+    assert_eq!(
+        before_denied.results[0].decision.effect,
+        Effect::Deny,
+        "the opted-out user is denied before the crash"
+    );
+    assert_eq!(before_allowed.results[0].decision.effect, Effect::Allow);
+
+    // --- crash: serialize the durable state, destroy the BMS ---------------
+    let rows_before = bms.store().len();
+    let audit_before = bms.audit().entries().len();
+    let json = bms.snapshot().to_json();
+    drop(bms);
+
+    // --- restore: parse the snapshot, re-apply admin configuration ---------
+    let snapshot = Snapshot::from_json(&json).expect("snapshot parses");
+    let mut restored = Tippers::from_snapshot(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+        snapshot,
+    )
+    .expect("snapshot restores");
+    restored.register_occupants(&occupants);
+    restored.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+    restored.add_policy(occupancy_analytics_policy(building.building, &ontology));
+
+    // Durable state survived byte-for-byte.
+    assert_eq!(restored.store().len(), rows_before);
+    assert_eq!(restored.audit().entries().len(), audit_before);
+    assert!(restored
+        .preferences()
+        .iter()
+        .any(|p| p.user == opted_out && p.effect == Effect::Deny));
+
+    // Decisions after recovery are identical to before the crash.
+    let after_denied = restored.handle_request(&request_for(opted_out), now);
+    let after_allowed = restored.handle_request(&request_for(other), now);
+    assert_eq!(
+        after_denied.results[0].decision, before_denied.results[0].decision,
+        "the preference still denies after restore"
+    );
+    assert_eq!(
+        after_allowed.results[0].decision,
+        before_allowed.results[0].decision
+    );
+    assert_eq!(
+        after_allowed.results[0].records, before_allowed.results[0].records,
+        "released records are identical after restore"
+    );
+
+    // New preferences keep getting fresh ids (the allocator survived too).
+    let new_id = restored.submit_preference(deny_occupancy(other, &ontology), now);
+    assert!(
+        restored
+            .preferences()
+            .iter()
+            .filter(|p| p.id == new_id)
+            .count()
+            == 1,
+        "restored id allocator must not reuse ids"
+    );
+}
+
+/// A snapshot from a future format version is refused, not misread.
+#[test]
+fn foreign_snapshot_versions_are_refused() {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let bms = Tippers::new(ontology, building.model.clone(), TippersConfig::default());
+    let mut snapshot = bms.snapshot();
+    snapshot.version += 1;
+    let err = Snapshot::from_json(&snapshot.to_json()).unwrap_err();
+    assert!(matches!(err, SnapshotError::UnsupportedVersion { .. }));
+}

@@ -1,12 +1,27 @@
-//! Failure-injection tests: lossy discovery, stale advertisements,
-//! malformed documents, and clock skew between IoTA and BMS.
+//! Failure-injection tests: seeded fault-plane loss, bounded-deadline
+//! retry, publish retry, stale advertisements, malformed documents, and
+//! clock skew between IoTA, registry, and BMS.
+//!
+//! The suite is seed-parameterized: set `TIPPERS_FAULT_SEED` to replay any
+//! scenario bit-for-bit under a different injection sequence (CI runs three
+//! fixed seeds).
 
 use privacy_aware_buildings::prelude::*;
+use tippers::{FaultPlan, FaultPoint};
+use tippers_iota::IotaConfig;
 use tippers_irr::{NetworkConfig, RegistryError};
 use tippers_policy::{figures, BuildingPolicy, PolicyDocument, PolicyId, Timestamp};
 
+/// The injection seed for this run (CI sweeps 7, 42, and 4711).
+fn fault_seed() -> u64 {
+    std::env::var("TIPPERS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
 fn bms_and_bus(
-    loss: f64,
+    plan: FaultPlan,
 ) -> (
     Tippers,
     DiscoveryBus,
@@ -18,48 +33,122 @@ fn bms_and_bus(
     let mut bms = Tippers::new(
         ontology.clone(),
         building.model.clone(),
-        TippersConfig::default(),
+        TippersConfig {
+            fault_plan: plan.clone(),
+            ..TippersConfig::default()
+        },
     );
     bms.add_policy(
         catalog::policy2_emergency_location(PolicyId(0), building.building, &ontology)
             .with_setting(BuildingPolicy::location_setting()),
     );
-    let mut bus = DiscoveryBus::new(NetworkConfig {
-        loss_probability: loss,
-        ..NetworkConfig::default()
-    });
+    let mut bus = DiscoveryBus::with_fault_plan(NetworkConfig::default(), plan);
     let irr = bus.add_registry("DBH IRR", building.building);
     bms.publish_policies(&mut bus, irr, Timestamp::at(0, 8, 0))
-        .expect("wired publish path is lossless");
+        .expect("no publish fault armed yet");
     (bms, bus, irr, building)
 }
 
-/// Under 60% message loss, the IoTA's retries still recover the policies.
+/// Under 60% injected loss on both discovery and fetch, the IoTA's
+/// retry layer still converges on the advertised policies — within its
+/// per-poll deadline budget, not by unbounded retrying.
 #[test]
-fn iota_retries_through_lossy_network() {
-    let (_bms, bus, _irr, building) = bms_and_bus(0.6);
+fn discovery_converges_under_sixty_percent_loss() {
+    let plan = FaultPlan::seeded(fault_seed());
+    plan.arm(FaultPoint::RegistryDiscover, 0.6);
+    plan.arm(FaultPoint::RegistryFetch, 0.6);
+    let (_bms, bus, _irr, building) = bms_and_bus(plan.clone());
     let ontology = Ontology::standard();
-    let iota = Iota::new(
+    let mut iota = Iota::new(
         UserId(1),
         UserGroup::Faculty,
         SensitivityProfile::fundamentalist(&ontology),
     );
-    // Poll repeatedly, as a phone would; some poll must succeed.
-    let mut got = 0;
-    for _ in 0..30 {
-        got += iota
-            .poll(&bus, &building.model, building.offices[0], Timestamp::at(0, 9, 0))
-            .len();
+    // Poll periodically, as a phone would; convergence must happen well
+    // within a working day of 5-minute beacon rounds.
+    let mut converged_at = None;
+    for round in 0..96 {
+        let now = Timestamp::at(0, 9, 0) + round * 300;
+        if !iota
+            .poll(&bus, &building.model, building.offices[0], now)
+            .is_empty()
+        {
+            converged_at = Some(round);
+            break;
+        }
     }
-    assert!(got > 0, "retries should recover policies under 60% loss");
-    assert!(bus.stats().lost > 0, "loss actually happened");
+    assert!(
+        converged_at.is_some(),
+        "discovery failed to converge under 60% loss (seed {})",
+        fault_seed()
+    );
+    assert!(plan.total_injected() > 0, "faults actually fired");
+    // The retry layer stayed within its budget: at most
+    // (fetch_retries + 1) attempts per registry per poll.
+    let stats = iota.poll_stats();
+    let max_per_poll = IotaConfig::default().fetch_retries as u64 + 1;
+    assert!(stats.fetch_attempts <= (converged_at.unwrap() as u64 + 1) * max_per_poll);
+}
+
+/// The same seed injects the same faults: two identical runs converge at
+/// the same poll round with identical counters.
+#[test]
+fn fault_injection_is_reproducible() {
+    let run = || {
+        let plan = FaultPlan::seeded(fault_seed());
+        plan.arm(FaultPoint::RegistryFetch, 0.7);
+        let (_bms, bus, _irr, building) = bms_and_bus(plan.clone());
+        let ontology = Ontology::standard();
+        let mut iota = Iota::new(
+            UserId(1),
+            UserGroup::Faculty,
+            SensitivityProfile::fundamentalist(&ontology),
+        );
+        for round in 0..32 {
+            let now = Timestamp::at(0, 9, 0) + round * 300;
+            iota.poll(&bus, &building.model, building.offices[0], now);
+        }
+        (
+            iota.poll_stats(),
+            plan.injected(FaultPoint::RegistryFetch),
+            bus.stats().lost,
+        )
+    };
+    assert_eq!(run(), run(), "same seed must replay bit-for-bit");
+}
+
+/// Publishing retries through a transient registry outage (a bounded
+/// injection budget), and reports unreachability once the retry budget is
+/// truly spent (an unbounded outage).
+#[test]
+fn publish_retries_through_transient_outage() {
+    let plan = FaultPlan::seeded(fault_seed());
+    let (bms, mut bus, irr, _building) = bms_and_bus(plan.clone());
+
+    // Two guaranteed failures, then healthy: the default retry budget
+    // (8 attempts, 30 s virtual deadline) absorbs the outage.
+    plan.arm_limited(FaultPoint::PolicyPublish, 1.0, 2);
+    let published = bms
+        .publish_policies(&mut bus, irr, Timestamp::at(1, 8, 0))
+        .expect("retry should ride out a 2-failure outage");
+    assert_eq!(published, 1);
+    assert_eq!(plan.injected(FaultPoint::PolicyPublish), 2);
+
+    // A permanent outage exhausts the budget and surfaces as Unreachable —
+    // bounded, not an infinite loop.
+    plan.arm(FaultPoint::PolicyPublish, 1.0);
+    let err = bms
+        .publish_policies(&mut bus, irr, Timestamp::at(2, 8, 0))
+        .unwrap_err();
+    assert!(matches!(err, RegistryError::Unreachable(r) if r == irr));
+    assert!(err.is_transient(), "unreachability is classified transient");
 }
 
 /// Advertisements expire: a registry never serves stale policies, and a
 /// republish refreshes them.
 #[test]
 fn stale_advertisements_disappear_until_republished() {
-    let (_bms, mut bus, irr, building) = bms_and_bus(0.0);
+    let (_bms, mut bus, irr, building) = bms_and_bus(FaultPlan::disarmed());
     let late = Timestamp::at(2, 9, 0); // past the 86 400 s TTL
     let (ads, _) = bus
         .fetch_near(irr, &building.model, building.offices[0], late)
@@ -67,7 +156,8 @@ fn stale_advertisements_disappear_until_republished() {
     assert!(ads.is_empty(), "stale ads must not be served");
     // Republish (e.g. the BMS's daily refresh) restores them.
     let registry = bus.registry_mut(irr).unwrap();
-    let existing: Vec<_> = registry.advertisements(Timestamp::at(0, 9, 0))
+    let existing: Vec<_> = registry
+        .advertisements(Timestamp::at(0, 9, 0))
         .iter()
         .map(|a| a.id)
         .collect();
@@ -87,7 +177,7 @@ fn stale_advertisements_disappear_until_republished() {
 /// syntactically broken JSON is rejected by the parser.
 #[test]
 fn malformed_documents_are_rejected() {
-    let (_bms, mut bus, irr, building) = bms_and_bus(0.0);
+    let (_bms, mut bus, irr, building) = bms_and_bus(FaultPlan::disarmed());
     let registry = bus.registry_mut(irr).unwrap();
     let err = registry
         .publish(
@@ -98,6 +188,10 @@ fn malformed_documents_are_rejected() {
         )
         .unwrap_err();
     assert!(matches!(err, RegistryError::NotAdvertisable { .. }));
+    assert!(
+        !err.is_transient(),
+        "validation failures must not be retried"
+    );
 
     // Broken JSON never becomes a document at all.
     let broken = r#"{"resources": [{"info": {"name": }]}"#;
@@ -113,7 +207,7 @@ fn malformed_documents_are_rejected() {
 /// and enforcement uses the BMS clock only.
 #[test]
 fn clock_skew_between_iota_and_bms() {
-    let (mut bms, bus, irr, building) = bms_and_bus(0.0);
+    let (mut bms, bus, irr, building) = bms_and_bus(FaultPlan::disarmed());
     let skewed_now = Timestamp::at(0, 9, 0) + 7200; // IoTA 2h ahead
     let (ads, _) = bus
         .fetch_near(irr, &building.model, building.offices[0], skewed_now)
@@ -139,16 +233,67 @@ fn clock_skew_between_iota_and_bms() {
         .is_none());
 }
 
+/// A *registry-side* skewed clock (the fault plane's ClockSkew point) makes
+/// fresh advertisements look stale to its clients; a full registry outage
+/// is bridged by the assistant's stale-bounded cache — but only up to the
+/// staleness bound.
+#[test]
+fn registry_outage_is_bridged_by_the_bounded_cache() {
+    let plan = FaultPlan::seeded(fault_seed());
+    let (_bms, bus, irr, building) = bms_and_bus(plan.clone());
+    let t0 = Timestamp::at(0, 9, 0);
+
+    // Registry clock jumps two days ahead: its fresh ads now look expired.
+    plan.arm_with_param(FaultPoint::ClockSkew, 1.0, 2 * 86_400);
+    let (ads, _) = bus
+        .fetch_near(irr, &building.model, building.offices[0], t0)
+        .unwrap();
+    assert!(ads.is_empty(), "skewed registry serves nothing as fresh");
+    assert!(plan.injected(FaultPoint::ClockSkew) > 0);
+    plan.disarm(FaultPoint::ClockSkew);
+
+    // A healthy poll primes the assistant's cache …
+    let ontology = Ontology::standard();
+    let mut iota = Iota::new(
+        UserId(1),
+        UserGroup::Faculty,
+        SensitivityProfile::fundamentalist(&ontology),
+    );
+    assert_eq!(
+        iota.poll(&bus, &building.model, building.offices[0], t0)
+            .len(),
+        1
+    );
+    // … then the registry goes fully dark.
+    plan.arm(FaultPoint::RegistryFetch, 1.0);
+    let ads = iota.poll(&bus, &building.model, building.offices[0], t0 + 300);
+    assert_eq!(ads.len(), 1, "cached advertisements bridge the outage");
+    assert!(iota.poll_stats().cache_fallbacks >= 1);
+    // Past the staleness bound the cache refuses to serve: stale knowledge
+    // beats none, but not indefinitely.
+    let staleness = IotaConfig::default().cache_staleness_secs;
+    let ads = iota.poll(
+        &bus,
+        &building.model,
+        building.offices[0],
+        t0 + staleness + 600,
+    );
+    assert!(ads.is_empty(), "cache must not serve past its bound");
+}
+
 /// An extreme: a registry hosting a different building's policies is not
 /// discovered by users elsewhere on campus.
 #[test]
 fn discovery_is_scoped_to_coverage() {
-    let (_bms, mut bus, _irr, building) = bms_and_bus(0.0);
+    let (_bms, mut bus, _irr, building) = bms_and_bus(FaultPlan::disarmed());
     // A second building with its own registry.
     let mut model = building.model.clone();
     let other = model.add_space("ICS", tippers_spatial::SpaceKind::Building, model.root());
     let other_irr = bus.add_registry("ICS IRR", other);
     let (found, _) = bus.discover(&model, building.offices[0]);
     assert!(found.contains(&tippers_irr::RegistryId(0)));
-    assert!(!found.contains(&other_irr), "wrong building's IRR not found");
+    assert!(
+        !found.contains(&other_irr),
+        "wrong building's IRR not found"
+    );
 }

@@ -4,7 +4,7 @@
 //! effective privacy, from just two answered questions each.
 
 use privacy_aware_buildings::prelude::*;
-use tippers_iota::{infer_sensitivity, PermissionMatrix, PrivacyProfiles, QuestionGrid};
+use tippers_iota::{infer_sensitivity, PrivacyProfiles, QuestionGrid};
 use tippers_policy::{BuildingPolicy, PolicyId, Timestamp};
 
 #[test]

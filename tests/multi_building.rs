@@ -7,7 +7,11 @@ use tippers_policy::{BuildingPolicy, PolicyId, PreferenceId, Timestamp};
 use tippers_spatial::{SpaceKind, SpatialModel};
 
 /// One campus model holding two buildings, plus each building's offices.
-fn campus() -> (SpatialModel, Vec<tippers_spatial::SpaceId>, Vec<tippers_spatial::SpaceId>) {
+fn campus() -> (
+    SpatialModel,
+    Vec<tippers_spatial::SpaceId>,
+    Vec<tippers_spatial::SpaceId>,
+) {
     let mut model = SpatialModel::new("uci");
     let mut buildings = Vec::new();
     let mut offices = Vec::new();
@@ -37,8 +41,7 @@ fn roaming_iota_sees_each_buildings_policies() {
     let mut registries = Vec::new();
     for (i, &building) in buildings.iter().enumerate() {
         let mut bms = Tippers::new(ontology.clone(), model.clone(), TippersConfig::default());
-        let mut policy =
-            catalog::policy2_emergency_location(PolicyId(0), building, &ontology);
+        let mut policy = catalog::policy2_emergency_location(PolicyId(0), building, &ontology);
         policy.name = format!("Location tracking in building {i}");
         bms.add_policy(policy);
         let irr = bus.add_registry(format!("irr-{i}"), building);

@@ -28,7 +28,10 @@ fn retention_extension_alerts_even_unconcerned_users() {
         IotaConfig::default(),
     );
     let ads = iota.poll(&bus, &building.model, building.offices[0], t0);
-    assert!(iota.review(&ads, &ontology, t0).is_empty(), "baseline: silent");
+    assert!(
+        iota.review(&ads, &ontology, t0).is_empty(),
+        "baseline: silent"
+    );
 
     // The building extends retention from P6M to P2Y and republishes.
     let mut updated = figures::fig2_document();
@@ -42,9 +45,16 @@ fn retention_extension_alerts_even_unconcerned_users() {
 
     let ads = iota.poll(&bus, &building.model, building.offices[0], t0 + 3700);
     let fired = iota.review(&ads, &ontology, t0 + 3700);
-    assert_eq!(fired.len(), 1, "the expansion bypasses the relevance filter");
-    assert!(fired[0].body.contains("retention changed from P6M to P2Y"),
-        "{}", fired[0].body);
+    assert_eq!(
+        fired.len(),
+        1,
+        "the expansion bypasses the relevance filter"
+    );
+    assert!(
+        fired[0].body.contains("retention changed from P6M to P2Y"),
+        "{}",
+        fired[0].body
+    );
 
     // Republishing the same content again stays silent (version bump, no
     // semantic change, no expansion).
@@ -82,10 +92,7 @@ fn shrinking_changes_do_not_force_notifications() {
     for c in &changes {
         assert!(!c.to_string().is_empty());
     }
-    assert!(matches!(
-        changes
-            .iter()
-            .find(|c| matches!(c, PolicyChange::ObservationRemoved { .. })),
-        Some(_)
-    ));
+    assert!(changes
+        .iter()
+        .any(|c| matches!(c, PolicyChange::ObservationRemoved { .. })));
 }

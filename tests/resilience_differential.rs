@@ -1,0 +1,300 @@
+//! Differential fail-closed test: a faulty BMS run must never release data
+//! a healthy run would not have released.
+//!
+//! Two identical BMS instances process the same occupants, observations,
+//! preferences, and request grid. One runs with a disarmed fault plan; the
+//! other with injected enforcement-engine build failures and store-write
+//! losses. The faulty run's permits must be a subset of the healthy run's,
+//! and every *extra* denial must carry an explicit internal-error audit
+//! record inside a degraded-mode response — fail-closed, never fail-open,
+//! and never silently.
+
+use std::collections::HashSet;
+
+use privacy_aware_buildings::prelude::*;
+use tippers::{AggregateRequest, DataResponse, DecisionBasis, FaultPlan, FaultPoint, HealthStatus};
+
+fn fault_seed() -> u64 {
+    std::env::var("TIPPERS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// One permit/deny outcome at a labeled grid point.
+#[derive(Debug, Clone)]
+struct GridOutcome {
+    wave: &'static str,
+    request: &'static str,
+    user: UserId,
+    permitted: bool,
+    basis: DecisionBasis,
+    response_degraded: bool,
+}
+
+fn simulator(ontology: &Ontology) -> BuildingSimulator {
+    BuildingSimulator::new(
+        SimulatorConfig {
+            seed: 7,
+            population: Population {
+                staff: 2,
+                faculty: 2,
+                grads: 3,
+                undergrads: 3,
+                visitors: 0,
+            },
+            tick_secs: 600,
+            ..SimulatorConfig::default()
+        },
+        ontology,
+    )
+}
+
+/// Builds a BMS over `plan`, runs the shared scenario, and returns every
+/// grid outcome plus the BMS for audit inspection.
+fn run_scenario(plan: FaultPlan) -> (Vec<GridOutcome>, Tippers) {
+    let ontology = Ontology::standard();
+    let c = ontology.concepts().clone();
+    let mut sim = simulator(&ontology);
+    let building = sim.dbh().clone();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig {
+            fault_plan: plan,
+            ..TippersConfig::default()
+        },
+    );
+    bms.register_occupants(sim.occupants());
+    bms.add_policy(catalog::policy1_thermostat(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+    let users: Vec<UserId> = sim.occupants().iter().map(|o| o.user).collect();
+    // The first two occupants opt out of location sharing.
+    for &user in users.iter().take(2) {
+        bms.submit_preference(
+            catalog::preference2_no_location(PreferenceId(0), user, &ontology),
+            Timestamp::at(0, 7, 0),
+        );
+    }
+    // A morning of sensor data.
+    sim.set_clock(Timestamp::at(0, 8, 0));
+    let trace = sim.run_until(Timestamp::at(0, 10, 0));
+    bms.ingest(&trace.observations);
+
+    // The request grid: two request shapes, everyone, two waves — the
+    // first while any injected enforcer-build outage is still active, the
+    // second after recovery.
+    let mut out = Vec::new();
+    for (wave, at) in [
+        ("outage", Timestamp::at(0, 10, 30)),
+        ("recovered", Timestamp::at(0, 11, 0)),
+    ] {
+        for &user in &users {
+            let requests = [
+                (
+                    "emergency-locate",
+                    DataRequest {
+                        service: catalog::services::emergency(),
+                        purpose: c.emergency_response,
+                        data: c.wifi_association,
+                        subjects: SubjectSelector::One(user),
+                        from: Timestamp::at(0, 8, 0),
+                        to: at,
+                        requester_space: None,
+                    },
+                ),
+                (
+                    "concierge-navigation",
+                    DataRequest {
+                        service: catalog::services::concierge(),
+                        purpose: c.navigation,
+                        data: c.location,
+                        subjects: SubjectSelector::One(user),
+                        from: Timestamp::at(0, 8, 0),
+                        to: at,
+                        requester_space: None,
+                    },
+                ),
+            ];
+            for (label, request) in requests {
+                let response: DataResponse = bms.handle_request(&request, at);
+                let result = &response.results[0];
+                out.push(GridOutcome {
+                    wave,
+                    request: label,
+                    user,
+                    permitted: result.decision.permits(),
+                    basis: result.decision.basis.clone(),
+                    response_degraded: response.degraded,
+                });
+            }
+        }
+    }
+    (out, bms)
+}
+
+#[test]
+fn faulty_run_permits_are_a_subset_of_healthy_permits() {
+    let (healthy, healthy_bms) = run_scenario(FaultPlan::disarmed());
+    assert_eq!(healthy_bms.health(), HealthStatus::Healthy);
+    assert_eq!(healthy_bms.degraded_events(), 0);
+
+    // Inject: the enforcement engine fails every (re)build attempt through
+    // the ingest (1 consultation) and the whole first request wave
+    // (10 users x 2 requests), then heals; and half of all store writes
+    // are lost for the whole run.
+    let plan = FaultPlan::seeded(fault_seed());
+    plan.arm_limited(FaultPoint::EnforcerBuild, 1.0, 21);
+    plan.arm(FaultPoint::StoreWrite, 0.5);
+    let (faulty, faulty_bms) = run_scenario(plan.clone());
+
+    assert_eq!(healthy.len(), faulty.len(), "identical grids");
+    let healthy_permits: HashSet<(&str, &str, UserId)> = healthy
+        .iter()
+        .filter(|o| o.permitted)
+        .map(|o| (o.wave, o.request, o.user))
+        .collect();
+
+    let mut extra_denials = 0usize;
+    for (h, f) in healthy.iter().zip(&faulty) {
+        assert_eq!((h.wave, h.request, h.user), (f.wave, f.request, f.user));
+        // THE invariant: injected faults may only remove permits, never
+        // add them.
+        if f.permitted {
+            assert!(
+                healthy_permits.contains(&(f.wave, f.request, f.user)),
+                "fail-open: faulty run released {:?}/{:?} for {:?} which the \
+                 healthy run denied",
+                f.wave,
+                f.request,
+                f.user,
+            );
+        } else if h.permitted {
+            // Every extra denial is explicit: internal-error basis, inside
+            // a response flagged as degraded.
+            extra_denials += 1;
+            assert_eq!(
+                f.basis,
+                DecisionBasis::InternalError,
+                "extra denial must be audited as an internal error, not \
+                 disguised as a policy decision"
+            );
+            assert!(
+                f.response_degraded,
+                "a fail-closed denial must ride in a degraded response"
+            );
+            assert!(
+                faulty_bms
+                    .audit()
+                    .entries()
+                    .iter()
+                    .any(|e| e.subject == f.user && e.basis == DecisionBasis::InternalError),
+                "extra denial for {:?} has no InternalError audit record",
+                f.user
+            );
+        }
+    }
+    assert!(
+        extra_denials > 0,
+        "the injected outage should actually have denied something"
+    );
+    // Both injected fault classes actually fired and were observed.
+    assert_eq!(plan.injected(FaultPoint::EnforcerBuild), 21);
+    assert!(faulty_bms.store_write_failures() > 0);
+    assert_eq!(faulty_bms.degraded_events(), 1, "one degraded episode");
+    // After the outage the BMS recovered.
+    assert_eq!(faulty_bms.health(), HealthStatus::Healthy);
+    // Recovered-wave outcomes are decision-identical to the healthy run.
+    for (h, f) in healthy.iter().zip(&faulty) {
+        if f.wave == "recovered" {
+            assert_eq!(h.permitted, f.permitted, "recovery restores decisions");
+        }
+    }
+}
+
+/// Aggregates fail closed too: during the outage every subject is excluded
+/// (k-anonymity then suppresses the buckets) and the response says so.
+#[test]
+fn degraded_aggregates_exclude_everyone_and_say_so() {
+    let ontology = Ontology::standard();
+    let c = ontology.concepts().clone();
+    let plan = FaultPlan::seeded(fault_seed());
+    let mut sim = simulator(&ontology);
+    let building = sim.dbh().clone();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig {
+            fault_plan: plan.clone(),
+            k_anonymity: 2,
+            ..TippersConfig::default()
+        },
+    );
+    bms.register_occupants(sim.occupants());
+    bms.add_policy(catalog::policy1_thermostat(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+    // Authorize sharing occupancy for analytics, so that in a *healthy*
+    // run subjects are not excluded from aggregates.
+    bms.add_policy(
+        tippers_policy::BuildingPolicy::new(
+            PolicyId(0),
+            "Occupancy analytics",
+            building.building,
+            c.occupancy,
+            c.analytics,
+        )
+        .with_actions(tippers_policy::ActionSet::of(&[
+            tippers_policy::DataAction::Share,
+        ])),
+    );
+    sim.set_clock(Timestamp::at(0, 8, 0));
+    let trace = sim.run_until(Timestamp::at(0, 10, 0));
+    let (stored, _) = bms.ingest(&trace.observations); // healthy ingest
+    assert!(stored > 0);
+    // A routine preference submission invalidates the engine; the rebuild
+    // at the next query is what the injected fault breaks.
+    bms.submit_preference(
+        catalog::preference2_no_location(PreferenceId(0), sim.occupants()[0].user, &ontology),
+        Timestamp::at(0, 10, 5),
+    );
+    plan.arm_limited(FaultPoint::EnforcerBuild, 1.0, 1);
+    let request = AggregateRequest {
+        service: catalog::services::smart_meeting(),
+        purpose: c.analytics,
+        space: building.building,
+        from: Timestamp::at(0, 8, 0),
+        to: Timestamp::at(0, 10, 0),
+        bucket_secs: 1800,
+    };
+    // During the outage: degraded, everyone excluded, nothing released.
+    let during = bms.handle_aggregate(&request, Timestamp::at(0, 10, 15));
+    assert!(during.degraded);
+    assert!(during.excluded_subjects > 0);
+    assert!(
+        during.buckets.iter().all(|b| b.count.is_none()),
+        "no aggregate may be released while failing closed"
+    );
+    // After recovery the same request succeeds and is not degraded.
+    let after = bms.handle_aggregate(&request, Timestamp::at(0, 10, 45));
+    assert!(!after.degraded);
+    assert!(
+        after.excluded_subjects < during.excluded_subjects
+            || after.buckets.iter().any(|b| b.count.is_some())
+    );
+}

@@ -4,8 +4,7 @@
 use privacy_aware_buildings::prelude::*;
 use tippers::{DataRequest, ReleasedValue, SubjectSelector};
 use tippers_policy::{
-    ActionSet, BuildingPolicy, PolicyId, PreferenceId, PreferenceScope, Timestamp,
-    UserPreference,
+    ActionSet, BuildingPolicy, PolicyId, PreferenceId, PreferenceScope, Timestamp, UserPreference,
 };
 use tippers_sensors::{DeviceId, MacAddress, Observation, ObservationPayload};
 

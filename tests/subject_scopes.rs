@@ -4,10 +4,8 @@
 
 use privacy_aware_buildings::prelude::*;
 use tippers::{DataRequest, SubjectSelector};
-use tippers_policy::{
-    ActionSet, BuildingPolicy, PolicyId, SubjectScope, Timestamp,
-};
-use tippers_sensors::{DeviceId, MacAddress, Observation, Occupant, ObservationPayload};
+use tippers_policy::{ActionSet, BuildingPolicy, PolicyId, SubjectScope, Timestamp};
+use tippers_sensors::{DeviceId, MacAddress, Observation, ObservationPayload, Occupant};
 
 /// A BMS with one occupant per group and a WiFi row for each.
 fn bms_with_groups() -> (Tippers, tippers_spatial::fixtures::Dbh) {

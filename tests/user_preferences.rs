@@ -124,7 +124,10 @@ fn preference1_after_hours_occupancy() {
         Timestamp::at(0, 9, 0),
     );
     let noon = bms.handle_request(&occupancy_request(&bms, alice), Timestamp::at(0, 12, 0));
-    assert!(noon.results[0].decision.permits(), "daytime sharing allowed");
+    assert!(
+        noon.results[0].decision.permits(),
+        "daytime sharing allowed"
+    );
     let night = bms.handle_request(&occupancy_request(&bms, alice), Timestamp::at(0, 22, 0));
     assert!(
         !night.results[0].decision.permits(),
@@ -154,7 +157,12 @@ fn preference2_blanket_location_optout() {
         .is_some());
     // Alice is still locatable for emergencies (Policy 2 is mandatory).
     assert!(bms
-        .locate(catalog::services::emergency(), c.emergency_response, alice, now)
+        .locate(
+            catalog::services::emergency(),
+            c.emergency_response,
+            alice,
+            now
+        )
         .is_some());
 }
 
@@ -218,12 +226,7 @@ fn degrade_preference_coarsens_releases() {
     let ont = bms.ontology().clone();
     let c = ont.concepts();
     bms.submit_preference(
-        catalog::preference_coarse_location(
-            PreferenceId(0),
-            alice,
-            Granularity::Floor,
-            &ont,
-        ),
+        catalog::preference_coarse_location(PreferenceId(0), alice, Granularity::Floor, &ont),
         Timestamp::at(0, 9, 0),
     );
     let loc = bms

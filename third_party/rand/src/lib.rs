@@ -1,0 +1,113 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the small slice of the rand 0.8 API this workspace uses:
+//! [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and [`Rng::gen`] for
+//! `f64` / `bool` / integer outputs. The generator is SplitMix64 — fast,
+//! deterministic, and more than adequate for simulation seeds; it makes no
+//! cryptographic claims.
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling support for a given output type.
+pub trait Sample: Sized {
+    /// Draws one value from the generator.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws one value of type `T`.
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Draws a value uniformly from `[low, high)`.
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        let span = range.end - range.start;
+        assert!(span > 0, "empty range");
+        range.start + self.next_u64() % span
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+impl Sample for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniformly random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Sample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for u16 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u16 {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Sample for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64 under the hood).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng {
+                state: seed ^ 0xbb67ae8584caa73b,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}

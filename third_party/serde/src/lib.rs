@@ -1,0 +1,302 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal serialization framework under the same crate name. It keeps the
+//! parts of serde's surface this repository actually uses: the
+//! `Serialize`/`Deserialize` traits, `#[derive(Serialize, Deserialize)]`
+//! with the `rename`/`default`/`skip`/`skip_serializing_if`/`flatten`
+//! attributes, and a JSON value model (see the sibling `serde_json` shim).
+//!
+//! Unlike real serde, serialization goes through a concrete [`Value`] tree
+//! rather than a generic `Serializer`; that is all the JSON-only call sites
+//! here need, and it keeps the vendored code small and auditable.
+
+mod json;
+mod value;
+
+pub use json::{parse_json, write_json};
+pub use value::{Map, Number, Value};
+
+/// Deserialization error support (`serde::de::Error::custom`).
+pub mod de {
+    use std::fmt;
+
+    /// A deserialization (or JSON parse) error.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        /// Creates an error from any displayable message.
+        pub fn custom<T: fmt::Display>(msg: T) -> Error {
+            Error {
+                msg: msg.to_string(),
+            }
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be converted into a JSON-like [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a JSON-like [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`de::Error`] when the value's shape does not match.
+    fn deserialize_value(v: Value) -> Result<Self, de::Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: Value) -> Result<Self, de::Error> {
+        match v {
+            Value::String(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::I(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: Value) -> Result<Self, de::Error> {
+                let n = v.as_int()?;
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: Value) -> Result<Self, de::Error> {
+                let n = v.as_uint()?;
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::F(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: Value) -> Result<Self, de::Error> {
+                Ok(v.as_float()? as $t)
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.serialize_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Array(items) => items.into_iter().map(T::deserialize_value).collect(),
+            other => Err(de::Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(v: Value) -> Result<Self, de::Error> {
+        let items = Vec::<T>::deserialize_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| de::Error::custom(format!("expected array of {N} elements, found {len}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: Value) -> Result<Self, de::Error> {
+        Ok(Box::new(T::deserialize_value(v)?))
+    }
+}
+
+/// Turns a serialized map key into the string JSON objects require.
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.serialize_value() {
+        Value::String(s) => s,
+        other => {
+            let mut out = String::new();
+            write_json(&other, &mut out);
+            out
+        }
+    }
+}
+
+/// Recovers a typed map key from a JSON object key.
+fn key_from_string<K: Deserialize>(key: String) -> Result<K, de::Error> {
+    match K::deserialize_value(Value::String(key.clone())) {
+        Ok(k) => Ok(k),
+        Err(_) => {
+            let v = parse_json(&key)
+                .map_err(|e| de::Error::custom(format!("bad object key {key:?}: {e}")))?;
+            K::deserialize_value(v)
+        }
+    }
+}
+
+macro_rules! impl_map {
+    ($name:ident, $($bound:tt)*) => {
+        impl<K: Serialize + $($bound)*, V: Serialize> Serialize for std::collections::$name<K, V> {
+            fn serialize_value(&self) -> Value {
+                let mut m = Map::new();
+                for (k, v) in self {
+                    m.insert(key_to_string(k), v.serialize_value());
+                }
+                Value::Object(m)
+            }
+        }
+        impl<K: Deserialize + $($bound)*, V: Deserialize> Deserialize
+            for std::collections::$name<K, V>
+        {
+            fn deserialize_value(v: Value) -> Result<Self, de::Error> {
+                match v {
+                    Value::Object(m) => m
+                        .into_iter()
+                        .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize_value(v)?)))
+                        .collect(),
+                    other => Err(de::Error::custom(format!(
+                        "expected object, found {}",
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+impl_map!(HashMap, std::cmp::Eq + std::hash::Hash);
+impl_map!(BTreeMap, Ord);
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: Value) -> Result<Self, de::Error> {
+        Ok(v)
+    }
+}

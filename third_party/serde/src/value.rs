@@ -1,0 +1,288 @@
+//! The JSON-like value tree all (de)serialization goes through.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::de;
+
+/// A JSON number: signed, unsigned, or floating point.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A signed integer.
+    I(i64),
+    /// An unsigned integer.
+    U(u64),
+    /// A floating-point number.
+    F(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Number) -> bool {
+        match (*self, *other) {
+            (Number::I(a), Number::I(b)) => a == b,
+            (Number::U(a), Number::U(b)) => a == b,
+            (Number::F(a), Number::F(b)) => a == b,
+            (Number::I(a), Number::U(b)) | (Number::U(b), Number::I(a)) => a >= 0 && a as u64 == b,
+            // Mirrors serde_json: floats never equal integers.
+            _ => false,
+        }
+    }
+}
+
+/// An order-preserving string-keyed map with order-insensitive equality
+/// (mirrors `serde_json::Map` semantics at the value level).
+#[derive(Debug, Clone, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts (or replaces) an entry.
+    pub fn insert(&mut self, key: String, value: Value) {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Looks an entry up.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Removes an entry, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Removes and returns the last entry.
+    pub fn pop(&mut self) -> Option<(String, Value)> {
+        self.entries.pop()
+    }
+
+    /// Merges another map's entries into this one (later keys win).
+    pub fn merge(&mut self, other: Map) {
+        for (k, v) in other.entries {
+            self.insert(k, v);
+        }
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl IntoIterator for Map {
+    type Item = (String, Value);
+    type IntoIter = std::vec::IntoIter<(String, Value)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Map {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl PartialEq for Map {
+    fn eq(&self, other: &Map) -> bool {
+        self.len() == other.len()
+            && self
+                .entries
+                .iter()
+                .all(|(k, v)| other.get(k).is_some_and(|o| o == v))
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+impl Value {
+    /// A short name for the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Object member lookup (`None` for non-objects and absent keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_int(&self) -> Result<i64, de::Error> {
+        match self {
+            Value::Number(Number::I(i)) => Ok(*i),
+            Value::Number(Number::U(u)) => i64::try_from(*u)
+                .map_err(|_| de::Error::custom(format!("integer {u} out of i64 range"))),
+            other => Err(de::Error::custom(format!(
+                "expected integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub(crate) fn as_uint(&self) -> Result<u64, de::Error> {
+        match self {
+            Value::Number(Number::U(u)) => Ok(*u),
+            Value::Number(Number::I(i)) => u64::try_from(*i).map_err(|_| {
+                de::Error::custom(format!("negative integer {i} where unsigned expected"))
+            }),
+            other => Err(de::Error::custom(format!(
+                "expected integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    pub(crate) fn as_float(&self) -> Result<f64, de::Error> {
+        match self {
+            Value::Number(Number::F(f)) => Ok(*f),
+            Value::Number(Number::I(i)) => Ok(*i as f64),
+            Value::Number(Number::U(u)) => Ok(*u as f64),
+            other => Err(de::Error::custom(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(Number::U(n))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Number(Number::I(n))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(Number::F(n))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        crate::json::write_json(self, &mut out);
+        f.write_str(&out)
+    }
+}

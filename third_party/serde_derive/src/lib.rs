@@ -1,0 +1,523 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates implementations of the shim `serde::Serialize` /
+//! `serde::Deserialize` traits (which go through a concrete `serde::Value`
+//! tree) for non-generic structs and enums. Supported field attributes:
+//! `#[serde(rename = "...")]`, `#[serde(default)]`, `#[serde(skip)]`,
+//! `#[serde(skip_serializing_if = "path")]`, `#[serde(flatten)]`.
+//!
+//! The parser is deliberately small: it handles the shapes this workspace
+//! declares (named/tuple structs, enums with unit/tuple/struct variants)
+//! and rejects anything else with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let code = match parse(input) {
+        Ok(item) => {
+            if ser {
+                gen_serialize(&item)
+            } else {
+                gen_deserialize(&item)
+            }
+        }
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("generated code parses")
+}
+
+// ---- model -----------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+    is_option: bool,
+}
+
+#[derive(Default)]
+struct FieldAttrs {
+    rename: Option<String>,
+    default: bool,
+    skip: bool,
+    skip_serializing_if: Option<String>,
+    flatten: bool,
+}
+
+impl Field {
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn is_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    /// Skips `#[...]` attribute groups, collecting serde attributes.
+    fn attrs(&mut self) -> Result<FieldAttrs, String> {
+        let mut out = FieldAttrs::default();
+        while self.is_punct('#') {
+            self.next();
+            let Some(TokenTree::Group(g)) = self.next() else {
+                return Err("expected attribute body after #".into());
+            };
+            let mut inner = Cursor::new(g.stream());
+            if inner.is_ident("serde") {
+                inner.next();
+                let Some(TokenTree::Group(args)) = inner.next() else {
+                    return Err("expected #[serde(...)]".into());
+                };
+                parse_serde_args(&mut Cursor::new(args.stream()), &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Skips `pub` / `pub(crate)` visibility.
+    fn vis(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+fn parse_serde_args(c: &mut Cursor, out: &mut FieldAttrs) -> Result<(), String> {
+    while !c.at_end() {
+        let key = c.ident()?;
+        match key.as_str() {
+            "default" => out.default = true,
+            "skip" | "skip_serializing" | "skip_deserializing" => out.skip = true,
+            "flatten" => out.flatten = true,
+            "rename" | "skip_serializing_if" => {
+                if !c.is_punct('=') {
+                    return Err(format!("expected = after serde attribute {key}"));
+                }
+                c.next();
+                let lit = match c.next() {
+                    Some(TokenTree::Literal(l)) => l.to_string(),
+                    other => return Err(format!("expected string literal, found {other:?}")),
+                };
+                let value = lit.trim_matches('"').to_string();
+                if key == "rename" {
+                    out.rename = Some(value);
+                } else {
+                    out.skip_serializing_if = Some(value);
+                }
+            }
+            other => return Err(format!("unsupported serde attribute: {other}")),
+        }
+        if c.is_punct(',') {
+            c.next();
+        }
+    }
+    Ok(())
+}
+
+fn parse(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.attrs()?;
+    c.vis();
+    let item_kind = c.ident()?;
+    let name = c.ident()?;
+    if c.is_punct('<') {
+        return Err(format!(
+            "serde shim derive does not support generic type {name}"
+        ));
+    }
+    match item_kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: Kind::Named(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Item {
+                name,
+                kind: Kind::Tuple(count_tuple_fields(g.stream())?),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item {
+                name,
+                kind: Kind::Unit,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                name,
+                kind: Kind::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive serde traits for {other}")),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let attrs = c.attrs()?;
+        c.vis();
+        let name = c.ident()?;
+        if !c.is_punct(':') {
+            return Err(format!("expected : after field {name}"));
+        }
+        c.next();
+        // Consume the type, tracking angle-bracket depth so commas inside
+        // generic arguments do not end the field.
+        let mut depth = 0i32;
+        let mut first_type_tok: Option<String> = None;
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            if first_type_tok.is_none() {
+                first_type_tok = Some(t.to_string());
+            }
+            c.next();
+        }
+        if c.is_punct(',') {
+            c.next();
+        }
+        let is_option = first_type_tok.as_deref() == Some("Option");
+        fields.push(Field {
+            name,
+            attrs,
+            is_option,
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let mut c = Cursor::new(stream);
+    let mut count = 0usize;
+    let mut depth = 0i32;
+    let mut saw_tokens = false;
+    while let Some(t) = c.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    Ok(count)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.attrs()?;
+        let name = c.ident()?;
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream())?;
+                c.next();
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        if c.is_punct('=') {
+            return Err(format!(
+                "explicit discriminant on variant {name} unsupported"
+            ));
+        }
+        if c.is_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---- codegen: Serialize ----------------------------------------------------
+
+fn gen_named_serialize(fields: &[Field], accessor: &dyn Fn(&str) -> String) -> String {
+    let mut body = String::from("let mut __m = ::serde::Map::new();\n");
+    for f in fields.iter().filter(|f| !f.attrs.skip && !f.attrs.flatten) {
+        let access = accessor(&f.name);
+        let insert = format!(
+            "__m.insert(::std::string::String::from({key:?}), ::serde::Serialize::serialize_value(&{access}));",
+            key = f.key()
+        );
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            body.push_str(&format!("if !{pred}(&{access}) {{ {insert} }}\n"));
+        } else {
+            body.push_str(&insert);
+            body.push('\n');
+        }
+    }
+    for f in fields.iter().filter(|f| f.attrs.flatten) {
+        let access = accessor(&f.name);
+        body.push_str(&format!(
+            "if let ::serde::Value::Object(__o) = ::serde::Serialize::serialize_value(&{access}) {{ __m.merge(__o); }}\n"
+        ));
+    }
+    body.push_str("::serde::Value::Object(__m)");
+    body
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => gen_named_serialize(fields, &|f| format!("self.{f}")),
+        Kind::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(::std::string::String::from({vname:?})),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => {{ let mut __m = ::serde::Map::new(); __m.insert(::std::string::String::from({vname:?}), ::serde::Serialize::serialize_value(__f0)); ::serde::Value::Object(__m) }}\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{ let mut __m = ::serde::Map::new(); __m.insert(::std::string::String::from({vname:?}), ::serde::Value::Array(vec![{items}])); ::serde::Value::Object(__m) }}\n",
+                            binds = binders.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binders: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let inner = gen_named_serialize(fields, &|f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{ let mut __om = ::serde::Map::new(); __om.insert(::std::string::String::from({vname:?}), {{ {inner} }}); ::serde::Value::Object(__om) }}\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n    fn serialize_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+// ---- codegen: Deserialize --------------------------------------------------
+
+/// Generates `let <field> = ...;` bindings out of a map named `__m`, then a
+/// constructor expression `ctor { fields }`.
+fn gen_named_deserialize(type_label: &str, fields: &[Field], ctor: &str) -> String {
+    let mut body = String::new();
+    for f in fields.iter().filter(|f| !f.attrs.flatten) {
+        let fname = &f.name;
+        if f.attrs.skip {
+            body.push_str(&format!(
+                "let {fname} = ::core::default::Default::default();\n"
+            ));
+            continue;
+        }
+        let missing = if f.attrs.default || f.is_option {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return Err(::serde::de::Error::custom(\"{type_label}: missing field `{key}`\"))",
+                key = f.key()
+            )
+        };
+        body.push_str(&format!(
+            "let {fname} = match __m.remove({key:?}) {{ Some(__x) => ::serde::Deserialize::deserialize_value(__x)?, None => {missing} }};\n",
+            key = f.key()
+        ));
+    }
+    for f in fields.iter().filter(|f| f.attrs.flatten) {
+        let fname = &f.name;
+        body.push_str(&format!(
+            "let {fname} = ::serde::Deserialize::deserialize_value(::serde::Value::Object(::core::mem::take(&mut __m)))?;\n"
+        ));
+    }
+    let names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+    body.push_str(&format!("Ok({ctor} {{ {} }})", names.join(", ")));
+    body
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let inner = gen_named_deserialize(name, fields, name);
+            format!(
+                "let mut __m = match __v {{ ::serde::Value::Object(__m) => __m, __other => return Err(::serde::de::Error::custom(format!(\"{name}: expected object, found {{}}\", __other.kind()))) }};\nlet _ = &mut __m;\n{inner}"
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_value(__v)?))")
+        }
+        Kind::Tuple(n) => {
+            let mut body = format!(
+                "let __items = match __v {{ ::serde::Value::Array(__a) => __a, __other => return Err(::serde::de::Error::custom(format!(\"{name}: expected array, found {{}}\", __other.kind()))) }};\nif __items.len() != {n} {{ return Err(::serde::de::Error::custom(\"{name}: wrong tuple length\")); }}\nlet mut __it = __items.into_iter();\n"
+            );
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            for b in &binders {
+                body.push_str(&format!(
+                    "let {b} = ::serde::Deserialize::deserialize_value(__it.next().expect(\"length checked\"))?;\n"
+                ));
+            }
+            body.push_str(&format!("Ok({name}({}))", binders.join(", ")));
+            body
+        }
+        Kind::Unit => format!("let _ = __v; Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut string_arms = String::new();
+            let mut object_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        string_arms.push_str(&format!("{vname:?} => Ok({name}::{vname}),\n"));
+                        object_arms.push_str(&format!(
+                            "{vname:?} => {{ let _ = __payload; Ok({name}::{vname}) }}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => object_arms.push_str(&format!(
+                        "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::deserialize_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{vname:?} => {{ let __items = match __payload {{ ::serde::Value::Array(__a) => __a, _ => return Err(::serde::de::Error::custom(\"{name}::{vname}: expected array\")) }};\nif __items.len() != {n} {{ return Err(::serde::de::Error::custom(\"{name}::{vname}: wrong tuple length\")); }}\nlet mut __it = __items.into_iter();\n"
+                        );
+                        for b in &binders {
+                            arm.push_str(&format!(
+                                "let {b} = ::serde::Deserialize::deserialize_value(__it.next().expect(\"length checked\"))?;\n"
+                            ));
+                        }
+                        arm.push_str(&format!(
+                            "Ok({name}::{vname}({})) }}\n",
+                            binders.join(", ")
+                        ));
+                        object_arms.push_str(&arm);
+                    }
+                    VariantKind::Named(fields) => {
+                        let label = format!("{name}::{vname}");
+                        let inner =
+                            gen_named_deserialize(&label, fields, &format!("{name}::{vname}"));
+                        object_arms.push_str(&format!(
+                            "{vname:?} => {{ let mut __m = match __payload {{ ::serde::Value::Object(__m) => __m, _ => return Err(::serde::de::Error::custom(\"{label}: expected object\")) }};\nlet _ = &mut __m;\n{inner} }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n::serde::Value::String(__s) => match __s.as_str() {{\n{string_arms}__other => Err(::serde::de::Error::custom(format!(\"{name}: unknown variant {{__other}}\"))),\n}},\n::serde::Value::Object(mut __m) => {{\nif __m.len() != 1 {{ return Err(::serde::de::Error::custom(\"{name}: expected single-variant object\")); }}\nlet (__tag, __payload) = __m.pop().expect(\"length checked\");\nmatch __tag.as_str() {{\n{object_arms}__other => Err(::serde::de::Error::custom(format!(\"{name}: unknown variant {{__other}}\"))),\n}}\n}}\n__other => Err(::serde::de::Error::custom(format!(\"{name}: expected string or object, found {{}}\", __other.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n    fn deserialize_value(__v: ::serde::Value) -> ::core::result::Result<Self, ::serde::de::Error> {{\n        {body}\n    }}\n}}\n"
+    )
+}

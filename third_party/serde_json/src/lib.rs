@@ -1,0 +1,96 @@
+//! Offline stand-in for `serde_json`, backed by the vendored `serde` shim.
+//!
+//! Provides the JSON entry points this workspace uses: [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`to_value`], [`from_value`], plus the
+//! [`Value`] tree re-exported from the shim.
+
+pub use serde::{Map, Number, Value};
+
+/// A JSON (de)serialization error.
+pub type Error = serde::de::Error;
+
+/// Serializes a value to compact JSON text.
+///
+/// # Errors
+///
+/// Never fails for the shim's value model; the `Result` mirrors the real
+/// `serde_json` signature so call sites keep compiling.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    serde::write_json(&value.serialize_value(), &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to indented JSON text.
+///
+/// # Errors
+///
+/// Never fails for the shim's value model (see [`to_string`]).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.serialize_value(), 0, &mut out);
+    Ok(out)
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    const STEP: usize = 2;
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                write_pretty(item, indent + STEP, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                serde::write_json(&Value::String(k.clone()), out);
+                out.push_str(": ");
+                write_pretty(val, indent + STEP, out);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        other => serde::write_json(other, out),
+    }
+}
+
+/// Parses JSON text into a typed value.
+///
+/// # Errors
+///
+/// Returns [`Error`] on syntax errors or shape mismatches.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::deserialize_value(serde::parse_json(text)?)
+}
+
+/// Converts a serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails for the shim's value model; the `Result` mirrors the real
+/// `serde_json` signature.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.serialize_value())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the tree's shape does not match `T`.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::deserialize_value(value)
+}
