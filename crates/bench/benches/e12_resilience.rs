@@ -10,14 +10,10 @@
 //! arming points that never fire on the request path must not change it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tippers::{
-    DataRequest, Enforcer, FaultPlan, FaultPoint, IndexedEnforcer, SubjectSelector, Tippers,
-    TippersConfig,
-};
-use tippers_bench::{gen_flow, gen_policies, gen_preferences, service_pool, Lcg};
+use tippers::{DataRequest, Enforcer, FaultPlan, FaultPoint, IndexedEnforcer, SubjectSelector};
+use tippers_bench::{build_bms, gen_flow, gen_policies, gen_preferences, service_pool, Lcg};
 use tippers_ontology::Ontology;
-use tippers_policy::{ResolutionStrategy, Timestamp, UserGroup, UserId};
-use tippers_sensors::Occupant;
+use tippers_policy::{ResolutionStrategy, Timestamp};
 use tippers_spatial::fixtures::dbh;
 
 const USERS: usize = 1000;
@@ -59,28 +55,8 @@ fn bench_request_path(criterion: &mut Criterion) {
         },
     );
 
-    // The same decisions through the full fail-closed request path.
-    let build_bms = |plan: FaultPlan| -> Tippers {
-        let mut bms = Tippers::new(
-            ontology.clone(),
-            building.model.clone(),
-            TippersConfig {
-                fault_plan: plan,
-                ..TippersConfig::default()
-            },
-        );
-        let occupants: Vec<Occupant> = (0..USERS as u64)
-            .map(|u| Occupant::new(UserId(u), format!("user-{u}"), UserGroup::GradStudent))
-            .collect();
-        bms.register_occupants(&occupants);
-        for p in &policies {
-            bms.add_policy(p.clone());
-        }
-        for p in &prefs {
-            bms.submit_preference(p.clone(), Timestamp::at(0, 7, 0));
-        }
-        bms
-    };
+    // The same decisions through the full fail-closed request path, over
+    // the workload fixture shared with E13.
     let requests: Vec<DataRequest> = flows
         .iter()
         .map(|f| DataRequest {
@@ -103,7 +79,7 @@ fn bench_request_path(criterion: &mut Criterion) {
             FaultPlan::seeded(42).with_fault(FaultPoint::PolicyPublish, 1.0),
         ),
     ] {
-        let mut bms = build_bms(plan);
+        let mut bms = build_bms(&ontology, &building, &policies, &prefs, USERS, plan);
         let now = Timestamp::at(0, 12, 0);
         group.bench_with_input(
             BenchmarkId::new(label, "u1000_p500"),

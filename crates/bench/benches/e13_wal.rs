@@ -1,0 +1,111 @@
+//! Experiment E13 — write-ahead-log overhead and recovery cost.
+//!
+//! Durability is only worth shipping if its hot-path tax is small and its
+//! recovery is fast. This bench measures both over the same generated
+//! mutation workload the recovery fuzz harness replays:
+//!
+//! * `mutate_ephemeral` — the workload against a plain in-memory BMS
+//!   (the pre-durability baseline);
+//! * `mutate_durable` — the same workload with every mutation framed,
+//!   checksummed, appended and synced to an in-memory log;
+//! * `recover_replay` — `Tippers::open_with` over the finished log:
+//!   segment scan, checksum verification, and record replay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tippers::wal::MemLog;
+use tippers::{Tippers, TippersConfig};
+use tippers_bench::{apply_mutation, gen_mutations, Mutation};
+use tippers_ontology::Ontology;
+
+const MUTATIONS: usize = 200;
+const SEED: u64 = 42;
+
+fn bench_wal(criterion: &mut Criterion) {
+    let ontology = Ontology::standard();
+    let (building, occupants, mutations) = gen_mutations(MUTATIONS, &ontology, SEED);
+    // The durable-path numbers should not be dominated by checkpoint
+    // compaction; strip checkpoints so both series run identical work.
+    let steps: Vec<Mutation> = mutations
+        .iter()
+        .filter(|m| !matches!(m, Mutation::Checkpoint))
+        .cloned()
+        .collect();
+
+    let mut group = criterion.benchmark_group("e13_wal");
+    group.sample_size(10);
+
+    group.bench_with_input(
+        BenchmarkId::new("mutate_ephemeral", format!("n{}", steps.len())),
+        &steps,
+        |b, steps| {
+            b.iter(|| {
+                let mut bms = Tippers::new(
+                    ontology.clone(),
+                    building.model.clone(),
+                    TippersConfig::default(),
+                );
+                bms.register_occupants(&occupants);
+                for m in steps {
+                    apply_mutation(&mut bms, m);
+                }
+                std::hint::black_box(bms.store().len())
+            })
+        },
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("mutate_durable", format!("n{}", steps.len())),
+        &steps,
+        |b, steps| {
+            b.iter(|| {
+                let (mut bms, _) = Tippers::open_with(
+                    Box::new(MemLog::new()),
+                    ontology.clone(),
+                    building.model.clone(),
+                    TippersConfig::default(),
+                )
+                .expect("open");
+                bms.register_occupants(&occupants);
+                for m in steps {
+                    apply_mutation(&mut bms, m);
+                }
+                std::hint::black_box(bms.store().len())
+            })
+        },
+    );
+
+    // Recovery: replay a finished log (including its checkpoints).
+    let log = MemLog::new();
+    let (mut bms, _) = Tippers::open_with(
+        Box::new(log.clone()),
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    )
+    .expect("open");
+    bms.register_occupants(&occupants);
+    for m in &mutations {
+        apply_mutation(&mut bms, m);
+    }
+    group.bench_with_input(
+        BenchmarkId::new("recover_replay", format!("n{MUTATIONS}")),
+        &log,
+        |b, log| {
+            b.iter(|| {
+                let (recovered, report) = Tippers::open_with(
+                    Box::new(log.deep_copy()),
+                    ontology.clone(),
+                    building.model.clone(),
+                    TippersConfig::default(),
+                )
+                .expect("recover");
+                assert_eq!(report.truncated_tails, 0);
+                std::hint::black_box(recovered.store().len())
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal);
+criterion_main!(benches);

@@ -6,11 +6,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use tippers::{FaultPlan, Tippers, TippersConfig};
 use tippers_ontology::{ConceptId, Ontology};
 use tippers_policy::{
-    ActionSet, BuildingPolicy, Condition, DataAction, Effect, Modality, PolicyId, PreferenceId,
-    PreferenceScope, ServiceId, TimeWindow, Timestamp, UserGroup, UserId, UserPreference,
+    ActionSet, BuildingPolicy, Condition, DataAction, Effect, IsoDuration, Modality, PolicyId,
+    PreferenceId, PreferenceScope, ServiceId, TimeWindow, Timestamp, UserGroup, UserId,
+    UserPreference,
 };
+use tippers_sensors::{BuildingSimulator, Observation, Occupant, Population, SimulatorConfig};
 use tippers_spatial::fixtures::Dbh;
 use tippers_spatial::{Granularity, SpaceId};
 
@@ -219,6 +222,202 @@ pub fn gen_flow(
     }
 }
 
+/// Builds a registered, populated BMS over pre-generated policies and
+/// preferences — the shared fixture of the E12 and E13 benches (one
+/// definition, so both experiments measure the same system).
+pub fn build_bms(
+    ontology: &Ontology,
+    dbh: &Dbh,
+    policies: &[BuildingPolicy],
+    prefs: &[UserPreference],
+    users: usize,
+    plan: FaultPlan,
+) -> Tippers {
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        dbh.model.clone(),
+        TippersConfig {
+            fault_plan: plan,
+            ..TippersConfig::default()
+        },
+    );
+    let occupants: Vec<Occupant> = (0..users as u64)
+        .map(|u| Occupant::new(UserId(u), format!("user-{u}"), UserGroup::GradStudent))
+        .collect();
+    bms.register_occupants(&occupants);
+    for p in policies {
+        bms.add_policy(p.clone());
+    }
+    for p in prefs {
+        bms.submit_preference(p.clone(), Timestamp::at(0, 7, 0));
+    }
+    bms
+}
+
+/// One durable BMS mutation in a generated crash-recovery workload
+/// (the units the recovery fuzz harness crashes between).
+#[derive(Debug, Clone)]
+pub enum Mutation {
+    /// Publish a building policy.
+    AddPolicy(BuildingPolicy),
+    /// Retract a policy by id (may be a no-op if already retracted).
+    RemovePolicy(PolicyId),
+    /// Submit a user preference at a timestamp.
+    SubmitPreference(UserPreference, Timestamp),
+    /// Retroactively enforce a previously submitted preference.
+    Retroactive(PreferenceId),
+    /// Ingest a batch of captured observations.
+    Ingest(Vec<Observation>),
+    /// Run a retention sweep at a timestamp.
+    Gc(Timestamp),
+    /// Write a full-state checkpoint and compact the log.
+    Checkpoint,
+}
+
+/// Generates a seeded, deterministic mutation workload over the DBH
+/// building: simulator-driven ingest batches interleaved with policy
+/// publishes/retractions, preference submissions, retroactive purges,
+/// retention sweeps and checkpoints. Returns the building fixture, its
+/// occupants (administrative state the caller re-registers after every
+/// recovery) and the mutation list.
+pub fn gen_mutations(
+    n: usize,
+    ontology: &Ontology,
+    seed: u64,
+) -> (Dbh, Vec<Occupant>, Vec<Mutation>) {
+    let mut sim = BuildingSimulator::new(
+        SimulatorConfig {
+            seed,
+            population: Population {
+                staff: 2,
+                faculty: 2,
+                grads: 3,
+                undergrads: 3,
+                visitors: 0,
+            },
+            tick_secs: 300,
+            ..SimulatorConfig::default()
+        },
+        ontology,
+    );
+    let dbh = sim.dbh().clone();
+    let occupants = sim.occupants().to_vec();
+    sim.set_clock(Timestamp::at(0, 8, 0));
+    let trace = sim.run_until(Timestamp::at(0, 20, 0)).observations;
+
+    let services = service_pool(4);
+    let mut policy_pool = gen_policies(24, ontology, &dbh, &services, seed ^ 0xB0);
+    // A third of the generated policies carry a short retention window so
+    // retention sweeps mid-workload actually delete rows.
+    for (i, p) in policy_pool.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            p.retention = Some(IsoDuration::hours(1 + (i % 4) as u32));
+        }
+    }
+    let pref_pool = gen_preferences(occupants.len(), 6, ontology, &dbh, &services, seed ^ 0x9E0);
+
+    let mut lcg = Lcg(seed ^ 0xFA11);
+    let mut mutations = Vec::with_capacity(n);
+    // Storage authorizers go first so ingest stores rows from the start:
+    // the catalog pair, plus a building-wide telemetry baseline covering
+    // the subjectless environmental feeds (power, occupancy, temperature)
+    // that dominate the simulator trace. Its two-hour retention gives the
+    // workload's gc sweeps real rows to reap.
+    let c = ontology.concepts();
+    let baseline = BuildingPolicy::new(
+        PolicyId(0),
+        "Building telemetry baseline",
+        dbh.building,
+        c.data,
+        c.logging,
+    )
+    .with_actions(ActionSet::of(&[DataAction::Collect, DataAction::Store]))
+    .with_retention(IsoDuration::hours(2))
+    .with_modality(Modality::OptOut);
+    mutations.push(Mutation::AddPolicy(baseline));
+    mutations.push(Mutation::AddPolicy(
+        tippers_policy::catalog::policy1_thermostat(PolicyId(0), dbh.building, ontology),
+    ));
+    mutations.push(Mutation::AddPolicy(
+        tippers_policy::catalog::policy2_emergency_location(PolicyId(0), dbh.building, ontology),
+    ));
+    let mut added = 3usize;
+    let mut submitted = 0usize;
+    let mut next_policy = 0usize;
+    let mut next_pref = 0usize;
+    let mut next_obs = 0usize;
+    let mut clock = Timestamp::at(0, 8, 0);
+    while mutations.len() < n {
+        clock = clock + 60 + lcg.below(540) as i64;
+        let roll = lcg.below(100);
+        let mutation = if roll < 40 {
+            let len = 3 + lcg.below(9);
+            let batch: Vec<Observation> = (0..len)
+                .map(|i| {
+                    let mut obs = trace[next_obs % trace.len()].clone();
+                    next_obs += 1;
+                    // Rebase onto the workload clock so retention windows
+                    // straddle the gc sweeps instead of expiring wholesale.
+                    obs.timestamp = clock + i as i64;
+                    obs
+                })
+                .collect();
+            Mutation::Ingest(batch)
+        } else if roll < 60 {
+            let pref = pref_pool[next_pref % pref_pool.len()].clone();
+            next_pref += 1;
+            submitted += 1;
+            Mutation::SubmitPreference(pref, clock)
+        } else if roll < 70 {
+            let policy = policy_pool[next_policy % policy_pool.len()].clone();
+            next_policy += 1;
+            added += 1;
+            Mutation::AddPolicy(policy)
+        } else if roll < 77 {
+            // Retract only generated policies: the three seed authorizers
+            // stay in force so ingest keeps storing rows on every seed.
+            Mutation::RemovePolicy(PolicyId((3 + lcg.below(added - 3)) as u64))
+        } else if roll < 85 && submitted > 0 {
+            Mutation::Retroactive(PreferenceId(lcg.below(submitted) as u64))
+        } else if roll < 93 {
+            Mutation::Gc(clock)
+        } else {
+            Mutation::Checkpoint
+        };
+        mutations.push(mutation);
+    }
+    (dbh, occupants, mutations)
+}
+
+/// Applies one workload mutation to a BMS. Checkpoint failures are
+/// tolerated (the log's older segments stay authoritative); everything
+/// else is infallible by construction.
+pub fn apply_mutation(bms: &mut Tippers, mutation: &Mutation) {
+    match mutation {
+        Mutation::AddPolicy(p) => {
+            bms.add_policy(p.clone());
+        }
+        Mutation::RemovePolicy(id) => {
+            bms.remove_policy(*id);
+        }
+        Mutation::SubmitPreference(p, now) => {
+            bms.submit_preference(p.clone(), *now);
+        }
+        Mutation::Retroactive(id) => {
+            bms.apply_retroactively(*id);
+        }
+        Mutation::Ingest(observations) => {
+            bms.ingest(observations);
+        }
+        Mutation::Gc(now) => {
+            bms.gc(*now);
+        }
+        Mutation::Checkpoint => {
+            let _ = bms.checkpoint();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +435,23 @@ mod tests {
         let pb = gen_preferences(10, 3, &ont, &d, &services, 9);
         assert_eq!(pa, pb);
         assert_eq!(pa.len(), 30);
+    }
+
+    #[test]
+    fn mutation_workload_is_deterministic_and_mixed() {
+        let ont = Ontology::standard();
+        let (_, occupants, a) = gen_mutations(210, &ont, 7);
+        let (_, _, b) = gen_mutations(210, &ont, 7);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert!(a.len() >= 210);
+        assert!(!occupants.is_empty());
+        let count = |f: fn(&Mutation) -> bool| a.iter().filter(|m| f(m)).count();
+        assert!(count(|m| matches!(m, Mutation::Ingest(_))) > 20);
+        assert!(count(|m| matches!(m, Mutation::SubmitPreference(..))) > 10);
+        assert!(count(|m| matches!(m, Mutation::Checkpoint)) > 2);
+        assert!(count(|m| matches!(m, Mutation::Gc(_))) > 2);
+        assert!(count(|m| matches!(m, Mutation::RemovePolicy(_))) > 2);
+        assert!(count(|m| matches!(m, Mutation::Retroactive(_))) > 2);
     }
 
     #[test]

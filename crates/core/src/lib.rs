@@ -56,6 +56,7 @@ mod sensor_manager;
 mod snapshot;
 mod store;
 mod tippers;
+pub mod wal;
 
 pub use aggregate::{AggregateBucket, AggregateRequest, AggregateResponse};
 pub use audit::{AuditEntry, AuditLog, UserNotification};
@@ -72,6 +73,7 @@ pub use sensor_manager::{HvacCommand, SensorManager};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use store::{Store, StoredRow};
 pub use tippers::{EnforcerKind, Tippers, TippersConfig};
+pub use wal::{RecoveryReport, WalConfig, WalError, WalRecord};
 
 // Resilience vocabulary used in this crate's public API (health reporting,
 // fault-plan configuration), re-exported for downstream convenience.

@@ -56,6 +56,27 @@ impl PolicyManager {
         self.policies.is_empty()
     }
 
+    /// The manager's durable state: the policies and the id allocator's
+    /// next value (for write-ahead-log checkpoints).
+    pub fn snapshot_parts(&self) -> (Vec<BuildingPolicy>, u64) {
+        (self.policies.clone(), self.next_id)
+    }
+
+    /// Rebuilds a manager from checkpointed parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any policy id is at or above `next_id` — such a state
+    /// would reissue ids already referenced elsewhere. Callers recovering
+    /// untrusted checkpoints validate first (see `Tippers::open`).
+    pub fn from_parts(policies: Vec<BuildingPolicy>, next_id: u64) -> PolicyManager {
+        assert!(
+            policies.iter().all(|p| p.id.0 < next_id),
+            "policy id allocator must be ahead of every stored id"
+        );
+        PolicyManager { policies, next_id }
+    }
+
     /// Publishes every policy to a registry as wire-format documents
     /// (step 4 of Figure 1).
     ///

@@ -68,17 +68,53 @@ impl Store {
         stored_at: Timestamp,
         retention_secs: Option<i64>,
     ) {
-        let idx = self.rows.len();
-        if let Some(user) = observation.subject {
-            self.by_subject.entry(user).or_default().push(idx);
-        }
-        self.rows.push(StoredRow {
+        let expires_at = retention_secs.map(|secs| Timestamp(stored_at.seconds() + secs));
+        self.insert_row(StoredRow {
             observation,
             category,
             policy,
             stored_at,
-            expires_at: retention_secs.map(|secs| Timestamp(stored_at.seconds() + secs)),
+            expires_at,
         });
+    }
+
+    /// Inserts an already-built row (write-ahead-log replay: ingest
+    /// records are physical, carrying the rows that survived
+    /// enforcement).
+    pub fn insert_row(&mut self, row: StoredRow) {
+        let idx = self.rows.len();
+        if let Some(user) = row.observation.subject {
+            self.by_subject.entry(user).or_default().push(idx);
+        }
+        self.rows.push(row);
+    }
+
+    /// Diagnostic invariant check: every `by_subject` index entry points
+    /// at an in-bounds row whose subject matches, and every subject-
+    /// bearing row is indexed exactly once (no dangling or duplicate
+    /// entries after a sweep).
+    pub fn index_consistent(&self) -> bool {
+        let mut indexed = 0usize;
+        for (user, idxs) in &self.by_subject {
+            for &i in idxs {
+                match self.rows.get(i) {
+                    Some(row) if row.observation.subject == Some(*user) => indexed += 1,
+                    _ => return false,
+                }
+            }
+            let mut sorted = idxs.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != idxs.len() {
+                return false;
+            }
+        }
+        let subject_rows = self
+            .rows
+            .iter()
+            .filter(|r| r.observation.subject.is_some())
+            .count();
+        indexed == subject_rows
     }
 
     /// Rows about one subject, in a category (subsumption-aware), within
@@ -311,6 +347,72 @@ mod tests {
         assert!(store
             .latest_for(&ont, UserId(1), c.wifi_association, Timestamp::at(0, 8, 0))
             .is_none());
+    }
+
+    mod gc_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// After any sweep over any mix of subjectless/subject-bearing
+            /// rows and retention windows, the survivors are exactly the
+            /// unexpired rows, the `by_subject` index is consistent with
+            /// them, and every surviving subject row stays reachable
+            /// through a subject query.
+            #[test]
+            fn gc_leaves_subject_index_consistent_with_survivors(
+                rows in proptest::collection::vec(
+                    (
+                        proptest::option::of(0u64..6),
+                        proptest::option::of(0i64..3_600),
+                        0i64..7_200,
+                    ),
+                    0..48,
+                ),
+                sweep in 0i64..12_000,
+            ) {
+                let ont = Ontology::standard();
+                let c = ont.concepts().clone();
+                let mut store = Store::new();
+                for (user, retention, offset) in &rows {
+                    let t = Timestamp(*offset);
+                    let (mut o, cat) = obs(&ont, user.unwrap_or(0), t);
+                    o.subject = user.map(UserId);
+                    store.insert(o, cat, PolicyId(0), t, *retention);
+                }
+                prop_assert!(store.index_consistent());
+
+                let now = Timestamp(sweep);
+                let expected: Vec<StoredRow> = store
+                    .iter()
+                    .filter(|r| r.expires_at.map(|e| e > now).unwrap_or(true))
+                    .cloned()
+                    .collect();
+                let removed = store.gc(now);
+                prop_assert_eq!(removed, rows.len() - expected.len());
+                prop_assert!(store.index_consistent());
+                prop_assert_eq!(
+                    store.iter().cloned().collect::<Vec<StoredRow>>(),
+                    expected.clone()
+                );
+                for user in 0..6u64 {
+                    let via_index = store
+                        .query_subject(
+                            &ont,
+                            UserId(user),
+                            c.wifi_association,
+                            Timestamp(0),
+                            Timestamp(i64::from(u32::MAX)),
+                        )
+                        .len();
+                    let survivors = expected
+                        .iter()
+                        .filter(|r| r.observation.subject == Some(UserId(user)))
+                        .count();
+                    prop_assert_eq!(via_index, survivors);
+                }
+            }
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! the store, the enforcement engine and the audit log.
 
 use std::collections::HashMap;
+use std::path::Path;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,7 +26,8 @@ use crate::request::{
     DataRequest, DataResponse, ReleasedRecord, ReleasedValue, SubjectResult, SubjectSelector,
 };
 use crate::sensor_manager::{HvacCommand, SensorManager};
-use crate::store::Store;
+use crate::store::{Store, StoredRow};
+use crate::wal::{FaultyLog, FsLog, LogIo, RecoveryReport, Wal, WalConfig, WalError, WalRecord};
 
 /// Which enforcement engine to run (design decision D1; experiment E8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -58,6 +60,9 @@ pub struct TippersConfig {
     pub fault_plan: FaultPlan,
     /// Retry policy for publishing policies to a registry.
     pub publish_retry: RetryPolicy,
+    /// Write-ahead-log segment rotation threshold in bytes; only
+    /// consulted when the BMS is opened durably ([`Tippers::open`]).
+    pub wal_segment_max_bytes: u64,
 }
 
 impl Default for TippersConfig {
@@ -70,6 +75,7 @@ impl Default for TippersConfig {
             k_anonymity: 5,
             fault_plan: FaultPlan::disarmed(),
             publish_retry: RetryPolicy::default(),
+            wal_segment_max_bytes: 1 << 20,
         }
     }
 }
@@ -111,6 +117,9 @@ pub struct Tippers {
     noise_rng: StdRng,
     health: HealthMonitor,
     store_write_failures: u64,
+    wal: Option<Wal>,
+    wal_append_failures: u64,
+    wal_truncations: u64,
 }
 
 impl Tippers {
@@ -131,7 +140,175 @@ impl Tippers {
             enforcer: None,
             health: HealthMonitor::new(),
             store_write_failures: 0,
+            wal: None,
+            wal_append_failures: 0,
+            wal_truncations: 0,
         }
+    }
+
+    // ---- durable open & write-ahead logging ----------------------------------
+
+    /// Opens a *durable* BMS over a write-ahead-log directory (creating
+    /// it if absent): replays the log's checkpoint + tail, truncating at
+    /// the first corrupt or torn record, and logs every subsequent
+    /// mutation before returning from it. The caller supplies the
+    /// administrative configuration (ontology, model, config) exactly as
+    /// for [`Tippers::from_snapshot`]; policies, unlike in snapshots,
+    /// ride in the log and are recovered.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError`] on backend I/O failures or an unreplayable record;
+    /// corruption is *not* an error — it is truncated and counted in the
+    /// [`RecoveryReport`].
+    pub fn open(
+        dir: impl AsRef<Path>,
+        ontology: Ontology,
+        model: SpatialModel,
+        config: TippersConfig,
+    ) -> Result<(Tippers, RecoveryReport), WalError> {
+        let io = FsLog::open(dir.as_ref().to_path_buf())?;
+        Tippers::open_with(Box::new(io), ontology, model, config)
+    }
+
+    /// [`Tippers::open`] over any [`LogIo`] backend (an in-memory log for
+    /// crash-simulation tests, a custom store in production). All log
+    /// I/O is routed through the config's fault plan, so storage faults
+    /// ([`FaultPoint::WalAppendTorn`], [`FaultPoint::WalBitFlip`],
+    /// [`FaultPoint::WalSyncDrop`], [`FaultPoint::WalSegmentRename`])
+    /// are injectable.
+    ///
+    /// # Errors
+    ///
+    /// See [`Tippers::open`].
+    pub fn open_with(
+        io: Box<dyn LogIo>,
+        ontology: Ontology,
+        model: SpatialModel,
+        config: TippersConfig,
+    ) -> Result<(Tippers, RecoveryReport), WalError> {
+        let wal_config = WalConfig {
+            segment_max_bytes: config.wal_segment_max_bytes,
+        };
+        let faulty = FaultyLog::new(io, config.fault_plan.clone());
+        let (wal, records, report) = Wal::open(Box::new(faulty), wal_config)?;
+        let mut bms = Tippers::new(ontology, model, config);
+        for record in records {
+            bms.apply_record(record)?;
+        }
+        bms.wal_truncations = report.truncated_tails;
+        bms.wal = Some(wal);
+        Ok((bms, report))
+    }
+
+    /// Replays one recovered log record (the in-memory mutation without
+    /// re-logging it).
+    fn apply_record(&mut self, record: WalRecord) -> Result<(), WalError> {
+        match record {
+            WalRecord::Checkpoint {
+                snapshot,
+                policies,
+                next_policy_id,
+            } => {
+                if let Some(bad) = policies.iter().find(|p| p.id.0 >= next_policy_id) {
+                    return Err(WalError::Snapshot(crate::SnapshotError::Inconsistent(
+                        format!(
+                            "policy {} is at or above the id allocator ({next_policy_id})",
+                            bad.id
+                        ),
+                    )));
+                }
+                self.restore_durable_state(snapshot)?;
+                self.policies = PolicyManager::from_parts(policies, next_policy_id);
+            }
+            WalRecord::AddPolicy { policy } => {
+                self.enforcer = None;
+                self.policies.add(policy);
+            }
+            WalRecord::RemovePolicy { policy } => {
+                self.enforcer = None;
+                self.policies.remove(policy);
+            }
+            WalRecord::SubmitPreference { preference, now } => {
+                self.submit_preference_inner(preference, now);
+            }
+            WalRecord::SettingChoice {
+                user,
+                policy,
+                setting_key,
+                option_index,
+            } => {
+                self.apply_setting_choice_inner(user, policy, &setting_key, option_index)
+                    .map_err(|e| WalError::Replay(format!("setting choice: {e}")))?;
+            }
+            WalRecord::Retroactive { preference } => {
+                self.apply_retroactively_inner(preference);
+            }
+            WalRecord::Ingest { rows } => {
+                for row in rows {
+                    self.store.insert_row(row);
+                }
+            }
+            WalRecord::Gc { now } => {
+                self.store.gc(now);
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends a record for a mutation that was just applied. A no-op
+    /// without a log; an append failure is counted (the in-memory state
+    /// is ahead of the durable state until the next successful append),
+    /// never silently swallowed.
+    fn log(&mut self, record: WalRecord) {
+        let Some(wal) = self.wal.as_mut() else {
+            return;
+        };
+        if wal.append(&record).is_err() {
+            self.wal_append_failures += 1;
+        }
+    }
+
+    /// Writes a full-state checkpoint and compacts the log: older
+    /// segments are dropped once the checkpoint segment is durably
+    /// published. A no-op for a non-durable BMS.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Checkpoint`] when publication failed — the previous
+    /// segments remain authoritative and nothing is lost.
+    pub fn checkpoint(&mut self) -> Result<(), WalError> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let snapshot = self.snapshot();
+        let (policies, next_policy_id) = self.policies.snapshot_parts();
+        let record = WalRecord::Checkpoint {
+            snapshot,
+            policies,
+            next_policy_id,
+        };
+        self.wal
+            .as_mut()
+            .expect("wal presence checked above")
+            .checkpoint(&record)
+    }
+
+    /// True when mutations are being write-ahead logged.
+    pub fn wal_enabled(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Log appends that failed since open (mutations whose durability is
+    /// not guaranteed).
+    pub fn wal_append_failures(&self) -> u64 {
+        self.wal_append_failures
+    }
+
+    /// Corrupt/torn-tail truncation events observed at recovery — the
+    /// audit counter proving rejected bytes were never silently accepted.
+    pub fn wal_truncations(&self) -> u64 {
+        self.wal_truncations
     }
 
     /// The BMS's health: [`HealthStatus::Degraded`] while an internal
@@ -197,14 +374,23 @@ impl Tippers {
 
     /// Adds a building policy; returns its assigned id.
     pub fn add_policy(&mut self, policy: BuildingPolicy) -> PolicyId {
+        let record = WalRecord::AddPolicy {
+            policy: policy.clone(),
+        };
         self.enforcer = None;
-        self.policies.add(policy)
+        let id = self.policies.add(policy);
+        self.log(record);
+        id
     }
 
     /// Removes a policy.
     pub fn remove_policy(&mut self, id: PolicyId) -> bool {
         self.enforcer = None;
-        self.policies.remove(id)
+        let removed = self.policies.remove(id);
+        if removed {
+            self.log(WalRecord::RemovePolicy { policy: id });
+        }
+        removed
     }
 
     /// All policies.
@@ -264,6 +450,16 @@ impl Tippers {
     /// Stores a preference submitted by a user's IoTA; detects conflicts
     /// with mandatory policies and queues the notification (§III.B).
     pub fn submit_preference(&mut self, pref: UserPreference, now: Timestamp) -> PreferenceId {
+        let record = WalRecord::SubmitPreference {
+            preference: pref.clone(),
+            now,
+        };
+        let id = self.submit_preference_inner(pref, now);
+        self.log(record);
+        id
+    }
+
+    fn submit_preference_inner(&mut self, pref: UserPreference, now: Timestamp) -> PreferenceId {
         let user = pref.user;
         let mut stored = pref.clone();
         let id = self.preferences.add(pref);
@@ -290,6 +486,23 @@ impl Tippers {
     ///
     /// [`SettingsError`] when the policy, setting, or option is unknown.
     pub fn apply_setting_choice(
+        &mut self,
+        user: UserId,
+        policy: PolicyId,
+        setting_key: &str,
+        option_index: usize,
+    ) -> Result<PreferenceId, SettingsError> {
+        let id = self.apply_setting_choice_inner(user, policy, setting_key, option_index)?;
+        self.log(WalRecord::SettingChoice {
+            user,
+            policy,
+            setting_key: setting_key.to_string(),
+            option_index,
+        });
+        Ok(id)
+    }
+
+    fn apply_setting_choice_inner(
         &mut self,
         user: UserId,
         policy: PolicyId,
@@ -323,6 +536,16 @@ impl Tippers {
     /// paper's *when* options — enforcement applied to storage after the
     /// fact, not just to future capture and sharing.
     pub fn apply_retroactively(&mut self, pref_id: PreferenceId) -> usize {
+        let purged = self.apply_retroactively_inner(pref_id);
+        if purged > 0 {
+            self.log(WalRecord::Retroactive {
+                preference: pref_id,
+            });
+        }
+        purged
+    }
+
+    fn apply_retroactively_inner(&mut self, pref_id: PreferenceId) -> usize {
         let Some(pref) = self
             .preferences
             .all()
@@ -387,6 +610,10 @@ impl Tippers {
         self.ensure_enforcer();
         let mut stored = 0usize;
         let mut dropped = 0usize;
+        // Ingest is logged *physically*: the record carries the rows that
+        // survived enforcement and fault injection, so replay is a pure
+        // data load independent of sensor state or the fault plan.
+        let mut batch: Vec<StoredRow> = Vec::new();
         for obs in observations {
             self.sensors.observe(obs);
             let category = obs.payload.category(&self.ontology);
@@ -399,18 +626,27 @@ impl Tippers {
                         self.store_write_failures += 1;
                         dropped += 1;
                     } else {
-                        self.store.insert(
-                            obs.clone(),
+                        let row = StoredRow {
+                            observation: obs.clone(),
                             category,
-                            retention.0,
-                            obs.timestamp,
-                            retention.1,
-                        );
+                            policy: retention.0,
+                            stored_at: obs.timestamp,
+                            expires_at: retention
+                                .1
+                                .map(|secs| Timestamp(obs.timestamp.seconds() + secs)),
+                        };
+                        if self.wal.is_some() {
+                            batch.push(row.clone());
+                        }
+                        self.store.insert_row(row);
                         stored += 1;
                     }
                 }
                 None => dropped += 1,
             }
+        }
+        if !batch.is_empty() {
+            self.log(WalRecord::Ingest { rows: batch });
         }
         (stored, dropped)
     }
@@ -527,7 +763,11 @@ impl Tippers {
 
     /// Runs retention garbage collection. Returns rows deleted.
     pub fn gc(&mut self, now: Timestamp) -> usize {
-        self.store.gc(now)
+        let removed = self.store.gc(now);
+        if removed > 0 {
+            self.log(WalRecord::Gc { now });
+        }
+        removed
     }
 
     // ---- snapshot & recovery -------------------------------------------------
@@ -562,6 +802,18 @@ impl Tippers {
         config: TippersConfig,
         snapshot: crate::Snapshot,
     ) -> Result<Tippers, crate::SnapshotError> {
+        let mut bms = Tippers::new(ontology, model, config);
+        bms.restore_durable_state(snapshot)?;
+        Ok(bms)
+    }
+
+    /// Validates a snapshot and installs its durable state (store,
+    /// preferences, audit), invalidating the enforcement engine. Shared
+    /// by [`Tippers::from_snapshot`] and checkpoint replay.
+    fn restore_durable_state(
+        &mut self,
+        snapshot: crate::Snapshot,
+    ) -> Result<(), crate::SnapshotError> {
         snapshot.check_version()?;
         if let Some(bad) = snapshot
             .preferences
@@ -573,12 +825,12 @@ impl Tippers {
                 bad.id, snapshot.next_preference_id
             )));
         }
-        let mut bms = Tippers::new(ontology, model, config);
-        bms.store = snapshot.store;
-        bms.preferences =
+        self.store = snapshot.store;
+        self.preferences =
             PreferenceManager::from_parts(snapshot.preferences, snapshot.next_preference_id);
-        bms.audit = snapshot.audit;
-        Ok(bms)
+        self.audit = snapshot.audit;
+        self.enforcer = None;
+        Ok(())
     }
 
     // ---- service requests (steps 9–10) ---------------------------------------

@@ -1,0 +1,211 @@
+//! Record framing for the write-ahead log.
+//!
+//! Every record is laid out as `[len: u32 LE][crc32: u32 LE][payload]`,
+//! where the checksum covers the payload bytes. Decoding walks a segment
+//! front to back and stops at the first frame that does not check out —
+//! a torn header, a torn payload, an implausible length, or a checksum
+//! mismatch — reporting how many bytes were valid so recovery can
+//! truncate there instead of erroring or accepting garbage.
+
+use std::fmt;
+
+/// Bytes of framing overhead per record (length + checksum).
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on a single record's payload; anything larger is treated
+/// as corruption (a bit flip in the length field must not make recovery
+/// attempt a gigabyte allocation).
+pub const MAX_RECORD_LEN: usize = 64 * 1024 * 1024;
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+/// IEEE CRC-32 (the Ethernet/zlib polynomial, reflected).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Frames a payload as one log record.
+pub fn encode(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Why a segment's tail was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Fewer bytes remain than a record header needs (torn header).
+    TornHeader,
+    /// The header promises more payload bytes than the segment holds
+    /// (torn write).
+    TornPayload,
+    /// The length field is implausibly large (corrupted header).
+    OversizedLength,
+    /// The payload does not match its checksum (bit rot or a torn
+    /// overwrite).
+    ChecksumMismatch,
+    /// The payload passed its checksum but did not decode as a record
+    /// (foreign or corrupted content).
+    Undecodable,
+}
+
+impl fmt::Display for Corruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Corruption::TornHeader => "torn record header",
+            Corruption::TornPayload => "torn record payload",
+            Corruption::OversizedLength => "implausible record length",
+            Corruption::ChecksumMismatch => "checksum mismatch",
+            Corruption::Undecodable => "undecodable record payload",
+        })
+    }
+}
+
+/// The outcome of walking one segment's bytes.
+#[derive(Debug)]
+pub struct DecodedSegment {
+    /// Each intact record's payload, in log order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Byte offset just past each intact record (so `boundaries[i]` is
+    /// where record `i + 1` starts).
+    pub boundaries: Vec<usize>,
+    /// How many leading bytes were valid; recovery truncates here.
+    pub valid_len: usize,
+    /// Why decoding stopped early, if it did.
+    pub corruption: Option<Corruption>,
+}
+
+/// Walks a segment front to back, collecting intact records and stopping
+/// at the first torn or corrupt frame.
+pub fn decode_segment(bytes: &[u8]) -> DecodedSegment {
+    let mut payloads = Vec::new();
+    let mut boundaries = Vec::new();
+    let mut off = 0usize;
+    let corruption = loop {
+        let remaining = bytes.len() - off;
+        if remaining == 0 {
+            break None;
+        }
+        if remaining < HEADER_LEN {
+            break Some(Corruption::TornHeader);
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_RECORD_LEN {
+            break Some(Corruption::OversizedLength);
+        }
+        if remaining < HEADER_LEN + len {
+            break Some(Corruption::TornPayload);
+        }
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+        let payload = &bytes[off + HEADER_LEN..off + HEADER_LEN + len];
+        if crc32(payload) != crc {
+            break Some(Corruption::ChecksumMismatch);
+        }
+        off += HEADER_LEN + len;
+        payloads.push(payload.to_vec());
+        boundaries.push(off);
+    };
+    DecodedSegment {
+        payloads,
+        boundaries,
+        valid_len: off,
+        corruption,
+    }
+}
+
+/// Byte offsets just past each intact record in a segment — the crash
+/// points a recovery fuzzer enumerates.
+pub fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
+    decode_segment(bytes).boundaries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // The standard check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let mut segment = Vec::new();
+        segment.extend_from_slice(&encode(b"alpha"));
+        segment.extend_from_slice(&encode(b""));
+        segment.extend_from_slice(&encode(b"gamma-record"));
+        let decoded = decode_segment(&segment);
+        assert_eq!(
+            decoded.payloads,
+            vec![b"alpha".to_vec(), Vec::new(), b"gamma-record".to_vec()]
+        );
+        assert_eq!(decoded.valid_len, segment.len());
+        assert!(decoded.corruption.is_none());
+    }
+
+    #[test]
+    fn every_truncation_point_is_detected() {
+        let mut segment = Vec::new();
+        segment.extend_from_slice(&encode(b"first"));
+        let boundary = segment.len();
+        segment.extend_from_slice(&encode(b"second-record"));
+        for cut in boundary + 1..segment.len() {
+            let decoded = decode_segment(&segment[..cut]);
+            assert_eq!(decoded.payloads.len(), 1, "cut at {cut}");
+            assert_eq!(decoded.valid_len, boundary);
+            assert!(decoded.corruption.is_some(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let segment = encode(b"checksummed payload");
+        for byte in 0..segment.len() {
+            let mut copy = segment.clone();
+            copy[byte] ^= 1 << (byte % 8);
+            let decoded = decode_segment(&copy);
+            assert!(
+                decoded.payloads.is_empty() && decoded.corruption.is_some(),
+                "flip at byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut segment = Vec::new();
+        segment.extend_from_slice(&(u32::MAX).to_le_bytes());
+        segment.extend_from_slice(&[0, 0, 0, 0]);
+        let decoded = decode_segment(&segment);
+        assert_eq!(decoded.corruption, Some(Corruption::OversizedLength));
+        assert_eq!(decoded.valid_len, 0);
+    }
+}

@@ -1,0 +1,456 @@
+//! The write-ahead log's storage layer.
+//!
+//! All file I/O the log performs goes through the [`LogIo`] trait, so
+//! every byte that would hit a disk is injectable: [`FsLog`] is the real
+//! filesystem backend, [`MemLog`] is an in-memory backend with an
+//! explicit durability line (for crash simulation), and [`FaultyLog`]
+//! wraps either to apply the storage faults of a
+//! [`FaultPlan`](tippers_resilience::FaultPlan) — torn appends, bit
+//! flips, dropped syncs, and failed segment renames.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tippers_resilience::{FaultPlan, FaultPoint};
+
+/// Byte-level storage for log segments.
+///
+/// Implementations model a directory of append-only files. `append`
+/// reaches the backend's buffer; only `sync` makes the appended bytes
+/// durable — a simulated crash loses everything after the last sync.
+pub trait LogIo: fmt::Debug + Send {
+    /// Names of all files present, in unspecified order.
+    fn list(&self) -> io::Result<Vec<String>>;
+    /// A file's full (buffered) contents.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// Appends bytes to a file, creating it if absent.
+    fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()>;
+    /// Makes all bytes appended so far durable.
+    fn sync(&mut self, name: &str) -> io::Result<()>;
+    /// How many of a file's bytes are durable (would survive a crash).
+    fn durable_len(&self, name: &str) -> io::Result<u64>;
+    /// Truncates a file to `len` bytes.
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()>;
+    /// Removes a file.
+    fn remove(&mut self, name: &str) -> io::Result<()>;
+    /// Atomically renames a file.
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()>;
+}
+
+impl LogIo for Box<dyn LogIo> {
+    fn list(&self) -> io::Result<Vec<String>> {
+        (**self).list()
+    }
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        (**self).read(name)
+    }
+    fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        (**self).append(name, bytes)
+    }
+    fn sync(&mut self, name: &str) -> io::Result<()> {
+        (**self).sync(name)
+    }
+    fn durable_len(&self, name: &str) -> io::Result<u64> {
+        (**self).durable_len(name)
+    }
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        (**self).truncate(name, len)
+    }
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        (**self).remove(name)
+    }
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()> {
+        (**self).rename(from, to)
+    }
+}
+
+/// Filesystem-backed log storage: one directory, one file per segment.
+#[derive(Debug)]
+pub struct FsLog {
+    dir: PathBuf,
+    handles: HashMap<String, fs::File>,
+}
+
+impl FsLog {
+    /// Opens (creating if needed) a log directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<FsLog> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(FsLog {
+            dir,
+            handles: HashMap::new(),
+        })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    fn handle(&mut self, name: &str) -> io::Result<&mut fs::File> {
+        if !self.handles.contains_key(name) {
+            let file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.path(name))?;
+            self.handles.insert(name.to_owned(), file);
+        }
+        Ok(self.handles.get_mut(name).expect("just inserted"))
+    }
+}
+
+impl LogIo for FsLog {
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        Ok(out)
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        fs::read(self.path(name))
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.handle(name)?.write_all(bytes)
+    }
+
+    fn sync(&mut self, name: &str) -> io::Result<()> {
+        self.handle(name)?.sync_data()
+    }
+
+    fn durable_len(&self, name: &str) -> io::Result<u64> {
+        Ok(fs::metadata(self.path(name))?.len())
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        self.handles.remove(name);
+        let file = fs::OpenOptions::new().write(true).open(self.path(name))?;
+        file.set_len(len)?;
+        file.sync_data()
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        self.handles.remove(name);
+        fs::remove_file(self.path(name))
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()> {
+        self.handles.remove(from);
+        self.handles.remove(to);
+        fs::rename(self.path(from), self.path(to))
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct MemFile {
+    bytes: Vec<u8>,
+    durable: usize,
+}
+
+/// In-memory log storage with an explicit durability line.
+///
+/// Appends land in the buffer; `sync` advances the durable watermark;
+/// [`MemLog::crash`] discards everything past it (and files that were
+/// never synced at all), simulating a process crash mid-write. Clones
+/// share state, so a test can keep a handle, crash the "disk", and
+/// recover from the same backend.
+#[derive(Debug, Clone, Default)]
+pub struct MemLog {
+    files: Arc<Mutex<HashMap<String, MemFile>>>,
+}
+
+impl MemLog {
+    /// An empty in-memory log directory.
+    pub fn new() -> MemLog {
+        MemLog::default()
+    }
+
+    /// Simulates a crash: un-synced bytes vanish, and files that never
+    /// reached a successful sync vanish entirely.
+    pub fn crash(&self) {
+        let mut files = self.files.lock();
+        files.retain(|_, f| f.durable > 0);
+        for f in files.values_mut() {
+            f.bytes.truncate(f.durable);
+        }
+    }
+
+    /// A deep copy sharing nothing with `self` — the fuzz harness copies
+    /// the directory at every record boundary and recovers each copy
+    /// independently.
+    pub fn deep_copy(&self) -> MemLog {
+        MemLog {
+            files: Arc::new(Mutex::new(self.files.lock().clone())),
+        }
+    }
+
+    /// A file's current (buffered) contents, if it exists.
+    pub fn file_bytes(&self, name: &str) -> Option<Vec<u8>> {
+        self.files.lock().get(name).map(|f| f.bytes.clone())
+    }
+
+    /// All file names present.
+    pub fn file_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.files.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Overwrites a file's contents (and marks them durable) — the fuzz
+    /// harness's tampering hook for torn tails and bit flips.
+    pub fn set_file(&self, name: &str, bytes: Vec<u8>) {
+        let durable = bytes.len();
+        self.files
+            .lock()
+            .insert(name.to_owned(), MemFile { bytes, durable });
+    }
+}
+
+impl LogIo for MemLog {
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self.files.lock().keys().cloned().collect())
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.files
+            .lock()
+            .get(name)
+            .map(|f| f.bytes.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_owned()))
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        self.files
+            .lock()
+            .entry(name.to_owned())
+            .or_default()
+            .bytes
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self, name: &str) -> io::Result<()> {
+        let mut files = self.files.lock();
+        let file = files
+            .get_mut(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_owned()))?;
+        file.durable = file.bytes.len();
+        Ok(())
+    }
+
+    fn durable_len(&self, name: &str) -> io::Result<u64> {
+        self.files
+            .lock()
+            .get(name)
+            .map(|f| f.durable as u64)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_owned()))
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        let mut files = self.files.lock();
+        let file = files
+            .get_mut(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_owned()))?;
+        file.bytes.truncate(len as usize);
+        file.durable = file.durable.min(file.bytes.len());
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        self.files
+            .lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_owned()))
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()> {
+        let mut files = self.files.lock();
+        let file = files
+            .remove(from)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, from.to_owned()))?;
+        files.insert(to.to_owned(), file);
+        Ok(())
+    }
+}
+
+/// Routes every I/O call through a [`FaultPlan`], applying the storage
+/// fault points before delegating:
+///
+/// * [`FaultPoint::WalAppendTorn`] — only a prefix of the appended bytes
+///   reaches the backend (param > 0 gives the prefix length, else half).
+/// * [`FaultPoint::WalBitFlip`] — one bit of the appended bytes is
+///   flipped (param selects the byte offset within the record).
+/// * [`FaultPoint::WalSyncDrop`] — the sync silently does nothing, so a
+///   crash loses the preceding appends.
+/// * [`FaultPoint::WalSegmentRename`] — the rename fails with an error
+///   (a checkpoint publication that never happened).
+#[derive(Debug)]
+pub struct FaultyLog<I: LogIo> {
+    inner: I,
+    plan: FaultPlan,
+}
+
+impl<I: LogIo> FaultyLog<I> {
+    /// Wraps a backend with a fault plan (a disarmed plan adds one branch
+    /// per call).
+    pub fn new(inner: I, plan: FaultPlan) -> FaultyLog<I> {
+        FaultyLog { inner, plan }
+    }
+}
+
+impl<I: LogIo> LogIo for FaultyLog<I> {
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.inner.list()
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.inner.read(name)
+    }
+
+    fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        if self.plan.should_fail(FaultPoint::WalAppendTorn) {
+            let param = self.plan.param(FaultPoint::WalAppendTorn);
+            let keep = if param > 0 {
+                (param as usize).min(bytes.len())
+            } else {
+                bytes.len() / 2
+            };
+            return self.inner.append(name, &bytes[..keep]);
+        }
+        if self.plan.should_fail(FaultPoint::WalBitFlip) && !bytes.is_empty() {
+            let mut corrupted = bytes.to_vec();
+            let offset =
+                self.plan.param(FaultPoint::WalBitFlip).unsigned_abs() as usize % corrupted.len();
+            corrupted[offset] ^= 1 << (offset % 8);
+            return self.inner.append(name, &corrupted);
+        }
+        self.inner.append(name, bytes)
+    }
+
+    fn sync(&mut self, name: &str) -> io::Result<()> {
+        if self.plan.should_fail(FaultPoint::WalSyncDrop) {
+            return Ok(());
+        }
+        self.inner.sync(name)
+    }
+
+    fn durable_len(&self, name: &str) -> io::Result<u64> {
+        self.inner.durable_len(name)
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        self.inner.truncate(name, len)
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        self.inner.remove(name)
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> io::Result<()> {
+        if self.plan.should_fail(FaultPoint::WalSegmentRename) {
+            return Err(io::Error::other("injected segment-rename failure"));
+        }
+        self.inner.rename(from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_log_crash_drops_unsynced_tail() {
+        let mut log = MemLog::new();
+        log.append("a", b"durable").unwrap();
+        log.sync("a").unwrap();
+        log.append("a", b"+lost").unwrap();
+        log.append("b", b"never synced").unwrap();
+        log.crash();
+        assert_eq!(log.read("a").unwrap(), b"durable");
+        assert!(log.read("b").is_err(), "unsynced file vanishes on crash");
+    }
+
+    #[test]
+    fn mem_log_deep_copy_is_independent() {
+        let mut log = MemLog::new();
+        log.append("a", b"one").unwrap();
+        log.sync("a").unwrap();
+        let copy = log.deep_copy();
+        log.append("a", b"+two").unwrap();
+        assert_eq!(copy.read("a").unwrap(), b"one");
+    }
+
+    #[test]
+    fn fs_log_round_trips_on_disk() {
+        let dir = std::env::temp_dir().join(format!("tippers-fslog-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        {
+            let mut log = FsLog::open(dir.clone()).unwrap();
+            log.append("seg", b"hello ").unwrap();
+            log.append("seg", b"world").unwrap();
+            log.sync("seg").unwrap();
+            assert_eq!(log.durable_len("seg").unwrap(), 11);
+            log.append("tmp", b"next").unwrap();
+            log.sync("tmp").unwrap();
+            log.rename("tmp", "seg2").unwrap();
+        }
+        // A fresh handle (the post-restart view) sees the same bytes.
+        let mut log = FsLog::open(dir.clone()).unwrap();
+        let mut names = log.list().unwrap();
+        names.sort();
+        assert_eq!(names, ["seg", "seg2"]);
+        assert_eq!(log.read("seg").unwrap(), b"hello world");
+        assert_eq!(log.read("seg2").unwrap(), b"next");
+        log.truncate("seg", 5).unwrap();
+        assert_eq!(log.read("seg").unwrap(), b"hello");
+        log.remove("seg2").unwrap();
+        assert_eq!(log.list().unwrap(), ["seg"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulty_log_tears_and_flips() {
+        let plan = FaultPlan::seeded(1);
+        plan.arm_limited(FaultPoint::WalAppendTorn, 1.0, 1);
+        let mut log = FaultyLog::new(MemLog::new(), plan.clone());
+        log.append("a", b"0123456789").unwrap();
+        assert_eq!(log.read("a").unwrap(), b"01234", "half the record survives");
+
+        plan.arm_with_param(FaultPoint::WalBitFlip, 1.0, 2);
+        log.append("a", b"abcd").unwrap();
+        let bytes = log.read("a").unwrap();
+        assert_eq!(bytes.len(), 9);
+        assert_eq!(bytes[5 + 2], b'c' ^ (1 << 2), "bit 2 of byte 2 flipped");
+    }
+
+    #[test]
+    fn faulty_log_drops_syncs_and_fails_renames() {
+        let plan = FaultPlan::seeded(2);
+        plan.arm(FaultPoint::WalSyncDrop, 1.0);
+        let mem = MemLog::new();
+        let mut log = FaultyLog::new(mem.clone(), plan.clone());
+        log.append("a", b"buffered").unwrap();
+        log.sync("a").unwrap();
+        assert_eq!(log.durable_len("a").unwrap(), 0, "sync was dropped");
+        mem.crash();
+        assert!(log.read("a").is_err());
+
+        plan.arm(FaultPoint::WalSegmentRename, 1.0);
+        log.append("x", b"tmp").unwrap();
+        assert!(log.rename("x", "y").is_err());
+    }
+}

@@ -1,0 +1,562 @@
+//! Crash-consistent durability for the BMS: an append-only,
+//! CRC32-checksummed, length-prefixed write-ahead log over `Tippers`
+//! mutations, with segment rotation and snapshot-anchored compaction.
+//!
+//! The paper's TIPPERS component is the system of record for captured
+//! observations and user privacy settings — a lost privacy setting
+//! silently reverts a user to default data collection, the exact harm
+//! the framework exists to prevent. This module makes that state
+//! durable and provably recoverable:
+//!
+//! * every public mutation appends one checksummed [`WalRecord`] and is
+//!   synced before the call returns — a record boundary *is* a
+//!   durability boundary;
+//! * [`Tippers::checkpoint`](crate::Tippers::checkpoint) writes a
+//!   full-state [`WalRecord::Checkpoint`] into a fresh segment and drops
+//!   the older segments (compaction anchored on the snapshot);
+//! * [`Tippers::open`](crate::Tippers::open) replays checkpoint + tail,
+//!   and truncates at the first corrupt or torn record — counted in the
+//!   [`RecoveryReport`], never silently accepted, never an error that
+//!   strands the log.
+//!
+//! All I/O is routed through [`LogIo`], so every failure a disk can
+//! produce is injectable via the fault plane ([`FaultyLog`]): torn
+//! appends, flipped bits, dropped syncs, failed segment renames.
+
+mod frame;
+mod io;
+mod record;
+
+use std::fmt;
+
+pub use frame::{crc32, record_boundaries, Corruption};
+pub use io::{FaultyLog, FsLog, LogIo, MemLog};
+pub use record::WalRecord;
+
+use crate::snapshot::SnapshotError;
+
+/// Write-ahead-log tuning knobs.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Rotate to a fresh segment once the current one exceeds this many
+    /// bytes (rotation bounds per-segment replay and loss-on-corruption).
+    pub segment_max_bytes: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_max_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Why a write-ahead-log operation failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WalError {
+    /// The storage backend failed.
+    Io(std::io::Error),
+    /// A recovered record could not be applied — the log and the code
+    /// replaying it disagree about semantics, which is never safe to
+    /// paper over.
+    Replay(String),
+    /// A checkpoint's snapshot failed validation on recovery.
+    Snapshot(SnapshotError),
+    /// A checkpoint could not be published; the previous segments remain
+    /// authoritative and the log keeps working.
+    Checkpoint(String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "write-ahead log I/O failed: {e}"),
+            WalError::Replay(detail) => write!(f, "write-ahead log replay failed: {detail}"),
+            WalError::Snapshot(e) => write!(f, "checkpoint snapshot rejected: {e}"),
+            WalError::Checkpoint(detail) => write!(f, "checkpoint not published: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            WalError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for WalError {
+    fn from(e: SnapshotError) -> Self {
+        WalError::Snapshot(e)
+    }
+}
+
+/// What recovery found and did while opening a log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Intact records replayed into the recovered BMS.
+    pub records_replayed: u64,
+    /// Corrupt/torn-tail truncation events (0 on a clean log). Anything
+    /// non-zero means bytes were rejected — audited here, never silently
+    /// accepted.
+    pub truncated_tails: u64,
+    /// Bytes discarded by truncation and by dropping post-corruption
+    /// segments.
+    pub bytes_discarded: u64,
+    /// Whole segments discarded because they followed a corruption.
+    pub segments_discarded: u64,
+    /// Leftover checkpoint temp files discarded (a crash between
+    /// checkpoint prepare and publish).
+    pub tmp_segments_discarded: u64,
+    /// Human-readable description of the first corruption, if any.
+    pub corruption: Option<String>,
+}
+
+fn segment_name(seq: u64) -> String {
+    format!("wal-{seq:010}.log")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    if digits.len() != 10 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The append-only, segmented, checksummed mutation log.
+#[derive(Debug)]
+pub struct Wal {
+    io: Box<dyn LogIo>,
+    config: WalConfig,
+    /// Live segment sequence numbers, ascending; the last is current.
+    live: Vec<u64>,
+    current_len: u64,
+}
+
+impl Wal {
+    /// Opens a log over a storage backend, recovering its intact record
+    /// prefix. Corrupt or torn tails are truncated (and every segment
+    /// after the corruption dropped), counted in the report; leftover
+    /// checkpoint temp files are discarded.
+    ///
+    /// # Errors
+    ///
+    /// Only genuine backend I/O failures error; corruption never does.
+    pub fn open(
+        io: Box<dyn LogIo>,
+        config: WalConfig,
+    ) -> Result<(Wal, Vec<WalRecord>, RecoveryReport), WalError> {
+        let mut wal = Wal {
+            io,
+            config,
+            live: Vec::new(),
+            current_len: 0,
+        };
+        let mut report = RecoveryReport::default();
+
+        let mut seqs = Vec::new();
+        for name in wal.io.list()? {
+            if name.ends_with(".tmp") {
+                // A checkpoint that was prepared but never published; the
+                // rename is the commit point, so this is dead weight.
+                wal.io.remove(&name)?;
+                report.tmp_segments_discarded += 1;
+            } else if let Some(seq) = parse_segment_name(&name) {
+                seqs.push(seq);
+            }
+        }
+        seqs.sort_unstable();
+
+        // A missing middle segment (a crash can vaporize a whole file
+        // whose sync never landed while later files survive) orphans
+        // everything after it: those records' predecessors are gone, so
+        // replaying them would fabricate a state no run ever had. Keep
+        // only the contiguous leading run.
+        let contiguous = (1..seqs.len())
+            .find(|&i| seqs[i] != seqs[i - 1] + 1)
+            .unwrap_or(seqs.len());
+        if contiguous < seqs.len() {
+            report.truncated_tails += 1;
+            report.corruption = Some(format!(
+                "segment sequence gap after {}",
+                segment_name(seqs[contiguous - 1])
+            ));
+            for &seq in &seqs[contiguous..] {
+                let name = segment_name(seq);
+                report.bytes_discarded += wal.io.read(&name)?.len() as u64;
+                wal.io.remove(&name)?;
+                report.segments_discarded += 1;
+            }
+            seqs.truncate(contiguous);
+        }
+
+        let mut records = Vec::new();
+        let mut corrupted_at: Option<usize> = None;
+        for (i, &seq) in seqs.iter().enumerate() {
+            let name = segment_name(seq);
+            let bytes = wal.io.read(&name)?;
+            let decoded = frame::decode_segment(&bytes);
+            let mut valid_len = decoded.valid_len;
+            let mut corruption = decoded.corruption;
+            let mut start = 0usize;
+            for (payload, &end) in decoded.payloads.iter().zip(&decoded.boundaries) {
+                match WalRecord::from_payload(payload) {
+                    Some(record) => records.push(record),
+                    None => {
+                        // Checksum held but the content is foreign:
+                        // truncate at this record's start, same as any
+                        // other corruption.
+                        valid_len = start;
+                        corruption = Some(Corruption::Undecodable);
+                        break;
+                    }
+                }
+                start = end;
+            }
+            if let Some(reason) = corruption {
+                report.truncated_tails += 1;
+                report.bytes_discarded += (bytes.len() - valid_len) as u64;
+                report
+                    .corruption
+                    .get_or_insert_with(|| format!("{reason} in {name} at byte {valid_len}"));
+                wal.io.truncate(&name, valid_len as u64)?;
+                wal.current_len = valid_len as u64;
+                corrupted_at = Some(i);
+                break;
+            }
+            wal.current_len = bytes.len() as u64;
+        }
+        if let Some(i) = corrupted_at {
+            // Everything after a corruption is unordered garbage relative
+            // to the truncated prefix; drop it rather than replay records
+            // whose predecessors are gone.
+            for &seq in &seqs[i + 1..] {
+                let name = segment_name(seq);
+                report.bytes_discarded += wal.io.read(&name)?.len() as u64;
+                wal.io.remove(&name)?;
+                report.segments_discarded += 1;
+            }
+            seqs.truncate(i + 1);
+        }
+        if seqs.is_empty() {
+            seqs.push(1);
+            wal.current_len = 0;
+        }
+        wal.live = seqs;
+        report.records_replayed = records.len() as u64;
+        Ok((wal, records, report))
+    }
+
+    fn current_seq(&self) -> u64 {
+        *self
+            .live
+            .last()
+            .expect("a log always has a current segment")
+    }
+
+    /// The current segment's file name (diagnostics, tests).
+    pub fn current_segment(&self) -> String {
+        segment_name(self.current_seq())
+    }
+
+    /// Live segment file names, oldest first.
+    pub fn segments(&self) -> Vec<String> {
+        self.live.iter().map(|&s| segment_name(s)).collect()
+    }
+
+    /// Appends one record and syncs it — when this returns `Ok`, the
+    /// record survives a crash. Rotates to a fresh segment when the
+    /// current one is over [`WalConfig::segment_max_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O failures (injected faults corrupt silently instead of
+    /// erroring — they are caught by recovery's checksums, not here).
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        let bytes = frame::encode(&record.to_payload());
+        if self.current_len > 0
+            && self.current_len + bytes.len() as u64 > self.config.segment_max_bytes
+        {
+            self.live.push(self.current_seq() + 1);
+            self.current_len = 0;
+        }
+        let name = segment_name(self.current_seq());
+        self.io.append(&name, &bytes)?;
+        self.io.sync(&name)?;
+        self.current_len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Publishes a checkpoint: writes `record` (which must carry the full
+    /// durable state) into a fresh segment via a temp file, syncs and
+    /// verifies it, atomically renames it live, then drops all older
+    /// segments. On any failure the old segments remain authoritative.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Checkpoint`] when the new segment could not be made
+    /// durable or visible; the log keeps appending to the old segments.
+    pub fn checkpoint(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        let new_seq = self.current_seq() + 1;
+        let tmp = format!("{}.tmp", segment_name(new_seq));
+        let name = segment_name(new_seq);
+        let bytes = frame::encode(&record.to_payload());
+        let _ = self.io.remove(&tmp); // stale leftover from a failed attempt
+        self.io.append(&tmp, &bytes)?;
+        self.io.sync(&tmp)?;
+        // A dropped sync here would let us delete the only copy of the
+        // state; verify durability before committing.
+        if self.io.durable_len(&tmp).unwrap_or(0) != bytes.len() as u64 {
+            let _ = self.io.remove(&tmp);
+            return Err(WalError::Checkpoint(
+                "checkpoint segment did not become durable (dropped sync)".into(),
+            ));
+        }
+        if let Err(e) = self.io.rename(&tmp, &name) {
+            let _ = self.io.remove(&tmp);
+            return Err(WalError::Checkpoint(format!(
+                "checkpoint segment rename failed: {e}"
+            )));
+        }
+        // Rename is the commit point: from here the anchor is durable,
+        // and older segments are superseded. A crash mid-removal leaves
+        // stale segments that replay harmlessly (the checkpoint record
+        // resets state).
+        let old: Vec<u64> = self.live.drain(..).collect();
+        self.live.push(new_seq);
+        self.current_len = bytes.len() as u64;
+        for seq in old {
+            let _ = self.io.remove(&segment_name(seq));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_policy::{PolicyId, Timestamp};
+
+    fn open_mem(mem: &MemLog, max: u64) -> (Wal, Vec<WalRecord>, RecoveryReport) {
+        Wal::open(
+            Box::new(mem.clone()),
+            WalConfig {
+                segment_max_bytes: max,
+            },
+        )
+        .expect("open")
+    }
+
+    fn sample(i: u64) -> WalRecord {
+        WalRecord::RemovePolicy {
+            policy: PolicyId(i),
+        }
+    }
+
+    #[test]
+    fn append_reopen_replays_in_order() {
+        let mem = MemLog::new();
+        let (mut wal, records, report) = open_mem(&mem, 1 << 20);
+        assert!(records.is_empty());
+        assert_eq!(report, RecoveryReport::default());
+        for i in 0..5 {
+            wal.append(&sample(i)).unwrap();
+        }
+        drop(wal);
+        mem.crash();
+        let (_, records, report) = open_mem(&mem, 1 << 20);
+        assert_eq!(records.len(), 5);
+        assert_eq!(report.records_replayed, 5);
+        assert_eq!(report.truncated_tails, 0);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(*r, sample(i as u64));
+        }
+    }
+
+    #[test]
+    fn segments_rotate_and_replay_across_files() {
+        let mem = MemLog::new();
+        let (mut wal, _, _) = open_mem(&mem, 64);
+        for i in 0..20 {
+            wal.append(&sample(i)).unwrap();
+        }
+        assert!(wal.segments().len() > 1, "rotation must have happened");
+        drop(wal);
+        let (_, records, _) = open_mem(&mem, 64);
+        assert_eq!(records.len(), 20);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_counted() {
+        let mem = MemLog::new();
+        let (mut wal, _, _) = open_mem(&mem, 1 << 20);
+        for i in 0..3 {
+            wal.append(&sample(i)).unwrap();
+        }
+        let name = wal.current_segment();
+        drop(wal);
+        let bytes = mem.file_bytes(&name).unwrap();
+        mem.set_file(&name, bytes[..bytes.len() - 3].to_vec());
+        let (wal, records, report) = open_mem(&mem, 1 << 20);
+        assert_eq!(records.len(), 2, "the torn final record is dropped");
+        assert_eq!(report.truncated_tails, 1);
+        assert!(report.bytes_discarded > 0);
+        assert!(report.corruption.as_deref().unwrap().contains("torn"));
+        // The file was physically truncated to the valid prefix.
+        let healed = mem.file_bytes(&wal.current_segment()).unwrap();
+        assert_eq!(frame::decode_segment(&healed).corruption, None);
+    }
+
+    #[test]
+    fn corruption_drops_later_segments_too() {
+        let mem = MemLog::new();
+        let (mut wal, _, _) = open_mem(&mem, 64);
+        for i in 0..20 {
+            wal.append(&sample(i)).unwrap();
+        }
+        let first = wal.segments()[0].clone();
+        let n_segments = wal.segments().len();
+        assert!(n_segments > 2);
+        drop(wal);
+        let mut bytes = mem.file_bytes(&first).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        mem.set_file(&first, bytes);
+        let (wal, records, report) = open_mem(&mem, 64);
+        assert!(records.len() < 20);
+        assert_eq!(report.truncated_tails, 1);
+        assert_eq!(report.segments_discarded as usize, n_segments - 1);
+        assert_eq!(wal.segments().len(), 1);
+        // Replayed records are exactly the intact prefix.
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(*r, sample(i as u64));
+        }
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_recovers() {
+        let mem = MemLog::new();
+        let (mut wal, _, _) = open_mem(&mem, 64);
+        for i in 0..10 {
+            wal.append(&sample(i)).unwrap();
+        }
+        assert!(wal.segments().len() > 1);
+        wal.checkpoint(&sample(99)).unwrap();
+        assert_eq!(wal.segments().len(), 1, "older segments compacted away");
+        wal.append(&sample(100)).unwrap();
+        drop(wal);
+        let (_, records, report) = open_mem(&mem, 64);
+        assert_eq!(records, vec![sample(99), sample(100)]);
+        assert_eq!(report.truncated_tails, 0);
+    }
+
+    #[test]
+    fn failed_checkpoint_rename_keeps_old_segments_authoritative() {
+        use tippers_resilience::{FaultPlan, FaultPoint};
+        let mem = MemLog::new();
+        let plan = FaultPlan::seeded(5);
+        let (mut wal, _, _) = Wal::open(
+            Box::new(FaultyLog::new(mem.clone(), plan.clone())),
+            WalConfig::default(),
+        )
+        .unwrap();
+        for i in 0..4 {
+            wal.append(&sample(i)).unwrap();
+        }
+        plan.arm_limited(FaultPoint::WalSegmentRename, 1.0, 1);
+        let err = wal.checkpoint(&sample(99)).unwrap_err();
+        assert!(matches!(err, WalError::Checkpoint(_)));
+        // The log keeps working and nothing was lost.
+        wal.append(&sample(4)).unwrap();
+        drop(wal);
+        let (_, records, report) = open_mem(&mem, 1 << 20);
+        assert_eq!(records.len(), 5);
+        assert_eq!(report.tmp_segments_discarded, 0, "tmp was cleaned up");
+    }
+
+    #[test]
+    fn dropped_checkpoint_sync_is_detected_before_compaction() {
+        use tippers_resilience::{FaultPlan, FaultPoint};
+        let mem = MemLog::new();
+        let plan = FaultPlan::seeded(6);
+        let (mut wal, _, _) = Wal::open(
+            Box::new(FaultyLog::new(mem.clone(), plan.clone())),
+            WalConfig::default(),
+        )
+        .unwrap();
+        for i in 0..4 {
+            wal.append(&sample(i)).unwrap();
+        }
+        plan.arm(FaultPoint::WalSyncDrop, 1.0);
+        let err = wal.checkpoint(&sample(99)).unwrap_err();
+        assert!(matches!(err, WalError::Checkpoint(_)));
+        plan.disarm(FaultPoint::WalSyncDrop);
+        drop(wal);
+        mem.crash();
+        let (_, records, _) = open_mem(&mem, 1 << 20);
+        assert_eq!(
+            records.len(),
+            4,
+            "no record was lost to the failed checkpoint"
+        );
+    }
+
+    #[test]
+    fn segment_sequence_gap_drops_orphaned_tail() {
+        let mem = MemLog::new();
+        let (mut wal, _, _) = open_mem(&mem, 64);
+        for i in 0..20 {
+            wal.append(&sample(i)).unwrap();
+        }
+        let segments = wal.segments();
+        assert!(segments.len() > 2);
+        drop(wal);
+        // Lose a middle segment wholesale (its sync never landed and the
+        // crash removed the file) while later segments survive.
+        let gap = &segments[1];
+        let orphans: usize = segments[2..]
+            .iter()
+            .map(|n| mem.file_bytes(n).unwrap().len())
+            .sum();
+        let raw = MemLog::new();
+        for name in mem.file_names() {
+            if name != *gap {
+                raw.set_file(&name, mem.file_bytes(&name).unwrap());
+            }
+        }
+        let (wal, records, report) = open_mem(&raw, 64);
+        assert_eq!(wal.segments().len(), 1, "only the leading run survives");
+        assert_eq!(report.truncated_tails, 1);
+        assert_eq!(report.segments_discarded as usize, segments.len() - 2);
+        assert_eq!(report.bytes_discarded as usize, orphans);
+        assert!(report.corruption.as_deref().unwrap().contains("gap"));
+        // Replayed records are exactly the first segment's prefix.
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(*r, sample(i as u64));
+        }
+    }
+
+    #[test]
+    fn gc_now_record_round_trips_through_log() {
+        let mem = MemLog::new();
+        let (mut wal, _, _) = open_mem(&mem, 1 << 20);
+        let record = WalRecord::Gc {
+            now: Timestamp(777),
+        };
+        wal.append(&record).unwrap();
+        drop(wal);
+        let (_, records, _) = open_mem(&mem, 1 << 20);
+        assert_eq!(records, vec![record]);
+    }
+}

@@ -1,0 +1,133 @@
+//! The logical record set of the BMS's write-ahead log.
+//!
+//! Mutations are logged *after* they are applied in memory, one record
+//! per public mutation. Most records are logical (replay re-runs the
+//! same deterministic code path); ingest is physical — the record holds
+//! the rows that actually survived enforcement, so replay is a pure
+//! data load and does not depend on fault-plan or sensor state that the
+//! original run consumed.
+
+use serde::{Deserialize, Serialize};
+use tippers_policy::{BuildingPolicy, PolicyId, PreferenceId, Timestamp, UserId, UserPreference};
+
+use crate::snapshot::Snapshot;
+use crate::store::StoredRow;
+
+/// One durable mutation of the BMS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum WalRecord {
+    /// A full-state anchor: everything before it in the log is
+    /// superseded, so compaction may drop older segments.
+    Checkpoint {
+        /// The durable state (store, preferences, audit) at the anchor.
+        snapshot: Snapshot,
+        /// The policies in force at the anchor (policies ride in the log,
+        /// unlike the operator-supplied ontology and spatial model, so a
+        /// recovered BMS enforces exactly what the crashed one did).
+        policies: Vec<BuildingPolicy>,
+        /// The policy-id allocator's next value.
+        next_policy_id: u64,
+    },
+    /// `Tippers::add_policy`.
+    AddPolicy {
+        /// The policy as submitted (its id is reassigned on replay,
+        /// deterministically, exactly as it was originally).
+        policy: BuildingPolicy,
+    },
+    /// `Tippers::remove_policy` (logged only when something was removed).
+    RemovePolicy {
+        /// The removed policy's id.
+        policy: PolicyId,
+    },
+    /// `Tippers::submit_preference`.
+    SubmitPreference {
+        /// The preference as submitted (id reassigned on replay).
+        preference: UserPreference,
+        /// Submission time (drives conflict notifications).
+        now: Timestamp,
+    },
+    /// `Tippers::apply_setting_choice` (logged only on success).
+    SettingChoice {
+        /// The choosing user.
+        user: UserId,
+        /// The policy whose setting was chosen.
+        policy: PolicyId,
+        /// The setting key within that policy.
+        setting_key: String,
+        /// The chosen option index.
+        option_index: usize,
+    },
+    /// `Tippers::apply_retroactively` (logged only when rows were purged).
+    Retroactive {
+        /// The triggering preference.
+        preference: PreferenceId,
+    },
+    /// `Tippers::ingest` — the rows that passed storage-time enforcement
+    /// (dropped observations are not logged; an injected store-write loss
+    /// during the original run therefore stays lost after replay, exactly
+    /// matching the pre-crash state).
+    Ingest {
+        /// The stored rows, in insertion order.
+        rows: Vec<StoredRow>,
+    },
+    /// `Tippers::gc` (logged only when rows were deleted).
+    Gc {
+        /// The sweep time.
+        now: Timestamp,
+    },
+}
+
+impl WalRecord {
+    /// Serializes the record to its log payload bytes.
+    pub fn to_payload(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("record serialization is infallible")
+            .into_bytes()
+    }
+
+    /// Decodes a record from log payload bytes.
+    ///
+    /// Returns `None` when the payload is not a record this build knows —
+    /// recovery treats that exactly like a checksum failure (truncate,
+    /// count, never guess).
+    pub fn from_payload(payload: &[u8]) -> Option<WalRecord> {
+        let text = std::str::from_utf8(payload).ok()?;
+        serde_json::from_str(text).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip() {
+        let records = [
+            WalRecord::RemovePolicy {
+                policy: PolicyId(7),
+            },
+            WalRecord::Gc {
+                now: Timestamp(1234),
+            },
+            WalRecord::SettingChoice {
+                user: UserId(3),
+                policy: PolicyId(1),
+                setting_key: "location-sensing".into(),
+                option_index: 2,
+            },
+            WalRecord::Ingest { rows: Vec::new() },
+        ];
+        for record in records {
+            let back = WalRecord::from_payload(&record.to_payload()).expect("round trip");
+            assert_eq!(back, record);
+        }
+    }
+
+    #[test]
+    fn foreign_payloads_are_rejected_not_panicked() {
+        assert!(WalRecord::from_payload(b"{\"Unknown\":{}}").is_none());
+        assert!(WalRecord::from_payload(b"\xFF\xFE not utf8").is_none());
+        assert!(WalRecord::from_payload(b"42").is_none());
+    }
+}

@@ -33,11 +33,27 @@ pub enum FaultPoint {
     ClockSkew,
     /// Rebuilding the enforcement engine.
     EnforcerBuild,
+    /// A torn write-ahead-log append: only a prefix of the record's bytes
+    /// reaches the log (the rule's parameter, when positive, is the number
+    /// of bytes written; otherwise half the record survives).
+    WalAppendTorn,
+    /// A flipped bit inside an appended write-ahead-log record (the rule's
+    /// parameter is the byte offset within the record; the bit within the
+    /// byte follows from `offset % 8`).
+    WalBitFlip,
+    /// A dropped fsync: the append reaches the log file's buffer but is
+    /// not made durable, so a crash before the next successful sync loses
+    /// it.
+    WalSyncDrop,
+    /// A failed segment rename during checkpoint publication — the
+    /// checkpoint's temporary segment never becomes visible, modeling a
+    /// crash between prepare and rename.
+    WalSegmentRename,
 }
 
 impl FaultPoint {
     /// Every defined injection point.
-    pub const ALL: [FaultPoint; 7] = [
+    pub const ALL: [FaultPoint; 11] = [
         FaultPoint::RegistryDiscover,
         FaultPoint::RegistryFetch,
         FaultPoint::PolicyPublish,
@@ -45,6 +61,10 @@ impl FaultPoint {
         FaultPoint::PolicyDecode,
         FaultPoint::ClockSkew,
         FaultPoint::EnforcerBuild,
+        FaultPoint::WalAppendTorn,
+        FaultPoint::WalBitFlip,
+        FaultPoint::WalSyncDrop,
+        FaultPoint::WalSegmentRename,
     ];
 }
 
@@ -58,6 +78,10 @@ impl fmt::Display for FaultPoint {
             FaultPoint::PolicyDecode => "policy-decode",
             FaultPoint::ClockSkew => "clock-skew",
             FaultPoint::EnforcerBuild => "enforcer-build",
+            FaultPoint::WalAppendTorn => "wal-append-torn",
+            FaultPoint::WalBitFlip => "wal-bit-flip",
+            FaultPoint::WalSyncDrop => "wal-sync-drop",
+            FaultPoint::WalSegmentRename => "wal-segment-rename",
         };
         f.write_str(name)
     }

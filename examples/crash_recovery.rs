@@ -1,0 +1,148 @@
+//! Crash recovery: a durable BMS survives a torn write.
+//!
+//! ```bash
+//! cargo run --example crash_recovery
+//! ```
+//!
+//! A BMS opened with [`Tippers::open`] journals every mutation to a
+//! write-ahead log on disk. This example ingests a morning of sensor
+//! data, records an occupant's opt-out, then injects a torn append (the
+//! classic power-loss-mid-write failure) and "crashes". Reopening the
+//! same directory replays the log: the preferences and the stored rows
+//! are intact, the torn tail is truncated and counted — never silently
+//! accepted — and the opted-out occupant is still denied.
+
+use privacy_aware_buildings::prelude::*;
+use tippers::{FaultPlan, FaultPoint};
+use tippers_policy::{ActionSet, BuildingPolicy, DataAction, PreferenceScope, UserPreference};
+
+fn occupancy_analytics_policy(
+    building: tippers_spatial::SpaceId,
+    ontology: &Ontology,
+) -> BuildingPolicy {
+    let c = ontology.concepts();
+    BuildingPolicy::new(
+        PolicyId(0),
+        "Occupancy analytics",
+        building,
+        c.occupancy,
+        c.analytics,
+    )
+    .with_actions(ActionSet::of(&[DataAction::Store, DataAction::Share]))
+}
+
+fn main() {
+    let ontology = Ontology::standard();
+    let c = ontology.concepts().clone();
+    let dir = std::env::temp_dir().join(format!("tippers-crash-recovery-{}", std::process::id()));
+
+    let mut sim = BuildingSimulator::new(
+        SimulatorConfig {
+            seed: 11,
+            population: Population::small(),
+            ..SimulatorConfig::default()
+        },
+        &ontology,
+    );
+    let building = sim.dbh().clone();
+    let occupants = sim.occupants().to_vec();
+    let opted_out = occupants[0].user;
+
+    // The fault plan is shared with the BMS so we can arm the torn write
+    // later, mid-run.
+    let plan = FaultPlan::seeded(11);
+    let (mut bms, report) = Tippers::open(
+        &dir,
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig {
+            fault_plan: plan.clone(),
+            ..TippersConfig::default()
+        },
+    )
+    .expect("fresh log opens");
+    assert_eq!(report.records_replayed, 0);
+    println!("(1) opened durable BMS at {}", dir.display());
+
+    // Admin config (re-applied on every start), then logged mutations:
+    // two policies, one opt-out, and a morning of observations.
+    bms.register_occupants(&occupants);
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.building,
+        &ontology,
+    ));
+    bms.add_policy(occupancy_analytics_policy(building.building, &ontology));
+    bms.submit_preference(
+        UserPreference::new(
+            PreferenceId(0),
+            opted_out,
+            PreferenceScope {
+                data: Some(c.occupancy),
+                ..Default::default()
+            },
+            Effect::Deny,
+        ),
+        Timestamp::at(0, 7, 0),
+    );
+    sim.set_clock(Timestamp::at(0, 8, 0));
+    let trace = sim.run_until(Timestamp::at(0, 10, 0));
+    let (stored, _) = bms.ingest(&trace.observations);
+    let rows_before = bms.store().len();
+    let prefs_before = bms.preferences().len();
+    println!("(2) stored {stored} rows, recorded {prefs_before} preference(s)");
+
+    let request = DataRequest {
+        service: catalog::services::smart_meeting(),
+        purpose: c.analytics,
+        data: c.occupancy,
+        subjects: SubjectSelector::One(opted_out),
+        from: Timestamp::at(0, 8, 0),
+        to: Timestamp::at(0, 10, 0),
+        requester_space: None,
+    };
+    let now = Timestamp::at(0, 10, 30);
+    let before = bms.handle_request(&request, now);
+    assert_eq!(before.results[0].decision.effect, Effect::Deny);
+    println!("(3) pre-crash: opted-out occupant is denied");
+
+    // Power fails mid-append: the next ingest's record reaches the disk
+    // only partially, and the process dies before anyone notices.
+    plan.arm_limited(FaultPoint::WalAppendTorn, 1.0, 1);
+    let lost = sim.run_until(Timestamp::at(0, 10, 15));
+    bms.ingest(&lost.observations);
+    drop(bms);
+    println!("(4) crash! the last ingest tore mid-write");
+
+    // Restart: replay the log with a clean fault plan.
+    let (mut recovered, report) = Tippers::open(
+        &dir,
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    )
+    .expect("recovery never errors on a torn log");
+    recovered.register_occupants(&occupants);
+    println!(
+        "(5) recovered: {} records replayed, {} torn tail(s) truncated ({} bytes discarded)",
+        report.records_replayed, report.truncated_tails, report.bytes_discarded
+    );
+    assert_eq!(report.truncated_tails, 1, "the torn tail was detected");
+    assert_eq!(recovered.wal_truncations(), 1);
+    assert_eq!(
+        recovered.store().len(),
+        rows_before,
+        "every pre-crash row survived; only the torn batch is gone"
+    );
+    assert_eq!(recovered.preferences().len(), prefs_before);
+
+    let after = recovered.handle_request(&request, now);
+    assert_eq!(
+        after.results[0].decision.effect,
+        Effect::Deny,
+        "the opt-out still denies after recovery"
+    );
+    println!("(6) post-crash: preferences intact, occupant still denied");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -4,7 +4,8 @@
 //! identical to before the crash.
 
 use privacy_aware_buildings::prelude::*;
-use tippers::{Snapshot, SnapshotError};
+use tippers::wal::{MemLog, Wal};
+use tippers::{Snapshot, SnapshotError, WalConfig, WalError, WalRecord};
 use tippers_policy::{ActionSet, BuildingPolicy, DataAction, PreferenceScope, UserPreference};
 
 fn occupancy_analytics_policy(
@@ -166,4 +167,135 @@ fn foreign_snapshot_versions_are_refused() {
     snapshot.version += 1;
     let err = Snapshot::from_json(&snapshot.to_json()).unwrap_err();
     assert!(matches!(err, SnapshotError::UnsupportedVersion { .. }));
+}
+
+/// `Tippers::from_snapshot` surfaces a future version as a typed error —
+/// it never constructs a BMS around state it cannot interpret.
+#[test]
+fn from_snapshot_refuses_future_versions() {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    let mut snapshot = bms.snapshot();
+    snapshot.version += 3;
+    let err = Tippers::from_snapshot(
+        ontology,
+        building.model.clone(),
+        TippersConfig::default(),
+        snapshot,
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        SnapshotError::UnsupportedVersion { found, supported }
+            if found == supported + 3
+    ));
+}
+
+/// A snapshot whose id allocator trails its own preferences would reissue
+/// ids already referenced by audit records; recovery refuses it.
+#[test]
+fn from_snapshot_refuses_inconsistent_id_allocator() {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let c = ontology.concepts().clone();
+    let bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    let mut snapshot = bms.snapshot();
+    snapshot.preferences.push(UserPreference::new(
+        PreferenceId(9),
+        UserId(1),
+        PreferenceScope {
+            data: Some(c.occupancy),
+            ..Default::default()
+        },
+        Effect::Deny,
+    ));
+    snapshot.next_preference_id = 4; // trails preference 9
+    let err = Tippers::from_snapshot(
+        ontology,
+        building.model.clone(),
+        TippersConfig::default(),
+        snapshot,
+    )
+    .unwrap_err();
+    assert!(matches!(err, SnapshotError::Inconsistent(_)));
+}
+
+/// Every malformed-JSON shape decodes to a typed `Corrupt` error — no
+/// panic, no unwrap, no partially-constructed snapshot.
+#[test]
+fn malformed_snapshot_json_is_a_typed_error() {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let bms = Tippers::new(ontology, building.model.clone(), TippersConfig::default());
+    let valid = bms.snapshot().to_json();
+
+    let truncated = &valid[..valid.len() / 2];
+    let type_confused = valid.replacen("\"version\":1", "\"version\":\"one\"", 1);
+    assert_ne!(type_confused, valid, "replacement must have matched");
+    for malformed in [
+        truncated,
+        type_confused.as_str(),
+        "",
+        "{}",
+        "null",
+        "[1,2,3]",
+    ] {
+        match Snapshot::from_json(malformed) {
+            Err(SnapshotError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt for {malformed:?}, got {other:?}"),
+        }
+    }
+}
+
+/// A checkpoint record claiming a policy id at or above its own allocator
+/// is internally inconsistent; WAL replay refuses it with a typed error
+/// rather than recovering a BMS that could reissue live policy ids.
+#[test]
+fn checkpoint_with_inconsistent_policy_ids_fails_replay() {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let c = ontology.concepts().clone();
+
+    let bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    let rogue = BuildingPolicy::new(
+        PolicyId(7),
+        "rogue",
+        building.building,
+        c.occupancy,
+        c.analytics,
+    );
+    let record = WalRecord::Checkpoint {
+        snapshot: bms.snapshot(),
+        policies: vec![rogue],
+        next_policy_id: 2, // trails policy 7
+    };
+    let log = MemLog::new();
+    let (mut wal, _, _) =
+        Wal::open(Box::new(log.clone()), WalConfig::default()).expect("fresh log opens");
+    wal.append(&record).expect("append");
+
+    let err = Tippers::open_with(
+        Box::new(log),
+        ontology,
+        building.model.clone(),
+        TippersConfig::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(
+        err,
+        WalError::Snapshot(SnapshotError::Inconsistent(_))
+    ));
 }
