@@ -1,0 +1,126 @@
+//! `tippers-lint` — static analysis over policy deployments.
+//!
+//! ```text
+//! usage: tippers-lint [OPTIONS] [DOCUMENT.json ...]
+//!
+//!   --figures            lint the paper's Figure 2-4 corpus
+//!   --deployment FILE    lint a JSON deployment spec
+//!   --json               machine-readable output
+//!   --deny-warnings      exit non-zero on warnings too
+//!   --allow CODE         suppress a lint code globally (repeatable)
+//!
+//! exit status: 0 clean, 1 diagnostics at gating severity, 2 usage/IO error
+//! ```
+//!
+//! Positional arguments are wire-format policy documents, linted against
+//! the standard ontology and the DBH spatial model.
+
+use std::process::ExitCode;
+
+use tippers_analyzer::{analyze, report, DeploymentCorpus, LintCode};
+use tippers_ontology::Ontology;
+use tippers_spatial::fixtures;
+
+struct Options {
+    figures: bool,
+    deployment: Option<String>,
+    json: bool,
+    deny_warnings: bool,
+    allow: Vec<String>,
+    documents: Vec<String>,
+}
+
+const USAGE: &str = "usage: tippers-lint [--figures] [--deployment FILE] [--json] \
+                     [--deny-warnings] [--allow CODE]... [DOCUMENT.json ...]";
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options {
+        figures: false,
+        deployment: None,
+        json: false,
+        deny_warnings: false,
+        allow: Vec::new(),
+        documents: Vec::new(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--figures" => opts.figures = true,
+            "--deployment" => {
+                opts.deployment = Some(args.next().ok_or("--deployment needs a file argument")?);
+            }
+            "--json" => opts.json = true,
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--allow" => {
+                let code = args.next().ok_or("--allow needs a lint-code argument")?;
+                if LintCode::parse(&code).is_none() {
+                    return Err(format!("unknown lint code `{code}`"));
+                }
+                opts.allow.push(code);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            _ => opts.documents.push(arg),
+        }
+    }
+    if opts.figures && opts.deployment.is_some() {
+        return Err("--figures and --deployment are mutually exclusive".into());
+    }
+    Ok(opts)
+}
+
+fn build_corpus(opts: &Options) -> Result<DeploymentCorpus, String> {
+    let mut corpus = if opts.figures {
+        DeploymentCorpus::figures()
+    } else if let Some(path) = &opts.deployment {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        DeploymentCorpus::from_spec_str(&text, Ontology::standard(), fixtures::dbh().model)
+            .map_err(|e| format!("cannot parse {path}: {e}"))?
+    } else {
+        DeploymentCorpus::new(Ontology::standard(), fixtures::dbh().model)
+    };
+    for path in &opts.documents {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = serde_json::from_str(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+        corpus.documents.push(doc);
+    }
+    corpus.allow.extend(opts.allow.iter().cloned());
+    Ok(corpus)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("tippers-lint: {message}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let corpus = match build_corpus(&opts) {
+        Ok(corpus) => corpus,
+        Err(message) => {
+            eprintln!("tippers-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = analyze(&corpus);
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report::render_json(&report)).expect("serializable")
+        );
+    } else {
+        print!("{}", report::render_text(&report));
+    }
+    let failing = report.has_errors() || (opts.deny_warnings && report.warning_count() > 0);
+    if failing {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

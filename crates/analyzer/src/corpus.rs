@@ -1,0 +1,932 @@
+//! The unit of analysis: a whole deployment.
+//!
+//! A [`DeploymentCorpus`] bundles everything the building knows ahead of
+//! enforcement — wire-format documents, normalized policies, user
+//! preferences, the spatial model, the ontology, the service catalog — so
+//! passes can cross-check the pieces against each other. Corpora come from
+//! three places: programmatic construction ([`DeploymentCorpus::new`]), the
+//! paper's Figure 2–4 examples ([`DeploymentCorpus::figures`]), and JSON
+//! deployment specs ([`DeploymentCorpus::from_spec_str`], what the
+//! `tippers-lint` CLI loads).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::Deserialize;
+use tippers_ontology::{ConceptId, Ontology};
+use tippers_policy::validate::escape_pointer_segment;
+use tippers_policy::{
+    catalog, figures, ActionSet, BuildingPolicy, Condition, DataAction, Effect, Modality,
+    PolicyDocument, PolicyId, PreferenceId, PreferenceScope, ResolutionStrategy, ServiceId,
+    SubjectScope, TimeOfDay, TimeWindow, UserGroup, UserId, UserPreference, Weekday, WeekdaySet,
+};
+use tippers_spatial::{fixtures, Granularity, SpaceId, SpatialModel};
+
+use crate::diag::{Diagnostic, LintCode, Severity};
+
+/// Everything the analyzer looks at in one run.
+#[derive(Debug, Clone)]
+pub struct DeploymentCorpus {
+    /// The vocabulary (data/purpose/sensor taxonomies + inference rules).
+    pub ontology: Ontology,
+    /// The building's spatial model.
+    pub model: SpatialModel,
+    /// Wire-format documents as IRRs would advertise them.
+    pub documents: Vec<PolicyDocument>,
+    /// Normalized building policies.
+    pub policies: Vec<BuildingPolicy>,
+    /// User preferences.
+    pub preferences: Vec<UserPreference>,
+    /// Known service ids. Empty = the catalog is unknown, so service
+    /// references are not checked.
+    pub services: BTreeSet<String>,
+    /// Data categories considered sensitive: an inference leak reaching one
+    /// of these is an error rather than a warning.
+    pub sensitive: Vec<ConceptId>,
+    /// Alternate space names (e.g. `"Donald Bren Hall"` → `"DBH"`), applied
+    /// before [`SpatialModel::by_name`] lookup.
+    pub space_aliases: BTreeMap<String, String>,
+    /// Strategy assumed by strategy-dependent passes (dead preferences).
+    pub strategy: ResolutionStrategy,
+    /// Globally suppressed lint codes (CLI `--allow`).
+    pub allow: BTreeSet<String>,
+    /// Diagnostics produced while loading a spec (unresolvable names,
+    /// unparseable values); merged into every analysis of this corpus.
+    pub load_diagnostics: Vec<Diagnostic>,
+}
+
+impl DeploymentCorpus {
+    /// An empty corpus over the given vocabulary and building.
+    ///
+    /// Sensitive categories default to personal identity and health; the
+    /// paper's `"Donald Bren Hall"` → `"DBH"` space alias is pre-seeded.
+    pub fn new(ontology: Ontology, model: SpatialModel) -> DeploymentCorpus {
+        let c = ontology.concepts();
+        let sensitive = vec![c.person_identity, c.health];
+        let mut space_aliases = BTreeMap::new();
+        space_aliases.insert("Donald Bren Hall".to_owned(), "DBH".to_owned());
+        DeploymentCorpus {
+            ontology,
+            model,
+            documents: Vec::new(),
+            policies: Vec::new(),
+            preferences: Vec::new(),
+            services: BTreeSet::new(),
+            sensitive,
+            space_aliases,
+            strategy: ResolutionStrategy::default(),
+            allow: BTreeSet::new(),
+            load_diagnostics: Vec::new(),
+        }
+    }
+
+    /// The paper's worked corpus: the Figure 2 document (with Figure 4's
+    /// settings attached to its resource), the Figure 3 service policy as a
+    /// document, Policies 1–4 and Preferences 1–4 from the catalog, and the
+    /// four well-known services.
+    pub fn figures() -> DeploymentCorpus {
+        let dbh = fixtures::dbh();
+        let ontology = Ontology::standard();
+        let mut corpus = DeploymentCorpus::new(ontology, dbh.model.clone());
+
+        let mut fig2 = figures::fig2_document();
+        fig2.resources[0]
+            .settings
+            .extend(figures::fig4_document().settings);
+        corpus.documents.push(fig2);
+
+        // Figure 3 is a service policy; re-shape it as a resource document
+        // so document passes see the Concierge's practices too.
+        let fig3 = figures::fig3_document();
+        corpus.documents.push(PolicyDocument {
+            resources: vec![tippers_policy::ResourceBlock {
+                info: tippers_policy::document::InfoBlock {
+                    name: "Smart Concierge".into(),
+                    description: None,
+                },
+                purpose: fig3.purpose,
+                observations: fig3.observations,
+                ..Default::default()
+            }],
+            lint_allow: Vec::new(),
+        });
+
+        let ont = &corpus.ontology.clone();
+        corpus.policies = vec![
+            catalog::policy1_thermostat(PolicyId(1), dbh.building, ont),
+            catalog::policy2_emergency_location(PolicyId(2), dbh.building, ont),
+            catalog::policy3_meeting_room_access(
+                PolicyId(3),
+                dbh.building,
+                dbh.meeting_rooms.clone(),
+                ont,
+            ),
+            catalog::policy4_event_proximity(PolicyId(4), vec![dbh.lobby], ont),
+        ];
+        let mary = UserId(1);
+        corpus.preferences = vec![
+            catalog::preference1_afterhours_occupancy(PreferenceId(1), mary, dbh.offices[0], ont),
+            catalog::preference2_no_location(PreferenceId(2), mary, ont),
+            catalog::preference3_concierge_location(PreferenceId(3), mary, ont),
+            catalog::preference4_smart_meeting(PreferenceId(4), mary, ont),
+        ];
+        corpus.services = [
+            catalog::services::concierge(),
+            catalog::services::smart_meeting(),
+            catalog::services::food_delivery(),
+            catalog::services::emergency(),
+        ]
+        .iter()
+        .map(|s| s.as_str().to_owned())
+        .collect();
+        corpus
+    }
+
+    /// Loads a JSON deployment spec (see `fixtures/broken.json` for the
+    /// shape) against the given vocabulary and building.
+    ///
+    /// Unresolvable names and unparseable values become
+    /// [`Self::load_diagnostics`] and the offending item is skipped, so one
+    /// bad entry cannot hide findings in the rest of the corpus.
+    pub fn from_spec_str(
+        json: &str,
+        ontology: Ontology,
+        model: SpatialModel,
+    ) -> Result<DeploymentCorpus, serde_json::Error> {
+        let spec: DeploymentSpec = serde_json::from_str(json)?;
+        let mut corpus = DeploymentCorpus::new(ontology, model);
+        corpus.space_aliases.extend(spec.space_aliases);
+        corpus.services.extend(spec.services);
+        corpus.documents = spec.documents;
+        if let Some(s) = spec.strategy {
+            match s.as_str() {
+                "policy-prevails" => corpus.strategy = ResolutionStrategy::PolicyPrevails,
+                "preference-prevails" => corpus.strategy = ResolutionStrategy::PreferencePrevails,
+                "strictest" => corpus.strategy = ResolutionStrategy::Strictest,
+                other => corpus.error("/strategy", format!("unknown strategy `{other}`")),
+            }
+        }
+        for key in &spec.sensitive {
+            match corpus.ontology.data.id(key) {
+                Some(id) => corpus.sensitive.push(id),
+                None => {
+                    let seg = escape_pointer_segment(key);
+                    corpus.error(
+                        format!("/sensitive/{seg}"),
+                        format!("unknown data category `{key}`"),
+                    );
+                }
+            }
+        }
+        corpus.sensitive.sort_unstable();
+        corpus.sensitive.dedup();
+        for p in &spec.policies {
+            if let Some(policy) = corpus.resolve_policy(p) {
+                corpus.policies.push(policy);
+            }
+        }
+        for p in &spec.preferences {
+            if let Some(pref) = corpus.resolve_preference(p) {
+                corpus.preferences.push(pref);
+            }
+        }
+        Ok(corpus)
+    }
+
+    /// Resolves a space name through the alias table, then the model.
+    pub fn resolve_space(&self, name: &str) -> Option<SpaceId> {
+        let canonical = self.space_aliases.get(name).map_or(name, String::as_str);
+        self.model.by_name(canonical)
+    }
+
+    /// True if every id the policy carries is in range for this corpus's
+    /// model and taxonomies (passes skip out-of-range policies; the
+    /// dangling-reference pass reports them).
+    pub fn policy_is_resolvable(&self, policy: &BuildingPolicy) -> bool {
+        self.space_in_range(policy.space)
+            && policy
+                .condition
+                .spaces
+                .iter()
+                .all(|&s| self.space_in_range(s))
+            && policy.data.index() < self.ontology.data.len()
+            && policy.purpose.index() < self.ontology.purposes.len()
+            && policy
+                .sensor_class
+                .is_none_or(|s| s.index() < self.ontology.sensors.len())
+    }
+
+    /// True if every id the preference carries is in range.
+    pub fn preference_is_resolvable(&self, pref: &UserPreference) -> bool {
+        pref.scope.space.is_none_or(|s| self.space_in_range(s))
+            && pref
+                .scope
+                .condition
+                .spaces
+                .iter()
+                .all(|&s| self.space_in_range(s))
+            && pref
+                .scope
+                .data
+                .is_none_or(|d| d.index() < self.ontology.data.len())
+            && pref
+                .scope
+                .purpose
+                .is_none_or(|p| p.index() < self.ontology.purposes.len())
+    }
+
+    /// The policies all cross-item passes run over.
+    pub fn resolvable_policies(&self) -> Vec<&BuildingPolicy> {
+        self.policies
+            .iter()
+            .filter(|p| self.policy_is_resolvable(p))
+            .collect()
+    }
+
+    /// The preferences all cross-item passes run over.
+    pub fn resolvable_preferences(&self) -> Vec<&UserPreference> {
+        self.preferences
+            .iter()
+            .filter(|p| self.preference_is_resolvable(p))
+            .collect()
+    }
+
+    fn space_in_range(&self, space: SpaceId) -> bool {
+        space.index() < self.model.len()
+    }
+
+    /// The data category one observation discloses, if resolvable: an
+    /// explicit `category` key wins, otherwise the same name heuristics the
+    /// codec applies. Unknown `category` keys are reported by the
+    /// dangling-reference pass, not here.
+    pub fn observation_category(
+        &self,
+        obs: &tippers_policy::document::ObservationBlock,
+    ) -> Option<ConceptId> {
+        if let Some(key) = &obs.category {
+            return self.ontology.data.id(key);
+        }
+        let c = self.ontology.concepts();
+        let n = obs.name.to_lowercase();
+        if n.contains("wifi") || n.contains("mac address") {
+            Some(c.wifi_association)
+        } else if n.contains("bluetooth") || n.contains("beacon") {
+            Some(c.bluetooth_sighting)
+        } else if n.contains("location") {
+            Some(c.location_room)
+        } else if n.contains("occupancy") {
+            Some(c.occupancy)
+        } else {
+            None
+        }
+    }
+
+    /// The data category a sensor kind implies (resource-level fallback when
+    /// no observation resolves), mirroring the codec's heuristics.
+    pub fn sensor_category(&self, kind: &str) -> Option<ConceptId> {
+        let c = self.ontology.concepts();
+        let k = kind.to_lowercase();
+        if k.contains("wifi") {
+            Some(c.wifi_association)
+        } else if k.contains("bluetooth") || k.contains("beacon") {
+            Some(c.bluetooth_sighting)
+        } else if k.contains("camera") {
+            Some(c.image)
+        } else if k.contains("power") {
+            Some(c.power_consumption)
+        } else if k.contains("temperature") {
+            Some(c.ambient_temperature)
+        } else if k.contains("motion") {
+            Some(c.occupancy)
+        } else {
+            None
+        }
+    }
+
+    fn error(&mut self, path: impl Into<String>, message: impl Into<String>) {
+        self.load_diagnostics.push(Diagnostic::new(
+            LintCode::DanglingReference,
+            Severity::Error,
+            path,
+            message,
+        ));
+    }
+
+    fn resolve_policy(&mut self, spec: &PolicySpec) -> Option<BuildingPolicy> {
+        let base = format!("/policies/{}", spec.id.0);
+        let mut ok = true;
+        let space = match self.resolve_space(&spec.space) {
+            Some(s) => s,
+            None => {
+                self.error(
+                    format!("{base}/space"),
+                    format!("unknown space `{}`", spec.space),
+                );
+                ok = false;
+                self.model.root()
+            }
+        };
+        let data = self.lookup(
+            &self.ontology.data.clone(),
+            &spec.data,
+            &base,
+            "data",
+            &mut ok,
+        );
+        let purpose = self.lookup(
+            &self.ontology.purposes.clone(),
+            &spec.purpose,
+            &base,
+            "purpose",
+            &mut ok,
+        );
+        let condition = spec
+            .condition
+            .as_ref()
+            .map(|c| self.resolve_condition(c, &base, &mut ok))
+            .unwrap_or_default();
+        let retention = match &spec.retention {
+            None => None,
+            Some(text) => match text.parse() {
+                Ok(d) => Some(d),
+                Err(_) => {
+                    self.error(
+                        format!("{base}/retention"),
+                        format!("unparseable ISO-8601 duration `{text}`"),
+                    );
+                    ok = false;
+                    None
+                }
+            },
+        };
+        let modality = match spec.modality.as_deref() {
+            None => Modality::OptOut,
+            Some("required") => Modality::Required,
+            Some("opt-out") => Modality::OptOut,
+            Some("opt-in") => Modality::OptIn,
+            Some(other) => {
+                self.error(
+                    format!("{base}/modality"),
+                    format!("unknown modality `{other}`"),
+                );
+                ok = false;
+                Modality::OptOut
+            }
+        };
+        let actions = match &spec.actions {
+            None => ActionSet::default(),
+            Some(names) => {
+                let mut set = Vec::new();
+                for name in names {
+                    match parse_action(name) {
+                        Some(a) => set.push(a),
+                        None => {
+                            self.error(
+                                format!("{base}/actions"),
+                                format!("unknown action `{name}`"),
+                            );
+                            ok = false;
+                        }
+                    }
+                }
+                ActionSet::of(&set)
+            }
+        };
+        let subjects = match &spec.subjects {
+            None => SubjectScope::Everyone,
+            Some(s) => self.resolve_subjects(s, &base, &mut ok),
+        };
+        if !ok {
+            return None;
+        }
+        let (data, purpose) = (data?, purpose?);
+        let mut policy = BuildingPolicy::new(spec.id, spec.name.clone(), space, data, purpose)
+            .with_condition(condition)
+            .with_modality(modality)
+            .with_actions(actions)
+            .with_subjects(subjects);
+        if let Some(d) = &spec.description {
+            policy = policy.with_description(d.clone());
+        }
+        if let Some(r) = retention {
+            policy = policy.with_retention(r);
+        }
+        if let Some(svc) = &spec.service {
+            policy = policy.with_service(ServiceId::new(svc.clone()));
+        }
+        Some(policy)
+    }
+
+    fn resolve_preference(&mut self, spec: &PreferenceSpec) -> Option<UserPreference> {
+        let base = format!("/preferences/{}", spec.id.0);
+        let mut ok = true;
+        let data = match &spec.scope.data {
+            None => None,
+            Some(key) => Some(self.lookup(
+                &self.ontology.data.clone(),
+                key,
+                &base,
+                "scope/data",
+                &mut ok,
+            )?),
+        };
+        let purpose = match &spec.scope.purpose {
+            None => None,
+            Some(key) => Some(self.lookup(
+                &self.ontology.purposes.clone(),
+                key,
+                &base,
+                "scope/purpose",
+                &mut ok,
+            )?),
+        };
+        let space = match &spec.scope.space {
+            None => None,
+            Some(name) => match self.resolve_space(name) {
+                Some(s) => Some(s),
+                None => {
+                    self.error(
+                        format!("{base}/scope/space"),
+                        format!("unknown space `{name}`"),
+                    );
+                    ok = false;
+                    None
+                }
+            },
+        };
+        let condition = spec
+            .scope
+            .condition
+            .as_ref()
+            .map(|c| self.resolve_condition(c, &base, &mut ok))
+            .unwrap_or_default();
+        let effect = match self.resolve_effect(&spec.effect, &base) {
+            Some(e) => e,
+            None => {
+                ok = false;
+                Effect::Deny
+            }
+        };
+        if !ok {
+            return None;
+        }
+        let scope = PreferenceScope {
+            data,
+            purpose,
+            service: spec.scope.service.as_deref().map(ServiceId::new),
+            space,
+            condition,
+        };
+        let mut pref =
+            UserPreference::new(spec.id, spec.user, scope, effect).with_priority(spec.priority);
+        if let Some(n) = &spec.note {
+            pref = pref.with_note(n.clone());
+        }
+        Some(pref)
+    }
+
+    fn resolve_effect(&mut self, spec: &EffectSpec, base: &str) -> Option<Effect> {
+        match spec {
+            EffectSpec::Simple(s) if s == "allow" => Some(Effect::Allow),
+            EffectSpec::Simple(s) if s == "deny" => Some(Effect::Deny),
+            EffectSpec::Simple(other) => {
+                self.error(
+                    format!("{base}/effect"),
+                    format!("unknown effect `{other}`"),
+                );
+                None
+            }
+            EffectSpec::Degrade { degrade } => match degrade.as_str() {
+                "exact" => Some(Effect::Degrade(Granularity::Exact)),
+                "room" => Some(Effect::Degrade(Granularity::Room)),
+                "floor" => Some(Effect::Degrade(Granularity::Floor)),
+                "building" => Some(Effect::Degrade(Granularity::Building)),
+                "campus" => Some(Effect::Degrade(Granularity::Campus)),
+                "suppressed" => Some(Effect::Degrade(Granularity::Suppressed)),
+                other => {
+                    self.error(
+                        format!("{base}/effect/degrade"),
+                        format!("unknown granularity `{other}`"),
+                    );
+                    None
+                }
+            },
+            EffectSpec::Noise { noise } => Some(Effect::Noise { sigma: *noise }),
+        }
+    }
+
+    fn resolve_condition(&mut self, spec: &ConditionSpec, base: &str, ok: &mut bool) -> Condition {
+        let mut condition = Condition::always();
+        if let Some(w) = &spec.time {
+            match self.resolve_window(w, base) {
+                Some(window) => condition = condition.with_time(window),
+                None => *ok = false,
+            }
+        }
+        let mut spaces = Vec::new();
+        for name in &spec.spaces {
+            match self.resolve_space(name) {
+                Some(s) => spaces.push(s),
+                None => {
+                    // Kept as a load diagnostic only; the unsatisfiable-
+                    // condition pass reports when *no* space resolves.
+                    let seg = escape_pointer_segment(name);
+                    self.error(
+                        format!("{base}/condition/spaces/{seg}"),
+                        format!("unknown space `{name}`"),
+                    );
+                }
+            }
+        }
+        if !spec.spaces.is_empty() && spaces.is_empty() {
+            *ok = false;
+        }
+        condition = condition.with_spaces(spaces);
+        if spec.requester_nearby {
+            condition = condition.with_requester_nearby();
+        }
+        if spec.requires_occupied {
+            condition = condition.with_occupied();
+        }
+        condition
+    }
+
+    fn resolve_window(&mut self, spec: &TimeWindowSpec, base: &str) -> Option<TimeWindow> {
+        let start = parse_hhmm(&spec.start);
+        let end = parse_hhmm(&spec.end);
+        let (Some(start), Some(end)) = (start, end) else {
+            self.error(
+                format!("{base}/condition/time"),
+                format!(
+                    "unparseable time window `{}`–`{}` (expected HH:MM)",
+                    spec.start, spec.end
+                ),
+            );
+            return None;
+        };
+        let days = match &spec.days {
+            None => WeekdaySet::ALL,
+            Some(names) => {
+                let mut days = Vec::new();
+                for name in names {
+                    match parse_weekday(name) {
+                        Some(d) => days.push(d),
+                        None => {
+                            self.error(
+                                format!("{base}/condition/time/days"),
+                                format!("unknown weekday `{name}`"),
+                            );
+                            return None;
+                        }
+                    }
+                }
+                WeekdaySet::of(&days)
+            }
+        };
+        Some(TimeWindow { start, end, days })
+    }
+
+    fn resolve_subjects(&mut self, spec: &SubjectSpec, base: &str, ok: &mut bool) -> SubjectScope {
+        if let Some(users) = &spec.users {
+            return SubjectScope::Users(users.iter().map(|&u| UserId(u)).collect());
+        }
+        if let Some(groups) = &spec.groups {
+            let mut out = Vec::new();
+            for name in groups {
+                match parse_group(name) {
+                    Some(g) => out.push(g),
+                    None => {
+                        self.error(
+                            format!("{base}/subjects/groups"),
+                            format!("unknown group `{name}`"),
+                        );
+                        *ok = false;
+                    }
+                }
+            }
+            return SubjectScope::Groups(out);
+        }
+        SubjectScope::Everyone
+    }
+
+    fn lookup(
+        &mut self,
+        taxonomy: &tippers_ontology::Taxonomy,
+        key: &str,
+        base: &str,
+        field: &str,
+        ok: &mut bool,
+    ) -> Option<ConceptId> {
+        match taxonomy.id(key) {
+            Some(id) => Some(id),
+            None => {
+                self.error(
+                    format!("{base}/{field}"),
+                    format!("unknown concept `{key}`"),
+                );
+                *ok = false;
+                None
+            }
+        }
+    }
+}
+
+fn parse_action(name: &str) -> Option<DataAction> {
+    match name {
+        "collect" => Some(DataAction::Collect),
+        "store" => Some(DataAction::Store),
+        "infer" => Some(DataAction::Infer),
+        "share" => Some(DataAction::Share),
+        "actuate" => Some(DataAction::Actuate),
+        _ => None,
+    }
+}
+
+fn parse_weekday(name: &str) -> Option<Weekday> {
+    match name {
+        "Mon" => Some(Weekday::Mon),
+        "Tue" => Some(Weekday::Tue),
+        "Wed" => Some(Weekday::Wed),
+        "Thu" => Some(Weekday::Thu),
+        "Fri" => Some(Weekday::Fri),
+        "Sat" => Some(Weekday::Sat),
+        "Sun" => Some(Weekday::Sun),
+        _ => None,
+    }
+}
+
+fn parse_group(name: &str) -> Option<UserGroup> {
+    match name {
+        "faculty" => Some(UserGroup::Faculty),
+        "staff" => Some(UserGroup::Staff),
+        "grad" => Some(UserGroup::GradStudent),
+        "undergrad" => Some(UserGroup::Undergrad),
+        "visitor" => Some(UserGroup::Visitor),
+        _ => None,
+    }
+}
+
+fn parse_hhmm(text: &str) -> Option<TimeOfDay> {
+    let (h, m) = text.split_once(':')?;
+    let hour: u32 = h.parse().ok()?;
+    let minute: u32 = m.parse().ok()?;
+    if hour > 23 || minute > 59 {
+        return None;
+    }
+    Some(TimeOfDay::new(hour, minute))
+}
+
+/// The JSON shape `tippers-lint --deployment` loads.
+#[derive(Debug, Clone, Deserialize, Default)]
+struct DeploymentSpec {
+    #[serde(default)]
+    services: Vec<String>,
+    #[serde(default)]
+    sensitive: Vec<String>,
+    #[serde(default)]
+    strategy: Option<String>,
+    #[serde(default)]
+    space_aliases: BTreeMap<String, String>,
+    #[serde(default)]
+    documents: Vec<PolicyDocument>,
+    #[serde(default)]
+    policies: Vec<PolicySpec>,
+    #[serde(default)]
+    preferences: Vec<PreferenceSpec>,
+}
+
+#[derive(Debug, Clone, Deserialize)]
+struct PolicySpec {
+    id: PolicyId,
+    name: String,
+    space: String,
+    data: String,
+    purpose: String,
+    #[serde(default)]
+    description: Option<String>,
+    #[serde(default)]
+    modality: Option<String>,
+    #[serde(default)]
+    retention: Option<String>,
+    #[serde(default)]
+    actions: Option<Vec<String>>,
+    #[serde(default)]
+    service: Option<String>,
+    #[serde(default)]
+    subjects: Option<SubjectSpec>,
+    #[serde(default)]
+    condition: Option<ConditionSpec>,
+}
+
+#[derive(Debug, Clone, Deserialize)]
+struct PreferenceSpec {
+    id: PreferenceId,
+    user: UserId,
+    effect: EffectSpec,
+    #[serde(default)]
+    priority: u8,
+    #[serde(default)]
+    scope: ScopeSpec,
+    #[serde(default)]
+    note: Option<String>,
+}
+
+#[derive(Debug, Clone, Deserialize, Default)]
+struct ScopeSpec {
+    #[serde(default)]
+    data: Option<String>,
+    #[serde(default)]
+    purpose: Option<String>,
+    #[serde(default)]
+    service: Option<String>,
+    #[serde(default)]
+    space: Option<String>,
+    #[serde(default)]
+    condition: Option<ConditionSpec>,
+}
+
+/// Subject scope: `{"users": [1, 2]}` or `{"groups": ["faculty"]}`; both
+/// absent means everyone.
+#[derive(Debug, Clone, Deserialize, Default)]
+struct SubjectSpec {
+    #[serde(default)]
+    users: Option<Vec<u64>>,
+    #[serde(default)]
+    groups: Option<Vec<String>>,
+}
+
+/// Untagged effect shape: `"allow"`, `"deny"`, `{"degrade": "..."}` or
+/// `{"noise": 0.5}`. Hand-rolled because the vendored serde derive does not
+/// support `#[serde(untagged)]`.
+#[derive(Debug, Clone)]
+enum EffectSpec {
+    Simple(String),
+    Degrade { degrade: String },
+    Noise { noise: f64 },
+}
+
+impl Deserialize for EffectSpec {
+    fn deserialize_value(v: serde::Value) -> Result<Self, serde::de::Error> {
+        match v {
+            serde::Value::String(s) => Ok(EffectSpec::Simple(s)),
+            serde::Value::Object(m) => {
+                if let Some(d) = m.get("degrade") {
+                    Ok(EffectSpec::Degrade {
+                        degrade: String::deserialize_value(d.clone())?,
+                    })
+                } else if let Some(n) = m.get("noise") {
+                    Ok(EffectSpec::Noise {
+                        noise: f64::deserialize_value(n.clone())?,
+                    })
+                } else {
+                    Err(serde::de::Error::custom(
+                        "effect must be \"allow\", \"deny\", {\"degrade\": ...} or {\"noise\": ...}",
+                    ))
+                }
+            }
+            other => Err(serde::de::Error::custom(format!(
+                "expected effect, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Deserialize, Default)]
+struct ConditionSpec {
+    #[serde(default)]
+    time: Option<TimeWindowSpec>,
+    #[serde(default)]
+    spaces: Vec<String>,
+    #[serde(default)]
+    requester_nearby: bool,
+    #[serde(default)]
+    requires_occupied: bool,
+}
+
+#[derive(Debug, Clone, Deserialize)]
+struct TimeWindowSpec {
+    start: String,
+    end: String,
+    #[serde(default)]
+    days: Option<Vec<String>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_corpus_is_complete() {
+        let corpus = DeploymentCorpus::figures();
+        assert_eq!(corpus.documents.len(), 2);
+        assert_eq!(corpus.policies.len(), 4);
+        assert_eq!(corpus.preferences.len(), 4);
+        assert!(corpus.services.contains("Concierge"));
+        assert!(corpus.load_diagnostics.is_empty());
+        // Figure 4's settings rode along on the Figure 2 resource.
+        assert_eq!(corpus.documents[0].resources[0].settings.len(), 1);
+    }
+
+    #[test]
+    fn space_aliases_resolve() {
+        let corpus = DeploymentCorpus::figures();
+        let direct = corpus.resolve_space("DBH").unwrap();
+        let aliased = corpus.resolve_space("Donald Bren Hall").unwrap();
+        assert_eq!(direct, aliased);
+        assert!(corpus.resolve_space("Atlantis Hall").is_none());
+    }
+
+    #[test]
+    fn spec_round_trip_minimal() {
+        let dbh = fixtures::dbh();
+        let json = r#"{
+            "services": ["Concierge"],
+            "policies": [{
+                "id": 1, "name": "wifi log", "space": "DBH",
+                "data": "data/network/wifi-association",
+                "purpose": "purpose/safety/emergency-response",
+                "modality": "required", "retention": "P6M"
+            }],
+            "preferences": [{
+                "id": 1, "user": 7, "effect": "deny",
+                "scope": {"data": "data/location"}
+            }]
+        }"#;
+        let corpus =
+            DeploymentCorpus::from_spec_str(json, Ontology::standard(), dbh.model).unwrap();
+        assert!(
+            corpus.load_diagnostics.is_empty(),
+            "{:?}",
+            corpus.load_diagnostics
+        );
+        assert_eq!(corpus.policies.len(), 1);
+        assert!(corpus.policies[0].is_required());
+        assert_eq!(corpus.policies[0].retention.unwrap().months, 6);
+        assert_eq!(corpus.preferences.len(), 1);
+        assert_eq!(corpus.preferences[0].effect, Effect::Deny);
+    }
+
+    #[test]
+    fn spec_bad_names_become_load_diagnostics() {
+        let dbh = fixtures::dbh();
+        let json = r#"{
+            "policies": [{
+                "id": 3, "name": "ghost", "space": "DBH-9",
+                "data": "data/unknown", "purpose": "purpose/safety/emergency-response"
+            }],
+            "preferences": [{
+                "id": 9, "user": 1, "effect": "maybe", "scope": {}
+            }]
+        }"#;
+        let corpus =
+            DeploymentCorpus::from_spec_str(json, Ontology::standard(), dbh.model).unwrap();
+        assert!(corpus.policies.is_empty());
+        assert!(corpus.preferences.is_empty());
+        let paths: Vec<_> = corpus
+            .load_diagnostics
+            .iter()
+            .map(|d| d.path.as_str())
+            .collect();
+        assert!(paths.contains(&"/policies/3/space"));
+        assert!(paths.contains(&"/policies/3/data"));
+        assert!(paths.contains(&"/preferences/9/effect"));
+    }
+
+    #[test]
+    fn spec_parses_rich_fields() {
+        let dbh = fixtures::dbh();
+        let json = r#"{
+            "policies": [{
+                "id": 5, "name": "weekend sensing", "space": "DBH",
+                "data": "data/presence/occupancy", "purpose": "purpose/operations/comfort",
+                "actions": ["collect", "actuate"],
+                "subjects": {"groups": ["staff", "faculty"]},
+                "condition": {
+                    "time": {"start": "08:00", "end": "18:00", "days": ["Sat", "Sun"]},
+                    "spaces": ["DBH-1"],
+                    "requires_occupied": true
+                }
+            }],
+            "preferences": [{
+                "id": 2, "user": 3, "effect": {"degrade": "floor"}, "priority": 4,
+                "scope": {"space": "DBH-2", "service": "Concierge"}
+            }]
+        }"#;
+        let corpus =
+            DeploymentCorpus::from_spec_str(json, Ontology::standard(), dbh.model).unwrap();
+        assert!(
+            corpus.load_diagnostics.is_empty(),
+            "{:?}",
+            corpus.load_diagnostics
+        );
+        let p = &corpus.policies[0];
+        assert!(p.actions.contains(DataAction::Actuate));
+        assert!(matches!(p.subjects, SubjectScope::Groups(ref g) if g.len() == 2));
+        assert!(p.condition.requires_occupied);
+        assert_eq!(p.condition.spaces.len(), 1);
+        let pref = &corpus.preferences[0];
+        assert_eq!(pref.effect, Effect::Degrade(Granularity::Floor));
+        assert_eq!(pref.priority, 4);
+        assert_eq!(pref.scope.service.as_ref().unwrap().as_str(), "Concierge");
+    }
+}

@@ -1,0 +1,150 @@
+//! Static analysis over smart-building policy deployments.
+//!
+//! §III.B asks for a "policy reasoner" that finds problems *before*
+//! enforcement. This crate is that reasoner's ahead-of-time half: a
+//! multi-pass lint engine over a whole [`DeploymentCorpus`] — wire-format
+//! documents, normalized policies, user preferences, the spatial model and
+//! the ontology — emitting [`Diagnostic`]s with stable `TA0xx` codes.
+//!
+//! | Code  | Pass | Worst severity |
+//! |-------|------|----------------|
+//! | TA001 | dangling references (spaces, categories, services) | Error |
+//! | TA002 | unsatisfiable / vacuous conditions | Error |
+//! | TA003 | dead or shadowed preferences | Warning |
+//! | TA004 | retention contradictions across nested scopes | Error |
+//! | TA005 | inference-leak reachability (rule chain as evidence) | Error |
+//! | TA006 | conflict pre-flight (runtime conflicts at lint time) | Warning |
+//! | TA007 | wire-format validation | Error |
+//!
+//! Output is canonical: diagnostics are sorted by (path, code, severity,
+//! message, evidence) and deduplicated, so shuffling the corpus never
+//! changes the report byte-for-byte. Suppression is two-level: a document
+//! can carry `"lint-allow": ["TA004"]` to accept findings under its own
+//! path, and the corpus-level [`DeploymentCorpus::allow`] set (the CLI's
+//! `--allow`) suppresses codes globally.
+//!
+//! # Examples
+//!
+//! ```
+//! use tippers_analyzer::{analyze, DeploymentCorpus};
+//!
+//! let report = analyze(&DeploymentCorpus::figures());
+//! // The paper's own corpus is deployable: findings, but no errors.
+//! assert!(!report.has_errors());
+//! // Figure 2's WiFi document leaks inferable categories (TA005 warnings).
+//! assert!(report.diagnostics.iter().any(|d| d.code.as_str() == "TA005"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+pub mod diag;
+mod passes;
+pub mod report;
+
+pub use corpus::DeploymentCorpus;
+pub use diag::{Diagnostic, LintCode, Severity};
+
+/// The outcome of one analysis run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// Surviving diagnostics, in canonical order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics removed by document- or corpus-level suppression.
+    pub suppressed: usize,
+}
+
+/// Runs every pass over the corpus and returns the canonical report.
+pub fn analyze(corpus: &DeploymentCorpus) -> AnalysisReport {
+    let mut diagnostics = corpus.load_diagnostics.clone();
+    passes::dangling::run(corpus, &mut diagnostics);
+    passes::unsat::run(corpus, &mut diagnostics);
+    passes::shadow::run(corpus, &mut diagnostics);
+    passes::retention::run(corpus, &mut diagnostics);
+    passes::leak::run(corpus, &mut diagnostics);
+    passes::preflight::run(corpus, &mut diagnostics);
+    passes::wire::run(corpus, &mut diagnostics);
+    diag::canonicalize(&mut diagnostics);
+
+    let before = diagnostics.len();
+    diagnostics.retain(|d| !is_suppressed(corpus, d));
+    AnalysisReport {
+        suppressed: before - diagnostics.len(),
+        diagnostics,
+    }
+}
+
+fn is_suppressed(corpus: &DeploymentCorpus, d: &Diagnostic) -> bool {
+    if corpus.allow.contains(d.code.as_str()) {
+        return true;
+    }
+    for (k, doc) in corpus.documents.iter().enumerate() {
+        if doc.lint_allow.iter().any(|c| c == d.code.as_str()) {
+            let prefix = format!("/documents/{k}");
+            if d.path == prefix || d.path.starts_with(&format!("{prefix}/")) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_corpus_has_findings_but_no_errors() {
+        let report = analyze(&DeploymentCorpus::figures());
+        assert!(!report.has_errors(), "unexpected errors: {report:#?}");
+        // Figure 2 leaks inferable categories; the catalog's Preference 1/2
+        // conflict with mandatory Policy 2 (the paper's worked example).
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::InferenceLeak));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::ConflictPreflight));
+    }
+
+    #[test]
+    fn global_allow_suppresses() {
+        let mut corpus = DeploymentCorpus::figures();
+        let baseline = analyze(&corpus);
+        let leaks = baseline
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::InferenceLeak)
+            .count();
+        assert!(leaks > 0);
+        corpus.allow.insert("TA005".into());
+        let report = analyze(&corpus);
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.code != LintCode::InferenceLeak));
+        assert_eq!(report.suppressed, leaks);
+    }
+
+    #[test]
+    fn document_lint_allow_is_scoped_to_the_document() {
+        let mut corpus = DeploymentCorpus::figures();
+        // Both documents produce TA005 findings; suppressing on document 0
+        // must keep document 1's.
+        corpus.documents[0].lint_allow = vec!["TA005".into()];
+        let report = analyze(&corpus);
+        assert!(report.suppressed > 0);
+        assert!(report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::InferenceLeak)
+            .all(|d| d.path.starts_with("/documents/1/")));
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::InferenceLeak));
+    }
+}

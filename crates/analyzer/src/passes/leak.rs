@@ -1,0 +1,69 @@
+//! TA005 — inference-leak reachability.
+//!
+//! §IV.B.2: users care about "the abstract information that can be inferred
+//! from an observation", not just the raw observation. This pass runs the
+//! ontology's forward-chaining closure over each document's disclosed
+//! observations and reports every category the collected data transitively
+//! reveals that the document never discloses — with the rule chain as
+//! evidence. Leaks reaching a sensitive category (identity, health) are
+//! errors; the rest are warnings.
+
+use tippers_ontology::ConceptId;
+
+use crate::corpus::DeploymentCorpus;
+use crate::diag::{Diagnostic, LintCode, Severity};
+
+pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
+    for (k, doc) in corpus.documents.iter().enumerate() {
+        for (i, r) in doc.resources.iter().enumerate() {
+            let mut disclosed: Vec<ConceptId> = r
+                .observations
+                .iter()
+                .filter_map(|obs| corpus.observation_category(obs))
+                .collect();
+            if disclosed.is_empty() {
+                if let Some(sensor) = &r.sensor {
+                    disclosed.extend(corpus.sensor_category(&sensor.kind));
+                }
+            }
+            disclosed.sort_unstable();
+            disclosed.dedup();
+            if disclosed.is_empty() {
+                continue;
+            }
+            let path = format!("/documents/{k}/resources/{i}/observations");
+            for inference in corpus.ontology.inference().closure(&disclosed) {
+                let covered = disclosed
+                    .iter()
+                    .any(|&d| corpus.ontology.data.is_a(inference.concept, d));
+                if covered {
+                    continue;
+                }
+                let sensitive = corpus
+                    .sensitive
+                    .iter()
+                    .any(|&s| corpus.ontology.data.is_a(inference.concept, s));
+                let severity = if sensitive {
+                    Severity::Error
+                } else {
+                    Severity::Warning
+                };
+                let key = corpus.ontology.data.concept(inference.concept).key();
+                let qualifier = if sensitive { " sensitive" } else { "" };
+                out.push(
+                    Diagnostic::new(
+                        LintCode::InferenceLeak,
+                        severity,
+                        path.clone(),
+                        format!(
+                            "collected data transitively reveals{qualifier} category `{key}` \
+                             (confidence {:.2}) that the document never discloses",
+                            inference.confidence
+                        ),
+                    )
+                    .with_evidence(inference.via.clone()),
+                );
+            }
+        }
+    }
+}

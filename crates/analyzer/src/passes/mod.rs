@@ -1,0 +1,13 @@
+//! The analyzer's passes, one module per lint code.
+//!
+//! Each pass is a pure function from a [`crate::DeploymentCorpus`] to
+//! diagnostics; passes never see each other's output, and the engine sorts
+//! and deduplicates afterwards, so pass execution order is unobservable.
+
+pub(crate) mod dangling;
+pub(crate) mod leak;
+pub(crate) mod preflight;
+pub(crate) mod retention;
+pub(crate) mod shadow;
+pub(crate) mod unsat;
+pub(crate) mod wire;

@@ -1,0 +1,46 @@
+//! TA006 — conflict pre-flight.
+//!
+//! Runs the runtime conflict detector ([`tippers_policy::ConflictIndex`])
+//! over the corpus at lint time, so every policy/preference clash the BMS
+//! would resolve (and notify users about) in production is already visible
+//! in CI. Conflicts are warnings: the runtime resolves them by design, but
+//! each one is a user who will be told their preference cannot be honored.
+
+use tippers_policy::{BuildingPolicy, ConflictIndex, UserPreference};
+
+use crate::corpus::DeploymentCorpus;
+use crate::diag::{Diagnostic, LintCode, Severity};
+
+pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
+    let policies: Vec<BuildingPolicy> = corpus.resolvable_policies().into_iter().cloned().collect();
+    let preferences: Vec<UserPreference> = corpus
+        .resolvable_preferences()
+        .into_iter()
+        .cloned()
+        .collect();
+    if policies.is_empty() || preferences.is_empty() {
+        return;
+    }
+    let index = ConflictIndex::build(&policies, &corpus.ontology);
+    for conflict in index.detect(
+        &policies,
+        &preferences,
+        &corpus.ontology,
+        &corpus.model,
+        corpus.strategy,
+    ) {
+        out.push(
+            Diagnostic::new(
+                LintCode::ConflictPreflight,
+                Severity::Warning,
+                format!("/policies/{}", conflict.policy.0),
+                conflict.notice.clone(),
+            )
+            .with_evidence(vec![
+                conflict.policy.to_string(),
+                conflict.preference.to_string(),
+                format!("{:?}", conflict.kind),
+            ]),
+        );
+    }
+}

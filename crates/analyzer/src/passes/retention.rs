@@ -1,0 +1,65 @@
+//! TA004 — retention contradictions.
+//!
+//! If a policy covering an enclosing scope caps how long some data may be
+//! kept, a nested policy retaining comparable data for longer (or forever)
+//! contradicts it — the deployment promises two different things about the
+//! same observations. Comparability is conservative: the nested policy's
+//! data category must be subsumed by the capping policy's, their action
+//! sets, subjects and conditions must overlap.
+
+use tippers_policy::BuildingPolicy;
+
+use crate::corpus::DeploymentCorpus;
+use crate::diag::{Diagnostic, LintCode, Severity};
+
+pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
+    let policies = corpus.resolvable_policies();
+    for p in &policies {
+        for q in &policies {
+            if let Some(d) = contradiction(corpus, p, q) {
+                out.push(d);
+            }
+        }
+    }
+}
+
+/// Reports `p` if it retains longer than the enclosing-scope cap `q` allows.
+fn contradiction(
+    corpus: &DeploymentCorpus,
+    p: &BuildingPolicy,
+    q: &BuildingPolicy,
+) -> Option<Diagnostic> {
+    if p.id == q.id {
+        return None;
+    }
+    let cap = q.retention?;
+    let longer = match p.retention {
+        None => true,
+        Some(r) => r.as_seconds() > cap.as_seconds(),
+    };
+    if !longer
+        || !corpus.model.contains(q.space, p.space)
+        || !corpus.ontology.data.is_a(p.data, q.data)
+        || !p.actions.intersects(q.actions)
+        || !p.subjects.may_overlap(&q.subjects)
+        || !p.condition.may_overlap(&q.condition, &corpus.model)
+    {
+        return None;
+    }
+    let kept = match p.retention {
+        None => "indefinitely".to_owned(),
+        Some(r) => format!("for {r}"),
+    };
+    Some(
+        Diagnostic::new(
+            LintCode::RetentionContradiction,
+            Severity::Error,
+            format!("/policies/{}/retention", p.id.0),
+            format!(
+                "{} keeps data {kept} but policy `{}` ({}) covering an enclosing scope allows at most {cap}",
+                p.id, q.name, q.id
+            ),
+        )
+        .with_evidence(vec![q.id.to_string()]),
+    )
+}

@@ -1,0 +1,160 @@
+//! TA003 — dead and shadowed preferences.
+//!
+//! A preference is dead when removing it changes nothing: (a) a same-user
+//! preference with higher precedence covers its entire scope, (b) it allows
+//! flows a mandatory policy mandates anyway, or (c) it restricts flows a
+//! mandatory policy overrides under the policy-prevails strategy. Scope
+//! comparison is conservative — only provable subsumption (taxonomy `is_a`,
+//! spatial containment, identical conditions) counts, so every report is a
+//! true positive.
+
+use tippers_policy::{
+    BuildingPolicy, Effect, PreferenceScope, ResolutionStrategy, SubjectScope, UserPreference,
+};
+
+use crate::corpus::DeploymentCorpus;
+use crate::diag::{Diagnostic, LintCode, Severity};
+
+pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
+    let prefs = corpus.resolvable_preferences();
+    let policies = corpus.resolvable_policies();
+
+    for a in &prefs {
+        let base = format!("/preferences/{}", a.id.0);
+        // The lowest-id witness keeps the report independent of the order
+        // preferences were supplied in.
+        if let Some(b) = prefs
+            .iter()
+            .filter(|b| b.user == a.user && b.id != a.id)
+            .filter(|b| scope_subsumes(corpus, &b.scope, &a.scope))
+            .filter(|b| takes_precedence(b, a))
+            .min_by_key(|b| b.id)
+        {
+            out.push(
+                Diagnostic::new(
+                    LintCode::DeadPreference,
+                    Severity::Warning,
+                    base.clone(),
+                    format!(
+                        "{} is never effective: {} covers its entire scope with higher precedence",
+                        a.id, b.id
+                    ),
+                )
+                .with_evidence(vec![b.id.to_string()]),
+            );
+        }
+
+        let covering_required = policies
+            .iter()
+            .filter(|p| p.is_required() && policy_covers(corpus, p, a))
+            .min_by_key(|p| p.id);
+        if let Some(p) = covering_required {
+            if a.effect == Effect::Allow {
+                out.push(
+                    Diagnostic::new(
+                        LintCode::DeadPreference,
+                        Severity::Warning,
+                        base.clone(),
+                        format!(
+                            "{} is redundant: mandatory policy `{}` ({}) already mandates every flow it allows",
+                            a.id, p.name, p.id
+                        ),
+                    )
+                    .with_evidence(vec![p.id.to_string()]),
+                );
+            } else if corpus.strategy == ResolutionStrategy::PolicyPrevails {
+                out.push(
+                    Diagnostic::new(
+                        LintCode::DeadPreference,
+                        Severity::Warning,
+                        base.clone(),
+                        format!(
+                            "{} is never honored: mandatory policy `{}` ({}) overrides it everywhere under the policy-prevails strategy",
+                            a.id, p.name, p.id
+                        ),
+                    )
+                    .with_evidence(vec![p.id.to_string()]),
+                );
+            }
+        }
+    }
+}
+
+/// True if `b` wins over `a` for every flow both cover. On fully equal
+/// precedence (same priority, same effect) the lower id is kept and the
+/// higher id reported, so the verdict is order-independent.
+fn takes_precedence(b: &UserPreference, a: &UserPreference) -> bool {
+    if b.priority != a.priority {
+        return b.priority > a.priority;
+    }
+    if b.effect.strictness() != a.effect.strictness() {
+        return b.effect.strictness() > a.effect.strictness();
+    }
+    b.effect == a.effect && b.id < a.id
+}
+
+/// True if `outer` provably covers every flow `inner` covers.
+fn scope_subsumes(
+    corpus: &DeploymentCorpus,
+    outer: &PreferenceScope,
+    inner: &PreferenceScope,
+) -> bool {
+    let ont = &corpus.ontology;
+    let data_ok = match (outer.data, inner.data) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(o), Some(i)) => ont.data.is_a(i, o),
+    };
+    let purpose_ok = match (outer.purpose, inner.purpose) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(o), Some(i)) => ont.purposes.is_a(i, o),
+    };
+    let service_ok = match (&outer.service, &inner.service) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(o), Some(i)) => o == i,
+    };
+    let space_ok = match (outer.space, inner.space) {
+        (None, _) => true,
+        (Some(_), None) => false,
+        (Some(o), Some(i)) => corpus.model.contains(o, i),
+    };
+    let condition_ok = outer.condition.is_always() || outer.condition == inner.condition;
+    data_ok && purpose_ok && service_ok && space_ok && condition_ok
+}
+
+/// True if the mandatory policy provably governs every flow the preference
+/// covers.
+fn policy_covers(
+    corpus: &DeploymentCorpus,
+    policy: &BuildingPolicy,
+    pref: &UserPreference,
+) -> bool {
+    let ont = &corpus.ontology;
+    let data_ok = pref
+        .scope
+        .data
+        .is_some_and(|d| ont.data.is_a(d, policy.data));
+    let purpose_ok = pref
+        .scope
+        .purpose
+        .is_some_and(|p| ont.purposes.is_a(p, policy.purpose));
+    let service_ok = match &policy.service {
+        None => true,
+        Some(ps) => pref.scope.service.as_ref() == Some(ps),
+    };
+    let space_ok = match pref.scope.space {
+        Some(s) => corpus.model.contains(policy.space, s),
+        None => policy.space == corpus.model.root(),
+    };
+    let subjects_ok = match &policy.subjects {
+        SubjectScope::Everyone => true,
+        SubjectScope::Users(users) => users.contains(&pref.user),
+        // A user's group membership is unknown statically; never claim
+        // coverage through a group scope.
+        SubjectScope::Groups(_) => false,
+    };
+    let condition_ok = policy.condition.is_always() || policy.condition == pref.scope.condition;
+    data_ok && purpose_ok && service_ok && space_ok && subjects_ok && condition_ok
+}

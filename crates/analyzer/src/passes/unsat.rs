@@ -1,0 +1,75 @@
+//! TA002 — unsatisfiable and vacuous conditions.
+//!
+//! A condition that can never hold makes its policy dead weight (an error:
+//! the author believed something is being enforced that is not), and a
+//! clause with no effect (proximity without spaces) usually means the
+//! author's intent was lost in translation (a warning).
+
+use tippers_policy::Condition;
+use tippers_spatial::SpaceId;
+
+use crate::corpus::DeploymentCorpus;
+use crate::diag::{Diagnostic, LintCode, Severity};
+
+pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
+    for p in corpus.resolvable_policies() {
+        check_condition(
+            corpus,
+            &p.condition,
+            Some(p.space),
+            &format!("/policies/{}", p.id.0),
+            out,
+        );
+    }
+    for p in corpus.resolvable_preferences() {
+        check_condition(
+            corpus,
+            &p.scope.condition,
+            p.scope.space,
+            &format!("/preferences/{}/scope", p.id.0),
+            out,
+        );
+    }
+}
+
+fn check_condition(
+    corpus: &DeploymentCorpus,
+    condition: &Condition,
+    scope_space: Option<SpaceId>,
+    base: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    if let Some(w) = &condition.time {
+        if w.days.is_empty() {
+            out.push(Diagnostic::new(
+                LintCode::UnsatisfiableCondition,
+                Severity::Error,
+                format!("{base}/condition/time/days"),
+                "time window can never fire: its weekday set is empty",
+            ));
+        }
+    }
+    if condition.requester_nearby && condition.spaces.is_empty() {
+        out.push(Diagnostic::new(
+            LintCode::UnsatisfiableCondition,
+            Severity::Warning,
+            format!("{base}/condition/requester_nearby"),
+            "requester_nearby has no effect without condition spaces",
+        ));
+    }
+    if let Some(scope) = scope_space {
+        if !condition.spaces.is_empty()
+            && condition
+                .spaces
+                .iter()
+                .all(|&s| !corpus.model.overlap(scope, s))
+        {
+            out.push(Diagnostic::new(
+                LintCode::UnsatisfiableCondition,
+                Severity::Error,
+                format!("{base}/condition/spaces"),
+                "condition spaces are disjoint from the scope: the rule can never apply",
+            ));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! TA007 — wire-format validation.
+//!
+//! Wraps [`tippers_policy::validate_document`] so structural problems in
+//! advertised documents surface through the same diagnostics pipeline
+//! (stable code, corpus-relative path, suppression) as every other finding.
+
+use tippers_policy::validate_document;
+
+use crate::corpus::DeploymentCorpus;
+use crate::diag::{Diagnostic, LintCode};
+
+pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
+    for (k, doc) in corpus.documents.iter().enumerate() {
+        for issue in validate_document(doc) {
+            out.push(Diagnostic::new(
+                LintCode::WireFormat,
+                issue.severity,
+                format!("/documents/{k}{}", issue.path),
+                issue.message,
+            ));
+        }
+    }
+}

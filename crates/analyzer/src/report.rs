@@ -1,0 +1,107 @@
+//! Reporters: text for humans, JSON for machines.
+
+use std::fmt::Write as _;
+
+use serde::Serialize as _;
+use serde_json::{Map, Value};
+
+use crate::diag::Severity;
+use crate::AnalysisReport;
+
+/// Renders the report as human-readable text, one diagnostic per line with
+/// evidence indented beneath it, followed by a summary line.
+pub fn render_text(report: &AnalysisReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let _ = writeln!(out, "{d}");
+        for e in &d.evidence {
+            let _ = writeln!(out, "    = {e}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} error(s), {} warning(s), {} suppressed",
+        report.error_count(),
+        report.warning_count(),
+        report.suppressed
+    );
+    out
+}
+
+/// Renders the report as a machine-readable JSON value.
+pub fn render_json(report: &AnalysisReport) -> Value {
+    let mut out = Map::new();
+    out.insert("diagnostics".into(), report.diagnostics.serialize_value());
+    out.insert("errors".into(), report.error_count().serialize_value());
+    out.insert("warnings".into(), report.warning_count().serialize_value());
+    out.insert("suppressed".into(), report.suppressed.serialize_value());
+    Value::Object(out)
+}
+
+impl AnalysisReport {
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// True if any error-severity diagnostic survived suppression.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Diagnostic, LintCode};
+
+    fn report() -> AnalysisReport {
+        AnalysisReport {
+            diagnostics: vec![
+                Diagnostic::new(
+                    LintCode::InferenceLeak,
+                    Severity::Error,
+                    "/documents/0/resources/0/observations",
+                    "leaks identity",
+                )
+                .with_evidence(vec!["camera-identity".into()]),
+                Diagnostic::new(
+                    LintCode::WireFormat,
+                    Severity::Warning,
+                    "/documents/0/resources/0/retention",
+                    "no retention period",
+                ),
+            ],
+            suppressed: 1,
+        }
+    }
+
+    #[test]
+    fn text_report_shape() {
+        let text = render_text(&report());
+        assert!(text.contains("error[TA005]"));
+        assert!(text.contains("    = camera-identity"));
+        assert!(text.contains("1 error(s), 1 warning(s), 1 suppressed"));
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let v = render_json(&report());
+        assert_eq!(v["errors"], 1usize.serialize_value());
+        assert_eq!(v["warnings"], 1usize.serialize_value());
+        assert_eq!(v["suppressed"], 1usize.serialize_value());
+        assert_eq!(v["diagnostics"][0]["code"], "TA005");
+        assert_eq!(v["diagnostics"][0]["evidence"][0], "camera-identity");
+    }
+}

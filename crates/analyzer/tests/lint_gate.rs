@@ -1,0 +1,170 @@
+//! The intentionally-broken fixture demonstrates every pass firing, and the
+//! `tippers-lint` binary gates on it the same way CI does.
+
+use std::process::Command;
+
+use tippers_analyzer::{analyze, AnalysisReport, DeploymentCorpus, LintCode, Severity};
+use tippers_ontology::Ontology;
+use tippers_spatial::fixtures;
+
+const BROKEN: &str = include_str!("../fixtures/broken.json");
+
+fn broken_corpus() -> DeploymentCorpus {
+    DeploymentCorpus::from_spec_str(BROKEN, Ontology::standard(), fixtures::dbh().model)
+        .expect("fixture parses")
+}
+
+fn worst(report: &AnalysisReport, code: LintCode) -> Option<Severity> {
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == code)
+        .map(|d| d.severity)
+        .max()
+}
+
+#[test]
+fn every_pass_fires_on_the_broken_fixture() {
+    let report = analyze(&broken_corpus());
+    for code in LintCode::ALL {
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == code),
+            "{code} never fired:\n{report:#?}"
+        );
+    }
+    // Severities: structural breakage is an error, advisory findings warn.
+    assert_eq!(
+        worst(&report, LintCode::DanglingReference),
+        Some(Severity::Error)
+    );
+    assert_eq!(
+        worst(&report, LintCode::UnsatisfiableCondition),
+        Some(Severity::Error)
+    );
+    assert_eq!(
+        worst(&report, LintCode::DeadPreference),
+        Some(Severity::Warning)
+    );
+    assert_eq!(
+        worst(&report, LintCode::RetentionContradiction),
+        Some(Severity::Error)
+    );
+    assert_eq!(
+        worst(&report, LintCode::InferenceLeak),
+        Some(Severity::Error)
+    );
+    assert_eq!(
+        worst(&report, LintCode::ConflictPreflight),
+        Some(Severity::Warning)
+    );
+    assert_eq!(worst(&report, LintCode::WireFormat), Some(Severity::Error));
+}
+
+#[test]
+fn inference_leak_error_carries_the_rule_chain() {
+    let report = analyze(&broken_corpus());
+    let leak = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == LintCode::InferenceLeak && d.severity == Severity::Error)
+        .expect("sensitive leak");
+    assert!(leak.message.contains("data/identity/person"), "{leak}");
+    assert_eq!(leak.evidence, vec!["camera-identity".to_string()]);
+}
+
+#[test]
+fn specific_findings_land_on_stable_paths() {
+    let report = analyze(&broken_corpus());
+    let has = |code: LintCode, path: &str| {
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == code && d.path == path)
+    };
+    assert!(has(LintCode::DanglingReference, "/policies/5/space"));
+    assert!(has(
+        LintCode::DanglingReference,
+        "/policies/6/service/Butler"
+    ));
+    assert!(has(
+        LintCode::DanglingReference,
+        "/documents/0/resources/0/observations/0/category"
+    ));
+    assert!(has(
+        LintCode::RetentionContradiction,
+        "/policies/2/retention"
+    ));
+    assert!(has(
+        LintCode::UnsatisfiableCondition,
+        "/policies/3/condition/time/days"
+    ));
+    assert!(has(LintCode::DeadPreference, "/preferences/2"));
+    assert!(has(
+        LintCode::WireFormat,
+        "/documents/1/resources/0/info/name"
+    ));
+}
+
+#[test]
+fn corpus_allow_can_silence_whole_passes() {
+    let mut corpus = broken_corpus();
+    corpus.allow.insert("TA005".into());
+    corpus.allow.insert("TA007".into());
+    let report = analyze(&corpus);
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.code != LintCode::InferenceLeak && d.code != LintCode::WireFormat));
+    assert!(report.suppressed > 0);
+    // Other errors remain: suppression is per-code, not a global mute.
+    assert!(report.has_errors());
+}
+
+// ---- binary-level checks (the same invocations the CI gate runs) -----------
+
+fn lint(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_tippers-lint"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn cli_passes_the_figures_corpus() {
+    let out = lint(&["--figures"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 error(s)"));
+    assert!(text.contains("warning[TA005]"));
+}
+
+#[test]
+fn cli_fails_the_broken_fixture_with_machine_readable_output() {
+    let fixture = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/broken.json");
+    let out = lint(&["--deployment", fixture, "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let v: serde_json::Value = serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    let diags = match &v["diagnostics"] {
+        serde_json::Value::Array(items) => items,
+        other => panic!("diagnostics is {}", other.kind()),
+    };
+    for code in LintCode::ALL {
+        assert!(
+            diags.iter().any(|d| d["code"] == code.as_str()),
+            "{code} missing from JSON output"
+        );
+    }
+}
+
+#[test]
+fn cli_rejects_unknown_codes_and_conflicting_modes() {
+    assert_eq!(lint(&["--allow", "TA999"]).status.code(), Some(2));
+    assert_eq!(
+        lint(&["--figures", "--deployment", "x.json"]).status.code(),
+        Some(2)
+    );
+}

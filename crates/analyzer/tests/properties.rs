@@ -1,0 +1,158 @@
+//! Analyzer determinism: the report is a pure function of the corpus *set*,
+//! not of the order its pieces were supplied in.
+
+use proptest::prelude::*;
+use tippers_analyzer::{analyze, report, DeploymentCorpus};
+use tippers_ontology::InferenceRule;
+use tippers_policy::{
+    BuildingPolicy, Effect, Modality, PolicyId, PreferenceId, PreferenceScope, UserId,
+    UserPreference,
+};
+
+/// Renders a report to its canonical bytes (text + pretty JSON).
+fn bytes(corpus: &DeploymentCorpus) -> String {
+    let r = analyze(corpus);
+    let mut out = report::render_text(&r);
+    out.push_str(&serde_json::to_string_pretty(&report::render_json(&r)).unwrap());
+    out
+}
+
+/// Deterministic Fisher–Yates driven by an LCG, so a single `u64` seed
+/// names a permutation.
+fn shuffle<T>(items: &mut [T], mut seed: u64) {
+    for i in (1..items.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = ((seed >> 33) as usize) % (i + 1);
+        items.swap(i, j);
+    }
+}
+
+/// A corpus with enough moving parts that every pass has something to do:
+/// the figures corpus plus `extra` seeded policies and preferences.
+fn corpus_with_extras(seed: u64, extra: usize) -> DeploymentCorpus {
+    let mut corpus = DeploymentCorpus::figures();
+    let datas: Vec<_> = corpus
+        .ontology
+        .data
+        .iter()
+        .map(tippers_ontology::Concept::id)
+        .collect();
+    let purposes: Vec<_> = corpus
+        .ontology
+        .purposes
+        .iter()
+        .map(tippers_ontology::Concept::id)
+        .collect();
+    let spaces: Vec<_> = corpus
+        .model
+        .iter()
+        .map(tippers_spatial::Space::id)
+        .collect();
+    let mut state = seed;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for i in 0..extra {
+        let mut p = BuildingPolicy::new(
+            PolicyId(100 + i as u64),
+            format!("extra policy {i}"),
+            spaces[next() % spaces.len()],
+            datas[next() % datas.len()],
+            purposes[next() % purposes.len()],
+        );
+        p.modality = match next() % 3 {
+            0 => Modality::Required,
+            1 => Modality::OptOut,
+            _ => Modality::OptIn,
+        };
+        corpus.policies.push(p);
+        let scope = PreferenceScope {
+            data: if next() % 3 == 0 {
+                None
+            } else {
+                Some(datas[next() % datas.len()])
+            },
+            space: if next() % 2 == 0 {
+                Some(spaces[next() % spaces.len()])
+            } else {
+                None
+            },
+            ..Default::default()
+        };
+        let effect = if next() % 2 == 0 {
+            Effect::Deny
+        } else {
+            Effect::Allow
+        };
+        corpus.preferences.push(
+            UserPreference::new(
+                PreferenceId(100 + i as u64),
+                UserId((next() % 4) as u64),
+                scope,
+                effect,
+            )
+            .with_priority((next() % 8) as u8),
+        );
+    }
+    corpus
+}
+
+proptest! {
+    /// Shuffling policies and preferences yields a byte-identical report.
+    #[test]
+    fn report_is_order_independent(
+        seed in any::<u64>(),
+        perm in any::<u64>(),
+        extra in 0usize..12,
+    ) {
+        let reference = corpus_with_extras(seed, extra);
+        let expected = bytes(&reference);
+
+        let mut shuffled = reference.clone();
+        shuffle(&mut shuffled.policies, perm);
+        shuffle(&mut shuffled.preferences, perm.rotate_left(17));
+        prop_assert_eq!(bytes(&shuffled), expected);
+    }
+
+    /// Repeated analysis of the same corpus is a fixpoint (no hidden state).
+    #[test]
+    fn analysis_is_deterministic(seed in any::<u64>(), extra in 0usize..8) {
+        let corpus = corpus_with_extras(seed, extra);
+        prop_assert_eq!(bytes(&corpus), bytes(&corpus));
+    }
+
+    /// The order custom inference rules are appended in does not matter, as
+    /// long as confidences are distinct (the closure keeps the best chain).
+    #[test]
+    fn rule_append_order_does_not_matter(swap in any::<bool>()) {
+        let base = DeploymentCorpus::figures();
+        let c = base.ontology.concepts().clone();
+        let rule_a = InferenceRule::new(
+            "custom-occupancy-health",
+            vec![c.occupancy],
+            c.health,
+            0.31,
+        );
+        let rule_b = InferenceRule::new(
+            "custom-wifi-health",
+            vec![c.wifi_association],
+            c.health,
+            0.57,
+        );
+
+        let mut one = base.clone();
+        let mut two = base;
+        for r in if swap { [&rule_a, &rule_b] } else { [&rule_b, &rule_a] } {
+            one.ontology.add_rule(r.clone());
+        }
+        for r in [&rule_b, &rule_a] {
+            two.ontology.add_rule(r.clone());
+        }
+        prop_assert_eq!(bytes(&one), bytes(&two));
+    }
+}

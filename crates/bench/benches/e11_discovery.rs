@@ -73,7 +73,7 @@ fn bench_walk(criterion: &mut Criterion) {
                         .len();
                 }
                 std::hint::black_box(total)
-            })
+            });
         });
     }
     group.finish();
@@ -104,7 +104,7 @@ fn bench_review(criterion: &mut Criterion) {
                 SensitivityProfile::fundamentalist(&ontology),
             );
             std::hint::black_box(iota.review(&ads, &ontology, Timestamp::at(0, 9, 0)))
-        })
+        });
     });
     group.finish();
 }

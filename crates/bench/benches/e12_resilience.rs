@@ -51,7 +51,7 @@ fn bench_request_path(criterion: &mut Criterion) {
                 let flow = &flows[i % flows.len()];
                 i += 1;
                 std::hint::black_box(indexed.decide(flow, &ontology, &building.model))
-            })
+            });
         },
     );
 
@@ -90,7 +90,7 @@ fn bench_request_path(criterion: &mut Criterion) {
                     let req = &reqs[i % reqs.len()];
                     i += 1;
                     std::hint::black_box(bms.handle_request(req, now))
-                })
+                });
             },
         );
     }
@@ -109,7 +109,7 @@ fn bench_primitives(criterion: &mut Criterion) {
         b.iter(|| {
             k = (k + 1) % 16;
             std::hint::black_box(schedule.delay_ms(k))
-        })
+        });
     });
 
     group.bench_function("breaker_admit_closed", |b| {
@@ -120,12 +120,12 @@ fn bench_primitives(criterion: &mut Criterion) {
             let ok = breaker.admit(now);
             breaker.record_success();
             std::hint::black_box(ok)
-        })
+        });
     });
 
     let disarmed = FaultPlan::disarmed();
     group.bench_function("fault_plan_disarmed_consult", |b| {
-        b.iter(|| std::hint::black_box(disarmed.should_fail(FaultPoint::StoreWrite)))
+        b.iter(|| std::hint::black_box(disarmed.should_fail(FaultPoint::StoreWrite)));
     });
     group.finish();
 }

@@ -49,7 +49,7 @@ fn bench_wal(criterion: &mut Criterion) {
                     apply_mutation(&mut bms, m);
                 }
                 std::hint::black_box(bms.store().len())
-            })
+            });
         },
     );
 
@@ -70,7 +70,7 @@ fn bench_wal(criterion: &mut Criterion) {
                     apply_mutation(&mut bms, m);
                 }
                 std::hint::black_box(bms.store().len())
-            })
+            });
         },
     );
 
@@ -101,7 +101,7 @@ fn bench_wal(criterion: &mut Criterion) {
                 .expect("recover");
                 assert_eq!(report.truncated_tails, 0);
                 std::hint::black_box(recovered.store().len())
-            })
+            });
         },
     );
     group.finish();

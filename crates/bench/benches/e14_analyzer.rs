@@ -1,0 +1,55 @@
+//! Experiment E14 — static analysis throughput.
+//!
+//! Measures the full multi-pass lint run (`tippers_analyzer::analyze`) over
+//! deployments of growing size: the paper's figures corpus plus n generated
+//! policies and preferences. The quadratic passes (retention contradictions,
+//! shadowed preferences) dominate at scale; the inference-leak fixpoint is
+//! per-document and stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tippers_analyzer::{analyze, DeploymentCorpus};
+use tippers_bench::{gen_policies, gen_preferences, service_pool};
+
+fn corpus_of_size(n: usize) -> DeploymentCorpus {
+    let mut corpus = DeploymentCorpus::figures();
+    let dbh = tippers_spatial::fixtures::dbh();
+    let services = service_pool(4);
+    corpus.policies.extend(gen_policies(
+        n,
+        &corpus.ontology.clone(),
+        &dbh,
+        &services,
+        14,
+    ));
+    corpus.preferences.extend(gen_preferences(
+        n / 2,
+        2,
+        &corpus.ontology.clone(),
+        &dbh,
+        &services,
+        14,
+    ));
+    corpus
+}
+
+fn bench_analyzer(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("e14_analyzer");
+    group.sample_size(10);
+
+    // The CI gate's exact workload: the paper's own corpus.
+    let figures = DeploymentCorpus::figures();
+    group.bench_function("figures", |b| {
+        b.iter(|| std::hint::black_box(analyze(&figures)));
+    });
+
+    for &n in &[30usize, 100, 300] {
+        let corpus = corpus_of_size(n);
+        group.bench_with_input(BenchmarkId::new("analyze", n), &corpus, |b, corpus| {
+            b.iter(|| std::hint::black_box(analyze(corpus)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_analyzer);
+criterion_main!(benches);

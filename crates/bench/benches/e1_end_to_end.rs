@@ -76,7 +76,7 @@ fn bench_walkthrough(criterion: &mut Criterion) {
                 mary,
                 now,
             ))
-        })
+        });
     });
 
     // Steady-state ingest throughput (steps 2-3 alone).
@@ -98,7 +98,7 @@ fn bench_walkthrough(criterion: &mut Criterion) {
                 &ontology,
             ));
             std::hint::black_box(bms.ingest(&trace.observations))
-        })
+        });
     });
     group.finish();
 }

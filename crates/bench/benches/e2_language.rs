@@ -19,28 +19,28 @@ fn bench_figures(criterion: &mut Criterion) {
             std::hint::black_box(
                 serde_json::from_str::<PolicyDocument>(figures::FIG2_JSON).unwrap(),
             )
-        })
+        });
     });
     group.bench_function("parse_fig3", |b| {
         b.iter(|| {
             std::hint::black_box(
                 serde_json::from_str::<ServicePolicyDocument>(figures::FIG3_JSON).unwrap(),
             )
-        })
+        });
     });
     group.bench_function("parse_fig4", |b| {
         b.iter(|| {
             std::hint::black_box(
                 serde_json::from_str::<SettingsDocument>(figures::FIG4_JSON).unwrap(),
             )
-        })
+        });
     });
     let doc = figures::fig2_document();
     group.bench_function("serialize_fig2", |b| {
-        b.iter(|| std::hint::black_box(serde_json::to_string(&doc).unwrap()))
+        b.iter(|| std::hint::black_box(serde_json::to_string(&doc).unwrap()));
     });
     group.bench_function("validate_fig2", |b| {
-        b.iter(|| std::hint::black_box(validate_document(&doc)))
+        b.iter(|| std::hint::black_box(validate_document(&doc)));
     });
     group.finish();
 }
@@ -53,14 +53,14 @@ fn bench_codec(criterion: &mut Criterion) {
     let doc = codec.to_document(&policy);
     let mut group = criterion.benchmark_group("e2_codec");
     group.bench_function("export_policy2", |b| {
-        b.iter(|| std::hint::black_box(codec.to_document(&policy)))
+        b.iter(|| std::hint::black_box(codec.to_document(&policy)));
     });
     group.bench_function("import_policy2", |b| {
-        b.iter(|| std::hint::black_box(codec.from_document(&doc, 1).unwrap()))
+        b.iter(|| std::hint::black_box(codec.from_document(&doc, 1).unwrap()));
     });
     group.bench_function("import_paper_fig2", |b| {
         let fig2 = figures::fig2_document();
-        b.iter(|| std::hint::black_box(codec.from_document(&fig2, 1).unwrap()))
+        b.iter(|| std::hint::black_box(codec.from_document(&fig2, 1).unwrap()));
     });
     group.finish();
 }

@@ -37,7 +37,7 @@ fn bench_conflicts(criterion: &mut Criterion) {
                             &building.model,
                             ResolutionStrategy::PolicyPrevails,
                         ))
-                    })
+                    });
                 },
             );
         }
@@ -57,7 +57,7 @@ fn bench_conflicts(criterion: &mut Criterion) {
                         &building.model,
                         ResolutionStrategy::PolicyPrevails,
                     ))
-                })
+                });
             },
         );
     }
@@ -94,7 +94,7 @@ fn bench_single_submission(criterion: &mut Criterion) {
                         &building.model,
                         ResolutionStrategy::PolicyPrevails,
                     ))
-                })
+                });
             },
         );
     }

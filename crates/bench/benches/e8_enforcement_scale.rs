@@ -52,7 +52,7 @@ fn bench_enforcement(criterion: &mut Criterion) {
                 let flow = &flows[i % flows.len()];
                 i += 1;
                 std::hint::black_box(naive.decide(flow, &ontology, &building.model))
-            })
+            });
         });
 
         let indexed = IndexedEnforcer::new(
@@ -67,7 +67,7 @@ fn bench_enforcement(criterion: &mut Criterion) {
                 let flow = &flows[i % flows.len()];
                 i += 1;
                 std::hint::black_box(indexed.decide(flow, &ontology, &building.model))
-            })
+            });
         });
     }
     group.finish();
@@ -94,7 +94,7 @@ fn bench_index_build(criterion: &mut Criterion) {
                         ResolutionStrategy::PolicyPrevails,
                         &ontology,
                     ))
-                })
+                });
             },
         );
     }

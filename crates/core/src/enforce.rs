@@ -389,8 +389,7 @@ impl Enforcer for IndexedEnforcer {
         let pref = self
             .prefs_by_user
             .get(&flow.subject)
-            .map(|prefs| preference_verdict(prefs.iter(), flow, ontology, model))
-            .unwrap_or(None);
+            .and_then(|prefs| preference_verdict(prefs.iter(), flow, ontology, model));
         decide_from_parts(&applicable, pref, self.strategy)
     }
 }

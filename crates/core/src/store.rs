@@ -175,8 +175,7 @@ impl Store {
     /// deleted. Rebuilds indexes; O(n).
     pub fn gc(&mut self, now: Timestamp) -> usize {
         let before = self.rows.len();
-        self.rows
-            .retain(|r| r.expires_at.map(|e| e > now).unwrap_or(true));
+        self.rows.retain(|r| r.expires_at.is_none_or(|e| e > now));
         let removed = before - self.rows.len();
         if removed > 0 {
             self.by_subject.clear();
@@ -385,7 +384,7 @@ mod tests {
                 let now = Timestamp(sweep);
                 let expected: Vec<StoredRow> = store
                     .iter()
-                    .filter(|r| r.expires_at.map(|e| e > now).unwrap_or(true))
+                    .filter(|r| r.expires_at.is_none_or(|e| e > now))
                     .cloned()
                     .collect();
                 let removed = store.gc(now);

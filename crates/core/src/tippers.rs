@@ -442,7 +442,7 @@ impl Tippers {
                     .map(|ads| ads.len())
             })
             .map(|(n, _report)| n)
-            .map_err(|e| e.into_inner())
+            .map_err(tippers_resilience::RetryError::into_inner)
     }
 
     // ---- preference intake (step 8) -----------------------------------------
@@ -852,8 +852,7 @@ impl Tippers {
                     .copied()
                     .filter(|&u| {
                         self.current_space_of(u, now)
-                            .map(|s| self.model.contains(*space, s))
-                            .unwrap_or(false)
+                            .is_some_and(|s| self.model.contains(*space, s))
                     })
                     .collect();
                 v.sort();

@@ -147,8 +147,8 @@ proptest! {
         n_flows in 1usize..24,
     ) {
         let (ont, model, spaces) = env();
-        let datas: Vec<ConceptId> = ont.data.iter().map(|c| c.id()).collect();
-        let purposes: Vec<ConceptId> = ont.purposes.iter().map(|c| c.id()).collect();
+        let datas: Vec<ConceptId> = ont.data.iter().map(tippers_ontology::Concept::id).collect();
+        let purposes: Vec<ConceptId> = ont.purposes.iter().map(tippers_ontology::Concept::id).collect();
         for strategy in [
             ResolutionStrategy::PolicyPrevails,
             ResolutionStrategy::PreferencePrevails,
@@ -200,8 +200,8 @@ proptest! {
     #[test]
     fn default_deny_without_policies(seed in any::<u64>()) {
         let (ont, model, spaces) = env();
-        let datas: Vec<ConceptId> = ont.data.iter().map(|c| c.id()).collect();
-        let purposes: Vec<ConceptId> = ont.purposes.iter().map(|c| c.id()).collect();
+        let datas: Vec<ConceptId> = ont.data.iter().map(tippers_ontology::Concept::id).collect();
+        let purposes: Vec<ConceptId> = ont.purposes.iter().map(tippers_ontology::Concept::id).collect();
         let prefs = gen_prefs(seed, 8, &spaces, &datas, &purposes);
         let enforcer = NaiveEnforcer::new(vec![], prefs, ResolutionStrategy::PolicyPrevails);
         let mut lcg = Lcg(seed);
@@ -247,7 +247,7 @@ proptest! {
         store.gc(now);
         let expected: usize = retentions
             .iter()
-            .filter(|r| r.map(|secs| t0.seconds() + secs > now.seconds()).unwrap_or(true))
+            .filter(|r| r.is_none_or(|secs| t0.seconds() + secs > now.seconds()))
             .count();
         prop_assert_eq!(store.len(), expected);
         for row in store.iter() {

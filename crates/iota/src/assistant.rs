@@ -183,7 +183,9 @@ impl Iota {
 
     /// The breaker state for one registry, if it has ever been fetched.
     pub fn breaker_state(&self, registry: RegistryId) -> Option<tippers_resilience::BreakerState> {
-        self.breakers.get(&registry).map(|b| b.state())
+        self.breakers
+            .get(&registry)
+            .map(tippers_resilience::CircuitBreaker::state)
     }
 
     /// Step 5: discover registries near `space` and fetch fresh
@@ -313,11 +315,16 @@ impl Iota {
                 .map(|prev| diff_documents(prev, &ad.document))
                 .unwrap_or_default();
             self.last_docs.insert(doc_key, ad.document.clone());
-            let has_expansion = changes.iter().any(|c| c.is_expansion());
+            let has_expansion = changes
+                .iter()
+                .any(tippers_policy::PolicyChange::is_expansion);
             let change_summary = if changes.is_empty() {
                 String::new()
             } else {
-                let listed: Vec<String> = changes.iter().map(|c| c.to_string()).collect();
+                let listed: Vec<String> = changes
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect();
                 format!(" Changed since you last saw it: {}.", listed.join("; "))
             };
             for resource in &ad.document.resources {
@@ -379,8 +386,7 @@ impl Iota {
                     .min_by_key(|(_, o)| {
                         (o.effect.strictness() as i32 - desired.strictness() as i32).abs()
                     })
-                    .map(|(i, _)| i)
-                    .unwrap_or(setting.default_option);
+                    .map_or(setting.default_option, |(i, _)| i);
                 (policy.id, setting.key.clone(), option_index)
             })
             .collect();
@@ -397,10 +403,10 @@ fn describe(
     score: &RelevanceScore,
     ontology: &Ontology,
 ) -> String {
-    let driver = score
-        .driving_category
-        .map(|c| ontology.data.concept(c).label().to_lowercase())
-        .unwrap_or_else(|| "your data".to_owned());
+    let driver = score.driving_category.map_or_else(
+        || "your data".to_owned(),
+        |c| ontology.data.concept(c).label().to_lowercase(),
+    );
     let retention = resource
         .retention
         .map(|r| format!(" Data is retained for {}.", r.duration))

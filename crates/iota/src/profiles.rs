@@ -212,8 +212,7 @@ impl PrivacyProfiles {
                     .partial_cmp(&user.distance(b))
                     .expect("distances are not NaN")
             })
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+            .map_or(0, |(i, _)| i)
     }
 
     /// Predicted decision for `dim` under `profile`: +1 allow, −1 deny,

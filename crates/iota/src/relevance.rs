@@ -132,7 +132,7 @@ pub fn score_resource(
         .keys()
         .next()
         .and_then(|k| resolve_purpose(ontology, k));
-    let pf = purpose.map(|p| purpose_factor(ontology, p)).unwrap_or(0.6);
+    let pf = purpose.map_or(0.6, |p| purpose_factor(ontology, p));
 
     for obs in &resource.observations {
         let Some(cat) = obs.category.as_ref().and_then(|k| ontology.data.id(k)) else {
@@ -172,7 +172,7 @@ fn resolve_purpose(ontology: &Ontology, key: &str) -> Option<ConceptId> {
             c.key().rsplit('/').next() == Some(normalized.as_str())
                 || c.label().to_lowercase() == key.to_lowercase()
         })
-        .map(|c| c.id())
+        .map(tippers_ontology::Concept::id)
 }
 
 #[cfg(test)]

@@ -156,6 +156,7 @@ pub fn advertise_device(
             settings: Vec::new(),
             modality: None,
         }],
+        lint_allow: Vec::new(),
     }
 }
 

@@ -162,7 +162,7 @@ impl Registry {
         if !is_advertisable(&document) {
             let issues = tippers_policy::validate_document(&document)
                 .iter()
-                .map(|i| i.to_string())
+                .map(std::string::ToString::to_string)
                 .collect::<Vec<_>>()
                 .join("; ");
             return Err(RegistryError::NotAdvertisable { issues });

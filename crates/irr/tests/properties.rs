@@ -33,7 +33,7 @@ proptest! {
         let t0 = Timestamp::at(0, 0, 0);
         registry.publish(doc(), building.building, t0, 3600).unwrap();
         registry.publish(doc(), building.floors[2], t0, 3600).unwrap();
-        let spaces: Vec<_> = building.model.iter().map(|s| s.id()).collect();
+        let spaces: Vec<_> = building.model.iter().map(tippers_spatial::Space::id).collect();
         let probe = spaces[space_idx % spaces.len()];
         let near = registry.advertisements_near(&building.model, probe, t0);
         let all = registry.advertisements(t0);

@@ -451,8 +451,7 @@ mod tests {
         let conf = |id| {
             out.iter()
                 .find(|i| i.concept == id)
-                .map(|i| i.confidence)
-                .unwrap_or(0.0)
+                .map_or(0.0, |i| i.confidence)
         };
         assert!(conf(c.location_room) > conf(c.occupancy));
         assert!(conf(c.occupancy) > conf(c.working_pattern));

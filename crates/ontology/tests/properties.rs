@@ -28,7 +28,7 @@ fn arb_taxonomy(max: usize) -> impl Strategy<Value = Taxonomy> {
 }
 
 fn all_ids(t: &Taxonomy) -> Vec<ConceptId> {
-    t.iter().map(|c| c.id()).collect()
+    t.iter().map(tippers_ontology::Concept::id).collect()
 }
 
 proptest! {
@@ -95,7 +95,7 @@ proptest! {
     #[test]
     fn closure_monotone(seed in any::<u64>()) {
         let ont = Ontology::standard();
-        let ids: Vec<ConceptId> = ont.data.iter().map(|c| c.id()).collect();
+        let ids: Vec<ConceptId> = ont.data.iter().map(tippers_ontology::Concept::id).collect();
         let a = ids[(seed as usize) % ids.len()];
         let b = ids[((seed >> 9) as usize) % ids.len()];
         let engine = ont.inference();
@@ -106,11 +106,7 @@ proptest! {
             let grown = big
                 .iter()
                 .find(|i| i.concept == inf.concept)
-                .map(|i| i.confidence)
-                // b itself may equal the inferred concept, in which case it
-                // became an input and left the derived set — that's still
-                // "at least as known".
-                .unwrap_or(if b == inf.concept { 1.0 } else { 0.0 });
+                .map_or(if b == inf.concept { 1.0 } else { 0.0 }, |i| i.confidence);
             prop_assert!(
                 grown + 1e-9 >= inf.confidence,
                 "confidence of {:?} dropped from {} to {}",
@@ -123,7 +119,7 @@ proptest! {
     #[test]
     fn cached_closure_matches_engine(seed in any::<u64>()) {
         let ont = Ontology::standard();
-        let ids: Vec<ConceptId> = ont.data.iter().map(|c| c.id()).collect();
+        let ids: Vec<ConceptId> = ont.data.iter().map(tippers_ontology::Concept::id).collect();
         let src = ids[(seed as usize) % ids.len()];
         let fresh = ont.inference().closure(&[src]);
         let cached = ont.inferable_from(src);

@@ -69,6 +69,7 @@ impl<'a> PolicyCodec<'a> {
     pub fn to_document(&self, policy: &BuildingPolicy) -> PolicyDocument {
         PolicyDocument {
             resources: vec![self.to_resource(policy)],
+            lint_allow: Vec::new(),
         }
     }
 
@@ -76,6 +77,7 @@ impl<'a> PolicyCodec<'a> {
     pub fn to_document_many(&self, policies: &[BuildingPolicy]) -> PolicyDocument {
         PolicyDocument {
             resources: policies.iter().map(|p| self.to_resource(p)).collect(),
+            lint_allow: Vec::new(),
         }
     }
 
@@ -219,11 +221,7 @@ impl<'a> PolicyCodec<'a> {
             .and_then(|l| l.spatial.as_ref())
             .map(|s| s.name.as_str())
             .ok_or(PolicyError::MissingField("context.location.spatial.name"))?;
-        let canonical = self
-            .space_aliases
-            .get(name)
-            .map(String::as_str)
-            .unwrap_or(name);
+        let canonical = self.space_aliases.get(name).map_or(name, String::as_str);
         self.model
             .by_name(canonical)
             .ok_or_else(|| PolicyError::UnknownSpace(name.to_owned()))
@@ -318,7 +316,7 @@ fn resolve_by_label(taxonomy: &Taxonomy, label: &str) -> Option<ConceptId> {
     taxonomy
         .iter()
         .find(|c| c.label().to_lowercase() == lower)
-        .map(|c| c.id())
+        .map(tippers_ontology::Concept::id)
 }
 
 fn data_from_sensor_kind(ontology: &Ontology, kind: &str) -> Option<ConceptId> {

@@ -110,8 +110,7 @@ impl fmt::Display for PolicyChange {
             }
             PolicyChange::RetentionChanged { resource, old, new } => {
                 let show = |d: &Option<IsoDuration>| {
-                    d.map(|d| d.to_string())
-                        .unwrap_or_else(|| "indefinite".into())
+                    d.map_or_else(|| "indefinite".into(), |d| d.to_string())
                 };
                 write!(
                     f,
@@ -298,7 +297,7 @@ mod tests {
         });
         let changes = diff_documents(&old, &new);
         assert_eq!(changes.len(), 2);
-        assert!(changes.iter().all(|c| c.is_expansion()));
+        assert!(changes.iter().all(super::PolicyChange::is_expansion));
     }
 
     #[test]

@@ -18,6 +18,11 @@ use crate::duration::IsoDuration;
 pub struct PolicyDocument {
     /// The resources whose data practices are being disclosed.
     pub resources: Vec<ResourceBlock>,
+    /// Static-analysis suppressions (extension): lint codes such as
+    /// `"TA004"` that the document's author has reviewed and accepted.
+    /// Diagnostics with a listed code are suppressed for this document.
+    #[serde(rename = "lint-allow", default, skip_serializing_if = "Vec::is_empty")]
+    pub lint_allow: Vec<String>,
 }
 
 /// One advertised resource and its data practices.
@@ -239,6 +244,7 @@ mod tests {
                 },
                 ..Default::default()
             }],
+            lint_allow: Vec::new(),
         };
         let json = serde_json::to_string(&doc).unwrap();
         assert!(!json.contains("retention"));

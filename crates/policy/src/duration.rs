@@ -167,7 +167,7 @@ impl FromStr for IsoDuration {
                 ('Y', |d, v| d.years = v),
                 ('M', |d, v| d.months = v),
                 ('W', |d, v| {
-                    d.days = d.days.saturating_add(v.saturating_mul(7))
+                    d.days = d.days.saturating_add(v.saturating_mul(7));
                 }),
                 ('D', |d, v| d.days = d.days.saturating_add(v)),
             ],

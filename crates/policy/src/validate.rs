@@ -9,6 +9,26 @@ use serde::{Deserialize, Serialize};
 
 use crate::document::PolicyDocument;
 
+/// Escapes one JSON-pointer reference token per RFC 6901 §3: `~` becomes
+/// `~0` and `/` becomes `~1` (in that order, so `~1` in the input does not
+/// decode as a slash).
+///
+/// Every dynamic segment interpolated into a diagnostic path — purpose
+/// names, space names, service ids — must pass through here, otherwise a
+/// name containing a slash would split into two bogus path segments.
+///
+/// # Examples
+///
+/// ```
+/// use tippers_policy::validate::escape_pointer_segment;
+/// assert_eq!(escape_pointer_segment("a/b"), "a~1b");
+/// assert_eq!(escape_pointer_segment("x~y"), "x~0y");
+/// assert_eq!(escape_pointer_segment("~1"), "~01");
+/// ```
+pub fn escape_pointer_segment(segment: &str) -> String {
+    segment.replace('~', "~0").replace('/', "~1")
+}
+
 /// Severity of a [`ValidationIssue`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Severity {
@@ -47,7 +67,7 @@ pub fn validate_document(doc: &PolicyDocument) -> Vec<ValidationIssue> {
             severity,
             path,
             message: message.to_owned(),
-        })
+        });
     };
 
     if doc.resources.is_empty() {
@@ -72,6 +92,26 @@ pub fn validate_document(doc: &PolicyDocument) -> Vec<ValidationIssue> {
                 format!("{base}/purpose"),
                 "no purpose declared; users cannot assess the practice",
             );
+        }
+        for (name, p) in &r.purpose.purposes {
+            let seg = escape_pointer_segment(name);
+            if name.trim().is_empty() {
+                push(
+                    Severity::Error,
+                    format!("{base}/purpose/{seg}"),
+                    "empty purpose name",
+                );
+            }
+            if p.description
+                .as_deref()
+                .is_some_and(|d| d.trim().is_empty())
+            {
+                push(
+                    Severity::Warning,
+                    format!("{base}/purpose/{seg}/description"),
+                    "purpose has a blank description",
+                );
+            }
         }
         if r.observations.is_empty() {
             push(
@@ -189,6 +229,7 @@ mod tests {
                 },
                 ..Default::default()
             }],
+            lint_allow: Vec::new(),
         };
         let issues = validate_document(&doc);
         assert!(issues
@@ -230,6 +271,45 @@ mod tests {
             .iter()
             .any(|i| i.message.contains("duplicate") && i.severity == Severity::Warning));
         assert!(is_advertisable(&doc));
+    }
+
+    #[test]
+    fn pointer_segments_escape_rfc6901() {
+        assert_eq!(escape_pointer_segment("plain"), "plain");
+        assert_eq!(escape_pointer_segment("a/b/c"), "a~1b~1c");
+        assert_eq!(escape_pointer_segment("m~n"), "m~0n");
+        // `~` escapes first so a literal `~1` survives decoding.
+        assert_eq!(escape_pointer_segment("~1"), "~01");
+        assert_eq!(escape_pointer_segment("~/"), "~0~1");
+    }
+
+    #[test]
+    fn purpose_names_with_slashes_escape_in_paths() {
+        let mut doc = figures::fig2_document();
+        let block = doc.resources[0]
+            .purpose
+            .purposes
+            .remove("emergency response")
+            .unwrap();
+        doc.resources[0]
+            .purpose
+            .purposes
+            .insert("a/b ~ c".into(), block);
+        let issues = validate_document(&doc);
+        // The blank-description warning is absent (description is set), and
+        // no path splits on the raw slash.
+        assert!(issues.iter().all(|i| !i.path.contains("a/b")));
+        let mut blank = doc.clone();
+        blank.resources[0]
+            .purpose
+            .purposes
+            .get_mut("a/b ~ c")
+            .unwrap()
+            .description = Some("  ".into());
+        let issues = validate_document(&blank);
+        assert!(issues
+            .iter()
+            .any(|i| i.path.ends_with("/purpose/a~1b ~0 c/description")));
     }
 
     #[test]

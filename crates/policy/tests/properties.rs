@@ -70,11 +70,14 @@ fn env() -> (Ontology, SpatialModel, Vec<tippers_spatial::SpaceId>) {
 
 /// Data-taxonomy concepts used to generate random policies/preferences.
 fn data_concepts(ont: &Ontology) -> Vec<ConceptId> {
-    ont.data.iter().map(|c| c.id()).collect()
+    ont.data.iter().map(tippers_ontology::Concept::id).collect()
 }
 
 fn purpose_concepts(ont: &Ontology) -> Vec<ConceptId> {
-    ont.purposes.iter().map(|c| c.id()).collect()
+    ont.purposes
+        .iter()
+        .map(tippers_ontology::Concept::id)
+        .collect()
 }
 
 proptest! {

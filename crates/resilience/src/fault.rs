@@ -222,12 +222,7 @@ impl FaultPlan {
 
     /// The armed parameter at `point` (0 when unarmed or unset).
     pub fn param(&self, point: FaultPoint) -> i64 {
-        self.inner
-            .rules
-            .lock()
-            .get(&point)
-            .map(|r| r.param)
-            .unwrap_or(0)
+        self.inner.rules.lock().get(&point).map_or(0, |r| r.param)
     }
 
     /// How many failures have been injected at `point`.

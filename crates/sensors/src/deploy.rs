@@ -79,7 +79,7 @@ pub fn deploy(dbh: &Dbh, ontology: &Ontology, config: &DeploymentConfig) -> Devi
         .model
         .iter()
         .filter(|s| matches!(s.kind(), SpaceKind::Room(_) | SpaceKind::Corridor))
-        .map(|s| s.id())
+        .map(tippers_spatial::Space::id)
         .collect();
     for i in 0..config.beacons {
         reg.add(c.ble_beacon, beacon_spots[i % beacon_spots.len()], "beacon");

@@ -233,8 +233,14 @@ mod tests {
     #[test]
     fn staff_arrive_early_and_leave_before_five() {
         let plans = sample_plans(UserGroup::Staff, 100);
-        let arrivals: Vec<_> = plans.iter().filter_map(|p| p.arrival()).collect();
-        let departures: Vec<_> = plans.iter().filter_map(|p| p.departure()).collect();
+        let arrivals: Vec<_> = plans
+            .iter()
+            .filter_map(super::super::occupant::DayPlan::arrival)
+            .collect();
+        let departures: Vec<_> = plans
+            .iter()
+            .filter_map(super::super::occupant::DayPlan::departure)
+            .collect();
         assert!(!arrivals.is_empty());
         let a = mean_hour(&arrivals);
         assert!((6.0..8.0).contains(&a), "staff mean arrival {a}");
@@ -247,7 +253,10 @@ mod tests {
     #[test]
     fn grads_leave_late() {
         let plans = sample_plans(UserGroup::GradStudent, 100);
-        let departures: Vec<_> = plans.iter().filter_map(|p| p.departure()).collect();
+        let departures: Vec<_> = plans
+            .iter()
+            .filter_map(super::super::occupant::DayPlan::departure)
+            .collect();
         let d = mean_hour(&departures);
         assert!(d > 19.0, "grad mean departure {d}");
     }

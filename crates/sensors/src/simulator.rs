@@ -462,7 +462,7 @@ impl BuildingSimulator {
                     identified,
                 })
             } else if device.class == self.concepts.power_meter {
-                let occupied = here.map(|v| !v.is_empty()).unwrap_or(false);
+                let occupied = here.is_some_and(|v| !v.is_empty());
                 let watts = if occupied {
                     90.0 + self.rng.gen::<f64>() * 70.0
                 } else {
@@ -471,7 +471,7 @@ impl BuildingSimulator {
                 Some(ObservationPayload::PowerReading { watts })
             } else if device.class == self.concepts.motion_sensor {
                 Some(ObservationPayload::Motion {
-                    detected: here.map(|v| !v.is_empty()).unwrap_or(false),
+                    detected: here.is_some_and(|v| !v.is_empty()),
                 })
             } else if device.class == self.concepts.temperature_sensor {
                 let t = self.temps.entry(id).or_insert(21.5);

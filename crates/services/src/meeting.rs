@@ -96,8 +96,7 @@ impl SmartMeeting {
             let permitted = response
                 .results
                 .first()
-                .map(|r| r.decision.permits())
-                .unwrap_or(false);
+                .is_some_and(|r| r.decision.permits());
             if permitted {
                 confirmed.push(user);
             } else {

@@ -497,8 +497,7 @@ impl SpatialModel {
     /// zone's member subtrees).
     pub fn zone_covers(&self, z: ZoneId, space: SpaceId) -> bool {
         self.zone(z)
-            .map(|z| z.members().iter().any(|&m| self.contains(m, space)))
-            .unwrap_or(false)
+            .is_some_and(|z| z.members().iter().any(|&m| self.contains(m, space)))
     }
 }
 

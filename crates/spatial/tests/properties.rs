@@ -35,7 +35,7 @@ fn arb_model(max_spaces: usize) -> impl Strategy<Value = SpatialModel> {
 }
 
 fn all_ids(m: &SpatialModel) -> Vec<SpaceId> {
-    m.iter().map(|s| s.id()).collect()
+    m.iter().map(tippers_spatial::Space::id).collect()
 }
 
 proptest! {
@@ -125,7 +125,7 @@ proptest! {
             None => prop_assert_eq!(loc.granularity, Granularity::Suppressed),
         }
         // Achieved granularity is never finer than requested.
-        prop_assert!(loc.granularity >= gran || loc.space.map(|r| m.contains(r, s)).unwrap_or(true));
+        prop_assert!(loc.granularity >= gran || loc.space.is_none_or(|r| m.contains(r, s)));
     }
 
     /// Join/meet on the granularity lattice are commutative, associative,

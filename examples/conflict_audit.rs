@@ -128,8 +128,7 @@ fn main() {
             e.time,
             e.service
                 .as_ref()
-                .map(|s| s.as_str())
-                .unwrap_or("<internal>"),
+                .map_or("<internal>", tippers_policy::ServiceId::as_str),
             ontology.data.key_of(e.data),
             e.effect,
             e.basis

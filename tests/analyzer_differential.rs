@@ -1,0 +1,93 @@
+//! Differential test: the analyzer's conflict pre-flight pass (TA006) finds
+//! exactly the conflicts the runtime's naive pairwise detector finds — both
+//! directions, over a seeded corpus, under every resolution strategy.
+
+use std::collections::BTreeSet;
+
+use tippers_analyzer::{analyze, DeploymentCorpus, LintCode};
+use tippers_bench::{gen_policies, gen_preferences, service_pool};
+use tippers_ontology::Ontology;
+use tippers_policy::{conflict, PolicyId, PreferenceId, ResolutionStrategy};
+use tippers_spatial::fixtures;
+
+/// Recovers the (policy, preference) pair from a TA006 diagnostic's
+/// evidence (`["policy#N", "pref#M", kind]`).
+fn pair_from_evidence(evidence: &[String]) -> (PolicyId, PreferenceId) {
+    let p = evidence[0]
+        .strip_prefix("policy#")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("bad policy evidence {evidence:?}"));
+    let u = evidence[1]
+        .strip_prefix("pref#")
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("bad preference evidence {evidence:?}"));
+    (PolicyId(p), PreferenceId(u))
+}
+
+#[test]
+fn preflight_equals_naive_conflict_detection() {
+    let dbh = fixtures::dbh();
+    let ontology = Ontology::standard();
+    let services = service_pool(4);
+
+    for seed in [1u64, 42, 0xBEEF, 7_777_777] {
+        let policies = gen_policies(40, &ontology, &dbh, &services, seed);
+        let preferences = gen_preferences(6, 5, &ontology, &dbh, &services, seed);
+
+        for strategy in [
+            ResolutionStrategy::PolicyPrevails,
+            ResolutionStrategy::PreferencePrevails,
+            ResolutionStrategy::Strictest,
+        ] {
+            let naive: BTreeSet<(PolicyId, PreferenceId)> = conflict::detect_conflicts_naive(
+                &policies,
+                &preferences,
+                &ontology,
+                &dbh.model,
+                strategy,
+            )
+            .into_iter()
+            .map(|c| (c.policy, c.preference))
+            .collect();
+
+            let mut corpus = DeploymentCorpus::new(ontology.clone(), dbh.model.clone());
+            corpus.policies = policies.clone();
+            corpus.preferences = preferences.clone();
+            corpus.strategy = strategy;
+            let report = analyze(&corpus);
+            let preflight: BTreeSet<(PolicyId, PreferenceId)> = report
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == LintCode::ConflictPreflight)
+                .map(|d| pair_from_evidence(&d.evidence))
+                .collect();
+
+            assert_eq!(
+                preflight, naive,
+                "seed {seed}, strategy {strategy:?}: analyzer and naive detector disagree"
+            );
+        }
+    }
+}
+
+#[test]
+fn preflight_is_empty_when_nothing_conflicts() {
+    // Opt-in-only policies can never conflict with preferences.
+    let dbh = fixtures::dbh();
+    let ontology = Ontology::standard();
+    let services = service_pool(2);
+    let mut policies = gen_policies(10, &ontology, &dbh, &services, 3);
+    for p in &mut policies {
+        p.modality = tippers_policy::Modality::OptIn;
+    }
+    let preferences = gen_preferences(3, 4, &ontology, &dbh, &services, 3);
+
+    let mut corpus = DeploymentCorpus::new(ontology, dbh.model.clone());
+    corpus.policies = policies;
+    corpus.preferences = preferences;
+    let report = analyze(&corpus);
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.code != LintCode::ConflictPreflight));
+}

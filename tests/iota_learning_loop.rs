@@ -82,7 +82,7 @@ fn two_answers_configure_a_whole_building() {
         .map(|p| p.effect)
         .collect();
     assert!(
-        private_prefs.iter().all(|e| e.is_deny()),
+        private_prefs.iter().all(tippers_policy::Effect::is_deny),
         "denier archetype should opt out everywhere: {private_prefs:?}"
     );
     assert!(
