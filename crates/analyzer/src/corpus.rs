@@ -39,6 +39,11 @@ pub struct DeploymentCorpus {
     /// Known service ids. Empty = the catalog is unknown, so service
     /// references are not checked.
     pub services: BTreeSet<String>,
+    /// Declared admission class per service (`"emergency"`, `"interactive"`
+    /// or `"batch"`). A service policy whose service has no entry here is
+    /// shed by requester-declared priority alone under overload, which the
+    /// priority-mapping pass reports.
+    pub priorities: BTreeMap<String, String>,
     /// Data categories considered sensitive: an inference leak reaching one
     /// of these is an error rather than a warning.
     pub sensitive: Vec<ConceptId>,
@@ -71,6 +76,7 @@ impl DeploymentCorpus {
             policies: Vec::new(),
             preferences: Vec::new(),
             services: BTreeSet::new(),
+            priorities: BTreeMap::new(),
             sensitive,
             space_aliases,
             strategy: ResolutionStrategy::default(),
@@ -138,6 +144,15 @@ impl DeploymentCorpus {
         .iter()
         .map(|s| s.as_str().to_owned())
         .collect();
+        corpus.priorities = [
+            (catalog::services::concierge(), "interactive"),
+            (catalog::services::smart_meeting(), "interactive"),
+            (catalog::services::food_delivery(), "batch"),
+            (catalog::services::emergency(), "emergency"),
+        ]
+        .iter()
+        .map(|(s, class)| (s.as_str().to_owned(), (*class).to_owned()))
+        .collect();
         corpus
     }
 
@@ -156,6 +171,7 @@ impl DeploymentCorpus {
         let mut corpus = DeploymentCorpus::new(ontology, model);
         corpus.space_aliases.extend(spec.space_aliases);
         corpus.services.extend(spec.services);
+        corpus.priorities.extend(spec.priorities);
         corpus.documents = spec.documents;
         if let Some(s) = spec.strategy {
             match s.as_str() {
@@ -686,6 +702,8 @@ struct DeploymentSpec {
     strategy: Option<String>,
     #[serde(default)]
     space_aliases: BTreeMap<String, String>,
+    #[serde(default)]
+    priorities: BTreeMap<String, String>,
     #[serde(default)]
     documents: Vec<PolicyDocument>,
     #[serde(default)]

@@ -38,11 +38,15 @@ pub enum LintCode {
     ConflictPreflight,
     /// `TA007` — wire-format issue found by structural validation.
     WireFormat,
+    /// `TA008` — missing priority mapping: a policy names a service whose
+    /// admission class (emergency/interactive/batch) is never declared, so
+    /// overload shedding falls back to requester-declared priorities.
+    MissingPriorityMapping,
 }
 
 impl LintCode {
     /// All codes, in numeric order.
-    pub const ALL: [LintCode; 7] = [
+    pub const ALL: [LintCode; 8] = [
         LintCode::DanglingReference,
         LintCode::UnsatisfiableCondition,
         LintCode::DeadPreference,
@@ -50,6 +54,7 @@ impl LintCode {
         LintCode::InferenceLeak,
         LintCode::ConflictPreflight,
         LintCode::WireFormat,
+        LintCode::MissingPriorityMapping,
     ];
 
     /// The stable textual code.
@@ -62,6 +67,7 @@ impl LintCode {
             LintCode::InferenceLeak => "TA005",
             LintCode::ConflictPreflight => "TA006",
             LintCode::WireFormat => "TA007",
+            LintCode::MissingPriorityMapping => "TA008",
         }
     }
 
@@ -75,6 +81,7 @@ impl LintCode {
             LintCode::InferenceLeak => "inference-leak",
             LintCode::ConflictPreflight => "conflict-preflight",
             LintCode::WireFormat => "wire-format",
+            LintCode::MissingPriorityMapping => "priority-mapping",
         }
     }
 

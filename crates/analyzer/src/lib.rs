@@ -15,6 +15,7 @@
 //! | TA005 | inference-leak reachability (rule chain as evidence) | Error |
 //! | TA006 | conflict pre-flight (runtime conflicts at lint time) | Warning |
 //! | TA007 | wire-format validation | Error |
+//! | TA008 | service without a declared admission-priority mapping | Warning |
 //!
 //! Output is canonical: diagnostics are sorted by (path, code, severity,
 //! message, evidence) and deduplicated, so shuffling the corpus never
@@ -65,6 +66,7 @@ pub fn analyze(corpus: &DeploymentCorpus) -> AnalysisReport {
     passes::leak::run(corpus, &mut diagnostics);
     passes::preflight::run(corpus, &mut diagnostics);
     passes::wire::run(corpus, &mut diagnostics);
+    passes::priority::run(corpus, &mut diagnostics);
     diag::canonicalize(&mut diagnostics);
 
     let before = diagnostics.len();

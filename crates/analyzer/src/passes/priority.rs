@@ -1,0 +1,124 @@
+//! TA008 — missing priority mapping.
+//!
+//! The runtime sheds load by admission class (Emergency > Interactive >
+//! Batch). A service policy whose service has no declared class in the
+//! corpus's priority map is classed by whatever priority the *requester*
+//! self-declares under overload — the operator never said what that
+//! service's traffic is worth, so a batch job can dress up as interactive.
+//! Advisory rather than structural, hence a warning.
+
+use tippers_policy::validate::escape_pointer_segment;
+
+use crate::corpus::DeploymentCorpus;
+use crate::diag::{Diagnostic, LintCode, Severity};
+
+/// Recognized admission class names, mirroring the runtime's
+/// `Priority` ladder.
+const CLASSES: [&str; 3] = ["emergency", "interactive", "batch"];
+
+pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
+    let mut warn = |path: String, message: String| {
+        out.push(Diagnostic::new(
+            LintCode::MissingPriorityMapping,
+            Severity::Warning,
+            path,
+            message,
+        ));
+    };
+
+    for (service, class) in &corpus.priorities {
+        if !CLASSES.contains(&class.as_str()) {
+            let seg = escape_pointer_segment(service);
+            warn(
+                format!("/priorities/{seg}"),
+                format!(
+                    "unknown priority class `{class}` for service `{service}` \
+                     (expected emergency, interactive or batch)"
+                ),
+            );
+        }
+    }
+
+    for p in corpus.resolvable_policies() {
+        let Some(service) = &p.service else { continue };
+        if !corpus.priorities.contains_key(service.as_str()) {
+            warn(
+                format!("/policies/{}/service", p.id.0),
+                format!(
+                    "service `{service}` has no declared priority mapping; \
+                     under overload its requests are shed by \
+                     requester-declared class alone"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tippers_ontology::Ontology;
+    use tippers_policy::{catalog, BuildingPolicy, PolicyId, ServiceId};
+    use tippers_spatial::fixtures;
+
+    use super::*;
+
+    fn corpus_with_service_policy(service: &str) -> DeploymentCorpus {
+        let dbh = fixtures::dbh();
+        let ontology = Ontology::standard();
+        let c = ontology.concepts();
+        let policy = BuildingPolicy::new(
+            PolicyId(1),
+            "telemetry".to_owned(),
+            dbh.building,
+            c.occupancy,
+            c.comfort,
+        )
+        .with_service(ServiceId::new(service.to_owned()));
+        let mut corpus = DeploymentCorpus::new(ontology, dbh.model);
+        corpus.policies.push(policy);
+        corpus
+    }
+
+    #[test]
+    fn unmapped_service_warns() {
+        let corpus = corpus_with_service_policy("Butler");
+        let mut out = Vec::new();
+        run(&corpus, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, LintCode::MissingPriorityMapping);
+        assert_eq!(out[0].severity, Severity::Warning);
+        assert_eq!(out[0].path, "/policies/1/service");
+    }
+
+    #[test]
+    fn mapped_service_is_clean_but_bogus_class_warns() {
+        let mut corpus = corpus_with_service_policy("Butler");
+        corpus
+            .priorities
+            .insert("Butler".to_owned(), "batch".to_owned());
+        let mut out = Vec::new();
+        run(&corpus, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+
+        corpus
+            .priorities
+            .insert("Butler".to_owned(), "turbo".to_owned());
+        run(&corpus, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].path, "/priorities/Butler");
+    }
+
+    #[test]
+    fn figures_corpus_declares_every_service_class() {
+        let corpus = DeploymentCorpus::figures();
+        assert_eq!(
+            corpus
+                .priorities
+                .get(catalog::services::emergency().as_str()),
+            Some(&"emergency".to_owned())
+        );
+        let mut out = Vec::new();
+        run(&corpus, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -58,6 +58,10 @@ fn every_pass_fires_on_the_broken_fixture() {
         Some(Severity::Warning)
     );
     assert_eq!(worst(&report, LintCode::WireFormat), Some(Severity::Error));
+    assert_eq!(
+        worst(&report, LintCode::MissingPriorityMapping),
+        Some(Severity::Warning)
+    );
 }
 
 #[test]
@@ -99,6 +103,7 @@ fn specific_findings_land_on_stable_paths() {
         "/policies/3/condition/time/days"
     ));
     assert!(has(LintCode::DeadPreference, "/preferences/2"));
+    assert!(has(LintCode::MissingPriorityMapping, "/policies/6/service"));
     assert!(has(
         LintCode::WireFormat,
         "/documents/1/resources/0/info/name"

@@ -67,6 +67,8 @@ fn bench_request_path(criterion: &mut Criterion) {
             from: Timestamp::at(0, 8, 0),
             to: Timestamp::at(0, 12, 0),
             requester_space: f.requester_space,
+            priority: Default::default(),
+            deadline: None,
         })
         .collect();
 

@@ -1,0 +1,190 @@
+//! Experiment E15 — enforcement goodput and latency under a storm.
+//!
+//! Replays the seeded overload storm (the same trace
+//! `tests/overload_storm.rs` asserts invariants over) against the
+//! admission-controlled enforcement point and measures two things:
+//!
+//! * criterion timing of the per-request hot path while the limiter is
+//!   actively shedding, and
+//! * a full-trace replay producing `BENCH_e15_overload.json` — offered
+//!   load, admitted goodput, shed counts per class, and the p50/p99
+//!   wall-clock cost of `handle_request` under storm — so the perf
+//!   trajectory has machine-readable data points.
+//!
+//! Seeded via `TIPPERS_FAULT_SEED` (defaults to 7, the first CI seed).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tippers::{
+    AdmissionConfig, AimdConfig, DecisionBasis, Priority, Tippers, TippersConfig, TokenBucketConfig,
+};
+use tippers_bench::{gen_policies, gen_storm, service_pool, StormArrival, StormConfig};
+use tippers_ontology::Ontology;
+use tippers_policy::{catalog, PolicyId, Timestamp, UserGroup, UserId};
+use tippers_sensors::Occupant;
+use tippers_spatial::fixtures::dbh;
+
+const USERS: usize = 10;
+/// Written to the workspace root so CI can pick it up regardless of the
+/// bench process's working directory.
+const OUTPUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e15_overload.json");
+
+fn fault_seed() -> u64 {
+    std::env::var("TIPPERS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// The storm harness's admission sizing: a 5/s refill against a storm
+/// offering roughly four times that.
+fn admission() -> AdmissionConfig {
+    AdmissionConfig {
+        bucket: TokenBucketConfig {
+            capacity: 32.0,
+            refill_per_sec: 5.0,
+        },
+        aimd: AimdConfig::default(),
+        batch_reserve: 0.25,
+        service_time_ms: 5.0,
+    }
+}
+
+fn storm_bms() -> Tippers {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig {
+            admission: Some(admission()),
+            ..TippersConfig::default()
+        },
+    );
+    let occupants: Vec<Occupant> = (0..USERS as u64)
+        .map(|u| Occupant::new(UserId(u), format!("user-{u}"), UserGroup::GradStudent))
+        .collect();
+    bms.register_occupants(&occupants);
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.building,
+        bms.ontology(),
+    ));
+    for p in gen_policies(12, &ontology, &building, &service_pool(3), 11) {
+        bms.add_policy(p);
+    }
+    bms
+}
+
+fn storm_trace(seed: u64) -> Vec<StormArrival> {
+    gen_storm(
+        StormConfig {
+            seed,
+            ..StormConfig::default()
+        },
+        &Ontology::standard(),
+        USERS,
+        Timestamp::at(0, 9, 0),
+    )
+}
+
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Criterion leg: the hot path while the limiter is mid-storm (a mix of
+/// admitted work and cheap sheds, exactly what an overloaded BMS sees).
+fn bench_storm_path(criterion: &mut Criterion) {
+    let trace = storm_trace(fault_seed());
+    let mut group = criterion.benchmark_group("e15_overload");
+    group.sample_size(10);
+    let mut bms = storm_bms();
+    group.bench_function("handle_request_under_storm", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let arrival = &trace[i % trace.len()];
+            i += 1;
+            std::hint::black_box(bms.handle_request(&arrival.request, arrival.at))
+        });
+    });
+    group.finish();
+}
+
+/// Metrics leg: one full deterministic replay of the storm, written to
+/// `BENCH_e15_overload.json` in the invocation directory.
+fn emit_storm_metrics(_criterion: &mut Criterion) {
+    let seed = fault_seed();
+    let config = StormConfig {
+        seed,
+        ..StormConfig::default()
+    };
+    let trace = storm_trace(seed);
+    let mut bms = storm_bms();
+
+    let mut admitted = 0u64;
+    let mut shed = 0u64;
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(trace.len());
+    for arrival in &trace {
+        let started = Instant::now();
+        let response = bms.handle_request(&arrival.request, arrival.at);
+        latencies_us.push(started.elapsed().as_secs_f64() * 1e6);
+        if response
+            .results
+            .iter()
+            .any(|r| r.decision.basis == DecisionBasis::Overload)
+        {
+            shed += 1;
+        } else {
+            admitted += 1;
+        }
+    }
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    let stats = bms.admission_stats().expect("admission configured");
+    let offered = trace.len() as u64;
+    let capacity = admission().bucket.capacity
+        + admission().bucket.refill_per_sec * config.duration_secs as f64;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e15_overload\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"duration_secs\": {duration},\n",
+            "  \"offered\": {offered},\n",
+            "  \"admitted\": {admitted},\n",
+            "  \"shed\": {shed},\n",
+            "  \"goodput_ratio\": {goodput:.4},\n",
+            "  \"overload_factor\": {overload:.2},\n",
+            "  \"emergency_shed\": {emergency_shed},\n",
+            "  \"interactive_shed\": {interactive_shed},\n",
+            "  \"batch_shed\": {batch_shed},\n",
+            "  \"brownout_level\": \"{brownout:?}\",\n",
+            "  \"p50_handle_us\": {p50:.1},\n",
+            "  \"p99_handle_us\": {p99:.1}\n",
+            "}}\n",
+        ),
+        seed = seed,
+        duration = config.duration_secs,
+        offered = offered,
+        admitted = admitted,
+        shed = shed,
+        goodput = admitted as f64 / offered as f64,
+        overload = offered as f64 / capacity,
+        emergency_shed = stats.shed_for(Priority::Emergency),
+        interactive_shed = stats.shed_for(Priority::Interactive),
+        batch_shed = stats.shed_for(Priority::Batch),
+        brownout = bms.brownout_level(),
+        p50 = percentile_us(&latencies_us, 0.50),
+        p99 = percentile_us(&latencies_us, 0.99),
+    );
+    std::fs::write(OUTPUT, &json).expect("write metrics");
+    println!("wrote {OUTPUT}: {admitted}/{offered} admitted, {shed} shed");
+}
+
+criterion_group!(benches, bench_storm_path, emit_storm_metrics);
+criterion_main!(benches);

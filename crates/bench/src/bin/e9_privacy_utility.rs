@@ -129,6 +129,8 @@ fn run(name: &'static str, setting: Setting) -> Row {
             from: Timestamp::at(0, 0, 0),
             to: Timestamp::at(5, 0, 0),
             requester_space: None,
+            priority: Default::default(),
+            deadline: None,
         };
         let response = bms.handle_request(&request, Timestamp::at(5, 0, 0));
         for result in response.results {

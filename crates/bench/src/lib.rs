@@ -6,7 +6,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use tippers::{FaultPlan, Tippers, TippersConfig};
+use tippers::{FaultPlan, Priority, Tippers, TippersConfig};
 use tippers_ontology::{ConceptId, Ontology};
 use tippers_policy::{
     ActionSet, BuildingPolicy, Condition, DataAction, Effect, IsoDuration, Modality, PolicyId,
@@ -418,6 +418,127 @@ pub fn apply_mutation(bms: &mut Tippers, mutation: &Mutation) {
     }
 }
 
+/// Shape of an open-loop request storm (experiment E15): a Poisson
+/// baseline with periodic bursts, a small Emergency share that must
+/// survive any overload, and a Batch share that is first to be shed.
+#[derive(Debug, Clone, Copy)]
+pub struct StormConfig {
+    /// Workload seed.
+    pub seed: u64,
+    /// Storm length, virtual seconds.
+    pub duration_secs: i64,
+    /// Baseline Poisson arrival rate, requests per virtual second.
+    pub rate_per_sec: f64,
+    /// Arrival-rate multiplier inside bursts.
+    pub burst_multiplier: f64,
+    /// Burst period, seconds (a burst starts every this many seconds).
+    pub burst_every_secs: i64,
+    /// Burst length, seconds.
+    pub burst_len_secs: i64,
+    /// Fraction of arrivals classed Emergency.
+    pub emergency_share: f64,
+    /// Fraction of arrivals classed Batch (the rest are Interactive).
+    pub batch_share: f64,
+    /// Deadline horizon attached to non-Emergency arrivals, seconds.
+    pub deadline_secs: i64,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            seed: 7,
+            duration_secs: 120,
+            rate_per_sec: 8.0,
+            burst_multiplier: 6.0,
+            burst_every_secs: 30,
+            burst_len_secs: 10,
+            emergency_share: 0.05,
+            batch_share: 0.3,
+            deadline_secs: 30,
+        }
+    }
+}
+
+/// One arrival in a storm trace.
+#[derive(Debug, Clone)]
+pub struct StormArrival {
+    /// Virtual arrival time.
+    pub at: Timestamp,
+    /// The request as the service would issue it (priority and deadline
+    /// already attached).
+    pub request: tippers::DataRequest,
+}
+
+/// Generates a seeded open-loop storm trace starting at `start`: bursty
+/// Poisson arrivals over `users` subjects, classed
+/// Emergency/Interactive/Batch per the configured shares. Open loop means
+/// arrivals do not wait for responses — exactly the load shape that
+/// overwhelms an unprotected enforcement point.
+pub fn gen_storm(
+    config: StormConfig,
+    ontology: &Ontology,
+    users: usize,
+    start: Timestamp,
+) -> Vec<StormArrival> {
+    let c = ontology.concepts();
+    let services = service_pool(3);
+    let mut lcg = Lcg(config.seed ^ 0x5708);
+    let mut arrivals = Vec::new();
+    let duration_ms = config.duration_secs.max(1) * 1000;
+    let mut t_ms = 0i64;
+    while t_ms < duration_ms {
+        let in_burst = config.burst_every_secs > 0
+            && (t_ms / 1000) % config.burst_every_secs < config.burst_len_secs;
+        let rate = if in_burst {
+            config.rate_per_sec * config.burst_multiplier
+        } else {
+            config.rate_per_sec
+        };
+        // Exponential inter-arrival time for a Poisson process, in ms.
+        let dt_ms = (-lcg.unit().max(1e-6).ln() / rate.max(1e-6) * 1000.0) as i64;
+        t_ms += dt_ms.max(1);
+        if t_ms >= duration_ms {
+            break;
+        }
+        let at = start + t_ms / 1000;
+        let class = lcg.unit();
+        let (priority, purpose, deadline) = if class < config.emergency_share {
+            (Priority::Emergency, c.emergency_response, None)
+        } else if class < config.emergency_share + config.batch_share {
+            (
+                Priority::Batch,
+                c.analytics,
+                Some(at + config.deadline_secs),
+            )
+        } else {
+            (
+                Priority::Interactive,
+                [c.comfort, c.scheduling, c.navigation][lcg.below(3)],
+                Some(at + config.deadline_secs),
+            )
+        };
+        arrivals.push(StormArrival {
+            at,
+            request: tippers::DataRequest {
+                service: services[lcg.below(services.len())].clone(),
+                purpose,
+                data: if lcg.below(2) == 0 {
+                    c.location_room
+                } else {
+                    c.occupancy
+                },
+                subjects: tippers::SubjectSelector::One(UserId(lcg.below(users.max(1)) as u64)),
+                from: Timestamp(at.seconds() - 3600),
+                to: Timestamp(at.seconds() + 1),
+                requester_space: None,
+                priority,
+                deadline,
+            },
+        });
+    }
+    arrivals
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +573,33 @@ mod tests {
         assert!(count(|m| matches!(m, Mutation::Gc(_))) > 2);
         assert!(count(|m| matches!(m, Mutation::RemovePolicy(_))) > 2);
         assert!(count(|m| matches!(m, Mutation::Retroactive(_))) > 2);
+    }
+
+    #[test]
+    fn storm_is_deterministic_bursty_and_classed() {
+        let ont = Ontology::standard();
+        let start = Timestamp::at(0, 9, 0);
+        let a = gen_storm(StormConfig::default(), &ont, 10, start);
+        let b = gen_storm(StormConfig::default(), &ont, 10, start);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        // Roughly rate × duration arrivals, inflated by bursts.
+        assert!(a.len() > 900, "storm too small: {}", a.len());
+        let of = |p: Priority| a.iter().filter(|s| s.request.priority == p).count();
+        assert!(of(Priority::Emergency) > 10);
+        assert!(of(Priority::Batch) > 100);
+        assert!(of(Priority::Interactive) > 300);
+        // Bursts concentrate arrivals: the busiest second beats the mean.
+        let mut per_sec = std::collections::HashMap::new();
+        for s in &a {
+            *per_sec.entry(s.at.seconds()).or_insert(0usize) += 1;
+        }
+        let max = per_sec.values().copied().max().unwrap_or(0);
+        let mean = a.len() / 120;
+        assert!(max > mean * 2, "no burst visible: max {max}, mean {mean}");
+        // Every non-Emergency arrival carries a deadline.
+        assert!(a
+            .iter()
+            .all(|s| s.request.priority == Priority::Emergency || s.request.deadline.is_some()));
     }
 
     #[test]

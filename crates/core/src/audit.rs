@@ -190,6 +190,28 @@ mod tests {
     }
 
     #[test]
+    fn overload_entries_survive_a_serde_round_trip() {
+        let ont = Ontology::standard();
+        let c = ont.concepts();
+        let mut log = AuditLog::new();
+        log.record(
+            Timestamp::at(0, 9, 0),
+            UserId(1),
+            Some(ServiceId::new("svc-storm")),
+            c.location,
+            c.comfort,
+            &EnforcementDecision::shed_overload(),
+        );
+        let json = serde_json::to_string(&log).unwrap();
+        let back: AuditLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log);
+        let entry = &back.entries()[0];
+        assert_eq!(entry.basis, DecisionBasis::Overload);
+        // Fail closed: a shed is a denial, never a release.
+        assert_eq!(entry.effect, Effect::Deny);
+    }
+
+    #[test]
     fn take_notifications_is_per_user() {
         let mut log = AuditLog::new();
         log.notify(UserId(1), Timestamp::at(0, 0, 0), "a".into());

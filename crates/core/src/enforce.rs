@@ -66,6 +66,12 @@ pub enum DecisionBasis {
     /// *closed*: an internal error never releases data, and the audit trail
     /// says so explicitly rather than masquerading as a policy decision.
     InternalError,
+    /// The request was shed by admission control (rate limit, concurrency
+    /// limit, brownout, or an expired deadline) before any policy was
+    /// evaluated. Like [`DecisionBasis::InternalError`] this fails
+    /// *closed* — overload never releases data — and is audited under its
+    /// own basis so shed traffic is distinguishable from policy denials.
+    Overload,
 }
 
 /// The outcome of deciding one flow.
@@ -92,6 +98,16 @@ impl EnforcementDecision {
         EnforcementDecision {
             effect: Effect::Deny,
             basis: DecisionBasis::InternalError,
+            overridden_preference: None,
+        }
+    }
+
+    /// The shed decision: deny, on the basis of overload. Admission
+    /// control fails closed — a shed request is never a permit.
+    pub fn shed_overload() -> EnforcementDecision {
+        EnforcementDecision {
+            effect: Effect::Deny,
+            basis: DecisionBasis::Overload,
             overridden_preference: None,
         }
     }

@@ -76,5 +76,9 @@ pub use tippers::{EnforcerKind, Tippers, TippersConfig};
 pub use wal::{RecoveryReport, WalConfig, WalError, WalRecord};
 
 // Resilience vocabulary used in this crate's public API (health reporting,
-// fault-plan configuration), re-exported for downstream convenience.
-pub use tippers_resilience::{FaultPlan, FaultPoint, HealthStatus};
+// fault-plan configuration, admission control), re-exported for downstream
+// convenience.
+pub use tippers_resilience::{
+    AdmissionConfig, AdmissionStats, AimdConfig, BrownoutConfig, BrownoutLevel, FaultPlan,
+    FaultPoint, HealthStatus, Priority, ShedReason, TokenBucketConfig,
+};

@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 use tippers_ontology::ConceptId;
 use tippers_policy::{Effect, ServiceId, Timestamp, UserId};
+use tippers_resilience::Priority;
 use tippers_spatial::{GranularLocation, SpaceId};
 
 use crate::enforce::EnforcementDecision;
@@ -37,6 +38,32 @@ pub struct DataRequest {
     /// Where the requester (or its user) currently is, if relevant
     /// (Policy 4's proximity gate).
     pub requester_space: Option<SpaceId>,
+    /// Admission class (`Emergency > Interactive > Batch`); under
+    /// overload, lower classes are shed first and Emergency is never
+    /// shed.
+    #[serde(default)]
+    pub priority: Priority,
+    /// Latest useful answer time. Work whose deadline has passed is
+    /// dropped (fail-closed, [`crate::DecisionBasis::Overload`]) at every
+    /// stage instead of processed.
+    #[serde(default)]
+    pub deadline: Option<Timestamp>,
+}
+
+impl DataRequest {
+    /// Reclassifies the request (builder form).
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> DataRequest {
+        self.priority = priority;
+        self
+    }
+
+    /// Attaches a deadline (builder form).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Timestamp) -> DataRequest {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// A value released to a service, already privacy-transformed.

@@ -13,7 +13,11 @@ use tippers_policy::{
     conflict, BuildingPolicy, Conflict, DataAction, Effect, PolicyId, PreferenceId,
     ResolutionStrategy, Timestamp, UserGroup, UserId, UserPreference,
 };
-use tippers_resilience::{FaultPlan, FaultPoint, HealthMonitor, HealthStatus, RetryPolicy};
+use tippers_resilience::{
+    ms_from_secs, AdmissionConfig, AdmissionController, AdmissionStats, BrownoutConfig,
+    BrownoutController, BrownoutLevel, FaultPlan, FaultPoint, HealthMonitor, HealthStatus,
+    Priority, RetryPolicy,
+};
 use tippers_sensors::{BuildingSimulator, MacAddress, Observation, ObservationPayload, Occupant};
 use tippers_spatial::{GranularLocation, Granularity, SpaceId, SpatialModel};
 
@@ -63,6 +67,14 @@ pub struct TippersConfig {
     /// Write-ahead-log segment rotation threshold in bytes; only
     /// consulted when the BMS is opened durably ([`Tippers::open`]).
     pub wal_segment_max_bytes: u64,
+    /// Admission control at the enforcement point. `None` (the default)
+    /// admits everything; when set, requests pass a priority-classed
+    /// token-bucket + AIMD gate and sheds fail closed with
+    /// [`crate::DecisionBasis::Overload`].
+    pub admission: Option<AdmissionConfig>,
+    /// Brownout ladder thresholds (consulted only when `admission` is
+    /// set).
+    pub brownout: BrownoutConfig,
 }
 
 impl Default for TippersConfig {
@@ -76,6 +88,8 @@ impl Default for TippersConfig {
             fault_plan: FaultPlan::disarmed(),
             publish_retry: RetryPolicy::default(),
             wal_segment_max_bytes: 1 << 20,
+            admission: None,
+            brownout: BrownoutConfig::default(),
         }
     }
 }
@@ -120,6 +134,13 @@ pub struct Tippers {
     wal: Option<Wal>,
     wal_append_failures: u64,
     wal_truncations: u64,
+    admission: Option<AdmissionController>,
+    brownout: BrownoutController,
+    /// Last fresh answer per (service, subject, data), replayed under
+    /// [`BrownoutLevel::CachedOnly`]. An entry is served only when the
+    /// current decision's effect matches the one the records were
+    /// released under, so the cache can never out-release a decision.
+    coarse_cache: HashMap<(String, UserId, ConceptId), (Effect, Vec<ReleasedRecord>)>,
 }
 
 impl Tippers {
@@ -127,6 +148,9 @@ impl Tippers {
     pub fn new(ontology: Ontology, model: SpatialModel, config: TippersConfig) -> Tippers {
         Tippers {
             noise_rng: StdRng::seed_from_u64(config.noise_seed),
+            admission: config.admission.map(|a| AdmissionController::new(a, 0)),
+            brownout: BrownoutController::new(config.brownout),
+            coarse_cache: HashMap::new(),
             ontology,
             model,
             config,
@@ -836,9 +860,115 @@ impl Tippers {
     // ---- service requests (steps 9–10) ---------------------------------------
 
     /// Handles a service's data request, enforcing per-subject decisions.
+    ///
+    /// When admission control is configured ([`TippersConfig::admission`])
+    /// the request first passes a priority-classed gate: expired deadlines
+    /// and shed requests are answered *fail-closed* — every subject denied
+    /// with [`crate::DecisionBasis::Overload`] and audited — and Emergency
+    /// traffic is never shed. The brownout ladder then bounds how much
+    /// work an admitted request may do (coarse answers, cached answers).
     pub fn handle_request(&mut self, request: &DataRequest, now: Timestamp) -> DataResponse {
+        let now_ms = ms_from_secs(now.seconds());
+        // Stage 1: expired work is dropped at the door, not processed.
+        if request.deadline.is_some_and(|d| d < now) {
+            if let Some(ctrl) = self.admission.as_mut() {
+                ctrl.record_external_shed(request.priority);
+            }
+            return self.shed_response(request, now);
+        }
+        // Stage 2: priority-classed admission + brownout ladder.
+        let mut admitted = false;
+        let mut level = BrownoutLevel::Normal;
+        if let Some(ctrl) = self.admission.as_mut() {
+            let load = ctrl.load(now_ms);
+            let previous = self.brownout.level();
+            level = self.brownout.observe(now_ms, load);
+            if level > previous {
+                self.health
+                    .mark_degraded(format!("brownout escalated to {level}"));
+            } else if level == BrownoutLevel::Normal
+                && previous > BrownoutLevel::Normal
+                && self.enforcer.is_some()
+            {
+                self.health.mark_recovered();
+            }
+            if ctrl.admit(request.priority, now_ms, level).is_err() {
+                return self.shed_response(request, now);
+            }
+            admitted = true;
+        }
         self.ensure_enforcer();
-        let subjects: Vec<UserId> = match &request.subjects {
+        let subjects = self.subjects_of(request, now);
+        // Virtual cost per subject: lets the deadline expire *mid-request*,
+        // so a long fan-out is abandoned partway instead of finishing late.
+        let per_subject_ms = self
+            .admission
+            .as_ref()
+            .map_or(0.0, AdmissionController::service_time_ms);
+        let mut results = Vec::with_capacity(subjects.len());
+        for (i, user) in subjects.into_iter().enumerate() {
+            let stage_ms = now_ms + (per_subject_ms * i as f64) as i64;
+            let expired = request
+                .deadline
+                .is_some_and(|d| ms_from_secs(d.seconds()) < stage_ms);
+            // Fail closed: if the engine could not be built, every subject
+            // is denied with an explicit InternalError audit record; work
+            // reached past its deadline is denied as Overload.
+            let decision = if expired {
+                EnforcementDecision::shed_overload()
+            } else {
+                match self.enforcer.as_ref() {
+                    Some(e) => {
+                        let flow = RequestFlow {
+                            subject: user,
+                            subject_group: self.group_of(user),
+                            data: request.data,
+                            purpose: request.purpose,
+                            service: Some(request.service.clone()),
+                            action: DataAction::Share,
+                            time: now,
+                            subject_space: self.current_space_of(user, now),
+                            requester_space: request.requester_space,
+                            room_occupied: None,
+                        };
+                        e.decide(&flow, &self.ontology, &self.model)
+                    }
+                    None => EnforcementDecision::fail_closed(),
+                }
+            };
+            self.audit.record(
+                now,
+                user,
+                Some(request.service.clone()),
+                request.data,
+                request.purpose,
+                &decision,
+            );
+            let records = if decision.permits() {
+                self.release_under_brownout(user, request, &decision, level)
+            } else {
+                Vec::new()
+            };
+            results.push(SubjectResult {
+                user,
+                decision,
+                records,
+            });
+        }
+        if admitted {
+            if let Some(ctrl) = self.admission.as_mut() {
+                ctrl.complete(now_ms);
+            }
+        }
+        DataResponse {
+            results,
+            degraded: self.health.is_degraded(),
+        }
+    }
+
+    /// Resolves a request's subject selector to concrete users.
+    fn subjects_of(&self, request: &DataRequest, now: Timestamp) -> Vec<UserId> {
+        match &request.subjects {
             SubjectSelector::One(u) => vec![*u],
             SubjectSelector::All => {
                 let mut v: Vec<UserId> = self.groups.keys().copied().collect();
@@ -858,28 +988,18 @@ impl Tippers {
                 v.sort();
                 v
             }
-        };
+        }
+    }
 
+    /// The fail-closed answer for a shed request: every subject denied
+    /// with [`crate::DecisionBasis::Overload`], each denial audited.
+    /// Overload never releases data and never masquerades as a policy
+    /// decision.
+    fn shed_response(&mut self, request: &DataRequest, now: Timestamp) -> DataResponse {
+        let subjects = self.subjects_of(request, now);
         let mut results = Vec::with_capacity(subjects.len());
         for user in subjects {
-            let flow = RequestFlow {
-                subject: user,
-                subject_group: self.group_of(user),
-                data: request.data,
-                purpose: request.purpose,
-                service: Some(request.service.clone()),
-                action: DataAction::Share,
-                time: now,
-                subject_space: self.current_space_of(user, now),
-                requester_space: request.requester_space,
-                room_occupied: None,
-            };
-            // Fail closed: if the engine could not be built, every subject
-            // is denied with an explicit InternalError audit record.
-            let decision = match self.enforcer.as_ref() {
-                Some(e) => e.decide(&flow, &self.ontology, &self.model),
-                None => EnforcementDecision::fail_closed(),
-            };
+            let decision = EnforcementDecision::shed_overload();
             self.audit.record(
                 now,
                 user,
@@ -888,21 +1008,70 @@ impl Tippers {
                 request.purpose,
                 &decision,
             );
-            let records = if decision.permits() {
-                self.release_rows(user, request, &decision)
-            } else {
-                Vec::new()
-            };
             results.push(SubjectResult {
                 user,
                 decision,
-                records,
+                records: Vec::new(),
             });
         }
         DataResponse {
             results,
-            degraded: self.health.is_degraded(),
+            degraded: true,
         }
+    }
+
+    /// Releases rows for one permitted subject, applying the brownout
+    /// ladder: [`BrownoutLevel::CoarseOnly`] caps location granularity at
+    /// floor level, [`BrownoutLevel::CachedOnly`] replays the last fresh
+    /// answer (released under an identical decision effect) instead of
+    /// querying the store. Emergency traffic always gets the full path.
+    fn release_under_brownout(
+        &mut self,
+        user: UserId,
+        request: &DataRequest,
+        decision: &EnforcementDecision,
+        level: BrownoutLevel,
+    ) -> Vec<ReleasedRecord> {
+        let emergency = request.priority == Priority::Emergency;
+        let key = (request.service.as_str().to_owned(), user, request.data);
+        if level >= BrownoutLevel::CachedOnly && !emergency {
+            return match self.coarse_cache.get(&key) {
+                Some((effect, records)) if *effect == decision.effect => records.clone(),
+                _ => Vec::new(),
+            };
+        }
+        let mut records = self.release_rows(user, request, decision);
+        if level >= BrownoutLevel::CoarseOnly && !emergency {
+            for record in &mut records {
+                if let ReleasedValue::Location(loc) = &record.value {
+                    if let Some(space) = loc.space {
+                        if loc.granularity < Granularity::Floor {
+                            record.value = ReleasedValue::Location(GranularLocation::degrade(
+                                &self.model,
+                                space,
+                                None,
+                                Granularity::Floor,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if self.admission.is_some() {
+            self.coarse_cache
+                .insert(key, (decision.effect, records.clone()));
+        }
+        records
+    }
+
+    /// Per-class admission counters, when admission control is configured.
+    pub fn admission_stats(&self) -> Option<AdmissionStats> {
+        self.admission.as_ref().map(AdmissionController::stats)
+    }
+
+    /// The brownout ladder's current rung.
+    pub fn brownout_level(&self) -> BrownoutLevel {
+        self.brownout.level()
     }
 
     /// Privacy-preserving aggregate occupancy query (§IV.B.2's
@@ -1003,6 +1172,8 @@ impl Tippers {
             from: Timestamp(now.seconds() - 3600),
             to: Timestamp(now.seconds() + 1),
             requester_space: None,
+            priority: Priority::Interactive,
+            deadline: None,
         };
         let response = self.handle_request(&request, now);
         let result = response.results.into_iter().next()?;

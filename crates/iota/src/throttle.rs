@@ -4,9 +4,15 @@
 //! obtain user feedback without inducing user fatigue". The throttle caps
 //! notifications per sliding window; the assistant additionally suppresses
 //! repeats through its seen-set.
+//!
+//! The windowing itself is the shared [`SlidingWindow`] limiter from
+//! `tippers-resilience`, driven by the same virtual clock as the rest of
+//! the stack (seconds scaled to milliseconds by [`ms_from_secs`]) — one
+//! rate-limiting implementation, not per-crate interval arithmetic.
 
 use serde::{Deserialize, Serialize};
 use tippers_policy::Timestamp;
+use tippers_resilience::{ms_from_secs, SlidingWindow};
 
 /// A sliding-window notification rate limiter.
 ///
@@ -23,11 +29,7 @@ use tippers_policy::Timestamp;
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NotificationThrottle {
-    /// Maximum notifications per window.
-    max_per_window: usize,
-    /// Window length, seconds.
-    window_secs: i64,
-    history: Vec<Timestamp>,
+    window: SlidingWindow,
 }
 
 impl NotificationThrottle {
@@ -39,9 +41,7 @@ impl NotificationThrottle {
     pub fn new(max_per_window: usize, window_secs: i64) -> NotificationThrottle {
         assert!(window_secs > 0, "window must be positive");
         NotificationThrottle {
-            max_per_window,
-            window_secs,
-            history: Vec::new(),
+            window: SlidingWindow::new(max_per_window, ms_from_secs(window_secs)),
         }
     }
 
@@ -52,22 +52,12 @@ impl NotificationThrottle {
 
     /// True if a notification may fire now; if so, it is recorded.
     pub fn allow(&mut self, now: Timestamp) -> bool {
-        self.history
-            .retain(|&t| now - t < self.window_secs && t <= now);
-        if self.history.len() < self.max_per_window {
-            self.history.push(now);
-            true
-        } else {
-            false
-        }
+        self.window.allow(ms_from_secs(now.seconds()))
     }
 
     /// Notifications fired in the current window.
     pub fn in_window(&self, now: Timestamp) -> usize {
-        self.history
-            .iter()
-            .filter(|&&t| now - t < self.window_secs && t <= now)
-            .count()
+        self.window.count(ms_from_secs(now.seconds()))
     }
 }
 

@@ -45,3 +45,7 @@ mod registry;
 pub use mud::{advertise_device, MudProfile};
 pub use net::{DiscoveryBus, NetError, NetStats, NetworkConfig};
 pub use registry::{AdvertisementId, Registry, RegistryError, RegistryId, ResourceAdvertisement};
+
+// The mailbox vocabulary used by [`DiscoveryBus`]'s bounded fetch queues,
+// re-exported for downstream convenience.
+pub use tippers_resilience::MailboxStats;

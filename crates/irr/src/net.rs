@@ -12,7 +12,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tippers_policy::Timestamp;
-use tippers_resilience::{FaultPlan, FaultPoint, Transient};
+use tippers_resilience::{ms_from_secs, FaultPlan, FaultPoint, Mailbox, MailboxStats, Transient};
 use tippers_spatial::{SpaceId, SpatialModel};
 
 use crate::registry::{Registry, RegistryId, ResourceAdvertisement};
@@ -32,6 +32,14 @@ pub struct NetworkConfig {
     pub loss_probability: f64,
     /// RNG seed for reproducibility.
     pub seed: u64,
+    /// Bound on each registry's fetch mailbox: requests in flight (in
+    /// virtual time) beyond this are refused with
+    /// [`NetError::Backpressure`] instead of queueing without limit. The
+    /// default is generous — only a storm-scale burst hits it.
+    pub fetch_queue_capacity: usize,
+    /// Virtual service time per fetch, milliseconds: how fast a registry
+    /// drains its mailbox. Queue wait is added to the reported latency.
+    pub fetch_service_ms: f64,
 }
 
 impl Default for NetworkConfig {
@@ -40,6 +48,8 @@ impl Default for NetworkConfig {
             latency_ms_mean: 20.0,
             loss_probability: 0.0,
             seed: 7,
+            fetch_queue_capacity: 65_536,
+            fetch_service_ms: 2.0,
         }
     }
 }
@@ -52,6 +62,10 @@ pub enum NetError {
     Lost,
     /// The addressed registry does not exist.
     UnknownRegistry(RegistryId),
+    /// The registry's bounded fetch mailbox is full: explicit
+    /// backpressure. The client should back off and retry — the queue
+    /// drains as virtual time advances.
+    Backpressure(RegistryId),
 }
 
 impl fmt::Display for NetError {
@@ -59,6 +73,9 @@ impl fmt::Display for NetError {
         match self {
             NetError::Lost => f.write_str("message lost"),
             NetError::UnknownRegistry(id) => write!(f, "unknown registry {id}"),
+            NetError::Backpressure(id) => {
+                write!(f, "registry {id} fetch queue full (backpressure)")
+            }
         }
     }
 }
@@ -67,11 +84,11 @@ impl std::error::Error for NetError {}
 
 impl NetError {
     /// True if retrying could plausibly succeed (lost messages can be
-    /// resent; addressing a registry that does not exist cannot be fixed by
-    /// retrying).
+    /// resent and full queues drain; addressing a registry that does not
+    /// exist cannot be fixed by retrying).
     pub fn is_transient(&self) -> bool {
         match self {
-            NetError::Lost => true,
+            NetError::Lost | NetError::Backpressure(_) => true,
             NetError::UnknownRegistry(_) => false,
         }
     }
@@ -90,6 +107,9 @@ pub struct NetStats {
     pub messages: u64,
     /// Messages lost.
     pub lost: u64,
+    /// Fetches refused outright by a full registry mailbox
+    /// (backpressure — never attempted, so not counted in `messages`).
+    pub rejected: u64,
     /// Sum of simulated latency over delivered messages, milliseconds.
     pub total_latency_ms: f64,
 }
@@ -114,6 +134,11 @@ pub struct DiscoveryBus {
     rng: Mutex<StdRng>,
     stats: Mutex<NetStats>,
     fault_plan: FaultPlan,
+    /// One bounded fetch mailbox per registry. Each entry is a fetch in
+    /// service; its deadline is the virtual time the registry finishes it,
+    /// so advancing time drains the queue and a frozen clock models a
+    /// slow consumer.
+    fetch_queues: Mutex<Vec<(Mailbox<()>, i64)>>,
 }
 
 impl DiscoveryBus {
@@ -125,6 +150,7 @@ impl DiscoveryBus {
             registries: Vec::new(),
             stats: Mutex::new(NetStats::default()),
             fault_plan: FaultPlan::disarmed(),
+            fetch_queues: Mutex::new(Vec::new()),
         }
     }
 
@@ -151,6 +177,9 @@ impl DiscoveryBus {
     pub fn add_registry(&mut self, name: impl Into<String>, coverage: SpaceId) -> RegistryId {
         let id = RegistryId(self.registries.len() as u32);
         self.registries.push(Registry::new(id, name, coverage));
+        self.fetch_queues
+            .lock()
+            .push((Mailbox::new(self.config.fetch_queue_capacity), i64::MIN));
         id
     }
 
@@ -214,12 +243,16 @@ impl DiscoveryBus {
     }
 
     /// Fetches the advertisements near `vicinity` from one registry,
-    /// paying (and reporting) simulated latency.
+    /// paying (and reporting) simulated latency — queue wait in the
+    /// registry's bounded mailbox included.
     ///
     /// # Errors
     ///
     /// [`NetError::Lost`] models a dropped response; callers retry on their
-    /// own schedule. [`NetError::UnknownRegistry`] is a client bug.
+    /// own schedule. [`NetError::Backpressure`] means the registry's
+    /// bounded fetch mailbox was full — explicit backpressure the caller
+    /// must handle (back off, not hammer). [`NetError::UnknownRegistry`]
+    /// is a client bug.
     pub fn fetch_near(
         &self,
         registry: RegistryId,
@@ -230,6 +263,7 @@ impl DiscoveryBus {
         let r = self
             .registry(registry)
             .ok_or(NetError::UnknownRegistry(registry))?;
+        let queue_wait = self.enqueue_fetch(registry, now)?;
         let request = self.transmit(FaultPoint::RegistryFetch)?;
         let response = self.transmit(FaultPoint::RegistryFetch)?;
         // An armed clock-skew rule shifts the freshness clock the registry
@@ -244,7 +278,48 @@ impl DiscoveryBus {
             .into_iter()
             .cloned()
             .collect();
-        Ok((ads, request + response))
+        Ok((ads, queue_wait + request + response))
+    }
+
+    /// Books one fetch into a registry's bounded mailbox: a single-server
+    /// queue in virtual time. The fetch occupies a slot until its
+    /// completion instant passes; the returned queue wait (ms) is the time
+    /// spent behind earlier fetches.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Backpressure`] when the mailbox is at capacity.
+    fn enqueue_fetch(&self, registry: RegistryId, now: Timestamp) -> Result<f64, NetError> {
+        let now_ms = ms_from_secs(now.seconds());
+        let service_ms = self.config.fetch_service_ms.max(0.0).ceil() as i64;
+        let mut queues = self.fetch_queues.lock();
+        let (mailbox, tail) = queues
+            .get_mut(registry.0 as usize)
+            .ok_or(NetError::UnknownRegistry(registry))?;
+        let start = (*tail).max(now_ms);
+        let completion = start + service_ms;
+        if mailbox.try_push(now_ms, Some(completion), ()).is_err() {
+            self.stats.lock().rejected += 1;
+            return Err(NetError::Backpressure(registry));
+        }
+        *tail = completion;
+        Ok((start - now_ms) as f64)
+    }
+
+    /// How many fetches a registry's mailbox currently holds (in service
+    /// plus waiting, at `now`).
+    pub fn fetch_queue_depth(&self, registry: RegistryId, now: Timestamp) -> Option<usize> {
+        let now_ms = ms_from_secs(now.seconds());
+        let mut queues = self.fetch_queues.lock();
+        let (mailbox, _) = queues.get_mut(registry.0 as usize)?;
+        mailbox.prune(now_ms);
+        Some(mailbox.depth())
+    }
+
+    /// Lifetime counters of a registry's fetch mailbox.
+    pub fn fetch_queue_stats(&self, registry: RegistryId) -> Option<MailboxStats> {
+        let queues = self.fetch_queues.lock();
+        queues.get(registry.0 as usize).map(|(mb, _)| mb.stats())
     }
 }
 
@@ -378,7 +453,51 @@ mod tests {
     #[test]
     fn net_error_transience() {
         assert!(NetError::Lost.is_transient());
+        assert!(NetError::Backpressure(RegistryId(0)).is_transient());
         assert!(!NetError::UnknownRegistry(RegistryId(3)).is_transient());
+    }
+
+    #[test]
+    fn slow_consumer_pushes_back_and_drains_with_time() {
+        let d = dbh();
+        let mut bus = DiscoveryBus::new(NetworkConfig {
+            fetch_queue_capacity: 3,
+            fetch_service_ms: 1000.0,
+            ..NetworkConfig::default()
+        });
+        let irr = bus.add_registry("DBH IRR", d.building);
+        bus.registry_mut(irr)
+            .unwrap()
+            .publish(
+                figures::fig2_document(),
+                d.building,
+                Timestamp::at(0, 8, 0),
+                86_400,
+            )
+            .unwrap();
+        let t0 = Timestamp::at(0, 9, 0);
+        // Three same-instant fetches fill the mailbox (1s service each);
+        // the fourth is refused with explicit backpressure.
+        for i in 0..3 {
+            let (_, latency) = bus.fetch_near(irr, &d.model, d.offices[0], t0).unwrap();
+            assert!(
+                latency >= 1000.0 * i as f64,
+                "later fetches wait behind earlier ones"
+            );
+        }
+        assert_eq!(
+            bus.fetch_near(irr, &d.model, d.offices[0], t0).unwrap_err(),
+            NetError::Backpressure(irr)
+        );
+        assert_eq!(bus.fetch_queue_depth(irr, t0), Some(3));
+        assert_eq!(bus.stats().rejected, 1);
+        // Advancing virtual time drains the queue: fetches flow again.
+        let later = t0 + 10;
+        assert!(bus.fetch_near(irr, &d.model, d.offices[0], later).is_ok());
+        assert!(bus.fetch_queue_depth(irr, later).unwrap() <= 3);
+        let mb = bus.fetch_queue_stats(irr).unwrap();
+        assert_eq!(mb.rejected, 1);
+        assert_eq!(mb.high_watermark, 3);
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub enum RegistryError {
     /// The registry could not be reached (a transient infrastructure
     /// failure; retrying may succeed).
     Unreachable(RegistryId),
+    /// The registry's advertisement table is full: publish backpressure.
+    /// Transient — withdrawing or expiring advertisements frees slots.
+    Overloaded(RegistryId),
 }
 
 impl fmt::Display for RegistryError {
@@ -52,6 +55,9 @@ impl fmt::Display for RegistryError {
             RegistryError::Unreachable(id) => {
                 write!(f, "registry {id} unreachable")
             }
+            RegistryError::Overloaded(id) => {
+                write!(f, "registry {id} advertisement table full")
+            }
         }
     }
 }
@@ -59,11 +65,16 @@ impl fmt::Display for RegistryError {
 impl std::error::Error for RegistryError {}
 
 impl RegistryError {
-    /// True if retrying could plausibly succeed. Only
-    /// [`RegistryError::Unreachable`] is transient: validation failures and
-    /// bad advertisement ids will not fix themselves on retry.
+    /// True if retrying could plausibly succeed.
+    /// [`RegistryError::Unreachable`] and [`RegistryError::Overloaded`]
+    /// are transient: validation failures and bad advertisement ids will
+    /// not fix themselves on retry, but infrastructure recovers and full
+    /// tables drain.
     pub fn is_transient(&self) -> bool {
-        matches!(self, RegistryError::Unreachable(_))
+        matches!(
+            self,
+            RegistryError::Unreachable(_) | RegistryError::Overloaded(_)
+        )
     }
 }
 
@@ -107,9 +118,16 @@ pub struct Registry {
     coverage: SpaceId,
     ads: Vec<ResourceAdvertisement>,
     next_ad: u64,
+    /// Explicit bound on the advertisement table; `None` means the
+    /// default ([`Registry::DEFAULT_ADS_CAPACITY`]).
+    #[serde(default)]
+    ads_capacity: Option<usize>,
 }
 
 impl Registry {
+    /// Default bound on a registry's advertisement table.
+    pub const DEFAULT_ADS_CAPACITY: usize = 4096;
+
     /// Creates a registry covering `coverage` (and its whole subtree).
     pub fn new(id: RegistryId, name: impl Into<String>, coverage: SpaceId) -> Registry {
         Registry {
@@ -118,7 +136,25 @@ impl Registry {
             coverage,
             ads: Vec::new(),
             next_ad: 0,
+            ads_capacity: None,
         }
+    }
+
+    /// Caps the advertisement table at `capacity` entries (builder form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_ads_capacity(mut self, capacity: usize) -> Registry {
+        assert!(capacity > 0, "ads capacity must be positive");
+        self.ads_capacity = Some(capacity);
+        self
+    }
+
+    /// The advertisement table's bound.
+    pub fn ads_capacity(&self) -> usize {
+        self.ads_capacity.unwrap_or(Registry::DEFAULT_ADS_CAPACITY)
     }
 
     /// Registry id.
@@ -151,7 +187,9 @@ impl Registry {
     /// # Errors
     ///
     /// Returns [`RegistryError::NotAdvertisable`] if the document fails
-    /// validation — registries refuse documents IoTAs could not interpret.
+    /// validation — registries refuse documents IoTAs could not interpret —
+    /// and [`RegistryError::Overloaded`] when the (bounded) table is full:
+    /// publish backpressure, not silent unbounded growth.
     pub fn publish(
         &mut self,
         document: PolicyDocument,
@@ -159,6 +197,9 @@ impl Registry {
         now: Timestamp,
         ttl_secs: i64,
     ) -> Result<AdvertisementId, RegistryError> {
+        if self.ads.len() >= self.ads_capacity() {
+            return Err(RegistryError::Overloaded(self.id));
+        }
         if !is_advertisable(&document) {
             let issues = tippers_policy::validate_document(&document)
                 .iter()
@@ -336,6 +377,29 @@ mod tests {
             .unwrap();
         assert_eq!(v, 2);
         assert_eq!(reg.advertisements(t0 + 1500).len(), 1);
+    }
+
+    #[test]
+    fn full_table_refuses_publishes_until_withdrawn() {
+        let d = dbh();
+        let mut reg = Registry::new(RegistryId(0), "DBH IRR", d.building).with_ads_capacity(2);
+        let t0 = Timestamp::at(0, 9, 0);
+        let first = reg
+            .publish(figures::fig2_document(), d.building, t0, 600)
+            .unwrap();
+        reg.publish(figures::fig2_document(), d.building, t0, 600)
+            .unwrap();
+        assert_eq!(
+            reg.publish(figures::fig2_document(), d.building, t0, 600),
+            Err(RegistryError::Overloaded(RegistryId(0)))
+        );
+        assert!(RegistryError::Overloaded(RegistryId(0)).is_transient());
+        // Withdrawal frees a slot: the retry the transient error invites
+        // now succeeds.
+        reg.withdraw(first).unwrap();
+        assert!(reg
+            .publish(figures::fig2_document(), d.building, t0, 600)
+            .is_ok());
     }
 
     #[test]

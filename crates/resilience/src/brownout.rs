@@ -1,0 +1,236 @@
+//! Brownout: stepwise, reversible service degradation under load.
+//!
+//! Instead of falling over, the enforcement point walks down a documented
+//! ladder as load rises — and walks back up, with hysteresis, as it falls:
+//!
+//! 1. [`BrownoutLevel::Normal`] — full service.
+//! 2. [`BrownoutLevel::CoarseOnly`] — stop serving fine-granularity
+//!    observations (location answers are capped at floor granularity).
+//! 3. [`BrownoutLevel::CachedOnly`] — serve cached/coarse answers to
+//!    non-emergency traffic instead of querying the store.
+//! 4. [`BrownoutLevel::RejectBatch`] — shed Batch-class requests outright.
+//!
+//! Escalation is immediate (overload hurts *now*); de-escalation requires
+//! load to fall below a strictly lower exit threshold *and* a dwell time to
+//! pass, so the controller cannot flap across a threshold.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One rung of the degradation ladder, ordered by severity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum BrownoutLevel {
+    /// Full service.
+    #[default]
+    Normal,
+    /// Fine-granularity observations are no longer served.
+    CoarseOnly,
+    /// Non-emergency traffic is answered from cache, not the store.
+    CachedOnly,
+    /// Batch-class requests are rejected outright.
+    RejectBatch,
+}
+
+impl BrownoutLevel {
+    /// Severity as a ladder index (`Normal` = 0).
+    pub fn severity(self) -> usize {
+        match self {
+            BrownoutLevel::Normal => 0,
+            BrownoutLevel::CoarseOnly => 1,
+            BrownoutLevel::CachedOnly => 2,
+            BrownoutLevel::RejectBatch => 3,
+        }
+    }
+
+    fn from_severity(severity: usize) -> BrownoutLevel {
+        match severity {
+            0 => BrownoutLevel::Normal,
+            1 => BrownoutLevel::CoarseOnly,
+            2 => BrownoutLevel::CachedOnly,
+            _ => BrownoutLevel::RejectBatch,
+        }
+    }
+}
+
+impl fmt::Display for BrownoutLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            BrownoutLevel::Normal => "normal",
+            BrownoutLevel::CoarseOnly => "coarse-only",
+            BrownoutLevel::CachedOnly => "cached-only",
+            BrownoutLevel::RejectBatch => "reject-batch",
+        };
+        f.write_str(name)
+    }
+}
+
+/// [`BrownoutController`] thresholds.
+///
+/// `enter[i]` is the load at which the controller escalates *from* ladder
+/// rung `i`; `exit[i]` is the load below which it may de-escalate *to*
+/// rung `i`. Each exit threshold must sit strictly below its enter
+/// threshold — that gap is the hysteresis band.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BrownoutConfig {
+    /// Escalation thresholds for rungs 0→1, 1→2, 2→3.
+    pub enter: [f64; 3],
+    /// De-escalation thresholds for rungs 1→0, 2→1, 3→2.
+    pub exit: [f64; 3],
+    /// Minimum virtual time at a level before de-escalating, milliseconds.
+    pub dwell_ms: i64,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        BrownoutConfig {
+            enter: [0.70, 0.85, 0.95],
+            exit: [0.50, 0.65, 0.80],
+            dwell_ms: 2_000,
+        }
+    }
+}
+
+/// The hysteretic ladder controller. Feed it a load signal in `[0, 1]`
+/// (e.g. concurrency utilization) each tick; it answers with the level the
+/// system should serve at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BrownoutController {
+    config: BrownoutConfig,
+    level: BrownoutLevel,
+    level_since_ms: i64,
+    transitions: u64,
+}
+
+impl BrownoutController {
+    /// A controller at [`BrownoutLevel::Normal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every exit threshold sits strictly below its enter
+    /// threshold (no hysteresis band means flapping).
+    pub fn new(config: BrownoutConfig) -> BrownoutController {
+        for i in 0..3 {
+            assert!(
+                config.exit[i] < config.enter[i],
+                "exit threshold {i} must sit strictly below its enter threshold"
+            );
+        }
+        BrownoutController {
+            config,
+            level: BrownoutLevel::Normal,
+            level_since_ms: i64::MIN,
+            transitions: 0,
+        }
+    }
+
+    /// Observes the current load and returns the level to serve at.
+    /// Escalates immediately, de-escalates one rung at a time after the
+    /// dwell time.
+    pub fn observe(&mut self, now_ms: i64, load: f64) -> BrownoutLevel {
+        let mut severity = self.level.severity();
+        // Escalate as far as the load justifies, immediately.
+        while severity < 3 && load >= self.config.enter[severity] {
+            severity += 1;
+        }
+        if severity > self.level.severity() {
+            self.set_level(now_ms, BrownoutLevel::from_severity(severity));
+            return self.level;
+        }
+        // De-escalate one rung, only after dwelling and only through the
+        // (lower) exit threshold.
+        if severity > 0
+            && load < self.config.exit[severity - 1]
+            && now_ms.saturating_sub(self.level_since_ms) >= self.config.dwell_ms
+        {
+            self.set_level(now_ms, BrownoutLevel::from_severity(severity - 1));
+        }
+        self.level
+    }
+
+    fn set_level(&mut self, now_ms: i64, level: BrownoutLevel) {
+        self.level = level;
+        self.level_since_ms = now_ms;
+        self.transitions += 1;
+    }
+
+    /// The current ladder rung.
+    pub fn level(&self) -> BrownoutLevel {
+        self.level
+    }
+
+    /// How many level changes have happened.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+impl Default for BrownoutController {
+    fn default() -> Self {
+        BrownoutController::new(BrownoutConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> BrownoutController {
+        BrownoutController::new(BrownoutConfig {
+            enter: [0.7, 0.85, 0.95],
+            exit: [0.5, 0.65, 0.8],
+            dwell_ms: 1_000,
+        })
+    }
+
+    #[test]
+    fn escalates_immediately_and_in_steps() {
+        let mut c = controller();
+        assert_eq!(c.observe(0, 0.5), BrownoutLevel::Normal);
+        assert_eq!(c.observe(10, 0.75), BrownoutLevel::CoarseOnly);
+        assert_eq!(c.observe(20, 0.99), BrownoutLevel::RejectBatch);
+    }
+
+    #[test]
+    fn extreme_load_jumps_the_whole_ladder() {
+        let mut c = controller();
+        assert_eq!(c.observe(0, 1.0), BrownoutLevel::RejectBatch);
+        assert_eq!(c.transitions(), 1);
+    }
+
+    #[test]
+    fn hysteresis_blocks_flapping_at_the_threshold() {
+        let mut c = controller();
+        assert_eq!(c.observe(0, 0.72), BrownoutLevel::CoarseOnly);
+        // Load hovers just under the enter threshold: no recovery, because
+        // it has not crossed the exit threshold.
+        for t in 1..100 {
+            assert_eq!(c.observe(t * 100, 0.68), BrownoutLevel::CoarseOnly);
+        }
+        assert_eq!(c.transitions(), 1);
+    }
+
+    #[test]
+    fn recovery_requires_dwell_time() {
+        let mut c = controller();
+        assert_eq!(c.observe(0, 0.9), BrownoutLevel::CachedOnly);
+        // Load collapses, but the dwell time has not passed.
+        assert_eq!(c.observe(500, 0.0), BrownoutLevel::CachedOnly);
+        // After dwelling, recovery is one rung at a time.
+        assert_eq!(c.observe(1_500, 0.0), BrownoutLevel::CoarseOnly);
+        assert_eq!(c.observe(1_600, 0.0), BrownoutLevel::CoarseOnly);
+        assert_eq!(c.observe(2_600, 0.0), BrownoutLevel::Normal);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly below")]
+    fn degenerate_hysteresis_band_is_rejected() {
+        let _ = BrownoutController::new(BrownoutConfig {
+            enter: [0.7, 0.85, 0.95],
+            exit: [0.7, 0.65, 0.8],
+            dwell_ms: 0,
+        });
+    }
+}

@@ -1,0 +1,104 @@
+//! The shared virtual-time clock.
+//!
+//! Every resilience primitive in this crate is driven by *explicit* time —
+//! the simulation never sleeps and never reads a wall clock, so a scenario
+//! replays bit-for-bit from its seed. [`VirtualClock`] is the shared source
+//! of that time: cloning is cheap and shares state, so the workload driver
+//! advances one clock and every limiter, throttle, and mailbox holding a
+//! clone observes the same instant.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Milliseconds in one virtual second, the crate's canonical tick unit.
+pub const MILLIS_PER_SEC: i64 = 1000;
+
+/// Converts whole virtual seconds (e.g. a `Timestamp`) to clock
+/// milliseconds.
+pub fn ms_from_secs(secs: i64) -> i64 {
+    secs.saturating_mul(MILLIS_PER_SEC)
+}
+
+/// A shared, monotone, manually-advanced clock in virtual milliseconds.
+///
+/// # Examples
+///
+/// ```
+/// use tippers_resilience::VirtualClock;
+///
+/// let clock = VirtualClock::at_ms(1_000);
+/// let handle = clock.clone();
+/// clock.advance_ms(250);
+/// assert_eq!(handle.now_ms(), 1_250);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now_ms: Arc<Mutex<i64>>,
+}
+
+impl VirtualClock {
+    /// A clock starting at virtual time zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// A clock starting at `now_ms`.
+    pub fn at_ms(now_ms: i64) -> VirtualClock {
+        VirtualClock {
+            now_ms: Arc::new(Mutex::new(now_ms)),
+        }
+    }
+
+    /// The current virtual time, milliseconds.
+    pub fn now_ms(&self) -> i64 {
+        *self.now_ms.lock()
+    }
+
+    /// Advances the clock by `delta_ms` (negative deltas are ignored: the
+    /// clock is monotone).
+    pub fn advance_ms(&self, delta_ms: i64) {
+        if delta_ms > 0 {
+            *self.now_ms.lock() += delta_ms;
+        }
+    }
+
+    /// Moves the clock forward to `now_ms` if that is later than the
+    /// current time (monotone set).
+    pub fn set_ms(&self, now_ms: i64) {
+        let mut t = self.now_ms.lock();
+        if now_ms > *t {
+            *t = now_ms;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_time() {
+        let clock = VirtualClock::new();
+        let handle = clock.clone();
+        clock.advance_ms(42);
+        assert_eq!(handle.now_ms(), 42);
+        handle.set_ms(100);
+        assert_eq!(clock.now_ms(), 100);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let clock = VirtualClock::at_ms(500);
+        clock.advance_ms(-10);
+        assert_eq!(clock.now_ms(), 500);
+        clock.set_ms(400);
+        assert_eq!(clock.now_ms(), 500);
+    }
+
+    #[test]
+    fn seconds_convert() {
+        assert_eq!(ms_from_secs(3), 3000);
+        assert_eq!(ms_from_secs(i64::MAX), i64::MAX);
+    }
+}

@@ -17,16 +17,39 @@
 //!   so a dead registry stops eating the retry budget.
 //! * [`HealthMonitor`] — degraded-mode tracking that the BMS surfaces when
 //!   enforcement fails closed.
+//!
+//! On top of those sit the overload-control ("admission") primitives —
+//! every one driven by the same explicit virtual time ([`VirtualClock`]),
+//! so storms replay deterministically:
+//!
+//! * [`TokenBucket`] / [`SlidingWindow`] / [`AimdLimiter`] — rate and
+//!   adaptive concurrency limiting.
+//! * [`Mailbox`] — bounded queues with explicit backpressure and
+//!   deadline-aware delivery.
+//! * [`AdmissionController`] — priority-classed admission
+//!   (`Emergency > Interactive > Batch`) with the invariants that
+//!   Emergency is never shed and sheds fail closed.
+//! * [`BrownoutController`] — stepwise degradation with hysteresis.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod breaker;
+mod brownout;
+mod clock;
 mod fault;
 mod health;
+mod limiter;
+mod queue;
 mod retry;
+mod shed;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use brownout::{BrownoutConfig, BrownoutController, BrownoutLevel};
+pub use clock::{ms_from_secs, VirtualClock, MILLIS_PER_SEC};
 pub use fault::{FaultPlan, FaultPoint};
 pub use health::{HealthMonitor, HealthStatus};
+pub use limiter::{AimdConfig, AimdLimiter, SlidingWindow, TokenBucket, TokenBucketConfig};
+pub use queue::{Mailbox, MailboxStats, PushError};
 pub use retry::{BackoffSchedule, RetryError, RetryPolicy, RetryReport, Transient};
+pub use shed::{AdmissionConfig, AdmissionController, AdmissionStats, Priority, ShedReason};

@@ -1,0 +1,405 @@
+//! Rate and concurrency limiters, driven by virtual time.
+//!
+//! Three primitives, all consulted with an explicit `now_ms` (see
+//! [`crate::VirtualClock`]) so they compose with the deterministic fault
+//! plane:
+//!
+//! * [`TokenBucket`] — classic leaky-bucket rate limiting: a burst budget
+//!   that refills continuously.
+//! * [`SlidingWindow`] — an exact trailing-window cap (at most `max`
+//!   admissions in *any* trailing window), the stricter shape notification
+//!   throttling needs.
+//! * [`AimdLimiter`] — an additive-increase / multiplicative-decrease
+//!   concurrency limit steered by a latency gradient: while observed
+//!   latency stays at or under the target the limit creeps up, and the
+//!   first observation over the target cuts it multiplicatively.
+
+use serde::{Deserialize, Serialize};
+
+/// [`TokenBucket`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TokenBucketConfig {
+    /// Maximum burst size, tokens.
+    pub capacity: f64,
+    /// Continuous refill rate, tokens per virtual second.
+    pub refill_per_sec: f64,
+}
+
+impl Default for TokenBucketConfig {
+    fn default() -> Self {
+        TokenBucketConfig {
+            capacity: 64.0,
+            refill_per_sec: 32.0,
+        }
+    }
+}
+
+/// A token-bucket rate limiter over virtual milliseconds.
+///
+/// # Examples
+///
+/// ```
+/// use tippers_resilience::{TokenBucket, TokenBucketConfig};
+///
+/// let mut bucket = TokenBucket::new(
+///     TokenBucketConfig { capacity: 2.0, refill_per_sec: 1.0 },
+///     0,
+/// );
+/// assert!(bucket.try_acquire(0, 1.0));
+/// assert!(bucket.try_acquire(0, 1.0));
+/// assert!(!bucket.try_acquire(0, 1.0)); // burst budget spent
+/// assert!(bucket.try_acquire(1_000, 1.0)); // one second refilled one token
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TokenBucket {
+    config: TokenBucketConfig,
+    tokens: f64,
+    last_ms: i64,
+}
+
+impl TokenBucket {
+    /// A full bucket as of `now_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless capacity and refill rate are positive.
+    pub fn new(config: TokenBucketConfig, now_ms: i64) -> TokenBucket {
+        assert!(config.capacity > 0.0, "bucket capacity must be positive");
+        assert!(
+            config.refill_per_sec > 0.0,
+            "bucket refill rate must be positive"
+        );
+        TokenBucket {
+            config,
+            tokens: config.capacity,
+            last_ms: now_ms,
+        }
+    }
+
+    fn refill(&mut self, now_ms: i64) {
+        if now_ms > self.last_ms {
+            let elapsed_secs = (now_ms - self.last_ms) as f64 / 1000.0;
+            self.tokens =
+                (self.tokens + elapsed_secs * self.config.refill_per_sec).min(self.config.capacity);
+            self.last_ms = now_ms;
+        }
+    }
+
+    /// Takes `cost` tokens if available; `false` leaves the bucket
+    /// untouched.
+    pub fn try_acquire(&mut self, now_ms: i64, cost: f64) -> bool {
+        self.refill(now_ms);
+        if self.tokens >= cost {
+            self.tokens -= cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens available at `now_ms` (refills as a side effect).
+    pub fn available(&mut self, now_ms: i64) -> f64 {
+        self.refill(now_ms);
+        self.tokens
+    }
+
+    /// The configured burst capacity.
+    pub fn capacity(&self) -> f64 {
+        self.config.capacity
+    }
+}
+
+/// An exact trailing-window admission cap: at most `max` admissions in any
+/// trailing `window_ms` window — stricter than a token bucket, which
+/// permits up to twice its burst inside one window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlidingWindow {
+    max: usize,
+    window_ms: i64,
+    admitted: Vec<i64>,
+}
+
+impl SlidingWindow {
+    /// At most `max` admissions every `window_ms` milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ms` is not positive.
+    pub fn new(max: usize, window_ms: i64) -> SlidingWindow {
+        assert!(window_ms > 0, "window must be positive");
+        SlidingWindow {
+            max,
+            window_ms,
+            admitted: Vec::new(),
+        }
+    }
+
+    /// True if an admission may happen at `now_ms`; if so, it is recorded.
+    pub fn allow(&mut self, now_ms: i64) -> bool {
+        self.admitted
+            .retain(|&t| now_ms - t < self.window_ms && t <= now_ms);
+        if self.admitted.len() < self.max {
+            self.admitted.push(now_ms);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Admissions recorded in the trailing window ending at `now_ms`.
+    pub fn count(&self, now_ms: i64) -> usize {
+        self.admitted
+            .iter()
+            .filter(|&&t| now_ms - t < self.window_ms && t <= now_ms)
+            .count()
+    }
+}
+
+/// [`AimdLimiter`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AimdConfig {
+    /// Concurrency floor (the limit never drops below this).
+    pub min_limit: u32,
+    /// Concurrency ceiling.
+    pub max_limit: u32,
+    /// Starting limit.
+    pub initial_limit: u32,
+    /// Latency at or under which the limiter grows, virtual milliseconds.
+    pub latency_target_ms: f64,
+    /// Additive increase per under-target completion (spread across the
+    /// current limit, i.e. roughly +1 per full round of completions).
+    pub increase: f64,
+    /// Multiplicative decrease factor applied on an over-target
+    /// completion, in `(0, 1)`.
+    pub decrease_factor: f64,
+}
+
+impl Default for AimdConfig {
+    fn default() -> Self {
+        AimdConfig {
+            min_limit: 1,
+            max_limit: 256,
+            initial_limit: 16,
+            latency_target_ms: 50.0,
+            increase: 1.0,
+            decrease_factor: 0.7,
+        }
+    }
+}
+
+/// An AIMD adaptive concurrency limiter steered by observed latency.
+///
+/// Acquire before starting work ([`AimdLimiter::try_acquire`]); report the
+/// work's observed latency when it completes ([`AimdLimiter::release`]).
+/// Latencies come from the same virtual clock as everything else, so the
+/// control loop is fully deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AimdLimiter {
+    config: AimdConfig,
+    limit: f64,
+    in_flight: u32,
+    rejections: u64,
+}
+
+impl AimdLimiter {
+    /// A limiter at its configured initial limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive floor, an inverted floor/ceiling pair, or
+    /// a decrease factor outside `(0, 1)`.
+    pub fn new(config: AimdConfig) -> AimdLimiter {
+        assert!(config.min_limit >= 1, "concurrency floor must be >= 1");
+        assert!(
+            config.min_limit <= config.max_limit,
+            "concurrency floor must not exceed the ceiling"
+        );
+        assert!(
+            config.decrease_factor > 0.0 && config.decrease_factor < 1.0,
+            "decrease factor must be in (0, 1)"
+        );
+        AimdLimiter {
+            limit: f64::from(
+                config
+                    .initial_limit
+                    .clamp(config.min_limit, config.max_limit),
+            ),
+            config,
+            in_flight: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Admits one unit of work if the in-flight count is under the limit.
+    pub fn try_acquire(&mut self) -> bool {
+        if u64::from(self.in_flight) < self.limit as u64 {
+            self.in_flight += 1;
+            true
+        } else {
+            self.rejections += 1;
+            false
+        }
+    }
+
+    /// Admits one unit of work unconditionally (the Emergency bypass);
+    /// the unit still counts as in-flight so the control loop sees it.
+    pub fn acquire_unchecked(&mut self) {
+        self.in_flight += 1;
+    }
+
+    /// Completes one unit of work, steering the limit by its latency:
+    /// additive increase at or under the target, multiplicative decrease
+    /// over it.
+    pub fn release(&mut self, observed_latency_ms: f64) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        if observed_latency_ms <= self.config.latency_target_ms {
+            self.limit += self.config.increase / self.limit.max(1.0);
+        } else {
+            self.limit *= self.config.decrease_factor;
+        }
+        self.limit = self.limit.clamp(
+            f64::from(self.config.min_limit),
+            f64::from(self.config.max_limit),
+        );
+    }
+
+    /// The current concurrency limit (floor of the internal estimate).
+    pub fn limit(&self) -> u32 {
+        self.limit as u32
+    }
+
+    /// Units currently in flight.
+    pub fn in_flight(&self) -> u32 {
+        self.in_flight
+    }
+
+    /// Admissions refused so far.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Utilization in `[0, 1]`: in-flight over the current limit.
+    pub fn utilization(&self) -> f64 {
+        f64::from(self.in_flight) / self.limit.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_caps_bursts_and_refills() {
+        let mut b = TokenBucket::new(
+            TokenBucketConfig {
+                capacity: 4.0,
+                refill_per_sec: 2.0,
+            },
+            0,
+        );
+        for _ in 0..4 {
+            assert!(b.try_acquire(0, 1.0));
+        }
+        assert!(!b.try_acquire(0, 1.0));
+        assert!(b.try_acquire(500, 1.0), "half a second refills one token");
+        assert!(!b.try_acquire(500, 1.0));
+    }
+
+    #[test]
+    fn bucket_never_exceeds_capacity() {
+        let mut b = TokenBucket::new(
+            TokenBucketConfig {
+                capacity: 2.0,
+                refill_per_sec: 100.0,
+            },
+            0,
+        );
+        assert!((b.available(1_000_000) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn bucket_rejects_zero_capacity() {
+        let _ = TokenBucket::new(
+            TokenBucketConfig {
+                capacity: 0.0,
+                refill_per_sec: 1.0,
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn sliding_window_caps_every_trailing_window() {
+        let mut w = SlidingWindow::new(2, 600_000);
+        assert!(w.allow(0));
+        assert!(w.allow(10_000));
+        assert!(!w.allow(20_000));
+        assert_eq!(w.count(20_000), 2);
+        // Exactly one window later the first admission ages out.
+        assert!(!w.allow(599_999));
+        assert!(w.allow(600_000));
+    }
+
+    #[test]
+    fn aimd_grows_under_target_and_cuts_over_it() {
+        let mut l = AimdLimiter::new(AimdConfig {
+            initial_limit: 4,
+            latency_target_ms: 10.0,
+            ..AimdConfig::default()
+        });
+        let before = l.limit();
+        for _ in 0..20 {
+            assert!(l.try_acquire());
+            l.release(5.0);
+        }
+        assert!(l.limit() > before, "under-target latency grows the limit");
+        let grown = l.limit();
+        assert!(l.try_acquire());
+        l.release(500.0);
+        assert!(l.limit() < grown, "over-target latency cuts the limit");
+    }
+
+    #[test]
+    fn aimd_respects_floor_and_ceiling() {
+        let mut l = AimdLimiter::new(AimdConfig {
+            min_limit: 2,
+            max_limit: 8,
+            initial_limit: 4,
+            ..AimdConfig::default()
+        });
+        for _ in 0..100 {
+            assert!(
+                l.try_acquire() || {
+                    l.release(1000.0);
+                    true
+                }
+            );
+            l.release(1000.0);
+        }
+        assert!(l.limit() >= 2);
+        for _ in 0..1000 {
+            if l.try_acquire() {
+                l.release(0.0);
+            }
+        }
+        assert!(l.limit() <= 8);
+    }
+
+    #[test]
+    fn aimd_enforces_concurrency() {
+        let mut l = AimdLimiter::new(AimdConfig {
+            min_limit: 1,
+            max_limit: 4,
+            initial_limit: 2,
+            ..AimdConfig::default()
+        });
+        assert!(l.try_acquire());
+        assert!(l.try_acquire());
+        assert!(!l.try_acquire(), "limit 2 admits two units");
+        assert_eq!(l.rejections(), 1);
+        l.acquire_unchecked();
+        assert_eq!(l.in_flight(), 3, "the bypass still counts in-flight");
+        assert!(l.utilization() > 1.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Bounded mailboxes with explicit backpressure.
+//!
+//! Unbounded queues turn overload into unbounded memory growth and
+//! unbounded latency; a [`Mailbox`] instead has a hard capacity and tells
+//! the producer *now* when it is full ([`PushError::Full`]), so the
+//! producer can shed, retry later, or fail closed. Entries may carry a
+//! virtual-time deadline; expired entries are dropped at pop time instead
+//! of being processed — deadline propagation means late work is abandoned
+//! at every stage, not just at admission.
+
+use std::collections::VecDeque;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The mailbox is at capacity; the rejected item is handed back.
+    Full(T),
+}
+
+/// Counters a mailbox keeps over its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MailboxStats {
+    /// Items accepted.
+    pub pushed: u64,
+    /// Pushes refused because the mailbox was full.
+    pub rejected: u64,
+    /// Items dropped at pop time because their deadline had passed.
+    pub expired: u64,
+    /// Items successfully delivered to the consumer.
+    pub delivered: u64,
+    /// Deepest the queue has ever been.
+    pub high_watermark: usize,
+}
+
+/// A bounded FIFO mailbox with deadline-aware delivery.
+///
+/// # Examples
+///
+/// ```
+/// use tippers_resilience::{Mailbox, PushError};
+///
+/// let mut mb: Mailbox<&str> = Mailbox::new(1);
+/// mb.try_push(0, None, "first").unwrap();
+/// assert_eq!(mb.try_push(0, None, "second"), Err(PushError::Full("second")));
+/// assert_eq!(mb.pop(0), Some("first"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mailbox<T> {
+    capacity: usize,
+    queue: VecDeque<(Option<i64>, T)>,
+    stats: MailboxStats,
+}
+
+impl<T> Mailbox<T> {
+    /// An empty mailbox holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Mailbox<T> {
+        assert!(capacity > 0, "mailbox capacity must be positive");
+        Mailbox {
+            capacity,
+            queue: VecDeque::new(),
+            stats: MailboxStats::default(),
+        }
+    }
+
+    /// Enqueues `item` with an optional expiry deadline (virtual
+    /// milliseconds).
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] hands the item back when the mailbox is at
+    /// capacity — explicit backpressure, never silent dropping.
+    pub fn try_push(
+        &mut self,
+        now_ms: i64,
+        deadline_ms: Option<i64>,
+        item: T,
+    ) -> Result<(), PushError<T>> {
+        self.expire(now_ms);
+        if self.queue.len() >= self.capacity {
+            self.stats.rejected += 1;
+            return Err(PushError::Full(item));
+        }
+        self.queue.push_back((deadline_ms, item));
+        self.stats.pushed += 1;
+        self.stats.high_watermark = self.stats.high_watermark.max(self.queue.len());
+        Ok(())
+    }
+
+    /// Delivers the oldest live item, dropping (and counting) any expired
+    /// entries ahead of it.
+    pub fn pop(&mut self, now_ms: i64) -> Option<T> {
+        self.expire(now_ms);
+        let (_, item) = self.queue.pop_front()?;
+        self.stats.delivered += 1;
+        Some(item)
+    }
+
+    /// Drops every entry whose deadline has passed.
+    fn expire(&mut self, now_ms: i64) {
+        while let Some((Some(deadline), _)) = self.queue.front() {
+            if *deadline < now_ms {
+                self.queue.pop_front();
+                self.stats.expired += 1;
+            } else {
+                break;
+            }
+        }
+        // Expired entries behind a live head still occupy slots until they
+        // reach the front; sweep them too so capacity is not wasted.
+        let before = self.queue.len();
+        self.queue
+            .retain(|(deadline, _)| deadline.is_none_or(|d| d >= now_ms));
+        self.stats.expired += (before - self.queue.len()) as u64;
+    }
+
+    /// Drops expired entries without delivering anything — for observers
+    /// that want an up-to-date [`Mailbox::depth`] at `now_ms`.
+    pub fn prune(&mut self, now_ms: i64) {
+        self.expire(now_ms);
+    }
+
+    /// Items currently queued.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> MailboxStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mailbox_pushes_back() {
+        let mut mb = Mailbox::new(2);
+        mb.try_push(0, None, 1).unwrap();
+        mb.try_push(0, None, 2).unwrap();
+        assert_eq!(mb.try_push(0, None, 3), Err(PushError::Full(3)));
+        let stats = mb.stats();
+        assert_eq!((stats.pushed, stats.rejected), (2, 1));
+        assert_eq!(stats.high_watermark, 2);
+    }
+
+    #[test]
+    fn fifo_delivery() {
+        let mut mb = Mailbox::new(8);
+        for i in 0..3 {
+            mb.try_push(0, None, i).unwrap();
+        }
+        assert_eq!(mb.pop(0), Some(0));
+        assert_eq!(mb.pop(0), Some(1));
+        assert_eq!(mb.pop(0), Some(2));
+        assert_eq!(mb.pop(0), None);
+        assert_eq!(mb.stats().delivered, 3);
+    }
+
+    #[test]
+    fn expired_entries_are_dropped_not_delivered() {
+        let mut mb = Mailbox::new(8);
+        mb.try_push(0, Some(100), "late").unwrap();
+        mb.try_push(0, None, "forever").unwrap();
+        mb.try_push(0, Some(500), "fresh").unwrap();
+        assert_eq!(mb.pop(200), Some("forever"));
+        assert_eq!(mb.pop(200), Some("fresh"));
+        assert_eq!(mb.stats().expired, 1);
+    }
+
+    #[test]
+    fn expiry_frees_capacity_for_new_pushes() {
+        let mut mb = Mailbox::new(1);
+        mb.try_push(0, Some(10), "stale").unwrap();
+        // At t=20 the stale entry is dead, so the slot is reusable.
+        mb.try_push(20, None, "live").unwrap();
+        assert_eq!(mb.depth(), 1);
+        assert_eq!(mb.pop(20), Some("live"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _: Mailbox<u8> = Mailbox::new(0);
+    }
+}

@@ -1,0 +1,383 @@
+//! Priority-classed admission control and load shedding.
+//!
+//! The enforcement point classifies every request into a [`Priority`] and
+//! runs it through an [`AdmissionController`] that composes the
+//! token-bucket rate limiter and the AIMD concurrency limiter, with two
+//! invariants the storm harness asserts:
+//!
+//! * **Emergency is never shed.** Safety-critical traffic (the paper's
+//!   Figure 3 emergency-location policy) bypasses every limit; it still
+//!   counts as in-flight so the control loop sees its load.
+//! * **Sheds fail closed.** A shed request gets a typed refusal
+//!   ([`ShedReason`]) the caller must turn into a deny — never a permit.
+//!
+//! Batch-class traffic is shed first: it only gets tokens the reserve for
+//! higher classes does not claim, and the brownout ladder's last rung
+//! rejects it outright.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::brownout::BrownoutLevel;
+use crate::limiter::{AimdConfig, AimdLimiter, TokenBucket, TokenBucketConfig};
+
+/// Request priority classes, ordered `Batch < Interactive < Emergency`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum Priority {
+    /// Throughput-oriented background work (analytics sweeps, audits).
+    Batch,
+    /// A human is waiting (the default class).
+    #[default]
+    Interactive,
+    /// Safety-critical traffic; never shed.
+    Emergency,
+}
+
+impl Priority {
+    /// All classes, lowest first.
+    pub const ALL: [Priority; 3] = [Priority::Batch, Priority::Interactive, Priority::Emergency];
+
+    fn index(self) -> usize {
+        match self {
+            Priority::Batch => 0,
+            Priority::Interactive => 1,
+            Priority::Emergency => 2,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Priority::Batch => "batch",
+            Priority::Interactive => "interactive",
+            Priority::Emergency => "emergency",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Why a request was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShedReason {
+    /// The token bucket is out of rate budget (for Batch, out of
+    /// unreserved budget).
+    RateLimited,
+    /// The AIMD concurrency limit is full.
+    ConcurrencyLimited,
+    /// The brownout ladder reached its reject-Batch rung.
+    BrownoutRejected,
+    /// The request's deadline had already passed.
+    DeadlineExpired,
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ShedReason::RateLimited => "rate-limited",
+            ShedReason::ConcurrencyLimited => "concurrency-limited",
+            ShedReason::BrownoutRejected => "brownout-rejected",
+            ShedReason::DeadlineExpired => "deadline-expired",
+        };
+        f.write_str(name)
+    }
+}
+
+/// [`AdmissionController`] parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Rate limit shared by all classes.
+    pub bucket: TokenBucketConfig,
+    /// Adaptive concurrency limit.
+    pub aimd: AimdConfig,
+    /// Fraction of the bucket's capacity Batch traffic may not touch —
+    /// the headroom kept for Interactive and Emergency.
+    pub batch_reserve: f64,
+    /// Virtual service time per admitted request, milliseconds. Observed
+    /// latency is modeled as `service_time_ms × in-flight`, a
+    /// deterministic queueing-delay signal for the AIMD loop.
+    pub service_time_ms: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            bucket: TokenBucketConfig::default(),
+            aimd: AimdConfig::default(),
+            batch_reserve: 0.25,
+            service_time_ms: 5.0,
+        }
+    }
+}
+
+/// Per-class admission counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionStats {
+    /// Requests admitted, indexed by [`Priority`] (Batch, Interactive,
+    /// Emergency).
+    pub admitted: [u64; 3],
+    /// Requests shed, same indexing. `shed[2]` staying zero is the
+    /// Emergency invariant.
+    pub shed: [u64; 3],
+}
+
+impl AdmissionStats {
+    /// Admissions for one class.
+    pub fn admitted_for(&self, priority: Priority) -> u64 {
+        self.admitted[priority.index()]
+    }
+
+    /// Sheds for one class.
+    pub fn shed_for(&self, priority: Priority) -> u64 {
+        self.shed[priority.index()]
+    }
+
+    /// Total sheds across classes.
+    pub fn total_shed(&self) -> u64 {
+        self.shed.iter().sum()
+    }
+}
+
+/// Priority-classed admission at the enforcement point.
+///
+/// Call [`AdmissionController::admit`] before doing the work and
+/// [`AdmissionController::complete`] when it finishes; completion feeds
+/// the AIMD control loop its (virtual) latency observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    bucket: TokenBucket,
+    aimd: AimdLimiter,
+    stats: AdmissionStats,
+}
+
+impl AdmissionController {
+    /// A controller with a full rate budget as of `now_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_reserve` is outside `[0, 1)` (plus the
+    /// constituent limiters' own validation).
+    pub fn new(config: AdmissionConfig, now_ms: i64) -> AdmissionController {
+        assert!(
+            (0.0..1.0).contains(&config.batch_reserve),
+            "batch reserve must be in [0, 1)"
+        );
+        AdmissionController {
+            bucket: TokenBucket::new(config.bucket, now_ms),
+            aimd: AimdLimiter::new(config.aimd),
+            config,
+            stats: AdmissionStats::default(),
+        }
+    }
+
+    /// Decides whether to admit a request of class `priority` at `now_ms`
+    /// under brownout level `brownout`.
+    ///
+    /// # Errors
+    ///
+    /// A [`ShedReason`] the caller must turn into a fail-closed denial.
+    /// Emergency requests never get one.
+    pub fn admit(
+        &mut self,
+        priority: Priority,
+        now_ms: i64,
+        brownout: BrownoutLevel,
+    ) -> Result<(), ShedReason> {
+        if priority == Priority::Emergency {
+            // Never shed; a best-effort token draw keeps the rate
+            // accounting honest without ever being able to refuse.
+            let _ = self.bucket.try_acquire(now_ms, 1.0);
+            self.aimd.acquire_unchecked();
+            self.stats.admitted[priority.index()] += 1;
+            return Ok(());
+        }
+        let refused = if priority == Priority::Batch && brownout >= BrownoutLevel::RejectBatch {
+            Some(ShedReason::BrownoutRejected)
+        } else if priority == Priority::Batch
+            && self.bucket.available(now_ms)
+                < self.config.batch_reserve * self.bucket.capacity() + 1.0
+        {
+            // Batch may not dip into the reserve kept for higher classes.
+            Some(ShedReason::RateLimited)
+        } else if !self.bucket.try_acquire(now_ms, 1.0) {
+            Some(ShedReason::RateLimited)
+        } else if !self.aimd.try_acquire() {
+            // The token is spent either way; refunding it would let a
+            // concurrency-limited caller immediately retry past the rate
+            // limiter.
+            Some(ShedReason::ConcurrencyLimited)
+        } else {
+            None
+        };
+        match refused {
+            Some(reason) => {
+                self.stats.shed[priority.index()] += 1;
+                Err(reason)
+            }
+            None => {
+                self.stats.admitted[priority.index()] += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Records one shed decided outside the controller (e.g. an expired
+    /// deadline caught before admission), keeping per-class counters
+    /// complete.
+    pub fn record_external_shed(&mut self, priority: Priority) {
+        self.stats.shed[priority.index()] += 1;
+    }
+
+    /// Completes one admitted request, feeding the AIMD loop a
+    /// deterministic latency observation derived from the in-flight count.
+    pub fn complete(&mut self, _now_ms: i64) {
+        let latency = self.config.service_time_ms * f64::from(self.aimd.in_flight().max(1));
+        self.aimd.release(latency);
+    }
+
+    /// The load signal for the brownout ladder, in `[0, 1]`: the worse of
+    /// concurrency utilization and rate-budget depletion.
+    pub fn load(&mut self, now_ms: i64) -> f64 {
+        let rate_depletion = 1.0 - self.bucket.available(now_ms) / self.bucket.capacity();
+        self.aimd.utilization().min(1.0).max(rate_depletion)
+    }
+
+    /// Per-class counters.
+    pub fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+
+    /// The AIMD limiter's current concurrency limit.
+    pub fn concurrency_limit(&self) -> u32 {
+        self.aimd.limit()
+    }
+
+    /// Requests currently in flight.
+    pub fn in_flight(&self) -> u32 {
+        self.aimd.in_flight()
+    }
+
+    /// The per-request virtual service time, milliseconds.
+    pub fn service_time_ms(&self) -> f64 {
+        self.config.service_time_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight() -> AdmissionController {
+        AdmissionController::new(
+            AdmissionConfig {
+                bucket: TokenBucketConfig {
+                    capacity: 4.0,
+                    refill_per_sec: 1.0,
+                },
+                aimd: AimdConfig {
+                    min_limit: 1,
+                    max_limit: 2,
+                    initial_limit: 2,
+                    ..AimdConfig::default()
+                },
+                batch_reserve: 0.5,
+                service_time_ms: 5.0,
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn emergency_is_never_shed() {
+        let mut c = tight();
+        for _ in 0..1_000 {
+            c.admit(Priority::Emergency, 0, BrownoutLevel::RejectBatch)
+                .expect("emergency always admitted");
+        }
+        assert_eq!(c.stats().shed_for(Priority::Emergency), 0);
+        assert_eq!(c.stats().admitted_for(Priority::Emergency), 1_000);
+    }
+
+    #[test]
+    fn batch_is_shed_before_interactive() {
+        let mut c = AdmissionController::new(
+            AdmissionConfig {
+                bucket: TokenBucketConfig {
+                    capacity: 4.0,
+                    refill_per_sec: 1.0,
+                },
+                batch_reserve: 0.5,
+                ..AdmissionConfig::default()
+            },
+            0,
+        );
+        // Reserve is 50% of a 4-token bucket: Batch stops once taking a
+        // token would dip into the reserved half; Interactive drains the
+        // bucket all the way.
+        assert!(c.admit(Priority::Batch, 0, BrownoutLevel::Normal).is_ok());
+        assert!(c.admit(Priority::Batch, 0, BrownoutLevel::Normal).is_ok());
+        assert_eq!(
+            c.admit(Priority::Batch, 0, BrownoutLevel::Normal),
+            Err(ShedReason::RateLimited)
+        );
+        assert!(c
+            .admit(Priority::Interactive, 0, BrownoutLevel::Normal)
+            .is_ok());
+        assert!(c
+            .admit(Priority::Interactive, 0, BrownoutLevel::Normal)
+            .is_ok());
+        assert_eq!(
+            c.admit(Priority::Interactive, 0, BrownoutLevel::Normal),
+            Err(ShedReason::RateLimited)
+        );
+        let stats = c.stats();
+        assert_eq!(stats.shed_for(Priority::Batch), 1);
+        assert_eq!(stats.shed_for(Priority::Interactive), 1);
+    }
+
+    #[test]
+    fn reject_batch_rung_sheds_batch_only() {
+        let mut c = tight();
+        assert_eq!(
+            c.admit(Priority::Batch, 0, BrownoutLevel::RejectBatch),
+            Err(ShedReason::BrownoutRejected)
+        );
+        assert!(c
+            .admit(Priority::Interactive, 0, BrownoutLevel::RejectBatch)
+            .is_ok());
+    }
+
+    #[test]
+    fn completion_feeds_the_control_loop() {
+        let mut c = tight();
+        assert!(c
+            .admit(Priority::Interactive, 0, BrownoutLevel::Normal)
+            .is_ok());
+        assert_eq!(c.in_flight(), 1);
+        c.complete(10);
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn load_signal_rises_under_pressure() {
+        let mut c = tight();
+        let idle = c.load(0);
+        while c
+            .admit(Priority::Interactive, 0, BrownoutLevel::Normal)
+            .is_ok()
+        {}
+        assert!(c.load(0) > idle);
+        assert!(c.load(0) <= 1.0 + f64::EPSILON);
+    }
+
+    #[test]
+    fn external_sheds_are_counted() {
+        let mut c = tight();
+        c.record_external_shed(Priority::Interactive);
+        assert_eq!(c.stats().shed_for(Priority::Interactive), 1);
+        assert_eq!(c.stats().total_shed(), 1);
+    }
+}

@@ -7,7 +7,7 @@
 //! location sharing (the Policy 2 vs Preference 2 conflict, resolved in
 //! the building's favour and notified to the user).
 
-use tippers::{DataRequest, ReleasedValue, SubjectSelector, Tippers};
+use tippers::{DataRequest, Priority, ReleasedValue, SubjectSelector, Tippers};
 use tippers_policy::{catalog, BuildingPolicy, ServiceId, Timestamp, UserId};
 use tippers_spatial::{GranularLocation, SpaceId};
 
@@ -53,6 +53,9 @@ impl EmergencyResponse {
             from: Timestamp(now.seconds() - 3600),
             to: Timestamp(now.seconds() + 1),
             requester_space: None,
+            // Life-safety traffic: never shed under overload.
+            priority: Priority::Emergency,
+            deadline: Some(Timestamp(now.seconds() + 60)),
         };
         let response = bms.handle_request(&request, now);
         let mut located = Vec::new();

@@ -4,7 +4,7 @@
 
 use std::fmt;
 
-use tippers::{DataRequest, SubjectSelector, Tippers};
+use tippers::{DataRequest, Priority, SubjectSelector, Tippers};
 use tippers_policy::{catalog, BuildingPolicy, Modality, PolicyId, ServiceId, Timestamp, UserId};
 use tippers_spatial::SpaceId;
 
@@ -91,6 +91,8 @@ impl SmartMeeting {
                 from: Timestamp(now.seconds() - 3600),
                 to: Timestamp(now.seconds() + 1),
                 requester_space: None,
+                priority: Priority::Interactive,
+                deadline: None,
             };
             let response = bms.handle_request(&request, now);
             let permitted = response

@@ -100,6 +100,8 @@ fn main() {
         from: Timestamp::at(0, 8, 0),
         to: Timestamp::at(0, 10, 0),
         requester_space: None,
+        priority: Default::default(),
+        deadline: None,
     };
     let now = Timestamp::at(0, 10, 30);
     let before = bms.handle_request(&request, now);

@@ -178,6 +178,8 @@ fn policy4_proximity_gated_disclosure() {
         from: Timestamp::at(0, 0, 0),
         to: Timestamp::at(0, 23, 0),
         requester_space: Some(requester_space),
+        priority: Default::default(),
+        deadline: None,
     };
     // Nearby (in the lobby): permitted.
     let near = bms.handle_request(&request(building.lobby), Timestamp::at(0, 12, 0));

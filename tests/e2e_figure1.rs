@@ -162,6 +162,8 @@ fn decisions_are_audited() {
         from: Timestamp::at(0, 0, 0),
         to: Timestamp::at(0, 23, 0),
         requester_space: None,
+        priority: Default::default(),
+        deadline: None,
     };
     let _ = bms.handle_request(&request, Timestamp::at(0, 12, 0));
     assert_eq!(bms.audit().entries_for(user).len(), 1);

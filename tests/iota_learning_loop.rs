@@ -100,6 +100,8 @@ fn two_answers_configure_a_whole_building() {
         from: Timestamp::at(0, 0, 0),
         to: Timestamp::at(1, 0, 0),
         requester_space: None,
+        priority: Default::default(),
+        deadline: None,
     };
     let now = Timestamp::at(0, 12, 0);
     let denied = bms.handle_request(&request(UserId(1)), now);

@@ -144,6 +144,8 @@ fn facade_equivalent_under_both_enforcers() {
                     from: Timestamp::at(0, 0, 0),
                     to: Timestamp::at(1, 0, 0),
                     requester_space: None,
+                    priority: Default::default(),
+                    deadline: None,
                 };
                 let response = bms.handle_request(&request, Timestamp::at(0, 12, 0));
                 decisions.push(response.results[0].decision.clone());

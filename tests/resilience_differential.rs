@@ -109,6 +109,8 @@ fn run_scenario(plan: FaultPlan) -> (Vec<GridOutcome>, Tippers) {
                         from: Timestamp::at(0, 8, 0),
                         to: at,
                         requester_space: None,
+                        priority: Default::default(),
+                        deadline: None,
                     },
                 ),
                 (
@@ -121,6 +123,8 @@ fn run_scenario(plan: FaultPlan) -> (Vec<GridOutcome>, Tippers) {
                         from: Timestamp::at(0, 8, 0),
                         to: at,
                         requester_space: None,
+                        priority: Default::default(),
+                        deadline: None,
                     },
                 ),
             ];
@@ -217,6 +221,145 @@ fn faulty_run_permits_are_a_subset_of_healthy_permits() {
         if f.wave == "recovered" {
             assert_eq!(h.permitted, f.permitted, "recovery restores decisions");
         }
+    }
+}
+
+/// Admission control is load shedding, not a policy change: under ANY
+/// admission configuration, the permits granted are a subset of what an
+/// unlimited-capacity run grants over the same storm, every lost permit
+/// is an explicit `Overload` denial in a degraded response, and Emergency
+/// decisions are identical in both runs.
+#[test]
+fn admission_permits_are_a_subset_of_unlimited_permits() {
+    use tippers::{AdmissionConfig, AimdConfig, Priority, TokenBucketConfig};
+    use tippers_bench::{gen_storm, StormConfig};
+
+    let ontology = Ontology::standard();
+    let build = |admission: Option<AdmissionConfig>| {
+        let sim = simulator(&ontology);
+        let building = sim.dbh().clone();
+        let mut bms = Tippers::new(
+            ontology.clone(),
+            building.model.clone(),
+            TippersConfig {
+                admission,
+                ..TippersConfig::default()
+            },
+        );
+        bms.register_occupants(sim.occupants());
+        bms.add_policy(catalog::policy1_thermostat(
+            PolicyId(0),
+            building.building,
+            &ontology,
+        ));
+        bms.add_policy(catalog::policy2_emergency_location(
+            PolicyId(0),
+            building.building,
+            &ontology,
+        ));
+        let users: Vec<UserId> = sim.occupants().iter().map(|o| o.user).collect();
+        for &user in users.iter().take(2) {
+            bms.submit_preference(
+                catalog::preference2_no_location(PreferenceId(0), user, &ontology),
+                Timestamp::at(0, 7, 0),
+            );
+        }
+        bms
+    };
+    let storm = gen_storm(
+        StormConfig {
+            seed: fault_seed(),
+            duration_secs: 60,
+            ..StormConfig::default()
+        },
+        &ontology,
+        10,
+        Timestamp::at(0, 9, 0),
+    );
+
+    let replay = |bms: &mut Tippers| -> Vec<(bool, DecisionBasis, bool)> {
+        storm
+            .iter()
+            .map(|arrival| {
+                let response = bms.handle_request(&arrival.request, arrival.at);
+                let r = &response.results[0];
+                (
+                    r.decision.permits(),
+                    r.decision.basis.clone(),
+                    response.degraded,
+                )
+            })
+            .collect()
+    };
+    let mut unlimited_bms = build(None);
+    let unlimited = replay(&mut unlimited_bms);
+
+    let configurations = [
+        AdmissionConfig::default(),
+        // Starved: one-token burst, trickle refill.
+        AdmissionConfig {
+            bucket: TokenBucketConfig {
+                capacity: 1.0,
+                refill_per_sec: 0.5,
+            },
+            ..AdmissionConfig::default()
+        },
+        // Batch-hostile: most of the bucket is reserved away from Batch.
+        AdmissionConfig {
+            bucket: TokenBucketConfig {
+                capacity: 16.0,
+                refill_per_sec: 4.0,
+            },
+            batch_reserve: 0.9,
+            ..AdmissionConfig::default()
+        },
+        // Tight concurrency ceiling.
+        AdmissionConfig {
+            aimd: AimdConfig {
+                min_limit: 1,
+                max_limit: 1,
+                initial_limit: 1,
+                ..AimdConfig::default()
+            },
+            ..AdmissionConfig::default()
+        },
+    ];
+    for (ci, config) in configurations.into_iter().enumerate() {
+        let mut bms = build(Some(config));
+        let limited = replay(&mut bms);
+        assert_eq!(limited.len(), unlimited.len());
+        for (i, (limited_out, unlimited_out)) in limited.iter().zip(&unlimited).enumerate() {
+            let (l_permit, l_basis, l_degraded) = limited_out;
+            let (u_permit, _, _) = unlimited_out;
+            // THE invariant: admission may only remove permits.
+            if *l_permit {
+                assert!(
+                    u_permit,
+                    "config {ci}: admission run released arrival {i} which the \
+                     unlimited run denied (fail-open)"
+                );
+            } else if *u_permit {
+                assert_eq!(
+                    *l_basis,
+                    DecisionBasis::Overload,
+                    "config {ci}: lost permit {i} must be an explicit Overload shed"
+                );
+                assert!(
+                    l_degraded,
+                    "config {ci}: a shed must ride in a degraded response"
+                );
+            }
+            // Emergency is never shed: decisions match the unlimited run.
+            if storm[i].request.priority == Priority::Emergency {
+                assert_eq!(
+                    l_permit, u_permit,
+                    "config {ci}: Emergency arrival {i} diverged from the \
+                     unlimited run"
+                );
+            }
+        }
+        let stats = bms.admission_stats().expect("admission configured");
+        assert_eq!(stats.shed_for(Priority::Emergency), 0);
     }
 }
 

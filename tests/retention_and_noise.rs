@@ -89,6 +89,8 @@ fn noise_effect_perturbs_scalars_only() {
         from: Timestamp::at(0, 0, 0),
         to: Timestamp::at(1, 0, 0),
         requester_space: None,
+        priority: Default::default(),
+        deadline: None,
     };
     let response = bms.handle_request(&request, Timestamp::at(0, 18, 0));
     let result = &response.results[0];

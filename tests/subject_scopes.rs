@@ -77,6 +77,8 @@ fn group_scoped_sharing() {
         from: Timestamp::at(0, 0, 0),
         to: Timestamp::at(1, 0, 0),
         requester_space: None,
+        priority: Default::default(),
+        deadline: None,
     };
     let response = bms.handle_request(&request, Timestamp::at(0, 11, 0));
     for result in &response.results {
@@ -124,6 +126,8 @@ fn user_scoped_policy() {
         from: Timestamp::at(0, 0, 0),
         to: Timestamp::at(1, 0, 0),
         requester_space: None,
+        priority: Default::default(),
+        deadline: None,
     };
     let vip_response = bms.handle_request(&request(vip), now);
     assert!(vip_response.results[0].decision.permits());

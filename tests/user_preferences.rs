@@ -105,6 +105,8 @@ fn occupancy_request(bms: &Tippers, user: UserId) -> DataRequest {
         from: Timestamp::at(0, 0, 0),
         to: Timestamp::at(1, 0, 0),
         requester_space: None,
+        priority: Default::default(),
+        deadline: None,
     }
 }
 
@@ -205,6 +207,8 @@ fn preference4_smart_meeting_grant() {
         from: Timestamp::at(0, 0, 0),
         to: Timestamp::at(1, 0, 0),
         requester_space: None,
+        priority: Default::default(),
+        deadline: None,
     };
     let now = Timestamp::at(0, 14, 0);
     // Opt-in policy, no grant: denied by default.

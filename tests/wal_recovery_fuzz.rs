@@ -106,6 +106,8 @@ fn decision_grid(bms: &mut Tippers, fx: &Fixture, now: Timestamp) -> Vec<(bool, 
                 from: Timestamp::at(0, 8, 0),
                 to: now,
                 requester_space: None,
+                priority: Default::default(),
+                deadline: None,
             };
             let response = bms.handle_request(&request, now);
             let result = &response.results[0];
