@@ -44,6 +44,11 @@ pub struct DeploymentCorpus {
     /// shed by requester-declared priority alone under overload, which the
     /// priority-mapping pass reports.
     pub priorities: BTreeMap<String, String>,
+    /// Declared replication topology, when the deployment replicates its
+    /// enforcement state (`None` = single-node; the replication pass is
+    /// silent). Checked by the TA009 pass against the runtime's
+    /// quorum-commit and bounded-staleness rules.
+    pub replication: Option<ReplicationSpec>,
     /// Data categories considered sensitive: an inference leak reaching one
     /// of these is an error rather than a warning.
     pub sensitive: Vec<ConceptId>,
@@ -77,6 +82,7 @@ impl DeploymentCorpus {
             preferences: Vec::new(),
             services: BTreeSet::new(),
             priorities: BTreeMap::new(),
+            replication: None,
             sensitive,
             space_aliases,
             strategy: ResolutionStrategy::default(),
@@ -172,6 +178,7 @@ impl DeploymentCorpus {
         corpus.space_aliases.extend(spec.space_aliases);
         corpus.services.extend(spec.services);
         corpus.priorities.extend(spec.priorities);
+        corpus.replication = spec.replication;
         corpus.documents = spec.documents;
         if let Some(s) = spec.strategy {
             match s.as_str() {
@@ -691,6 +698,23 @@ fn parse_hhmm(text: &str) -> Option<TimeOfDay> {
     Some(TimeOfDay::new(hour, minute))
 }
 
+/// Declared replication topology of a deployment (the `"replication"` key
+/// of a deployment spec): the named replica nodes, the commit quorum and
+/// the bounded-staleness read window replicas are allowed to serve.
+#[derive(Debug, Clone, Deserialize, Default)]
+pub struct ReplicationSpec {
+    /// Named replica nodes (including the primary).
+    #[serde(default)]
+    pub replicas: Vec<String>,
+    /// Writes are acknowledged once this many nodes hold them durably.
+    #[serde(default)]
+    pub quorum: usize,
+    /// How stale a replica-served read may be, in seconds. `None` = the
+    /// deployment never serves reads from replicas.
+    #[serde(default)]
+    pub staleness_bound_secs: Option<u64>,
+}
+
 /// The JSON shape `tippers-lint --deployment` loads.
 #[derive(Debug, Clone, Deserialize, Default)]
 struct DeploymentSpec {
@@ -704,6 +728,8 @@ struct DeploymentSpec {
     space_aliases: BTreeMap<String, String>,
     #[serde(default)]
     priorities: BTreeMap<String, String>,
+    #[serde(default)]
+    replication: Option<ReplicationSpec>,
     #[serde(default)]
     documents: Vec<PolicyDocument>,
     #[serde(default)]

@@ -1,7 +1,7 @@
 //! Diagnostics: stable lint codes, severities, and JSON-pointer locations.
 //!
 //! Every finding the analyzer emits is a [`Diagnostic`] carrying a stable
-//! [`LintCode`] (`TA001`–`TA007`), a [`Severity`] reused from the wire-format
+//! [`LintCode`] (`TA001`–`TA009`), a [`Severity`] reused from the wire-format
 //! validator, a JSON-pointer-style path identifying *where* in the corpus the
 //! problem lives, and free-form evidence strings (rule chains, counterpart
 //! ids) that make the finding actionable.
@@ -42,11 +42,17 @@ pub enum LintCode {
     /// admission class (emergency/interactive/batch) is never declared, so
     /// overload shedding falls back to requester-declared priorities.
     MissingPriorityMapping,
+    /// `TA009` — replication misconfiguration: a replica set smaller than
+    /// the declared commit quorum (every commit stalls), a quorum that is
+    /// not a majority (two disjoint quorums could acknowledge divergent
+    /// histories), or a bounded-staleness read window with no replica set
+    /// to serve it.
+    ReplicationMisconfigured,
 }
 
 impl LintCode {
     /// All codes, in numeric order.
-    pub const ALL: [LintCode; 8] = [
+    pub const ALL: [LintCode; 9] = [
         LintCode::DanglingReference,
         LintCode::UnsatisfiableCondition,
         LintCode::DeadPreference,
@@ -55,6 +61,7 @@ impl LintCode {
         LintCode::ConflictPreflight,
         LintCode::WireFormat,
         LintCode::MissingPriorityMapping,
+        LintCode::ReplicationMisconfigured,
     ];
 
     /// The stable textual code.
@@ -68,6 +75,7 @@ impl LintCode {
             LintCode::ConflictPreflight => "TA006",
             LintCode::WireFormat => "TA007",
             LintCode::MissingPriorityMapping => "TA008",
+            LintCode::ReplicationMisconfigured => "TA009",
         }
     }
 
@@ -82,6 +90,7 @@ impl LintCode {
             LintCode::ConflictPreflight => "conflict-preflight",
             LintCode::WireFormat => "wire-format",
             LintCode::MissingPriorityMapping => "priority-mapping",
+            LintCode::ReplicationMisconfigured => "replication",
         }
     }
 

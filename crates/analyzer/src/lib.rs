@@ -16,6 +16,7 @@
 //! | TA006 | conflict pre-flight (runtime conflicts at lint time) | Warning |
 //! | TA007 | wire-format validation | Error |
 //! | TA008 | service without a declared admission-priority mapping | Warning |
+//! | TA009 | replication topology (quorum vs replica set, staleness bound) | Error |
 //!
 //! Output is canonical: diagnostics are sorted by (path, code, severity,
 //! message, evidence) and deduplicated, so shuffling the corpus never
@@ -44,7 +45,7 @@ pub mod diag;
 mod passes;
 pub mod report;
 
-pub use corpus::DeploymentCorpus;
+pub use corpus::{DeploymentCorpus, ReplicationSpec};
 pub use diag::{Diagnostic, LintCode, Severity};
 
 /// The outcome of one analysis run.
@@ -67,6 +68,7 @@ pub fn analyze(corpus: &DeploymentCorpus) -> AnalysisReport {
     passes::preflight::run(corpus, &mut diagnostics);
     passes::wire::run(corpus, &mut diagnostics);
     passes::priority::run(corpus, &mut diagnostics);
+    passes::replication::run(corpus, &mut diagnostics);
     diag::canonicalize(&mut diagnostics);
 
     let before = diagnostics.len();

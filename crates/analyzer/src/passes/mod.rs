@@ -8,6 +8,7 @@ pub(crate) mod dangling;
 pub(crate) mod leak;
 pub(crate) mod preflight;
 pub(crate) mod priority;
+pub(crate) mod replication;
 pub(crate) mod retention;
 pub(crate) mod shadow;
 pub(crate) mod unsat;

@@ -1,0 +1,138 @@
+//! TA009 — replication misconfiguration.
+//!
+//! The runtime acknowledges a write only once a quorum of replicas holds
+//! it durably, and lets a replica serve reads only within a declared
+//! staleness bound (otherwise it fails closed with `StaleReplica`
+//! denials). Both rules are only as good as the declared topology: a
+//! quorum the replica set cannot reach stalls every commit, a quorum that
+//! is not a majority lets two disjoint quorums acknowledge divergent
+//! histories (split brain), and a staleness bound without any replica set
+//! is dead configuration that suggests the operator believes reads are
+//! replicated when they are not.
+
+use crate::corpus::DeploymentCorpus;
+use crate::diag::{Diagnostic, LintCode, Severity};
+
+pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
+    let Some(spec) = &corpus.replication else {
+        return;
+    };
+    let n = spec.replicas.len();
+    if spec.staleness_bound_secs.is_some() && n == 0 {
+        out.push(Diagnostic::new(
+            LintCode::ReplicationMisconfigured,
+            Severity::Warning,
+            "/replication/staleness_bound_secs",
+            "staleness bound declared but the replica set is empty: no \
+             replica exists to serve bounded-staleness reads",
+        ));
+    }
+    if n < spec.quorum {
+        out.push(Diagnostic::new(
+            LintCode::ReplicationMisconfigured,
+            Severity::Error,
+            "/replication/replicas",
+            format!(
+                "replica set of {n} cannot reach the declared commit \
+                 quorum of {}: every write stalls unacknowledged",
+                spec.quorum
+            ),
+        ));
+    } else if n > 0 && spec.quorum * 2 <= n {
+        out.push(Diagnostic::new(
+            LintCode::ReplicationMisconfigured,
+            Severity::Error,
+            "/replication/quorum",
+            format!(
+                "quorum of {} over {n} replicas is not a majority: two \
+                 disjoint quorums could acknowledge divergent histories \
+                 (split brain)",
+                spec.quorum
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tippers_ontology::Ontology;
+    use tippers_spatial::fixtures;
+
+    use super::*;
+    use crate::corpus::ReplicationSpec;
+
+    fn corpus_with(spec: ReplicationSpec) -> DeploymentCorpus {
+        let dbh = fixtures::dbh();
+        let mut corpus = DeploymentCorpus::new(Ontology::standard(), dbh.model);
+        corpus.replication = Some(spec);
+        corpus
+    }
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("bms-{i}")).collect()
+    }
+
+    #[test]
+    fn absent_replication_is_silent() {
+        let dbh = fixtures::dbh();
+        let corpus = DeploymentCorpus::new(Ontology::standard(), dbh.model);
+        let mut out = Vec::new();
+        run(&corpus, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn healthy_majority_topology_is_clean() {
+        let corpus = corpus_with(ReplicationSpec {
+            replicas: names(3),
+            quorum: 2,
+            staleness_bound_secs: Some(5),
+        });
+        let mut out = Vec::new();
+        run(&corpus, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn quorum_beyond_replica_set_is_an_error() {
+        let corpus = corpus_with(ReplicationSpec {
+            replicas: names(2),
+            quorum: 3,
+            staleness_bound_secs: None,
+        });
+        let mut out = Vec::new();
+        run(&corpus, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, LintCode::ReplicationMisconfigured);
+        assert_eq!(out[0].severity, Severity::Error);
+        assert_eq!(out[0].path, "/replication/replicas");
+    }
+
+    #[test]
+    fn minority_quorum_is_a_split_brain_error() {
+        let corpus = corpus_with(ReplicationSpec {
+            replicas: names(4),
+            quorum: 2,
+            staleness_bound_secs: None,
+        });
+        let mut out = Vec::new();
+        run(&corpus, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].path, "/replication/quorum");
+        assert_eq!(out[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn staleness_bound_without_replicas_warns() {
+        let corpus = corpus_with(ReplicationSpec {
+            replicas: Vec::new(),
+            quorum: 0,
+            staleness_bound_secs: Some(5),
+        });
+        let mut out = Vec::new();
+        run(&corpus, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Warning);
+        assert_eq!(out[0].path, "/replication/staleness_bound_secs");
+    }
+}

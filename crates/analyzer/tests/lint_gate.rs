@@ -62,6 +62,10 @@ fn every_pass_fires_on_the_broken_fixture() {
         worst(&report, LintCode::MissingPriorityMapping),
         Some(Severity::Warning)
     );
+    assert_eq!(
+        worst(&report, LintCode::ReplicationMisconfigured),
+        Some(Severity::Error)
+    );
 }
 
 #[test]
@@ -107,6 +111,16 @@ fn specific_findings_land_on_stable_paths() {
     assert!(has(
         LintCode::WireFormat,
         "/documents/1/resources/0/info/name"
+    ));
+    // The fixture declares a quorum of 2 over an empty replica set with a
+    // staleness bound: unreachable quorum (error) + dead bound (warning).
+    assert!(has(
+        LintCode::ReplicationMisconfigured,
+        "/replication/replicas"
+    ));
+    assert!(has(
+        LintCode::ReplicationMisconfigured,
+        "/replication/staleness_bound_secs"
     ));
 }
 

@@ -1,0 +1,212 @@
+//! Experiment E16 — replication lag and failover recovery.
+//!
+//! Drives the shared crash-recovery mutation workload through a
+//! three-node replication cluster and measures two things:
+//!
+//! * criterion timing of one quorum-committed write (append + frame
+//!   shipping + replica apply + ack collection), and
+//! * a full-workload replay producing `BENCH_e16_replication.json` —
+//!   steady-state commit latency p50/p99, peak replica frame lag, and the
+//!   wall-clock cost of a failover from primary crash to the first permit
+//!   served by the promoted replica — so the perf trajectory has
+//!   machine-readable data points.
+//!
+//! Seeded via `TIPPERS_FAULT_SEED` (defaults to 7, the first CI seed).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tippers::replication::{Cluster, ReplicationConfig, WriteOutcome};
+use tippers::{FaultPlan, TippersConfig, VirtualClock, MILLIS_PER_SEC};
+use tippers_bench::{apply_mutation, gen_mutations, Mutation};
+use tippers_ontology::Ontology;
+use tippers_policy::{catalog, Timestamp};
+use tippers_sensors::Occupant;
+
+const WORKLOAD: usize = 160;
+/// Written to the workspace root so CI can pick it up regardless of the
+/// bench process's working directory.
+const OUTPUT: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../BENCH_e16_replication.json"
+);
+
+fn fault_seed() -> u64 {
+    std::env::var("TIPPERS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+/// The shared mutation workload, minus checkpoints: replicas replay every
+/// record from genesis (replication never compacts), so the replicated
+/// write stream is the uncompacted one.
+fn workload(seed: u64) -> (Vec<Occupant>, Vec<Mutation>, Ontology) {
+    let ontology = Ontology::standard();
+    let (_, occupants, mutations) = gen_mutations(WORKLOAD, &ontology, seed);
+    let mutations = mutations
+        .into_iter()
+        .filter(|m| !matches!(m, Mutation::Checkpoint))
+        .collect();
+    (occupants, mutations, ontology)
+}
+
+fn cluster(ontology: &Ontology, occupants: &[Occupant], clock: &VirtualClock) -> Cluster {
+    let building = tippers_spatial::fixtures::dbh();
+    Cluster::new(
+        ReplicationConfig::default(),
+        FaultPlan::disarmed(),
+        clock.clone(),
+        ontology.clone(),
+        building.model,
+        TippersConfig::default(),
+        occupants.to_vec(),
+    )
+    .expect("cluster boot")
+}
+
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// Criterion leg: one quorum-committed write on a warm cluster (the
+/// steady-state hot path: local durable append, ship to both replicas,
+/// replica apply, ack collection, commit check).
+fn bench_quorum_commit(criterion: &mut Criterion) {
+    let seed = fault_seed();
+    let (occupants, mutations, ontology) = workload(seed);
+    let clock = VirtualClock::at_ms(Timestamp::at(0, 8, 0).0 * MILLIS_PER_SEC);
+    let mut cluster = cluster(&ontology, &occupants, &clock);
+    let mut group = criterion.benchmark_group("e16_replication");
+    group.sample_size(10);
+    group.bench_function("write_quorum_commit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let mutation = mutations[i % mutations.len()].clone();
+            i += 1;
+            let primary = cluster.primary();
+            std::hint::black_box(
+                cluster
+                    .write_to(primary, move |bms| apply_mutation(bms, &mutation))
+                    .expect("replicated write"),
+            )
+        });
+    });
+    group.finish();
+}
+
+/// Metrics leg: one full deterministic replay of the workload plus a
+/// crash-driven failover, written to `BENCH_e16_replication.json`.
+fn emit_replication_metrics(_criterion: &mut Criterion) {
+    let seed = fault_seed();
+    let (occupants, mutations, ontology) = workload(seed);
+    let clock = VirtualClock::at_ms(Timestamp::at(0, 8, 0).0 * MILLIS_PER_SEC);
+    let mut cluster = cluster(&ontology, &occupants, &clock);
+    let replicas = ReplicationConfig::default().replicas;
+
+    // Steady state: every workload mutation as a replicated write,
+    // timing submission-to-quorum-ack and sampling replica frame lag.
+    let mut commit_us: Vec<f64> = Vec::with_capacity(mutations.len());
+    let mut lag_frames: Vec<f64> = Vec::with_capacity(mutations.len());
+    let mut committed = 0u64;
+    for mutation in &mutations {
+        let primary = cluster.primary();
+        let m = mutation.clone();
+        let started = Instant::now();
+        let outcome = cluster
+            .write_to(primary, move |bms| apply_mutation(bms, &m))
+            .expect("replicated write");
+        let elapsed = started.elapsed().as_secs_f64() * 1e6;
+        clock.advance_ms(200);
+        cluster.tick().expect("replication tick");
+        if matches!(outcome, WriteOutcome::Committed { .. }) {
+            committed += 1;
+            commit_us.push(elapsed);
+        }
+        let head = cluster.durable_index(primary);
+        let worst = (0..replicas)
+            .filter(|&n| n != primary)
+            .map(|n| head.saturating_sub(cluster.durable_index(n)))
+            .max()
+            .unwrap_or(0);
+        lag_frames.push(worst as f64);
+    }
+    commit_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    lag_frames.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    // Failover: crash the primary mid-service and measure wall-clock from
+    // crash to the first permit served by the promoted replica.
+    let c = ontology.concepts().clone();
+    let now = Timestamp(clock.now_ms() / MILLIS_PER_SEC);
+    let request = tippers::DataRequest {
+        service: catalog::services::emergency(),
+        purpose: c.emergency_response,
+        data: c.wifi_association,
+        subjects: tippers::SubjectSelector::One(occupants[0].user),
+        from: Timestamp::at(0, 8, 0),
+        to: now,
+        requester_space: None,
+        priority: Default::default(),
+        deadline: None,
+    };
+    let old_primary = cluster.primary();
+    let pre = cluster
+        .read_from(old_primary, &request, now)
+        .expect("primary serves");
+    assert!(
+        pre.results.iter().any(|r| r.decision.permits()),
+        "the emergency request must be permitted before the crash"
+    );
+    let started = Instant::now();
+    cluster.crash(old_primary);
+    let candidate = cluster.best_candidate().expect("quorum alive");
+    cluster.promote(candidate).expect("failover");
+    let post = cluster
+        .read_from(candidate, &request, now)
+        .expect("new primary serves");
+    let failover_us = started.elapsed().as_secs_f64() * 1e6;
+    assert!(
+        post.results.iter().any(|r| r.decision.permits()),
+        "the promoted replica must serve the same permit"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e16_replication\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"replicas\": {replicas},\n",
+            "  \"quorum\": {quorum},\n",
+            "  \"writes\": {writes},\n",
+            "  \"committed\": {committed},\n",
+            "  \"p50_commit_us\": {p50:.1},\n",
+            "  \"p99_commit_us\": {p99:.1},\n",
+            "  \"p50_lag_frames\": {lag50:.1},\n",
+            "  \"p99_lag_frames\": {lag99:.1},\n",
+            "  \"failover_to_first_permit_us\": {failover:.1}\n",
+            "}}\n",
+        ),
+        seed = seed,
+        replicas = replicas,
+        quorum = ReplicationConfig::default().quorum,
+        writes = mutations.len(),
+        committed = committed,
+        p50 = percentile_us(&commit_us, 0.50),
+        p99 = percentile_us(&commit_us, 0.99),
+        lag50 = percentile_us(&lag_frames, 0.50),
+        lag99 = percentile_us(&lag_frames, 0.99),
+        failover = failover_us,
+    );
+    std::fs::write(OUTPUT, &json).expect("write metrics");
+    println!(
+        "wrote {OUTPUT}: {committed}/{} committed, failover {failover_us:.0}us",
+        mutations.len()
+    );
+}
+
+criterion_group!(benches, bench_quorum_commit, emit_replication_metrics);
+criterion_main!(benches);

@@ -72,6 +72,13 @@ pub enum DecisionBasis {
     /// *closed* — overload never releases data — and is audited under its
     /// own basis so shed traffic is distinguishable from policy denials.
     Overload,
+    /// A replica answered the request but could not prove its replication
+    /// lag was within the configured staleness bound (partitioned from the
+    /// primary, or simply too far behind). Bounded-staleness reads fail
+    /// *closed*: rather than guessing from possibly-stale settings, the
+    /// replica denies and audits the denial under this basis so it is
+    /// distinguishable from a policy decision.
+    StaleReplica,
 }
 
 /// The outcome of deciding one flow.
@@ -108,6 +115,17 @@ impl EnforcementDecision {
         EnforcementDecision {
             effect: Effect::Deny,
             basis: DecisionBasis::Overload,
+            overridden_preference: None,
+        }
+    }
+
+    /// The bounded-staleness decision: deny, because the answering replica
+    /// cannot prove its lag is within the configured bound. Replicated
+    /// reads fail closed rather than guessing from stale settings.
+    pub fn stale_replica() -> EnforcementDecision {
+        EnforcementDecision {
+            effect: Effect::Deny,
+            basis: DecisionBasis::StaleReplica,
             overridden_preference: None,
         }
     }

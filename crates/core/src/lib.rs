@@ -51,6 +51,7 @@ mod audit;
 mod enforce;
 mod policy_manager;
 mod preference_manager;
+pub mod replication;
 mod request;
 mod sensor_manager;
 mod snapshot;
@@ -80,5 +81,6 @@ pub use wal::{RecoveryReport, WalConfig, WalError, WalRecord};
 // convenience.
 pub use tippers_resilience::{
     AdmissionConfig, AdmissionStats, AimdConfig, BrownoutConfig, BrownoutLevel, FaultPlan,
-    FaultPoint, HealthStatus, Priority, ShedReason, TokenBucketConfig,
+    FaultPoint, HealthStatus, Nemesis, NemesisAction, Priority, ShedReason, TokenBucketConfig,
+    VirtualClock, MILLIS_PER_SEC,
 };

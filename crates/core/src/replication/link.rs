@@ -1,0 +1,215 @@
+//! The fault-injectable frame transport between replication peers.
+//!
+//! Everything unreliable about the wire comes from the shared
+//! [`FaultPlan`], so a seeded nemesis reproduces the exact same loss,
+//! reordering, delay and partition schedule on every run:
+//!
+//! * [`FaultPoint::Partition`] (rule parameter = the isolated node's id)
+//!   cuts both directions to and from that node while armed;
+//! * [`FaultPoint::ReplFrameDrop`] silently loses a frame in flight;
+//! * [`FaultPoint::ReplFrameReorder`] holds a frame back and delivers it
+//!   after its successor;
+//! * [`FaultPoint::ReplAckDelay`] (rule parameter = delay in virtual
+//!   milliseconds) delays when an acknowledgement becomes visible at the
+//!   primary, starving the commit quorum without losing data.
+
+use std::collections::BTreeMap;
+
+use tippers_resilience::{FaultPlan, FaultPoint};
+
+use crate::wal::WalRecord;
+
+/// One replication frame: a WAL record stamped with the shipping
+/// primary's epoch and the record's global log index (its position in
+/// the primary's genesis-anchored record history).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The epoch of the primary that *created* this record.
+    pub epoch: u64,
+    /// The epoch of the frame immediately before this one in its
+    /// creator's history (0 for the genesis frame). This is Raft's
+    /// `prevLogTerm`: a `(epoch, index)` pair identifies a unique frame
+    /// with a unique prefix, so a receiver appends a frame only when its
+    /// own tail epoch equals `prev_epoch` — a delayed packet from a
+    /// superseded branch can never splice onto the wrong history.
+    pub prev_epoch: u64,
+    /// Global log index of the record.
+    pub index: u64,
+    /// The shipped record.
+    pub record: WalRecord,
+}
+
+/// A replica's acknowledgement of shipped frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ack {
+    /// The acknowledging node.
+    pub node: usize,
+    /// The acknowledging node's current epoch.
+    pub epoch: u64,
+    /// Length of the node's contiguous durable frame prefix.
+    pub durable_index: u64,
+    /// Whether this delivery *verified* that the node's log is a prefix
+    /// of the sender's history (a frame was chain-appended, or a
+    /// delivered frame matched the node's tail byte for byte). Only a
+    /// matched ack may advance the sender's replication watermark —
+    /// a raw length says nothing about *which* history the node holds.
+    pub matched: bool,
+    /// The sender's epoch is older than the node's: the shipping primary
+    /// has been deposed and must fence itself (reject further writes).
+    pub fenced: bool,
+    /// The node holds a conflicting frame at an index the sender also
+    /// shipped — a divergent branch that anti-entropy must reconcile.
+    pub diverged: bool,
+    /// Virtual time at which the ack becomes visible to the sender.
+    pub visible_at_ms: i64,
+}
+
+/// The replication wire. Frames and acks between any two peers pass
+/// through here; all unreliability is injected from the shared plan.
+#[derive(Debug)]
+pub struct ReplicationLink {
+    plan: FaultPlan,
+    /// Frames held back per (source, destination) pair by an armed
+    /// [`FaultPoint::ReplFrameReorder`]; each rides behind the next frame
+    /// delivered on the *same* pair. Keying by the pair matters for
+    /// safety: a held frame must only ever arrive as part of a message
+    /// from its original sender, so a deposed primary's stale frames stay
+    /// subject to that sender's epoch fence instead of smuggling
+    /// themselves into the new primary's deliveries.
+    held: BTreeMap<(usize, usize), Vec<Frame>>,
+}
+
+impl ReplicationLink {
+    /// A link over a fault plan (a disarmed plan is a perfect wire).
+    pub fn new(plan: FaultPlan) -> ReplicationLink {
+        ReplicationLink {
+            plan,
+            held: BTreeMap::new(),
+        }
+    }
+
+    /// Consults the partition fault for the `a` ↔ `b` pair: the cut
+    /// applies only when one endpoint is the armed rule's isolated node.
+    fn cut(&self, a: usize, b: usize) -> bool {
+        if !self.plan.is_armed(FaultPoint::Partition) {
+            return false;
+        }
+        let isolated = self.plan.param(FaultPoint::Partition);
+        if isolated != a as i64 && isolated != b as i64 {
+            return false;
+        }
+        self.plan.should_fail(FaultPoint::Partition)
+    }
+
+    /// True when a heartbeat from `src` currently reaches `dst` (the
+    /// partition cut is the only fault that silences heartbeats).
+    pub fn heartbeat(&self, src: usize, dst: usize) -> bool {
+        !self.cut(src, dst)
+    }
+
+    /// Ships `frames` from `src` to `dst`, returning what the wire
+    /// delivers — in delivery order, possibly reordered, possibly with
+    /// frames missing. The receiver must tolerate gaps and duplicates.
+    pub fn transmit(&mut self, src: usize, dst: usize, frames: &[Frame]) -> Vec<Frame> {
+        let mut delivered = Vec::new();
+        for frame in frames {
+            if self.cut(src, dst) {
+                continue;
+            }
+            if self.plan.should_fail(FaultPoint::ReplFrameDrop) {
+                continue;
+            }
+            if self.plan.should_fail(FaultPoint::ReplFrameReorder) {
+                self.held.entry((src, dst)).or_default().push(frame.clone());
+                continue;
+            }
+            delivered.push(frame.clone());
+            if let Some(held) = self.held.get_mut(&(src, dst)) {
+                delivered.append(held);
+            }
+        }
+        delivered
+    }
+
+    /// When an ack sent now from `dst` back to `src` becomes visible at
+    /// `src` (`None`: the ack is lost at a partition cut).
+    pub fn ack_visible_at(&self, src: usize, dst: usize, now_ms: i64) -> Option<i64> {
+        if self.cut(src, dst) {
+            return None;
+        }
+        if self.plan.should_fail(FaultPoint::ReplAckDelay) {
+            return Some(now_ms + self.plan.param(FaultPoint::ReplAckDelay).max(0));
+        }
+        Some(now_ms)
+    }
+
+    /// Voids every frame still on the wire to or from `node` — called
+    /// when the node's log is replaced by state transfer, so nothing it
+    /// shipped (or was about to receive) from the superseded history can
+    /// surface later.
+    pub fn drop_held(&mut self, node: usize) {
+        self.held
+            .retain(|&(src, dst), _| src != node && dst != node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_policy::Timestamp;
+
+    fn frame(index: u64) -> Frame {
+        Frame {
+            epoch: 1,
+            prev_epoch: if index == 0 { 0 } else { 1 },
+            index,
+            record: WalRecord::Gc {
+                now: Timestamp(index as i64),
+            },
+        }
+    }
+
+    #[test]
+    fn perfect_wire_delivers_in_order() {
+        let mut link = ReplicationLink::new(FaultPlan::disarmed());
+        let frames = [frame(0), frame(1), frame(2)];
+        let got = link.transmit(0, 1, &frames);
+        assert_eq!(got, frames.to_vec());
+        assert_eq!(link.ack_visible_at(0, 1, 500), Some(500));
+        assert!(link.heartbeat(0, 1));
+    }
+
+    #[test]
+    fn partition_cuts_only_the_isolated_node() {
+        let plan = FaultPlan::seeded(7);
+        plan.arm_with_param(FaultPoint::Partition, 1.0, 2);
+        let mut link = ReplicationLink::new(plan);
+        assert!(link.transmit(0, 2, &[frame(0)]).is_empty());
+        assert!(link.transmit(2, 0, &[frame(0)]).is_empty());
+        assert_eq!(link.transmit(0, 1, &[frame(0)]).len(), 1);
+        assert!(!link.heartbeat(0, 2));
+        assert!(link.heartbeat(0, 1));
+        assert_eq!(link.ack_visible_at(0, 2, 9), None);
+    }
+
+    #[test]
+    fn reorder_holds_a_frame_behind_its_successor() {
+        let plan = FaultPlan::seeded(7);
+        plan.arm_limited(FaultPoint::ReplFrameReorder, 1.0, 1);
+        let mut link = ReplicationLink::new(plan);
+        let got = link.transmit(0, 1, &[frame(0), frame(1)]);
+        assert_eq!(
+            got.iter().map(|f| f.index).collect::<Vec<_>>(),
+            vec![1, 0],
+            "held frame rides behind its successor"
+        );
+    }
+
+    #[test]
+    fn ack_delay_uses_the_rule_parameter() {
+        let plan = FaultPlan::seeded(7);
+        plan.arm_with_param(FaultPoint::ReplAckDelay, 1.0, 250);
+        let link = ReplicationLink::new(plan);
+        assert_eq!(link.ack_visible_at(0, 1, 1000), Some(1250));
+    }
+}

@@ -136,6 +136,18 @@ pub struct Tippers {
     wal_truncations: u64,
     admission: Option<AdmissionController>,
     brownout: BrownoutController,
+    /// Highest epoch fence durably recorded ([`WalRecord::NewEpoch`]);
+    /// 0 until the node participates in a replicated deployment.
+    replication_epoch: u64,
+    /// When enabled, every logged record is also cloned here for the
+    /// replication layer to drain into frames (see `crate::replication`).
+    record_tap: Option<Vec<WalRecord>>,
+    /// When set, request-path decision audits are diverted here instead of
+    /// the replicated audit log: what a node *serves* is node-local
+    /// observability, while the replicated audit carries only
+    /// record-derived entries so identical record sequences yield
+    /// identical snapshots on every node.
+    read_audit_divert: Option<AuditLog>,
     /// Last fresh answer per (service, subject, data), replayed under
     /// [`BrownoutLevel::CachedOnly`]. An entry is served only when the
     /// current decision's effect matches the one the records were
@@ -167,6 +179,9 @@ impl Tippers {
             wal: None,
             wal_append_failures: 0,
             wal_truncations: 0,
+            replication_epoch: 0,
+            record_tap: None,
+            read_audit_divert: None,
         }
     }
 
@@ -226,8 +241,10 @@ impl Tippers {
     }
 
     /// Replays one recovered log record (the in-memory mutation without
-    /// re-logging it).
-    fn apply_record(&mut self, record: WalRecord) -> Result<(), WalError> {
+    /// re-logging it). Also the replication layer's apply path: a replica
+    /// runs every shipped frame through here, so replicated state is byte-
+    /// for-byte the state a crash recovery of the primary would produce.
+    pub(crate) fn apply_record(&mut self, record: WalRecord) -> Result<(), WalError> {
         match record {
             WalRecord::Checkpoint {
                 snapshot,
@@ -276,6 +293,12 @@ impl Tippers {
             WalRecord::Gc { now } => {
                 self.store.gc(now);
             }
+            WalRecord::NewEpoch { epoch } => {
+                self.replication_epoch = self.replication_epoch.max(epoch);
+            }
+            WalRecord::Notice { user, now, text } => {
+                self.audit.notify(user, now, text);
+            }
         }
         Ok(())
     }
@@ -285,12 +308,115 @@ impl Tippers {
     /// is ahead of the durable state until the next successful append),
     /// never silently swallowed.
     fn log(&mut self, record: WalRecord) {
+        if let Some(tap) = self.record_tap.as_mut() {
+            tap.push(record.clone());
+        }
         let Some(wal) = self.wal.as_mut() else {
             return;
         };
         if wal.append(&record).is_err() {
             self.wal_append_failures += 1;
         }
+    }
+
+    // ---- replication hooks (see `crate::replication`) ------------------------
+
+    /// Applies a record *and* logs it durably: the replication layer's
+    /// write path for shipped frames, epoch fences and merge notices.
+    pub(crate) fn record_and_log(&mut self, record: WalRecord) -> Result<(), WalError> {
+        self.apply_record(record.clone())?;
+        self.log(record);
+        Ok(())
+    }
+
+    /// Starts cloning every logged record into the record tap.
+    pub(crate) fn enable_record_tap(&mut self) {
+        if self.record_tap.is_none() {
+            self.record_tap = Some(Vec::new());
+        }
+    }
+
+    /// Drains records logged since the last drain (empty when the tap is
+    /// disabled).
+    pub(crate) fn drain_record_tap(&mut self) -> Vec<WalRecord> {
+        self.record_tap
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Diverts request-path decision audits into a node-local log, keeping
+    /// the replicated audit a pure function of the record sequence.
+    pub(crate) fn divert_read_audit(&mut self) {
+        if self.read_audit_divert.is_none() {
+            self.read_audit_divert = Some(AuditLog::new());
+        }
+    }
+
+    /// The node-local served-decision audit, when diverted.
+    pub(crate) fn served_audit(&self) -> Option<&AuditLog> {
+        self.read_audit_divert.as_ref()
+    }
+
+    /// Routes one request-path decision audit: to the divert log when the
+    /// node serves reads locally (replication), otherwise to the main
+    /// audit log (the standalone default — behavior unchanged).
+    fn record_decision(
+        &mut self,
+        now: Timestamp,
+        user: UserId,
+        service: Option<tippers_policy::ServiceId>,
+        data: ConceptId,
+        purpose: ConceptId,
+        decision: &EnforcementDecision,
+    ) {
+        let sink = self.read_audit_divert.as_mut().unwrap_or(&mut self.audit);
+        sink.record(now, user, service, data, purpose, decision);
+    }
+
+    /// The fail-closed answer of a replica that cannot prove its lag is
+    /// within the configured staleness bound: every subject denied with
+    /// [`crate::DecisionBasis::StaleReplica`], each denial audited. A
+    /// stale replica never guesses from possibly-outdated settings.
+    pub(crate) fn stale_response(&mut self, request: &DataRequest, now: Timestamp) -> DataResponse {
+        let subjects = self.subjects_of(request, now);
+        let mut results = Vec::with_capacity(subjects.len());
+        for user in subjects {
+            let decision = EnforcementDecision::stale_replica();
+            self.record_decision(
+                now,
+                user,
+                Some(request.service.clone()),
+                request.data,
+                request.purpose,
+                &decision,
+            );
+            results.push(SubjectResult {
+                user,
+                decision,
+                records: Vec::new(),
+            });
+        }
+        DataResponse {
+            results,
+            degraded: true,
+        }
+    }
+
+    /// Durably records a replicated user notification (e.g. an
+    /// anti-entropy merge superseding this user's divergent setting
+    /// choice): queued locally and logged as [`WalRecord::Notice`], so
+    /// every replica replaying the record re-queues it and the user's
+    /// IoTA is re-notified no matter which node it polls.
+    pub(crate) fn record_notice(&mut self, user: UserId, now: Timestamp, text: String) {
+        self.audit.notify(user, now, text.clone());
+        self.log(WalRecord::Notice { user, now, text });
+    }
+
+    /// Highest durably recorded epoch fence ([`WalRecord::NewEpoch`]); 0
+    /// for a node that never joined a replicated deployment.
+    pub fn replication_epoch(&self) -> u64 {
+        self.replication_epoch
     }
 
     /// Writes a full-state checkpoint and compacts the log: older
@@ -936,7 +1062,7 @@ impl Tippers {
                     None => EnforcementDecision::fail_closed(),
                 }
             };
-            self.audit.record(
+            self.record_decision(
                 now,
                 user,
                 Some(request.service.clone()),
@@ -1000,7 +1126,7 @@ impl Tippers {
         let mut results = Vec::with_capacity(subjects.len());
         for user in subjects {
             let decision = EnforcementDecision::shed_overload();
-            self.audit.record(
+            self.record_decision(
                 now,
                 user,
                 Some(request.service.clone()),
@@ -1122,7 +1248,7 @@ impl Tippers {
                 Some(e) => e.decide(&flow, &self.ontology, &self.model),
                 None => EnforcementDecision::fail_closed(),
             };
-            self.audit.record(
+            self.record_decision(
                 now,
                 user,
                 Some(request.service.clone()),

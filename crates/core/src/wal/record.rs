@@ -76,6 +76,27 @@ pub enum WalRecord {
         /// The sweep time.
         now: Timestamp,
     },
+    /// An epoch fence (replicated enforcement): a replica durably records
+    /// the new epoch *before* promoting itself to primary, and every node
+    /// rejects replication frames stamped with an older epoch afterwards —
+    /// a deposed primary is fenced on its next append rather than being
+    /// allowed to acknowledge split-brain writes.
+    NewEpoch {
+        /// The fencing epoch, monotonically increasing across failovers.
+        epoch: u64,
+    },
+    /// A durable, replicated user notification — e.g. the anti-entropy
+    /// reconciler superseding one side of a divergent setting update.
+    /// Replaying it re-queues the notification on every node, so the
+    /// user's IoTA is re-notified no matter which node it polls.
+    Notice {
+        /// The notified user.
+        user: UserId,
+        /// Notification time.
+        now: Timestamp,
+        /// Human-readable notice text.
+        text: String,
+    },
 }
 
 impl WalRecord {
@@ -117,6 +138,12 @@ mod tests {
                 option_index: 2,
             },
             WalRecord::Ingest { rows: Vec::new() },
+            WalRecord::NewEpoch { epoch: 3 },
+            WalRecord::Notice {
+                user: UserId(5),
+                now: Timestamp(99),
+                text: "setting superseded during failover".into(),
+            },
         ];
         for record in records {
             let back = WalRecord::from_payload(&record.to_payload()).expect("round trip");

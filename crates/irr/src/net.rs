@@ -200,12 +200,20 @@ impl DiscoveryBus {
     }
 
     /// Simulates one message: returns its latency, or loss. A message
-    /// survives only if neither the legacy `loss_probability` nor the
-    /// fault plan's rule at `point` drops it.
+    /// survives only if the armed [`FaultPoint::Partition`] cut, the
+    /// legacy `loss_probability`, and the fault plan's rule at `point`
+    /// all let it through — an armed partition severs the discovery
+    /// links symmetrically, exactly as it severs replication frames.
     fn transmit(&self, point: FaultPoint) -> Result<f64, NetError> {
         let mut rng = self.rng.lock();
         let mut stats = self.stats.lock();
         stats.messages += 1;
+        if self.fault_plan.is_armed(FaultPoint::Partition)
+            && self.fault_plan.should_fail(FaultPoint::Partition)
+        {
+            stats.lost += 1;
+            return Err(NetError::Lost);
+        }
         if self.fault_plan.should_fail(point) {
             stats.lost += 1;
             return Err(NetError::Lost);
@@ -448,6 +456,29 @@ mod tests {
             )
             .unwrap();
         assert!(ads.is_empty(), "skewed clock hides fresh advertisements");
+    }
+
+    #[test]
+    fn armed_partition_severs_discovery_links() {
+        let (mut bus, d) = bus_with_ad(0.0);
+        let plan = FaultPlan::seeded(5);
+        plan.arm_with_param(FaultPoint::Partition, 1.0, 0);
+        bus.set_fault_plan(plan.clone());
+        let (found, _) = bus.discover(&d.model, d.offices[0]);
+        assert!(found.is_empty(), "a partition cut hides every registry");
+        assert_eq!(
+            bus.fetch_near(
+                RegistryId(0),
+                &d.model,
+                d.offices[0],
+                Timestamp::at(0, 9, 0)
+            )
+            .unwrap_err(),
+            NetError::Lost
+        );
+        plan.disarm(FaultPoint::Partition);
+        let (found, _) = bus.discover(&d.model, d.offices[0]);
+        assert_eq!(found.len(), 1, "healing the partition restores discovery");
     }
 
     #[test]

@@ -49,11 +49,25 @@ pub enum FaultPoint {
     /// checkpoint's temporary segment never becomes visible, modeling a
     /// crash between prepare and rename.
     WalSegmentRename,
+    /// A replication frame silently lost between the primary and a
+    /// replica; the primary sees no acknowledgement and must retransmit.
+    ReplFrameDrop,
+    /// A replication frame delivered out of order: the link holds the
+    /// frame back and delivers it after its successors.
+    ReplFrameReorder,
+    /// A delayed replication acknowledgement (the rule's parameter is the
+    /// delay in virtual milliseconds); the frame arrives but the primary
+    /// cannot count it towards the commit quorum until the ack lands.
+    ReplAckDelay,
+    /// A network partition between replication peers (the rule's
+    /// parameter, when positive, identifies the isolated node); while
+    /// armed, frames and acks crossing the cut are dropped symmetrically.
+    Partition,
 }
 
 impl FaultPoint {
     /// Every defined injection point.
-    pub const ALL: [FaultPoint; 11] = [
+    pub const ALL: [FaultPoint; 15] = [
         FaultPoint::RegistryDiscover,
         FaultPoint::RegistryFetch,
         FaultPoint::PolicyPublish,
@@ -65,6 +79,10 @@ impl FaultPoint {
         FaultPoint::WalBitFlip,
         FaultPoint::WalSyncDrop,
         FaultPoint::WalSegmentRename,
+        FaultPoint::ReplFrameDrop,
+        FaultPoint::ReplFrameReorder,
+        FaultPoint::ReplAckDelay,
+        FaultPoint::Partition,
     ];
 }
 
@@ -82,6 +100,10 @@ impl fmt::Display for FaultPoint {
             FaultPoint::WalBitFlip => "wal-bit-flip",
             FaultPoint::WalSyncDrop => "wal-sync-drop",
             FaultPoint::WalSegmentRename => "wal-segment-rename",
+            FaultPoint::ReplFrameDrop => "repl-frame-drop",
+            FaultPoint::ReplFrameReorder => "repl-frame-reorder",
+            FaultPoint::ReplAckDelay => "repl-ack-delay",
+            FaultPoint::Partition => "partition",
         };
         f.write_str(name)
     }

@@ -40,6 +40,7 @@ mod clock;
 mod fault;
 mod health;
 mod limiter;
+mod nemesis;
 mod queue;
 mod retry;
 mod shed;
@@ -50,6 +51,7 @@ pub use clock::{ms_from_secs, VirtualClock, MILLIS_PER_SEC};
 pub use fault::{FaultPlan, FaultPoint};
 pub use health::{HealthMonitor, HealthStatus};
 pub use limiter::{AimdConfig, AimdLimiter, SlidingWindow, TokenBucket, TokenBucketConfig};
+pub use nemesis::{Nemesis, NemesisAction};
 pub use queue::{Mailbox, MailboxStats, PushError};
 pub use retry::{BackoffSchedule, RetryError, RetryPolicy, RetryReport, Transient};
 pub use shed::{AdmissionConfig, AdmissionController, AdmissionStats, Priority, ShedReason};

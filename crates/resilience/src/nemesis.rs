@@ -1,0 +1,199 @@
+//! A seeded jepsen-style nemesis: a deterministic schedule of partitions,
+//! crashes, clock skew, frame loss and ack delay.
+//!
+//! The nemesis owns no cluster — it *decides* (from its seed) what
+//! misfortune happens next, arms the shared [`FaultPlan`] accordingly,
+//! advances the shared [`VirtualClock`], and reports the chosen
+//! [`NemesisAction`] so the driving harness can apply the parts the
+//! plan cannot express (crashing and restarting processes, electing a
+//! new primary). Same seed ⇒ same misfortune schedule, every run.
+
+use crate::clock::{VirtualClock, MILLIS_PER_SEC};
+use crate::fault::{FaultPlan, FaultPoint};
+
+/// One step of scheduled misfortune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NemesisAction {
+    /// Isolate `node` from every peer (frames, acks and heartbeats
+    /// crossing the cut are dropped symmetrically).
+    Partition {
+        /// The isolated node.
+        node: usize,
+    },
+    /// Heal the current partition, if any.
+    HealPartition,
+    /// Crash the current primary (volatile state lost, durable log
+    /// kept); the harness should elect and promote a successor.
+    CrashPrimary,
+    /// Restart every crashed node from its durable log.
+    RestartCrashed,
+    /// Skew the reading node's clock by `secs` (staleness checks run on
+    /// the skewed clock).
+    SkewClock {
+        /// Skew in seconds (may be negative).
+        secs: i64,
+    },
+    /// Silently lose a bounded number of replication frames.
+    DropFrames {
+        /// How many frames the armed budget may drop.
+        budget: u32,
+    },
+    /// Delay replication acknowledgements by `ms` virtual milliseconds.
+    DelayAcks {
+        /// Ack delay, virtual milliseconds.
+        ms: i64,
+    },
+    /// Disarm everything and let the cluster breathe.
+    Calm,
+}
+
+/// The deterministic misfortune scheduler.
+#[derive(Debug)]
+pub struct Nemesis {
+    plan: FaultPlan,
+    clock: VirtualClock,
+    state: u64,
+    nodes: usize,
+}
+
+impl Nemesis {
+    /// A nemesis over `nodes` replication peers, arming `plan` and
+    /// advancing `clock` as it steps; the schedule derives entirely from
+    /// `seed`.
+    pub fn new(seed: u64, nodes: usize, plan: FaultPlan, clock: VirtualClock) -> Nemesis {
+        Nemesis {
+            plan,
+            clock,
+            // Avoid the all-zeros LCG fixpoint without losing seed identity.
+            state: seed.wrapping_mul(2) | 1,
+            nodes: nodes.max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // Deterministic LCG (Knuth MMIX constants); independent from the
+        // fault plan's RNG so arming order never perturbs the schedule.
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state
+    }
+
+    fn pick(&mut self, bound: u64) -> u64 {
+        (self.next_u64() >> 11) % bound
+    }
+
+    /// Decides and arms the next misfortune, advancing virtual time past
+    /// it. The harness applies the returned action's process-level parts.
+    pub fn step(&mut self) -> NemesisAction {
+        let action = match self.pick(8) {
+            0 => {
+                let node = self.pick(self.nodes as u64) as usize;
+                self.plan
+                    .arm_with_param(FaultPoint::Partition, 1.0, node as i64);
+                NemesisAction::Partition { node }
+            }
+            1 => {
+                self.plan.disarm(FaultPoint::Partition);
+                NemesisAction::HealPartition
+            }
+            2 => NemesisAction::CrashPrimary,
+            3 => NemesisAction::RestartCrashed,
+            4 => {
+                let secs = self.pick(30) as i64 - 15;
+                self.plan.arm_with_param(FaultPoint::ClockSkew, 1.0, secs);
+                NemesisAction::SkewClock { secs }
+            }
+            5 => {
+                let budget = self.pick(4) as u32 + 1;
+                self.plan
+                    .arm_limited(FaultPoint::ReplFrameDrop, 0.5, budget);
+                NemesisAction::DropFrames { budget }
+            }
+            6 => {
+                let ms = (self.pick(8) as i64 + 1) * 250;
+                self.plan.arm_with_param(FaultPoint::ReplAckDelay, 1.0, ms);
+                NemesisAction::DelayAcks { ms }
+            }
+            _ => {
+                for point in [
+                    FaultPoint::Partition,
+                    FaultPoint::ClockSkew,
+                    FaultPoint::ReplFrameDrop,
+                    FaultPoint::ReplFrameReorder,
+                    FaultPoint::ReplAckDelay,
+                ] {
+                    self.plan.disarm(point);
+                }
+                NemesisAction::Calm
+            }
+        };
+        // Occasionally shuffle frame order on top of whatever else holds.
+        if self.pick(4) == 0 {
+            let budget = self.pick(3) as u32 + 1;
+            self.plan
+                .arm_limited(FaultPoint::ReplFrameReorder, 0.5, budget);
+        }
+        let dwell_ms = (self.pick(4) as i64 + 1) * MILLIS_PER_SEC;
+        self.clock.advance_ms(dwell_ms);
+        action
+    }
+
+    /// Disarms every nemesis-owned fault point (end-of-scenario heal).
+    pub fn quiesce(&mut self) {
+        for point in [
+            FaultPoint::Partition,
+            FaultPoint::ClockSkew,
+            FaultPoint::ReplFrameDrop,
+            FaultPoint::ReplFrameReorder,
+            FaultPoint::ReplAckDelay,
+        ] {
+            self.plan.disarm(point);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(seed: u64, steps: usize) -> Vec<NemesisAction> {
+        let mut n = Nemesis::new(seed, 3, FaultPlan::seeded(seed), VirtualClock::new());
+        (0..steps).map(|_| n.step()).collect()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        assert_eq!(schedule(7, 64), schedule(7, 64));
+        assert_ne!(schedule(7, 64), schedule(8, 64));
+    }
+
+    #[test]
+    fn actions_arm_the_shared_plan() {
+        let plan = FaultPlan::seeded(1);
+        let clock = VirtualClock::new();
+        let mut n = Nemesis::new(1, 3, plan.clone(), clock.clone());
+        let mut saw_partition = false;
+        for _ in 0..128 {
+            if let NemesisAction::Partition { node } = n.step() {
+                saw_partition = true;
+                assert!(plan.is_armed(FaultPoint::Partition));
+                assert_eq!(plan.param(FaultPoint::Partition), node as i64);
+            }
+        }
+        assert!(saw_partition, "128 steps should partition at least once");
+        n.quiesce();
+        assert!(!plan.is_armed(FaultPoint::Partition));
+        assert!(!plan.is_armed(FaultPoint::ReplFrameReorder));
+    }
+
+    #[test]
+    fn stepping_advances_the_shared_clock() {
+        let clock = VirtualClock::new();
+        let mut n = Nemesis::new(3, 3, FaultPlan::seeded(3), clock.clone());
+        let before = clock.now_ms();
+        n.step();
+        assert!(clock.now_ms() > before);
+    }
+}

@@ -1,0 +1,535 @@
+//! Jepsen-style partition fuzz over the replicated enforcement cluster.
+//!
+//! A seeded nemesis drives partitions, primary crashes, clock skew, frame
+//! loss, frame reorder and ack delay against a three-node cluster while
+//! the harness keeps writing privacy-relevant mutations and reading from
+//! every node. The invariants, checked continuously and at the end:
+//!
+//! * **Durability** — no committed write (decision-relevant policy,
+//!   preference or setting mutation) is ever lost: the committed prefix
+//!   only grows, and every failover's new primary history extends it.
+//! * **No split-brain** — a write submitted to a deposed primary is never
+//!   acknowledged as committed; once the fence is learned it is rejected
+//!   outright and counted.
+//! * **Fail-closed staleness** — a replica that cannot prove bounded
+//!   staleness denies every subject with `DecisionBasis::StaleReplica`
+//!   inside a degraded response.
+//! * **Replica fidelity** — a fresh replica's decisions equal those of a
+//!   reference BMS replaying exactly the replica's durable prefix (so
+//!   replica permits are a subset of primary permits on the shared
+//!   prefix).
+//! * **Convergence** — after the storm heals, anti-entropy drives every
+//!   node to an identical frame history, epoch and snapshot.
+//!
+//! Seeds 7, 42 and 4711 run in CI via `TIPPERS_FAULT_SEED`.
+
+use privacy_aware_buildings::policy::{BuildingPolicy, Effect};
+use privacy_aware_buildings::prelude::*;
+use privacy_aware_buildings::sensors::Occupant;
+use tippers::replication::{replay, Cluster, Frame, ReplicationConfig, WriteOutcome};
+use tippers::{
+    DataResponse, DecisionBasis, FaultPlan, FaultPoint, Nemesis, NemesisAction, VirtualClock,
+    MILLIS_PER_SEC,
+};
+
+fn fault_seed() -> u64 {
+    std::env::var("TIPPERS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+const NODES: usize = 3;
+
+struct Fixture {
+    cluster: Cluster,
+    users: Vec<UserId>,
+    pid: PolicyId,
+    ontology: Ontology,
+    model: SpatialModel,
+    config: TippersConfig,
+    occupants: Vec<Occupant>,
+}
+
+/// Boots a three-node cluster over the shared DBH population, commits the
+/// catalog policies (thermostat carrying the Figure-4 location setting,
+/// emergency location) and a morning of sensor data.
+fn build(plan: &FaultPlan, clock: &VirtualClock) -> Fixture {
+    let ontology = Ontology::standard();
+    let mut sim = BuildingSimulator::new(
+        SimulatorConfig {
+            seed: 7,
+            population: Population {
+                staff: 2,
+                faculty: 2,
+                grads: 3,
+                undergrads: 3,
+                visitors: 0,
+            },
+            tick_secs: 600,
+            ..SimulatorConfig::default()
+        },
+        &ontology,
+    );
+    let building = sim.dbh().clone();
+    let occupants = sim.occupants().to_vec();
+    let users: Vec<UserId> = occupants.iter().map(|o| o.user).collect();
+    let config = TippersConfig::default();
+    let mut cluster = Cluster::new(
+        ReplicationConfig::default(),
+        plan.clone(),
+        clock.clone(),
+        ontology.clone(),
+        building.model.clone(),
+        config.clone(),
+        occupants.clone(),
+    )
+    .expect("cluster boot");
+
+    let p1 = catalog::policy1_thermostat(PolicyId(0), building.building, &ontology)
+        .with_setting(BuildingPolicy::location_setting());
+    let p2 = catalog::policy2_emergency_location(PolicyId(0), building.building, &ontology);
+    let mut pid = PolicyId(0);
+    let outcome = cluster
+        .write_to(0, |bms| {
+            pid = bms.add_policy(p1);
+            bms.add_policy(p2);
+        })
+        .expect("seed policies");
+    assert!(
+        matches!(outcome, WriteOutcome::Committed { .. }),
+        "policy seeding must commit on a healthy cluster: {outcome:?}"
+    );
+    sim.set_clock(Timestamp::at(0, 8, 0));
+    let trace = sim.run_until(Timestamp::at(0, 8, 30));
+    cluster
+        .write_to(0, |bms| {
+            bms.ingest(&trace.observations);
+        })
+        .expect("seed observations");
+
+    Fixture {
+        cluster,
+        users,
+        pid,
+        ontology,
+        model: building.model,
+        config,
+        occupants,
+    }
+}
+
+fn decisions(response: &DataResponse) -> Vec<(bool, DecisionBasis)> {
+    response
+        .results
+        .iter()
+        .map(|r| (r.decision.permits(), r.decision.basis.clone()))
+        .collect()
+}
+
+#[test]
+fn nemesis_storm_loses_no_commit_acks_no_split_brain_and_converges() {
+    let seed = fault_seed();
+    let plan = FaultPlan::seeded(seed);
+    let clock = VirtualClock::at_ms(Timestamp::at(0, 8, 0).0 * MILLIS_PER_SEC);
+    let mut fx = build(&plan, &clock);
+    let c = fx.ontology.concepts().clone();
+    let mut nemesis = Nemesis::new(seed, NODES, plan.clone(), clock.clone());
+
+    let mk_request = |round: usize, user: UserId, to: Timestamp| {
+        if round.is_multiple_of(2) {
+            DataRequest {
+                service: catalog::services::emergency(),
+                purpose: c.emergency_response,
+                data: c.wifi_association,
+                subjects: SubjectSelector::One(user),
+                from: Timestamp::at(0, 8, 0),
+                to,
+                requester_space: None,
+                priority: Default::default(),
+                deadline: None,
+            }
+        } else {
+            DataRequest {
+                service: catalog::services::concierge(),
+                purpose: c.navigation,
+                data: c.location,
+                subjects: SubjectSelector::One(user),
+                from: Timestamp::at(0, 8, 0),
+                to,
+                requester_space: None,
+                priority: Default::default(),
+                deadline: None,
+            }
+        }
+    };
+
+    // The committed prefix: the quorum-durable history that must survive
+    // every subsequent failover, byte for byte.
+    let mut committed: Vec<Frame> = {
+        let p = fx.cluster.primary();
+        fx.cluster.frames(p)[..fx.cluster.committed_len() as usize].to_vec()
+    };
+    assert!(!committed.is_empty(), "seeding committed something");
+
+    let mut deposed: Option<usize> = None;
+    let mut promotions = 0usize;
+    let mut stale_denials = 0usize;
+    let mut fenced_probes = 0u64;
+
+    for round in 0..48 {
+        let action = nemesis.step();
+        match action {
+            NemesisAction::CrashPrimary => {
+                let p = fx.cluster.primary();
+                if !fx.cluster.is_down(p) {
+                    fx.cluster.crash(p);
+                }
+            }
+            NemesisAction::RestartCrashed => {
+                for i in 0..NODES {
+                    if fx.cluster.is_down(i) {
+                        fx.cluster.restart(i).expect("restart");
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        // Election: when the primary is gone, isolated, or has lost its
+        // authority, promote the most up-to-date reachable node (if a
+        // quorum is reachable at all).
+        let p = fx.cluster.primary();
+        let isolated =
+            plan.is_armed(FaultPoint::Partition) && plan.param(FaultPoint::Partition) == p as i64;
+        if !fx.cluster.is_authoritative(p) || isolated {
+            if let Some(cand) = fx.cluster.best_candidate() {
+                if cand != p {
+                    deposed = Some(p);
+                }
+                fx.cluster.promote(cand).expect("promote");
+                promotions += 1;
+            }
+        }
+
+        // A privacy-relevant write on whoever is primary now.
+        let p = fx.cluster.primary();
+        let now = Timestamp(clock.now_ms() / MILLIS_PER_SEC);
+        let user = fx.users[round % fx.users.len()];
+        let pid = fx.pid;
+        let outcome = match round % 3 {
+            0 => {
+                let pref = catalog::preference2_no_location(PreferenceId(0), user, &fx.ontology);
+                fx.cluster.write_to(p, move |bms| {
+                    bms.submit_preference(pref, now);
+                })
+            }
+            1 => {
+                let opt = round % 3;
+                fx.cluster.write_to(p, move |bms| {
+                    let _ = bms.apply_setting_choice(user, pid, "location-sensing", opt);
+                })
+            }
+            _ => fx.cluster.write_to(p, move |bms| {
+                bms.gc(now);
+            }),
+        }
+        .expect("write");
+        if let WriteOutcome::Committed { index } = outcome {
+            let new_prefix = fx.cluster.frames(p)[..=index as usize].to_vec();
+            assert!(
+                new_prefix.len() >= committed.len()
+                    && new_prefix[..committed.len()] == committed[..],
+                "round {round}: committed history is not append-only"
+            );
+            committed = new_prefix;
+        }
+
+        // Probe the deposed primary: its writes must NEVER be acknowledged
+        // as committed (and once it learns the fence, they are rejected).
+        if let Some(d) = deposed {
+            if d != fx.cluster.primary() && !fx.cluster.is_down(d) {
+                let pref = catalog::preference2_no_location(PreferenceId(0), user, &fx.ontology);
+                let probe = fx
+                    .cluster
+                    .write_to(d, move |bms| {
+                        bms.submit_preference(pref, now);
+                    })
+                    .expect("probe write");
+                assert!(
+                    !matches!(probe, WriteOutcome::Committed { .. }),
+                    "round {round}: split-brain write acknowledged on deposed \
+                     primary {d}: {probe:?}"
+                );
+                if matches!(probe, WriteOutcome::Fenced { .. }) {
+                    fenced_probes += 1;
+                }
+            }
+        }
+
+        fx.cluster.tick().expect("tick");
+
+        // Read from every alive node; staleness must fail closed.
+        let read_now = Timestamp(clock.now_ms() / MILLIS_PER_SEC);
+        let request = mk_request(round, user, read_now);
+        for i in 0..NODES {
+            let Some(response) = fx.cluster.read_from(i, &request, read_now) else {
+                continue;
+            };
+            for (permitted, basis) in decisions(&response) {
+                if basis == DecisionBasis::StaleReplica {
+                    stale_denials += 1;
+                    assert!(!permitted, "a StaleReplica decision must deny");
+                    assert!(
+                        response.degraded,
+                        "a stale denial must ride in a degraded response"
+                    );
+                }
+            }
+        }
+
+        // Periodic differential: a node that served a fresh read must
+        // decide exactly as a reference BMS replaying its durable prefix
+        // (hence replica permits ⊆ primary permits on the shared prefix).
+        if round % 8 == 4 {
+            for i in 0..NODES {
+                if fx.cluster.is_down(i) {
+                    continue;
+                }
+                let frames = fx.cluster.frames(i).to_vec();
+                let response = fx
+                    .cluster
+                    .read_from(i, &request, read_now)
+                    .expect("alive node serves");
+                if response.degraded {
+                    continue; // stale — fail-closed path already asserted
+                }
+                let mut reference =
+                    replay(&frames, &fx.ontology, &fx.model, &fx.config, &fx.occupants)
+                        .expect("replay reference");
+                let expected = reference.handle_request(&request, read_now);
+                assert_eq!(
+                    decisions(&response),
+                    decisions(&expected),
+                    "round {round}: node {i} diverged from its replayed prefix"
+                );
+            }
+        }
+    }
+
+    // Heal everything and let the cluster converge.
+    nemesis.quiesce();
+    for i in 0..NODES {
+        if fx.cluster.is_down(i) {
+            fx.cluster.restart(i).expect("final restart");
+        }
+    }
+    let cand = fx
+        .cluster
+        .best_candidate()
+        .expect("all nodes reachable after heal");
+    fx.cluster.promote(cand).expect("final promotion");
+    for _ in 0..4 {
+        fx.cluster.tick().expect("pump");
+        clock.advance_ms(50);
+    }
+
+    // Deterministic stale-read probe: isolate one replica past the
+    // staleness bound — it must fail closed.
+    let replica = (0..NODES)
+        .find(|&i| i != fx.cluster.primary())
+        .expect("three nodes have a replica");
+    plan.arm_with_param(FaultPoint::Partition, 1.0, replica as i64);
+    clock.advance_ms(6 * MILLIS_PER_SEC);
+    fx.cluster.tick().expect("tick past the bound");
+    let probe_now = Timestamp(clock.now_ms() / MILLIS_PER_SEC);
+    let probe = mk_request(0, fx.users[0], probe_now);
+    let response = fx
+        .cluster
+        .read_from(replica, &probe, probe_now)
+        .expect("replica alive");
+    assert!(response.degraded, "stale replica response must be degraded");
+    assert!(
+        response
+            .results
+            .iter()
+            .all(|r| !r.decision.permits() && r.decision.basis == DecisionBasis::StaleReplica),
+        "an out-of-bound replica must deny every subject as StaleReplica"
+    );
+    stale_denials += response.results.len();
+    plan.disarm(FaultPoint::Partition);
+
+    let report = fx.cluster.reconcile().expect("reconcile");
+
+    // Durability: the committed prefix survived every failover.
+    let primary = fx.cluster.primary();
+    let final_frames = fx.cluster.frames(primary).to_vec();
+    assert!(
+        final_frames.len() >= committed.len() && final_frames[..committed.len()] == committed[..],
+        "a committed write was lost across failover"
+    );
+    // Convergence: identical history, epoch and snapshot everywhere.
+    let final_snapshot = fx.cluster.snapshot(primary);
+    let final_epoch = fx.cluster.node_epoch(primary);
+    for i in 0..NODES {
+        assert_eq!(
+            fx.cluster.frames(i),
+            &final_frames[..],
+            "node {i} frame history diverged post-heal"
+        );
+        assert_eq!(
+            fx.cluster.node_epoch(i),
+            final_epoch,
+            "node {i} epoch diverged post-heal"
+        );
+        assert_eq!(
+            fx.cluster.snapshot(i),
+            final_snapshot,
+            "node {i} snapshot diverged post-heal"
+        );
+    }
+    // The storm actually exercised the machinery.
+    assert!(promotions >= 1, "the nemesis never forced a failover");
+    assert!(stale_denials >= 1, "no stale read ever failed closed");
+    assert!(
+        fx.cluster.split_brain_rejections() >= fenced_probes,
+        "every fenced probe is an audited split-brain rejection"
+    );
+    let _ = report;
+}
+
+/// Scripted anti-entropy scenario: a partitioned primary keeps taking
+/// setting updates while the survivors elect a successor and move on.
+/// After the heal, divergent choices merge by (epoch, version)
+/// last-writer-wins, the losing user is durably re-notified on every
+/// node, and all nodes converge.
+#[test]
+fn partition_heal_merges_divergent_settings_and_renotifies_losers() {
+    let plan = FaultPlan::seeded(1);
+    let clock = VirtualClock::at_ms(Timestamp::at(0, 9, 0).0 * MILLIS_PER_SEC);
+    let mut fx = build(&plan, &clock);
+    let (u, v) = (fx.users[2], fx.users[3]);
+    let pid = fx.pid;
+
+    // u commits "fine grained" (option 0) while node 0 is primary.
+    let out = fx
+        .cluster
+        .write_to(0, |bms| {
+            let _ = bms.apply_setting_choice(u, pid, "location-sensing", 0);
+        })
+        .expect("write");
+    assert!(matches!(out, WriteOutcome::Committed { .. }), "{out:?}");
+
+    // The primary is cut off; the two survivors are a quorum and elect
+    // node 1 under a fresh, durably recorded epoch.
+    plan.arm_with_param(FaultPoint::Partition, 1.0, 0);
+    let cand = fx.cluster.best_candidate().expect("survivors are a quorum");
+    assert_eq!(cand, 1, "most up-to-date reachable node");
+    let old_epoch = fx.cluster.node_epoch(0);
+    let new_epoch = fx.cluster.promote(cand).expect("promote");
+    assert!(new_epoch > old_epoch, "epochs are monotone");
+
+    // Trunk: u moves to "coarse" (option 1), committed at the new epoch.
+    let out = fx
+        .cluster
+        .write_to(1, |bms| {
+            let _ = bms.apply_setting_choice(u, pid, "location-sensing", 1);
+        })
+        .expect("write");
+    assert!(matches!(out, WriteOutcome::Committed { .. }), "{out:?}");
+
+    // Branch: the isolated deposed primary, unaware, keeps accepting
+    // updates — v opts out entirely, u also picks opt-out. Neither can
+    // reach a quorum, so both stay Pending (never acknowledged).
+    let out = fx
+        .cluster
+        .write_to(0, |bms| {
+            let _ = bms.apply_setting_choice(v, pid, "location-sensing", 2);
+        })
+        .expect("write");
+    assert!(matches!(out, WriteOutcome::Pending { .. }), "{out:?}");
+    let out = fx
+        .cluster
+        .write_to(0, |bms| {
+            let _ = bms.apply_setting_choice(u, pid, "location-sensing", 2);
+        })
+        .expect("write");
+    assert!(matches!(out, WriteOutcome::Pending { .. }), "{out:?}");
+
+    // Heal. The deposed primary's next append reaches peers that answer
+    // with the newer epoch: first write learns the fence (still only
+    // Pending), the one after is rejected outright as split-brain.
+    plan.disarm(FaultPoint::Partition);
+    let now = Timestamp(clock.now_ms() / MILLIS_PER_SEC);
+    let pref = catalog::preference2_no_location(PreferenceId(0), fx.users[4], &fx.ontology);
+    let out = fx
+        .cluster
+        .write_to(0, move |bms| {
+            bms.submit_preference(pref, now);
+        })
+        .expect("write");
+    assert!(
+        matches!(out, WriteOutcome::Pending { .. }),
+        "first post-heal append learns the fence: {out:?}"
+    );
+    let pref = catalog::preference2_no_location(PreferenceId(0), fx.users[5], &fx.ontology);
+    let out = fx
+        .cluster
+        .write_to(0, move |bms| {
+            bms.submit_preference(pref, now);
+        })
+        .expect("write");
+    assert!(
+        matches!(out, WriteOutcome::Fenced { .. }),
+        "a fenced node rejects writes: {out:?}"
+    );
+    assert!(fx.cluster.split_brain_rejections() >= 1);
+
+    // Anti-entropy folds the branch into the trunk.
+    let report = fx.cluster.reconcile().expect("reconcile");
+    assert_eq!(report.rebuilt, vec![0], "the divergent node is rebuilt");
+    assert_eq!(report.merged, 1, "v's branch-only opt-out folds in");
+    assert_eq!(report.notices, 1, "u's losing branch choice is re-notified");
+
+    // Effective settings after the merge: u keeps the trunk's newer-epoch
+    // coarse choice; v's opt-out (made only on the branch) survives.
+    let snapshot = fx.cluster.snapshot(fx.cluster.primary());
+    let marker = format!("setting:{pid}:location-sensing");
+    let effect_of = |user: UserId| {
+        snapshot
+            .preferences
+            .iter()
+            .find(|p| p.user == user && p.note == marker)
+            .map(|p| p.effect)
+            .expect("setting-derived preference present")
+    };
+    assert_eq!(
+        effect_of(u),
+        Effect::Degrade(Granularity::Floor),
+        "newer-epoch trunk choice wins LWW for u"
+    );
+    assert_eq!(
+        effect_of(v),
+        Effect::Deny,
+        "branch-only opt-out is preserved by the merge"
+    );
+
+    // Convergence: identical histories and snapshots; the supersession
+    // notice replicated to every node (any node u's IoTA polls re-notifies).
+    let primary = fx.cluster.primary();
+    let frames = fx.cluster.frames(primary).to_vec();
+    let epoch = fx.cluster.node_epoch(primary);
+    for i in 0..NODES {
+        assert_eq!(fx.cluster.frames(i), &frames[..], "node {i} history");
+        assert_eq!(fx.cluster.node_epoch(i), epoch, "node {i} epoch");
+        assert_eq!(
+            fx.cluster.snapshot(i),
+            snapshot,
+            "node {i} snapshot diverged"
+        );
+        assert!(
+            fx.cluster.node_bms(i).audit().pending_notifications() >= 1,
+            "node {i} lost the supersession notice"
+        );
+    }
+}
