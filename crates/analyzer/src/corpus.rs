@@ -49,6 +49,11 @@ pub struct DeploymentCorpus {
     /// silent). Checked by the TA009 pass against the runtime's
     /// quorum-commit and bounded-staleness rules.
     pub replication: Option<ReplicationSpec>,
+    /// Declared disclosure budgets per purpose key (`"purpose/..."` →
+    /// releases per window). A sharing purpose with no entry here is an
+    /// unbounded disclosure channel, which the accountability pass (TA010)
+    /// reports.
+    pub quotas: BTreeMap<String, u64>,
     /// Data categories considered sensitive: an inference leak reaching one
     /// of these is an error rather than a warning.
     pub sensitive: Vec<ConceptId>,
@@ -83,6 +88,7 @@ impl DeploymentCorpus {
             services: BTreeSet::new(),
             priorities: BTreeMap::new(),
             replication: None,
+            quotas: BTreeMap::new(),
             sensitive,
             space_aliases,
             strategy: ResolutionStrategy::default(),
@@ -179,6 +185,14 @@ impl DeploymentCorpus {
         corpus.services.extend(spec.services);
         corpus.priorities.extend(spec.priorities);
         corpus.replication = spec.replication;
+        for (key, budget) in spec.quotas {
+            if corpus.ontology.purposes.id(&key).is_none() {
+                let seg = escape_pointer_segment(&key);
+                corpus.error(format!("/quotas/{seg}"), format!("unknown purpose `{key}`"));
+                continue;
+            }
+            corpus.quotas.insert(key, budget);
+        }
         corpus.documents = spec.documents;
         if let Some(s) = spec.strategy {
             match s.as_str() {
@@ -730,6 +744,8 @@ struct DeploymentSpec {
     priorities: BTreeMap<String, String>,
     #[serde(default)]
     replication: Option<ReplicationSpec>,
+    #[serde(default)]
+    quotas: BTreeMap<String, u64>,
     #[serde(default)]
     documents: Vec<PolicyDocument>,
     #[serde(default)]

@@ -48,11 +48,16 @@ pub enum LintCode {
     /// histories), or a bounded-staleness read window with no replica set
     /// to serve it.
     ReplicationMisconfigured,
+    /// `TA010` — accountability gap: a policy that stores data but declares
+    /// no (or a zero) retention, so the enforced-retention sweeper can
+    /// never certify its deletion; or a sharing purpose with no disclosure
+    /// quota configured, so nothing bounds how often it can be queried.
+    AccountabilityGap,
 }
 
 impl LintCode {
     /// All codes, in numeric order.
-    pub const ALL: [LintCode; 9] = [
+    pub const ALL: [LintCode; 10] = [
         LintCode::DanglingReference,
         LintCode::UnsatisfiableCondition,
         LintCode::DeadPreference,
@@ -62,6 +67,7 @@ impl LintCode {
         LintCode::WireFormat,
         LintCode::MissingPriorityMapping,
         LintCode::ReplicationMisconfigured,
+        LintCode::AccountabilityGap,
     ];
 
     /// The stable textual code.
@@ -76,6 +82,7 @@ impl LintCode {
             LintCode::WireFormat => "TA007",
             LintCode::MissingPriorityMapping => "TA008",
             LintCode::ReplicationMisconfigured => "TA009",
+            LintCode::AccountabilityGap => "TA010",
         }
     }
 
@@ -91,6 +98,7 @@ impl LintCode {
             LintCode::WireFormat => "wire-format",
             LintCode::MissingPriorityMapping => "priority-mapping",
             LintCode::ReplicationMisconfigured => "replication",
+            LintCode::AccountabilityGap => "accountability",
         }
     }
 

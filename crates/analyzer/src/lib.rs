@@ -17,6 +17,7 @@
 //! | TA007 | wire-format validation | Error |
 //! | TA008 | service without a declared admission-priority mapping | Warning |
 //! | TA009 | replication topology (quorum vs replica set, staleness bound) | Error |
+//! | TA010 | accountability gaps (unsweepable retention, unquota'd sharing purpose) | Warning |
 //!
 //! Output is canonical: diagnostics are sorted by (path, code, severity,
 //! message, evidence) and deduplicated, so shuffling the corpus never
@@ -69,6 +70,7 @@ pub fn analyze(corpus: &DeploymentCorpus) -> AnalysisReport {
     passes::wire::run(corpus, &mut diagnostics);
     passes::priority::run(corpus, &mut diagnostics);
     passes::replication::run(corpus, &mut diagnostics);
+    passes::accountability::run(corpus, &mut diagnostics);
     diag::canonicalize(&mut diagnostics);
 
     let before = diagnostics.len();

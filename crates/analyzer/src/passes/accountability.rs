@@ -1,0 +1,78 @@
+//! TA010 — accountability gaps.
+//!
+//! The runtime can only *prove* what the deployment *bounds*. Two gaps
+//! defeat it: a policy that stores data with no (or a zero) retention
+//! element gives the enforced-retention sweeper nothing to sweep — the
+//! rows never expire, so no deletion certificate will ever exist for
+//! them; and a purpose that policies share data under with no declared
+//! disclosure quota is an unbounded query channel — nothing stops a
+//! service from re-assembling a trajectory one release at a time.
+//!
+//! Both are warnings: the deployment works, it just cannot be held to
+//! account for these flows.
+
+use std::collections::BTreeMap;
+
+use tippers_ontology::ConceptId;
+use tippers_policy::validate::escape_pointer_segment;
+use tippers_policy::DataAction;
+
+use crate::corpus::DeploymentCorpus;
+use crate::diag::{Diagnostic, LintCode, Severity};
+
+pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
+    let policies = corpus.resolvable_policies();
+
+    // Gap 1: stored data that never expires cannot be provably deleted.
+    for p in &policies {
+        if !p.actions.contains(DataAction::Store) {
+            continue;
+        }
+        let unretained = match p.retention {
+            None => true,
+            Some(r) => r.as_seconds() <= 0,
+        };
+        if !unretained {
+            continue;
+        }
+        let what = match p.retention {
+            None => "declares no retention element",
+            Some(_) => "declares a zero retention element",
+        };
+        out.push(Diagnostic::new(
+            LintCode::AccountabilityGap,
+            Severity::Warning,
+            format!("/policies/{}/retention", p.id.0),
+            format!(
+                "{} (`{}`) stores data but {what}: the retention sweeper can never certify its deletion",
+                p.id, p.name
+            ),
+        ));
+    }
+
+    // Gap 2: a sharing purpose with no disclosure quota is unbounded.
+    let mut sharing: BTreeMap<ConceptId, Vec<String>> = BTreeMap::new();
+    for p in &policies {
+        if p.actions.contains(DataAction::Share) {
+            sharing.entry(p.purpose).or_default().push(p.id.to_string());
+        }
+    }
+    for (purpose, evidence) in sharing {
+        let key = corpus.ontology.purposes.key_of(purpose);
+        if corpus.quotas.contains_key(key) {
+            continue;
+        }
+        let seg = escape_pointer_segment(key);
+        out.push(
+            Diagnostic::new(
+                LintCode::AccountabilityGap,
+                Severity::Warning,
+                format!("/quotas/{seg}"),
+                format!(
+                    "purpose `{key}` is shared under but has no disclosure quota: nothing bounds how often it can be queried"
+                ),
+            )
+            .with_evidence(evidence),
+        );
+    }
+}

@@ -4,6 +4,7 @@
 //! diagnostics; passes never see each other's output, and the engine sorts
 //! and deduplicates afterwards, so pass execution order is unobservable.
 
+pub(crate) mod accountability;
 pub(crate) mod dangling;
 pub(crate) mod leak;
 pub(crate) mod preflight;

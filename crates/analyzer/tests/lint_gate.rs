@@ -66,6 +66,10 @@ fn every_pass_fires_on_the_broken_fixture() {
         worst(&report, LintCode::ReplicationMisconfigured),
         Some(Severity::Error)
     );
+    assert_eq!(
+        worst(&report, LintCode::AccountabilityGap),
+        Some(Severity::Warning)
+    );
 }
 
 #[test]
@@ -122,6 +126,19 @@ fn specific_findings_land_on_stable_paths() {
         LintCode::ReplicationMisconfigured,
         "/replication/staleness_bound_secs"
     ));
+    // Policy 3 stores occupancy with no retention element: the sweeper can
+    // never certify its deletion. Policy 6 shares under comfort, which the
+    // fixture's quota table never budgets (the quota'd emergency-response
+    // purpose of policy 1 stays silent).
+    assert!(has(LintCode::AccountabilityGap, "/policies/3/retention"));
+    assert!(has(
+        LintCode::AccountabilityGap,
+        "/quotas/purpose~1operations~1comfort"
+    ));
+    assert!(!report
+        .diagnostics
+        .iter()
+        .any(|d| d.code == LintCode::AccountabilityGap && d.path.contains("emergency-response")));
 }
 
 #[test]

@@ -1,0 +1,239 @@
+//! Experiment E17 — accountability overhead: audit chain, retention
+//! sweeps, disclosure quotas.
+//!
+//! Two legs:
+//!
+//! * criterion timing of the chain hot path (HMAC append + periodic
+//!   seal), and
+//! * a metrics leg producing `BENCH_e17_audit.json` — chain append and
+//!   verify throughput, provable-sweep latency p50/p99 over a durable
+//!   store, and the per-request overhead of disclosure-quota checks on
+//!   the release path — so the accountability tax is a number, not a
+//!   feeling.
+//!
+//! Seeded via `TIPPERS_FAULT_SEED` (defaults to 7, the first CI seed).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tippers::wal::MemLog;
+use tippers::{
+    AuditChain, DataRequest, QuotaConfig, SubjectSelector, Tippers, TippersConfig, SEGMENT_RECORDS,
+};
+use tippers_ontology::Ontology;
+use tippers_policy::{ActionSet, BuildingPolicy, PolicyId, ServiceId, Timestamp, UserId};
+use tippers_sensors::{DeviceId, Observation, ObservationPayload};
+
+const CHAIN_RECORDS: usize = 16_384;
+const SWEEP_ROUNDS: usize = 48;
+const SWEEP_BATCH: u32 = 64;
+const QUOTA_REQUESTS: usize = 400;
+/// Written to the workspace root so CI can pick it up regardless of the
+/// bench process's working directory.
+const OUTPUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e17_audit.json");
+
+fn fault_seed() -> u64 {
+    std::env::var("TIPPERS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn payload(i: usize) -> String {
+    format!(
+        "{{\"event\":\"decision\",\"seq\":{i},\"subject\":{},\"effect\":\"allow\"}}",
+        i % 97
+    )
+}
+
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// A durable BMS holding a short-retention metering policy, for sweep
+/// latency and quota overhead measurement.
+fn metering_bms(quota: Option<QuotaConfig>) -> (Tippers, Ontology, tippers_spatial::fixtures::Dbh) {
+    let ontology = Ontology::standard();
+    let building = tippers_spatial::fixtures::dbh();
+    let (mut bms, _) = Tippers::open_with(
+        Box::new(MemLog::new()),
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig {
+            quota,
+            ..TippersConfig::default()
+        },
+    )
+    .expect("open");
+    let c = ontology.concepts().clone();
+    bms.add_policy(
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Metering",
+            building.building,
+            c.power_consumption,
+            c.energy_management,
+        )
+        .with_actions(ActionSet::ALL)
+        .with_retention("PT1H".parse().expect("valid duration")),
+    );
+    (bms, ontology, building)
+}
+
+fn observations(
+    building: &tippers_spatial::fixtures::Dbh,
+    at: Timestamp,
+    n: u32,
+) -> Vec<Observation> {
+    (0..n)
+        .map(|i| Observation {
+            device: DeviceId(i),
+            timestamp: at,
+            space: building.offices[0],
+            payload: ObservationPayload::PowerReading { watts: 100.0 },
+            subject: Some(UserId(u64::from(i % 8))),
+        })
+        .collect()
+}
+
+/// Criterion leg: the chain hot path — one HMAC-linked append, with the
+/// periodic seal amortized in (every [`SEGMENT_RECORDS`] appends).
+fn bench_chain_append(criterion: &mut Criterion) {
+    let mut group = criterion.benchmark_group("e17_audit");
+    group.sample_size(20);
+    group.bench_function("chain_append_seal", |b| {
+        let mut chain = AuditChain::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            chain.append(payload(i));
+            i += 1;
+            if i.is_multiple_of(SEGMENT_RECORDS) {
+                std::hint::black_box(chain.seal(SEGMENT_RECORDS));
+            }
+        });
+    });
+    group.finish();
+}
+
+/// Metrics leg: append/verify throughput, sweep latency, quota overhead.
+fn emit_audit_metrics(_criterion: &mut Criterion) {
+    let seed = fault_seed();
+
+    // Chain append throughput (seal amortized in, as in production).
+    let mut chain = AuditChain::new();
+    let mut segments = Vec::new();
+    let started = Instant::now();
+    for i in 0..CHAIN_RECORDS {
+        chain.append(payload(i));
+        if (i + 1).is_multiple_of(SEGMENT_RECORDS) {
+            segments.extend(chain.seal(SEGMENT_RECORDS));
+        }
+    }
+    let append_secs = started.elapsed().as_secs_f64();
+    let append_per_sec = CHAIN_RECORDS as f64 / append_secs;
+
+    // Full-lineage verification throughput: every archived segment, its
+    // root lineage, and continuity with the live chain.
+    let started = Instant::now();
+    let verified = chain
+        .verify_archive(&segments)
+        .expect("untampered archive verifies");
+    let verify_secs = started.elapsed().as_secs_f64();
+    assert_eq!(verified, CHAIN_RECORDS as u64);
+    let verify_per_sec = verified as f64 / verify_secs;
+
+    // Provable-sweep latency over a durable store: each round ingests a
+    // batch of already-expired rows and times the bracketed sweep
+    // (collect + WAL bracket + certificate + chain journal).
+    let (mut bms, _ontology, building) = metering_bms(None);
+    let mut sweep_us: Vec<f64> = Vec::with_capacity(SWEEP_ROUNDS);
+    let mut swept_rows = 0u64;
+    for round in 0..SWEEP_ROUNDS {
+        let now = Timestamp((round as i64 + 1) * 7_200);
+        let batch = observations(&building, Timestamp(now.0 - 7_200), SWEEP_BATCH);
+        bms.ingest(&batch);
+        let started = Instant::now();
+        let removed = bms.sweep(now);
+        sweep_us.push(started.elapsed().as_secs_f64() * 1e6);
+        swept_rows += removed as u64;
+    }
+    assert_eq!(swept_rows, SWEEP_ROUNDS as u64 * u64::from(SWEEP_BATCH));
+    assert_eq!(bms.deletion_certificates().len(), SWEEP_ROUNDS);
+    bms.verify_audit_archive().expect("swept chain verifies");
+    sweep_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    // Quota-check overhead: the same release-path request storm with and
+    // without a (never-exhausting) budget — the delta is the per-request
+    // cost of the exhaustion check, the charge, and its durable record.
+    let request = |ontology: &Ontology| DataRequest {
+        service: ServiceId::new("analytics"),
+        purpose: ontology.concepts().energy_management,
+        data: ontology.concepts().power_consumption,
+        subjects: SubjectSelector::One(UserId(1)),
+        from: Timestamp(0),
+        to: Timestamp::at(1, 0, 0),
+        requester_space: None,
+        priority: Default::default(),
+        deadline: None,
+    };
+    let run = |quota: Option<QuotaConfig>| -> f64 {
+        let (mut bms, ontology, building) = metering_bms(quota);
+        bms.ingest(&observations(&building, Timestamp::at(0, 10, 0), 8));
+        let req = request(&ontology);
+        let now = Timestamp::at(0, 12, 0);
+        let started = Instant::now();
+        for _ in 0..QUOTA_REQUESTS {
+            std::hint::black_box(bms.handle_request(&req, now));
+        }
+        started.elapsed().as_secs_f64() * 1e6 / QUOTA_REQUESTS as f64
+    };
+    let base_request_us = run(None);
+    let quota_request_us = run(Some(QuotaConfig {
+        budget: u32::MAX,
+        window_secs: Some(3_600),
+    }));
+    let quota_overhead_us = quota_request_us - base_request_us;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e17_audit\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"chain_records\": {records},\n",
+            "  \"append_per_sec\": {append:.0},\n",
+            "  \"verify_per_sec\": {verify:.0},\n",
+            "  \"sweeps\": {sweeps},\n",
+            "  \"swept_rows\": {swept},\n",
+            "  \"p50_sweep_us\": {sweep50:.1},\n",
+            "  \"p99_sweep_us\": {sweep99:.1},\n",
+            "  \"base_request_us\": {base:.2},\n",
+            "  \"quota_request_us\": {quota:.2},\n",
+            "  \"quota_check_overhead_us\": {overhead:.2}\n",
+            "}}\n",
+        ),
+        seed = seed,
+        records = CHAIN_RECORDS,
+        append = append_per_sec,
+        verify = verify_per_sec,
+        sweeps = SWEEP_ROUNDS,
+        swept = swept_rows,
+        sweep50 = percentile_us(&sweep_us, 0.50),
+        sweep99 = percentile_us(&sweep_us, 0.99),
+        base = base_request_us,
+        quota = quota_request_us,
+        overhead = quota_overhead_us,
+    );
+    std::fs::write(OUTPUT, &json).expect("write metrics");
+    println!(
+        "wrote {OUTPUT}: {append_per_sec:.0} appends/s, {verify_per_sec:.0} verifies/s, \
+         p99 sweep {:.0}us, quota overhead {quota_overhead_us:.2}us",
+        percentile_us(&sweep_us, 0.99)
+    );
+}
+
+criterion_group!(benches, bench_chain_append, emit_audit_metrics);
+criterion_main!(benches);

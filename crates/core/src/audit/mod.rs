@@ -11,6 +11,45 @@ use tippers_policy::{Effect, ServiceId, Timestamp, UserId};
 
 use crate::enforce::{DecisionBasis, EnforcementDecision};
 
+pub mod chain;
+pub(crate) mod hash;
+
+/// Proof that one retention sweep deleted what it claimed to delete.
+///
+/// Emitted when a sweep commits (and re-emitted identically by replicas
+/// and crash recovery replaying the same `SweepCommit` record); the
+/// `digest` is a SHA-256 over the sweep id, sweep time, and the canonical
+/// JSON of every deleted row, so auditors holding the deleted rows can
+/// re-derive it and auditors without them can still match certificates
+/// across nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeletionCertificate {
+    /// The sweep this certificate proves.
+    pub sweep: u64,
+    /// Virtual time the sweep ran at.
+    pub time: Timestamp,
+    /// Number of rows deleted.
+    pub rows: u64,
+    /// SHA-256 (hex) over the sweep id, time, and deleted-row JSON.
+    pub digest: String,
+}
+
+/// An event journaled onto the tamper-evident [`chain::AuditChain`]: the
+/// chain's record payloads are the canonical JSON of these.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChainEvent {
+    /// An enforcement decision was audited.
+    Decision {
+        /// The audited entry, exactly as recorded in the [`AuditLog`].
+        entry: AuditEntry,
+    },
+    /// A retention sweep committed and certified its deletions.
+    Deletion {
+        /// The certificate, exactly as recorded in the [`AuditLog`].
+        certificate: DeletionCertificate,
+    },
+}
+
 /// One audited enforcement decision.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AuditEntry {
@@ -59,6 +98,10 @@ pub struct UserNotification {
 pub struct AuditLog {
     entries: Vec<AuditEntry>,
     notifications: Vec<UserNotification>,
+    /// Deletion certificates, oldest first. `default` so snapshots taken
+    /// before the retention sweeper existed still deserialize.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    certificates: Vec<DeletionCertificate>,
 }
 
 impl AuditLog {
@@ -68,7 +111,8 @@ impl AuditLog {
     }
 
     /// Records a decision; emits an override notification when a mandatory
-    /// policy trumped the subject's preference.
+    /// policy trumped the subject's preference. Returns the recorded entry
+    /// so callers can journal it onto the tamper-evident chain.
     pub fn record(
         &mut self,
         time: Timestamp,
@@ -77,7 +121,7 @@ impl AuditLog {
         data: ConceptId,
         purpose: ConceptId,
         decision: &EnforcementDecision,
-    ) {
+    ) -> &AuditEntry {
         if let Some(pref) = decision.overridden_preference {
             self.notify(
                 subject,
@@ -96,6 +140,17 @@ impl AuditLog {
             effect: decision.effect,
             basis: decision.basis.clone(),
         });
+        self.entries.last().expect("just pushed")
+    }
+
+    /// Records a deletion certificate.
+    pub fn certify(&mut self, certificate: DeletionCertificate) {
+        self.certificates.push(certificate);
+    }
+
+    /// All deletion certificates, oldest first.
+    pub fn certificates(&self) -> &[DeletionCertificate] {
+        &self.certificates
     }
 
     /// Queues a notification.

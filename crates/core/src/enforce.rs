@@ -79,6 +79,13 @@ pub enum DecisionBasis {
     /// replica denies and audits the denial under this basis so it is
     /// distinguishable from a policy decision.
     StaleReplica,
+    /// The (user, service, purpose) disclosure budget is exhausted — or a
+    /// charge against it could not be made durable. Either way the release
+    /// path fails *closed*: an over-querying service is denied (and the
+    /// denial audited under this basis) rather than allowed to drain a
+    /// subject's data past the configured budget, and an unaccountable
+    /// charge never discloses.
+    QuotaExceeded,
 }
 
 /// The outcome of deciding one flow.
@@ -126,6 +133,16 @@ impl EnforcementDecision {
         EnforcementDecision {
             effect: Effect::Deny,
             basis: DecisionBasis::StaleReplica,
+            overridden_preference: None,
+        }
+    }
+
+    /// The quota decision: deny, because the (user, service, purpose)
+    /// disclosure budget is spent or a charge could not be made durable.
+    pub fn quota_exceeded() -> EnforcementDecision {
+        EnforcementDecision {
+            effect: Effect::Deny,
+            basis: DecisionBasis::QuotaExceeded,
             overridden_preference: None,
         }
     }

@@ -51,6 +51,7 @@ mod audit;
 mod enforce;
 mod policy_manager;
 mod preference_manager;
+mod quota;
 pub mod replication;
 mod request;
 mod sensor_manager;
@@ -60,13 +61,18 @@ mod tippers;
 pub mod wal;
 
 pub use aggregate::{AggregateBucket, AggregateRequest, AggregateResponse};
-pub use audit::{AuditEntry, AuditLog, UserNotification};
+pub use audit::chain::{
+    verify_segment, AuditChain, ChainFault, ChainedRecord, SealedSegment, ARCHIVE_PREFIX,
+    SEGMENT_RECORDS,
+};
+pub use audit::{AuditEntry, AuditLog, ChainEvent, DeletionCertificate, UserNotification};
 pub use enforce::{
     policy_applies, DecisionBasis, EnforcementDecision, Enforcer, IndexedEnforcer, NaiveEnforcer,
     RequestFlow,
 };
 pub use policy_manager::PolicyManager;
 pub use preference_manager::{PreferenceManager, SettingsError};
+pub use quota::{QuotaConfig, QuotaCounter, QuotaLedger};
 pub use request::{
     DataRequest, DataResponse, ReleasedRecord, ReleasedValue, SubjectResult, SubjectSelector,
 };

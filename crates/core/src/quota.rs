@@ -1,0 +1,225 @@
+//! Per-(user, service, purpose) disclosure budgets.
+//!
+//! Notice-and-choice caps *which* flows may happen; quotas cap *how much*
+//! of them. A service that keeps re-querying the same subject under the
+//! same purpose eventually assembles a trajectory no single release would
+//! have revealed, so the release path charges one budget unit per
+//! permitted subject result and fails closed once the budget is spent
+//! ([`crate::DecisionBasis::QuotaExceeded`]).
+//!
+//! The ledger is durable state: every charge is WAL-logged before rows
+//! leave the building, the ledger rides in snapshots, and replicas rebuild
+//! it by replaying the shipped `QuotaCharge` records — so a crash,
+//! checkpoint, or epoch-fenced failover can never reset a budget.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use tippers_ontology::ConceptId;
+use tippers_policy::{ServiceId, Timestamp, UserId};
+
+/// Disclosure-budget policy for one deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaConfig {
+    /// Permitted releases per (user, service, purpose) per window.
+    pub budget: u32,
+    /// Budget window in virtual seconds (`None` = one eternal window).
+    /// Windows are aligned bucket boundaries of the virtual clock, so
+    /// every node rolls a counter over at the same instant.
+    pub window_secs: Option<i64>,
+}
+
+impl QuotaConfig {
+    /// The window bucket `now` falls into (0 when windowless).
+    fn bucket(&self, now: Timestamp) -> i64 {
+        match self.window_secs {
+            Some(w) if w > 0 => now.seconds().div_euclid(w) * w,
+            _ => 0,
+        }
+    }
+}
+
+/// One (user, service, purpose) counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuotaCounter {
+    /// Start of the window this count belongs to.
+    pub window_start: i64,
+    /// Charges within the window.
+    pub used: u32,
+}
+
+/// The durable disclosure-budget ledger.
+///
+/// Keys are `"{user}|{service}|{purpose}"` — a `BTreeMap` so serialization
+/// (and therefore snapshots and cross-node equality) is order-independent.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QuotaLedger {
+    counters: BTreeMap<String, QuotaCounter>,
+}
+
+fn key(user: UserId, service: &ServiceId, purpose: ConceptId) -> String {
+    format!("{}|{}|{}", user.0, service.as_str(), purpose.index())
+}
+
+impl QuotaLedger {
+    /// An empty ledger.
+    pub fn new() -> QuotaLedger {
+        QuotaLedger::default()
+    }
+
+    /// Charges consumed by `(user, service, purpose)` in the window
+    /// containing `now` (0 if the counter is in an older window).
+    pub fn used(
+        &self,
+        user: UserId,
+        service: &ServiceId,
+        purpose: ConceptId,
+        now: Timestamp,
+        config: QuotaConfig,
+    ) -> u32 {
+        self.counters
+            .get(&key(user, service, purpose))
+            .filter(|c| c.window_start == config.bucket(now))
+            .map_or(0, |c| c.used)
+    }
+
+    /// True if one more charge would exceed the budget.
+    pub fn exhausted(
+        &self,
+        user: UserId,
+        service: &ServiceId,
+        purpose: ConceptId,
+        now: Timestamp,
+        config: QuotaConfig,
+    ) -> bool {
+        self.used(user, service, purpose, now, config) >= config.budget
+    }
+
+    /// Consumes one budget unit, rolling the counter into `now`'s window
+    /// first if it belongs to an older one.
+    pub fn charge(
+        &mut self,
+        user: UserId,
+        service: &ServiceId,
+        purpose: ConceptId,
+        now: Timestamp,
+        config: QuotaConfig,
+    ) {
+        let bucket = config.bucket(now);
+        let counter = self
+            .counters
+            .entry(key(user, service, purpose))
+            .or_insert(QuotaCounter {
+                window_start: bucket,
+                used: 0,
+            });
+        if counter.window_start != bucket {
+            counter.window_start = bucket;
+            counter.used = 0;
+        }
+        counter.used += 1;
+    }
+
+    /// Reverts one charge — only for the fail-closed path where the
+    /// charge's durable record was lost: an uncharged counter must mean an
+    /// undisclosed row, never the other way around.
+    pub fn rollback(&mut self, user: UserId, service: &ServiceId, purpose: ConceptId) {
+        if let Some(counter) = self.counters.get_mut(&key(user, service, purpose)) {
+            counter.used = counter.used.saturating_sub(1);
+        }
+    }
+
+    /// Total charges across all counters' current windows (diagnostics).
+    pub fn total_used(&self) -> u64 {
+        self.counters.values().map(|c| u64::from(c.used)).sum()
+    }
+
+    /// Number of distinct (user, service, purpose) counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// True if no counter exists.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_ontology::Ontology;
+
+    fn setup() -> (UserId, ServiceId, ConceptId) {
+        let ont = Ontology::standard();
+        (
+            UserId(3),
+            ServiceId::new("concierge"),
+            ont.concepts().navigation,
+        )
+    }
+
+    #[test]
+    fn budget_exhausts_and_windows_roll() {
+        let (user, service, purpose) = setup();
+        let config = QuotaConfig {
+            budget: 2,
+            window_secs: Some(3600),
+        };
+        let mut ledger = QuotaLedger::new();
+        let now = Timestamp(100);
+        assert!(!ledger.exhausted(user, &service, purpose, now, config));
+        ledger.charge(user, &service, purpose, now, config);
+        ledger.charge(user, &service, purpose, now, config);
+        assert!(ledger.exhausted(user, &service, purpose, now, config));
+        // The next window grants a fresh budget.
+        let later = Timestamp(3700);
+        assert!(!ledger.exhausted(user, &service, purpose, later, config));
+        assert_eq!(ledger.used(user, &service, purpose, later, config), 0);
+        ledger.charge(user, &service, purpose, later, config);
+        assert_eq!(ledger.used(user, &service, purpose, later, config), 1);
+    }
+
+    #[test]
+    fn windowless_budgets_never_reset() {
+        let (user, service, purpose) = setup();
+        let config = QuotaConfig {
+            budget: 1,
+            window_secs: None,
+        };
+        let mut ledger = QuotaLedger::new();
+        ledger.charge(user, &service, purpose, Timestamp(5), config);
+        assert!(ledger.exhausted(user, &service, purpose, Timestamp(1_000_000_000), config));
+    }
+
+    #[test]
+    fn rollback_reverts_exactly_one_charge() {
+        let (user, service, purpose) = setup();
+        let config = QuotaConfig {
+            budget: 1,
+            window_secs: None,
+        };
+        let mut ledger = QuotaLedger::new();
+        ledger.charge(user, &service, purpose, Timestamp(5), config);
+        assert!(ledger.exhausted(user, &service, purpose, Timestamp(5), config));
+        ledger.rollback(user, &service, purpose);
+        assert!(!ledger.exhausted(user, &service, purpose, Timestamp(5), config));
+        // Rollback on an untouched ledger is a no-op, not a panic.
+        ledger.rollback(UserId(99), &service, purpose);
+    }
+
+    #[test]
+    fn ledger_round_trips_serde() {
+        let (user, service, purpose) = setup();
+        let config = QuotaConfig {
+            budget: 5,
+            window_secs: Some(60),
+        };
+        let mut ledger = QuotaLedger::new();
+        ledger.charge(user, &service, purpose, Timestamp(61), config);
+        let json = serde_json::to_string(&ledger).unwrap();
+        let back: QuotaLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ledger);
+        assert_eq!(back.used(user, &service, purpose, Timestamp(61), config), 1);
+    }
+}

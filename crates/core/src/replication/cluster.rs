@@ -415,7 +415,30 @@ impl Cluster {
         let is_authority =
             node == self.primary && self.nodes[node].is_leader && !self.nodes[node].fenced;
         if is_authority {
-            return Some(self.nodes[node].bms.handle_request(request, now));
+            self.nodes[node].bms.set_serve_follower(false);
+            let epoch = self.nodes[node].epoch();
+            let response = self.nodes[node].bms.handle_request(request, now);
+            // The release path can originate durable records of its own
+            // (disclosure-quota charges, scheduled retention sweeps):
+            // frame and ship them exactly as a write would, so replicas
+            // converge on the same ledger and store. Shipping is
+            // best-effort here — unshipped frames go out with the next
+            // write or heartbeat.
+            let records = self.nodes[node].bms.drain_record_tap();
+            if !records.is_empty() {
+                for record in records {
+                    let index = self.nodes[node].durable_index();
+                    let prev_epoch = self.nodes[node].frames.last().map_or(0, |f| f.epoch);
+                    self.nodes[node].frames.push(Frame {
+                        epoch,
+                        prev_epoch,
+                        index,
+                        record,
+                    });
+                }
+                let _ = self.ship_from(node);
+            }
+            return Some(response);
         }
         let mut local_now_ms = self.clock.now_ms();
         if self.plan.is_armed(FaultPoint::ClockSkew) && self.plan.should_fail(FaultPoint::ClockSkew)
@@ -428,6 +451,9 @@ impl Cluster {
             && !n.diverged
             && local_now_ms.saturating_sub(n.last_contact_ms) <= bound;
         if fresh {
+            // A follower serves check-only: it never originates quota
+            // charges or sweeps — its ledger moves through shipped records.
+            n.bms.set_serve_follower(true);
             Some(n.bms.handle_request(request, now))
         } else {
             Some(n.bms.stale_response(request, now))
@@ -530,6 +556,7 @@ impl Cluster {
         self.nodes[node].is_leader = true;
         self.nodes[node].fenced = false;
         self.nodes[node].diverged = false;
+        self.nodes[node].bms.set_serve_follower(false);
         self.primary = node;
         // The new primary has no ack knowledge yet; peers re-ack from 0
         // (acks are idempotent maxes, so re-shipping is safe).
@@ -711,5 +738,9 @@ pub fn replay(
         node.bms.record_and_log(frame.record.clone())?;
         node.bms.drain_record_tap();
     }
+    // The reference answers like a follower: check-only on quotas, never
+    // sweeping — so probing it repeatedly cannot drift its ledger away
+    // from the node it stands in for.
+    node.bms.set_serve_follower(true);
     Ok(node.bms)
 }

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 use tippers_policy::UserPreference;
 
 use crate::audit::AuditLog;
+use crate::quota::QuotaLedger;
 use crate::store::Store;
 
 /// The snapshot format version this build writes and accepts.
@@ -38,6 +39,11 @@ pub struct Snapshot {
     pub next_preference_id: u64,
     /// The audit log, including undelivered user notifications.
     pub audit: AuditLog,
+    /// Disclosure-quota counters (`default` so snapshots written before
+    /// quotas existed still recover — to empty budgets, which is the
+    /// correct reading of a log that never charged any).
+    #[serde(default)]
+    pub quotas: QuotaLedger,
 }
 
 impl Snapshot {
@@ -122,6 +128,7 @@ mod tests {
             preferences: Vec::new(),
             next_preference_id: 0,
             audit: AuditLog::new(),
+            quotas: QuotaLedger::new(),
         };
         let err = Snapshot::from_json(&snapshot.to_json()).unwrap_err();
         assert!(matches!(
@@ -147,6 +154,7 @@ mod tests {
             preferences: Vec::new(),
             next_preference_id: 7,
             audit: AuditLog::new(),
+            quotas: QuotaLedger::new(),
         };
         let back = Snapshot::from_json(&snapshot.to_json()).unwrap();
         assert_eq!(back, snapshot);

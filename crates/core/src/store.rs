@@ -174,18 +174,52 @@ impl Store {
     /// Deletes every row whose expiry has passed. Returns how many were
     /// deleted. Rebuilds indexes; O(n).
     pub fn gc(&mut self, now: Timestamp) -> usize {
-        let before = self.rows.len();
-        self.rows.retain(|r| r.expires_at.is_none_or(|e| e > now));
-        let removed = before - self.rows.len();
-        if removed > 0 {
-            self.by_subject.clear();
-            for (i, r) in self.rows.iter().enumerate() {
-                if let Some(user) = r.observation.subject {
-                    self.by_subject.entry(user).or_default().push(i);
-                }
+        self.gc_collect(now).len()
+    }
+
+    /// Like [`Store::gc`] but returns the deleted rows themselves — the
+    /// retention sweeper's input for deletion certificates and physical
+    /// `SweepDelete` replay.
+    pub fn gc_collect(&mut self, now: Timestamp) -> Vec<StoredRow> {
+        let mut deleted = Vec::new();
+        self.rows.retain(|r| {
+            if r.expires_at.is_none_or(|e| e > now) {
+                true
+            } else {
+                deleted.push(r.clone());
+                false
+            }
+        });
+        if !deleted.is_empty() {
+            self.rebuild_index();
+        }
+        deleted
+    }
+
+    /// Physically removes the given rows (each at most once, by equality)
+    /// — replaying a sweep's `SweepDelete` record. Returns how many were
+    /// actually removed.
+    pub fn remove_rows(&mut self, rows: &[StoredRow]) -> usize {
+        let mut removed = 0;
+        for target in rows {
+            if let Some(i) = self.rows.iter().position(|r| r == target) {
+                self.rows.remove(i);
+                removed += 1;
             }
         }
+        if removed > 0 {
+            self.rebuild_index();
+        }
         removed
+    }
+
+    fn rebuild_index(&mut self) {
+        self.by_subject.clear();
+        for (i, r) in self.rows.iter().enumerate() {
+            if let Some(user) = r.observation.subject {
+                self.by_subject.entry(user).or_default().push(i);
+            }
+        }
     }
 
     /// Deletes every row about `subject` in `category` (subsumption-aware)
@@ -202,12 +236,7 @@ impl Store {
         });
         let removed = before - self.rows.len();
         if removed > 0 {
-            self.by_subject.clear();
-            for (i, r) in self.rows.iter().enumerate() {
-                if let Some(user) = r.observation.subject {
-                    self.by_subject.entry(user).or_default().push(i);
-                }
-            }
+            self.rebuild_index();
         }
         removed
     }

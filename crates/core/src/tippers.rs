@@ -11,7 +11,7 @@ use tippers_irr::{DiscoveryBus, RegistryError, RegistryId};
 use tippers_ontology::{ConceptId, Ontology};
 use tippers_policy::{
     conflict, BuildingPolicy, Conflict, DataAction, Effect, PolicyId, PreferenceId,
-    ResolutionStrategy, Timestamp, UserGroup, UserId, UserPreference,
+    ResolutionStrategy, ServiceId, Timestamp, UserGroup, UserId, UserPreference,
 };
 use tippers_resilience::{
     ms_from_secs, AdmissionConfig, AdmissionController, AdmissionStats, BrownoutConfig,
@@ -22,10 +22,13 @@ use tippers_sensors::{BuildingSimulator, MacAddress, Observation, ObservationPay
 use tippers_spatial::{GranularLocation, Granularity, SpaceId, SpatialModel};
 
 use crate::aggregate::{bucketize, AggregateRequest, AggregateResponse};
-use crate::audit::{AuditLog, UserNotification};
+use crate::audit::chain::{AuditChain, ChainFault, SealedSegment, ARCHIVE_PREFIX, SEGMENT_RECORDS};
+use crate::audit::hash::{hex, sha256};
+use crate::audit::{AuditEntry, AuditLog, ChainEvent, DeletionCertificate, UserNotification};
 use crate::enforce::{EnforcementDecision, Enforcer, IndexedEnforcer, NaiveEnforcer, RequestFlow};
 use crate::policy_manager::PolicyManager;
 use crate::preference_manager::{PreferenceManager, SettingsError};
+use crate::quota::{QuotaConfig, QuotaLedger};
 use crate::request::{
     DataRequest, DataResponse, ReleasedRecord, ReleasedValue, SubjectResult, SubjectSelector,
 };
@@ -75,6 +78,17 @@ pub struct TippersConfig {
     /// Brownout ladder thresholds (consulted only when `admission` is
     /// set).
     pub brownout: BrownoutConfig,
+    /// Per-(user, service, purpose) disclosure budget enforced on the
+    /// release path. `None` (the default) disables quota enforcement;
+    /// when set, an exhausted budget — or a charge whose durable record
+    /// was lost — denies fail-closed with
+    /// [`crate::DecisionBasis::QuotaExceeded`].
+    pub quota: Option<QuotaConfig>,
+    /// Virtual-time retention-sweep period in seconds: when set, the BMS
+    /// runs [`Tippers::sweep`] from the request path whenever at least
+    /// this much virtual time has passed since the last sweep. `None`
+    /// (the default) leaves sweeping to explicit calls.
+    pub sweep_every_secs: Option<i64>,
 }
 
 impl Default for TippersConfig {
@@ -90,8 +104,21 @@ impl Default for TippersConfig {
             wal_segment_max_bytes: 1 << 20,
             admission: None,
             brownout: BrownoutConfig::default(),
+            quota: None,
+            sweep_every_secs: None,
         }
     }
+}
+
+/// In-flight provable-deletion bookkeeping between a sweep's `SweepBegin`
+/// and `SweepCommit` records.
+#[derive(Debug)]
+struct PendingSweep {
+    id: u64,
+    now: Timestamp,
+    rows: Vec<StoredRow>,
+    /// True once the `SweepDelete` record is durably logged (or replayed).
+    deleted_logged: bool,
 }
 
 #[derive(Debug)]
@@ -153,6 +180,33 @@ pub struct Tippers {
     /// current decision's effect matches the one the records were
     /// released under, so the cache can never out-release a decision.
     coarse_cache: HashMap<(String, UserId, ConceptId), (Effect, Vec<ReleasedRecord>)>,
+    /// Durable disclosure-budget ledger: rides in snapshots and is rebuilt
+    /// from replayed/shipped [`WalRecord::QuotaCharge`] records, so a
+    /// crash, checkpoint, or failover can never reset a budget.
+    quotas: QuotaLedger,
+    /// True on a node that serves reads but must not originate durable
+    /// records (a replication follower): quota checks still deny, but
+    /// charging and sweeping are the primary's job — the follower's
+    /// ledger moves only through shipped records.
+    serve_follower: bool,
+    /// Next retention-sweep id (monotone within one log history).
+    next_sweep_id: u64,
+    /// A sweep that logged `SweepBegin` but has not committed; recovery
+    /// finishes it exactly once.
+    pending_sweep: Option<PendingSweep>,
+    /// Virtual time the sweep schedule last fired (not durable state —
+    /// rederived from replayed `SweepBegin` records).
+    last_sweep_at: Option<Timestamp>,
+    /// Node-local tamper-evident journal over audited events: decision
+    /// audits and deletion certificates, HMAC-chained; full runs seal and
+    /// archive through the WAL backend.
+    audit_chain: AuditChain,
+    /// Sealed-segment archive writes that failed (the chain stays intact
+    /// in memory; only the durable copy is missing).
+    audit_archive_failures: u64,
+    /// Quota charges whose durable record was dropped — each one rolled
+    /// back and the request denied fail-closed.
+    quota_charge_drops: u64,
 }
 
 impl Tippers {
@@ -182,6 +236,14 @@ impl Tippers {
             replication_epoch: 0,
             record_tap: None,
             read_audit_divert: None,
+            quotas: QuotaLedger::new(),
+            serve_follower: false,
+            next_sweep_id: 1,
+            pending_sweep: None,
+            last_sweep_at: None,
+            audit_chain: AuditChain::new(),
+            audit_archive_failures: 0,
+            quota_charge_drops: 0,
         }
     }
 
@@ -232,11 +294,33 @@ impl Tippers {
         let faulty = FaultyLog::new(io, config.fault_plan.clone());
         let (wal, records, report) = Wal::open(Box::new(faulty), wal_config)?;
         let mut bms = Tippers::new(ontology, model, config);
+        // Resume the audit chain after the newest parseable archived
+        // segment *before* replay, so records the replay re-journals
+        // (deletion certificates) continue the sealed lineage. Unparseable
+        // segments are not skipped silently — `verify_audit_archive`
+        // reports them as [`ChainFault::Corrupt`].
+        let mut archived: Vec<SealedSegment> = wal
+            .archived(ARCHIVE_PREFIX)?
+            .into_iter()
+            .filter_map(|(_, bytes)| {
+                std::str::from_utf8(&bytes)
+                    .ok()
+                    .and_then(|text| serde_json::from_str::<SealedSegment>(text).ok())
+            })
+            .collect();
+        archived.sort_by_key(|s| s.first_seq);
+        if let Some(last) = archived.last() {
+            bms.audit_chain.resume_after(last);
+        }
         for record in records {
             bms.apply_record(record)?;
         }
         bms.wal_truncations = report.truncated_tails;
         bms.wal = Some(wal);
+        // A sweep interrupted between its records is finished now, while
+        // the log is writable again: the deletions land exactly once with
+        // the certificate the interrupted run would have committed.
+        bms.finish_pending_sweep();
         Ok((bms, report))
     }
 
@@ -292,6 +376,56 @@ impl Tippers {
             }
             WalRecord::Gc { now } => {
                 self.store.gc(now);
+            }
+            WalRecord::SweepBegin { id, now } => {
+                self.next_sweep_id = self.next_sweep_id.max(id + 1);
+                self.last_sweep_at = Some(now);
+                self.pending_sweep = Some(PendingSweep {
+                    id,
+                    now,
+                    rows: Vec::new(),
+                    deleted_logged: false,
+                });
+            }
+            WalRecord::SweepDelete { id, rows } => {
+                self.store.remove_rows(&rows);
+                if let Some(pending) = self.pending_sweep.as_mut().filter(|p| p.id == id) {
+                    pending.rows = rows;
+                    pending.deleted_logged = true;
+                }
+            }
+            WalRecord::SweepCommit {
+                id,
+                now,
+                rows,
+                digest,
+            } => {
+                let certificate = DeletionCertificate {
+                    sweep: id,
+                    time: now,
+                    rows,
+                    digest,
+                };
+                self.journal_deletion(&certificate);
+                self.audit.certify(certificate);
+                if self.pending_sweep.as_ref().is_some_and(|p| p.id == id) {
+                    self.pending_sweep = None;
+                }
+            }
+            WalRecord::QuotaCharge {
+                user,
+                service,
+                purpose,
+                now,
+            } => {
+                // Rebuild the ledger even when quotas are disabled on this
+                // node (a follower or a replay under a changed config): the
+                // windowless fallback keeps counters from silently resetting.
+                let config = self.config.quota.unwrap_or(QuotaConfig {
+                    budget: u32::MAX,
+                    window_secs: None,
+                });
+                self.quotas.charge(user, &service, purpose, now, config);
             }
             WalRecord::NewEpoch { epoch } => {
                 self.replication_epoch = self.replication_epoch.max(epoch);
@@ -371,7 +505,52 @@ impl Tippers {
         decision: &EnforcementDecision,
     ) {
         let sink = self.read_audit_divert.as_mut().unwrap_or(&mut self.audit);
-        sink.record(now, user, service, data, purpose, decision);
+        let entry = sink
+            .record(now, user, service, data, purpose, decision)
+            .clone();
+        self.journal_decision(&entry);
+    }
+
+    /// Journals an audited decision onto the tamper-evident chain. The
+    /// chain sees every decision this node makes, diverted or not: it is
+    /// the node's own witness statement, not replicated state.
+    fn journal_decision(&mut self, entry: &AuditEntry) {
+        let payload = serde_json::to_string(&ChainEvent::Decision {
+            entry: entry.clone(),
+        })
+        .expect("chain events serialize infallibly");
+        self.audit_chain.append(payload);
+        self.archive_audit_segments();
+    }
+
+    /// Journals a deletion certificate onto the tamper-evident chain.
+    fn journal_deletion(&mut self, certificate: &DeletionCertificate) {
+        let payload = serde_json::to_string(&ChainEvent::Deletion {
+            certificate: certificate.clone(),
+        })
+        .expect("chain events serialize infallibly");
+        self.audit_chain.append(payload);
+        self.archive_audit_segments();
+    }
+
+    /// Seals every full [`SEGMENT_RECORDS`]-record run of the chain and
+    /// archives the sealed segments through the WAL's log backend (where
+    /// the fault plan can corrupt them and verification must notice). A
+    /// non-durable BMS keeps its whole chain open in memory; archive
+    /// write failures are counted, never silently swallowed.
+    fn archive_audit_segments(&mut self) {
+        if self.wal.is_none() {
+            return;
+        }
+        for segment in self.audit_chain.seal(SEGMENT_RECORDS) {
+            let name = format!("{ARCHIVE_PREFIX}{:010}.seg", segment.first_seq);
+            let bytes =
+                serde_json::to_string(&segment).expect("sealed segments serialize infallibly");
+            let wal = self.wal.as_mut().expect("wal presence checked above");
+            if wal.archive(&name, bytes.as_bytes()).is_err() {
+                self.audit_archive_failures += 1;
+            }
+        }
     }
 
     /// The fail-closed answer of a replica that cannot prove its lag is
@@ -912,12 +1091,275 @@ impl Tippers {
     }
 
     /// Runs retention garbage collection. Returns rows deleted.
+    ///
+    /// The legacy single-record path: deletions are logged as one logical
+    /// [`WalRecord::Gc`] with no begin/commit bracket and no certificate.
+    /// The provable path is [`Tippers::sweep`].
     pub fn gc(&mut self, now: Timestamp) -> usize {
         let removed = self.store.gc(now);
         if removed > 0 {
             self.log(WalRecord::Gc { now });
         }
         removed
+    }
+
+    // ---- enforced retention (provable deletion) ------------------------------
+
+    /// Runs one provable retention sweep: expired rows are deleted and the
+    /// deletion bracketed in the log ([`WalRecord::SweepBegin`], the
+    /// physical [`WalRecord::SweepDelete`], [`WalRecord::SweepCommit`]),
+    /// and a [`DeletionCertificate`] is recorded in the audit log and
+    /// journaled on the tamper-evident chain. Crash-safe: recovery
+    /// finishes a sweep interrupted at any record boundary, so every
+    /// expired row is deleted exactly once with a matching certificate.
+    /// Returns rows deleted.
+    pub fn sweep(&mut self, now: Timestamp) -> usize {
+        self.finish_pending_sweep();
+        self.last_sweep_at = Some(now);
+        let rows = self.store.gc_collect(now);
+        if rows.is_empty() {
+            return 0;
+        }
+        let id = self.next_sweep_id;
+        self.next_sweep_id += 1;
+        let count = rows.len();
+        self.log(WalRecord::SweepBegin { id, now });
+        self.log(WalRecord::SweepDelete {
+            id,
+            rows: rows.clone(),
+        });
+        self.pending_sweep = Some(PendingSweep {
+            id,
+            now,
+            rows,
+            deleted_logged: true,
+        });
+        if self.config.fault_plan.should_fail(FaultPoint::SweepCrash) {
+            // Injected crash window: the commit record never lands. The
+            // pending sweep stays open for recovery (or the next sweep)
+            // to finish exactly once.
+            return count;
+        }
+        self.commit_pending_sweep();
+        count
+    }
+
+    /// True while a sweep has begun but not committed.
+    pub fn sweep_in_progress(&self) -> bool {
+        self.pending_sweep.is_some()
+    }
+
+    /// Fires the configured virtual-time sweep schedule
+    /// ([`TippersConfig::sweep_every_secs`]): sweeps when at least one
+    /// period of virtual time has passed since the last sweep. Followers
+    /// never sweep — they replay the primary's shipped sweep records.
+    fn maybe_sweep(&mut self, now: Timestamp) {
+        let Some(every) = self.config.sweep_every_secs else {
+            return;
+        };
+        if self.serve_follower {
+            return;
+        }
+        let due = self
+            .last_sweep_at
+            .is_none_or(|last| now.seconds().saturating_sub(last.seconds()) >= every);
+        if due {
+            self.sweep(now);
+        }
+    }
+
+    /// Finishes a sweep interrupted between its WAL records: if the
+    /// deleted-rows record never landed the expired rows are re-collected
+    /// (replay reproduces the interrupted run's store state, so the rows —
+    /// and therefore the certificate digest — come out identical), then
+    /// the commit follows.
+    fn finish_pending_sweep(&mut self) {
+        let Some(pending) = self.pending_sweep.as_ref() else {
+            return;
+        };
+        if !pending.deleted_logged {
+            let (id, now) = (pending.id, pending.now);
+            let rows = self.store.gc_collect(now);
+            if let Some(p) = self.pending_sweep.as_mut() {
+                p.rows = rows.clone();
+                p.deleted_logged = true;
+            }
+            self.log(WalRecord::SweepDelete { id, rows });
+        }
+        self.commit_pending_sweep();
+    }
+
+    /// Commits the pending sweep: derives the deletion digest, records
+    /// and journals the certificate, and logs [`WalRecord::SweepCommit`].
+    fn commit_pending_sweep(&mut self) {
+        let Some(pending) = self.pending_sweep.take() else {
+            return;
+        };
+        let digest = deletion_digest(pending.id, pending.now, &pending.rows);
+        let certificate = DeletionCertificate {
+            sweep: pending.id,
+            time: pending.now,
+            rows: pending.rows.len() as u64,
+            digest: digest.clone(),
+        };
+        self.journal_deletion(&certificate);
+        self.audit.certify(certificate);
+        self.log(WalRecord::SweepCommit {
+            id: pending.id,
+            now: pending.now,
+            rows: pending.rows.len() as u64,
+            digest,
+        });
+    }
+
+    /// All deletion certificates, oldest first.
+    pub fn deletion_certificates(&self) -> &[DeletionCertificate] {
+        self.audit.certificates()
+    }
+
+    // ---- accountability (tamper-evident audit) -------------------------------
+
+    /// The node-local tamper-evident audit chain (read-only).
+    pub fn audit_chain(&self) -> &AuditChain {
+        &self.audit_chain
+    }
+
+    /// Verifies the chain's open (unsealed) run: sequence continuity,
+    /// linkage, and every record MAC. Returns records checked.
+    ///
+    /// # Errors
+    ///
+    /// The first [`ChainFault`] found.
+    pub fn verify_audit_chain(&self) -> Result<u64, ChainFault> {
+        self.audit_chain.verify()
+    }
+
+    /// Loads every archived sealed segment from the log backend and
+    /// verifies the full lineage: each segment internally, segment-to-
+    /// segment linkage from genesis, and continuity with the live chain
+    /// (so truncating the archive's tail is detected too). Returns
+    /// archived records checked.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainFault::Corrupt`] for a segment that no longer parses, or
+    /// the first lineage/MAC/root fault found.
+    pub fn verify_audit_archive(&self) -> Result<u64, ChainFault> {
+        let Some(wal) = self.wal.as_ref() else {
+            return self.audit_chain.verify_archive(&[]);
+        };
+        let archived = wal
+            .archived(ARCHIVE_PREFIX)
+            .map_err(|_| ChainFault::Corrupt {
+                name: ARCHIVE_PREFIX.to_owned(),
+            })?;
+        let mut segments = Vec::with_capacity(archived.len());
+        for (name, bytes) in archived {
+            let parsed = std::str::from_utf8(&bytes)
+                .ok()
+                .and_then(|text| serde_json::from_str::<SealedSegment>(text).ok());
+            match parsed {
+                Some(segment) => segments.push(segment),
+                None => return Err(ChainFault::Corrupt { name }),
+            }
+        }
+        segments.sort_by_key(|s| s.first_seq);
+        self.audit_chain.verify_archive(&segments)
+    }
+
+    /// Sealed-segment archive writes that failed since open.
+    pub fn audit_archive_failures(&self) -> u64 {
+        self.audit_archive_failures
+    }
+
+    // ---- disclosure quotas ---------------------------------------------------
+
+    /// Budget units `(user, service, purpose)` has consumed in the window
+    /// containing `now` (0 when quotas are disabled).
+    pub fn quota_used(
+        &self,
+        user: UserId,
+        service: &ServiceId,
+        purpose: ConceptId,
+        now: Timestamp,
+    ) -> u32 {
+        self.config.quota.map_or(0, |config| {
+            self.quotas.used(user, service, purpose, now, config)
+        })
+    }
+
+    /// Quota charges whose durable record was dropped — each one rolled
+    /// back and its request denied fail-closed.
+    pub fn quota_charge_drops(&self) -> u64 {
+        self.quota_charge_drops
+    }
+
+    /// Marks this node a replication follower (or primary again): a
+    /// follower serves reads check-only — it never originates quota
+    /// charges or sweeps; its durable state moves only through shipped
+    /// records.
+    pub(crate) fn set_serve_follower(&mut self, follower: bool) {
+        self.serve_follower = follower;
+    }
+
+    /// Applies the disclosure budget to one subject's decision on the
+    /// release path: exhausted budgets — and charges whose durable record
+    /// was dropped — turn a permit into a fail-closed
+    /// [`crate::DecisionBasis::QuotaExceeded`] denial, which is audited
+    /// like any other decision.
+    fn apply_quota(
+        &mut self,
+        user: UserId,
+        request: &DataRequest,
+        now: Timestamp,
+        decision: EnforcementDecision,
+    ) -> EnforcementDecision {
+        let Some(config) = self.config.quota else {
+            return decision;
+        };
+        if !decision.permits() {
+            return decision;
+        }
+        if self
+            .quotas
+            .exhausted(user, &request.service, request.purpose, now, config)
+        {
+            return EnforcementDecision::quota_exceeded();
+        }
+        if self.serve_follower {
+            // Followers check but never charge: the primary's shipped
+            // QuotaCharge records drive this ledger.
+            return decision;
+        }
+        if self
+            .config
+            .fault_plan
+            .should_fail(FaultPoint::QuotaCounterDrop)
+        {
+            // The durable charge was dropped before it could land: deny
+            // rather than disclose against an uncharged budget.
+            self.quota_charge_drops += 1;
+            return EnforcementDecision::quota_exceeded();
+        }
+        self.quotas
+            .charge(user, &request.service, request.purpose, now, config);
+        let failures_before = self.wal_append_failures;
+        self.log(WalRecord::QuotaCharge {
+            user,
+            service: request.service.clone(),
+            purpose: request.purpose,
+            now,
+        });
+        if self.wal_append_failures > failures_before {
+            // The charge is in memory but not durable: roll it back and
+            // fail closed — an uncharged counter must mean an undisclosed
+            // row, never the other way around.
+            self.quotas
+                .rollback(user, &request.service, request.purpose);
+            self.quota_charge_drops += 1;
+            return EnforcementDecision::quota_exceeded();
+        }
+        decision
     }
 
     // ---- snapshot & recovery -------------------------------------------------
@@ -934,6 +1376,7 @@ impl Tippers {
             preferences,
             next_preference_id,
             audit: self.audit.clone(),
+            quotas: self.quotas.clone(),
         }
     }
 
@@ -979,6 +1422,7 @@ impl Tippers {
         self.preferences =
             PreferenceManager::from_parts(snapshot.preferences, snapshot.next_preference_id);
         self.audit = snapshot.audit;
+        self.quotas = snapshot.quotas;
         self.enforcer = None;
         Ok(())
     }
@@ -1023,6 +1467,9 @@ impl Tippers {
             }
             admitted = true;
         }
+        // Stage 3: the retention schedule rides the request path (the only
+        // place virtual time flows through a live BMS).
+        self.maybe_sweep(now);
         self.ensure_enforcer();
         let subjects = self.subjects_of(request, now);
         // Virtual cost per subject: lets the deadline expire *mid-request*,
@@ -1062,6 +1509,10 @@ impl Tippers {
                     None => EnforcementDecision::fail_closed(),
                 }
             };
+            // The disclosure budget gates the release *before* the audit
+            // record, so an exhausted budget is audited as the
+            // QuotaExceeded denial it produced.
+            let decision = self.apply_quota(user, request, now, decision);
             self.record_decision(
                 now,
                 user,
@@ -1443,4 +1894,19 @@ impl Tippers {
         });
         self.health.mark_recovered();
     }
+}
+
+/// The deletion digest a [`DeletionCertificate`] carries: SHA-256 (hex)
+/// over the sweep id, sweep time, and the canonical JSON of every deleted
+/// row. A pure function of the `SweepDelete` record's contents, so
+/// recovery finishing an interrupted sweep re-derives exactly the digest
+/// the uninterrupted run would have committed, and replicas replaying the
+/// commit can match certificates byte-for-byte.
+fn deletion_digest(id: u64, now: Timestamp, rows: &[StoredRow]) -> String {
+    let mut input = format!("sweep:{id:016x}:{}:", now.seconds());
+    for row in rows {
+        input.push_str(&serde_json::to_string(row).expect("stored rows serialize infallibly"));
+        input.push('\n');
+    }
+    hex(&sha256(input.as_bytes()))
 }

@@ -322,6 +322,20 @@ impl<I: LogIo> LogIo for FaultyLog<I> {
     }
 
     fn append(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        // Archived audit segments have their own corruption fault point:
+        // flipping a bit inside sealed history is exactly the tampering
+        // the chain's verification must catch, while the torn/flip faults
+        // above model *log* failures recovery truncates away.
+        if name.starts_with("audit-") {
+            if self.plan.should_fail(FaultPoint::AuditBitFlip) && !bytes.is_empty() {
+                let mut corrupted = bytes.to_vec();
+                let offset = self.plan.param(FaultPoint::AuditBitFlip).unsigned_abs() as usize
+                    % corrupted.len();
+                corrupted[offset] ^= 1 << (offset % 8);
+                return self.inner.append(name, &corrupted);
+            }
+            return self.inner.append(name, bytes);
+        }
         if self.plan.should_fail(FaultPoint::WalAppendTorn) {
             let param = self.plan.param(FaultPoint::WalAppendTorn);
             let keep = if param > 0 {

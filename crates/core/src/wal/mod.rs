@@ -298,6 +298,49 @@ impl Wal {
         Ok(())
     }
 
+    /// Writes an immutable auxiliary blob (e.g. a sealed audit segment)
+    /// into the log directory and syncs it. Archive files share the
+    /// [`LogIo`] backend — and therefore its injectable failure modes —
+    /// but are invisible to recovery's segment scan (non-`wal-*` names are
+    /// skipped) and to checkpoint compaction (which removes only live log
+    /// segments).
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O failures.
+    pub fn archive(&mut self, name: &str, bytes: &[u8]) -> Result<(), WalError> {
+        assert!(
+            parse_segment_name(name).is_none() && !name.ends_with(".tmp"),
+            "archive names must not collide with log segments"
+        );
+        self.io.append(name, bytes)?;
+        self.io.sync(name)?;
+        Ok(())
+    }
+
+    /// Reads every archived blob whose name starts with `prefix`, sorted
+    /// by name (archive names embed zero-padded sequence numbers, so name
+    /// order is chain order).
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O failures.
+    pub fn archived(&self, prefix: &str) -> Result<Vec<(String, Vec<u8>)>, WalError> {
+        let mut names: Vec<String> = self
+            .io
+            .list()?
+            .into_iter()
+            .filter(|n| n.starts_with(prefix))
+            .collect();
+        names.sort();
+        let mut out = Vec::with_capacity(names.len());
+        for name in names {
+            let bytes = self.io.read(&name)?;
+            out.push((name, bytes));
+        }
+        Ok(out)
+    }
+
     /// Publishes a checkpoint: writes `record` (which must carry the full
     /// durable state) into a fresh segment via a temp file, syncs and
     /// verifies it, atomically renames it live, then drops all older
@@ -558,5 +601,43 @@ mod tests {
         drop(wal);
         let (_, records, _) = open_mem(&mem, 1 << 20);
         assert_eq!(records, vec![record]);
+    }
+
+    #[test]
+    fn archive_blobs_survive_recovery_and_checkpoint() {
+        let mem = MemLog::new();
+        let (mut wal, _, _) = open_mem(&mem, 1 << 20);
+        wal.append(&sample(1)).unwrap();
+        wal.archive("audit-0000000000.seg", b"sealed segment zero")
+            .unwrap();
+        wal.archive("audit-0000000064.seg", b"sealed segment one")
+            .unwrap();
+
+        // Invisible to the recovery scan: reopening replays only records.
+        drop(wal);
+        let (mut wal, records, report) = open_mem(&mem, 1 << 20);
+        assert_eq!(records.len(), 1);
+        assert_eq!(report.truncated_tails, 0);
+
+        // Checkpoint compaction removes only live wal segments.
+        let snapshot = crate::Tippers::new(
+            tippers_ontology::Ontology::standard(),
+            tippers_spatial::fixtures::dbh().model,
+            crate::TippersConfig::default(),
+        )
+        .snapshot();
+        wal.checkpoint(&WalRecord::Checkpoint {
+            snapshot,
+            policies: Vec::new(),
+            next_policy_id: 0,
+        })
+        .unwrap();
+        let archived = wal.archived("audit-").unwrap();
+        assert_eq!(
+            archived.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            ["audit-0000000000.seg", "audit-0000000064.seg"],
+            "archive ordering is name order"
+        );
+        assert_eq!(archived[0].1, b"sealed segment zero");
     }
 }

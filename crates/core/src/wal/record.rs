@@ -8,7 +8,10 @@
 //! original run consumed.
 
 use serde::{Deserialize, Serialize};
-use tippers_policy::{BuildingPolicy, PolicyId, PreferenceId, Timestamp, UserId, UserPreference};
+use tippers_ontology::ConceptId;
+use tippers_policy::{
+    BuildingPolicy, PolicyId, PreferenceId, ServiceId, Timestamp, UserId, UserPreference,
+};
 
 use crate::snapshot::Snapshot;
 use crate::store::StoredRow;
@@ -71,9 +74,56 @@ pub enum WalRecord {
         /// The stored rows, in insertion order.
         rows: Vec<StoredRow>,
     },
-    /// `Tippers::gc` (logged only when rows were deleted).
+    /// `Tippers::gc` (logged only when rows were deleted). The legacy
+    /// single-record logical sweep, kept for replaying pre-sweeper logs;
+    /// the provable path is `SweepBegin`/`SweepDelete`/`SweepCommit`.
     Gc {
         /// The sweep time.
+        now: Timestamp,
+    },
+    /// A retention sweep opened (`Tippers::sweep`). A begin without a
+    /// matching commit marks a sweep that crashed mid-flight; recovery
+    /// finishes it exactly once.
+    SweepBegin {
+        /// Sweep identifier, unique within one log history.
+        id: u64,
+        /// Virtual time the sweep runs at.
+        now: Timestamp,
+    },
+    /// The rows a retention sweep physically deleted. Physical like
+    /// `Ingest`: replay removes exactly these rows, so replicas and
+    /// recovery converge byte-for-byte with the sweeping primary.
+    SweepDelete {
+        /// The owning sweep.
+        id: u64,
+        /// The deleted rows, in store order.
+        rows: Vec<StoredRow>,
+    },
+    /// A retention sweep committed: the deletions are final and certified.
+    /// Replaying it re-issues the identical deletion certificate.
+    SweepCommit {
+        /// The owning sweep.
+        id: u64,
+        /// Virtual time the sweep ran at.
+        now: Timestamp,
+        /// Number of rows the sweep deleted.
+        rows: u64,
+        /// SHA-256 (hex) over the sweep id, time, and deleted-row JSON.
+        digest: String,
+    },
+    /// One disclosure-quota charge: a permitted release consumed one unit
+    /// of the (user, service, purpose) budget. Logged *before* the rows
+    /// leave the building — a charge that cannot be made durable rolls
+    /// back and the request is denied, so counters never regress below
+    /// what was actually disclosed.
+    QuotaCharge {
+        /// The data subject whose budget is charged.
+        user: UserId,
+        /// The requesting service.
+        service: ServiceId,
+        /// The declared purpose.
+        purpose: ConceptId,
+        /// Charge time (drives budget-window rollover).
         now: Timestamp,
     },
     /// An epoch fence (replicated enforcement): a replica durably records
@@ -143,6 +193,26 @@ mod tests {
                 user: UserId(5),
                 now: Timestamp(99),
                 text: "setting superseded during failover".into(),
+            },
+            WalRecord::SweepBegin {
+                id: 4,
+                now: Timestamp(5000),
+            },
+            WalRecord::SweepDelete {
+                id: 4,
+                rows: Vec::new(),
+            },
+            WalRecord::SweepCommit {
+                id: 4,
+                now: Timestamp(5000),
+                rows: 12,
+                digest: "ab".repeat(32),
+            },
+            WalRecord::QuotaCharge {
+                user: UserId(9),
+                service: ServiceId::new("concierge"),
+                purpose: tippers_ontology::Ontology::standard().concepts().navigation,
+                now: Timestamp(77),
             },
         ];
         for record in records {

@@ -63,11 +63,24 @@ pub enum FaultPoint {
     /// parameter, when positive, identifies the isolated node); while
     /// armed, frames and acks crossing the cut are dropped symmetrically.
     Partition,
+    /// A flipped bit inside an archived, sealed audit segment (the rule's
+    /// parameter is the byte offset within the archived blob; the bit
+    /// within the byte follows from `offset % 8`). Audit-chain
+    /// verification must catch it.
+    AuditBitFlip,
+    /// A crash between a retention sweep's deleted-rows record and its
+    /// commit record: the sweep stays uncommitted and recovery must finish
+    /// it exactly once.
+    SweepCrash,
+    /// A dropped disclosure-quota charge: the in-memory counter bumps but
+    /// the durable record is lost. The release path must roll back and
+    /// fail closed rather than disclose an unaccounted read.
+    QuotaCounterDrop,
 }
 
 impl FaultPoint {
     /// Every defined injection point.
-    pub const ALL: [FaultPoint; 15] = [
+    pub const ALL: [FaultPoint; 18] = [
         FaultPoint::RegistryDiscover,
         FaultPoint::RegistryFetch,
         FaultPoint::PolicyPublish,
@@ -83,6 +96,9 @@ impl FaultPoint {
         FaultPoint::ReplFrameReorder,
         FaultPoint::ReplAckDelay,
         FaultPoint::Partition,
+        FaultPoint::AuditBitFlip,
+        FaultPoint::SweepCrash,
+        FaultPoint::QuotaCounterDrop,
     ];
 }
 
@@ -104,6 +120,9 @@ impl fmt::Display for FaultPoint {
             FaultPoint::ReplFrameReorder => "repl-frame-reorder",
             FaultPoint::ReplAckDelay => "repl-ack-delay",
             FaultPoint::Partition => "partition",
+            FaultPoint::AuditBitFlip => "audit-bit-flip",
+            FaultPoint::SweepCrash => "sweep-crash",
+            FaultPoint::QuotaCounterDrop => "quota-counter-drop",
         };
         f.write_str(name)
     }

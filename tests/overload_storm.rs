@@ -58,6 +58,9 @@ fn storm_bms(admission: Option<AdmissionConfig>) -> Tippers {
         building.model.clone(),
         TippersConfig {
             admission,
+            // The retention sweeper rides the storm: the virtual-time
+            // schedule fires from the request path even under overload.
+            sweep_every_secs: Some(60),
             ..TippersConfig::default()
         },
     );
@@ -73,6 +76,30 @@ fn storm_bms(admission: Option<AdmissionConfig>) -> Tippers {
     for p in gen_policies(12, &ontology, &building, &service_pool(3), 11) {
         bms.add_policy(p);
     }
+    // Short-retention rows already expired when the storm starts at 9:00:
+    // the first scheduled sweep must reap and certify them mid-storm.
+    let c = ontology.concepts().clone();
+    bms.add_policy(
+        tippers_policy::BuildingPolicy::new(
+            PolicyId(0),
+            "Storm metering",
+            building.building,
+            c.power_consumption,
+            c.energy_management,
+        )
+        .with_actions(tippers_policy::ActionSet::ALL)
+        .with_retention("PT1H".parse().unwrap()),
+    );
+    let expired: Vec<tippers_sensors::Observation> = (0..USERS as u64)
+        .map(|u| tippers_sensors::Observation {
+            device: tippers_sensors::DeviceId(u as u32),
+            timestamp: Timestamp::at(0, 6, 0),
+            space: building.offices[0],
+            payload: tippers_sensors::ObservationPayload::PowerReading { watts: 100.0 },
+            subject: Some(UserId(u)),
+        })
+        .collect();
+    assert_eq!(bms.ingest(&expired).0, USERS);
     bms
 }
 
@@ -170,6 +197,20 @@ fn storm_sheds_fail_closed_and_emergency_survives() {
         .filter(|e| e.basis == DecisionBasis::Overload)
         .count();
     assert_eq!(audited_sheds, sheds, "every shed is audited (seed {seed})");
+    // The scheduled retention sweeper kept running under overload: the
+    // expired pre-storm rows were reaped and certified mid-storm, and the
+    // tamper-evident journal stayed intact.
+    assert!(
+        bms.deletion_certificates()
+            .iter()
+            .map(|cert| cert.rows)
+            .sum::<u64>()
+            >= USERS as u64,
+        "the storm must not starve the sweep schedule (seed {seed})"
+    );
+    assert!(!bms.sweep_in_progress());
+    bms.verify_audit_chain()
+        .expect("chain stays verifiable under overload");
 }
 
 #[test]

@@ -74,7 +74,13 @@ fn build(plan: &FaultPlan, clock: &VirtualClock) -> Fixture {
     let building = sim.dbh().clone();
     let occupants = sim.occupants().to_vec();
     let users: Vec<UserId> = occupants.iter().map(|o| o.user).collect();
-    let config = TippersConfig::default();
+    let config = TippersConfig {
+        // The retention sweeper rides the storm: the primary's scheduled
+        // sweeps fire from the read path, and their bracketed records
+        // replicate like any write.
+        sweep_every_secs: Some(600),
+        ..TippersConfig::default()
+    };
     let mut cluster = Cluster::new(
         ReplicationConfig::default(),
         plan.clone(),
@@ -89,11 +95,25 @@ fn build(plan: &FaultPlan, clock: &VirtualClock) -> Fixture {
     let p1 = catalog::policy1_thermostat(PolicyId(0), building.building, &ontology)
         .with_setting(BuildingPolicy::location_setting());
     let p2 = catalog::policy2_emergency_location(PolicyId(0), building.building, &ontology);
+    // Short-retention metering rows, already expired when the storm
+    // starts: the first authoritative read's scheduled sweep reaps them
+    // and the deletion certificate replicates to every node.
+    let c = ontology.concepts().clone();
+    let metering = BuildingPolicy::new(
+        PolicyId(0),
+        "Storm metering",
+        building.building,
+        c.power_consumption,
+        c.energy_management,
+    )
+    .with_actions(tippers_policy::ActionSet::ALL)
+    .with_retention("PT1H".parse().unwrap());
     let mut pid = PolicyId(0);
     let outcome = cluster
         .write_to(0, |bms| {
             pid = bms.add_policy(p1);
             bms.add_policy(p2);
+            bms.add_policy(metering);
         })
         .expect("seed policies");
     assert!(
@@ -102,9 +122,21 @@ fn build(plan: &FaultPlan, clock: &VirtualClock) -> Fixture {
     );
     sim.set_clock(Timestamp::at(0, 8, 0));
     let trace = sim.run_until(Timestamp::at(0, 8, 30));
+    let expired: Vec<tippers_sensors::Observation> = occupants
+        .iter()
+        .enumerate()
+        .map(|(i, o)| tippers_sensors::Observation {
+            device: tippers_sensors::DeviceId(i as u32),
+            timestamp: Timestamp::at(0, 6, 0),
+            space: building.offices[0],
+            payload: tippers_sensors::ObservationPayload::PowerReading { watts: 100.0 },
+            subject: Some(o.user),
+        })
+        .collect();
     cluster
         .write_to(0, |bms| {
             bms.ingest(&trace.observations);
+            bms.ingest(&expired);
         })
         .expect("seed observations");
 
@@ -386,6 +418,21 @@ fn nemesis_storm_loses_no_commit_acks_no_split_brain_and_converges() {
             fx.cluster.snapshot(i),
             final_snapshot,
             "node {i} snapshot diverged post-heal"
+        );
+    }
+    // The scheduled sweep fired on some authoritative read during the
+    // storm, and its deletion certificate replicated: every node holds an
+    // identical, non-empty certificate ledger.
+    let primary_certs = fx.cluster.node_bms(primary).deletion_certificates();
+    assert!(
+        primary_certs.iter().map(|cert| cert.rows).sum::<u64>() >= fx.users.len() as u64,
+        "the storm never ran a scheduled sweep over the expired rows"
+    );
+    for i in 0..NODES {
+        assert_eq!(
+            fx.cluster.node_bms(i).deletion_certificates(),
+            primary_certs,
+            "node {i} certificate ledger diverged post-heal"
         );
     }
     // The storm actually exercised the machinery.

@@ -1,0 +1,423 @@
+//! Crash-recovery fuzz for the provable retention sweeper.
+//!
+//! The same seeded workload as `wal_recovery_fuzz`, but every retention
+//! pass runs through [`Tippers::sweep`] — the bracketed
+//! `SweepBegin` / `SweepDelete` / `SweepCommit` protocol — instead of the
+//! legacy single-record `gc`. The harness then simulates a crash at every
+//! WAL record boundary *inside* each sweep (after the begin, after the
+//! physical delete, after the commit) and at torn cuts inside each of the
+//! three records, and asserts the acceptance invariant: recovery always
+//! lands on a state where every expired row was deleted **exactly once**
+//! and carries a deletion certificate whose digest matches the
+//! uninterrupted run's, byte for byte.
+//!
+//! Seeded via `TIPPERS_FAULT_SEED` (CI runs 7, 42 and 4711).
+
+use privacy_aware_buildings::prelude::*;
+use tippers::wal::{record_boundaries, MemLog};
+use tippers::{DeletionCertificate, FaultPlan, FaultPoint, RecoveryReport, StoredRow};
+use tippers_bench::{apply_mutation, gen_mutations, Mutation};
+use tippers_policy::{BuildingPolicy, UserPreference};
+use tippers_sensors::Occupant;
+use tippers_spatial::fixtures::Dbh;
+
+fn fault_seed() -> u64 {
+    std::env::var("TIPPERS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+struct Fixture {
+    ontology: Ontology,
+    building: Dbh,
+    occupants: Vec<Occupant>,
+    mutations: Vec<Mutation>,
+}
+
+fn fixture(n: usize) -> Fixture {
+    let ontology = Ontology::standard();
+    let (building, occupants, mutations) = gen_mutations(n, &ontology, fault_seed());
+    Fixture {
+        ontology,
+        building,
+        occupants,
+        mutations,
+    }
+}
+
+/// Applies one workload mutation, routing retention passes through the
+/// provable sweeper instead of the legacy single-record gc.
+fn apply(bms: &mut Tippers, mutation: &Mutation) {
+    match mutation {
+        Mutation::Gc(now) => {
+            bms.sweep(*now);
+        }
+        other => apply_mutation(bms, other),
+    }
+}
+
+type DurableState = (Vec<StoredRow>, Vec<UserPreference>, Vec<BuildingPolicy>);
+
+fn durable_state(bms: &Tippers) -> DurableState {
+    (
+        bms.store().iter().cloned().collect(),
+        bms.preferences().to_vec(),
+        bms.policies().to_vec(),
+    )
+}
+
+fn recover(log: &MemLog, fx: &Fixture) -> (Tippers, RecoveryReport) {
+    Tippers::open_with(
+        Box::new(log.clone()),
+        fx.ontology.clone(),
+        fx.building.model.clone(),
+        TippersConfig::default(),
+    )
+    .expect("recovery must never error on a crashed log")
+}
+
+fn current_segment(log: &MemLog) -> String {
+    log.file_names()
+        .into_iter()
+        .filter(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        .max()
+        .expect("log has a current segment")
+}
+
+/// Runs the full workload durably, deep-copying the log directory and
+/// capturing the in-memory state and certificate ledger after every
+/// mutation.
+#[allow(clippy::type_complexity)]
+fn run_workload(
+    fx: &Fixture,
+) -> (
+    Vec<MemLog>,
+    Vec<DurableState>,
+    Vec<Vec<DeletionCertificate>>,
+) {
+    let log = MemLog::new();
+    let (mut bms, report) = recover(&log, fx);
+    assert_eq!(report.records_replayed, 0);
+    bms.register_occupants(&fx.occupants);
+
+    let mut copies = vec![log.deep_copy()];
+    let mut expected = vec![durable_state(&bms)];
+    let mut certs = vec![bms.deletion_certificates().to_vec()];
+    for m in &fx.mutations {
+        apply(&mut bms, m);
+        copies.push(log.deep_copy());
+        expected.push(durable_state(&bms));
+        certs.push(bms.deletion_certificates().to_vec());
+    }
+    assert_eq!(bms.wal_append_failures(), 0, "clean run loses no appends");
+    assert!(!bms.sweep_in_progress(), "clean sweeps always commit");
+    bms.verify_audit_archive()
+        .expect("clean run's audit archive verifies");
+    let swept: u64 = certs.last().unwrap().iter().map(|c| c.rows).sum();
+    assert!(swept > 0, "the workload's sweeps must actually delete rows");
+    (copies, expected, certs)
+}
+
+/// Crash at every record boundary inside every sweep — and at torn cuts
+/// inside each of the sweep's three records — then recover and check the
+/// exactly-once deletion-with-certificate invariant.
+#[test]
+fn crash_at_any_boundary_mid_sweep_deletes_exactly_once_with_certificate() {
+    let fx = fixture(220);
+    let (copies, expected, certs) = run_workload(&fx);
+
+    let mut effective_sweeps = 0usize;
+    let mut boundary_cuts = 0usize;
+    let mut torn_cuts = 0usize;
+    for i in 1..copies.len() {
+        if !matches!(fx.mutations[i - 1], Mutation::Gc(_)) {
+            continue;
+        }
+        if certs[i].len() == certs[i - 1].len() {
+            continue; // nothing expired: the sweep appended no records
+        }
+        let name = current_segment(&copies[i]);
+        let bytes = copies[i].file_bytes(&name).expect("segment exists");
+        let prev_len = copies[i - 1].file_bytes(&name).map_or(0, |b| b.len());
+        let bounds = record_boundaries(&bytes);
+        // The record boundaries this sweep appended, oldest first; a sweep
+        // that deleted rows is exactly SweepBegin + SweepDelete +
+        // SweepCommit (segments rotate only at checkpoints).
+        let new_bounds: Vec<usize> = bounds.into_iter().filter(|&b| b > prev_len).collect();
+        assert_eq!(
+            new_bounds.len(),
+            3,
+            "mutation {}: an effective sweep appends its three-record bracket",
+            i - 1
+        );
+        effective_sweeps += 1;
+
+        for (k, &end) in new_bounds.iter().enumerate() {
+            // Crash exactly at the record boundary: everything up to and
+            // including sweep record k survived.
+            let tampered = copies[i].deep_copy();
+            tampered.set_file(&name, bytes[..end].to_vec());
+            tampered.crash();
+            let (mut recovered, report) = recover(&tampered, &fx);
+            assert_eq!(
+                report.truncated_tails,
+                0,
+                "boundary {k} of mutation {}",
+                i - 1
+            );
+            assert!(
+                !recovered.sweep_in_progress(),
+                "recovery must close the sweep interrupted at boundary {k}"
+            );
+            // Wherever the crash fell, recovery finishes the sweep: the
+            // expired rows are gone and the certificate ledger matches the
+            // uninterrupted run's — same sweep ids, same digests.
+            assert_eq!(
+                durable_state(&recovered),
+                expected[i],
+                "boundary {k} of mutation {}",
+                i - 1
+            );
+            assert_eq!(
+                recovered.deletion_certificates(),
+                &certs[i][..],
+                "boundary {k} of mutation {}: certificate divergence",
+                i - 1
+            );
+            // Exactly once: re-sweeping at the same instant finds nothing.
+            let Mutation::Gc(now) = fx.mutations[i - 1] else {
+                unreachable!()
+            };
+            assert_eq!(recovered.sweep(now), 0, "double deletion after recovery");
+            recovered
+                .verify_audit_archive()
+                .expect("recovered chain verifies");
+            assert!(recovered.store().index_consistent());
+            boundary_cuts += 1;
+        }
+
+        // Torn cuts *inside* each sweep record: the cut record is
+        // truncated away, so recovery sees the bracket up to record k-1
+        // and must still converge — to the pre-sweep state when even the
+        // begin record was lost, to the fully-swept state otherwise.
+        for (k, &end) in new_bounds.iter().enumerate() {
+            let start = if k == 0 { prev_len } else { new_bounds[k - 1] };
+            let cut = start + (end - start) / 2;
+            if cut <= start || cut >= end {
+                continue;
+            }
+            let tampered = copies[i].deep_copy();
+            tampered.set_file(&name, bytes[..cut].to_vec());
+            let (recovered, report) = recover(&tampered, &fx);
+            assert_eq!(report.truncated_tails, 1, "cut inside sweep record {k}");
+            let (want_state, want_certs) = if k == 0 {
+                (&expected[i - 1], &certs[i - 1])
+            } else {
+                (&expected[i], &certs[i])
+            };
+            assert_eq!(
+                &durable_state(&recovered),
+                want_state,
+                "cut inside sweep record {k} of mutation {}",
+                i - 1
+            );
+            assert_eq!(
+                recovered.deletion_certificates(),
+                &want_certs[..],
+                "cut inside sweep record {k} of mutation {}",
+                i - 1
+            );
+            assert!(!recovered.sweep_in_progress());
+            assert!(recovered.store().index_consistent());
+            torn_cuts += 1;
+        }
+    }
+    assert!(
+        effective_sweeps >= 2,
+        "coverage: the workload produced only {effective_sweeps} effective sweeps"
+    );
+    assert!(boundary_cuts >= 3 * effective_sweeps.min(2));
+    assert!(torn_cuts >= effective_sweeps, "torn coverage: {torn_cuts}");
+}
+
+/// Non-sweep boundaries stay exact too: the sweeper changes nothing about
+/// recovery at the workload's other mutation boundaries.
+#[test]
+fn crash_at_every_mutation_boundary_recovers_exact_prefix_state() {
+    let fx = fixture(220);
+    let (copies, expected, certs) = run_workload(&fx);
+    for (i, copy) in copies.iter().enumerate() {
+        copy.crash();
+        let (recovered, report) = recover(copy, &fx);
+        assert_eq!(report.truncated_tails, 0, "boundary {i}");
+        assert_eq!(&durable_state(&recovered), &expected[i], "boundary {i}");
+        assert_eq!(
+            recovered.deletion_certificates(),
+            &certs[i][..],
+            "boundary {i}"
+        );
+        assert!(!recovered.sweep_in_progress(), "boundary {i}");
+        assert!(recovered.store().index_consistent(), "boundary {i}");
+    }
+}
+
+/// The dedicated crash window: [`FaultPoint::SweepCrash`] fires between
+/// the physical delete and the commit. The certificate must not exist
+/// before recovery (the sweep is open), and must exist exactly once after
+/// — whether recovery happens by restart or by the next scheduled sweep.
+#[test]
+fn injected_sweep_crash_commits_exactly_once() {
+    let thirty_one_days = Timestamp(31 * 86_400);
+    let build = |plan: FaultPlan| {
+        let ontology = Ontology::standard();
+        let building = dbh();
+        let log = MemLog::new();
+        let (mut bms, _) = Tippers::open_with(
+            Box::new(log.clone()),
+            ontology.clone(),
+            building.model.clone(),
+            TippersConfig {
+                fault_plan: plan,
+                ..TippersConfig::default()
+            },
+        )
+        .expect("open");
+        let c = ontology.concepts().clone();
+        bms.add_policy(
+            BuildingPolicy::new(
+                PolicyId(0),
+                "Energy metering",
+                building.building,
+                c.power_consumption,
+                c.energy_management,
+            )
+            .with_actions(tippers_policy::ActionSet::ALL)
+            .with_retention("P30D".parse().unwrap()),
+        );
+        let observations: Vec<_> = (9..17)
+            .map(|hour| tippers_sensors::Observation {
+                device: tippers_sensors::DeviceId(0),
+                timestamp: Timestamp::at(0, hour, 0),
+                space: building.offices[0],
+                payload: tippers_sensors::ObservationPayload::PowerReading { watts: 100.0 },
+                subject: Some(UserId(1)),
+            })
+            .collect();
+        let (stored, _) = bms.ingest(&observations);
+        assert_eq!(stored, 8);
+        (log, bms, ontology, building)
+    };
+
+    // Crash-and-restart recovery.
+    let plan = FaultPlan::seeded(fault_seed());
+    let (log, mut bms, ontology, building) = build(plan.clone());
+    plan.arm_limited(FaultPoint::SweepCrash, 1.0, 1);
+    assert_eq!(bms.sweep(thirty_one_days), 8);
+    assert!(bms.sweep_in_progress(), "the commit window was interrupted");
+    assert!(
+        bms.deletion_certificates().is_empty(),
+        "no certificate before the commit record"
+    );
+    drop(bms);
+    log.crash();
+    let (mut recovered, _) = Tippers::open_with(
+        Box::new(log.clone()),
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    )
+    .expect("recover");
+    assert!(!recovered.sweep_in_progress());
+    assert_eq!(recovered.store().len(), 0, "the delete survived the crash");
+    assert_eq!(recovered.deletion_certificates().len(), 1);
+    let cert = &recovered.deletion_certificates()[0];
+    assert_eq!(cert.rows, 8);
+    assert_eq!(cert.time, thirty_one_days);
+    assert_eq!(recovered.sweep(thirty_one_days), 0, "exactly once");
+    assert_eq!(recovered.deletion_certificates().len(), 1);
+    recovered.verify_audit_archive().expect("chain verifies");
+
+    // In-process recovery: the *next* sweep finishes the open bracket
+    // before starting its own.
+    let plan = FaultPlan::seeded(fault_seed());
+    let (_log, mut bms, _ontology, _building) = build(plan.clone());
+    plan.arm_limited(FaultPoint::SweepCrash, 1.0, 1);
+    assert_eq!(bms.sweep(thirty_one_days), 8);
+    assert!(bms.sweep_in_progress());
+    bms.sweep(Timestamp(32 * 86_400));
+    assert!(!bms.sweep_in_progress());
+    assert_eq!(bms.deletion_certificates().len(), 1);
+    assert_eq!(bms.deletion_certificates()[0].rows, 8);
+}
+
+/// The virtual-time schedule: with `sweep_every_secs` set, sweeps fire
+/// from the request path whenever a period of virtual time has elapsed —
+/// no external driver, no wall clock.
+#[test]
+fn virtual_time_schedule_sweeps_from_the_request_path() {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut bms = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig {
+            sweep_every_secs: Some(3_600),
+            ..TippersConfig::default()
+        },
+    );
+    let c = ontology.concepts().clone();
+    bms.add_policy(
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Energy metering",
+            building.building,
+            c.power_consumption,
+            c.energy_management,
+        )
+        .with_actions(tippers_policy::ActionSet::ALL)
+        .with_retention("P30D".parse().unwrap()),
+    );
+    let observe = |hour: u32| tippers_sensors::Observation {
+        device: tippers_sensors::DeviceId(0),
+        timestamp: Timestamp::at(0, hour, 0),
+        space: building.offices[0],
+        payload: tippers_sensors::ObservationPayload::PowerReading { watts: 100.0 },
+        subject: Some(UserId(1)),
+    };
+    let observations: Vec<_> = (9..17).map(observe).collect();
+    assert_eq!(bms.ingest(&observations).0, 8);
+
+    let request = tippers::DataRequest {
+        service: ServiceId::new("analytics"),
+        purpose: c.energy_management,
+        data: c.power_consumption,
+        subjects: SubjectSelector::One(UserId(1)),
+        from: Timestamp(0),
+        to: Timestamp(40 * 86_400),
+        requester_space: None,
+        priority: Default::default(),
+        deadline: None,
+    };
+
+    // First request after the rows expire: the schedule fires and certifies.
+    let t0 = Timestamp(31 * 86_400);
+    bms.handle_request(&request, t0);
+    assert_eq!(bms.deletion_certificates().len(), 1);
+    assert_eq!(bms.deletion_certificates()[0].rows, 8);
+    assert_eq!(bms.store().len(), 0);
+
+    // New already-expired rows land, but the period has not elapsed: the
+    // next request must NOT sweep.
+    assert_eq!(bms.ingest(&[observe(10)]).0, 1);
+    bms.handle_request(&request, Timestamp(t0.0 + 1_800));
+    assert_eq!(bms.deletion_certificates().len(), 1, "sweep fired early");
+    assert_eq!(bms.store().len(), 1);
+
+    // One full period later the schedule fires again and reaps them.
+    bms.handle_request(&request, Timestamp(t0.0 + 3_600));
+    assert_eq!(bms.deletion_certificates().len(), 2);
+    assert_eq!(bms.deletion_certificates()[1].rows, 1);
+    assert_eq!(bms.store().len(), 0);
+    bms.verify_audit_chain().expect("chain verifies");
+}
