@@ -54,6 +54,11 @@ pub struct DeploymentCorpus {
     /// unbounded disclosure channel, which the accountability pass (TA010)
     /// reports.
     pub quotas: BTreeMap<String, u64>,
+    /// Declared capture-time ingest pipeline, when the deployment enforces
+    /// at capture (`None` = request-time enforcement only; the capture pass
+    /// is silent). Checked by the TA011 pass against the runtime's bounded
+    /// mailboxes and per-zone capture filters.
+    pub ingest: Option<IngestSpec>,
     /// Data categories considered sensitive: an inference leak reaching one
     /// of these is an error rather than a warning.
     pub sensitive: Vec<ConceptId>,
@@ -89,6 +94,7 @@ impl DeploymentCorpus {
             priorities: BTreeMap::new(),
             replication: None,
             quotas: BTreeMap::new(),
+            ingest: None,
             sensitive,
             space_aliases,
             strategy: ResolutionStrategy::default(),
@@ -185,6 +191,18 @@ impl DeploymentCorpus {
         corpus.services.extend(spec.services);
         corpus.priorities.extend(spec.priorities);
         corpus.replication = spec.replication;
+        if let Some(ingest) = spec.ingest {
+            for name in &ingest.capture_zones {
+                if corpus.resolve_space(name).is_none() {
+                    let seg = escape_pointer_segment(name);
+                    corpus.error(
+                        format!("/ingest/capture_zones/{seg}"),
+                        format!("unknown space `{name}`"),
+                    );
+                }
+            }
+            corpus.ingest = Some(ingest);
+        }
         for (key, budget) in spec.quotas {
             if corpus.ontology.purposes.id(&key).is_none() {
                 let seg = escape_pointer_segment(&key);
@@ -729,6 +747,23 @@ pub struct ReplicationSpec {
     pub staleness_bound_secs: Option<u64>,
 }
 
+/// Declared capture-time ingest pipeline of a deployment (the `"ingest"`
+/// key of a deployment spec): the per-zone mailbox bound and the spaces
+/// whose sensors feed through the capture filter. Checked by the TA011
+/// pass.
+#[derive(Debug, Clone, Deserialize, Default)]
+pub struct IngestSpec {
+    /// Bounded depth of each capture zone's mailbox. `None` or `Some(0)`
+    /// means the pipeline buffers without bound, which the capture pass
+    /// reports as an error.
+    #[serde(default)]
+    pub mailbox_capacity: Option<u64>,
+    /// Space names whose subtrees enforce at capture. A policy authorizing
+    /// collection outside every capture zone is a capture-enforcement gap.
+    #[serde(default)]
+    pub capture_zones: Vec<String>,
+}
+
 /// The JSON shape `tippers-lint --deployment` loads.
 #[derive(Debug, Clone, Deserialize, Default)]
 struct DeploymentSpec {
@@ -746,6 +781,8 @@ struct DeploymentSpec {
     replication: Option<ReplicationSpec>,
     #[serde(default)]
     quotas: BTreeMap<String, u64>,
+    #[serde(default)]
+    ingest: Option<IngestSpec>,
     #[serde(default)]
     documents: Vec<PolicyDocument>,
     #[serde(default)]

@@ -1,7 +1,7 @@
 //! Diagnostics: stable lint codes, severities, and JSON-pointer locations.
 //!
 //! Every finding the analyzer emits is a [`Diagnostic`] carrying a stable
-//! [`LintCode`] (`TA001`–`TA009`), a [`Severity`] reused from the wire-format
+//! [`LintCode`] (`TA001`–`TA011`), a [`Severity`] reused from the wire-format
 //! validator, a JSON-pointer-style path identifying *where* in the corpus the
 //! problem lives, and free-form evidence strings (rule chains, counterpart
 //! ids) that make the finding actionable.
@@ -53,11 +53,18 @@ pub enum LintCode {
     /// never certify its deletion; or a sharing purpose with no disclosure
     /// quota configured, so nothing bounds how often it can be queried.
     AccountabilityGap,
+    /// `TA011` — capture-enforcement gap: the declared ingest pipeline has
+    /// no (or a zero) mailbox bound, so a sensor firehose buffers without
+    /// limit instead of backpressuring the links; or a policy authorizes
+    /// collection/storage in a space no capture zone covers, so its
+    /// observations reach the store without passing the capture-time
+    /// filter.
+    CaptureGap,
 }
 
 impl LintCode {
     /// All codes, in numeric order.
-    pub const ALL: [LintCode; 10] = [
+    pub const ALL: [LintCode; 11] = [
         LintCode::DanglingReference,
         LintCode::UnsatisfiableCondition,
         LintCode::DeadPreference,
@@ -68,6 +75,7 @@ impl LintCode {
         LintCode::MissingPriorityMapping,
         LintCode::ReplicationMisconfigured,
         LintCode::AccountabilityGap,
+        LintCode::CaptureGap,
     ];
 
     /// The stable textual code.
@@ -83,6 +91,7 @@ impl LintCode {
             LintCode::MissingPriorityMapping => "TA008",
             LintCode::ReplicationMisconfigured => "TA009",
             LintCode::AccountabilityGap => "TA010",
+            LintCode::CaptureGap => "TA011",
         }
     }
 
@@ -99,6 +108,7 @@ impl LintCode {
             LintCode::MissingPriorityMapping => "priority-mapping",
             LintCode::ReplicationMisconfigured => "replication",
             LintCode::AccountabilityGap => "accountability",
+            LintCode::CaptureGap => "capture",
         }
     }
 

@@ -18,6 +18,7 @@
 //! | TA008 | service without a declared admission-priority mapping | Warning |
 //! | TA009 | replication topology (quorum vs replica set, staleness bound) | Error |
 //! | TA010 | accountability gaps (unsweepable retention, unquota'd sharing purpose) | Warning |
+//! | TA011 | capture-enforcement gaps (unbounded ingest mailbox, uncaptured collection zone) | Error |
 //!
 //! Output is canonical: diagnostics are sorted by (path, code, severity,
 //! message, evidence) and deduplicated, so shuffling the corpus never
@@ -46,7 +47,7 @@ pub mod diag;
 mod passes;
 pub mod report;
 
-pub use corpus::{DeploymentCorpus, ReplicationSpec};
+pub use corpus::{DeploymentCorpus, IngestSpec, ReplicationSpec};
 pub use diag::{Diagnostic, LintCode, Severity};
 
 /// The outcome of one analysis run.
@@ -71,6 +72,7 @@ pub fn analyze(corpus: &DeploymentCorpus) -> AnalysisReport {
     passes::priority::run(corpus, &mut diagnostics);
     passes::replication::run(corpus, &mut diagnostics);
     passes::accountability::run(corpus, &mut diagnostics);
+    passes::capture::run(corpus, &mut diagnostics);
     diag::canonicalize(&mut diagnostics);
 
     let before = diagnostics.len();

@@ -1,0 +1,173 @@
+//! TA011 — capture-enforcement gaps.
+//!
+//! Capture-time enforcement only holds if the declared pipeline actually
+//! stands between every authorized sensor and the store. Two gaps defeat
+//! it: a pipeline with no (or a zero) per-zone mailbox bound buffers a
+//! sensor firehose without limit instead of backpressuring the links —
+//! overload then becomes memory growth, not audited drops, so the bound
+//! is an **error**; and a policy that authorizes collection or storage
+//! in a space no declared capture zone covers feeds observations to the
+//! store without ever passing the capture filter — the data is lawful to
+//! hold but was never screened at capture, a **warning**.
+//!
+//! Deployments that enforce only at request time declare no `"ingest"`
+//! section and the pass is silent.
+
+use tippers_policy::DataAction;
+
+use crate::corpus::DeploymentCorpus;
+use crate::diag::{Diagnostic, LintCode, Severity};
+
+pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
+    let Some(spec) = &corpus.ingest else {
+        return;
+    };
+
+    // Gap 1: an unbounded (or zero-bound) mailbox turns overload into
+    // unbounded buffering instead of backpressure.
+    match spec.mailbox_capacity {
+        Some(bound) if bound > 0 => {}
+        declared => {
+            let what = match declared {
+                None => "declares no mailbox bound",
+                Some(_) => "declares a zero mailbox bound",
+            };
+            out.push(Diagnostic::new(
+                LintCode::CaptureGap,
+                Severity::Error,
+                "/ingest/mailbox_capacity",
+                format!(
+                    "capture pipeline {what}: a sensor firehose buffers \
+                     without limit instead of backpressuring the links"
+                ),
+            ));
+        }
+    }
+
+    // Gap 2: collection authorized where no capture zone screens it.
+    let zones: Vec<_> = spec
+        .capture_zones
+        .iter()
+        .filter_map(|name| corpus.resolve_space(name))
+        .collect();
+    for p in corpus.resolvable_policies() {
+        if !p.actions.contains(DataAction::Collect) && !p.actions.contains(DataAction::Store) {
+            continue;
+        }
+        if zones.iter().any(|&z| corpus.model.contains(z, p.space)) {
+            continue;
+        }
+        out.push(
+            Diagnostic::new(
+                LintCode::CaptureGap,
+                Severity::Warning,
+                format!("/policies/{}/space", p.id.0),
+                format!(
+                    "{} (`{}`) authorizes collection in `{}` but no capture \
+                     zone covers it: its observations reach the store without \
+                     capture-time enforcement",
+                    p.id,
+                    p.name,
+                    corpus.model.space(p.space).name()
+                ),
+            )
+            .with_evidence(spec.capture_zones.clone()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tippers_ontology::Ontology;
+    use tippers_policy::{ActionSet, BuildingPolicy, DataAction, PolicyId};
+    use tippers_spatial::fixtures;
+
+    use super::*;
+    use crate::corpus::IngestSpec;
+
+    fn corpus_with(spec: IngestSpec) -> DeploymentCorpus {
+        let dbh = fixtures::dbh();
+        let ontology = Ontology::standard();
+        let c = ontology.concepts().clone();
+        let mut corpus = DeploymentCorpus::new(ontology, dbh.model.clone());
+        corpus.ingest = Some(spec);
+        corpus.policies = vec![
+            BuildingPolicy::new(
+                PolicyId(1),
+                "lobby wifi",
+                dbh.lobby,
+                c.wifi_association,
+                c.emergency_response,
+            )
+            .with_actions(ActionSet::COLLECT_STORE),
+            BuildingPolicy::new(PolicyId(2), "campus audit", dbh.building, c.data, c.logging)
+                .with_actions(ActionSet::of(&[DataAction::Share])),
+        ];
+        corpus
+    }
+
+    fn bounded(zones: &[&str]) -> IngestSpec {
+        IngestSpec {
+            mailbox_capacity: Some(64),
+            capture_zones: zones.iter().map(|&z| z.to_owned()).collect(),
+        }
+    }
+
+    #[test]
+    fn absent_ingest_is_silent() {
+        let dbh = fixtures::dbh();
+        let corpus = DeploymentCorpus::new(Ontology::standard(), dbh.model);
+        let mut out = Vec::new();
+        run(&corpus, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn covered_bounded_pipeline_is_clean() {
+        let corpus = corpus_with(bounded(&["DBH"]));
+        let mut out = Vec::new();
+        run(&corpus, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn missing_mailbox_bound_is_an_error() {
+        let corpus = corpus_with(IngestSpec {
+            mailbox_capacity: None,
+            capture_zones: vec!["DBH".into()],
+        });
+        let mut out = Vec::new();
+        run(&corpus, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, LintCode::CaptureGap);
+        assert_eq!(out[0].severity, Severity::Error);
+        assert_eq!(out[0].path, "/ingest/mailbox_capacity");
+    }
+
+    #[test]
+    fn zero_mailbox_bound_is_an_error() {
+        let corpus = corpus_with(IngestSpec {
+            mailbox_capacity: Some(0),
+            capture_zones: vec!["DBH".into()],
+        });
+        let mut out = Vec::new();
+        run(&corpus, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Error);
+        assert!(out[0].message.contains("zero"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn uncovered_collection_zone_warns_with_the_declared_zones() {
+        // The capture zone covers floor 2 only; the ground-floor lobby
+        // policy collects outside it. The share-only policy never collects
+        // and stays silent.
+        let corpus = corpus_with(bounded(&["DBH-2"]));
+        let mut out = Vec::new();
+        run(&corpus, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].severity, Severity::Warning);
+        assert_eq!(out[0].path, "/policies/1/space");
+        assert_eq!(out[0].evidence, vec!["DBH-2".to_owned()]);
+    }
+}

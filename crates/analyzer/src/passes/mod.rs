@@ -5,6 +5,7 @@
 //! and deduplicates afterwards, so pass execution order is unobservable.
 
 pub(crate) mod accountability;
+pub(crate) mod capture;
 pub(crate) mod dangling;
 pub(crate) mod leak;
 pub(crate) mod preflight;

@@ -70,6 +70,7 @@ fn every_pass_fires_on_the_broken_fixture() {
         worst(&report, LintCode::AccountabilityGap),
         Some(Severity::Warning)
     );
+    assert_eq!(worst(&report, LintCode::CaptureGap), Some(Severity::Error));
 }
 
 #[test]
@@ -139,6 +140,13 @@ fn specific_findings_land_on_stable_paths() {
         .diagnostics
         .iter()
         .any(|d| d.code == LintCode::AccountabilityGap && d.path.contains("emergency-response")));
+    // The fixture declares a capture pipeline scoped to the lobby with no
+    // mailbox bound: the bound is an error, and policy 1's building-wide
+    // WiFi collection escapes the lobby-only capture zone. Policy 2
+    // collects inside the lobby and stays silent.
+    assert!(has(LintCode::CaptureGap, "/ingest/mailbox_capacity"));
+    assert!(has(LintCode::CaptureGap, "/policies/1/space"));
+    assert!(!has(LintCode::CaptureGap, "/policies/2/space"));
 }
 
 #[test]

@@ -1,0 +1,301 @@
+//! Experiment E18 — capture-time enforcement under firehose load.
+//!
+//! Two legs:
+//!
+//! * criterion timing of the batched-ingest hot path (admission → capture
+//!   filter → storage grant → group commit), and
+//! * a metrics leg producing `BENCH_e18_ingest.json` — sustained events/sec
+//!   on a DBH-×100 campus model, the group-commit amortization factor
+//!   (WAL records per fsync), p50/p99 capture-decision latency, and the
+//!   degradation-ladder occupancy under a 4× overload storm — so "degrades
+//!   gracefully" is a number, not a feeling.
+//!
+//! Seeded via `TIPPERS_FAULT_SEED` (defaults to 7, the first CI seed).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tippers::wal::MemLog;
+use tippers::{IngestConfig, Tippers, TippersConfig};
+use tippers_bench::Lcg;
+use tippers_ontology::Ontology;
+use tippers_policy::{
+    catalog, ActionSet, BuildingPolicy, DataAction, Modality, PolicyId, Timestamp, UserGroup,
+    UserId,
+};
+use tippers_sensors::{DeviceId, Observation, ObservationPayload, Occupant};
+use tippers_spatial::fixtures::{dbh_with, Dbh, DbhConfig};
+use tippers_spatial::SpaceId;
+
+/// Steady-state leg: total synthetic observations pushed through the
+/// pipeline on the campus model.
+const EVENTS: usize = 200_000;
+/// Observations per `ingest_batched` call in the steady-state leg.
+const CHUNK: usize = 2_048;
+/// Overload leg: rounds of 4×-capacity bursts per zone.
+const STORM_ROUNDS: usize = 25;
+const STORM_MAILBOX: usize = 32;
+const OCCUPANTS: usize = 64;
+/// Written to the workspace root so CI can pick it up regardless of the
+/// bench process's working directory.
+const OUTPUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e18_ingest.json");
+
+fn fault_seed() -> u64 {
+    std::env::var("TIPPERS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// A DBH-×100 campus: 600 floors of the paper's per-floor room mix, ~100×
+/// the single building's space count, under one spatial root.
+fn campus() -> Dbh {
+    dbh_with(&DbhConfig {
+        floors: 600,
+        ..DbhConfig::default()
+    })
+}
+
+/// A durable capture-enforcing BMS over the given building: a campus-wide
+/// telemetry baseline (everything storable — the pipeline, not
+/// authorization, is under measurement) plus the Required emergency policy
+/// pinning floor 0 to full fidelity.
+fn capture_bms(building: &Dbh, ingest: IngestConfig) -> (Tippers, Vec<Occupant>) {
+    let ontology = Ontology::standard();
+    let (mut bms, _) = Tippers::open_with(
+        Box::new(MemLog::new()),
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig {
+            ingest: Some(ingest),
+            ..TippersConfig::default()
+        },
+    )
+    .expect("open");
+    let c = ontology.concepts().clone();
+    bms.add_policy(
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Campus telemetry baseline",
+            building.building,
+            c.data,
+            c.logging,
+        )
+        .with_actions(ActionSet::of(&[DataAction::Collect, DataAction::Store]))
+        .with_retention("PT4H".parse().expect("valid duration"))
+        .with_modality(Modality::OptOut),
+    );
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.floors[0],
+        &ontology,
+    ));
+    let occupants: Vec<Occupant> = (0..OCCUPANTS as u64)
+        .map(|u| Occupant::new(UserId(u), format!("user-{u}"), UserGroup::GradStudent))
+        .collect();
+    bms.register_occupants(&occupants);
+    (bms, occupants)
+}
+
+/// One synthetic observation: mostly essential telemetry (motion,
+/// temperature), ~10% identity-bearing WiFi sightings.
+fn observation(zone: SpaceId, t: Timestamp, lcg: &mut Lcg, occupants: &[Occupant]) -> Observation {
+    let payload = match lcg.below(10) {
+        0 => ObservationPayload::WifiAssociation {
+            mac: occupants[lcg.below(occupants.len())].mac,
+            ap: DeviceId(1),
+        },
+        1..=4 => ObservationPayload::Temperature {
+            celsius: 20.0 + lcg.unit(),
+        },
+        _ => ObservationPayload::Motion {
+            detected: lcg.below(2) == 0,
+        },
+    };
+    Observation {
+        device: DeviceId(2),
+        timestamp: t,
+        space: zone,
+        payload,
+        subject: None,
+    }
+}
+
+/// Criterion leg: one group-committed batch through the full capture path
+/// on the standard DBH building.
+fn bench_ingest_batch(criterion: &mut Criterion) {
+    let seed = fault_seed();
+    let building = tippers_spatial::fixtures::dbh();
+    let (mut bms, occupants) = capture_bms(
+        &building,
+        IngestConfig {
+            mailbox_capacity: 4_096,
+            batch_max: 64,
+            ..IngestConfig::default()
+        },
+    );
+    let mut lcg = Lcg(seed ^ 0xE18);
+    let zones = &building.offices;
+    let mut group = criterion.benchmark_group("e18_ingest");
+    group.sample_size(20);
+    group.bench_function("ingest_batch_256", |b| {
+        let mut tick = 0i64;
+        b.iter(|| {
+            let batch: Vec<Observation> = (0..256)
+                .map(|_| {
+                    observation(
+                        zones[lcg.below(zones.len())],
+                        Timestamp::at(0, 9, 0) + tick,
+                        &mut lcg,
+                        &occupants,
+                    )
+                })
+                .collect();
+            tick += 1;
+            std::hint::black_box(bms.ingest_batched(&batch, tick));
+        });
+    });
+    group.finish();
+}
+
+/// Metrics leg: campus-scale throughput, amortization, latency, ladder.
+fn emit_ingest_metrics(_criterion: &mut Criterion) {
+    let seed = fault_seed();
+    let campus = campus();
+
+    // Sustained throughput on the ×100 campus: synthetic firehose over 512
+    // offices striding the whole campus, group-committed in CHUNK batches.
+    let (mut bms, occupants) = capture_bms(
+        &campus,
+        IngestConfig {
+            mailbox_capacity: 4_096,
+            batch_max: 64,
+            ..IngestConfig::default()
+        },
+    );
+    let stride = (campus.offices.len() / 512).max(1);
+    let zones: Vec<SpaceId> = campus.offices.iter().copied().step_by(stride).collect();
+    let mut lcg = Lcg(seed ^ 0xE18);
+    let mut decision_us: Vec<f64> = Vec::with_capacity(EVENTS / CHUNK + 1);
+    let started = Instant::now();
+    let mut tick = 0i64;
+    let mut sent = 0usize;
+    while sent < EVENTS {
+        let n = CHUNK.min(EVENTS - sent);
+        let batch: Vec<Observation> = (0..n)
+            .map(|_| {
+                observation(
+                    zones[lcg.below(zones.len())],
+                    Timestamp::at(0, 9, 0) + tick,
+                    &mut lcg,
+                    &occupants,
+                )
+            })
+            .collect();
+        let call = Instant::now();
+        let report = bms.ingest_batched(&batch, tick);
+        decision_us.push(call.elapsed().as_secs_f64() * 1e6 / n as f64);
+        assert!(report.synced && report.rejected.is_empty());
+        sent += n;
+        tick += 1;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let events_per_sec = EVENTS as f64 / elapsed;
+    let stats = bms.ingest_stats().expect("pipeline configured");
+    assert_eq!(stats.admitted, EVENTS as u64);
+    let amortization = bms.wal_appended_records() as f64 / bms.wal_sync_count().max(1) as f64;
+    decision_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    // Ladder occupancy under a sustained 4× overload: small mailboxes,
+    // bursts of 4× capacity per zone per round, floor 0 essential.
+    let (mut storm_bms, storm_occupants) = capture_bms(
+        &campus,
+        IngestConfig {
+            mailbox_capacity: STORM_MAILBOX,
+            batch_max: 16,
+            ..IngestConfig::default()
+        },
+    );
+    let storm_zones = [
+        campus.offices[0],
+        campus.offices[40],
+        campus.offices[80],
+        campus.offices[120],
+    ];
+    for round in 0..STORM_ROUNDS {
+        let mut burst = Vec::new();
+        for &zone in &storm_zones {
+            for _ in 0..STORM_MAILBOX * 4 {
+                burst.push(observation(
+                    zone,
+                    Timestamp::at(0, 9, 0) + round as i64,
+                    &mut lcg,
+                    &storm_occupants,
+                ));
+            }
+        }
+        storm_bms.ingest_batched(&burst, round as i64);
+    }
+    let storm = storm_bms.ingest_stats().expect("pipeline configured");
+    let rung_total: u64 = storm.rung_observations.iter().sum();
+    let occupancy: Vec<f64> = storm
+        .rung_observations
+        .iter()
+        .map(|&n| n as f64 / rung_total.max(1) as f64)
+        .collect();
+    assert!(
+        occupancy[2] + occupancy[3] > 0.0,
+        "a 4x storm must engage the ladder"
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e18_ingest\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"campus_spaces\": {spaces},\n",
+            "  \"events\": {events},\n",
+            "  \"events_per_sec\": {eps:.0},\n",
+            "  \"group_commit_amortization\": {amort:.1},\n",
+            "  \"p50_capture_decision_us\": {p50:.2},\n",
+            "  \"p99_capture_decision_us\": {p99:.2},\n",
+            "  \"storm_admitted\": {admitted},\n",
+            "  \"storm_rejected\": {rejected},\n",
+            "  \"ladder_occupancy\": [{full:.3}, {coarsen:.3}, {suppress:.3}, {reject:.3}]\n",
+            "}}\n",
+        ),
+        seed = seed,
+        spaces = campus.model.len(),
+        events = EVENTS,
+        eps = events_per_sec,
+        amort = amortization,
+        p50 = percentile_us(&decision_us, 0.50),
+        p99 = percentile_us(&decision_us, 0.99),
+        admitted = storm.admitted,
+        rejected = storm.rejected,
+        full = occupancy[0],
+        coarsen = occupancy[1],
+        suppress = occupancy[2],
+        reject = occupancy[3],
+    );
+    std::fs::write(OUTPUT, &json).expect("write metrics");
+    println!(
+        "wrote {OUTPUT}: {events_per_sec:.0} events/s over {} spaces, \
+         {amortization:.1} records/fsync, p99 decision {:.2}us, \
+         suppress-rung occupancy {:.1}%",
+        campus.model.len(),
+        percentile_us(&decision_us, 0.99),
+        occupancy[2] * 100.0
+    );
+}
+
+criterion_group!(benches, bench_ingest_batch, emit_ingest_metrics);
+criterion_main!(benches);

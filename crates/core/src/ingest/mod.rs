@@ -1,0 +1,399 @@
+//! Batched, backpressured sensor ingest: capture-time enforcement that
+//! survives the firehose.
+//!
+//! The paper's enforcement mapping (§IV.B) places enforcement not only at
+//! request time but at *capture* and *storage* time, at sensor-event
+//! rates. This module is that pipeline:
+//!
+//! ```text
+//!  sensor links ──▶ per-zone CaptureFilter ──▶ bounded per-zone mailboxes
+//!       ▲                (suppress MACs)            │ (backpressure when full)
+//!       │ rejected observations                     ▼ drained in capture order
+//!       └────────────────────────────── degradation ladder ──▶ storage grant
+//!                                                              │
+//!                                        WAL group commit ◀────┘ (one fsync
+//!                                        │ per batch of records)
+//!                                        ▼ synced? ── no ─▶ drop-and-audit
+//!                                      store inserts          (fail closed)
+//! ```
+//!
+//! Under overload each zone degrades along an explicit ladder
+//! ([`LadderRung`]): full fidelity → coarsen-at-capture →
+//! suppress-non-essential → reject-with-audit. The path is fail-closed
+//! end to end: an observation that cannot be filtered, group-committed,
+//! or admitted is dropped *and audited* ([`CaptureDrop`]), never stored
+//! raw.
+
+mod filter;
+
+pub(crate) use filter::coarsen_at_capture;
+pub use filter::{CaptureFilter, LadderRung};
+
+use std::collections::BTreeMap;
+
+use tippers_ontology::ConceptId;
+use tippers_policy::{Timestamp, UserId};
+use tippers_resilience::{Mailbox, MailboxStats, PushError};
+use tippers_sensors::Observation;
+use tippers_spatial::{SpaceId, SpatialModel};
+
+/// Configuration for the batched ingest pipeline
+/// ([`crate::Tippers::ingest_batched`]).
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Per-zone mailbox bound; a full mailbox rejects with backpressure.
+    pub mailbox_capacity: usize,
+    /// Maximum rows per group-committed WAL record (one
+    /// [`crate::WalRecord::Ingest`] per chunk; the whole chunk sequence
+    /// shares one fsync).
+    pub batch_max: usize,
+    /// Mailbox fill ratio at which a zone coarsens at capture.
+    pub coarsen_watermark: f64,
+    /// Mailbox fill ratio at which a zone suppresses non-essential
+    /// categories.
+    pub suppress_watermark: f64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            mailbox_capacity: 64,
+            batch_max: 32,
+            coarsen_watermark: 0.5,
+            suppress_watermark: 0.8,
+        }
+    }
+}
+
+/// Why a capture was dropped instead of stored. Every variant is an
+/// *audited* outcome — the pipeline never loses an observation silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureDropReason {
+    /// The zone's mailbox was full; backpressure was handed to the link.
+    Backpressure,
+    /// The capture filter forbids storing this MAC at all.
+    CaptureFilter,
+    /// The degradation ladder suppressed a non-essential capture.
+    Degraded,
+    /// No building policy authorizes storing the row (the storage-time
+    /// enforcement decision, identical to the one-at-a-time path).
+    Unauthorized,
+    /// An injected store-write fault lost the row.
+    StoreFault,
+    /// The group commit's durability could not be proven (fsync stall or
+    /// append failure): the whole batch is treated as unadmitted.
+    DurabilityLost,
+}
+
+/// One audited capture-path drop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaptureDrop {
+    /// Capture time of the dropped observation.
+    pub time: Timestamp,
+    /// The zone it was captured in.
+    pub zone: SpaceId,
+    /// Its data category.
+    pub category: ConceptId,
+    /// The data subject, when known.
+    pub subject: Option<UserId>,
+    /// Why it was dropped.
+    pub reason: CaptureDropReason,
+}
+
+/// Lifetime counters of the ingest pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Observations admitted into a mailbox.
+    pub admitted: u64,
+    /// Observations rejected at admission (backpressure).
+    pub rejected: u64,
+    /// Rows durably stored.
+    pub stored: u64,
+    /// Observations coarsened at capture.
+    pub coarsened: u64,
+    /// Observations suppressed by the degradation ladder.
+    pub suppressed: u64,
+    /// Observations denied by storage-time enforcement.
+    pub unauthorized: u64,
+    /// Rows dropped fail-closed because durability could not be proven.
+    pub unadmitted: u64,
+    /// Group commits issued (each is one fsync for a whole batch).
+    pub group_commits: u64,
+    /// Observations processed at each ladder rung, indexed by
+    /// [`LadderRung::index`].
+    pub rung_observations: [u64; 4],
+}
+
+/// The outcome of one [`crate::Tippers::ingest_batched`] call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestReport {
+    /// Rows durably stored.
+    pub stored: usize,
+    /// Observations handed back under backpressure — the sensor link's
+    /// cue to retry (capped) or drop-and-account, never to buffer without
+    /// bound.
+    pub rejected: Vec<Observation>,
+    /// Observations coarsened at capture this call.
+    pub coarsened: usize,
+    /// Observations suppressed by the ladder this call.
+    pub suppressed: usize,
+    /// Observations denied by storage-time enforcement this call.
+    pub unauthorized: usize,
+    /// Rows dropped fail-closed on an unproven group commit this call.
+    pub unadmitted: usize,
+    /// True when every logged record of this call was durably synced.
+    pub synced: bool,
+}
+
+impl IngestReport {
+    pub(crate) fn empty() -> IngestReport {
+        IngestReport {
+            stored: 0,
+            rejected: Vec::new(),
+            coarsened: 0,
+            suppressed: 0,
+            unauthorized: 0,
+            unadmitted: 0,
+            synced: true,
+        }
+    }
+
+    /// Total observations not stored.
+    pub fn dropped(&self) -> usize {
+        self.rejected.len() + self.suppressed + self.unauthorized + self.unadmitted
+    }
+}
+
+/// The stateful half of the batched ingest path: bounded per-zone
+/// mailboxes, the drop-audit trail, and lifetime counters. Owned by
+/// [`crate::Tippers`] when [`crate::TippersConfig::ingest`] is set.
+#[derive(Debug, Clone)]
+pub struct IngestPipeline {
+    config: IngestConfig,
+    /// Per-zone bounded mailboxes; `BTreeMap` so drain order (and thus
+    /// every downstream effect) is deterministic.
+    mailboxes: BTreeMap<SpaceId, Mailbox<(u64, Observation)>>,
+    /// Global admission sequence, restoring capture order across zones.
+    seq: u64,
+    stats: IngestStats,
+    drops: Vec<CaptureDrop>,
+}
+
+impl IngestPipeline {
+    /// An empty pipeline.
+    pub fn new(config: IngestConfig) -> IngestPipeline {
+        IngestPipeline {
+            config,
+            mailboxes: BTreeMap::new(),
+            seq: 0,
+            stats: IngestStats::default(),
+            drops: Vec::new(),
+        }
+    }
+
+    /// The configured bounds and watermarks.
+    pub fn config(&self) -> &IngestConfig {
+        &self.config
+    }
+
+    /// Offers one observation to its zone's mailbox. On backpressure the
+    /// observation is handed back for the producer to retry or drop.
+    pub(crate) fn admit(&mut self, now_ms: i64, obs: Observation) -> Result<(), Observation> {
+        let capacity = self.config.mailbox_capacity.max(1);
+        let mailbox = self
+            .mailboxes
+            .entry(obs.space)
+            .or_insert_with(|| Mailbox::new(capacity));
+        let seq = self.seq;
+        match mailbox.try_push(now_ms, None, (seq, obs)) {
+            Ok(()) => {
+                self.seq += 1;
+                self.stats.admitted += 1;
+                Ok(())
+            }
+            Err(PushError::Full((_, obs))) => {
+                self.stats.rejected += 1;
+                Err(obs)
+            }
+        }
+    }
+
+    /// Drains every mailbox, tagging each observation with the rung its
+    /// zone ran at (sampled at drain start) — essential zones are pinned
+    /// to full fidelity. Returned in admission order.
+    pub(crate) fn drain(
+        &mut self,
+        now_ms: i64,
+        model: &SpatialModel,
+        filter: &CaptureFilter,
+    ) -> Vec<(LadderRung, Observation)> {
+        let coarsen_at = self.config.coarsen_watermark;
+        let suppress_at = self.config.suppress_watermark;
+        let mut out: Vec<(u64, LadderRung, Observation)> = Vec::new();
+        for (&zone, mailbox) in &mut self.mailboxes {
+            let rung = if filter.essential_zone(model, zone) {
+                LadderRung::FullFidelity
+            } else {
+                #[allow(clippy::cast_precision_loss)]
+                let ratio = mailbox.depth() as f64 / mailbox.capacity().max(1) as f64;
+                if ratio >= suppress_at {
+                    LadderRung::SuppressNonEssential
+                } else if ratio >= coarsen_at {
+                    LadderRung::CoarsenAtCapture
+                } else {
+                    LadderRung::FullFidelity
+                }
+            };
+            while let Some((seq, obs)) = mailbox.pop(now_ms) {
+                out.push((seq, rung, obs));
+            }
+        }
+        out.sort_by_key(|&(seq, _, _)| seq);
+        for &(_, rung, _) in &out {
+            self.stats.rung_observations[rung.index()] += 1;
+        }
+        out.into_iter().map(|(_, rung, obs)| (rung, obs)).collect()
+    }
+
+    /// Records an audited drop.
+    pub(crate) fn note_drop(
+        &mut self,
+        obs: &Observation,
+        category: ConceptId,
+        reason: CaptureDropReason,
+    ) {
+        match reason {
+            CaptureDropReason::Backpressure => {
+                self.stats.rung_observations[LadderRung::RejectWithAudit.index()] += 1;
+            }
+            CaptureDropReason::Degraded => self.stats.suppressed += 1,
+            CaptureDropReason::Unauthorized => self.stats.unauthorized += 1,
+            CaptureDropReason::DurabilityLost => self.stats.unadmitted += 1,
+            CaptureDropReason::CaptureFilter | CaptureDropReason::StoreFault => {}
+        }
+        self.drops.push(CaptureDrop {
+            time: obs.timestamp,
+            zone: obs.space,
+            category,
+            subject: obs.subject,
+            reason,
+        });
+    }
+
+    pub(crate) fn note_coarsened(&mut self) {
+        self.stats.coarsened += 1;
+    }
+
+    pub(crate) fn note_stored(&mut self, rows: u64) {
+        self.stats.stored += rows;
+    }
+
+    pub(crate) fn note_group_commit(&mut self) {
+        self.stats.group_commits += 1;
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// The audited drop trail.
+    pub fn drops(&self) -> &[CaptureDrop] {
+        &self.drops
+    }
+
+    /// Per-zone mailbox statistics, in zone order.
+    pub fn mailbox_stats(&self) -> Vec<(SpaceId, MailboxStats)> {
+        self.mailboxes
+            .iter()
+            .map(|(&zone, mb)| (zone, mb.stats()))
+            .collect()
+    }
+
+    /// The deepest any zone's mailbox currently is.
+    pub fn max_depth(&self) -> usize {
+        self.mailboxes
+            .values()
+            .map(Mailbox::depth)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_sensors::{DeviceId, ObservationPayload};
+    use tippers_spatial::fixtures::dbh;
+
+    fn obs(space: SpaceId, t: i64) -> Observation {
+        Observation {
+            device: DeviceId(0),
+            timestamp: Timestamp(t),
+            space,
+            payload: ObservationPayload::Motion { detected: true },
+            subject: None,
+        }
+    }
+
+    #[test]
+    fn admission_is_bounded_per_zone_and_hands_back_overflow() {
+        let d = dbh();
+        let mut p = IngestPipeline::new(IngestConfig {
+            mailbox_capacity: 2,
+            ..IngestConfig::default()
+        });
+        assert!(p.admit(0, obs(d.offices[0], 0)).is_ok());
+        assert!(p.admit(0, obs(d.offices[0], 1)).is_ok());
+        // Third into the same zone bounces; a different zone still admits.
+        assert!(p.admit(0, obs(d.offices[0], 2)).is_err());
+        assert!(p.admit(0, obs(d.offices[1], 3)).is_ok());
+        assert_eq!(p.stats().admitted, 3);
+        assert_eq!(p.stats().rejected, 1);
+    }
+
+    #[test]
+    fn drain_restores_admission_order_across_zones() {
+        let d = dbh();
+        let mut p = IngestPipeline::new(IngestConfig::default());
+        p.admit(0, obs(d.offices[1], 10)).unwrap();
+        p.admit(0, obs(d.offices[0], 11)).unwrap();
+        p.admit(0, obs(d.offices[1], 12)).unwrap();
+        let drained = p.drain(0, &d.model, &CaptureFilter::default());
+        let times: Vec<i64> = drained.iter().map(|(_, o)| o.timestamp.seconds()).collect();
+        assert_eq!(times, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn rung_tracks_fill_ratio_and_essential_zones_stay_full_fidelity() {
+        let d = dbh();
+        let mut p = IngestPipeline::new(IngestConfig {
+            mailbox_capacity: 10,
+            coarsen_watermark: 0.5,
+            suppress_watermark: 0.8,
+            ..IngestConfig::default()
+        });
+        for i in 0..9 {
+            p.admit(0, obs(d.offices[0], i)).unwrap();
+        }
+        let drained = p.drain(0, &d.model, &CaptureFilter::default());
+        assert!(drained
+            .iter()
+            .all(|&(rung, _)| rung == LadderRung::SuppressNonEssential));
+        // The same depth in an essential zone is not degraded.
+        let ont = tippers_ontology::Ontology::standard();
+        let policy = tippers_policy::catalog::policy2_emergency_location(
+            tippers_policy::PolicyId(0),
+            d.building,
+            &ont,
+        );
+        let filter = CaptureFilter::derive(&ont, &[policy], &[], &std::collections::HashMap::new());
+        for i in 0..9 {
+            p.admit(0, obs(d.offices[0], i)).unwrap();
+        }
+        let drained = p.drain(0, &d.model, &filter);
+        assert!(drained
+            .iter()
+            .all(|&(rung, _)| rung == LadderRung::FullFidelity));
+    }
+}

@@ -49,6 +49,7 @@
 mod aggregate;
 mod audit;
 mod enforce;
+pub mod ingest;
 mod policy_manager;
 mod preference_manager;
 mod quota;
@@ -70,6 +71,10 @@ pub use enforce::{
     policy_applies, DecisionBasis, EnforcementDecision, Enforcer, IndexedEnforcer, NaiveEnforcer,
     RequestFlow,
 };
+pub use ingest::{
+    CaptureDrop, CaptureDropReason, CaptureFilter, IngestConfig, IngestPipeline, IngestReport,
+    IngestStats, LadderRung,
+};
 pub use policy_manager::PolicyManager;
 pub use preference_manager::{PreferenceManager, SettingsError};
 pub use quota::{QuotaConfig, QuotaCounter, QuotaLedger};
@@ -80,13 +85,13 @@ pub use sensor_manager::{HvacCommand, SensorManager};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use store::{Store, StoredRow};
 pub use tippers::{EnforcerKind, Tippers, TippersConfig};
-pub use wal::{RecoveryReport, WalConfig, WalError, WalRecord};
+pub use wal::{GroupCommitReport, RecoveryReport, WalConfig, WalError, WalRecord};
 
 // Resilience vocabulary used in this crate's public API (health reporting,
 // fault-plan configuration, admission control), re-exported for downstream
 // convenience.
 pub use tippers_resilience::{
     AdmissionConfig, AdmissionStats, AimdConfig, BrownoutConfig, BrownoutLevel, FaultPlan,
-    FaultPoint, HealthStatus, Nemesis, NemesisAction, Priority, ShedReason, TokenBucketConfig,
-    VirtualClock, MILLIS_PER_SEC,
+    FaultPoint, HealthStatus, Nemesis, NemesisAction, Priority, ShedReason, StormAction,
+    TokenBucketConfig, VirtualClock, MILLIS_PER_SEC,
 };

@@ -105,6 +105,9 @@ pub struct Cluster {
     /// elects primaries); promotion takes `max(next_epoch, epoch + 1)`.
     next_epoch: u64,
     split_brain_rejections: u64,
+    /// Shipping rounds issued (each round sends every peer its unacked
+    /// suffix once) — the batching experiment's amortization witness.
+    shipping_rounds: u64,
     ontology: Ontology,
     model: SpatialModel,
     tippers_config: TippersConfig,
@@ -157,6 +160,7 @@ impl Cluster {
             in_flight: Vec::new(),
             next_epoch: 1,
             split_brain_rejections: 0,
+            shipping_rounds: 0,
             ontology,
             model,
             tippers_config,
@@ -279,6 +283,72 @@ impl Cluster {
         }
     }
 
+    /// Submits a whole *batch* of mutations to `node` as one pipelined
+    /// shipping round: `mutate` is applied once per index in
+    /// `0..mutations`, every resulting WAL record is framed in order, and
+    /// the accumulated suffix ships to each peer *once* — instead of one
+    /// ship per write as [`Cluster::write_to`] does. The ingest path uses
+    /// this to replicate group-committed observation batches without
+    /// paying a network round per record.
+    ///
+    /// Fencing and split-brain accounting are identical to
+    /// [`Cluster::write_to`]; the batch is rejected whole on a fenced or
+    /// divergent node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL append failures.
+    pub fn write_batch_to(
+        &mut self,
+        node: usize,
+        mutations: usize,
+        mut mutate: impl FnMut(&mut Tippers, usize),
+    ) -> Result<WriteOutcome, WalError> {
+        if self.nodes[node].down {
+            return Ok(WriteOutcome::Unavailable);
+        }
+        if !self.nodes[node].is_leader || self.nodes[node].fenced || self.nodes[node].diverged {
+            self.nodes[node].split_brain_writes += 1;
+            self.split_brain_rejections += 1;
+            return Ok(WriteOutcome::Fenced {
+                epoch: self.nodes[node].epoch(),
+            });
+        }
+        let epoch = self.nodes[node].epoch();
+        let mut records = Vec::new();
+        for i in 0..mutations {
+            mutate(&mut self.nodes[node].bms, i);
+            records.extend(self.nodes[node].bms.drain_record_tap());
+        }
+        if records.is_empty() {
+            return Ok(WriteOutcome::NoOp);
+        }
+        for record in records {
+            let index = self.nodes[node].durable_index();
+            let prev_epoch = self.nodes[node].frames.last().map_or(0, |f| f.epoch);
+            self.nodes[node].frames.push(Frame {
+                epoch,
+                prev_epoch,
+                index,
+                record,
+            });
+        }
+        let index = self.nodes[node].durable_index() - 1;
+        self.ship_from(node)?;
+        if self.commit_len(node) > index {
+            Ok(WriteOutcome::Committed { index })
+        } else {
+            Ok(WriteOutcome::Pending { index })
+        }
+    }
+
+    /// Shipping rounds issued so far: the batched write path's
+    /// amortization witness (N batched mutations cost one round where N
+    /// [`Cluster::write_to`] calls cost N).
+    pub fn shipping_rounds(&self) -> u64 {
+        self.shipping_rounds
+    }
+
     /// Ships each peer the frames it has not yet acknowledged (or a
     /// heartbeat when there is nothing to ship) and processes whatever
     /// acks come back immediately.
@@ -286,6 +356,7 @@ impl Cluster {
         if self.nodes[shipper].down {
             return Ok(());
         }
+        self.shipping_rounds += 1;
         let now_ms = self.clock.now_ms();
         let shipper_epoch = self.nodes[shipper].epoch();
         for peer in 0..self.nodes.len() {

@@ -26,6 +26,10 @@ use crate::audit::chain::{AuditChain, ChainFault, SealedSegment, ARCHIVE_PREFIX,
 use crate::audit::hash::{hex, sha256};
 use crate::audit::{AuditEntry, AuditLog, ChainEvent, DeletionCertificate, UserNotification};
 use crate::enforce::{EnforcementDecision, Enforcer, IndexedEnforcer, NaiveEnforcer, RequestFlow};
+use crate::ingest::{
+    coarsen_at_capture, CaptureDrop, CaptureDropReason, CaptureFilter, IngestConfig,
+    IngestPipeline, IngestReport, IngestStats, LadderRung,
+};
 use crate::policy_manager::PolicyManager;
 use crate::preference_manager::{PreferenceManager, SettingsError};
 use crate::quota::{QuotaConfig, QuotaLedger};
@@ -89,6 +93,10 @@ pub struct TippersConfig {
     /// this much virtual time has passed since the last sweep. `None`
     /// (the default) leaves sweeping to explicit calls.
     pub sweep_every_secs: Option<i64>,
+    /// Batched, backpressured capture pipeline
+    /// ([`Tippers::ingest_batched`]). `None` (the default) makes the
+    /// batched entry point fall through to the one-at-a-time path.
+    pub ingest: Option<IngestConfig>,
 }
 
 impl Default for TippersConfig {
@@ -106,6 +114,7 @@ impl Default for TippersConfig {
             brownout: BrownoutConfig::default(),
             quota: None,
             sweep_every_secs: None,
+            ingest: None,
         }
     }
 }
@@ -207,6 +216,10 @@ pub struct Tippers {
     /// Quota charges whose durable record was dropped — each one rolled
     /// back and the request denied fail-closed.
     quota_charge_drops: u64,
+    /// The batched capture pipeline, when configured: bounded per-zone
+    /// mailboxes, the degradation ladder, and the capture-drop audit
+    /// trail (see [`crate::ingest`]).
+    ingest: Option<IngestPipeline>,
 }
 
 impl Tippers {
@@ -216,6 +229,7 @@ impl Tippers {
             noise_rng: StdRng::seed_from_u64(config.noise_seed),
             admission: config.admission.map(|a| AdmissionController::new(a, 0)),
             brownout: BrownoutController::new(config.brownout),
+            ingest: config.ingest.clone().map(IngestPipeline::new),
             coarse_cache: HashMap::new(),
             ontology,
             model,
@@ -638,6 +652,19 @@ impl Tippers {
     /// audit counter proving rejected bytes were never silently accepted.
     pub fn wal_truncations(&self) -> u64 {
         self.wal_truncations
+    }
+
+    /// Records appended to the log since open, single and group-committed
+    /// (zero without a log).
+    pub fn wal_appended_records(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::appended_records)
+    }
+
+    /// Syncs the log has issued since open (zero without a log);
+    /// [`Tippers::wal_appended_records`] divided by this is the
+    /// group-commit amortization factor.
+    pub fn wal_sync_count(&self) -> u64 {
+        self.wal.as_ref().map_or(0, Wal::sync_count)
     }
 
     /// The BMS's health: [`HealthStatus::Degraded`] while an internal
@@ -1069,6 +1096,160 @@ impl Tippers {
         let counts = self.ingest(observations);
         self.sync_capture_settings(sim);
         counts
+    }
+
+    // ---- batched, backpressured ingest (see `crate::ingest`) ----------------
+
+    /// Ingests a batch of captured observations through the backpressured
+    /// capture pipeline: per-zone capture filters (derived from the same
+    /// policy + preference corpus the request path enforces), bounded
+    /// per-zone mailboxes, the overload degradation ladder, and one WAL
+    /// group commit amortizing fsync across the whole batch.
+    ///
+    /// Fail-closed: an observation that cannot be filtered, logged, or
+    /// admitted is dropped *and audited* ([`Tippers::capture_drops`]),
+    /// never stored raw. Observations the mailboxes cannot hold come back
+    /// in [`IngestReport::rejected`] — the producer's backpressure signal
+    /// (retry capped, or drop-and-account; never buffer without bound).
+    ///
+    /// Without [`TippersConfig::ingest`] this falls through to the
+    /// one-at-a-time [`Tippers::ingest`] path.
+    pub fn ingest_batched(&mut self, observations: &[Observation], now_ms: i64) -> IngestReport {
+        if self.ingest.is_none() {
+            let (stored, _dropped) = self.ingest(observations);
+            let mut report = IngestReport::empty();
+            report.stored = stored;
+            return report;
+        }
+        self.ensure_enforcer();
+        let mut pipeline = self.ingest.take().expect("checked above");
+        let filter = CaptureFilter::derive(
+            &self.ontology,
+            self.policies.all(),
+            self.preferences.all(),
+            &self.macs,
+        );
+        let mut report = IngestReport::empty();
+
+        // Admission: bounded per-zone mailboxes; a full zone pushes back.
+        for obs in observations {
+            if let Err(rejected) = pipeline.admit(now_ms, obs.clone()) {
+                let category = rejected.payload.category(&self.ontology);
+                pipeline.note_drop(&rejected, category, CaptureDropReason::Backpressure);
+                report.rejected.push(rejected);
+            }
+        }
+
+        // Drain in capture order, each observation under its zone's
+        // ladder rung, through the capture filter and the storage-time
+        // enforcement decision the one-at-a-time path makes.
+        let work = pipeline.drain(now_ms, &self.model, &filter);
+        let mut rows: Vec<StoredRow> = Vec::new();
+        for (rung, mut obs) in work {
+            self.sensors.observe(&obs);
+            let category = obs.payload.category(&self.ontology);
+            if filter.suppresses(&obs) {
+                pipeline.note_drop(&obs, category, CaptureDropReason::CaptureFilter);
+                continue;
+            }
+            if rung >= LadderRung::SuppressNonEssential
+                && !filter.essential_category(&self.ontology, &obs)
+            {
+                pipeline.note_drop(&obs, category, CaptureDropReason::Degraded);
+                report.suppressed += 1;
+                continue;
+            }
+            if rung >= LadderRung::CoarsenAtCapture && coarsen_at_capture(&mut obs) {
+                pipeline.note_coarsened();
+                report.coarsened += 1;
+            }
+            match self.storage_grant(&obs, category) {
+                Some((policy, retention)) => {
+                    if self.config.fault_plan.should_fail(FaultPoint::StoreWrite) {
+                        self.store_write_failures += 1;
+                        pipeline.note_drop(&obs, category, CaptureDropReason::StoreFault);
+                    } else {
+                        rows.push(StoredRow {
+                            category,
+                            policy,
+                            stored_at: obs.timestamp,
+                            expires_at: retention
+                                .map(|secs| Timestamp(obs.timestamp.seconds() + secs)),
+                            observation: obs,
+                        });
+                    }
+                }
+                None => {
+                    pipeline.note_drop(&obs, category, CaptureDropReason::Unauthorized);
+                    report.unauthorized += 1;
+                }
+            }
+        }
+
+        // Group commit: one fsync for the whole chunk sequence. A commit
+        // whose durability cannot be proven (fsync stall, append failure)
+        // makes the batch unadmitted — rows are dropped and audited, never
+        // stored on an unproven log.
+        let batch_max = pipeline.config().batch_max.max(1);
+        report.synced = true;
+        if let Some(wal) = self.wal.as_mut().filter(|_| !rows.is_empty()) {
+            let records: Vec<WalRecord> = rows
+                .chunks(batch_max)
+                .map(|chunk| WalRecord::Ingest {
+                    rows: chunk.to_vec(),
+                })
+                .collect();
+            let plan = self.config.fault_plan.clone();
+            let outcome = wal.append_batch(&records, &plan);
+            match outcome {
+                Ok(commit) if commit.synced => {
+                    pipeline.note_group_commit();
+                    if let Some(tap) = self.record_tap.as_mut() {
+                        tap.extend(records);
+                    }
+                }
+                Ok(_) => report.synced = false,
+                Err(_) => {
+                    self.wal_append_failures += 1;
+                    report.synced = false;
+                }
+            }
+        }
+        if report.synced {
+            report.stored = rows.len();
+            pipeline.note_stored(rows.len() as u64);
+            for row in rows {
+                self.store.insert_row(row);
+            }
+        } else {
+            report.unadmitted = rows.len();
+            for row in &rows {
+                pipeline.note_drop(
+                    &row.observation,
+                    row.category,
+                    CaptureDropReason::DurabilityLost,
+                );
+            }
+        }
+        self.ingest = Some(pipeline);
+        report
+    }
+
+    /// Lifetime counters of the batched capture pipeline, when configured.
+    pub fn ingest_stats(&self) -> Option<IngestStats> {
+        self.ingest.as_ref().map(IngestPipeline::stats)
+    }
+
+    /// The audited capture-drop trail (empty without a pipeline): every
+    /// observation the pipeline refused to store, with the reason.
+    pub fn capture_drops(&self) -> &[CaptureDrop] {
+        self.ingest.as_ref().map_or(&[], IngestPipeline::drops)
+    }
+
+    /// The batched capture pipeline, when configured (mailbox statistics,
+    /// ladder occupancy).
+    pub fn ingest_pipeline(&self) -> Option<&IngestPipeline> {
+        self.ingest.as_ref()
     }
 
     /// Pushes capture-time suppression (unconditional location denials) to

@@ -33,6 +33,8 @@ pub use frame::{crc32, record_boundaries, Corruption};
 pub use io::{FaultyLog, FsLog, LogIo, MemLog};
 pub use record::WalRecord;
 
+use tippers_resilience::{FaultPlan, FaultPoint};
+
 use crate::snapshot::SnapshotError;
 
 /// Write-ahead-log tuning knobs.
@@ -134,6 +136,22 @@ fn parse_segment_name(name: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// The outcome of one group-committed batch append
+/// ([`Wal::append_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupCommitReport {
+    /// Records handed to the batch (each one its own checksummed frame, so
+    /// recovery stays exact at every intra-batch record boundary).
+    pub records: usize,
+    /// Whether the amortized fsync completed. `false` means the sync
+    /// stalled past its budget (injected via
+    /// [`FaultPoint::GroupCommitFsyncStall`]): the log rewinds the
+    /// segment to its pre-batch length — no later sync can resurrect the
+    /// frames — and the caller must treat the batch as unadmitted: drop
+    /// and audit, never report stored.
+    pub synced: bool,
+}
+
 /// The append-only, segmented, checksummed mutation log.
 #[derive(Debug)]
 pub struct Wal {
@@ -142,6 +160,11 @@ pub struct Wal {
     /// Live segment sequence numbers, ascending; the last is current.
     live: Vec<u64>,
     current_len: u64,
+    /// Records appended since open (single and batched).
+    appended_records: u64,
+    /// Syncs issued since open — `appended_records / syncs` is the
+    /// group-commit amortization factor.
+    syncs: u64,
 }
 
 impl Wal {
@@ -162,6 +185,8 @@ impl Wal {
             config,
             live: Vec::new(),
             current_len: 0,
+            appended_records: 0,
+            syncs: 0,
         };
         let mut report = RecoveryReport::default();
 
@@ -295,7 +320,115 @@ impl Wal {
         self.io.append(&name, &bytes)?;
         self.io.sync(&name)?;
         self.current_len += bytes.len() as u64;
+        self.appended_records += 1;
+        self.syncs += 1;
         Ok(())
+    }
+
+    /// Group-commits a batch: appends every record as its own checksummed
+    /// frame, then issues a *single* sync for the whole batch — the fsync
+    /// cost is amortized across the batch while recovery stays exact at
+    /// every record boundary (each frame is atomic under its CRC, and a
+    /// crash between frames recovers the intact prefix).
+    ///
+    /// Two capture-path faults are consulted on `plan`:
+    ///
+    /// * [`FaultPoint::IngestBatchTorn`] — only a prefix of the batch's
+    ///   frames reaches the log, the last of them cut mid-frame. Silent,
+    ///   like a real crash cut: only recovery sees it, and recovery keeps
+    ///   each surviving record atomic.
+    /// * [`FaultPoint::GroupCommitFsyncStall`] — the amortized sync never
+    ///   completes. Reported via [`GroupCommitReport::synced`]`== false`
+    ///   (a real stall is a timeout, which *is* observable): the caller
+    ///   must treat the batch as unadmitted and drop-and-audit it. The
+    ///   log rewinds the segment to its pre-batch length, so the
+    ///   unproven frames can never become durable via a later batch's
+    ///   sync and contradict that audit trail.
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O failures.
+    pub fn append_batch(
+        &mut self,
+        records: &[WalRecord],
+        plan: &FaultPlan,
+    ) -> Result<GroupCommitReport, WalError> {
+        if records.is_empty() {
+            return Ok(GroupCommitReport {
+                records: 0,
+                synced: true,
+            });
+        }
+        let frames: Vec<Vec<u8>> = records
+            .iter()
+            .map(|r| frame::encode(&r.to_payload()))
+            .collect();
+        let total: u64 = frames.iter().map(|f| f.len() as u64).sum();
+        // The whole batch lands in one segment (rotate up front if the
+        // current one is full), so a batch never straddles a segment
+        // boundary and recovery's per-segment scan sees it contiguously.
+        if self.current_len > 0 && self.current_len + total > self.config.segment_max_bytes {
+            self.live.push(self.current_seq() + 1);
+            self.current_len = 0;
+        }
+        let name = segment_name(self.current_seq());
+        let pre_len = self.current_len;
+        let torn = plan.should_fail(FaultPoint::IngestBatchTorn);
+        let surviving = if torn {
+            let param = plan.param(FaultPoint::IngestBatchTorn);
+            if param > 0 {
+                (param as usize).min(frames.len() - 1)
+            } else {
+                frames.len() / 2
+            }
+        } else {
+            frames.len()
+        };
+        for frame_bytes in &frames[..surviving] {
+            self.io.append(&name, frame_bytes)?;
+            self.current_len += frame_bytes.len() as u64;
+        }
+        if torn {
+            // Cut the next frame mid-record: recovery must truncate it
+            // whole (all-out), never replay a partial row set.
+            let cut = &frames[surviving][..frames[surviving].len() / 2];
+            if !cut.is_empty() {
+                self.io.append(&name, cut)?;
+                self.current_len += cut.len() as u64;
+            }
+        }
+        if plan.should_fail(FaultPoint::GroupCommitFsyncStall) {
+            // The sync stalled: the batch's durability cannot be proven,
+            // and the caller will drop it as unadmitted. Fail closed in
+            // the log too — rewind the segment to its pre-batch length so
+            // a *later* batch's fsync can never quietly make these frames
+            // durable and resurrect rows the audit trail says were
+            // dropped.
+            self.io.truncate(&name, pre_len)?;
+            self.current_len = pre_len;
+            return Ok(GroupCommitReport {
+                records: records.len(),
+                synced: false,
+            });
+        }
+        self.appended_records += surviving as u64;
+        self.io.sync(&name)?;
+        self.syncs += 1;
+        Ok(GroupCommitReport {
+            records: records.len(),
+            synced: true,
+        })
+    }
+
+    /// Records appended since open (single and group-committed).
+    pub fn appended_records(&self) -> u64 {
+        self.appended_records
+    }
+
+    /// Syncs issued since open; `appended_records() / sync_count()` is the
+    /// group-commit amortization factor.
+    pub fn sync_count(&self) -> u64 {
+        self.syncs
     }
 
     /// Writes an immutable auxiliary blob (e.g. a sealed audit segment)
@@ -588,6 +721,106 @@ mod tests {
         for (i, r) in records.iter().enumerate() {
             assert_eq!(*r, sample(i as u64));
         }
+    }
+
+    #[test]
+    fn group_commit_amortizes_sync_and_replays_in_order() {
+        use tippers_resilience::FaultPlan;
+        let mem = MemLog::new();
+        let (mut wal, _, _) = open_mem(&mem, 1 << 20);
+        let batch: Vec<WalRecord> = (0..8).map(sample).collect();
+        let report = wal.append_batch(&batch, &FaultPlan::disarmed()).unwrap();
+        assert_eq!(report.records, 8);
+        assert!(report.synced);
+        assert_eq!(wal.appended_records(), 8);
+        assert_eq!(wal.sync_count(), 1, "one fsync for the whole batch");
+        drop(wal);
+        mem.crash();
+        let (_, records, report) = open_mem(&mem, 1 << 20);
+        assert_eq!(records, batch);
+        assert_eq!(report.truncated_tails, 0);
+    }
+
+    #[test]
+    fn torn_batch_recovers_the_intact_record_prefix() {
+        use tippers_resilience::{FaultPlan, FaultPoint};
+        let mem = MemLog::new();
+        let (mut wal, _, _) = open_mem(&mem, 1 << 20);
+        let plan = FaultPlan::seeded(9);
+        plan.arm_with_param(FaultPoint::IngestBatchTorn, 1.0, 3);
+        let batch: Vec<WalRecord> = (0..8).map(sample).collect();
+        wal.append_batch(&batch, &plan).unwrap();
+        assert_eq!(plan.injected(FaultPoint::IngestBatchTorn), 1);
+        drop(wal);
+        mem.crash();
+        let (_, records, report) = open_mem(&mem, 1 << 20);
+        // Three full frames survived the tear; the cut fourth frame is
+        // dropped whole — a record is all-in or all-out.
+        assert_eq!(records, batch[..3].to_vec());
+        assert_eq!(report.truncated_tails, 1);
+        assert!(report.bytes_discarded > 0);
+    }
+
+    #[test]
+    fn stalled_group_commit_sync_loses_the_batch_on_crash() {
+        use tippers_resilience::{FaultPlan, FaultPoint};
+        let mem = MemLog::new();
+        let (mut wal, _, _) = open_mem(&mem, 1 << 20);
+        wal.append(&sample(0)).unwrap();
+        let plan = FaultPlan::seeded(4);
+        plan.arm_limited(FaultPoint::GroupCommitFsyncStall, 1.0, 1);
+        let batch: Vec<WalRecord> = (1..5).map(sample).collect();
+        let report = wal.append_batch(&batch, &plan).unwrap();
+        assert!(!report.synced, "the stall must be reported to the caller");
+        drop(wal);
+        mem.crash();
+        let (_, records, _) = open_mem(&mem, 1 << 20);
+        assert_eq!(
+            records,
+            vec![sample(0)],
+            "the unsynced batch vanishes wholesale"
+        );
+    }
+
+    #[test]
+    fn stalled_batch_is_never_resurrected_by_a_later_sync() {
+        use tippers_resilience::{FaultPlan, FaultPoint};
+        let mem = MemLog::new();
+        let (mut wal, _, _) = open_mem(&mem, 1 << 20);
+        wal.append(&sample(0)).unwrap();
+        let plan = FaultPlan::seeded(4);
+        plan.arm_limited(FaultPoint::GroupCommitFsyncStall, 1.0, 1);
+        let stalled: Vec<WalRecord> = (1..5).map(sample).collect();
+        assert!(!wal.append_batch(&stalled, &plan).unwrap().synced);
+        // A later batch commits successfully — its fsync must not drag
+        // the rewound, unadmitted frames into durability with it.
+        let committed: Vec<WalRecord> = (5..7).map(sample).collect();
+        assert!(wal.append_batch(&committed, &plan).unwrap().synced);
+        drop(wal);
+        let (_, records, report) = open_mem(&mem, 1 << 20);
+        assert_eq!(records, vec![sample(0), sample(5), sample(6)]);
+        assert_eq!(report.truncated_tails, 0, "the rewind leaves no garbage");
+    }
+
+    #[test]
+    fn group_commit_rotates_before_the_batch_not_inside_it() {
+        use tippers_resilience::FaultPlan;
+        let mem = MemLog::new();
+        let (mut wal, _, _) = open_mem(&mem, 64);
+        for i in 0..3 {
+            wal.append(&sample(i)).unwrap();
+        }
+        let before = wal.segments().len();
+        let batch: Vec<WalRecord> = (3..9).map(sample).collect();
+        wal.append_batch(&batch, &FaultPlan::disarmed()).unwrap();
+        assert_eq!(
+            wal.segments().len(),
+            before + 1,
+            "the batch opened one fresh segment and stayed in it"
+        );
+        drop(wal);
+        let (_, records, _) = open_mem(&mem, 64);
+        assert_eq!(records.len(), 9);
     }
 
     #[test]

@@ -76,11 +76,26 @@ pub enum FaultPoint {
     /// the durable record is lost. The release path must roll back and
     /// fail closed rather than disclose an unaccounted read.
     QuotaCounterDrop,
+    /// A torn group-committed ingest batch: only a prefix of the batch's
+    /// frames reaches the log before the crash (the rule's parameter, when
+    /// positive, is the number of frames that survive; otherwise half the
+    /// batch survives). Recovery must keep each surviving record atomic —
+    /// a batch is all-in or all-out, never a partial row set.
+    IngestBatchTorn,
+    /// A sensor link refusing delivery: the downstream ingest mailbox
+    /// pushes back and the link must retry (capped) or drop-and-account,
+    /// never buffer without bound.
+    SensorLinkDrop,
+    /// A stalled group-commit fsync: the batch's frames reach the log
+    /// file's buffer but the amortized sync never completes, so a crash
+    /// loses the whole batch. The capture path must treat the batch as
+    /// unadmitted (drop-and-audit), never as stored.
+    GroupCommitFsyncStall,
 }
 
 impl FaultPoint {
     /// Every defined injection point.
-    pub const ALL: [FaultPoint; 18] = [
+    pub const ALL: [FaultPoint; 21] = [
         FaultPoint::RegistryDiscover,
         FaultPoint::RegistryFetch,
         FaultPoint::PolicyPublish,
@@ -99,6 +114,9 @@ impl FaultPoint {
         FaultPoint::AuditBitFlip,
         FaultPoint::SweepCrash,
         FaultPoint::QuotaCounterDrop,
+        FaultPoint::IngestBatchTorn,
+        FaultPoint::SensorLinkDrop,
+        FaultPoint::GroupCommitFsyncStall,
     ];
 }
 
@@ -123,6 +141,9 @@ impl fmt::Display for FaultPoint {
             FaultPoint::AuditBitFlip => "audit-bit-flip",
             FaultPoint::SweepCrash => "sweep-crash",
             FaultPoint::QuotaCounterDrop => "quota-counter-drop",
+            FaultPoint::IngestBatchTorn => "ingest-batch-torn",
+            FaultPoint::SensorLinkDrop => "sensor-link-drop",
+            FaultPoint::GroupCommitFsyncStall => "group-commit-fsync-stall",
         };
         f.write_str(name)
     }

@@ -51,7 +51,7 @@ pub use clock::{ms_from_secs, VirtualClock, MILLIS_PER_SEC};
 pub use fault::{FaultPlan, FaultPoint};
 pub use health::{HealthMonitor, HealthStatus};
 pub use limiter::{AimdConfig, AimdLimiter, SlidingWindow, TokenBucket, TokenBucketConfig};
-pub use nemesis::{Nemesis, NemesisAction};
+pub use nemesis::{Nemesis, NemesisAction, StormAction};
 pub use queue::{Mailbox, MailboxStats, PushError};
 pub use retry::{BackoffSchedule, RetryError, RetryPolicy, RetryReport, Transient};
 pub use shed::{AdmissionConfig, AdmissionController, AdmissionStats, Priority, ShedReason};

@@ -47,12 +47,40 @@ pub enum NemesisAction {
     Calm,
 }
 
+/// One step of capture-path misfortune (the ingest-storm extension):
+/// misfortune aimed at the sensor firehose rather than the replication
+/// plane. Scheduled by [`Nemesis::storm_step`] on its own deterministic
+/// stream so interleaving it never perturbs [`Nemesis::step`] schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StormAction {
+    /// Tear the next group-committed ingest batch after `frames` frames.
+    TearBatch {
+        /// Frames that survive the tear (the armed parameter).
+        frames: i64,
+    },
+    /// Sensor links start refusing delivery for a bounded budget.
+    DropSensorLink {
+        /// How many deliveries the armed budget may refuse.
+        budget: u32,
+    },
+    /// Stall the amortized group-commit fsync for a bounded budget.
+    StallFsync {
+        /// How many syncs the armed budget may stall.
+        budget: u32,
+    },
+    /// Disarm every capture-path point and let the firehose drain.
+    CalmCapture,
+}
+
 /// The deterministic misfortune scheduler.
 #[derive(Debug)]
 pub struct Nemesis {
     plan: FaultPlan,
     clock: VirtualClock,
     state: u64,
+    /// Separate LCG stream for the ingest-storm leg, so storm steps can be
+    /// interleaved with replication steps without changing either schedule.
+    storm_state: u64,
     nodes: usize,
 }
 
@@ -66,6 +94,7 @@ impl Nemesis {
             clock,
             // Avoid the all-zeros LCG fixpoint without losing seed identity.
             state: seed.wrapping_mul(2) | 1,
+            storm_state: (seed.wrapping_mul(2) ^ 0x5701_B0B5) | 1,
             nodes: nodes.max(1),
         }
     }
@@ -82,6 +111,14 @@ impl Nemesis {
 
     fn pick(&mut self, bound: u64) -> u64 {
         (self.next_u64() >> 11) % bound
+    }
+
+    fn storm_pick(&mut self, bound: u64) -> u64 {
+        self.storm_state = self
+            .storm_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.storm_state >> 11) % bound
     }
 
     /// Decides and arms the next misfortune, advancing virtual time past
@@ -140,6 +177,43 @@ impl Nemesis {
         action
     }
 
+    /// Decides and arms the next capture-path misfortune (the ingest-storm
+    /// extension). Runs on its own deterministic stream and does not
+    /// advance the clock: the driving harness interleaves storm steps with
+    /// its own ingest cadence.
+    pub fn storm_step(&mut self) -> StormAction {
+        match self.storm_pick(6) {
+            0 => {
+                let frames = self.storm_pick(3) as i64 + 1;
+                self.plan
+                    .arm_with_param(FaultPoint::IngestBatchTorn, 1.0, frames);
+                StormAction::TearBatch { frames }
+            }
+            1 | 2 => {
+                let budget = self.storm_pick(4) as u32 + 1;
+                self.plan
+                    .arm_limited(FaultPoint::SensorLinkDrop, 0.5, budget);
+                StormAction::DropSensorLink { budget }
+            }
+            3 => {
+                let budget = self.storm_pick(2) as u32 + 1;
+                self.plan
+                    .arm_limited(FaultPoint::GroupCommitFsyncStall, 0.5, budget);
+                StormAction::StallFsync { budget }
+            }
+            _ => {
+                for point in [
+                    FaultPoint::IngestBatchTorn,
+                    FaultPoint::SensorLinkDrop,
+                    FaultPoint::GroupCommitFsyncStall,
+                ] {
+                    self.plan.disarm(point);
+                }
+                StormAction::CalmCapture
+            }
+        }
+    }
+
     /// Disarms every nemesis-owned fault point (end-of-scenario heal).
     pub fn quiesce(&mut self) {
         for point in [
@@ -148,6 +222,9 @@ impl Nemesis {
             FaultPoint::ReplFrameDrop,
             FaultPoint::ReplFrameReorder,
             FaultPoint::ReplAckDelay,
+            FaultPoint::IngestBatchTorn,
+            FaultPoint::SensorLinkDrop,
+            FaultPoint::GroupCommitFsyncStall,
         ] {
             self.plan.disarm(point);
         }
@@ -186,6 +263,45 @@ mod tests {
         n.quiesce();
         assert!(!plan.is_armed(FaultPoint::Partition));
         assert!(!plan.is_armed(FaultPoint::ReplFrameReorder));
+    }
+
+    #[test]
+    fn storm_steps_are_deterministic_and_do_not_perturb_replication() {
+        let storm = |seed: u64| -> Vec<StormAction> {
+            let mut n = Nemesis::new(seed, 3, FaultPlan::seeded(seed), VirtualClock::new());
+            (0..64).map(|_| n.storm_step()).collect()
+        };
+        assert_eq!(storm(7), storm(7));
+        assert_ne!(storm(7), storm(8));
+        // Interleaving storm steps leaves the replication schedule intact.
+        let plain = schedule(7, 32);
+        let mut n = Nemesis::new(7, 3, FaultPlan::seeded(7), VirtualClock::new());
+        let interleaved: Vec<NemesisAction> = (0..32)
+            .map(|_| {
+                n.storm_step();
+                n.step()
+            })
+            .collect();
+        assert_eq!(plain, interleaved);
+    }
+
+    #[test]
+    fn storm_arms_capture_points_and_quiesce_heals() {
+        let plan = FaultPlan::seeded(2);
+        let mut n = Nemesis::new(2, 3, plan.clone(), VirtualClock::new());
+        let mut tore = false;
+        for _ in 0..64 {
+            if let StormAction::TearBatch { frames } = n.storm_step() {
+                tore = true;
+                assert!(plan.is_armed(FaultPoint::IngestBatchTorn));
+                assert_eq!(plan.param(FaultPoint::IngestBatchTorn), frames);
+            }
+        }
+        assert!(tore, "64 storm steps should tear at least one batch");
+        n.quiesce();
+        assert!(!plan.is_armed(FaultPoint::IngestBatchTorn));
+        assert!(!plan.is_armed(FaultPoint::SensorLinkDrop));
+        assert!(!plan.is_armed(FaultPoint::GroupCommitFsyncStall));
     }
 
     #[test]

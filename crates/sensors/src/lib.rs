@@ -43,6 +43,7 @@ pub mod attack;
 mod deploy;
 mod device;
 mod events;
+mod link;
 pub mod mobility;
 mod occupant;
 mod simulator;
@@ -52,6 +53,7 @@ pub use device::{
     DeviceId, DeviceRegistry, MacAddress, SensorDevice, SensorSettings, SettingValue,
 };
 pub use events::{Observation, ObservationPayload};
+pub use link::{LinkConfig, PollStats, SensorLink};
 pub use occupant::{DayPlan, Occupant, Segment};
 pub use simulator::{
     BuildingSimulator, Population, PresenceRecord, SimulationTrace, SimulatorConfig,

@@ -1,0 +1,270 @@
+//! The sensor-to-BMS delivery link: a *bounded* conveyance with capped
+//! virtual-time retry and drop accounting.
+//!
+//! Before this link existed the simulator buffered observations without
+//! bound ([`crate::SimulationTrace`] just grows), so downstream
+//! backpressure turned into unbounded memory. A [`SensorLink`] instead
+//! holds at most [`LinkConfig::capacity`] observations; anything the
+//! buffer cannot hold, and anything refused downstream more than
+//! [`LinkConfig::max_attempts`] times, is dropped *and accounted* in
+//! [`PollStats`] — overload shows up in counters, never in memory.
+//!
+//! The link also consults
+//! [`FaultPoint::SensorLinkDrop`](tippers_resilience::FaultPoint): an
+//! armed plan makes the link itself refuse delivery rounds, exercising
+//! the same capped-retry path a flaky radio would.
+
+use std::collections::VecDeque;
+
+use tippers_resilience::{FaultPlan, FaultPoint};
+
+use crate::events::Observation;
+
+/// Bounds for a [`SensorLink`].
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Most observations the link buffers; offers past this are dropped
+    /// with accounting.
+    pub capacity: usize,
+    /// Delivery attempts per observation (the capped retry budget); an
+    /// observation refused this many times is dropped with accounting.
+    pub max_attempts: u32,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            capacity: 4096,
+            max_attempts: 3,
+        }
+    }
+}
+
+/// Lifetime delivery accounting for one link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PollStats {
+    /// Observations the sensor plane handed to the link.
+    pub offered: u64,
+    /// Observations the downstream accepted.
+    pub delivered: u64,
+    /// Observations re-queued after a backpressure refusal.
+    pub retried: u64,
+    /// Observations dropped because the buffer was full at offer time.
+    pub dropped_overflow: u64,
+    /// Observations dropped after exhausting the retry budget.
+    pub dropped_retries: u64,
+    /// Delivery rounds the link itself refused (injected
+    /// `sensor-link-drop` faults).
+    pub link_refusals: u64,
+    /// Deepest the buffer has ever been.
+    pub high_watermark: usize,
+}
+
+/// A bounded sensor delivery link.
+#[derive(Debug)]
+pub struct SensorLink {
+    config: LinkConfig,
+    plan: FaultPlan,
+    buffer: VecDeque<(u32, Observation)>,
+    stats: PollStats,
+}
+
+impl SensorLink {
+    /// A link with no fault injection.
+    pub fn new(config: LinkConfig) -> SensorLink {
+        SensorLink::with_fault_plan(config, FaultPlan::disarmed())
+    }
+
+    /// A link whose delivery rounds consult `plan` at
+    /// [`FaultPoint::SensorLinkDrop`].
+    pub fn with_fault_plan(config: LinkConfig, plan: FaultPlan) -> SensorLink {
+        SensorLink {
+            config,
+            plan,
+            buffer: VecDeque::new(),
+            stats: PollStats::default(),
+        }
+    }
+
+    /// Offers observations to the link. Whatever the bounded buffer
+    /// cannot hold is dropped and accounted — never buffered without
+    /// bound.
+    pub fn offer(&mut self, observations: impl IntoIterator<Item = Observation>) {
+        for obs in observations {
+            self.stats.offered += 1;
+            if self.buffer.len() >= self.config.capacity {
+                self.stats.dropped_overflow += 1;
+                continue;
+            }
+            self.buffer.push_back((1, obs));
+            self.stats.high_watermark = self.stats.high_watermark.max(self.buffer.len());
+        }
+    }
+
+    /// Attempts one delivery round: everything buffered is handed to
+    /// `deliver`, which returns the observations the downstream refused
+    /// (its backpressure signal). Refusals are re-queued in order with
+    /// their attempt count bumped — until the capped budget runs out,
+    /// at which point they are dropped and accounted. An armed
+    /// `sensor-link-drop` fault makes the link refuse the whole round
+    /// itself.
+    ///
+    /// Returns how many observations were delivered this round.
+    pub fn pump(&mut self, deliver: impl FnOnce(Vec<Observation>) -> Vec<Observation>) -> usize {
+        if self.buffer.is_empty() {
+            return 0;
+        }
+        if self.plan.should_fail(FaultPoint::SensorLinkDrop) {
+            self.stats.link_refusals += 1;
+            let round = self.drain_round();
+            self.requeue_round(round);
+            return 0;
+        }
+        let round = self.drain_round();
+        let sent: Vec<Observation> = round.iter().map(|(_, o)| o.clone()).collect();
+        let refused = deliver(sent);
+        let delivered = round.len().saturating_sub(refused.len());
+        self.stats.delivered += delivered as u64;
+        // Refusals are an order-preserving subsequence of the round (the
+        // downstream hands back exactly the observations it could not
+        // admit), so attempt counts realign with one forward scan.
+        let mut refused_iter = refused.into_iter().peekable();
+        let mut requeue: Vec<(u32, Observation)> = Vec::new();
+        for (attempts, obs) in round {
+            if refused_iter.peek() == Some(&obs) {
+                refused_iter.next();
+                requeue.push((attempts, obs));
+            }
+        }
+        self.requeue_round(requeue);
+        delivered
+    }
+
+    fn drain_round(&mut self) -> Vec<(u32, Observation)> {
+        self.buffer.drain(..).collect()
+    }
+
+    fn requeue_round(&mut self, round: Vec<(u32, Observation)>) {
+        for (attempts, obs) in round {
+            if attempts >= self.config.max_attempts {
+                self.stats.dropped_retries += 1;
+            } else {
+                self.stats.retried += 1;
+                self.buffer.push_back((attempts + 1, obs));
+            }
+        }
+        self.stats.high_watermark = self.stats.high_watermark.max(self.buffer.len());
+    }
+
+    /// Observations currently buffered.
+    pub fn depth(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// True when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> LinkConfig {
+        self.config
+    }
+
+    /// Lifetime accounting.
+    pub fn stats(&self) -> PollStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+    use crate::events::ObservationPayload;
+    use tippers_policy::Timestamp;
+    use tippers_spatial::fixtures::dbh;
+
+    fn obs(t: i64) -> Observation {
+        Observation {
+            device: DeviceId(0),
+            timestamp: Timestamp(t),
+            space: dbh().offices[0],
+            payload: ObservationPayload::Motion { detected: true },
+            subject: None,
+        }
+    }
+
+    #[test]
+    fn overflow_is_dropped_and_accounted_never_buffered() {
+        let mut link = SensorLink::new(LinkConfig {
+            capacity: 2,
+            max_attempts: 3,
+        });
+        link.offer((0..5).map(obs));
+        assert_eq!(link.depth(), 2);
+        let stats = link.stats();
+        assert_eq!(stats.offered, 5);
+        assert_eq!(stats.dropped_overflow, 3);
+        assert_eq!(stats.high_watermark, 2);
+    }
+
+    #[test]
+    fn backpressure_retries_are_capped_then_dropped() {
+        let mut link = SensorLink::new(LinkConfig {
+            capacity: 16,
+            max_attempts: 2,
+        });
+        link.offer((0..3).map(obs));
+        // Downstream refuses everything, twice: first round re-queues
+        // (attempt 2), second round exhausts the budget.
+        assert_eq!(link.pump(|sent| sent), 0);
+        assert_eq!(link.depth(), 3);
+        assert_eq!(link.stats().retried, 3);
+        assert_eq!(link.pump(|sent| sent), 0);
+        assert!(link.is_empty());
+        assert_eq!(link.stats().dropped_retries, 3);
+        // A healthy downstream delivers.
+        link.offer((10..12).map(obs));
+        assert_eq!(link.pump(|_| Vec::new()), 2);
+        assert_eq!(link.stats().delivered, 2);
+    }
+
+    #[test]
+    fn partial_refusal_requeues_only_the_refused_tail() {
+        let mut link = SensorLink::new(LinkConfig {
+            capacity: 16,
+            max_attempts: 3,
+        });
+        link.offer((0..4).map(obs));
+        let delivered = link.pump(|mut sent| sent.split_off(2));
+        assert_eq!(delivered, 2);
+        assert_eq!(link.depth(), 2);
+        // The refused tail retains order.
+        let next = link.pump(|sent| {
+            assert_eq!(sent[0].timestamp.seconds(), 2);
+            assert_eq!(sent[1].timestamp.seconds(), 3);
+            Vec::new()
+        });
+        assert_eq!(next, 2);
+    }
+
+    #[test]
+    fn injected_link_drop_refuses_rounds_without_losing_data() {
+        let plan = FaultPlan::seeded(7);
+        plan.arm_limited(FaultPoint::SensorLinkDrop, 1.0, 1);
+        let mut link = SensorLink::with_fault_plan(
+            LinkConfig {
+                capacity: 16,
+                max_attempts: 3,
+            },
+            plan.clone(),
+        );
+        link.offer((0..2).map(obs));
+        assert_eq!(link.pump(|_| Vec::new()), 0);
+        assert_eq!(link.stats().link_refusals, 1);
+        assert_eq!(link.depth(), 2);
+        // Budget spent: the next round goes through.
+        assert_eq!(link.pump(|_| Vec::new()), 2);
+    }
+}

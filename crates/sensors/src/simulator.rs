@@ -503,6 +503,17 @@ impl BuildingSimulator {
         trace
     }
 
+    /// Samples all sensors at the current clock like [`Self::tick`], but
+    /// pours the observations into a *bounded* [`crate::SensorLink`]
+    /// instead of an unbounded trace — overload becomes link accounting
+    /// ([`crate::PollStats`]), not memory growth. Returns this tick's
+    /// ground truth.
+    pub fn tick_into(&mut self, link: &mut crate::link::SensorLink) -> Vec<PresenceRecord> {
+        let trace = self.tick();
+        link.offer(trace.observations);
+        trace.ground_truth
+    }
+
     /// Runs until `end` (exclusive), accumulating a trace.
     pub fn run_until(&mut self, end: Timestamp) -> SimulationTrace {
         let mut trace = SimulationTrace::default();

@@ -1,0 +1,340 @@
+//! Crash-recovery fuzz for the group-committed ingest pipeline.
+//!
+//! A seeded simulator firehose runs through `Tippers::ingest_batched`
+//! over an in-memory log, deep-copying the log directory at every batch
+//! boundary. The harness then:
+//!
+//! * crashes at **every** batch boundary and proves recovery lands on
+//!   exactly that boundary's state;
+//! * tears the group commit at **every** intra-batch record position
+//!   (`IngestBatchTorn`) and proves recovery keeps each surviving record
+//!   atomic — a record's rows are all-in or all-out, and the torn tail is
+//!   truncated and counted, never replayed partially;
+//! * stalls the amortized fsync (`GroupCommitFsyncStall`) and proves the
+//!   batch fails closed end to end: dropped at runtime, audited as
+//!   `DurabilityLost`, invisible to recovery, and never resurrected by a
+//!   later batch's successful sync.
+//!
+//! Seeded via `TIPPERS_FAULT_SEED` (CI runs 7, 42 and 4711).
+
+use privacy_aware_buildings::prelude::*;
+use tippers::wal::MemLog;
+use tippers::{CaptureDropReason, FaultPlan, FaultPoint, IngestConfig, RecoveryReport, StoredRow};
+use tippers_bench::{gen_policies, gen_preferences, service_pool};
+use tippers_policy::{
+    ActionSet, BuildingPolicy, DataAction, IsoDuration, Modality, UserPreference,
+};
+use tippers_sensors::{Observation, Occupant};
+use tippers_spatial::fixtures::Dbh;
+
+fn fault_seed() -> u64 {
+    std::env::var("TIPPERS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+const BATCHES: usize = 20;
+const BATCH_LEN: usize = 30;
+const BATCH_MAX: usize = 4;
+
+struct Fixture {
+    ontology: Ontology,
+    building: Dbh,
+    occupants: Vec<Occupant>,
+    policies: Vec<BuildingPolicy>,
+    preferences: Vec<UserPreference>,
+    batches: Vec<Vec<Observation>>,
+}
+
+/// Storage authorizers without occupancy-coupled conditions, so a batch
+/// re-run on a recovered instance reproduces the clean run's rows exactly
+/// (generated conditions are pure time windows).
+fn fixture() -> Fixture {
+    let seed = fault_seed();
+    let ontology = Ontology::standard();
+    let mut sim = BuildingSimulator::new(
+        SimulatorConfig {
+            seed,
+            population: Population {
+                staff: 2,
+                faculty: 2,
+                grads: 3,
+                undergrads: 3,
+                visitors: 0,
+            },
+            tick_secs: 300,
+            ..SimulatorConfig::default()
+        },
+        &ontology,
+    );
+    let building = sim.dbh().clone();
+    let occupants = sim.occupants().to_vec();
+    sim.set_clock(Timestamp::at(0, 8, 0));
+    let trace = sim.run_until(Timestamp::at(0, 16, 0)).observations;
+    assert!(
+        trace.len() >= BATCHES * BATCH_LEN,
+        "trace too small: {}",
+        trace.len()
+    );
+    let batches = trace
+        .chunks(BATCH_LEN)
+        .take(BATCHES)
+        .map(<[Observation]>::to_vec)
+        .collect();
+
+    let c = ontology.concepts().clone();
+    let services = service_pool(3);
+    let mut policies = vec![
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Building telemetry baseline",
+            building.building,
+            c.data,
+            c.logging,
+        )
+        .with_actions(ActionSet::of(&[DataAction::Collect, DataAction::Store]))
+        .with_retention(IsoDuration::hours(2))
+        .with_modality(Modality::OptOut),
+        catalog::policy2_emergency_location(PolicyId(0), building.building, &ontology),
+    ];
+    policies.extend(gen_policies(
+        12,
+        &ontology,
+        &building,
+        &services,
+        seed ^ 0xB0,
+    ));
+    let preferences = gen_preferences(
+        occupants.len(),
+        3,
+        &ontology,
+        &building,
+        &services,
+        seed ^ 0x9E0,
+    );
+    Fixture {
+        ontology,
+        building,
+        occupants,
+        policies,
+        preferences,
+        batches,
+    }
+}
+
+fn ingest_config() -> IngestConfig {
+    IngestConfig {
+        // Headroom: this harness fuzzes durability, not the ladder.
+        mailbox_capacity: 1 << 16,
+        batch_max: BATCH_MAX,
+        ..IngestConfig::default()
+    }
+}
+
+fn config(plan: FaultPlan) -> TippersConfig {
+    TippersConfig {
+        ingest: Some(ingest_config()),
+        fault_plan: plan,
+        ..TippersConfig::default()
+    }
+}
+
+fn recover(log: &MemLog, fx: &Fixture, plan: FaultPlan) -> (Tippers, RecoveryReport) {
+    let (mut bms, report) = Tippers::open_with(
+        Box::new(log.clone()),
+        fx.ontology.clone(),
+        fx.building.model.clone(),
+        config(plan),
+    )
+    .expect("recovery must never error on a crashed log");
+    bms.register_occupants(&fx.occupants);
+    (bms, report)
+}
+
+fn rows(bms: &Tippers) -> Vec<StoredRow> {
+    bms.store().iter().cloned().collect()
+}
+
+struct CleanRun {
+    /// Log deep-copies: `copies[i]` is the directory after `i` batches.
+    copies: Vec<MemLog>,
+    /// `expected[i]` is the store after `i` batches.
+    expected: Vec<Vec<StoredRow>>,
+    /// WAL records each batch group-committed.
+    records_per_batch: Vec<usize>,
+}
+
+/// Runs the full workload cleanly, capturing the log and store at every
+/// batch boundary, and proves the group commit actually amortized fsync.
+fn clean_run(fx: &Fixture) -> CleanRun {
+    let log = MemLog::new();
+    let (mut bms, report) = recover(&log, fx, FaultPlan::disarmed());
+    assert_eq!(report.records_replayed, 0);
+    assert!(bms.wal_enabled());
+    for p in &fx.policies {
+        bms.add_policy(p.clone());
+    }
+    for p in &fx.preferences {
+        bms.submit_preference(p.clone(), Timestamp::at(0, 7, 0));
+    }
+
+    let mut copies = vec![log.deep_copy()];
+    let mut expected = vec![rows(&bms)];
+    let mut records_per_batch = Vec::new();
+    let setup_records = bms.wal_appended_records();
+    let setup_syncs = bms.wal_sync_count();
+    for (i, batch) in fx.batches.iter().enumerate() {
+        let before = bms.wal_appended_records();
+        let report = bms.ingest_batched(batch, i as i64);
+        assert!(report.synced, "clean run commits every batch");
+        assert!(report.rejected.is_empty());
+        records_per_batch.push((bms.wal_appended_records() - before) as usize);
+        copies.push(log.deep_copy());
+        expected.push(rows(&bms));
+    }
+    assert_eq!(bms.wal_append_failures(), 0);
+    let stored = expected.last().unwrap().len() - expected[0].len();
+    assert!(stored > 200, "workload must store rows: {stored}");
+    // Group-commit amortization: across the ingest phase, many records
+    // per fsync.
+    let records = bms.wal_appended_records() - setup_records;
+    let syncs = bms.wal_sync_count() - setup_syncs;
+    assert!(
+        records >= 4 * syncs.max(1),
+        "group commit must amortize fsync: {records} records / {syncs} syncs"
+    );
+    CleanRun {
+        copies,
+        expected,
+        records_per_batch,
+    }
+}
+
+#[test]
+fn crash_at_every_batch_boundary_recovers_that_exact_boundary() {
+    let fx = fixture();
+    let run = clean_run(&fx);
+    for (i, (copy, want)) in run.copies.iter().zip(&run.expected).enumerate() {
+        copy.crash();
+        let (recovered, report) = recover(copy, &fx, FaultPlan::disarmed());
+        assert_eq!(report.truncated_tails, 0, "boundary {i}");
+        assert_eq!(&rows(&recovered), want, "boundary {i}");
+        assert!(recovered.store().index_consistent(), "boundary {i}");
+    }
+}
+
+#[test]
+fn torn_group_commit_recovers_whole_records_only() {
+    let seed = fault_seed();
+    let fx = fixture();
+    let run = clean_run(&fx);
+
+    let mut tears_checked = 0usize;
+    for (i, batch) in fx.batches.iter().enumerate() {
+        let records = run.records_per_batch[i];
+        if records < 2 {
+            continue;
+        }
+        let batch_rows: &[StoredRow] = &run.expected[i + 1][run.expected[i].len()..];
+        for surviving in 1..records {
+            // Resume from the clean boundary before this batch, re-run it
+            // with the tear armed at this record position, then crash.
+            let torn_log = run.copies[i].deep_copy();
+            let plan = FaultPlan::seeded(seed);
+            plan.arm_with_param(FaultPoint::IngestBatchTorn, 1.0, surviving as i64);
+            let (mut bms, _) = recover(&torn_log, &fx, plan.clone());
+            let report = bms.ingest_batched(batch, i as i64);
+            // The tear is silent at runtime — a crash cut, not an error:
+            // the batch reports stored and the runtime store holds it all.
+            assert!(report.synced, "a torn batch still syncs (batch {i})");
+            assert_eq!(report.stored, batch_rows.len(), "batch {i}");
+            assert_eq!(
+                rows(&bms),
+                run.expected[i + 1],
+                "recovered-then-rerun batch {i} must match the clean run"
+            );
+            assert_eq!(plan.injected(FaultPoint::IngestBatchTorn), 1);
+
+            torn_log.crash();
+            let (recovered, report) = recover(&torn_log, &fx, FaultPlan::disarmed());
+            // Exactly the surviving whole records' rows: all-in/all-out
+            // at every record boundary, partial frames truncated.
+            let keep = (surviving * BATCH_MAX).min(batch_rows.len());
+            let mut want = run.expected[i].clone();
+            want.extend_from_slice(&batch_rows[..keep]);
+            assert_eq!(
+                rows(&recovered),
+                want,
+                "tear at record {surviving}/{records} of batch {i} (seed {seed})"
+            );
+            assert_eq!(report.truncated_tails, 1, "batch {i} cut {surviving}");
+            assert!(report.bytes_discarded > 0);
+            assert_eq!(recovered.wal_truncations(), 1);
+            assert!(recovered.store().index_consistent());
+            tears_checked += 1;
+        }
+    }
+    assert!(
+        tears_checked >= 30,
+        "tear coverage too thin: {tears_checked}"
+    );
+}
+
+#[test]
+fn stalled_fsync_fails_the_batch_closed_with_no_recovery_trace() {
+    let seed = fault_seed();
+    let fx = fixture();
+    let run = clean_run(&fx);
+
+    let mut stalls_checked = 0usize;
+    for i in (0..fx.batches.len() - 1).step_by(3) {
+        let log = run.copies[i].deep_copy();
+        let plan = FaultPlan::seeded(seed);
+        plan.arm_limited(FaultPoint::GroupCommitFsyncStall, 1.0, 1);
+        let (mut bms, _) = recover(&log, &fx, plan.clone());
+
+        let batch_rows = run.expected[i + 1].len() - run.expected[i].len();
+        let report = bms.ingest_batched(&fx.batches[i], i as i64);
+        assert!(!report.synced, "the stall must surface (batch {i})");
+        assert_eq!(report.stored, 0, "an unproven batch never reports stored");
+        assert_eq!(report.unadmitted, batch_rows, "batch {i}");
+        assert_eq!(
+            rows(&bms),
+            run.expected[i],
+            "unadmitted rows must not reach the runtime store (batch {i})"
+        );
+        // Every dropped row is audited as a durability loss.
+        let audited = bms
+            .capture_drops()
+            .iter()
+            .filter(|d| d.reason == CaptureDropReason::DurabilityLost)
+            .count();
+        assert_eq!(audited, batch_rows, "batch {i}");
+
+        // The next batch commits cleanly on the same instance; its fsync
+        // must not resurrect the stalled frames.
+        let next = bms.ingest_batched(&fx.batches[i + 1], i as i64 + 1);
+        assert!(next.synced, "budget spent: the next batch commits");
+        let next_rows: &[StoredRow] = &run.expected[i + 2][run.expected[i + 1].len()..];
+        let mut want = run.expected[i].clone();
+        want.extend_from_slice(next_rows);
+        assert_eq!(rows(&bms), want, "batch {i}");
+
+        log.crash();
+        let (recovered, report) = recover(&log, &fx, FaultPlan::disarmed());
+        assert_eq!(
+            rows(&recovered),
+            want,
+            "recovery must hold the committed rows and no trace of the \
+             stalled batch (batch {i}, seed {seed})"
+        );
+        assert_eq!(report.truncated_tails, 0, "the rewind leaves no garbage");
+        assert!(recovered.store().index_consistent());
+        stalls_checked += 1;
+    }
+    assert!(
+        stalls_checked >= 6,
+        "stall coverage too thin: {stalls_checked}"
+    );
+}

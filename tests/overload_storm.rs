@@ -18,13 +18,20 @@
 //! Seeded via `TIPPERS_FAULT_SEED` (CI runs 7, 42 and 4711).
 
 use privacy_aware_buildings::prelude::*;
+use tippers::wal::MemLog;
 use tippers::{
     AdmissionConfig, AimdConfig, BrownoutLevel, DecisionBasis, Priority, TokenBucketConfig,
 };
-use tippers::{FaultPlan, FaultPoint};
-use tippers_bench::{gen_policies, gen_storm, service_pool, StormConfig};
+use tippers::{
+    CaptureDropReason, CaptureFilter, FaultPlan, FaultPoint, IngestConfig, Nemesis, StoredRow,
+    VirtualClock,
+};
+use tippers_bench::{gen_policies, gen_storm, service_pool, Lcg, StormConfig};
 use tippers_irr::NetError;
-use tippers_sensors::Occupant;
+use tippers_policy::{PreferenceScope, UserPreference};
+use tippers_sensors::{
+    DeviceId, LinkConfig, Observation, ObservationPayload, Occupant, SensorLink,
+};
 
 fn fault_seed() -> u64 {
     std::env::var("TIPPERS_FAULT_SEED")
@@ -411,5 +418,291 @@ fn lossy_bounded_discovery_still_makes_progress() {
     assert!(
         rounds_with_ads >= 30,
         "lossy + bounded discovery still served {rounds_with_ads}/40 rounds (seed {seed})"
+    );
+}
+
+/// Sensor-firehose leg: an observation storm offered at 4× the capture
+/// pipeline's mailbox capacity, through a bounded sensor link with capped
+/// retry, while the capture nemesis interleaves torn group commits, link
+/// drops and fsync stalls. The invariants mirror the request-path storm:
+///
+/// * **Queues stay bounded** — the link and every per-zone mailbox hold
+///   their configured caps; overload becomes audited drops, not memory.
+/// * **Zero raw stores** — no stored row violates the capture filter,
+///   and identity-bearing rows never land outside the Emergency subtree
+///   while the ladder is engaged.
+/// * **Emergency zones are never degraded** — no ladder suppression
+///   inside the Required emergency policy's subtree, and its rows keep
+///   full fidelity.
+/// * **Goodput holds** — ≥ 70% of admitted observations are durably
+///   stored despite the ladder and the nemesis.
+#[test]
+fn sensor_firehose_degrades_on_the_ladder_and_stores_no_raw_rows() {
+    const MAILBOX: usize = 32;
+    const ROUNDS: usize = 40;
+    const OVERLOAD: usize = 4;
+    let seed = fault_seed();
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let c = ontology.concepts().clone();
+    let plan = FaultPlan::seeded(seed);
+    let mut nemesis = Nemesis::new(seed, 1, plan.clone(), VirtualClock::new());
+
+    let log = MemLog::new();
+    let (mut bms, _) = Tippers::open_with(
+        Box::new(log.clone()),
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig {
+            ingest: Some(IngestConfig {
+                mailbox_capacity: MAILBOX,
+                batch_max: 16,
+                ..IngestConfig::default()
+            }),
+            fault_plan: plan.clone(),
+            ..TippersConfig::default()
+        },
+    )
+    .expect("open");
+    let occupants: Vec<Occupant> = (0..USERS as u64)
+        .map(|u| Occupant::new(UserId(u), format!("user-{u}"), UserGroup::GradStudent))
+        .collect();
+    bms.register_occupants(&occupants);
+    // Everything is storable (the ladder, not authorization, is under
+    // test); the Required emergency policy covers only floor 0, so its
+    // subtree is essential and the rest of the building degrades.
+    bms.add_policy(
+        tippers_policy::BuildingPolicy::new(
+            PolicyId(0),
+            "Firehose telemetry baseline",
+            building.building,
+            c.data,
+            c.logging,
+        )
+        .with_actions(tippers_policy::ActionSet::of(&[
+            tippers_policy::DataAction::Collect,
+            tippers_policy::DataAction::Store,
+        ]))
+        .with_retention("PT4H".parse().unwrap())
+        .with_modality(tippers_policy::Modality::OptOut),
+    );
+    bms.add_policy(catalog::policy2_emergency_location(
+        PolicyId(0),
+        building.floors[0],
+        &ontology,
+    ));
+    // Occupant 0 opts out of location capture: their MAC must never be
+    // stored, raw stream or not.
+    bms.submit_preference(
+        UserPreference::new(
+            PreferenceId(7_000),
+            occupants[0].user,
+            PreferenceScope {
+                data: Some(c.location),
+                ..PreferenceScope::default()
+            },
+            Effect::Deny,
+        ),
+        Timestamp::at(0, 8, 0),
+    );
+    let macs: std::collections::HashMap<UserId, tippers_sensors::MacAddress> =
+        occupants.iter().map(|o| (o.user, o.mac)).collect();
+    let filter = CaptureFilter::derive(&ontology, bms.policies(), bms.preferences(), &macs);
+    assert_eq!(filter.suppressed_macs(), [occupants[0].mac]);
+
+    // One essential zone (floor 0) and three that must degrade.
+    let essential_zone = building.offices[0];
+    assert!(filter.essential_zone(&building.model, essential_zone));
+    let degraded_zones: Vec<_> = building
+        .offices
+        .iter()
+        .copied()
+        .filter(|&z| !filter.essential_zone(&building.model, z))
+        .take(3)
+        .collect();
+    assert_eq!(degraded_zones.len(), 3);
+    let zones: Vec<_> = std::iter::once(essential_zone)
+        .chain(degraded_zones.iter().copied())
+        .collect();
+
+    // ~20% of the stream carries identity (camera frames, WiFi MACs —
+    // including the suppressed one); the rest is essential telemetry.
+    let mut lcg = Lcg(seed ^ 0xF1DE);
+    let mut link = SensorLink::with_fault_plan(
+        LinkConfig {
+            capacity: zones.len() * MAILBOX * OVERLOAD * 2,
+            max_attempts: 3,
+        },
+        plan.clone(),
+    );
+    let mut offered: Vec<Observation> = Vec::new();
+    let mut pipeline_offered = 0u64;
+    for round in 0..ROUNDS {
+        if round % 4 == 0 {
+            let _ = nemesis.storm_step();
+        }
+        let t0 = Timestamp::at(0, 9, 0) + (round as i64) * 10;
+        let mut burst = Vec::new();
+        for &zone in &zones {
+            for i in 0..MAILBOX * OVERLOAD {
+                let t = t0 + i as i64 % 10;
+                let who = &occupants[1 + lcg.below(occupants.len() - 1)];
+                let payload = match lcg.below(10) {
+                    0 => ObservationPayload::CameraFrame {
+                        occupant_count: 1 + lcg.below(4) as u32,
+                        identified: vec![who.user],
+                    },
+                    1 => ObservationPayload::WifiAssociation {
+                        mac: if lcg.below(4) == 0 {
+                            occupants[0].mac
+                        } else {
+                            who.mac
+                        },
+                        ap: DeviceId(40),
+                    },
+                    2..=5 => ObservationPayload::Temperature {
+                        celsius: 20.0 + lcg.unit(),
+                    },
+                    _ => ObservationPayload::Motion {
+                        detected: lcg.below(2) == 0,
+                    },
+                };
+                burst.push(Observation {
+                    device: DeviceId(41),
+                    timestamp: t,
+                    space: zone,
+                    payload,
+                    subject: None,
+                });
+            }
+        }
+        offered.extend(burst.iter().cloned());
+        link.offer(burst);
+        link.pump(|sent| {
+            pipeline_offered += sent.len() as u64;
+            bms.ingest_batched(&sent, round as i64).rejected
+        });
+        // Bounded everywhere, every round.
+        let pipeline = bms.ingest_pipeline().unwrap();
+        assert_eq!(pipeline.max_depth(), 0, "mailboxes drain within the call");
+        for (_, mb) in pipeline.mailbox_stats() {
+            assert!(mb.high_watermark <= MAILBOX, "mailbox bound violated");
+        }
+        assert!(link.depth() <= link.config().capacity);
+    }
+    nemesis.quiesce();
+
+    let stats = bms.ingest_stats().unwrap();
+    // The storm really offered ~4× what the bounded pipeline admitted.
+    assert!(
+        pipeline_offered >= 3 * stats.admitted,
+        "storm must overload the pipeline: offered {pipeline_offered}, admitted {} (seed {seed})",
+        stats.admitted
+    );
+    assert!(
+        stats.admitted as usize >= ROUNDS * zones.len() * MAILBOX / 2,
+        "the pipeline must keep admitting under the nemesis: {} (seed {seed})",
+        stats.admitted
+    );
+    // The ladder engaged: suppress-rung observations and audited
+    // degradation drops exist.
+    assert!(
+        stats.rung_observations[2] > 0,
+        "a 4x firehose must reach the suppress rung (seed {seed})"
+    );
+    assert!(stats.suppressed > 0);
+
+    // Zero raw stores: nothing the capture filter suppresses was stored,
+    // and identity-bearing rows only ever landed in the essential subtree
+    // (every degraded zone ran at the suppress rung throughout).
+    let rows: Vec<StoredRow> = bms.store().iter().cloned().collect();
+    assert!(!rows.is_empty());
+    for row in &rows {
+        if let Some(mac) = row.observation.payload.mac() {
+            assert_ne!(mac, occupants[0].mac, "capture-suppressed MAC stored");
+        }
+        let identity_bearing = matches!(
+            row.observation.payload,
+            ObservationPayload::WifiAssociation { .. } | ObservationPayload::BadgeSwipe { .. }
+        ) || matches!(
+            &row.observation.payload,
+            ObservationPayload::CameraFrame { identified, .. } if !identified.is_empty()
+        );
+        if identity_bearing {
+            assert!(
+                filter.essential_zone(&building.model, row.observation.space),
+                "identity row stored outside the Emergency subtree under \
+                 overload: {row:?} (seed {seed})"
+            );
+        }
+    }
+
+    // Emergency zones are never degraded: no ladder drop inside the
+    // subtree, and its identity rows kept full fidelity (camera
+    // identifications intact — nothing was coarsened away).
+    let drops = bms.capture_drops();
+    assert!(
+        drops
+            .iter()
+            .filter(|d| d.reason == CaptureDropReason::Degraded)
+            .all(|d| !filter.essential_zone(&building.model, d.zone)),
+        "ladder suppression inside the Emergency subtree (seed {seed})"
+    );
+    let essential_cameras = rows
+        .iter()
+        .filter(|r| r.observation.space == essential_zone)
+        .filter(|r| {
+            matches!(
+                &r.observation.payload,
+                ObservationPayload::CameraFrame { identified, .. } if !identified.is_empty()
+            )
+        })
+        .count();
+    assert!(
+        essential_cameras > 0,
+        "the essential zone must keep storing full-fidelity identity (seed {seed})"
+    );
+
+    // Goodput: ≥ 70% of what the bounded pipeline admitted was durably
+    // stored, despite suppress-rung shedding and the nemesis.
+    assert!(
+        stats.stored * 10 >= stats.admitted * 7,
+        "goodput {}/{} fell under 70% (seed {seed})",
+        stats.stored,
+        stats.admitted
+    );
+    // Every admitted observation reached an audited terminal outcome.
+    assert_eq!(
+        stats.admitted,
+        stats.stored
+            + stats.suppressed
+            + stats.unauthorized
+            + stats.unadmitted
+            + drops
+                .iter()
+                .filter(|d| d.reason == CaptureDropReason::CaptureFilter)
+                .count() as u64,
+        "capture accounting must balance (seed {seed})"
+    );
+    // And the link never buffered without bound.
+    let link_stats = link.stats();
+    assert!(link_stats.high_watermark <= link.config().capacity);
+    assert_eq!(link_stats.offered as usize, offered.len());
+
+    // A crash after the storm recovers a clean record-boundary prefix of
+    // the runtime store — torn group commits truncate, stalled ones left
+    // no trace.
+    log.crash();
+    let (recovered, _) = Tippers::open_with(
+        Box::new(log.clone()),
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    )
+    .expect("recovery");
+    let recovered_rows: Vec<StoredRow> = recovered.store().iter().cloned().collect();
+    assert!(
+        recovered_rows.len() <= rows.len() && recovered_rows == rows[..recovered_rows.len()],
+        "recovery must land on a prefix of the runtime store (seed {seed})"
     );
 }
