@@ -5,41 +5,73 @@
 //!
 //!   --figures            lint the paper's Figure 2-4 corpus
 //!   --deployment FILE    lint a JSON deployment spec
-//!   --json               machine-readable output
+//!   --format FMT         output format: text (default), json, sarif
+//!   --json               shorthand for --format json
 //!   --deny-warnings      exit non-zero on warnings too
 //!   --allow CODE         suppress a lint code globally (repeatable)
+//!   --threads N          fan pass work across N worker threads
+//!   --cache FILE         persist/reuse the per-unit diagnostic cache
+//!   --changed IDS        comma-separated changed units (policy:7,doc:0,
+//!                        pref:2,global); requires --cache
 //!
 //! exit status: 0 clean, 1 diagnostics at gating severity, 2 usage/IO error
 //! ```
 //!
 //! Positional arguments are wire-format policy documents, linted against
 //! the standard ontology and the DBH spatial model.
+//!
+//! Incremental mode: with `--cache FILE`, the previous run's deployment
+//! spec and per-(pass, unit) diagnostics are stored alongside the report.
+//! On the next run the analyzer re-checks only units that a changed unit
+//! may interact with — the changed set comes from `--changed` (e.g. fed
+//! by a WAL settings-mutation tail) or, absent that, from content-hash
+//! diffing of the stored spec against the current one. The report is
+//! byte-identical to a full re-analysis either way.
 
 use std::process::ExitCode;
 
-use tippers_analyzer::{analyze, report, DeploymentCorpus, LintCode};
+use serde::{Deserialize as _, Serialize as _};
+use tippers_analyzer::{analyze_parallel, report, Analyzer, DeploymentCorpus, LintCode, UnitId};
 use tippers_ontology::Ontology;
 use tippers_spatial::fixtures;
+
+/// Bumped whenever the cache layout changes; stale versions are ignored.
+const CACHE_VERSION: u64 = 1;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Options {
     figures: bool,
     deployment: Option<String>,
-    json: bool,
+    format: Format,
     deny_warnings: bool,
     allow: Vec<String>,
+    threads: usize,
+    cache: Option<String>,
+    changed: Option<Vec<UnitId>>,
     documents: Vec<String>,
 }
 
-const USAGE: &str = "usage: tippers-lint [--figures] [--deployment FILE] [--json] \
-                     [--deny-warnings] [--allow CODE]... [DOCUMENT.json ...]";
+const USAGE: &str = "usage: tippers-lint [--figures] [--deployment FILE] \
+                     [--format text|json|sarif] [--json] [--deny-warnings] \
+                     [--allow CODE]... [--threads N] [--cache FILE] \
+                     [--changed IDS] [DOCUMENT.json ...]";
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut opts = Options {
         figures: false,
         deployment: None,
-        json: false,
+        format: Format::Text,
         deny_warnings: false,
         allow: Vec::new(),
+        threads: 1,
+        cache: None,
+        changed: None,
         documents: Vec::new(),
     };
     let mut args = args.peekable();
@@ -49,7 +81,16 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
             "--deployment" => {
                 opts.deployment = Some(args.next().ok_or("--deployment needs a file argument")?);
             }
-            "--json" => opts.json = true,
+            "--format" => {
+                let fmt = args.next().ok_or("--format needs an argument")?;
+                opts.format = match fmt.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--json" => opts.format = Format::Json,
             "--deny-warnings" => opts.deny_warnings = true,
             "--allow" => {
                 let code = args.next().ok_or("--allow needs a lint-code argument")?;
@@ -57,6 +98,27 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                     return Err(format!("unknown lint code `{code}`"));
                 }
                 opts.allow.push(code);
+            }
+            "--threads" => {
+                let n = args.next().ok_or("--threads needs a count argument")?;
+                opts.threads = n
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("invalid thread count `{n}`"))?;
+            }
+            "--cache" => {
+                opts.cache = Some(args.next().ok_or("--cache needs a file argument")?);
+            }
+            "--changed" => {
+                let ids = args.next().ok_or("--changed needs a unit-list argument")?;
+                let mut units = Vec::new();
+                for key in ids.split(',').filter(|k| !k.is_empty()) {
+                    units.push(
+                        UnitId::parse(key).ok_or_else(|| format!("unknown unit id `{key}`"))?,
+                    );
+                }
+                opts.changed = Some(units);
             }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => {
@@ -68,16 +130,25 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     if opts.figures && opts.deployment.is_some() {
         return Err("--figures and --deployment are mutually exclusive".into());
     }
+    if opts.cache.is_some() && opts.deployment.is_none() {
+        return Err("--cache requires --deployment".into());
+    }
+    if opts.changed.is_some() && opts.cache.is_none() {
+        return Err("--changed requires --cache".into());
+    }
     Ok(opts)
 }
 
-fn build_corpus(opts: &Options) -> Result<DeploymentCorpus, String> {
+fn load_spec(text: &str, path: &str) -> Result<DeploymentCorpus, String> {
+    DeploymentCorpus::from_spec_str(text, Ontology::standard(), fixtures::dbh().model)
+        .map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn build_corpus(opts: &Options, spec_text: Option<&str>) -> Result<DeploymentCorpus, String> {
     let mut corpus = if opts.figures {
         DeploymentCorpus::figures()
-    } else if let Some(path) = &opts.deployment {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        DeploymentCorpus::from_spec_str(&text, Ontology::standard(), fixtures::dbh().model)
-            .map_err(|e| format!("cannot parse {path}: {e}"))?
+    } else if let (Some(path), Some(text)) = (&opts.deployment, spec_text) {
+        load_spec(text, path)?
     } else {
         DeploymentCorpus::new(Ontology::standard(), fixtures::dbh().model)
     };
@@ -88,6 +159,92 @@ fn build_corpus(opts: &Options) -> Result<DeploymentCorpus, String> {
     }
     corpus.allow.extend(opts.allow.iter().cloned());
     Ok(corpus)
+}
+
+/// The persisted shape of `--cache FILE`: the previous run's spec text
+/// (so the old corpus can be rebuilt for dependency evaluation) plus the
+/// per-(pass, unit) diagnostic entries.
+fn render_cache(spec_text: &str, analyzer: &Analyzer) -> serde_json::Value {
+    let entries: Vec<serde_json::Value> = analyzer
+        .entries()
+        .into_iter()
+        .map(|((code, unit), diags)| {
+            let mut m = serde_json::Map::new();
+            m.insert("code".into(), code.serialize_value());
+            m.insert("unit".into(), unit.key().serialize_value());
+            m.insert("diagnostics".into(), diags.serialize_value());
+            serde_json::Value::Object(m)
+        })
+        .collect();
+    let mut out = serde_json::Map::new();
+    out.insert("version".into(), CACHE_VERSION.serialize_value());
+    out.insert("spec".into(), spec_text.serialize_value());
+    out.insert("entries".into(), serde_json::Value::Array(entries));
+    serde_json::Value::Object(out)
+}
+
+type CacheEntries = Vec<((LintCode, UnitId), Vec<tippers_analyzer::Diagnostic>)>;
+
+/// Parses a cache file written by [`render_cache`]. `None` (not an
+/// error) on version drift so stale caches fall back to a full run.
+fn parse_cache(text: &str) -> Result<Option<(String, CacheEntries)>, String> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("cannot parse cache: {e}"))?;
+    if v["version"] != CACHE_VERSION.serialize_value() {
+        return Ok(None);
+    }
+    let spec =
+        String::deserialize_value(v["spec"].clone()).map_err(|e| format!("cache spec: {e:?}"))?;
+    let mut entries = Vec::new();
+    let serde_json::Value::Array(items) = &v["entries"] else {
+        return Err("cache entries is not an array".into());
+    };
+    for item in items {
+        let code = LintCode::deserialize_value(item["code"].clone())
+            .map_err(|e| format!("cache entry code: {e:?}"))?;
+        let key = String::deserialize_value(item["unit"].clone())
+            .map_err(|e| format!("cache entry unit: {e:?}"))?;
+        let unit = UnitId::parse(&key).ok_or_else(|| format!("unknown cached unit `{key}`"))?;
+        let diags = Vec::deserialize_value(item["diagnostics"].clone())
+            .map_err(|e| format!("cache entry diagnostics: {e:?}"))?;
+        entries.push(((code, unit), diags));
+    }
+    Ok(Some((spec, entries)))
+}
+
+fn run(opts: &Options) -> Result<tippers_analyzer::AnalysisReport, String> {
+    let spec_text = match &opts.deployment {
+        Some(path) => {
+            Some(std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?)
+        }
+        None => None,
+    };
+    let corpus = build_corpus(opts, spec_text.as_deref())?;
+
+    let Some(cache_path) = &opts.cache else {
+        return Ok(analyze_parallel(&corpus, opts.threads));
+    };
+    let spec_text = spec_text.expect("--cache requires --deployment");
+    let prior = match std::fs::read_to_string(cache_path) {
+        Ok(text) => parse_cache(&text)?,
+        Err(_) => None, // first run: no cache yet
+    };
+    let analyzer = match prior {
+        Some((old_spec, entries)) => {
+            let old_corpus = build_corpus(opts, Some(old_spec.as_str()))?;
+            let mut analyzer = Analyzer::resume(old_corpus, entries);
+            match &opts.changed {
+                Some(units) => analyzer.update(corpus, units),
+                None => analyzer.update_auto(corpus),
+            };
+            analyzer
+        }
+        None => Analyzer::with_threads(corpus, opts.threads),
+    };
+    let payload =
+        serde_json::to_string_pretty(&render_cache(&spec_text, &analyzer)).expect("serializable");
+    std::fs::write(cache_path, payload).map_err(|e| format!("cannot write {cache_path}: {e}"))?;
+    Ok(analyzer.report().clone())
 }
 
 fn main() -> ExitCode {
@@ -101,21 +258,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let corpus = match build_corpus(&opts) {
-        Ok(corpus) => corpus,
+    let report = match run(&opts) {
+        Ok(report) => report,
         Err(message) => {
             eprintln!("tippers-lint: {message}");
             return ExitCode::from(2);
         }
     };
-    let report = analyze(&corpus);
-    if opts.json {
-        println!(
+    match opts.format {
+        Format::Json => println!(
             "{}",
             serde_json::to_string_pretty(&report::render_json(&report)).expect("serializable")
-        );
-    } else {
-        print!("{}", report::render_text(&report));
+        ),
+        Format::Sarif => println!(
+            "{}",
+            serde_json::to_string_pretty(&report::render_sarif(&report)).expect("serializable")
+        ),
+        Format::Text => print!("{}", report::render_text(&report)),
     }
     let failing = report.has_errors() || (opts.deny_warnings && report.warning_count() > 0);
     if failing {

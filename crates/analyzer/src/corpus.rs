@@ -12,7 +12,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use serde::Deserialize;
-use tippers_ontology::{ConceptId, Ontology};
+use tippers_ontology::{ConceptId, InferenceRule, Ontology};
 use tippers_policy::validate::escape_pointer_segment;
 use tippers_policy::{
     catalog, figures, ActionSet, BuildingPolicy, Condition, DataAction, Effect, Modality,
@@ -234,6 +234,9 @@ impl DeploymentCorpus {
         }
         corpus.sensitive.sort_unstable();
         corpus.sensitive.dedup();
+        for (i, rule) in spec.inference_rules.iter().enumerate() {
+            corpus.add_inference_rule(i, rule);
+        }
         for p in &spec.policies {
             if let Some(policy) = corpus.resolve_policy(p) {
                 corpus.policies.push(policy);
@@ -245,6 +248,62 @@ impl DeploymentCorpus {
             }
         }
         Ok(corpus)
+    }
+
+    /// Resolves and installs one deployment-declared inference rule.
+    /// Invalid entries (unknown categories, empty premises, confidence
+    /// outside `(0, 1]`) become load diagnostics and are skipped —
+    /// [`InferenceRule::new`] panics on them, so everything is validated
+    /// here first.
+    fn add_inference_rule(&mut self, i: usize, spec: &InferenceRuleSpec) {
+        let base = format!("/inference_rules/{i}");
+        let mut ok = true;
+        let mut premises = Vec::new();
+        for key in &spec.premises {
+            match self.ontology.data.id(key) {
+                Some(id) => premises.push(id),
+                None => {
+                    self.error(
+                        format!("{base}/premises"),
+                        format!("unknown data category `{key}`"),
+                    );
+                    ok = false;
+                }
+            }
+        }
+        let conclusion = match self.ontology.data.id(&spec.conclusion) {
+            Some(id) => Some(id),
+            None => {
+                self.error(
+                    format!("{base}/conclusion"),
+                    format!("unknown data category `{}`", spec.conclusion),
+                );
+                ok = false;
+                None
+            }
+        };
+        if spec.premises.is_empty() {
+            self.error(
+                format!("{base}/premises"),
+                "an inference rule needs at least one premise",
+            );
+            ok = false;
+        }
+        if !(spec.confidence > 0.0 && spec.confidence <= 1.0) {
+            self.error(
+                format!("{base}/confidence"),
+                format!("confidence {} is outside (0, 1]", spec.confidence),
+            );
+            ok = false;
+        }
+        if ok {
+            self.ontology.add_rule(InferenceRule::new(
+                spec.name.clone(),
+                premises,
+                conclusion.expect("validated above"),
+                spec.confidence,
+            ));
+        }
     }
 
     /// Resolves a space name through the alias table, then the model.
@@ -786,9 +845,24 @@ struct DeploymentSpec {
     #[serde(default)]
     documents: Vec<PolicyDocument>,
     #[serde(default)]
+    inference_rules: Vec<InferenceRuleSpec>,
+    #[serde(default)]
     policies: Vec<PolicySpec>,
     #[serde(default)]
     preferences: Vec<PreferenceSpec>,
+}
+
+/// A deployment-declared inference rule: extra background knowledge the
+/// operator knows attackers hold, folded into the ontology's rule base
+/// before analysis (`{"name": ..., "premises": [...], "conclusion": ...,
+/// "confidence": 0.5}`).
+#[derive(Debug, Clone, Deserialize)]
+struct InferenceRuleSpec {
+    name: String,
+    #[serde(default)]
+    premises: Vec<String>,
+    conclusion: String,
+    confidence: f64,
 }
 
 #[derive(Debug, Clone, Deserialize)]

@@ -60,11 +60,37 @@ pub enum LintCode {
     /// observations reach the store without passing the capture-time
     /// filter.
     CaptureGap,
+    /// `TA012` — cross-document shadowing: a policy whose effective decision
+    /// is identical under every reachable context because another policy
+    /// dominates it (broader space/data/purpose/subjects, same-or-stronger
+    /// modality, identical retention), or an advertised resource that is an
+    /// exact duplicate of one advertised earlier. Removing the shadowed
+    /// document changes nothing, so it is dead weight that still has to be
+    /// kept consistent.
+    CrossDocumentShadow,
+    /// `TA013` — undeclared purpose flow: a collected data category
+    /// transitively reaches (via taxonomy subsumption and the ontology's
+    /// inference rules) a policy that shares data under a purpose no
+    /// advertised document ever declares to occupants. The diagnostic
+    /// carries a witness path: the collecting source, the rule chain, and
+    /// the sharing sink.
+    UndeclaredPurposeFlow,
+    /// `TA014` — uncompilable construct: something the upcoming policy
+    /// compiler cannot flatten into finite decision tables — an unbounded
+    /// runtime-context guard (`requester_nearby` ranges over continuous
+    /// positions), or a cycle in the ontology's inference rules (the
+    /// compiler cannot stratify them).
+    Uncompilable,
+    /// `TA015` — unused suppression: a `"lint-allow"` entry (per-document)
+    /// or corpus/CLI `--allow` code that suppressed nothing in this run.
+    /// Stale suppressions silently mask future regressions, mirroring
+    /// rustc's `unused_allow`.
+    UnusedAllow,
 }
 
 impl LintCode {
     /// All codes, in numeric order.
-    pub const ALL: [LintCode; 11] = [
+    pub const ALL: [LintCode; 15] = [
         LintCode::DanglingReference,
         LintCode::UnsatisfiableCondition,
         LintCode::DeadPreference,
@@ -76,6 +102,10 @@ impl LintCode {
         LintCode::ReplicationMisconfigured,
         LintCode::AccountabilityGap,
         LintCode::CaptureGap,
+        LintCode::CrossDocumentShadow,
+        LintCode::UndeclaredPurposeFlow,
+        LintCode::Uncompilable,
+        LintCode::UnusedAllow,
     ];
 
     /// The stable textual code.
@@ -92,6 +122,10 @@ impl LintCode {
             LintCode::ReplicationMisconfigured => "TA009",
             LintCode::AccountabilityGap => "TA010",
             LintCode::CaptureGap => "TA011",
+            LintCode::CrossDocumentShadow => "TA012",
+            LintCode::UndeclaredPurposeFlow => "TA013",
+            LintCode::Uncompilable => "TA014",
+            LintCode::UnusedAllow => "TA015",
         }
     }
 
@@ -109,6 +143,10 @@ impl LintCode {
             LintCode::ReplicationMisconfigured => "replication",
             LintCode::AccountabilityGap => "accountability",
             LintCode::CaptureGap => "capture",
+            LintCode::CrossDocumentShadow => "cross-document-shadow",
+            LintCode::UndeclaredPurposeFlow => "purpose-flow",
+            LintCode::Uncompilable => "compilability",
+            LintCode::UnusedAllow => "unused-allow",
         }
     }
 
@@ -190,20 +228,19 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// The canonical ordering key: (path, code, severity, message, evidence).
+/// Borrowing lets callers sort `&Diagnostic` slices without moving the
+/// fat owned structs around.
+pub(crate) fn sort_key(d: &Diagnostic) -> (&str, LintCode, Severity, &str, &[String]) {
+    (&d.path, d.code, d.severity, &d.message, &d.evidence)
+}
+
 /// Sorts diagnostics into the canonical order (path, code, severity,
 /// message, evidence) and removes exact duplicates. Every reporter and
 /// every test relies on this order, which is independent of the order in
 /// which passes ran or corpus items were supplied.
 pub fn canonicalize(diagnostics: &mut Vec<Diagnostic>) {
-    diagnostics.sort_by(|a, b| {
-        (&a.path, a.code, a.severity, &a.message, &a.evidence).cmp(&(
-            &b.path,
-            b.code,
-            b.severity,
-            &b.message,
-            &b.evidence,
-        ))
-    });
+    diagnostics.sort_by(|a, b| sort_key(a).cmp(&sort_key(b)));
     diagnostics.dedup();
 }
 

@@ -1,0 +1,247 @@
+//! The lowering step: one typed fact graph per corpus.
+//!
+//! [`Facts::build`] derives, once, everything the passes used to re-derive
+//! independently: which policies and preferences are resolvable (and an
+//! id → carriers index over them), what each document resource discloses,
+//! the inference closure of each disclosure set, which purposes the
+//! documents declare to occupants, and whether the rule base is cyclic.
+//! Passes query this graph through [`super::Context`]; none of them walk
+//! the raw corpus for semantic facts again.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use tippers_ontology::{ConceptId, Inference};
+
+use super::{hash, solver};
+use crate::corpus::DeploymentCorpus;
+
+/// Memoized inference closures, keyed by the disclosed-concept set.
+///
+/// The memo is keyed to a fingerprint of the vocabulary (data taxonomy +
+/// rule base); when the vocabulary drifts the memo self-clears, so entries
+/// can never leak across ontologies. Shared across incremental updates:
+/// an unchanged document's closure is a lookup, not a fixpoint.
+#[derive(Debug, Default)]
+pub struct ClosureMemo {
+    fingerprint: u64,
+    entries: BTreeMap<Vec<ConceptId>, Vec<Inference>>,
+}
+
+impl ClosureMemo {
+    fn closure(&mut self, corpus: &DeploymentCorpus, disclosed: &[ConceptId]) -> Vec<Inference> {
+        if let Some(hit) = self.entries.get(disclosed) {
+            return hit.clone();
+        }
+        let out = solver::closure(&corpus.ontology.data, corpus.ontology.rules(), disclosed);
+        self.entries.insert(disclosed.to_vec(), out.clone());
+        out
+    }
+
+    fn rekey(&mut self, corpus: &DeploymentCorpus) {
+        let mut text = String::new();
+        for concept in corpus.ontology.data.iter() {
+            text.push_str(concept.key());
+            text.push('\x1f');
+            for &p in concept.parents() {
+                text.push_str(&p.index().to_string());
+                text.push(',');
+            }
+            text.push('\x1e');
+        }
+        for rule in corpus.ontology.rules() {
+            text.push_str(&serde_json::to_string(rule).unwrap_or_default());
+            text.push('\x1e');
+        }
+        let fingerprint = hash::fnv64(text.as_bytes());
+        if fingerprint != self.fingerprint {
+            self.fingerprint = fingerprint;
+            self.entries.clear();
+        }
+    }
+}
+
+/// The lowered fact graph of one corpus.
+#[derive(Debug, Clone)]
+pub struct Facts {
+    /// Indices into `corpus.policies` of the resolvable policies, in order.
+    pub resolvable_policies: Vec<usize>,
+    /// Indices into `corpus.preferences` of the resolvable preferences.
+    pub resolvable_preferences: Vec<usize>,
+    /// Resolvable-policy carriers per policy id (ids may be duplicated).
+    pub policy_index: BTreeMap<u64, Vec<usize>>,
+    /// Resolvable-preference carriers per preference id.
+    pub preference_index: BTreeMap<u64, Vec<usize>>,
+    /// Disclosed data categories per document resource `(doc, resource)`,
+    /// sorted and deduplicated; absent when the resource discloses nothing.
+    pub disclosed: BTreeMap<(usize, usize), Vec<ConceptId>>,
+    /// Inference closure of each disclosure set, byte-identical to the
+    /// ontology engine's output on the same inputs.
+    pub inferences: BTreeMap<(usize, usize), Vec<Inference>>,
+    /// Purpose concepts the documents declare to occupants (resolved from
+    /// purpose-section names by the same normalization the codec uses).
+    pub declared_purposes: BTreeSet<ConceptId>,
+    /// Cycles in the inference-rule dependency graph (sorted rule names
+    /// per cycle); non-empty means the rule base cannot be stratified.
+    pub rule_cycles: Vec<Vec<String>>,
+    /// Total fact count, the denominator for facts/sec throughput.
+    pub fact_count: usize,
+}
+
+impl Facts {
+    /// Lowers the corpus into its fact graph, reusing `memo` for closures.
+    pub fn build(corpus: &DeploymentCorpus, memo: &mut ClosureMemo) -> Facts {
+        memo.rekey(corpus);
+
+        let resolvable_policies: Vec<usize> = corpus
+            .policies
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| corpus.policy_is_resolvable(p))
+            .map(|(i, _)| i)
+            .collect();
+        let resolvable_preferences: Vec<usize> = corpus
+            .preferences
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| corpus.preference_is_resolvable(p))
+            .map(|(i, _)| i)
+            .collect();
+        let mut policy_index: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for &i in &resolvable_policies {
+            policy_index
+                .entry(corpus.policies[i].id.0)
+                .or_default()
+                .push(i);
+        }
+        let mut preference_index: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for &i in &resolvable_preferences {
+            preference_index
+                .entry(corpus.preferences[i].id.0)
+                .or_default()
+                .push(i);
+        }
+
+        let mut disclosed = BTreeMap::new();
+        let mut inferences = BTreeMap::new();
+        let mut declared_purposes = BTreeSet::new();
+        for (k, doc) in corpus.documents.iter().enumerate() {
+            for (i, r) in doc.resources.iter().enumerate() {
+                let mut categories: Vec<ConceptId> = r
+                    .observations
+                    .iter()
+                    .filter_map(|obs| corpus.observation_category(obs))
+                    .collect();
+                if categories.is_empty() {
+                    if let Some(sensor) = &r.sensor {
+                        categories.extend(corpus.sensor_category(&sensor.kind));
+                    }
+                }
+                categories.sort_unstable();
+                categories.dedup();
+                for name in r.purpose.purposes.keys() {
+                    declared_purposes.extend(declared_purpose(corpus, name));
+                }
+                if categories.is_empty() {
+                    continue;
+                }
+                inferences.insert((k, i), memo.closure(corpus, &categories));
+                disclosed.insert((k, i), categories);
+            }
+        }
+
+        let rule_cycles = solver::rule_cycles(&corpus.ontology.data, corpus.ontology.rules());
+
+        let fact_count = resolvable_policies.len()
+            + resolvable_preferences.len()
+            + disclosed.values().map(Vec::len).sum::<usize>()
+            + inferences.values().map(Vec::len).sum::<usize>()
+            + declared_purposes.len()
+            + corpus.ontology.rules().len();
+
+        Facts {
+            resolvable_policies,
+            resolvable_preferences,
+            policy_index,
+            preference_index,
+            disclosed,
+            inferences,
+            declared_purposes,
+            rule_cycles,
+            fact_count,
+        }
+    }
+}
+
+/// Resolves a document purpose-section name (`"emergency response"`) to a
+/// purpose concept: the name is normalized to kebab case and matched
+/// against the final segment of each taxonomy key.
+pub fn declared_purpose(corpus: &DeploymentCorpus, name: &str) -> Option<ConceptId> {
+    let mut slug = String::new();
+    for ch in name.trim().chars() {
+        if ch.is_ascii_alphanumeric() {
+            slug.push(ch.to_ascii_lowercase());
+        } else if !slug.ends_with('-') {
+            slug.push('-');
+        }
+    }
+    let slug = slug.trim_matches('-');
+    if slug.is_empty() {
+        return None;
+    }
+    corpus
+        .ontology
+        .purposes
+        .iter()
+        .find(|c| c.key().rsplit('/').next() == Some(slug))
+        .map(tippers_ontology::Concept::id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figures_facts_cover_the_corpus() {
+        let corpus = DeploymentCorpus::figures();
+        let mut memo = ClosureMemo::default();
+        let facts = Facts::build(&corpus, &mut memo);
+        assert_eq!(facts.resolvable_policies.len(), 4);
+        assert_eq!(facts.resolvable_preferences.len(), 4);
+        // Figure 2's WiFi resource and Figure 3's concierge resource both
+        // disclose categories, and both closures are non-trivial.
+        assert!(facts.disclosed.contains_key(&(0, 0)));
+        assert!(facts.disclosed.contains_key(&(1, 0)));
+        assert!(!facts.inferences[&(0, 0)].is_empty());
+        // Figure 2 declares "emergency response".
+        let c = corpus.ontology.concepts();
+        assert!(facts.declared_purposes.contains(&c.emergency_response));
+        assert!(facts.rule_cycles.is_empty());
+        assert!(facts.fact_count > 10);
+    }
+
+    #[test]
+    fn closures_match_the_ontology_engine() {
+        let corpus = DeploymentCorpus::figures();
+        let mut memo = ClosureMemo::default();
+        let facts = Facts::build(&corpus, &mut memo);
+        let engine = corpus.ontology.inference();
+        for (key, categories) in &facts.disclosed {
+            assert_eq!(facts.inferences[key], engine.closure(categories));
+        }
+        // Second build hits the memo and stays identical.
+        let again = Facts::build(&corpus, &mut memo);
+        assert_eq!(facts.inferences, again.inferences);
+    }
+
+    #[test]
+    fn purpose_names_resolve_by_slug() {
+        let corpus = DeploymentCorpus::figures();
+        let c = corpus.ontology.concepts();
+        assert_eq!(
+            declared_purpose(&corpus, "Emergency Response"),
+            Some(c.emergency_response)
+        );
+        assert_eq!(declared_purpose(&corpus, "time travel"), None);
+        assert_eq!(declared_purpose(&corpus, "  "), None);
+    }
+}

@@ -1,0 +1,201 @@
+//! Content hashing for incremental invalidation.
+//!
+//! Units (documents, policies, preferences) are hashed over their
+//! canonical JSON serialization with FNV-1a 64; the global configuration
+//! (everything that is not a unit) is folded into a single hash. Two
+//! corpora whose unit hashes match produce identical per-unit analysis
+//! facts, so diffing hashes yields a sound changed-set for
+//! [`crate::Analyzer::update`].
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use super::UnitId;
+use crate::corpus::DeploymentCorpus;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64 over raw bytes.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a 64 over a value's JSON serialization.
+pub fn hash_json<T: Serialize>(value: &T) -> u64 {
+    let text = serde_json::to_string(value).unwrap_or_default();
+    fnv64(text.as_bytes())
+}
+
+fn fold(hash: u64, piece: u64) -> u64 {
+    let mut h = hash;
+    for b in piece.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Per-unit content hashes. A policy id carried by several policies hashes
+/// all carriers together, so duplicate-id corpora stay sound.
+pub fn unit_hashes(corpus: &DeploymentCorpus) -> BTreeMap<UnitId, u64> {
+    let mut out: BTreeMap<UnitId, u64> = BTreeMap::new();
+    for (k, doc) in corpus.documents.iter().enumerate() {
+        out.insert(UnitId::Document(k), hash_json(doc));
+    }
+    for p in &corpus.policies {
+        let unit = UnitId::Policy(p.id.0);
+        let h = fold(out.get(&unit).copied().unwrap_or(FNV_OFFSET), hash_json(p));
+        out.insert(unit, h);
+    }
+    for p in &corpus.preferences {
+        let unit = UnitId::Preference(p.id.0);
+        let h = fold(out.get(&unit).copied().unwrap_or(FNV_OFFSET), hash_json(p));
+        out.insert(unit, h);
+    }
+    out
+}
+
+/// One hash over everything that is not a unit: taxonomies, inference
+/// rules, the spatial model, catalogs, quotas, replication and ingest
+/// config, sensitivity, aliases, strategy, and load diagnostics. (The
+/// suppression `allow` set is deliberately excluded — it is applied at
+/// report-assembly time and needs no pass invalidation.)
+pub fn global_hash(corpus: &DeploymentCorpus) -> u64 {
+    let mut text = String::new();
+    for taxonomy in [
+        &corpus.ontology.sensors,
+        &corpus.ontology.data,
+        &corpus.ontology.purposes,
+    ] {
+        for concept in taxonomy.iter() {
+            text.push_str(concept.key());
+            text.push('\x1f');
+            for &p in concept.parents() {
+                text.push_str(&p.index().to_string());
+                text.push(',');
+            }
+            text.push('\x1e');
+        }
+        text.push('\x1d');
+    }
+    for rule in corpus.ontology.rules() {
+        text.push_str(&serde_json::to_string(rule).unwrap_or_default());
+        text.push('\x1e');
+    }
+    for space in corpus.model.iter() {
+        text.push_str(space.name());
+        text.push('\x1f');
+        if let Some(parent) = space.parent() {
+            text.push_str(&parent.index().to_string());
+        }
+        text.push('\x1e');
+    }
+    for s in &corpus.services {
+        text.push_str(s);
+        text.push('\x1e');
+    }
+    for (k, v) in &corpus.priorities {
+        text.push_str(k);
+        text.push('\x1f');
+        text.push_str(v);
+        text.push('\x1e');
+    }
+    if let Some(r) = &corpus.replication {
+        text.push_str(&format!(
+            "repl:{:?}:{}:{:?}",
+            r.replicas, r.quorum, r.staleness_bound_secs
+        ));
+    }
+    for (k, v) in &corpus.quotas {
+        text.push_str(&format!("quota:{k}={v};"));
+    }
+    if let Some(i) = &corpus.ingest {
+        text.push_str(&format!(
+            "ingest:{:?}:{:?}",
+            i.mailbox_capacity, i.capture_zones
+        ));
+    }
+    for &s in &corpus.sensitive {
+        text.push_str(&format!("sens:{};", s.index()));
+    }
+    for (k, v) in &corpus.space_aliases {
+        text.push_str(&format!("alias:{k}={v};"));
+    }
+    text.push_str(&format!("strategy:{:?};", corpus.strategy));
+    for d in &corpus.load_diagnostics {
+        text.push_str(&serde_json::to_string(d).unwrap_or_default());
+        text.push('\x1e');
+    }
+    fnv64(text.as_bytes())
+}
+
+/// The changed-set between two corpora: hash-diffed units (modified,
+/// added, removed) plus [`UnitId::Global`] when the global configuration
+/// drifted.
+pub fn diff(old: &DeploymentCorpus, new: &DeploymentCorpus) -> Vec<UnitId> {
+    let mut changed = Vec::new();
+    if global_hash(old) != global_hash(new) {
+        changed.push(UnitId::Global);
+    }
+    let old_units = unit_hashes(old);
+    let new_units = unit_hashes(new);
+    for (unit, h) in &new_units {
+        if old_units.get(unit) != Some(h) {
+            changed.push(*unit);
+        }
+    }
+    for unit in old_units.keys() {
+        if !new_units.contains_key(unit) {
+            changed.push(*unit);
+        }
+    }
+    changed.sort_unstable();
+    changed.dedup();
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn diff_spots_the_edited_unit() {
+        let base = DeploymentCorpus::figures();
+        let mut edited = base.clone();
+        edited.policies[0].name = "renamed".into();
+        assert_eq!(diff(&base, &edited), vec![UnitId::Policy(1)]);
+        assert!(diff(&base, &base.clone()).is_empty());
+    }
+
+    #[test]
+    fn diff_spots_global_drift_and_removals() {
+        let base = DeploymentCorpus::figures();
+        let mut edited = base.clone();
+        edited.quotas.insert("purpose/safety".into(), 5);
+        let removed = edited.policies.pop().expect("non-empty").id;
+        let changed = diff(&base, &edited);
+        assert!(changed.contains(&UnitId::Global));
+        assert!(changed.contains(&UnitId::Policy(removed.0)));
+    }
+
+    #[test]
+    fn allow_set_is_not_global_state() {
+        let base = DeploymentCorpus::figures();
+        let mut edited = base.clone();
+        edited.allow.insert("TA005".into());
+        assert!(diff(&base, &edited).is_empty());
+    }
+}

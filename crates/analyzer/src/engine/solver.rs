@@ -1,0 +1,291 @@
+//! Deterministic worklist fixpoint solver over the inference-rule base.
+//!
+//! [`closure`] computes the same least fixpoint as the ontology's chaotic
+//! [`tippers_ontology::InferenceEngine::closure`] sweep — byte-identical
+//! output, including best-chain `via` evidence — but only re-evaluates a
+//! rule when a concept one of its premises can match has actually gained
+//! confidence. The equivalence argument: in the chaotic sweep, a rule none
+//! of whose premise-matching concepts changed since its last evaluation
+//! recomputes the same `rule_conf`, and updates require *strictly greater*
+//! confidence, so the evaluation is a no-op; the worklist schedules every
+//! non-no-op evaluation at exactly the position the chaotic sweep would
+//! have run it (same-sweep for watchers later in rule order, next-sweep
+//! for earlier ones), so every state transition happens in the identical
+//! order with identical inputs.
+//!
+//! The solver also derives the rule *dependency graph* (rule → rule when
+//! one's conclusion can feed the other's premise) and reports its cycles,
+//! which the TA014 compilability pass turns into diagnostics: a cyclic
+//! rule base cannot be stratified into the decision tables ROADMAP item 2
+//! wants to compile policies into.
+
+use std::collections::BTreeSet;
+
+use tippers_ontology::{Concept, ConceptId, Inference, InferenceRule, Taxonomy};
+
+/// Everything inferable from `collected`, byte-identical to
+/// [`tippers_ontology::InferenceEngine::closure`] on the same inputs.
+pub fn closure(
+    taxonomy: &Taxonomy,
+    rules: &[InferenceRule],
+    collected: &[ConceptId],
+) -> Vec<Inference> {
+    let n = taxonomy.len();
+    let ids: Vec<ConceptId> = taxonomy.iter().map(Concept::id).collect();
+    let mut conf: Vec<f64> = vec![0.0; n];
+    let mut via: Vec<Vec<String>> = vec![Vec::new(); n];
+    for &c in collected {
+        conf[c.index()] = 1.0;
+    }
+
+    // watchers[i] = rules with a premise that concept i can satisfy.
+    let mut watchers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (r, rule) in rules.iter().enumerate() {
+        for i in 0..n {
+            if rule.premises.iter().any(|&p| taxonomy.is_a(ids[i], p)) {
+                watchers[i].push(r);
+            }
+        }
+    }
+
+    // Worklist of rule indices, round-structured to mirror chaotic sweeps:
+    // an update notifies watchers *later in rule order* within the current
+    // round (the chaotic sweep would reach them this sweep) and the rest in
+    // the next round.
+    let mut current: BTreeSet<usize> = collected
+        .iter()
+        .flat_map(|c| watchers[c.index()].iter().copied())
+        .collect();
+    let mut next: BTreeSet<usize> = BTreeSet::new();
+    while !current.is_empty() {
+        let mut cursor = current.iter().next().copied();
+        while let Some(r) = cursor {
+            current.remove(&r);
+            let rule = &rules[r];
+            let mut rule_conf = rule.confidence;
+            let mut chain: Vec<String> = Vec::new();
+            let mut ok = true;
+            for &prem in &rule.premises {
+                // A premise is satisfied by any held concept subsumed by
+                // it; the best support wins (last max in index order, as
+                // the chaotic sweep picks).
+                let best = (0..n)
+                    .filter(|&i| conf[i] > 0.0)
+                    .filter(|&i| taxonomy.is_a(ids[i], prem))
+                    .map(|i| (conf[i], i))
+                    .max_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+                match best {
+                    Some((c, i)) => {
+                        rule_conf *= c;
+                        for v in &via[i] {
+                            if !chain.contains(v) {
+                                chain.push(v.clone());
+                            }
+                        }
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                let idx = rule.conclusion.index();
+                if rule_conf > conf[idx] + 1e-12 {
+                    conf[idx] = rule_conf;
+                    chain.push(rule.name.clone());
+                    via[idx] = chain;
+                    for &w in &watchers[idx] {
+                        if w > r {
+                            current.insert(w);
+                        } else {
+                            next.insert(w);
+                        }
+                    }
+                }
+            }
+            cursor = current
+                .range((std::ops::Bound::Excluded(r), std::ops::Bound::Unbounded))
+                .next()
+                .copied();
+        }
+        std::mem::swap(&mut current, &mut next);
+    }
+
+    let inputs: Vec<usize> = collected.iter().map(|c| c.index()).collect();
+    (0..n)
+        .filter(|i| conf[*i] > 0.0 && !inputs.contains(i))
+        .map(|i| Inference {
+            concept: ids[i],
+            confidence: conf[i],
+            via: via[i].clone(),
+        })
+        .collect()
+}
+
+/// Cycles in the rule dependency graph, each as the sorted names of the
+/// rules on it. Edge `r → s` when `r`'s conclusion can satisfy one of
+/// `s`'s premises (taxonomy-subsumption-aware, like premise matching).
+/// Cycles are strongly connected components of size > 1 plus self-loops,
+/// reported in ascending order of their smallest rule index.
+pub fn rule_cycles(taxonomy: &Taxonomy, rules: &[InferenceRule]) -> Vec<Vec<String>> {
+    let n = rules.len();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (r, rule) in rules.iter().enumerate() {
+        for (s, other) in rules.iter().enumerate() {
+            if other
+                .premises
+                .iter()
+                .any(|&p| taxonomy.is_a(rule.conclusion, p))
+            {
+                edges[r].push(s);
+            }
+        }
+    }
+
+    // Iterative Tarjan SCC; nodes visited in index order, so component
+    // output is deterministic.
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut counter = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // (node, next-edge cursor)
+        let mut work: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut cursor)) = work.last_mut() {
+            if *cursor == 0 {
+                index[v] = counter;
+                low[v] = counter;
+                counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = edges[v].get(*cursor) {
+                *cursor += 1;
+                if index[w] == usize::MAX {
+                    work.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+            }
+        }
+    }
+
+    let mut cycles: Vec<Vec<usize>> = components
+        .into_iter()
+        .filter(|c| c.len() > 1 || edges[c[0]].contains(&c[0]))
+        .collect();
+    cycles.sort_unstable();
+    cycles
+        .into_iter()
+        .map(|c| {
+            let mut names: Vec<String> = c.iter().map(|&r| rules[r].name.clone()).collect();
+            names.sort_unstable();
+            names
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use tippers_ontology::Ontology;
+
+    use super::*;
+
+    #[test]
+    fn matches_the_chaotic_engine_on_the_standard_ontology() {
+        let ontology = Ontology::standard();
+        let engine = ontology.inference();
+        for concept in ontology.data.iter() {
+            let sources = vec![concept.id()];
+            assert_eq!(
+                closure(&ontology.data, ontology.rules(), &sources),
+                engine.closure(&sources),
+                "diverged on single source {}",
+                concept.key()
+            );
+        }
+        // A multi-source set exercising chained and multi-premise rules.
+        let c = ontology.concepts();
+        let sources = vec![c.wifi_association, c.public_schedule, c.image];
+        assert_eq!(
+            closure(&ontology.data, ontology.rules(), &sources),
+            engine.closure(&sources)
+        );
+    }
+
+    #[test]
+    fn the_standard_rule_base_is_acyclic() {
+        let ontology = Ontology::standard();
+        assert_eq!(
+            rule_cycles(&ontology.data, ontology.rules()),
+            Vec::<Vec<String>>::new()
+        );
+    }
+
+    #[test]
+    fn a_two_rule_loop_is_a_cycle() {
+        let mut ontology = Ontology::standard();
+        let c = ontology.concepts().clone();
+        ontology.add_rule(InferenceRule::new(
+            "power-temp",
+            vec![c.power_consumption],
+            c.ambient_temperature,
+            0.5,
+        ));
+        ontology.add_rule(InferenceRule::new(
+            "temp-power",
+            vec![c.ambient_temperature],
+            c.power_consumption,
+            0.5,
+        ));
+        let cycles = rule_cycles(&ontology.data, ontology.rules());
+        assert_eq!(
+            cycles,
+            vec![vec!["power-temp".to_owned(), "temp-power".to_owned()]]
+        );
+        // The closure still terminates on a cyclic base (confidence decays).
+        let out = closure(&ontology.data, ontology.rules(), &[c.power_consumption]);
+        assert!(out
+            .iter()
+            .any(|i| i.concept == c.ambient_temperature && (i.confidence - 0.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn a_self_loop_is_a_cycle() {
+        let mut ontology = Ontology::standard();
+        let c = ontology.concepts().clone();
+        ontology.add_rule(InferenceRule::new(
+            "occ-occ",
+            vec![c.occupancy],
+            c.occupancy,
+            0.9,
+        ));
+        let cycles = rule_cycles(&ontology.data, ontology.rules());
+        assert_eq!(cycles, vec![vec!["occ-occ".to_owned()]]);
+    }
+}

@@ -6,6 +6,15 @@
 //! documents, normalized policies, user preferences, the spatial model and
 //! the ontology — emitting [`Diagnostic`]s with stable `TA0xx` codes.
 //!
+//! Architecture: a single lowering step builds a typed fact graph
+//! ([`engine`]) — resolvable units, disclosed categories, inference
+//! closures (computed once by a deterministic worklist solver), declared
+//! purposes, rule cycles — and every pass queries those shared facts.
+//! Passes declare which *units* they own and when a changed unit may
+//! interact with an owned one, which is what makes the incremental
+//! [`Analyzer`] and the parallel [`analyze_parallel`] mode possible
+//! without any pass-specific replumbing.
+//!
 //! | Code  | Pass | Worst severity |
 //! |-------|------|----------------|
 //! | TA001 | dangling references (spaces, categories, services) | Error |
@@ -19,13 +28,19 @@
 //! | TA009 | replication topology (quorum vs replica set, staleness bound) | Error |
 //! | TA010 | accountability gaps (unsweepable retention, unquota'd sharing purpose) | Warning |
 //! | TA011 | capture-enforcement gaps (unbounded ingest mailbox, uncaptured collection zone) | Error |
+//! | TA012 | cross-document shadowing (dominated policies, duplicate resources) | Warning |
+//! | TA013 | purpose-flow taint (undeclared disclosure purpose, witness path) | Warning |
+//! | TA014 | compilability (requester_nearby guards, cyclic inference rules) | Error |
+//! | TA015 | unused suppressions (`--allow` / `"lint-allow"` hygiene) | Warning |
 //!
 //! Output is canonical: diagnostics are sorted by (path, code, severity,
-//! message, evidence) and deduplicated, so shuffling the corpus never
-//! changes the report byte-for-byte. Suppression is two-level: a document
-//! can carry `"lint-allow": ["TA004"]` to accept findings under its own
-//! path, and the corpus-level [`DeploymentCorpus::allow`] set (the CLI's
-//! `--allow`) suppresses codes globally.
+//! message, evidence) and deduplicated, so shuffling the corpus — or the
+//! thread count — never changes the report byte-for-byte. Suppression is
+//! two-level: a document can carry `"lint-allow": ["TA004"]` to accept
+//! findings under its own path, and the corpus-level
+//! [`DeploymentCorpus::allow`] set (the CLI's `--allow`) suppresses codes
+//! globally. Suppressions that suppress nothing are themselves reported
+//! (TA015) so reviewed-and-accepted lists cannot rot silently.
 //!
 //! # Examples
 //!
@@ -44,11 +59,17 @@
 
 mod corpus;
 pub mod diag;
+pub mod engine;
 mod passes;
 pub mod report;
 
+use std::collections::BTreeSet;
+
+use tippers_policy::validate::escape_pointer_segment;
+
 pub use corpus::{DeploymentCorpus, IngestSpec, ReplicationSpec};
 pub use diag::{Diagnostic, LintCode, Severity};
+pub use engine::{Analyzer, UnitId};
 
 /// The outcome of one analysis run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,41 +82,287 @@ pub struct AnalysisReport {
 
 /// Runs every pass over the corpus and returns the canonical report.
 pub fn analyze(corpus: &DeploymentCorpus) -> AnalysisReport {
-    let mut diagnostics = corpus.load_diagnostics.clone();
-    passes::dangling::run(corpus, &mut diagnostics);
-    passes::unsat::run(corpus, &mut diagnostics);
-    passes::shadow::run(corpus, &mut diagnostics);
-    passes::retention::run(corpus, &mut diagnostics);
-    passes::leak::run(corpus, &mut diagnostics);
-    passes::preflight::run(corpus, &mut diagnostics);
-    passes::wire::run(corpus, &mut diagnostics);
-    passes::priority::run(corpus, &mut diagnostics);
-    passes::replication::run(corpus, &mut diagnostics);
-    passes::accountability::run(corpus, &mut diagnostics);
-    passes::capture::run(corpus, &mut diagnostics);
-    diag::canonicalize(&mut diagnostics);
+    analyze_parallel(corpus, 1)
+}
 
-    let before = diagnostics.len();
-    diagnostics.retain(|d| !is_suppressed(corpus, d));
+/// [`analyze`] with the (pass, owner) work items fanned across `threads`
+/// workers. The report is byte-identical at any thread count: each cell
+/// of the diagnostic map is computed independently, merged into an
+/// ordered map, and canonicalized.
+pub fn analyze_parallel(corpus: &DeploymentCorpus, threads: usize) -> AnalysisReport {
+    let mut memo = engine::ClosureMemo::default();
+    let facts = engine::Facts::build(corpus, &mut memo);
+    let cache = engine::run_all(
+        &engine::Context {
+            corpus,
+            facts: &facts,
+        },
+        threads,
+    );
+    finalize(corpus, &cache)
+}
+
+/// Assembles the canonical report from the per-(pass, owner) diagnostic
+/// cache: load diagnostics + cached findings, canonicalized, suppressed
+/// with usage tracking, and topped up with TA015 findings for
+/// suppressions that suppressed nothing.
+pub(crate) fn finalize(corpus: &DeploymentCorpus, cache: &engine::DiagMap) -> AnalysisReport {
+    // Sort, dedup and suppress by reference: diagnostics are fat structs
+    // (two Strings and an evidence Vec each), so ordering pointers and
+    // cloning only the survivors — once — is markedly cheaper than
+    // cloning everything up front and sorting the owned vec.
+    let mut refs: Vec<&Diagnostic> = corpus
+        .load_diagnostics
+        .iter()
+        .chain(cache.values().flatten())
+        .collect();
+    refs.sort_unstable_by(|a, b| diag::sort_key(a).cmp(&diag::sort_key(b)));
+    refs.dedup();
+
+    // Suppression with usage tracking: which allow entries actually
+    // removed at least one finding.
+    let mut used_corpus: BTreeSet<String> = BTreeSet::new();
+    let mut used_doc: BTreeSet<(usize, String)> = BTreeSet::new();
+    let before = refs.len();
+    refs.retain(|d| {
+        if corpus.allow.contains(d.code.as_str()) {
+            used_corpus.insert(d.code.as_str().to_owned());
+            return false;
+        }
+        if let Some(k) = suppressing_document(corpus, d) {
+            used_doc.insert((k, d.code.as_str().to_owned()));
+            return false;
+        }
+        true
+    });
+    let mut suppressed = before - refs.len();
+    let diagnostics: Vec<Diagnostic> = refs.into_iter().cloned().collect();
+
+    // TA015: suppressions that earned their keep are fine; the rest are
+    // stale review decisions. "TA015" entries are exempt — they are how
+    // an operator opts out of this very check.
+    let mut hygiene = Vec::new();
+    for code in &corpus.allow {
+        if code == "TA015" || used_corpus.contains(code) {
+            continue;
+        }
+        hygiene.push(Diagnostic::new(
+            LintCode::UnusedAllow,
+            Severity::Warning,
+            format!("/allow/{code}"),
+            format!("`--allow {code}` suppresses nothing: no surviving pass emits {code} here"),
+        ));
+    }
+    for (k, doc) in corpus.documents.iter().enumerate() {
+        for code in &doc.lint_allow {
+            if code == "TA015" || used_doc.contains(&(k, code.clone())) {
+                continue;
+            }
+            let seg = escape_pointer_segment(code);
+            hygiene.push(Diagnostic::new(
+                LintCode::UnusedAllow,
+                Severity::Warning,
+                format!("/documents/{k}/lint-allow/{seg}"),
+                format!(
+                    "\"lint-allow\": [\"{code}\"] suppresses nothing: document {k} has no {code} finding"
+                ),
+            ));
+        }
+    }
+    // Hygiene findings get one plain suppression round of their own (an
+    // operator can `--allow TA015`), without counting toward usage.
+    hygiene.retain(|d| {
+        let drop =
+            corpus.allow.contains(d.code.as_str()) || suppressing_document(corpus, d).is_some();
+        if drop {
+            suppressed += 1;
+        }
+        !drop
+    });
+    // Both sides are already in canonical order, so a linear merge (with
+    // adjacent dedup) replaces the former full re-sort.
+    diag::canonicalize(&mut hygiene);
+    let diagnostics = merge_sorted(diagnostics, hygiene);
     AnalysisReport {
-        suppressed: before - diagnostics.len(),
         diagnostics,
+        suppressed,
     }
 }
 
-fn is_suppressed(corpus: &DeploymentCorpus, d: &Diagnostic) -> bool {
-    if corpus.allow.contains(d.code.as_str()) {
-        return true;
+/// Merges two canonically sorted diagnostic vecs, dropping exact
+/// duplicates, preserving canonical order.
+fn merge_sorted(a: Vec<Diagnostic>, b: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    if b.is_empty() {
+        return a;
     }
+    let mut merged = Vec::with_capacity(a.len() + b.len());
+    let mut a = a.into_iter().peekable();
+    let mut b = b.into_iter().peekable();
+    loop {
+        let take_a = match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => diag::sort_key(x) <= diag::sort_key(y),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let d = if take_a {
+            a.next().expect("peeked")
+        } else {
+            b.next().expect("peeked")
+        };
+        if merged.last() != Some(&d) {
+            merged.push(d);
+        }
+    }
+    merged
+}
+
+/// Patches the previous canonical report in place of a full [`finalize`]:
+/// `removed` holds the old diagnostics of every re-checked or dropped
+/// (pass, owner) cell, `added` the fresh ones. Only valid when no
+/// suppression config exists (the caller falls back to `finalize`
+/// otherwise), so the report is exactly the sorted, deduped union of the
+/// cache and the load diagnostics — which makes the patch a set splice:
+/// cancel unchanged pairs, keep "removed" diagnostics another cell still
+/// emits, and linearly merge the small net delta into the old order.
+/// O(report) moves, O(delta · log) comparisons, no re-sort, no re-clone.
+pub(crate) fn splice_diagnostics(
+    old: Vec<Diagnostic>,
+    mut removed: Vec<Diagnostic>,
+    mut added: Vec<Diagnostic>,
+    cache: &engine::DiagMap,
+    load: &[Diagnostic],
+) -> Vec<Diagnostic> {
+    removed.sort_unstable_by(|a, b| diag::sort_key(a).cmp(&diag::sort_key(b)));
+    removed.dedup();
+    added.sort_unstable_by(|a, b| diag::sort_key(a).cmp(&diag::sort_key(b)));
+    added.dedup();
+
+    // Cancel diagnostics both lists agree on (a re-checked cell usually
+    // re-emits almost everything verbatim).
+    let (removed, added) = set_difference_both(removed, added);
+
+    // A "removed" diagnostic stays in the report if any surviving cell —
+    // or the load phase — still emits the identical finding.
+    let removed = drop_still_emitted(removed, cache, load);
+
+    // Three-way linear merge: old order minus `removed` plus `added`.
+    let mut out = Vec::with_capacity(old.len() + added.len());
+    let mut rem = removed.iter().peekable();
+    let mut add = added.into_iter().peekable();
+    for d in old {
+        while add
+            .peek()
+            .is_some_and(|a| diag::sort_key(a) < diag::sort_key(&d))
+        {
+            let a = add.next().expect("peeked");
+            if out.last() != Some(&a) {
+                out.push(a);
+            }
+        }
+        if add.peek().is_some_and(|a| *a == d) {
+            add.next();
+        }
+        if rem.peek().is_some_and(|r| **r == d) {
+            rem.next();
+            continue;
+        }
+        if out.last() != Some(&d) {
+            out.push(d);
+        }
+    }
+    for a in add {
+        if out.last() != Some(&a) {
+            out.push(a);
+        }
+    }
+    out
+}
+
+/// Returns (a \ b, b \ a) for two canonically sorted, deduped vecs.
+fn set_difference_both(
+    a: Vec<Diagnostic>,
+    b: Vec<Diagnostic>,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    let mut only_a = Vec::new();
+    let mut only_b = Vec::new();
+    let mut a = a.into_iter().peekable();
+    let mut b = b.into_iter().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => match diag::sort_key(x).cmp(&diag::sort_key(y)) {
+                std::cmp::Ordering::Less => only_a.push(a.next().expect("peeked")),
+                std::cmp::Ordering::Greater => only_b.push(b.next().expect("peeked")),
+                std::cmp::Ordering::Equal => {
+                    a.next();
+                    b.next();
+                }
+            },
+            (Some(_), None) => only_a.push(a.next().expect("peeked")),
+            (None, Some(_)) => only_b.push(b.next().expect("peeked")),
+            (None, None) => break,
+        }
+    }
+    (only_a, only_b)
+}
+
+/// Filters removal candidates down to those no longer emitted anywhere:
+/// one sweep over the candidate codes' cache cells (binary-searching the
+/// sorted candidate list per cached diagnostic) instead of one cache scan
+/// per candidate.
+fn drop_still_emitted(
+    cands: Vec<Diagnostic>,
+    cache: &engine::DiagMap,
+    load: &[Diagnostic],
+) -> Vec<Diagnostic> {
+    if cands.is_empty() {
+        return cands;
+    }
+    let mut alive = vec![false; cands.len()];
+    let locate = |x: &Diagnostic| {
+        cands
+            .binary_search_by(|c| diag::sort_key(c).cmp(&diag::sort_key(x)))
+            .ok()
+    };
+    let codes: BTreeSet<LintCode> = cands.iter().map(|d| d.code).collect();
+    for code in codes {
+        let range = (code, UnitId::Global)..=(code, UnitId::Preference(u64::MAX));
+        for (_, cell) in cache.range(range) {
+            for x in cell {
+                if let Some(i) = locate(x) {
+                    alive[i] = true;
+                }
+            }
+        }
+    }
+    for x in load {
+        if let Some(i) = locate(x) {
+            alive[i] = true;
+        }
+    }
+    let mut i = 0;
+    let mut cands = cands;
+    cands.retain(|_| {
+        let dead = !alive[i];
+        i += 1;
+        dead
+    });
+    cands
+}
+
+/// The document whose `"lint-allow"` list suppresses this diagnostic, if
+/// any: the code is listed and the diagnostic's path falls under the
+/// document's own subtree.
+fn suppressing_document(corpus: &DeploymentCorpus, d: &Diagnostic) -> Option<usize> {
     for (k, doc) in corpus.documents.iter().enumerate() {
         if doc.lint_allow.iter().any(|c| c == d.code.as_str()) {
             let prefix = format!("/documents/{k}");
             if d.path == prefix || d.path.starts_with(&format!("{prefix}/")) {
-                return true;
+                return Some(k);
             }
         }
     }
-    false
+    None
 }
 
 #[cfg(test)]
@@ -154,5 +421,52 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.code == LintCode::InferenceLeak));
+    }
+
+    #[test]
+    fn an_unused_allow_is_reported_and_a_used_one_is_not() {
+        let mut corpus = DeploymentCorpus::figures();
+        corpus.allow.insert("TA005".into()); // used: figures has leaks
+        corpus.allow.insert("TA009".into()); // unused: no replication config
+        let report = analyze(&corpus);
+        let hygiene: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == LintCode::UnusedAllow)
+            .collect();
+        assert_eq!(hygiene.len(), 1, "{hygiene:?}");
+        assert_eq!(hygiene[0].path, "/allow/TA009");
+    }
+
+    #[test]
+    fn an_unused_document_lint_allow_is_reported_in_place() {
+        let mut corpus = DeploymentCorpus::figures();
+        corpus.documents[0].lint_allow = vec!["TA009".into()];
+        let report = analyze(&corpus);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code == LintCode::UnusedAllow && d.path == "/documents/0/lint-allow/TA009"));
+    }
+
+    #[test]
+    fn allowing_ta015_silences_the_hygiene_pass() {
+        let mut corpus = DeploymentCorpus::figures();
+        corpus.allow.insert("TA009".into());
+        corpus.allow.insert("TA015".into());
+        let report = analyze(&corpus);
+        assert!(report
+            .diagnostics
+            .iter()
+            .all(|d| d.code != LintCode::UnusedAllow));
+    }
+
+    #[test]
+    fn parallel_analysis_is_byte_identical() {
+        let corpus = DeploymentCorpus::figures();
+        let one = analyze_parallel(&corpus, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(one, analyze_parallel(&corpus, threads), "threads={threads}");
+        }
     }
 }

@@ -9,7 +9,9 @@
 //! service from re-assembling a trajectory one release at a time.
 //!
 //! Both are warnings: the deployment works, it just cannot be held to
-//! account for these flows.
+//! account for these flows. The per-policy retention gap is local; the
+//! quota gap aggregates over every sharing policy, so it lives on the
+//! global owner (recomputed on every update — it is a cheap scan).
 
 use std::collections::BTreeMap;
 
@@ -17,62 +19,89 @@ use tippers_ontology::ConceptId;
 use tippers_policy::validate::escape_pointer_segment;
 use tippers_policy::DataAction;
 
-use crate::corpus::DeploymentCorpus;
+use super::{policy_owners, Pass};
 use crate::diag::{Diagnostic, LintCode, Severity};
+use crate::engine::{Context, UnitId};
 
-pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
-    let policies = corpus.resolvable_policies();
+pub(crate) struct Accountability;
 
-    // Gap 1: stored data that never expires cannot be provably deleted.
-    for p in &policies {
-        if !p.actions.contains(DataAction::Store) {
-            continue;
-        }
-        let unretained = match p.retention {
-            None => true,
-            Some(r) => r.as_seconds() <= 0,
-        };
-        if !unretained {
-            continue;
-        }
-        let what = match p.retention {
-            None => "declares no retention element",
-            Some(_) => "declares a zero retention element",
-        };
-        out.push(Diagnostic::new(
-            LintCode::AccountabilityGap,
-            Severity::Warning,
-            format!("/policies/{}/retention", p.id.0),
-            format!(
-                "{} (`{}`) stores data but {what}: the retention sweeper can never certify its deletion",
-                p.id, p.name
-            ),
-        ));
+impl Pass for Accountability {
+    fn code(&self) -> LintCode {
+        LintCode::AccountabilityGap
     }
 
-    // Gap 2: a sharing purpose with no disclosure quota is unbounded.
-    let mut sharing: BTreeMap<ConceptId, Vec<String>> = BTreeMap::new();
-    for p in &policies {
-        if p.actions.contains(DataAction::Share) {
-            sharing.entry(p.purpose).or_default().push(p.id.to_string());
-        }
+    fn owners(&self, cx: &Context<'_>) -> Vec<UnitId> {
+        let mut owners = vec![UnitId::Global];
+        owners.extend(policy_owners(cx));
+        owners
     }
-    for (purpose, evidence) in sharing {
-        let key = corpus.ontology.purposes.key_of(purpose);
-        if corpus.quotas.contains_key(key) {
-            continue;
+
+    fn may_interact(&self, _cx: &Context<'_>, _owner: UnitId, _changed: UnitId) -> bool {
+        false
+    }
+
+    fn check(&self, cx: &Context<'_>, owner: UnitId) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        match owner {
+            // Gap 1: stored data that never expires cannot be provably
+            // deleted.
+            UnitId::Policy(id) => {
+                for p in cx.policies_with_id(id) {
+                    if !p.actions.contains(DataAction::Store) {
+                        continue;
+                    }
+                    let unretained = match p.retention {
+                        None => true,
+                        Some(r) => r.as_seconds() <= 0,
+                    };
+                    if !unretained {
+                        continue;
+                    }
+                    let what = match p.retention {
+                        None => "declares no retention element",
+                        Some(_) => "declares a zero retention element",
+                    };
+                    out.push(Diagnostic::new(
+                        LintCode::AccountabilityGap,
+                        Severity::Warning,
+                        format!("/policies/{}/retention", p.id.0),
+                        format!(
+                            "{} (`{}`) stores data but {what}: the retention sweeper can never certify its deletion",
+                            p.id, p.name
+                        ),
+                    ));
+                }
+            }
+            // Gap 2: a sharing purpose with no disclosure quota is
+            // unbounded.
+            UnitId::Global => {
+                let mut sharing: BTreeMap<ConceptId, Vec<String>> = BTreeMap::new();
+                for p in cx.resolvable_policies() {
+                    if p.actions.contains(DataAction::Share) {
+                        sharing.entry(p.purpose).or_default().push(p.id.to_string());
+                    }
+                }
+                for (purpose, evidence) in sharing {
+                    let key = cx.corpus.ontology.purposes.key_of(purpose);
+                    if cx.corpus.quotas.contains_key(key) {
+                        continue;
+                    }
+                    let seg = escape_pointer_segment(key);
+                    out.push(
+                        Diagnostic::new(
+                            LintCode::AccountabilityGap,
+                            Severity::Warning,
+                            format!("/quotas/{seg}"),
+                            format!(
+                                "purpose `{key}` is shared under but has no disclosure quota: nothing bounds how often it can be queried"
+                            ),
+                        )
+                        .with_evidence(evidence),
+                    );
+                }
+            }
+            _ => {}
         }
-        let seg = escape_pointer_segment(key);
-        out.push(
-            Diagnostic::new(
-                LintCode::AccountabilityGap,
-                Severity::Warning,
-                format!("/quotas/{seg}"),
-                format!(
-                    "purpose `{key}` is shared under but has no disclosure quota: nothing bounds how often it can be queried"
-                ),
-            )
-            .with_evidence(evidence),
-        );
+        out
     }
 }

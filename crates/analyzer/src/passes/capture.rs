@@ -11,68 +11,97 @@
 //! hold but was never screened at capture, a **warning**.
 //!
 //! Deployments that enforce only at request time declare no `"ingest"`
-//! section and the pass is silent.
+//! section and the pass is silent. The mailbox bound is global; the zone
+//! coverage of each policy depends only on that policy and the (global)
+//! ingest spec, so no cross-unit invalidation is needed.
 
 use tippers_policy::DataAction;
 
-use crate::corpus::DeploymentCorpus;
+use super::{policy_owners, Pass};
 use crate::diag::{Diagnostic, LintCode, Severity};
+use crate::engine::{Context, UnitId};
 
-pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
-    let Some(spec) = &corpus.ingest else {
-        return;
-    };
+pub(crate) struct Capture;
 
-    // Gap 1: an unbounded (or zero-bound) mailbox turns overload into
-    // unbounded buffering instead of backpressure.
-    match spec.mailbox_capacity {
-        Some(bound) if bound > 0 => {}
-        declared => {
-            let what = match declared {
-                None => "declares no mailbox bound",
-                Some(_) => "declares a zero mailbox bound",
-            };
-            out.push(Diagnostic::new(
-                LintCode::CaptureGap,
-                Severity::Error,
-                "/ingest/mailbox_capacity",
-                format!(
-                    "capture pipeline {what}: a sensor firehose buffers \
-                     without limit instead of backpressuring the links"
-                ),
-            ));
-        }
+impl Pass for Capture {
+    fn code(&self) -> LintCode {
+        LintCode::CaptureGap
     }
 
-    // Gap 2: collection authorized where no capture zone screens it.
-    let zones: Vec<_> = spec
-        .capture_zones
-        .iter()
-        .filter_map(|name| corpus.resolve_space(name))
-        .collect();
-    for p in corpus.resolvable_policies() {
-        if !p.actions.contains(DataAction::Collect) && !p.actions.contains(DataAction::Store) {
-            continue;
+    fn owners(&self, cx: &Context<'_>) -> Vec<UnitId> {
+        let mut owners = vec![UnitId::Global];
+        owners.extend(policy_owners(cx));
+        owners
+    }
+
+    fn may_interact(&self, _cx: &Context<'_>, _owner: UnitId, _changed: UnitId) -> bool {
+        false
+    }
+
+    fn check(&self, cx: &Context<'_>, owner: UnitId) -> Vec<Diagnostic> {
+        let corpus = cx.corpus;
+        let mut out = Vec::new();
+        let Some(spec) = &corpus.ingest else {
+            return out;
+        };
+        match owner {
+            // Gap 1: an unbounded (or zero-bound) mailbox turns overload
+            // into unbounded buffering instead of backpressure.
+            UnitId::Global => match spec.mailbox_capacity {
+                Some(bound) if bound > 0 => {}
+                declared => {
+                    let what = match declared {
+                        None => "declares no mailbox bound",
+                        Some(_) => "declares a zero mailbox bound",
+                    };
+                    out.push(Diagnostic::new(
+                        LintCode::CaptureGap,
+                        Severity::Error,
+                        "/ingest/mailbox_capacity",
+                        format!(
+                            "capture pipeline {what}: a sensor firehose buffers \
+                             without limit instead of backpressuring the links"
+                        ),
+                    ));
+                }
+            },
+            // Gap 2: collection authorized where no capture zone screens it.
+            UnitId::Policy(id) => {
+                let zones: Vec<_> = spec
+                    .capture_zones
+                    .iter()
+                    .filter_map(|name| corpus.resolve_space(name))
+                    .collect();
+                for p in cx.policies_with_id(id) {
+                    if !p.actions.contains(DataAction::Collect)
+                        && !p.actions.contains(DataAction::Store)
+                    {
+                        continue;
+                    }
+                    if zones.iter().any(|&z| corpus.model.contains(z, p.space)) {
+                        continue;
+                    }
+                    out.push(
+                        Diagnostic::new(
+                            LintCode::CaptureGap,
+                            Severity::Warning,
+                            format!("/policies/{}/space", p.id.0),
+                            format!(
+                                "{} (`{}`) authorizes collection in `{}` but no capture \
+                                 zone covers it: its observations reach the store without \
+                                 capture-time enforcement",
+                                p.id,
+                                p.name,
+                                corpus.model.space(p.space).name()
+                            ),
+                        )
+                        .with_evidence(spec.capture_zones.clone()),
+                    );
+                }
+            }
+            _ => {}
         }
-        if zones.iter().any(|&z| corpus.model.contains(z, p.space)) {
-            continue;
-        }
-        out.push(
-            Diagnostic::new(
-                LintCode::CaptureGap,
-                Severity::Warning,
-                format!("/policies/{}/space", p.id.0),
-                format!(
-                    "{} (`{}`) authorizes collection in `{}` but no capture \
-                     zone covers it: its observations reach the store without \
-                     capture-time enforcement",
-                    p.id,
-                    p.name,
-                    corpus.model.space(p.space).name()
-                ),
-            )
-            .with_evidence(spec.capture_zones.clone()),
-        );
+        out
     }
 }
 
@@ -83,7 +112,8 @@ mod tests {
     use tippers_spatial::fixtures;
 
     use super::*;
-    use crate::corpus::IngestSpec;
+    use crate::corpus::{DeploymentCorpus, IngestSpec};
+    use crate::passes::collect;
 
     fn corpus_with(spec: IngestSpec) -> DeploymentCorpus {
         let dbh = fixtures::dbh();
@@ -117,16 +147,13 @@ mod tests {
     fn absent_ingest_is_silent() {
         let dbh = fixtures::dbh();
         let corpus = DeploymentCorpus::new(Ontology::standard(), dbh.model);
-        let mut out = Vec::new();
-        run(&corpus, &mut out);
-        assert!(out.is_empty());
+        assert!(collect(&Capture, &corpus).is_empty());
     }
 
     #[test]
     fn covered_bounded_pipeline_is_clean() {
         let corpus = corpus_with(bounded(&["DBH"]));
-        let mut out = Vec::new();
-        run(&corpus, &mut out);
+        let out = collect(&Capture, &corpus);
         assert!(out.is_empty(), "{out:?}");
     }
 
@@ -136,8 +163,7 @@ mod tests {
             mailbox_capacity: None,
             capture_zones: vec!["DBH".into()],
         });
-        let mut out = Vec::new();
-        run(&corpus, &mut out);
+        let out = collect(&Capture, &corpus);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].code, LintCode::CaptureGap);
         assert_eq!(out[0].severity, Severity::Error);
@@ -150,8 +176,7 @@ mod tests {
             mailbox_capacity: Some(0),
             capture_zones: vec!["DBH".into()],
         });
-        let mut out = Vec::new();
-        run(&corpus, &mut out);
+        let out = collect(&Capture, &corpus);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].severity, Severity::Error);
         assert!(out[0].message.contains("zero"), "{}", out[0].message);
@@ -163,8 +188,7 @@ mod tests {
         // policy collects outside it. The share-only policy never collects
         // and stays silent.
         let corpus = corpus_with(bounded(&["DBH-2"]));
-        let mut out = Vec::new();
-        run(&corpus, &mut out);
+        let out = collect(&Capture, &corpus);
         assert_eq!(out.len(), 1, "{out:?}");
         assert_eq!(out[0].severity, Severity::Warning);
         assert_eq!(out[0].path, "/policies/1/space");

@@ -3,148 +3,180 @@
 //! Cross-checks every name and id the corpus mentions against the spatial
 //! model, the taxonomies, and the service catalog. A policy over a space
 //! that does not exist silently protects nobody, so these are errors.
+//! Purely local: each unit is checked against global configuration only,
+//! so no other unit's change can alter its verdict.
 
 use tippers_policy::validate::escape_pointer_segment;
 
-use crate::corpus::DeploymentCorpus;
+use super::{raw_unit_owners, Pass};
 use crate::diag::{Diagnostic, LintCode, Severity};
+use crate::engine::{Context, UnitId};
 
-pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
-    let mut error = |path: String, message: String| {
-        out.push(Diagnostic::new(
-            LintCode::DanglingReference,
-            Severity::Error,
-            path,
-            message,
-        ));
-    };
+pub(crate) struct Dangling;
 
-    for (k, doc) in corpus.documents.iter().enumerate() {
-        for (i, r) in doc.resources.iter().enumerate() {
-            let base = format!("/documents/{k}/resources/{i}");
-            if let Some(spatial) = r
-                .context
-                .as_ref()
-                .and_then(|c| c.location.as_ref())
-                .and_then(|l| l.spatial.as_ref())
-            {
-                if corpus.resolve_space(&spatial.name).is_none() {
-                    error(
-                        format!("{base}/context/location/spatial/name"),
-                        format!("unknown space `{}`", spatial.name),
-                    );
-                }
-            }
-            for (j, obs) in r.observations.iter().enumerate() {
-                if let Some(key) = &obs.category {
-                    if corpus.ontology.data.id(key).is_none() {
-                        error(
-                            format!("{base}/observations/{j}/category"),
-                            format!("unknown data category `{key}`"),
-                        );
+impl Pass for Dangling {
+    fn code(&self) -> LintCode {
+        LintCode::DanglingReference
+    }
+
+    fn owners(&self, cx: &Context<'_>) -> Vec<UnitId> {
+        raw_unit_owners(cx)
+    }
+
+    fn may_interact(&self, _cx: &Context<'_>, _owner: UnitId, _changed: UnitId) -> bool {
+        false
+    }
+
+    fn check(&self, cx: &Context<'_>, owner: UnitId) -> Vec<Diagnostic> {
+        let corpus = cx.corpus;
+        let mut out = Vec::new();
+        let mut error = |path: String, message: String| {
+            out.push(Diagnostic::new(
+                LintCode::DanglingReference,
+                Severity::Error,
+                path,
+                message,
+            ));
+        };
+
+        match owner {
+            UnitId::Global => {}
+            UnitId::Document(k) => {
+                let doc = &corpus.documents[k];
+                for (i, r) in doc.resources.iter().enumerate() {
+                    let base = format!("/documents/{k}/resources/{i}");
+                    if let Some(spatial) = r
+                        .context
+                        .as_ref()
+                        .and_then(|c| c.location.as_ref())
+                        .and_then(|l| l.spatial.as_ref())
+                    {
+                        if corpus.resolve_space(&spatial.name).is_none() {
+                            error(
+                                format!("{base}/context/location/spatial/name"),
+                                format!("unknown space `{}`", spatial.name),
+                            );
+                        }
+                    }
+                    for (j, obs) in r.observations.iter().enumerate() {
+                        if let Some(key) = &obs.category {
+                            if corpus.ontology.data.id(key).is_none() {
+                                error(
+                                    format!("{base}/observations/{j}/category"),
+                                    format!("unknown data category `{key}`"),
+                                );
+                            }
+                        }
+                    }
+                    if let Some(service) = &r.purpose.service_id {
+                        if !corpus.services.is_empty() && !corpus.services.contains(service) {
+                            error(
+                                format!("{base}/purpose/service_id"),
+                                format!("unknown service `{service}`"),
+                            );
+                        }
                     }
                 }
             }
-            if let Some(service) = &r.purpose.service_id {
-                if !corpus.services.is_empty() && !corpus.services.contains(service) {
-                    error(
-                        format!("{base}/purpose/service_id"),
-                        format!("unknown service `{service}`"),
-                    );
+            UnitId::Policy(id) => {
+                for p in corpus.policies.iter().filter(|p| p.id.0 == id) {
+                    let base = format!("/policies/{}", p.id.0);
+                    if p.space.index() >= corpus.model.len() {
+                        error(
+                            format!("{base}/space"),
+                            format!("{} references a space outside the spatial model", p.id),
+                        );
+                    }
+                    for &s in &p.condition.spaces {
+                        if s.index() >= corpus.model.len() {
+                            error(
+                                format!("{base}/condition/spaces"),
+                                format!("{} conditions on a space outside the spatial model", p.id),
+                            );
+                        }
+                    }
+                    if p.data.index() >= corpus.ontology.data.len() {
+                        error(
+                            format!("{base}/data"),
+                            format!("{} references a data category outside the ontology", p.id),
+                        );
+                    }
+                    if p.purpose.index() >= corpus.ontology.purposes.len() {
+                        error(
+                            format!("{base}/purpose"),
+                            format!("{} references a purpose outside the ontology", p.id),
+                        );
+                    }
+                    if let Some(sc) = p.sensor_class {
+                        if sc.index() >= corpus.ontology.sensors.len() {
+                            error(
+                                format!("{base}/sensor_class"),
+                                format!("{} references a sensor class outside the ontology", p.id),
+                            );
+                        }
+                    }
+                    if let Some(service) = &p.service {
+                        if !corpus.services.is_empty()
+                            && !corpus.services.contains(service.as_str())
+                        {
+                            let seg = escape_pointer_segment(service.as_str());
+                            error(
+                                format!("{base}/service/{seg}"),
+                                format!("unknown service `{service}`"),
+                            );
+                        }
+                    }
+                }
+            }
+            UnitId::Preference(id) => {
+                for p in corpus.preferences.iter().filter(|p| p.id.0 == id) {
+                    let base = format!("/preferences/{}", p.id.0);
+                    if let Some(s) = p.scope.space {
+                        if s.index() >= corpus.model.len() {
+                            error(
+                                format!("{base}/scope/space"),
+                                format!("{} references a space outside the spatial model", p.id),
+                            );
+                        }
+                    }
+                    for &s in &p.scope.condition.spaces {
+                        if s.index() >= corpus.model.len() {
+                            error(
+                                format!("{base}/scope/condition/spaces"),
+                                format!("{} conditions on a space outside the spatial model", p.id),
+                            );
+                        }
+                    }
+                    if let Some(d) = p.scope.data {
+                        if d.index() >= corpus.ontology.data.len() {
+                            error(
+                                format!("{base}/scope/data"),
+                                format!("{} references a data category outside the ontology", p.id),
+                            );
+                        }
+                    }
+                    if let Some(pp) = p.scope.purpose {
+                        if pp.index() >= corpus.ontology.purposes.len() {
+                            error(
+                                format!("{base}/scope/purpose"),
+                                format!("{} references a purpose outside the ontology", p.id),
+                            );
+                        }
+                    }
+                    if let Some(service) = &p.scope.service {
+                        if !corpus.services.is_empty()
+                            && !corpus.services.contains(service.as_str())
+                        {
+                            let seg = escape_pointer_segment(service.as_str());
+                            error(
+                                format!("{base}/scope/service/{seg}"),
+                                format!("unknown service `{service}`"),
+                            );
+                        }
+                    }
                 }
             }
         }
-    }
-
-    for p in &corpus.policies {
-        let base = format!("/policies/{}", p.id.0);
-        if p.space.index() >= corpus.model.len() {
-            error(
-                format!("{base}/space"),
-                format!("{} references a space outside the spatial model", p.id),
-            );
-        }
-        for &s in &p.condition.spaces {
-            if s.index() >= corpus.model.len() {
-                error(
-                    format!("{base}/condition/spaces"),
-                    format!("{} conditions on a space outside the spatial model", p.id),
-                );
-            }
-        }
-        if p.data.index() >= corpus.ontology.data.len() {
-            error(
-                format!("{base}/data"),
-                format!("{} references a data category outside the ontology", p.id),
-            );
-        }
-        if p.purpose.index() >= corpus.ontology.purposes.len() {
-            error(
-                format!("{base}/purpose"),
-                format!("{} references a purpose outside the ontology", p.id),
-            );
-        }
-        if let Some(sc) = p.sensor_class {
-            if sc.index() >= corpus.ontology.sensors.len() {
-                error(
-                    format!("{base}/sensor_class"),
-                    format!("{} references a sensor class outside the ontology", p.id),
-                );
-            }
-        }
-        if let Some(service) = &p.service {
-            if !corpus.services.is_empty() && !corpus.services.contains(service.as_str()) {
-                let seg = escape_pointer_segment(service.as_str());
-                error(
-                    format!("{base}/service/{seg}"),
-                    format!("unknown service `{service}`"),
-                );
-            }
-        }
-    }
-
-    for p in &corpus.preferences {
-        let base = format!("/preferences/{}", p.id.0);
-        if let Some(s) = p.scope.space {
-            if s.index() >= corpus.model.len() {
-                error(
-                    format!("{base}/scope/space"),
-                    format!("{} references a space outside the spatial model", p.id),
-                );
-            }
-        }
-        for &s in &p.scope.condition.spaces {
-            if s.index() >= corpus.model.len() {
-                error(
-                    format!("{base}/scope/condition/spaces"),
-                    format!("{} conditions on a space outside the spatial model", p.id),
-                );
-            }
-        }
-        if let Some(d) = p.scope.data {
-            if d.index() >= corpus.ontology.data.len() {
-                error(
-                    format!("{base}/scope/data"),
-                    format!("{} references a data category outside the ontology", p.id),
-                );
-            }
-        }
-        if let Some(pp) = p.scope.purpose {
-            if pp.index() >= corpus.ontology.purposes.len() {
-                error(
-                    format!("{base}/scope/purpose"),
-                    format!("{} references a purpose outside the ontology", p.id),
-                );
-            }
-        }
-        if let Some(service) = &p.scope.service {
-            if !corpus.services.is_empty() && !corpus.services.contains(service.as_str()) {
-                let seg = escape_pointer_segment(service.as_str());
-                error(
-                    format!("{base}/scope/service/{seg}"),
-                    format!("unknown service `{service}`"),
-                );
-            }
-        }
+        out
     }
 }

@@ -1,38 +1,44 @@
 //! TA005 — inference-leak reachability.
 //!
 //! §IV.B.2: users care about "the abstract information that can be inferred
-//! from an observation", not just the raw observation. This pass runs the
-//! ontology's forward-chaining closure over each document's disclosed
-//! observations and reports every category the collected data transitively
-//! reveals that the document never discloses — with the rule chain as
-//! evidence. Leaks reaching a sensitive category (identity, health) are
-//! errors; the rest are warnings.
+//! from an observation", not just the raw observation. This pass reads each
+//! resource's disclosure set and its fixpoint closure from the fact graph
+//! (computed once by the engine's solver) and reports every category the
+//! collected data transitively reveals that the document never discloses —
+//! with the rule chain as evidence. Leaks reaching a sensitive category
+//! (identity, health) are errors; the rest are warnings.
 
-use tippers_ontology::ConceptId;
-
-use crate::corpus::DeploymentCorpus;
+use super::{document_owners, Pass};
 use crate::diag::{Diagnostic, LintCode, Severity};
+use crate::engine::{Context, UnitId};
 
-pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
-    for (k, doc) in corpus.documents.iter().enumerate() {
-        for (i, r) in doc.resources.iter().enumerate() {
-            let mut disclosed: Vec<ConceptId> = r
-                .observations
-                .iter()
-                .filter_map(|obs| corpus.observation_category(obs))
-                .collect();
-            if disclosed.is_empty() {
-                if let Some(sensor) = &r.sensor {
-                    disclosed.extend(corpus.sensor_category(&sensor.kind));
-                }
-            }
-            disclosed.sort_unstable();
-            disclosed.dedup();
-            if disclosed.is_empty() {
+pub(crate) struct Leak;
+
+impl Pass for Leak {
+    fn code(&self) -> LintCode {
+        LintCode::InferenceLeak
+    }
+
+    fn owners(&self, cx: &Context<'_>) -> Vec<UnitId> {
+        document_owners(cx)
+    }
+
+    fn may_interact(&self, _cx: &Context<'_>, _owner: UnitId, _changed: UnitId) -> bool {
+        false
+    }
+
+    fn check(&self, cx: &Context<'_>, owner: UnitId) -> Vec<Diagnostic> {
+        let UnitId::Document(k) = owner else {
+            return Vec::new();
+        };
+        let corpus = cx.corpus;
+        let mut out = Vec::new();
+        for i in 0..corpus.documents[k].resources.len() {
+            let Some(disclosed) = cx.facts.disclosed.get(&(k, i)) else {
                 continue;
-            }
+            };
             let path = format!("/documents/{k}/resources/{i}/observations");
-            for inference in corpus.ontology.inference().closure(&disclosed) {
+            for inference in &cx.facts.inferences[&(k, i)] {
                 let covered = disclosed
                     .iter()
                     .any(|&d| corpus.ontology.data.is_a(inference.concept, d));
@@ -65,5 +71,6 @@ pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
                 );
             }
         }
+        out
     }
 }

@@ -1,11 +1,16 @@
 //! The analyzer's passes, one module per lint code.
 //!
-//! Each pass is a pure function from a [`crate::DeploymentCorpus`] to
-//! diagnostics; passes never see each other's output, and the engine sorts
-//! and deduplicates afterwards, so pass execution order is unobservable.
+//! Every pass implements [`Pass`]: it names the [`UnitId`]s it *owns*
+//! (the units its diagnostics are attributed to), checks one owner at a
+//! time against the shared fact graph, and declares — conservatively —
+//! which changed units may interact with an owner, which is what makes
+//! incremental re-analysis sound. Passes never see each other's output,
+//! and the engine canonicalizes afterwards, so neither pass order nor
+//! owner order is observable.
 
 pub(crate) mod accountability;
 pub(crate) mod capture;
+pub(crate) mod compile;
 pub(crate) mod dangling;
 pub(crate) mod leak;
 pub(crate) mod preflight;
@@ -13,5 +18,119 @@ pub(crate) mod priority;
 pub(crate) mod replication;
 pub(crate) mod retention;
 pub(crate) mod shadow;
+pub(crate) mod shadow_cross;
+pub(crate) mod taint;
 pub(crate) mod unsat;
 pub(crate) mod wire;
+
+use std::collections::BTreeSet;
+
+use crate::diag::{Diagnostic, LintCode};
+use crate::engine::{Context, UnitId};
+
+/// One lint pass over the fact graph.
+pub(crate) trait Pass: Sync {
+    /// The stable code of every diagnostic this pass emits.
+    fn code(&self) -> LintCode;
+
+    /// The units this pass attributes diagnostics to, for this corpus.
+    /// Each (pass, owner) cell is computed and cached independently.
+    fn owners(&self, cx: &Context<'_>) -> Vec<UnitId>;
+
+    /// Diagnostics attributed to one owner.
+    fn check(&self, cx: &Context<'_>, owner: UnitId) -> Vec<Diagnostic>;
+
+    /// Whether a change to `changed` may alter `owner`'s diagnostics.
+    /// Called on both the pre- and post-edit corpus; must be conservative
+    /// (`true` when unsure). Never called when `owner == changed`, when
+    /// `changed` is [`UnitId::Global`], or on a document-count change —
+    /// those always invalidate.
+    fn may_interact(&self, _cx: &Context<'_>, _owner: UnitId, _changed: UnitId) -> bool {
+        true
+    }
+
+    /// Full-corpus run, one entry per owner. Passes with cross-owner
+    /// batch structure (TA006's conflict index) override this to compute
+    /// all owners in one sweep; the result must equal per-owner
+    /// [`Pass::check`] calls cell by cell.
+    fn check_all(&self, cx: &Context<'_>) -> Vec<(UnitId, Vec<Diagnostic>)> {
+        self.owners(cx)
+            .into_iter()
+            .map(|o| (o, self.check(cx, o)))
+            .collect()
+    }
+}
+
+/// Every pass, in lint-code order.
+pub(crate) fn all() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(dangling::Dangling),
+        Box::new(unsat::Unsat),
+        Box::new(shadow::Shadow),
+        Box::new(retention::Retention),
+        Box::new(leak::Leak),
+        Box::new(preflight::Preflight),
+        Box::new(wire::Wire),
+        Box::new(priority::Priority),
+        Box::new(replication::Replication),
+        Box::new(accountability::Accountability),
+        Box::new(capture::Capture),
+        Box::new(shadow_cross::ShadowCross),
+        Box::new(taint::Taint),
+        Box::new(compile::Compile),
+    ]
+}
+
+/// Owners for a pass over every document.
+fn document_owners(cx: &Context<'_>) -> Vec<UnitId> {
+    (0..cx.corpus.documents.len())
+        .map(UnitId::Document)
+        .collect()
+}
+
+/// Owners for a pass over the resolvable policies, one per distinct id.
+fn policy_owners(cx: &Context<'_>) -> Vec<UnitId> {
+    cx.facts
+        .policy_index
+        .keys()
+        .map(|&id| UnitId::Policy(id))
+        .collect()
+}
+
+/// Owners for a pass over the resolvable preferences.
+fn preference_owners(cx: &Context<'_>) -> Vec<UnitId> {
+    cx.facts
+        .preference_index
+        .keys()
+        .map(|&id| UnitId::Preference(id))
+        .collect()
+}
+
+/// Owners covering *every* policy and preference id, resolvable or not
+/// (the dangling-reference pass reports the unresolvable ones).
+fn raw_unit_owners(cx: &Context<'_>) -> Vec<UnitId> {
+    let mut owners = document_owners(cx);
+    let policy_ids: BTreeSet<u64> = cx.corpus.policies.iter().map(|p| p.id.0).collect();
+    owners.extend(policy_ids.into_iter().map(UnitId::Policy));
+    let pref_ids: BTreeSet<u64> = cx.corpus.preferences.iter().map(|p| p.id.0).collect();
+    owners.extend(pref_ids.into_iter().map(UnitId::Preference));
+    owners
+}
+
+#[cfg(test)]
+pub(crate) fn collect(
+    pass: &dyn Pass,
+    corpus: &crate::corpus::DeploymentCorpus,
+) -> Vec<Diagnostic> {
+    let mut memo = crate::engine::ClosureMemo::default();
+    let facts = crate::engine::Facts::build(corpus, &mut memo);
+    let cx = Context {
+        corpus,
+        facts: &facts,
+    };
+    let mut out = Vec::new();
+    for owner in pass.owners(&cx) {
+        out.extend(pass.check(&cx, owner));
+    }
+    out
+}

@@ -5,42 +5,118 @@
 //! would resolve (and notify users about) in production is already visible
 //! in CI. Conflicts are warnings: the runtime resolves them by design, but
 //! each one is a user who will be told their preference cannot be honored.
+//!
+//! The detector classifies every (policy, preference) pair independently,
+//! so the pass decomposes exactly by policy id: the full-corpus
+//! [`Pass::check_all`] runs one detector sweep and buckets conflicts by
+//! policy, while the incremental [`Pass::check`] re-detects only the
+//! owner's policies against all preferences — identical output either way.
 
-use tippers_policy::{BuildingPolicy, ConflictIndex, UserPreference};
+use std::collections::BTreeMap;
 
-use crate::corpus::DeploymentCorpus;
+use tippers_policy::conflict::detect_conflicts_naive;
+use tippers_policy::{BuildingPolicy, Conflict, ConflictIndex, UserPreference};
+
+use super::{policy_owners, Pass};
 use crate::diag::{Diagnostic, LintCode, Severity};
+use crate::engine::{Context, UnitId};
 
-pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
-    let policies: Vec<BuildingPolicy> = corpus.resolvable_policies().into_iter().cloned().collect();
-    let preferences: Vec<UserPreference> = corpus
-        .resolvable_preferences()
-        .into_iter()
-        .cloned()
-        .collect();
-    if policies.is_empty() || preferences.is_empty() {
-        return;
+pub(crate) struct Preflight;
+
+impl Pass for Preflight {
+    fn code(&self) -> LintCode {
+        LintCode::ConflictPreflight
     }
-    let index = ConflictIndex::build(&policies, &corpus.ontology);
-    for conflict in index.detect(
-        &policies,
-        &preferences,
-        &corpus.ontology,
-        &corpus.model,
-        corpus.strategy,
-    ) {
-        out.push(
-            Diagnostic::new(
-                LintCode::ConflictPreflight,
-                Severity::Warning,
-                format!("/policies/{}", conflict.policy.0),
-                conflict.notice.clone(),
-            )
-            .with_evidence(vec![
-                conflict.policy.to_string(),
-                conflict.preference.to_string(),
-                format!("{:?}", conflict.kind),
-            ]),
-        );
+
+    fn owners(&self, cx: &Context<'_>) -> Vec<UnitId> {
+        policy_owners(cx)
     }
+
+    /// Any preference can conflict with the owner's policies — but only
+    /// *required* policies ever appear in conflicts, so owners without a
+    /// required carrier are inert. Other policies never enter the owner's
+    /// (policy, preference) pairs.
+    fn may_interact(&self, cx: &Context<'_>, owner: UnitId, changed: UnitId) -> bool {
+        let UnitId::Policy(o) = owner else {
+            return false;
+        };
+        matches!(changed, UnitId::Preference(_))
+            && cx.policy_carriers(o).any(BuildingPolicy::is_required)
+    }
+
+    fn check(&self, cx: &Context<'_>, owner: UnitId) -> Vec<Diagnostic> {
+        let UnitId::Policy(id) = owner else {
+            return Vec::new();
+        };
+        // Only required policies conflict; for the 1–2 policies a single
+        // owner carries, the pairwise detector beats building an index.
+        let policies: Vec<BuildingPolicy> = cx
+            .policy_carriers(id)
+            .filter(|p| p.is_required())
+            .cloned()
+            .collect();
+        if policies.is_empty() {
+            return Vec::new();
+        }
+        let preferences: Vec<UserPreference> =
+            cx.resolvable_preferences().into_iter().cloned().collect();
+        if preferences.is_empty() {
+            return Vec::new();
+        }
+        detect_conflicts_naive(
+            &policies,
+            &preferences,
+            &cx.corpus.ontology,
+            &cx.corpus.model,
+            cx.corpus.strategy,
+        )
+        .iter()
+        .map(render)
+        .collect()
+    }
+
+    fn check_all(&self, cx: &Context<'_>) -> Vec<(UnitId, Vec<Diagnostic>)> {
+        let mut buckets: BTreeMap<u64, Vec<Diagnostic>> = cx
+            .facts
+            .policy_index
+            .keys()
+            .map(|&id| (id, Vec::new()))
+            .collect();
+        let policies: Vec<BuildingPolicy> = cx.resolvable_policies().into_iter().cloned().collect();
+        let preferences: Vec<UserPreference> =
+            cx.resolvable_preferences().into_iter().cloned().collect();
+        if !policies.is_empty() && !preferences.is_empty() {
+            let index = ConflictIndex::build(&policies, &cx.corpus.ontology);
+            for conflict in index.detect(
+                &policies,
+                &preferences,
+                &cx.corpus.ontology,
+                &cx.corpus.model,
+                cx.corpus.strategy,
+            ) {
+                buckets
+                    .get_mut(&conflict.policy.0)
+                    .expect("conflicts involve resolvable policies")
+                    .push(render(&conflict));
+            }
+        }
+        buckets
+            .into_iter()
+            .map(|(id, diags)| (UnitId::Policy(id), diags))
+            .collect()
+    }
+}
+
+fn render(conflict: &Conflict) -> Diagnostic {
+    Diagnostic::new(
+        LintCode::ConflictPreflight,
+        Severity::Warning,
+        format!("/policies/{}", conflict.policy.0),
+        conflict.notice.clone(),
+    )
+    .with_evidence(vec![
+        conflict.policy.to_string(),
+        conflict.preference.to_string(),
+        format!("{:?}", conflict.kind),
+    ])
 }

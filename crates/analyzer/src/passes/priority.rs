@@ -5,52 +5,79 @@
 //! corpus's priority map is classed by whatever priority the *requester*
 //! self-declares under overload — the operator never said what that
 //! service's traffic is worth, so a batch job can dress up as interactive.
-//! Advisory rather than structural, hence a warning.
+//! Advisory rather than structural, hence a warning. The priorities map
+//! itself is global state, so its sanity check lives on the global owner.
 
 use tippers_policy::validate::escape_pointer_segment;
 
-use crate::corpus::DeploymentCorpus;
+use super::{policy_owners, Pass};
 use crate::diag::{Diagnostic, LintCode, Severity};
+use crate::engine::{Context, UnitId};
 
 /// Recognized admission class names, mirroring the runtime's
 /// `Priority` ladder.
 const CLASSES: [&str; 3] = ["emergency", "interactive", "batch"];
 
-pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
-    let mut warn = |path: String, message: String| {
-        out.push(Diagnostic::new(
-            LintCode::MissingPriorityMapping,
-            Severity::Warning,
-            path,
-            message,
-        ));
-    };
+pub(crate) struct Priority;
 
-    for (service, class) in &corpus.priorities {
-        if !CLASSES.contains(&class.as_str()) {
-            let seg = escape_pointer_segment(service);
-            warn(
-                format!("/priorities/{seg}"),
-                format!(
-                    "unknown priority class `{class}` for service `{service}` \
-                     (expected emergency, interactive or batch)"
-                ),
-            );
-        }
+impl Pass for Priority {
+    fn code(&self) -> LintCode {
+        LintCode::MissingPriorityMapping
     }
 
-    for p in corpus.resolvable_policies() {
-        let Some(service) = &p.service else { continue };
-        if !corpus.priorities.contains_key(service.as_str()) {
-            warn(
-                format!("/policies/{}/service", p.id.0),
-                format!(
-                    "service `{service}` has no declared priority mapping; \
-                     under overload its requests are shed by \
-                     requester-declared class alone"
-                ),
-            );
+    fn owners(&self, cx: &Context<'_>) -> Vec<UnitId> {
+        let mut owners = vec![UnitId::Global];
+        owners.extend(policy_owners(cx));
+        owners
+    }
+
+    fn may_interact(&self, _cx: &Context<'_>, _owner: UnitId, _changed: UnitId) -> bool {
+        false
+    }
+
+    fn check(&self, cx: &Context<'_>, owner: UnitId) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let mut warn = |path: String, message: String| {
+            out.push(Diagnostic::new(
+                LintCode::MissingPriorityMapping,
+                Severity::Warning,
+                path,
+                message,
+            ));
+        };
+        match owner {
+            UnitId::Global => {
+                for (service, class) in &cx.corpus.priorities {
+                    if !CLASSES.contains(&class.as_str()) {
+                        let seg = escape_pointer_segment(service);
+                        warn(
+                            format!("/priorities/{seg}"),
+                            format!(
+                                "unknown priority class `{class}` for service `{service}` \
+                                 (expected emergency, interactive or batch)"
+                            ),
+                        );
+                    }
+                }
+            }
+            UnitId::Policy(id) => {
+                for p in cx.policies_with_id(id) {
+                    let Some(service) = &p.service else { continue };
+                    if !cx.corpus.priorities.contains_key(service.as_str()) {
+                        warn(
+                            format!("/policies/{}/service", p.id.0),
+                            format!(
+                                "service `{service}` has no declared priority mapping; \
+                                 under overload its requests are shed by \
+                                 requester-declared class alone"
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
         }
+        out
     }
 }
 
@@ -61,6 +88,8 @@ mod tests {
     use tippers_spatial::fixtures;
 
     use super::*;
+    use crate::corpus::DeploymentCorpus;
+    use crate::passes::collect;
 
     fn corpus_with_service_policy(service: &str) -> DeploymentCorpus {
         let dbh = fixtures::dbh();
@@ -82,8 +111,7 @@ mod tests {
     #[test]
     fn unmapped_service_warns() {
         let corpus = corpus_with_service_policy("Butler");
-        let mut out = Vec::new();
-        run(&corpus, &mut out);
+        let out = collect(&Priority, &corpus);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].code, LintCode::MissingPriorityMapping);
         assert_eq!(out[0].severity, Severity::Warning);
@@ -96,14 +124,13 @@ mod tests {
         corpus
             .priorities
             .insert("Butler".to_owned(), "batch".to_owned());
-        let mut out = Vec::new();
-        run(&corpus, &mut out);
+        let out = collect(&Priority, &corpus);
         assert!(out.is_empty(), "{out:?}");
 
         corpus
             .priorities
             .insert("Butler".to_owned(), "turbo".to_owned());
-        run(&corpus, &mut out);
+        let out = collect(&Priority, &corpus);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].path, "/priorities/Butler");
     }
@@ -117,8 +144,7 @@ mod tests {
                 .get(catalog::services::emergency().as_str()),
             Some(&"emergency".to_owned())
         );
-        let mut out = Vec::new();
-        run(&corpus, &mut out);
+        let out = collect(&Priority, &corpus);
         assert!(out.is_empty(), "{out:?}");
     }
 }

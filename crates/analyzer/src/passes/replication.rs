@@ -8,48 +8,68 @@
 //! is not a majority lets two disjoint quorums acknowledge divergent
 //! histories (split brain), and a staleness bound without any replica set
 //! is dead configuration that suggests the operator believes reads are
-//! replicated when they are not.
+//! replicated when they are not. Pure global configuration: the pass owns
+//! only [`UnitId::Global`].
 
-use crate::corpus::DeploymentCorpus;
+use super::Pass;
 use crate::diag::{Diagnostic, LintCode, Severity};
+use crate::engine::{Context, UnitId};
 
-pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
-    let Some(spec) = &corpus.replication else {
-        return;
-    };
-    let n = spec.replicas.len();
-    if spec.staleness_bound_secs.is_some() && n == 0 {
-        out.push(Diagnostic::new(
-            LintCode::ReplicationMisconfigured,
-            Severity::Warning,
-            "/replication/staleness_bound_secs",
-            "staleness bound declared but the replica set is empty: no \
-             replica exists to serve bounded-staleness reads",
-        ));
+pub(crate) struct Replication;
+
+impl Pass for Replication {
+    fn code(&self) -> LintCode {
+        LintCode::ReplicationMisconfigured
     }
-    if n < spec.quorum {
-        out.push(Diagnostic::new(
-            LintCode::ReplicationMisconfigured,
-            Severity::Error,
-            "/replication/replicas",
-            format!(
-                "replica set of {n} cannot reach the declared commit \
-                 quorum of {}: every write stalls unacknowledged",
-                spec.quorum
-            ),
-        ));
-    } else if n > 0 && spec.quorum * 2 <= n {
-        out.push(Diagnostic::new(
-            LintCode::ReplicationMisconfigured,
-            Severity::Error,
-            "/replication/quorum",
-            format!(
-                "quorum of {} over {n} replicas is not a majority: two \
-                 disjoint quorums could acknowledge divergent histories \
-                 (split brain)",
-                spec.quorum
-            ),
-        ));
+
+    fn owners(&self, _cx: &Context<'_>) -> Vec<UnitId> {
+        vec![UnitId::Global]
+    }
+
+    fn may_interact(&self, _cx: &Context<'_>, _owner: UnitId, _changed: UnitId) -> bool {
+        false
+    }
+
+    fn check(&self, cx: &Context<'_>, _owner: UnitId) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let Some(spec) = &cx.corpus.replication else {
+            return out;
+        };
+        let n = spec.replicas.len();
+        if spec.staleness_bound_secs.is_some() && n == 0 {
+            out.push(Diagnostic::new(
+                LintCode::ReplicationMisconfigured,
+                Severity::Warning,
+                "/replication/staleness_bound_secs",
+                "staleness bound declared but the replica set is empty: no \
+                 replica exists to serve bounded-staleness reads",
+            ));
+        }
+        if n < spec.quorum {
+            out.push(Diagnostic::new(
+                LintCode::ReplicationMisconfigured,
+                Severity::Error,
+                "/replication/replicas",
+                format!(
+                    "replica set of {n} cannot reach the declared commit \
+                     quorum of {}: every write stalls unacknowledged",
+                    spec.quorum
+                ),
+            ));
+        } else if n > 0 && spec.quorum * 2 <= n {
+            out.push(Diagnostic::new(
+                LintCode::ReplicationMisconfigured,
+                Severity::Error,
+                "/replication/quorum",
+                format!(
+                    "quorum of {} over {n} replicas is not a majority: two \
+                     disjoint quorums could acknowledge divergent histories \
+                     (split brain)",
+                    spec.quorum
+                ),
+            ));
+        }
+        out
     }
 }
 
@@ -59,7 +79,8 @@ mod tests {
     use tippers_spatial::fixtures;
 
     use super::*;
-    use crate::corpus::ReplicationSpec;
+    use crate::corpus::{DeploymentCorpus, ReplicationSpec};
+    use crate::passes::collect;
 
     fn corpus_with(spec: ReplicationSpec) -> DeploymentCorpus {
         let dbh = fixtures::dbh();
@@ -76,9 +97,7 @@ mod tests {
     fn absent_replication_is_silent() {
         let dbh = fixtures::dbh();
         let corpus = DeploymentCorpus::new(Ontology::standard(), dbh.model);
-        let mut out = Vec::new();
-        run(&corpus, &mut out);
-        assert!(out.is_empty());
+        assert!(collect(&Replication, &corpus).is_empty());
     }
 
     #[test]
@@ -88,8 +107,7 @@ mod tests {
             quorum: 2,
             staleness_bound_secs: Some(5),
         });
-        let mut out = Vec::new();
-        run(&corpus, &mut out);
+        let out = collect(&Replication, &corpus);
         assert!(out.is_empty(), "{out:?}");
     }
 
@@ -100,8 +118,7 @@ mod tests {
             quorum: 3,
             staleness_bound_secs: None,
         });
-        let mut out = Vec::new();
-        run(&corpus, &mut out);
+        let out = collect(&Replication, &corpus);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].code, LintCode::ReplicationMisconfigured);
         assert_eq!(out[0].severity, Severity::Error);
@@ -115,8 +132,7 @@ mod tests {
             quorum: 2,
             staleness_bound_secs: None,
         });
-        let mut out = Vec::new();
-        run(&corpus, &mut out);
+        let out = collect(&Replication, &corpus);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].path, "/replication/quorum");
         assert_eq!(out[0].severity, Severity::Error);
@@ -129,8 +145,7 @@ mod tests {
             quorum: 0,
             staleness_bound_secs: Some(5),
         });
-        let mut out = Vec::new();
-        run(&corpus, &mut out);
+        let out = collect(&Replication, &corpus);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].severity, Severity::Warning);
         assert_eq!(out[0].path, "/replication/staleness_bound_secs");

@@ -9,17 +9,50 @@
 
 use tippers_policy::BuildingPolicy;
 
+use super::{policy_owners, Pass};
 use crate::corpus::DeploymentCorpus;
 use crate::diag::{Diagnostic, LintCode, Severity};
+use crate::engine::{Context, UnitId};
 
-pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
-    let policies = corpus.resolvable_policies();
-    for p in &policies {
-        for q in &policies {
-            if let Some(d) = contradiction(corpus, p, q) {
-                out.push(d);
+pub(crate) struct Retention;
+
+impl Pass for Retention {
+    fn code(&self) -> LintCode {
+        LintCode::RetentionContradiction
+    }
+
+    fn owners(&self, cx: &Context<'_>) -> Vec<UnitId> {
+        policy_owners(cx)
+    }
+
+    /// Another policy matters only as a potential cap: it must declare a
+    /// retention, cover an enclosing space, and subsume the data category.
+    fn may_interact(&self, cx: &Context<'_>, owner: UnitId, changed: UnitId) -> bool {
+        let (UnitId::Policy(o), UnitId::Policy(c)) = (owner, changed) else {
+            return false;
+        };
+        cx.policy_carriers(c).any(|q| {
+            q.retention.is_some()
+                && cx.policy_carriers(o).any(|p| {
+                    cx.corpus.model.contains(q.space, p.space)
+                        && cx.corpus.ontology.data.is_a(p.data, q.data)
+                })
+        })
+    }
+
+    fn check(&self, cx: &Context<'_>, owner: UnitId) -> Vec<Diagnostic> {
+        let UnitId::Policy(id) = owner else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for p in cx.policies_with_id(id) {
+            for q in cx.resolvable_policies() {
+                if let Some(d) = contradiction(cx.corpus, p, q) {
+                    out.push(d);
+                }
             }
         }
+        out
     }
 }
 

@@ -12,71 +12,109 @@ use tippers_policy::{
     BuildingPolicy, Effect, PreferenceScope, ResolutionStrategy, SubjectScope, UserPreference,
 };
 
+use super::{preference_owners, Pass};
 use crate::corpus::DeploymentCorpus;
 use crate::diag::{Diagnostic, LintCode, Severity};
+use crate::engine::{Context, UnitId};
 
-pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
-    let prefs = corpus.resolvable_preferences();
-    let policies = corpus.resolvable_policies();
+pub(crate) struct Shadow;
 
-    for a in &prefs {
-        let base = format!("/preferences/{}", a.id.0);
-        // The lowest-id witness keeps the report independent of the order
-        // preferences were supplied in.
-        if let Some(b) = prefs
-            .iter()
-            .filter(|b| b.user == a.user && b.id != a.id)
-            .filter(|b| scope_subsumes(corpus, &b.scope, &a.scope))
-            .filter(|b| takes_precedence(b, a))
-            .min_by_key(|b| b.id)
-        {
-            out.push(
-                Diagnostic::new(
-                    LintCode::DeadPreference,
-                    Severity::Warning,
-                    base.clone(),
-                    format!(
-                        "{} is never effective: {} covers its entire scope with higher precedence",
-                        a.id, b.id
-                    ),
-                )
-                .with_evidence(vec![b.id.to_string()]),
-            );
+impl Pass for Shadow {
+    fn code(&self) -> LintCode {
+        LintCode::DeadPreference
+    }
+
+    fn owners(&self, cx: &Context<'_>) -> Vec<UnitId> {
+        preference_owners(cx)
+    }
+
+    /// A preference's verdict depends on same-user preferences (shadowing)
+    /// and on mandatory policies (coverage); anything else is irrelevant.
+    fn may_interact(&self, cx: &Context<'_>, owner: UnitId, changed: UnitId) -> bool {
+        match changed {
+            UnitId::Policy(c) => cx.policies_with_id(c).iter().any(|p| p.is_required()),
+            UnitId::Preference(c) => {
+                let UnitId::Preference(o) = owner else {
+                    return false;
+                };
+                let users: Vec<_> = cx.preferences_with_id(o).iter().map(|a| a.user).collect();
+                cx.preferences_with_id(c)
+                    .iter()
+                    .any(|b| users.contains(&b.user))
+            }
+            _ => false,
         }
+    }
 
-        let covering_required = policies
-            .iter()
-            .filter(|p| p.is_required() && policy_covers(corpus, p, a))
-            .min_by_key(|p| p.id);
-        if let Some(p) = covering_required {
-            if a.effect == Effect::Allow {
+    fn check(&self, cx: &Context<'_>, owner: UnitId) -> Vec<Diagnostic> {
+        let UnitId::Preference(id) = owner else {
+            return Vec::new();
+        };
+        let corpus = cx.corpus;
+        let prefs = cx.resolvable_preferences();
+        let policies = cx.resolvable_policies();
+        let mut out = Vec::new();
+
+        for a in cx.preferences_with_id(id) {
+            let base = format!("/preferences/{}", a.id.0);
+            // The lowest-id witness keeps the report independent of the order
+            // preferences were supplied in.
+            if let Some(b) = prefs
+                .iter()
+                .filter(|b| b.user == a.user && b.id != a.id)
+                .filter(|b| scope_subsumes(corpus, &b.scope, &a.scope))
+                .filter(|b| takes_precedence(b, a))
+                .min_by_key(|b| b.id)
+            {
                 out.push(
                     Diagnostic::new(
                         LintCode::DeadPreference,
                         Severity::Warning,
                         base.clone(),
                         format!(
-                            "{} is redundant: mandatory policy `{}` ({}) already mandates every flow it allows",
-                            a.id, p.name, p.id
+                            "{} is never effective: {} covers its entire scope with higher precedence",
+                            a.id, b.id
                         ),
                     )
-                    .with_evidence(vec![p.id.to_string()]),
-                );
-            } else if corpus.strategy == ResolutionStrategy::PolicyPrevails {
-                out.push(
-                    Diagnostic::new(
-                        LintCode::DeadPreference,
-                        Severity::Warning,
-                        base.clone(),
-                        format!(
-                            "{} is never honored: mandatory policy `{}` ({}) overrides it everywhere under the policy-prevails strategy",
-                            a.id, p.name, p.id
-                        ),
-                    )
-                    .with_evidence(vec![p.id.to_string()]),
+                    .with_evidence(vec![b.id.to_string()]),
                 );
             }
+
+            let covering_required = policies
+                .iter()
+                .filter(|p| p.is_required() && policy_covers(corpus, p, a))
+                .min_by_key(|p| p.id);
+            if let Some(p) = covering_required {
+                if a.effect == Effect::Allow {
+                    out.push(
+                        Diagnostic::new(
+                            LintCode::DeadPreference,
+                            Severity::Warning,
+                            base.clone(),
+                            format!(
+                                "{} is redundant: mandatory policy `{}` ({}) already mandates every flow it allows",
+                                a.id, p.name, p.id
+                            ),
+                        )
+                        .with_evidence(vec![p.id.to_string()]),
+                    );
+                } else if corpus.strategy == ResolutionStrategy::PolicyPrevails {
+                    out.push(
+                        Diagnostic::new(
+                            LintCode::DeadPreference,
+                            Severity::Warning,
+                            base.clone(),
+                            format!(
+                                "{} is never honored: mandatory policy `{}` ({}) overrides it everywhere under the policy-prevails strategy",
+                                a.id, p.name, p.id
+                            ),
+                        )
+                        .with_evidence(vec![p.id.to_string()]),
+                    );
+                }
+            }
         }
+        out
     }
 }
 

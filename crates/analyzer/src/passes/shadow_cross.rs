@@ -1,0 +1,243 @@
+//! TA012 — cross-document shadowing.
+//!
+//! A policy is *shadowed* when another policy dominates it: broader (or
+//! equal) space, data, purpose and subject scope, a superset of its
+//! actions, the same retention promise, same-or-stronger modality, and a
+//! condition that covers the shadowed one's. Under every reachable
+//! context the dominating policy already decides identically, so the
+//! shadowed document is dead weight that still has to be kept consistent
+//! — heterogeneous real-world corpora (clustered preference templates
+//! stamped out per space) accumulate these silently. The same reasoning
+//! applies to advertised resources: an exact duplicate of a resource
+//! advertised earlier informs occupants of nothing new.
+//!
+//! Conservative by construction: only provable domination (taxonomy
+//! `is_a`, spatial containment, identical retention/conditions) counts,
+//! so every report is safe to act on. Warnings, not errors — the corpus
+//! still means what it says, it just says it twice.
+
+use tippers_policy::{BuildingPolicy, Modality, SubjectScope};
+
+use super::{document_owners, policy_owners, Pass};
+use crate::corpus::DeploymentCorpus;
+use crate::diag::{Diagnostic, LintCode, Severity};
+use crate::engine::{Context, UnitId};
+
+pub(crate) struct ShadowCross;
+
+impl Pass for ShadowCross {
+    fn code(&self) -> LintCode {
+        LintCode::CrossDocumentShadow
+    }
+
+    fn owners(&self, cx: &Context<'_>) -> Vec<UnitId> {
+        let mut owners = policy_owners(cx);
+        owners.extend(document_owners(cx));
+        owners
+    }
+
+    /// A policy owner only cares about policies that could dominate it
+    /// (cheap pre-filter on space/data/purpose subsumption); a document
+    /// owner cares about every document (duplicates are cross-document).
+    fn may_interact(&self, cx: &Context<'_>, owner: UnitId, changed: UnitId) -> bool {
+        match (owner, changed) {
+            (UnitId::Policy(o), UnitId::Policy(c)) => cx.policy_carriers(c).any(|q| {
+                cx.policy_carriers(o).any(|p| {
+                    cx.corpus.model.contains(q.space, p.space)
+                        && cx.corpus.ontology.data.is_a(p.data, q.data)
+                        && cx.corpus.ontology.purposes.is_a(p.purpose, q.purpose)
+                })
+            }),
+            (UnitId::Document(_), UnitId::Document(_)) => true,
+            _ => false,
+        }
+    }
+
+    fn check(&self, cx: &Context<'_>, owner: UnitId) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        match owner {
+            UnitId::Policy(id) => {
+                for p in cx.policies_with_id(id) {
+                    // The lowest-id witness keeps the report independent of
+                    // corpus order.
+                    if let Some(q) = cx
+                        .resolvable_policies()
+                        .into_iter()
+                        .filter(|q| dominates(cx.corpus, q, p))
+                        .min_by_key(|q| q.id)
+                    {
+                        out.push(
+                            Diagnostic::new(
+                                LintCode::CrossDocumentShadow,
+                                Severity::Warning,
+                                format!("/policies/{}", p.id.0),
+                                format!(
+                                    "{} (`{}`) is shadowed: policy `{}` ({}) dominates it under every reachable context, so removing it changes no decision",
+                                    p.id, p.name, q.name, q.id
+                                ),
+                            )
+                            .with_evidence(vec![q.id.to_string()]),
+                        );
+                    }
+                }
+            }
+            UnitId::Document(k) => {
+                let doc = &cx.corpus.documents[k];
+                for (i, r) in doc.resources.iter().enumerate() {
+                    let earlier = cx
+                        .corpus
+                        .documents
+                        .iter()
+                        .enumerate()
+                        .take(k + 1)
+                        .flat_map(|(k2, d)| {
+                            d.resources
+                                .iter()
+                                .enumerate()
+                                .map(move |(i2, r2)| ((k2, i2), r2))
+                        })
+                        .filter(|&(pos, _)| pos < (k, i))
+                        .find(|&(_, r2)| r2 == r);
+                    if let Some(((k2, i2), _)) = earlier {
+                        let original = format!("/documents/{k2}/resources/{i2}");
+                        out.push(
+                            Diagnostic::new(
+                                LintCode::CrossDocumentShadow,
+                                Severity::Warning,
+                                format!("/documents/{k}/resources/{i}"),
+                                format!(
+                                    "resource `{}` is an exact duplicate of the resource advertised at {original}: it informs occupants of nothing new",
+                                    r.info.name
+                                ),
+                            )
+                            .with_evidence(vec![original]),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+/// Strength of a modality for domination: a dominating policy must be at
+/// least as hard to opt out of as the policy it shadows.
+fn modality_rank(m: Modality) -> u8 {
+    match m {
+        Modality::Required => 2,
+        Modality::OptOut => 1,
+        Modality::OptIn => 0,
+    }
+}
+
+/// True if `q` subsumes the subject scope of `p`.
+fn subjects_cover(q: &SubjectScope, p: &SubjectScope) -> bool {
+    match (q, p) {
+        (SubjectScope::Everyone, _) => true,
+        (SubjectScope::Users(qs), SubjectScope::Users(ps)) => ps.iter().all(|u| qs.contains(u)),
+        (SubjectScope::Groups(qg), SubjectScope::Groups(pg)) => pg.iter().all(|g| qg.contains(g)),
+        _ => false,
+    }
+}
+
+/// True if `q` provably makes the same decision as `p` everywhere `p`
+/// applies, so `p` is removable without changing any outcome.
+fn dominates(corpus: &DeploymentCorpus, q: &BuildingPolicy, p: &BuildingPolicy) -> bool {
+    q.id != p.id
+        && corpus.model.contains(q.space, p.space)
+        && corpus.ontology.data.is_a(p.data, q.data)
+        && corpus.ontology.purposes.is_a(p.purpose, q.purpose)
+        && q.actions.union(p.actions) == q.actions
+        && subjects_cover(&q.subjects, &p.subjects)
+        && (q.condition.is_always() || q.condition == p.condition)
+        && q.retention.map(|r| r.as_seconds()) == p.retention.map(|r| r.as_seconds())
+        && modality_rank(q.modality) >= modality_rank(p.modality)
+        && p.settings.is_empty()
+        && (q.service.is_none() || q.service == p.service)
+        && (q.sensor_class.is_none() || q.sensor_class == p.sensor_class)
+}
+
+#[cfg(test)]
+mod tests {
+    use tippers_ontology::Ontology;
+    use tippers_policy::{ActionSet, DataAction, PolicyId};
+    use tippers_spatial::fixtures;
+
+    use super::*;
+    use crate::passes::collect;
+
+    fn base_corpus() -> DeploymentCorpus {
+        let dbh = fixtures::dbh();
+        let ontology = Ontology::standard();
+        let c = ontology.concepts().clone();
+        let mut corpus = DeploymentCorpus::new(ontology, dbh.model.clone());
+        corpus.policies = vec![
+            // Broad dominator: whole building, parent category, all actions.
+            BuildingPolicy::new(
+                PolicyId(1),
+                "building location",
+                dbh.building,
+                c.location,
+                c.comfort,
+            )
+            .with_actions(ActionSet::ALL),
+            // Narrow shadowed policy: one lobby, a sub-category, fewer
+            // actions, same (absent) retention.
+            BuildingPolicy::new(
+                PolicyId(2),
+                "lobby location",
+                dbh.lobby,
+                c.location_room,
+                c.comfort,
+            )
+            .with_actions(ActionSet::of(&[DataAction::Collect])),
+        ];
+        corpus
+    }
+
+    #[test]
+    fn a_dominated_policy_is_reported_with_its_witness() {
+        let out = collect(&ShadowCross, &base_corpus());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, LintCode::CrossDocumentShadow);
+        assert_eq!(out[0].severity, Severity::Warning);
+        assert_eq!(out[0].path, "/policies/2");
+        assert_eq!(out[0].evidence, vec!["policy#1".to_owned()]);
+    }
+
+    #[test]
+    fn different_retention_breaks_domination() {
+        let mut corpus = base_corpus();
+        corpus.policies[1] = corpus.policies[1]
+            .clone()
+            .with_retention("P30D".parse().unwrap());
+        assert!(collect(&ShadowCross, &corpus).is_empty());
+    }
+
+    #[test]
+    fn weaker_modality_on_the_dominator_breaks_domination() {
+        let mut corpus = base_corpus();
+        corpus.policies[0].modality = Modality::OptIn;
+        corpus.policies[1].modality = Modality::Required;
+        assert!(collect(&ShadowCross, &corpus).is_empty());
+    }
+
+    #[test]
+    fn duplicate_resources_across_documents_are_reported_once() {
+        let mut corpus = base_corpus();
+        corpus.policies.clear();
+        let doc = tippers_policy::figures::fig2_document();
+        corpus.documents.push(doc.clone());
+        corpus.documents.push(doc);
+        let out = collect(&ShadowCross, &corpus);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].path, "/documents/1/resources/0");
+        assert_eq!(out[0].evidence, vec!["/documents/0/resources/0".to_owned()]);
+    }
+
+    #[test]
+    fn the_figures_corpus_has_no_shadowing() {
+        assert!(collect(&ShadowCross, &DeploymentCorpus::figures()).is_empty());
+    }
+}

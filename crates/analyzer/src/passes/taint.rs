@@ -1,0 +1,279 @@
+//! TA013 — purpose-flow taint.
+//!
+//! A disclosure is only *informed* if the occupant could have learned
+//! about it: the paper's capture documents advertise what each space
+//! senses and **for which purposes**. This pass taints every category a
+//! resolvable Collect policy or an advertised document brings into the
+//! deployment, propagates the taint through the ontology's inference
+//! rules (wifi association → occupancy → location trace, …), and flags
+//! any Share policy whose disclosure purpose no advertised document
+//! declares — data flows out of the building under a purpose occupants
+//! were never told about.
+//!
+//! A purpose counts as declared if the sharing purpose is subsumed by
+//! (is a sub-concept of) any purpose named in a document's purpose
+//! section: advertising `comfort` informs occupants about sharing for
+//! `hvac-optimization`. The diagnostic carries a *witness path* — the
+//! collecting source, the inference chain (if any), and the sharing
+//! sink — so the operator can see exactly how the tainted category
+//! reaches the undeclared disclosure. No flow, no report: a Share
+//! policy over a category nothing collects or discloses is dead
+//! (TA001/TA012 territory), not a taint leak.
+
+use tippers_ontology::ConceptId;
+use tippers_policy::{BuildingPolicy, DataAction};
+
+use super::{policy_owners, Pass};
+use crate::diag::{Diagnostic, LintCode, Severity};
+use crate::engine::{Context, UnitId};
+
+pub(crate) struct Taint;
+
+impl Pass for Taint {
+    fn code(&self) -> LintCode {
+        LintCode::UndeclaredPurposeFlow
+    }
+
+    fn owners(&self, cx: &Context<'_>) -> Vec<UnitId> {
+        policy_owners(cx)
+    }
+
+    /// Documents feed both the taint sources and the declared-purpose
+    /// set, so they matter to every owner that shares anything. A changed
+    /// policy matters only if it collects a category that *reaches* one of
+    /// the owner's shared categories (it could be, or displace, the
+    /// witness source). Share-only and preference edits cannot move the
+    /// verdict; neither can a source whose taint never arrives at the
+    /// owner's sink.
+    fn may_interact(&self, cx: &Context<'_>, owner: UnitId, changed: UnitId) -> bool {
+        let UnitId::Policy(o) = owner else {
+            return false;
+        };
+        match changed {
+            UnitId::Document(_) => cx
+                .policy_carriers(o)
+                .any(|p| p.actions.contains(DataAction::Share)),
+            UnitId::Policy(c) => cx.policy_carriers(c).any(|src| {
+                src.actions.contains(DataAction::Collect)
+                    && cx.policy_carriers(o).any(|snk| {
+                        snk.actions.contains(DataAction::Share) && reaches(cx, src.data, snk.data)
+                    })
+            }),
+            _ => false,
+        }
+    }
+
+    fn check(&self, cx: &Context<'_>, owner: UnitId) -> Vec<Diagnostic> {
+        let UnitId::Policy(id) = owner else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for q in cx.policies_with_id(id) {
+            if !q.actions.contains(DataAction::Share) {
+                continue;
+            }
+            let declared = cx
+                .facts
+                .declared_purposes
+                .iter()
+                .any(|&d| cx.corpus.ontology.purposes.is_a(q.purpose, d));
+            if declared {
+                continue;
+            }
+            if let Some(witness) = witness_path(cx, q) {
+                let purpose_key = cx.corpus.ontology.purposes.key_of(q.purpose);
+                let data_key = cx.corpus.ontology.data.key_of(q.data);
+                out.push(
+                    Diagnostic::new(
+                        LintCode::UndeclaredPurposeFlow,
+                        Severity::Warning,
+                        format!("/policies/{}/purpose", q.id.0),
+                        format!(
+                            "{} (`{}`) shares `{data_key}` for purpose `{purpose_key}`, \
+                             which no advertised capture document declares: the flow \
+                             reaches occupants' data without informed notice",
+                            q.id, q.name
+                        ),
+                    )
+                    .with_evidence(witness),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Finds the first taint source whose category reaches `q.data`, either
+/// directly (taxonomy `is_a`) or through the ontology's inference
+/// closure, and renders the full source → rules → sink path. Sources
+/// are scanned deterministically: resolvable Collect policies in corpus
+/// order, then document disclosures in `(document, resource, concept)`
+/// order.
+fn witness_path(cx: &Context<'_>, q: &BuildingPolicy) -> Option<Vec<String>> {
+    let data = &cx.corpus.ontology.data;
+    let sink = format!(
+        "{} shares `{}` for purpose `{}`",
+        q.id,
+        data.key_of(q.data),
+        cx.corpus.ontology.purposes.key_of(q.purpose)
+    );
+    for p in cx.resolvable_policies() {
+        if !p.actions.contains(DataAction::Collect) {
+            continue;
+        }
+        if let Some(mut path) = reach(cx, p.data, q.data) {
+            let mut witness = vec![format!("{} collects `{}`", p.id, data.key_of(p.data))];
+            witness.append(&mut path);
+            witness.push(sink);
+            return Some(witness);
+        }
+    }
+    for ((k, i), categories) in &cx.facts.disclosed {
+        for &c in categories {
+            if let Some(mut path) = reach(cx, c, q.data) {
+                let mut witness = vec![format!(
+                    "document {k} resource {i} discloses `{}`",
+                    data.key_of(c)
+                )];
+                witness.append(&mut path);
+                witness.push(sink.clone());
+                return Some(witness);
+            }
+        }
+    }
+    None
+}
+
+/// Allocation-free reachability test matching [`reach`]'s verdict, for
+/// the hot `may_interact` scans.
+fn reaches(cx: &Context<'_>, source: ConceptId, target: ConceptId) -> bool {
+    let data = &cx.corpus.ontology.data;
+    data.is_a(source, target)
+        || cx
+            .corpus
+            .ontology
+            .inferable_from(source)
+            .iter()
+            .any(|inf| data.is_a(inf.concept, target))
+}
+
+/// Rule steps (possibly empty, for a direct taxonomy hit) taking
+/// `source` to a category subsumed by `target`, or `None` if
+/// unreachable.
+fn reach(cx: &Context<'_>, source: ConceptId, target: ConceptId) -> Option<Vec<String>> {
+    let data = &cx.corpus.ontology.data;
+    if data.is_a(source, target) {
+        return Some(Vec::new());
+    }
+    let inf = cx
+        .corpus
+        .ontology
+        .inferable_from(source)
+        .iter()
+        .find(|inf| data.is_a(inf.concept, target))?;
+    let mut path: Vec<String> = inf.via.iter().map(|r| format!("rule `{r}`")).collect();
+    path.push(format!(
+        "infers `{}` at confidence {:.2}",
+        data.key_of(inf.concept),
+        inf.confidence
+    ));
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use tippers_ontology::Ontology;
+    use tippers_policy::{ActionSet, PolicyId};
+    use tippers_spatial::fixtures;
+
+    use super::*;
+    use crate::corpus::DeploymentCorpus;
+    use crate::passes::collect;
+
+    /// One Collect policy over wifi association, one Share policy over
+    /// occupancy (reachable from wifi via the standard inference rules)
+    /// for an undeclared purpose, no documents.
+    fn base_corpus() -> DeploymentCorpus {
+        let dbh = fixtures::dbh();
+        let ontology = Ontology::standard();
+        let c = ontology.concepts().clone();
+        let mut corpus = DeploymentCorpus::new(ontology, dbh.model.clone());
+        corpus.policies = vec![
+            BuildingPolicy::new(
+                PolicyId(1),
+                "lobby wifi",
+                dbh.lobby,
+                c.wifi_association,
+                c.comfort,
+            )
+            .with_actions(ActionSet::of(&[DataAction::Collect])),
+            BuildingPolicy::new(
+                PolicyId(2),
+                "occupancy feed",
+                dbh.building,
+                c.occupancy,
+                c.marketing,
+            )
+            .with_actions(ActionSet::of(&[DataAction::Share])),
+        ];
+        corpus
+    }
+
+    #[test]
+    fn an_undeclared_share_reached_by_inference_carries_its_witness() {
+        let out = collect(&Taint, &base_corpus());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, LintCode::UndeclaredPurposeFlow);
+        assert_eq!(out[0].severity, Severity::Warning);
+        assert_eq!(out[0].path, "/policies/2/purpose");
+        let witness = out[0].evidence.join(" -> ");
+        assert!(witness.contains("wifi-association"), "{witness}");
+        assert!(witness.contains("rule `"), "{witness}");
+        assert!(
+            witness.contains("shares `data/presence/occupancy`"),
+            "{witness}"
+        );
+    }
+
+    #[test]
+    fn declaring_the_purpose_in_a_document_silences_the_pass() {
+        let mut corpus = base_corpus();
+        corpus
+            .documents
+            .push(tippers_policy::figures::fig2_document());
+        // fig2 declares emergency-response; marketing is still undeclared.
+        let out = collect(&Taint, &corpus);
+        assert_eq!(out.len(), 1, "{out:?}");
+
+        let c = corpus.ontology.concepts().clone();
+        corpus.policies[1].purpose = c.emergency_response;
+        let out = collect(&Taint, &corpus);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn a_share_with_no_reaching_flow_is_silent() {
+        let mut corpus = base_corpus();
+        let c = corpus.ontology.concepts().clone();
+        // Nothing collects energy data and no document discloses it.
+        corpus.policies[1].data = c.power_consumption;
+        assert!(collect(&Taint, &corpus).is_empty());
+    }
+
+    #[test]
+    fn a_declared_sub_purpose_counts_as_declared() {
+        let mut corpus = base_corpus();
+        let mut doc = tippers_policy::figures::fig2_document();
+        let section = &mut doc.resources[0].purpose;
+        let block = section.purposes.values().next().unwrap().clone();
+        section
+            .purposes
+            .insert("providing_service".to_owned(), block);
+        corpus.documents.push(doc);
+        let c = corpus.ontology.concepts().clone();
+        // Navigation is a sub-purpose of the declared providing-service.
+        corpus.policies[1].purpose = c.navigation;
+        let out = collect(&Taint, &corpus);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -3,32 +3,62 @@
 //! A condition that can never hold makes its policy dead weight (an error:
 //! the author believed something is being enforced that is not), and a
 //! clause with no effect (proximity without spaces) usually means the
-//! author's intent was lost in translation (a warning).
+//! author's intent was lost in translation (a warning). Purely local:
+//! each condition is checked against the spatial model only.
 
 use tippers_policy::Condition;
 use tippers_spatial::SpaceId;
 
+use super::{policy_owners, preference_owners, Pass};
 use crate::corpus::DeploymentCorpus;
 use crate::diag::{Diagnostic, LintCode, Severity};
+use crate::engine::{Context, UnitId};
 
-pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
-    for p in corpus.resolvable_policies() {
-        check_condition(
-            corpus,
-            &p.condition,
-            Some(p.space),
-            &format!("/policies/{}", p.id.0),
-            out,
-        );
+pub(crate) struct Unsat;
+
+impl Pass for Unsat {
+    fn code(&self) -> LintCode {
+        LintCode::UnsatisfiableCondition
     }
-    for p in corpus.resolvable_preferences() {
-        check_condition(
-            corpus,
-            &p.scope.condition,
-            p.scope.space,
-            &format!("/preferences/{}/scope", p.id.0),
-            out,
-        );
+
+    fn owners(&self, cx: &Context<'_>) -> Vec<UnitId> {
+        let mut owners = policy_owners(cx);
+        owners.extend(preference_owners(cx));
+        owners
+    }
+
+    fn may_interact(&self, _cx: &Context<'_>, _owner: UnitId, _changed: UnitId) -> bool {
+        false
+    }
+
+    fn check(&self, cx: &Context<'_>, owner: UnitId) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        match owner {
+            UnitId::Policy(id) => {
+                for p in cx.policies_with_id(id) {
+                    check_condition(
+                        cx.corpus,
+                        &p.condition,
+                        Some(p.space),
+                        &format!("/policies/{}", p.id.0),
+                        &mut out,
+                    );
+                }
+            }
+            UnitId::Preference(id) => {
+                for p in cx.preferences_with_id(id) {
+                    check_condition(
+                        cx.corpus,
+                        &p.scope.condition,
+                        p.scope.space,
+                        &format!("/preferences/{}/scope", p.id.0),
+                        &mut out,
+                    );
+                }
+            }
+            _ => {}
+        }
+        out
     }
 }
 

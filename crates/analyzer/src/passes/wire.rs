@@ -3,21 +3,43 @@
 //! Wraps [`tippers_policy::validate_document`] so structural problems in
 //! advertised documents surface through the same diagnostics pipeline
 //! (stable code, corpus-relative path, suppression) as every other finding.
+//! Purely local to each document.
 
 use tippers_policy::validate_document;
 
-use crate::corpus::DeploymentCorpus;
+use super::{document_owners, Pass};
 use crate::diag::{Diagnostic, LintCode};
+use crate::engine::{Context, UnitId};
 
-pub(crate) fn run(corpus: &DeploymentCorpus, out: &mut Vec<Diagnostic>) {
-    for (k, doc) in corpus.documents.iter().enumerate() {
-        for issue in validate_document(doc) {
-            out.push(Diagnostic::new(
-                LintCode::WireFormat,
-                issue.severity,
-                format!("/documents/{k}{}", issue.path),
-                issue.message,
-            ));
-        }
+pub(crate) struct Wire;
+
+impl Pass for Wire {
+    fn code(&self) -> LintCode {
+        LintCode::WireFormat
+    }
+
+    fn owners(&self, cx: &Context<'_>) -> Vec<UnitId> {
+        document_owners(cx)
+    }
+
+    fn may_interact(&self, _cx: &Context<'_>, _owner: UnitId, _changed: UnitId) -> bool {
+        false
+    }
+
+    fn check(&self, cx: &Context<'_>, owner: UnitId) -> Vec<Diagnostic> {
+        let UnitId::Document(k) = owner else {
+            return Vec::new();
+        };
+        validate_document(&cx.corpus.documents[k])
+            .into_iter()
+            .map(|issue| {
+                Diagnostic::new(
+                    LintCode::WireFormat,
+                    issue.severity,
+                    format!("/documents/{k}{}", issue.path),
+                    issue.message,
+                )
+            })
+            .collect()
     }
 }

@@ -1,11 +1,12 @@
-//! Reporters: text for humans, JSON for machines.
+//! Reporters: text for humans, JSON for machines, SARIF for code-review
+//! tooling.
 
 use std::fmt::Write as _;
 
 use serde::Serialize as _;
 use serde_json::{Map, Value};
 
-use crate::diag::Severity;
+use crate::diag::{LintCode, Severity};
 use crate::AnalysisReport;
 
 /// Renders the report as human-readable text, one diagnostic per line with
@@ -38,6 +39,96 @@ pub fn render_json(report: &AnalysisReport) -> Value {
     Value::Object(out)
 }
 
+/// Renders the report as a SARIF 2.1.0 log: one run, one rule per
+/// `TA0xx` code, and one result per diagnostic. Deployments are JSON
+/// values rather than source files, so each result's location is a
+/// *logical* location carrying the diagnostic's RFC 6901 pointer as its
+/// fully-qualified name; evidence rides along in the result's property
+/// bag.
+pub fn render_sarif(report: &AnalysisReport) -> Value {
+    fn obj(entries: Vec<(&str, Value)>) -> Value {
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+    let rules: Vec<Value> = LintCode::ALL
+        .iter()
+        .map(|code| {
+            obj(vec![
+                ("id", code.as_str().serialize_value()),
+                ("name", code.name().serialize_value()),
+                (
+                    "shortDescription",
+                    obj(vec![("text", code.name().serialize_value())]),
+                ),
+            ])
+        })
+        .collect();
+    let results: Vec<Value> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let level = match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            obj(vec![
+                ("ruleId", d.code.as_str().serialize_value()),
+                (
+                    "ruleIndex",
+                    LintCode::ALL
+                        .iter()
+                        .position(|c| *c == d.code)
+                        .expect("every code is registered")
+                        .serialize_value(),
+                ),
+                ("level", level.serialize_value()),
+                ("message", obj(vec![("text", d.message.serialize_value())])),
+                (
+                    "locations",
+                    Value::Array(vec![obj(vec![(
+                        "logicalLocations",
+                        Value::Array(vec![obj(vec![
+                            ("fullyQualifiedName", d.path.serialize_value()),
+                            ("kind", "member".serialize_value()),
+                        ])]),
+                    )])]),
+                ),
+                (
+                    "properties",
+                    obj(vec![("evidence", d.evidence.serialize_value())]),
+                ),
+            ])
+        })
+        .collect();
+    obj(vec![
+        (
+            "$schema",
+            "https://json.schemastore.org/sarif-2.1.0.json".serialize_value(),
+        ),
+        ("version", "2.1.0".serialize_value()),
+        (
+            "runs",
+            Value::Array(vec![obj(vec![
+                (
+                    "tool",
+                    obj(vec![(
+                        "driver",
+                        obj(vec![
+                            ("name", "tippers-lint".serialize_value()),
+                            ("rules", Value::Array(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Array(results)),
+            ])]),
+        ),
+    ])
+}
+
 impl AnalysisReport {
     /// Number of error-severity diagnostics.
     pub fn error_count(&self) -> usize {
@@ -63,6 +154,8 @@ impl AnalysisReport {
 
 #[cfg(test)]
 mod tests {
+    use serde::Deserialize as _;
+
     use super::*;
     use crate::diag::{Diagnostic, LintCode};
 
@@ -93,6 +186,37 @@ mod tests {
         assert!(text.contains("error[TA005]"));
         assert!(text.contains("    = camera-identity"));
         assert!(text.contains("1 error(s), 1 warning(s), 1 suppressed"));
+    }
+
+    #[test]
+    fn sarif_report_shape() {
+        let v = render_sarif(&report());
+        assert_eq!(v["version"], "2.1.0".serialize_value());
+        let driver = &v["runs"][0]["tool"]["driver"];
+        assert_eq!(driver["name"], "tippers-lint".serialize_value());
+        let Value::Array(rules) = &driver["rules"] else {
+            panic!("rules is not an array")
+        };
+        assert_eq!(rules.len(), LintCode::ALL.len());
+        let Value::Array(results) = &v["runs"][0]["results"] else {
+            panic!("results is not an array")
+        };
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0]["ruleId"], "TA005".serialize_value());
+        assert_eq!(results[0]["level"], "error".serialize_value());
+        assert_eq!(
+            results[0]["locations"][0]["logicalLocations"][0]["fullyQualifiedName"],
+            "/documents/0/resources/0/observations".serialize_value()
+        );
+        assert_eq!(
+            results[0]["properties"]["evidence"][0],
+            "camera-identity".serialize_value()
+        );
+        // Every result's ruleIndex points back at its rule.
+        for r in results {
+            let idx = usize::deserialize_value(r["ruleIndex"].clone()).unwrap();
+            assert_eq!(rules[idx]["id"], r["ruleId"]);
+        }
     }
 
     #[test]

@@ -71,6 +71,37 @@ fn every_pass_fires_on_the_broken_fixture() {
         Some(Severity::Warning)
     );
     assert_eq!(worst(&report, LintCode::CaptureGap), Some(Severity::Error));
+    assert_eq!(
+        worst(&report, LintCode::CrossDocumentShadow),
+        Some(Severity::Warning)
+    );
+    assert_eq!(
+        worst(&report, LintCode::UndeclaredPurposeFlow),
+        Some(Severity::Warning)
+    );
+    assert_eq!(
+        worst(&report, LintCode::Uncompilable),
+        Some(Severity::Error)
+    );
+    assert_eq!(
+        worst(&report, LintCode::UnusedAllow),
+        Some(Severity::Warning)
+    );
+}
+
+/// Meta-check on the fixture itself: the loop above can only stay
+/// exhaustive if `LintCode::ALL` is, so pin the count — adding a
+/// sixteenth code without teaching the broken fixture (and this gate)
+/// about it should fail loudly here, not pass silently.
+#[test]
+fn the_broken_fixture_exercises_every_registered_code() {
+    assert_eq!(LintCode::ALL.len(), 15);
+    let report = analyze(&broken_corpus());
+    let exercised: std::collections::BTreeSet<&str> =
+        report.diagnostics.iter().map(|d| d.code.as_str()).collect();
+    let registered: std::collections::BTreeSet<&str> =
+        LintCode::ALL.iter().map(|c| c.as_str()).collect();
+    assert_eq!(exercised, registered);
 }
 
 #[test]
@@ -147,6 +178,64 @@ fn specific_findings_land_on_stable_paths() {
     assert!(has(LintCode::CaptureGap, "/ingest/mailbox_capacity"));
     assert!(has(LintCode::CaptureGap, "/policies/1/space"));
     assert!(!has(LintCode::CaptureGap, "/policies/2/space"));
+    // Policy 7 duplicates the lobby camera policy 4 with a strict subset
+    // of its actions: removing it changes no decision.
+    assert!(has(LintCode::CrossDocumentShadow, "/policies/7"));
+    // Policies 1 and 6 share under purposes no advertised document
+    // declares (the only declared purpose is surveillance); policy 6's
+    // witness threads through the wifi→occupancy inference chain.
+    assert!(has(LintCode::UndeclaredPurposeFlow, "/policies/1/purpose"));
+    assert!(has(LintCode::UndeclaredPurposeFlow, "/policies/6/purpose"));
+    // The deployment-declared power/temperature rules form a cycle, and
+    // preference 4 guards on a continuous requester position.
+    assert!(has(LintCode::Uncompilable, "/ontology/rules"));
+    assert!(has(
+        LintCode::Uncompilable,
+        "/preferences/4/scope/condition/requester_nearby"
+    ));
+    // Document 0 allows TA009, but replication findings never land under
+    // its subtree: the suppression is dead weight.
+    assert!(has(LintCode::UnusedAllow, "/documents/0/lint-allow/TA009"));
+}
+
+#[test]
+fn the_taint_witness_threads_through_the_inference_chain() {
+    let report = analyze(&broken_corpus());
+    let taint = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == LintCode::UndeclaredPurposeFlow && d.path == "/policies/6/purpose")
+        .expect("policy 6 taint finding");
+    let witness = taint.evidence.join(" -> ");
+    assert!(witness.starts_with("policy#1 collects"), "{witness}");
+    assert!(witness.contains("rule `ap-location`"), "{witness}");
+    assert!(
+        witness.ends_with("purpose/operations/comfort`"),
+        "{witness}"
+    );
+}
+
+/// The golden snapshot pins the established passes' exact output on the
+/// paper corpus (value-level, including messages and evidence), so
+/// engine refactors cannot silently drift TA001–TA011 while new codes
+/// land. Regenerate with
+/// `tippers-lint --figures --json > crates/analyzer/fixtures/golden_figures.json`
+/// *only* for an intentional output change.
+#[test]
+fn figures_matches_the_golden_snapshot_for_established_codes() {
+    const GOLDEN: &str = include_str!("../fixtures/golden_figures.json");
+    let golden: serde_json::Value = serde_json::from_str(GOLDEN).expect("golden parses");
+    let serde_json::Value::Array(want) = &golden["diagnostics"] else {
+        panic!("golden diagnostics is not an array");
+    };
+    let report = analyze(&DeploymentCorpus::figures());
+    let got: Vec<serde_json::Value> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code <= LintCode::CaptureGap)
+        .map(serde::Serialize::serialize_value)
+        .collect();
+    assert_eq!(&got, want, "TA001–TA011 drifted from the golden snapshot");
 }
 
 #[test]
@@ -205,10 +294,35 @@ fn cli_fails_the_broken_fixture_with_machine_readable_output() {
 }
 
 #[test]
+fn cli_emits_sarif() {
+    let out = lint(&["--figures", "--format", "sarif"]);
+    assert!(out.status.success());
+    let v: serde_json::Value = serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(v["version"], serde_json::Value::String("2.1.0".into()));
+    let serde_json::Value::Array(results) = &v["runs"][0]["results"] else {
+        panic!("results is not an array");
+    };
+    assert!(results
+        .iter()
+        .any(|r| r["ruleId"] == serde_json::Value::String("TA005".into())));
+}
+
+#[test]
 fn cli_rejects_unknown_codes_and_conflicting_modes() {
     assert_eq!(lint(&["--allow", "TA999"]).status.code(), Some(2));
     assert_eq!(
         lint(&["--figures", "--deployment", "x.json"]).status.code(),
+        Some(2)
+    );
+    // --changed without --cache, --cache without --deployment.
+    assert_eq!(
+        lint(&["--figures", "--changed", "policy:1"]).status.code(),
+        Some(2)
+    );
+    assert_eq!(
+        lint(&["--figures", "--cache", "/tmp/nope.json"])
+            .status
+            .code(),
         Some(2)
     );
 }

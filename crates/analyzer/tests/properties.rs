@@ -2,8 +2,9 @@
 //! not of the order its pieces were supplied in.
 
 use proptest::prelude::*;
-use tippers_analyzer::{analyze, report, DeploymentCorpus};
-use tippers_ontology::InferenceRule;
+use tippers_analyzer::engine::solver;
+use tippers_analyzer::{analyze, analyze_parallel, report, Analyzer, DeploymentCorpus, UnitId};
+use tippers_ontology::{InferenceRule, Ontology};
 use tippers_policy::{
     BuildingPolicy, Effect, Modality, PolicyId, PreferenceId, PreferenceScope, UserId,
     UserPreference,
@@ -102,6 +103,72 @@ fn corpus_with_extras(seed: u64, extra: usize) -> DeploymentCorpus {
     corpus
 }
 
+/// Mutates one unit of the corpus in place and names what changed, the
+/// way a WAL tail or `--changed` flag would.
+fn apply_edit(corpus: &mut DeploymentCorpus, pick: u64, kind: u8) -> UnitId {
+    if corpus.policies.is_empty() || corpus.preferences.is_empty() {
+        return UnitId::Global;
+    }
+    match kind % 5 {
+        0 => {
+            let i = pick as usize % corpus.policies.len();
+            let p = &mut corpus.policies[i];
+            p.name.push_str(" (edited)");
+            UnitId::Policy(p.id.0)
+        }
+        1 => {
+            let i = pick as usize % corpus.policies.len();
+            let p = &mut corpus.policies[i];
+            p.modality = match p.modality {
+                Modality::Required => Modality::OptOut,
+                Modality::OptOut => Modality::OptIn,
+                Modality::OptIn => Modality::Required,
+            };
+            UnitId::Policy(p.id.0)
+        }
+        2 => {
+            let i = pick as usize % corpus.policies.len();
+            let p = &mut corpus.policies[i];
+            p.retention = match p.retention {
+                Some(_) => None,
+                None => Some("P30D".parse().unwrap()),
+            };
+            UnitId::Policy(p.id.0)
+        }
+        3 => {
+            let i = pick as usize % corpus.preferences.len();
+            let a = &mut corpus.preferences[i];
+            a.priority = a.priority.wrapping_add(1);
+            UnitId::Preference(a.id.0)
+        }
+        _ => {
+            let i = pick as usize % corpus.preferences.len();
+            let a = &mut corpus.preferences[i];
+            a.effect = match a.effect {
+                Effect::Deny => Effect::Allow,
+                _ => Effect::Deny,
+            };
+            UnitId::Preference(a.id.0)
+        }
+    }
+}
+
+/// Suppression config disables the fast report-splice inside
+/// [`Analyzer::update`]; the fallback must still match a full run,
+/// including TA015 hygiene and the suppressed count.
+#[test]
+fn incremental_update_respects_suppressions() {
+    let mut corpus = corpus_with_extras(11, 6);
+    corpus.allow.insert("TA005".into()); // used by the figures documents
+    corpus.allow.insert("TA009".into()); // unused → TA015 hygiene finding
+    let mut analyzer = Analyzer::new(corpus.clone());
+    for (pick, kind) in [(0u64, 0u8), (1, 1), (2, 3)] {
+        let changed = [apply_edit(&mut corpus, pick, kind)];
+        analyzer.update(corpus.clone(), &changed);
+        assert_eq!(analyzer.report(), &analyze(&corpus), "edit kind {kind}");
+    }
+}
+
 proptest! {
     /// Shuffling policies and preferences yields a byte-identical report.
     #[test]
@@ -154,5 +221,87 @@ proptest! {
             two.ontology.add_rule(r.clone());
         }
         prop_assert_eq!(bytes(&one), bytes(&two));
+    }
+
+    /// An incremental update scoped to the edited unit matches a full
+    /// re-analysis, and a second stacked edit still matches — the cached
+    /// per-unit diagnostics splice back in without drift.
+    #[test]
+    fn incremental_update_matches_full_reanalysis(
+        seed in any::<u64>(),
+        extra in 1usize..8,
+        pick in any::<u64>(),
+        kind in any::<u8>(),
+        pick2 in any::<u64>(),
+        kind2 in any::<u8>(),
+    ) {
+        let corpus = corpus_with_extras(seed, extra);
+        let mut analyzer = Analyzer::new(corpus.clone());
+
+        let mut edited = corpus.clone();
+        let changed = apply_edit(&mut edited, pick, kind);
+        analyzer.update(edited.clone(), &[changed]);
+        prop_assert_eq!(analyzer.report(), &analyze(&edited));
+
+        let mut twice = edited.clone();
+        let changed = apply_edit(&mut twice, pick2, kind2);
+        analyzer.update(twice.clone(), &[changed]);
+        prop_assert_eq!(analyzer.report(), &analyze(&twice));
+    }
+
+    /// Thread count never changes the report: 2- and 8-way runs are
+    /// identical to the sequential one, value-for-value.
+    #[test]
+    fn parallel_report_is_thread_count_invariant(
+        seed in any::<u64>(),
+        extra in 0usize..10,
+    ) {
+        let corpus = corpus_with_extras(seed, extra);
+        let sequential = analyze_parallel(&corpus, 1);
+        for threads in [2, 8] {
+            prop_assert_eq!(&analyze_parallel(&corpus, threads), &sequential);
+        }
+    }
+
+    /// The deterministic worklist solver agrees with the ontology's
+    /// chaotic-iteration engine on random rule bases (including cyclic
+    /// and self-referential ones) and random source sets.
+    #[test]
+    fn worklist_solver_matches_the_chaotic_engine(
+        seed in any::<u64>(),
+        nrules in 0usize..5,
+        nsources in 1usize..4,
+    ) {
+        let mut ontology = Ontology::standard();
+        let ids: Vec<_> = ontology
+            .data
+            .iter()
+            .map(tippers_ontology::Concept::id)
+            .collect();
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let confidences = [0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 1.0];
+        for r in 0..nrules {
+            let premises = vec![ids[next() % ids.len()]];
+            let conclusion = ids[next() % ids.len()];
+            let confidence = confidences[next() % confidences.len()];
+            ontology.add_rule(InferenceRule::new(
+                format!("random-{r}"),
+                premises,
+                conclusion,
+                confidence,
+            ));
+        }
+        let sources: Vec<_> = (0..nsources).map(|_| ids[next() % ids.len()]).collect();
+        let engine = ontology.inference();
+        prop_assert_eq!(
+            solver::closure(&ontology.data, ontology.rules(), &sources),
+            engine.closure(&sources)
+        );
     }
 }

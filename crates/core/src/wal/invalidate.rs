@@ -1,0 +1,181 @@
+//! WAL → analyzer invalidation bridge.
+//!
+//! An incremental linter (`tippers-lint --cache … --changed …`) wants to
+//! know, for each record appended to the log, which *settings-level*
+//! units it mutated — so it can re-solve only the dirty region instead
+//! of re-analyzing the whole deployment. This module derives that set
+//! from the records themselves.
+//!
+//! One subtlety forces the API to be stateful: `AddPolicy` and
+//! `SubmitPreference` records carry the payload *as submitted*, before
+//! the id allocator stamped it (replay re-runs the allocator and arrives
+//! at the same id deterministically). A tail reader therefore has to
+//! shadow both allocators, exactly like replay does, to name the unit a
+//! record actually created — hence [`InvalidationTail`] rather than a
+//! pure per-record function.
+
+use tippers_policy::{PolicyId, PreferenceId};
+
+use super::WalRecord;
+
+/// One settings-level mutation implied by a WAL record, in core
+/// vocabulary (the linter maps these onto its own unit ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SettingsMutation {
+    /// A full-state anchor: everything before it is superseded, so any
+    /// cached analysis must be rebuilt from scratch.
+    Everything,
+    /// One building policy was created, removed, or had a setting chosen.
+    Policy(PolicyId),
+    /// One user preference was submitted or applied retroactively.
+    Preference(PreferenceId),
+}
+
+/// Shadows the policy/preference id allocators while scanning a log tail
+/// in order, mapping each record to the units it dirtied.
+///
+/// Start from [`InvalidationTail::new`] at the head of a fresh log, or
+/// feed it the tail starting at the last checkpoint — `Checkpoint`
+/// records resynchronize both allocators, so a tail anchored on one
+/// needs no other seed.
+#[derive(Debug, Clone, Default)]
+pub struct InvalidationTail {
+    next_policy_id: u64,
+    next_preference_id: u64,
+}
+
+impl InvalidationTail {
+    /// A tail positioned at the head of an empty log (both allocators
+    /// at zero, matching a fresh `Tippers`).
+    pub fn new() -> InvalidationTail {
+        InvalidationTail::default()
+    }
+
+    /// Consumes one record, advancing the shadowed allocators, and
+    /// returns the settings-level units it mutated. Data-plane records
+    /// (ingest, sweeps, quota charges, epoch fences, notices) mutate no
+    /// settings and return an empty set.
+    pub fn observe(&mut self, record: &WalRecord) -> Vec<SettingsMutation> {
+        match record {
+            WalRecord::Checkpoint {
+                snapshot,
+                next_policy_id,
+                ..
+            } => {
+                self.next_policy_id = *next_policy_id;
+                self.next_preference_id = snapshot.next_preference_id;
+                vec![SettingsMutation::Everything]
+            }
+            WalRecord::AddPolicy { .. } => {
+                let id = PolicyId(self.next_policy_id);
+                self.next_policy_id += 1;
+                vec![SettingsMutation::Policy(id)]
+            }
+            WalRecord::RemovePolicy { policy } => vec![SettingsMutation::Policy(*policy)],
+            WalRecord::SubmitPreference { .. } => {
+                let id = PreferenceId(self.next_preference_id);
+                self.next_preference_id += 1;
+                vec![SettingsMutation::Preference(id)]
+            }
+            WalRecord::SettingChoice { policy, .. } => vec![SettingsMutation::Policy(*policy)],
+            WalRecord::Retroactive { preference } => {
+                vec![SettingsMutation::Preference(*preference)]
+            }
+            WalRecord::Ingest { .. }
+            | WalRecord::Gc { .. }
+            | WalRecord::SweepBegin { .. }
+            | WalRecord::SweepDelete { .. }
+            | WalRecord::SweepCommit { .. }
+            | WalRecord::QuotaCharge { .. }
+            | WalRecord::NewEpoch { .. }
+            | WalRecord::Notice { .. } => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tippers_policy::{
+        BuildingPolicy, Effect, PreferenceScope, Timestamp, UserId, UserPreference,
+    };
+
+    use super::*;
+
+    fn policy(id: u64) -> BuildingPolicy {
+        let spatial = tippers_spatial::fixtures::dbh();
+        let c = tippers_ontology::Ontology::standard().concepts().clone();
+        BuildingPolicy::new(
+            tippers_policy::PolicyId(id),
+            "p",
+            spatial.building,
+            c.occupancy,
+            c.comfort,
+        )
+    }
+
+    #[test]
+    fn added_units_are_named_by_the_allocator_not_the_payload() {
+        let mut tail = InvalidationTail::new();
+        // The submitted policy claims id 999; the allocator assigns 0.
+        let got = tail.observe(&WalRecord::AddPolicy {
+            policy: policy(999),
+        });
+        assert_eq!(got, vec![SettingsMutation::Policy(PolicyId(0))]);
+        let got = tail.observe(&WalRecord::AddPolicy {
+            policy: policy(999),
+        });
+        assert_eq!(got, vec![SettingsMutation::Policy(PolicyId(1))]);
+        let got = tail.observe(&WalRecord::SubmitPreference {
+            preference: UserPreference::new(
+                PreferenceId(42),
+                UserId(7),
+                PreferenceScope::default(),
+                Effect::Deny,
+            ),
+            now: Timestamp(0),
+        });
+        assert_eq!(got, vec![SettingsMutation::Preference(PreferenceId(0))]);
+    }
+
+    #[test]
+    fn data_plane_records_dirty_nothing() {
+        let mut tail = InvalidationTail::new();
+        assert!(tail
+            .observe(&WalRecord::Gc { now: Timestamp(5) })
+            .is_empty());
+        assert!(tail.observe(&WalRecord::NewEpoch { epoch: 3 }).is_empty());
+        assert!(tail
+            .observe(&WalRecord::Notice {
+                user: UserId(1),
+                now: Timestamp(9),
+                text: "hi".into(),
+            })
+            .is_empty());
+    }
+
+    #[test]
+    fn removals_and_choices_name_the_logged_unit() {
+        let mut tail = InvalidationTail::new();
+        assert_eq!(
+            tail.observe(&WalRecord::RemovePolicy {
+                policy: PolicyId(4)
+            }),
+            vec![SettingsMutation::Policy(PolicyId(4))]
+        );
+        assert_eq!(
+            tail.observe(&WalRecord::SettingChoice {
+                user: UserId(2),
+                policy: PolicyId(6),
+                setting_key: "share".into(),
+                option_index: 1,
+            }),
+            vec![SettingsMutation::Policy(PolicyId(6))]
+        );
+        assert_eq!(
+            tail.observe(&WalRecord::Retroactive {
+                preference: PreferenceId(2)
+            }),
+            vec![SettingsMutation::Preference(PreferenceId(2))]
+        );
+    }
+}

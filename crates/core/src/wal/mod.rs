@@ -24,12 +24,14 @@
 //! appends, flipped bits, dropped syncs, failed segment renames.
 
 mod frame;
+mod invalidate;
 mod io;
 mod record;
 
 use std::fmt;
 
 pub use frame::{crc32, record_boundaries, Corruption};
+pub use invalidate::{InvalidationTail, SettingsMutation};
 pub use io::{FaultyLog, FsLog, LogIo, MemLog};
 pub use record::WalRecord;
 
