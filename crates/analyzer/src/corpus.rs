@@ -59,6 +59,11 @@ pub struct DeploymentCorpus {
     /// is silent). Checked by the TA011 pass against the runtime's bounded
     /// mailboxes and per-zone capture filters.
     pub ingest: Option<IngestSpec>,
+    /// Declared shard topology, when the deployment partitions enforcement
+    /// state across crash-isolated shards (`None` = unsharded; the
+    /// shard-topology pass is silent). Checked by the TA016 pass against
+    /// the sharded runtime's routing rules.
+    pub sharding: Option<ShardingSpec>,
     /// Data categories considered sensitive: an inference leak reaching one
     /// of these is an error rather than a warning.
     pub sensitive: Vec<ConceptId>,
@@ -95,6 +100,7 @@ impl DeploymentCorpus {
             replication: None,
             quotas: BTreeMap::new(),
             ingest: None,
+            sharding: None,
             sensitive,
             space_aliases,
             strategy: ResolutionStrategy::default(),
@@ -202,6 +208,17 @@ impl DeploymentCorpus {
                 }
             }
             corpus.ingest = Some(ingest);
+        }
+        if let Some(sharding) = spec.sharding {
+            for (i, pin) in sharding.zones.iter().enumerate() {
+                if corpus.resolve_space(&pin.zone).is_none() {
+                    corpus.error(
+                        format!("/sharding/zones/{i}/zone"),
+                        format!("unknown space `{}`", pin.zone),
+                    );
+                }
+            }
+            corpus.sharding = Some(sharding);
         }
         for (key, budget) in spec.quotas {
             if corpus.ontology.purposes.id(&key).is_none() {
@@ -823,6 +840,32 @@ pub struct IngestSpec {
     pub capture_zones: Vec<String>,
 }
 
+/// Declared shard topology of a deployment (the `"sharding"` key of a
+/// deployment spec): how many crash-isolated shards enforcement state is
+/// partitioned over, and any explicit capture-zone pins. Checked by the
+/// TA016 pass.
+#[derive(Debug, Clone, Deserialize, Default)]
+pub struct ShardingSpec {
+    /// Number of shards state is partitioned over. Zero is a hard error:
+    /// routing has no fail-closed answer to "which shard?" with no
+    /// shards, and the sharded runtime refuses to start.
+    #[serde(default)]
+    pub shards: u64,
+    /// Explicit zone → shard pins, overriding hash routing for audited
+    /// capture zones.
+    #[serde(default)]
+    pub zones: Vec<ShardZonePin>,
+}
+
+/// One explicit capture-zone ownership pin (`{"zone": name, "shard": k}`).
+#[derive(Debug, Clone, Deserialize)]
+pub struct ShardZonePin {
+    /// The pinned space's name.
+    pub zone: String,
+    /// The owning shard's index (must be `< shards`).
+    pub shard: u64,
+}
+
 /// The JSON shape `tippers-lint --deployment` loads.
 #[derive(Debug, Clone, Deserialize, Default)]
 struct DeploymentSpec {
@@ -842,6 +885,8 @@ struct DeploymentSpec {
     quotas: BTreeMap<String, u64>,
     #[serde(default)]
     ingest: Option<IngestSpec>,
+    #[serde(default)]
+    sharding: Option<ShardingSpec>,
     #[serde(default)]
     documents: Vec<PolicyDocument>,
     #[serde(default)]

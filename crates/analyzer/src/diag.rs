@@ -86,11 +86,19 @@ pub enum LintCode {
     /// Stale suppressions silently mask future regressions, mirroring
     /// rustc's `unused_allow`.
     UnusedAllow,
+    /// `TA016` — shard-topology misconfiguration: a sharded deployment
+    /// declaring zero shards (routing is undefined and the runtime
+    /// refuses to start), a zone pinned to a shard index outside the
+    /// declared range, a zone claimed by two different shards (split
+    /// ownership makes replay and fail-closed accounting ambiguous), or
+    /// a capture zone the declared topology maps to no shard — its
+    /// subjectless observations would have no owner to enforce them.
+    ShardTopology,
 }
 
 impl LintCode {
     /// All codes, in numeric order.
-    pub const ALL: [LintCode; 15] = [
+    pub const ALL: [LintCode; 16] = [
         LintCode::DanglingReference,
         LintCode::UnsatisfiableCondition,
         LintCode::DeadPreference,
@@ -106,6 +114,7 @@ impl LintCode {
         LintCode::UndeclaredPurposeFlow,
         LintCode::Uncompilable,
         LintCode::UnusedAllow,
+        LintCode::ShardTopology,
     ];
 
     /// The stable textual code.
@@ -126,6 +135,7 @@ impl LintCode {
             LintCode::UndeclaredPurposeFlow => "TA013",
             LintCode::Uncompilable => "TA014",
             LintCode::UnusedAllow => "TA015",
+            LintCode::ShardTopology => "TA016",
         }
     }
 
@@ -147,6 +157,7 @@ impl LintCode {
             LintCode::UndeclaredPurposeFlow => "purpose-flow",
             LintCode::Uncompilable => "compilability",
             LintCode::UnusedAllow => "unused-allow",
+            LintCode::ShardTopology => "shard-topology",
         }
     }
 

@@ -32,6 +32,7 @@
 //! | TA013 | purpose-flow taint (undeclared disclosure purpose, witness path) | Warning |
 //! | TA014 | compilability (requester_nearby guards, cyclic inference rules) | Error |
 //! | TA015 | unused suppressions (`--allow` / `"lint-allow"` hygiene) | Warning |
+//! | TA016 | shard topology (zero shards, split zone ownership, unmapped capture zone) | Error |
 //!
 //! Output is canonical: diagnostics are sorted by (path, code, severity,
 //! message, evidence) and deduplicated, so shuffling the corpus — or the
@@ -67,7 +68,7 @@ use std::collections::BTreeSet;
 
 use tippers_policy::validate::escape_pointer_segment;
 
-pub use corpus::{DeploymentCorpus, IngestSpec, ReplicationSpec};
+pub use corpus::{DeploymentCorpus, IngestSpec, ReplicationSpec, ShardZonePin, ShardingSpec};
 pub use diag::{Diagnostic, LintCode, Severity};
 pub use engine::{Analyzer, UnitId};
 

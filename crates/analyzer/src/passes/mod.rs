@@ -19,6 +19,7 @@ pub(crate) mod replication;
 pub(crate) mod retention;
 pub(crate) mod shadow;
 pub(crate) mod shadow_cross;
+pub(crate) mod sharding;
 pub(crate) mod taint;
 pub(crate) mod unsat;
 pub(crate) mod wire;
@@ -78,6 +79,7 @@ pub(crate) fn all() -> Vec<Box<dyn Pass>> {
         Box::new(shadow_cross::ShadowCross),
         Box::new(taint::Taint),
         Box::new(compile::Compile),
+        Box::new(sharding::Sharding),
     ]
 }
 

@@ -1,0 +1,237 @@
+//! TA016 — shard-topology misconfiguration.
+//!
+//! The sharded runtime partitions enforcement state by (zone, user-id
+//! hash) over `N` crash-isolated shards, and its guarantees — fail-closed
+//! routing for a down shard, WAL-partition rebuild, single-owner
+//! accounting — assume the declared topology is coherent. Three ways a
+//! declaration breaks them: zero shards (routing has no fail-closed
+//! answer to "which shard?"; the runtime refuses to start), a zone pin
+//! naming a shard outside the declared range or claimed by two different
+//! shards (split ownership makes replay and denial accounting
+//! ambiguous), and a declared capture zone no pin maps when the operator
+//! pins zones at all (its subjectless observations fall back to hash
+//! routing the audit never covered). Pure global configuration: the pass
+//! owns only [`UnitId::Global`].
+
+use std::collections::BTreeMap;
+
+use super::Pass;
+use crate::diag::{Diagnostic, LintCode, Severity};
+use crate::engine::{Context, UnitId};
+
+pub(crate) struct Sharding;
+
+impl Pass for Sharding {
+    fn code(&self) -> LintCode {
+        LintCode::ShardTopology
+    }
+
+    fn owners(&self, _cx: &Context<'_>) -> Vec<UnitId> {
+        vec![UnitId::Global]
+    }
+
+    fn may_interact(&self, _cx: &Context<'_>, _owner: UnitId, _changed: UnitId) -> bool {
+        false
+    }
+
+    fn check(&self, cx: &Context<'_>, _owner: UnitId) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let Some(spec) = &cx.corpus.sharding else {
+            return out;
+        };
+        if spec.shards == 0 {
+            out.push(Diagnostic::new(
+                LintCode::ShardTopology,
+                Severity::Error,
+                "/sharding/shards",
+                "zero shards declared: routing is undefined and the sharded \
+                 runtime refuses to start",
+            ));
+        }
+        let mut owner_of: BTreeMap<&str, (usize, u64)> = BTreeMap::new();
+        for (i, pin) in spec.zones.iter().enumerate() {
+            if spec.shards > 0 && pin.shard >= spec.shards {
+                out.push(Diagnostic::new(
+                    LintCode::ShardTopology,
+                    Severity::Error,
+                    format!("/sharding/zones/{i}/shard"),
+                    format!(
+                        "zone `{}` is pinned to shard {} but only {} shard{} \
+                         are declared",
+                        pin.zone,
+                        pin.shard,
+                        spec.shards,
+                        if spec.shards == 1 { "" } else { "s" },
+                    ),
+                ));
+            }
+            match owner_of.get(pin.zone.as_str()) {
+                Some(&(first, shard)) if shard != pin.shard => {
+                    out.push(
+                        Diagnostic::new(
+                            LintCode::ShardTopology,
+                            Severity::Error,
+                            format!("/sharding/zones/{i}"),
+                            format!(
+                                "zone `{}` is claimed by shard {} and shard {}: \
+                                 split ownership makes WAL replay and \
+                                 fail-closed accounting ambiguous",
+                                pin.zone, shard, pin.shard
+                            ),
+                        )
+                        .with_evidence(vec![format!("first pinned at /sharding/zones/{first}")]),
+                    );
+                }
+                Some(_) => {}
+                None => {
+                    owner_of.insert(pin.zone.as_str(), (i, pin.shard));
+                }
+            }
+        }
+        // When the operator pins zones explicitly, every declared capture
+        // zone should be covered — an unpinned capture zone silently
+        // falls back to hash routing the pinned-topology audit never saw.
+        if !spec.zones.is_empty() {
+            if let Some(ingest) = &cx.corpus.ingest {
+                for (i, zone) in ingest.capture_zones.iter().enumerate() {
+                    if !owner_of.contains_key(zone.as_str()) {
+                        out.push(Diagnostic::new(
+                            LintCode::ShardTopology,
+                            Severity::Warning,
+                            format!("/ingest/capture_zones/{i}"),
+                            format!(
+                                "capture zone `{zone}` is mapped to no shard: \
+                                 the declared pins do not cover it, so its \
+                                 observations fall back to unaudited hash \
+                                 routing"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use tippers_ontology::Ontology;
+    use tippers_spatial::fixtures;
+
+    use super::*;
+    use crate::corpus::{DeploymentCorpus, IngestSpec, ShardZonePin, ShardingSpec};
+    use crate::passes::collect;
+
+    fn corpus_with(spec: ShardingSpec) -> DeploymentCorpus {
+        let dbh = fixtures::dbh();
+        let mut corpus = DeploymentCorpus::new(Ontology::standard(), dbh.model);
+        corpus.sharding = Some(spec);
+        corpus
+    }
+
+    fn pin(zone: &str, shard: u64) -> ShardZonePin {
+        ShardZonePin {
+            zone: zone.to_owned(),
+            shard,
+        }
+    }
+
+    #[test]
+    fn absent_sharding_is_silent() {
+        let dbh = fixtures::dbh();
+        let corpus = DeploymentCorpus::new(Ontology::standard(), dbh.model);
+        assert!(collect(&Sharding, &corpus).is_empty());
+    }
+
+    #[test]
+    fn healthy_topology_is_clean() {
+        let mut corpus = corpus_with(ShardingSpec {
+            shards: 8,
+            zones: vec![pin("DBH", 0), pin("Floor2", 3)],
+        });
+        corpus.ingest = Some(IngestSpec {
+            mailbox_capacity: Some(1024),
+            capture_zones: vec!["DBH".to_owned()],
+        });
+        let out = collect(&Sharding, &corpus);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn zero_shards_is_an_error() {
+        let out = collect(&Sharding, &corpus_with(ShardingSpec::default()));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].code, LintCode::ShardTopology);
+        assert_eq!(out[0].severity, Severity::Error);
+        assert_eq!(out[0].path, "/sharding/shards");
+    }
+
+    #[test]
+    fn out_of_range_pin_is_an_error() {
+        let out = collect(
+            &Sharding,
+            &corpus_with(ShardingSpec {
+                shards: 4,
+                zones: vec![pin("DBH", 4)],
+            }),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].path, "/sharding/zones/0/shard");
+        assert_eq!(out[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn split_ownership_is_an_error_with_the_first_pin_as_evidence() {
+        let out = collect(
+            &Sharding,
+            &corpus_with(ShardingSpec {
+                shards: 4,
+                zones: vec![pin("DBH", 0), pin("DBH", 2)],
+            }),
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].path, "/sharding/zones/1");
+        assert_eq!(out[0].severity, Severity::Error);
+        assert_eq!(out[0].evidence, vec!["first pinned at /sharding/zones/0"]);
+    }
+
+    #[test]
+    fn duplicate_pins_on_the_same_shard_are_fine() {
+        let out = collect(
+            &Sharding,
+            &corpus_with(ShardingSpec {
+                shards: 4,
+                zones: vec![pin("DBH", 1), pin("DBH", 1)],
+            }),
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn uncovered_capture_zone_warns_only_when_pins_exist() {
+        let mut corpus = corpus_with(ShardingSpec {
+            shards: 4,
+            zones: vec![pin("Floor2", 0)],
+        });
+        corpus.ingest = Some(IngestSpec {
+            mailbox_capacity: Some(1024),
+            capture_zones: vec!["DBH".to_owned()],
+        });
+        let out = collect(&Sharding, &corpus);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].severity, Severity::Warning);
+        assert_eq!(out[0].path, "/ingest/capture_zones/0");
+
+        // Without pins, hash routing covers every zone: silent.
+        let mut corpus = corpus_with(ShardingSpec {
+            shards: 4,
+            zones: Vec::new(),
+        });
+        corpus.ingest = Some(IngestSpec {
+            mailbox_capacity: Some(1024),
+            capture_zones: vec!["DBH".to_owned()],
+        });
+        assert!(collect(&Sharding, &corpus).is_empty());
+    }
+}

@@ -87,15 +87,19 @@ fn every_pass_fires_on_the_broken_fixture() {
         worst(&report, LintCode::UnusedAllow),
         Some(Severity::Warning)
     );
+    assert_eq!(
+        worst(&report, LintCode::ShardTopology),
+        Some(Severity::Error)
+    );
 }
 
 /// Meta-check on the fixture itself: the loop above can only stay
 /// exhaustive if `LintCode::ALL` is, so pin the count — adding a
-/// sixteenth code without teaching the broken fixture (and this gate)
+/// seventeenth code without teaching the broken fixture (and this gate)
 /// about it should fail loudly here, not pass silently.
 #[test]
 fn the_broken_fixture_exercises_every_registered_code() {
-    assert_eq!(LintCode::ALL.len(), 15);
+    assert_eq!(LintCode::ALL.len(), 16);
     let report = analyze(&broken_corpus());
     let exercised: std::collections::BTreeSet<&str> =
         report.diagnostics.iter().map(|d| d.code.as_str()).collect();
@@ -196,6 +200,12 @@ fn specific_findings_land_on_stable_paths() {
     // Document 0 allows TA009, but replication findings never land under
     // its subtree: the suppression is dead weight.
     assert!(has(LintCode::UnusedAllow, "/documents/0/lint-allow/TA009"));
+    // The shard topology pins DBH to shard 7 of a 2-shard deployment
+    // (out of range), then claims it again for shard 1 (split
+    // ownership); the lobby capture zone is covered by neither pin.
+    assert!(has(LintCode::ShardTopology, "/sharding/zones/0/shard"));
+    assert!(has(LintCode::ShardTopology, "/sharding/zones/1"));
+    assert!(has(LintCode::ShardTopology, "/ingest/capture_zones/0"));
 }
 
 #[test]

@@ -1,0 +1,282 @@
+//! Experiment E20 — sharded enforcement scale and crash recovery.
+//!
+//! Two legs:
+//!
+//! * criterion timing of the router's batched decision path on an
+//!   8-shard runtime (partition → concurrent dispatch → reassembly), and
+//! * a metrics leg producing `BENCH_e20_shard.json` — aggregate
+//!   decisions/sec (and per shard) at 1/2/4/8 shards over a 100k-user
+//!   directory, the 1→8 scaling efficiency, throughput with the
+//!   directory grown to 1M users, and recovery p50/p99 across repeated
+//!   kill→rebuild cycles (injected `shard-panic`, WAL-partition replay).
+//!
+//! The ≥4× aggregate-speedup check only runs when the host actually has
+//! ≥8 cores — on a single-core runner, 8 workers time-slice one CPU and
+//! the sharded runtime can only demonstrate isolation, not speedup.
+//!
+//! Seeded via `TIPPERS_FAULT_SEED` (defaults to 7, the first CI seed).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tippers::{
+    DataRequest, DecisionBasis, FaultPoint, Priority, ShardSpec, ShardedTippers, SubjectSelector,
+    TippersConfig,
+};
+use tippers_ontology::Ontology;
+use tippers_policy::{
+    ActionSet, BuildingPolicy, Effect, PolicyId, PreferenceId, PreferenceScope, ServiceId,
+    Timestamp, UserGroup, UserId, UserPreference,
+};
+use tippers_sensors::Occupant;
+use tippers_spatial::fixtures::dbh;
+
+/// Directory size for the shard-count sweep.
+const USERS: u64 = 100_000;
+/// Directory size for the large-population leg.
+const USERS_LARGE: u64 = 1_000_000;
+/// Distinct subjects the request pool cycles over (spans every shard).
+const REQUEST_COHORT: u64 = 4_096;
+/// Decisions timed per shard-count configuration.
+const DECISIONS: usize = 8_192;
+/// Requests per `handle_batch` call.
+const BATCH: usize = 512;
+/// Kill→rebuild cycles for the recovery-latency distribution.
+const KILLS: usize = 24;
+/// Written to the workspace root so CI can pick it up regardless of the
+/// bench process's working directory.
+const OUTPUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e20_shard.json");
+
+fn fault_seed() -> u64 {
+    std::env::var("TIPPERS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// A sharded runtime over the DBH building: `users` registered
+/// occupants, a building-wide WiFi-logging policy, and a deny
+/// preference for every 16th user in the request cohort so the decision
+/// path exercises preference resolution, not just the policy index.
+fn shard_bms(users: u64, shards: usize) -> ShardedTippers {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let c = ontology.concepts().clone();
+    let mut bms = ShardedTippers::new(
+        ontology,
+        building.model.clone(),
+        TippersConfig::default(),
+        ShardSpec {
+            shards,
+            ..ShardSpec::default()
+        },
+    );
+    let occupants: Vec<Occupant> = (0..users)
+        .map(|u| Occupant::new(UserId(u), format!("user-{u}"), UserGroup::GradStudent))
+        .collect();
+    bms.register_occupants(&occupants);
+    bms.add_policy(
+        BuildingPolicy::new(
+            PolicyId(0),
+            "Network logging",
+            building.building,
+            c.wifi_association,
+            c.logging,
+        )
+        .with_actions(ActionSet::ALL),
+    );
+    let now = Timestamp::at(0, 8, 0);
+    for u in (0..REQUEST_COHORT.min(users)).step_by(16) {
+        bms.submit_preference(
+            UserPreference::new(
+                PreferenceId(0),
+                UserId(u),
+                PreferenceScope {
+                    data: Some(c.wifi_association),
+                    ..Default::default()
+                },
+                Effect::Deny,
+            ),
+            now,
+        );
+    }
+    bms
+}
+
+fn request_for(user: u64, now: Timestamp) -> DataRequest {
+    let c = Ontology::standard().concepts().clone();
+    DataRequest {
+        service: ServiceId::new("Concierge"),
+        purpose: c.logging,
+        data: c.wifi_association,
+        subjects: SubjectSelector::One(UserId(user)),
+        from: Timestamp::at(0, 0, 0),
+        to: now,
+        requester_space: None,
+        priority: Priority::Interactive,
+        deadline: None,
+    }
+}
+
+/// Aggregate decisions/sec through `handle_batch` on an already-built
+/// runtime: `DECISIONS` single-subject requests cycling the cohort.
+fn measure_decisions_per_sec(bms: &mut ShardedTippers, users: u64) -> f64 {
+    let now = Timestamp::at(0, 9, 0);
+    let cohort = REQUEST_COHORT.min(users);
+    let pool: Vec<DataRequest> = (0..cohort).map(|u| request_for(u, now)).collect();
+    // Warm every shard's request path before timing.
+    let warm: Vec<DataRequest> = pool.iter().take(BATCH).cloned().collect();
+    assert_eq!(bms.handle_batch(&warm, now).len(), warm.len());
+
+    let mut answered = 0usize;
+    let started = Instant::now();
+    let mut cursor = 0usize;
+    while answered < DECISIONS {
+        let batch: Vec<DataRequest> = (0..BATCH)
+            .map(|i| pool[(cursor + i) % pool.len()].clone())
+            .collect();
+        cursor = (cursor + BATCH) % pool.len();
+        let responses = bms.handle_batch(&batch, now);
+        assert_eq!(responses.len(), batch.len());
+        answered += responses.len();
+    }
+    let stats = bms.stats();
+    assert_eq!(stats.down, 0, "no shard may fall over in the clean sweep");
+    assert_eq!(stats.unavailable_denials, 0);
+    answered as f64 / started.elapsed().as_secs_f64()
+}
+
+/// Criterion leg: one 512-request batch through the 8-shard router.
+fn bench_shard_batch(criterion: &mut Criterion) {
+    let mut bms = shard_bms(10_000, 8);
+    let now = Timestamp::at(0, 9, 0);
+    let batch: Vec<DataRequest> = (0..BATCH as u64).map(|u| request_for(u, now)).collect();
+    let mut group = criterion.benchmark_group("e20_shard");
+    group.sample_size(10);
+    group.bench_function("handle_batch_512_8shards", |b| {
+        b.iter(|| std::hint::black_box(bms.handle_batch(&batch, now).len()));
+    });
+    group.finish();
+}
+
+/// Metrics leg: shard sweep, population scale, recovery distribution.
+fn emit_shard_metrics(_criterion: &mut Criterion) {
+    let seed = fault_seed();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // Shard-count sweep at 100k users.
+    let sweep: Vec<(usize, f64)> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&shards| {
+            let mut bms = shard_bms(USERS, shards);
+            let dps = measure_decisions_per_sec(&mut bms, USERS);
+            println!("e20: {shards} shard(s): {dps:.0} decisions/s aggregate");
+            (shards, dps)
+        })
+        .collect();
+    let dps_1 = sweep[0].1;
+    let dps_8 = sweep[3].1;
+    let efficiency_8x = dps_8 / (8.0 * dps_1);
+    if cores >= 8 {
+        assert!(
+            dps_8 >= 4.0 * dps_1,
+            "8 shards must deliver >=4x aggregate decisions/sec over 1 \
+             shard on a >=8-core host (got {dps_8:.0} vs {dps_1:.0})"
+        );
+    } else {
+        println!("e20: {cores} core(s) — skipping the >=4x scaling assertion");
+    }
+
+    // Large-population leg: the same request mix with the directory
+    // grown to 1M users across 8 shards.
+    let mut large = shard_bms(USERS_LARGE, 8);
+    let dps_large = measure_decisions_per_sec(&mut large, USERS_LARGE);
+    drop(large);
+
+    // Recovery distribution: repeatedly panic one shard via an injected
+    // fault on its next request, then drive virtual time forward one
+    // second so the supervisor restarts it (WAL-partition replay +
+    // directory re-registration), recording each rebuild's wall time.
+    let mut bms = shard_bms(USERS, 8);
+    for cycle in 0..KILLS {
+        let kill_at = Timestamp::at(1, 10, 0) + (cycle as i64) * 2;
+        let victim = (cycle as u64) % REQUEST_COHORT;
+        bms.config_fault_plan()
+            .arm_limited(FaultPoint::ShardPanic, 1.0, 1);
+        let denied = bms.handle_request(&request_for(victim, kill_at), kill_at);
+        assert!(
+            denied
+                .results
+                .iter()
+                .all(|r| r.decision.basis == DecisionBasis::ShardUnavailable),
+            "a killed shard must fail closed under ShardUnavailable"
+        );
+        let recovered = bms.handle_request(&request_for(victim, kill_at + 1), kill_at + 1);
+        assert_eq!(recovered.results.len(), 1, "owner shard must be back");
+    }
+    let stats = bms.stats();
+    assert_eq!(stats.panics, KILLS as u64);
+    assert_eq!(stats.restarts, KILLS as u64);
+    let mut recovery: Vec<u64> = bms.recovery_times_us().to_vec();
+    assert_eq!(recovery.len(), KILLS);
+    recovery.sort_unstable();
+    let recovery_p50_us = percentile_us(&recovery, 0.50);
+    let recovery_p99_us = percentile_us(&recovery, 0.99);
+    assert!(recovery_p99_us > 0, "rebuild cannot be free");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e20_shard\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"cores\": {cores},\n",
+            "  \"users\": {users},\n",
+            "  \"decisions\": {decisions},\n",
+            "  \"decisions_per_sec\": {dps8:.0},\n",
+            "  \"decisions_per_sec_per_shard\": {per_shard:.0},\n",
+            "  \"sweep_shards\": [1, 2, 4, 8],\n",
+            "  \"sweep_decisions_per_sec\": [{s1:.0}, {s2:.0}, {s4:.0}, {s8:.0}],\n",
+            "  \"scaling_efficiency_1_to_8\": {eff:.3},\n",
+            "  \"large_population_users\": {users_large},\n",
+            "  \"large_population_decisions_per_sec\": {dps_large:.0},\n",
+            "  \"kills\": {kills},\n",
+            "  \"recovery_p50_us\": {p50},\n",
+            "  \"recovery_p99_us\": {p99}\n",
+            "}}\n",
+        ),
+        seed = seed,
+        cores = cores,
+        users = USERS,
+        decisions = DECISIONS,
+        dps8 = dps_8,
+        per_shard = dps_8 / 8.0,
+        s1 = sweep[0].1,
+        s2 = sweep[1].1,
+        s4 = sweep[2].1,
+        s8 = sweep[3].1,
+        eff = efficiency_8x,
+        users_large = USERS_LARGE,
+        dps_large = dps_large,
+        kills = KILLS,
+        p50 = recovery_p50_us,
+        p99 = recovery_p99_us,
+    );
+    std::fs::write(OUTPUT, &json).expect("write metrics");
+    println!(
+        "wrote {OUTPUT}: {dps_8:.0} decisions/s at 8 shards \
+         (eff {efficiency_8x:.2} vs 1 shard on {cores} core(s)), \
+         {dps_large:.0} decisions/s at 1M users, \
+         recovery p50 {recovery_p50_us}us p99 {recovery_p99_us}us over {KILLS} kills"
+    );
+}
+
+criterion_group!(benches, bench_shard_batch, emit_shard_metrics);
+criterion_main!(benches);

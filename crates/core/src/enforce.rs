@@ -86,6 +86,13 @@ pub enum DecisionBasis {
     /// subject's data past the configured budget, and an unaccountable
     /// charge never discloses.
     QuotaExceeded,
+    /// The enforcement shard owning this subject is quarantined — it
+    /// panicked or stalled and is being rebuilt from its WAL partition.
+    /// The router fails *closed*: rather than guessing what the rebuilt
+    /// shard would decide, it denies and audits the denial under this
+    /// basis so degraded-mode traffic is distinguishable from policy
+    /// denials and from healthy shards' decisions.
+    ShardUnavailable,
 }
 
 /// The outcome of deciding one flow.
@@ -143,6 +150,18 @@ impl EnforcementDecision {
         EnforcementDecision {
             effect: Effect::Deny,
             basis: DecisionBasis::QuotaExceeded,
+            overridden_preference: None,
+        }
+    }
+
+    /// The quarantined-shard decision: deny, because the shard owning
+    /// this subject is down and rebuilding from its WAL partition. The
+    /// router fails closed rather than deciding from state it does not
+    /// own.
+    pub fn shard_unavailable() -> EnforcementDecision {
+        EnforcementDecision {
+            effect: Effect::Deny,
+            basis: DecisionBasis::ShardUnavailable,
             overridden_preference: None,
         }
     }

@@ -56,6 +56,7 @@ mod quota;
 pub mod replication;
 mod request;
 mod sensor_manager;
+pub mod shard;
 mod snapshot;
 mod store;
 mod tippers;
@@ -82,6 +83,9 @@ pub use request::{
     DataRequest, DataResponse, ReleasedRecord, ReleasedValue, SubjectResult, SubjectSelector,
 };
 pub use sensor_manager::{HvacCommand, SensorManager};
+pub use shard::{
+    jump_hash, EnforcementCore, ShardHealth, ShardRouter, ShardSpec, ShardStats, ShardedTippers,
+};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use store::{Store, StoredRow};
 pub use tippers::{EnforcerKind, Tippers, TippersConfig};

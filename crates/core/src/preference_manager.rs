@@ -23,6 +23,11 @@ pub enum SettingsError {
         /// How many options exist.
         available: usize,
     },
+    /// The enforcement shard owning this user is quarantined and
+    /// rebuilding; the choice was not applied. Retry once the shard
+    /// recovers — the sharded runtime fails closed rather than applying
+    /// a choice it cannot make durable in the owner's WAL partition.
+    ShardUnavailable,
 }
 
 impl fmt::Display for SettingsError {
@@ -31,6 +36,12 @@ impl fmt::Display for SettingsError {
             SettingsError::UnknownSetting { key } => write!(f, "unknown setting `{key}`"),
             SettingsError::InvalidOption { index, available } => {
                 write!(f, "option {index} out of range (policy offers {available})")
+            }
+            SettingsError::ShardUnavailable => {
+                write!(
+                    f,
+                    "owning enforcement shard is quarantined; retry after recovery"
+                )
             }
         }
     }
@@ -56,6 +67,18 @@ impl PreferenceManager {
         let id = PreferenceId(self.next_id);
         self.next_id += 1;
         pref.id = id;
+        self.preferences.push(pref);
+        id
+    }
+
+    /// Inserts a preference keeping its caller-assigned id, advancing the
+    /// allocator past it. The sharded runtime routes every preference
+    /// through a single router-side allocator so that ids match the
+    /// unsharded engine byte-for-byte even though each shard stores only
+    /// its own users' preferences.
+    pub fn insert_assigned(&mut self, pref: UserPreference) -> PreferenceId {
+        let id = pref.id;
+        self.next_id = self.next_id.max(id.0 + 1);
         self.preferences.push(pref);
         id
     }
@@ -129,6 +152,42 @@ impl PreferenceManager {
         setting_key: &str,
         option_index: usize,
     ) -> Result<(PreferenceId, Effect), SettingsError> {
+        let (pref, effect) =
+            self.prepare_setting_choice(user, policy, setting_key, option_index)?;
+        Ok((self.add(pref), effect))
+    }
+
+    /// [`PreferenceManager::apply_setting_choice`], but keeping a
+    /// caller-assigned id for the derived preference (see
+    /// [`PreferenceManager::insert_assigned`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SettingsError::UnknownSetting`] / [`SettingsError::InvalidOption`].
+    pub fn apply_setting_choice_assigned(
+        &mut self,
+        user: UserId,
+        policy: &BuildingPolicy,
+        setting_key: &str,
+        option_index: usize,
+        id: PreferenceId,
+    ) -> Result<(PreferenceId, Effect), SettingsError> {
+        let (mut pref, effect) =
+            self.prepare_setting_choice(user, policy, setting_key, option_index)?;
+        pref.id = id;
+        Ok((self.insert_assigned(pref), effect))
+    }
+
+    /// Validates a setting choice, drops the superseded earlier choice for
+    /// the same user/policy/setting, and builds (but does not store) the
+    /// derived preference. No mutation happens on a validation error.
+    fn prepare_setting_choice(
+        &mut self,
+        user: UserId,
+        policy: &BuildingPolicy,
+        setting_key: &str,
+        option_index: usize,
+    ) -> Result<(UserPreference, Effect), SettingsError> {
         let setting = policy
             .settings
             .iter()
@@ -167,7 +226,7 @@ impl PreferenceManager {
         // above blanket preferences.
         .with_priority(5)
         .with_note(marker);
-        Ok((self.add(pref), option.effect))
+        Ok((pref, option.effect))
     }
 }
 

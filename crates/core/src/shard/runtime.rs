@@ -1,0 +1,1000 @@
+//! The multi-threaded sharded runtime: a router/supervisor in front of
+//! `N` per-shard [`Tippers`] engines, each owned by a worker thread
+//! behind a `catch_unwind` crash-isolation boundary.
+//!
+//! # Ownership
+//!
+//! Every shard holds a full copy of the policy set (policy mutations are
+//! broadcast, so per-shard policy-id allocators stay in lockstep) and
+//! the slice of subject-keyed state — preferences, stored rows, quota
+//! counters, notifications — owned by its users under
+//! [`super::ShardRouter`]. Preference ids are allocated by the router
+//! and preserved through each shard's WAL
+//! ([`crate::WalRecord::SubmitPreferenceAssigned`]), which keeps sharded
+//! decisions byte-identical to the unsharded engine's (the
+//! `shard_differential` suite proves it at 1/2/8 shards).
+//!
+//! # Failure model
+//!
+//! A worker that panics or stalls is quarantined: its thread is
+//! abandoned, its in-memory state discarded, and the slot marked `Down`.
+//! Requests routed to a down shard are answered fail-closed with an
+//! audited [`crate::DecisionBasis::ShardUnavailable`] denial; healthy
+//! shards are undisturbed. After a capped virtual-time backoff the
+//! supervisor rebuilds the shard by replaying its WAL partition —
+//! committed mutations survive, the panicking op's partial state does
+//! not — re-registers its occupants from the router's directory, and
+//! replays any policy/preference mutations queued while it was down.
+//!
+//! # Documented divergences from the unsharded engine
+//!
+//! * Noise effects draw from per-shard RNGs (same seed, independent
+//!   sequences) instead of one engine-wide RNG.
+//! * While a shard is down: its subjects' requests deny fail-closed, its
+//!   owned observations drop (counted), and a rebuilt shard's sensor
+//!   state misses the batches it was down for.
+//! * `InSpace` requests during a shard outage fail closed for *all* of
+//!   the down shard's users — the router cannot know who was in the
+//!   space without the shard's store.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tippers_ontology::Ontology;
+use tippers_policy::{BuildingPolicy, PolicyId, PreferenceId, Timestamp, UserId, UserPreference};
+use tippers_resilience::{ms_from_secs, FaultPlan, FaultPoint, HealthStatus};
+use tippers_sensors::{Observation, Occupant};
+use tippers_spatial::SpatialModel;
+
+use crate::audit::{AuditLog, UserNotification};
+use crate::enforce::EnforcementDecision;
+use crate::policy_manager::PolicyManager;
+use crate::preference_manager::SettingsError;
+use crate::request::{DataRequest, DataResponse, SubjectResult, SubjectSelector};
+use crate::tippers::{Tippers, TippersConfig};
+use crate::wal::{FsLog, LogIo, MemLog, RecoveryReport, WalError};
+
+use super::route::ShardRouter;
+use super::supervisor::{backoff_ms, ShardHealth, ShardStats};
+
+/// Configuration of the sharded runtime.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Number of shards (≥ 1).
+    pub shards: usize,
+    /// Real-time watchdog backstop (milliseconds): how long the router
+    /// waits on a shard worker before declaring it hung and quarantining
+    /// it. Injected [`FaultPoint::ShardStall`] faults are detected
+    /// immediately, without burning wall-clock time.
+    pub watchdog_ms: u64,
+    /// Virtual-time restart-backoff base (milliseconds); doubles per
+    /// consecutive failed restart.
+    pub backoff_base_ms: i64,
+    /// Virtual-time backoff cap (milliseconds).
+    pub backoff_max_ms: i64,
+}
+
+impl Default for ShardSpec {
+    fn default() -> ShardSpec {
+        ShardSpec {
+            shards: 8,
+            watchdog_ms: 5_000,
+            backoff_base_ms: 250,
+            backoff_max_ms: 8_000,
+        }
+    }
+}
+
+/// A job shipped to a shard worker, and its type-erased result.
+type Job = Box<dyn FnOnce(&mut Tippers) -> Box<dyn Any + Send> + Send>;
+
+enum JobResult {
+    Done(Box<dyn Any + Send>),
+    Panicked,
+    Stalled,
+}
+
+struct Worker {
+    jobs: mpsc::Sender<(Job, mpsc::Sender<JobResult>)>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+/// Spawns a worker thread owning one shard's engine. The worker consults
+/// the shared fault plan before each job: an armed
+/// [`FaultPoint::ShardStall`] reports the watchdog verdict without
+/// applying the op, and an armed [`FaultPoint::ShardPanic`] panics inside
+/// the `catch_unwind` boundary — either way the op never half-applies,
+/// and a caught panic abandons the engine (rebuilt from its WAL).
+fn spawn_worker(mut bms: Tippers, plan: FaultPlan) -> Worker {
+    let (tx, rx) = mpsc::channel::<(Job, mpsc::Sender<JobResult>)>();
+    let handle = thread::spawn(move || {
+        while let Ok((job, reply)) = rx.recv() {
+            if plan.should_fail(FaultPoint::ShardStall) {
+                let _ = reply.send(JobResult::Stalled);
+                continue;
+            }
+            match catch_unwind(AssertUnwindSafe(|| {
+                assert!(
+                    !plan.should_fail(FaultPoint::ShardPanic),
+                    "injected shard panic"
+                );
+                job(&mut bms)
+            })) {
+                Ok(value) => {
+                    let _ = reply.send(JobResult::Done(value));
+                }
+                Err(_) => {
+                    let _ = reply.send(JobResult::Panicked);
+                    // The engine's invariants are suspect: drop it. The
+                    // supervisor rebuilds from the WAL partition.
+                    return;
+                }
+            }
+        }
+    });
+    Worker {
+        jobs: tx,
+        handle: Some(handle),
+    }
+}
+
+/// How a shard's WAL partition is reopened at rebuild.
+enum ShardBacking {
+    /// Shared-state in-memory log (tests, benches): a clone sees every
+    /// byte the crashed engine appended.
+    Mem(MemLog),
+    /// On-disk log directory.
+    Fs(PathBuf),
+}
+
+impl ShardBacking {
+    fn reopen(&self) -> Result<Box<dyn LogIo>, WalError> {
+        match self {
+            ShardBacking::Mem(log) => Ok(Box::new(log.clone())),
+            ShardBacking::Fs(dir) => Ok(Box::new(FsLog::open(dir.clone())?)),
+        }
+    }
+}
+
+/// A policy/preference mutation that arrived while its shard was down,
+/// replayed in order into the rebuilt engine before it serves again.
+/// (Observations are *not* queued: sensor feed is droppable, and the
+/// drop is counted.)
+enum PendingOp {
+    AddPolicy(BuildingPolicy),
+    RemovePolicy(PolicyId),
+    SubmitPreference(UserPreference, Timestamp),
+}
+
+struct ShardSlot {
+    backing: ShardBacking,
+    worker: Option<Worker>,
+    health: ShardHealth,
+    pending: Vec<PendingOp>,
+    panics: u64,
+    stalls: u64,
+    restarts: u64,
+    restart_losses: u64,
+}
+
+enum ShardCall<R> {
+    Ok(R),
+    Unavailable,
+}
+
+/// The sharded, supervised, multi-threaded enforcement runtime.
+///
+/// Implements [`super::EnforcementCore`] identically (byte-for-byte on
+/// decisions) to a single [`Tippers`] while it is healthy, and degrades
+/// fail-closed per shard when it is not.
+pub struct ShardedTippers {
+    ontology: Ontology,
+    model: SpatialModel,
+    config: TippersConfig,
+    spec: ShardSpec,
+    router: ShardRouter,
+    slots: Vec<ShardSlot>,
+    /// The building's full occupant directory: rebuilt shards re-register
+    /// their slice from here (group/MAC registration is not WAL state),
+    /// and fan-out requests fail closed over a down shard's slice.
+    directory: HashMap<UserId, Occupant>,
+    /// Router-side mirror of the policy set, so policy ids are allocated
+    /// deterministically even when some shards are down.
+    policy_mirror: PolicyManager,
+    /// Router-side preference-id allocator (see
+    /// [`Tippers::submit_preference_assigned`]).
+    next_preference_id: u64,
+    /// Audit of every fail-closed `ShardUnavailable` denial the *router*
+    /// issued (per-shard engines audit their own decisions).
+    router_audit: AuditLog,
+    /// Virtual now (ms), advanced by the timestamps flowing through
+    /// operations; drives the restart-backoff watchdog.
+    vnow_ms: i64,
+    unavailable_denials: u64,
+    unavailable_drops: u64,
+    pending_replayed: u64,
+    /// Wall-clock WAL-replay rebuild durations, microseconds (E20's
+    /// recovery percentiles).
+    recovery_us: Vec<u64>,
+}
+
+impl ShardedTippers {
+    /// Creates a sharded BMS whose shards log to in-memory WAL
+    /// partitions (crash isolation and WAL-replay recovery work in full;
+    /// nothing touches disk).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `spec.shards` is zero or an injected WAL fault breaks
+    /// the initial (empty) open.
+    pub fn new(
+        ontology: Ontology,
+        model: SpatialModel,
+        config: TippersConfig,
+        spec: ShardSpec,
+    ) -> ShardedTippers {
+        assert!(
+            spec.shards > 0,
+            "a sharded runtime needs at least one shard"
+        );
+        let router = ShardRouter::new(spec.shards);
+        let mut slots = Vec::with_capacity(spec.shards);
+        for _ in 0..spec.shards {
+            let log = MemLog::new();
+            let (bms, _report) = Tippers::open_with(
+                Box::new(log.clone()),
+                ontology.clone(),
+                model.clone(),
+                config.clone(),
+            )
+            .expect("an empty in-memory log opens cleanly");
+            slots.push(ShardSlot {
+                backing: ShardBacking::Mem(log),
+                worker: Some(spawn_worker(bms, config.fault_plan.clone())),
+                health: ShardHealth::Up,
+                pending: Vec::new(),
+                panics: 0,
+                stalls: 0,
+                restarts: 0,
+                restart_losses: 0,
+            });
+        }
+        ShardedTippers {
+            ontology,
+            model,
+            config,
+            spec,
+            router,
+            slots,
+            directory: HashMap::new(),
+            policy_mirror: PolicyManager::new(),
+            next_preference_id: 0,
+            router_audit: AuditLog::new(),
+            vnow_ms: 0,
+            unavailable_denials: 0,
+            unavailable_drops: 0,
+            pending_replayed: 0,
+            recovery_us: Vec::new(),
+        }
+    }
+
+    /// Opens a durable sharded BMS: shard `i` logs to `dir/shard-{i:03}`
+    /// (each created if absent, each replayed independently). Router
+    /// state is rebuilt from the replayed shards: the policy mirror from
+    /// any shard (policies broadcast, so every partition replays the
+    /// identical set) and the preference-id allocator from the max
+    /// across shards (each partition holds only its owned preferences).
+    /// Occupants are administrative configuration, like the unsharded
+    /// engine's policies-on-restart: re-register them after opening.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError`] when any shard's partition fails to open or replay.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        ontology: Ontology,
+        model: SpatialModel,
+        config: TippersConfig,
+        spec: ShardSpec,
+    ) -> Result<(ShardedTippers, Vec<RecoveryReport>), WalError> {
+        assert!(
+            spec.shards > 0,
+            "a sharded runtime needs at least one shard"
+        );
+        let router = ShardRouter::new(spec.shards);
+        let mut slots = Vec::with_capacity(spec.shards);
+        let mut reports = Vec::with_capacity(spec.shards);
+        let mut policy_mirror = PolicyManager::new();
+        let mut next_preference_id = 0u64;
+        for i in 0..spec.shards {
+            let sub = dir.as_ref().join(format!("shard-{i:03}"));
+            let io = FsLog::open(sub.clone())?;
+            let (bms, report) = Tippers::open_with(
+                Box::new(io),
+                ontology.clone(),
+                model.clone(),
+                config.clone(),
+            )?;
+            reports.push(report);
+            if i == 0 {
+                let (policies, next_policy_id) = bms.policy_parts();
+                policy_mirror = PolicyManager::from_parts(policies, next_policy_id);
+            } else {
+                debug_assert_eq!(
+                    policy_mirror.all(),
+                    bms.policies(),
+                    "policy broadcast must replay identically on every shard"
+                );
+            }
+            next_preference_id = next_preference_id.max(bms.preference_next_id());
+            slots.push(ShardSlot {
+                backing: ShardBacking::Fs(sub),
+                worker: Some(spawn_worker(bms, config.fault_plan.clone())),
+                health: ShardHealth::Up,
+                pending: Vec::new(),
+                panics: 0,
+                stalls: 0,
+                restarts: 0,
+                restart_losses: 0,
+            });
+        }
+        Ok((
+            ShardedTippers {
+                ontology,
+                model,
+                config,
+                spec,
+                router,
+                slots,
+                directory: HashMap::new(),
+                policy_mirror,
+                next_preference_id,
+                router_audit: AuditLog::new(),
+                vnow_ms: 0,
+                unavailable_denials: 0,
+                unavailable_drops: 0,
+                pending_replayed: 0,
+                recovery_us: Vec::new(),
+            },
+            reports,
+        ))
+    }
+
+    // ---- supervision ---------------------------------------------------------
+
+    fn note_time(&mut self, now: Timestamp) {
+        self.vnow_ms = self.vnow_ms.max(ms_from_secs(now.seconds()));
+    }
+
+    /// True when the slot is (or was just brought back) up. A down shard
+    /// whose backoff expired gets a restart attempt right here — recovery
+    /// rides the operation path, exactly like retention sweeps do.
+    fn ensure_up(&mut self, idx: usize) -> bool {
+        match self.slots[idx].health {
+            ShardHealth::Up => true,
+            ShardHealth::Down {
+                attempts,
+                down_until_ms,
+            } => {
+                if self.vnow_ms < down_until_ms {
+                    return false;
+                }
+                self.try_restart(idx, attempts)
+            }
+        }
+    }
+
+    fn try_restart(&mut self, idx: usize, attempts: u32) -> bool {
+        let started = Instant::now();
+        let lost = self
+            .config
+            .fault_plan
+            .should_fail(FaultPoint::ShardRestartLoss);
+        let rebuilt = if lost { None } else { self.rebuild(idx).ok() };
+        match rebuilt {
+            Some(bms) => {
+                self.recovery_us
+                    .push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+                let worker = spawn_worker(bms, self.config.fault_plan.clone());
+                let slot = &mut self.slots[idx];
+                slot.worker = Some(worker);
+                slot.health = ShardHealth::Up;
+                slot.restarts += 1;
+                true
+            }
+            None => {
+                // The rebuild was lost (or failed): stay quarantined,
+                // back off harder, never serve half-rebuilt state.
+                let next = attempts + 1;
+                let delay = backoff_ms(self.spec.backoff_base_ms, self.spec.backoff_max_ms, next);
+                let slot = &mut self.slots[idx];
+                slot.restart_losses += 1;
+                slot.health = ShardHealth::Down {
+                    attempts: next,
+                    down_until_ms: self.vnow_ms + delay,
+                };
+                false
+            }
+        }
+    }
+
+    /// Rebuilds a quarantined shard: reopen its WAL partition, replay it
+    /// (committed mutations only — the panicking op's partial state is
+    /// gone), re-register the shard's occupants from the directory, then
+    /// catch up on mutations queued while it was down.
+    fn rebuild(&mut self, idx: usize) -> Result<Tippers, WalError> {
+        let io = self.slots[idx].backing.reopen()?;
+        let (mut bms, _report) = Tippers::open_with(
+            io,
+            self.ontology.clone(),
+            self.model.clone(),
+            self.config.clone(),
+        )?;
+        let owned: Vec<Occupant> = self
+            .directory
+            .values()
+            .filter(|o| self.router.shard_of_user(o.user) == idx)
+            .cloned()
+            .collect();
+        bms.register_occupants(&owned);
+        for op in std::mem::take(&mut self.slots[idx].pending) {
+            self.pending_replayed += 1;
+            match op {
+                PendingOp::AddPolicy(policy) => {
+                    bms.add_policy(policy);
+                }
+                PendingOp::RemovePolicy(id) => {
+                    bms.remove_policy(id);
+                }
+                PendingOp::SubmitPreference(pref, now) => {
+                    bms.submit_preference_assigned(pref, now);
+                }
+            }
+        }
+        Ok(bms)
+    }
+
+    fn quarantine(&mut self, idx: usize, stall: bool) {
+        let delay = backoff_ms(self.spec.backoff_base_ms, self.spec.backoff_max_ms, 0);
+        let slot = &mut self.slots[idx];
+        // Dropping the worker closes its job channel (a live thread
+        // exits); a genuinely hung thread is abandoned, never joined.
+        slot.worker = None;
+        if stall {
+            slot.stalls += 1;
+        } else {
+            slot.panics += 1;
+        }
+        slot.health = ShardHealth::Down {
+            attempts: 0,
+            down_until_ms: self.vnow_ms + delay,
+        };
+    }
+
+    // ---- dispatch ------------------------------------------------------------
+
+    fn send_job<R: Send + 'static>(
+        &mut self,
+        idx: usize,
+        job: impl FnOnce(&mut Tippers) -> R + Send + 'static,
+    ) -> Option<mpsc::Receiver<JobResult>> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let boxed: Job = Box::new(move |bms| Box::new(job(bms)) as Box<dyn Any + Send>);
+        let Some(worker) = self.slots[idx].worker.as_ref() else {
+            self.quarantine(idx, false);
+            return None;
+        };
+        if worker.jobs.send((boxed, reply_tx)).is_err() {
+            // The worker died after an earlier panic: quarantine now.
+            self.quarantine(idx, false);
+            return None;
+        }
+        Some(reply_rx)
+    }
+
+    fn await_reply<R: Send + 'static>(
+        &mut self,
+        idx: usize,
+        rx: &mpsc::Receiver<JobResult>,
+    ) -> ShardCall<R> {
+        match rx.recv_timeout(Duration::from_millis(self.spec.watchdog_ms)) {
+            Ok(JobResult::Done(value)) => match value.downcast::<R>() {
+                Ok(v) => ShardCall::Ok(*v),
+                Err(_) => {
+                    self.quarantine(idx, false);
+                    ShardCall::Unavailable
+                }
+            },
+            Ok(JobResult::Panicked) => {
+                self.quarantine(idx, false);
+                ShardCall::Unavailable
+            }
+            Ok(JobResult::Stalled) | Err(_) => {
+                self.quarantine(idx, true);
+                ShardCall::Unavailable
+            }
+        }
+    }
+
+    /// One synchronous round trip to a shard worker (the per-op
+    /// crash-isolation boundary).
+    fn call<R: Send + 'static>(
+        &mut self,
+        idx: usize,
+        job: impl FnOnce(&mut Tippers) -> R + Send + 'static,
+    ) -> ShardCall<R> {
+        if !self.ensure_up(idx) {
+            return ShardCall::Unavailable;
+        }
+        match self.send_job(idx, job) {
+            Some(rx) => self.await_reply(idx, &rx),
+            None => ShardCall::Unavailable,
+        }
+    }
+
+    // ---- fail-closed answers -------------------------------------------------
+
+    fn unavailable_subject(
+        &mut self,
+        request: &DataRequest,
+        user: UserId,
+        now: Timestamp,
+    ) -> SubjectResult {
+        let decision = EnforcementDecision::shard_unavailable();
+        self.router_audit.record(
+            now,
+            user,
+            Some(request.service.clone()),
+            request.data,
+            request.purpose,
+            &decision,
+        );
+        self.unavailable_denials += 1;
+        SubjectResult {
+            user,
+            decision,
+            records: Vec::new(),
+        }
+    }
+
+    fn unavailable_response(
+        &mut self,
+        request: &DataRequest,
+        user: UserId,
+        now: Timestamp,
+    ) -> DataResponse {
+        DataResponse {
+            results: vec![self.unavailable_subject(request, user, now)],
+            degraded: true,
+        }
+    }
+
+    /// The users a down shard owns, sorted — the fail-closed fan-out
+    /// slice for `All`/`InSpace` requests.
+    fn owned_users(&self, idx: usize) -> Vec<UserId> {
+        let mut owned: Vec<UserId> = self
+            .directory
+            .keys()
+            .copied()
+            .filter(|&u| self.router.shard_of_user(u) == idx)
+            .collect();
+        owned.sort_unstable();
+        owned
+    }
+
+    // ---- the enforcement surface ---------------------------------------------
+
+    /// Registers occupants: recorded in the router's directory (the
+    /// rebuild source of truth) and pushed to each occupant's owner
+    /// shard.
+    pub fn register_occupants(&mut self, occupants: &[Occupant]) {
+        for o in occupants {
+            self.directory.insert(o.user, o.clone());
+        }
+        for idx in 0..self.slots.len() {
+            let owned: Vec<Occupant> = occupants
+                .iter()
+                .filter(|o| self.router.shard_of_user(o.user) == idx)
+                .cloned()
+                .collect();
+            if owned.is_empty() {
+                continue;
+            }
+            // A down shard re-registers from the directory at rebuild.
+            let _ = self.call(idx, move |bms| bms.register_occupants(&owned));
+        }
+    }
+
+    /// Adds a policy, broadcast to every shard (each shard enforces the
+    /// full policy set; allocators stay in lockstep). A down shard
+    /// catches up at rebuild.
+    pub fn add_policy(&mut self, policy: BuildingPolicy) -> PolicyId {
+        let id = self.policy_mirror.add(policy.clone());
+        for idx in 0..self.slots.len() {
+            let p = policy.clone();
+            match self.call(idx, move |bms| bms.add_policy(p)) {
+                ShardCall::Ok(shard_id) => {
+                    debug_assert_eq!(shard_id, id, "policy allocators must stay in lockstep");
+                }
+                ShardCall::Unavailable => {
+                    self.slots[idx]
+                        .pending
+                        .push(PendingOp::AddPolicy(policy.clone()));
+                }
+            }
+        }
+        id
+    }
+
+    /// Removes a policy on every shard. A down shard catches up at
+    /// rebuild.
+    pub fn remove_policy(&mut self, id: PolicyId) -> bool {
+        let removed = self.policy_mirror.remove(id);
+        for idx in 0..self.slots.len() {
+            match self.call(idx, move |bms| bms.remove_policy(id)) {
+                ShardCall::Ok(_) => {}
+                ShardCall::Unavailable => {
+                    self.slots[idx].pending.push(PendingOp::RemovePolicy(id));
+                }
+            }
+        }
+        removed
+    }
+
+    /// The policy set in force (the router's mirror).
+    pub fn policies(&self) -> &[BuildingPolicy] {
+        self.policy_mirror.all()
+    }
+
+    /// Stores a preference on its subject's owner shard. The id comes
+    /// from the router's allocator — the same sequence the unsharded
+    /// engine would assign. A submission while the owner shard is down
+    /// is queued and replayed at rebuild (the id is already committed),
+    /// so quarantine never loses an accepted preference.
+    pub fn submit_preference(&mut self, mut pref: UserPreference, now: Timestamp) -> PreferenceId {
+        self.note_time(now);
+        let id = PreferenceId(self.next_preference_id);
+        self.next_preference_id += 1;
+        pref.id = id;
+        let idx = self.router.shard_of_user(pref.user);
+        let p = pref.clone();
+        match self.call(idx, move |bms| bms.submit_preference_assigned(p, now)) {
+            ShardCall::Ok(got) => debug_assert_eq!(got, id),
+            ShardCall::Unavailable => {
+                self.slots[idx]
+                    .pending
+                    .push(PendingOp::SubmitPreference(pref, now));
+            }
+        }
+        id
+    }
+
+    /// Applies an IoTA setting choice on the user's owner shard.
+    ///
+    /// # Errors
+    ///
+    /// [`SettingsError`] when the policy/setting/option is unknown, or
+    /// [`SettingsError::ShardUnavailable`] (fail-closed, nothing applied)
+    /// while the owner shard is quarantined — unlike plain preference
+    /// submission, a choice needs the shard's policy table to validate,
+    /// so it cannot be accepted blind.
+    pub fn apply_setting_choice(
+        &mut self,
+        user: UserId,
+        policy: PolicyId,
+        setting_key: &str,
+        option_index: usize,
+    ) -> Result<PreferenceId, SettingsError> {
+        let idx = self.router.shard_of_user(user);
+        let id = PreferenceId(self.next_preference_id);
+        let key = setting_key.to_owned();
+        match self.call(idx, move |bms| {
+            bms.apply_setting_choice_assigned(user, policy, &key, option_index, id)
+        }) {
+            ShardCall::Ok(Ok(got)) => {
+                // The id is consumed only on success, mirroring the
+                // unsharded allocator.
+                self.next_preference_id += 1;
+                Ok(got)
+            }
+            ShardCall::Ok(Err(e)) => Err(e),
+            ShardCall::Unavailable => Err(SettingsError::ShardUnavailable),
+        }
+    }
+
+    /// Ingests a batch of observations. Every *up* shard observes the
+    /// full batch (sensor/occupancy state is building-global, exactly as
+    /// unsharded) but enforces and stores only the observations it owns;
+    /// a down shard's owned observations are dropped and counted.
+    ///
+    /// Returns `(stored, dropped)` across all shards.
+    pub fn ingest(&mut self, observations: &[Observation]) -> (usize, usize) {
+        if observations.is_empty() {
+            return (0, 0);
+        }
+        if let Some(t) = observations
+            .iter()
+            .map(|o| ms_from_secs(o.timestamp.seconds()))
+            .max()
+        {
+            self.vnow_ms = self.vnow_ms.max(t);
+        }
+        let owners: Vec<usize> = observations
+            .iter()
+            .map(|o| {
+                o.subject.map_or_else(
+                    || self.router.shard_of_zone(o.space),
+                    |u| self.router.shard_of_user(u),
+                )
+            })
+            .collect();
+        let mut stored = 0usize;
+        let mut dropped = 0usize;
+        for idx in 0..self.slots.len() {
+            let owned_count = owners.iter().filter(|&&o| o == idx).count();
+            let obs = observations.to_vec();
+            let mask: Vec<bool> = owners.iter().map(|&o| o == idx).collect();
+            match self.call(idx, move |bms| bms.ingest_with_mask(&obs, |i| mask[i])) {
+                ShardCall::Ok((s, d)) => {
+                    stored += s;
+                    dropped += d;
+                }
+                ShardCall::Unavailable => {
+                    dropped += owned_count;
+                    self.unavailable_drops += owned_count as u64;
+                }
+            }
+        }
+        (stored, dropped)
+    }
+
+    /// Routes one request. Single-subject requests go to the subject's
+    /// owner shard; `All`/`InSpace` fan out to every shard and merge in
+    /// user order (the unsharded engine's order). Subjects on a down
+    /// shard are denied fail-closed with an audited
+    /// [`crate::DecisionBasis::ShardUnavailable`].
+    pub fn handle_request(&mut self, request: &DataRequest, now: Timestamp) -> DataResponse {
+        self.note_time(now);
+        if let SubjectSelector::One(user) = request.subjects {
+            let idx = self.router.shard_of_user(user);
+            let req = request.clone();
+            return match self.call(idx, move |bms| bms.handle_request(&req, now)) {
+                ShardCall::Ok(resp) => resp,
+                ShardCall::Unavailable => self.unavailable_response(request, user, now),
+            };
+        }
+        let mut results: Vec<SubjectResult> = Vec::new();
+        let mut degraded = false;
+        for idx in 0..self.slots.len() {
+            let req = request.clone();
+            match self.call(idx, move |bms| bms.handle_request(&req, now)) {
+                ShardCall::Ok(resp) => {
+                    degraded |= resp.degraded;
+                    results.extend(resp.results);
+                }
+                ShardCall::Unavailable => {
+                    degraded = true;
+                    for user in self.owned_users(idx) {
+                        results.push(self.unavailable_subject(request, user, now));
+                    }
+                }
+            }
+        }
+        results.sort_by_key(|r| r.user);
+        DataResponse { results, degraded }
+    }
+
+    /// Routes a batch of requests, running the shards *concurrently* —
+    /// the runtime's parallel request path (experiment E20). Responses
+    /// come back in input order; single-subject requests are partitioned
+    /// per shard and dispatched in one job each, fan-out selectors fall
+    /// back to sequential [`ShardedTippers::handle_request`].
+    pub fn handle_batch(&mut self, requests: &[DataRequest], now: Timestamp) -> Vec<DataResponse> {
+        self.note_time(now);
+        let mut out: Vec<Option<DataResponse>> = Vec::with_capacity(requests.len());
+        out.resize_with(requests.len(), || None);
+        let mut per_shard: Vec<Vec<(usize, DataRequest)>> =
+            (0..self.slots.len()).map(|_| Vec::new()).collect();
+        let mut sequential: Vec<usize> = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            match &req.subjects {
+                SubjectSelector::One(u) => {
+                    per_shard[self.router.shard_of_user(*u)].push((i, req.clone()));
+                }
+                _ => sequential.push(i),
+            }
+        }
+        let mut waits = Vec::new();
+        for (idx, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            if !self.ensure_up(idx) {
+                self.fail_batch(batch, now, &mut out);
+                continue;
+            }
+            let fallback = batch.clone();
+            match self.send_job(idx, move |bms| {
+                batch
+                    .into_iter()
+                    .map(|(i, req)| (i, bms.handle_request(&req, now)))
+                    .collect::<Vec<(usize, DataResponse)>>()
+            }) {
+                Some(rx) => waits.push((idx, rx, fallback)),
+                None => self.fail_batch(fallback, now, &mut out),
+            }
+        }
+        for (idx, rx, fallback) in waits {
+            match self.await_reply::<Vec<(usize, DataResponse)>>(idx, &rx) {
+                ShardCall::Ok(items) => {
+                    for (i, resp) in items {
+                        out[i] = Some(resp);
+                    }
+                }
+                ShardCall::Unavailable => self.fail_batch(fallback, now, &mut out),
+            }
+        }
+        for i in sequential {
+            out[i] = Some(self.handle_request(&requests[i], now));
+        }
+        out.into_iter()
+            .map(|r| r.expect("every request answered"))
+            .collect()
+    }
+
+    fn fail_batch(
+        &mut self,
+        batch: Vec<(usize, DataRequest)>,
+        now: Timestamp,
+        out: &mut [Option<DataResponse>],
+    ) {
+        for (i, req) in batch {
+            let user = match &req.subjects {
+                SubjectSelector::One(u) => *u,
+                _ => continue,
+            };
+            out[i] = Some(self.unavailable_response(&req, user, now));
+        }
+    }
+
+    /// Drains a user's pending notifications from their owner shard
+    /// (empty while the shard is down — they are delivered after
+    /// recovery, never lost: notifications live in replayed state and
+    /// the catch-up queue).
+    pub fn take_notifications(&mut self, user: UserId) -> Vec<UserNotification> {
+        let idx = self.router.shard_of_user(user);
+        match self.call(idx, move |bms| bms.take_notifications(user)) {
+            ShardCall::Ok(v) => v,
+            ShardCall::Unavailable => Vec::new(),
+        }
+    }
+
+    /// Runs a retention sweep on every up shard; returns total rows
+    /// swept. A down shard sweeps after recovery (retention is enforced
+    /// by expiry time, so late sweeps delete the same rows).
+    pub fn sweep(&mut self, now: Timestamp) -> usize {
+        self.note_time(now);
+        let mut total = 0usize;
+        for idx in 0..self.slots.len() {
+            if let ShardCall::Ok(n) = self.call(idx, move |bms| bms.sweep(now)) {
+                total += n;
+            }
+        }
+        total
+    }
+
+    /// Runtime health: degraded while any shard is quarantined.
+    pub fn health(&self) -> HealthStatus {
+        if self.slots.iter().all(|s| s.health.is_up()) {
+            HealthStatus::Healthy
+        } else {
+            HealthStatus::Degraded
+        }
+    }
+
+    // ---- observability -------------------------------------------------------
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The shard owning a user's state (exposed so tests, benches and
+    /// demos can aim chaos at a specific shard).
+    pub fn shard_of_user(&self, user: UserId) -> usize {
+        self.router.shard_of_user(user)
+    }
+
+    /// Health of every shard slot.
+    pub fn shard_healths(&self) -> Vec<ShardHealth> {
+        self.slots.iter().map(|s| s.health).collect()
+    }
+
+    /// Health of one shard slot.
+    pub fn shard_health(&self, idx: usize) -> ShardHealth {
+        self.slots[idx].health
+    }
+
+    /// The shared fault plan (chaos harnesses arm shard faults here;
+    /// every worker consults it before each job).
+    pub fn config_fault_plan(&self) -> &FaultPlan {
+        &self.config.fault_plan
+    }
+
+    /// The router's fail-closed denial audit (`ShardUnavailable` only;
+    /// healthy decisions are audited inside their shard).
+    pub fn router_audit(&self) -> &AuditLog {
+        &self.router_audit
+    }
+
+    /// Aggregated supervision counters.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            shards: self.slots.len(),
+            down: self.slots.iter().filter(|s| !s.health.is_up()).count(),
+            panics: self.slots.iter().map(|s| s.panics).sum(),
+            stalls: self.slots.iter().map(|s| s.stalls).sum(),
+            restarts: self.slots.iter().map(|s| s.restarts).sum(),
+            restart_losses: self.slots.iter().map(|s| s.restart_losses).sum(),
+            unavailable_denials: self.unavailable_denials,
+            unavailable_drops: self.unavailable_drops,
+            pending_replayed: self.pending_replayed,
+        }
+    }
+
+    /// Wall-clock durations (µs) of every successful WAL-replay rebuild.
+    pub fn recovery_times_us(&self) -> &[u64] {
+        &self.recovery_us
+    }
+
+    /// The supervisor's virtual clock (ms).
+    pub fn virtual_now_ms(&self) -> i64 {
+        self.vnow_ms
+    }
+
+    /// Runs a read-only closure on one shard's live engine (`None` while
+    /// the shard is quarantined) — the observability hook the chaos
+    /// harness uses to verify rebuilt state.
+    pub fn inspect_shard<R: Send + 'static>(
+        &mut self,
+        idx: usize,
+        f: impl FnOnce(&Tippers) -> R + Send + 'static,
+    ) -> Option<R> {
+        match self.call(idx, move |bms| f(&*bms)) {
+            ShardCall::Ok(v) => Some(v),
+            ShardCall::Unavailable => None,
+        }
+    }
+}
+
+impl Drop for ShardedTippers {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            if let Some(worker) = slot.worker.take() {
+                let Worker { jobs, handle } = worker;
+                // Closing the channel ends the worker loop; join so no
+                // thread outlives the runtime. (Quarantined-hung workers
+                // were already abandoned without a handle.)
+                drop(jobs);
+                if let Some(handle) = handle {
+                    let _ = handle.join();
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardedTippers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedTippers")
+            .field("shards", &self.slots.len())
+            .field("healths", &self.shard_healths())
+            .field("vnow_ms", &self.vnow_ms)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,95 @@
+//! The shard supervision state machine.
+//!
+//! Each shard slot is either `Up` (a live worker owns its engine) or
+//! `Down` (quarantined). Transitions:
+//!
+//! ```text
+//!            panic / stall / hung watchdog
+//!      Up ─────────────────────────────────────▶ Down{attempts: 0}
+//!       ▲                                           │
+//!       │  WAL-replay rebuild succeeds              │ virtual-time backoff
+//!       └───────────────────────────────────────────┤ expires; restart
+//!                                                   │ attempted
+//!          rebuild fails / shard-restart-loss       ▼
+//!      Down{attempts: n} ◀──────────────────── restarting
+//!      (backoff doubles, capped)
+//! ```
+//!
+//! While `Down`, the router answers every request for the shard's
+//! subjects fail-closed with [`crate::DecisionBasis::ShardUnavailable`]
+//! and audits each denial; healthy shards are untouched. The backoff
+//! clock is *virtual* (driven by the timestamps flowing through
+//! operations), so supervision is deterministic under test and never
+//! sleeps.
+
+/// Externally visible health of one shard slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardHealth {
+    /// Serving: a live worker owns the shard's engine.
+    Up,
+    /// Quarantined after a panic, stall, or failed restart. Fail-closed
+    /// until the virtual-time backoff expires and a WAL-replay rebuild
+    /// succeeds.
+    Down {
+        /// Failed restart attempts since the quarantine began.
+        attempts: u32,
+        /// Virtual time (ms) before which no restart is attempted.
+        down_until_ms: i64,
+    },
+}
+
+impl ShardHealth {
+    /// True when the slot is serving.
+    pub fn is_up(&self) -> bool {
+        matches!(self, ShardHealth::Up)
+    }
+}
+
+/// Capped exponential restart backoff: `base << attempts`, saturating
+/// at `max`. `attempts` counts *failed restarts* — the first quarantine
+/// waits exactly `base`.
+pub(crate) fn backoff_ms(base_ms: i64, max_ms: i64, attempts: u32) -> i64 {
+    let shift = attempts.min(20);
+    base_ms.saturating_mul(1_i64 << shift).min(max_ms)
+}
+
+/// Aggregated sharded-runtime counters (observability for the chaos
+/// harness, the E20 bench, and operators).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Number of shards.
+    pub shards: usize,
+    /// Shards currently quarantined.
+    pub down: usize,
+    /// Worker panics caught at the crash-isolation boundary.
+    pub panics: u64,
+    /// Stalls detected (injected or real watchdog expiries).
+    pub stalls: u64,
+    /// Successful WAL-replay restarts.
+    pub restarts: u64,
+    /// Restart attempts that failed (including injected
+    /// `shard-restart-loss`), each extending the quarantine.
+    pub restart_losses: u64,
+    /// Subjects denied fail-closed because their shard was down.
+    pub unavailable_denials: u64,
+    /// Owned observations dropped because their shard was down.
+    pub unavailable_drops: u64,
+    /// Queued mutations replayed into rebuilt shards at catch-up.
+    pub pending_replayed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(backoff_ms(250, 8_000, 0), 250);
+        assert_eq!(backoff_ms(250, 8_000, 1), 500);
+        assert_eq!(backoff_ms(250, 8_000, 2), 1_000);
+        assert_eq!(backoff_ms(250, 8_000, 5), 8_000);
+        assert_eq!(backoff_ms(250, 8_000, 63), 8_000);
+        // Saturation, not overflow, far past the cap's shift range.
+        assert_eq!(backoff_ms(i64::MAX / 2, i64::MAX, 3), i64::MAX);
+    }
+}

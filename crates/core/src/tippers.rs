@@ -371,6 +371,9 @@ impl Tippers {
             WalRecord::SubmitPreference { preference, now } => {
                 self.submit_preference_inner(preference, now);
             }
+            WalRecord::SubmitPreferenceAssigned { preference, now } => {
+                self.submit_preference_assigned_inner(preference, now);
+            }
             WalRecord::SettingChoice {
                 user,
                 policy,
@@ -379,6 +382,22 @@ impl Tippers {
             } => {
                 self.apply_setting_choice_inner(user, policy, &setting_key, option_index)
                     .map_err(|e| WalError::Replay(format!("setting choice: {e}")))?;
+            }
+            WalRecord::SettingChoiceAssigned {
+                user,
+                policy,
+                setting_key,
+                option_index,
+                id,
+            } => {
+                self.apply_setting_choice_assigned_inner(
+                    user,
+                    policy,
+                    &setting_key,
+                    option_index,
+                    id,
+                )
+                .map_err(|e| WalError::Replay(format!("setting choice: {e}")))?;
             }
             WalRecord::Retroactive { preference } => {
                 self.apply_retroactively_inner(preference);
@@ -754,6 +773,18 @@ impl Tippers {
         self.policies.all()
     }
 
+    /// The policy set plus its id-allocator position, for a sharded
+    /// router rebuilding its broadcast mirror after a durable reopen.
+    pub(crate) fn policy_parts(&self) -> (Vec<BuildingPolicy>, u64) {
+        self.policies.snapshot_parts()
+    }
+
+    /// The preference id-allocator position, for a sharded router
+    /// rebuilding its assignment counter after a durable reopen.
+    pub(crate) fn preference_next_id(&self) -> u64 {
+        self.preferences.snapshot_parts().1
+    }
+
     /// Looks up one policy.
     pub fn policy(&self, id: PolicyId) -> Option<&BuildingPolicy> {
         self.policies.get(id)
@@ -816,10 +847,43 @@ impl Tippers {
     }
 
     fn submit_preference_inner(&mut self, pref: UserPreference, now: Timestamp) -> PreferenceId {
-        let user = pref.user;
         let mut stored = pref.clone();
-        let id = self.preferences.add(pref);
-        stored.id = id;
+        stored.id = self.preferences.add(pref);
+        self.finish_preference_intake(stored, now)
+    }
+
+    /// Stores a preference whose id the shard router already allocated:
+    /// the id is kept verbatim (in memory, in the WAL record, and across
+    /// replay), which keeps decision bases byte-identical between the
+    /// sharded and unsharded engines.
+    pub fn submit_preference_assigned(
+        &mut self,
+        pref: UserPreference,
+        now: Timestamp,
+    ) -> PreferenceId {
+        let record = WalRecord::SubmitPreferenceAssigned {
+            preference: pref.clone(),
+            now,
+        };
+        let id = self.submit_preference_assigned_inner(pref, now);
+        self.log(record);
+        id
+    }
+
+    fn submit_preference_assigned_inner(
+        &mut self,
+        pref: UserPreference,
+        now: Timestamp,
+    ) -> PreferenceId {
+        let stored = pref.clone();
+        self.preferences.insert_assigned(pref);
+        self.finish_preference_intake(stored, now)
+    }
+
+    /// Conflict-checks a just-stored preference against every policy and
+    /// queues the notifications (§III.B). Returns the stored id.
+    fn finish_preference_intake(&mut self, stored: UserPreference, now: Timestamp) -> PreferenceId {
+        let user = stored.user;
         self.enforcer = None;
         for policy in self.policies.all() {
             if let Some(conflict) = conflict::classify(
@@ -832,7 +896,7 @@ impl Tippers {
                 self.audit.notify(user, now, conflict.notice.clone());
             }
         }
-        id
+        stored.id
     }
 
     /// Applies an IoTA setting choice against a policy's advertised
@@ -876,6 +940,58 @@ impl Tippers {
         let (id, _) =
             self.preferences
                 .apply_setting_choice(user, &policy, setting_key, option_index)?;
+        Ok(id)
+    }
+
+    /// [`Tippers::apply_setting_choice`], with a router-assigned id for
+    /// the derived preference (see [`Tippers::submit_preference_assigned`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SettingsError`] when the policy, setting, or option is unknown.
+    pub fn apply_setting_choice_assigned(
+        &mut self,
+        user: UserId,
+        policy: PolicyId,
+        setting_key: &str,
+        option_index: usize,
+        id: PreferenceId,
+    ) -> Result<PreferenceId, SettingsError> {
+        let got =
+            self.apply_setting_choice_assigned_inner(user, policy, setting_key, option_index, id)?;
+        self.log(WalRecord::SettingChoiceAssigned {
+            user,
+            policy,
+            setting_key: setting_key.to_string(),
+            option_index,
+            id,
+        });
+        Ok(got)
+    }
+
+    fn apply_setting_choice_assigned_inner(
+        &mut self,
+        user: UserId,
+        policy: PolicyId,
+        setting_key: &str,
+        option_index: usize,
+        id: PreferenceId,
+    ) -> Result<PreferenceId, SettingsError> {
+        let policy = self
+            .policies
+            .get(policy)
+            .ok_or_else(|| SettingsError::UnknownSetting {
+                key: format!("{policy}"),
+            })?
+            .clone();
+        self.enforcer = None;
+        let (id, _) = self.preferences.apply_setting_choice_assigned(
+            user,
+            &policy,
+            setting_key,
+            option_index,
+            id,
+        )?;
         Ok(id)
     }
 
@@ -963,6 +1079,20 @@ impl Tippers {
     ///
     /// Returns `(stored, dropped)` counts.
     pub fn ingest(&mut self, observations: &[Observation]) -> (usize, usize) {
+        self.ingest_with_mask(observations, |_| true)
+    }
+
+    /// [`Tippers::ingest`] restricted to the observations this engine
+    /// *owns*: every observation still feeds the sensor state (occupancy
+    /// conditions must see the whole building, exactly as the unsharded
+    /// engine does), but only owned observations are enforced, stored and
+    /// counted. The sharded runtime broadcasts each batch to every shard
+    /// with that shard's ownership mask.
+    pub(crate) fn ingest_with_mask(
+        &mut self,
+        observations: &[Observation],
+        owned: impl Fn(usize) -> bool,
+    ) -> (usize, usize) {
         self.ensure_enforcer();
         let mut stored = 0usize;
         let mut dropped = 0usize;
@@ -970,8 +1100,11 @@ impl Tippers {
         // survived enforcement and fault injection, so replay is a pure
         // data load independent of sensor state or the fault plan.
         let mut batch: Vec<StoredRow> = Vec::new();
-        for obs in observations {
+        for (index, obs) in observations.iter().enumerate() {
             self.sensors.observe(obs);
+            if !owned(index) {
+                continue;
+            }
             let category = obs.payload.category(&self.ontology);
             match self.storage_grant(obs, category) {
                 Some(retention) => {

@@ -77,7 +77,17 @@ impl InvalidationTail {
                 self.next_preference_id += 1;
                 vec![SettingsMutation::Preference(id)]
             }
+            WalRecord::SubmitPreferenceAssigned { preference, .. } => {
+                // Router-assigned id: the record names the unit itself;
+                // the shadow allocator skips past it, like replay does.
+                self.next_preference_id = self.next_preference_id.max(preference.id.0 + 1);
+                vec![SettingsMutation::Preference(preference.id)]
+            }
             WalRecord::SettingChoice { policy, .. } => vec![SettingsMutation::Policy(*policy)],
+            WalRecord::SettingChoiceAssigned { policy, id, .. } => {
+                self.next_preference_id = self.next_preference_id.max(id.0 + 1);
+                vec![SettingsMutation::Policy(*policy)]
+            }
             WalRecord::Retroactive { preference } => {
                 vec![SettingsMutation::Preference(*preference)]
             }

@@ -50,6 +50,18 @@ pub enum WalRecord {
         /// Submission time (drives conflict notifications).
         now: Timestamp,
     },
+    /// `Tippers::submit_preference_assigned`: a preference whose id was
+    /// allocated by the shard router rather than this engine's own
+    /// allocator. Replay preserves the id verbatim, so a rebuilt shard
+    /// re-derives exactly the ids the router handed out — the property
+    /// that keeps sharded decisions byte-identical to the unsharded
+    /// engine's.
+    SubmitPreferenceAssigned {
+        /// The preference, id included (kept on replay).
+        preference: UserPreference,
+        /// Submission time (drives conflict notifications).
+        now: Timestamp,
+    },
     /// `Tippers::apply_setting_choice` (logged only on success).
     SettingChoice {
         /// The choosing user.
@@ -60,6 +72,22 @@ pub enum WalRecord {
         setting_key: String,
         /// The chosen option index.
         option_index: usize,
+    },
+    /// `Tippers::apply_setting_choice_assigned` (logged only on success):
+    /// a setting choice whose derived preference carries a router-assigned
+    /// id, preserved across replay like
+    /// [`WalRecord::SubmitPreferenceAssigned`].
+    SettingChoiceAssigned {
+        /// The choosing user.
+        user: UserId,
+        /// The policy whose setting was chosen.
+        policy: PolicyId,
+        /// The setting key within that policy.
+        setting_key: String,
+        /// The chosen option index.
+        option_index: usize,
+        /// The router-assigned id for the derived preference.
+        id: PreferenceId,
     },
     /// `Tippers::apply_retroactively` (logged only when rows were purged).
     Retroactive {
@@ -186,6 +214,13 @@ mod tests {
                 policy: PolicyId(1),
                 setting_key: "location-sensing".into(),
                 option_index: 2,
+            },
+            WalRecord::SettingChoiceAssigned {
+                user: UserId(3),
+                policy: PolicyId(1),
+                setting_key: "location-sensing".into(),
+                option_index: 1,
+                id: PreferenceId(41),
             },
             WalRecord::Ingest { rows: Vec::new() },
             WalRecord::NewEpoch { epoch: 3 },

@@ -91,11 +91,24 @@ pub enum FaultPoint {
     /// loses the whole batch. The capture path must treat the batch as
     /// unadmitted (drop-and-audit), never as stored.
     GroupCommitFsyncStall,
+    /// An enforcement shard panicking mid-operation. The crash-isolation
+    /// boundary must contain it: the shard is quarantined and rebuilt
+    /// from its WAL partition while every other shard keeps serving.
+    ShardPanic,
+    /// An enforcement shard stalling: its watchdog deadline expires with
+    /// the operation unapplied. The supervisor must quarantine the shard
+    /// exactly as for a panic — a hung shard never blocks the router.
+    ShardStall,
+    /// A failed shard restart: the WAL-replay rebuild of a quarantined
+    /// shard is lost before it completes. The supervisor must keep the
+    /// shard quarantined (answering fail-closed) and retry under capped
+    /// backoff, never serve from a half-rebuilt shard.
+    ShardRestartLoss,
 }
 
 impl FaultPoint {
     /// Every defined injection point.
-    pub const ALL: [FaultPoint; 21] = [
+    pub const ALL: [FaultPoint; 24] = [
         FaultPoint::RegistryDiscover,
         FaultPoint::RegistryFetch,
         FaultPoint::PolicyPublish,
@@ -117,6 +130,9 @@ impl FaultPoint {
         FaultPoint::IngestBatchTorn,
         FaultPoint::SensorLinkDrop,
         FaultPoint::GroupCommitFsyncStall,
+        FaultPoint::ShardPanic,
+        FaultPoint::ShardStall,
+        FaultPoint::ShardRestartLoss,
     ];
 }
 
@@ -144,6 +160,9 @@ impl fmt::Display for FaultPoint {
             FaultPoint::IngestBatchTorn => "ingest-batch-torn",
             FaultPoint::SensorLinkDrop => "sensor-link-drop",
             FaultPoint::GroupCommitFsyncStall => "group-commit-fsync-stall",
+            FaultPoint::ShardPanic => "shard-panic",
+            FaultPoint::ShardStall => "shard-stall",
+            FaultPoint::ShardRestartLoss => "shard-restart-loss",
         };
         f.write_str(name)
     }

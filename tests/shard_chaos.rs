@@ -1,0 +1,376 @@
+//! Seeded shard-chaos harness: kill and stall shards under request storm
+//! and prove the three isolation properties the sharded runtime sells —
+//!
+//! 1. **Zero cross-shard blast radius** — while shard `s` is down, every
+//!    user on every other shard gets byte-identical answers to a
+//!    fault-free control instance.
+//! 2. **Zero lost committed mutations** — every policy/preference the
+//!    router accepted (including while the owner shard was down) is
+//!    enforced after recovery, byte-identically to the control.
+//! 3. **Fail-closed during rebuild** — a down shard's subjects are
+//!    denied with an audited `DecisionBasis::ShardUnavailable`, never
+//!    answered from stale or half-rebuilt state.
+//!
+//! The suite is seed-parameterized: set `TIPPERS_FAULT_SEED` to replay
+//! any schedule bit-for-bit (CI sweeps 7, 42, and 4711). Faults are
+//! armed at probability 1.0 with a budget of one so the shared
+//! fault-plan RNG is never drawn concurrently — the kill/stall schedule
+//! itself is derived from the seed.
+
+use privacy_aware_buildings::prelude::*;
+use tippers::{
+    DataRequest, DecisionBasis, EnforcementCore, FaultPoint, HealthStatus, Priority, ShardSpec,
+    ShardedTippers, SubjectSelector, Tippers as Bms,
+};
+use tippers_policy::{
+    ActionSet, BuildingPolicy, PolicyId, PreferenceId, PreferenceScope, Timestamp, UserGroup,
+    UserPreference,
+};
+use tippers_sensors::Occupant;
+
+const USERS: u64 = 48;
+const SHARDS: usize = 8;
+
+fn fault_seed() -> u64 {
+    std::env::var("TIPPERS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Deterministic schedule RNG (xorshift64*), independent of the fault
+/// plan's own RNG.
+struct Schedule(u64);
+
+impl Schedule {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+fn occupants() -> Vec<Occupant> {
+    (0..USERS)
+        .map(|u| Occupant::new(UserId(u), format!("occupant-{u}"), UserGroup::GradStudent))
+        .collect()
+}
+
+/// A sharded instance plus an identical fault-free single-engine control.
+fn pair() -> (ShardedTippers, Bms, tippers_spatial::fixtures::Dbh) {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut sharded = ShardedTippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+        ShardSpec {
+            shards: SHARDS,
+            ..ShardSpec::default()
+        },
+    );
+    let mut control = Bms::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    let c = ontology.concepts().clone();
+    let policy = BuildingPolicy::new(
+        PolicyId(0),
+        "Network logging",
+        building.building,
+        c.wifi_association,
+        c.logging,
+    )
+    .with_actions(ActionSet::ALL);
+    for core in [&mut sharded as &mut dyn EnforcementCore, &mut control] {
+        core.register_occupants(&occupants());
+        core.add_policy(policy.clone());
+    }
+    (sharded, control, building)
+}
+
+fn request_for(user: u64) -> DataRequest {
+    let c = Ontology::standard().concepts().clone();
+    DataRequest {
+        service: ServiceId::new("Concierge"),
+        purpose: c.logging,
+        data: c.wifi_association,
+        subjects: SubjectSelector::One(UserId(user)),
+        from: Timestamp::at(0, 0, 0),
+        to: Timestamp::at(30, 0, 0),
+        requester_space: None,
+        priority: Priority::Interactive,
+        deadline: None,
+    }
+}
+
+fn deny_pref(user: u64) -> UserPreference {
+    let c = Ontology::standard().concepts().clone();
+    UserPreference::new(
+        PreferenceId(0),
+        UserId(user),
+        PreferenceScope {
+            data: Some(c.wifi_association),
+            ..Default::default()
+        },
+        Effect::Deny,
+    )
+}
+
+/// A user owned by `shard` (there is one on every shard at this
+/// population).
+fn user_on(sharded: &ShardedTippers, shard: usize) -> u64 {
+    (0..USERS)
+        .find(|&u| sharded.shard_of_user(UserId(u)) == shard)
+        .expect("every shard owns at least one of 48 users")
+}
+
+#[test]
+fn a_panicking_shard_fails_closed_and_rebuilds_from_its_wal() {
+    let (mut sharded, mut control, _b) = pair();
+    let victim = user_on(&sharded, 3);
+    let victim_shard = sharded.shard_of_user(UserId(victim));
+
+    // Commit a mutation that must survive the crash.
+    let now = Timestamp::at(0, 9, 0);
+    sharded.submit_preference(deny_pref(victim), now);
+    control.submit_preference(deny_pref(victim), now);
+
+    // Kill the victim's shard on its next job.
+    sharded
+        .config_fault_plan()
+        .arm_limited(FaultPoint::ShardPanic, 1.0, 1);
+    let down = sharded.handle_request(&request_for(victim), Timestamp::at(0, 9, 1));
+    assert!(down.degraded);
+    assert_eq!(down.results.len(), 1);
+    assert_eq!(
+        down.results[0].decision.basis,
+        DecisionBasis::ShardUnavailable
+    );
+    assert_eq!(down.results[0].decision.effect, Effect::Deny);
+    assert!(down.results[0].records.is_empty());
+    let stats = sharded.stats();
+    assert_eq!(stats.panics, 1);
+    assert_eq!(stats.down, 1);
+    assert_eq!(stats.unavailable_denials, 1);
+    // The fail-closed denial is audited at the router.
+    assert_eq!(sharded.router_audit().entries().len(), 1);
+
+    // Blast radius: every other user answers exactly like the control,
+    // while the victim shard is still quarantined.
+    for u in 0..USERS {
+        if sharded.shard_of_user(UserId(u)) == victim_shard {
+            continue;
+        }
+        let got = sharded.handle_request(&request_for(u), Timestamp::at(0, 9, 1));
+        let want = control.handle_request(&request_for(u), Timestamp::at(0, 9, 1));
+        assert_eq!(
+            serde_json::to_string(&got).unwrap(),
+            serde_json::to_string(&want).unwrap(),
+            "blast radius reached user {u}"
+        );
+    }
+    assert_eq!(sharded.health(), HealthStatus::Degraded);
+
+    // Advance virtual time past the backoff: the next request triggers a
+    // WAL-replay rebuild, and the committed preference still decides.
+    let later = Timestamp::at(0, 9, 10);
+    let recovered = sharded.handle_request(&request_for(victim), later);
+    let want = control.handle_request(&request_for(victim), later);
+    assert_eq!(
+        serde_json::to_string(&recovered).unwrap(),
+        serde_json::to_string(&want).unwrap(),
+        "committed mutation lost across rebuild"
+    );
+    assert_eq!(sharded.stats().restarts, 1);
+    assert_eq!(sharded.stats().down, 0);
+    assert_eq!(sharded.health(), HealthStatus::Healthy);
+    assert_eq!(sharded.recovery_times_us().len(), 1);
+}
+
+#[test]
+fn a_stalled_shard_is_quarantined_by_the_watchdog() {
+    let (mut sharded, mut control, _b) = pair();
+    let victim = user_on(&sharded, 5);
+    sharded.submit_preference(deny_pref(victim), Timestamp::at(0, 9, 0));
+    control.submit_preference(deny_pref(victim), Timestamp::at(0, 9, 0));
+
+    sharded
+        .config_fault_plan()
+        .arm_limited(FaultPoint::ShardStall, 1.0, 1);
+    let down = sharded.handle_request(&request_for(victim), Timestamp::at(0, 9, 1));
+    assert_eq!(
+        down.results[0].decision.basis,
+        DecisionBasis::ShardUnavailable
+    );
+    assert_eq!(sharded.stats().stalls, 1);
+
+    // The stalled op was never applied: recovery serves the pre-stall
+    // state, identical to the control.
+    let later = Timestamp::at(0, 9, 10);
+    let recovered = sharded.handle_request(&request_for(victim), later);
+    let want = control.handle_request(&request_for(victim), later);
+    assert_eq!(
+        serde_json::to_string(&recovered).unwrap(),
+        serde_json::to_string(&want).unwrap(),
+    );
+    assert_eq!(sharded.stats().restarts, 1);
+}
+
+#[test]
+fn restart_loss_extends_quarantine_with_doubled_backoff() {
+    let (mut sharded, mut control, _b) = pair();
+    let victim = user_on(&sharded, 1);
+    sharded.submit_preference(deny_pref(victim), Timestamp::at(0, 9, 0));
+    control.submit_preference(deny_pref(victim), Timestamp::at(0, 9, 0));
+
+    sharded
+        .config_fault_plan()
+        .arm_limited(FaultPoint::ShardPanic, 1.0, 1);
+    sharded.handle_request(&request_for(victim), Timestamp::at(0, 9, 1));
+    // The next two rebuilds are lost mid-flight.
+    sharded
+        .config_fault_plan()
+        .arm_limited(FaultPoint::ShardRestartLoss, 1.0, 2);
+
+    // Backoff base is 250ms: by 9:02 the first restart is due — and lost.
+    let r = sharded.handle_request(&request_for(victim), Timestamp::at(0, 9, 2));
+    assert_eq!(r.results[0].decision.basis, DecisionBasis::ShardUnavailable);
+    assert_eq!(sharded.stats().restart_losses, 1);
+    // Second attempt after the doubled (500ms) backoff — also lost.
+    let r = sharded.handle_request(&request_for(victim), Timestamp::at(0, 9, 3));
+    assert_eq!(r.results[0].decision.basis, DecisionBasis::ShardUnavailable);
+    assert_eq!(sharded.stats().restart_losses, 2);
+    // A mutation submitted while down (still inside the doubled backoff
+    // window: same virtual second as the lost restart) is queued, not
+    // lost.
+    let c = Ontology::standard().concepts().clone();
+    let queued = UserPreference::new(
+        PreferenceId(0),
+        UserId(victim),
+        PreferenceScope {
+            purpose: Some(c.logging),
+            ..Default::default()
+        },
+        Effect::Deny,
+    );
+    sharded.submit_preference(queued.clone(), Timestamp::at(0, 9, 3));
+    control.submit_preference(queued, Timestamp::at(0, 9, 3));
+    // Third attempt (budget exhausted) succeeds and replays the queue.
+    let later = Timestamp::at(0, 9, 20);
+    let recovered = sharded.handle_request(&request_for(victim), later);
+    let want = control.handle_request(&request_for(victim), later);
+    assert_eq!(
+        serde_json::to_string(&recovered).unwrap(),
+        serde_json::to_string(&want).unwrap(),
+        "queued mutation lost across delayed rebuild"
+    );
+    let stats = sharded.stats();
+    assert_eq!(stats.restarts, 1);
+    assert!(
+        stats.pending_replayed >= 1,
+        "catch-up queue was not replayed"
+    );
+}
+
+/// The full storm: ten rounds of seeded kill/stall chaos over eight
+/// shards under continuous mutation + request load, checked against a
+/// fault-free control every round and after final recovery.
+#[test]
+fn seeded_storm_has_zero_blast_radius_and_loses_no_committed_mutation() {
+    let seed = fault_seed();
+    let (mut sharded, mut control, _b) = pair();
+    let mut schedule = Schedule(seed);
+
+    for round in 0u64..10 {
+        let now = Timestamp::at(0, 10, u32::try_from(round).unwrap() * 2);
+
+        // Continuous mutation load: one new preference per round, on a
+        // schedule-chosen user (possibly one whose shard is down).
+        let user = schedule.next() % USERS;
+        let mut pref = deny_pref(user);
+        pref.priority = 3 + (round % 5) as u8;
+        sharded.submit_preference(pref.clone(), now);
+        control.submit_preference(pref, now);
+
+        // Chaos: kill or stall one schedule-chosen shard.
+        let target = (schedule.next() % SHARDS as u64) as usize;
+        let point = if schedule.next().is_multiple_of(2) {
+            FaultPoint::ShardPanic
+        } else {
+            FaultPoint::ShardStall
+        };
+        let trigger = user_on(&sharded, target);
+        sharded.config_fault_plan().arm_limited(point, 1.0, 1);
+        let r = sharded.handle_request(&request_for(trigger), now);
+        assert_eq!(
+            r.results[0].decision.basis,
+            DecisionBasis::ShardUnavailable,
+            "round {round}: chaos trigger was not contained"
+        );
+
+        // Storm the whole population; healthy shards must answer
+        // byte-identically to the control, down shards fail closed.
+        for u in 0..USERS {
+            let got = sharded.handle_request(&request_for(u), now);
+            if sharded
+                .shard_health(sharded.shard_of_user(UserId(u)))
+                .is_up()
+            {
+                let want = control.handle_request(&request_for(u), now);
+                assert_eq!(
+                    serde_json::to_string(&got).unwrap(),
+                    serde_json::to_string(&want).unwrap(),
+                    "round {round}: blast radius reached user {u}"
+                );
+            } else {
+                assert!(got.degraded);
+                assert_eq!(
+                    got.results[0].decision.basis,
+                    DecisionBasis::ShardUnavailable
+                );
+                assert!(
+                    got.results[0].records.is_empty(),
+                    "fail-open during rebuild"
+                );
+            }
+        }
+    }
+
+    // Let every quarantined shard recover, then prove nothing committed
+    // was lost anywhere.
+    let end = Timestamp::at(0, 11, 0);
+    for u in 0..USERS {
+        let got = sharded.handle_request(&request_for(u), end);
+        let want = control.handle_request(&request_for(u), end);
+        assert_eq!(
+            serde_json::to_string(&got).unwrap(),
+            serde_json::to_string(&want).unwrap(),
+            "seed {seed}: user {u} diverged after recovery"
+        );
+    }
+    let stats = sharded.stats();
+    assert_eq!(
+        stats.down, 0,
+        "seed {seed}: shards still quarantined at end"
+    );
+    assert_eq!(
+        stats.panics + stats.stalls,
+        10,
+        "every round injected one fault"
+    );
+    assert!(
+        stats.unavailable_denials > 0,
+        "storm never exercised fail-closed"
+    );
+    assert_eq!(
+        u64::try_from(sharded.router_audit().entries().len()).unwrap(),
+        stats.unavailable_denials,
+        "every fail-closed denial must be audited"
+    );
+    assert_eq!(sharded.health(), HealthStatus::Healthy);
+}

@@ -1,0 +1,73 @@
+//! Property tests for shard routing (jump consistent hash).
+//!
+//! For *any* user id and *any* shard count the routing function must be
+//! deterministic and total; and under *any* shard-count change the
+//! mapping must be stable except for the minimal rehashed residue —
+//! growth by one shard only ever relocates keys *onto the new shard*,
+//! and multi-step growth never moves a key "backwards" through shards
+//! it already passed.
+
+use proptest::prelude::*;
+use tippers::{jump_hash, ShardRouter};
+use tippers_policy::UserId;
+
+proptest! {
+    /// Total and deterministic for any key and any shard count.
+    #[test]
+    fn routing_is_total_and_deterministic(user in any::<u64>(), shards in 1usize..=128) {
+        let a = ShardRouter::new(shards);
+        let b = ShardRouter::new(shards);
+        let got = a.shard_of_user(UserId(user));
+        prop_assert!(got < shards);
+        prop_assert_eq!(got, b.shard_of_user(UserId(user)));
+    }
+
+    /// Growing `n -> n + 1` either leaves a key in place or moves it onto
+    /// the new shard — never between surviving shards.
+    #[test]
+    fn single_step_growth_only_moves_keys_onto_the_new_shard(
+        user in any::<u64>(),
+        shards in 1usize..=64,
+    ) {
+        let old = ShardRouter::new(shards).shard_of_user(UserId(user));
+        let new = ShardRouter::new(shards + 1).shard_of_user(UserId(user));
+        prop_assert!(new == old || new == shards, "user {} moved {} -> {}", user, old, new);
+    }
+
+    /// Jump hash is monotone in the bucket count: a key's bucket index
+    /// never decreases as buckets grow, so every key's shard history
+    /// under repeated growth is a non-decreasing sequence of "stay or
+    /// jump to the newest shard".
+    #[test]
+    fn growth_never_moves_a_key_backwards(key in any::<u64>(), upto in 2u32..=48) {
+        let mut prev = jump_hash(key, 1);
+        prop_assert_eq!(prev, 0);
+        for buckets in 2..=upto {
+            let next = jump_hash(key, buckets);
+            prop_assert!(next == prev || next == buckets - 1);
+            prop_assert!(next >= prev);
+            prev = next;
+        }
+    }
+
+    /// Across a whole cohort, the residue moved by one growth step stays
+    /// near the theoretical `1/(n + 1)` minimum (loose 3x bound: this is
+    /// a property test over arbitrary cohorts, not a statistics suite).
+    #[test]
+    fn rehashed_residue_is_minimal(base in any::<u32>(), shards in 1u64..=16) {
+        let shards = shards as usize;
+        let cohort: Vec<u64> = (0..2_000u64).map(|i| u64::from(base) + i * 7).collect();
+        let old = ShardRouter::new(shards);
+        let new = ShardRouter::new(shards + 1);
+        let moved = cohort
+            .iter()
+            .filter(|&&u| old.shard_of_user(UserId(u)) != new.shard_of_user(UserId(u)))
+            .count();
+        let expected = cohort.len() / (shards + 1);
+        prop_assert!(
+            moved <= expected * 3,
+            "{} of {} keys moved at {} -> {} shards (minimum ~{})",
+            moved, cohort.len(), shards, shards + 1, expected
+        );
+    }
+}
