@@ -10,8 +10,12 @@
 //! shards (split ownership makes replay and denial accounting
 //! ambiguous), and a declared capture zone no pin maps when the operator
 //! pins zones at all (its subjectless observations fall back to hash
-//! routing the audit never covered). Pure global configuration: the pass
-//! owns only [`UnitId::Global`].
+//! routing the audit never covered). The runtime enforces the same two
+//! error rules at startup (`ShardRouter::with_zone_pins` refuses
+//! out-of-range and split pins, and a pinned zone's observations really
+//! do route to their pin), so a topology this pass certifies is the
+//! topology that runs. Pure global configuration: the pass owns only
+//! [`UnitId::Global`].
 
 use std::collections::BTreeMap;
 

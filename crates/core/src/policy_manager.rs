@@ -62,6 +62,11 @@ impl PolicyManager {
         (self.policies.clone(), self.next_id)
     }
 
+    /// The id allocator's next value (without cloning the policy set).
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// Rebuilds a manager from checkpointed parts.
     ///
     /// # Panics

@@ -116,6 +116,11 @@ impl PreferenceManager {
         (self.preferences.clone(), self.next_id)
     }
 
+    /// The id allocator's next value (without cloning the preferences).
+    pub(crate) fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
     /// Rebuilds a manager from snapshotted parts.
     ///
     /// # Panics

@@ -9,11 +9,16 @@
 //! byte-identical on every decision.
 //!
 //! * [`route`]: jump-consistent-hash routing — deterministic, total,
-//!   minimal movement under shard-count changes.
+//!   minimal movement under shard-count changes — plus operator zone
+//!   pins (validated by analyzer lint TA016, honored at runtime).
+//! * [`fence`]: writer-epoch fencing of shard WAL partitions, so an
+//!   abandoned slow worker can never write concurrently with the
+//!   engine rebuilt to replace it.
 //! * [`supervisor`]: the quarantine / backoff / rebuild state machine
 //!   and its observability counters.
 //! * [`runtime`]: the [`ShardedTippers`] router and worker pool.
 
+mod fence;
 mod route;
 mod runtime;
 mod supervisor;

@@ -8,6 +8,16 @@
 //! and deterministic, and growing the shard count from `n` to `n + 1`
 //! moves only ~`1/(n + 1)` of the keys onto the new shard — the
 //! "minimal rehashed residue" the routing property tests pin down.
+//!
+//! Operators can pin individual capture zones to specific shards
+//! ([`ShardRouter::with_zone_pins`], declared via
+//! [`crate::ShardSpec::zone_pins`]); a pinned zone's subjectless
+//! observations always land on its pinned shard, everything else hash-
+//! routes. Analyzer lint TA016 validates the same pin table before
+//! deployment, so the audited topology and the deployed routing agree.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use tippers_policy::UserId;
 use tippers_spatial::SpaceId;
@@ -57,24 +67,60 @@ pub fn jump_hash(key: u64, buckets: u32) -> u32 {
 const USER_SALT: u64 = 0x7469_7070_6572_7375;
 const ZONE_SALT: u64 = 0x7469_7070_6572_737a;
 
-/// Routes users and capture zones to shards. Pure and copyable: every
-/// component (router, supervisor, analyzer lint, tests) computes the
-/// same owner for the same key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Routes users and capture zones to shards. Pure and cheap to clone:
+/// every component (router, supervisor, analyzer lint, tests) computes
+/// the same owner for the same key and the same pin table.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardRouter {
     shards: u32,
+    /// Zone-index → shard overrides; zones absent here hash-route.
+    zone_pins: Arc<HashMap<usize, usize>>,
 }
 
 impl ShardRouter {
-    /// A router over `shards` shards.
+    /// A router over `shards` shards, hash-routing everything.
     ///
     /// # Panics
     ///
     /// Panics when `shards` is zero or does not fit in `u32`.
     pub fn new(shards: usize) -> ShardRouter {
-        let shards = u32::try_from(shards).expect("shard count fits in u32");
-        assert!(shards > 0, "a sharded runtime needs at least one shard");
-        ShardRouter { shards }
+        ShardRouter::with_zone_pins(shards, [])
+    }
+
+    /// A router over `shards` shards whose pinned capture zones route to
+    /// their declared shard instead of hashing — the runtime counterpart
+    /// of the pin table analyzer lint TA016 audits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is zero, does not fit in `u32`, a pin names
+    /// a shard outside `0..shards`, or one zone is pinned to two
+    /// different shards (TA016 rejects both topologies pre-deployment;
+    /// a runtime that silently ignored them would route observations
+    /// the audited topology never covered).
+    pub fn with_zone_pins(
+        shards: usize,
+        pins: impl IntoIterator<Item = (SpaceId, usize)>,
+    ) -> ShardRouter {
+        let shards_u32 = u32::try_from(shards).expect("shard count fits in u32");
+        assert!(shards_u32 > 0, "a sharded runtime needs at least one shard");
+        let mut zone_pins = HashMap::new();
+        for (zone, shard) in pins {
+            assert!(
+                shard < shards,
+                "zone {zone} is pinned to shard {shard} but only {shards} shards are declared"
+            );
+            if let Some(prev) = zone_pins.insert(zone.index(), shard) {
+                assert_eq!(
+                    prev, shard,
+                    "zone {zone} is pinned to both shard {prev} and shard {shard}"
+                );
+            }
+        }
+        ShardRouter {
+            shards: shards_u32,
+            zone_pins: Arc::new(zone_pins),
+        }
     }
 
     /// Number of shards routed over.
@@ -87,9 +133,18 @@ impl ShardRouter {
         jump_hash(splitmix64(user.0 ^ USER_SALT), self.shards) as usize
     }
 
-    /// The shard owning a capture zone's subjectless observations.
+    /// The shard owning a capture zone's subjectless observations:
+    /// the zone's pin when one is declared, otherwise hash routing.
     pub fn shard_of_zone(&self, zone: SpaceId) -> usize {
+        if let Some(&pinned) = self.zone_pins.get(&zone.index()) {
+            return pinned;
+        }
         jump_hash(splitmix64(zone.index() as u64 ^ ZONE_SALT), self.shards) as usize
+    }
+
+    /// The declared pin for a zone, if any.
+    pub fn zone_pin(&self, zone: SpaceId) -> Option<usize> {
+        self.zone_pins.get(&zone.index()).copied()
     }
 }
 
@@ -164,6 +219,45 @@ mod tests {
                 "shard {shard} owns {count} of {SAMPLE} (ideal {ideal})"
             );
         }
+    }
+
+    #[test]
+    fn pinned_zones_route_to_their_pin_and_nothing_else_changes() {
+        let model = tippers_spatial::fixtures::dbh().model;
+        let zones: Vec<SpaceId> = model.iter().map(tippers_spatial::Space::id).collect();
+        let pinned = zones[0];
+        let unpinned = ShardRouter::new(8);
+        let target = (unpinned.shard_of_zone(pinned) + 1) % 8;
+        let router = ShardRouter::with_zone_pins(8, [(pinned, target)]);
+        assert_eq!(router.shard_of_zone(pinned), target);
+        assert_eq!(router.zone_pin(pinned), Some(target));
+        for &zone in &zones[1..] {
+            assert_eq!(router.shard_of_zone(zone), unpinned.shard_of_zone(zone));
+            assert_eq!(router.zone_pin(zone), None);
+        }
+        // User routing is never pinned.
+        for user in 0..1000 {
+            assert_eq!(
+                router.shard_of_user(UserId(user)),
+                unpinned.shard_of_user(UserId(user))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned to shard 4 but only 4 shards")]
+    fn out_of_range_pin_refuses_to_start() {
+        let model = tippers_spatial::fixtures::dbh().model;
+        let zone = model.iter().map(tippers_spatial::Space::id).next().unwrap();
+        let _ = ShardRouter::with_zone_pins(4, [(zone, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned to both shard")]
+    fn split_pin_refuses_to_start() {
+        let model = tippers_spatial::fixtures::dbh().model;
+        let zone = model.iter().map(tippers_spatial::Space::id).next().unwrap();
+        let _ = ShardRouter::with_zone_pins(4, [(zone, 0), (zone, 2)]);
     }
 
     #[test]

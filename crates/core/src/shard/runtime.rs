@@ -16,15 +16,28 @@
 //!
 //! # Failure model
 //!
-//! A worker that panics or stalls is quarantined: its thread is
-//! abandoned, its in-memory state discarded, and the slot marked `Down`.
-//! Requests routed to a down shard are answered fail-closed with an
-//! audited [`crate::DecisionBasis::ShardUnavailable`] denial; healthy
-//! shards are undisturbed. After a capped virtual-time backoff the
-//! supervisor rebuilds the shard by replaying its WAL partition —
-//! committed mutations survive, the panicking op's partial state does
-//! not — re-registers its occupants from the router's directory, and
-//! replays any policy/preference mutations queued while it was down.
+//! A worker that panics or stalls is quarantined: its WAL handle is
+//! *fenced* (see [`super::fence`] — a slow-but-alive job that outlives
+//! its watchdog can finish against its abandoned in-memory engine but
+//! can never again append to the partition), its thread abandoned, its
+//! in-memory state discarded, and the slot marked `Down`. Requests
+//! routed to a down shard are answered fail-closed with an audited
+//! [`crate::DecisionBasis::ShardUnavailable`] denial; healthy shards
+//! are undisturbed. After a capped virtual-time backoff the supervisor
+//! rebuilds the shard by replaying its WAL partition — committed
+//! mutations survive, the panicking op's partial state does not — and
+//! re-registers its occupants from the router's directory.
+//!
+//! Policy/preference mutations accepted while a shard is down are
+//! committed *durably* through a standby engine (a WAL-replay rebuild
+//! the router writes through immediately and promotes at restart), so
+//! an accepted mutation survives even a whole-process crash before the
+//! shard comes back. The same standby resolves indeterminate writes: a
+//! watchdog expiry leaves the router unsure whether the worker
+//! committed its record, but fencing guarantees the partition is
+//! quiescent, so reading the replayed id allocators settles it —
+//! router-assigned ids are consumed exactly when their record
+//! committed, never reused for a different mutation.
 //!
 //! # Documented divergences from the unsharded engine
 //!
@@ -36,6 +49,11 @@
 //! * `InSpace` requests during a shard outage fail closed for *all* of
 //!   the down shard's users — the router cannot know who was in the
 //!   space without the shard's store.
+//! * A request job lost to a watchdog expiry may have committed audit
+//!   or quota-charge records before the fence landed; the router still
+//!   answers fail-closed, so a rebuilt shard can carry a quota charge
+//!   for a disclosure that was never released — over-charging, the
+//!   privacy-safe direction.
 
 use std::any::Any;
 use std::collections::HashMap;
@@ -49,7 +67,7 @@ use tippers_ontology::Ontology;
 use tippers_policy::{BuildingPolicy, PolicyId, PreferenceId, Timestamp, UserId, UserPreference};
 use tippers_resilience::{ms_from_secs, FaultPlan, FaultPoint, HealthStatus};
 use tippers_sensors::{Observation, Occupant};
-use tippers_spatial::SpatialModel;
+use tippers_spatial::{SpaceId, SpatialModel};
 
 use crate::audit::{AuditLog, UserNotification};
 use crate::enforce::EnforcementDecision;
@@ -59,6 +77,7 @@ use crate::request::{DataRequest, DataResponse, SubjectResult, SubjectSelector};
 use crate::tippers::{Tippers, TippersConfig};
 use crate::wal::{FsLog, LogIo, MemLog, RecoveryReport, WalError};
 
+use super::fence::WriterFence;
 use super::route::ShardRouter;
 use super::supervisor::{backoff_ms, ShardHealth, ShardStats};
 
@@ -77,6 +96,11 @@ pub struct ShardSpec {
     pub backoff_base_ms: i64,
     /// Virtual-time backoff cap (milliseconds).
     pub backoff_max_ms: i64,
+    /// Capture zones pinned to specific shards (everything unpinned
+    /// hash-routes). Analyzer lint TA016 validates the same table
+    /// pre-deployment; [`ShardRouter::with_zone_pins`] enforces it at
+    /// runtime, so the audited topology and the deployed routing agree.
+    pub zone_pins: Vec<(SpaceId, usize)>,
 }
 
 impl Default for ShardSpec {
@@ -86,7 +110,22 @@ impl Default for ShardSpec {
             watchdog_ms: 5_000,
             backoff_base_ms: 250,
             backoff_max_ms: 8_000,
+            zone_pins: Vec::new(),
         }
+    }
+}
+
+impl ShardSpec {
+    /// A router over this spec's shard count and zone pins.
+    fn router(&self) -> ShardRouter {
+        ShardRouter::with_zone_pins(self.shards, self.zone_pins.iter().copied())
+    }
+
+    /// How long an injected [`FaultPoint::ShardSlowJob`] delays a worker:
+    /// comfortably past the watchdog, so the router has always declared
+    /// the worker hung (and fenced it) before the job runs.
+    fn slow_job_ms(&self) -> u64 {
+        self.watchdog_ms.saturating_mul(2)
     }
 }
 
@@ -107,16 +146,22 @@ struct Worker {
 /// Spawns a worker thread owning one shard's engine. The worker consults
 /// the shared fault plan before each job: an armed
 /// [`FaultPoint::ShardStall`] reports the watchdog verdict without
-/// applying the op, and an armed [`FaultPoint::ShardPanic`] panics inside
-/// the `catch_unwind` boundary — either way the op never half-applies,
-/// and a caught panic abandons the engine (rebuilt from its WAL).
-fn spawn_worker(mut bms: Tippers, plan: FaultPlan) -> Worker {
+/// applying the op, an armed [`FaultPoint::ShardSlowJob`] sleeps past
+/// the router's real-time watchdog and then runs the job anyway (the
+/// abandoned engine applies it, but its WAL handle has been fenced —
+/// the dangerous-half rehearsal of a real hung worker), and an armed
+/// [`FaultPoint::ShardPanic`] panics inside the `catch_unwind`
+/// boundary. A caught panic abandons the engine (rebuilt from its WAL).
+fn spawn_worker(mut bms: Tippers, plan: FaultPlan, slow_job_ms: u64) -> Worker {
     let (tx, rx) = mpsc::channel::<(Job, mpsc::Sender<JobResult>)>();
     let handle = thread::spawn(move || {
         while let Ok((job, reply)) = rx.recv() {
             if plan.should_fail(FaultPoint::ShardStall) {
                 let _ = reply.send(JobResult::Stalled);
                 continue;
+            }
+            if plan.should_fail(FaultPoint::ShardSlowJob) {
+                thread::sleep(Duration::from_millis(slow_job_ms));
             }
             match catch_unwind(AssertUnwindSafe(|| {
                 assert!(
@@ -161,10 +206,13 @@ impl ShardBacking {
     }
 }
 
-/// A policy/preference mutation that arrived while its shard was down,
-/// replayed in order into the rebuilt engine before it serves again.
-/// (Observations are *not* queued: sensor feed is droppable, and the
-/// drop is counted.)
+/// A policy/preference mutation accepted while its shard was down that
+/// could not be committed durably because the shard's WAL partition was
+/// unreadable — the in-memory *fallback* tier, replayed in order at the
+/// next successful rebuild. The primary tier is the slot's standby
+/// engine, which commits accepted mutations straight into the
+/// partition. (Observations are never queued on either tier: sensor
+/// feed is droppable, and the drop is counted.)
 enum PendingOp {
     AddPolicy(BuildingPolicy),
     RemovePolicy(PolicyId),
@@ -173,7 +221,16 @@ enum PendingOp {
 
 struct ShardSlot {
     backing: ShardBacking,
+    /// The partition's writer-epoch authority: advanced at quarantine,
+    /// before anything else touches the partition, so the abandoned
+    /// worker's engine can never append concurrently with a rebuild.
+    fence: WriterFence,
     worker: Option<Worker>,
+    /// The standby engine while the slot is down: a full WAL-replay
+    /// rebuild the router writes accepted mutations through (durably,
+    /// at the current writer epoch) and promotes at restart. `Some`
+    /// implies the slot is `Down`.
+    catchup: Option<Tippers>,
     health: ShardHealth,
     pending: Vec<PendingOp>,
     panics: u64,
@@ -185,6 +242,29 @@ struct ShardSlot {
 enum ShardCall<R> {
     Ok(R),
     Unavailable,
+}
+
+/// What became of one dispatched job — the distinction the write paths
+/// need that [`ShardCall`] erases.
+enum ShardReply<R> {
+    Done(R),
+    /// The worker skipped the job wholesale (injected stall) or the job
+    /// was never dispatched: definitely not applied.
+    Skipped,
+    /// Panic mid-job or real watchdog expiry: the op may or may not
+    /// have committed before the fence landed. The caller must resolve
+    /// the doubt against the (now quiescent) WAL partition.
+    Lost,
+}
+
+/// Why a slot is being quarantined (drives failure counters).
+#[derive(Clone, Copy)]
+enum FailCause {
+    Panic,
+    Stall,
+    /// A defensively detected dead or misbehaving worker whose original
+    /// failure was already counted (or never reported).
+    Dead,
 }
 
 /// The sharded, supervised, multi-threaded enforcement runtime.
@@ -230,8 +310,9 @@ impl ShardedTippers {
     ///
     /// # Panics
     ///
-    /// Panics when `spec.shards` is zero or an injected WAL fault breaks
-    /// the initial (empty) open.
+    /// Panics when `spec.shards` is zero, a zone pin is out of range or
+    /// split across shards, or an injected WAL fault breaks the initial
+    /// (empty) open.
     pub fn new(
         ontology: Ontology,
         model: SpatialModel,
@@ -242,12 +323,13 @@ impl ShardedTippers {
             spec.shards > 0,
             "a sharded runtime needs at least one shard"
         );
-        let router = ShardRouter::new(spec.shards);
+        let router = spec.router();
         let mut slots = Vec::with_capacity(spec.shards);
         for _ in 0..spec.shards {
             let log = MemLog::new();
+            let fence = WriterFence::new();
             let (bms, _report) = Tippers::open_with(
-                Box::new(log.clone()),
+                Box::new(fence.handle(Box::new(log.clone()))),
                 ontology.clone(),
                 model.clone(),
                 config.clone(),
@@ -255,7 +337,13 @@ impl ShardedTippers {
             .expect("an empty in-memory log opens cleanly");
             slots.push(ShardSlot {
                 backing: ShardBacking::Mem(log),
-                worker: Some(spawn_worker(bms, config.fault_plan.clone())),
+                fence,
+                worker: Some(spawn_worker(
+                    bms,
+                    config.fault_plan.clone(),
+                    spec.slow_job_ms(),
+                )),
+                catchup: None,
                 health: ShardHealth::Up,
                 pending: Vec::new(),
                 panics: 0,
@@ -306,14 +394,15 @@ impl ShardedTippers {
             spec.shards > 0,
             "a sharded runtime needs at least one shard"
         );
-        let router = ShardRouter::new(spec.shards);
+        let router = spec.router();
         let mut slots = Vec::with_capacity(spec.shards);
         let mut reports = Vec::with_capacity(spec.shards);
         let mut policy_mirror = PolicyManager::new();
         let mut next_preference_id = 0u64;
         for i in 0..spec.shards {
             let sub = dir.as_ref().join(format!("shard-{i:03}"));
-            let io = FsLog::open(sub.clone())?;
+            let fence = WriterFence::new();
+            let io = fence.handle(Box::new(FsLog::open(sub.clone())?));
             let (bms, report) = Tippers::open_with(
                 Box::new(io),
                 ontology.clone(),
@@ -334,7 +423,13 @@ impl ShardedTippers {
             next_preference_id = next_preference_id.max(bms.preference_next_id());
             slots.push(ShardSlot {
                 backing: ShardBacking::Fs(sub),
-                worker: Some(spawn_worker(bms, config.fault_plan.clone())),
+                fence,
+                worker: Some(spawn_worker(
+                    bms,
+                    config.fault_plan.clone(),
+                    spec.slow_job_ms(),
+                )),
+                catchup: None,
                 health: ShardHealth::Up,
                 pending: Vec::new(),
                 panics: 0,
@@ -395,12 +490,28 @@ impl ShardedTippers {
             .config
             .fault_plan
             .should_fail(FaultPoint::ShardRestartLoss);
-        let rebuilt = if lost { None } else { self.rebuild(idx).ok() };
+        let rebuilt = if lost {
+            // The injected loss models losing the in-flight rebuild; any
+            // standby engine is discarded with it. Every mutation it
+            // accepted is durable in the WAL partition, so nothing
+            // committed is lost — the next attempt replays it.
+            self.slots[idx].catchup = None;
+            None
+        } else if let Some(bms) = self.slots[idx].catchup.take() {
+            // The standby engine *is* the rebuilt engine: a WAL-replay
+            // rebuild already caught up with every mutation accepted
+            // while the slot was down.
+            Some(bms)
+        } else {
+            self.rebuild(idx).ok()
+        };
         match rebuilt {
-            Some(bms) => {
+            Some(mut bms) => {
+                self.drain_pending(idx, &mut bms);
                 self.recovery_us
                     .push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
-                let worker = spawn_worker(bms, self.config.fault_plan.clone());
+                let worker =
+                    spawn_worker(bms, self.config.fault_plan.clone(), self.spec.slow_job_ms());
                 let slot = &mut self.slots[idx];
                 slot.worker = Some(worker);
                 slot.health = ShardHealth::Up;
@@ -423,14 +534,15 @@ impl ShardedTippers {
         }
     }
 
-    /// Rebuilds a quarantined shard: reopen its WAL partition, replay it
+    /// Rebuilds a quarantined shard's engine: reopen its WAL partition
+    /// through a handle at the current writer epoch, replay it
     /// (committed mutations only — the panicking op's partial state is
-    /// gone), re-register the shard's occupants from the directory, then
-    /// catch up on mutations queued while it was down.
+    /// gone), and re-register the shard's occupants from the directory.
     fn rebuild(&mut self, idx: usize) -> Result<Tippers, WalError> {
-        let io = self.slots[idx].backing.reopen()?;
+        let slot = &self.slots[idx];
+        let io = slot.fence.handle(slot.backing.reopen()?);
         let (mut bms, _report) = Tippers::open_with(
-            io,
+            Box::new(io),
             self.ontology.clone(),
             self.model.clone(),
             self.config.clone(),
@@ -442,6 +554,12 @@ impl ShardedTippers {
             .cloned()
             .collect();
         bms.register_occupants(&owned);
+        Ok(bms)
+    }
+
+    /// Replays the fallback queue (mutations accepted while the
+    /// partition was unreadable) into an engine, in arrival order.
+    fn drain_pending(&mut self, idx: usize, bms: &mut Tippers) {
         for op in std::mem::take(&mut self.slots[idx].pending) {
             self.pending_replayed += 1;
             match op {
@@ -456,22 +574,55 @@ impl ShardedTippers {
                 }
             }
         }
-        Ok(bms)
     }
 
-    fn quarantine(&mut self, idx: usize, stall: bool) {
-        let delay = backoff_ms(self.spec.backoff_base_ms, self.spec.backoff_max_ms, 0);
+    /// Ensures the slot has a standby engine: a WAL-replay rebuild at
+    /// the current writer epoch that accepted-while-down mutations
+    /// commit through durably (and that resolves whether an
+    /// indeterminate write landed — the fence advanced at quarantine,
+    /// so what the replay saw is what the partition will ever hold).
+    /// Returns false when the partition is unreadable.
+    fn ensure_catchup(&mut self, idx: usize) -> bool {
+        if self.slots[idx].catchup.is_none() {
+            let Ok(mut bms) = self.rebuild(idx) else {
+                return false;
+            };
+            self.drain_pending(idx, &mut bms);
+            self.slots[idx].catchup = Some(bms);
+        }
+        true
+    }
+
+    fn quarantine(&mut self, idx: usize, cause: FailCause) {
+        // Fence first: from here on the abandoned worker's engine cannot
+        // append to (or truncate, or rotate) the WAL partition, and once
+        // `advance` returns no write of its is still in flight — the
+        // partition is stable for the standby rebuild to replay.
+        self.slots[idx].fence.advance();
         let slot = &mut self.slots[idx];
         // Dropping the worker closes its job channel (a live thread
         // exits); a genuinely hung thread is abandoned, never joined.
         slot.worker = None;
-        if stall {
-            slot.stalls += 1;
-        } else {
-            slot.panics += 1;
+        match cause {
+            FailCause::Panic => slot.panics += 1,
+            FailCause::Stall => slot.stalls += 1,
+            // The original failure was already counted when it was
+            // detected; a second detection is not a second failure.
+            FailCause::Dead => {}
         }
+        // Preserve accumulated backoff escalation: re-quarantining an
+        // already-down slot keeps its failed-restart attempts.
+        let attempts = match slot.health {
+            ShardHealth::Up => 0,
+            ShardHealth::Down { attempts, .. } => attempts,
+        };
+        let delay = backoff_ms(
+            self.spec.backoff_base_ms,
+            self.spec.backoff_max_ms,
+            attempts,
+        );
         slot.health = ShardHealth::Down {
-            attempts: 0,
+            attempts,
             down_until_ms: self.vnow_ms + delay,
         };
     }
@@ -486,12 +637,13 @@ impl ShardedTippers {
         let (reply_tx, reply_rx) = mpsc::channel();
         let boxed: Job = Box::new(move |bms| Box::new(job(bms)) as Box<dyn Any + Send>);
         let Some(worker) = self.slots[idx].worker.as_ref() else {
-            self.quarantine(idx, false);
+            self.quarantine(idx, FailCause::Dead);
             return None;
         };
         if worker.jobs.send((boxed, reply_tx)).is_err() {
-            // The worker died after an earlier panic: quarantine now.
-            self.quarantine(idx, false);
+            // The worker died after an earlier panic: quarantine now
+            // (the panic itself was counted when it was reported).
+            self.quarantine(idx, FailCause::Dead);
             return None;
         }
         Some(reply_rx)
@@ -501,28 +653,56 @@ impl ShardedTippers {
         &mut self,
         idx: usize,
         rx: &mpsc::Receiver<JobResult>,
-    ) -> ShardCall<R> {
+    ) -> ShardReply<R> {
         match rx.recv_timeout(Duration::from_millis(self.spec.watchdog_ms)) {
             Ok(JobResult::Done(value)) => match value.downcast::<R>() {
-                Ok(v) => ShardCall::Ok(*v),
+                Ok(v) => ShardReply::Done(*v),
                 Err(_) => {
-                    self.quarantine(idx, false);
-                    ShardCall::Unavailable
+                    // A type confusion between router and worker: treat
+                    // the op as indeterminate, never as absent.
+                    self.quarantine(idx, FailCause::Dead);
+                    ShardReply::Lost
                 }
             },
             Ok(JobResult::Panicked) => {
-                self.quarantine(idx, false);
-                ShardCall::Unavailable
+                // The job died mid-flight; it may have committed its WAL
+                // record before the panic.
+                self.quarantine(idx, FailCause::Panic);
+                ShardReply::Lost
             }
-            Ok(JobResult::Stalled) | Err(_) => {
-                self.quarantine(idx, true);
-                ShardCall::Unavailable
+            Ok(JobResult::Stalled) => {
+                // Injected stall: the worker reported the verdict
+                // *instead of* running the job — definitely not applied.
+                self.quarantine(idx, FailCause::Stall);
+                ShardReply::Skipped
+            }
+            Err(_) => {
+                // Real watchdog expiry: the worker is hung (or slow) with
+                // the job in an unknown state. Quarantining fences its
+                // WAL handle, so whatever it committed up to this moment
+                // is all it ever will.
+                self.quarantine(idx, FailCause::Stall);
+                ShardReply::Lost
             }
         }
     }
 
+    /// Dispatches one job to a (known-up) shard worker. `Skipped` when
+    /// the worker was already dead and nothing was sent.
+    fn dispatch<R: Send + 'static>(
+        &mut self,
+        idx: usize,
+        job: impl FnOnce(&mut Tippers) -> R + Send + 'static,
+    ) -> ShardReply<R> {
+        match self.send_job(idx, job) {
+            Some(rx) => self.await_reply(idx, &rx),
+            None => ShardReply::Skipped,
+        }
+    }
+
     /// One synchronous round trip to a shard worker (the per-op
-    /// crash-isolation boundary).
+    /// crash-isolation boundary), for operations that fail closed
+    /// without needing to know *why* the shard answer is missing.
     fn call<R: Send + 'static>(
         &mut self,
         idx: usize,
@@ -531,9 +711,73 @@ impl ShardedTippers {
         if !self.ensure_up(idx) {
             return ShardCall::Unavailable;
         }
-        match self.send_job(idx, job) {
-            Some(rx) => self.await_reply(idx, &rx),
-            None => ShardCall::Unavailable,
+        match self.dispatch(idx, job) {
+            ShardReply::Done(v) => ShardCall::Ok(v),
+            ShardReply::Skipped | ShardReply::Lost => ShardCall::Unavailable,
+        }
+    }
+
+    // ---- durable offline commits ---------------------------------------------
+
+    /// Commits a preference accepted while its owner shard is down:
+    /// durably through the standby engine when the partition is readable
+    /// (skipping it when an indeterminate earlier write turns out to
+    /// have committed it already — ids are consumed exactly once),
+    /// otherwise onto the in-memory fallback queue.
+    fn commit_preference_offline(&mut self, idx: usize, pref: UserPreference, now: Timestamp) {
+        if self.ensure_catchup(idx) {
+            let bms = self.slots[idx]
+                .catchup
+                .as_mut()
+                .expect("ensure_catchup built the standby engine");
+            // Router ids are allocated in one monotone sequence and the
+            // per-shard allocator maxes over committed ids, so the
+            // replayed allocator sits past `pref.id` iff this exact
+            // record committed before the fence landed.
+            if bms.preference_next_id() <= pref.id.0 {
+                bms.submit_preference_assigned(pref, now);
+                self.pending_replayed += 1;
+            }
+        } else {
+            self.slots[idx]
+                .pending
+                .push(PendingOp::SubmitPreference(pref, now));
+        }
+    }
+
+    /// Commits a broadcast policy add on a down shard (durably via the
+    /// standby engine, with the same committed-already check keyed on
+    /// the lockstep policy-id allocator), or queues it as fallback.
+    fn commit_policy_offline(&mut self, idx: usize, policy: BuildingPolicy, expected: PolicyId) {
+        if self.ensure_catchup(idx) {
+            let bms = self.slots[idx]
+                .catchup
+                .as_mut()
+                .expect("ensure_catchup built the standby engine");
+            if bms.policy_next_id() <= expected.0 {
+                let got = bms.add_policy(policy);
+                debug_assert_eq!(got, expected, "policy allocators must stay in lockstep");
+                self.pending_replayed += 1;
+            }
+        } else {
+            self.slots[idx].pending.push(PendingOp::AddPolicy(policy));
+        }
+    }
+
+    /// Commits a broadcast policy removal on a down shard. Removal is
+    /// naturally idempotent: re-removing an already-removed id is a
+    /// no-op that logs nothing.
+    fn commit_remove_offline(&mut self, idx: usize, id: PolicyId) {
+        if self.ensure_catchup(idx) {
+            let bms = self.slots[idx]
+                .catchup
+                .as_mut()
+                .expect("ensure_catchup built the standby engine");
+            if bms.remove_policy(id) {
+                self.pending_replayed += 1;
+            }
+        } else {
+            self.slots[idx].pending.push(PendingOp::RemovePolicy(id));
         }
     }
 
@@ -605,42 +849,58 @@ impl ShardedTippers {
             if owned.is_empty() {
                 continue;
             }
-            // A down shard re-registers from the directory at rebuild.
-            let _ = self.call(idx, move |bms| bms.register_occupants(&owned));
+            // A down shard's standby engine registers them right away;
+            // a from-scratch rebuild re-registers from the directory.
+            let standby_copy = owned.clone();
+            match self.call(idx, move |bms| bms.register_occupants(&owned)) {
+                ShardCall::Ok(()) => {}
+                ShardCall::Unavailable => {
+                    if let Some(bms) = self.slots[idx].catchup.as_mut() {
+                        bms.register_occupants(&standby_copy);
+                    }
+                }
+            }
         }
     }
 
     /// Adds a policy, broadcast to every shard (each shard enforces the
     /// full policy set; allocators stay in lockstep). A down shard
-    /// catches up at rebuild.
+    /// commits it durably through its standby engine.
     pub fn add_policy(&mut self, policy: BuildingPolicy) -> PolicyId {
         let id = self.policy_mirror.add(policy.clone());
         for idx in 0..self.slots.len() {
+            if !self.ensure_up(idx) {
+                self.commit_policy_offline(idx, policy.clone(), id);
+                continue;
+            }
             let p = policy.clone();
-            match self.call(idx, move |bms| bms.add_policy(p)) {
-                ShardCall::Ok(shard_id) => {
+            match self.dispatch(idx, move |bms| bms.add_policy(p)) {
+                ShardReply::Done(shard_id) => {
                     debug_assert_eq!(shard_id, id, "policy allocators must stay in lockstep");
                 }
-                ShardCall::Unavailable => {
-                    self.slots[idx]
-                        .pending
-                        .push(PendingOp::AddPolicy(policy.clone()));
+                // Skipped: definitely not applied — commit offline.
+                // Lost: maybe applied — the offline path checks the
+                // replayed allocator and commits at most once.
+                ShardReply::Skipped | ShardReply::Lost => {
+                    self.commit_policy_offline(idx, policy.clone(), id);
                 }
             }
         }
         id
     }
 
-    /// Removes a policy on every shard. A down shard catches up at
-    /// rebuild.
+    /// Removes a policy on every shard. A down shard removes it durably
+    /// through its standby engine.
     pub fn remove_policy(&mut self, id: PolicyId) -> bool {
         let removed = self.policy_mirror.remove(id);
         for idx in 0..self.slots.len() {
-            match self.call(idx, move |bms| bms.remove_policy(id)) {
-                ShardCall::Ok(_) => {}
-                ShardCall::Unavailable => {
-                    self.slots[idx].pending.push(PendingOp::RemovePolicy(id));
-                }
+            if !self.ensure_up(idx) {
+                self.commit_remove_offline(idx, id);
+                continue;
+            }
+            match self.dispatch(idx, move |bms| bms.remove_policy(id)) {
+                ShardReply::Done(_) => {}
+                ShardReply::Skipped | ShardReply::Lost => self.commit_remove_offline(idx, id),
             }
         }
         removed
@@ -654,21 +914,27 @@ impl ShardedTippers {
     /// Stores a preference on its subject's owner shard. The id comes
     /// from the router's allocator — the same sequence the unsharded
     /// engine would assign. A submission while the owner shard is down
-    /// is queued and replayed at rebuild (the id is already committed),
-    /// so quarantine never loses an accepted preference.
+    /// is committed durably through the shard's standby engine (straight
+    /// into its WAL partition), so an accepted preference survives even
+    /// a whole-process crash during the quarantine window.
     pub fn submit_preference(&mut self, mut pref: UserPreference, now: Timestamp) -> PreferenceId {
         self.note_time(now);
         let id = PreferenceId(self.next_preference_id);
         self.next_preference_id += 1;
         pref.id = id;
         let idx = self.router.shard_of_user(pref.user);
+        if !self.ensure_up(idx) {
+            self.commit_preference_offline(idx, pref, now);
+            return id;
+        }
         let p = pref.clone();
-        match self.call(idx, move |bms| bms.submit_preference_assigned(p, now)) {
-            ShardCall::Ok(got) => debug_assert_eq!(got, id),
-            ShardCall::Unavailable => {
-                self.slots[idx]
-                    .pending
-                    .push(PendingOp::SubmitPreference(pref, now));
+        match self.dispatch(idx, move |bms| bms.submit_preference_assigned(p, now)) {
+            ShardReply::Done(got) => debug_assert_eq!(got, id),
+            // Skipped: definitely not applied. Lost: maybe applied — the
+            // offline path checks the replayed allocator, so the record
+            // lands exactly once either way.
+            ShardReply::Skipped | ShardReply::Lost => {
+                self.commit_preference_offline(idx, pref, now);
             }
         }
         id
@@ -691,19 +957,53 @@ impl ShardedTippers {
         option_index: usize,
     ) -> Result<PreferenceId, SettingsError> {
         let idx = self.router.shard_of_user(user);
+        if !self.ensure_up(idx) {
+            // Nothing dispatched, so nothing can have committed under
+            // the reserved id — it stays unconsumed for the next caller.
+            return Err(SettingsError::ShardUnavailable);
+        }
         let id = PreferenceId(self.next_preference_id);
         let key = setting_key.to_owned();
-        match self.call(idx, move |bms| {
+        match self.dispatch(idx, move |bms| {
             bms.apply_setting_choice_assigned(user, policy, &key, option_index, id)
         }) {
-            ShardCall::Ok(Ok(got)) => {
+            ShardReply::Done(Ok(got)) => {
                 // The id is consumed only on success, mirroring the
                 // unsharded allocator.
                 self.next_preference_id += 1;
                 Ok(got)
             }
-            ShardCall::Ok(Err(e)) => Err(e),
-            ShardCall::Unavailable => Err(SettingsError::ShardUnavailable),
+            ShardReply::Done(Err(e)) => Err(e),
+            // The worker skipped the job wholesale: the id was never
+            // written anywhere and is safe to hand out again.
+            ShardReply::Skipped => Err(SettingsError::ShardUnavailable),
+            ShardReply::Lost => {
+                // The worker may have committed `SettingChoiceAssigned`
+                // under `id` before the fence landed. Replay the (now
+                // quiescent) partition: the allocator moved past `id`
+                // iff that record committed. Consume the id exactly when
+                // the choice actually took effect — never reuse an id
+                // that may name a durable preference.
+                if self.ensure_catchup(idx) {
+                    let committed = self.slots[idx]
+                        .catchup
+                        .as_ref()
+                        .expect("ensure_catchup built the standby engine")
+                        .preference_next_id()
+                        > id.0;
+                    if committed {
+                        self.next_preference_id += 1;
+                        return Ok(id);
+                    }
+                    Err(SettingsError::ShardUnavailable)
+                } else {
+                    // The partition is unreadable, so the doubt cannot
+                    // be resolved: burn the id (an allocator gap is
+                    // harmless; a reuse is not) and fail closed.
+                    self.next_preference_id += 1;
+                    Err(SettingsError::ShardUnavailable)
+                }
+            }
         }
     }
 
@@ -831,12 +1131,14 @@ impl ShardedTippers {
         }
         for (idx, rx, fallback) in waits {
             match self.await_reply::<Vec<(usize, DataResponse)>>(idx, &rx) {
-                ShardCall::Ok(items) => {
+                ShardReply::Done(items) => {
                     for (i, resp) in items {
                         out[i] = Some(resp);
                     }
                 }
-                ShardCall::Unavailable => self.fail_batch(fallback, now, &mut out),
+                // Requests are read-mostly: lost or skipped, the whole
+                // batch answers fail-closed either way.
+                ShardReply::Skipped | ShardReply::Lost => self.fail_batch(fallback, now, &mut out),
             }
         }
         for i in sequential {
@@ -944,6 +1246,7 @@ impl ShardedTippers {
             unavailable_denials: self.unavailable_denials,
             unavailable_drops: self.unavailable_drops,
             pending_replayed: self.pending_replayed,
+            fenced_writes: self.slots.iter().map(|s| s.fence.fenced_writes()).sum(),
         }
     }
 
@@ -996,5 +1299,162 @@ impl std::fmt::Debug for ShardedTippers {
             .field("healths", &self.shard_healths())
             .field("vnow_ms", &self.vnow_ms)
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tippers_policy::{Effect, PreferenceScope};
+    use tippers_spatial::fixtures::dbh;
+
+    fn small(watchdog_ms: u64) -> ShardedTippers {
+        ShardedTippers::new(
+            Ontology::standard(),
+            dbh().model,
+            TippersConfig::default(),
+            ShardSpec {
+                shards: 2,
+                watchdog_ms,
+                backoff_base_ms: 10,
+                backoff_max_ms: 40,
+                zone_pins: Vec::new(),
+            },
+        )
+    }
+
+    fn deny_pref(user: UserId) -> UserPreference {
+        UserPreference::new(
+            PreferenceId(0),
+            user,
+            PreferenceScope::default(),
+            Effect::Deny,
+        )
+    }
+
+    /// The indeterminate half of a watchdog expiry that fault injection
+    /// cannot reach from the public API: the worker *commits* the record
+    /// and only then outlives the watchdog. The offline path must read
+    /// the commit out of the replayed partition and apply nothing twice.
+    #[test]
+    fn a_write_that_committed_before_the_watchdog_is_not_reapplied() {
+        let mut st = small(50);
+        let user = UserId(7);
+        let idx = st.router.shard_of_user(user);
+        let now = Timestamp::at(0, 9, 0);
+        st.note_time(now);
+
+        // Reserve the id exactly as submit_preference does.
+        let id = PreferenceId(st.next_preference_id);
+        st.next_preference_id += 1;
+        let mut pref = deny_pref(user);
+        pref.id = id;
+
+        let p = pref.clone();
+        let (committed_tx, committed_rx) = mpsc::channel();
+        let rx = st
+            .send_job(idx, move |bms| {
+                let got = bms.submit_preference_assigned(p, now);
+                committed_tx.send(()).expect("router is waiting");
+                thread::sleep(Duration::from_millis(400));
+                got
+            })
+            .expect("worker is up");
+        // Only start the watchdog once the record is durably committed,
+        // so the expiry is guaranteed to land *after* the commit.
+        committed_rx.recv().expect("worker reached the commit");
+        assert!(matches!(
+            st.await_reply::<PreferenceId>(idx, &rx),
+            ShardReply::Lost
+        ));
+        assert!(!st.slots[idx].health.is_up());
+        assert_eq!(st.stats().stalls, 1);
+
+        // The offline commit resolves the doubt against the replayed
+        // (fenced, quiescent) partition: already committed, so nothing
+        // to redo.
+        st.commit_preference_offline(idx, pref, now);
+        assert_eq!(st.stats().pending_replayed, 0);
+
+        // After recovery the preference exists exactly once.
+        st.note_time(Timestamp::at(0, 9, 10));
+        assert!(st.ensure_up(idx));
+        let n = st
+            .inspect_shard(idx, move |bms| bms.preference_count_for(user))
+            .expect("shard recovered");
+        assert_eq!(n, 1);
+    }
+
+    /// The determinate half: the watchdog expires *before* the worker
+    /// commits. The fence rejects the late append, and the offline path
+    /// sees an uncommitted id and applies the record itself — exactly
+    /// once either way.
+    #[test]
+    fn a_write_fenced_before_committing_is_applied_by_the_standby() {
+        let mut st = small(50);
+        let user = UserId(7);
+        let idx = st.router.shard_of_user(user);
+        let now = Timestamp::at(0, 9, 0);
+        st.note_time(now);
+
+        let id = PreferenceId(st.next_preference_id);
+        st.next_preference_id += 1;
+        let mut pref = deny_pref(user);
+        pref.id = id;
+
+        let p = pref.clone();
+        let (fenced_tx, fenced_rx) = mpsc::channel();
+        let rx = st
+            .send_job(idx, move |bms| {
+                // Outlive the watchdog first, then commit: the append
+                // lands on a fenced handle and never reaches the
+                // partition (the engine swallows it into its
+                // wal_append_failures counter).
+                fenced_rx.recv().expect("router signals after quarantine");
+                bms.submit_preference_assigned(p, now)
+            })
+            .expect("worker is up");
+        assert!(matches!(
+            st.await_reply::<PreferenceId>(idx, &rx),
+            ShardReply::Lost
+        ));
+        // The fence is up; *now* let the abandoned worker try to commit.
+        fenced_tx.send(()).expect("worker is parked on the signal");
+
+        st.commit_preference_offline(idx, pref, now);
+        assert_eq!(st.stats().pending_replayed, 1);
+
+        st.note_time(Timestamp::at(0, 9, 10));
+        assert!(st.ensure_up(idx));
+        let n = st
+            .inspect_shard(idx, move |bms| bms.preference_count_for(user))
+            .expect("shard recovered");
+        assert_eq!(n, 1);
+    }
+
+    /// Re-quarantining an already-down slot must not reset its backoff
+    /// escalation, and a dead-worker detection must not inflate the
+    /// panic counter.
+    #[test]
+    fn requarantine_preserves_attempts_and_dead_workers_count_nothing() {
+        let mut st = small(50);
+        st.note_time(Timestamp::at(0, 9, 0));
+        st.quarantine(0, FailCause::Panic);
+        let ShardHealth::Down { attempts: 0, .. } = st.slots[0].health else {
+            panic!("fresh quarantine starts at zero attempts");
+        };
+        // Two lost restarts escalate the backoff.
+        st.slots[0].health = ShardHealth::Down {
+            attempts: 2,
+            down_until_ms: st.vnow_ms + 40,
+        };
+        st.quarantine(0, FailCause::Dead);
+        let ShardHealth::Down { attempts, .. } = st.slots[0].health else {
+            panic!("still down");
+        };
+        assert_eq!(attempts, 2, "re-quarantine reset backoff escalation");
+        let stats = st.stats();
+        assert_eq!(stats.panics, 1, "dead-worker detection counted a panic");
+        assert_eq!(stats.stalls, 0);
     }
 }

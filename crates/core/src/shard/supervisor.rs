@@ -21,6 +21,14 @@
 //! clock is *virtual* (driven by the timestamps flowing through
 //! operations), so supervision is deterministic under test and never
 //! sleeps.
+//!
+//! Quarantine begins by *fencing* the abandoned worker's WAL handle
+//! (see [`super::fence`]): a slow-but-alive job that outlives its
+//! watchdog can never append to the partition the rebuilt engine
+//! replays. Re-quarantining an already-down slot (a defensive path)
+//! preserves its accumulated restart-attempt count, so backoff
+//! escalation for a repeatedly failing shard is never reset by a
+//! second detection of the same failure.
 
 /// Externally visible health of one shard slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,8 +82,15 @@ pub struct ShardStats {
     pub unavailable_denials: u64,
     /// Owned observations dropped because their shard was down.
     pub unavailable_drops: u64,
-    /// Queued mutations replayed into rebuilt shards at catch-up.
+    /// Mutations accepted while their owner shard was down and carried
+    /// into the rebuilt engine — committed durably through the standby
+    /// engine, or (when the partition was unreadable) replayed from the
+    /// in-memory fallback queue at restart.
     pub pending_replayed: u64,
+    /// WAL writes rejected because the writer was fenced: a quarantined
+    /// worker's late append that, unfenced, would have interleaved with
+    /// the rebuilt engine's partition.
+    pub fenced_writes: u64,
 }
 
 #[cfg(test)]

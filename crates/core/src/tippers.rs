@@ -780,9 +780,25 @@ impl Tippers {
     }
 
     /// The preference id-allocator position, for a sharded router
-    /// rebuilding its assignment counter after a durable reopen.
+    /// rebuilding its assignment counter after a durable reopen — and
+    /// the sharded write path's commit detector: a router-assigned id
+    /// below this position has definitely been applied here.
     pub(crate) fn preference_next_id(&self) -> u64 {
-        self.preferences.snapshot_parts().1
+        self.preferences.next_id()
+    }
+
+    /// The policy id-allocator position (the sharded router's commit
+    /// detector for broadcast policy adds on a quarantined shard).
+    pub(crate) fn policy_next_id(&self) -> u64 {
+        self.policies.next_id()
+    }
+
+    /// How many preferences a user has stored (shard-runtime test
+    /// observability: proves an indeterminate write resolved to exactly
+    /// one application).
+    #[cfg(test)]
+    pub(crate) fn preference_count_for(&self, user: UserId) -> usize {
+        self.preferences.for_user(user).len()
     }
 
     /// Looks up one policy.

@@ -104,11 +104,18 @@ pub enum FaultPoint {
     /// shard quarantined (answering fail-closed) and retry under capped
     /// backoff, never serve from a half-rebuilt shard.
     ShardRestartLoss,
+    /// A shard worker running slow-but-alive: the job is delayed past the
+    /// router's real-time watchdog, then runs to completion on the
+    /// abandoned engine. Unlike [`FaultPoint::ShardStall`] (which skips
+    /// the job), this exercises the dangerous half of a watchdog expiry —
+    /// the quarantined worker must be *fenced* from its WAL partition so
+    /// its late writes can never interleave with the rebuilt engine's.
+    ShardSlowJob,
 }
 
 impl FaultPoint {
     /// Every defined injection point.
-    pub const ALL: [FaultPoint; 24] = [
+    pub const ALL: [FaultPoint; 25] = [
         FaultPoint::RegistryDiscover,
         FaultPoint::RegistryFetch,
         FaultPoint::PolicyPublish,
@@ -133,6 +140,7 @@ impl FaultPoint {
         FaultPoint::ShardPanic,
         FaultPoint::ShardStall,
         FaultPoint::ShardRestartLoss,
+        FaultPoint::ShardSlowJob,
     ];
 }
 
@@ -163,6 +171,7 @@ impl fmt::Display for FaultPoint {
             FaultPoint::ShardPanic => "shard-panic",
             FaultPoint::ShardStall => "shard-stall",
             FaultPoint::ShardRestartLoss => "shard-restart-loss",
+            FaultPoint::ShardSlowJob => "shard-slow-job",
         };
         f.write_str(name)
     }

@@ -19,8 +19,8 @@
 
 use privacy_aware_buildings::prelude::*;
 use tippers::{
-    DataRequest, DecisionBasis, EnforcementCore, FaultPoint, HealthStatus, Priority, ShardSpec,
-    ShardedTippers, SubjectSelector, Tippers as Bms,
+    DataRequest, DecisionBasis, EnforcementCore, FaultPoint, HealthStatus, Priority, SettingsError,
+    ShardSpec, ShardedTippers, SubjectSelector, Tippers as Bms,
 };
 use tippers_policy::{
     ActionSet, BuildingPolicy, PolicyId, PreferenceId, PreferenceScope, Timestamp, UserGroup,
@@ -275,6 +275,161 @@ fn restart_loss_extends_quarantine_with_doubled_backoff() {
         stats.pending_replayed >= 1,
         "catch-up queue was not replayed"
     );
+}
+
+/// A worker that outlives its watchdog keeps running against its
+/// abandoned engine — but its WAL handle is fenced at quarantine, so the
+/// late commit never reaches the partition, the reserved preference id
+/// is not consumed, and the retry after recovery assigns the very same
+/// id the unsharded control does.
+#[test]
+fn a_slow_worker_is_fenced_and_its_setting_choice_id_is_not_reused() {
+    let ontology = Ontology::standard();
+    let building = dbh();
+    // A short real-time watchdog: the injected slow job sleeps 2x this.
+    let mut sharded = ShardedTippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+        ShardSpec {
+            shards: 2,
+            watchdog_ms: 50,
+            ..ShardSpec::default()
+        },
+    );
+    let mut control = Bms::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    let c = ontology.concepts().clone();
+    let policy = BuildingPolicy::new(
+        PolicyId(0),
+        "Network logging",
+        building.building,
+        c.wifi_association,
+        c.logging,
+    )
+    .with_actions(ActionSet::ALL)
+    .with_setting(BuildingPolicy::location_setting());
+    for core in [&mut sharded as &mut dyn EnforcementCore, &mut control] {
+        core.register_occupants(&occupants());
+        core.add_policy(policy.clone());
+    }
+    let user = 0u64;
+
+    sharded
+        .config_fault_plan()
+        .arm_limited(FaultPoint::ShardSlowJob, 1.0, 1);
+    let got = sharded.apply_setting_choice(UserId(user), PolicyId(0), "location-sensing", 2);
+    assert!(
+        matches!(got, Err(SettingsError::ShardUnavailable)),
+        "watchdog expiry must fail closed, got {got:?}"
+    );
+    assert_eq!(sharded.stats().stalls, 1);
+
+    // Let the abandoned worker wake up and finish the job against its
+    // fenced handle: the append is rejected, never written.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    assert!(
+        sharded.stats().fenced_writes >= 1,
+        "the late commit never hit the fence"
+    );
+
+    // The id the lost attempt reserved was not consumed: after recovery
+    // the same choice lands under the same id as the unsharded control.
+    let want = control
+        .apply_setting_choice(UserId(user), PolicyId(0), "location-sensing", 2)
+        .unwrap();
+    let later = Timestamp::at(0, 9, 10);
+    let _ = sharded.handle_request(&request_for(user), later); // restart
+    assert_eq!(sharded.stats().restarts, 1);
+    let id = sharded
+        .apply_setting_choice(UserId(user), PolicyId(0), "location-sensing", 2)
+        .unwrap();
+    assert_eq!(id, want, "reserved id leaked or was reused");
+    let got = sharded.handle_request(&request_for(user), later);
+    let want = control.handle_request(&request_for(user), later);
+    assert_eq!(
+        serde_json::to_string(&got).unwrap(),
+        serde_json::to_string(&want).unwrap(),
+        "slow-worker chaos diverged from the control"
+    );
+}
+
+/// A preference accepted while its owner shard is down is committed
+/// durably through the standby engine — it survives a whole-process
+/// crash during the quarantine window, and its id is never reissued.
+#[test]
+fn a_preference_accepted_while_down_survives_a_process_crash() {
+    let dir = std::env::temp_dir().join(format!(
+        "tippers-shard-crash-survive-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let spec = ShardSpec {
+        shards: 2,
+        ..ShardSpec::default()
+    };
+    let c = ontology.concepts().clone();
+    let policy = BuildingPolicy::new(
+        PolicyId(0),
+        "Network logging",
+        building.building,
+        c.wifi_association,
+        c.logging,
+    )
+    .with_actions(ActionSet::ALL);
+    let victim = 0u64;
+    {
+        let (mut sharded, _reports) = ShardedTippers::open(
+            &dir,
+            ontology.clone(),
+            building.model.clone(),
+            TippersConfig::default(),
+            spec.clone(),
+        )
+        .unwrap();
+        sharded.register_occupants(&occupants());
+        sharded.add_policy(policy.clone());
+        let now = Timestamp::at(0, 9, 0);
+        sharded
+            .config_fault_plan()
+            .arm_limited(FaultPoint::ShardPanic, 1.0, 1);
+        let down = sharded.handle_request(&request_for(victim), now);
+        assert_eq!(
+            down.results[0].decision.basis,
+            DecisionBasis::ShardUnavailable
+        );
+        // Accepted inside the quarantine window (same virtual second):
+        // the standby engine commits it straight into the partition.
+        let id = sharded.submit_preference(deny_pref(victim), now);
+        assert_eq!(id, PreferenceId(0));
+        assert_eq!(sharded.stats().pending_replayed, 1);
+        // Whole-process crash: the runtime drops here, shard still down.
+    }
+    let (mut sharded, _reports) = ShardedTippers::open(
+        &dir,
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+        spec,
+    )
+    .unwrap();
+    sharded.register_occupants(&occupants());
+    let resp = sharded.handle_request(&request_for(victim), Timestamp::at(0, 9, 1));
+    assert_eq!(resp.results[0].decision.effect, Effect::Deny);
+    assert_ne!(
+        resp.results[0].decision.basis,
+        DecisionBasis::ShardUnavailable,
+        "accepted preference did not survive the crash"
+    );
+    // The id allocator replays past the accepted preference.
+    let next = sharded.submit_preference(deny_pref(1), Timestamp::at(0, 9, 2));
+    assert_eq!(next, PreferenceId(1), "accepted-while-down id was reissued");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The full storm: ten rounds of seeded kill/stall chaos over eight

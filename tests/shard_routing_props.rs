@@ -50,6 +50,47 @@ proptest! {
         }
     }
 
+    /// Zone pins override exactly their own zone: every pinned zone
+    /// routes to its declared shard, every unpinned zone and every user
+    /// routes exactly as the pinless router does.
+    #[test]
+    fn zone_pins_override_only_their_own_zone(
+        shards in 1usize..=16,
+        picks in proptest::collection::vec(any::<u64>(), 0..4),
+        targets in proptest::collection::vec(any::<u64>(), 4),
+        user in any::<u64>(),
+    ) {
+        let model = tippers_spatial::fixtures::dbh().model;
+        let zones: Vec<tippers_spatial::SpaceId> =
+            model.iter().map(tippers_spatial::Space::id).collect();
+        let mut pins: Vec<(tippers_spatial::SpaceId, usize)> = Vec::new();
+        for (&pick, &target) in picks.iter().zip(&targets) {
+            let zone = zones[usize::try_from(pick).unwrap_or(0) % zones.len()];
+            let shard = usize::try_from(target).unwrap_or(0) % shards;
+            // Split pins are a construction error (the router refuses
+            // them); generate only coherent tables here.
+            if !pins.iter().any(|&(z, s)| z == zone && s != shard) {
+                pins.push((zone, shard));
+            }
+        }
+        let plain = ShardRouter::new(shards);
+        let pinned = ShardRouter::with_zone_pins(shards, pins.iter().copied());
+        for &(zone, shard) in &pins {
+            prop_assert_eq!(pinned.shard_of_zone(zone), shard);
+            prop_assert_eq!(pinned.zone_pin(zone), Some(shard));
+        }
+        for &zone in &zones {
+            if !pins.iter().any(|&(z, _)| z == zone) {
+                prop_assert_eq!(pinned.shard_of_zone(zone), plain.shard_of_zone(zone));
+                prop_assert_eq!(pinned.zone_pin(zone), None);
+            }
+        }
+        prop_assert_eq!(
+            pinned.shard_of_user(UserId(user)),
+            plain.shard_of_user(UserId(user))
+        );
+    }
+
     /// Across a whole cohort, the residue moved by one growth step stays
     /// near the theoretical `1/(n + 1)` minimum (loose 3x bound: this is
     /// a property test over arbitrary cohorts, not a statistics suite).
