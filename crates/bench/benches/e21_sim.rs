@@ -1,0 +1,178 @@
+//! Experiment E21 — deterministic simulation of the sharded runtime.
+//!
+//! Two legs:
+//!
+//! * criterion timing of one full storm schedule (build runtime +
+//!   control, 6 fault rounds over 16 users on 4 shards, epilogue
+//!   replay, every chaos invariant checked) under the simulation
+//!   executor, and
+//! * a metrics leg producing `BENCH_e21_sim.json`:
+//!   - `schedules_per_sec` — full storm schedules simulated per second
+//!     of wall time (the cost of a CI seed sweep);
+//!   - `seeds_to_bug` — seeds explored until the deliberately
+//!     reintroduced PR 9 fence bug (`ShardSpec::sim_reintroduce_
+//!     fence_bug`, an unfenced abandoned writer's zombie append)
+//!     produces an invariant violation;
+//!   - `shrink_iterations` / `shrunk_steps` / `shrunk_preemptions` /
+//!     `shrunk_fault_rounds_disabled` — the delta-debugging cost and
+//!     the size of the minimized, replayable schedule;
+//!   - `threaded_chaos_missed_bug` — whether the wall-clock chaos
+//!     baseline (the same storm on OS threads with `shard_chaos.rs`'s
+//!     panic/stall fault mix) fails to detect that same bug, which is
+//!     the acceptance claim of the whole harness;
+//!   - `fence_closes_shrunk_schedule` — the minimized schedule passes
+//!     once the real fence is back, pinning the violation on the bug.
+//!
+//! Seeded via `TIPPERS_FAULT_SEED` (defaults to 7, the first CI seed).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tippers_bench::sim::SimStorm;
+use tippers_resilience::sim::{explore, shrink, Schedule};
+
+/// Schedules timed for the throughput figure.
+const THROUGHPUT_SCHEDULES: u64 = 64;
+/// Threaded baseline storms run against the reintroduced bug.
+const BASELINE_RUNS: u64 = 8;
+/// Written to the workspace root so CI can pick it up regardless of the
+/// bench process's working directory.
+const OUTPUT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e21_sim.json");
+
+fn fault_seed() -> u64 {
+    std::env::var("TIPPERS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn bench_sim_schedule(criterion: &mut Criterion) {
+    let cfg = SimStorm::default();
+    let schedule = Schedule::seeded(fault_seed().max(1), 0);
+    let mut group = criterion.benchmark_group("e21_sim");
+    group.sample_size(10);
+    group.bench_function("full_storm_schedule", |b| {
+        b.iter(|| {
+            let outcome = cfg.run(&schedule);
+            assert!(!outcome.failed(), "{:?}", outcome.violation);
+            outcome.decisions
+        });
+    });
+    group.finish();
+}
+
+fn emit_sim_metrics(_c: &mut Criterion) {
+    let seed = fault_seed();
+    let origin = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+
+    // Throughput: full storm schedules per second of wall time.
+    let cfg = SimStorm::default();
+    let started = Instant::now();
+    let mut decisions = 0u64;
+    for i in 0..THROUGHPUT_SCHEDULES {
+        let outcome = cfg.run(&Schedule::seeded(origin.wrapping_add(i), 0));
+        assert!(
+            !outcome.failed(),
+            "clean storm failed: {:?}",
+            outcome.violation
+        );
+        decisions += outcome.decisions;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let schedules_per_sec = THROUGHPUT_SCHEDULES as f64 / elapsed;
+    let decisions_per_schedule = decisions / THROUGHPUT_SCHEDULES;
+
+    // The bug hunt: reintroduce the PR 9 fence hole and sweep seeds
+    // until the storm's invariants catch the zombie append.
+    let buggy = SimStorm {
+        reintroduce_fence_bug: true,
+        ..SimStorm::default()
+    };
+    let hunt_started = Instant::now();
+    let exploration = explore((0..10_000).map(|i| origin.wrapping_add(i)), 0, |s| {
+        buggy.run(s)
+    })
+    .expect_err("the reintroduced fence bug must be found");
+    let seeds_to_bug = exploration.seeds_tried;
+    let hunt_secs = hunt_started.elapsed().as_secs_f64();
+
+    // Shrink the failing interleaving to its minimal replayable form.
+    let report = shrink(
+        &exploration.schedule,
+        &exploration.outcome,
+        buggy.fault_rounds(),
+        |s| buggy.run(s),
+    );
+    assert!(report.reproduced, "pinned trace must reproduce");
+    let fence_closes_shrunk_schedule = !SimStorm::default().run(&report.schedule).failed();
+    assert!(
+        fence_closes_shrunk_schedule,
+        "the real fence must pass the shrunk schedule"
+    );
+
+    // The wall-clock baseline: the same storm on OS threads with the
+    // panic/stall fault mix `shard_chaos.rs` arms — real watchdogs,
+    // real threads, same invariants, same reintroduced bug.
+    let baseline = SimStorm {
+        reintroduce_fence_bug: true,
+        slow_jobs: false,
+        ..SimStorm::default()
+    };
+    let mut baseline_violations = 0u64;
+    for i in 0..BASELINE_RUNS {
+        if baseline
+            .run_threaded(&Schedule::seeded(origin.wrapping_add(i), 0))
+            .is_some()
+        {
+            baseline_violations += 1;
+        }
+    }
+    let threaded_chaos_missed_bug = baseline_violations == 0;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e21_sim\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"schedules\": {schedules},\n",
+            "  \"schedules_per_sec\": {sps:.1},\n",
+            "  \"scheduler_decisions_per_schedule\": {dps},\n",
+            "  \"seeds_to_bug\": {seeds_to_bug},\n",
+            "  \"bug_hunt_secs\": {hunt:.3},\n",
+            "  \"shrink_iterations\": {iters},\n",
+            "  \"shrunk_steps\": {steps},\n",
+            "  \"shrunk_preemptions\": {preempts},\n",
+            "  \"shrunk_fault_rounds_disabled\": {rounds_off},\n",
+            "  \"fence_closes_shrunk_schedule\": {fence_ok},\n",
+            "  \"threaded_baseline_runs\": {base_runs},\n",
+            "  \"threaded_baseline_violations\": {base_viol},\n",
+            "  \"threaded_chaos_missed_bug\": {missed}\n",
+            "}}\n",
+        ),
+        seed = seed,
+        schedules = THROUGHPUT_SCHEDULES,
+        sps = schedules_per_sec,
+        dps = decisions_per_schedule,
+        seeds_to_bug = seeds_to_bug,
+        hunt = hunt_secs,
+        iters = report.iterations,
+        steps = report.final_steps,
+        preempts = report.final_preemptions,
+        rounds_off = report.fault_rounds_disabled,
+        fence_ok = fence_closes_shrunk_schedule,
+        base_runs = BASELINE_RUNS,
+        base_viol = baseline_violations,
+        missed = threaded_chaos_missed_bug,
+    );
+    std::fs::write(OUTPUT, &json).expect("write metrics");
+    println!(
+        "wrote {OUTPUT}: {schedules_per_sec:.1} schedules/s, \
+         bug found in {seeds_to_bug} seed(s) ({hunt_secs:.3}s), \
+         shrunk to {} pinned steps / {} preemptions in {} candidates, \
+         threaded baseline missed it across {BASELINE_RUNS} runs: {threaded_chaos_missed_bug}",
+        report.final_steps, report.final_preemptions, report.iterations
+    );
+}
+
+criterion_group!(benches, bench_sim_schedule, emit_sim_metrics);
+criterion_main!(benches);

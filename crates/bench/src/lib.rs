@@ -6,6 +6,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sim;
+
 use tippers::{FaultPlan, Priority, Tippers, TippersConfig};
 use tippers_ontology::{ConceptId, Ontology};
 use tippers_policy::{

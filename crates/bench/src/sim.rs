@@ -1,0 +1,443 @@
+//! The simulated shard storm: `shard_chaos.rs`'s invariants as a
+//! deterministic-simulation workload.
+//!
+//! One [`Schedule`] fully determines a run: the scheduler interleaving
+//! (seed + optional pinned steps), the workload's own choices (derived
+//! from the same seed), and the per-round fault lattice (maskable by
+//! the shrinker). The storm drives a sharded runtime against a
+//! fault-free unsharded control and asserts, every round:
+//!
+//! 1. **Zero cross-shard blast radius** — users on up shards answer
+//!    byte-identically to the control;
+//! 2. **Fail-closed while down** — users on down shards get audited
+//!    `ShardUnavailable` denials with no records;
+//!
+//! and at the end, after an epilogue that forces every shard through
+//! one more quarantine + WAL replay:
+//!
+//! 3. **No lost committed mutation** — every accepted preference is
+//!    enforced after recovery, byte-identically to the control;
+//! 4. **No id reuse / no double apply** — per-user preference counts
+//!    match the control exactly (a zombie append by an unfenced
+//!    abandoned writer duplicates a WAL record and trips this);
+//! 5. **Audited fail-closed** — router audit length equals the
+//!    fail-closed denial count, and no shard is left quarantined.
+//!
+//! The fault lattice mixes `shard-panic`, `shard-stall`, and (sim mode
+//! only) `shard-slow-job` — the fault whose watchdog race the threaded
+//! chaos storm cannot schedule deterministically, and the one that
+//! exposes a reintroduced PR 9 fence bug
+//! (`ShardSpec::sim_reintroduce_fence_bug`, experiment E21).
+
+use tippers::{
+    DataRequest, DecisionBasis, EnforcementCore, FaultPoint, HealthStatus, Priority, ShardSpec,
+    ShardedTippers, SubjectSelector, Tippers, TippersConfig,
+};
+use tippers_ontology::Ontology;
+use tippers_policy::{
+    ActionSet, BuildingPolicy, Effect, PolicyId, PreferenceId, PreferenceScope, ServiceId,
+    Timestamp, UserGroup, UserId, UserPreference,
+};
+use tippers_resilience::sim::{Schedule, SimExecutor, SimOutcome};
+use tippers_sensors::Occupant;
+use tippers_spatial::fixtures::dbh;
+
+/// The simulated storm's shape. The defaults are sized so a full run
+/// takes milliseconds and a 200-seed sweep stays in CI-seconds.
+#[derive(Debug, Clone)]
+pub struct SimStorm {
+    /// Shard count.
+    pub shards: usize,
+    /// Occupant population (requests fan over all of them each round).
+    pub users: u64,
+    /// Storm rounds (each submits a preference and may inject a fault).
+    pub rounds: usize,
+    /// Watchdog backstop, ms — virtual under the sim executor.
+    pub watchdog_ms: u64,
+    /// Arms `ShardSpec::sim_reintroduce_fence_bug`: the E21 bug hunt.
+    pub reintroduce_fence_bug: bool,
+    /// Include `shard-slow-job` in the fault mix. The threaded chaos
+    /// baseline keeps this off — mirroring `shard_chaos.rs`'s
+    /// panic/stall storm — which is exactly why it misses the fence bug.
+    pub slow_jobs: bool,
+}
+
+impl Default for SimStorm {
+    fn default() -> SimStorm {
+        SimStorm {
+            shards: 4,
+            users: 16,
+            rounds: 6,
+            watchdog_ms: 200,
+            reintroduce_fence_bug: false,
+            slow_jobs: true,
+        }
+    }
+}
+
+/// Workload RNG (xorshift64*), independent of both the scheduler RNG
+/// and the fault plan's RNG.
+struct Xs(u64);
+
+impl Xs {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn request_for(ontology: &Ontology, user: u64) -> DataRequest {
+    let c = ontology.concepts().clone();
+    DataRequest {
+        service: ServiceId::new("Concierge"),
+        purpose: c.logging,
+        data: c.wifi_association,
+        subjects: SubjectSelector::One(UserId(user)),
+        from: Timestamp::at(0, 0, 0),
+        to: Timestamp::at(30, 0, 0),
+        requester_space: None,
+        priority: Priority::Interactive,
+        deadline: None,
+    }
+}
+
+fn deny_pref(ontology: &Ontology, user: u64) -> UserPreference {
+    let c = ontology.concepts().clone();
+    UserPreference::new(
+        PreferenceId(0),
+        UserId(user),
+        PreferenceScope {
+            data: Some(c.wifi_association),
+            ..Default::default()
+        },
+        Effect::Deny,
+    )
+}
+
+impl SimStorm {
+    /// Total fault-lattice rounds: the storm rounds plus one epilogue
+    /// round per shard (the forced final quarantine + WAL replay).
+    /// This is the length [`Schedule::fault_mask`] is interpreted at.
+    pub fn fault_rounds(&self) -> usize {
+        self.rounds + self.shards
+    }
+
+    /// Runs the storm under the deterministic simulation executor.
+    pub fn run(&self, schedule: &Schedule) -> SimOutcome {
+        let cfg = self.clone();
+        let sched = schedule.clone();
+        SimExecutor::run(schedule, move || storm(&cfg, &sched))
+    }
+
+    /// Runs the same storm on plain OS threads (the wall-clock chaos
+    /// baseline), returning the first invariant violation, if any.
+    pub fn run_threaded(&self, schedule: &Schedule) -> Option<String> {
+        let cfg = self.clone();
+        let sched = schedule.clone();
+        std::panic::catch_unwind(move || storm(&cfg, &sched))
+            .err()
+            .map(|p| {
+                p.downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned())
+            })
+    }
+}
+
+/// The storm body — identical under both executors.
+#[allow(clippy::too_many_lines)]
+fn storm(cfg: &SimStorm, schedule: &Schedule) {
+    let seed = schedule.seed;
+    let mut rng = Xs(seed ^ 0x53_49_4d_53_54_4f_52_4d); // "SIMSTORM"
+    let ontology = Ontology::standard();
+    let building = dbh();
+    let mut sharded = ShardedTippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+        ShardSpec {
+            shards: cfg.shards,
+            watchdog_ms: cfg.watchdog_ms,
+            backoff_base_ms: 10,
+            backoff_max_ms: 40,
+            sim_reintroduce_fence_bug: cfg.reintroduce_fence_bug,
+            ..ShardSpec::default()
+        },
+    );
+    let mut control = Tippers::new(
+        ontology.clone(),
+        building.model.clone(),
+        TippersConfig::default(),
+    );
+    let occupants: Vec<Occupant> = (0..cfg.users)
+        .map(|u| Occupant::new(UserId(u), format!("occupant-{u}"), UserGroup::GradStudent))
+        .collect();
+    let c = ontology.concepts().clone();
+    let policy = BuildingPolicy::new(
+        PolicyId(0),
+        "Network logging",
+        building.building,
+        c.wifi_association,
+        c.logging,
+    )
+    .with_actions(ActionSet::ALL);
+    for core in [&mut sharded as &mut dyn EnforcementCore, &mut control] {
+        core.register_occupants(&occupants);
+        core.add_policy(policy.clone());
+    }
+    // Owners are routing, not chance: some shard may own no user at
+    // small populations, so faults aim only at populated shards.
+    let owners: Vec<Vec<u64>> = (0..cfg.shards)
+        .map(|s| {
+            (0..cfg.users)
+                .filter(|&u| sharded.shard_of_user(UserId(u)) == s)
+                .collect()
+        })
+        .collect();
+    let populated: Vec<usize> = (0..cfg.shards).filter(|&s| !owners[s].is_empty()).collect();
+    assert!(
+        !populated.is_empty(),
+        "sim storm misconfigured: no shard owns any user"
+    );
+
+    for round in 0..cfg.rounds {
+        let now = Timestamp::at(0, 10, u32::try_from(round).unwrap_or(0) * 2);
+
+        // Draws happen unconditionally so a masked fault round changes
+        // nothing else about the workload.
+        let target = populated[usize::try_from(rng.below(populated.len() as u64)).unwrap_or(0)];
+        let mix = if cfg.slow_jobs { 3 } else { 2 };
+        let point = match rng.below(mix) {
+            0 => FaultPoint::ShardPanic,
+            1 => FaultPoint::ShardStall,
+            _ => FaultPoint::ShardSlowJob,
+        };
+        let mutator = rng.below(cfg.users);
+        let inject = schedule.fault_enabled(round);
+
+        if inject && point == FaultPoint::ShardSlowJob {
+            // The dangerous fault: the round's preference submission is
+            // itself the slow job, so the worker outlives the watchdog
+            // with a *write* in flight. The router resolves the
+            // indeterminate id against the replayed partition; the
+            // abandoned worker's late append must hit the fence.
+            let victim = owners[target][0];
+            let mut pref = deny_pref(&ontology, victim);
+            pref.priority = 3 + (round % 5) as u8;
+            sharded.config_fault_plan().arm_limited(point, 1.0, 1);
+            sharded.submit_preference(pref.clone(), now);
+            control.submit_preference(pref, now);
+        } else {
+            // Continuous mutation load on a workload-chosen user
+            // (possibly one whose shard is down).
+            let mut pref = deny_pref(&ontology, mutator);
+            pref.priority = 3 + (round % 5) as u8;
+            sharded.submit_preference(pref.clone(), now);
+            control.submit_preference(pref, now);
+            if inject {
+                let trigger = owners[target][0];
+                sharded.config_fault_plan().arm_limited(point, 1.0, 1);
+                let r = sharded.handle_request(&request_for(&ontology, trigger), now);
+                assert_eq!(
+                    r.results[0].decision.basis,
+                    DecisionBasis::ShardUnavailable,
+                    "invariant violated (seed {seed}, round {round}): injected {point} \
+                     on shard {target} was not contained fail-closed"
+                );
+            }
+        }
+
+        // Storm the population: blast-radius and fail-closed checks.
+        for u in 0..cfg.users {
+            let got = sharded.handle_request(&request_for(&ontology, u), now);
+            if sharded
+                .shard_health(sharded.shard_of_user(UserId(u)))
+                .is_up()
+            {
+                let want = control.handle_request(&request_for(&ontology, u), now);
+                assert_eq!(
+                    serde_json::to_string(&got).unwrap(),
+                    serde_json::to_string(&want).unwrap(),
+                    "invariant violated (seed {seed}, round {round}): blast radius \
+                     reached user {u} on an up shard"
+                );
+            } else {
+                assert!(
+                    got.degraded
+                        && got.results[0].decision.basis == DecisionBasis::ShardUnavailable
+                        && got.results[0].records.is_empty(),
+                    "invariant violated (seed {seed}, round {round}): user {u} on a \
+                     down shard was not denied fail-closed"
+                );
+            }
+        }
+    }
+
+    // Epilogue: force every populated shard through one more quarantine
+    // and WAL replay, so any zombie append an unfenced abandoned writer
+    // landed is pulled into live state where the final checks see it.
+    for (i, &s) in populated.iter().enumerate() {
+        if !schedule.fault_enabled(cfg.rounds + s) {
+            continue;
+        }
+        let now = Timestamp::at(0, 11, u32::try_from(i).unwrap_or(0));
+        let trigger = owners[s][0];
+        sharded
+            .config_fault_plan()
+            .arm_limited(FaultPoint::ShardPanic, 1.0, 1);
+        let r = sharded.handle_request(&request_for(&ontology, trigger), now);
+        assert_eq!(
+            r.results[0].decision.basis,
+            DecisionBasis::ShardUnavailable,
+            "invariant violated (seed {seed}): epilogue kill of shard {s} escaped"
+        );
+    }
+
+    // Recovery: everything comes back, and nothing committed was lost,
+    // duplicated, or resurrected. Under a preemptive schedule *any*
+    // dispatch can spuriously hit the virtual watchdog (the executor is
+    // allowed to expire it against an in-flight reply), so recovery is
+    // a settle loop — each retry advances the virtual clock past the
+    // restart backoff — rather than a one-shot "all shards are up"
+    // assumption. The safety invariants stay exact: an authoritative
+    // (non-fail-closed) answer must match the control byte-for-byte on
+    // the first try.
+    let mut late = 0u32;
+    let mut settle_minute = || {
+        late += 1;
+        assert!(
+            late < 240,
+            "invariant violated (seed {seed}): recovery did not settle \
+             within {late} virtual minutes"
+        );
+        Timestamp::at(0, 12, late)
+    };
+    for u in 0..cfg.users {
+        loop {
+            let end = settle_minute();
+            let got = sharded.handle_request(&request_for(&ontology, u), end);
+            if got.results[0].decision.basis == DecisionBasis::ShardUnavailable {
+                continue; // spuriously quarantined; back off and retry
+            }
+            let want = control.handle_request(&request_for(&ontology, u), end);
+            assert_eq!(
+                serde_json::to_string(&got).unwrap(),
+                serde_json::to_string(&want).unwrap(),
+                "invariant violated (seed {seed}): user {u} diverged after recovery \
+                 (lost or corrupted committed mutation)"
+            );
+            break;
+        }
+    }
+    for u in 0..cfg.users {
+        let idx = sharded.shard_of_user(UserId(u));
+        let got = loop {
+            let probe = sharded.inspect_shard(idx, move |bms| {
+                bms.preferences()
+                    .iter()
+                    .filter(|p| p.user == UserId(u))
+                    .count()
+            });
+            match probe {
+                Some(count) => break count,
+                None => {
+                    // Down (possibly spuriously, mid-inspect): advance
+                    // the virtual clock past the backoff and retry.
+                    let end = settle_minute();
+                    sharded.handle_request(&request_for(&ontology, u), end);
+                }
+            }
+        };
+        let want = control
+            .preferences()
+            .iter()
+            .filter(|p| p.user == UserId(u))
+            .count();
+        assert_eq!(
+            got, want,
+            "invariant violated (seed {seed}): user {u} holds {got} preferences, \
+             control holds {want} — a lost write or a zombie double-apply"
+        );
+    }
+    // Quiescence: drive any shard a late spurious quarantine left down
+    // back up (including user-less shards that only ever saw policy
+    // broadcasts), then the runtime must report fully healthy.
+    while sharded.stats().down > 0 {
+        let end = settle_minute();
+        // Any routed operation advances the virtual clock past backoffs…
+        sharded.handle_request(&request_for(&ontology, owners[populated[0]][0]), end);
+        // …and a probe on each down shard forces its restart attempt.
+        for s in 0..cfg.shards {
+            if !sharded.shard_health(s).is_up() {
+                sharded.inspect_shard(s, |_| ());
+            }
+        }
+    }
+    let stats = sharded.stats();
+    assert_eq!(
+        u64::try_from(sharded.router_audit().entries().len()).unwrap_or(u64::MAX),
+        stats.unavailable_denials,
+        "invariant violated (seed {seed}): fail-closed denial not audited"
+    );
+    assert_eq!(
+        sharded.health(),
+        HealthStatus::Healthy,
+        "invariant violated (seed {seed}): runtime still degraded after recovery"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_is_clean_and_deterministic_under_the_sim_executor() {
+        let cfg = SimStorm::default();
+        let schedule = Schedule::seeded(42, 0);
+        let a = cfg.run(&schedule);
+        assert!(
+            !a.failed(),
+            "fault-free fence should hold: {:?}",
+            a.violation
+        );
+        let b = cfg.run(&schedule);
+        assert_eq!(a.trace, b.trace, "same schedule, same interleaving");
+        assert_eq!(a.end_ms, b.end_ms);
+    }
+
+    #[test]
+    fn reintroduced_fence_bug_is_caught_by_a_seed_sweep() {
+        let cfg = SimStorm {
+            reintroduce_fence_bug: true,
+            ..SimStorm::default()
+        };
+        let hit = (1..=32).find_map(|seed| {
+            let out = cfg.run(&Schedule::seeded(seed, 0));
+            out.failed().then_some((seed, out.violation.unwrap()))
+        });
+        let (seed, violation) = hit.expect("32 seeds should surface the fence bug");
+        assert!(
+            violation.contains("invariant violated"),
+            "unexpected violation at seed {seed}: {violation}"
+        );
+    }
+
+    #[test]
+    fn threaded_baseline_with_the_chaos_fault_mix_misses_the_fence_bug() {
+        let cfg = SimStorm {
+            reintroduce_fence_bug: true,
+            slow_jobs: false,
+            ..SimStorm::default()
+        };
+        assert_eq!(cfg.run_threaded(&Schedule::seeded(42, 0)), None);
+    }
+}

@@ -2,6 +2,22 @@
 //! `N` per-shard [`Tippers`] engines, each owned by a worker thread
 //! behind a `catch_unwind` crash-isolation boundary.
 //!
+//! # Executors
+//!
+//! All concurrency goes through the executor-agnostic facade in
+//! [`tippers_resilience::sim`]: worker spawn/join, the job and reply
+//! channels, the watchdog's `recv_timeout`, and the monotonic clock
+//! behind recovery timings. Constructed on plain OS threads the facade
+//! is `std::thread` + `std::sync::mpsc` and the watchdog backstop is
+//! real time — byte-identical behavior to the pre-facade runtime.
+//! Constructed inside a [`tippers_resilience::sim::SimExecutor`] task,
+//! the same runtime becomes a deterministic simulation: the watchdog
+//! counts *virtual* milliseconds (never the wall clock, so slow CI
+//! hosts cannot fire it spuriously), and every interleaving — including
+//! a worker committing its WAL record and then losing the reply race
+//! against the watchdog — is reachable from a seeded, replayable
+//! schedule (`tests/sim_interleavings.rs`).
+//!
 //! # Ownership
 //!
 //! Every shard holds a full copy of the policy set (policy mutations are
@@ -59,12 +75,12 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
-use std::thread;
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use tippers_ontology::Ontology;
 use tippers_policy::{BuildingPolicy, PolicyId, PreferenceId, Timestamp, UserId, UserPreference};
+use tippers_resilience::sim;
 use tippers_resilience::{ms_from_secs, FaultPlan, FaultPoint, HealthStatus};
 use tippers_sensors::{Observation, Occupant};
 use tippers_spatial::{SpaceId, SpatialModel};
@@ -86,10 +102,12 @@ use super::supervisor::{backoff_ms, ShardHealth, ShardStats};
 pub struct ShardSpec {
     /// Number of shards (≥ 1).
     pub shards: usize,
-    /// Real-time watchdog backstop (milliseconds): how long the router
-    /// waits on a shard worker before declaring it hung and quarantining
-    /// it. Injected [`FaultPoint::ShardStall`] faults are detected
-    /// immediately, without burning wall-clock time.
+    /// Watchdog backstop (milliseconds): how long the router waits on a
+    /// shard worker before declaring it hung and quarantining it. Real
+    /// time on OS threads; *virtual* time under the simulation executor,
+    /// where it never touches the wall clock. Injected
+    /// [`FaultPoint::ShardStall`] faults are detected immediately,
+    /// without burning wall-clock time.
     pub watchdog_ms: u64,
     /// Virtual-time restart-backoff base (milliseconds); doubles per
     /// consecutive failed restart.
@@ -101,6 +119,14 @@ pub struct ShardSpec {
     /// pre-deployment; [`ShardRouter::with_zone_pins`] enforces it at
     /// runtime, so the audited topology and the deployed routing agree.
     pub zone_pins: Vec<(SpaceId, usize)>,
+    /// Test hook: deliberately reintroduces the PR 9 abandoned-writer
+    /// WAL bug by *skipping* the writer-fence advance at quarantine, so
+    /// a slow-but-alive worker can append to a partition the supervisor
+    /// already replayed. Exists solely so the simulation harness can
+    /// prove it finds the bug (E21's seeds-to-bug metric); never set it
+    /// outside that experiment.
+    #[doc(hidden)]
+    pub sim_reintroduce_fence_bug: bool,
 }
 
 impl Default for ShardSpec {
@@ -111,6 +137,7 @@ impl Default for ShardSpec {
             backoff_base_ms: 250,
             backoff_max_ms: 8_000,
             zone_pins: Vec::new(),
+            sim_reintroduce_fence_bug: false,
         }
     }
 }
@@ -139,37 +166,63 @@ enum JobResult {
 }
 
 struct Worker {
-    jobs: mpsc::Sender<(Job, mpsc::Sender<JobResult>)>,
-    handle: Option<thread::JoinHandle<()>>,
+    jobs: sim::Sender<(Job, sim::Sender<JobResult>)>,
+    handle: Option<sim::JoinHandle>,
+    /// Set at quarantine, checked by the worker at every dequeue: a job
+    /// that was still queued when the watchdog fired must never run.
+    /// The router already recorded it as lost, and a late execution
+    /// would apply a stale op to the abandoned engine — and consume
+    /// fault-plan budget armed for the slot's *replacement* worker.
+    /// (Found by the deterministic simulation sweep: only a preemptive
+    /// schedule can expire the watchdog before an idle worker's first
+    /// dequeue, which is why wall-clock chaos never hit it.)
+    abandoned: Arc<AtomicBool>,
 }
 
-/// Spawns a worker thread owning one shard's engine. The worker consults
+/// Spawns a worker owning one shard's engine (an OS thread, or a
+/// scheduled task under the simulation executor). The worker consults
 /// the shared fault plan before each job: an armed
 /// [`FaultPoint::ShardStall`] reports the watchdog verdict without
 /// applying the op, an armed [`FaultPoint::ShardSlowJob`] sleeps past
-/// the router's real-time watchdog and then runs the job anyway (the
-/// abandoned engine applies it, but its WAL handle has been fenced —
-/// the dangerous-half rehearsal of a real hung worker), and an armed
+/// the router's watchdog and then runs the job anyway (the abandoned
+/// engine applies it, but its WAL handle has been fenced — the
+/// dangerous-half rehearsal of a real hung worker), and an armed
 /// [`FaultPoint::ShardPanic`] panics inside the `catch_unwind`
 /// boundary. A caught panic abandons the engine (rebuilt from its WAL).
 fn spawn_worker(mut bms: Tippers, plan: FaultPlan, slow_job_ms: u64) -> Worker {
-    let (tx, rx) = mpsc::channel::<(Job, mpsc::Sender<JobResult>)>();
-    let handle = thread::spawn(move || {
+    let (tx, rx) = sim::channel::<(Job, sim::Sender<JobResult>)>();
+    let abandoned = Arc::new(AtomicBool::new(false));
+    let fenced_off = Arc::clone(&abandoned);
+    let handle = sim::spawn("shard-worker", move || {
         while let Ok((job, reply)) = rx.recv() {
+            if fenced_off.load(Ordering::Acquire) {
+                // Quarantined with this job still queued: it is lost,
+                // not late. Exit without running it (or drawing the
+                // fault plan, whose armed budget belongs to the
+                // replacement worker).
+                drop((job, reply));
+                return;
+            }
             if plan.should_fail(FaultPoint::ShardStall) {
                 let _ = reply.send(JobResult::Stalled);
                 continue;
             }
             if plan.should_fail(FaultPoint::ShardSlowJob) {
-                thread::sleep(Duration::from_millis(slow_job_ms));
+                sim::sleep_ms(slow_job_ms);
             }
-            match catch_unwind(AssertUnwindSafe(|| {
+            let result = catch_unwind(AssertUnwindSafe(|| {
                 assert!(
                     !plan.should_fail(FaultPoint::ShardPanic),
                     "injected shard panic"
                 );
                 job(&mut bms)
-            })) {
+            }));
+            // The gap between a job's last WAL append and its reply
+            // reaching the router is where a watchdog expiry leaves the
+            // write indeterminate; a scheduling point here lets seeded
+            // simulation schedules exercise exactly that race.
+            sim::yield_now();
+            match result {
                 Ok(value) => {
                     let _ = reply.send(JobResult::Done(value));
                 }
@@ -185,6 +238,7 @@ fn spawn_worker(mut bms: Tippers, plan: FaultPlan, slow_job_ms: u64) -> Worker {
     Worker {
         jobs: tx,
         handle: Some(handle),
+        abandoned,
     }
 }
 
@@ -485,7 +539,7 @@ impl ShardedTippers {
     }
 
     fn try_restart(&mut self, idx: usize, attempts: u32) -> bool {
-        let started = Instant::now();
+        let started_us = sim::monotonic_us();
         let lost = self
             .config
             .fault_plan
@@ -509,7 +563,7 @@ impl ShardedTippers {
             Some(mut bms) => {
                 self.drain_pending(idx, &mut bms);
                 self.recovery_us
-                    .push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    .push(sim::monotonic_us().saturating_sub(started_us));
                 let worker =
                     spawn_worker(bms, self.config.fault_plan.clone(), self.spec.slow_job_ms());
                 let slot = &mut self.slots[idx];
@@ -547,12 +601,15 @@ impl ShardedTippers {
             self.model.clone(),
             self.config.clone(),
         )?;
-        let owned: Vec<Occupant> = self
+        let mut owned: Vec<Occupant> = self
             .directory
             .values()
             .filter(|o| self.router.shard_of_user(o.user) == idx)
             .cloned()
             .collect();
+        // Directory iteration order is a hash order: sort so rebuilds
+        // are identical across processes (schedule replay depends on it).
+        owned.sort_unstable_by_key(|o| o.user);
         bms.register_occupants(&owned);
         Ok(bms)
     }
@@ -598,10 +655,20 @@ impl ShardedTippers {
         // append to (or truncate, or rotate) the WAL partition, and once
         // `advance` returns no write of its is still in flight — the
         // partition is stable for the standby rebuild to replay.
-        self.slots[idx].fence.advance();
+        // (The test-only `sim_reintroduce_fence_bug` hook skips this —
+        // reopening the PR 9 abandoned-writer hole on purpose so the
+        // simulation harness can prove it finds the bug.)
+        if !self.spec.sim_reintroduce_fence_bug {
+            self.slots[idx].fence.advance();
+        }
         let slot = &mut self.slots[idx];
         // Dropping the worker closes its job channel (a live thread
         // exits); a genuinely hung thread is abandoned, never joined.
+        // The abandonment flag stops it from running any job still
+        // queued behind the one the watchdog gave up on.
+        if let Some(worker) = &slot.worker {
+            worker.abandoned.store(true, Ordering::Release);
+        }
         slot.worker = None;
         match cause {
             FailCause::Panic => slot.panics += 1,
@@ -633,8 +700,8 @@ impl ShardedTippers {
         &mut self,
         idx: usize,
         job: impl FnOnce(&mut Tippers) -> R + Send + 'static,
-    ) -> Option<mpsc::Receiver<JobResult>> {
-        let (reply_tx, reply_rx) = mpsc::channel();
+    ) -> Option<sim::Receiver<JobResult>> {
+        let (reply_tx, reply_rx) = sim::channel();
         let boxed: Job = Box::new(move |bms| Box::new(job(bms)) as Box<dyn Any + Send>);
         let Some(worker) = self.slots[idx].worker.as_ref() else {
             self.quarantine(idx, FailCause::Dead);
@@ -652,9 +719,9 @@ impl ShardedTippers {
     fn await_reply<R: Send + 'static>(
         &mut self,
         idx: usize,
-        rx: &mpsc::Receiver<JobResult>,
+        rx: &sim::Receiver<JobResult>,
     ) -> ShardReply<R> {
-        match rx.recv_timeout(Duration::from_millis(self.spec.watchdog_ms)) {
+        match rx.recv_timeout_ms(self.spec.watchdog_ms) {
             Ok(JobResult::Done(value)) => match value.downcast::<R>() {
                 Ok(v) => ShardReply::Done(*v),
                 Err(_) => {
@@ -677,8 +744,9 @@ impl ShardedTippers {
                 ShardReply::Skipped
             }
             Err(_) => {
-                // Real watchdog expiry: the worker is hung (or slow) with
-                // the job in an unknown state. Quarantining fences its
+                // Watchdog expiry (real time on OS threads, virtual time
+                // under the simulation executor): the worker is hung (or
+                // slow) with the job in an unknown state. Quarantining fences its
                 // WAL handle, so whatever it committed up to this moment
                 // is all it ever will.
                 self.quarantine(idx, FailCause::Stall);
@@ -1279,13 +1347,13 @@ impl Drop for ShardedTippers {
     fn drop(&mut self) {
         for slot in &mut self.slots {
             if let Some(worker) = slot.worker.take() {
-                let Worker { jobs, handle } = worker;
+                let Worker { jobs, handle, .. } = worker;
                 // Closing the channel ends the worker loop; join so no
                 // thread outlives the runtime. (Quarantined-hung workers
                 // were already abandoned without a handle.)
                 drop(jobs);
                 if let Some(handle) = handle {
-                    let _ = handle.join();
+                    handle.join();
                 }
             }
         }
@@ -1305,6 +1373,9 @@ impl std::fmt::Debug for ShardedTippers {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::mpsc;
+    use std::thread;
+    use std::time::Duration;
     use tippers_policy::{Effect, PreferenceScope};
     use tippers_spatial::fixtures::dbh;
 
@@ -1318,7 +1389,7 @@ mod tests {
                 watchdog_ms,
                 backoff_base_ms: 10,
                 backoff_max_ms: 40,
-                zone_pins: Vec::new(),
+                ..ShardSpec::default()
             },
         )
     }

@@ -22,6 +22,14 @@
 //! operations), so supervision is deterministic under test and never
 //! sleeps.
 //!
+//! The hung-worker watchdog (`ShardSpec::watchdog_ms`) goes through the
+//! executor facade in [`tippers_resilience::sim`]: on OS threads it is
+//! the real-time `recv_timeout` backstop it always was, while under the
+//! simulation executor it counts virtual milliseconds on the same clock
+//! that drives the backoff — so a simulated run never consults the wall
+//! clock, and a slow CI host can never fire the watchdog spuriously
+//! inside a deterministic test.
+//!
 //! Quarantine begins by *fencing* the abandoned worker's WAL handle
 //! (see [`super::fence`]): a slow-but-alive job that outlives its
 //! watchdog can never append to the partition the rebuilt engine

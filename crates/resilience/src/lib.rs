@@ -30,6 +30,12 @@
 //!   (`Emergency > Interactive > Batch`) with the invariants that
 //!   Emergency is never shed and sheds fail closed.
 //! * [`BrownoutController`] — stepwise degradation with hysteresis.
+//!
+//! Finally, [`sim`] turns whole multi-threaded runtimes into
+//! deterministic simulations: an executor-agnostic thread/channel facade
+//! plus a seeded cooperative scheduler with virtual time, a schedule
+//! explorer, and a delta-debugging shrinker that reduces a failing
+//! interleaving to a replayable JSON artifact.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +50,7 @@ mod nemesis;
 mod queue;
 mod retry;
 mod shed;
+pub mod sim;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use brownout::{BrownoutConfig, BrownoutController, BrownoutLevel};

@@ -1,0 +1,786 @@
+//! The deterministic simulation executor: cooperative "threads" under a
+//! seeded scheduler.
+//!
+//! # Model
+//!
+//! A [`SimExecutor`] run is *logically single-threaded*: every task is
+//! carried by an OS thread, but a global baton (mutex + condvar) keeps
+//! exactly one task running at any instant. A task keeps the baton until
+//! it reaches a *scheduling point* — spawning a task, sending on a
+//! channel, blocking in `recv`/`recv_timeout`, sleeping, yielding, or
+//! exiting — where the scheduler picks the next runnable task. With more
+//! than one choice, the pick comes from the schedule's seeded RNG (or
+//! its recorded step list on replay), so one `u64` seed fully determines
+//! the interleaving and any run replays bit-for-bit.
+//!
+//! # Virtual time
+//!
+//! The executor owns a virtual clock in the same millisecond domain as
+//! [`crate::VirtualClock`] (it drives a shared clock instance that
+//! in-sim code can observe via [`clock`]). Nothing in a simulation
+//! touches the wall clock: when no task is runnable, time jumps to the
+//! earliest pending deadline (a sleep or a `recv_timeout`) — the
+//! discrete-event step every deterministic simulator takes. On top of
+//! that, a schedule may enable *preemptive* advances: at a scheduling
+//! point with runnable tasks and a pending deadline, the scheduler can
+//! choose to advance time anyway, modeling an OS that delays a runnable
+//! thread past a watchdog deadline. That choice — recorded as the
+//! [`ADVANCE`] step — is what makes watchdog/writer races schedulable
+//! from a seed instead of reachable only on a pathological host.
+//!
+//! # Failure capture
+//!
+//! A panic escaping any task (an invariant assertion in a workload, a
+//! deadlock abort, a step-budget abort) is caught at the task boundary
+//! and surfaced as the run's [`SimOutcome::violation`]; the run always
+//! completes and joins every carrier thread.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::clock::VirtualClock;
+
+use super::schedule::Schedule;
+
+/// The recorded scheduling step meaning "advance virtual time to the
+/// earliest pending deadline" instead of running a task. Any other step
+/// value is an index into the runnable-task list (sorted by task id), so
+/// `0` — the shrinker's default — means "run the oldest runnable task".
+pub const ADVANCE: u32 = u32::MAX;
+
+const NO_TASK: usize = usize::MAX;
+
+/// What one simulated run did: the recorded schedule trace, how far
+/// virtual time got, and the first failure (if any).
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Every recorded scheduling decision, in order: replaying these as
+    /// [`Schedule::steps`] reproduces the run exactly.
+    pub trace: Vec<u32>,
+    /// Total scheduling decisions taken (recorded ones only).
+    pub decisions: u64,
+    /// Virtual time when the run completed, milliseconds.
+    pub end_ms: i64,
+    /// The first panic that escaped a task (workload invariant failure,
+    /// deadlock, or step-budget abort); `None` for a clean run.
+    pub violation: Option<String>,
+}
+
+impl SimOutcome {
+    /// True when the run surfaced a violation.
+    pub fn failed(&self) -> bool {
+        self.violation.is_some()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Status {
+    Runnable,
+    Running,
+    Blocked { deadline_ms: Option<i64> },
+    Finished,
+}
+
+struct Task {
+    status: Status,
+    /// Tasks blocked in `join` on this task, woken when it finishes.
+    joiners: Vec<usize>,
+}
+
+struct State {
+    tasks: Vec<Task>,
+    running: usize,
+    now_ms: i64,
+    rng: u64,
+    preempt_permille: u32,
+    replay: Option<VecDeque<u32>>,
+    trace: Vec<u32>,
+    decisions: u64,
+    step_limit: u64,
+    live: usize,
+    /// A scheduler-level failure (deadlock, step budget): once set, the
+    /// scheduler stops recording and drains every task via panic.
+    abort: Option<String>,
+    /// The first panic that escaped a task body.
+    panic: Option<String>,
+    clock: VirtualClock,
+    carriers: Vec<thread::JoinHandle<()>>,
+}
+
+pub(super) struct Sched {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+fn context() -> Option<(Arc<Sched>, usize)> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+/// True when the calling thread is a task inside a running simulation.
+pub fn in_sim() -> bool {
+    context().is_some()
+}
+
+/// The running simulation's virtual clock (shares the executor's time),
+/// or `None` outside a simulation.
+pub fn clock() -> Option<VirtualClock> {
+    context().map(|(sched, _)| sched.lock().clock.clone())
+}
+
+/// A monotone microsecond reading: virtual time inside a simulation,
+/// a process-local `Instant` outside. Only differences are meaningful.
+pub fn monotonic_us() -> u64 {
+    match context() {
+        Some((sched, _)) => u64::try_from(sched.lock().now_ms.max(0)).unwrap_or(0) * 1_000,
+        None => {
+            static EPOCH: OnceLock<Instant> = OnceLock::new();
+            u64::try_from(EPOCH.get_or_init(Instant::now).elapsed().as_micros()).unwrap_or(u64::MAX)
+        }
+    }
+}
+
+/// Sleeps: virtual time inside a simulation (a scheduling point), real
+/// time outside.
+pub fn sleep_ms(ms: u64) {
+    match context() {
+        Some((sched, me)) => sched.sleep(me, ms),
+        None => thread::sleep(Duration::from_millis(ms)),
+    }
+}
+
+/// A scheduling point inside a simulation; a no-op outside (matching the
+/// threaded runtime, which has no explicit yields today).
+pub fn yield_now() {
+    if let Some((sched, me)) = context() {
+        sched.reschedule(me, Status::Runnable);
+    }
+}
+
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+impl Sched {
+    fn new(schedule: &Schedule) -> Sched {
+        // Xorshift state must be non-zero; fold seed 0 onto a fixed
+        // odd constant so every seed is usable.
+        let rng = if schedule.seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            schedule.seed
+        };
+        Sched {
+            state: Mutex::new(State {
+                tasks: Vec::new(),
+                running: NO_TASK,
+                now_ms: 0,
+                rng,
+                preempt_permille: schedule.preempt_permille,
+                replay: schedule.steps.clone().map(VecDeque::from),
+                trace: Vec::new(),
+                decisions: 0,
+                step_limit: schedule.step_limit,
+                live: 0,
+                abort: None,
+                panic: None,
+                clock: VirtualClock::new(),
+                carriers: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn draw(g: &mut State) -> u64 {
+        let mut x = g.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        g.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Jumps virtual time to `deadline` and wakes every task whose
+    /// deadline has arrived.
+    fn advance_to(g: &mut State, deadline: i64) {
+        if deadline > g.now_ms {
+            g.now_ms = deadline;
+            g.clock.set_ms(deadline);
+        }
+        for task in &mut g.tasks {
+            if let Status::Blocked {
+                deadline_ms: Some(d),
+            } = task.status
+            {
+                if d <= g.now_ms {
+                    task.status = Status::Runnable;
+                }
+            }
+        }
+    }
+
+    /// The scheduler core: picks the next task to run (or advances
+    /// virtual time) and hands it the baton. Called with the previous
+    /// holder already moved out of `Running`.
+    fn pick(&self, g: &mut State) {
+        loop {
+            if g.live == 0 {
+                g.running = NO_TASK;
+                return;
+            }
+            let runnable: Vec<usize> = g
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::Runnable)
+                .map(|(i, _)| i)
+                .collect();
+            let timer = g
+                .tasks
+                .iter()
+                .filter_map(|t| match t.status {
+                    Status::Blocked {
+                        deadline_ms: Some(d),
+                    } => Some(d),
+                    _ => None,
+                })
+                .min();
+            if runnable.is_empty() {
+                match timer {
+                    // Nothing runnable: the forced discrete-event time
+                    // jump. Not a choice, so never recorded.
+                    Some(d) => {
+                        Self::advance_to(g, d);
+                        continue;
+                    }
+                    None => {
+                        // No runnable task, no pending deadline, tasks
+                        // still live: a real deadlock. Abort the run and
+                        // wake everything so each task unwinds.
+                        if g.abort.is_none() {
+                            g.abort = Some(format!(
+                                "sim deadlock: {} live tasks, none runnable, no pending \
+                                 deadline at t={}ms",
+                                g.live, g.now_ms
+                            ));
+                        }
+                        for task in &mut g.tasks {
+                            if matches!(task.status, Status::Blocked { .. }) {
+                                task.status = Status::Runnable;
+                            }
+                        }
+                        continue;
+                    }
+                }
+            }
+            if g.abort.is_some() {
+                // Draining after an abort: deterministic but unrecorded.
+                g.tasks[runnable[0]].status = Status::Running;
+                g.running = runnable[0];
+                return;
+            }
+            let can_advance = timer.is_some() && g.preempt_permille > 0;
+            let recorded = runnable.len() > 1 || can_advance;
+            let choice: u32 = if !recorded {
+                0
+            } else {
+                g.decisions += 1;
+                if g.decisions > g.step_limit {
+                    g.abort = Some(format!(
+                        "sim step budget exceeded: {} scheduling decisions",
+                        g.step_limit
+                    ));
+                    continue;
+                }
+                let raw = match g.replay {
+                    // A replay past its recorded steps falls back to the
+                    // shrinker's default: run the oldest runnable task.
+                    Some(ref mut steps) => steps.pop_front().unwrap_or(0),
+                    None => {
+                        if can_advance && Self::draw(g) % 1_000 < u64::from(g.preempt_permille) {
+                            ADVANCE
+                        } else {
+                            u32::try_from(Self::draw(g) % runnable.len() as u64)
+                                .expect("runnable count fits u32")
+                        }
+                    }
+                };
+                // Normalize edited replay steps onto the current run so
+                // shrunk schedules always stay executable.
+                let step = if raw == ADVANCE {
+                    if timer.is_some() {
+                        ADVANCE
+                    } else {
+                        0
+                    }
+                } else if (raw as usize) < runnable.len() {
+                    raw
+                } else {
+                    0
+                };
+                g.trace.push(step);
+                step
+            };
+            if choice == ADVANCE {
+                let d = timer.expect("ADVANCE is only offered with a pending deadline");
+                Self::advance_to(g, d);
+                continue;
+            }
+            let id = runnable[choice as usize];
+            g.tasks[id].status = Status::Running;
+            g.running = id;
+            return;
+        }
+    }
+
+    /// Moves task `w` out of `Blocked` (a message arrived, a sender hung
+    /// up, a joined task finished). The waker keeps the baton.
+    fn wake(&self, w: usize) {
+        let mut g = self.lock();
+        if matches!(g.tasks[w].status, Status::Blocked { .. }) {
+            g.tasks[w].status = Status::Runnable;
+        }
+    }
+
+    /// Gives up the baton with the caller in `status`, and returns once
+    /// the scheduler hands it back. Panics the task when the run has
+    /// aborted, so every task unwinds and the run can complete.
+    fn reschedule(&self, me: usize, status: Status) {
+        let mut g = self.lock();
+        debug_assert_eq!(g.running, me, "only the baton holder can reschedule");
+        g.tasks[me].status = status;
+        g.running = NO_TASK;
+        self.pick(&mut g);
+        self.cv.notify_all();
+        while !(g.running == me && g.tasks[me].status == Status::Running) {
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+        let abort = g.abort.clone();
+        drop(g);
+        if let Some(msg) = abort {
+            // A task already unwinding (running Drop code that blocks,
+            // like joining its workers) must not panic again — a double
+            // panic would abort the process instead of ending the run.
+            if !thread::panicking() {
+                panic!("{msg}");
+            }
+        }
+    }
+
+    /// First baton acquisition of a freshly spawned task.
+    fn acquire(&self, me: usize) {
+        let mut g = self.lock();
+        while !(g.running == me && g.tasks[me].status == Status::Running) {
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Task exit: wake joiners, hand the baton on, never returns the
+    /// baton to `me`.
+    fn finish(&self, me: usize, panicked: Option<String>) {
+        let mut g = self.lock();
+        if let Some(msg) = panicked {
+            if g.panic.is_none() && g.abort.is_none() {
+                g.panic = Some(msg);
+            }
+        }
+        let joiners = std::mem::take(&mut g.tasks[me].joiners);
+        for j in joiners {
+            if matches!(g.tasks[j].status, Status::Blocked { .. }) {
+                g.tasks[j].status = Status::Runnable;
+            }
+        }
+        g.tasks[me].status = Status::Finished;
+        g.live -= 1;
+        g.running = NO_TASK;
+        self.pick(&mut g);
+        self.cv.notify_all();
+    }
+
+    fn spawn_task(self: &Arc<Self>, name: &str, f: Box<dyn FnOnce() + Send>) -> usize {
+        let id = {
+            let mut g = self.lock();
+            g.tasks.push(Task {
+                status: Status::Runnable,
+                joiners: Vec::new(),
+            });
+            g.live += 1;
+            g.tasks.len() - 1
+        };
+        let sched = Arc::clone(self);
+        let carrier = thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .spawn(move || {
+                CONTEXT.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), id)));
+                sched.acquire(id);
+                let result = catch_unwind(AssertUnwindSafe(f));
+                sched.finish(id, result.err().map(panic_message));
+            })
+            .expect("spawn sim carrier thread");
+        self.lock().carriers.push(carrier);
+        // Spawning is a scheduling point: the child may run before the
+        // parent's next instruction, exactly like a real spawn.
+        let me = context().expect("spawn_task runs inside a task").1;
+        self.reschedule(me, Status::Runnable);
+        id
+    }
+
+    fn join_task(&self, target: usize) {
+        let me = context().expect("sim join runs inside a task").1;
+        let pending = {
+            let mut g = self.lock();
+            if g.tasks[target].status == Status::Finished {
+                false
+            } else {
+                g.tasks[target].joiners.push(me);
+                true
+            }
+        };
+        if pending {
+            self.reschedule(me, Status::Blocked { deadline_ms: None });
+        }
+    }
+
+    fn now_ms(&self) -> i64 {
+        self.lock().now_ms
+    }
+
+    fn sleep(&self, me: usize, ms: u64) {
+        let deadline = self
+            .now_ms()
+            .saturating_add(i64::try_from(ms).unwrap_or(i64::MAX));
+        while self.now_ms() < deadline {
+            self.reschedule(
+                me,
+                Status::Blocked {
+                    deadline_ms: Some(deadline),
+                },
+            );
+        }
+    }
+}
+
+// ---- channels ---------------------------------------------------------------
+
+struct ChanInner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receiver_alive: bool,
+    /// The (single) task blocked waiting on this channel, if any.
+    waiting: Option<usize>,
+}
+
+struct SimSender<T> {
+    chan: Arc<Mutex<ChanInner<T>>>,
+    sched: Arc<Sched>,
+}
+
+struct SimReceiver<T> {
+    chan: Arc<Mutex<ChanInner<T>>>,
+    sched: Arc<Sched>,
+}
+
+fn chan_lock<T>(chan: &Mutex<ChanInner<T>>) -> MutexGuard<'_, ChanInner<T>> {
+    chan.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl<T> SimSender<T> {
+    fn send(&self, value: T) -> Result<(), mpsc::SendError<T>> {
+        let me = context().expect("sim channels are used inside sim tasks").1;
+        {
+            let mut c = chan_lock(&self.chan);
+            if !c.receiver_alive {
+                return Err(mpsc::SendError(value));
+            }
+            c.queue.push_back(value);
+            if let Some(w) = c.waiting.take() {
+                self.sched.wake(w);
+            }
+        }
+        // Delivery is a scheduling point: the receiver may observe the
+        // message before the sender's next instruction — or arbitrarily
+        // later, including after its own timeout.
+        self.sched.reschedule(me, Status::Runnable);
+        Ok(())
+    }
+}
+
+impl<T> Clone for SimSender<T> {
+    fn clone(&self) -> SimSender<T> {
+        chan_lock(&self.chan).senders += 1;
+        SimSender {
+            chan: Arc::clone(&self.chan),
+            sched: Arc::clone(&self.sched),
+        }
+    }
+}
+
+impl<T> Drop for SimSender<T> {
+    fn drop(&mut self) {
+        let mut c = chan_lock(&self.chan);
+        c.senders -= 1;
+        if c.senders == 0 {
+            if let Some(w) = c.waiting.take() {
+                self.sched.wake(w);
+            }
+        }
+    }
+}
+
+impl<T> SimReceiver<T> {
+    fn recv(&self) -> Result<T, mpsc::RecvError> {
+        let me = context().expect("sim channels are used inside sim tasks").1;
+        loop {
+            {
+                let mut c = chan_lock(&self.chan);
+                if let Some(v) = c.queue.pop_front() {
+                    return Ok(v);
+                }
+                if c.senders == 0 {
+                    return Err(mpsc::RecvError);
+                }
+                c.waiting = Some(me);
+            }
+            self.sched
+                .reschedule(me, Status::Blocked { deadline_ms: None });
+        }
+    }
+
+    fn recv_timeout_ms(&self, ms: u64) -> Result<T, mpsc::RecvTimeoutError> {
+        let me = context().expect("sim channels are used inside sim tasks").1;
+        let deadline = self
+            .sched
+            .now_ms()
+            .saturating_add(i64::try_from(ms).unwrap_or(i64::MAX));
+        loop {
+            {
+                let mut c = chan_lock(&self.chan);
+                if let Some(v) = c.queue.pop_front() {
+                    return Ok(v);
+                }
+                if c.senders == 0 {
+                    return Err(mpsc::RecvTimeoutError::Disconnected);
+                }
+            }
+            if self.sched.now_ms() >= deadline {
+                let mut c = chan_lock(&self.chan);
+                if c.waiting == Some(me) {
+                    c.waiting = None;
+                }
+                return Err(mpsc::RecvTimeoutError::Timeout);
+            }
+            chan_lock(&self.chan).waiting = Some(me);
+            self.sched.reschedule(
+                me,
+                Status::Blocked {
+                    deadline_ms: Some(deadline),
+                },
+            );
+        }
+    }
+}
+
+impl<T> Drop for SimReceiver<T> {
+    fn drop(&mut self) {
+        chan_lock(&self.chan).receiver_alive = false;
+    }
+}
+
+// ---- the executor-agnostic facade -------------------------------------------
+
+enum SenderImpl<T> {
+    Thread(mpsc::Sender<T>),
+    Sim(SimSender<T>),
+}
+
+/// The sending half of an executor-agnostic channel: real `mpsc` on OS
+/// threads, a scheduler-visible queue inside a simulation.
+pub struct Sender<T>(SenderImpl<T>);
+
+impl<T> Sender<T> {
+    /// Sends a value; `Err` returns it when the receiver hung up.
+    /// Never blocks (both halves are unbounded); inside a simulation,
+    /// delivery is a scheduling point.
+    pub fn send(&self, value: T) -> Result<(), mpsc::SendError<T>> {
+        match &self.0 {
+            SenderImpl::Thread(tx) => tx.send(value),
+            SenderImpl::Sim(tx) => tx.send(value),
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        Sender(match &self.0 {
+            SenderImpl::Thread(tx) => SenderImpl::Thread(tx.clone()),
+            SenderImpl::Sim(tx) => SenderImpl::Sim(tx.clone()),
+        })
+    }
+}
+
+enum ReceiverImpl<T> {
+    Thread(mpsc::Receiver<T>),
+    Sim(SimReceiver<T>),
+}
+
+/// The receiving half of an executor-agnostic channel.
+pub struct Receiver<T>(ReceiverImpl<T>);
+
+impl<T> Receiver<T> {
+    /// Blocks until a value arrives or every sender hung up.
+    pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+        match &self.0 {
+            ReceiverImpl::Thread(rx) => rx.recv(),
+            ReceiverImpl::Sim(rx) => rx.recv(),
+        }
+    }
+
+    /// Blocks until a value arrives, every sender hung up, or `ms`
+    /// elapse — real milliseconds on OS threads, *virtual* milliseconds
+    /// inside a simulation (the watchdog backstop that never touches the
+    /// wall clock in sim).
+    pub fn recv_timeout_ms(&self, ms: u64) -> Result<T, mpsc::RecvTimeoutError> {
+        match &self.0 {
+            ReceiverImpl::Thread(rx) => rx.recv_timeout(Duration::from_millis(ms)),
+            ReceiverImpl::Sim(rx) => rx.recv_timeout_ms(ms),
+        }
+    }
+}
+
+/// An executor-agnostic unbounded channel: `std::sync::mpsc` on OS
+/// threads, a deterministic scheduler-visible queue when the calling
+/// task runs inside a [`SimExecutor`].
+pub fn channel<T: Send>() -> (Sender<T>, Receiver<T>) {
+    match context() {
+        None => {
+            let (tx, rx) = mpsc::channel();
+            (
+                Sender(SenderImpl::Thread(tx)),
+                Receiver(ReceiverImpl::Thread(rx)),
+            )
+        }
+        Some((sched, _)) => {
+            let chan = Arc::new(Mutex::new(ChanInner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+                waiting: None,
+            }));
+            (
+                Sender(SenderImpl::Sim(SimSender {
+                    chan: Arc::clone(&chan),
+                    sched: Arc::clone(&sched),
+                })),
+                Receiver(ReceiverImpl::Sim(SimReceiver { chan, sched })),
+            )
+        }
+    }
+}
+
+enum JoinImpl {
+    Thread(thread::JoinHandle<()>),
+    Sim { sched: Arc<Sched>, id: usize },
+}
+
+/// An executor-agnostic join handle for a spawned worker.
+pub struct JoinHandle(JoinImpl);
+
+impl JoinHandle {
+    /// Waits for the task to finish. A panic inside the task is already
+    /// reported through its own boundary, so join itself never fails.
+    pub fn join(self) {
+        match self.0 {
+            JoinImpl::Thread(h) => {
+                let _ = h.join();
+            }
+            JoinImpl::Sim { sched, id } => sched.join_task(id),
+        }
+    }
+}
+
+/// Spawns a worker: an OS thread outside a simulation, a cooperatively
+/// scheduled task inside one (spawning is then a scheduling point).
+pub fn spawn(name: &str, f: impl FnOnce() + Send + 'static) -> JoinHandle {
+    match context() {
+        None => {
+            let h = thread::Builder::new()
+                .name(name.to_owned())
+                .spawn(f)
+                .expect("spawn worker thread");
+            JoinHandle(JoinImpl::Thread(h))
+        }
+        Some((sched, _)) => {
+            let id = sched.spawn_task(name, Box::new(f));
+            JoinHandle(JoinImpl::Sim { sched, id })
+        }
+    }
+}
+
+// ---- the executor -----------------------------------------------------------
+
+/// Runs a root closure (and everything it spawns through this module's
+/// facade) as a deterministic simulation.
+pub struct SimExecutor;
+
+impl SimExecutor {
+    /// Runs `root` to completion under `schedule`, returning the
+    /// recorded trace and the first violation (a panic escaping any
+    /// task), if any. Every carrier thread is joined before returning.
+    pub fn run(schedule: &Schedule, root: impl FnOnce() + Send + 'static) -> SimOutcome {
+        let sched = Arc::new(Sched::new(schedule));
+        {
+            let mut g = sched.lock();
+            g.tasks.push(Task {
+                status: Status::Running,
+                joiners: Vec::new(),
+            });
+            g.live = 1;
+            g.running = 0;
+        }
+        let root_sched = Arc::clone(&sched);
+        let boxed: Box<dyn FnOnce() + Send> = Box::new(root);
+        let root_carrier = thread::Builder::new()
+            .name("sim-root".to_owned())
+            .spawn(move || {
+                CONTEXT.with(|c| *c.borrow_mut() = Some((Arc::clone(&root_sched), 0)));
+                let result = catch_unwind(AssertUnwindSafe(boxed));
+                root_sched.finish(0, result.err().map(panic_message));
+            })
+            .expect("spawn sim root carrier");
+        {
+            let mut g = sched.lock();
+            while g.live > 0 {
+                g = sched.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        let _ = root_carrier.join();
+        let carriers = std::mem::take(&mut sched.lock().carriers);
+        for c in carriers {
+            let _ = c.join();
+        }
+        let g = sched.lock();
+        SimOutcome {
+            trace: g.trace.clone(),
+            decisions: g.decisions,
+            end_ms: g.now_ms,
+            violation: g.abort.clone().or_else(|| g.panic.clone()),
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! Replayable schedules: the artifact a failing simulation leaves
+//! behind, plus the seed explorer and the delta-debugging shrinker.
+//!
+//! A [`Schedule`] is everything that determines one simulated run:
+//!
+//! * `seed` — drives the scheduler RNG (and, by convention, the
+//!   workload's own deterministic choices and fault lattice);
+//! * `preempt_permille` — how often the scheduler, at a decision point
+//!   with a pending deadline, advances virtual time instead of running
+//!   a task (the knob that makes watchdog races reachable);
+//! * `steps` — when present, the recorded decision list replays
+//!   *verbatim* and the RNG is never consulted: this is what a shrunk
+//!   failing schedule pins down. A replay that runs out of steps (or
+//!   meets an edited, out-of-range step) falls back to the default
+//!   choice — run the oldest runnable task — which is exactly the
+//!   direction the shrinker minimizes toward;
+//! * `fault_mask` — per-round switches for the workload's fault
+//!   lattice, so the shrinker can turn individual fault injections off.
+//!
+//! The JSON form is the regression artifact checked into
+//! `tests/schedules/`: small, diffable, and stable (the seed is encoded
+//! as a string so 64-bit values survive any JSON reader).
+
+use serde::{parse_json, write_json, Map, Number, Value};
+
+use super::exec::{SimOutcome, ADVANCE};
+
+const FORMAT_VERSION: u64 = 1;
+
+/// The default scheduling-decision budget per run: generous for any real
+/// workload, small enough to turn an accidental livelock into a prompt
+/// abort instead of a hung test.
+pub const DEFAULT_STEP_LIMIT: u64 = 2_000_000;
+
+/// One fully-determined simulated run: seed, preemption rate, optional
+/// pinned decision steps, optional fault-round mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Scheduler RNG seed (also, by convention, the workload seed).
+    pub seed: u64,
+    /// Per-mille probability that a decision point with a pending
+    /// deadline advances virtual time instead of running a task.
+    pub preempt_permille: u32,
+    /// Scheduling-decision budget before the run aborts.
+    pub step_limit: u64,
+    /// Pinned decisions (indices into the sorted runnable list, or
+    /// [`ADVANCE`]); `None` means draw from the seeded RNG.
+    pub steps: Option<Vec<u32>>,
+    /// Per-round fault switches; `None` (and rounds past the end of the
+    /// mask) mean enabled.
+    pub fault_mask: Option<Vec<bool>>,
+    /// Free-form provenance ("explored", "shrunk from seed 17", …).
+    pub note: String,
+}
+
+impl Schedule {
+    /// A seeded schedule with no pinned steps and every fault enabled.
+    pub fn seeded(seed: u64, preempt_permille: u32) -> Schedule {
+        Schedule {
+            seed,
+            preempt_permille,
+            step_limit: DEFAULT_STEP_LIMIT,
+            steps: None,
+            fault_mask: None,
+            note: String::new(),
+        }
+    }
+
+    /// Whether the workload's fault lattice is enabled for `round`.
+    pub fn fault_enabled(&self, round: usize) -> bool {
+        self.fault_mask
+            .as_ref()
+            .is_none_or(|m| m.get(round).copied().unwrap_or(true))
+    }
+
+    /// Pinned steps that differ from the replay default (non-zero),
+    /// i.e. the preemptions a shrunk schedule actually needs.
+    pub fn preemptions(&self) -> usize {
+        self.steps
+            .as_ref()
+            .map_or(0, |s| s.iter().filter(|&&v| v != 0).count())
+    }
+
+    /// Serializes to the JSON artifact format.
+    pub fn to_json(&self) -> String {
+        let mut obj = Map::new();
+        obj.insert(
+            "version".to_owned(),
+            Value::Number(Number::U(FORMAT_VERSION)),
+        );
+        // As a string: 64-bit seeds survive readers that parse all JSON
+        // numbers as f64.
+        obj.insert("seed".to_owned(), Value::String(self.seed.to_string()));
+        obj.insert(
+            "preempt_permille".to_owned(),
+            Value::Number(Number::U(u64::from(self.preempt_permille))),
+        );
+        obj.insert(
+            "step_limit".to_owned(),
+            Value::Number(Number::U(self.step_limit)),
+        );
+        if let Some(steps) = &self.steps {
+            obj.insert(
+                "steps".to_owned(),
+                Value::Array(
+                    steps
+                        .iter()
+                        .map(|&s| {
+                            if s == ADVANCE {
+                                // Readable alias for the time-advance step.
+                                Value::String("advance".to_owned())
+                            } else {
+                                Value::Number(Number::U(u64::from(s)))
+                            }
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        if let Some(mask) = &self.fault_mask {
+            obj.insert(
+                "fault_mask".to_owned(),
+                Value::Array(mask.iter().map(|&b| Value::Bool(b)).collect()),
+            );
+        }
+        if !self.note.is_empty() {
+            obj.insert("note".to_owned(), Value::String(self.note.clone()));
+        }
+        let mut out = String::new();
+        write_json(&Value::Object(obj), &mut out);
+        out
+    }
+
+    /// Parses the JSON artifact format.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the text is not valid JSON or is
+    /// missing/mistyping a required field.
+    pub fn from_json(text: &str) -> Result<Schedule, String> {
+        let value = parse_json(text).map_err(|e| format!("schedule artifact: {e}"))?;
+        let uint = |v: &Value, what: &str| -> Result<u64, String> {
+            match v {
+                Value::Number(Number::U(u)) => Ok(*u),
+                Value::Number(Number::I(i)) if *i >= 0 => Ok(*i as u64),
+                _ => Err(format!(
+                    "schedule artifact: {what} must be an unsigned integer"
+                )),
+            }
+        };
+        let seed = match value.get("seed") {
+            Some(Value::String(s)) => s
+                .parse::<u64>()
+                .map_err(|_| format!("schedule artifact: seed {s:?} is not a u64"))?,
+            Some(v) => uint(v, "seed")?,
+            None => return Err("schedule artifact: missing seed".to_owned()),
+        };
+        let preempt_permille = match value.get("preempt_permille") {
+            Some(v) => u32::try_from(uint(v, "preempt_permille")?)
+                .map_err(|_| "schedule artifact: preempt_permille out of range".to_owned())?,
+            None => 0,
+        };
+        let step_limit = match value.get("step_limit") {
+            Some(v) => uint(v, "step_limit")?,
+            None => DEFAULT_STEP_LIMIT,
+        };
+        let steps = match value.get("steps") {
+            None | Some(Value::Null) => None,
+            Some(Value::Array(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        Value::String(s) if s == "advance" => out.push(ADVANCE),
+                        v => out.push(
+                            u32::try_from(uint(v, "steps entry")?)
+                                .map_err(|_| "schedule artifact: step out of range".to_owned())?,
+                        ),
+                    }
+                }
+                Some(out)
+            }
+            Some(_) => return Err("schedule artifact: steps must be an array".to_owned()),
+        };
+        let fault_mask = match value.get("fault_mask") {
+            None | Some(Value::Null) => None,
+            Some(Value::Array(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        Value::Bool(b) => out.push(*b),
+                        _ => {
+                            return Err(
+                                "schedule artifact: fault_mask must hold booleans".to_owned()
+                            )
+                        }
+                    }
+                }
+                Some(out)
+            }
+            Some(_) => return Err("schedule artifact: fault_mask must be an array".to_owned()),
+        };
+        let note = match value.get("note") {
+            Some(Value::String(s)) => s.clone(),
+            _ => String::new(),
+        };
+        Ok(Schedule {
+            seed,
+            preempt_permille,
+            step_limit,
+            steps,
+            fault_mask,
+            note,
+        })
+    }
+}
+
+/// The first failing schedule an exploration found, with its outcome.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// The seeded schedule that failed.
+    pub schedule: Schedule,
+    /// Its outcome (the trace is the raw material for shrinking).
+    pub outcome: SimOutcome,
+    /// Seeds run before (and including) the failing one.
+    pub seeds_tried: u64,
+}
+
+/// Runs `run` over `seeds` until one fails. `Ok(n)` when all `n` seeds
+/// passed; `Err` carries the first failure.
+pub fn explore<F>(
+    seeds: impl IntoIterator<Item = u64>,
+    preempt_permille: u32,
+    mut run: F,
+) -> Result<u64, Box<Exploration>>
+where
+    F: FnMut(&Schedule) -> SimOutcome,
+{
+    let mut tried = 0u64;
+    for seed in seeds {
+        tried += 1;
+        let schedule = Schedule::seeded(seed, preempt_permille);
+        let outcome = run(&schedule);
+        if outcome.failed() {
+            return Err(Box::new(Exploration {
+                schedule,
+                outcome,
+                seeds_tried: tried,
+            }));
+        }
+    }
+    Ok(tried)
+}
+
+/// What the shrinker did to a failing schedule.
+#[derive(Debug, Clone)]
+pub struct ShrinkReport {
+    /// The minimized, still-failing schedule (pinned steps + fault
+    /// mask): the artifact to check into the regression corpus.
+    pub schedule: Schedule,
+    /// The violation the minimized schedule reproduces.
+    pub violation: String,
+    /// Candidate runs the shrinker executed.
+    pub iterations: u64,
+    /// Pinned steps before/after minimization.
+    pub initial_steps: usize,
+    /// Length of the minimized step list.
+    pub final_steps: usize,
+    /// Non-default decisions before/after (the preemption points the
+    /// failure actually needs).
+    pub initial_preemptions: usize,
+    /// Non-default decisions the minimized schedule retains.
+    pub final_preemptions: usize,
+    /// Fault rounds the shrinker proved irrelevant and disabled.
+    pub fault_rounds_disabled: usize,
+    /// False when pinning the recorded trace did not reproduce the
+    /// violation (the schedule is returned unshrunk).
+    pub reproduced: bool,
+}
+
+/// Delta-debugging shrink: pins the failing run's recorded trace as
+/// explicit steps, then (a) disables fault rounds one at a time,
+/// (b) truncates the step tail, and (c) zeroes step chunks toward the
+/// replay default, keeping each edit only if the violation persists.
+/// `fault_rounds` is the workload's total fault-round count.
+pub fn shrink<F>(
+    failing: &Schedule,
+    outcome: &SimOutcome,
+    fault_rounds: usize,
+    mut run: F,
+) -> ShrinkReport
+where
+    F: FnMut(&Schedule) -> SimOutcome,
+{
+    let mut iterations = 0u64;
+    let mut best = failing.clone();
+    best.steps = Some(outcome.trace.clone());
+    best.fault_mask = Some(match &failing.fault_mask {
+        Some(m) => {
+            let mut m = m.clone();
+            m.resize(fault_rounds.max(m.len()), true);
+            m
+        }
+        None => vec![true; fault_rounds],
+    });
+    let initial_steps = outcome.trace.len();
+    let initial_preemptions = best.preemptions();
+
+    let mut check = |candidate: &Schedule, iterations: &mut u64| -> Option<String> {
+        *iterations += 1;
+        run(candidate).violation
+    };
+
+    // The pinned trace must reproduce on its own before edits mean
+    // anything.
+    let Some(mut violation) = check(&best, &mut iterations) else {
+        return ShrinkReport {
+            schedule: failing.clone(),
+            violation: outcome.violation.clone().unwrap_or_default(),
+            iterations,
+            initial_steps,
+            final_steps: initial_steps,
+            initial_preemptions,
+            final_preemptions: initial_preemptions,
+            fault_rounds_disabled: 0,
+            reproduced: false,
+        };
+    };
+
+    // (a) Disable fault rounds one at a time.
+    for round in 0..best.fault_mask.as_ref().map_or(0, Vec::len) {
+        let mask = best.fault_mask.as_ref().expect("mask installed above");
+        if !mask[round] {
+            continue;
+        }
+        let mut candidate = best.clone();
+        candidate.fault_mask.as_mut().expect("mask")[round] = false;
+        if let Some(v) = check(&candidate, &mut iterations) {
+            best = candidate;
+            violation = v;
+        }
+    }
+
+    // (b) Truncate the step tail by halving (replay past the end falls
+    // back to the default step, so truncation only removes constraints).
+    loop {
+        let len = best.steps.as_ref().expect("steps pinned").len();
+        if len == 0 {
+            break;
+        }
+        let mut candidate = best.clone();
+        candidate.steps.as_mut().expect("steps").truncate(len / 2);
+        match check(&candidate, &mut iterations) {
+            Some(v) => {
+                best = candidate;
+                violation = v;
+            }
+            None => break,
+        }
+    }
+
+    // (c) Zero step chunks toward the default, halving the chunk size.
+    let mut chunk = best.steps.as_ref().expect("steps").len().div_ceil(2);
+    while chunk >= 1 {
+        let len = best.steps.as_ref().expect("steps").len();
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk).min(len);
+            let already_default = best.steps.as_ref().expect("steps")[start..end]
+                .iter()
+                .all(|&s| s == 0);
+            if !already_default {
+                let mut candidate = best.clone();
+                for s in &mut candidate.steps.as_mut().expect("steps")[start..end] {
+                    *s = 0;
+                }
+                if let Some(v) = check(&candidate, &mut iterations) {
+                    best = candidate;
+                    violation = v;
+                }
+            }
+            start = end;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    // Trailing default steps are semantically absent (replay exhaustion
+    // yields the same choice): trim them without re-running.
+    if let Some(steps) = best.steps.as_mut() {
+        while steps.last() == Some(&0) {
+            steps.pop();
+        }
+    }
+
+    let fault_rounds_disabled = best
+        .fault_mask
+        .as_ref()
+        .map_or(0, |m| m.iter().filter(|&&b| !b).count());
+    ShrinkReport {
+        final_steps: best.steps.as_ref().map_or(0, Vec::len),
+        final_preemptions: best.preemptions(),
+        schedule: best,
+        violation,
+        iterations,
+        initial_steps,
+        initial_preemptions,
+        fault_rounds_disabled,
+        reproduced: true,
+    }
+}

@@ -288,6 +288,53 @@ fn eight_shards_are_byte_identical_to_unsharded() {
     assert_identical(8);
 }
 
+/// The simulation executor is transcript-transparent: the same
+/// fault-free scenario, with the whole sharded runtime (workers,
+/// channels, watchdogs) scheduled cooperatively inside a
+/// [`SimExecutor`], produces byte-identical transcripts to both the
+/// threaded sharded run and the unsharded reference — and a different
+/// seed (a different legal interleaving) cannot change them.
+#[test]
+fn sim_executed_shards_are_byte_identical_to_threaded_and_unsharded() {
+    use std::sync::{Arc, Mutex};
+    use tippers_resilience::sim::{Schedule, SimExecutor};
+
+    let reference = unsharded_transcript();
+    let threaded = sharded_transcript(4);
+
+    let sim_transcript = |seed: u64| {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&out);
+        let outcome = SimExecutor::run(&Schedule::seeded(seed, 0), move || {
+            *sink.lock().expect("unpoisoned") = sharded_transcript(4);
+        });
+        assert!(
+            !outcome.failed(),
+            "fault-free sim run failed at seed {seed}: {:?}",
+            outcome.violation
+        );
+        Arc::try_unwrap(out)
+            .expect("sim tasks joined")
+            .into_inner()
+            .expect("unpoisoned")
+    };
+
+    let sim = sim_transcript(42);
+    assert_eq!(
+        sim, threaded,
+        "sim-executed transcript diverged from the threaded run"
+    );
+    assert_eq!(
+        sim, reference,
+        "sim-executed transcript diverged from the unsharded reference"
+    );
+    assert_eq!(
+        sim_transcript(7),
+        sim,
+        "a different interleaving changed a fault-free transcript"
+    );
+}
+
 #[test]
 fn batched_requests_match_sequential_routing() {
     let building = dbh();

@@ -1,0 +1,260 @@
+//! Deterministic-simulation interleaving sweep (experiment E21).
+//!
+//! Runs the sharded-runtime chaos storm — the same invariants
+//! `shard_chaos.rs` checks under real threads — single-threaded under
+//! the seeded simulation executor, so every interleaving is fully
+//! determined by one `u64` and replays bit-for-bit on any machine.
+//!
+//! * The sweep covers ≥200 seeds per CI run (override the count with
+//!   `TIPPERS_SIM_SEEDS`; `TIPPERS_FAULT_SEED` offsets the seed stream,
+//!   so the CI fault-seed matrix explores three disjoint seed ranges).
+//! * A failing seed is automatically delta-debugged down to a minimal
+//!   pinned schedule, written as a JSON artifact, and the panic message
+//!   names the seed, the artifact path, and the one-line replay command.
+//! * `TIPPERS_SIM_SCHEDULE=<path|seed>` replays a schedule artifact (or
+//!   a bare seed) through the identical storm.
+//! * `tests/schedules/*.json` is the regression corpus: shrunk
+//!   schedules from past hunts, replayed on every run. Artifacts whose
+//!   `note` mentions `fence-bug` must *fail* with the PR 9 fence bug
+//!   reintroduced (`ShardSpec::sim_reintroduce_fence_bug`) and *pass*
+//!   against the real fence — proving both that the schedule still
+//!   exercises the race and that the fence still closes it.
+
+use std::fs;
+use std::path::PathBuf;
+
+use tippers_bench::sim::SimStorm;
+use tippers_resilience::sim::{explore, shrink, Schedule};
+
+/// Seeds per sweep; ≥200 in CI, overridable for nightly exploration.
+fn sweep_len() -> u64 {
+    std::env::var("TIPPERS_SIM_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200)
+}
+
+/// The CI fault-seed matrix (7 / 42 / 4711) offsets the seed stream so
+/// each leg sweeps a disjoint range.
+fn seed_stream(len: u64) -> impl Iterator<Item = u64> {
+    let base: u64 = std::env::var("TIPPERS_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let origin = base.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    (0..len).map(move |i| origin.wrapping_add(i))
+}
+
+fn artifact_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR"))
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/schedules")
+}
+
+/// Shrinks a failing schedule, writes the replayable artifact, and
+/// panics with the seed + replay instructions.
+fn report_failure(cfg: &SimStorm, schedule: &Schedule, violation: &str) -> ! {
+    let outcome = cfg.run(schedule);
+    let report = shrink(schedule, &outcome, cfg.fault_rounds(), |s| cfg.run(s));
+    let mut artifact = report.schedule.clone();
+    artifact.note = format!("shrunk from seed {} (sim storm)", schedule.seed);
+    let path = artifact_dir().join(format!("sim-failure-seed-{}.json", schedule.seed));
+    fs::write(&path, artifact.to_json()).expect("write schedule artifact");
+    panic!(
+        "sim storm violated an invariant at seed {} (preempt {}): {violation}\n\
+         shrunk schedule ({} pinned steps, {} preemptions, {} fault rounds disabled, \
+         reproduced={}): {}\n\
+         replay with: TIPPERS_SIM_SCHEDULE={} cargo test --test sim_interleavings replay",
+        schedule.seed,
+        schedule.preempt_permille,
+        report.final_steps,
+        report.final_preemptions,
+        report.fault_rounds_disabled,
+        report.reproduced,
+        path.display(),
+        path.display(),
+    );
+}
+
+/// The tentpole sweep: ≥200 seeds through the full chaos storm, every
+/// invariant checked, in seconds of wall time. Half the seeds run
+/// cooperative (preempt 0), half with preemptive virtual-time advance —
+/// the mode that can fire the watchdog against a racing reply.
+#[test]
+fn sim_storm_sweep_holds_every_chaos_invariant() {
+    let cfg = SimStorm::default();
+    let len = sweep_len();
+    for (preempt, seeds) in [
+        (0u32, seed_stream(len.div_ceil(2))),
+        (250u32, seed_stream(len / 2)),
+    ] {
+        // Distinct stream per mode: shift so modes don't repeat seeds.
+        let seeds = seeds.map(|s| s.wrapping_add(u64::from(preempt) << 32));
+        if let Err(e) = explore(seeds, preempt, |s| cfg.run(s)) {
+            report_failure(
+                &cfg,
+                &e.schedule,
+                e.outcome.violation.as_deref().unwrap_or("?"),
+            );
+        }
+    }
+}
+
+/// Replays `TIPPERS_SIM_SCHEDULE` — a JSON artifact path or a bare
+/// seed — through the storm. A no-op when the variable is unset, so the
+/// test is always safe to run; when set, a reproduced violation fails
+/// the test with the replayed outcome.
+#[test]
+fn replay_schedule_from_env() {
+    let Ok(spec) = std::env::var("TIPPERS_SIM_SCHEDULE") else {
+        return;
+    };
+    let schedule = match spec.parse::<u64>() {
+        Ok(seed) => Schedule::seeded(seed, 0),
+        Err(_) => {
+            let text = fs::read_to_string(&spec)
+                .unwrap_or_else(|e| panic!("TIPPERS_SIM_SCHEDULE={spec}: {e}"));
+            Schedule::from_json(&text).unwrap_or_else(|e| panic!("{spec}: {e}"))
+        }
+    };
+    // Fence-bug artifacts replay against the reintroduced bug — that is
+    // the configuration they were shrunk under.
+    let cfg = SimStorm {
+        reintroduce_fence_bug: schedule.note.contains("fence-bug"),
+        ..SimStorm::default()
+    };
+    let outcome = cfg.run(&schedule);
+    assert!(
+        !outcome.failed(),
+        "replayed schedule {spec} (seed {}, note {:?}) reproduces: {}",
+        schedule.seed,
+        schedule.note,
+        outcome.violation.unwrap_or_default(),
+    );
+}
+
+/// Replays every checked-in schedule artifact. Fence-bug artifacts must
+/// still catch the reintroduced bug *and* pass against the real fence;
+/// plain artifacts must pass as swept.
+#[test]
+fn regression_corpus_replays_deterministically() {
+    let dir = corpus_dir();
+    let mut replayed = 0;
+    let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .map(|e| e.expect("corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let text = fs::read_to_string(&path).expect("read corpus artifact");
+        let schedule =
+            Schedule::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        if schedule.note.contains("fence-bug") {
+            let buggy = SimStorm {
+                reintroduce_fence_bug: true,
+                ..SimStorm::default()
+            };
+            let outcome = buggy.run(&schedule);
+            assert!(
+                outcome.failed(),
+                "{}: shrunk fence-bug schedule no longer catches the reintroduced \
+                 bug — the corpus artifact has gone stale",
+                path.display()
+            );
+            let fixed = SimStorm::default();
+            let outcome = fixed.run(&schedule);
+            assert!(
+                !outcome.failed(),
+                "{}: fence-bug schedule fails even with the fence intact: {}",
+                path.display(),
+                outcome.violation.unwrap_or_default()
+            );
+        } else {
+            let cfg = SimStorm::default();
+            let outcome = cfg.run(&schedule);
+            assert!(
+                !outcome.failed(),
+                "{}: corpus schedule reproduces a violation: {}",
+                path.display(),
+                outcome.violation.unwrap_or_default()
+            );
+        }
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 1,
+        "regression corpus is empty: {}",
+        dir.display()
+    );
+}
+
+/// The E21 acceptance check, as a test: with the PR 9 fence bug
+/// reintroduced behind its hook, a plain seed sweep finds a violating
+/// interleaving, the shrinker reduces it to a replayable schedule, and
+/// that schedule distinguishes buggy from fixed.
+#[test]
+fn seed_sweep_finds_the_reintroduced_fence_bug_and_shrinks_it() {
+    let buggy = SimStorm {
+        reintroduce_fence_bug: true,
+        ..SimStorm::default()
+    };
+    let exploration = explore(1..=64, 0, |s| buggy.run(s))
+        .expect_err("64 seeds must surface the unfenced zombie append");
+    let report = shrink(
+        &exploration.schedule,
+        &exploration.outcome,
+        buggy.fault_rounds(),
+        |s| buggy.run(s),
+    );
+    assert!(
+        report.reproduced,
+        "pinned trace must reproduce the violation"
+    );
+    assert!(
+        report.violation.contains("invariant violated"),
+        "unexpected violation: {}",
+        report.violation
+    );
+    // The minimized schedule still catches the bug…
+    assert!(buggy.run(&report.schedule).failed());
+    // …and the real fence closes it under the very same interleaving.
+    let fixed = SimStorm::default();
+    let outcome = fixed.run(&report.schedule);
+    assert!(
+        !outcome.failed(),
+        "fence failed under the shrunk schedule: {}",
+        outcome.violation.unwrap_or_default()
+    );
+}
+
+/// Regenerates the checked-in fence-bug corpus artifact. Ignored by
+/// default; run with `cargo test --test sim_interleavings -- --ignored
+/// regenerate` after a storm or scheduler change that staled the corpus.
+#[test]
+#[ignore = "writes tests/schedules/fence-zombie-append.json"]
+fn regenerate_fence_bug_artifact() {
+    let buggy = SimStorm {
+        reintroduce_fence_bug: true,
+        ..SimStorm::default()
+    };
+    let exploration = explore(1..=64, 0, |s| buggy.run(s))
+        .expect_err("64 seeds must surface the unfenced zombie append");
+    let report = shrink(
+        &exploration.schedule,
+        &exploration.outcome,
+        buggy.fault_rounds(),
+        |s| buggy.run(s),
+    );
+    assert!(report.reproduced);
+    let mut artifact = report.schedule.clone();
+    artifact.note = format!(
+        "fence-bug: zombie append past a missing writer fence (PR 9 class), \
+         shrunk from seed {} after {} candidates",
+        exploration.schedule.seed, report.iterations
+    );
+    let path = corpus_dir().join("fence-zombie-append.json");
+    fs::write(&path, artifact.to_json()).expect("write corpus artifact");
+}
